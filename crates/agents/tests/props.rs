@@ -1,0 +1,80 @@
+//! Property-based tests for the agents crate: buffer algebra and sandbox
+//! totality.
+
+use datalab_agents::{run_dscript, Content, InformationUnit, SharedBuffer};
+use datalab_frame::{DataFrame, DataType, Value};
+use datalab_sql::Database;
+use proptest::prelude::*;
+
+fn unit(role: &str, action: &str, source: &str, desc: &str) -> InformationUnit {
+    InformationUnit {
+        data_source: source.into(),
+        role: role.into(),
+        action: action.into(),
+        description: desc.into(),
+        content: Content::Text("x".into()),
+        timestamp: 0,
+    }
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert(
+        "t",
+        DataFrame::from_columns(vec![
+            ("k", DataType::Str, vec!["a".into(), "b".into()]),
+            ("v", DataType::Int, vec![Value::Int(1), Value::Int(2)]),
+        ])
+        .expect("valid"),
+    );
+    db
+}
+
+proptest! {
+    #[test]
+    fn buffer_len_bounded_by_deposits(
+        entries in prop::collection::vec(("[ab]{1}", "[xy]{1}", "[st]{1}", "[pq]{0,2}"), 0..40)
+    ) {
+        let buf = SharedBuffer::with_capacity(2);
+        let n = entries.len();
+        let mut last_ts = 0;
+        for (r, a, s, d) in entries {
+            let ts = buf.deposit(unit(&r, &a, &s, &d));
+            prop_assert!(ts > last_ts, "timestamps strictly increase");
+            last_ts = ts;
+        }
+        let stats = buf.stats();
+        prop_assert!(stats.len <= n);
+        prop_assert_eq!(stats.len + stats.evicted as usize, n);
+        prop_assert!(stats.capacity >= stats.len);
+    }
+
+    #[test]
+    fn buffer_by_roles_partitions_all(
+        entries in prop::collection::vec(("[abc]{1}", "[u-z]{1,3}"), 0..30)
+    ) {
+        let buf = SharedBuffer::default();
+        for (r, a) in &entries {
+            buf.deposit(unit(r, a, "s", a));
+        }
+        let total = buf.all().len();
+        let parts: usize = ["a", "b", "c"]
+            .iter()
+            .map(|r| buf.by_roles(&[r.to_string()]).len())
+            .sum();
+        prop_assert_eq!(parts, total);
+    }
+
+    #[test]
+    fn sandbox_never_panics(program in ".{0,200}") {
+        let _ = run_dscript(&program, &db());
+    }
+
+    #[test]
+    fn sandbox_filter_monotone(n in -5i64..5) {
+        let d = db();
+        let all = run_dscript("load t", &d).expect("runs");
+        let filtered = run_dscript(&format!("load t\nfilter v > {n}"), &d).expect("runs");
+        prop_assert!(filtered.n_rows() <= all.n_rows());
+    }
+}

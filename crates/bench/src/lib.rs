@@ -1,0 +1,18 @@
+//! Shared helpers for the DataLab benchmark harness.
+
+#![warn(missing_docs)]
+
+/// Prints a section header for a reproduced table/figure.
+pub fn header(title: &str, paper_ref: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref}; paper values quoted for shape comparison)");
+    println!("==================================================================");
+}
+
+/// Prints one metric row: benchmark, metric, and per-method values.
+pub fn row(benchmark: &str, metric: &str, cells: &[(&str, String)]) {
+    let body: Vec<String> = cells.iter().map(|(m, v)| format!("{m}={v}")).collect();
+    println!("{benchmark:<18} {metric:<22} {}", body.join("  "));
+}

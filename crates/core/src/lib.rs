@@ -1,0 +1,27 @@
+//! # datalab-core
+//!
+//! The unified DataLab platform (paper §III): one façade that wires the
+//! LLM-based agent framework to the computational-notebook interface,
+//! with the three critical modules — Domain Knowledge Incorporation,
+//! Inter-Agent Communication, and Cell-based Context Management —
+//! composed the way Fig. 2 describes.
+//!
+//! ```
+//! use datalab_core::DataLab;
+//! use datalab_frame::{DataFrame, DataType};
+//!
+//! let mut lab = DataLab::new(Default::default());
+//! let df = DataFrame::from_columns(vec![
+//!     ("region", DataType::Str, vec!["east".into(), "west".into()]),
+//!     ("amount", DataType::Int, vec![10.into(), 20.into()]),
+//! ]).unwrap();
+//! lab.register_table("sales", df).unwrap();
+//! let response = lab.query("What is the total amount by region?");
+//! assert!(response.frame.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod platform;
+
+pub use platform::{DataLab, DataLabConfig, DataLabResponse};

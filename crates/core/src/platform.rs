@@ -1,0 +1,440 @@
+//! The `DataLab` platform façade.
+
+use datalab_agents::{CommunicationConfig, ProxyAgent, SharedBuffer};
+use datalab_frame::{DataFrame, FrameError};
+use datalab_knowledge::{
+    generate_table_knowledge, incorporate, profile_table, GenerationConfig, GenerationReport,
+    IncorporateConfig, IndexTask, JargonEntry, KnowledgeGraph, KnowledgeIndex, Lineage, NodeKind,
+    Script, TableKnowledge,
+};
+use datalab_llm::{LanguageModel, ModelProfile, SimLlm};
+use datalab_notebook::{CellDag, CellKind, Notebook};
+use datalab_sql::Database;
+use datalab_viz::RenderedChart;
+use std::collections::BTreeMap;
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct DataLabConfig {
+    /// Foundation-model capability profile.
+    pub model: ModelProfile,
+    /// Inter-agent communication settings (Table III ablations).
+    pub communication: CommunicationConfig,
+    /// Knowledge utilization settings (Table II ablations).
+    pub incorporate: IncorporateConfig,
+    /// Knowledge generation settings (Algorithm 1).
+    pub generation: GenerationConfig,
+    /// "Today" for temporal query standardisation.
+    pub current_date: String,
+}
+
+impl Default for DataLabConfig {
+    fn default() -> Self {
+        DataLabConfig {
+            model: ModelProfile::gpt4(),
+            communication: CommunicationConfig::default(),
+            incorporate: IncorporateConfig::default(),
+            generation: GenerationConfig::default(),
+            current_date: "2026-07-06".to_string(),
+        }
+    }
+}
+
+/// What one `query` call produced.
+#[derive(Debug, Clone)]
+pub struct DataLabResponse {
+    /// Final synthesised answer.
+    pub answer: String,
+    /// The rewritten (clarified) query.
+    pub rewritten_query: String,
+    /// The execution plan (agent roles, in order).
+    pub plan: Vec<String>,
+    /// The last produced data frame, if any.
+    pub frame: Option<DataFrame>,
+    /// The last rendered chart, if any.
+    pub chart: Option<RenderedChart>,
+    /// DSL JSON the grounding stage produced (empty if skipped).
+    pub dsl_json: String,
+    /// Whether every subtask completed.
+    pub success: bool,
+    /// Notebook cells appended by this query (ids in notebook order).
+    pub new_cells: Vec<datalab_notebook::CellId>,
+}
+
+/// The unified BI platform.
+pub struct DataLab {
+    config: DataLabConfig,
+    llm: SimLlm,
+    db: Database,
+    graph: KnowledgeGraph,
+    index: Option<KnowledgeIndex>,
+    knowledge: BTreeMap<String, TableKnowledge>,
+    notebook: Notebook,
+    dag: CellDag,
+    history: Vec<String>,
+    profile_lines: String,
+    session_buffer: SharedBuffer,
+}
+
+impl DataLab {
+    /// Creates an empty platform.
+    pub fn new(config: DataLabConfig) -> Self {
+        let llm = SimLlm::new(config.model.clone());
+        let notebook = Notebook::new();
+        let dag = CellDag::build(&notebook);
+        DataLab {
+            config,
+            llm,
+            db: Database::new(),
+            graph: KnowledgeGraph::new(),
+            index: None,
+            knowledge: BTreeMap::new(),
+            notebook,
+            dag,
+            history: Vec::new(),
+            profile_lines: String::new(),
+            session_buffer: SharedBuffer::default(),
+        }
+    }
+
+    /// Registers a data table and profiles it (the §IV-C fallback, so
+    /// in-the-wild tables are groundable immediately).
+    pub fn register_table(&mut self, name: &str, df: DataFrame) -> Result<(), FrameError> {
+        let profiled = profile_table(&self.llm, name, &df)?;
+        self.profile_lines.push_str(&profiled.render());
+        self.db.insert(name, df);
+        Ok(())
+    }
+
+    /// Registers a table from CSV text (types inferred), profiling it like
+    /// [`DataLab::register_table`].
+    pub fn register_csv(&mut self, name: &str, csv_text: &str) -> Result<(), FrameError> {
+        let df = datalab_frame::csv::from_csv(csv_text)?;
+        self.register_table(name, df)
+    }
+
+    /// Serialises the knowledge graph to JSON (for persistence across
+    /// sessions; the paper's deployment regenerates knowledge daily and
+    /// serves it from storage).
+    pub fn export_knowledge(&self) -> String {
+        serde_json::to_string(&self.graph).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Restores a knowledge graph exported by
+    /// [`DataLab::export_knowledge`] and rebuilds the retrieval index.
+    pub fn import_knowledge(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        self.graph = serde_json::from_str(json)?;
+        self.rebuild_index();
+        Ok(())
+    }
+
+    /// Serialises the notebook to JSON.
+    pub fn export_notebook(&self) -> String {
+        serde_json::to_string(&self.notebook).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Restores a notebook exported by [`DataLab::export_notebook`] and
+    /// rebuilds its dependency DAG.
+    pub fn import_notebook(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        self.notebook = serde_json::from_str(json)?;
+        self.dag = CellDag::build(&self.notebook);
+        Ok(())
+    }
+
+    /// Ingests a table's script history and lineage, running Algorithm 1
+    /// knowledge generation and refreshing the retrieval index.
+    pub fn ingest_scripts(
+        &mut self,
+        table: &str,
+        scripts: &[Script],
+        lineage: &Lineage,
+    ) -> GenerationReport {
+        let schema_line = self.schema_section();
+        let (tk, report) = generate_table_knowledge(
+            &self.llm,
+            table,
+            &schema_line,
+            scripts,
+            lineage,
+            &self.knowledge,
+            &self.config.generation,
+        );
+        self.graph.ingest_table("default", &tk);
+        self.knowledge.insert(table.to_lowercase(), tk);
+        self.rebuild_index();
+        report
+    }
+
+    /// Adds a jargon glossary entry.
+    pub fn add_jargon(&mut self, term: &str, expansion: &str) {
+        self.graph
+            .ingest_jargon(&JargonEntry { term: term.into(), expansion: expansion.into() });
+        self.rebuild_index();
+    }
+
+    /// Adds a curated value alias (e.g. `TencentBI` → `prod_class4_name =
+    /// 'Tencent BI'`).
+    pub fn add_value_alias(&mut self, term: &str, table: &str, column: &str, value: &str) {
+        let name = format!("{table}.{column}={value}");
+        let v = self
+            .graph
+            .find(NodeKind::Value, &name)
+            .unwrap_or_else(|| self.graph.ingest_value(table, column, value, "curated value"));
+        self.graph.add_alias(term, v);
+        self.rebuild_index();
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = Some(KnowledgeIndex::build(&self.graph, IndexTask::Nl2Dsl));
+    }
+
+    /// The schema prompt section for all registered tables.
+    pub fn schema_section(&self) -> String {
+        let mut s = String::new();
+        for name in self.db.table_names() {
+            if let Ok(df) = self.db.get(name) {
+                let cols: Vec<String> = df
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| format!("{} ({})", f.name, f.dtype))
+                    .collect();
+                s.push_str(&format!("table {name}: {}\n", cols.join(", ")));
+            }
+        }
+        s
+    }
+
+    /// Read access to the catalog.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Read access to the knowledge graph.
+    pub fn knowledge_graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// Read access to the notebook.
+    pub fn notebook(&self) -> &Notebook {
+        &self.notebook
+    }
+
+    /// Read access to the cell-dependency DAG.
+    pub fn dag(&self) -> &CellDag {
+        &self.dag
+    }
+
+    /// Total LLM tokens consumed so far.
+    pub fn tokens_used(&self) -> u64 {
+        self.usage_meter().map(|m| m.total_tokens()).unwrap_or(0)
+    }
+
+    fn usage_meter(&self) -> Option<&datalab_llm::TokenMeter> {
+        self.llm.meter()
+    }
+
+    /// Handles one NL query end to end (the Fig. 2 workflow): knowledge
+    /// incorporation ①, multi-agent execution with structured
+    /// communication ②, and notebook/context maintenance ③.
+    pub fn query(&mut self, question: &str) -> DataLabResponse {
+        // ① Domain knowledge incorporation.
+        let schema = self.schema_section();
+        let schema_plus = format!("{schema}{}", self.profile_lines);
+        let grounding = match &self.index {
+            Some(index) => incorporate(
+                &self.llm,
+                &self.graph,
+                index,
+                &schema_plus,
+                question,
+                &self.history,
+                &self.config.current_date,
+                &self.config.incorporate,
+            ),
+            None => {
+                // No knowledge yet: profiling-only grounding.
+                let empty_graph = KnowledgeGraph::new();
+                let empty_index = KnowledgeIndex::build(&empty_graph, IndexTask::Nl2Dsl);
+                incorporate(
+                    &self.llm,
+                    &empty_graph,
+                    &empty_index,
+                    &schema_plus,
+                    question,
+                    &self.history,
+                    &self.config.current_date,
+                    &self.config.incorporate,
+                )
+            }
+        };
+
+        // ② Multi-agent execution over the shared buffer.
+        let proxy = ProxyAgent::new(&self.llm, self.config.communication.clone());
+        let outcome = proxy.run_query_with_buffer(
+            &self.db,
+            &schema_plus,
+            &grounding.knowledge_lines,
+            &grounding.rewritten_query,
+            &self.config.current_date,
+            &self.session_buffer,
+        );
+
+        // ③ Reflect results into the notebook and maintain the DAG.
+        let mut new_cells = Vec::new();
+        for unit in &outcome.units {
+            match unit.content {
+                datalab_agents::Content::Table(ref text) => {
+                    if let Some(sql) = text.lines().find_map(|l| l.strip_prefix("-- sql: ")) {
+                        let var = format!("df_q{}", self.history.len());
+                        let id = self.notebook.push_sql(sql.to_string(), var);
+                        self.dag.update_cell(&self.notebook, id);
+                        new_cells.push(id);
+                    }
+                }
+                datalab_agents::Content::Chart(ref spec) => {
+                    let id = self.notebook.push(CellKind::Chart, spec.clone());
+                    self.dag.update_cell(&self.notebook, id);
+                    new_cells.push(id);
+                }
+                datalab_agents::Content::Text(_) => {}
+                _ => {}
+            }
+        }
+        if !outcome.answer.trim().is_empty() {
+            let id = self
+                .notebook
+                .push(CellKind::Markdown, format!("**Q:** {question}\n\n{}", outcome.answer));
+            self.dag.update_cell(&self.notebook, id);
+            new_cells.push(id);
+        }
+        self.history.push(grounding.rewritten_query.clone());
+
+        DataLabResponse {
+            answer: outcome.answer,
+            rewritten_query: grounding.rewritten_query,
+            plan: outcome.plan,
+            frame: outcome.final_frame,
+            chart: outcome.chart,
+            dsl_json: grounding.dsl_json,
+            success: outcome.success,
+            new_cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::{DataType, Date, Value};
+
+    fn sales() -> DataFrame {
+        let dates: Vec<Value> = (0..8)
+            .map(|i| Value::Date(Date::parse("2026-01-01").unwrap().add_days(i * 20)))
+            .collect();
+        DataFrame::from_columns(vec![
+            (
+                "region",
+                DataType::Str,
+                (0..8).map(|i| if i % 2 == 0 { "east".into() } else { "west".into() }).collect(),
+            ),
+            ("amount", DataType::Int, (0..8).map(|i| Value::Int(10 + 2 * i)).collect()),
+            ("day", DataType::Date, dates),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_query_appends_cells() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success, "{:?}", r.plan);
+        assert!(r.frame.is_some());
+        assert!(!r.new_cells.is_empty());
+        assert!(lab.notebook().len() >= 2); // sql + markdown cells
+        assert!(lab.tokens_used() > 0);
+    }
+
+    #[test]
+    fn multi_round_history_feeds_rewrite() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        lab.query("total amount by region for east");
+        let r = lab.query("what about west");
+        assert!(r.rewritten_query.contains("west"), "{}", r.rewritten_query);
+        assert!(
+            r.rewritten_query.to_lowercase().contains("amount"),
+            "{}",
+            r.rewritten_query
+        );
+    }
+
+    #[test]
+    fn knowledge_pipeline_improves_grounding() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        let df = DataFrame::from_columns(vec![
+            ("rgn_cd", DataType::Str, vec!["east".into(), "west".into()]),
+            ("shouldincome_after", DataType::Float, vec![Value::Float(10.0), Value::Float(20.0)]),
+        ])
+        .unwrap();
+        lab.register_table("dwd_sales", df).unwrap();
+        let report = lab.ingest_scripts(
+            "dwd_sales",
+            &[Script::sql(
+                "-- daily income rollup by region for finance\n\
+                 SELECT rgn_cd, SUM(shouldincome_after) AS total FROM dwd_sales GROUP BY rgn_cd",
+            )],
+            &Lineage::default(),
+        );
+        assert!(report.scripts_used == 1);
+        lab.add_jargon("gmv", "total income");
+        let r = lab.query("show gmv by region");
+        assert!(r.success);
+        let frame = r.frame.expect("data produced");
+        assert_eq!(frame.n_rows(), 2);
+    }
+
+    #[test]
+    fn csv_registration_and_persistence_roundtrip() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_csv("sales", "region,amount
+east,10
+west,20
+east,5
+").unwrap();
+        lab.add_jargon("gmv", "total amount");
+        lab.query("show gmv by region");
+        let knowledge = lab.export_knowledge();
+        let notebook = lab.export_notebook();
+        assert!(knowledge.contains("gmv"));
+        assert!(!notebook.is_empty());
+
+        let mut restored = DataLab::new(DataLabConfig::default());
+        restored.register_csv("sales", "region,amount
+east,10
+west,20
+east,5
+").unwrap();
+        restored.import_knowledge(&knowledge).unwrap();
+        restored.import_notebook(&notebook).unwrap();
+        assert_eq!(restored.notebook().len(), lab.notebook().len());
+        let r = restored.query("show gmv by region");
+        assert!(r.success);
+        assert!(restored.import_knowledge("not json").is_err());
+    }
+
+    #[test]
+    fn chart_queries_render_and_store_chart_cells() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("Draw a bar chart of total amount by region");
+        assert!(r.chart.is_some());
+        let has_chart_cell = lab
+            .notebook()
+            .cells()
+            .iter()
+            .any(|c| c.kind == CellKind::Chart);
+        assert!(has_chart_cell);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the DataFrame engine's core invariants.
+
+use datalab_frame::{csv, AggExpr, AggFunc, DataFrame, DataType, Value};
+use proptest::prelude::*;
+
+/// A safe string value (CSV-roundtrippable, engine-agnostic).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _,\"-]{0,18}".prop_map(Value::Str),
+    ]
+}
+
+fn int_frame(max_rows: usize) -> impl Strategy<Value = DataFrame> {
+    (1..=max_rows).prop_flat_map(|rows| {
+        (
+            prop::collection::vec(-1000i64..1000, rows..=rows),
+            prop::collection::vec(0i64..5, rows..=rows),
+        )
+            .prop_map(|(vals, keys)| {
+                DataFrame::from_columns(vec![
+                    (
+                        "k",
+                        DataType::Str,
+                        keys.into_iter().map(|k| Value::Str(format!("g{k}"))).collect(),
+                    ),
+                    ("v", DataType::Int, vals.into_iter().map(Value::Int).collect()),
+                ])
+                .expect("valid test frame")
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn total_cmp_is_antisymmetric_and_transitive(
+        a in value_strategy(), b in value_strategy(), c in value_strategy()
+    ) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity: a<=b and b<=c imply a<=c.
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn equal_values_hash_equally(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn sort_is_an_ordered_permutation(df in int_frame(40)) {
+        let sorted = df.sort_by(&[("v", true)]).expect("column exists");
+        prop_assert_eq!(sorted.n_rows(), df.n_rows());
+        let col = sorted.column("v").expect("exists");
+        for w in col.windows(2) {
+            prop_assert_ne!(w[0].total_cmp(&w[1]), std::cmp::Ordering::Greater);
+        }
+        // Multiset preserved.
+        let mut a: Vec<i64> = df.column("v").unwrap().iter().filter_map(Value::as_i64).collect();
+        let mut b: Vec<i64> = col.iter().filter_map(Value::as_i64).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_counts_sum_to_row_count(df in int_frame(40)) {
+        let g = df.group_by(&["k"], &[AggExpr::count_star("n")]).expect("groups");
+        let total: i64 = g.column("n").unwrap().iter().filter_map(Value::as_i64).sum();
+        prop_assert_eq!(total as usize, df.n_rows());
+        // Group sums add up to the global sum.
+        let g2 = df.group_by(&["k"], &[AggExpr::new(AggFunc::Sum, "v", "s")]).expect("groups");
+        let group_sum: i64 = g2.column("s").unwrap().iter().filter_map(Value::as_i64).sum();
+        let global: i64 = df.column("v").unwrap().iter().filter_map(Value::as_i64).sum();
+        prop_assert_eq!(group_sum, global);
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_bounded(df in int_frame(40)) {
+        let d1 = df.distinct();
+        let d2 = d1.distinct();
+        prop_assert!(d1.n_rows() <= df.n_rows());
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn filter_then_concat_partitions_rows(df in int_frame(40)) {
+        let col = df.column("v").unwrap().to_vec();
+        let hi = df.filter(|i| col[i].as_i64().map(|v| v >= 0).unwrap_or(false));
+        let lo = df.filter(|i| col[i].as_i64().map(|v| v < 0).unwrap_or(true));
+        prop_assert_eq!(hi.n_rows() + lo.n_rows(), df.n_rows());
+    }
+
+    #[test]
+    fn csv_roundtrip_for_typed_frames(
+        strs in prop::collection::vec("[a-zA-Z0-9 _-]{1,12}", 1..20),
+        ints in prop::collection::vec(-5000i64..5000, 1..20),
+    ) {
+        let n = strs.len().min(ints.len());
+        let df = DataFrame::from_columns(vec![
+            ("s", DataType::Str, strs[..n].iter().map(|s| Value::Str(s.clone())).collect()),
+            ("i", DataType::Int, ints[..n].iter().map(|i| Value::Int(*i)).collect()),
+        ]).expect("valid");
+        let back = csv::from_csv(&csv::to_csv(&df)).expect("roundtrips");
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        prop_assert_eq!(back.column("i").unwrap(), df.column("i").unwrap());
+    }
+
+    #[test]
+    fn limit_never_exceeds(df in int_frame(40), n in 0usize..60) {
+        prop_assert_eq!(df.limit(n).n_rows(), n.min(df.n_rows()));
+    }
+}

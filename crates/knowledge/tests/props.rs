@@ -1,0 +1,74 @@
+//! Property-based tests for the knowledge crate: DSL validation totality
+//! and compile-target well-formedness.
+
+use datalab_knowledge::{validate_dsl_json, DslColumn, DslMeasure, DslSpec};
+use datalab_sql::parse_select;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = DslSpec> {
+    (
+        "[a-z]{1,8}",
+        "[a-z]{1,8}",
+        "[a-z]{1,8}",
+        prop_oneof![
+            Just("sum"),
+            Just("avg"),
+            Just("count"),
+            Just("min"),
+            Just("max"),
+            Just("count_distinct")
+        ],
+        prop::option::of(1usize..50),
+        any::<bool>(),
+    )
+        .prop_map(|(table, col, dim, agg, limit, desc)| DslSpec {
+            measure_list: vec![DslMeasure {
+                table: Some(table.clone()),
+                column: Some(col),
+                aggregate: agg.to_string(),
+                expr: None,
+                alias: None,
+            }],
+            dimension_list: vec![DslColumn { table: table.clone(), column: dim }],
+            condition_list: vec![],
+            projection_list: vec![],
+            order_by: Some(datalab_knowledge::DslOrder { target: "measure".into(), desc }),
+            limit,
+            chart: Some("bar".into()),
+            clean: None,
+        })
+}
+
+proptest! {
+    #[test]
+    fn validator_never_panics(text in ".{0,160}") {
+        let _ = validate_dsl_json(&text);
+    }
+
+    #[test]
+    fn valid_specs_roundtrip_through_validator(spec in spec_strategy()) {
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back = validate_dsl_json(&json).expect("own serialization validates");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn compiled_sql_always_parses(spec in spec_strategy()) {
+        let sql = spec.to_sql(None);
+        parse_select(&sql).unwrap_or_else(|e| panic!("unparseable SQL {sql}: {e}"));
+    }
+
+    #[test]
+    fn compiled_dscript_is_well_formed(spec in spec_strategy()) {
+        let ds = spec.to_dscript();
+        prop_assert!(ds.starts_with("load "));
+        // Every line is a known op.
+        for line in ds.lines() {
+            let op = line.split_whitespace().next().unwrap_or("");
+            prop_assert!(
+                ["load", "filter", "derive", "select", "groupby", "sort", "limit"].contains(&op),
+                "unknown op in {line}"
+            );
+        }
+    }
+}

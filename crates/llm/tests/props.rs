@@ -1,0 +1,76 @@
+//! Property-based tests for the LLM substrate: hashing, embeddings,
+//! tokens, prompt roundtrips, and model determinism/totality.
+
+use datalab_llm::util::{hash01, split_ident, stem};
+use datalab_llm::{count_tokens, parse_prompt, HashEmbedder, LanguageModel, Prompt, SimLlm};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hash01_bounded_and_deterministic(s in ".{0,64}") {
+        let h = hash01(&s);
+        prop_assert!((0.0..1.0).contains(&h));
+        prop_assert_eq!(h, hash01(&s));
+    }
+
+    #[test]
+    fn embeddings_are_unit_or_zero(s in ".{0,64}") {
+        let v = HashEmbedder::new().embed(&s);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn token_count_superadditive_floor(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        // Concatenating text never reduces the count.
+        let joined = format!("{a} {b}");
+        prop_assert!(count_tokens(&joined) >= count_tokens(&a));
+        prop_assert!(count_tokens(&joined) >= count_tokens(&b));
+    }
+
+    #[test]
+    fn stem_is_idempotent(w in "[a-z]{1,12}") {
+        prop_assert_eq!(stem(&stem(&w)), stem(&w));
+    }
+
+    #[test]
+    fn split_ident_yields_nonempty_lowercase(s in "[A-Za-z0-9_]{0,24}") {
+        for part in split_ident(&s) {
+            prop_assert!(!part.is_empty());
+            prop_assert_eq!(part.to_lowercase(), part);
+        }
+    }
+
+    #[test]
+    fn prompt_roundtrip(
+        task in "[a-z0-9_]{1,12}",
+        name in "[a-z]{1,8}",
+        // Section content without marker-colliding lines.
+        content in "[a-zA-Z0-9 .,:]{0,80}",
+    ) {
+        let rendered = Prompt::new(task.clone()).section(name.clone(), content.clone()).render();
+        let parsed = parse_prompt(&rendered);
+        prop_assert_eq!(parsed.task.clone(), task);
+        prop_assert_eq!(parsed.section(&name).trim_end_matches('\n'), content.as_str());
+    }
+
+    #[test]
+    fn model_is_total_and_deterministic(text in ".{0,160}") {
+        let m = SimLlm::gpt4();
+        let a = m.complete(&text);
+        let b = m.complete(&text);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nl2sql_outputs_select_statements(q in "[a-z ]{0,40}") {
+        let m = SimLlm::gpt4();
+        let out = m.complete(
+            &Prompt::new("nl2sql")
+                .section("schema", "table t: region (str), amount (int), day (date)")
+                .section("question", q)
+                .render(),
+        );
+        prop_assert!(out.to_uppercase().starts_with("SELECT"), "{}", out);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the notebook subsystem: analyser totality,
+//! DAG acyclicity, and incremental-update consistency with full rebuilds.
+
+use datalab_notebook::{analyze, CellDag, CellKind, Notebook};
+use proptest::prelude::*;
+
+/// Builds a random (but structurally sensible) notebook: each Python cell
+/// optionally references the variable defined by an earlier cell.
+fn notebook_strategy() -> impl Strategy<Value = Notebook> {
+    prop::collection::vec((0usize..5, any::<bool>()), 1..14).prop_map(|cells| {
+        let mut nb = Notebook::new();
+        for (i, (back_ref, markdown)) in cells.into_iter().enumerate() {
+            if markdown && i % 3 == 0 {
+                nb.push(CellKind::Markdown, format!("notes about step {i}"));
+            } else if i == 0 {
+                nb.push_sql("SELECT a, b FROM base", "v0");
+            } else {
+                let target = i - 1 - (back_ref % i).min(i - 1);
+                nb.push(CellKind::Python, format!("v{i} = v{target}.dropna()"));
+            }
+        }
+        nb
+    })
+}
+
+proptest! {
+    #[test]
+    fn pymini_never_panics(src in ".{0,200}") {
+        let _ = analyze(&src);
+    }
+
+    #[test]
+    fn pymini_defined_and_referenced_disjoint(src in "[a-z0-9 =+().\n_]{0,120}") {
+        let a = analyze(&src);
+        for r in &a.referenced {
+            prop_assert!(!a.defined.contains(r), "{:?}", a);
+        }
+    }
+
+    #[test]
+    fn dag_has_no_self_or_cyclic_deps(nb in notebook_strategy()) {
+        let dag = CellDag::build(&nb);
+        for cell in nb.cells() {
+            let anc = dag.ancestors(cell.id);
+            prop_assert!(!anc.contains(&cell.id), "cycle through {:?}", cell.id);
+            // Every ancestor is an earlier cell (our generator only makes
+            // backward references).
+            let pos = nb.position(cell.id).unwrap();
+            for a in anc {
+                prop_assert!(nb.position(a).unwrap() < pos);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_converse(nb in notebook_strategy()) {
+        let dag = CellDag::build(&nb);
+        for cell in nb.cells() {
+            for a in dag.ancestors(cell.id) {
+                prop_assert!(
+                    dag.descendants(a).contains(&cell.id),
+                    "{:?} ancestor of {:?} but not converse",
+                    a,
+                    cell.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild(nb in notebook_strategy(), edit in 0usize..14) {
+        let mut nb = nb;
+        let mut dag = CellDag::build(&nb);
+        // Apply a random (valid) edit.
+        let ids: Vec<_> = nb.cells().iter().map(|c| c.id).collect();
+        let target = ids[edit % ids.len()];
+        if nb.get(target).map(|c| c.kind == CellKind::Python).unwrap_or(false) {
+            nb.modify(target, "standalone = 1 + 1");
+            dag.update_cell(&nb, target);
+            let fresh = CellDag::build(&nb);
+            for cell in nb.cells() {
+                prop_assert_eq!(
+                    dag.dependencies(cell.id),
+                    fresh.dependencies(cell.id),
+                    "incremental and full DAGs diverge at {:?}",
+                    cell.id
+                );
+            }
+        }
+    }
+}

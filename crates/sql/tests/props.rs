@@ -1,0 +1,112 @@
+//! Property-based tests for the SQL engine: lexer totality, parse/print
+//! stability, LIKE semantics, and EX-comparison algebra.
+
+use datalab_frame::{DataFrame, DataType, Value};
+use datalab_sql::{ex_equal, like_match, parse_select, run_sql, Database};
+use proptest::prelude::*;
+
+/// Reference LIKE implementation (recursive, obviously correct).
+fn like_ref(s: &[char], p: &[char]) -> bool {
+    match (p.first(), s.first()) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some('%'), _) => {
+            like_ref(s, &p[1..]) || (!s.is_empty() && like_ref(&s[1..], p))
+        }
+        (Some('_'), Some(_)) => like_ref(&s[1..], &p[1..]),
+        (Some(c), Some(d)) => *c == *d && like_ref(&s[1..], &p[1..]),
+        (Some(_), None) => false,
+    }
+}
+
+fn small_db(rows: Vec<(String, i64)>) -> Database {
+    let mut db = Database::new();
+    db.insert(
+        "t",
+        DataFrame::from_columns(vec![
+            ("k", DataType::Str, rows.iter().map(|(k, _)| Value::Str(k.clone())).collect()),
+            ("v", DataType::Int, rows.iter().map(|(_, v)| Value::Int(*v)).collect()),
+        ])
+        .expect("valid"),
+    );
+    db
+}
+
+proptest! {
+    #[test]
+    fn tokenizer_and_parser_never_panic(input in ".{0,80}") {
+        let _ = parse_select(&input);
+    }
+
+    #[test]
+    fn like_matches_reference(s in "[abc%_]{0,8}", p in "[abc%_]{0,6}") {
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        prop_assert_eq!(like_match(&s, &p), like_ref(&sc, &pc));
+    }
+
+    #[test]
+    fn parse_print_parse_is_stable(
+        cols in prop::collection::vec("c[a-z]{1,5}", 1..4),
+        n in 0i64..100,
+        desc in any::<bool>(),
+        limit in prop::option::of(1usize..20),
+    ) {
+        // Build a query from parts, print it, reparse, compare.
+        let mut sql = format!("SELECT {} FROM t WHERE {} > {}", cols.join(", "), cols[0], n);
+        sql.push_str(&format!(" ORDER BY {}{}", cols[0], if desc { " DESC" } else { "" }));
+        if let Some(l) = limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        let ast1 = parse_select(&sql).expect("constructed SQL parses");
+        let printed = ast1.to_string();
+        let ast2 = parse_select(&printed).expect("printed SQL parses");
+        prop_assert_eq!(ast1, ast2);
+    }
+
+    #[test]
+    fn execution_where_true_is_identity(rows in prop::collection::vec(("[ab]{1,3}", -50i64..50), 0..20)) {
+        let rows: Vec<(String, i64)> = rows.into_iter().map(|(k, v)| (k, v)).collect();
+        let db = small_db(rows.clone());
+        let all = run_sql("SELECT k, v FROM t", &db).expect("runs");
+        prop_assert_eq!(all.n_rows(), rows.len());
+        // WHERE about half: the two halves partition the table.
+        let hi = run_sql("SELECT k, v FROM t WHERE v >= 0", &db).expect("runs");
+        let lo = run_sql("SELECT k, v FROM t WHERE v < 0", &db).expect("runs");
+        prop_assert_eq!(hi.n_rows() + lo.n_rows(), rows.len());
+    }
+
+    #[test]
+    fn group_by_matches_frame_group_by(rows in prop::collection::vec(("[abc]{1}", -50i64..50), 1..25)) {
+        let rows: Vec<(String, i64)> = rows.into_iter().collect();
+        let db = small_db(rows);
+        let via_sql = run_sql("SELECT k, SUM(v) FROM t GROUP BY k", &db).expect("runs");
+        let via_frame = db
+            .get("t")
+            .unwrap()
+            .group_by(&["k"], &[datalab_frame::AggExpr::new(datalab_frame::AggFunc::Sum, "v", "s")])
+            .expect("groups");
+        prop_assert!(ex_equal(&via_sql, &via_frame, false));
+    }
+
+    #[test]
+    fn ex_equal_is_reflexive_and_symmetric(rows in prop::collection::vec(("[ab]{1,2}", -9i64..9), 0..10)) {
+        let db = small_db(rows.into_iter().collect());
+        let a = run_sql("SELECT k, v FROM t", &db).expect("runs");
+        let b = run_sql("SELECT v, k FROM t", &db).expect("runs");
+        prop_assert!(ex_equal(&a, &a, false));
+        prop_assert_eq!(ex_equal(&a, &b, false), ex_equal(&b, &a, false));
+        prop_assert!(ex_equal(&a, &b, false), "column permutation is EX-equal");
+    }
+
+    #[test]
+    fn order_by_limit_prefix_property(rows in prop::collection::vec(("[ab]{1}", -50i64..50), 1..25), k in 1usize..10) {
+        let db = small_db(rows.into_iter().collect());
+        let full = run_sql("SELECT v FROM t ORDER BY v DESC", &db).expect("runs");
+        let top = run_sql(&format!("SELECT v FROM t ORDER BY v DESC LIMIT {k}"), &db).expect("runs");
+        prop_assert_eq!(top.n_rows(), k.min(full.n_rows()));
+        for i in 0..top.n_rows() {
+            prop_assert_eq!(&top.column("v").unwrap()[i], &full.column("v").unwrap()[i]);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # datalab-workloads
+//!
+//! Synthetic benchmark generators and evaluation metrics reproducing the
+//! experimental setup of the DataLab paper (see DESIGN.md for the
+//! substitution rationale): Spider/BIRD-like NL2SQL, DS-1000/DSEval-like
+//! NL2DSCode, nvBench/VisEval-like NL2VIS, DABench/InsightBench-like
+//! NL2Insight, the Tencent-like enterprise corpus (knowledge generation,
+//! schema linking, NL2DSL, multi-agent questions), and the notebook
+//! corpus (DAG construction, context management).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod data;
+pub mod enterprise;
+pub mod insight;
+pub mod metrics;
+pub mod nl2code;
+pub mod nl2sql;
+pub mod notebooks;
+pub mod nl2vis;
+
+pub use data::{build_domain, ColumnRole, Domain, TableSpec};
