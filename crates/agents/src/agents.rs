@@ -13,6 +13,7 @@ use crate::sandbox::run_dscript;
 use datalab_frame::{AggExpr, AggFunc, DataFrame, DataType, Value};
 use datalab_llm::{LanguageModel, Prompt};
 use datalab_sql::{run_sql, Database};
+use datalab_telemetry::Telemetry;
 use datalab_viz::{render, ChartSpec, RenderedChart};
 use std::fmt;
 
@@ -52,13 +53,19 @@ pub struct AgentContext<'a> {
     /// The variable/table the conversation is currently focused on
     /// (usually the most recently produced frame).
     pub focus_table: Option<String>,
+    /// Observability pipeline shared with the proxy and the platform
+    /// (retry counters, sandbox spans). A fresh handle is a no-op sink.
+    pub telemetry: Telemetry,
 }
 
 impl<'a> AgentContext<'a> {
     /// The frame an analysis agent should work on: the focus table when
     /// set and present, else the first base table.
     fn focus_frame(&self) -> Result<(String, DataFrame), AgentError> {
-        let err = |m: &str| AgentError { role: "context".into(), message: m.into() };
+        let err = |m: &str| AgentError {
+            role: "context".into(),
+            message: m.into(),
+        };
         if let Some(f) = &self.focus_table {
             if let Ok(df) = self.db.get(f) {
                 return Ok((f.clone(), df.clone()));
@@ -137,7 +144,9 @@ pub fn frame_evidence(var: &str, df: &DataFrame) -> String {
     // A compact row preview: downstream summarisation and answer checks
     // need the actual numbers, not only the schema.
     for i in 0..df.n_rows().min(6) {
-        let row: Vec<String> = (0..df.n_cols()).map(|c| df.column_at(c)[i].render()).collect();
+        let row: Vec<String> = (0..df.n_cols())
+            .map(|c| df.column_at(c)[i].render())
+            .collect();
         out.push_str(&format!("row: {}\n", row.join(" | ")));
     }
     for field in df.schema().fields() {
@@ -166,7 +175,13 @@ fn base_prompt(task_label: &str, task: &str, ctx: &AgentContext<'_>) -> Prompt {
         .section("question", task)
 }
 
-fn unit(role: &str, action: &str, source: &str, description: String, content: Content) -> InformationUnit {
+fn unit(
+    role: &str,
+    action: &str,
+    source: &str,
+    description: String,
+    content: Content,
+) -> InformationUnit {
     InformationUnit {
         data_source: source.to_string(),
         role: role.to_string(),
@@ -194,7 +209,10 @@ impl BiAgent for SqlAgent {
     fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
         let mut feedback: Option<String> = None;
         let mut last_err = String::new();
-        for _ in 0..=ctx.max_retries {
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("sql.retries", 1);
+            }
             let mut prompt = base_prompt("nl2sql", task, ctx);
             if let Some(fb) = &feedback {
                 prompt = prompt.section("feedback", fb.clone());
@@ -230,7 +248,10 @@ impl BiAgent for SqlAgent {
                 }
             }
         }
-        Err(AgentError { role: self.role().into(), message: last_err })
+        Err(AgentError {
+            role: self.role().into(),
+            message: last_err,
+        })
     }
 }
 
@@ -250,13 +271,20 @@ impl BiAgent for CodeAgent {
     fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
         let mut feedback: Option<String> = None;
         let mut last_err = String::new();
-        for _ in 0..=ctx.max_retries {
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("sandbox.retries", 1);
+            }
             let mut prompt = base_prompt("nl2code", task, ctx);
             if let Some(fb) = &feedback {
                 prompt = prompt.section("feedback", fb.clone());
             }
             let code = ctx.llm.complete(&prompt.render());
-            match run_dscript(&code, ctx.db) {
+            let sandboxed = {
+                let _span = ctx.telemetry.span("sandbox.run");
+                run_dscript(&code, ctx.db)
+            };
+            match sandboxed {
                 Ok(df) => {
                     let var = "code_agent_result";
                     let evidence = frame_evidence(var, &df);
@@ -285,7 +313,10 @@ impl BiAgent for CodeAgent {
                 }
             }
         }
-        Err(AgentError { role: self.role().into(), message: last_err })
+        Err(AgentError {
+            role: self.role().into(),
+            message: last_err,
+        })
     }
 }
 
@@ -305,7 +336,10 @@ impl BiAgent for VisAgent {
     fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
         let mut feedback: Option<String> = None;
         let mut last_err = String::new();
-        for _ in 0..=ctx.max_retries {
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("vis.retries", 1);
+            }
             let mut prompt = base_prompt("nl2vis", task, ctx);
             if let Some(fb) = &feedback {
                 prompt = prompt.section("feedback", fb.clone());
@@ -372,9 +406,14 @@ impl BiAgent for VisAgent {
             let spec = ChartSpec {
                 mark,
                 data: name.clone(),
-                x: first_string_column(&df).map(|f| datalab_viz::FieldDef { field: f, aggregate: None }),
-                y: first_numeric_column(&df)
-                    .map(|f| datalab_viz::FieldDef { field: f, aggregate: Some("sum".into()) }),
+                x: first_string_column(&df).map(|f| datalab_viz::FieldDef {
+                    field: f,
+                    aggregate: None,
+                }),
+                y: first_numeric_column(&df).map(|f| datalab_viz::FieldDef {
+                    field: f,
+                    aggregate: Some("sum".into()),
+                }),
                 color: None,
                 filters: vec![],
                 limit: None,
@@ -397,7 +436,10 @@ impl BiAgent for VisAgent {
                 });
             }
         }
-        Err(AgentError { role: self.role().into(), message: last_err })
+        Err(AgentError {
+            role: self.role().into(),
+            message: last_err,
+        })
     }
 }
 
@@ -438,7 +480,9 @@ impl BiAgent for InsightAgent {
                 Some(frame) if first_numeric_column(frame).is_some() => {
                     (asked_table.expect("matched above"), frame.clone())
                 }
-                _ => ctx.frame_where(|df| first_numeric_column(df).is_some() && df.n_rows() >= 1)?,
+                _ => {
+                    ctx.frame_where(|df| first_numeric_column(df).is_some() && df.n_rows() >= 1)?
+                }
             },
         };
         let measure = intent
@@ -454,8 +498,11 @@ impl BiAgent for InsightAgent {
                 message: format!("no numeric measures in {name} to analyse"),
             });
         }
-        let facts_text: String =
-            facts.iter().map(|f| f.statement.clone()).collect::<Vec<_>>().join("\n");
+        let facts_text: String = facts
+            .iter()
+            .map(|f| f.statement.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
         let summary = ctx.llm.complete(
             &Prompt::new("summarize")
                 .section("facts", facts_text.clone())
@@ -469,7 +516,12 @@ impl BiAgent for InsightAgent {
             format!("derived {} insights from {name}", facts.len()),
             Content::Text(format!("{facts_text}\nsummary: {summary}")),
         );
-        Ok(AgentOutput { unit: u, frame: None, chart: None, answer: summary })
+        Ok(AgentOutput {
+            unit: u,
+            frame: None,
+            chart: None,
+            answer: summary,
+        })
     }
 }
 
@@ -504,8 +556,10 @@ impl BiAgent for AnomalyAgent {
             role: self.role().into(),
             message: format!("no numeric column in {name}"),
         })?;
-        let (rows, vals) = numeric_column(&df, &measure)
-            .map_err(|e| AgentError { role: self.role().into(), message: e.to_string() })?;
+        let (rows, vals) = numeric_column(&df, &measure).map_err(|e| AgentError {
+            role: self.role().into(),
+            message: e.to_string(),
+        })?;
         let z = zscores(&vals);
         let label_col = first_date_column(&df).or_else(|| first_string_column(&df));
         let mut lines = Vec::new();
@@ -527,9 +581,24 @@ impl BiAgent for AnomalyAgent {
         } else {
             format!("detected {} anomalies in {measure} of {name}", lines.len())
         };
-        let text = if lines.is_empty() { description.clone() } else { lines.join("\n") };
-        let u = unit(self.role(), "detect_anomalies", &name, description.clone(), Content::Text(text));
-        Ok(AgentOutput { unit: u, frame: None, chart: None, answer: description })
+        let text = if lines.is_empty() {
+            description.clone()
+        } else {
+            lines.join("\n")
+        };
+        let u = unit(
+            self.role(),
+            "detect_anomalies",
+            &name,
+            description.clone(),
+            Content::Text(text),
+        );
+        Ok(AgentOutput {
+            unit: u,
+            frame: None,
+            chart: None,
+            answer: description,
+        })
     }
 }
 
@@ -548,7 +617,12 @@ impl BiAgent for CausalAgent {
 
     fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
         let (name, df) = ctx.frame_where(|df| {
-            df.schema().fields().iter().filter(|f| f.dtype.is_numeric()).count() >= 2
+            df.schema()
+                .fields()
+                .iter()
+                .filter(|f| f.dtype.is_numeric())
+                .count()
+                >= 2
         })?;
         let numeric: Vec<String> = df
             .schema()
@@ -570,16 +644,20 @@ impl BiAgent for CausalAgent {
             .find(|c| lower.contains(&c.to_lowercase()))
             .cloned()
             .unwrap_or_else(|| numeric[0].clone());
-        let (_, tvals) = numeric_column(&df, &target)
-            .map_err(|e| AgentError { role: self.role().into(), message: e.to_string() })?;
+        let (_, tvals) = numeric_column(&df, &target).map_err(|e| AgentError {
+            role: self.role().into(),
+            message: e.to_string(),
+        })?;
         let mut best: Option<(String, f64)> = None;
         let mut lines = Vec::new();
         for c in &numeric {
             if c.eq_ignore_ascii_case(&target) {
                 continue;
             }
-            let (_, cvals) = numeric_column(&df, c)
-                .map_err(|e| AgentError { role: self.role().into(), message: e.to_string() })?;
+            let (_, cvals) = numeric_column(&df, c).map_err(|e| AgentError {
+                role: self.role().into(),
+                message: e.to_string(),
+            })?;
             let r = pearson(&tvals, &cvals);
             lines.push(format!("correlation of {target} with {c}: {r:.3}"));
             match &best {
@@ -596,8 +674,19 @@ impl BiAgent for CausalAgent {
             if r >= 0.0 { "positive" } else { "negative" }
         );
         lines.push(description.clone());
-        let u = unit(self.role(), "causal_analysis", &name, description.clone(), Content::Text(lines.join("\n")));
-        Ok(AgentOutput { unit: u, frame: None, chart: None, answer: description })
+        let u = unit(
+            self.role(),
+            "causal_analysis",
+            &name,
+            description.clone(),
+            Content::Text(lines.join("\n")),
+        );
+        Ok(AgentOutput {
+            unit: u,
+            frame: None,
+            chart: None,
+            answer: description,
+        })
     }
 }
 
@@ -637,17 +726,28 @@ impl BiAgent for ForecastAgent {
             message: format!("no numeric column in {name}"),
         })?;
         let series = df
-            .group_by(&[date_col.as_str()], &[AggExpr::new(AggFunc::Sum, &measure, "__v")])
+            .group_by(
+                &[date_col.as_str()],
+                &[AggExpr::new(AggFunc::Sum, &measure, "__v")],
+            )
             .and_then(|g| g.sort_by(&[(date_col.as_str(), true)]))
-            .map_err(|e| AgentError { role: self.role().into(), message: e.to_string() })?;
+            .map_err(|e| AgentError {
+                role: self.role().into(),
+                message: e.to_string(),
+            })?;
         let dates: Vec<i64> = series
             .column(&date_col)
-            .map_err(|e| AgentError { role: self.role().into(), message: e.to_string() })?
+            .map_err(|e| AgentError {
+                role: self.role().into(),
+                message: e.to_string(),
+            })?
             .iter()
             .filter_map(|v| v.as_date().map(|d| d.to_epoch_days()))
             .collect();
-        let (_, vals) = numeric_column(&series, "__v")
-            .map_err(|e| AgentError { role: self.role().into(), message: e.to_string() })?;
+        let (_, vals) = numeric_column(&series, "__v").map_err(|e| AgentError {
+            role: self.role().into(),
+            message: e.to_string(),
+        })?;
         if dates.len() < 3 || dates.len() != vals.len() {
             return Err(AgentError {
                 role: self.role().into(),
@@ -687,7 +787,12 @@ impl BiAgent for ForecastAgent {
             description.clone(),
             Content::Text(lines.join("\n")),
         );
-        Ok(AgentOutput { unit: u, frame: Some(out), chart: None, answer: description })
+        Ok(AgentOutput {
+            unit: u,
+            frame: Some(out),
+            chart: None,
+            answer: description,
+        })
     }
 }
 
@@ -723,18 +828,42 @@ mod tests {
                     "region",
                     DataType::Str,
                     (0..8)
-                        .map(|i| if i % 2 == 0 { "east".into() } else { "west".into() })
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                "east".into()
+                            } else {
+                                "west".into()
+                            }
+                        })
                         .collect(),
                 ),
                 (
                     "amount",
                     DataType::Int,
-                    vec![10.into(), 12.into(), 14.into(), 16.into(), 18.into(), 20.into(), 22.into(), 200.into()],
+                    vec![
+                        10.into(),
+                        12.into(),
+                        14.into(),
+                        16.into(),
+                        18.into(),
+                        20.into(),
+                        22.into(),
+                        200.into(),
+                    ],
                 ),
                 (
                     "cost",
                     DataType::Int,
-                    vec![5.into(), 6.into(), 7.into(), 8.into(), 9.into(), 10.into(), 11.into(), 100.into()],
+                    vec![
+                        5.into(),
+                        6.into(),
+                        7.into(),
+                        8.into(),
+                        9.into(),
+                        10.into(),
+                        11.into(),
+                        100.into(),
+                    ],
                 ),
                 ("day", DataType::Date, dates),
             ])
@@ -754,6 +883,7 @@ mod tests {
             current_date: "2026-07-06".into(),
             max_retries: 3,
             focus_table: None,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -761,7 +891,9 @@ mod tests {
     fn sql_agent_runs_and_reports_evidence() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = SqlAgent.run("total amount by region", &ctx(&db, &llm)).unwrap();
+        let out = SqlAgent
+            .run("total amount by region", &ctx(&db, &llm))
+            .unwrap();
         let df = out.frame.unwrap();
         assert_eq!(df.n_rows(), 2);
         assert!(out.unit.content.text().contains("table sql_agent_result:"));
@@ -772,7 +904,9 @@ mod tests {
     fn code_agent_executes_pipeline() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = CodeAgent.run("average cost by region", &ctx(&db, &llm)).unwrap();
+        let out = CodeAgent
+            .run("average cost by region", &ctx(&db, &llm))
+            .unwrap();
         let df = out.frame.unwrap();
         assert_eq!(df.n_rows(), 2);
         assert!(out.unit.content.text().contains("-- code:"));
@@ -782,7 +916,9 @@ mod tests {
     fn vis_agent_renders_chart() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = VisAgent.run("bar chart of total amount by region", &ctx(&db, &llm)).unwrap();
+        let out = VisAgent
+            .run("bar chart of total amount by region", &ctx(&db, &llm))
+            .unwrap();
         let chart = out.chart.unwrap();
         assert_eq!(chart.points.len(), 2);
     }
@@ -791,23 +927,36 @@ mod tests {
     fn insight_agent_summarises_facts() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = InsightAgent.run("what do the sales look like", &ctx(&db, &llm)).unwrap();
-        assert!(out.unit.content.text().contains("top_category") || out.unit.content.text().contains("highest total"));
+        let out = InsightAgent
+            .run("what do the sales look like", &ctx(&db, &llm))
+            .unwrap();
+        assert!(
+            out.unit.content.text().contains("top_category")
+                || out.unit.content.text().contains("highest total")
+        );
     }
 
     #[test]
     fn anomaly_agent_flags_spike() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = AnomalyAgent::default().run("find anomalies", &ctx(&db, &llm)).unwrap();
-        assert!(out.unit.content.text().contains("anomaly: amount=200"), "{}", out.unit.content.text());
+        let out = AnomalyAgent::default()
+            .run("find anomalies", &ctx(&db, &llm))
+            .unwrap();
+        assert!(
+            out.unit.content.text().contains("anomaly: amount=200"),
+            "{}",
+            out.unit.content.text()
+        );
     }
 
     #[test]
     fn causal_agent_finds_driver() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = CausalAgent.run("what drives amount", &ctx(&db, &llm)).unwrap();
+        let out = CausalAgent
+            .run("what drives amount", &ctx(&db, &llm))
+            .unwrap();
         assert!(out.answer.contains("cost"), "{}", out.answer);
         assert!(out.answer.contains("positive"));
     }
@@ -816,7 +965,9 @@ mod tests {
     fn forecast_agent_extrapolates_trend() {
         let db = db();
         let llm = SimLlm::gpt4();
-        let out = ForecastAgent { horizon: 2 }.run("forecast amount", &ctx(&db, &llm)).unwrap();
+        let out = ForecastAgent { horizon: 2 }
+            .run("forecast amount", &ctx(&db, &llm))
+            .unwrap();
         let f = out.frame.unwrap();
         assert_eq!(f.n_rows(), 2);
         assert!(out.answer.contains("upward"));
@@ -827,7 +978,12 @@ mod tests {
         let mut db = db();
         db.insert(
             "tiny",
-            DataFrame::from_columns(vec![("x", DataType::Int, vec![1.into(), 2.into(), 3.into()])]).unwrap(),
+            DataFrame::from_columns(vec![(
+                "x",
+                DataType::Int,
+                vec![1.into(), 2.into(), 3.into()],
+            )])
+            .unwrap(),
         );
         let llm = SimLlm::gpt4();
         let mut c = ctx(&db, &llm);

@@ -65,7 +65,10 @@ pub fn zscores(values: &[f64]) -> Vec<f64> {
 
 /// Extracts a numeric column as `f64`s, skipping nulls (returned indices
 /// refer to original rows).
-pub fn numeric_column(df: &DataFrame, name: &str) -> Result<(Vec<usize>, Vec<f64>), datalab_frame::FrameError> {
+pub fn numeric_column(
+    df: &DataFrame,
+    name: &str,
+) -> Result<(Vec<usize>, Vec<f64>), datalab_frame::FrameError> {
     let col = df.column(name)?;
     let mut idx = Vec::new();
     let mut vals = Vec::new();
@@ -80,17 +83,29 @@ pub fn numeric_column(df: &DataFrame, name: &str) -> Result<(Vec<usize>, Vec<f64
 
 /// First column of each kind — helpers for agents choosing targets.
 pub fn first_numeric_column(df: &DataFrame) -> Option<String> {
-    df.schema().fields().iter().find(|f| f.dtype.is_numeric()).map(|f| f.name.clone())
+    df.schema()
+        .fields()
+        .iter()
+        .find(|f| f.dtype.is_numeric())
+        .map(|f| f.name.clone())
 }
 
 /// First date column.
 pub fn first_date_column(df: &DataFrame) -> Option<String> {
-    df.schema().fields().iter().find(|f| f.dtype == DataType::Date).map(|f| f.name.clone())
+    df.schema()
+        .fields()
+        .iter()
+        .find(|f| f.dtype == DataType::Date)
+        .map(|f| f.name.clone())
 }
 
 /// First string (categorical) column.
 pub fn first_string_column(df: &DataFrame) -> Option<String> {
-    df.schema().fields().iter().find(|f| f.dtype == DataType::Str).map(|f| f.name.clone())
+    df.schema()
+        .fields()
+        .iter()
+        .find(|f| f.dtype == DataType::Str)
+        .map(|f| f.name.clone())
 }
 
 /// A computed fact about a dataset: one line of evidence for insight
@@ -115,18 +130,31 @@ pub fn compute_facts(df: &DataFrame) -> Vec<Fact> {
 pub fn compute_facts_for(df: &DataFrame, measure: Option<&str>, dim: Option<&str>) -> Vec<Fact> {
     let mut facts = Vec::new();
     let measure = measure
-        .filter(|m| df.schema().field(m).map(|f| f.dtype.is_numeric()).unwrap_or(false))
+        .filter(|m| {
+            df.schema()
+                .field(m)
+                .map(|f| f.dtype.is_numeric())
+                .unwrap_or(false)
+        })
         .map(String::from)
         .or_else(|| first_numeric_column(df));
     let Some(measure) = measure else {
         return facts;
     };
     let dim = dim
-        .filter(|d| df.schema().field(d).map(|f| f.dtype == DataType::Str).unwrap_or(false))
+        .filter(|d| {
+            df.schema()
+                .field(d)
+                .map(|f| f.dtype == DataType::Str)
+                .unwrap_or(false)
+        })
         .map(String::from)
         .or_else(|| first_string_column(df));
     let n = df.n_rows();
-    facts.push(Fact { key: "rows".into(), statement: format!("the dataset has {n} rows") });
+    facts.push(Fact {
+        key: "rows".into(),
+        statement: format!("the dataset has {n} rows"),
+    });
 
     if let Ok((_, vals)) = numeric_column(df, &measure) {
         if !vals.is_empty() {
@@ -144,7 +172,10 @@ pub fn compute_facts_for(df: &DataFrame, measure: Option<&str>, dim: Option<&str
     }
 
     if let Some(dim) = dim {
-        if let Ok(g) = df.group_by(&[dim.as_str()], &[AggExpr::new(AggFunc::Sum, &measure, "__t")]) {
+        if let Ok(g) = df.group_by(
+            &[dim.as_str()],
+            &[AggExpr::new(AggFunc::Sum, &measure, "__t")],
+        ) {
             if let (Ok(dims), Ok(totals)) = (g.column(&dim), g.column("__t")) {
                 let mut pairs: Vec<(String, f64)> = dims
                     .iter()
@@ -172,7 +203,9 @@ pub fn compute_facts_for(df: &DataFrame, measure: Option<&str>, dim: Option<&str
                     let (bottom, bottom_v) = &pairs[pairs.len() - 1];
                     facts.push(Fact {
                         key: "bottom_category".into(),
-                        statement: format!("{bottom} has the lowest total {measure} at {bottom_v:.2}"),
+                        statement: format!(
+                            "{bottom} has the lowest total {measure} at {bottom_v:.2}"
+                        ),
                     });
                 }
             }
@@ -191,7 +224,11 @@ pub fn compute_facts_for(df: &DataFrame, measure: Option<&str>, dim: Option<&str
                 if xs.len() >= 3 && xs.len() == vals.len() {
                     let (slope, _) = linear_fit(&xs, &vals);
                     let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                    let rel = if mean.abs() > 1e-9 { slope * 30.0 / mean } else { 0.0 };
+                    let rel = if mean.abs() > 1e-9 {
+                        slope * 30.0 / mean
+                    } else {
+                        0.0
+                    };
                     let direction = if rel > 0.02 {
                         "increasing"
                     } else if rel < -0.02 {
@@ -251,16 +288,27 @@ mod tests {
                 DataType::Str,
                 vec!["east".into(), "west".into(), "east".into(), "west".into()],
             ),
-            ("amount", DataType::Int, vec![10.into(), 5.into(), 20.into(), 5.into()]),
+            (
+                "amount",
+                DataType::Int,
+                vec![10.into(), 5.into(), 20.into(), 5.into()],
+            ),
             (
                 "day",
                 DataType::Date,
-                (0..4).map(|i| Value::Date(Date::parse("2024-01-01").unwrap().add_days(i * 30))).collect(),
+                (0..4)
+                    .map(|i| Value::Date(Date::parse("2024-01-01").unwrap().add_days(i * 30)))
+                    .collect(),
             ),
         ])
         .unwrap();
         let facts = compute_facts(&df);
-        let get = |k: &str| facts.iter().find(|f| f.key == k).map(|f| f.statement.clone());
+        let get = |k: &str| {
+            facts
+                .iter()
+                .find(|f| f.key == k)
+                .map(|f| f.statement.clone())
+        };
         assert!(get("top_category").unwrap().contains("east"));
         assert!(get("share_top").unwrap().contains("75.0%"));
         assert!(get("total").unwrap().contains("40.00"));

@@ -7,13 +7,14 @@ use crate::agents::{frame_evidence, AgentContext, BiAgent, InsightAgent, SqlAgen
 use crate::proxy::{CommunicationConfig, ProxyAgent};
 use crate::sandbox::{run_dscript, SandboxError};
 use datalab_frame::DataFrame;
+use datalab_knowledge::validate_dsl_json;
 use datalab_llm::intent::Evidence;
 use datalab_llm::util::{token_overlap, words};
 use datalab_llm::{LanguageModel, Prompt};
-use datalab_knowledge::validate_dsl_json;
-use datalab_sql::Database;
 #[cfg(test)]
 use datalab_sql::run_sql;
+use datalab_sql::Database;
+use datalab_telemetry::Telemetry;
 use datalab_viz::{render, ChartSpec, RenderedChart, VizError};
 
 /// A question/artifact pair used for few-shot prompting (DAIL-SQL).
@@ -143,7 +144,10 @@ pub fn din_sql(
             .section("knowledge", format!("{evidence}\n{linked_lines}"))
             .section("current_date", current_date)
             .section("question", question)
-            .section("feedback", format!("double-check this draft query for mistakes: {first}"))
+            .section(
+                "feedback",
+                format!("double-check this draft query for mistakes: {first}"),
+            )
             .render(),
     )
 }
@@ -180,8 +184,9 @@ pub fn code_interpreter_nl2code(
     let mut feedback: Option<String> = None;
     let mut last = Err(SandboxError::Exec("no attempt".into()));
     for _ in 0..=retries {
-        let mut prompt =
-            Prompt::new("nl2code").section("schema", schema_section).section("question", question);
+        let mut prompt = Prompt::new("nl2code")
+            .section("schema", schema_section)
+            .section("question", question);
         if let Some(fb) = &feedback {
             prompt = prompt.section("feedback", fb.clone());
         }
@@ -289,7 +294,9 @@ pub fn chat2vis_nl2vis(
             .render(),
     );
     let spec = ChartSpec::from_json(&spec_json)?;
-    let df = db.get(&spec.data).map_err(|e| VizError::Frame(e.to_string()))?;
+    let df = db
+        .get(&spec.data)
+        .map_err(|e| VizError::Frame(e.to_string()))?;
     let chart = render(&spec, df)?;
     Ok((spec, chart))
 }
@@ -360,9 +367,15 @@ pub fn autogen_nl2insight(
 ) -> String {
     let proxy = ProxyAgent::new(
         llm,
-        CommunicationConfig { use_fsm: false, structured: false, ..Default::default() },
+        CommunicationConfig {
+            use_fsm: false,
+            structured: false,
+            ..Default::default()
+        },
     );
-    proxy.run_query(db, schema_section, "", question, current_date).answer
+    proxy
+        .run_query(db, schema_section, "", question, current_date)
+        .answer
 }
 
 /// AgentPoirot-style insight discovery: decompose into root and follow-up
@@ -384,6 +397,7 @@ pub fn agent_poirot_nl2insight(
         current_date: current_date.to_string(),
         max_retries: 2,
         focus_table: None,
+        telemetry: Telemetry::new(),
     };
     let mut findings: Vec<String> = Vec::new();
     if let Ok(root) = InsightAgent.run(question, &base_ctx) {
@@ -406,6 +420,7 @@ pub fn agent_poirot_nl2insight(
                 ),
                 current_date: current_date.to_string(),
                 max_retries: 2,
+                telemetry: Telemetry::new(),
             };
             if let Ok(followup) = InsightAgent.run(question, &follow_ctx) {
                 findings.push(followup.unit.content.text().to_string());
@@ -431,7 +446,9 @@ pub fn datalab_nl2insight(
     current_date: &str,
 ) -> String {
     let proxy = ProxyAgent::new(llm, CommunicationConfig::default());
-    proxy.run_query(db, schema_section, profile_section, question, current_date).answer
+    proxy
+        .run_query(db, schema_section, profile_section, question, current_date)
+        .answer
 }
 
 #[cfg(test)]
@@ -451,9 +468,21 @@ mod tests {
                 (
                     "region",
                     DataType::Str,
-                    (0..6).map(|i| if i % 2 == 0 { "east".into() } else { "west".into() }).collect(),
+                    (0..6)
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                "east".into()
+                            } else {
+                                "west".into()
+                            }
+                        })
+                        .collect(),
                 ),
-                ("amount", DataType::Int, (0..6).map(|i| Value::Int(10 + i)).collect()),
+                (
+                    "amount",
+                    DataType::Int,
+                    (0..6).map(|i| Value::Int(10 + i)).collect(),
+                ),
                 ("day", DataType::Date, dates),
             ])
             .unwrap(),
@@ -472,8 +501,14 @@ mod tests {
     #[test]
     fn datalab_sql_pipeline_produces_running_sql() {
         let llm = SimLlm::gpt4();
-        let sql =
-            datalab_nl2sql(&llm, &db(), schema(), profile(), "total amount by region", "2026-07-06");
+        let sql = datalab_nl2sql(
+            &llm,
+            &db(),
+            schema(),
+            profile(),
+            "total amount by region",
+            "2026-07-06",
+        );
         let out = run_sql(&sql, &db()).unwrap();
         assert_eq!(out.n_rows(), 2);
     }
@@ -485,7 +520,14 @@ mod tests {
             question: "total cost by city".into(),
             artifact: "SELECT city, SUM(cost) FROM t GROUP BY city".into(),
         }];
-        let sql = dail_sql(&llm, schema(), "", &examples, "total amount by region", "2026-07-06");
+        let sql = dail_sql(
+            &llm,
+            schema(),
+            "",
+            &examples,
+            "total amount by region",
+            "2026-07-06",
+        );
         assert!(sql.to_uppercase().contains("SELECT"), "{sql}");
     }
 
@@ -502,7 +544,14 @@ mod tests {
         let d = db();
         let a = coml_nl2code(&llm, &d, schema(), "total amount by region");
         let b = code_interpreter_nl2code(&llm, &d, schema(), "total amount by region", 3);
-        let c = datalab_nl2code(&llm, &d, schema(), profile(), "total amount by region", "2026-07-06");
+        let c = datalab_nl2code(
+            &llm,
+            &d,
+            schema(),
+            profile(),
+            "total amount by region",
+            "2026-07-06",
+        );
         assert!(b.is_ok());
         assert!(c.is_ok());
         let _ = a; // may fail (no retry) — that's the point of the baseline
@@ -512,13 +561,25 @@ mod tests {
     fn vis_pipelines_render() {
         let llm = SimLlm::gpt4();
         let d = db();
-        let (spec, chart) =
-            lida_nl2vis(&llm, &d, schema(), profile(), "bar chart of total amount by region").unwrap();
+        let (spec, chart) = lida_nl2vis(
+            &llm,
+            &d,
+            schema(),
+            profile(),
+            "bar chart of total amount by region",
+        )
+        .unwrap();
         assert!(spec.title.is_some());
         assert_eq!(chart.points.len(), 2);
-        let (spec2, _) =
-            datalab_nl2vis(&llm, &d, schema(), profile(), "bar chart of total amount by region", "2026-07-06")
-                .unwrap();
+        let (spec2, _) = datalab_nl2vis(
+            &llm,
+            &d,
+            schema(),
+            profile(),
+            "bar chart of total amount by region",
+            "2026-07-06",
+        )
+        .unwrap();
         assert!(spec2.title.is_none());
         let c2v = chat2vis_nl2vis(&llm, &d, schema(), "bar chart of total amount by region");
         assert!(c2v.is_ok());
@@ -528,9 +589,28 @@ mod tests {
     fn insight_pipelines_answer() {
         let llm = SimLlm::gpt4();
         let d = db();
-        let a = autogen_nl2insight(&llm, &d, schema(), "what are the key insights in sales", "2026-07-06");
-        let b = agent_poirot_nl2insight(&llm, &d, schema(), "what are the key insights in sales", "2026-07-06");
-        let c = datalab_nl2insight(&llm, &d, schema(), profile(), "what are the key insights in sales", "2026-07-06");
+        let a = autogen_nl2insight(
+            &llm,
+            &d,
+            schema(),
+            "what are the key insights in sales",
+            "2026-07-06",
+        );
+        let b = agent_poirot_nl2insight(
+            &llm,
+            &d,
+            schema(),
+            "what are the key insights in sales",
+            "2026-07-06",
+        );
+        let c = datalab_nl2insight(
+            &llm,
+            &d,
+            schema(),
+            profile(),
+            "what are the key insights in sales",
+            "2026-07-06",
+        );
         assert!(!a.is_empty());
         assert!(!b.is_empty());
         assert!(!c.is_empty());

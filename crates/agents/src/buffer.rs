@@ -107,7 +107,9 @@ impl SharedBuffer {
             .read()
             .units
             .iter()
-            .filter(|u| u.timestamp > since && roles.iter().any(|r| r.eq_ignore_ascii_case(&u.role)))
+            .filter(|u| {
+                u.timestamp > since && roles.iter().any(|r| r.eq_ignore_ascii_case(&u.role))
+            })
             .cloned()
             .collect()
     }
@@ -137,7 +139,12 @@ impl SharedBuffer {
     /// Statistics snapshot.
     pub fn stats(&self) -> BufferStats {
         let g = self.inner.read();
-        BufferStats { len: g.units.len(), capacity: g.capacity, growths: g.growths, evicted: g.evicted }
+        BufferStats {
+            len: g.units.len(),
+            capacity: g.capacity,
+            growths: g.growths,
+            evicted: g.evicted,
+        }
     }
 }
 

@@ -124,14 +124,18 @@ mod tests {
         let text = unit().render_structured();
         assert!(text.contains("role=sql_agent"));
         assert!(text.lines().any(|l| l.starts_with("table df_sales:")));
-        assert!(text.lines().any(|l| l.starts_with("values df_sales.region:")));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("values df_sales.region:")));
     }
 
     #[test]
     fn natural_language_rendering_destroys_line_structure() {
         let text = unit().render_natural_language();
         // No line starts with the structured prefixes any more.
-        assert!(!text.lines().any(|l| l.trim().starts_with("table df_sales:")));
+        assert!(!text
+            .lines()
+            .any(|l| l.trim().starts_with("table df_sales:")));
         assert!(text.contains("sql agent"));
     }
 

@@ -10,6 +10,7 @@ use crate::info::InformationUnit;
 use datalab_frame::DataFrame;
 use datalab_llm::{LanguageModel, Prompt};
 use datalab_sql::Database;
+use datalab_telemetry::Telemetry;
 use datalab_viz::RenderedChart;
 use std::collections::HashMap;
 
@@ -29,7 +30,11 @@ pub struct CommunicationConfig {
 
 impl Default for CommunicationConfig {
     fn default() -> Self {
-        CommunicationConfig { use_fsm: true, structured: true, max_calls_per_agent: 5 }
+        CommunicationConfig {
+            use_fsm: true,
+            structured: true,
+            max_calls_per_agent: 5,
+        }
     }
 }
 
@@ -71,12 +76,27 @@ fn role_for_label(label: &str) -> &'static str {
 pub struct ProxyAgent<'a> {
     llm: &'a dyn LanguageModel,
     config: CommunicationConfig,
+    telemetry: Telemetry,
 }
 
 impl<'a> ProxyAgent<'a> {
-    /// Creates a proxy over the given model.
+    /// Creates a proxy over the given model (with a private, unobserved
+    /// telemetry pipeline; see [`ProxyAgent::with_telemetry`]).
     pub fn new(llm: &'a dyn LanguageModel, config: CommunicationConfig) -> Self {
-        ProxyAgent { llm, config }
+        ProxyAgent {
+            llm,
+            config,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Shares the platform's telemetry pipeline, so the proxy's stage and
+    /// agent scopes attribute the model calls the platform observes. The
+    /// same handle must be attached to the model for token attribution to
+    /// line up.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Handles one user query end to end (steps 1-7 of Fig. 6) with a
@@ -90,7 +110,14 @@ impl<'a> ProxyAgent<'a> {
         current_date: &str,
     ) -> ProxyOutcome {
         let buffer = SharedBuffer::default();
-        self.run_query_with_buffer(db, schema_section, knowledge_section, question, current_date, &buffer)
+        self.run_query_with_buffer(
+            db,
+            schema_section,
+            knowledge_section,
+            question,
+            current_date,
+            &buffer,
+        )
     }
 
     /// Like [`ProxyAgent::run_query`] but reusing a session-scoped shared
@@ -108,8 +135,11 @@ impl<'a> ProxyAgent<'a> {
     ) -> ProxyOutcome {
         // Step 1-2: analyse the query and formulate the execution plan —
         // subtasks allocated to specialised agents.
-        let plan_out =
-            self.llm.complete(&Prompt::new("plan2").section("question", question).render());
+        let plan_out = {
+            let _stage = self.telemetry.stage("plan");
+            self.llm
+                .complete(&Prompt::new("plan2").section("question", question).render())
+        };
         let mut plan: Vec<(String, String)> = plan_out
             .lines()
             .filter_map(|l| {
@@ -146,6 +176,8 @@ impl<'a> ProxyAgent<'a> {
         let mut failed_roles = Vec::new();
         let mut focus_table: Option<String> = None;
 
+        let execute_stage = self.telemetry.stage("execute");
+        execute_stage.attr("subtasks", plan.len().to_string());
         for (role, subtask) in &plan {
             let agent = match agent_for_role(role) {
                 Some(a) => a,
@@ -176,6 +208,8 @@ impl<'a> ProxyAgent<'a> {
                 .collect();
 
             fsm.begin(role);
+            self.telemetry.metrics().incr("fsm.transitions", 1);
+            self.telemetry.metrics().incr("agents.subtasks", 1);
             // The call budget is spent inside the agent as execution-
             // feedback retries (a deterministic model answers an identical
             // prompt identically, so bare re-calls would be wasted).
@@ -188,13 +222,20 @@ impl<'a> ProxyAgent<'a> {
                 current_date: current_date.to_string(),
                 max_retries: self.config.max_calls_per_agent.saturating_sub(1),
                 focus_table: focus_table.clone(),
+                telemetry: self.telemetry.clone(),
             };
-            let outcome: Option<AgentOutput> = agent.run(subtask, &ctx).ok();
+            let outcome: Option<AgentOutput> = {
+                let agent_scope = self.telemetry.agent_scope(role);
+                agent_scope.attr("context_units", relevant.len().to_string());
+                agent.run(subtask, &ctx).ok()
+            };
             fsm.complete(role);
+            self.telemetry.metrics().incr("fsm.transitions", 1);
             match outcome {
                 Some(out) => {
                     // Steps 3-4: deposit the agent's output into the buffer.
                     buffer.deposit(out.unit.clone());
+                    self.telemetry.metrics().incr("buffer.deposits", 1);
                     if let Some(frame) = out.frame {
                         let var = format!("{role}_result");
                         session_db.insert(var.clone(), frame.clone());
@@ -206,17 +247,24 @@ impl<'a> ProxyAgent<'a> {
                         chart = out.chart;
                     }
                 }
-                None => failed_roles.push(role.clone()),
+                None => {
+                    failed_roles.push(role.clone());
+                    self.telemetry.metrics().incr("agents.failures", 1);
+                }
             }
         }
         fsm.finish_all();
+        drop(execute_stage);
 
         // Step 7: synthesise the final answer from this task's results
         // (the proxy tracks what the current plan deposited). The
         // synthesis consumes units in the protocol's wire format, so the
         // no-structure ablation pays its dilution cost here too.
-        let task_units: Vec<InformationUnit> =
-            buffer.all().into_iter().filter(|u| u.timestamp > run_start).collect();
+        let task_units: Vec<InformationUnit> = buffer
+            .all()
+            .into_iter()
+            .filter(|u| u.timestamp > run_start)
+            .collect();
         let facts: String = task_units
             .iter()
             .map(|u| {
@@ -243,9 +291,15 @@ impl<'a> ProxyAgent<'a> {
             })
             .collect::<Vec<_>>()
             .join("\n");
-        let answer = self.llm.complete(
-            &Prompt::new("summarize").section("facts", facts).section("question", question).render(),
-        );
+        let answer = {
+            let _stage = self.telemetry.stage("synthesize");
+            self.llm.complete(
+                &Prompt::new("summarize")
+                    .section("facts", facts)
+                    .section("question", question)
+                    .render(),
+            )
+        };
 
         ProxyOutcome {
             answer,
@@ -277,7 +331,15 @@ mod tests {
                 (
                     "region",
                     DataType::Str,
-                    (0..8).map(|i| if i % 2 == 0 { "east".into() } else { "west".into() }).collect(),
+                    (0..8)
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                "east".into()
+                            } else {
+                                "west".into()
+                            }
+                        })
+                        .collect(),
                 ),
                 (
                     "amount",
@@ -299,7 +361,13 @@ mod tests {
     fn single_task_query() {
         let llm = SimLlm::gpt4();
         let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
-        let out = proxy.run_query(&db(), schema(), "", "What is the total amount by region?", "2026-07-06");
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
         assert!(out.success, "{:?}", out.failed_roles);
         assert_eq!(out.plan, vec!["sql_agent"]);
         assert!(out.final_frame.is_some());
@@ -317,7 +385,11 @@ mod tests {
             "Show total amount by region, then plot a bar chart. Forecast the amount for next month",
             "2026-07-06",
         );
-        assert!(out.plan.contains(&"sql_agent".to_string()), "{:?}", out.plan);
+        assert!(
+            out.plan.contains(&"sql_agent".to_string()),
+            "{:?}",
+            out.plan
+        );
         assert!(out.plan.contains(&"vis_agent".to_string()));
         assert!(out.plan.contains(&"forecast_agent".to_string()));
         assert!(out.success, "failed: {:?}", out.failed_roles);
@@ -335,14 +407,61 @@ mod tests {
             "Detect anomalies in the amounts, then query the total amount by region",
             "2026-07-06",
         );
-        assert_eq!(out.plan.first().map(String::as_str), Some("sql_agent"), "{:?}", out.plan);
-        assert!(out.plan.contains(&"anomaly_agent".to_string()), "{:?}", out.plan);
+        assert_eq!(
+            out.plan.first().map(String::as_str),
+            Some("sql_agent"),
+            "{:?}",
+            out.plan
+        );
+        assert!(
+            out.plan.contains(&"anomaly_agent".to_string()),
+            "{:?}",
+            out.plan
+        );
+    }
+
+    #[test]
+    fn telemetry_records_stages_and_agent_scopes() {
+        let llm = SimLlm::gpt4();
+        let telemetry = Telemetry::new();
+        llm.attach_telemetry(telemetry.clone());
+        let proxy =
+            ProxyAgent::new(&llm, CommunicationConfig::default()).with_telemetry(telemetry.clone());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        assert!(out.success, "{:?}", out.failed_roles);
+        let forest = telemetry.drain_trace();
+        let names: Vec<&str> = forest.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["plan", "execute", "synthesize"]);
+        assert_eq!(forest[1].children[0].name, "agent:sql_agent");
+        assert!(forest.iter().all(|n| n.well_formed()));
+        assert!(telemetry.metrics().counter("buffer.deposits") >= 1);
+        assert!(telemetry.metrics().counter("agents.subtasks") >= 1);
+        assert_eq!(telemetry.metrics().counter("agents.failures"), 0);
+        // The model calls landed in the right attribution buckets.
+        let attribution = telemetry.attribution();
+        assert!(attribution
+            .iter()
+            .any(|a| a.stage == "plan" && a.agent == "-"));
+        assert!(attribution
+            .iter()
+            .any(|a| a.stage == "execute" && a.agent == "sql_agent"));
+        assert!(attribution.iter().any(|a| a.stage == "synthesize"));
+        assert_eq!(telemetry.token_totals(), llm.usage().snapshot());
     }
 
     #[test]
     fn no_fsm_gives_agents_everything() {
         let llm = SimLlm::gpt4();
-        let cfg = CommunicationConfig { use_fsm: false, ..Default::default() };
+        let cfg = CommunicationConfig {
+            use_fsm: false,
+            ..Default::default()
+        };
         let proxy = ProxyAgent::new(&llm, cfg);
         let out = proxy.run_query(
             &db(),
@@ -359,7 +478,10 @@ mod tests {
     #[test]
     fn nl_mode_renders_prose_context() {
         let llm = SimLlm::gpt4();
-        let cfg = CommunicationConfig { structured: false, ..Default::default() };
+        let cfg = CommunicationConfig {
+            structured: false,
+            ..Default::default()
+        };
         let proxy = ProxyAgent::new(&llm, cfg);
         let out = proxy.run_query(&db(), schema(), "", "Total amount by region", "2026-07-06");
         assert!(!out.units.is_empty());

@@ -57,24 +57,39 @@ impl std::error::Error for SandboxError {}
 enum Step {
     Load(String),
     Filter(String),
-    Derive { name: String, expr: String },
+    Derive {
+        name: String,
+        expr: String,
+    },
     Select(Vec<String>),
-    GroupBy { dims: Vec<String>, aggs: Vec<(String, String, String)> }, // (func, col, alias)
-    Sort { key: String, desc: bool },
+    GroupBy {
+        dims: Vec<String>,
+        aggs: Vec<(String, String, String)>,
+    }, // (func, col, alias)
+    Sort {
+        key: String,
+        desc: bool,
+    },
     Limit(usize),
     /// Drop rows with nulls in the named columns (all columns if empty).
     DropNa(Vec<String>),
     /// Remove duplicate rows.
     Dedup,
     /// Rename a column.
-    Rename { from: String, to: String },
+    Rename {
+        from: String,
+        to: String,
+    },
 }
 
 const AGGS: &[&str] = &["sum", "avg", "count", "count_distinct", "min", "max"];
 
 fn ident_ok(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -87,7 +102,10 @@ fn parse(program: &str) -> Result<Vec<Step>, SandboxError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: &str| SandboxError::Parse { line: lineno, message: message.into() };
+        let err = |message: &str| SandboxError::Parse {
+            line: lineno,
+            message: message.into(),
+        };
         let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
         match op {
             "load" => {
@@ -102,14 +120,18 @@ fn parse(program: &str) -> Result<Vec<Step>, SandboxError> {
                 steps.push(Step::Filter(cond));
             }
             "derive" => {
-                let (name, expr) =
-                    rest.split_once('=').ok_or_else(|| err("derive expects name = expr"))?;
+                let (name, expr) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("derive expects name = expr"))?;
                 let name = name.trim();
                 let expr = expr.trim();
                 if !ident_ok(name) || expr.is_empty() {
                     return Err(err("derive expects name = expr"));
                 }
-                steps.push(Step::Derive { name: name.to_string(), expr: expr.to_string() });
+                steps.push(Step::Derive {
+                    name: name.to_string(),
+                    expr: expr.to_string(),
+                });
             }
             "select" => {
                 let cols: Vec<String> = rest.split(',').map(|c| c.trim().to_string()).collect();
@@ -119,8 +141,9 @@ fn parse(program: &str) -> Result<Vec<Step>, SandboxError> {
                 steps.push(Step::Select(cols));
             }
             "groupby" => {
-                let (dims_part, aggs_part) =
-                    rest.split_once(':').ok_or_else(|| err("groupby expects dims: aggs"))?;
+                let (dims_part, aggs_part) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("groupby expects dims: aggs"))?;
                 let dims: Vec<String> = dims_part
                     .split(',')
                     .map(|d| d.trim().to_string())
@@ -135,8 +158,12 @@ fn parse(program: &str) -> Result<Vec<Step>, SandboxError> {
                     if part.is_empty() {
                         continue;
                     }
-                    let open = part.find('(').ok_or_else(|| err("aggregate needs func(col)"))?;
-                    let close = part.find(')').ok_or_else(|| err("aggregate needs func(col)"))?;
+                    let open = part
+                        .find('(')
+                        .ok_or_else(|| err("aggregate needs func(col)"))?;
+                    let close = part
+                        .find(')')
+                        .ok_or_else(|| err("aggregate needs func(col)"))?;
                     if close < open {
                         return Err(err("aggregate needs func(col)"));
                     }
@@ -202,7 +229,10 @@ fn parse(program: &str) -> Result<Vec<Step>, SandboxError> {
                 let mut parts = rest.split_whitespace();
                 match (parts.next(), parts.next(), parts.next()) {
                     (Some(from), Some(to), None) if ident_ok(from) && ident_ok(to) => {
-                        steps.push(Step::Rename { from: from.to_string(), to: to.to_string() });
+                        steps.push(Step::Rename {
+                            from: from.to_string(),
+                            to: to.to_string(),
+                        });
                     }
                     _ => return Err(err("rename expects: rename <from> <to>")),
                 }
@@ -212,7 +242,10 @@ fn parse(program: &str) -> Result<Vec<Step>, SandboxError> {
     }
     match steps.first() {
         Some(Step::Load(_)) => Ok(steps),
-        _ => Err(SandboxError::Parse { line: 1, message: "program must start with load".into() }),
+        _ => Err(SandboxError::Parse {
+            line: 1,
+            message: "program must start with load".into(),
+        }),
     }
 }
 
@@ -244,7 +277,11 @@ fn parse_filter(cond: &str) -> Option<String> {
                 format!("'{v}'")
             }
         };
-        return Some(format!("{col} BETWEEN {} AND {}", render(&vals[0]), render(&vals[1])));
+        return Some(format!(
+            "{col} BETWEEN {} AND {}",
+            render(&vals[0]),
+            render(&vals[1])
+        ));
     }
     for op in ["==", "!=", ">=", "<=", ">", "<"] {
         if let Some((col, val)) = cond.split_once(op) {
@@ -282,9 +319,8 @@ pub fn run_dscript(program: &str, db: &Database) -> Result<DataFrame, SandboxErr
         let next = match step {
             Step::Load(t) => db.get(&t).map_err(|e| exec_err(&e))?.clone(),
             other => {
-                let frame = current.ok_or_else(|| {
-                    SandboxError::Exec("pipeline step before load".into())
-                })?;
+                let frame = current
+                    .ok_or_else(|| SandboxError::Exec("pipeline step before load".into()))?;
                 apply_step(other, frame).map_err(SandboxError::Exec)?
             }
         };
@@ -326,7 +362,10 @@ fn apply_step(step: Step, frame: DataFrame) -> Result<DataFrame, String> {
         }
         Step::Sort { key, desc } => one_step_sql(
             frame,
-            format!("SELECT * FROM __cur ORDER BY {key}{}", if desc { " DESC" } else { "" }),
+            format!(
+                "SELECT * FROM __cur ORDER BY {key}{}",
+                if desc { " DESC" } else { "" }
+            ),
         ),
         Step::Limit(n) => Ok(frame.limit(n)),
         Step::DropNa(cols) => {
@@ -359,7 +398,11 @@ mod tests {
                     DataType::Str,
                     vec!["east".into(), "west".into(), "east".into()],
                 ),
-                ("amount", DataType::Int, vec![10.into(), 20.into(), 30.into()]),
+                (
+                    "amount",
+                    DataType::Int,
+                    vec![10.into(), 20.into(), 30.into()],
+                ),
                 ("cost", DataType::Int, vec![5.into(), 8.into(), 9.into()]),
             ])
             .unwrap(),
@@ -412,7 +455,10 @@ mod tests {
 
     #[test]
     fn exec_errors_for_missing_things() {
-        assert!(matches!(run_dscript("load nope", &db()), Err(SandboxError::Exec(_))));
+        assert!(matches!(
+            run_dscript("load nope", &db()),
+            Err(SandboxError::Exec(_))
+        ));
         assert!(matches!(
             run_dscript("load sales\nfilter nope > 1", &db()),
             Err(SandboxError::Exec(_))
@@ -425,7 +471,11 @@ mod tests {
         db.insert(
             "m",
             DataFrame::from_columns(vec![
-                ("a", DataType::Int, vec![1.into(), Value::Null, 1.into(), 2.into()]),
+                (
+                    "a",
+                    DataType::Int,
+                    vec![1.into(), Value::Null, 1.into(), 2.into()],
+                ),
                 (
                     "b",
                     DataType::Str,
@@ -434,27 +484,51 @@ mod tests {
             ])
             .unwrap(),
         );
-        let out = run_dscript("load m
+        let out = run_dscript(
+            "load m
 dropna
 dedup
-rename a first_col", &db).unwrap();
+rename a first_col",
+            &db,
+        )
+        .unwrap();
         assert_eq!(out.n_rows(), 1); // (1, x) after dropna+dedup
         assert_eq!(out.schema().names(), vec!["first_col", "b"]);
         // Column-scoped dropna.
-        let out2 = run_dscript("load m
-dropna a", &db).unwrap();
+        let out2 = run_dscript(
+            "load m
+dropna a",
+            &db,
+        )
+        .unwrap();
         assert_eq!(out2.n_rows(), 3);
         // head is an alias for limit.
-        let out3 = run_dscript("load m
-head 2", &db).unwrap();
+        let out3 = run_dscript(
+            "load m
+head 2",
+            &db,
+        )
+        .unwrap();
         assert_eq!(out3.n_rows(), 2);
         // Errors.
-        assert!(run_dscript("load m
-rename nope x", &db).is_err());
-        assert!(run_dscript("load m
-dedup everything", &db).is_err());
-        assert!(run_dscript("load m
-dropna 9bad", &db).is_err());
+        assert!(run_dscript(
+            "load m
+rename nope x",
+            &db
+        )
+        .is_err());
+        assert!(run_dscript(
+            "load m
+dedup everything",
+            &db
+        )
+        .is_err());
+        assert!(run_dscript(
+            "load m
+dropna 9bad",
+            &db
+        )
+        .is_err());
     }
 
     #[test]

@@ -29,8 +29,14 @@ fn main() {
         ("lex + sem", (0.5, 0.5, 0.0)),
         ("3-stage (paper)", (0.35, 0.30, 0.35)),
     ] {
-        let cfg = RetrievalConfig { w_lex: w.0, w_sem: w.1, w_llm: w.2, ..Default::default() };
-        let r = eval_schema_linking_with(&corpus, &gk, &linking, KnowledgeSetting::Full, &llm, &cfg);
+        let cfg = RetrievalConfig {
+            w_lex: w.0,
+            w_sem: w.1,
+            w_llm: w.2,
+            ..Default::default()
+        };
+        let r =
+            eval_schema_linking_with(&corpus, &gk, &linking, KnowledgeSetting::Full, &llm, &cfg);
         println!("  {label:<18} {r:.2}");
     }
 
@@ -40,7 +46,10 @@ fn main() {
     println!("\nB. Algorithm 1 self-calibration (column SES, LLaMA-3.1 extractor)");
     for (label, attempts) in [("1 attempt (no loop)", 1usize), ("3 attempts (paper)", 3)] {
         let mut per_table = std::collections::BTreeMap::new();
-        let cfg = GenerationConfig { max_attempts: attempts, ..Default::default() };
+        let cfg = GenerationConfig {
+            max_attempts: attempts,
+            ..Default::default()
+        };
         let mut scores = Vec::new();
         for t in &corpus.tables {
             let schema_line = corpus.table_schema_section(&t.spec.name);
@@ -67,7 +76,10 @@ fn main() {
     // Validation catches malformed specs, which weak models emit more of.
     println!("\nC. DSL validation-retry loop (NL2DSL accuracy %, LLaMA-3.1)");
     for (label, retries) in [("no retry", 0usize), ("1 retry (paper-style)", 1)] {
-        let cfg = IncorporateConfig { dsl_retries: retries, ..Default::default() };
+        let cfg = IncorporateConfig {
+            dsl_retries: retries,
+            ..Default::default()
+        };
         let acc = eval_nl2dsl_with(&corpus, &gk, &dsl, &weak, &cfg);
         println!("  {label:<22} {acc:.2}");
     }

@@ -18,7 +18,11 @@ fn main() {
         "paper Fig. 7: GPT-4 >= Qwen-2.5 > LLaMA-3.1 on Spider/DS-1000/DABench; \
          LLaMA drops hardest on DS-1000; all three close on VisEval",
     );
-    let models = [ModelProfile::gpt4(), ModelProfile::qwen25(), ModelProfile::llama31()];
+    let models = [
+        ModelProfile::gpt4(),
+        ModelProfile::qwen25(),
+        ModelProfile::llama31(),
+    ];
 
     let display = |n: &str| match n {
         "gpt-4" => "GPT-4",
@@ -33,7 +37,10 @@ fn main() {
         .iter()
         .map(|m| {
             let llm = SimLlm::new(m.clone());
-            let score = avg(&|s, llm: &SimLlm| eval_sql(&spider_like(s, N), SqlMethod::DataLab, llm), &llm);
+            let score = avg(
+                &|s, llm: &SimLlm| eval_sql(&spider_like(s, N), SqlMethod::DataLab, llm),
+                &llm,
+            );
             (display(&m.name), format!("{score:.2}"))
         })
         .collect();
@@ -43,12 +50,18 @@ fn main() {
     let mut cells: Vec<(&str, String)> = Vec::new();
     for m in &models {
         let llm = SimLlm::new(m.clone());
-        let score = avg(&|s, llm: &SimLlm| eval_code(&ds1000_like(s, N), CodeMethod::DataLab, llm), &llm);
+        let score = avg(
+            &|s, llm: &SimLlm| eval_code(&ds1000_like(s, N), CodeMethod::DataLab, llm),
+            &llm,
+        );
         cells.push((display(&m.name), format!("{score:.2}")));
     }
     // Vanilla LLaMA: one-shot code, no DataLab scaffolding (CoML-style).
     let llama = SimLlm::new(ModelProfile::llama31());
-    let vanilla = avg(&|s, llm: &SimLlm| eval_code(&ds1000_like(s, N), CodeMethod::CoML, llm), &llama);
+    let vanilla = avg(
+        &|s, llm: &SimLlm| eval_code(&ds1000_like(s, N), CodeMethod::CoML, llm),
+        &llama,
+    );
     cells.push(("vanilla-LLaMA-3.1", format!("{vanilla:.2}")));
     row("ds1000-like", "Pass Rate", &cells);
     println!("  paper: 53.8 / ~48 / 42.5; vanilla LLaMA-3.1 36.9 < DataLab+LLaMA 42.5");
@@ -57,7 +70,10 @@ fn main() {
         .iter()
         .map(|m| {
             let llm = SimLlm::new(m.clone());
-            let score = avg(&|s, llm: &SimLlm| eval_dabench(&dabench_like(s, 100), InsightMethod::DataLab, llm), &llm);
+            let score = avg(
+                &|s, llm: &SimLlm| eval_dabench(&dabench_like(s, 100), InsightMethod::DataLab, llm),
+                &llm,
+            );
             (display(&m.name), format!("{score:.2}"))
         })
         .collect();
@@ -68,7 +84,10 @@ fn main() {
         .iter()
         .map(|m| {
             let llm = SimLlm::new(m.clone());
-            let score = avg(&|s, llm: &SimLlm| eval_vis(&viseval_like(s, N), VisMethod::DataLab, llm).pass_rate, &llm);
+            let score = avg(
+                &|s, llm: &SimLlm| eval_vis(&viseval_like(s, N), VisMethod::DataLab, llm).pass_rate,
+                &llm,
+            );
             (display(&m.name), format!("{score:.2}"))
         })
         .collect();

@@ -26,7 +26,11 @@ fn main() {
         let build_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
         // Per-cell update: modify the first Python cell.
         let mut dag = CellDag::build(nb);
-        let target = nb.cells().iter().find(|c| c.kind == CellKind::Python).map(|c| c.id);
+        let target = nb
+            .cells()
+            .iter()
+            .find(|c| c.kind == CellKind::Python)
+            .map(|c| c.id);
         let update_ms = match target {
             Some(id) => {
                 let mut nb2 = nb.clone();
@@ -48,6 +52,12 @@ fn main() {
     let mean_update = update_times.iter().sum::<f64>() / update_times.len().max(1) as f64;
     let max_update = update_times.iter().cloned().fold(0.0f64, f64::max);
     println!();
-    println!("max full construction: {:.3} ms at {} cells (paper max: 232.22 ms @ 35 cells)", max_build.1, max_build.0);
-    println!("per-cell update: mean {:.3} ms, max {:.3} ms (paper: mean 3.78 ms, max 9.84 ms)", mean_update, max_update);
+    println!(
+        "max full construction: {:.3} ms at {} cells (paper max: 232.22 ms @ 35 cells)",
+        max_build.1, max_build.0
+    );
+    println!(
+        "per-cell update: mean {:.3} ms, max {:.3} ms (paper: mean 3.78 ms, max 9.84 ms)",
+        mean_update, max_update
+    );
 }

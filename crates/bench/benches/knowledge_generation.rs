@@ -4,7 +4,7 @@
 use datalab_bench::header;
 use datalab_llm::SimLlm;
 use datalab_workloads::enterprise::{enterprise_corpus, generate_corpus_knowledge};
-use datalab_workloads::metrics::{mean, share_at_least, ses};
+use datalab_workloads::metrics::{mean, ses, share_at_least};
 use std::time::Instant;
 
 fn main() {
@@ -38,7 +38,13 @@ fn main() {
     let n_columns: usize = corpus
         .tables
         .iter()
-        .map(|t| corpus.db.get(&t.spec.name).map(|df| df.n_cols()).unwrap_or(0))
+        .map(|t| {
+            corpus
+                .db
+                .get(&t.spec.name)
+                .map(|df| df.n_cols())
+                .unwrap_or(0)
+        })
         .sum();
     let attempts: usize = gk.reports.iter().map(|r| r.map_attempts).sum();
     let scripts: usize = gk.reports.iter().map(|r| r.scripts_used).sum();
@@ -48,8 +54,16 @@ fn main() {
     println!("scripts used (after dedup)  : {scripts}");
     println!("map-phase LLM attempts      : {attempts}");
     println!("graph nodes                 : {}", gk.graph.len());
-    println!("wall time                   : {:?} ({:.1} ms/table)", elapsed, elapsed.as_secs_f64() * 1000.0 / n_tables as f64);
+    println!(
+        "wall time                   : {:?} ({:.1} ms/table)",
+        elapsed,
+        elapsed.as_secs_f64() * 1000.0 / n_tables as f64
+    );
     println!();
-    println!("Table SES  mean={:.3}  share>=0.7={:.0}%   (paper: 0.712, 60%)", mean(&table_ses), share_at_least(&table_ses, 0.7));
+    println!(
+        "Table SES  mean={:.3}  share>=0.7={:.0}%   (paper: 0.712, 60%)",
+        mean(&table_ses),
+        share_at_least(&table_ses, 0.7)
+    );
     println!("Column SES mean={:.3}  share>=0.7={:.0}%   (paper: 0.677, 53%)   columns scored: {columns_generated}", mean(&column_ses), share_at_least(&column_ses, 0.7));
 }

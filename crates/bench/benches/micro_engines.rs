@@ -16,9 +16,15 @@ fn big_frame(rows: usize) -> DataFrame {
         (
             "k",
             DataType::Str,
-            (0..rows).map(|i| Value::Str(format!("g{}", i % 40))).collect(),
+            (0..rows)
+                .map(|i| Value::Str(format!("g{}", i % 40)))
+                .collect(),
         ),
-        ("v", DataType::Int, (0..rows).map(|i| Value::Int(i as i64 % 1000)).collect()),
+        (
+            "v",
+            DataType::Int,
+            (0..rows).map(|i| Value::Int(i as i64 % 1000)).collect(),
+        ),
     ])
     .expect("bench frame")
 }
@@ -29,8 +35,11 @@ fn bench_sql(c: &mut Criterion) {
     c.bench_function("sql/group_by_5k_rows", |b| {
         b.iter(|| {
             black_box(
-                run_sql("SELECT k, SUM(v) FROM t WHERE v > 100 GROUP BY k ORDER BY k LIMIT 10", &db)
-                    .expect("runs"),
+                run_sql(
+                    "SELECT k, SUM(v) FROM t WHERE v > 100 GROUP BY k ORDER BY k LIMIT 10",
+                    &db,
+                )
+                .expect("runs"),
             )
         })
     });
@@ -40,7 +49,10 @@ fn bench_frame(c: &mut Criterion) {
     let df = big_frame(10_000);
     c.bench_function("frame/group_by_10k_rows", |b| {
         b.iter(|| {
-            black_box(df.group_by(&["k"], &[AggExpr::new(AggFunc::Sum, "v", "s")]).expect("groups"))
+            black_box(
+                df.group_by(&["k"], &[AggExpr::new(AggFunc::Sum, "v", "s")])
+                    .expect("groups"),
+            )
         })
     });
 }
@@ -92,5 +104,12 @@ fn bench_pymini(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sql, bench_frame, bench_retrieval, bench_buffer, bench_pymini);
+criterion_group!(
+    benches,
+    bench_sql,
+    bench_frame,
+    bench_retrieval,
+    bench_buffer,
+    bench_pymini
+);
 criterion_main!(benches);

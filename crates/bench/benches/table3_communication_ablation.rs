@@ -19,11 +19,26 @@ fn main() {
     let gk = generate_corpus_knowledge(&corpus, &llm);
     let tasks = multiagent_tasks(&corpus, 33, 10);
     let configs = [
-        ("S1 (w/o FSM)", CommunicationConfig { use_fsm: false, ..Default::default() }),
-        ("S2 (w/o info format)", CommunicationConfig { structured: false, ..Default::default() }),
+        (
+            "S1 (w/o FSM)",
+            CommunicationConfig {
+                use_fsm: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "S2 (w/o info format)",
+            CommunicationConfig {
+                structured: false,
+                ..Default::default()
+            },
+        ),
         ("S3 (w/ both)", CommunicationConfig::default()),
     ];
-    println!("{:<24} {:>14} {:>12}", "Setting", "Success (%)", "Accuracy (%)");
+    println!(
+        "{:<24} {:>14} {:>12}",
+        "Setting", "Success (%)", "Accuracy (%)"
+    );
     for (name, cfg) in configs {
         let s = eval_multiagent(&corpus, &gk, &tasks, &cfg, &llm);
         println!("{name:<24} {:>14.2} {:>12.2}", s.success_rate, s.accuracy);

@@ -15,8 +15,14 @@ fn main() {
     let s1 = eval_context(&corpus, &tasks, false);
     let s2 = eval_context(&corpus, &tasks, true);
     println!("{:<28} {:>10} {:>10}", "Metric", "S1 (all)", "S2 (DAG)");
-    println!("{:<28} {:>10.2} {:>10.2}", "Accuracy (%)", s1.accuracy, s2.accuracy);
-    println!("{:<28} {:>10.2} {:>10.2}", "Token Cost per Query (K)", s1.token_cost_k, s2.token_cost_k);
+    println!(
+        "{:<28} {:>10.2} {:>10.2}",
+        "Accuracy (%)", s1.accuracy, s2.accuracy
+    );
+    println!(
+        "{:<28} {:>10.2} {:>10.2}",
+        "Token Cost per Query (K)", s1.token_cost_k, s2.token_cost_k
+    );
     let reduction = 100.0 * (1.0 - s2.token_cost_k / s1.token_cost_k);
     println!("token reduction: {reduction:.2}%   (paper: 61.65%)");
     println!("tasks evaluated: {}", tasks.len());

@@ -2,6 +2,9 @@
 
 #![warn(missing_docs)]
 
+use datalab_telemetry::Telemetry;
+use std::path::PathBuf;
+
 /// Prints a section header for a reproduced table/figure.
 pub fn header(title: &str, paper_ref: &str) {
     println!();
@@ -15,4 +18,40 @@ pub fn header(title: &str, paper_ref: &str) {
 pub fn row(benchmark: &str, metric: &str, cells: &[(&str, String)]) {
     let body: Vec<String> = cells.iter().map(|(m, v)| format!("{m}={v}")).collect();
     println!("{benchmark:<18} {metric:<22} {}", body.join("  "));
+}
+
+/// Writes a bench run's telemetry (metrics registry + token attribution)
+/// as `<bench_name>_telemetry.json` next to the criterion output, so runs
+/// can be diffed offline. Returns the path written, or `None` when the
+/// target directory is not writable (benches must not fail on I/O).
+pub fn write_metrics_snapshot(bench_name: &str, telemetry: &Telemetry) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()));
+    let path = dir.join(format!("{bench_name}_telemetry.json"));
+    match std::fs::write(&path, telemetry.snapshot_json()) {
+        Ok(()) => {
+            println!("telemetry snapshot: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("telemetry snapshot not written ({e})");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lands_next_to_criterion_output() {
+        let t = Telemetry::new();
+        t.metrics().incr("llm.calls", 3);
+        t.record_llm_call(10, 2);
+        let path = write_metrics_snapshot("bench_lib_test", &t).expect("writable target dir");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"llm.calls\""), "{text}");
+        assert!(text.contains("\"attribution\""), "{text}");
+        std::fs::remove_file(path).ok();
+    }
 }

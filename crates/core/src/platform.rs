@@ -3,13 +3,14 @@
 use datalab_agents::{CommunicationConfig, ProxyAgent, SharedBuffer};
 use datalab_frame::{DataFrame, FrameError};
 use datalab_knowledge::{
-    generate_table_knowledge, incorporate, profile_table, GenerationConfig, GenerationReport,
-    IncorporateConfig, IndexTask, JargonEntry, KnowledgeGraph, KnowledgeIndex, Lineage, NodeKind,
-    Script, TableKnowledge,
+    generate_table_knowledge_traced, incorporate_traced, profile_table, GenerationConfig,
+    GenerationReport, IncorporateConfig, IndexTask, JargonEntry, KnowledgeGraph, KnowledgeIndex,
+    Lineage, NodeKind, Script, TableKnowledge,
 };
 use datalab_llm::{LanguageModel, ModelProfile, SimLlm};
 use datalab_notebook::{CellDag, CellKind, Notebook};
 use datalab_sql::Database;
+use datalab_telemetry::{QuerySummary, Telemetry};
 use datalab_viz::RenderedChart;
 use std::collections::BTreeMap;
 
@@ -59,6 +60,10 @@ pub struct DataLabResponse {
     pub success: bool,
     /// Notebook cells appended by this query (ids in notebook order).
     pub new_cells: Vec<datalab_notebook::CellId>,
+    /// Observability summary for this query: the span tree, per-stage /
+    /// per-agent token attribution, and exporters (Chrome trace, JSON,
+    /// human-readable rendering).
+    pub telemetry: QuerySummary,
 }
 
 /// The unified BI platform.
@@ -74,12 +79,17 @@ pub struct DataLab {
     history: Vec<String>,
     profile_lines: String,
     session_buffer: SharedBuffer,
+    telemetry: Telemetry,
 }
 
 impl DataLab {
     /// Creates an empty platform.
     pub fn new(config: DataLabConfig) -> Self {
         let llm = SimLlm::new(config.model.clone());
+        let telemetry = Telemetry::new();
+        // Every model call now lands in the attribution ledger and the
+        // metrics registry, whichever layer triggered it.
+        llm.attach_telemetry(telemetry.clone());
         let notebook = Notebook::new();
         let dag = CellDag::build(&notebook);
         DataLab {
@@ -94,6 +104,7 @@ impl DataLab {
             history: Vec::new(),
             profile_lines: String::new(),
             session_buffer: SharedBuffer::default(),
+            telemetry,
         }
     }
 
@@ -115,9 +126,10 @@ impl DataLab {
 
     /// Serialises the knowledge graph to JSON (for persistence across
     /// sessions; the paper's deployment regenerates knowledge daily and
-    /// serves it from storage).
-    pub fn export_knowledge(&self) -> String {
-        serde_json::to_string(&self.graph).unwrap_or_else(|_| "{}".to_string())
+    /// serves it from storage). Serialisation failures surface as an
+    /// error instead of silently exporting an empty graph.
+    pub fn export_knowledge(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(&self.graph)
     }
 
     /// Restores a knowledge graph exported by
@@ -150,7 +162,7 @@ impl DataLab {
         lineage: &Lineage,
     ) -> GenerationReport {
         let schema_line = self.schema_section();
-        let (tk, report) = generate_table_knowledge(
+        let (tk, report) = generate_table_knowledge_traced(
             &self.llm,
             table,
             &schema_line,
@@ -158,6 +170,7 @@ impl DataLab {
             lineage,
             &self.knowledge,
             &self.config.generation,
+            &self.telemetry,
         );
         self.graph.ingest_table("default", &tk);
         self.knowledge.insert(table.to_lowercase(), tk);
@@ -167,8 +180,10 @@ impl DataLab {
 
     /// Adds a jargon glossary entry.
     pub fn add_jargon(&mut self, term: &str, expansion: &str) {
-        self.graph
-            .ingest_jargon(&JargonEntry { term: term.into(), expansion: expansion.into() });
+        self.graph.ingest_jargon(&JargonEntry {
+            term: term.into(),
+            expansion: expansion.into(),
+        });
         self.rebuild_index();
     }
 
@@ -176,10 +191,10 @@ impl DataLab {
     /// 'Tencent BI'`).
     pub fn add_value_alias(&mut self, term: &str, table: &str, column: &str, value: &str) {
         let name = format!("{table}.{column}={value}");
-        let v = self
-            .graph
-            .find(NodeKind::Value, &name)
-            .unwrap_or_else(|| self.graph.ingest_value(table, column, value, "curated value"));
+        let v = self.graph.find(NodeKind::Value, &name).unwrap_or_else(|| {
+            self.graph
+                .ingest_value(table, column, value, "curated value")
+        });
         self.graph.add_alias(term, v);
         self.rebuild_index();
     }
@@ -230,6 +245,13 @@ impl DataLab {
         self.usage_meter().map(|m| m.total_tokens()).unwrap_or(0)
     }
 
+    /// The platform-wide telemetry handle (shared with the model, agents
+    /// and knowledge layers). Use it to read counters, histograms, and
+    /// cumulative token attribution across queries.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     fn usage_meter(&self) -> Option<&datalab_llm::TokenMeter> {
         self.llm.meter()
     }
@@ -238,11 +260,19 @@ impl DataLab {
     /// incorporation ①, multi-agent execution with structured
     /// communication ②, and notebook/context maintenance ③.
     pub fn query(&mut self, question: &str) -> DataLabResponse {
+        // Discard spans left over from setup work (registration, script
+        // ingestion) so this query's trace has exactly one root, then
+        // snapshot attribution so the summary reports only this query.
+        self.telemetry.drain_trace();
+        let attribution_baseline = self.telemetry.attribution();
+        let root = self.telemetry.span("query");
+        root.attr("question", question);
+
         // ① Domain knowledge incorporation.
         let schema = self.schema_section();
         let schema_plus = format!("{schema}{}", self.profile_lines);
         let grounding = match &self.index {
-            Some(index) => incorporate(
+            Some(index) => incorporate_traced(
                 &self.llm,
                 &self.graph,
                 index,
@@ -251,12 +281,13 @@ impl DataLab {
                 &self.history,
                 &self.config.current_date,
                 &self.config.incorporate,
+                &self.telemetry,
             ),
             None => {
                 // No knowledge yet: profiling-only grounding.
                 let empty_graph = KnowledgeGraph::new();
                 let empty_index = KnowledgeIndex::build(&empty_graph, IndexTask::Nl2Dsl);
-                incorporate(
+                incorporate_traced(
                     &self.llm,
                     &empty_graph,
                     &empty_index,
@@ -265,12 +296,14 @@ impl DataLab {
                     &self.history,
                     &self.config.current_date,
                     &self.config.incorporate,
+                    &self.telemetry,
                 )
             }
         };
 
         // ② Multi-agent execution over the shared buffer.
-        let proxy = ProxyAgent::new(&self.llm, self.config.communication.clone());
+        let proxy = ProxyAgent::new(&self.llm, self.config.communication.clone())
+            .with_telemetry(self.telemetry.clone());
         let outcome = proxy.run_query_with_buffer(
             &self.db,
             &schema_plus,
@@ -281,6 +314,7 @@ impl DataLab {
         );
 
         // ③ Reflect results into the notebook and maintain the DAG.
+        let notebook_stage = self.telemetry.stage("notebook");
         let mut new_cells = Vec::new();
         for unit in &outcome.units {
             match unit.content {
@@ -302,13 +336,22 @@ impl DataLab {
             }
         }
         if !outcome.answer.trim().is_empty() {
-            let id = self
-                .notebook
-                .push(CellKind::Markdown, format!("**Q:** {question}\n\n{}", outcome.answer));
+            let id = self.notebook.push(
+                CellKind::Markdown,
+                format!("**Q:** {question}\n\n{}", outcome.answer),
+            );
             self.dag.update_cell(&self.notebook, id);
             new_cells.push(id);
         }
+        self.telemetry
+            .metrics()
+            .incr("notebook.cells_appended", new_cells.len() as u64);
+        notebook_stage.attr("cells", new_cells.len().to_string());
+        drop(notebook_stage);
         self.history.push(grounding.rewritten_query.clone());
+
+        drop(root);
+        let telemetry = self.telemetry.finish_query(&attribution_baseline);
 
         DataLabResponse {
             answer: outcome.answer,
@@ -319,6 +362,7 @@ impl DataLab {
             dsl_json: grounding.dsl_json,
             success: outcome.success,
             new_cells,
+            telemetry,
         }
     }
 }
@@ -336,9 +380,21 @@ mod tests {
             (
                 "region",
                 DataType::Str,
-                (0..8).map(|i| if i % 2 == 0 { "east".into() } else { "west".into() }).collect(),
+                (0..8)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            "east".into()
+                        } else {
+                            "west".into()
+                        }
+                    })
+                    .collect(),
             ),
-            ("amount", DataType::Int, (0..8).map(|i| Value::Int(10 + 2 * i)).collect()),
+            (
+                "amount",
+                DataType::Int,
+                (0..8).map(|i| Value::Int(10 + 2 * i)).collect(),
+            ),
             ("day", DataType::Date, dates),
         ])
         .unwrap()
@@ -375,7 +431,11 @@ mod tests {
         let mut lab = DataLab::new(DataLabConfig::default());
         let df = DataFrame::from_columns(vec![
             ("rgn_cd", DataType::Str, vec!["east".into(), "west".into()]),
-            ("shouldincome_after", DataType::Float, vec![Value::Float(10.0), Value::Float(20.0)]),
+            (
+                "shouldincome_after",
+                DataType::Float,
+                vec![Value::Float(10.0), Value::Float(20.0)],
+            ),
         ])
         .unwrap();
         lab.register_table("dwd_sales", df).unwrap();
@@ -398,30 +458,102 @@ mod tests {
     #[test]
     fn csv_registration_and_persistence_roundtrip() {
         let mut lab = DataLab::new(DataLabConfig::default());
-        lab.register_csv("sales", "region,amount
+        lab.register_csv(
+            "sales",
+            "region,amount
 east,10
 west,20
 east,5
-").unwrap();
+",
+        )
+        .unwrap();
         lab.add_jargon("gmv", "total amount");
         lab.query("show gmv by region");
-        let knowledge = lab.export_knowledge();
+        let knowledge = lab.export_knowledge().unwrap();
         let notebook = lab.export_notebook();
         assert!(knowledge.contains("gmv"));
         assert!(!notebook.is_empty());
 
         let mut restored = DataLab::new(DataLabConfig::default());
-        restored.register_csv("sales", "region,amount
+        restored
+            .register_csv(
+                "sales",
+                "region,amount
 east,10
 west,20
 east,5
-").unwrap();
+",
+            )
+            .unwrap();
         restored.import_knowledge(&knowledge).unwrap();
         restored.import_notebook(&notebook).unwrap();
         assert_eq!(restored.notebook().len(), lab.notebook().len());
         let r = restored.query("show gmv by region");
         assert!(r.success);
         assert!(restored.import_knowledge("not json").is_err());
+    }
+
+    #[test]
+    fn query_produces_span_tree_and_attributed_tokens() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let before = lab.tokens_used();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+
+        // One root span named "query" with the pipeline stages beneath it.
+        let root = r.telemetry.root().expect("single-root span tree");
+        assert_eq!(root.name, "query");
+        assert!(root.well_formed(), "{}", r.telemetry.render());
+        let stages = r.telemetry.stage_names();
+        for want in [
+            "rewrite",
+            "ground",
+            "plan",
+            "execute",
+            "synthesize",
+            "notebook",
+        ] {
+            assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
+        }
+        // The execute stage carries per-agent scopes.
+        let execute = root.find("execute").expect("execute span");
+        assert!(
+            execute
+                .children
+                .iter()
+                .any(|c| c.name.starts_with("agent:")),
+            "{:?}",
+            execute.children.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+
+        // Attributed usage for this query equals the meter's delta.
+        let spent = lab.tokens_used() - before;
+        assert!(spent > 0);
+        assert_eq!(r.telemetry.total.total(), spent);
+        assert!(r
+            .telemetry
+            .attribution
+            .iter()
+            .all(|a| a.stage != "unattributed"));
+
+        // Exporters: the Chrome trace is valid JSON with complete events.
+        let trace: serde_json::Value = serde_json::from_str(&r.telemetry.chrome_trace()).unwrap();
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert!(events.len() >= 5);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["ts"].is_u64() && e["dur"].is_u64());
+        }
+        let summary_json: serde_json::Value = serde_json::from_str(&r.telemetry.to_json()).unwrap();
+        assert!(summary_json["spans"].is_array());
+        assert!(r.telemetry.render().contains("query"));
+
+        // Platform-wide metrics got fed along the way.
+        let m = lab.telemetry().metrics();
+        assert!(m.counter("llm.calls") > 0);
+        assert!(m.counter("agents.subtasks") >= 1);
+        assert!(m.counter("notebook.cells_appended") >= 1);
     }
 
     #[test]

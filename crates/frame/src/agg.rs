@@ -70,7 +70,9 @@ impl AggFunc {
     /// except counts, which yield `0`.
     pub fn apply(&self, values: &[&Value]) -> Result<Value> {
         match self {
-            AggFunc::Count => Ok(Value::Int(values.iter().filter(|v| !v.is_null()).count() as i64)),
+            AggFunc::Count => Ok(Value::Int(
+                values.iter().filter(|v| !v.is_null()).count() as i64
+            )),
             AggFunc::CountDistinct => {
                 let set: HashSet<&&Value> = values.iter().filter(|v| !v.is_null()).collect();
                 Ok(Value::Int(set.len() as i64))
@@ -181,12 +183,20 @@ pub struct AggExpr {
 impl AggExpr {
     /// `func(column) AS alias`.
     pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
-        AggExpr { func, column: Some(column.into()), alias: alias.into() }
+        AggExpr {
+            func,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
     }
 
     /// `COUNT(*) AS alias`.
     pub fn count_star(alias: impl Into<String>) -> Self {
-        AggExpr { func: AggFunc::Count, column: None, alias: alias.into() }
+        AggExpr {
+            func: AggFunc::Count,
+            column: None,
+            alias: alias.into(),
+        }
     }
 }
 
@@ -219,14 +229,23 @@ mod tests {
     #[test]
     fn count_distinct() {
         let v = [Value::Int(1), Value::Int(1), Value::Int(2), Value::Null];
-        assert_eq!(AggFunc::CountDistinct.apply(&vals(&v)).unwrap(), Value::Int(2));
+        assert_eq!(
+            AggFunc::CountDistinct.apply(&vals(&v)).unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]
     fn min_max_over_strings() {
         let v = [Value::Str("b".into()), Value::Str("a".into())];
-        assert_eq!(AggFunc::Min.apply(&vals(&v)).unwrap(), Value::Str("a".into()));
-        assert_eq!(AggFunc::Max.apply(&vals(&v)).unwrap(), Value::Str("b".into()));
+        assert_eq!(
+            AggFunc::Min.apply(&vals(&v)).unwrap(),
+            Value::Str("a".into())
+        );
+        assert_eq!(
+            AggFunc::Max.apply(&vals(&v)).unwrap(),
+            Value::Str("b".into())
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ pub fn to_csv(df: &DataFrame) -> String {
     out.push_str(&names.join(","));
     out.push('\n');
     for i in 0..df.n_rows() {
-        let row: Vec<String> = (0..df.n_cols()).map(|c| escape(&df.column_at(c)[i].render())).collect();
+        let row: Vec<String> = (0..df.n_cols())
+            .map(|c| escape(&df.column_at(c)[i].render()))
+            .collect();
         out.push_str(&row.join(","));
         out.push('\n');
     }
@@ -34,7 +36,9 @@ fn escape(field: &str) -> String {
 pub fn from_csv(text: &str) -> Result<DataFrame> {
     let rows = parse_rows(text)?;
     let mut iter = rows.into_iter();
-    let header = iter.next().ok_or_else(|| FrameError::Csv("empty input".into()))?;
+    let header = iter
+        .next()
+        .ok_or_else(|| FrameError::Csv("empty input".into()))?;
     let records: Vec<Vec<String>> = iter.collect();
     let width = header.len();
     for (i, r) in records.iter().enumerate() {
@@ -193,7 +197,10 @@ mod tests {
     #[test]
     fn quoted_newlines_and_quotes() {
         let df = from_csv("a\n\"line1\nline2\"\n\"has \"\"q\"\"\"\n").unwrap();
-        assert_eq!(df.column("a").unwrap()[0], Value::Str("line1\nline2".into()));
+        assert_eq!(
+            df.column("a").unwrap()[0],
+            Value::Str("line1\nline2".into())
+        );
         assert_eq!(df.column("a").unwrap()[1], Value::Str("has \"q\"".into()));
     }
 

@@ -38,13 +38,19 @@ impl DataFrame {
     /// Builds a frame from `(name, dtype, values)` triples. All columns
     /// must have equal length and values must match their declared type.
     pub fn from_columns(cols: Vec<(&str, DataType, Vec<Value>)>) -> Result<Self> {
-        let schema =
-            Schema::new(cols.iter().map(|(n, t, _)| Field::new(*n, *t)).collect::<Vec<_>>())?;
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, t, _)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )?;
         let n = cols.first().map(|(_, _, v)| v.len()).unwrap_or(0);
         let mut columns = Vec::with_capacity(cols.len());
         for (name, dtype, values) in cols {
             if values.len() != n {
-                return Err(FrameError::LengthMismatch { expected: n, found: values.len() });
+                return Err(FrameError::LengthMismatch {
+                    expected: n,
+                    found: values.len(),
+                });
             }
             for v in &values {
                 if !dtype.accepts(v.dtype()) {
@@ -121,7 +127,10 @@ impl DataFrame {
             fields.push(self.schema.fields()[idx].clone());
             columns.push(self.columns[idx].clone());
         }
-        Ok(DataFrame { schema: Schema::new(fields)?, columns })
+        Ok(DataFrame {
+            schema: Schema::new(fields)?,
+            columns,
+        })
     }
 
     /// Row subset by index list (indices may repeat or reorder).
@@ -131,7 +140,10 @@ impl DataFrame {
             .iter()
             .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
             .collect();
-        DataFrame { schema: self.schema.clone(), columns }
+        DataFrame {
+            schema: self.schema.clone(),
+            columns,
+        }
     }
 
     /// Keeps rows where `mask[i]` is true.
@@ -142,8 +154,11 @@ impl DataFrame {
                 found: mask.len(),
             });
         }
-        let keep: Vec<usize> =
-            mask.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect();
+        let keep: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
         Ok(self.take(&keep))
     }
 
@@ -176,18 +191,28 @@ impl DataFrame {
     /// and computes each [`AggExpr`]. Output columns are the dims followed
     /// by the aggregate aliases. Groups appear in first-occurrence order.
     pub fn group_by(&self, dims: &[&str], aggs: &[AggExpr]) -> Result<DataFrame> {
-        let dim_idx: Vec<usize> =
-            dims.iter().map(|d| self.schema.require(d)).collect::<Result<_>>()?;
+        let dim_idx: Vec<usize> = dims
+            .iter()
+            .map(|d| self.schema.require(d))
+            .collect::<Result<_>>()?;
         let agg_idx: Vec<Option<usize>> = aggs
             .iter()
-            .map(|a| a.column.as_deref().map(|c| self.schema.require(c)).transpose())
+            .map(|a| {
+                a.column
+                    .as_deref()
+                    .map(|c| self.schema.require(c))
+                    .transpose()
+            })
             .collect::<Result<_>>()?;
 
         // Group rows by the dim key, preserving first-seen order.
         let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut ordered: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
         for i in 0..self.n_rows() {
-            let key: Vec<Value> = dim_idx.iter().map(|&c| self.columns[c][i].clone()).collect();
+            let key: Vec<Value> = dim_idx
+                .iter()
+                .map(|&c| self.columns[c][i].clone())
+                .collect();
             match groups.get(&key) {
                 Some(&g) => ordered[g].1.push(i),
                 None => {
@@ -201,10 +226,14 @@ impl DataFrame {
             ordered.push((Vec::new(), Vec::new()));
         }
 
-        let mut fields: Vec<Field> =
-            dim_idx.iter().map(|&c| self.schema.fields()[c].clone()).collect();
+        let mut fields: Vec<Field> = dim_idx
+            .iter()
+            .map(|&c| self.schema.fields()[c].clone())
+            .collect();
         for (agg, idx) in aggs.iter().zip(&agg_idx) {
-            let in_ty = idx.map(|c| self.schema.fields()[c].dtype).unwrap_or(DataType::Int);
+            let in_ty = idx
+                .map(|c| self.schema.fields()[c].dtype)
+                .unwrap_or(DataType::Int);
             fields.push(Field::new(agg.alias.clone(), agg.func.output_type(in_ty)));
         }
         let mut out = DataFrame::new(Schema::new(fields)?);
@@ -213,7 +242,8 @@ impl DataFrame {
             for (agg, idx) in aggs.iter().zip(&agg_idx) {
                 let v = match idx {
                     Some(c) => {
-                        let vals: Vec<&Value> = rows.iter().map(|&r| &self.columns[*c][r]).collect();
+                        let vals: Vec<&Value> =
+                            rows.iter().map(|&r| &self.columns[*c][r]).collect();
                         agg.func.apply(&vals)?
                     }
                     // COUNT(*): count rows, nulls included.
@@ -228,10 +258,20 @@ impl DataFrame {
 
     /// Equi-join on `(left_col, right_col)` pairs. Right join columns are
     /// kept; name collisions on non-key columns get a `_right` suffix.
-    pub fn join(&self, other: &DataFrame, on: &[(&str, &str)], kind: JoinKind) -> Result<DataFrame> {
-        let lk: Vec<usize> = on.iter().map(|(l, _)| self.schema.require(l)).collect::<Result<_>>()?;
-        let rk: Vec<usize> =
-            on.iter().map(|(_, r)| other.schema.require(r)).collect::<Result<_>>()?;
+    pub fn join(
+        &self,
+        other: &DataFrame,
+        on: &[(&str, &str)],
+        kind: JoinKind,
+    ) -> Result<DataFrame> {
+        let lk: Vec<usize> = on
+            .iter()
+            .map(|(l, _)| self.schema.require(l))
+            .collect::<Result<_>>()?;
+        let rk: Vec<usize> = on
+            .iter()
+            .map(|(_, r)| other.schema.require(r))
+            .collect::<Result<_>>()?;
 
         // Hash the right side.
         let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
@@ -260,7 +300,11 @@ impl DataFrame {
 
         for i in 0..self.n_rows() {
             let key: Vec<Value> = lk.iter().map(|&c| self.columns[c][i].clone()).collect();
-            let matches = if key.iter().any(Value::is_null) { None } else { index.get(&key) };
+            let matches = if key.iter().any(Value::is_null) {
+                None
+            } else {
+                index.get(&key)
+            };
             match matches {
                 Some(rows) => {
                     for &j in rows {
@@ -301,7 +345,12 @@ impl DataFrame {
     }
 
     /// Adds a column (must match the row count).
-    pub fn with_column(&self, name: &str, dtype: DataType, values: Vec<Value>) -> Result<DataFrame> {
+    pub fn with_column(
+        &self,
+        name: &str,
+        dtype: DataType,
+        values: Vec<Value>,
+    ) -> Result<DataFrame> {
         if values.len() != self.n_rows() {
             return Err(FrameError::LengthMismatch {
                 expected: self.n_rows(),
@@ -320,19 +369,27 @@ impl DataFrame {
         let idx = self.schema.require(old)?;
         let mut fields = self.schema.fields().to_vec();
         fields[idx].name = new.to_string();
-        Ok(DataFrame { schema: Schema::new(fields)?, columns: self.columns.clone() })
+        Ok(DataFrame {
+            schema: Schema::new(fields)?,
+            columns: self.columns.clone(),
+        })
     }
 
     /// Appends another frame's rows (schemas must match by name and type).
     pub fn concat_rows(&self, other: &DataFrame) -> Result<DataFrame> {
         if self.schema != *other.schema() {
-            return Err(FrameError::Invalid("concat_rows requires identical schemas".into()));
+            return Err(FrameError::Invalid(
+                "concat_rows requires identical schemas".into(),
+            ));
         }
         let mut columns = self.columns.clone();
         for (c, oc) in columns.iter_mut().zip(&other.columns) {
             c.extend(oc.iter().cloned());
         }
-        Ok(DataFrame { schema: self.schema.clone(), columns })
+        Ok(DataFrame {
+            schema: self.schema.clone(),
+            columns,
+        })
     }
 
     /// The distinct non-null values of a column, in first-seen order.
@@ -355,7 +412,13 @@ impl DataFrame {
         let names = self.schema.names();
         s.push_str(&names.join(" | "));
         s.push('\n');
-        s.push_str(&names.iter().map(|n| "-".repeat(n.len().max(1))).collect::<Vec<_>>().join("-|-"));
+        s.push_str(
+            &names
+                .iter()
+                .map(|n| "-".repeat(n.len().max(1)))
+                .collect::<Vec<_>>()
+                .join("-|-"),
+        );
         s.push('\n');
         let shown = self.n_rows().min(max_rows);
         for i in 0..shown {
@@ -388,7 +451,11 @@ mod tests {
                 DataType::Str,
                 vec!["east".into(), "west".into(), "east".into(), "west".into()],
             ),
-            ("amount", DataType::Int, vec![10.into(), 20.into(), 30.into(), Value::Null]),
+            (
+                "amount",
+                DataType::Int,
+                vec![10.into(), 20.into(), 30.into(), Value::Null],
+            ),
         ])
         .unwrap()
     }
@@ -417,7 +484,10 @@ mod tests {
     fn group_by_sum() {
         let df = sales();
         let g = df
-            .group_by(&["region"], &[AggExpr::new(AggFunc::Sum, "amount", "total")])
+            .group_by(
+                &["region"],
+                &[AggExpr::new(AggFunc::Sum, "amount", "total")],
+            )
             .unwrap();
         assert_eq!(g.n_rows(), 2);
         let east = g.filter(|i| g.column("region").unwrap()[i] == Value::Str("east".into()));
@@ -438,7 +508,10 @@ mod tests {
     fn sort_multi_key() {
         let df = sales();
         let sorted = df.sort_by(&[("region", true), ("amount", false)]).unwrap();
-        assert_eq!(sorted.column("region").unwrap()[0], Value::Str("east".into()));
+        assert_eq!(
+            sorted.column("region").unwrap()[0],
+            Value::Str("east".into())
+        );
         assert_eq!(sorted.column("amount").unwrap()[0], Value::Int(30));
         // Null amount sorts first ascending, last descending within west.
         assert_eq!(sorted.column("amount").unwrap()[3], Value::Null);
@@ -452,9 +525,13 @@ mod tests {
         ])
         .unwrap();
         let df = sales();
-        let inner = df.join(&regions, &[("region", "name")], JoinKind::Inner).unwrap();
+        let inner = df
+            .join(&regions, &[("region", "name")], JoinKind::Inner)
+            .unwrap();
         assert_eq!(inner.n_rows(), 2); // two east rows match
-        let left = df.join(&regions, &[("region", "name")], JoinKind::Left).unwrap();
+        let left = df
+            .join(&regions, &[("region", "name")], JoinKind::Left)
+            .unwrap();
         assert_eq!(left.n_rows(), 4);
         assert_eq!(left.column("manager").unwrap()[1], Value::Null); // west unmatched
     }

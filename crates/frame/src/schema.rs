@@ -17,7 +17,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -32,7 +35,10 @@ impl Schema {
     /// (case-insensitively).
     pub fn new(fields: Vec<Field>) -> Result<Self> {
         for (i, f) in fields.iter().enumerate() {
-            if fields[..i].iter().any(|g| g.name.eq_ignore_ascii_case(&f.name)) {
+            if fields[..i]
+                .iter()
+                .any(|g| g.name.eq_ignore_ascii_case(&f.name))
+            {
                 return Err(FrameError::DuplicateColumn(f.name.clone()));
             }
         }
@@ -61,7 +67,9 @@ impl Schema {
 
     /// Case-insensitive lookup of a column's index.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
     }
 
     /// Case-insensitive lookup of a field.
@@ -71,7 +79,8 @@ impl Schema {
 
     /// Like [`Schema::index_of`] but returns an error naming the column.
     pub fn require(&self, name: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| FrameError::ColumnNotFound(name.to_string()))
+        self.index_of(name)
+            .ok_or_else(|| FrameError::ColumnNotFound(name.to_string()))
     }
 
     /// Column names in order.
@@ -91,8 +100,11 @@ impl Schema {
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.fields.iter().map(|fd| format!("{} {}", fd.name, fd.dtype)).collect();
+        let parts: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fd| format!("{} {}", fd.name, fd.dtype))
+            .collect();
         write!(f, "({})", parts.join(", "))
     }
 }
@@ -103,7 +115,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_case_insensitive() {
-        let r = Schema::new(vec![Field::new("a", DataType::Int), Field::new("A", DataType::Str)]);
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("A", DataType::Str),
+        ]);
         assert!(matches!(r, Err(FrameError::DuplicateColumn(_))));
     }
 

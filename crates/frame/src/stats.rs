@@ -110,8 +110,11 @@ pub fn profile(df: &DataFrame, sample_k: usize) -> Result<TableProfile> {
                 n_num += 1;
             }
         }
-        let mean =
-            if field.dtype.is_numeric() && n_num > 0 { Some(sum / n_num as f64) } else { None };
+        let mean = if field.dtype.is_numeric() && n_num > 0 {
+            Some(sum / n_num as f64)
+        } else {
+            None
+        };
         columns.push(ColumnProfile {
             name: field.name.clone(),
             dtype: field.dtype,
@@ -123,7 +126,10 @@ pub fn profile(df: &DataFrame, sample_k: usize) -> Result<TableProfile> {
             samples,
         });
     }
-    Ok(TableProfile { n_rows: df.n_rows(), columns })
+    Ok(TableProfile {
+        n_rows: df.n_rows(),
+        columns,
+    })
 }
 
 #[cfg(test)]
@@ -150,12 +156,8 @@ mod tests {
 
     #[test]
     fn profiles_string_column_without_mean() {
-        let df = DataFrame::from_columns(vec![(
-            "s",
-            DataType::Str,
-            vec!["b".into(), "a".into()],
-        )])
-        .unwrap();
+        let df = DataFrame::from_columns(vec![("s", DataType::Str, vec!["b".into(), "a".into()])])
+            .unwrap();
         let p = profile(&df, 5).unwrap();
         assert_eq!(p.columns[0].mean, None);
         assert_eq!(p.columns[0].min, Some(Value::Str("a".into())));

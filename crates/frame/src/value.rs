@@ -22,7 +22,9 @@ impl Date {
     /// Creates a date, validating month/day ranges.
     pub fn new(year: i32, month: u32, day: u32) -> Result<Self> {
         if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
-            return Err(FrameError::InvalidDate(format!("{year}-{month:02}-{day:02}")));
+            return Err(FrameError::InvalidDate(format!(
+                "{year}-{month:02}-{day:02}"
+            )));
         }
         Ok(Date { year, month, day })
     }
@@ -34,9 +36,15 @@ impl Date {
         let (y, m, d) = (parts.next(), parts.next(), parts.next());
         match (y, m, d) {
             (Some(y), Some(m), Some(d)) => {
-                let year = y.parse::<i32>().map_err(|_| FrameError::InvalidDate(s.into()))?;
-                let month = m.parse::<u32>().map_err(|_| FrameError::InvalidDate(s.into()))?;
-                let day = d.parse::<u32>().map_err(|_| FrameError::InvalidDate(s.into()))?;
+                let year = y
+                    .parse::<i32>()
+                    .map_err(|_| FrameError::InvalidDate(s.into()))?;
+                let month = m
+                    .parse::<u32>()
+                    .map_err(|_| FrameError::InvalidDate(s.into()))?;
+                let day = d
+                    .parse::<u32>()
+                    .map_err(|_| FrameError::InvalidDate(s.into()))?;
                 Date::new(year, month, day)
             }
             _ => Err(FrameError::InvalidDate(s.into())),
@@ -61,7 +69,11 @@ impl Date {
     /// Days since 1970-01-01 (may be negative).
     pub fn to_epoch_days(&self) -> i64 {
         // Howard Hinnant's days_from_civil algorithm.
-        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
         let era = if y >= 0 { y } else { y - 399 } / 400;
         let yoe = y - era * 400;
         let m = self.month as i64;
@@ -84,7 +96,11 @@ impl Date {
         let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
         let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
         let year = (if m <= 2 { y + 1 } else { y }) as i32;
-        Date { year, month: m, day: d }
+        Date {
+            year,
+            month: m,
+            day: d,
+        }
     }
 
     /// Adds (or subtracts, if negative) a number of days.
@@ -411,7 +427,13 @@ mod tests {
 
     #[test]
     fn date_roundtrip_epoch() {
-        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (2024, 12, 31), (1969, 12, 31), (2026, 7, 6)] {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2024, 12, 31),
+            (1969, 12, 31),
+            (2026, 7, 6),
+        ] {
             let date = Date::new(y, m, d).unwrap();
             assert_eq!(Date::from_epoch_days(date.to_epoch_days()), date);
         }

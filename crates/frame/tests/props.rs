@@ -24,9 +24,15 @@ fn int_frame(max_rows: usize) -> impl Strategy<Value = DataFrame> {
                     (
                         "k",
                         DataType::Str,
-                        keys.into_iter().map(|k| Value::Str(format!("g{k}"))).collect(),
+                        keys.into_iter()
+                            .map(|k| Value::Str(format!("g{k}")))
+                            .collect(),
                     ),
-                    ("v", DataType::Int, vals.into_iter().map(Value::Int).collect()),
+                    (
+                        "v",
+                        DataType::Int,
+                        vals.into_iter().map(Value::Int).collect(),
+                    ),
                 ])
                 .expect("valid test frame")
             })

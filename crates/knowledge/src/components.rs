@@ -24,12 +24,18 @@ pub struct Script {
 impl Script {
     /// A SQL script.
     pub fn sql(text: impl Into<String>) -> Self {
-        Script { lang: ScriptLang::Sql, text: text.into() }
+        Script {
+            lang: ScriptLang::Sql,
+            text: text.into(),
+        }
     }
 
     /// A Python script.
     pub fn python(text: impl Into<String>) -> Self {
-        Script { lang: ScriptLang::Python, text: text.into() }
+        Script {
+            lang: ScriptLang::Python,
+            text: text.into(),
+        }
     }
 }
 
@@ -118,7 +124,9 @@ pub struct TableKnowledge {
 impl TableKnowledge {
     /// Looks up a column's knowledge by name.
     pub fn column(&self, name: &str) -> Option<&ColumnKnowledge> {
-        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 }
 

@@ -165,9 +165,18 @@ pub fn validate_dsl_json(text: &str) -> Result<DslSpec, Vec<String>> {
     if !json["Limit"].is_null() && json["Limit"].as_u64().is_none() {
         errors.push("Limit must be a non-negative integer".into());
     }
-    let empty = json["MeasureList"].as_array().map(|a| a.is_empty()).unwrap_or(true)
-        && json["DimensionList"].as_array().map(|a| a.is_empty()).unwrap_or(true)
-        && json["ProjectionList"].as_array().map(|a| a.is_empty()).unwrap_or(true);
+    let empty = json["MeasureList"]
+        .as_array()
+        .map(|a| a.is_empty())
+        .unwrap_or(true)
+        && json["DimensionList"]
+            .as_array()
+            .map(|a| a.is_empty())
+            .unwrap_or(true)
+        && json["ProjectionList"]
+            .as_array()
+            .map(|a| a.is_empty())
+            .unwrap_or(true);
     if empty {
         errors.push("spec selects nothing (no measures, dimensions, or projections)".into());
     }
@@ -230,7 +239,10 @@ impl DslSpec {
     /// `evidence` supplies FK join paths when the spec spans tables.
     pub fn to_sql(&self, evidence: Option<&Evidence>) -> String {
         let tables = self.tables();
-        let base = tables.first().cloned().unwrap_or_else(|| "data".to_string());
+        let base = tables
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "data".to_string());
         let multi = tables.len() > 1;
         let qual = |t: &str, c: &str| {
             if multi && !t.is_empty() {
@@ -297,8 +309,11 @@ impl DslSpec {
             sql.push_str(&conds.join(" AND "));
         }
         if !self.measure_list.is_empty() && !self.dimension_list.is_empty() {
-            let dims: Vec<String> =
-                self.dimension_list.iter().map(|d| qual(&d.table, &d.column)).collect();
+            let dims: Vec<String> = self
+                .dimension_list
+                .iter()
+                .map(|d| qual(&d.table, &d.column))
+                .collect();
             sql.push_str(&format!(" GROUP BY {}", dims.join(", ")));
         }
         if let Some(order) = &self.order_by {
@@ -323,18 +338,26 @@ impl DslSpec {
             .as_deref()
             .and_then(Mark::parse)
             .unwrap_or(Mark::Bar);
-        let x = self
-            .dimension_list
-            .first()
-            .map(|d| FieldDef { field: d.column.clone(), aggregate: None });
+        let x = self.dimension_list.first().map(|d| FieldDef {
+            field: d.column.clone(),
+            aggregate: None,
+        });
         let y = self.measure_list.first().map(|m| FieldDef {
             field: m.column.clone().unwrap_or_else(|| "*".into()),
-            aggregate: Some(if m.aggregate == "avg" { "avg".into() } else { m.aggregate.clone() }),
+            aggregate: Some(if m.aggregate == "avg" {
+                "avg".into()
+            } else {
+                m.aggregate.clone()
+            }),
         });
         let filters = self
             .condition_list
             .iter()
-            .map(|c| ChartFilter { column: c.column.clone(), op: c.op.clone(), value: c.value.clone() })
+            .map(|c| ChartFilter {
+                column: c.column.clone(),
+                op: c.op.clone(),
+                value: c.value.clone(),
+            })
             .collect();
         ChartSpec {
             mark,
@@ -352,7 +375,10 @@ impl DslSpec {
     /// Rule-based conversion to a dscript pipeline.
     pub fn to_dscript(&self) -> String {
         let tables = self.tables();
-        let base = tables.first().cloned().unwrap_or_else(|| "data".to_string());
+        let base = tables
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "data".to_string());
         let mut lines = vec![format!("load {base}")];
         if self.clean.unwrap_or(false) {
             lines.push("dropna".to_string());
@@ -360,11 +386,21 @@ impl DslSpec {
         for c in &self.condition_list {
             let line = if c.op == "between" {
                 let arr = c.value.as_array().cloned().unwrap_or_default();
-                let lo = arr.first().and_then(|v| v.as_str().map(String::from)).unwrap_or_default();
-                let hi = arr.get(1).and_then(|v| v.as_str().map(String::from)).unwrap_or_default();
+                let lo = arr
+                    .first()
+                    .and_then(|v| v.as_str().map(String::from))
+                    .unwrap_or_default();
+                let hi = arr
+                    .get(1)
+                    .and_then(|v| v.as_str().map(String::from))
+                    .unwrap_or_default();
                 format!("filter {} between '{lo}' '{hi}'", c.column)
             } else if c.value.is_string() {
-                format!("filter {} == '{}'", c.column, c.value.as_str().unwrap_or(""))
+                format!(
+                    "filter {} == '{}'",
+                    c.column,
+                    c.value.as_str().unwrap_or("")
+                )
             } else {
                 let op = if c.op == "=" { "==" } else { c.op.as_str() };
                 format!("filter {} {op} {}", c.column, c.value)
@@ -389,11 +425,18 @@ impl DslSpec {
                     )
                 })
                 .collect();
-            let dims: Vec<String> =
-                self.dimension_list.iter().map(|d| d.column.clone()).collect();
+            let dims: Vec<String> = self
+                .dimension_list
+                .iter()
+                .map(|d| d.column.clone())
+                .collect();
             lines.push(format!("groupby {}: {}", dims.join(", "), aggs.join(", ")));
         } else if !self.projection_list.is_empty() {
-            let cols: Vec<String> = self.projection_list.iter().map(|p| p.column.clone()).collect();
+            let cols: Vec<String> = self
+                .projection_list
+                .iter()
+                .map(|p| p.column.clone())
+                .collect();
             lines.push(format!("select {}", cols.join(", ")));
         }
         if let Some(order) = &self.order_by {
@@ -455,9 +498,14 @@ mod tests {
 
     #[test]
     fn rejects_empty_spec_and_bad_between() {
-        let errs = validate_dsl_json(r#"{"MeasureList":[],"ConditionList":[{"column":"x","op":"between","value":[1]}]}"#)
-            .unwrap_err();
-        assert!(errs.iter().any(|e| e.contains("selects nothing")), "{errs:?}");
+        let errs = validate_dsl_json(
+            r#"{"MeasureList":[],"ConditionList":[{"column":"x","op":"between","value":[1]}]}"#,
+        )
+        .unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("selects nothing")),
+            "{errs:?}"
+        );
         assert!(errs.iter().any(|e| e.contains("[lo, hi]")), "{errs:?}");
         assert!(validate_dsl_json("not json").is_err());
     }
@@ -483,7 +531,10 @@ mod tests {
         assert_eq!(chart.y.as_ref().unwrap().aggregate.as_deref(), Some("sum"));
         let ds = spec.to_dscript();
         assert!(ds.starts_with("load sales"), "{ds}");
-        assert!(ds.contains("groupby region: sum(amount) as sum_amount"), "{ds}");
+        assert!(
+            ds.contains("groupby region: sum(amount) as sum_amount"),
+            "{ds}"
+        );
     }
 
     #[test]
@@ -500,11 +551,17 @@ mod tests {
                 aggregate: "sum".into(),
                 ..Default::default()
             }],
-            dimension_list: vec![DslColumn { table: "users".into(), column: "city".into() }],
+            dimension_list: vec![DslColumn {
+                table: "users".into(),
+                column: "city".into(),
+            }],
             ..Default::default()
         };
         let sql = spec.to_sql(Some(&ev));
-        assert!(sql.contains("JOIN users ON sales.region = users.city"), "{sql}");
+        assert!(
+            sql.contains("JOIN users ON sales.region = users.city"),
+            "{sql}"
+        );
     }
 
     #[test]

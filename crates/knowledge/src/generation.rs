@@ -5,6 +5,7 @@
 use crate::components::{ColumnKnowledge, DerivedColumn, Lineage, Script, TableKnowledge};
 use datalab_llm::util::{split_ident, token_overlap, words};
 use datalab_llm::{LanguageModel, Prompt};
+use datalab_telemetry::Telemetry;
 use serde_json::Value as Json;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -21,7 +22,11 @@ pub struct GenerationConfig {
 
 impl Default for GenerationConfig {
     fn default() -> Self {
-        GenerationConfig { score_threshold: 4.5, max_attempts: 3, dedup_overlap: 0.92 }
+        GenerationConfig {
+            score_threshold: 4.5,
+            max_attempts: 3,
+            dedup_overlap: 0.92,
+        }
     }
 }
 
@@ -54,7 +59,9 @@ pub fn preprocess_scripts(history: &[Script], dedup_overlap: f64) -> (Vec<&Scrip
     let mut dropped = 0;
     for s in history {
         let toks = words(&s.text);
-        let dup = kept_tokens.iter().any(|k| token_overlap(k, &toks) >= dedup_overlap);
+        let dup = kept_tokens
+            .iter()
+            .any(|k| token_overlap(k, &toks) >= dedup_overlap);
         if dup {
             dropped += 1;
         } else {
@@ -80,9 +87,40 @@ pub fn generate_table_knowledge(
     prior: &BTreeMap<String, TableKnowledge>,
     config: &GenerationConfig,
 ) -> (TableKnowledge, GenerationReport) {
+    generate_table_knowledge_traced(
+        llm,
+        table,
+        schema_line,
+        history,
+        lineage,
+        prior,
+        config,
+        &Telemetry::new(),
+    )
+}
+
+/// [`generate_table_knowledge`] with an observability pipeline: the whole
+/// run sits under a `knowledge.generate` span and every map-phase LLM
+/// attempt increments the `knowledge.map_attempts` counter.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_table_knowledge_traced(
+    llm: &dyn LanguageModel,
+    table: &str,
+    schema_line: &str,
+    history: &[Script],
+    lineage: &Lineage,
+    prior: &BTreeMap<String, TableKnowledge>,
+    config: &GenerationConfig,
+    telemetry: &Telemetry,
+) -> (TableKnowledge, GenerationReport) {
+    let stage = telemetry.stage("knowledge.generate");
+    stage.attr("table", table.to_string());
     let (scripts, deduped) = preprocess_scripts(history, config.dedup_overlap);
-    let mut report =
-        GenerationReport { scripts_used: scripts.len(), scripts_deduped: deduped, ..Default::default() };
+    let mut report = GenerationReport {
+        scripts_used: scripts.len(),
+        scripts_deduped: deduped,
+        ..Default::default()
+    };
 
     // ---- Map phase with self-calibration --------------------------------
     let mut map_results: Vec<MapResult> = Vec::new();
@@ -90,6 +128,7 @@ pub fn generate_table_knowledge(
         let mut best: Option<(f64, MapResult)> = None;
         for attempt in 0..config.max_attempts {
             report.map_attempts += 1;
+            telemetry.metrics().incr("knowledge.map_attempts", 1);
             let out = llm.complete(
                 &Prompt::new("extract_knowledge")
                     .section("schema", schema_line)
@@ -99,7 +138,11 @@ pub fn generate_table_knowledge(
                     .render(),
             );
             let score: f64 = llm
-                .complete(&Prompt::new("score_knowledge").section("content", out.clone()).render())
+                .complete(
+                    &Prompt::new("score_knowledge")
+                        .section("content", out.clone())
+                        .render(),
+                )
                 .trim()
                 .parse()
                 .unwrap_or(1.0);
@@ -127,12 +170,13 @@ pub fn generate_table_knowledge(
             if let Some(up_tk) = prior.get(&up.to_lowercase()) {
                 for col in &up_tk.columns {
                     // Same-named columns across lineage inherit descriptions.
-                    if schema_line.to_lowercase().contains(&col.name.to_lowercase())
+                    if schema_line
+                        .to_lowercase()
+                        .contains(&col.name.to_lowercase())
                         && tk.column(&col.name).is_none()
                     {
                         let mut inherited = col.clone();
-                        inherited.usage =
-                            format!("inherited via lineage from {}", up_tk.name);
+                        inherited.usage = format!("inherited via lineage from {}", up_tk.name);
                         tk.columns.push(inherited);
                     }
                 }
@@ -152,7 +196,10 @@ pub fn generate_table_knowledge(
 fn parse_map_output(text: &str) -> MapResult {
     let json: Json = serde_json::from_str(text.trim()).unwrap_or(Json::Null);
     let mut r = MapResult::default();
-    r.table_description = json["table"]["description"].as_str().unwrap_or("").to_string();
+    r.table_description = json["table"]["description"]
+        .as_str()
+        .unwrap_or("")
+        .to_string();
     r.table_usage = json["table"]["usage"].as_str().unwrap_or("").to_string();
     if let Some(cols) = json["columns"].as_array() {
         for c in cols {
@@ -162,7 +209,11 @@ fn parse_map_output(text: &str) -> MapResult {
             }
             let tags = c["tags"]
                 .as_array()
-                .map(|a| a.iter().filter_map(|t| t.as_str().map(String::from)).collect())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|t| t.as_str().map(String::from))
+                        .collect()
+                })
                 .unwrap_or_default();
             r.columns.push((
                 name,
@@ -178,7 +229,11 @@ fn parse_map_output(text: &str) -> MapResult {
             let name = d["name"].as_str().unwrap_or("").to_string();
             let expr = d["expr"].as_str().unwrap_or("").to_string();
             if !name.is_empty() && !expr.is_empty() {
-                r.derived.push((name, expr, d["description"].as_str().unwrap_or("").to_string()));
+                r.derived.push((
+                    name,
+                    expr,
+                    d["description"].as_str().unwrap_or("").to_string(),
+                ));
             }
         }
     }
@@ -188,7 +243,10 @@ fn parse_map_output(text: &str) -> MapResult {
 /// Synthesises the per-script results into one consistent set of
 /// components (Algorithm 1, reduce phase).
 fn reduce(table: &str, results: &[MapResult]) -> TableKnowledge {
-    let mut tk = TableKnowledge { name: table.to_string(), ..Default::default() };
+    let mut tk = TableKnowledge {
+        name: table.to_string(),
+        ..Default::default()
+    };
     // Table description: synthesise across scripts — each script reveals
     // one usage pattern; the union of their distinct vocabulary covers
     // the table (the reduce-phase "aggregate and summarize").
@@ -213,7 +271,11 @@ fn reduce(table: &str, results: &[MapResult]) -> TableKnowledge {
     if !results.is_empty() {
         tk.usage = format!(
             "{} (referenced by {} processing scripts)",
-            if tk.usage.is_empty() { "data processing" } else { &tk.usage },
+            if tk.usage.is_empty() {
+                "data processing"
+            } else {
+                &tk.usage
+            },
             results.len()
         );
     }
@@ -227,7 +289,11 @@ fn reduce(table: &str, results: &[MapResult]) -> TableKnowledge {
             *freq.entry(key.clone()).or_insert(0) += 1;
             let entry = merged.entry(key.clone()).or_insert_with(|| {
                 col_order.push(key.clone());
-                ColumnKnowledge { name: name.clone(), dtype: dtype.clone(), ..Default::default() }
+                ColumnKnowledge {
+                    name: name.clone(),
+                    dtype: dtype.clone(),
+                    ..Default::default()
+                }
             });
             if desc.len() > entry.description.len() {
                 entry.description = desc.clone();
@@ -249,7 +315,11 @@ fn reduce(table: &str, results: &[MapResult]) -> TableKnowledge {
     // Key columns: the most frequently used ones.
     let mut by_freq: Vec<(&String, &usize)> = freq.iter().collect();
     by_freq.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-    tk.key_columns = by_freq.iter().take(3).map(|(k, _)| merged[*k].name.clone()).collect();
+    tk.key_columns = by_freq
+        .iter()
+        .take(3)
+        .map(|(k, _)| merged[*k].name.clone())
+        .collect();
     // Derived columns: union by name, prefer longest description.
     let mut derived: HashMap<String, DerivedColumn> = HashMap::new();
     let mut d_order: Vec<String> = Vec::new();
@@ -280,9 +350,35 @@ fn reduce(table: &str, results: &[MapResult]) -> TableKnowledge {
 }
 
 const ALIAS_STOP: &[&str] = &[
-    "the", "and", "for", "with", "from", "used", "table", "column", "data", "daily", "after",
-    "value", "values", "this", "that", "per", "each", "all", "weekly", "monthly", "rollup",
-    "breakdown", "covering", "team", "monitoring", "report", "reporting", "total", "metric",
+    "the",
+    "and",
+    "for",
+    "with",
+    "from",
+    "used",
+    "table",
+    "column",
+    "data",
+    "daily",
+    "after",
+    "value",
+    "values",
+    "this",
+    "that",
+    "per",
+    "each",
+    "all",
+    "weekly",
+    "monthly",
+    "rollup",
+    "breakdown",
+    "covering",
+    "team",
+    "monitoring",
+    "report",
+    "reporting",
+    "total",
+    "metric",
     "metrics",
 ];
 
@@ -364,7 +460,11 @@ mod tests {
         assert!(income.description.contains("income"), "{income:?}");
         // Alias derivation: description words not in the identifier.
         assert!(!income.aliases.is_empty());
-        assert!(tk.derived.iter().any(|d| d.name == "profit"), "{:?}", tk.derived);
+        assert!(
+            tk.derived.iter().any(|d| d.name == "profit"),
+            "{:?}",
+            tk.derived
+        );
         assert!(!tk.key_columns.is_empty());
     }
 
@@ -387,7 +487,10 @@ mod tests {
             "sales_agg",
             "table sales_agg: region (str), shouldincome_after (float)",
             &[],
-            &Lineage { upstream: vec!["sales".into()], downstream: vec![] },
+            &Lineage {
+                upstream: vec!["sales".into()],
+                downstream: vec![],
+            },
             &prior,
             &GenerationConfig::default(),
         );

@@ -74,7 +74,13 @@ impl KnowledgeGraph {
         tags: Vec<String>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, kind, name: name.into(), components, tags });
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.into(),
+            components,
+            tags,
+        });
         id
     }
 
@@ -200,16 +206,11 @@ impl KnowledgeGraph {
             if !d.related_columns.is_empty() {
                 dc.insert("related_columns".into(), d.related_columns.join(", "));
             }
-            let d_id = self.add_node(
-                NodeKind::Column,
-                format!("{}.{}", tk.name, d.name),
-                dc,
-                {
-                    let mut tags = d.tags.clone();
-                    tags.push("derived".into());
-                    tags
-                },
-            );
+            let d_id = self.add_node(NodeKind::Column, format!("{}.{}", tk.name, d.name), dc, {
+                let mut tags = d.tags.clone();
+                tags.push("derived".into());
+                tags
+            });
             self.add_contains(t_id, d_id);
         }
         t_id
@@ -218,17 +219,29 @@ impl KnowledgeGraph {
     /// Ingests database-level knowledge.
     pub fn ingest_database(&mut self, dk: &DatabaseKnowledge) -> NodeId {
         let id = self.find(NodeKind::Database, &dk.name).unwrap_or_else(|| {
-            self.add_node(NodeKind::Database, dk.name.clone(), BTreeMap::new(), Vec::new())
+            self.add_node(
+                NodeKind::Database,
+                dk.name.clone(),
+                BTreeMap::new(),
+                Vec::new(),
+            )
         });
         let node = self.node_mut(id);
-        node.components.insert("description".into(), dk.description.clone());
+        node.components
+            .insert("description".into(), dk.description.clone());
         node.components.insert("usage".into(), dk.usage.clone());
         node.tags = dk.tags.clone();
         id
     }
 
     /// Ingests a value node under a column.
-    pub fn ingest_value(&mut self, table: &str, column: &str, value: &str, meaning: &str) -> NodeId {
+    pub fn ingest_value(
+        &mut self,
+        table: &str,
+        column: &str,
+        value: &str,
+        meaning: &str,
+    ) -> NodeId {
         let col_id = self.find(NodeKind::Column, &format!("{table}.{column}"));
         let mut vc = BTreeMap::new();
         vc.insert("description".into(), meaning.to_string());
@@ -256,7 +269,11 @@ impl KnowledgeGraph {
     /// against (the cross-crate prompt contract; see `datalab_llm::intent`).
     pub fn knowledge_line(&self, id: NodeId) -> String {
         let node = self.node(id);
-        let desc = node.components.get("description").cloned().unwrap_or_default();
+        let desc = node
+            .components
+            .get("description")
+            .cloned()
+            .unwrap_or_default();
         let usage = node.components.get("usage").cloned().unwrap_or_default();
         match node.kind {
             NodeKind::Database => format!("database {}: {} {}", node.name, desc, usage),
@@ -275,7 +292,11 @@ impl KnowledgeGraph {
                 format!("value {col}: '{value}' {desc}")
             }
             NodeKind::Jargon => {
-                let exp = node.components.get("expansion").cloned().unwrap_or_default();
+                let exp = node
+                    .components
+                    .get("expansion")
+                    .cloned()
+                    .unwrap_or_default();
                 format!("jargon {}: {exp}", node.name)
             }
             NodeKind::Alias => {
@@ -353,30 +374,49 @@ mod tests {
     #[test]
     fn knowledge_lines_follow_contract() {
         let (g, _) = sample_graph();
-        let col = g.find(NodeKind::Column, "sales.shouldincome_after").unwrap();
-        assert!(g.knowledge_line(col).starts_with("column sales.shouldincome_after: income after tax"));
+        let col = g
+            .find(NodeKind::Column, "sales.shouldincome_after")
+            .unwrap();
+        assert!(g
+            .knowledge_line(col)
+            .starts_with("column sales.shouldincome_after: income after tax"));
         let alias = g.find(NodeKind::Alias, "income").unwrap();
-        assert_eq!(g.knowledge_line(alias), "alias income -> sales.shouldincome_after");
+        assert_eq!(
+            g.knowledge_line(alias),
+            "alias income -> sales.shouldincome_after"
+        );
         let derived = g.find(NodeKind::Column, "sales.profit").unwrap();
-        assert_eq!(g.knowledge_line(derived), "derived sales.profit = shouldincome_after - cost");
+        assert_eq!(
+            g.knowledge_line(derived),
+            "derived sales.profit = shouldincome_after - cost"
+        );
     }
 
     #[test]
     fn value_and_jargon_lines() {
         let (mut g, _) = sample_graph();
         let v = g.ingest_value("sales", "shouldincome_after", "0", "no income");
-        assert!(g.knowledge_line(v).starts_with("value sales.shouldincome_after: '0'"));
-        let j = g.ingest_jargon(&JargonEntry { term: "gmv".into(), expansion: "total amount".into() });
+        assert!(g
+            .knowledge_line(v)
+            .starts_with("value sales.shouldincome_after: '0'"));
+        let j = g.ingest_jargon(&JargonEntry {
+            term: "gmv".into(),
+            expansion: "total amount".into(),
+        });
         assert_eq!(g.knowledge_line(j), "jargon gmv: total amount");
         // Alias to a value node.
         let a = g.add_alias("zerocase", v);
-        assert!(g.knowledge_line(a).starts_with("alias zerocase -> value sales.shouldincome_after = '0'"));
+        assert!(g
+            .knowledge_line(a)
+            .starts_with("alias zerocase -> value sales.shouldincome_after = '0'"));
     }
 
     #[test]
     fn aliases_of_lists_all() {
         let (g, _) = sample_graph();
-        let col = g.find(NodeKind::Column, "sales.shouldincome_after").unwrap();
+        let col = g
+            .find(NodeKind::Column, "sales.shouldincome_after")
+            .unwrap();
         assert_eq!(g.aliases_of(col).len(), 2);
     }
 }

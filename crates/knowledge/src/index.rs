@@ -2,9 +2,9 @@
 //! inverted index (the Elasticsearch role) and a semantic embedding index
 //! (the StarRocks role), both over `{name, content, tag}` triplets.
 
-use crate::graph::{KnowledgeGraph, NodeId};
 #[cfg(test)]
 use crate::graph::NodeKind;
+use crate::graph::{KnowledgeGraph, NodeId};
 use datalab_llm::util::{split_ident, stem, words};
 use datalab_llm::HashEmbedder;
 use std::collections::HashMap;
@@ -100,7 +100,12 @@ impl KnowledgeIndex {
                 tag: format!("{:?}", node.kind).to_lowercase(),
             });
         }
-        KnowledgeIndex { entries, inverted, embeddings, doc_freq }
+        KnowledgeIndex {
+            entries,
+            inverted,
+            embeddings,
+            doc_freq,
+        }
     }
 
     /// Number of indexed entries.
@@ -133,9 +138,15 @@ impl KnowledgeIndex {
                 }
             }
         }
-        let mut out: Vec<(usize, f64)> =
-            scores.into_iter().filter(|(_, s)| *s >= threshold).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut out: Vec<(usize, f64)> = scores
+            .into_iter()
+            .filter(|(_, s)| *s >= threshold)
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         out.truncate(k);
         out
     }
@@ -150,7 +161,11 @@ impl KnowledgeIndex {
             .map(|(i, e)| (i, datalab_llm::cosine(&q, e)))
             .filter(|(_, s)| *s >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         out.truncate(k);
         out
     }
@@ -198,7 +213,11 @@ mod tests {
         let idx = KnowledgeIndex::build(&g, IndexTask::General);
         let hits = idx.lexical_search("income after tax", 5, 0.01);
         assert!(!hits.is_empty());
-        assert!(idx.entry(hits[0].0).name.contains("shouldincome_after"), "{:?}", idx.entry(hits[0].0));
+        assert!(
+            idx.entry(hits[0].0).name.contains("shouldincome_after"),
+            "{:?}",
+            idx.entry(hits[0].0)
+        );
     }
 
     #[test]
@@ -209,7 +228,9 @@ mod tests {
         let income_pos = hits
             .iter()
             .position(|(i, _)| idx.entry(*i).name.contains("shouldincome_after"));
-        let cost_pos = hits.iter().position(|(i, _)| idx.entry(*i).name.contains("cost_amt"));
+        let cost_pos = hits
+            .iter()
+            .position(|(i, _)| idx.entry(*i).name.contains("cost_amt"));
         match (income_pos, cost_pos) {
             (Some(i), Some(c)) => assert!(i < c),
             (Some(_), None) => {}
@@ -232,12 +253,25 @@ mod tests {
         let t = g.find(NodeKind::Table, "sales").unwrap();
         let mut comp = std::collections::BTreeMap::new();
         comp.insert("calculation".into(), "shouldincome_after - cost_amt".into());
-        let d = g.add_node(NodeKind::Column, "sales.profit", comp, vec!["derived".into()]);
+        let d = g.add_node(
+            NodeKind::Column,
+            "sales.profit",
+            comp,
+            vec!["derived".into()],
+        );
         g.add_contains(t, d);
         let dsl_idx = KnowledgeIndex::build(&g, IndexTask::Nl2Dsl);
         let sl_idx = KnowledgeIndex::build(&g, IndexTask::SchemaLinking);
-        let e_dsl = dsl_idx.entries().iter().find(|e| e.name == "sales.profit").unwrap();
-        let e_sl = sl_idx.entries().iter().find(|e| e.name == "sales.profit").unwrap();
+        let e_dsl = dsl_idx
+            .entries()
+            .iter()
+            .find(|e| e.name == "sales.profit")
+            .unwrap();
+        let e_sl = sl_idx
+            .entries()
+            .iter()
+            .find(|e| e.name == "sales.profit")
+            .unwrap();
         assert!(e_dsl.content.contains("cost"), "{e_dsl:?}");
         assert!(!e_sl.content.contains("cost_amt - "), "{e_sl:?}");
     }

@@ -33,9 +33,14 @@ pub use components::{
     TableKnowledge,
 };
 pub use dsl::{validate_dsl_json, DslColumn, DslCondition, DslMeasure, DslOrder, DslSpec};
-pub use generation::{generate_table_knowledge, preprocess_scripts, GenerationConfig, GenerationReport};
+pub use generation::{
+    generate_table_knowledge, generate_table_knowledge_traced, preprocess_scripts,
+    GenerationConfig, GenerationReport,
+};
 pub use graph::{EdgeKind, KnowledgeGraph, Node, NodeId, NodeKind};
 pub use index::{IndexEntry, IndexTask, KnowledgeIndex};
 pub use profiling::{profile_table, ProfiledTable};
-pub use retrieval::{render_knowledge, retrieve, Retrieved, RetrievalConfig};
-pub use utilization::{incorporate, GroundingContext, IncorporateConfig, KnowledgeSetting};
+pub use retrieval::{render_knowledge, retrieve, RetrievalConfig, Retrieved};
+pub use utilization::{
+    incorporate, incorporate_traced, GroundingContext, IncorporateConfig, KnowledgeSetting,
+};

@@ -117,7 +117,12 @@ pub fn profile_table(
     );
     let table_line = format!("table {name}: {}", summary.trim());
 
-    Ok(ProfiledTable { schema_line, value_lines, column_lines, table_line })
+    Ok(ProfiledTable {
+        schema_line,
+        value_lines,
+        column_lines,
+        table_line,
+    })
 }
 
 #[cfg(test)]
@@ -133,7 +138,11 @@ mod tests {
                 DataType::Str,
                 vec!["Tencent BI".into(), "Cloud".into(), "Tencent BI".into()],
             ),
-            ("shouldincome_after", DataType::Float, vec![Value::Float(1.5), Value::Float(2.5), Value::Float(3.0)]),
+            (
+                "shouldincome_after",
+                DataType::Float,
+                vec![Value::Float(1.5), Value::Float(2.5), Value::Float(3.0)],
+            ),
         ])
         .unwrap()
     }
@@ -142,7 +151,9 @@ mod tests {
     fn produces_contract_lines() {
         let llm = SimLlm::gpt4();
         let p = profile_table(&llm, "sales", &df()).unwrap();
-        assert!(p.schema_line.starts_with("table sales: prod_class4_name (str)"));
+        assert!(p
+            .schema_line
+            .starts_with("table sales: prod_class4_name (str)"));
         assert!(p.value_lines[0].starts_with("values sales.prod_class4_name: Tencent BI, Cloud"));
         assert!(p
             .column_lines

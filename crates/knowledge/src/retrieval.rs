@@ -102,7 +102,10 @@ pub fn retrieve(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.node.cmp(&b.node))
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
     });
     scored.truncate(config.top_k);
     scored
@@ -168,9 +171,17 @@ mod tests {
                 ..Default::default()
             },
         );
-        let v = g.ingest_value("sales", "prod_class4_name", "Tencent BI", "the BI product line");
+        let v = g.ingest_value(
+            "sales",
+            "prod_class4_name",
+            "Tencent BI",
+            "the BI product line",
+        );
         g.add_alias("TencentBI", v);
-        g.ingest_jargon(&JargonEntry { term: "arpu".into(), expansion: "average income per user".into() });
+        g.ingest_jargon(&JargonEntry {
+            term: "arpu".into(),
+            expansion: "average income per user".into(),
+        });
         let idx = KnowledgeIndex::build(&g, IndexTask::General);
         (g, idx)
     }
@@ -179,7 +190,13 @@ mod tests {
     fn retrieves_alias_backtracked_primary() {
         let (g, idx) = setup();
         let llm = SimLlm::gpt4();
-        let out = retrieve(&llm, &g, &idx, "show me the income of TencentBI this year", &RetrievalConfig::default());
+        let out = retrieve(
+            &llm,
+            &g,
+            &idx,
+            "show me the income of TencentBI this year",
+            &RetrievalConfig::default(),
+        );
         assert!(!out.is_empty());
         let names: Vec<&str> = out.iter().map(|r| g.node(r.node).name.as_str()).collect();
         assert!(names.contains(&"sales.shouldincome_after"), "{names:?}");
@@ -193,7 +210,13 @@ mod tests {
     fn irrelevant_columns_rank_last_or_absent() {
         let (g, idx) = setup();
         let llm = SimLlm::gpt4();
-        let out = retrieve(&llm, &g, &idx, "income of TencentBI", &RetrievalConfig::default());
+        let out = retrieve(
+            &llm,
+            &g,
+            &idx,
+            "income of TencentBI",
+            &RetrievalConfig::default(),
+        );
         let pos = |name: &str| out.iter().position(|r| g.node(r.node).name == name);
         let income = pos("sales.shouldincome_after");
         let blob = pos("sales.unrelated_blob");
@@ -208,17 +231,32 @@ mod tests {
     fn rendered_knowledge_contains_alias_and_value_lines() {
         let (g, idx) = setup();
         let llm = SimLlm::gpt4();
-        let out = retrieve(&llm, &g, &idx, "income of TencentBI", &RetrievalConfig::default());
+        let out = retrieve(
+            &llm,
+            &g,
+            &idx,
+            "income of TencentBI",
+            &RetrievalConfig::default(),
+        );
         let text = render_knowledge(&g, &out);
-        assert!(text.contains("alias income -> sales.shouldincome_after"), "{text}");
-        assert!(text.contains("value sales.prod_class4_name: 'Tencent BI'"), "{text}");
+        assert!(
+            text.contains("alias income -> sales.shouldincome_after"),
+            "{text}"
+        );
+        assert!(
+            text.contains("value sales.prod_class4_name: 'Tencent BI'"),
+            "{text}"
+        );
     }
 
     #[test]
     fn top_k_limits_results() {
         let (g, idx) = setup();
         let llm = SimLlm::gpt4();
-        let cfg = RetrievalConfig { top_k: 1, ..Default::default() };
+        let cfg = RetrievalConfig {
+            top_k: 1,
+            ..Default::default()
+        };
         let out = retrieve(&llm, &g, &idx, "income", &cfg);
         assert_eq!(out.len(), 1);
     }

@@ -7,6 +7,7 @@ use crate::graph::KnowledgeGraph;
 use crate::index::KnowledgeIndex;
 use crate::retrieval::{render_knowledge, retrieve, RetrievalConfig};
 use datalab_llm::{LanguageModel, Prompt};
+use datalab_telemetry::Telemetry;
 
 /// How much knowledge the grounding pipeline is allowed to use — the
 /// ablation axis of the paper's Table II.
@@ -93,9 +94,38 @@ pub fn incorporate(
     current_date: &str,
     config: &IncorporateConfig,
 ) -> GroundingContext {
+    incorporate_traced(
+        llm,
+        graph,
+        index,
+        schema_section,
+        query,
+        history,
+        current_date,
+        config,
+        &Telemetry::new(),
+    )
+}
+
+/// [`incorporate`] with an observability pipeline: opens `rewrite` and
+/// `ground` stage scopes (so model calls attribute per stage) and counts
+/// `knowledge.hits` / `dsl.retries`.
+#[allow(clippy::too_many_arguments)]
+pub fn incorporate_traced(
+    llm: &dyn LanguageModel,
+    graph: &KnowledgeGraph,
+    index: &KnowledgeIndex,
+    schema_section: &str,
+    query: &str,
+    history: &[String],
+    current_date: &str,
+    config: &IncorporateConfig,
+    telemetry: &Telemetry,
+) -> GroundingContext {
     // ---- Query rewrite -----------------------------------------------------
-    let rewritten = llm
-        .complete(
+    let rewritten = {
+        let _stage = telemetry.stage("rewrite");
+        llm.complete(
             &Prompt::new("rewrite")
                 .section("question", query)
                 .section("history", history.join("\n"))
@@ -103,8 +133,15 @@ pub fn incorporate(
                 .render(),
         )
         .trim()
-        .to_string();
-    let rewritten = if rewritten.is_empty() { query.to_string() } else { rewritten };
+        .to_string()
+    };
+    let rewritten = if rewritten.is_empty() {
+        query.to_string()
+    } else {
+        rewritten
+    };
+
+    let ground_stage = telemetry.stage("ground");
 
     // ---- Knowledge retrieval ------------------------------------------------
     // Two passes: jargon discovered in the first pass expands the query
@@ -134,6 +171,10 @@ pub fn incorporate(
                 }
             }
         }
+        telemetry
+            .metrics()
+            .incr("knowledge.hits", retrieved.len() as u64);
+        ground_stage.attr("knowledge_hits", retrieved.len().to_string());
         filter_lines(&render_knowledge(graph, &retrieved), config.setting)
     };
 
@@ -142,6 +183,9 @@ pub fn incorporate(
     let mut dsl = None;
     let mut dsl_errors = Vec::new();
     for attempt in 0..=config.dsl_retries {
+        if attempt > 0 {
+            telemetry.metrics().incr("dsl.retries", 1);
+        }
         let mut prompt = Prompt::new("nl2dsl")
             .section("schema", schema_section)
             .section("knowledge", knowledge_lines.clone())
@@ -163,8 +207,15 @@ pub fn incorporate(
             Err(errors) => dsl_errors = errors,
         }
     }
+    drop(ground_stage);
 
-    GroundingContext { rewritten_query: rewritten, knowledge_lines, dsl, dsl_json, dsl_errors }
+    GroundingContext {
+        rewritten_query: rewritten,
+        knowledge_lines,
+        dsl,
+        dsl_json,
+        dsl_errors,
+    }
 }
 
 #[cfg(test)]
@@ -218,9 +269,16 @@ mod tests {
             "2026-07-06",
             &IncorporateConfig::default(),
         );
-        assert!(ctx.rewritten_query.contains("in 2026"), "{}", ctx.rewritten_query);
+        assert!(
+            ctx.rewritten_query.contains("in 2026"),
+            "{}",
+            ctx.rewritten_query
+        );
         let dsl = ctx.dsl.expect("valid DSL");
-        assert_eq!(dsl.measure_list[0].column.as_deref(), Some("shouldincome_after"));
+        assert_eq!(
+            dsl.measure_list[0].column.as_deref(),
+            Some("shouldincome_after")
+        );
         assert_eq!(dsl.dimension_list[0].column, "region");
         assert!(!ctx.knowledge_lines.is_empty());
     }
@@ -229,13 +287,29 @@ mod tests {
     fn setting_none_strips_knowledge() {
         let (g, idx) = setup();
         let llm = SimLlm::gpt4();
-        let cfg = IncorporateConfig { setting: KnowledgeSetting::None, ..Default::default() };
-        let ctx = incorporate(&llm, &g, &idx, schema(), "total income by region", &[], "2026-07-06", &cfg);
+        let cfg = IncorporateConfig {
+            setting: KnowledgeSetting::None,
+            ..Default::default()
+        };
+        let ctx = incorporate(
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total income by region",
+            &[],
+            "2026-07-06",
+            &cfg,
+        );
         assert!(ctx.knowledge_lines.is_empty());
         // Without the alias, "income" cannot ground to shouldincome_after.
         let ungrounded = ctx
             .dsl
-            .map(|d| d.measure_list.iter().all(|m| m.column.as_deref() != Some("shouldincome_after")))
+            .map(|d| {
+                d.measure_list
+                    .iter()
+                    .all(|m| m.column.as_deref() != Some("shouldincome_after"))
+            })
             .unwrap_or(true);
         assert!(ungrounded);
     }
@@ -245,15 +319,38 @@ mod tests {
         let (g, idx) = setup();
         let llm = SimLlm::gpt4();
         let full = incorporate(
-            &llm, &g, &idx, schema(), "total profit by region", &[], "2026-07-06",
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total profit by region",
+            &[],
+            "2026-07-06",
             &IncorporateConfig::default(),
         );
         let partial = incorporate(
-            &llm, &g, &idx, schema(), "total profit by region", &[], "2026-07-06",
-            &IncorporateConfig { setting: KnowledgeSetting::Partial, ..Default::default() },
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total profit by region",
+            &[],
+            "2026-07-06",
+            &IncorporateConfig {
+                setting: KnowledgeSetting::Partial,
+                ..Default::default()
+            },
         );
-        assert!(full.knowledge_lines.contains("derived sales.profit"), "{}", full.knowledge_lines);
-        assert!(!partial.knowledge_lines.contains("derived sales.profit"), "{}", partial.knowledge_lines);
+        assert!(
+            full.knowledge_lines.contains("derived sales.profit"),
+            "{}",
+            full.knowledge_lines
+        );
+        assert!(
+            !partial.knowledge_lines.contains("derived sales.profit"),
+            "{}",
+            partial.knowledge_lines
+        );
         // Only the full setting can compute the derived measure.
         let has_profit = |c: &GroundingContext| {
             c.dsl

@@ -29,10 +29,16 @@ fn spec_strategy() -> impl Strategy<Value = DslSpec> {
                 expr: None,
                 alias: None,
             }],
-            dimension_list: vec![DslColumn { table: table.clone(), column: dim }],
+            dimension_list: vec![DslColumn {
+                table: table.clone(),
+                column: dim,
+            }],
             condition_list: vec![],
             projection_list: vec![],
-            order_by: Some(datalab_knowledge::DslOrder { target: "measure".into(), desc }),
+            order_by: Some(datalab_knowledge::DslOrder {
+                target: "measure".into(),
+                desc,
+            }),
             limit,
             chart: Some("bar".into()),
             clean: None,

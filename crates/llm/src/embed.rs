@@ -84,14 +84,21 @@ mod tests {
 
     #[test]
     fn identical_texts_embed_identically() {
-        assert!((text_similarity("total revenue by region", "total revenue by region") - 1.0).abs() < 1e-6);
+        assert!(
+            (text_similarity("total revenue by region", "total revenue by region") - 1.0).abs()
+                < 1e-6
+        );
     }
 
     #[test]
     fn related_beats_unrelated() {
         let related = text_similarity("monthly revenue of each product", "revenue per product");
-        let unrelated = text_similarity("monthly revenue of each product", "giraffe habitat zoology");
-        assert!(related > unrelated + 0.2, "related={related} unrelated={unrelated}");
+        let unrelated =
+            text_similarity("monthly revenue of each product", "giraffe habitat zoology");
+        assert!(
+            related > unrelated + 0.2,
+            "related={related} unrelated={unrelated}"
+        );
     }
 
     #[test]

@@ -42,10 +42,18 @@ fn sql_quote(s: &str) -> String {
 }
 
 fn filter_sql(f: &Filter, qualify: bool) -> String {
-    let col = if qualify { format!("{}.{}", f.column.table, f.column.column) } else { f.column.column.clone() };
+    let col = if qualify {
+        format!("{}.{}", f.column.table, f.column.column)
+    } else {
+        f.column.column.clone()
+    };
     match &f.value {
         FilterValue::Num(n) => {
-            let num = if n.fract() == 0.0 { format!("{}", *n as i64) } else { format!("{n}") };
+            let num = if n.fract() == 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            };
             format!("{col} {} {num}", f.op)
         }
         FilterValue::Str(s) => format!("{col} = {}", sql_quote(s)),
@@ -114,7 +122,11 @@ pub fn to_sql(intent: &QueryIntent, ev: &Evidence) -> String {
         }
     }
     if !intent.filters.is_empty() {
-        let conds: Vec<String> = intent.filters.iter().map(|f| filter_sql(f, multi)).collect();
+        let conds: Vec<String> = intent
+            .filters
+            .iter()
+            .map(|f| filter_sql(f, multi))
+            .collect();
         sql.push_str(" WHERE ");
         sql.push_str(&conds.join(" AND "));
     }
@@ -196,7 +208,10 @@ pub fn to_dsl_json(intent: &QueryIntent) -> Json {
 /// code agent submits to the sandbox.
 pub fn to_dscript(intent: &QueryIntent) -> String {
     let tables = intent.tables();
-    let base = tables.first().cloned().unwrap_or_else(|| "data".to_string());
+    let base = tables
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "data".to_string());
     let mut lines = vec![format!("load {base}")];
     if intent.dropna {
         lines.push("dropna".to_string());
@@ -204,8 +219,11 @@ pub fn to_dscript(intent: &QueryIntent) -> String {
     for f in &intent.filters {
         let cond = match &f.value {
             FilterValue::Num(n) => {
-                let num =
-                    if n.fract() == 0.0 { format!("{}", *n as i64) } else { format!("{n}") };
+                let num = if n.fract() == 0.0 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                };
                 format!("{} {} {num}", f.column.column, f.op)
             }
             FilterValue::Str(s) => format!("{} == '{}'", f.column.column, s),
@@ -229,19 +247,31 @@ pub fn to_dscript(intent: &QueryIntent) -> String {
             .measures
             .iter()
             .map(|m| {
-                let col = m.column.as_ref().map(|c| c.column.clone()).unwrap_or_else(|| "*".into());
+                let col = m
+                    .column
+                    .as_ref()
+                    .map(|c| c.column.clone())
+                    .unwrap_or_else(|| "*".into());
                 format!("{}({col}) as {}", agg_name(m.agg), measure_alias(m))
             })
             .collect();
         let dims: Vec<String> = intent.dimensions.iter().map(|d| d.column.clone()).collect();
         lines.push(format!("groupby {}: {}", dims.join(", "), aggs.join(", ")));
     } else if !intent.projections.is_empty() {
-        let cols: Vec<String> = intent.projections.iter().map(|p| p.column.clone()).collect();
+        let cols: Vec<String> = intent
+            .projections
+            .iter()
+            .map(|p| p.column.clone())
+            .collect();
         lines.push(format!("select {}", cols.join(", ")));
     }
     if let Some(desc) = intent.order_desc {
         if let Some(m) = intent.measures.first() {
-            lines.push(format!("sort {}{}", measure_alias(m), if desc { " desc" } else { "" }));
+            lines.push(format!(
+                "sort {}{}",
+                measure_alias(m),
+                if desc { " desc" } else { "" }
+            ));
         }
     }
     if let Some(n) = intent.limit {
@@ -252,7 +282,10 @@ pub fn to_dscript(intent: &QueryIntent) -> String {
 
 /// Renders the intent as a chart-spec JSON understood by `datalab-viz`.
 pub fn to_vis_json(intent: &QueryIntent) -> Json {
-    let mark = intent.chart_hint.clone().unwrap_or_else(|| "bar".to_string());
+    let mark = intent
+        .chart_hint
+        .clone()
+        .unwrap_or_else(|| "bar".to_string());
     let x = intent.dimensions.first().map(|d| d.column.clone());
     let (y_field, y_agg) = match intent.measures.first() {
         Some(m) => (
@@ -305,13 +338,19 @@ mod tests {
         let ev = evidence();
         let intent = infer_intent("total amount by region", &ev);
         let sql = to_sql(&intent, &ev);
-        assert_eq!(sql, "SELECT region, SUM(amount) AS sum_amount FROM sales GROUP BY region");
+        assert_eq!(
+            sql,
+            "SELECT region, SUM(amount) AS sum_amount FROM sales GROUP BY region"
+        );
     }
 
     #[test]
     fn sql_generation_with_filters_order_limit() {
         let ev = evidence();
-        let intent = infer_intent("top 2 regions by total amount with cost greater than 5", &ev);
+        let intent = infer_intent(
+            "top 2 regions by total amount with cost greater than 5",
+            &ev,
+        );
         let sql = to_sql(&intent, &ev);
         assert!(sql.contains("WHERE cost > 5"), "{sql}");
         assert!(sql.contains("ORDER BY sum_amount DESC"), "{sql}");
@@ -332,7 +371,10 @@ mod tests {
         let mut intent = infer_intent("total amount by region", &ev);
         intent.dimensions = vec![ColumnRef::new("users", "city")];
         let sql = to_sql(&intent, &ev);
-        assert!(sql.contains("JOIN users ON sales.region = users.city"), "{sql}");
+        assert!(
+            sql.contains("JOIN users ON sales.region = users.city"),
+            "{sql}"
+        );
         assert!(sql.contains("GROUP BY users.city"), "{sql}");
     }
 
@@ -349,13 +391,27 @@ mod tests {
     #[test]
     fn dscript_pipeline() {
         let ev = evidence();
-        let intent = infer_intent("top 3 regions by total amount with cost greater than 10", &ev);
+        let intent = infer_intent(
+            "top 3 regions by total amount with cost greater than 10",
+            &ev,
+        );
         let ds = to_dscript(&intent);
         let lines: Vec<&str> = ds.lines().collect();
         assert_eq!(lines[0], "load sales");
-        assert!(lines.iter().any(|l| l.starts_with("filter cost > 10")), "{ds}");
-        assert!(lines.iter().any(|l| l.starts_with("groupby region: sum(amount)")), "{ds}");
-        assert!(lines.iter().any(|l| l.starts_with("sort sum_amount desc")), "{ds}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("filter cost > 10")),
+            "{ds}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("groupby region: sum(amount)")),
+            "{ds}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("sort sum_amount desc")),
+            "{ds}"
+        );
         assert_eq!(*lines.last().unwrap(), "limit 3");
     }
 

@@ -42,7 +42,10 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Creates a reference.
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: table.into(), column: column.into() }
+        ColumnRef {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 }
 
@@ -119,14 +122,20 @@ impl Evidence {
             let line = line.trim();
             if let Some(rest) = line.strip_prefix("table ") {
                 if let Some((name, cols)) = rest.split_once(':') {
-                    let mut table = TableInfo { name: name.trim().to_string(), columns: Vec::new() };
+                    let mut table = TableInfo {
+                        name: name.trim().to_string(),
+                        columns: Vec::new(),
+                    };
                     for part in cols.split(',') {
                         let part = part.trim();
                         if part.is_empty() {
                             continue;
                         }
                         let (cname, dtype) = match part.split_once('(') {
-                            Some((n, t)) => (n.trim().to_string(), t.trim_end_matches(')').trim().to_string()),
+                            Some((n, t)) => (
+                                n.trim().to_string(),
+                                t.trim_end_matches(')').trim().to_string(),
+                            ),
                             None => (part.to_string(), "str".to_string()),
                         };
                         table.columns.push(ColumnInfo { name: cname, dtype });
@@ -145,7 +154,11 @@ impl Evidence {
                         for v in vals.split(',') {
                             let v = v.trim().trim_matches('\'');
                             if !v.is_empty() {
-                                self.value_index.push((v.to_lowercase(), cr.clone(), v.to_string()));
+                                self.value_index.push((
+                                    v.to_lowercase(),
+                                    cr.clone(),
+                                    v.to_string(),
+                                ));
                             }
                         }
                     }
@@ -188,7 +201,8 @@ impl Evidence {
                 }
             } else if let Some(rest) = line.strip_prefix("jargon ") {
                 if let Some((term, expansion)) = rest.split_once(':') {
-                    self.jargon.push((term.trim().to_lowercase(), expansion.trim().to_string()));
+                    self.jargon
+                        .push((term.trim().to_lowercase(), expansion.trim().to_string()));
                 }
             } else if let Some(rest) = line.strip_prefix("derived ") {
                 if let Some((name_part, expr)) = rest.split_once('=') {
@@ -205,7 +219,8 @@ impl Evidence {
                 if let Some((colref, desc)) = rest.split_once(':') {
                     if let Some(cr) = parse_colref(colref) {
                         if let Some(v) = extract_quoted(desc) {
-                            self.value_index.push((v.to_lowercase(), cr.clone(), v.clone()));
+                            self.value_index
+                                .push((v.to_lowercase(), cr.clone(), v.clone()));
                         }
                         self.col_tokens.entry(cr).or_default().extend(words(desc));
                     }
@@ -270,11 +285,9 @@ impl Evidence {
             let lower = q.to_lowercase();
             if let Some(pos) = lower.find(term.as_str()) {
                 // Whole-word check.
-                let before_ok = pos == 0
-                    || !lower.as_bytes()[pos - 1].is_ascii_alphanumeric();
+                let before_ok = pos == 0 || !lower.as_bytes()[pos - 1].is_ascii_alphanumeric();
                 let end = pos + term.len();
-                let after_ok =
-                    end >= lower.len() || !lower.as_bytes()[end].is_ascii_alphanumeric();
+                let after_ok = end >= lower.len() || !lower.as_bytes()[end].is_ascii_alphanumeric();
                 if before_ok && after_ok {
                     q = format!("{}{}{}", &q[..pos], expansion, &q[end..]);
                 }
@@ -387,7 +400,10 @@ fn parse_colref(s: &str) -> Option<ColumnRef> {
     let (t, c) = s.split_once('.')?;
     let c = c.trim();
     // Strip anything after the column identifier.
-    let c: String = c.chars().take_while(|ch| ch.is_alphanumeric() || *ch == '_').collect();
+    let c: String = c
+        .chars()
+        .take_while(|ch| ch.is_alphanumeric() || *ch == '_')
+        .collect();
     if t.trim().is_empty() || c.is_empty() {
         return None;
     }
@@ -507,8 +523,8 @@ const AGG_WORDS: &[(&str, AggFunc)] = &[
 
 const PHRASE_STOP: &[&str] = &[
     "by", "per", "for", "where", "with", "in", "of", "and", "or", "the", "a", "an", "each",
-    "every", "grouped", "show", "list", "what", "which", "how", "is", "are", "their",
-    "its", "there", "top", "bottom", "that", "than", "over", "under", "since", "between",
+    "every", "grouped", "show", "list", "what", "which", "how", "is", "are", "their", "its",
+    "there", "top", "bottom", "that", "than", "over", "under", "since", "between",
 ];
 
 /// Infers a [`QueryIntent`] from a question given the prompt evidence.
@@ -518,13 +534,25 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
     // result table when the context supplies one; restrict grounding to
     // those tables in that case.
     let lower = question.to_lowercase();
-    let wants_result = ["extracted", "subset", "that result", "the result", "previous result"]
-        .iter()
-        .any(|p| lower.contains(p));
+    let wants_result = [
+        "extracted",
+        "subset",
+        "that result",
+        "the result",
+        "previous result",
+    ]
+    .iter()
+    .any(|p| lower.contains(p));
     let restricted: Evidence;
-    let ev = if wants_result && ev.tables.iter().any(|t| t.name.to_lowercase().ends_with("_result")) {
+    let ev = if wants_result
+        && ev
+            .tables
+            .iter()
+            .any(|t| t.name.to_lowercase().ends_with("_result"))
+    {
         let mut r = ev.clone();
-        r.tables.retain(|t| t.name.to_lowercase().ends_with("_result"));
+        r.tables
+            .retain(|t| t.name.to_lowercase().ends_with("_result"));
         restricted = r;
         &restricted
     } else {
@@ -539,7 +567,9 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
     // Longest alias/value phrases first so "tencent bi cloud" beats "tencent bi".
     let lower_q = expanded.to_lowercase();
     let in_scope = |cr: &ColumnRef| {
-        ev.tables.iter().any(|t| t.name.eq_ignore_ascii_case(&cr.table))
+        ev.tables
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(&cr.table))
     };
     // A bare value mention only counts as a filter when a preposition
     // introduces it ("for east", "of TencentBI") — otherwise verbs and
@@ -550,8 +580,24 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
         while let Some(pos) = lower_q[start..].find(term) {
             let abs = start + pos;
             let before = lower_q[..abs].trim_end();
-            let prev_word = before.rsplit(|c: char| !c.is_alphanumeric()).next().unwrap_or("");
-            if matches!(prev_word, "for" | "of" | "in" | "on" | "at" | "where" | "with" | "is" | "equals" | "from" | "to") {
+            let prev_word = before
+                .rsplit(|c: char| !c.is_alphanumeric())
+                .next()
+                .unwrap_or("");
+            if matches!(
+                prev_word,
+                "for"
+                    | "of"
+                    | "in"
+                    | "on"
+                    | "at"
+                    | "where"
+                    | "with"
+                    | "is"
+                    | "equals"
+                    | "from"
+                    | "to"
+            ) {
                 return true;
             }
             start = abs + term.len().max(1);
@@ -601,7 +647,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
             continue;
         }
         let ll = literal.to_lowercase();
-        if intent.filters.iter().any(|f| matches!(&f.value, FilterValue::Str(s) if s.to_lowercase() == ll)) {
+        if intent
+            .filters
+            .iter()
+            .any(|f| matches!(&f.value, FilterValue::Str(s) if s.to_lowercase() == ll))
+        {
             continue;
         }
         let by_value = ev
@@ -616,8 +666,7 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
                 // Column phrase: tokens immediately before the quote.
                 let before = &expanded[..expanded.len() - qrest.len() - literal.len() - 2];
                 let btoks = words(before);
-                let phrase: Vec<String> =
-                    btoks.iter().rev().take(3).rev().cloned().collect();
+                let phrase: Vec<String> = btoks.iter().rev().take(3).rev().cloned().collect();
                 let col = ev
                     .best_column(&phrase, |_, info| info.dtype == "str")
                     .map(|(c, _)| c)
@@ -631,7 +680,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
             }
         };
         if let Some(column) = column {
-            intent.filters.push(Filter { column, op: "=".into(), value: FilterValue::Str(value) });
+            intent.filters.push(Filter {
+                column,
+                op: "=".into(),
+                value: FilterValue::Str(value),
+            });
         }
     }
 
@@ -654,8 +707,7 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
                     .iter()
                     .take(3)
                     .take_while(|w| {
-                        !PHRASE_STOP.contains(&w.as_str())
-                            && !AGG_WORDS.iter().any(|(a, _)| a == w)
+                        !PHRASE_STOP.contains(&w.as_str()) && !AGG_WORDS.iter().any(|(a, _)| a == w)
                     })
                     .cloned()
                     .collect();
@@ -684,7 +736,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
             continue;
         }
         // "by total amount" is an ordering metric, not a dimension.
-        if toks.get(i + 1).map(|w| AGG_WORDS.iter().any(|(a, _)| a == w)).unwrap_or(false) {
+        if toks
+            .get(i + 1)
+            .map(|w| AGG_WORDS.iter().any(|(a, _)| a == w))
+            .unwrap_or(false)
+        {
             continue;
         }
         let phrase: Vec<String> = toks[i + 1..]
@@ -721,7 +777,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
         // The measured phrase: tokens after the agg word until a stop
         // word, skipping leading connectors ("number OF THE distinct X").
         let mut start = pos + 1;
-        while toks.get(start).map(|w| w == "of" || w == "the").unwrap_or(false) {
+        while toks
+            .get(start)
+            .map(|w| w == "of" || w == "the")
+            .unwrap_or(false)
+        {
             start += 1;
         }
         let mut phrase: Vec<String> = toks[start..]
@@ -734,7 +794,10 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
         // "how many distinct X" / "number of unique X" → COUNT(DISTINCT X).
         let mut func = *func;
         if func == AggFunc::Count
-            && phrase.first().map(|w| w == "distinct" || w == "unique").unwrap_or(false)
+            && phrase
+                .first()
+                .map(|w| w == "distinct" || w == "unique")
+                .unwrap_or(false)
         {
             func = AggFunc::CountDistinct;
             phrase.remove(0);
@@ -759,17 +822,21 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
             .map(|(c, _)| c)
         };
         match (func, col) {
-            (AggFunc::Count, None) => {
-                intent.measures.push(Measure { agg: AggFunc::Count, column: None, derived_expr: None })
-            }
+            (AggFunc::Count, None) => intent.measures.push(Measure {
+                agg: AggFunc::Count,
+                column: None,
+                derived_expr: None,
+            }),
             (AggFunc::Count | AggFunc::CountDistinct, Some(c)) => intent.measures.push(Measure {
                 agg: *func,
                 column: Some(c),
                 derived_expr: None,
             }),
-            (f, Some(c)) => {
-                intent.measures.push(Measure { agg: *f, column: Some(c), derived_expr: None })
-            }
+            (f, Some(c)) => intent.measures.push(Measure {
+                agg: *f,
+                column: Some(c),
+                derived_expr: None,
+            }),
             (f, None) => {
                 // Fall back to the best numeric column over the whole question.
                 let q_toks: Vec<String> = toks
@@ -781,7 +848,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
                 if let Some((c, _)) = ev.best_column(&q_toks, |cr, info| {
                     info.is_numeric() && !intent.dimensions.contains(cr)
                 }) {
-                    intent.measures.push(Measure { agg: *f, column: Some(c), derived_expr: None });
+                    intent.measures.push(Measure {
+                        agg: *f,
+                        column: Some(c),
+                        derived_expr: None,
+                    });
                 }
             }
         }
@@ -806,7 +877,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
         } else if let Some((c, _)) = ev.best_column(&q_toks, |cr, info| {
             info.is_numeric() && !intent.dimensions.contains(cr)
         }) {
-            intent.measures.push(Measure { agg: AggFunc::Sum, column: Some(c), derived_expr: None });
+            intent.measures.push(Measure {
+                agg: AggFunc::Sum,
+                column: Some(c),
+                derived_expr: None,
+            });
         }
     }
 
@@ -840,8 +915,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
 
     // List-style projection when nothing aggregate was found.
     if intent.measures.is_empty() && intent.dimensions.is_empty() {
-        let q_toks: Vec<String> =
-            toks.iter().filter(|w| !filter_tokens.contains(*w)).cloned().collect();
+        let q_toks: Vec<String> = toks
+            .iter()
+            .filter(|w| !filter_tokens.contains(*w))
+            .cloned()
+            .collect();
         let mut scored: Vec<(ColumnRef, f64)> = ev
             .all_columns()
             .into_iter()
@@ -865,7 +943,11 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
             .find(|p| ev.column_info(p).map(|i| i.is_numeric()).unwrap_or(false))
             .cloned();
         if let Some(p) = numeric_proj {
-            intent.measures.push(Measure { agg: AggFunc::Sum, column: Some(p), derived_expr: None });
+            intent.measures.push(Measure {
+                agg: AggFunc::Sum,
+                column: Some(p),
+                derived_expr: None,
+            });
             intent.projections.clear();
         }
     }
@@ -873,7 +955,9 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
     // Filters must reference columns that exist in the grounded scope
     // (value knowledge can point at out-of-scope tables; an upstream
     // result table has already applied such filters).
-    intent.filters.retain(|f| ev.column_info(&f.column).is_some());
+    intent
+        .filters
+        .retain(|f| ev.column_info(&f.column).is_some());
 
     // Data preparation: "drop nulls", "remove missing values", "clean".
     intent.dropna = lower.contains("drop null")
@@ -900,11 +984,18 @@ fn match_derived<'e>(phrase: &[String], ev: &'e Evidence) -> Option<&'e DerivedI
     let mut best: Option<(&DerivedInfo, usize)> = None;
     for d in &ev.derived {
         // Only derived columns of tables actually in scope.
-        if !ev.tables.iter().any(|t| t.name.eq_ignore_ascii_case(&d.table)) {
+        if !ev
+            .tables
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(&d.table))
+        {
             continue;
         }
         let name_toks = split_ident(&d.name);
-        let hits = name_toks.iter().filter(|t| stems.contains(&stem(t))).count();
+        let hits = name_toks
+            .iter()
+            .filter(|t| stems.contains(&stem(t)))
+            .count();
         if hits == name_toks.len() && hits > 0 {
             match best {
                 Some((_, bh)) if bh >= hits => {}
@@ -953,7 +1044,10 @@ fn parse_numeric_filters(toks: &[String], ev: &Evidence, intent: &mut QueryInten
         let mut matched = None;
         for (pat, op) in ops {
             if toks[i..].len() > pat.len()
-                && toks[i..i + pat.len()].iter().zip(pat.iter()).all(|(a, b)| a == b)
+                && toks[i..i + pat.len()]
+                    .iter()
+                    .zip(pat.iter())
+                    .all(|(a, b)| a == b)
             {
                 if let Ok(num) = toks[i + pat.len()].parse::<f64>() {
                     matched = Some((pat.len(), *op, num));
@@ -996,7 +1090,12 @@ fn parse_numeric_filters(toks: &[String], ev: &Evidence, intent: &mut QueryInten
     }
 }
 
-fn parse_temporal_filters(expanded: &str, toks: &[String], ev: &Evidence, intent: &mut QueryIntent) {
+fn parse_temporal_filters(
+    expanded: &str,
+    toks: &[String],
+    ev: &Evidence,
+    intent: &mut QueryIntent,
+) {
     let date_col = match ev.date_column(None) {
         Some(c) => c,
         None => return,
@@ -1023,11 +1122,18 @@ fn parse_temporal_filters(expanded: &str, toks: &[String], ev: &Evidence, intent
             return;
         }
         if lower.contains("this month") {
-            push_range(format!("{year}-{month:02}-01"), format!("{year}-{month:02}-28"));
+            push_range(
+                format!("{year}-{month:02}-01"),
+                format!("{year}-{month:02}-28"),
+            );
             return;
         }
         if lower.contains("last month") {
-            let (y, m) = if month == 1 { (year - 1, 12) } else { (year, month - 1) };
+            let (y, m) = if month == 1 {
+                (year - 1, 12)
+            } else {
+                (year, month - 1)
+            };
             push_range(format!("{y}-{m:02}-01"), format!("{y}-{m:02}-28"));
             return;
         }
@@ -1049,8 +1155,7 @@ fn parse_temporal_filters(expanded: &str, toks: &[String], ev: &Evidence, intent
         let _ = pos;
         if let Some(idx) = lower.find("since ") {
             let rest = &expanded[idx + 6..];
-            let candidate: String =
-                rest.chars().take(10).collect();
+            let candidate: String = rest.chars().take(10).collect();
             if datalab_frame::Date::parse(&candidate).is_ok() {
                 push_range(candidate, "9999-12-31".into());
             }
@@ -1067,11 +1172,20 @@ fn infer_chart_hint(toks: &[String], intent: &QueryIntent) -> Option<String> {
     }
     if has("pie") || has("share") || has("proportion") || has("percentage") {
         Some("pie".into())
-    } else if has("trend") || has("time")
+    } else if has("trend")
+        || has("time")
         || toks.windows(2).any(|w| w[0] == "line" && w[1] == "chart")
         || intent.dimensions.iter().any(|d| {
             let toks = split_ident(&d.column);
-            toks.iter().any(|t| t == "date" || t == "month" || t == "day" || t == "ftime" || t == "time" || t == "year" || t == "week")
+            toks.iter().any(|t| {
+                t == "date"
+                    || t == "month"
+                    || t == "day"
+                    || t == "ftime"
+                    || t == "time"
+                    || t == "year"
+                    || t == "week"
+            })
         })
     {
         Some("line".into())
@@ -1169,10 +1283,9 @@ mod tests {
     fn numeric_filter() {
         let ev = evidence();
         let intent = infer_intent("Total amount by region with cost greater than 100", &ev);
-        assert!(intent
-            .filters
-            .iter()
-            .any(|f| f.column.column == "cost" && f.op == ">" && f.value == FilterValue::Num(100.0)));
+        assert!(intent.filters.iter().any(|f| f.column.column == "cost"
+            && f.op == ">"
+            && f.value == FilterValue::Num(100.0)));
     }
 
     #[test]
@@ -1217,7 +1330,10 @@ mod tests {
     fn derived_measure_via_knowledge() {
         let ev = evidence();
         let intent = infer_intent("What is the total profit by region?", &ev);
-        assert_eq!(intent.measures[0].derived_expr.as_deref(), Some("amount - cost"));
+        assert_eq!(
+            intent.measures[0].derived_expr.as_deref(),
+            Some("amount - cost")
+        );
     }
 
     #[test]

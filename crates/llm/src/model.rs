@@ -15,8 +15,9 @@ use crate::prompt::{parse_prompt, ParsedPrompt};
 use crate::tokens::{count_tokens, TokenMeter};
 use crate::util::{hash01, split_ident, token_overlap, words};
 use datalab_frame::AggFunc;
+use datalab_telemetry::Telemetry;
 use serde_json::json;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The abstract model endpoint: text in, text out.
 pub trait LanguageModel: Send + Sync {
@@ -35,12 +36,24 @@ pub trait LanguageModel: Send + Sync {
 pub struct SimLlm {
     profile: ModelProfile,
     meter: Arc<TokenMeter>,
+    telemetry: Mutex<Option<Telemetry>>,
 }
 
 impl SimLlm {
     /// Creates a model with the given capability profile.
     pub fn new(profile: ModelProfile) -> Self {
-        SimLlm { profile, meter: Arc::new(TokenMeter::new()) }
+        SimLlm {
+            profile,
+            meter: Arc::new(TokenMeter::new()),
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a telemetry pipeline: every subsequent [`SimLlm::complete`]
+    /// is charged to the telemetry's innermost stage/agent scope and folded
+    /// into its metrics registry, mirroring the [`TokenMeter`] exactly.
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock().expect("telemetry slot") = Some(telemetry);
     }
 
     /// GPT-4-profile model (the paper's default foundation model).
@@ -116,7 +129,11 @@ impl SimLlm {
 
 fn intent_complexity(intent: &QueryIntent) -> usize {
     let multi = if intent.tables().len() > 1 { 2 } else { 0 };
-    let derived = intent.measures.iter().filter(|m| m.derived_expr.is_some()).count();
+    let derived = intent
+        .measures
+        .iter()
+        .filter(|m| m.derived_expr.is_some())
+        .count();
     intent.filters.len() + intent.dimensions.len() + intent.measures.len() + multi + derived
 }
 
@@ -134,7 +151,12 @@ fn corrupt_intent(intent: QueryIntent, ev: &Evidence, variant: u64) -> QueryInte
     // Nothing structural to corrupt (e.g. bare COUNT(*)): misread the
     // request as a plain listing — well-formed output, wrong answer.
     let mut misread = QueryIntent::default();
-    misread.projections = ev.all_columns().into_iter().take(1).map(|(cr, _)| cr).collect();
+    misread.projections = ev
+        .all_columns()
+        .into_iter()
+        .take(1)
+        .map(|(cr, _)| cr)
+        .collect();
     misread
 }
 
@@ -206,7 +228,12 @@ impl LanguageModel for SimLlm {
     fn complete(&self, prompt: &str) -> String {
         let parsed = parse_prompt(prompt);
         let out = self.dispatch(prompt, &parsed);
-        self.meter.record(count_tokens(prompt), count_tokens(&out));
+        let (p, c) = (count_tokens(prompt), count_tokens(&out));
+        self.meter.record(p, c);
+        let telemetry = self.telemetry.lock().expect("telemetry slot").clone();
+        if let Some(t) = telemetry {
+            t.record_llm_call(p as u64, c as u64);
+        }
         out
     }
 }
@@ -255,7 +282,9 @@ impl SimLlm {
                         // outrank same-named columns elsewhere.
                         let t_toks = split_ident(&cr.table);
                         if !t_toks.is_empty()
-                            && t_toks.iter().all(|t| q_stems.contains(&crate::util::stem(t)))
+                            && t_toks
+                                .iter()
+                                .all(|t| q_stems.contains(&crate::util::stem(t)))
                         {
                             s += 0.75;
                         }
@@ -295,7 +324,11 @@ impl SimLlm {
                     serde_json::from_str(content.trim()).unwrap_or(json!({}));
                 let mut score = 5.0f64;
                 let table = &parsed["table"];
-                if !table["description"].as_str().map(|s| s.len() >= 12).unwrap_or(false) {
+                if !table["description"]
+                    .as_str()
+                    .map(|s| s.len() >= 12)
+                    .unwrap_or(false)
+                {
                     score -= 1.5;
                 }
                 let cols = parsed["columns"].as_array().cloned().unwrap_or_default();
@@ -305,12 +338,12 @@ impl SimLlm {
                     let flagged = cols
                         .iter()
                         .filter(|c| {
-                            let desc_short =
-                                c["description"].as_str().map(|s| s.len() < 8).unwrap_or(true);
-                            let tagged = c["tags"]
-                                .as_array()
-                                .map(|t| !t.is_empty())
-                                .unwrap_or(false);
+                            let desc_short = c["description"]
+                                .as_str()
+                                .map(|s| s.len() < 8)
+                                .unwrap_or(true);
+                            let tagged =
+                                c["tags"].as_array().map(|t| !t.is_empty()).unwrap_or(false);
                             let usage_empty =
                                 c["usage"].as_str().map(str::is_empty).unwrap_or(true);
                             desc_short || (tagged && usage_empty)
@@ -340,7 +373,11 @@ impl SimLlm {
             _ => {
                 // Generic completion: echo a condensed view of the prompt.
                 let body = p.section("preamble");
-                let mut s: String = body.split_whitespace().take(60).collect::<Vec<_>>().join(" ");
+                let mut s: String = body
+                    .split_whitespace()
+                    .take(60)
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 if s.is_empty() {
                     s = "OK".to_string();
                 }
@@ -359,7 +396,11 @@ impl SimLlm {
         for lead in ["what about", "how about", "and for", "and in"] {
             if let Some(rest) = lower.strip_prefix(lead) {
                 if let Some(prev) = history.lines().rev().find(|l| !l.trim().is_empty()) {
-                    q = format!("{} for{}", prev.trim(), &question[question.len() - rest.len()..]);
+                    q = format!(
+                        "{} for{}",
+                        prev.trim(),
+                        &question[question.len() - rest.len()..]
+                    );
                 }
                 break;
             }
@@ -456,9 +497,7 @@ impl SimLlm {
             };
             let related: Vec<String> = role_words
                 .iter()
-                .filter(|w| {
-                    split_ident(&cr.column).iter().any(|p| p == *w) || w.len() >= 4
-                })
+                .filter(|w| split_ident(&cr.column).iter().any(|p| p == *w) || w.len() >= 4)
                 .cloned()
                 .collect();
             let mut description = if related.is_empty() {
@@ -469,12 +508,20 @@ impl SimLlm {
             // A weak model occasionally returns terse, low-quality output;
             // the self-calibration loop in Algorithm 1 catches this and
             // retries (the attempt number re-salts the hash).
-            let salt = format!("{}|extract|{}|{}|{attempt}", self.profile.name, cr.column, raw.len());
+            let salt = format!(
+                "{}|extract|{}|{}|{attempt}",
+                self.profile.name,
+                cr.column,
+                raw.len()
+            );
             if hash01(&salt) > self.profile.reasoning {
                 // A weak model's slip: a token-level echo instead of a
                 // description — short enough that self-calibration
                 // notices and retries.
-                description = split_ident(&cr.column).into_iter().next().unwrap_or_default();
+                description = split_ident(&cr.column)
+                    .into_iter()
+                    .next()
+                    .unwrap_or_default();
                 usages.clear();
             }
             columns.push(json!({
@@ -496,7 +543,10 @@ impl SimLlm {
         }
 
         let table_desc = if comment_words.is_empty() {
-            format!("table used by data processing scripts ({} columns referenced)", columns.len())
+            format!(
+                "table used by data processing scripts ({} columns referenced)",
+                columns.len()
+            )
         } else {
             comment_words.join(" ")
         };
@@ -594,17 +644,50 @@ fn find_derived(script: &str) -> Vec<(String, String)> {
 pub fn classify_task(question: &str) -> &'static str {
     let q = question.to_lowercase();
     let any = |pats: &[&str]| pats.iter().any(|p| q.contains(p));
-    if any(&["forecast", "predict", "next month", "next quarter", "next year", "project the"]) {
+    if any(&[
+        "forecast",
+        "predict",
+        "next month",
+        "next quarter",
+        "next year",
+        "project the",
+    ]) {
         "forecast"
     } else if any(&["anomal", "outlier", "unusual", "spike", "abnormal"]) {
         "anomaly"
-    } else if any(&["why", "cause", "driver", "drive", "correlat", "relationship between", "impact of"]) {
+    } else if any(&[
+        "why",
+        "cause",
+        "driver",
+        "drive",
+        "correlat",
+        "relationship between",
+        "impact of",
+    ]) {
         "causal"
-    } else if any(&["chart", "plot", "visuali", "graph", "pie", "dashboard", "draw"]) {
+    } else if any(&[
+        "chart",
+        "plot",
+        "visuali",
+        "graph",
+        "pie",
+        "dashboard",
+        "draw",
+    ]) {
         "nl2vis"
-    } else if any(&["insight", "analyz", "analyse", "explore", "report", "summary", "findings", "trend"]) {
+    } else if any(&[
+        "insight", "analyz", "analyse", "explore", "report", "summary", "findings", "trend",
+    ]) {
         "nl2insight"
-    } else if any(&["dataframe", "pandas", "transform", "pivot", "clean", "python", "code"]) {
+    } else if any(&[
+        "dataframe",
+        "pandas",
+        "transform",
+        "pivot",
+        "clean",
+        "python",
+        "code",
+    ]) {
         "nl2dscode"
     } else {
         "nl2sql"
@@ -618,7 +701,17 @@ pub fn plan_with_parts(question: &str) -> Vec<(&'static str, String)> {
     let mut rest = question;
     loop {
         let mut cut = None;
-        for sep in [", then ", " and then ", "; then ", "; ", ". then ", ". ", "? ", "! ", ", "] {
+        for sep in [
+            ", then ",
+            " and then ",
+            "; then ",
+            "; ",
+            ". then ",
+            ". ",
+            "? ",
+            "! ",
+            ", ",
+        ] {
             if let Some(pos) = rest.to_lowercase().find(sep) {
                 match cut {
                     Some((best, _)) if best <= pos => {}
@@ -665,7 +758,17 @@ pub fn plan(question: &str) -> String {
     // Split on sequencing connectors.
     loop {
         let mut cut = None;
-        for sep in [", then ", " and then ", "; then ", "; ", ". then ", ". ", "? ", "! ", ", "] {
+        for sep in [
+            ", then ",
+            " and then ",
+            "; then ",
+            "; ",
+            ". then ",
+            ". ",
+            "? ",
+            "! ",
+            ", ",
+        ] {
             if let Some(pos) = rest.to_lowercase().find(sep) {
                 match cut {
                     Some((best, _)) if best <= pos => {}
@@ -736,6 +839,38 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_mirrors_the_meter() {
+        let m = SimLlm::gpt4();
+        let telemetry = Telemetry::new();
+        m.attach_telemetry(telemetry.clone());
+        let prompt = Prompt::new("nl2sql")
+            .section("schema", schema())
+            .section("question", "total amount by region")
+            .render();
+        {
+            let _stage = telemetry.stage("execute");
+            let _agent = telemetry.agent_scope("sql_agent");
+            m.complete(&prompt);
+        }
+        m.complete(&prompt); // outside any scope
+        let meter = m.usage().snapshot();
+        assert_eq!(meter.calls, 2);
+        assert_eq!(telemetry.token_totals(), meter);
+        assert_eq!(telemetry.metrics().counter("llm.calls"), 2);
+        assert_eq!(
+            telemetry.metrics().counter("llm.prompt_tokens"),
+            meter.prompt_tokens
+        );
+        let attribution = telemetry.attribution();
+        assert!(attribution
+            .iter()
+            .any(|a| a.stage == "execute" && a.agent == "sql_agent" && a.usage.calls == 1));
+        assert!(attribution
+            .iter()
+            .any(|a| a.stage == "unattributed" && a.usage.calls == 1));
+    }
+
+    #[test]
     fn determinism() {
         let m = SimLlm::gpt4();
         let prompt = Prompt::new("nl2sql")
@@ -756,7 +891,10 @@ mod tests {
         for i in 0..200 {
             let prompt = Prompt::new("nl2code")
                 .section("schema", schema())
-                .section("question", format!("total amount by region with cost greater than {i}"))
+                .section(
+                    "question",
+                    format!("total amount by region with cost greater than {i}"),
+                )
                 .render();
             let expected_prefix = "load sales";
             let s = strong.complete(&prompt);
@@ -773,7 +911,10 @@ mod tests {
                 weak_ok += 1;
             }
         }
-        assert!(strong_ok > weak_ok + 20, "strong={strong_ok} weak={weak_ok}");
+        assert!(
+            strong_ok > weak_ok + 20,
+            "strong={strong_ok} weak={weak_ok}"
+        );
     }
 
     #[test]
@@ -787,7 +928,9 @@ mod tests {
                 .section("question", format!("sum of amount by region run {i}"));
             let first = weak.complete(&base.clone().render());
             let retry = weak.complete(
-                &base.section("feedback", "error: previous pipeline failed to parse").render(),
+                &base
+                    .section("feedback", "error: previous pipeline failed to parse")
+                    .render(),
             );
             let good = |out: &str| out.contains("groupby region: sum(amount)");
             if good(&first) {
@@ -804,14 +947,20 @@ mod tests {
     fn schema_linking_ranks_alias_targets_with_knowledge() {
         let m = SimLlm::gpt4();
         let base = Prompt::new("schema_linking")
-            .section("schema", "table s: prod_name (str), shouldincome_after (float), ftime (date)")
+            .section(
+                "schema",
+                "table s: prod_name (str), shouldincome_after (float), ftime (date)",
+            )
             .section("question", "income of products");
         let without = m.complete(&base.clone().render());
         let with = m.complete(
-            &base.section("knowledge", "alias income -> s.shouldincome_after").render(),
+            &base
+                .section("knowledge", "alias income -> s.shouldincome_after")
+                .render(),
         );
         let rank = |out: &str| {
-            out.lines().position(|l| l.starts_with("s.shouldincome_after"))
+            out.lines()
+                .position(|l| l.starts_with("s.shouldincome_after"))
         };
         let rw = rank(&with).unwrap();
         // With knowledge the target ranks first; without, its score is 0.
@@ -839,7 +988,10 @@ mod tests {
     #[test]
     fn classify_and_plan() {
         assert_eq!(classify_task("Plot the revenue trend"), "nl2vis");
-        assert_eq!(classify_task("Are there any anomalies in the data?"), "anomaly");
+        assert_eq!(
+            classify_task("Are there any anomalies in the data?"),
+            "anomaly"
+        );
         assert_eq!(classify_task("Forecast sales for next quarter"), "forecast");
         assert_eq!(classify_task("How many users signed up?"), "nl2sql");
         let p = plan("Find total sales by region, then plot a bar chart. Forecast next month");
@@ -885,17 +1037,25 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let cols = v["columns"].as_array().unwrap();
         let amount = cols.iter().find(|c| c["name"] == "amount").unwrap();
-        assert!(amount["usage"].as_str().unwrap().contains("sum"), "{amount}");
+        assert!(
+            amount["usage"].as_str().unwrap().contains("sum"),
+            "{amount}"
+        );
         let derived = v["derived"].as_array().unwrap();
         assert!(derived.iter().any(|d| d["name"] == "profit"), "{out}");
-        assert!(v["table"]["description"].as_str().unwrap().contains("revenue"));
+        assert!(v["table"]["description"]
+            .as_str()
+            .unwrap()
+            .contains("revenue"));
     }
 
     #[test]
     fn score_knowledge_rewards_completeness() {
         let m = SimLlm::gpt4();
         let poor = m.complete(
-            &Prompt::new("score_knowledge").section("content", r#"{"table":{},"columns":[]}"#).render(),
+            &Prompt::new("score_knowledge")
+                .section("content", r#"{"table":{},"columns":[]}"#)
+                .render(),
         );
         let rich = m.complete(
             &Prompt::new("score_knowledge")
@@ -917,7 +1077,10 @@ mod tests {
         let m = SimLlm::gpt4();
         let out = m.complete(
             &Prompt::new("summarize")
-                .section("facts", "east region grew 20%\nwest region flat\nserver uptime 99%")
+                .section(
+                    "facts",
+                    "east region grew 20%\nwest region flat\nserver uptime 99%",
+                )
                 .section("question", "how did the east region perform")
                 .render(),
         );

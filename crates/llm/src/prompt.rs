@@ -18,7 +18,10 @@ pub struct Prompt {
 impl Prompt {
     /// Starts a prompt for the given task label (e.g. `nl2sql`).
     pub fn new(task: impl Into<String>) -> Self {
-        Prompt { task: task.into(), sections: Vec::new() }
+        Prompt {
+            task: task.into(),
+            sections: Vec::new(),
+        }
     }
 
     /// Appends a named section (builder style).
@@ -65,7 +68,10 @@ impl ParsedPrompt {
 
     /// Whether a non-empty section is present.
     pub fn has(&self, name: &str) -> bool {
-        self.sections.get(name).map(|s| !s.trim().is_empty()).unwrap_or(false)
+        self.sections
+            .get(name)
+            .map(|s| !s.trim().is_empty())
+            .unwrap_or(false)
     }
 }
 

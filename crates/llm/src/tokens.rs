@@ -30,8 +30,10 @@ impl TokenMeter {
 
     /// Records one model call.
     pub fn record(&self, prompt_tokens: usize, completion_tokens: usize) {
-        self.prompt_tokens.fetch_add(prompt_tokens as u64, Ordering::Relaxed);
-        self.completion_tokens.fetch_add(completion_tokens as u64, Ordering::Relaxed);
+        self.prompt_tokens
+            .fetch_add(prompt_tokens as u64, Ordering::Relaxed);
+        self.completion_tokens
+            .fetch_add(completion_tokens as u64, Ordering::Relaxed);
         self.calls.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -60,6 +62,17 @@ impl TokenMeter {
         self.prompt_tokens.store(0, Ordering::Relaxed);
         self.completion_tokens.store(0, Ordering::Relaxed);
         self.calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy as a telemetry [`TokenUsage`] — the shape the
+    /// attribution ledger uses, so meter-vs-attribution equality checks
+    /// compare like with like.
+    pub fn snapshot(&self) -> datalab_telemetry::TokenUsage {
+        datalab_telemetry::TokenUsage {
+            prompt_tokens: self.prompt_tokens(),
+            completion_tokens: self.completion_tokens(),
+            calls: self.calls(),
+        }
     }
 }
 
@@ -91,7 +104,22 @@ mod tests {
         assert_eq!(m.completion_tokens(), 30);
         assert_eq!(m.total_tokens(), 180);
         assert_eq!(m.calls(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.prompt_tokens, 150);
+        assert_eq!(snap.completion_tokens, 30);
+        assert_eq!(snap.calls, 2);
+        assert_eq!(snap.total(), 180);
         m.reset();
+        assert_eq!(m.total_tokens(), 0);
+        // reset must clear the call count too, not only the token sums.
+        assert_eq!(m.calls(), 0);
+        assert_eq!(m.snapshot(), datalab_telemetry::TokenUsage::default());
+    }
+
+    #[test]
+    fn default_meter_is_empty() {
+        let m = TokenMeter::default();
+        assert_eq!(m.calls(), 0);
         assert_eq!(m.total_tokens(), 0);
     }
 }

@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn split_ident_handles_styles() {
-        assert_eq!(split_ident("prod_class4_name"), vec!["prod", "class4", "name"]);
+        assert_eq!(
+            split_ident("prod_class4_name"),
+            vec!["prod", "class4", "name"]
+        );
         assert_eq!(split_ident("orderAmount"), vec!["order", "amount"]);
         assert_eq!(split_ident("ftime"), vec!["ftime"]);
     }

@@ -52,7 +52,13 @@ impl Notebook {
     pub fn push(&mut self, kind: CellKind, source: impl Into<String>) -> CellId {
         let id = CellId(self.next_id);
         self.next_id += 1;
-        self.cells.push(Cell { id, kind, source: source.into(), output_var: None, output: None });
+        self.cells.push(Cell {
+            id,
+            kind,
+            source: source.into(),
+            output_var: None,
+            output: None,
+        });
         id
     }
 

@@ -85,7 +85,11 @@ pub struct ContextConfig {
 
 impl Default for ContextConfig {
     fn default() -> Self {
-        ContextConfig { use_dag: true, markdown_threshold: 0.28, prune_by_task: true }
+        ContextConfig {
+            use_dag: true,
+            markdown_threshold: 0.28,
+            prune_by_task: true,
+        }
     }
 }
 
@@ -123,9 +127,9 @@ pub fn retrieve_context(
                 // the query, else the defining cell most similar to it.
                 let vars = dag.defined_variables(notebook);
                 let lower_q = query.to_lowercase();
-                let explicit = vars.iter().find(|(v, _)| {
-                    contains_word(&lower_q, &v.to_lowercase())
-                });
+                let explicit = vars
+                    .iter()
+                    .find(|(v, _)| contains_word(&lower_q, &v.to_lowercase()));
                 let start = match explicit {
                     Some((_, cell)) => Some(*cell),
                     None => {
@@ -204,7 +208,11 @@ pub fn retrieve_context(
         }
     }
     let tokens = count_tokens(&text);
-    ContextSelection { cells: ordered, text, tokens }
+    ContextSelection {
+        cells: ordered,
+        text,
+        tokens,
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +229,10 @@ mod tests {
         );
         let md = nb.push(CellKind::Markdown, "Revenue by region analysis notes");
         // An unrelated side investigation.
-        let other = nb.push(CellKind::Python, "users = load_users()\nsignups = users.count()");
+        let other = nb.push(
+            CellKind::Python,
+            "users = load_users()\nsignups = users.count()",
+        );
         let dag = CellDag::build(&nb);
         (nb, dag, sql, py, chart, md, other)
     }
@@ -308,7 +319,10 @@ mod tests {
             "rewrite the sql for df_sales",
             QueryScope::Notebook,
             TaskType::Sql,
-            &ContextConfig { use_dag: false, ..Default::default() },
+            &ContextConfig {
+                use_dag: false,
+                ..Default::default()
+            },
         );
         assert_eq!(without.cells.len(), nb.len());
         assert!(without.tokens > with_dag.tokens);

@@ -21,7 +21,11 @@ pub fn analyze_cell(cell: &Cell) -> CellAnalysis {
     match cell.kind {
         CellKind::Python => {
             let a = pymini::analyze(&cell.source);
-            CellAnalysis { defined: a.defined, referenced: a.referenced, syntax_ok: a.syntax_ok }
+            CellAnalysis {
+                defined: a.defined,
+                referenced: a.referenced,
+                syntax_ok: a.syntax_ok,
+            }
         }
         CellKind::Sql => {
             // A SQL cell's SELECT output is stored in its data variable;
@@ -36,7 +40,11 @@ pub fn analyze_cell(cell: &Cell) -> CellAnalysis {
                 }
                 Err(_) => (scan_from_tables(&cell.source), false),
             };
-            CellAnalysis { defined, referenced, syntax_ok }
+            CellAnalysis {
+                defined,
+                referenced,
+                syntax_ok,
+            }
         }
         CellKind::Chart => {
             // The chart references its underlying data variable.
@@ -47,10 +55,17 @@ pub fn analyze_cell(cell: &Cell) -> CellAnalysis {
                 .into_iter()
                 .collect();
             let syntax_ok = datalab_viz::ChartSpec::from_json(&cell.source).is_ok();
-            CellAnalysis { defined: Vec::new(), referenced, syntax_ok }
+            CellAnalysis {
+                defined: Vec::new(),
+                referenced,
+                syntax_ok,
+            }
         }
         // Markdown cells neither produce nor reference variables.
-        CellKind::Markdown => CellAnalysis { syntax_ok: true, ..Default::default() },
+        CellKind::Markdown => CellAnalysis {
+            syntax_ok: true,
+            ..Default::default()
+        },
     }
 }
 
@@ -78,8 +93,10 @@ fn scan_from_tables(sql: &str) -> Vec<String> {
     for (i, t) in toks.iter().enumerate() {
         if t.eq_ignore_ascii_case("from") || t.eq_ignore_ascii_case("join") {
             if let Some(next) = toks.get(i + 1) {
-                let name: String =
-                    next.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                let name: String = next
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
                 if !name.is_empty() && !out.contains(&name) {
                     out.push(name);
                 }
@@ -151,7 +168,10 @@ impl CellDag {
         for (pos, cell) in notebook.cells().iter().enumerate() {
             if let Some(a) = self.analyses.get(&cell.id) {
                 for v in &a.defined {
-                    var_hash.entry(v.to_lowercase()).or_default().push((pos, cell.id));
+                    var_hash
+                        .entry(v.to_lowercase())
+                        .or_default()
+                        .push((pos, cell.id));
                 }
             }
         }
@@ -164,8 +184,8 @@ impl CellDag {
             for v in &a.referenced {
                 if let Some(defs) = var_hash.get(&v.to_lowercase()) {
                     let before = defs.iter().rev().find(|(p, c)| *p < pos && *c != cell.id);
-                    let chosen = before
-                        .or_else(|| defs.iter().find(|(p, c)| *p != pos && *c != cell.id));
+                    let chosen =
+                        before.or_else(|| defs.iter().find(|(p, c)| *p != pos && *c != cell.id));
                     if let Some((_, def_cell)) = chosen {
                         if !cell_deps.contains(def_cell) {
                             cell_deps.push(*def_cell);
@@ -262,7 +282,10 @@ mod tests {
     fn notebook() -> (Notebook, CellId, CellId, CellId, CellId) {
         let mut nb = Notebook::new();
         let sql = nb.push_sql("SELECT region, amount FROM sales", "df_sales");
-        let py = nb.push(CellKind::Python, "clean = df_sales.dropna()\ntotal = clean.sum()");
+        let py = nb.push(
+            CellKind::Python,
+            "clean = df_sales.dropna()\ntotal = clean.sum()",
+        );
         let md = nb.push(CellKind::Markdown, "## Revenue analysis notes");
         let chart = nb.push(
             CellKind::Chart,

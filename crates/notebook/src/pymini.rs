@@ -30,10 +30,46 @@ const PY_KEYWORDS: &[&str] = &[
 ];
 
 const PY_BUILTINS: &[&str] = &[
-    "print", "len", "sum", "min", "max", "range", "sorted", "list", "dict", "set", "tuple",
-    "str", "int", "float", "bool", "enumerate", "zip", "map", "filter", "open", "abs", "round",
-    "type", "isinstance", "repr", "any", "all", "reversed", "format", "hash", "id", "iter",
-    "next", "super", "object", "Exception", "ValueError", "KeyError", "getattr", "setattr",
+    "print",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "range",
+    "sorted",
+    "list",
+    "dict",
+    "set",
+    "tuple",
+    "str",
+    "int",
+    "float",
+    "bool",
+    "enumerate",
+    "zip",
+    "map",
+    "filter",
+    "open",
+    "abs",
+    "round",
+    "type",
+    "isinstance",
+    "repr",
+    "any",
+    "all",
+    "reversed",
+    "format",
+    "hash",
+    "id",
+    "iter",
+    "next",
+    "super",
+    "object",
+    "Exception",
+    "ValueError",
+    "KeyError",
+    "getattr",
+    "setattr",
 ];
 
 /// One token of interest: an identifier with context flags.
@@ -291,11 +327,14 @@ pub fn analyze(src: &str) -> PyAnalysis {
             for w in rest.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
                 params_and_locals.insert(w.to_string());
             }
-        } else if let Some(rest) =
-            trimmed.strip_prefix("def ").or_else(|| trimmed.strip_prefix("class "))
+        } else if let Some(rest) = trimmed
+            .strip_prefix("def ")
+            .or_else(|| trimmed.strip_prefix("class "))
         {
-            let name: String =
-                rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
             if top {
                 push_defined(&name, &mut defined);
             } else {
@@ -425,7 +464,11 @@ pub fn analyze(src: &str) -> PyAnalysis {
         }
     }
 
-    PyAnalysis { defined, referenced, syntax_ok }
+    PyAnalysis {
+        defined,
+        referenced,
+        syntax_ok,
+    }
 }
 
 #[cfg(test)]
@@ -442,7 +485,8 @@ mod tests {
 
     #[test]
     fn imports_define_globals() {
-        let a = analyze("import pandas as pd\nfrom math import sqrt\ndf = pd.DataFrame()\nr = sqrt(2)");
+        let a =
+            analyze("import pandas as pd\nfrom math import sqrt\ndf = pd.DataFrame()\nr = sqrt(2)");
         assert!(a.defined.contains(&"pd".to_string()));
         assert!(a.defined.contains(&"sqrt".to_string()));
         assert!(a.defined.contains(&"df".to_string()));
@@ -451,7 +495,8 @@ mod tests {
 
     #[test]
     fn function_defs_and_locals_are_scoped() {
-        let src = "def clean(frame):\n    tmp = frame.dropna()\n    return tmp\nresult = clean(raw_df)";
+        let src =
+            "def clean(frame):\n    tmp = frame.dropna()\n    return tmp\nresult = clean(raw_df)";
         let a = analyze(src);
         assert!(a.defined.contains(&"clean".to_string()));
         assert!(a.defined.contains(&"result".to_string()));

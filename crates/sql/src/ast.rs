@@ -159,12 +159,18 @@ pub enum Expr {
 impl Expr {
     /// Shorthand for an unqualified column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Shorthand for a qualified column reference.
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { table: Some(table.into()), name: name.into() }
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     /// Shorthand for a literal.
@@ -174,7 +180,11 @@ impl Expr {
 
     /// Shorthand for a binary expression.
     pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// True when the expression (recursively) contains an aggregate call.
@@ -187,16 +197,24 @@ impl Expr {
             }
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
-            Expr::Case { branches, else_expr } => {
-                branches.iter().any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
-                    || else_expr.as_ref().map(|e| e.contains_aggregate()).unwrap_or(false)
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || else_expr
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
             }
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
         }
     }
@@ -221,7 +239,10 @@ impl Expr {
                     a.referenced_columns(out);
                 }
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, r) in branches {
                     c.referenced_columns(out);
                     r.referenced_columns(out);
@@ -236,7 +257,9 @@ impl Expr {
                     e.referenced_columns(out);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.referenced_columns(out);
                 low.referenced_columns(out);
                 high.referenced_columns(out);
@@ -267,7 +290,10 @@ fn fmt_ident(name: &str) -> std::borrow::Cow<'_, str> {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Column { table: Some(t), name } => {
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => {
                 write!(f, "{}.{}", fmt_ident(t), fmt_ident(name))
             }
             Expr::Column { table: None, name } => f.write_str(&fmt_ident(name)),
@@ -280,9 +306,19 @@ impl fmt::Display for Expr {
                     write!(f, "{left} {} {right}", op.sql())
                 }
             }
-            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "-{expr}"),
-            Expr::Unary { op: UnOp::Not, expr } => write!(f, "NOT ({expr})"),
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "-{expr}"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "NOT ({expr})"),
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 let inner = match arg {
                     None => "*".to_string(),
                     Some(a) => a.to_string(),
@@ -297,7 +333,10 @@ impl fmt::Display for Expr {
                 let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
                 write!(f, "{}({})", name.to_uppercase(), parts.join(", "))
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 f.write_str("CASE")?;
                 for (c, r) in branches {
                     write!(f, " WHEN {c} THEN {r}")?;
@@ -307,14 +346,36 @@ impl fmt::Display for Expr {
                 }
                 f.write_str(" END")
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let parts: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, parts.join(", "))
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    parts.join(", ")
+                )
             }
-            Expr::Between { expr, low, high, negated } => {
-                write!(f, "{expr} {}BETWEEN {low} AND {high}", if *negated { "NOT " } else { "" })
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}BETWEEN {low} AND {high}",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 write!(
                     f,
                     "{expr} {}LIKE '{}'",
@@ -350,7 +411,10 @@ impl fmt::Display for SelectItem {
         match self {
             SelectItem::Wildcard => f.write_str("*"),
             SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
-            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {a}"),
             SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
         }
     }
@@ -397,7 +461,10 @@ impl TableRef {
 impl fmt::Display for TableRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableRef::Named { name, alias: Some(a) } => write!(f, "{name} AS {a}"),
+            TableRef::Named {
+                name,
+                alias: Some(a),
+            } => write!(f, "{name} AS {a}"),
             TableRef::Named { name, alias: None } => f.write_str(name),
             TableRef::Derived { query, alias } => write!(f, "({query}) AS {alias}"),
         }
@@ -499,7 +566,10 @@ mod tests {
         let sel = Select {
             distinct: false,
             items: vec![
-                SelectItem::Expr { expr: Expr::col("region"), alias: None },
+                SelectItem::Expr {
+                    expr: Expr::col("region"),
+                    alias: None,
+                },
                 SelectItem::Expr {
                     expr: Expr::Agg {
                         func: AggFunc::Sum,
@@ -509,9 +579,15 @@ mod tests {
                     alias: Some("total".into()),
                 },
             ],
-            from: Some(TableRef::Named { name: "sales".into(), alias: None }),
+            from: Some(TableRef::Named {
+                name: "sales".into(),
+                alias: None,
+            }),
             group_by: vec![Expr::col("region")],
-            order_by: vec![OrderKey { expr: Expr::col("total"), ascending: false }],
+            order_by: vec![OrderKey {
+                expr: Expr::col("total"),
+                ascending: false,
+            }],
             limit: Some(5),
             ..Default::default()
         };
@@ -525,7 +601,11 @@ mod tests {
     fn contains_aggregate_walks_tree() {
         let e = Expr::bin(
             BinOp::Gt,
-            Expr::Agg { func: AggFunc::Count, arg: None, distinct: false },
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            },
             Expr::lit(3i64),
         );
         assert!(e.contains_aggregate());

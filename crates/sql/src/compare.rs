@@ -46,10 +46,11 @@ fn rows_equal(a: &DataFrame, b: &DataFrame, perm: &[usize], ordered: bool) -> bo
         rows_a.sort_by_key(key);
         rows_b.sort_by_key(key);
     }
-    rows_a
-        .iter()
-        .zip(&rows_b)
-        .all(|(ra, rb)| ra.iter().zip(rb.iter()).all(|(x, y)| x.approx_eq(y, REL_TOL)))
+    rows_a.iter().zip(&rows_b).all(|(ra, rb)| {
+        ra.iter()
+            .zip(rb.iter())
+            .all(|(x, y)| x.approx_eq(y, REL_TOL))
+    })
 }
 
 /// All permutations of `0..n` (n ≤ 7 keeps this bounded at 5040).
@@ -107,7 +108,11 @@ mod tests {
 
     #[test]
     fn float_tolerance() {
-        let a = f(vec![("x", DataType::Float, vec![Value::Float(0.333333333)])]);
+        let a = f(vec![(
+            "x",
+            DataType::Float,
+            vec![Value::Float(0.333333333)],
+        )]);
         let b = f(vec![("x", DataType::Float, vec![Value::Float(1.0 / 3.0)])]);
         assert!(ex_equal(&a, &b, false));
     }

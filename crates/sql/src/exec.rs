@@ -45,7 +45,10 @@ impl Binding {
                 .schema()
                 .fields()
                 .iter()
-                .map(|f| BindEntry { qualifier: Some(q.clone()), name: f.name.clone() })
+                .map(|f| BindEntry {
+                    qualifier: Some(q.clone()),
+                    name: f.name.clone(),
+                })
                 .collect(),
         }
     }
@@ -87,12 +90,18 @@ fn table_workset(tref: &TableRef, db: &Database) -> Result<WorkSet> {
             let df = db.get(name)?;
             let qual = alias.as_deref().unwrap_or(name);
             let rows = (0..df.n_rows()).map(|i| df.row(i)).collect();
-            Ok(WorkSet { binding: Binding::from_frame(df, qual), rows })
+            Ok(WorkSet {
+                binding: Binding::from_frame(df, qual),
+                rows,
+            })
         }
         TableRef::Derived { query, alias } => {
             let df = execute(query, db)?;
             let rows = (0..df.n_rows()).map(|i| df.row(i)).collect();
-            Ok(WorkSet { binding: Binding::from_frame(&df, alias), rows })
+            Ok(WorkSet {
+                binding: Binding::from_frame(&df, alias),
+                rows,
+            })
         }
     }
 }
@@ -101,12 +110,17 @@ fn build_source(sel: &Select, db: &Database) -> Result<WorkSet> {
     let mut ws = match &sel.from {
         Some(t) => table_workset(t, db)?,
         // Table-less SELECT: a single empty row so literals evaluate once.
-        None => WorkSet { binding: Binding::default(), rows: vec![Vec::new()] },
+        None => WorkSet {
+            binding: Binding::default(),
+            rows: vec![Vec::new()],
+        },
     };
     for join in &sel.joins {
         let right = table_workset(&join.table, db)?;
         let mut binding = ws.binding.clone();
-        binding.entries.extend(right.binding.entries.iter().cloned());
+        binding
+            .entries
+            .extend(right.binding.entries.iter().cloned());
         let mut rows = Vec::new();
         for lrow in &ws.rows {
             let mut matched = false;
@@ -159,7 +173,10 @@ fn expand_items(sel: &Select, binding: &Binding) -> Result<Vec<(Expr, String)>> 
             SelectItem::Wildcard => {
                 for e in &binding.entries {
                     out.push((
-                        Expr::Column { table: e.qualifier.clone(), name: e.name.clone() },
+                        Expr::Column {
+                            table: e.qualifier.clone(),
+                            name: e.name.clone(),
+                        },
                         e.name.clone(),
                     ));
                 }
@@ -170,7 +187,10 @@ fn expand_items(sel: &Select, binding: &Binding) -> Result<Vec<(Expr, String)>> 
                 for e in &binding.entries {
                     if e.qualifier.as_deref() == Some(tl.as_str()) {
                         out.push((
-                            Expr::Column { table: e.qualifier.clone(), name: e.name.clone() },
+                            Expr::Column {
+                                table: e.qualifier.clone(),
+                                name: e.name.clone(),
+                            },
                             e.name.clone(),
                         ));
                     }
@@ -301,7 +321,11 @@ fn project(sel: &Select, source: WorkSet) -> Result<DataFrame> {
     for f in fields {
         let key = f.name.to_ascii_lowercase();
         let n = used.entry(key).or_insert(0);
-        let name = if *n == 0 { f.name.clone() } else { format!("{}_{}", f.name, n) };
+        let name = if *n == 0 {
+            f.name.clone()
+        } else {
+            format!("{}_{}", f.name, n)
+        };
         *n += 1;
         unique.push(Field::new(name, f.dtype));
     }
@@ -370,12 +394,17 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
                 Ctx::Row(row) => Ok(row.get(idx).cloned().unwrap_or(Value::Null)),
                 // Scalar column inside a group: representative first row
                 // (SQLite-style loose grouping).
-                Ctx::Group(rows) => {
-                    Ok(rows.first().and_then(|r| r.get(idx)).cloned().unwrap_or(Value::Null))
-                }
+                Ctx::Group(rows) => Ok(rows
+                    .first()
+                    .and_then(|r| r.get(idx))
+                    .cloned()
+                    .unwrap_or(Value::Null)),
             }
         }
-        Expr::Unary { op: UnOp::Neg, expr } => {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => {
             let v = eval(expr, binding, ctx)?;
             match v {
                 Value::Null => Ok(Value::Null),
@@ -384,7 +413,10 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
                 other => Err(SqlError::Eval(format!("cannot negate {}", other.dtype()))),
             }
         }
-        Expr::Unary { op: UnOp::Not, expr } => {
+        Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => {
             let v = eval(expr, binding, ctx)?;
             match v {
                 Value::Null => Ok(Value::Null),
@@ -393,7 +425,11 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
             }
         }
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, binding, ctx),
-        Expr::Agg { func, arg, distinct } => match ctx {
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => match ctx {
             Ctx::Group(rows) => eval_aggregate(*func, arg.as_deref(), *distinct, rows, binding),
             Ctx::Row(row) => {
                 // Aggregate over a single row (occurs when aggregates are
@@ -404,7 +440,10 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
             }
         },
         Expr::Func { name, args } => eval_scalar_fn(name, args, binding, ctx),
-        Expr::Case { branches, else_expr } => {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
             for (cond, result) in branches {
                 if truthy(&eval(cond, binding, ctx)?) {
                     return eval(result, binding, ctx);
@@ -415,7 +454,11 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
                 None => Ok(Value::Null),
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, binding, ctx)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -430,7 +473,12 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
             }
             Ok(Value::Bool(found != *negated))
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, binding, ctx)?;
             let lo = eval(low, binding, ctx)?;
             let hi = eval(high, binding, ctx)?;
@@ -441,12 +489,18 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
                 && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
             Ok(Value::Bool(inside != *negated))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, binding, ctx)?;
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
-                other => Ok(Value::Bool(like_match(&other.render(), pattern) != *negated)),
+                other => Ok(Value::Bool(
+                    like_match(&other.render(), pattern) != *negated,
+                )),
             }
         }
         Expr::IsNull { expr, negated } => {
@@ -456,7 +510,13 @@ fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
     }
 }
 
-fn eval_binary(op: BinOp, left: &Expr, right: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
+fn eval_binary(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    binding: &Binding,
+    ctx: &Ctx<'_>,
+) -> Result<Value> {
     // Kleene logic for AND/OR so NULLs behave like SQL.
     if matches!(op, BinOp::And | BinOp::Or) {
         let l = eval(left, binding, ctx)?;
@@ -490,9 +550,7 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, binding: &Binding, ctx: &Ct
         BinOp::Gt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Greater)),
         BinOp::GtEq => Ok(Value::Bool(l.total_cmp(&r) != std::cmp::Ordering::Less)),
         BinOp::Concat => Ok(Value::Str(format!("{}{}", l.render(), r.render()))),
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod => {
-            arith(op, &l, &r)
-        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod => arith(op, &l, &r),
         BinOp::Div => {
             let (a, b) = numeric_pair(&l, &r)?;
             if b == 0.0 {
@@ -583,8 +641,12 @@ fn eval_scalar_fn(name: &str, args: &[Expr], binding: &Binding, ctx: &Ctx<'_>) -
     for a in args {
         vals.push(eval(a, binding, ctx)?);
     }
-    let arity_err =
-        || SqlError::Eval(format!("wrong number of arguments for {name}({})", vals.len()));
+    let arity_err = || {
+        SqlError::Eval(format!(
+            "wrong number of arguments for {name}({})",
+            vals.len()
+        ))
+    };
     match name {
         "abs" => {
             let v = vals.first().ok_or_else(arity_err)?;
@@ -632,7 +694,10 @@ fn eval_scalar_fn(name: &str, args: &[Expr], binding: &Binding, ctx: &Ctx<'_>) -
             }
             let s = v.render();
             let start = vals.get(1).and_then(|x| x.as_i64()).unwrap_or(1).max(1) as usize - 1;
-            let len = vals.get(2).and_then(|x| x.as_i64()).map(|l| l.max(0) as usize);
+            let len = vals
+                .get(2)
+                .and_then(|x| x.as_i64())
+                .map(|l| l.max(0) as usize);
             let chars: Vec<char> = s.chars().collect();
             let end = match len {
                 Some(l) => (start + l).min(chars.len()),
@@ -706,7 +771,11 @@ mod tests {
                     DataType::Str,
                     vec!["east".into(), "west".into(), "east".into(), "south".into()],
                 ),
-                ("amount", DataType::Int, vec![10.into(), 20.into(), 30.into(), Value::Null]),
+                (
+                    "amount",
+                    DataType::Int,
+                    vec![10.into(), 20.into(), 30.into(), Value::Null],
+                ),
                 (
                     "day",
                     DataType::Date,
@@ -801,9 +870,11 @@ mod tests {
 
     #[test]
     fn distinct_and_in_list() {
-        let out =
-            run_sql("SELECT DISTINCT region FROM sales WHERE region IN ('east', 'west')", &db())
-                .unwrap();
+        let out = run_sql(
+            "SELECT DISTINCT region FROM sales WHERE region IN ('east', 'west')",
+            &db(),
+        )
+        .unwrap();
         assert_eq!(out.n_rows(), 2);
     }
 
@@ -832,8 +903,11 @@ mod tests {
 
     #[test]
     fn order_by_ordinal() {
-        let out = run_sql("SELECT region, amount FROM sales WHERE amount IS NOT NULL ORDER BY 2 DESC", &db())
-            .unwrap();
+        let out = run_sql(
+            "SELECT region, amount FROM sales WHERE amount IS NOT NULL ORDER BY 2 DESC",
+            &db(),
+        )
+        .unwrap();
         assert_eq!(out.column("amount").unwrap()[0], Value::Int(30));
     }
 

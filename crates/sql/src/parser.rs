@@ -14,7 +14,10 @@ pub fn parse_select(sql: &str) -> Result<Select> {
         p.pos += 1;
     }
     if p.pos != p.tokens.len() {
-        return Err(SqlError::Parse(format!("unexpected trailing token: {:?}", p.tokens[p.pos])));
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing token: {:?}",
+            p.tokens[p.pos]
+        )));
     }
     Ok(sel)
 }
@@ -77,7 +80,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(SqlError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -85,7 +91,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected '{p}', found {:?}", self.peek())))
+            Err(SqlError::Parse(format!(
+                "expected '{p}', found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -96,7 +105,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(s)
             }
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -124,7 +135,11 @@ impl Parser {
         while self.eat_punct(",") {
             items.push(self.select_item()?);
         }
-        let mut sel = Select { distinct, items, ..Default::default() };
+        let mut sel = Select {
+            distinct,
+            items,
+            ..Default::default()
+        };
         if self.eat_kw("from") {
             sel.from = Some(self.table_ref()?);
             loop {
@@ -183,7 +198,11 @@ impl Parser {
                     self.pos += 1;
                     sel.limit = Some(v);
                 }
-                other => return Err(SqlError::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         }
         Ok(sel)
@@ -196,8 +215,16 @@ impl Parser {
         // table.* ?
         if let Some(Token::Ident(name)) = self.peek() {
             let name = name.clone();
-            if self.tokens.get(self.pos + 1).map(|t| t.is_punct(".")).unwrap_or(false)
-                && self.tokens.get(self.pos + 2).map(|t| t.is_punct("*")).unwrap_or(false)
+            if self
+                .tokens
+                .get(self.pos + 1)
+                .map(|t| t.is_punct("."))
+                .unwrap_or(false)
+                && self
+                    .tokens
+                    .get(self.pos + 2)
+                    .map(|t| t.is_punct("*"))
+                    .unwrap_or(false)
             {
                 self.pos += 3;
                 return Ok(SelectItem::QualifiedWildcard(name));
@@ -218,10 +245,17 @@ impl Parser {
             self.expect_punct(")")?;
             self.eat_kw("as");
             let alias = self.ident()?;
-            return Ok(TableRef::Derived { query: Box::new(query), alias });
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.ident()?;
-        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { self.non_reserved_ident() };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            self.non_reserved_ident()
+        };
         Ok(TableRef::Named { name, alias })
     }
 
@@ -251,7 +285,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("not") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -262,7 +299,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = self.eat_kw("not");
         if self.eat_kw("in") {
@@ -272,7 +312,11 @@ impl Parser {
                 list.push(self.expr()?);
             }
             self.expect_punct(")")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("between") {
             let low = self.additive()?;
@@ -293,10 +337,16 @@ impl Parser {
                     s
                 }
                 other => {
-                    return Err(SqlError::Parse(format!("expected LIKE pattern, found {other:?}")))
+                    return Err(SqlError::Parse(format!(
+                        "expected LIKE pattern, found {other:?}"
+                    )))
                 }
             };
-            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
         }
         if negated {
             return Err(SqlError::Parse("expected IN/BETWEEN/LIKE after NOT".into()));
@@ -364,7 +414,10 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr> {
         if self.eat_punct("-") {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         if self.eat_punct("+") {
             return self.unary();
@@ -404,7 +457,10 @@ impl Parser {
                 self.pos += 1;
                 if self.eat_punct(".") {
                     let col = self.ident()?;
-                    Ok(Expr::Column { table: Some(name), name: col })
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
                 } else {
                     Ok(Expr::Column { table: None, name })
                 }
@@ -431,7 +487,12 @@ impl Parser {
                     _ => {}
                 }
                 // Function call?
-                if self.tokens.get(self.pos + 1).map(|t| t.is_punct("(")).unwrap_or(false) {
+                if self
+                    .tokens
+                    .get(self.pos + 1)
+                    .map(|t| t.is_punct("("))
+                    .unwrap_or(false)
+                {
                     self.pos += 2; // name + '('
                     return self.call(&lower);
                 }
@@ -445,7 +506,10 @@ impl Parser {
                 self.pos += 1;
                 if self.eat_punct(".") {
                     let col = self.ident()?;
-                    Ok(Expr::Column { table: Some(name), name: col })
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
                 } else {
                     Ok(Expr::Column { table: None, name })
                 }
@@ -460,14 +524,25 @@ impl Parser {
             // COUNT(*) special case.
             if self.eat_punct("*") {
                 self.expect_punct(")")?;
-                return Ok(Expr::Agg { func, arg: None, distinct: false });
+                return Ok(Expr::Agg {
+                    func,
+                    arg: None,
+                    distinct: false,
+                });
             }
             let distinct = self.eat_kw("distinct");
             let arg = self.expr()?;
             self.expect_punct(")")?;
-            let func =
-                if distinct && func == AggFunc::Count { AggFunc::CountDistinct } else { func };
-            return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+            let func = if distinct && func == AggFunc::Count {
+                AggFunc::CountDistinct
+            } else {
+                func
+            };
+            return Ok(Expr::Agg {
+                func,
+                arg: Some(Box::new(arg)),
+                distinct,
+            });
         }
         let mut args = Vec::new();
         if !self.eat_punct(")") {
@@ -477,7 +552,10 @@ impl Parser {
             }
             self.expect_punct(")")?;
         }
-        Ok(Expr::Func { name: name.to_string(), args })
+        Ok(Expr::Func {
+            name: name.to_string(),
+            args,
+        })
     }
 
     fn case_expr(&mut self) -> Result<Expr> {
@@ -491,10 +569,16 @@ impl Parser {
         if branches.is_empty() {
             return Err(SqlError::Parse("CASE requires at least one WHEN".into()));
         }
-        let else_expr =
-            if self.eat_kw("else") { Some(Box::new(self.expr()?)) } else { None };
+        let else_expr = if self.eat_kw("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         self.expect_kw("end")?;
-        Ok(Expr::Case { branches, else_expr })
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
     }
 }
 

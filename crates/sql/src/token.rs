@@ -31,8 +31,9 @@ impl Token {
     }
 }
 
-const PUNCTS: &[&str] =
-    &["<=", ">=", "<>", "!=", "||", "(", ")", ",", ".", "*", "=", "<", ">", "+", "-", "/", "%", ";"];
+const PUNCTS: &[&str] = &[
+    "<=", ">=", "<>", "!=", "||", "(", ")", ",", ".", "*", "=", "<", ">", "+", "-", "/", "%", ";",
+];
 
 /// Tokenizes SQL text.
 pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
@@ -160,7 +161,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
         }
         if !matched {
-            return Err(SqlError::Lex { pos: i, message: format!("unexpected character '{c}'") });
+            return Err(SqlError::Lex {
+                pos: i,
+                message: format!("unexpected character '{c}'"),
+            });
         }
     }
     Ok(tokens)
@@ -175,7 +179,9 @@ mod tests {
         let toks = tokenize("SELECT a, COUNT(*) FROM t WHERE x >= 1.5 -- trailing").unwrap();
         assert!(toks[0].is_kw("select"));
         assert!(toks.iter().any(|t| t.is_punct(">=")));
-        assert!(toks.iter().any(|t| matches!(t, Token::Number(n) if n == "1.5")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Number(n) if n == "1.5")));
     }
 
     #[test]

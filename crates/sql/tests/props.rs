@@ -10,9 +10,7 @@ fn like_ref(s: &[char], p: &[char]) -> bool {
     match (p.first(), s.first()) {
         (None, None) => true,
         (None, Some(_)) => false,
-        (Some('%'), _) => {
-            like_ref(s, &p[1..]) || (!s.is_empty() && like_ref(&s[1..], p))
-        }
+        (Some('%'), _) => like_ref(s, &p[1..]) || (!s.is_empty() && like_ref(&s[1..], p)),
         (Some('_'), Some(_)) => like_ref(&s[1..], &p[1..]),
         (Some(c), Some(d)) => *c == *d && like_ref(&s[1..], &p[1..]),
         (Some(_), None) => false,
@@ -24,8 +22,16 @@ fn small_db(rows: Vec<(String, i64)>) -> Database {
     db.insert(
         "t",
         DataFrame::from_columns(vec![
-            ("k", DataType::Str, rows.iter().map(|(k, _)| Value::Str(k.clone())).collect()),
-            ("v", DataType::Int, rows.iter().map(|(_, v)| Value::Int(*v)).collect()),
+            (
+                "k",
+                DataType::Str,
+                rows.iter().map(|(k, _)| Value::Str(k.clone())).collect(),
+            ),
+            (
+                "v",
+                DataType::Int,
+                rows.iter().map(|(_, v)| Value::Int(*v)).collect(),
+            ),
         ])
         .expect("valid"),
     );

@@ -1,0 +1,192 @@
+//! Exporters: JSON metric snapshots and Chrome `trace_event` files.
+//!
+//! The JSON here is hand-rolled (this crate is dependency-free); shapes
+//! are small and fixed, and every string passes through [`json_escape`].
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanNode;
+use crate::summary::AttributedUsage;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a span forest as a Chrome `trace_event` JSON object —
+/// `{"traceEvents": [...]}` with one complete (`"ph": "X"`) event per
+/// span — loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(spans: &[SpanNode]) -> String {
+    let mut events = Vec::new();
+    for root in spans {
+        push_chrome_events(root, &mut events);
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+fn push_chrome_events(node: &SpanNode, events: &mut Vec<String>) {
+    let args: Vec<String> = node
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    events.push(format!(
+        "{{\"name\":\"{}\",\"cat\":\"datalab\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{{}}}}}",
+        json_escape(&node.name),
+        node.start_us,
+        node.dur_us,
+        args.join(",")
+    ));
+    for c in &node.children {
+        push_chrome_events(c, events);
+    }
+}
+
+/// Serialises one span subtree as nested JSON
+/// (`{"name", "start_us", "dur_us", "attrs", "children"}`).
+pub fn span_json(node: &SpanNode) -> String {
+    let attrs: Vec<String> = node
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    let children: Vec<String> = node.children.iter().map(span_json).collect();
+    format!(
+        "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"attrs\":{{{}}},\"children\":[{}]}}",
+        json_escape(&node.name),
+        node.start_us,
+        node.dur_us,
+        attrs.join(","),
+        children.join(",")
+    )
+}
+
+/// Serialises a metrics snapshot plus token attribution as one JSON
+/// object: `{"counters": {...}, "histograms": {...}, "attribution": [...]}`.
+pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage]) -> String {
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+        .collect();
+    let histograms: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .map(|(n, h)| {
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            format!(
+                "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+                json_escape(n),
+                bounds.join(","),
+                counts.join(","),
+                h.count,
+                h.sum
+            )
+        })
+        .collect();
+    let attribution: Vec<String> = attribution.iter().map(attribution_entry_json).collect();
+    format!(
+        "{{\"counters\":{{{}}},\"histograms\":{{{}}},\"attribution\":[{}]}}",
+        counters.join(","),
+        histograms.join(","),
+        attribution.join(",")
+    )
+}
+
+pub(crate) fn attribution_entry_json(a: &AttributedUsage) -> String {
+    format!(
+        "{{\"stage\":\"{}\",\"agent\":\"{}\",\"calls\":{},\"prompt_tokens\":{},\"completion_tokens\":{}}}",
+        json_escape(&a.stage),
+        json_escape(&a.agent),
+        a.usage.calls,
+        a.usage.prompt_tokens,
+        a.usage.completion_tokens
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::summary::TokenUsage;
+
+    fn node() -> SpanNode {
+        SpanNode {
+            name: "query".into(),
+            start_us: 5,
+            dur_us: 100,
+            attrs: vec![("q".into(), "say \"hi\"\n".into())],
+            children: vec![SpanNode {
+                name: "plan".into(),
+                start_us: 10,
+                dur_us: 20,
+                attrs: vec![],
+                children: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn chrome_trace_emits_complete_events() {
+        let json = chrome_trace_json(&[node()]);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":100"));
+        assert!(json.contains("\"name\":\"plan\""));
+        // The quoted attribute survives escaping.
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn span_json_nests_children() {
+        let json = span_json(&node());
+        assert!(json.contains("\"children\":[{\"name\":\"plan\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_json_includes_everything() {
+        let m = MetricsRegistry::new();
+        m.incr("llm.calls", 2);
+        m.histogram_with_buckets("llm.call_tokens", &[10, 100]);
+        m.observe("llm.call_tokens", 42);
+        let attribution = vec![AttributedUsage {
+            stage: "execute".into(),
+            agent: "sql_agent".into(),
+            usage: TokenUsage {
+                prompt_tokens: 40,
+                completion_tokens: 2,
+                calls: 1,
+            },
+        }];
+        let json = metrics_json(&m.snapshot(), &attribution);
+        assert!(json.contains("\"llm.calls\":2"), "{json}");
+        assert!(json.contains("\"bounds\":[10,100]"));
+        assert!(json.contains("\"counts\":[0,1,0]"));
+        assert!(json.contains("\"stage\":\"execute\""));
+        assert!(json.contains("\"prompt_tokens\":40"));
+    }
+}

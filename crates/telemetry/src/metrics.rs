@@ -1,0 +1,281 @@
+//! The metrics registry: named monotonic counters and fixed-bucket
+//! histograms, safe to update from any thread.
+//!
+//! Registration is lazy — the first `incr`/`observe` of a name creates
+//! the instrument — so call sites never coordinate setup. Hot-path
+//! updates are a single atomic add once the instrument exists.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Upper-inclusive bucket bounds that fit both token counts and
+/// microsecond durations; values above the last bound land in the
+/// overflow bucket.
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 1_000_000,
+];
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final overflow slot.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            count: counts.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; the final slot is the overflow
+    /// bucket for values above the last bound.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument in a registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram name → snapshot, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter in this snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// The registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with no instruments.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.counters.write().expect("metrics lock");
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn incr(&self, name: &str, delta: u64) {
+        self.counter_handle(name)
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of the named counter (0 when it never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// [`DEFAULT_BUCKETS`] on first use.
+    pub fn observe(&self, name: &str, value: u64) {
+        // The read guard must drop before the write path runs (this
+        // statement ends, releasing it) — holding both deadlocks.
+        let existing = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(Arc::clone);
+        let h = match existing {
+            Some(h) => h,
+            None => {
+                let mut w = self.histograms.write().expect("metrics lock");
+                Arc::clone(
+                    w.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new(DEFAULT_BUCKETS))),
+                )
+            }
+        };
+        h.observe(value);
+    }
+
+    /// Pre-registers the named histogram with custom upper-inclusive
+    /// bucket bounds (no-op if it already exists).
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[u64]) {
+        let mut w = self.histograms.write().expect("metrics lock");
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)));
+    }
+
+    /// Snapshot of the named histogram, when it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|h| h.snapshot())
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_create_lazily_and_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("llm.calls"), 0);
+        m.incr("llm.calls", 1);
+        m.incr("llm.calls", 2);
+        assert_eq!(m.counter("llm.calls"), 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("llm.calls"), 3);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn counter_increments_are_atomic_across_threads() {
+        let m = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    m.incr("contended", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter("contended"), 80_000);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_upper_inclusive() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("h", &[10, 100]);
+        m.observe("h", 0); // -> bucket 0 (<=10)
+        m.observe("h", 10); // -> bucket 0 (boundary, inclusive)
+        m.observe("h", 11); // -> bucket 1 (<=100)
+        m.observe("h", 100); // -> bucket 1 (boundary, inclusive)
+        m.observe("h", 101); // -> overflow
+        let s = m.histogram("h").unwrap();
+        assert_eq!(s.counts, vec![2, 2, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 222);
+        assert!((s.mean() - 44.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_buckets_cover_all_values() {
+        let m = MetricsRegistry::new();
+        for v in [0u64, 1, 3, 999, 1_000_000, u64::MAX] {
+            m.observe("wide", v);
+        }
+        let s = m.histogram("wide").unwrap();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.counts.len(), DEFAULT_BUCKETS.len() + 1);
+        assert_eq!(*s.counts.last().unwrap(), 1); // only u64::MAX overflows
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("e", &[1]);
+        assert_eq!(m.histogram("e").unwrap().mean(), 0.0);
+        assert!(m.histogram("absent").is_none());
+    }
+}

@@ -19,9 +19,9 @@ pub fn charts_equal(a: &RenderedChart, b: &RenderedChart) -> bool {
     let mut pb = b.points.clone();
     pa.sort_by_key(key);
     pb.sort_by_key(key);
-    pa.iter().zip(&pb).all(|(x, y)| {
-        x.0.approx_eq(&y.0, REL_TOL) && x.1 == y.1 && x.2.approx_eq(&y.2, REL_TOL)
-    })
+    pa.iter()
+        .zip(&pb)
+        .all(|(x, y)| x.0.approx_eq(&y.0, REL_TOL) && x.1 == y.1 && x.2.approx_eq(&y.2, REL_TOL))
 }
 
 #[cfg(test)]

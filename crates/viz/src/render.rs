@@ -19,7 +19,10 @@ pub struct RenderedChart {
 }
 
 fn apply_filter(df: &DataFrame, f: &ChartFilter) -> Result<DataFrame, VizError> {
-    let col = df.column(&f.column).map_err(|e| VizError::Frame(e.to_string()))?.to_vec();
+    let col = df
+        .column(&f.column)
+        .map_err(|e| VizError::Frame(e.to_string()))?
+        .to_vec();
     let pass = |v: &Value| -> bool {
         match (&f.op[..], &f.value) {
             ("between", serde_json::Value::Array(arr)) if arr.len() == 2 => {
@@ -83,8 +86,14 @@ pub fn render(spec: &ChartSpec, df: &DataFrame) -> Result<RenderedChart, VizErro
     for f in &spec.filters {
         data = apply_filter(&data, f)?;
     }
-    let x = spec.x.as_ref().ok_or_else(|| VizError::Invalid("missing x".into()))?;
-    let y = spec.y.as_ref().ok_or_else(|| VizError::Invalid("missing y".into()))?;
+    let x = spec
+        .x
+        .as_ref()
+        .ok_or_else(|| VizError::Invalid("missing x".into()))?;
+    let y = spec
+        .y
+        .as_ref()
+        .ok_or_else(|| VizError::Invalid("missing y".into()))?;
 
     let mut points: Vec<(Value, String, Value)> = Vec::new();
     match &y.aggregate {
@@ -96,10 +105,15 @@ pub fn render(spec: &ChartSpec, df: &DataFrame) -> Result<RenderedChart, VizErro
                 dims.push(c.field.as_str());
             }
             let agg = AggExpr::new(func, y.field.clone(), "__v");
-            let grouped =
-                data.group_by(&dims, &[agg]).map_err(|e| VizError::Frame(e.to_string()))?;
-            let xs = grouped.column(&x.field).map_err(|e| VizError::Frame(e.to_string()))?;
-            let vs = grouped.column("__v").map_err(|e| VizError::Frame(e.to_string()))?;
+            let grouped = data
+                .group_by(&dims, &[agg])
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let xs = grouped
+                .column(&x.field)
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let vs = grouped
+                .column("__v")
+                .map_err(|e| VizError::Frame(e.to_string()))?;
             let series: Vec<String> = match &spec.color {
                 Some(c) => grouped
                     .column(&c.field)
@@ -115,8 +129,12 @@ pub fn render(spec: &ChartSpec, df: &DataFrame) -> Result<RenderedChart, VizErro
         }
         None => {
             // Raw points (scatter / pre-aggregated data).
-            let xs = data.column(&x.field).map_err(|e| VizError::Frame(e.to_string()))?;
-            let ys = data.column(&y.field).map_err(|e| VizError::Frame(e.to_string()))?;
+            let xs = data
+                .column(&x.field)
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let ys = data
+                .column(&y.field)
+                .map_err(|e| VizError::Frame(e.to_string()))?;
             let series: Vec<String> = match &spec.color {
                 Some(c) => data
                     .column(&c.field)
@@ -149,7 +167,10 @@ pub fn render(spec: &ChartSpec, df: &DataFrame) -> Result<RenderedChart, VizErro
     if let Some(n) = spec.limit {
         points.truncate(n);
     }
-    Ok(RenderedChart { mark: spec.mark, points })
+    Ok(RenderedChart {
+        mark: spec.mark,
+        points,
+    })
 }
 
 /// Heuristic readability score in `[1, 5]`, mirroring the dimensions the
@@ -202,12 +223,20 @@ pub fn readability_score(spec: &ChartSpec, rendered: &RenderedChart) -> f64 {
     }
     // Pie charts of negative values are unreadable.
     if spec.mark == Mark::Pie
-        && rendered.points.iter().any(|(_, _, v)| v.as_f64().map(|f| f < 0.0).unwrap_or(false))
+        && rendered
+            .points
+            .iter()
+            .any(|(_, _, v)| v.as_f64().map(|f| f < 0.0).unwrap_or(false))
     {
         score -= 2.0;
     }
     // Titles help.
-    if spec.title.as_deref().map(|t| !t.trim().is_empty()).unwrap_or(false) {
+    if spec
+        .title
+        .as_deref()
+        .map(|t| !t.trim().is_empty())
+        .unwrap_or(false)
+    {
         score += 0.4;
     }
     // Sorted bars read better.
@@ -230,7 +259,11 @@ mod tests {
                 DataType::Str,
                 vec!["east".into(), "west".into(), "east".into()],
             ),
-            ("amount", DataType::Int, vec![10.into(), 20.into(), 5.into()]),
+            (
+                "amount",
+                DataType::Int,
+                vec![10.into(), 20.into(), 5.into()],
+            ),
         ])
         .unwrap()
     }
@@ -239,8 +272,14 @@ mod tests {
         ChartSpec {
             mark: Mark::Bar,
             data: "sales".into(),
-            x: Some(FieldDef { field: "region".into(), aggregate: None }),
-            y: Some(FieldDef { field: "amount".into(), aggregate: Some("sum".into()) }),
+            x: Some(FieldDef {
+                field: "region".into(),
+                aggregate: None,
+            }),
+            y: Some(FieldDef {
+                field: "amount".into(),
+                aggregate: Some("sum".into()),
+            }),
             color: None,
             filters: vec![],
             limit: None,
@@ -254,7 +293,11 @@ mod tests {
         let r = render(&bar_spec(), &df()).unwrap();
         assert_eq!(r.mark, Mark::Bar);
         assert_eq!(r.points.len(), 2);
-        let east = r.points.iter().find(|(x, _, _)| x == &Value::Str("east".into())).unwrap();
+        let east = r
+            .points
+            .iter()
+            .find(|(x, _, _)| x == &Value::Str("east".into()))
+            .unwrap();
         assert_eq!(east.2, Value::Int(15));
     }
 
@@ -267,7 +310,11 @@ mod tests {
             value: serde_json::json!(7),
         });
         let r = render(&spec, &df()).unwrap();
-        let east = r.points.iter().find(|(x, _, _)| x == &Value::Str("east".into())).unwrap();
+        let east = r
+            .points
+            .iter()
+            .find(|(x, _, _)| x == &Value::Str("east".into()))
+            .unwrap();
         assert_eq!(east.2, Value::Int(10));
     }
 
@@ -286,8 +333,14 @@ mod tests {
         let spec = ChartSpec {
             mark: Mark::Point,
             data: "sales".into(),
-            x: Some(FieldDef { field: "amount".into(), aggregate: None }),
-            y: Some(FieldDef { field: "amount".into(), aggregate: None }),
+            x: Some(FieldDef {
+                field: "amount".into(),
+                aggregate: None,
+            }),
+            y: Some(FieldDef {
+                field: "amount".into(),
+                aggregate: None,
+            }),
             color: None,
             filters: vec![],
             limit: None,
@@ -300,21 +353,31 @@ mod tests {
 
     #[test]
     fn readability_penalises_crowded_pie() {
-        let spec = ChartSpec { mark: Mark::Pie, ..bar_spec() };
+        let spec = ChartSpec {
+            mark: Mark::Pie,
+            ..bar_spec()
+        };
         let crowded = RenderedChart {
             mark: Mark::Pie,
-            points: (0..12).map(|i| (Value::Int(i), String::new(), Value::Int(1))).collect(),
+            points: (0..12)
+                .map(|i| (Value::Int(i), String::new(), Value::Int(1)))
+                .collect(),
         };
         let small = RenderedChart {
             mark: Mark::Pie,
-            points: (0..3).map(|i| (Value::Int(i), String::new(), Value::Int(1))).collect(),
+            points: (0..3)
+                .map(|i| (Value::Int(i), String::new(), Value::Int(1)))
+                .collect(),
         };
         assert!(readability_score(&spec, &small) > readability_score(&spec, &crowded));
     }
 
     #[test]
     fn readability_penalises_categorical_line() {
-        let spec = ChartSpec { mark: Mark::Line, ..bar_spec() };
+        let spec = ChartSpec {
+            mark: Mark::Line,
+            ..bar_spec()
+        };
         let r = render(&spec, &df()).unwrap();
         let s = readability_score(&spec, &r);
         assert!(s < 5.0);

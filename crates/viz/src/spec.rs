@@ -145,7 +145,10 @@ impl ChartSpec {
                     return Err(VizError::UnknownField(format!("{role}: {}", fd.field)));
                 }
                 if let Some(agg) = &fd.aggregate {
-                    let ok = matches!(agg.as_str(), "sum" | "avg" | "mean" | "count" | "count_distinct" | "min" | "max");
+                    let ok = matches!(
+                        agg.as_str(),
+                        "sum" | "avg" | "mean" | "count" | "count_distinct" | "min" | "max"
+                    );
                     if !ok {
                         return Err(VizError::Invalid(format!("unknown aggregate {agg}")));
                     }
@@ -181,7 +184,9 @@ impl ChartSpec {
             }
             Mark::Pie => {
                 if self.x.is_none() || self.y.is_none() {
-                    return Err(VizError::Invalid("pie chart requires category and value".into()));
+                    return Err(VizError::Invalid(
+                        "pie chart requires category and value".into(),
+                    ));
                 }
             }
             Mark::Point => {
@@ -223,15 +228,27 @@ mod tests {
     #[test]
     fn unknown_field_rejected() {
         let mut spec = ChartSpec::from_json(spec_json()).unwrap();
-        spec.x = Some(FieldDef { field: "nope".into(), aggregate: None });
-        assert!(matches!(spec.validate(&df()), Err(VizError::UnknownField(_))));
+        spec.x = Some(FieldDef {
+            field: "nope".into(),
+            aggregate: None,
+        });
+        assert!(matches!(
+            spec.validate(&df()),
+            Err(VizError::UnknownField(_))
+        ));
     }
 
     #[test]
     fn sum_over_string_rejected() {
         let mut spec = ChartSpec::from_json(spec_json()).unwrap();
-        spec.y = Some(FieldDef { field: "region".into(), aggregate: Some("sum".into()) });
-        assert!(matches!(spec.validate(&df()), Err(VizError::TypeMismatch(_))));
+        spec.y = Some(FieldDef {
+            field: "region".into(),
+            aggregate: Some("sum".into()),
+        });
+        assert!(matches!(
+            spec.validate(&df()),
+            Err(VizError::TypeMismatch(_))
+        ));
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub fn eval_nl2dsl(
     setting: KnowledgeSetting,
     llm: &dyn LanguageModel,
 ) -> f64 {
-    let config = IncorporateConfig { setting, ..Default::default() };
+    let config = IncorporateConfig {
+        setting,
+        ..Default::default()
+    };
     eval_nl2dsl_with(corpus, gk, tasks, llm, &config)
 }
 
@@ -318,12 +321,26 @@ pub fn eval_multiagent(
         }
         let schema = corpus.table_schema_section(&task.table);
         // Sample values (profiling-grade grounding) for this table.
-        let t = corpus.tables.iter().find(|t| t.spec.name == task.table).expect("known");
+        let t = corpus
+            .tables
+            .iter()
+            .find(|t| t.spec.name == task.table)
+            .expect("known");
         let mut schema_plus = schema.clone();
         for (col, vals) in &t.spec.values {
-            schema_plus.push_str(&format!("values {}.{col}: {}\n", t.spec.name, vals.join(", ")));
+            schema_plus.push_str(&format!(
+                "values {}.{col}: {}\n",
+                t.spec.name,
+                vals.join(", ")
+            ));
         }
-        let retrieved = retrieve(llm, &gk.graph, &index, &task.question, &RetrievalConfig::default());
+        let retrieved = retrieve(
+            llm,
+            &gk.graph,
+            &index,
+            &task.question,
+            &RetrievalConfig::default(),
+        );
         let knowledge = render_knowledge(&gk.graph, &retrieved);
         let out = proxy.run_query_with_buffer(
             &corpus.db,
@@ -352,10 +369,13 @@ pub fn eval_multiagent(
                 .chart
                 .as_ref()
                 .map(|ch| {
-                    ch.points.iter().filter_map(|(_, _, v)| v.as_f64()).any(|v| {
-                        let scale = expected.abs().max(1.0);
-                        (v - expected).abs() <= 0.01 * scale
-                    })
+                    ch.points
+                        .iter()
+                        .filter_map(|(_, _, v)| v.as_f64())
+                        .any(|v| {
+                            let scale = expected.abs().max(1.0);
+                            (v - expected).abs() <= 0.01 * scale
+                        })
                 })
                 .unwrap_or(false),
         });
@@ -403,7 +423,10 @@ mod tests {
             &corpus,
             &gk,
             &tasks,
-            &CommunicationConfig { use_fsm: false, ..Default::default() },
+            &CommunicationConfig {
+                use_fsm: false,
+                ..Default::default()
+            },
             &llm,
         );
         assert!(

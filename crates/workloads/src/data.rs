@@ -22,7 +22,10 @@ pub struct ColumnRole {
 impl ColumnRole {
     /// Creates a role.
     pub fn new(physical: &str, natural: &str) -> Self {
-        ColumnRole { physical: physical.into(), natural: natural.into() }
+        ColumnRole {
+            physical: physical.into(),
+            natural: natural.into(),
+        }
     }
 }
 
@@ -82,14 +85,27 @@ impl Domain {
 }
 
 /// The three synthetic business domains.
-const DOMAINS: &[(&str, &[(&str, &str)], &[(&str, &str, &[&str])], (&str, &str))] = &[
+const DOMAINS: &[(
+    &str,
+    &[(&str, &str)],
+    &[(&str, &str, &[&str])],
+    (&str, &str),
+)] = &[
     // (fact table name, measures (phys, natural), dims (phys, natural, values), date)
     (
         "orders",
-        &[("amount", "amount"), ("cost", "cost"), ("quantity", "quantity")],
+        &[
+            ("amount", "amount"),
+            ("cost", "cost"),
+            ("quantity", "quantity"),
+        ],
         &[
             ("region", "region", &["east", "west", "south", "north"]),
-            ("product", "product", &["laptop", "phone", "tablet", "monitor", "camera"]),
+            (
+                "product",
+                "product",
+                &["laptop", "phone", "tablet", "monitor", "camera"],
+            ),
         ],
         ("order_date", "order date"),
     ),
@@ -97,8 +113,16 @@ const DOMAINS: &[(&str, &[(&str, &str)], &[(&str, &str, &[&str])], (&str, &str))
         "sessions",
         &[("revenue", "revenue"), ("playtime", "playtime")],
         &[
-            ("game", "game", &["chess", "racer", "puzzle", "saga", "arena"]),
-            ("country", "country", &["china", "japan", "brazil", "france"]),
+            (
+                "game",
+                "game",
+                &["chess", "racer", "puzzle", "saga", "arena"],
+            ),
+            (
+                "country",
+                "country",
+                &["china", "japan", "brazil", "france"],
+            ),
         ],
         ("session_date", "session date"),
     ),
@@ -106,7 +130,11 @@ const DOMAINS: &[(&str, &[(&str, &str)], &[(&str, &str, &[&str])], (&str, &str))
         "usage",
         &[("spend", "spend"), ("hours", "hours")],
         &[
-            ("service", "service", &["compute", "storage", "network", "database"]),
+            (
+                "service",
+                "service",
+                &["compute", "storage", "network", "database"],
+            ),
             ("tier", "tier", &["premium", "standard", "basic"]),
         ],
         ("usage_date", "usage date"),
@@ -143,12 +171,24 @@ fn dirty_name(clean: &str) -> String {
 /// difficulty axis between Spider-like and BIRD-like workloads.
 pub fn build_domain(rng: &mut StdRng, domain_idx: usize, dirty: bool, n_rows: usize) -> Domain {
     let (fact_name, measures, dims, (date_phys, date_nat)) = DOMAINS[domain_idx % DOMAINS.len()];
-    let phys = |clean: &str| if dirty { dirty_name(clean) } else { clean.to_string() };
+    let phys = |clean: &str| {
+        if dirty {
+            dirty_name(clean)
+        } else {
+            clean.to_string()
+        }
+    };
 
     let mut spec = TableSpec {
         name: fact_name.to_string(),
-        measures: measures.iter().map(|(p, n)| ColumnRole::new(&phys(p), n)).collect(),
-        dims: dims.iter().map(|(p, n, _)| ColumnRole::new(&phys(p), n)).collect(),
+        measures: measures
+            .iter()
+            .map(|(p, n)| ColumnRole::new(&phys(p), n))
+            .collect(),
+        dims: dims
+            .iter()
+            .map(|(p, n, _)| ColumnRole::new(&phys(p), n))
+            .collect(),
         date: Some(ColumnRole::new(&phys(date_phys), date_nat)),
         values: HashMap::new(),
         n_rows,
@@ -163,8 +203,9 @@ pub fn build_domain(rng: &mut StdRng, domain_idx: usize, dirty: bool, n_rows: us
     let mut columns: Vec<(String, DataType, Vec<Value>)> = Vec::new();
     for d in &spec.dims {
         let vals = &spec.values[&d.physical];
-        let col: Vec<Value> =
-            (0..n_rows).map(|_| Value::Str(vals[rng.gen_range(0..vals.len())].clone())).collect();
+        let col: Vec<Value> = (0..n_rows)
+            .map(|_| Value::Str(vals[rng.gen_range(0..vals.len())].clone()))
+            .collect();
         columns.push((d.physical.clone(), DataType::Str, col));
     }
     for (i, m) in spec.measures.iter().enumerate() {
@@ -181,16 +222,23 @@ pub fn build_domain(rng: &mut StdRng, domain_idx: usize, dirty: bool, n_rows: us
                 }
             })
             .collect();
-        let dtype = if i % 2 == 0 { DataType::Int } else { DataType::Float };
+        let dtype = if i % 2 == 0 {
+            DataType::Int
+        } else {
+            DataType::Float
+        };
         columns.push((m.physical.clone(), dtype, col));
     }
     if let Some(date) = &spec.date {
-        let col: Vec<Value> =
-            (0..n_rows).map(|r| Value::Date(base.add_days((r as i64 * 640) % 700))).collect();
+        let col: Vec<Value> = (0..n_rows)
+            .map(|r| Value::Date(base.add_days((r as i64 * 640) % 700)))
+            .collect();
         columns.push((date.physical.clone(), DataType::Date, col));
     }
-    let refs: Vec<(&str, DataType, Vec<Value>)> =
-        columns.iter().map(|(n, t, v)| (n.as_str(), *t, v.clone())).collect();
+    let refs: Vec<(&str, DataType, Vec<Value>)> = columns
+        .iter()
+        .map(|(n, t, v)| (n.as_str(), *t, v.clone()))
+        .collect();
     let df = DataFrame::from_columns(refs).expect("generated schema is valid");
 
     let mut db = Database::new();
@@ -225,7 +273,11 @@ pub fn build_domain(rng: &mut StdRng, domain_idx: usize, dirty: bool, n_rows: us
     lookup_values.insert(key_col.clone(), dim_values.clone());
     lookup_values.insert(
         label_col.clone(),
-        labels.iter().take(dim_values.len()).map(|s| s.to_string()).collect(),
+        labels
+            .iter()
+            .take(dim_values.len())
+            .map(|s| s.to_string())
+            .collect(),
     );
     let lookup_spec = TableSpec {
         name: lookup_name.clone(),

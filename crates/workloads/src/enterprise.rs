@@ -43,11 +43,21 @@ const DIMS: &[(&str, &str, &[&str], bool)] = &[
         &["Tencent BI", "Tencent Cloud", "Tencent Docs", "WeChat Pay"],
         false,
     ),
-    ("rgn_cd", "region", &["south china", "north china", "overseas"], false),
+    (
+        "rgn_cd",
+        "region",
+        &["south china", "north china", "overseas"],
+        false,
+    ),
     ("channel_type", "channel", &["app", "web", "partner"], true),
     ("plat_nm", "platform", &["ios", "android", "pc"], false),
     ("cust_tier", "customer tier", &["vip", "regular"], true),
-    ("biz_unit", "business unit", &["gaming", "fintech", "media"], true),
+    (
+        "biz_unit",
+        "business unit",
+        &["gaming", "fintech", "media"],
+        true,
+    ),
 ];
 
 /// One enterprise table with everything knowledge generation needs.
@@ -101,10 +111,18 @@ impl EnterpriseCorpus {
 
     /// Schema section for a single table.
     pub fn table_schema_section(&self, table: &str) -> String {
-        let t = self.tables.iter().find(|t| t.spec.name == table).expect("known table");
+        let t = self
+            .tables
+            .iter()
+            .find(|t| t.spec.name == table)
+            .expect("known table");
         let df = self.db.get(&t.spec.name).expect("table exists");
-        let cols: Vec<String> =
-            df.schema().fields().iter().map(|f| format!("{} ({})", f.name, f.dtype)).collect();
+        let cols: Vec<String> = df
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| format!("{} ({})", f.name, f.dtype))
+            .collect();
         format!("table {}: {}\n", t.spec.name, cols.join(", "))
     }
 }
@@ -118,18 +136,26 @@ pub fn enterprise_corpus(seed: u64, n_tables: usize) -> EnterpriseCorpus {
 
     for ti in 0..n_tables {
         let name = format!("dwd_biz_{:02}", ti + 1);
-        let database = if ti < n_tables / 2 { "biz_dw" } else { "biz_ads" }.to_string();
+        let database = if ti < n_tables / 2 {
+            "biz_dw"
+        } else {
+            "biz_ads"
+        }
+        .to_string();
         // 4 measures and 3 dims per table. The first ("primary") measure
         // is unique per table (ti indexes the pool), so questions about it
         // identify the table — schema linking must still *find* it.
         let nm = MEASURES.len();
         let nd = DIMS.len();
-        let measures: Vec<&(&str, &str, bool)> = [ti % nm, (ti + 4) % nm, (ti + 7) % nm, (ti + 9) % nm]
+        let measures: Vec<&(&str, &str, bool)> =
+            [ti % nm, (ti + 4) % nm, (ti + 7) % nm, (ti + 9) % nm]
+                .iter()
+                .map(|&i| &MEASURES[i])
+                .collect();
+        let dims: Vec<&(&str, &str, &[&str], bool)> = [ti % nd, (ti + 2) % nd, (ti + 3) % nd]
             .iter()
-            .map(|&i| &MEASURES[i])
+            .map(|&i| &DIMS[i])
             .collect();
-        let dims: Vec<&(&str, &str, &[&str], bool)> =
-            [ti % nd, (ti + 2) % nd, (ti + 3) % nd].iter().map(|&i| &DIMS[i]).collect();
 
         // Data.
         let n_rows = rng.gen_range(60..140);
@@ -137,7 +163,10 @@ pub fn enterprise_corpus(seed: u64, n_tables: usize) -> EnterpriseCorpus {
         let mut cols: Vec<(String, DataType, Vec<Value>)> = Vec::new();
         let mut values: HashMap<String, Vec<String>> = HashMap::new();
         for (phys, _, vals, _) in &dims {
-            values.insert(phys.to_string(), vals.iter().map(|v| v.to_string()).collect());
+            values.insert(
+                phys.to_string(),
+                vals.iter().map(|v| v.to_string()).collect(),
+            );
             let col: Vec<Value> = (0..n_rows)
                 .map(|_| Value::Str(vals[rng.gen_range(0..vals.len())].to_string()))
                 .collect();
@@ -154,17 +183,28 @@ pub fn enterprise_corpus(seed: u64, n_tables: usize) -> EnterpriseCorpus {
                     }
                 })
                 .collect();
-            let dt = if mi % 2 == 0 { DataType::Float } else { DataType::Int };
+            let dt = if mi % 2 == 0 {
+                DataType::Float
+            } else {
+                DataType::Int
+            };
             cols.push((phys.to_string(), dt, col));
         }
         cols.push((
             "ftime".to_string(),
             DataType::Date,
-            (0..n_rows).map(|r| Value::Date(base.add_days((r as i64 * 457) % 540))).collect(),
+            (0..n_rows)
+                .map(|r| Value::Date(base.add_days((r as i64 * 457) % 540)))
+                .collect(),
         ));
-        let refs: Vec<(&str, DataType, Vec<Value>)> =
-            cols.iter().map(|(n, t, v)| (n.as_str(), *t, v.clone())).collect();
-        db.insert(name.clone(), DataFrame::from_columns(refs).expect("valid schema"));
+        let refs: Vec<(&str, DataType, Vec<Value>)> = cols
+            .iter()
+            .map(|(n, t, v)| (n.as_str(), *t, v.clone()))
+            .collect();
+        db.insert(
+            name.clone(),
+            DataFrame::from_columns(refs).expect("valid schema"),
+        );
 
         // Derived columns used by scripts (knowledge S3 material).
         let derived = vec![(
@@ -220,14 +260,23 @@ pub fn enterprise_corpus(seed: u64, n_tables: usize) -> EnterpriseCorpus {
 
         let spec = TableSpec {
             name: name.clone(),
-            measures: measures.iter().map(|(p, n, _)| ColumnRole::new(p, n)).collect(),
-            dims: dims.iter().map(|(p, n, _, _)| ColumnRole::new(p, n)).collect(),
+            measures: measures
+                .iter()
+                .map(|(p, n, _)| ColumnRole::new(p, n))
+                .collect(),
+            dims: dims
+                .iter()
+                .map(|(p, n, _, _)| ColumnRole::new(p, n))
+                .collect(),
             date: Some(ColumnRole::new("ftime", "date")),
             values,
             n_rows,
         };
         let lineage = if ti > 0 {
-            Lineage { upstream: vec![format!("dwd_biz_{:02}", ti)], downstream: vec![] }
+            Lineage {
+                upstream: vec![format!("dwd_biz_{:02}", ti)],
+                downstream: vec![],
+            }
         } else {
             Lineage::default()
         };
@@ -243,9 +292,18 @@ pub fn enterprise_corpus(seed: u64, n_tables: usize) -> EnterpriseCorpus {
     }
 
     let jargon = vec![
-        JargonEntry { term: "gmv".into(), expansion: "total income".into() },
-        JargonEntry { term: "arpu".into(), expansion: "average income per active users".into() },
-        JargonEntry { term: "ctr".into(), expansion: "clicks per impressions".into() },
+        JargonEntry {
+            term: "gmv".into(),
+            expansion: "total income".into(),
+        },
+        JargonEntry {
+            term: "arpu".into(),
+            expansion: "average income per active users".into(),
+        },
+        JargonEntry {
+            term: "ctr".into(),
+            expansion: "clicks per impressions".into(),
+        },
     ];
     let mut value_aliases = Vec::new();
     for t in &tables {
@@ -259,7 +317,12 @@ pub fn enterprise_corpus(seed: u64, n_tables: usize) -> EnterpriseCorpus {
             }
         }
     }
-    EnterpriseCorpus { db, tables, jargon, value_aliases }
+    EnterpriseCorpus {
+        db,
+        tables,
+        jargon,
+        value_aliases,
+    }
 }
 
 /// Output of the corpus-wide knowledge-generation pipeline.
@@ -315,7 +378,11 @@ pub fn generate_corpus_knowledge(
             }
         }
     }
-    GeneratedKnowledge { graph, per_table, reports }
+    GeneratedKnowledge {
+        graph,
+        per_table,
+        reports,
+    }
 }
 
 /// One schema-linking task: question → gold `table.column` identifiers.
@@ -456,7 +523,12 @@ pub fn downstream_tasks(
                 false,
             ),
         };
-        dsl.push(DslTask { table: name.clone(), question, gold_sql, needs_derived });
+        dsl.push(DslTask {
+            table: name.clone(),
+            question,
+            gold_sql,
+            needs_derived,
+        });
     }
     (linking, dsl)
 }

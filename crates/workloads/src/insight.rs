@@ -35,7 +35,9 @@ pub struct DaSuite {
 /// DABench-like generator.
 pub fn dabench_like(seed: u64, n_tasks: usize) -> DaSuite {
     let mut rng = StdRng::seed_from_u64(seed);
-    let domains: Vec<Domain> = (0..3).map(|i| build_domain(&mut rng, i, false, 48 + 8 * i)).collect();
+    let domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, false, 48 + 8 * i))
+        .collect();
     let mut tasks = Vec::with_capacity(n_tasks);
     for i in 0..n_tasks {
         let di = i % domains.len();
@@ -44,7 +46,11 @@ pub fn dabench_like(seed: u64, n_tasks: usize) -> DaSuite {
         let m = &fact.measures[rng.gen_range(0..fact.measures.len())];
         // Value filters mostly target the primary dimension (the one any
         // method can explore ad hoc); a minority need deeper profiling.
-        let d = if rng.gen_bool(0.7) { &fact.dims[0] } else { &fact.dims[rng.gen_range(0..fact.dims.len())] };
+        let d = if rng.gen_bool(0.7) {
+            &fact.dims[0]
+        } else {
+            &fact.dims[rng.gen_range(0..fact.dims.len())]
+        };
         let vals = &fact.values[&d.physical];
         let v = &vals[rng.gen_range(0..vals.len())];
         let n = rng.gen_range(15..35);
@@ -85,22 +91,41 @@ pub fn dabench_like(seed: u64, n_tasks: usize) -> DaSuite {
             }
             0 => (
                 format!("What is the total {} for '{v}'?{suffix}", m.natural),
-                format!("SELECT SUM({m0}) FROM {t} WHERE {d0} = '{v}'", m0 = m.physical, d0 = d.physical),
+                format!(
+                    "SELECT SUM({m0}) FROM {t} WHERE {d0} = '{v}'",
+                    m0 = m.physical,
+                    d0 = d.physical
+                ),
             ),
             1 => (
-                format!("How many records have {} greater than {n}?{suffix}", m.natural),
+                format!(
+                    "How many records have {} greater than {n}?{suffix}",
+                    m.natural
+                ),
                 format!("SELECT COUNT(*) FROM {t} WHERE {m0} > {n}", m0 = m.physical),
             ),
             2 => (
                 format!("What is the average {} for '{v}'?{suffix}", m.natural),
-                format!("SELECT AVG({m0}) FROM {t} WHERE {d0} = '{v}'", m0 = m.physical, d0 = d.physical),
+                format!(
+                    "SELECT AVG({m0}) FROM {t} WHERE {d0} = '{v}'",
+                    m0 = m.physical,
+                    d0 = d.physical
+                ),
             ),
             _ => (
                 format!("What is the maximum {} for '{v}'?{suffix}", m.natural),
-                format!("SELECT MAX({m0}) FROM {t} WHERE {d0} = '{v}'", m0 = m.physical, d0 = d.physical),
+                format!(
+                    "SELECT MAX({m0}) FROM {t} WHERE {d0} = '{v}'",
+                    m0 = m.physical,
+                    d0 = d.physical
+                ),
             ),
         };
-        tasks.push(DaTask { domain: di, question, gold_sql });
+        tasks.push(DaTask {
+            domain: di,
+            question,
+            gold_sql,
+        });
     }
     DaSuite { domains, tasks }
 }
@@ -135,9 +160,15 @@ fn numbers_in(text: &str) -> Vec<f64> {
 
 /// Whether an answer (text and/or final frame) contains the gold value
 /// within 1% relative tolerance.
-pub fn answer_matches(gold: &Value, answer_text: &str, final_frame: Option<&datalab_frame::DataFrame>) -> bool {
+pub fn answer_matches(
+    gold: &Value,
+    answer_text: &str,
+    final_frame: Option<&datalab_frame::DataFrame>,
+) -> bool {
     let Some(g) = gold.as_f64() else {
-        return answer_text.to_lowercase().contains(&gold.render().to_lowercase());
+        return answer_text
+            .to_lowercase()
+            .contains(&gold.render().to_lowercase());
     };
     let close = |x: f64| {
         let scale = g.abs().max(1.0);
@@ -186,8 +217,11 @@ pub fn eval_dabench(suite: &DaSuite, method: InsightMethod, llm: &dyn LanguageMo
     // One analyst session per domain: the shared buffer persists across
     // its questions (DataLab's FSM keeps retrieval selective; AutoGen's
     // free-for-all context keeps growing).
-    let buffers: Vec<SharedBuffer> =
-        suite.domains.iter().map(|_| SharedBuffer::default()).collect();
+    let buffers: Vec<SharedBuffer> = suite
+        .domains
+        .iter()
+        .map(|_| SharedBuffer::default())
+        .collect();
     for task in &suite.tasks {
         let domain = &suite.domains[task.domain];
         let schema = domain.schema_section();
@@ -204,7 +238,11 @@ pub fn eval_dabench(suite: &DaSuite, method: InsightMethod, llm: &dyn LanguageMo
             InsightMethod::DataLab => {
                 let proxy = ProxyAgent::new(llm, CommunicationConfig::default());
                 let out = proxy.run_query_with_buffer(
-                    &domain.db, &schema_plus, "", &task.question, "2026-07-06",
+                    &domain.db,
+                    &schema_plus,
+                    "",
+                    &task.question,
+                    "2026-07-06",
                     &buffers[task.domain],
                 );
                 // The platform surfaces every produced artifact (notebook
@@ -221,7 +259,11 @@ pub fn eval_dabench(suite: &DaSuite, method: InsightMethod, llm: &dyn LanguageMo
             InsightMethod::AutoGen => {
                 let proxy = ProxyAgent::new(
                     llm,
-                    CommunicationConfig { use_fsm: false, structured: false, ..Default::default() },
+                    CommunicationConfig {
+                        use_fsm: false,
+                        structured: false,
+                        ..Default::default()
+                    },
                 );
                 // AutoGen has no profiling module; its chat agents peek
                 // at some data ad hoc (first dimension's values only).
@@ -239,7 +281,11 @@ pub fn eval_dabench(suite: &DaSuite, method: InsightMethod, llm: &dyn LanguageMo
                     }
                 }
                 let out = proxy.run_query_with_buffer(
-                    &domain.db, &schema_autogen, "", &task.question, "2026-07-06",
+                    &domain.db,
+                    &schema_autogen,
+                    "",
+                    &task.question,
+                    "2026-07-06",
                     &buffers[task.domain],
                 );
                 // Free-NL chat: the answer is all you get (no structured
@@ -247,7 +293,13 @@ pub fn eval_dabench(suite: &DaSuite, method: InsightMethod, llm: &dyn LanguageMo
                 (out.answer, None)
             }
             InsightMethod::AgentPoirot => (
-                baselines::agent_poirot_nl2insight(llm, &domain.db, &schema_plus, &task.question, "2026-07-06"),
+                baselines::agent_poirot_nl2insight(
+                    llm,
+                    &domain.db,
+                    &schema_plus,
+                    &task.question,
+                    "2026-07-06",
+                ),
                 None,
             ),
         };
@@ -283,7 +335,9 @@ pub struct InsightSuite {
 /// data.
 pub fn insightbench_like(seed: u64, n_tasks: usize) -> InsightSuite {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut domains: Vec<Domain> = (0..3).map(|i| build_domain(&mut rng, i, false, 40 + 6 * i)).collect();
+    let mut domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, false, 40 + 6 * i))
+        .collect();
     // Plant a large spike in each fact table.
     for d in &mut domains {
         let fact_name = d.fact().name.clone();
@@ -349,18 +403,30 @@ pub fn eval_insightbench(
         let answer = match method {
             InsightMethod::DataLab => {
                 let proxy = ProxyAgent::new(llm, CommunicationConfig::default());
-                proxy.run_query(&domain.db, &schema, "", &task.goal, "2026-07-06").answer
+                proxy
+                    .run_query(&domain.db, &schema, "", &task.goal, "2026-07-06")
+                    .answer
             }
             InsightMethod::AutoGen => {
                 let proxy = ProxyAgent::new(
                     llm,
-                    CommunicationConfig { use_fsm: false, structured: false, ..Default::default() },
+                    CommunicationConfig {
+                        use_fsm: false,
+                        structured: false,
+                        ..Default::default()
+                    },
                 );
-                proxy.run_query(&domain.db, &schema, "", &task.goal, "2026-07-06").answer
+                proxy
+                    .run_query(&domain.db, &schema, "", &task.goal, "2026-07-06")
+                    .answer
             }
-            InsightMethod::AgentPoirot => {
-                baselines::agent_poirot_nl2insight(llm, &domain.db, &schema, &task.goal, "2026-07-06")
-            }
+            InsightMethod::AgentPoirot => baselines::agent_poirot_nl2insight(
+                llm,
+                &domain.db,
+                &schema,
+                &task.goal,
+                "2026-07-06",
+            ),
         };
         let judged: f64 = judge
             .complete(
@@ -376,7 +442,10 @@ pub fn eval_insightbench(
         rouge_sum += rouge1(&answer, &task.gold_summary);
     }
     let n = suite.tasks.len().max(1) as f64;
-    InsightScores { llm_eval: eval_sum / n, rouge1: rouge_sum / n }
+    InsightScores {
+        llm_eval: eval_sum / n,
+        rouge1: rouge_sum / n,
+    }
 }
 
 #[cfg(test)]
@@ -395,7 +464,11 @@ mod tests {
 
     #[test]
     fn answer_matching() {
-        assert!(answer_matches(&Value::Int(42), "the total is 42.00 units", None));
+        assert!(answer_matches(
+            &Value::Int(42),
+            "the total is 42.00 units",
+            None
+        ));
         assert!(!answer_matches(&Value::Int(42), "the total is 99", None));
         let df = datalab_frame::DataFrame::from_columns(vec![(
             "x",
@@ -403,7 +476,11 @@ mod tests {
             vec![Value::Float(41.9)],
         )])
         .unwrap();
-        assert!(answer_matches(&Value::Int(42), "no numbers here", Some(&df)));
+        assert!(answer_matches(
+            &Value::Int(42),
+            "no numbers here",
+            Some(&df)
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod insight;
 pub mod metrics;
 pub mod nl2code;
 pub mod nl2sql;
-pub mod notebooks;
 pub mod nl2vis;
+pub mod notebooks;
 
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};

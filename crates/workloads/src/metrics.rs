@@ -21,7 +21,10 @@ pub fn recall_at_k(gold: &[String], ranked: &[String], k: usize) -> f64 {
         return 0.0;
     }
     let top: HashSet<String> = ranked.iter().take(k).map(|s| s.to_lowercase()).collect();
-    let hits = gold.iter().filter(|g| top.contains(&g.to_lowercase())).count();
+    let hits = gold
+        .iter()
+        .filter(|g| top.contains(&g.to_lowercase()))
+        .count();
     hits as f64 / gold.len() as f64
 }
 
@@ -79,8 +82,12 @@ mod tests {
     #[test]
     fn recall_at_k_counts_hits() {
         let gold = vec!["t.a".to_string(), "t.b".to_string()];
-        let ranked =
-            vec!["T.A".to_string(), "t.c".to_string(), "t.d".to_string(), "t.b".to_string()];
+        let ranked = vec![
+            "T.A".to_string(),
+            "t.c".to_string(),
+            "t.d".to_string(),
+            "t.b".to_string(),
+        ];
         assert_eq!(recall_at_k(&gold, &ranked, 5), 1.0);
         assert_eq!(recall_at_k(&gold, &ranked, 2), 0.5);
         assert_eq!(recall_at_k(&[], &ranked, 5), 0.0);
@@ -88,7 +95,10 @@ mod tests {
 
     #[test]
     fn rouge1_overlap() {
-        let r = rouge1("the east region grew fastest", "east region grew 20% this quarter");
+        let r = rouge1(
+            "the east region grew fastest",
+            "east region grew 20% this quarter",
+        );
         assert!(r > 0.4 && r < 1.0, "{r}");
         assert_eq!(rouge1("", "reference text"), 0.0);
         assert!((rouge1("a b c", "a b c") - 1.0).abs() < 1e-12);

@@ -5,8 +5,8 @@
 
 use crate::data::{build_domain, Domain};
 use datalab_frame::DataFrame;
-use datalab_llm::LanguageModel;
 use datalab_knowledge::profile_table;
+use datalab_llm::LanguageModel;
 use datalab_sql::{ex_equal, run_sql};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,7 +45,11 @@ fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, sessioned: boo
     let n = rng.gen_range(10..30);
     let k = rng.gen_range(2..4);
 
-    let template = if sessioned { rng.gen_range(4..8u32) } else { rng.gen_range(0..4u32) };
+    let template = if sessioned {
+        rng.gen_range(4..8u32)
+    } else {
+        rng.gen_range(0..4u32)
+    };
     let (question, gold_sql, ordered) = match template {
         0 => (
             format!("Compute the total {} by {}.", m.natural, d.natural),
@@ -125,19 +129,30 @@ fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, sessioned: boo
             false,
         ),
     };
-    CodeTask { domain: domain_idx, question, gold_sql, ordered }
+    CodeTask {
+        domain: domain_idx,
+        question,
+        gold_sql,
+        ordered,
+    }
 }
 
 fn build_suite(name: &'static str, seed: u64, n_tasks: usize, sessioned: bool) -> CodeSuite {
     let mut rng = StdRng::seed_from_u64(seed);
-    let domains: Vec<Domain> = (0..3).map(|i| build_domain(&mut rng, i, false, 50 + 8 * i)).collect();
+    let domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, false, 50 + 8 * i))
+        .collect();
     let tasks = (0..n_tasks)
         .map(|i| {
             let di = i % domains.len();
             gen_task(&mut rng, &domains[di], di, sessioned)
         })
         .collect();
-    CodeSuite { name, domains, tasks }
+    CodeSuite {
+        name,
+        domains,
+        tasks,
+    }
 }
 
 /// DS-1000-like: isolated transformation problems.
@@ -181,7 +196,11 @@ pub fn eval_code(suite: &CodeSuite, method: CodeMethod, llm: &dyn LanguageModel)
         .map(|d| {
             d.db.table_names()
                 .iter()
-                .filter_map(|t| d.db.get(t).ok().and_then(|df| profile_table(llm, t, df).ok()))
+                .filter_map(|t| {
+                    d.db.get(t)
+                        .ok()
+                        .and_then(|df| profile_table(llm, t, df).ok())
+                })
                 .map(|p| p.render())
                 .collect::<String>()
         })
@@ -200,13 +219,9 @@ pub fn eval_code(suite: &CodeSuite, method: CodeMethod, llm: &dyn LanguageModel)
                 "2026-07-06",
             ),
             CodeMethod::CoML => baselines::coml_nl2code(llm, &domain.db, &schema, &task.question),
-            CodeMethod::CodeInterpreter => baselines::code_interpreter_nl2code(
-                llm,
-                &domain.db,
-                &schema,
-                &task.question,
-                3,
-            ),
+            CodeMethod::CodeInterpreter => {
+                baselines::code_interpreter_nl2code(llm, &domain.db, &schema, &task.question, 3)
+            }
         };
         let gold = run_sql(&task.gold_sql, &domain.db).expect("gold SQL must run");
         if let Ok(frame) = result {

@@ -5,8 +5,8 @@
 //! separate the two benchmarks in the paper.
 
 use crate::data::{build_domain, Domain};
-use datalab_llm::LanguageModel;
 use datalab_knowledge::profile_table;
+use datalab_llm::LanguageModel;
 use datalab_sql::{ex_equal, run_sql};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,7 +62,12 @@ fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, dirty: bool) -
     // natural language ("for south china") — groundable only with sample
     // knowledge, which is what data profiling supplies.
     let extra_value = dirty && rng.gen_bool(0.4);
-    let d2 = &fact.dims[(fact.dims.iter().position(|x| x.physical == d.physical).unwrap_or(0) + 1)
+    let d2 = &fact.dims[(fact
+        .dims
+        .iter()
+        .position(|x| x.physical == d.physical)
+        .unwrap_or(0)
+        + 1)
         % fact.dims.len()];
     let v2 = &fact.values[&d2.physical][rng.gen_range(0..fact.values[&d2.physical].len())];
     let (value_suffix, value_cond) = if extra_value {
@@ -212,20 +217,31 @@ fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, dirty: bool) -
             )
         }
     };
-    SqlTask { domain: domain_idx, question, gold_sql, ordered, evidence }
+    SqlTask {
+        domain: domain_idx,
+        question,
+        gold_sql,
+        ordered,
+        evidence,
+    }
 }
 
 fn build_suite(name: &'static str, seed: u64, n_tasks: usize, dirty: bool) -> SqlSuite {
     let mut rng = StdRng::seed_from_u64(seed);
-    let domains: Vec<Domain> =
-        (0..3).map(|i| build_domain(&mut rng, i, dirty, 60 + 10 * i)).collect();
+    let domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, dirty, 60 + 10 * i))
+        .collect();
     let tasks: Vec<SqlTask> = (0..n_tasks)
         .map(|i| {
             let di = i % domains.len();
             gen_task(&mut rng, &domains[di], di, dirty)
         })
         .collect();
-    SqlSuite { name, domains, tasks }
+    SqlSuite {
+        name,
+        domains,
+        tasks,
+    }
 }
 
 /// Spider-like suite: clean schemas, quoted literals, no evidence.
@@ -241,7 +257,11 @@ pub fn bird_like(seed: u64, n_tasks: usize) -> SqlSuite {
 
 /// Few-shot example pool for DAIL-SQL (a held-out "training split" drawn
 /// from the same template distribution).
-pub fn few_shot_pool(suite_seed: u64, n: usize, dirty: bool) -> Vec<datalab_agents::baselines::FewShotExample> {
+pub fn few_shot_pool(
+    suite_seed: u64,
+    n: usize,
+    dirty: bool,
+) -> Vec<datalab_agents::baselines::FewShotExample> {
     let pool = build_suite("pool", suite_seed ^ 0x5f5f_5f5f, n, dirty);
     pool.tasks
         .into_iter()
@@ -288,7 +308,9 @@ pub fn eval_sql(suite: &SqlSuite, method: SqlMethod, llm: &dyn LanguageModel) ->
             d.db.table_names()
                 .iter()
                 .filter_map(|t| {
-                    d.db.get(t).ok().and_then(|df| profile_table(llm, t, df).ok())
+                    d.db.get(t)
+                        .ok()
+                        .and_then(|df| profile_table(llm, t, df).ok())
                 })
                 .map(|p| p.render())
                 .collect::<String>()
@@ -303,7 +325,14 @@ pub fn eval_sql(suite: &SqlSuite, method: SqlMethod, llm: &dyn LanguageModel) ->
         let sql = match method {
             SqlMethod::DataLab => {
                 let profile = format!("{}{}", profiles[task.domain], task.evidence);
-                baselines::datalab_nl2sql(llm, &domain.db, &schema, &profile, &task.question, "2026-07-06")
+                baselines::datalab_nl2sql(
+                    llm,
+                    &domain.db,
+                    &schema,
+                    &profile,
+                    &task.question,
+                    "2026-07-06",
+                )
             }
             SqlMethod::DataLabNoProfiling => baselines::datalab_nl2sql(
                 llm,
@@ -313,9 +342,14 @@ pub fn eval_sql(suite: &SqlSuite, method: SqlMethod, llm: &dyn LanguageModel) ->
                 &task.question,
                 "2026-07-06",
             ),
-            SqlMethod::DailSql => {
-                baselines::dail_sql(llm, &schema, &task.evidence, &examples, &task.question, "2026-07-06")
-            }
+            SqlMethod::DailSql => baselines::dail_sql(
+                llm,
+                &schema,
+                &task.evidence,
+                &examples,
+                &task.question,
+                "2026-07-06",
+            ),
             SqlMethod::DinSql => {
                 baselines::din_sql(llm, &schema, &task.evidence, &task.question, "2026-07-06")
             }

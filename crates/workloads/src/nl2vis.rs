@@ -3,9 +3,11 @@
 //! programmatically and rendered by the viz substrate.
 
 use crate::data::{build_domain, Domain};
-use datalab_llm::LanguageModel;
 use datalab_knowledge::profile_table;
-use datalab_viz::{charts_equal, readability_score, render, ChartFilter, ChartSpec, FieldDef, Mark, RenderedChart};
+use datalab_llm::LanguageModel;
+use datalab_viz::{
+    charts_equal, readability_score, render, ChartFilter, ChartSpec, FieldDef, Mark, RenderedChart,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,25 +44,37 @@ fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, with_filters: 
     let template = rng.gen_range(0..4u32);
     let (question, mark, x_field, agg): (String, Mark, String, &str) = match template {
         0 => (
-            format!("Show a bar chart of the total {} for each {}.", m.natural, d.natural),
+            format!(
+                "Show a bar chart of the total {} for each {}.",
+                m.natural, d.natural
+            ),
             Mark::Bar,
             d.physical.clone(),
             "sum",
         ),
         1 => (
-            format!("Draw a pie chart of the share of {} by {}.", m.natural, d.natural),
+            format!(
+                "Draw a pie chart of the share of {} by {}.",
+                m.natural, d.natural
+            ),
             Mark::Pie,
             d.physical.clone(),
             "sum",
         ),
         2 => (
-            format!("Plot the trend of total {} over {}.", m.natural, date.natural),
+            format!(
+                "Plot the trend of total {} over {}.",
+                m.natural, date.natural
+            ),
             Mark::Line,
             date.physical.clone(),
             "sum",
         ),
         _ => (
-            format!("Show a bar chart of the average {} by {}.", m.natural, d.natural),
+            format!(
+                "Show a bar chart of the average {} by {}.",
+                m.natural, d.natural
+            ),
             Mark::Bar,
             d.physical.clone(),
             "avg",
@@ -82,27 +96,43 @@ fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, with_filters: 
     let gold_spec = ChartSpec {
         mark,
         data: t.clone(),
-        x: Some(FieldDef { field: x_field, aggregate: None }),
-        y: Some(FieldDef { field: m.physical.clone(), aggregate: Some(agg.into()) }),
+        x: Some(FieldDef {
+            field: x_field,
+            aggregate: None,
+        }),
+        y: Some(FieldDef {
+            field: m.physical.clone(),
+            aggregate: Some(agg.into()),
+        }),
         color: None,
         filters,
         limit: None,
         sort_desc: None,
         title: None,
     };
-    VisTask { domain: domain_idx, question, gold_spec }
+    VisTask {
+        domain: domain_idx,
+        question,
+        gold_spec,
+    }
 }
 
 fn build_suite(name: &'static str, seed: u64, n_tasks: usize, with_filters: bool) -> VisSuite {
     let mut rng = StdRng::seed_from_u64(seed);
-    let domains: Vec<Domain> = (0..3).map(|i| build_domain(&mut rng, i, false, 40 + 6 * i)).collect();
+    let domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, false, 40 + 6 * i))
+        .collect();
     let tasks = (0..n_tasks)
         .map(|i| {
             let di = i % domains.len();
             gen_task(&mut rng, &domains[di], di, with_filters)
         })
         .collect();
-    VisSuite { name, domains, tasks }
+    VisSuite {
+        name,
+        domains,
+        tasks,
+    }
 }
 
 /// nvBench-like: chart EX over simple single-table requests.
@@ -157,7 +187,11 @@ pub fn eval_vis(suite: &VisSuite, method: VisMethod, llm: &dyn LanguageModel) ->
         .map(|d| {
             d.db.table_names()
                 .iter()
-                .filter_map(|t| d.db.get(t).ok().and_then(|df| profile_table(llm, t, df).ok()))
+                .filter_map(|t| {
+                    d.db.get(t)
+                        .ok()
+                        .and_then(|df| profile_table(llm, t, df).ok())
+                })
                 .map(|p| p.render())
                 .collect::<String>()
         })
@@ -202,7 +236,11 @@ pub fn eval_vis(suite: &VisSuite, method: VisMethod, llm: &dyn LanguageModel) ->
     VisScores {
         ex: 100.0 * ex_hits as f64 / n,
         pass_rate: 100.0 * passes as f64 / n,
-        readability: if passes > 0 { readability_sum / passes as f64 } else { 0.0 },
+        readability: if passes > 0 {
+            readability_sum / passes as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -215,7 +253,10 @@ mod tests {
     fn gold_charts_render() {
         for suite in [nvbench_like(4, 24), viseval_like(4, 24)] {
             for task in &suite.tasks {
-                let df = suite.domains[task.domain].db.get(&task.gold_spec.data).unwrap();
+                let df = suite.domains[task.domain]
+                    .db
+                    .get(&task.gold_spec.data)
+                    .unwrap();
                 render(&task.gold_spec, df).expect("gold chart renders");
             }
         }
@@ -236,6 +277,9 @@ mod tests {
         let llm = SimLlm::gpt4();
         let lida = eval_vis(&suite, VisMethod::Lida, &llm);
         let c2v = eval_vis(&suite, VisMethod::Chat2Vis, &llm);
-        assert!(lida.readability >= c2v.readability, "lida={lida:?} c2v={c2v:?}");
+        assert!(
+            lida.readability >= c2v.readability,
+            "lida={lida:?} c2v={c2v:?}"
+        );
     }
 }

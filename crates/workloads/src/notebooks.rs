@@ -46,14 +46,19 @@ pub fn generate_notebook(rng: &mut StdRng, target_cells: usize) -> NotebookCase 
         let mut chain = Vec::new();
         // SQL cell loading the data.
         let sql = nb.push_sql(
-            format!("SELECT {dim}, {measure}, day FROM {table} WHERE {measure} > {}", chain_no + 1),
+            format!(
+                "SELECT {dim}, {measure}, day FROM {table} WHERE {measure} > {}",
+                chain_no + 1
+            ),
             var.clone(),
         );
         chain.push(sql);
         cells_made += 1;
         let mut prev = var.clone();
         // 0-3 python transformation cells.
-        let n_py = rng.gen_range(0..4usize).min(target_cells.saturating_sub(cells_made));
+        let n_py = rng
+            .gen_range(0..4usize)
+            .min(target_cells.saturating_sub(cells_made));
         for p in 0..n_py {
             let v = format!("t{chain_no}_{p}");
             let src = match p % 3 {
@@ -101,7 +106,11 @@ pub fn generate_notebook(rng: &mut StdRng, target_cells: usize) -> NotebookCase 
         chains.push((var, chain));
         chain_no += 1;
     }
-    NotebookCase { notebook: nb, chains, notes }
+    NotebookCase {
+        notebook: nb,
+        chains,
+        notes,
+    }
 }
 
 /// Generates the 50-notebook corpus with cell counts spread over
@@ -163,7 +172,12 @@ pub fn context_tasks(corpus: &[NotebookCase], seed: u64) -> Vec<ContextTask> {
             if let Some((md, _, _)) = case.notes.iter().find(|(_, v, _)| v == var) {
                 required.push(*md);
             }
-            tasks.push(ContextTask { case: ci, query, task_type, required });
+            tasks.push(ContextTask {
+                case: ci,
+                query,
+                task_type,
+                required,
+            });
         }
     }
     tasks
@@ -185,10 +199,17 @@ const BASE_TASK_SUCCESS: f64 = 0.87;
 
 /// Evaluates context management over the corpus (`use_dag = false` is the
 /// Table IV S1 setting).
-pub fn eval_context(corpus: &[NotebookCase], tasks: &[ContextTask], use_dag: bool) -> ContextScores {
+pub fn eval_context(
+    corpus: &[NotebookCase],
+    tasks: &[ContextTask],
+    use_dag: bool,
+) -> ContextScores {
     let mut correct = 0usize;
     let mut tokens_total = 0usize;
-    let config = ContextConfig { use_dag, ..Default::default() };
+    let config = ContextConfig {
+        use_dag,
+        ..Default::default()
+    };
     for task in tasks {
         let case = &corpus[task.case];
         let dag = CellDag::build(&case.notebook);
@@ -257,8 +278,14 @@ mod tests {
             with_dag.token_cost_k,
             without.token_cost_k
         );
-        assert!(without.accuracy >= with_dag.accuracy, "{without:?} vs {with_dag:?}");
+        assert!(
+            without.accuracy >= with_dag.accuracy,
+            "{without:?} vs {with_dag:?}"
+        );
         assert!(with_dag.accuracy > 70.0, "{with_dag:?}");
-        assert!(without.accuracy - with_dag.accuracy < 9.0, "{without:?} vs {with_dag:?}");
+        assert!(
+            without.accuracy - with_dag.accuracy < 9.0,
+            "{without:?} vs {with_dag:?}"
+        );
     }
 }

@@ -19,17 +19,23 @@ fn main() {
         (
             "prod_class4_name",
             DataType::Str,
-            (0..n).map(|i| Value::Str(products[i % 3].to_string())).collect(),
+            (0..n)
+                .map(|i| Value::Str(products[i % 3].to_string()))
+                .collect(),
         ),
         (
             "shouldincome_after",
             DataType::Float,
-            (0..n).map(|i| Value::Float(50.0 + 3.1 * i as f64)).collect(),
+            (0..n)
+                .map(|i| Value::Float(50.0 + 3.1 * i as f64))
+                .collect(),
         ),
         (
             "cost_amt",
             DataType::Float,
-            (0..n).map(|i| Value::Float(20.0 + 1.2 * i as f64)).collect(),
+            (0..n)
+                .map(|i| Value::Float(20.0 + 1.2 * i as f64))
+                .collect(),
         ),
         (
             "ftime",
@@ -42,7 +48,8 @@ fn main() {
     .expect("valid frame");
 
     let mut lab = DataLab::new(DataLabConfig::default());
-    lab.register_table("dwd_biz_income", table).expect("profiling succeeds");
+    lab.register_table("dwd_biz_income", table)
+        .expect("profiling succeeds");
 
     // The scripts professionals run every day reveal the semantics of the
     // cryptic columns — Algorithm 1 mines them into the knowledge graph.
@@ -70,7 +77,12 @@ fn main() {
 
     // Curated glossary entries (the jargon and value aliases of §IV-B).
     lab.add_jargon("gmv", "total income");
-    lab.add_value_alias("TencentBI", "dwd_biz_income", "prod_class4_name", "Tencent BI");
+    lab.add_value_alias(
+        "TencentBI",
+        "dwd_biz_income",
+        "prod_class4_name",
+        "Tencent BI",
+    );
 
     // The paper's flagship ambiguous query now grounds cleanly.
     for question in [

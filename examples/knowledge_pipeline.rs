@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 
 fn main() {
     let llm = SimLlm::gpt4();
-    let schema = "table dwd_sales: rgn_cd (str), shouldincome_after (float), cost_amt (float), ftime (date)";
+    let schema =
+        "table dwd_sales: rgn_cd (str), shouldincome_after (float), cost_amt (float), ftime (date)";
 
     // --- Stage 1: knowledge generation (Algorithm 1) ---------------------
     let scripts = vec![
@@ -47,10 +48,16 @@ fn main() {
         &BTreeMap::new(),
         &GenerationConfig::default(),
     );
-    println!("scripts used: {} (deduped: {})", report.scripts_used, report.scripts_deduped);
+    println!(
+        "scripts used: {} (deduped: {})",
+        report.scripts_used, report.scripts_deduped
+    );
     println!("table description: {}", tk.description);
     for col in &tk.columns {
-        println!("  column {}: {} | usage: {} | aliases: {:?}", col.name, col.description, col.usage, col.aliases);
+        println!(
+            "  column {}: {} | usage: {} | aliases: {:?}",
+            col.name, col.description, col.usage, col.aliases
+        );
     }
     for d in &tk.derived {
         println!("  derived {} = {}", d.name, d.calculation);
@@ -59,8 +66,16 @@ fn main() {
     // --- Stage 2: organization (knowledge graph + glossary) --------------
     let mut graph = KnowledgeGraph::new();
     graph.ingest_table("biz_dw", &tk);
-    graph.ingest_jargon(&JargonEntry { term: "gmv".into(), expansion: "total income".into() });
-    let v = graph.ingest_value("dwd_sales", "rgn_cd", "south china", "the southern sales region");
+    graph.ingest_jargon(&JargonEntry {
+        term: "gmv".into(),
+        expansion: "total income".into(),
+    });
+    let v = graph.ingest_value(
+        "dwd_sales",
+        "rgn_cd",
+        "south china",
+        "the southern sales region",
+    );
     graph.add_alias("SouthCN", v);
     println!("\nknowledge graph: {} nodes", graph.len());
 

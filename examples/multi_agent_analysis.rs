@@ -21,7 +21,9 @@ fn build_db() -> Database {
             (
                 "region",
                 DataType::Str,
-                (0..n).map(|i| Value::Str(["east", "west", "south"][i % 3].into())).collect(),
+                (0..n)
+                    .map(|i| Value::Str(["east", "west", "south"][i % 3].into()))
+                    .collect(),
             ),
             (
                 "amount",
@@ -61,27 +63,42 @@ fn main() {
     let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
     let out = proxy.run_query(&db, schema, "", question, "2026-07-06");
     println!("plan: {:?}", out.plan);
-    println!("success: {} (failed roles: {:?})", out.success, out.failed_roles);
+    println!(
+        "success: {} (failed roles: {:?})",
+        out.success, out.failed_roles
+    );
     for unit in &out.units {
         println!(
             "\n--- unit from {} ({} @ t={}) on {} ---\n{}",
-            unit.role,
-            unit.action,
-            unit.timestamp,
-            unit.data_source,
-            unit.description
+            unit.role, unit.action, unit.timestamp, unit.data_source, unit.description
         );
     }
     if let Some(chart) = &out.chart {
-        println!("\nchart: {} with {} points", chart.mark.name(), chart.points.len());
+        println!(
+            "\nchart: {} with {} points",
+            chart.mark.name(),
+            chart.points.len()
+        );
     }
     println!("\nfinal answer:\n{}", out.answer);
 
     // The ablations of Table III, runnable directly:
     println!("\n=== ablations ===");
     for (label, cfg) in [
-        ("S1 no FSM (everyone sees everything)", CommunicationConfig { use_fsm: false, ..Default::default() }),
-        ("S2 pure natural language", CommunicationConfig { structured: false, ..Default::default() }),
+        (
+            "S1 no FSM (everyone sees everything)",
+            CommunicationConfig {
+                use_fsm: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "S2 pure natural language",
+            CommunicationConfig {
+                structured: false,
+                ..Default::default()
+            },
+        ),
     ] {
         let out = proxy_run(&llm, &db, schema, question, cfg);
         println!("{label}: success={} plan={:?}", out.success, out.plan);

@@ -31,7 +31,10 @@ fn main() {
         "## Revenue notes\nThe sales extract double-counts refunds before 2026-02.",
     );
     // An unrelated side quest by another analyst.
-    let side = nb.push(CellKind::Python, "users = load_users()\nsignups = users.count()");
+    let side = nb.push(
+        CellKind::Python,
+        "users = load_users()\nsignups = users.count()",
+    );
 
     // Algorithm 3: dependency DAG from variable def/use analysis.
     let mut dag = CellDag::build(&nb);
@@ -57,7 +60,11 @@ fn main() {
         sel.tokens
     );
     for id in &sel.cells {
-        println!("  {:?}: {}", id, nb.get(*id).unwrap().source.lines().next().unwrap_or(""));
+        println!(
+            "  {:?}: {}",
+            id,
+            nb.get(*id).unwrap().source.lines().next().unwrap_or("")
+        );
     }
     assert!(sel.cells.contains(&sql));
     assert!(!sel.cells.contains(&side), "irrelevant chain pruned");
@@ -71,7 +78,10 @@ fn main() {
         "rewrite the sql for df_sales to exclude refunds",
         QueryScope::Notebook,
         TaskType::Sql,
-        &ContextConfig { use_dag: false, ..Default::default() },
+        &ContextConfig {
+            use_dag: false,
+            ..Default::default()
+        },
     );
     println!(
         "\nwithout the DAG the same query ships {} cells / {} tokens ({}x more)",
@@ -84,7 +94,10 @@ fn main() {
     nb.modify(chart, r#"{"mark":"bar","data":"clean","x":{"field":"region"},"y":{"field":"amount","aggregate":"sum"}}"#);
     dag.update_cell(&nb, chart);
     assert_eq!(dag.dependencies(chart), &[clean]);
-    println!("\nafter editing the chart cell it depends on {:?}", dag.dependencies(chart));
+    println!(
+        "\nafter editing the chart cell it depends on {:?}",
+        dag.dependencies(chart)
+    );
 
     // Syntax-broken edits are rejected, keeping the DAG consistent.
     nb.modify(clean, "clean = df_sales.dropna(");

@@ -38,7 +38,8 @@ fn main() {
     // 2. Spin up the platform and register the table (it is profiled
     //    automatically so questions can be grounded).
     let mut lab = DataLab::new(DataLabConfig::default());
-    lab.register_table("sales", sales).expect("profiling succeeds");
+    lab.register_table("sales", sales)
+        .expect("profiling succeeds");
 
     // 3. Ask questions. Each answer lands in the notebook as cells.
     for question in [
@@ -53,7 +54,11 @@ fn main() {
             println!("{}", frame.to_table_string(6));
         }
         if let Some(chart) = &r.chart {
-            println!("chart: {} with {} points", chart.mark.name(), chart.points.len());
+            println!(
+                "chart: {} with {} points",
+                chart.mark.name(),
+                chart.points.len()
+            );
         }
         println!("answer: {}", r.answer.lines().next().unwrap_or(""));
     }

@@ -1,0 +1,79 @@
+//! Observability walkthrough: run a couple of queries and inspect what
+//! the telemetry layer recorded — the per-query span tree, the token
+//! attribution by pipeline stage and agent, the platform-wide metrics
+//! registry, and a Chrome `trace_event` export you can load at
+//! `chrome://tracing` (or <https://ui.perfetto.dev>).
+//!
+//! ```sh
+//! cargo run --example telemetry_trace
+//! ```
+
+use datalab::core::{DataLab, DataLabConfig};
+use datalab::frame::{DataFrame, DataType, Value};
+
+fn main() {
+    let n = 18;
+    let sales = DataFrame::from_columns(vec![
+        (
+            "region",
+            DataType::Str,
+            (0..n)
+                .map(|i| Value::Str(["east", "west", "south"][i % 3].to_string()))
+                .collect(),
+        ),
+        (
+            "amount",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(100 + 7 * i as i64)).collect(),
+        ),
+        (
+            "cost",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(40 + 3 * i as i64)).collect(),
+        ),
+    ])
+    .expect("valid frame");
+
+    let mut lab = DataLab::new(DataLabConfig::default());
+    lab.register_table("sales", sales)
+        .expect("profiling succeeds");
+
+    // Every query comes back with a QuerySummary: one span tree rooted at
+    // "query", and the token spend broken down by (stage, agent).
+    for question in [
+        "What is the total amount by region?",
+        "Draw a bar chart of total cost by region",
+    ] {
+        println!("=== Q: {question}\n");
+        let r = lab.query(question);
+        print!("{}", r.telemetry.render());
+
+        // Machine-readable exports ride along on the same summary.
+        let trace = r.telemetry.chrome_trace();
+        println!(
+            "chrome trace: {} bytes, {} events (load at chrome://tracing)",
+            trace.len(),
+            r.telemetry
+                .root()
+                .map(|root| root.total_spans())
+                .unwrap_or(0),
+        );
+        println!();
+    }
+
+    // The platform-wide registry accumulates across queries: model-call
+    // counters, retry counters from every agent, histograms of call sizes.
+    println!("=== metrics registry\n");
+    let snapshot = lab.telemetry().metrics().snapshot();
+    for (name, value) in &snapshot.counters {
+        println!("  {name:<26} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        println!("  {name:<26} count={} mean={:.1}", h.count, h.mean());
+    }
+    println!("\nmeter total: {} tokens", lab.tokens_used());
+    println!(
+        "attributed:  {} tokens",
+        lab.telemetry().token_totals().total()
+    );
+}

@@ -37,6 +37,7 @@
 //! | [`notebook`] | `datalab-notebook` | Cell-based Context Management (§VI) |
 //! | [`agents`] | `datalab-agents` | Inter-Agent Communication + agents (§V) |
 //! | [`workloads`] | `datalab-workloads` | benchmark generators + metrics (§VII) |
+//! | [`telemetry`] | `datalab-telemetry` | span-tree tracing, metrics, token attribution |
 
 #![warn(missing_docs)]
 
@@ -47,5 +48,6 @@ pub use datalab_knowledge as knowledge;
 pub use datalab_llm as llm;
 pub use datalab_notebook as notebook;
 pub use datalab_sql as sql;
+pub use datalab_telemetry as telemetry;
 pub use datalab_viz as viz;
 pub use datalab_workloads as workloads;

@@ -39,16 +39,14 @@ fn table3_shape_holds_at_small_scale() {
         &corpus,
         &gk,
         &tasks,
-        &CommunicationConfig { use_fsm: false, ..Default::default() },
+        &CommunicationConfig {
+            use_fsm: false,
+            ..Default::default()
+        },
         &llm,
     );
     let s3 = eval_multiagent(&corpus, &gk, &tasks, &CommunicationConfig::default(), &llm);
-    assert!(
-        s3.accuracy > s1.accuracy + 5.0,
-        "S1={:?} S3={:?}",
-        s1,
-        s3
-    );
+    assert!(s3.accuracy > s1.accuracy + 5.0, "S1={:?} S3={:?}", s1, s3);
     assert!(s3.success_rate >= s1.success_rate, "S1={s1:?} S3={s3:?}");
 }
 
@@ -58,7 +56,13 @@ fn table4_shape_holds_at_small_scale() {
     let tasks = context_tasks(&corpus, 55);
     let without = eval_context(&corpus, &tasks, false);
     let with = eval_context(&corpus, &tasks, true);
-    assert!(with.token_cost_k < without.token_cost_k * 0.7, "{with:?} vs {without:?}");
+    assert!(
+        with.token_cost_k < without.token_cost_k * 0.7,
+        "{with:?} vs {without:?}"
+    );
     assert!(without.accuracy >= with.accuracy);
-    assert!(without.accuracy - with.accuracy < 12.0, "{with:?} vs {without:?}");
+    assert!(
+        without.accuracy - with.accuracy < 12.0,
+        "{with:?} vs {without:?}"
+    );
 }

@@ -18,9 +18,15 @@ fn db() -> Database {
             (
                 "region",
                 DataType::Str,
-                (0..n).map(|i| Value::Str(["east", "west"][i % 2].into())).collect(),
+                (0..n)
+                    .map(|i| Value::Str(["east", "west"][i % 2].into()))
+                    .collect(),
             ),
-            ("amount", DataType::Int, (0..n).map(|i| Value::Int(10 + i as i64)).collect()),
+            (
+                "amount",
+                DataType::Int,
+                (0..n).map(|i| Value::Int(10 + i as i64)).collect(),
+            ),
             (
                 "day",
                 DataType::Date,
@@ -43,7 +49,10 @@ fn spec() -> DslSpec {
             expr: None,
             alias: Some("total".into()),
         }],
-        dimension_list: vec![DslColumn { table: "orders".into(), column: "region".into() }],
+        dimension_list: vec![DslColumn {
+            table: "orders".into(),
+            column: "region".into(),
+        }],
         condition_list: vec![DslCondition {
             table: "orders".into(),
             column: "amount".into(),
@@ -91,7 +100,8 @@ fn chart_rendering_agrees_with_sql_aggregation() {
 fn model_generated_artifacts_execute_against_engines() {
     let db = db();
     let llm = SimLlm::gpt4();
-    let schema = "table orders: region (str), amount (int), day (date)\nvalues orders.region: east, west";
+    let schema =
+        "table orders: region (str), amount (int), day (date)\nvalues orders.region: east, west";
     // SQL path.
     let sql = llm.complete(
         &Prompt::new("nl2sql")
@@ -126,7 +136,10 @@ fn dsl_validator_accepts_model_output() {
     let llm = SimLlm::gpt4();
     let out = llm.complete(
         &Prompt::new("nl2dsl")
-            .section("schema", "table orders: region (str), amount (int), day (date)")
+            .section(
+                "schema",
+                "table orders: region (str), amount (int), day (date)",
+            )
             .section("question", "average amount by region in 2024")
             .render(),
     );

@@ -14,10 +14,20 @@ fn sales(n: usize) -> DataFrame {
         (
             "region",
             DataType::Str,
-            (0..n).map(|i| Value::Str(["east", "west", "south"][i % 3].into())).collect(),
+            (0..n)
+                .map(|i| Value::Str(["east", "west", "south"][i % 3].into()))
+                .collect(),
         ),
-        ("amount", DataType::Int, (0..n).map(|i| Value::Int(50 + 3 * i as i64)).collect()),
-        ("cost", DataType::Int, (0..n).map(|i| Value::Int(20 + i as i64)).collect()),
+        (
+            "amount",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(50 + 3 * i as i64)).collect(),
+        ),
+        (
+            "cost",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(20 + i as i64)).collect(),
+        ),
         (
             "day",
             DataType::Date,
@@ -57,7 +67,11 @@ fn notebook_accumulates_a_session_and_dag_tracks_it() {
     assert!(nb.cells().iter().any(|c| c.kind == CellKind::Markdown));
     // Every appended cell is tracked by the DAG.
     for cell in nb.cells() {
-        assert!(lab.dag().analysis(cell.id).is_some(), "untracked cell {:?}", cell.id);
+        assert!(
+            lab.dag().analysis(cell.id).is_some(),
+            "untracked cell {:?}",
+            cell.id
+        );
     }
 }
 
@@ -66,7 +80,11 @@ fn knowledge_changes_grounding_outcomes() {
     // The same dirty-schema question fails without knowledge and succeeds
     // with it — the paper's core claim, end to end.
     let dirty = DataFrame::from_columns(vec![
-        ("rgn_cd", DataType::Str, vec!["east".into(), "west".into(), "east".into()]),
+        (
+            "rgn_cd",
+            DataType::Str,
+            vec!["east".into(), "west".into(), "east".into()],
+        ),
         (
             "shouldincome_after",
             DataType::Float,
@@ -80,9 +98,7 @@ fn knowledge_changes_grounding_outcomes() {
     let mut bare = DataLab::new(DataLabConfig::default());
     bare.register_table("dwd_x", dirty.clone()).unwrap();
     let before = bare.query(question);
-    let grounded_before = before
-        .dsl_json
-        .contains("shouldincome_after");
+    let grounded_before = before.dsl_json.contains("shouldincome_after");
 
     let mut informed = DataLab::new(DataLabConfig::default());
     informed.register_table("dwd_x", dirty).unwrap();
@@ -100,7 +116,11 @@ fn knowledge_changes_grounding_outcomes() {
         "knowledge failed to ground the measure: {}",
         after.dsl_json
     );
-    assert!(!grounded_before, "baseline unexpectedly grounded: {}", before.dsl_json);
+    assert!(
+        !grounded_before,
+        "baseline unexpectedly grounded: {}",
+        before.dsl_json
+    );
 }
 
 #[test]
@@ -112,7 +132,11 @@ fn multi_stage_query_produces_chart_and_forecast() {
          Then draw a bar chart of the total amount by region.",
     );
     assert!(r.plan.contains(&"sql_agent".to_string()), "{:?}", r.plan);
-    assert!(r.plan.contains(&"forecast_agent".to_string()), "{:?}", r.plan);
+    assert!(
+        r.plan.contains(&"forecast_agent".to_string()),
+        "{:?}",
+        r.plan
+    );
     assert!(r.plan.contains(&"vis_agent".to_string()), "{:?}", r.plan);
     assert!(r.chart.is_some());
     assert!(r.success, "{:?}", r.plan);
@@ -125,7 +149,10 @@ fn weaker_models_fail_more_often_end_to_end() {
         .collect();
     let mut ok = Vec::new();
     for profile in [ModelProfile::gpt4(), ModelProfile::llama31()] {
-        let mut lab = DataLab::new(DataLabConfig { model: profile, ..Default::default() });
+        let mut lab = DataLab::new(DataLabConfig {
+            model: profile,
+            ..Default::default()
+        });
         lab.register_table("sales", sales(24)).unwrap();
         let gold = run_sql(
             // Gold per question is recomputed below; just count grounded successes here.
@@ -137,9 +164,7 @@ fn weaker_models_fail_more_often_end_to_end() {
         for (i, q) in questions.iter().enumerate() {
             let r = lab.query(q);
             let gold = run_sql(
-                &format!(
-                    "SELECT region, AVG(amount) FROM sales WHERE cost > {i} GROUP BY region"
-                ),
+                &format!("SELECT region, AVG(amount) FROM sales WHERE cost > {i} GROUP BY region"),
                 lab.database(),
             )
             .expect("gold runs");

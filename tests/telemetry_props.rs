@@ -1,0 +1,90 @@
+//! Property-based tests for pipeline observability: every `query()`
+//! must produce a single-root, well-formed span tree whose token
+//! attribution agrees with the global meter, and whose Chrome trace
+//! export is valid JSON.
+
+use datalab::core::{DataLab, DataLabConfig};
+use datalab::frame::{DataFrame, DataType, Value};
+use proptest::prelude::*;
+
+fn lab_with_sales(n: usize) -> DataLab {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    let df = DataFrame::from_columns(vec![
+        (
+            "region",
+            DataType::Str,
+            (0..n)
+                .map(|i| Value::Str(["east", "west", "north"][i % 3].into()))
+                .collect(),
+        ),
+        (
+            "amount",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(5 + 7 * i as i64)).collect(),
+        ),
+        (
+            "cost",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(1 + i as i64)).collect(),
+        ),
+    ])
+    .expect("valid frame");
+    lab.register_table("sales", df).expect("registers");
+    lab
+}
+
+proptest! {
+    // Queries are full pipeline runs; a handful of cases is plenty.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_query_yields_a_well_formed_attributed_span_tree(
+        measure in prop::sample::select(vec!["amount", "cost"]),
+        verb in prop::sample::select(vec!["total", "average", "maximum"]),
+        chart in any::<bool>(),
+        rows in 3usize..12,
+    ) {
+        let mut lab = lab_with_sales(rows);
+        let question = if chart {
+            format!("draw a bar chart of {verb} {measure} by region")
+        } else {
+            format!("what is the {verb} {measure} by region?")
+        };
+        let before = lab.tokens_used();
+        let r = lab.query(&question);
+        let spent = lab.tokens_used() - before;
+
+        // Single root named "query", children nested within parents.
+        prop_assert_eq!(r.telemetry.spans.len(), 1, "{:#?}", r.telemetry.spans);
+        let root = r.telemetry.root().expect("single root");
+        prop_assert_eq!(root.name.as_str(), "query");
+        prop_assert!(root.well_formed(), "{}", r.telemetry.render());
+
+        // At least four named pipeline stages under the root.
+        let stages = r.telemetry.stage_names();
+        prop_assert!(stages.len() >= 4, "stages: {stages:?}");
+        for want in ["rewrite", "plan", "execute", "synthesize"] {
+            prop_assert!(stages.contains(&want), "missing {want} in {stages:?}");
+        }
+
+        // Attribution is complete: the per-stage/per-agent breakdown sums
+        // to exactly what the global meter charged for this query.
+        prop_assert!(spent > 0);
+        prop_assert_eq!(r.telemetry.total.total(), spent);
+        let by_parts: u64 = r.telemetry.attribution.iter().map(|a| a.usage.total()).sum();
+        prop_assert_eq!(by_parts, spent);
+
+        // The Chrome trace export is valid JSON with complete (ph:"X")
+        // events carrying ts + dur.
+        let trace: serde_json::Value =
+            serde_json::from_str(&r.telemetry.chrome_trace()).expect("valid trace JSON");
+        let events = trace["traceEvents"].as_array().expect("traceEvents array");
+        prop_assert!(events.len() >= root.total_spans());
+        for e in events {
+            prop_assert_eq!(&e["ph"], "X");
+            prop_assert!(e["ts"].is_u64());
+            prop_assert!(e["dur"].is_u64());
+            prop_assert!(e["name"].is_string());
+        }
+    }
+}
