@@ -212,6 +212,10 @@ impl BiAgent for SqlAgent {
         for attempt in 0..=ctx.max_retries {
             if attempt > 0 {
                 ctx.telemetry.metrics().incr("sql.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("sql_agent attempt {attempt}: {last_err}"),
+                );
             }
             let mut prompt = base_prompt("nl2sql", task, ctx);
             if let Some(fb) = &feedback {
@@ -274,6 +278,10 @@ impl BiAgent for CodeAgent {
         for attempt in 0..=ctx.max_retries {
             if attempt > 0 {
                 ctx.telemetry.metrics().incr("sandbox.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("code_agent attempt {attempt}: {last_err}"),
+                );
             }
             let mut prompt = base_prompt("nl2code", task, ctx);
             if let Some(fb) = &feedback {
@@ -309,6 +317,10 @@ impl BiAgent for CodeAgent {
                 }
                 Err(e) => {
                     last_err = e.to_string();
+                    ctx.telemetry.record_event(
+                        datalab_telemetry::EventKind::SandboxFailure,
+                        format!("code_agent: {last_err}"),
+                    );
                     feedback = Some(format!("previous pipeline failed: {last_err}\n{code}"));
                 }
             }
@@ -339,6 +351,10 @@ impl BiAgent for VisAgent {
         for attempt in 0..=ctx.max_retries {
             if attempt > 0 {
                 ctx.telemetry.metrics().incr("vis.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("vis_agent attempt {attempt}: {last_err}"),
+                );
             }
             let mut prompt = base_prompt("nl2vis", task, ctx);
             if let Some(fb) = &feedback {

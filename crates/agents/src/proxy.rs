@@ -183,6 +183,10 @@ impl<'a> ProxyAgent<'a> {
                 Some(a) => a,
                 None => {
                     failed_roles.push(role.clone());
+                    self.telemetry.record_event(
+                        datalab_telemetry::EventKind::AgentFailure,
+                        format!("{role}: no agent registered for role"),
+                    );
                     continue;
                 }
             };
@@ -209,6 +213,10 @@ impl<'a> ProxyAgent<'a> {
 
             fsm.begin(role);
             self.telemetry.metrics().incr("fsm.transitions", 1);
+            self.telemetry.record_event(
+                datalab_telemetry::EventKind::FsmTransition,
+                format!("{role}: pending -> working"),
+            );
             self.telemetry.metrics().incr("agents.subtasks", 1);
             // The call budget is spent inside the agent as execution-
             // feedback retries (a deterministic model answers an identical
@@ -231,6 +239,10 @@ impl<'a> ProxyAgent<'a> {
             };
             fsm.complete(role);
             self.telemetry.metrics().incr("fsm.transitions", 1);
+            self.telemetry.record_event(
+                datalab_telemetry::EventKind::FsmTransition,
+                format!("{role}: working -> done"),
+            );
             match outcome {
                 Some(out) => {
                     // Steps 3-4: deposit the agent's output into the buffer.
@@ -250,6 +262,10 @@ impl<'a> ProxyAgent<'a> {
                 None => {
                     failed_roles.push(role.clone());
                     self.telemetry.metrics().incr("agents.failures", 1);
+                    self.telemetry.record_event(
+                        datalab_telemetry::EventKind::AgentFailure,
+                        format!("{role}: subtask failed after retries: {subtask}"),
+                    );
                 }
             }
         }

@@ -1,0 +1,64 @@
+//! Generates a workload-driven fleet report: sampled nl2sql / nl2code /
+//! nl2vis / insight tasks run through the full platform, one run record
+//! per task, aggregated and written as JSON for `obsdiff` to gate.
+//!
+//! ```text
+//! cargo run -p datalab-bench --bin fleet_report -- [--seed N] [--tasks N] [--out PATH]
+//! ```
+//!
+//! Defaults: seed 7, 3 tasks per workload family, output
+//! `target/telemetry/fleet_report.json`.
+
+use datalab_bench::telemetry_dir;
+use datalab_workloads::{run_fleet, FleetConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = FleetConfig::default();
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        let result = match arg.as_str() {
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse()
+                    .map(|n| config.seed = n)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--tasks" => take("--tasks").and_then(|v| {
+                v.parse()
+                    .map(|n| config.tasks_per_workload = n)
+                    .map_err(|e| format!("--tasks: {e}"))
+            }),
+            "--out" => take("--out").map(|v| out = Some(PathBuf::from(v))),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("fleet_report: {e}");
+            eprintln!("usage: fleet_report [--seed N] [--tasks N] [--out PATH]");
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = run_fleet(&config);
+    print!("{}", report.render());
+
+    let path = match out {
+        Some(p) => p,
+        None => match telemetry_dir() {
+            Ok(dir) => dir.join("fleet_report.json"),
+            Err(e) => {
+                eprintln!("fleet_report: cannot create target/telemetry: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("fleet_report: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("fleet report written: {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -23,5 +23,10 @@
 #![warn(missing_docs)]
 
 pub mod platform;
+pub mod recorder;
 
 pub use platform::{DataLab, DataLabConfig, DataLabResponse};
+pub use recorder::{
+    diff_reports, FleetReport, LatencyStats, LlmTotals, Regression, RunRecord, RunRecorder,
+    StageStats, TokenTotals, WorkloadStats, LATENCY_BUCKETS_US,
+};

@@ -10,9 +10,11 @@ use datalab_knowledge::{
 use datalab_llm::{LanguageModel, ModelProfile, SimLlm};
 use datalab_notebook::{CellDag, CellKind, Notebook};
 use datalab_sql::Database;
-use datalab_telemetry::{QuerySummary, Telemetry};
+use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, Telemetry};
 use datalab_viz::RenderedChart;
 use std::collections::BTreeMap;
+
+use crate::recorder::{FleetReport, RunRecord, RunRecorder};
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +66,10 @@ pub struct DataLabResponse {
     /// per-agent token attribution, and exporters (Chrome trace, JSON,
     /// human-readable rendering).
     pub telemetry: QuerySummary,
+    /// Flight record: every event the recorder retained for this query,
+    /// attached only when the query failed (empty on success). Render
+    /// with [`datalab_telemetry::render_flight_record`].
+    pub flight_record: Vec<Event>,
 }
 
 /// The unified BI platform.
@@ -80,6 +86,7 @@ pub struct DataLab {
     profile_lines: String,
     session_buffer: SharedBuffer,
     telemetry: Telemetry,
+    recorder: RunRecorder,
 }
 
 impl DataLab {
@@ -105,7 +112,18 @@ impl DataLab {
             profile_lines: String::new(),
             session_buffer: SharedBuffer::default(),
             telemetry,
+            recorder: RunRecorder::new(),
         }
+    }
+
+    /// Increments `platform.errors.<kind>` and records a
+    /// [`EventKind::PlatformError`] flight-recorder event.
+    fn note_platform_error(&self, kind: &str, detail: &str) {
+        self.telemetry
+            .metrics()
+            .incr(&format!("platform.errors.{kind}"), 1);
+        self.telemetry
+            .record_event(EventKind::PlatformError, detail);
     }
 
     /// Registers a data table and profiles it (the §IV-C fallback, so
@@ -120,8 +138,12 @@ impl DataLab {
     /// Registers a table from CSV text (types inferred), profiling it like
     /// [`DataLab::register_table`].
     pub fn register_csv(&mut self, name: &str, csv_text: &str) -> Result<(), FrameError> {
-        let df = datalab_frame::csv::from_csv(csv_text)?;
-        self.register_table(name, df)
+        let result =
+            datalab_frame::csv::from_csv(csv_text).and_then(|df| self.register_table(name, df));
+        if let Err(e) = &result {
+            self.note_platform_error("csv_register", &format!("register_csv {name}: {e}"));
+        }
+        result
     }
 
     /// Serialises the knowledge graph to JSON (for persistence across
@@ -135,9 +157,17 @@ impl DataLab {
     /// Restores a knowledge graph exported by
     /// [`DataLab::export_knowledge`] and rebuilds the retrieval index.
     pub fn import_knowledge(&mut self, json: &str) -> Result<(), serde_json::Error> {
-        self.graph = serde_json::from_str(json)?;
-        self.rebuild_index();
-        Ok(())
+        match serde_json::from_str(json) {
+            Ok(graph) => {
+                self.graph = graph;
+                self.rebuild_index();
+                Ok(())
+            }
+            Err(e) => {
+                self.note_platform_error("knowledge_import", &format!("import_knowledge: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// Serialises the notebook to JSON.
@@ -148,9 +178,17 @@ impl DataLab {
     /// Restores a notebook exported by [`DataLab::export_notebook`] and
     /// rebuilds its dependency DAG.
     pub fn import_notebook(&mut self, json: &str) -> Result<(), serde_json::Error> {
-        self.notebook = serde_json::from_str(json)?;
-        self.dag = CellDag::build(&self.notebook);
-        Ok(())
+        match serde_json::from_str(json) {
+            Ok(notebook) => {
+                self.notebook = notebook;
+                self.dag = CellDag::build(&self.notebook);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_platform_error("notebook_import", &format!("import_notebook: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// Ingests a table's script history and lineage, running Algorithm 1
@@ -259,12 +297,28 @@ impl DataLab {
     /// Handles one NL query end to end (the Fig. 2 workflow): knowledge
     /// incorporation ①, multi-agent execution with structured
     /// communication ②, and notebook/context maintenance ③.
+    ///
+    /// The run is recorded under the `adhoc` workload label; use
+    /// [`DataLab::query_as`] to label workload-driven runs.
     pub fn query(&mut self, question: &str) -> DataLabResponse {
+        self.query_as("adhoc", question)
+    }
+
+    /// Like [`DataLab::query`], but records the run under an explicit
+    /// workload label (`nl2sql`, `nl2vis`, …) so [`DataLab::fleet_report`]
+    /// can break statistics down per workload.
+    pub fn query_as(&mut self, workload: &str, question: &str) -> DataLabResponse {
         // Discard spans left over from setup work (registration, script
         // ingestion) so this query's trace has exactly one root, then
         // snapshot attribution so the summary reports only this query.
         self.telemetry.drain_trace();
         let attribution_baseline = self.telemetry.attribution();
+        // Mark the event log so the flight record covers exactly this
+        // query, and baseline the kind counts for the error taxonomy.
+        let event_mark = self.telemetry.events().total_recorded();
+        let error_baseline = self.telemetry.events().kind_counts();
+        self.telemetry
+            .record_event(EventKind::QueryStart, question.to_string());
         let root = self.telemetry.span("query");
         root.attr("question", question);
 
@@ -346,12 +400,52 @@ impl DataLab {
         self.telemetry
             .metrics()
             .incr("notebook.cells_appended", new_cells.len() as u64);
+        if !new_cells.is_empty() {
+            self.telemetry.record_event(
+                EventKind::CellAppend,
+                format!("appended {} cells", new_cells.len()),
+            );
+        }
         notebook_stage.attr("cells", new_cells.len().to_string());
         drop(notebook_stage);
         self.history.push(grounding.rewritten_query.clone());
 
         drop(root);
+        self.telemetry.record_event(
+            EventKind::QueryEnd,
+            if outcome.success { "ok" } else { "failed" },
+        );
         let telemetry = self.telemetry.finish_query(&attribution_baseline);
+
+        // Error taxonomy for this query: per-kind count deltas, error
+        // kinds only (lifetime counts survive ring eviction).
+        let mut error_kinds = BTreeMap::new();
+        for (kind, count) in self.telemetry.events().kind_counts() {
+            if !is_error_kind(&kind) {
+                continue;
+            }
+            let delta = count - error_baseline.get(&kind).copied().unwrap_or(0);
+            if delta > 0 {
+                error_kinds.insert(kind, delta);
+            }
+        }
+        // On failure, attach what the recorder retained since the query
+        // started — the flight record.
+        let flight_record = if outcome.success {
+            Vec::new()
+        } else {
+            self.telemetry.events().since(event_mark)
+        };
+
+        self.recorder.push(RunRecord {
+            workload: workload.to_string(),
+            question: question.to_string(),
+            success: outcome.success,
+            duration_us: telemetry.root().map(|r| r.dur_us).unwrap_or(0),
+            summary: telemetry.clone(),
+            error_kinds,
+            flight_record: flight_record.clone(),
+        });
 
         DataLabResponse {
             answer: outcome.answer,
@@ -363,7 +457,24 @@ impl DataLab {
             success: outcome.success,
             new_cells,
             telemetry,
+            flight_record,
         }
+    }
+
+    /// The session's accumulated run records.
+    pub fn run_records(&self) -> &[RunRecord] {
+        self.recorder.records()
+    }
+
+    /// Drains the session's run records (e.g. to merge several labs'
+    /// records into one fleet-wide [`RunRecorder`]).
+    pub fn take_run_records(&mut self) -> Vec<RunRecord> {
+        std::mem::take(&mut self.recorder).into_records()
+    }
+
+    /// Folds every recorded run into a [`FleetReport`].
+    pub fn fleet_report(&self) -> FleetReport {
+        self.recorder.report()
     }
 }
 
@@ -554,6 +665,88 @@ east,5
         assert!(m.counter("llm.calls") > 0);
         assert!(m.counter("agents.subtasks") >= 1);
         assert!(m.counter("notebook.cells_appended") >= 1);
+    }
+
+    #[test]
+    fn fleet_report_accumulates_labeled_runs() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r1 = lab.query_as("nl2sql", "What is the total amount by region?");
+        let r2 = lab.query_as("nl2vis", "Draw a bar chart of total amount by region");
+        assert!(r1.success && r2.success);
+        assert!(r1.flight_record.is_empty() && r2.flight_record.is_empty());
+        assert_eq!(lab.run_records().len(), 2);
+
+        let report = lab.fleet_report();
+        assert_eq!((report.runs, report.passed, report.failed), (2, 2, 0));
+        // Fleet token totals are exactly the sum of the per-query deltas.
+        assert_eq!(
+            report.tokens.total,
+            r1.telemetry.total.total() + r2.telemetry.total.total()
+        );
+        assert_eq!(
+            report.llm.calls,
+            r1.telemetry.total.calls + r2.telemetry.total.calls
+        );
+        assert!(report.workloads.contains_key("nl2sql"));
+        assert!(report.workloads.contains_key("nl2vis"));
+        let execute = report.stage("execute").expect("execute stats");
+        assert_eq!(execute.spans, 2);
+        assert!(execute.latency.p50_us <= execute.latency.p99_us);
+        assert!(report.agent("sql_agent").is_some());
+        assert!(report.render().contains("fleet report: 2 runs"));
+
+        // The event log observed both queries.
+        let counts = lab.telemetry().events().kind_counts();
+        assert_eq!(counts.get("query_start"), Some(&2));
+        assert_eq!(counts.get("query_end"), Some(&2));
+        assert!(counts.get("llm_call").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn failing_query_attaches_flight_record() {
+        // No registered tables: the vis agent has no data source to
+        // resolve, so the subtask must fail.
+        let mut lab = DataLab::new(DataLabConfig::default());
+        let r = lab.query("draw a bar chart of sales by region");
+        assert!(!r.success);
+        assert!(!r.flight_record.is_empty());
+        assert_eq!(r.flight_record.first().unwrap().kind, EventKind::QueryStart);
+        assert_eq!(r.flight_record.last().unwrap().kind, EventKind::QueryEnd);
+        assert!(r
+            .flight_record
+            .iter()
+            .any(|e| e.kind == EventKind::AgentFailure));
+
+        let record = lab.run_records().last().expect("run recorded");
+        assert!(!record.success);
+        assert!(
+            record
+                .error_kinds
+                .get("agent_failure")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        let report = lab.fleet_report();
+        assert_eq!((report.runs, report.failed), (1, 1));
+        assert!(report.errors.contains_key("agent_failure"));
+    }
+
+    #[test]
+    fn platform_errors_are_counted_and_evented() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        assert!(lab.import_knowledge("not json").is_err());
+        assert!(lab.import_notebook("not json").is_err());
+        assert!(lab.register_csv("bad", "a,b\n1\n").is_err());
+        let m = lab.telemetry().metrics();
+        assert_eq!(m.counter("platform.errors.knowledge_import"), 1);
+        assert_eq!(m.counter("platform.errors.notebook_import"), 1);
+        assert_eq!(m.counter("platform.errors.csv_register"), 1);
+        assert_eq!(
+            lab.telemetry().events().kind_counts().get("platform_error"),
+            Some(&3)
+        );
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! Durable per-query run records and fleet-level aggregation.
+//!
+//! [`QuerySummary`](datalab_telemetry::QuerySummary) observes one query;
+//! the paper's system claims (Tables 1-4) are aggregates over hundreds.
+//! This module keeps every query's outcome as a [`RunRecord`] and folds a
+//! session's records into a [`FleetReport`]: pass/fail counts, token
+//! attribution totals, per-stage and per-agent latency percentiles, and
+//! an error taxonomy keyed by flight-recorder event kind. Reports
+//! serialize to JSON so runs can be archived, diffed ([`diff_reports`]),
+//! and gated in CI (`obsdiff`).
+
+use datalab_telemetry::{Event, MetricsRegistry, QuerySummary, SpanNode};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Upper-inclusive microsecond bucket bounds for latency percentile
+/// readouts: 50µs through one minute.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 60_000_000,
+];
+
+/// Everything kept about one completed query.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload label (`nl2sql`, `nl2vis`, … or `adhoc` for direct
+    /// [`DataLab::query`](crate::DataLab::query) calls).
+    pub workload: String,
+    /// The natural-language question as asked.
+    pub question: String,
+    /// Whether every subtask completed.
+    pub success: bool,
+    /// Wall-clock duration of the query's root span, microseconds.
+    pub duration_us: u64,
+    /// The query's telemetry summary (span tree + token attribution).
+    pub summary: QuerySummary,
+    /// Error-taxonomy counts observed during this query, keyed by
+    /// [`EventKind::as_str`](datalab_telemetry::EventKind::as_str).
+    pub error_kinds: BTreeMap<String, u64>,
+    /// Flight record: the events leading up to the failure (empty for
+    /// successful queries).
+    pub flight_record: Vec<Event>,
+}
+
+/// Accumulates [`RunRecord`]s across a session.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecorder {
+    records: Vec<RunRecord>,
+}
+
+impl RunRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RunRecorder::default()
+    }
+
+    /// Appends one run record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends records collected elsewhere (e.g. per-domain sessions in a
+    /// workload sweep).
+    pub fn absorb(&mut self, records: impl IntoIterator<Item = RunRecord>) {
+        self.records.extend(records);
+    }
+
+    /// All records, in completion order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, yielding its records.
+    pub fn into_records(self) -> Vec<RunRecord> {
+        self.records
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Folds every record into a [`FleetReport`].
+    pub fn report(&self) -> FleetReport {
+        FleetReport::from_records(&self.records)
+    }
+}
+
+/// Latency percentile readout for one population of spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Observations.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Largest observation, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    fn from_durations(durations: &[u64]) -> LatencyStats {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("lat", LATENCY_BUCKETS_US);
+        for d in durations {
+            m.observe("lat", *d);
+        }
+        let s = m.histogram("lat").expect("registered above");
+        LatencyStats {
+            count: s.count,
+            p50_us: s.p50(),
+            p90_us: s.p90(),
+            p99_us: s.p99(),
+            max_us: s.max,
+        }
+    }
+}
+
+/// Aggregate statistics for one pipeline stage (or one agent role).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name (e.g. `execute`) or agent role (e.g. `sql_agent`).
+    pub name: String,
+    /// Spans observed across all runs.
+    pub spans: u64,
+    /// Model calls attributed to this stage/agent.
+    pub llm_calls: u64,
+    /// Tokens (prompt + completion) attributed to this stage/agent.
+    pub tokens: u64,
+    /// Latency percentiles over the observed spans.
+    pub latency: LatencyStats,
+}
+
+/// Session-level token totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenTotals {
+    /// Prompt-side tokens.
+    pub prompt: u64,
+    /// Completion-side tokens.
+    pub completion: u64,
+    /// Prompt plus completion.
+    pub total: u64,
+}
+
+/// Session-level model-call totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlmTotals {
+    /// Number of model calls.
+    pub calls: u64,
+}
+
+/// Per-workload pass/fail and token rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Queries run under this workload label.
+    pub runs: u64,
+    /// Fully-successful queries.
+    pub passed: u64,
+    /// Queries with at least one failed subtask.
+    pub failed: u64,
+    /// Tokens attributed to this workload's queries.
+    pub tokens: u64,
+}
+
+/// Cross-run aggregation of a session's [`RunRecord`]s: the durable,
+/// diffable unit the CI regression gate (`obsdiff`) consumes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Total queries recorded.
+    pub runs: u64,
+    /// Fully-successful queries.
+    pub passed: u64,
+    /// Queries with at least one failed subtask.
+    pub failed: u64,
+    /// Token totals over every recorded query.
+    pub tokens: TokenTotals,
+    /// Model-call totals over every recorded query.
+    pub llm: LlmTotals,
+    /// Whole-query latency percentiles.
+    pub latency: LatencyStats,
+    /// Per-stage statistics, name-sorted.
+    pub stages: Vec<StageStats>,
+    /// Per-agent statistics, role-sorted.
+    pub agents: Vec<StageStats>,
+    /// Error taxonomy: flight-recorder error-event kind → count.
+    pub errors: BTreeMap<String, u64>,
+    /// Per-workload rollups.
+    pub workloads: BTreeMap<String, WorkloadStats>,
+}
+
+fn walk_agent_spans(node: &SpanNode, out: &mut Vec<(String, u64)>) {
+    if let Some(role) = node.name.strip_prefix("agent:") {
+        out.push((role.to_string(), node.dur_us));
+    }
+    for c in &node.children {
+        walk_agent_spans(c, out);
+    }
+}
+
+impl FleetReport {
+    /// Builds the report from a slice of run records.
+    pub fn from_records(records: &[RunRecord]) -> FleetReport {
+        let mut report = FleetReport {
+            runs: records.len() as u64,
+            ..FleetReport::default()
+        };
+        let mut query_durations = Vec::new();
+        let mut stage_durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut agent_durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut stage_usage: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // (calls, tokens)
+        let mut agent_usage: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+
+        for r in records {
+            if r.success {
+                report.passed += 1;
+            } else {
+                report.failed += 1;
+            }
+            query_durations.push(r.duration_us);
+
+            let w = report.workloads.entry(r.workload.clone()).or_default();
+            w.runs += 1;
+            if r.success {
+                w.passed += 1;
+            } else {
+                w.failed += 1;
+            }
+            w.tokens += r.summary.total.total();
+
+            report.tokens.prompt += r.summary.total.prompt_tokens;
+            report.tokens.completion += r.summary.total.completion_tokens;
+            report.llm.calls += r.summary.total.calls;
+
+            for a in &r.summary.attribution {
+                let s = stage_usage.entry(a.stage.clone()).or_default();
+                s.0 += a.usage.calls;
+                s.1 += a.usage.total();
+                if a.agent != "-" {
+                    let g = agent_usage.entry(a.agent.clone()).or_default();
+                    g.0 += a.usage.calls;
+                    g.1 += a.usage.total();
+                }
+            }
+
+            for root in &r.summary.spans {
+                let stage_spans: Vec<&SpanNode> = if root.name == "query" {
+                    root.children.iter().collect()
+                } else {
+                    vec![root]
+                };
+                for s in stage_spans {
+                    if !s.name.starts_with("agent:") {
+                        stage_durations
+                            .entry(s.name.clone())
+                            .or_default()
+                            .push(s.dur_us);
+                    }
+                }
+                let mut agents = Vec::new();
+                walk_agent_spans(root, &mut agents);
+                for (role, dur) in agents {
+                    agent_durations.entry(role).or_default().push(dur);
+                }
+            }
+
+            for (kind, n) in &r.error_kinds {
+                *report.errors.entry(kind.clone()).or_insert(0) += n;
+            }
+        }
+
+        report.tokens.total = report.tokens.prompt + report.tokens.completion;
+        report.latency = LatencyStats::from_durations(&query_durations);
+        report.stages = collect_stats(&stage_durations, &stage_usage);
+        report.agents = collect_stats(&agent_durations, &agent_usage);
+        report
+    }
+
+    /// Statistics for the named stage, when it was observed.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Statistics for the named agent role, when it was observed.
+    pub fn agent(&self, role: &str) -> Option<&StageStats> {
+        self.agents.iter().find(|s| s.name == role)
+    }
+
+    /// Serialises the report as JSON (the `obsdiff` wire format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetReport serializes")
+    }
+
+    /// Parses a report serialized by [`FleetReport::to_json`].
+    pub fn from_json(json: &str) -> Result<FleetReport, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Human-readable text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet report: {} runs ({} passed, {} failed)\n\
+             tokens: {} total ({} prompt + {} completion), {} llm calls\n\
+             query latency: p50={:.1}ms p90={:.1}ms p99={:.1}ms max={:.1}ms\n",
+            self.runs,
+            self.passed,
+            self.failed,
+            self.tokens.total,
+            self.tokens.prompt,
+            self.tokens.completion,
+            self.llm.calls,
+            self.latency.p50_us as f64 / 1000.0,
+            self.latency.p90_us as f64 / 1000.0,
+            self.latency.p99_us as f64 / 1000.0,
+            self.latency.max_us as f64 / 1000.0,
+        );
+        let table = |out: &mut String, title: &str, rows: &[StageStats]| {
+            if rows.is_empty() {
+                return;
+            }
+            out.push_str(&format!(
+                "{title:<14} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                "spans", "llm.calls", "tokens", "p50(ms)", "p90(ms)", "p99(ms)"
+            ));
+            for s in rows {
+                out.push_str(&format!(
+                    "  {:<12} {:>6} {:>10} {:>9} {:>9.1} {:>9.1} {:>9.1}\n",
+                    s.name,
+                    s.spans,
+                    s.llm_calls,
+                    s.tokens,
+                    s.latency.p50_us as f64 / 1000.0,
+                    s.latency.p90_us as f64 / 1000.0,
+                    s.latency.p99_us as f64 / 1000.0,
+                ));
+            }
+        };
+        table(&mut out, "stage", &self.stages);
+        table(&mut out, "agent", &self.agents);
+        if !self.errors.is_empty() {
+            out.push_str("errors:\n");
+            for (kind, n) in &self.errors {
+                out.push_str(&format!("  {kind:<20} {n}\n"));
+            }
+        }
+        if !self.workloads.is_empty() {
+            out.push_str("workloads:\n");
+            for (name, w) in &self.workloads {
+                out.push_str(&format!(
+                    "  {name:<12} {} runs, {} passed, {} failed, {} tokens\n",
+                    w.runs, w.passed, w.failed, w.tokens
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn collect_stats(
+    durations: &BTreeMap<String, Vec<u64>>,
+    usage: &BTreeMap<String, (u64, u64)>,
+) -> Vec<StageStats> {
+    let mut names: Vec<&String> = durations.keys().chain(usage.keys()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let durs = durations.get(name).map(Vec::as_slice).unwrap_or(&[]);
+            let (calls, tokens) = usage.get(name).copied().unwrap_or((0, 0));
+            StageStats {
+                name: name.clone(),
+                spans: durs.len() as u64,
+                llm_calls: calls,
+                tokens,
+                latency: LatencyStats::from_durations(durs),
+            }
+        })
+        .collect()
+}
+
+/// One metric that got worse between two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Dotted metric path (`tokens.total`, `llm.calls`,
+    /// `stage.execute.p99_us`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Relative change, percent (always > the gate threshold).
+    pub change_pct: f64,
+}
+
+/// Compares two fleet reports and returns every gated metric that
+/// regressed beyond `threshold_pct` percent: `tokens.total`, `llm.calls`,
+/// and the p99 latency of every stage present in both reports. Metrics
+/// with a zero baseline are skipped (nothing to compare against);
+/// stages only present in the candidate are not latency-gated but DO
+/// trip the token gate through the totals.
+pub fn diff_reports(
+    baseline: &FleetReport,
+    candidate: &FleetReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    let mut check = |metric: String, base: f64, cand: f64| {
+        if base <= 0.0 {
+            return;
+        }
+        let change_pct = (cand - base) / base * 100.0;
+        if change_pct > threshold_pct {
+            regressions.push(Regression {
+                metric,
+                baseline: base,
+                candidate: cand,
+                change_pct,
+            });
+        }
+    };
+    check(
+        "tokens.total".into(),
+        baseline.tokens.total as f64,
+        candidate.tokens.total as f64,
+    );
+    check(
+        "llm.calls".into(),
+        baseline.llm.calls as f64,
+        candidate.llm.calls as f64,
+    );
+    check(
+        "latency.p99_us".into(),
+        baseline.latency.p99_us as f64,
+        candidate.latency.p99_us as f64,
+    );
+    for b in &baseline.stages {
+        if let Some(c) = candidate.stage(&b.name) {
+            check(
+                format!("stage.{}.p99_us", b.name),
+                b.latency.p99_us as f64,
+                c.latency.p99_us as f64,
+            );
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_telemetry::{AttributedUsage, TokenUsage};
+
+    fn span(name: &str, start_us: u64, dur_us: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            start_us,
+            dur_us,
+            attrs: vec![],
+            children,
+        }
+    }
+
+    fn record(workload: &str, success: bool, execute_us: u64, tokens: u64) -> RunRecord {
+        let summary = QuerySummary {
+            spans: vec![span(
+                "query",
+                0,
+                execute_us + 20,
+                vec![
+                    span("rewrite", 1, 10, vec![]),
+                    span(
+                        "execute",
+                        12,
+                        execute_us,
+                        vec![span("agent:sql_agent", 13, execute_us - 2, vec![])],
+                    ),
+                ],
+            )],
+            attribution: vec![
+                AttributedUsage {
+                    stage: "rewrite".into(),
+                    agent: "-".into(),
+                    usage: TokenUsage {
+                        prompt_tokens: tokens / 4,
+                        completion_tokens: 0,
+                        calls: 1,
+                    },
+                },
+                AttributedUsage {
+                    stage: "execute".into(),
+                    agent: "sql_agent".into(),
+                    usage: TokenUsage {
+                        prompt_tokens: tokens / 2,
+                        completion_tokens: tokens / 4,
+                        calls: 2,
+                    },
+                },
+            ],
+            total: TokenUsage {
+                prompt_tokens: 3 * tokens / 4,
+                completion_tokens: tokens / 4,
+                calls: 3,
+            },
+        };
+        let mut error_kinds = BTreeMap::new();
+        if !success {
+            error_kinds.insert("agent_failure".to_string(), 1);
+        }
+        RunRecord {
+            workload: workload.into(),
+            question: "q".into(),
+            success,
+            duration_us: execute_us + 20,
+            summary,
+            error_kinds,
+            flight_record: vec![],
+        }
+    }
+
+    fn sample_report() -> FleetReport {
+        let mut rec = RunRecorder::new();
+        rec.push(record("nl2sql", true, 1000, 400));
+        rec.push(record("nl2sql", true, 2000, 400));
+        rec.push(record("nl2vis", false, 8000, 800));
+        rec.report()
+    }
+
+    #[test]
+    fn report_aggregates_counts_tokens_and_taxonomy() {
+        let report = sample_report();
+        assert_eq!((report.runs, report.passed, report.failed), (3, 2, 1));
+        assert_eq!(report.tokens.total, 1600);
+        assert_eq!(report.tokens.prompt + report.tokens.completion, 1600);
+        assert_eq!(report.llm.calls, 9);
+        assert_eq!(report.errors.get("agent_failure"), Some(&1));
+        assert_eq!(report.workloads.len(), 2);
+        assert_eq!(report.workloads["nl2sql"].runs, 2);
+        assert_eq!(report.workloads["nl2sql"].tokens, 800);
+        assert_eq!(report.workloads["nl2vis"].failed, 1);
+
+        // Per-stage token totals sum to the grand total.
+        let by_stage: u64 = report.stages.iter().map(|s| s.tokens).sum();
+        assert_eq!(by_stage, report.tokens.total);
+
+        let execute = report.stage("execute").expect("execute stats");
+        assert_eq!(execute.spans, 3);
+        assert_eq!(execute.llm_calls, 6);
+        let sql = report.agent("sql_agent").expect("sql_agent stats");
+        assert_eq!(sql.spans, 3);
+        // Latency percentiles are ordered and bounded by the max.
+        assert!(execute.latency.p50_us <= execute.latency.p90_us);
+        assert!(execute.latency.p90_us <= execute.latency.p99_us);
+        assert!(execute.latency.p99_us <= execute.latency.max_us);
+        assert_eq!(report.latency.count, 3);
+        assert_eq!(report.latency.max_us, 8020);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_and_renders() {
+        let report = sample_report();
+        let json = report.to_json();
+        let parsed = FleetReport::from_json(&json).expect("parses");
+        assert_eq!(parsed, report);
+        assert!(FleetReport::from_json("not json").is_err());
+        let text = report.render();
+        assert!(
+            text.contains("fleet report: 3 runs (2 passed, 1 failed)"),
+            "{text}"
+        );
+        assert!(text.contains("agent_failure"), "{text}");
+        assert!(text.contains("nl2sql"), "{text}");
+        assert!(text.contains("sql_agent"), "{text}");
+    }
+
+    #[test]
+    fn identical_reports_produce_no_regressions() {
+        let report = sample_report();
+        assert!(diff_reports(&report, &report, 10.0).is_empty());
+        // Small wobble under the threshold passes too.
+        let mut wobble = report.clone();
+        wobble.tokens.total = report.tokens.total + report.tokens.total / 20;
+        assert!(diff_reports(&report, &wobble, 10.0).is_empty());
+    }
+
+    #[test]
+    fn inflated_tokens_and_calls_regress() {
+        let base = sample_report();
+        let mut cand = base.clone();
+        cand.tokens.total *= 2;
+        cand.llm.calls *= 3;
+        let regs = diff_reports(&base, &cand, 10.0);
+        let metrics: Vec<&str> = regs.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"tokens.total"), "{metrics:?}");
+        assert!(metrics.contains(&"llm.calls"), "{metrics:?}");
+        let t = regs.iter().find(|r| r.metric == "tokens.total").unwrap();
+        assert!((t.change_pct - 100.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn stage_p99_regressions_are_gated_per_stage() {
+        let base = sample_report();
+        let mut cand = base.clone();
+        for s in &mut cand.stages {
+            if s.name == "execute" {
+                s.latency.p99_us *= 5;
+            }
+        }
+        let regs = diff_reports(&base, &cand, 25.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "stage.execute.p99_us");
+        // A stage present only in the candidate is not latency-gated.
+        cand.stages.push(StageStats {
+            name: "brand_new".into(),
+            ..StageStats::default()
+        });
+        assert_eq!(diff_reports(&base, &cand, 25.0).len(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_reports_zeroes() {
+        let report = RunRecorder::new().report();
+        assert_eq!(report.runs, 0);
+        assert_eq!(report.tokens.total, 0);
+        assert!(report.stages.is_empty());
+        assert!(diff_reports(&report, &report, 0.0).is_empty());
+    }
+}

@@ -148,6 +148,10 @@ pub fn incorporate_traced(
     // ("gmv" → "total income"), and the expanded query retrieves the
     // knowledge the jargon actually points at.
     let knowledge_lines = if config.setting == KnowledgeSetting::None || graph.is_empty() {
+        telemetry.record_event(
+            datalab_telemetry::EventKind::KnowledgeMiss,
+            "retrieval skipped: knowledge disabled or graph empty",
+        );
         String::new()
     } else {
         let mut retrieved = retrieve(llm, graph, index, &rewritten, &config.retrieval);
@@ -174,6 +178,17 @@ pub fn incorporate_traced(
         telemetry
             .metrics()
             .incr("knowledge.hits", retrieved.len() as u64);
+        if retrieved.is_empty() {
+            telemetry.record_event(
+                datalab_telemetry::EventKind::KnowledgeMiss,
+                "retrieval returned no grounding items",
+            );
+        } else {
+            telemetry.record_event(
+                datalab_telemetry::EventKind::KnowledgeHit,
+                format!("{} grounding items retrieved", retrieved.len()),
+            );
+        }
         ground_stage.attr("knowledge_hits", retrieved.len().to_string());
         filter_lines(&render_knowledge(graph, &retrieved), config.setting)
     };
@@ -185,6 +200,10 @@ pub fn incorporate_traced(
     for attempt in 0..=config.dsl_retries {
         if attempt > 0 {
             telemetry.metrics().incr("dsl.retries", 1);
+            telemetry.record_event(
+                datalab_telemetry::EventKind::Retry,
+                format!("nl2dsl attempt {attempt}"),
+            );
         }
         let mut prompt = Prompt::new("nl2dsl")
             .section("schema", schema_section)

@@ -90,12 +90,16 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage])
             let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
             let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
             format!(
-                "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+                "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
                 json_escape(n),
                 bounds.join(","),
                 counts.join(","),
                 h.count,
-                h.sum
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p90(),
+                h.p99()
             )
         })
         .collect();
@@ -105,6 +109,18 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage])
         counters.join(","),
         histograms.join(","),
         attribution.join(",")
+    )
+}
+
+/// Serialises one flight-record event as JSON
+/// (`{"seq", "at_us", "kind", "detail"}`).
+pub fn event_json(e: &crate::events::Event) -> String {
+    format!(
+        "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+        e.seq,
+        e.at_us,
+        e.kind.as_str(),
+        json_escape(&e.detail)
     )
 }
 
@@ -186,7 +202,23 @@ mod tests {
         assert!(json.contains("\"llm.calls\":2"), "{json}");
         assert!(json.contains("\"bounds\":[10,100]"));
         assert!(json.contains("\"counts\":[0,1,0]"));
+        assert!(json.contains("\"max\":42"));
+        assert!(json.contains("\"p99\":42"));
         assert!(json.contains("\"stage\":\"execute\""));
         assert!(json.contains("\"prompt_tokens\":40"));
+    }
+
+    #[test]
+    fn event_json_escapes_the_detail() {
+        let e = crate::events::Event {
+            seq: 7,
+            at_us: 1500,
+            kind: crate::events::EventKind::SandboxFailure,
+            detail: "parse error: \"bad\" line".into(),
+        };
+        let json = event_json(&e);
+        assert!(json.starts_with("{\"seq\":7,\"at_us\":1500"), "{json}");
+        assert!(json.contains("\"kind\":\"sandbox_failure\""));
+        assert!(json.contains("\\\"bad\\\""));
     }
 }

@@ -12,18 +12,26 @@
 //! 3. **Token attribution** — [`Telemetry::record_llm_call`] charges a
 //!    model call to the innermost open stage/agent scope, so a query's
 //!    spend can be broken down by pipeline stage and agent role.
+//! 4. **Events** — [`Telemetry::record_event`] appends a typed,
+//!    monotonically-sequenced event to a bounded ring buffer (the
+//!    *flight recorder*); the tail of the ring reconstructs the moments
+//!    leading up to a failure.
 //!
 //! The crate has no dependencies by design: observability must never be
 //! the reason the rest of the workspace fails to build.
 
 #![warn(missing_docs)]
 
+mod events;
 mod export;
 mod metrics;
 mod span;
 mod summary;
 
-pub use export::{chrome_trace_json, json_escape, metrics_json, span_json};
+pub use events::{
+    is_error_kind, render_flight_record, Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY,
+};
+pub use export::{chrome_trace_json, event_json, json_escape, metrics_json, span_json};
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
 };
@@ -75,6 +83,7 @@ impl AttribState {
 pub struct Telemetry {
     tracer: Tracer,
     metrics: Arc<MetricsRegistry>,
+    events: Arc<EventLog>,
     state: Arc<Mutex<AttribState>>,
 }
 
@@ -92,6 +101,23 @@ impl Telemetry {
     /// The metrics registry shared by all clones of this handle.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The event log (flight recorder) shared by all clones of this
+    /// handle: a bounded ring of typed, monotonically-sequenced events.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Records one typed event into the flight recorder.
+    pub fn record_event(&self, kind: EventKind, detail: impl Into<String>) {
+        self.events.record(kind, detail);
+    }
+
+    /// The last `n` events, oldest first — the forensic tail attached to
+    /// failed queries.
+    pub fn flight_record(&self, n: usize) -> Vec<Event> {
+        self.events.tail(n)
     }
 
     /// Opens a plain span with no attribution side effects.
@@ -136,6 +162,10 @@ impl Telemetry {
     /// and folds the counts into the metrics registry (`llm.calls`,
     /// `llm.prompt_tokens`, `llm.completion_tokens`, `llm.call_tokens`).
     pub fn record_llm_call(&self, prompt_tokens: u64, completion_tokens: u64) {
+        self.events.record(
+            EventKind::LlmCall,
+            format!("prompt={prompt_tokens} completion={completion_tokens}"),
+        );
         self.metrics.incr("llm.calls", 1);
         self.metrics.incr("llm.prompt_tokens", prompt_tokens);
         self.metrics
@@ -422,8 +452,14 @@ mod tests {
         let _s = t.stage("execute");
         clone.record_llm_call(3, 3);
         clone.metrics().incr("sandbox.retries", 1);
+        clone.record_event(EventKind::Retry, "attempt 1");
         assert_eq!(t.attribution()[0].stage, "execute");
         assert_eq!(t.metrics().counter("sandbox.retries"), 1);
         assert_eq!(t.tracer().len(), 1);
+        // The llm call and the explicit retry both hit the shared ring.
+        assert_eq!(t.events().total_recorded(), 2);
+        let flight = t.flight_record(8);
+        assert_eq!(flight[0].kind, EventKind::LlmCall);
+        assert_eq!(flight[1].kind, EventKind::Retry);
     }
 }

@@ -24,6 +24,7 @@ pub struct Histogram {
     /// One slot per bound plus a final overflow slot.
     counts: Vec<AtomicU64>,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Histogram {
@@ -32,6 +33,7 @@ impl Histogram {
             bounds: bounds.to_vec(),
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -43,6 +45,7 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.counts[slot].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -55,6 +58,7 @@ impl Histogram {
             bounds: self.bounds.clone(),
             count: counts.iter().sum(),
             sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
             counts,
         }
     }
@@ -72,6 +76,8 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
 }
 
 impl HistogramSnapshot {
@@ -82,6 +88,51 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Approximate quantile readout (`q` in `[0, 1]`).
+    ///
+    /// Walks the cumulative counts to the bucket containing the `q`-th
+    /// observation and reports that bucket's upper bound, tightened to
+    /// the recorded maximum — so the value always lies within the
+    /// bucket's `(lower, upper]` bounds, and the top of the distribution
+    /// never overstates the observed max. Observations in the overflow
+    /// bucket (above the last bound) report the recorded maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * count), at
+        // least 1 so q=0 reads the first observation's bucket.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (slot, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return match self.bounds.get(slot) {
+                    Some(upper) => (*upper).min(self.max),
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile (see [`HistogramSnapshot::percentile`]).
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile (see [`HistogramSnapshot::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 }
 
@@ -277,5 +328,71 @@ mod tests {
         m.histogram_with_buckets("e", &[1]);
         assert_eq!(m.histogram("e").unwrap().mean(), 0.0);
         assert!(m.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("e", &[10, 100]);
+        let s = m.histogram("e").unwrap();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p90(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("one", &[10, 100, 1000]);
+        m.observe("one", 42);
+        let s = m.histogram("one").unwrap();
+        // The max tightens the bucket's upper bound (100) to the exact
+        // observed value.
+        assert_eq!(s.p50(), 42);
+        assert_eq!(s.p90(), 42);
+        assert_eq!(s.p99(), 42);
+        assert_eq!(s.percentile(0.0), 42);
+        assert_eq!(s.percentile(1.0), 42);
+        assert_eq!(s.max, 42);
+    }
+
+    #[test]
+    fn overflow_only_histogram_reports_the_max() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("over", &[10]);
+        for v in [500u64, 900, 700] {
+            m.observe("over", v);
+        }
+        let s = m.histogram("over").unwrap();
+        assert_eq!(s.counts, vec![0, 3]);
+        // Every percentile lands in the overflow bucket, whose only
+        // honest readout is the recorded maximum — strictly above the
+        // last bound, as the bucket's range requires.
+        assert_eq!(s.p50(), 900);
+        assert_eq!(s.p99(), 900);
+        assert!(s.p50() > *s.bounds.last().unwrap());
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("lat", &[10, 100, 1000]);
+        // 90 fast observations, 9 medium, 1 slow: p50 in the first
+        // bucket, p90 at its edge, p99 in the second, max in the third.
+        for _ in 0..90 {
+            m.observe("lat", 5);
+        }
+        for _ in 0..9 {
+            m.observe("lat", 50);
+        }
+        m.observe("lat", 700);
+        let s = m.histogram("lat").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 10);
+        assert_eq!(s.p90(), 10);
+        assert_eq!(s.p99(), 100);
+        assert_eq!(s.percentile(1.0), 700);
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
     }
 }

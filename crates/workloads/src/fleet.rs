@@ -1,0 +1,135 @@
+//! Workload-driven fleet runs: drive sampled tasks from each benchmark
+//! family through a full [`DataLab`] platform and fold every query's run
+//! record into one [`FleetReport`].
+//!
+//! This is the report generator behind the CI regression gate: `obsdiff`
+//! compares the JSON this module produces against a checked-in baseline.
+
+use crate::data::Domain;
+use crate::insight::dabench_like;
+use crate::nl2code::ds1000_like;
+use crate::nl2sql::spider_like;
+use crate::nl2vis::nvbench_like;
+use datalab_core::{DataLab, DataLabConfig, FleetReport, RunRecorder};
+use std::collections::BTreeMap;
+
+/// Fleet-run parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Workload generator seed (kept fixed in CI so reports are
+    /// comparable across runs).
+    pub seed: u64,
+    /// Tasks sampled from each of the four workload families.
+    pub tasks_per_workload: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 7,
+            tasks_per_workload: 3,
+        }
+    }
+}
+
+fn lab_for_domain(domain: &Domain) -> DataLab {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    for name in domain.db.table_names() {
+        if let Ok(df) = domain.db.get(name) {
+            let _ = lab.register_table(name, df.clone());
+        }
+    }
+    lab
+}
+
+fn run_tasks(
+    recorder: &mut RunRecorder,
+    workload: &str,
+    domains: &[Domain],
+    tasks: impl IntoIterator<Item = (usize, String)>,
+) {
+    // One platform per domain, shared by that domain's tasks so notebook
+    // context and history accumulate the way a real session would.
+    let mut labs: BTreeMap<usize, DataLab> = BTreeMap::new();
+    for (domain_idx, question) in tasks {
+        let Some(domain) = domains.get(domain_idx) else {
+            continue;
+        };
+        let lab = labs
+            .entry(domain_idx)
+            .or_insert_with(|| lab_for_domain(domain));
+        lab.query_as(workload, &question);
+    }
+    for (_, mut lab) in labs {
+        recorder.absorb(lab.take_run_records());
+    }
+}
+
+/// Runs sampled nl2sql / nl2code / nl2vis / insight tasks through the
+/// platform (one run record per task) and returns the fleet report.
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    let mut recorder = RunRecorder::new();
+
+    let sql = spider_like(config.seed, config.tasks_per_workload);
+    run_tasks(
+        &mut recorder,
+        "nl2sql",
+        &sql.domains,
+        sql.tasks.iter().map(|t| (t.domain, t.question.clone())),
+    );
+
+    let code = ds1000_like(config.seed, config.tasks_per_workload);
+    run_tasks(
+        &mut recorder,
+        "nl2code",
+        &code.domains,
+        code.tasks.iter().map(|t| (t.domain, t.question.clone())),
+    );
+
+    let vis = nvbench_like(config.seed, config.tasks_per_workload);
+    run_tasks(
+        &mut recorder,
+        "nl2vis",
+        &vis.domains,
+        vis.tasks.iter().map(|t| (t.domain, t.question.clone())),
+    );
+
+    let insight = dabench_like(config.seed, config.tasks_per_workload);
+    run_tasks(
+        &mut recorder,
+        "insight",
+        &insight.domains,
+        insight.tasks.iter().map(|t| (t.domain, t.question.clone())),
+    );
+
+    recorder.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_run_produces_one_record_per_task() {
+        let config = FleetConfig {
+            seed: 7,
+            tasks_per_workload: 1,
+        };
+        let report = run_fleet(&config);
+        assert_eq!(report.runs, 4);
+        assert_eq!(report.passed + report.failed, 4);
+        for family in ["nl2sql", "nl2code", "nl2vis", "insight"] {
+            assert!(
+                report.workloads.contains_key(family),
+                "missing {family} in {:?}",
+                report.workloads.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(report.tokens.total > 0);
+        assert!(report.llm.calls > 0);
+        assert!(report.stage("execute").is_some());
+        // The report round-trips through its JSON wire format.
+        let parsed = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+}

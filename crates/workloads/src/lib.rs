@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod data;
 pub mod enterprise;
+pub mod fleet;
 pub mod insight;
 pub mod metrics;
 pub mod nl2code;
@@ -21,3 +22,4 @@ pub mod nl2vis;
 pub mod notebooks;
 
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};
+pub use fleet::{run_fleet, FleetConfig};

@@ -1,8 +1,9 @@
-//! Observability walkthrough: run a couple of queries and inspect what
+//! Observability walkthrough: run a multi-query session and inspect what
 //! the telemetry layer recorded — the per-query span tree, the token
 //! attribution by pipeline stage and agent, the platform-wide metrics
-//! registry, and a Chrome `trace_event` export you can load at
-//! `chrome://tracing` (or <https://ui.perfetto.dev>).
+//! registry, a Chrome `trace_event` export you can load at
+//! `chrome://tracing` (or <https://ui.perfetto.dev>), the session-level
+//! fleet report, and the flight record attached to a failing query.
 //!
 //! ```sh
 //! cargo run --example telemetry_trace
@@ -10,6 +11,7 @@
 
 use datalab::core::{DataLab, DataLabConfig};
 use datalab::frame::{DataFrame, DataType, Value};
+use datalab::telemetry::render_flight_record;
 
 fn main() {
     let n = 18;
@@ -39,13 +41,16 @@ fn main() {
         .expect("profiling succeeds");
 
     // Every query comes back with a QuerySummary: one span tree rooted at
-    // "query", and the token spend broken down by (stage, agent).
-    for question in [
-        "What is the total amount by region?",
-        "Draw a bar chart of total cost by region",
+    // "query", and the token spend broken down by (stage, agent). Labelled
+    // runs (`query_as`) let the session's fleet report break statistics
+    // down per workload.
+    for (workload, question) in [
+        ("nl2sql", "What is the total amount by region?"),
+        ("nl2sql", "What is the average cost by region?"),
+        ("nl2vis", "Draw a bar chart of total cost by region"),
     ] {
-        println!("=== Q: {question}\n");
-        let r = lab.query(question);
+        println!("=== [{workload}] Q: {question}\n");
+        let r = lab.query_as(workload, question);
         print!("{}", r.telemetry.render());
 
         // Machine-readable exports ride along on the same summary.
@@ -76,4 +81,21 @@ fn main() {
         "attributed:  {} tokens",
         lab.telemetry().token_totals().total()
     );
+
+    // A query that cannot succeed: the platform has no "inventory" data,
+    // so the vis agent fails and the response carries a flight record —
+    // the recorder's events from QueryStart to the failed QueryEnd.
+    println!("\n=== a failing query and its flight record\n");
+    let mut empty_lab = DataLab::new(DataLabConfig::default());
+    let failed = empty_lab.query("draw a pie chart of inventory by warehouse");
+    println!("success: {}", failed.success);
+    print!("{}", render_flight_record(&failed.flight_record));
+
+    // Every run lands in the session's RunRecorder; the fleet report
+    // aggregates pass/fail counts, token totals, per-stage and per-agent
+    // latency percentiles, and the error taxonomy.
+    println!("\n=== fleet report (multi-query session)\n");
+    print!("{}", lab.fleet_report().render());
+    println!("\n=== fleet report (failing session)\n");
+    print!("{}", empty_lab.fleet_report().render());
 }
