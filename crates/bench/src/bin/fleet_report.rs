@@ -3,11 +3,13 @@
 //! per task, aggregated and written as JSON for `obsdiff` to gate.
 //!
 //! ```text
-//! cargo run -p datalab-bench --bin fleet_report -- [--seed N] [--tasks N] [--out PATH]
+//! cargo run -p datalab-bench --bin fleet_report -- [--seed N] [--tasks N] [--workers W] [--out PATH]
 //! ```
 //!
-//! Defaults: seed 7, 3 tasks per workload family, output
-//! `target/telemetry/fleet_report.json`.
+//! Defaults: seed 7, 3 tasks per workload family, 1 worker (serial),
+//! output `target/telemetry/fleet_report.json`. With `--workers W > 1`
+//! the sharded parallel executor is used; the report is identical to the
+//! serial one except for its wall-clock fields.
 
 use datalab_bench::telemetry_dir;
 use datalab_workloads::{run_fleet, FleetConfig};
@@ -32,16 +34,27 @@ fn main() -> ExitCode {
                     .map(|n| config.tasks_per_workload = n)
                     .map_err(|e| format!("--tasks: {e}"))
             }),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
             "--out" => take("--out").map(|v| out = Some(PathBuf::from(v))),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(e) = result {
             eprintln!("fleet_report: {e}");
-            eprintln!("usage: fleet_report [--seed N] [--tasks N] [--out PATH]");
+            eprintln!("usage: fleet_report [--seed N] [--tasks N] [--workers W] [--out PATH]");
             return ExitCode::from(2);
         }
     }
 
+    eprintln!(
+        "fleet_report: seed={} tasks_per_workload={} workers={}",
+        config.seed,
+        config.tasks_per_workload,
+        config.workers.max(1)
+    );
     let report = run_fleet(&config);
     print!("{}", report.render());
 

@@ -13,6 +13,7 @@ use datalab_sql::Database;
 use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, Telemetry};
 use datalab_viz::RenderedChart;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::recorder::{FleetReport, RunRecord, RunRecorder};
 
@@ -127,8 +128,16 @@ impl DataLab {
     }
 
     /// Registers a data table and profiles it (the §IV-C fallback, so
-    /// in-the-wild tables are groundable immediately).
-    pub fn register_table(&mut self, name: &str, df: DataFrame) -> Result<(), FrameError> {
+    /// in-the-wild tables are groundable immediately). Accepts an owned
+    /// frame or an `Arc<DataFrame>` — fleet runners registering one
+    /// source table with many sessions share the allocation instead of
+    /// deep-copying the columns per session.
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        df: impl Into<Arc<DataFrame>>,
+    ) -> Result<(), FrameError> {
+        let df = df.into();
         let profiled = profile_table(&self.llm, name, &df)?;
         self.profile_lines.push_str(&profiled.render());
         self.db.insert(name, df);
@@ -509,6 +518,42 @@ mod tests {
             ("day", DataType::Date, dates),
         ])
         .unwrap()
+    }
+
+    /// Compile-time audit of the session stack: a whole `DataLab` — and
+    /// every shared handle inside it — must be movable across threads so
+    /// fleet executors can run one session per worker. A non-`Send` field
+    /// sneaking into any layer fails this test at compile time.
+    #[test]
+    fn session_stack_is_send() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<DataLab>();
+        assert_send::<DataLabConfig>();
+        assert_send::<DataLabResponse>();
+        assert_send::<RunRecorder>();
+        assert_send::<FleetReport>();
+        // The handles shared between layers are also Sync: one instance
+        // may be referenced concurrently from several threads.
+        assert_sync::<SimLlm>();
+        assert_sync::<SharedBuffer>();
+        assert_sync::<Telemetry>();
+        assert_sync::<Database>();
+        assert_sync::<KnowledgeIndex>();
+        assert_send::<SimLlm>();
+        assert_send::<SharedBuffer>();
+        assert_send::<Telemetry>();
+    }
+
+    #[test]
+    fn registering_shared_frames_does_not_copy() {
+        let df = Arc::new(sales());
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", Arc::clone(&df)).unwrap();
+        let shared = lab.database().get_shared("sales").unwrap();
+        assert!(Arc::ptr_eq(&df, &shared));
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success, "{:?}", r.plan);
     }
 
     #[test]

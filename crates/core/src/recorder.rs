@@ -194,6 +194,16 @@ pub struct FleetReport {
     pub errors: BTreeMap<String, u64>,
     /// Per-workload rollups.
     pub workloads: BTreeMap<String, WorkloadStats>,
+    /// Wall-clock duration of the whole fleet run, microseconds. Machine-
+    /// dependent, so excluded from both the obsdiff regression gate and
+    /// [`FleetReport::comparable`]. Zero when the producer did not time
+    /// the run (reports predating this field parse as zero).
+    #[serde(default)]
+    pub wall_clock_us: u64,
+    /// Worker threads the fleet executor used (1 = serial). Zero when
+    /// unknown (reports predating this field).
+    #[serde(default)]
+    pub workers: u64,
 }
 
 fn walk_agent_spans(node: &SpanNode, out: &mut Vec<(String, u64)>) {
@@ -283,6 +293,29 @@ impl FleetReport {
         report
     }
 
+    /// The report with every machine-dependent field normalised away:
+    /// wall clock and worker count zeroed, and all latency percentiles
+    /// (which measure wall time) zeroed while their observation *counts*
+    /// are kept. Two runs of the same deterministic workload — serial or
+    /// parallel, loaded or idle machine — yield equal `comparable()`
+    /// views, which is the equality the fleet-determinism tests assert.
+    pub fn comparable(&self) -> FleetReport {
+        fn strip(l: &LatencyStats) -> LatencyStats {
+            LatencyStats {
+                count: l.count,
+                ..LatencyStats::default()
+            }
+        }
+        let mut r = self.clone();
+        r.wall_clock_us = 0;
+        r.workers = 0;
+        r.latency = strip(&r.latency);
+        for s in r.stages.iter_mut().chain(r.agents.iter_mut()) {
+            s.latency = strip(&s.latency);
+        }
+        r
+    }
+
     /// Statistics for the named stage, when it was observed.
     pub fn stage(&self, name: &str) -> Option<&StageStats> {
         self.stages.iter().find(|s| s.name == name)
@@ -321,6 +354,14 @@ impl FleetReport {
             self.latency.p99_us as f64 / 1000.0,
             self.latency.max_us as f64 / 1000.0,
         );
+        if self.workers > 0 {
+            out.push_str(&format!(
+                "executor: {} worker{}, wall clock {:.1}ms\n",
+                self.workers,
+                if self.workers == 1 { "" } else { "s" },
+                self.wall_clock_us as f64 / 1000.0,
+            ));
+        }
         let table = |out: &mut String, title: &str, rows: &[StageStats]| {
             if rows.is_empty() {
                 return;
@@ -578,6 +619,58 @@ mod tests {
         assert!(text.contains("agent_failure"), "{text}");
         assert!(text.contains("nl2sql"), "{text}");
         assert!(text.contains("sql_agent"), "{text}");
+    }
+
+    #[test]
+    fn comparable_strips_timing_but_keeps_counts() {
+        let mut a = sample_report();
+        a.wall_clock_us = 123_456;
+        a.workers = 4;
+        let mut b = sample_report();
+        b.wall_clock_us = 9;
+        b.workers = 1;
+        // Same records, different machines/thread counts: the raw reports
+        // differ, the comparable views do not.
+        assert_ne!(a, b);
+        assert_eq!(a.comparable(), b.comparable());
+        let c = a.comparable();
+        assert_eq!(c.wall_clock_us, 0);
+        assert_eq!(c.workers, 0);
+        assert_eq!(c.latency.count, 3);
+        assert_eq!(c.latency.p99_us, 0);
+        let execute = c.stage("execute").unwrap();
+        assert_eq!(execute.latency.count, 3);
+        assert_eq!(execute.latency.p99_us, 0);
+        // Everything deterministic survives: tokens, calls, taxonomy.
+        assert_eq!(c.tokens.total, a.tokens.total);
+        assert_eq!(c.llm.calls, a.llm.calls);
+        assert_eq!(c.errors, a.errors);
+        // A genuinely different run still differs after normalisation.
+        let mut other = sample_report();
+        other.tokens.total += 1;
+        assert_ne!(a.comparable(), other.comparable());
+    }
+
+    #[test]
+    fn wall_clock_fields_default_when_absent_from_json() {
+        // Reports written before the executor fields existed still parse,
+        // with both fields defaulting to zero.
+        let mut timed = sample_report();
+        timed.wall_clock_us = 5_000;
+        timed.workers = 2;
+        let mut value: serde_json::Value =
+            serde_json::from_str(&timed.to_json()).expect("valid json");
+        let obj = value.as_object_mut().expect("object");
+        obj.remove("wall_clock_us");
+        obj.remove("workers");
+        let legacy = FleetReport::from_json(&value.to_string()).expect("legacy report parses");
+        assert_eq!(legacy.wall_clock_us, 0);
+        assert_eq!(legacy.workers, 0);
+        assert_eq!(legacy.comparable(), timed.comparable());
+        // The full report round-trips and renders its executor line.
+        let roundtrip = FleetReport::from_json(&timed.to_json()).expect("parses");
+        assert_eq!(roundtrip, timed);
+        assert!(timed.render().contains("2 workers"), "{}", timed.render());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::graph::{KnowledgeGraph, NodeId};
 use datalab_llm::util::{split_ident, stem, words};
 use datalab_llm::HashEmbedder;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The downstream task an index serves; it selects which knowledge
 /// components go into the indexed `content` field.
@@ -60,8 +61,63 @@ fn content_for(graph: &KnowledgeGraph, id: NodeId, task: IndexTask) -> String {
     parts.join(" ")
 }
 
+/// Memoised per-query work: the stemmed token stream (lexical path) and
+/// the embedding (semantic path). Both are pure functions of the query
+/// string, and retrieval pipelines ask the same query of the same index
+/// several times per turn (coarse lexical + coarse semantic + rerank), so
+/// computing them once per distinct string is pure win.
+#[derive(Debug)]
+struct QueryFeatures {
+    /// Stemmed query tokens, duplicates preserved (tf semantics).
+    stems: Vec<String>,
+    /// Unit-length query embedding.
+    embedding: Vec<f32>,
+}
+
+/// Upper bound on memoised distinct query strings; the map is cleared
+/// wholesale when it would grow past this (simple, and a fleet session
+/// asks far fewer distinct queries).
+const QUERY_CACHE_MAX: usize = 1024;
+
+/// Interior-mutability cache of [`QueryFeatures`] keyed by the verbatim
+/// query string. Lives inside one [`KnowledgeIndex`], so rebuilding the
+/// index (the only way entries/embeddings change) starts from an empty
+/// cache — there is no cross-build invalidation to get wrong.
+#[derive(Debug, Default)]
+struct QueryCache {
+    map: Mutex<HashMap<String, Arc<QueryFeatures>>>,
+}
+
+impl QueryCache {
+    fn features(&self, query: &str) -> Arc<QueryFeatures> {
+        if let Some(hit) = self.map.lock().expect("query cache lock").get(query) {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock; a racing thread computing the same
+        // (deterministic) features is harmless.
+        let features = Arc::new(QueryFeatures {
+            stems: words(query).iter().map(|t| stem(t)).collect(),
+            embedding: HashEmbedder::new().embed(query),
+        });
+        let mut map = self.map.lock().expect("query cache lock");
+        if map.len() >= QUERY_CACHE_MAX {
+            map.clear();
+        }
+        Arc::clone(
+            map.entry(query.to_string())
+                .or_insert_with(|| Arc::clone(&features)),
+        )
+    }
+
+    /// Number of memoised queries (test observability only).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.lock().expect("query cache lock").len()
+    }
+}
+
 /// The combined lexical + semantic index.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct KnowledgeIndex {
     entries: Vec<IndexEntry>,
     /// token -> (entry index, term frequency)
@@ -70,6 +126,21 @@ pub struct KnowledgeIndex {
     embeddings: Vec<Vec<f32>>,
     /// document frequency per token
     doc_freq: HashMap<String, usize>,
+    /// per-query memo (embedding + stemmed tokens)
+    cache: QueryCache,
+}
+
+impl Clone for KnowledgeIndex {
+    fn clone(&self) -> Self {
+        KnowledgeIndex {
+            entries: self.entries.clone(),
+            inverted: self.inverted.clone(),
+            embeddings: self.embeddings.clone(),
+            doc_freq: self.doc_freq.clone(),
+            // Caches are per-instance scratch state, not index content.
+            cache: QueryCache::default(),
+        }
+    }
 }
 
 impl KnowledgeIndex {
@@ -105,6 +176,7 @@ impl KnowledgeIndex {
             inverted,
             embeddings,
             doc_freq,
+            cache: QueryCache::default(),
         }
     }
 
@@ -128,10 +200,10 @@ impl KnowledgeIndex {
     pub fn lexical_search(&self, query: &str, k: usize, threshold: f64) -> Vec<(usize, f64)> {
         let n_docs = self.entries.len().max(1) as f64;
         let mut scores: HashMap<usize, f64> = HashMap::new();
-        for t in words(query) {
-            let t = stem(&t);
-            if let Some(postings) = self.inverted.get(&t) {
-                let df = *self.doc_freq.get(&t).unwrap_or(&1) as f64;
+        let features = self.cache.features(query);
+        for t in &features.stems {
+            if let Some(postings) = self.inverted.get(t) {
+                let df = *self.doc_freq.get(t).unwrap_or(&1) as f64;
                 let idf = (n_docs / df).ln().max(0.1);
                 for (idx, tf) in postings {
                     *scores.entry(*idx).or_insert(0.0) += (1.0 + tf.ln()) * idf;
@@ -153,12 +225,13 @@ impl KnowledgeIndex {
 
     /// Semantic (embedding cosine) search: top `k` above `threshold`.
     pub fn semantic_search(&self, query: &str, k: usize, threshold: f64) -> Vec<(usize, f64)> {
-        let q = HashEmbedder::new().embed(query);
+        let features = self.cache.features(query);
+        let q = &features.embedding;
         let mut out: Vec<(usize, f64)> = self
             .embeddings
             .iter()
             .enumerate()
-            .map(|(i, e)| (i, datalab_llm::cosine(&q, e)))
+            .map(|(i, e)| (i, datalab_llm::cosine(q, e)))
             .filter(|(_, s)| *s >= threshold)
             .collect();
         out.sort_by(|a, b| {
@@ -244,6 +317,63 @@ mod tests {
         let idx = KnowledgeIndex::build(&g, IndexTask::SchemaLinking);
         let hits = idx.lexical_search("income", 10, 0.01);
         assert!(hits.iter().any(|(i, _)| idx.entry(*i).tag == "alias"));
+    }
+
+    #[test]
+    fn query_cache_memoises_and_preserves_results() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        let fresh = KnowledgeIndex::build(&g, IndexTask::General);
+        assert_eq!(idx.cache.len(), 0);
+        for query in ["income after tax", "revenue income", "income after tax"] {
+            assert_eq!(
+                idx.lexical_search(query, 5, 0.01),
+                fresh_lexical(&fresh, query)
+            );
+            assert_eq!(
+                idx.semantic_search(query, 5, 0.0),
+                fresh.semantic_search(query, 5, 0.0)
+            );
+        }
+        // Two distinct queries, one repeated: memoised once each.
+        assert_eq!(idx.cache.len(), 2);
+        // The cached features are shared, not recomputed, on the hit path.
+        let a = idx.cache.features("income after tax");
+        let b = idx.cache.features("income after tax");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    /// Lexical search against a never-before-seen index so its cache is
+    /// cold for every call (each query string is looked up at most once).
+    fn fresh_lexical(idx: &KnowledgeIndex, query: &str) -> Vec<(usize, f64)> {
+        KnowledgeIndex::clone(idx).lexical_search(query, 5, 0.01)
+    }
+
+    #[test]
+    fn clone_resets_the_cache() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        idx.lexical_search("income", 5, 0.01);
+        assert_eq!(idx.cache.len(), 1);
+        let cloned = idx.clone();
+        assert_eq!(cloned.cache.len(), 0);
+        assert_eq!(cloned.len(), idx.len());
+        assert_eq!(
+            cloned.lexical_search("income", 5, 0.01),
+            idx.lexical_search("income", 5, 0.01)
+        );
+    }
+
+    #[test]
+    fn cache_eviction_clears_at_capacity() {
+        let cache = QueryCache::default();
+        for i in 0..QUERY_CACHE_MAX {
+            cache.features(&format!("query {i}"));
+        }
+        assert_eq!(cache.len(), QUERY_CACHE_MAX);
+        // The next distinct query trips the wholesale clear, then inserts.
+        cache.features("one more");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -1,9 +1,38 @@
-//! Property-based tests for the knowledge crate: DSL validation totality
-//! and compile-target well-formedness.
+//! Property-based tests for the knowledge crate: DSL validation totality,
+//! compile-target well-formedness, and query-cache transparency.
 
-use datalab_knowledge::{validate_dsl_json, DslColumn, DslMeasure, DslSpec};
+use datalab_knowledge::{
+    validate_dsl_json, ColumnKnowledge, DslColumn, DslMeasure, DslSpec, IndexTask, KnowledgeGraph,
+    KnowledgeIndex, TableKnowledge,
+};
 use datalab_sql::parse_select;
 use proptest::prelude::*;
+
+fn indexed_graph() -> KnowledgeGraph {
+    let mut g = KnowledgeGraph::new();
+    g.ingest_table(
+        "biz",
+        &TableKnowledge {
+            name: "sales".into(),
+            description: "daily product revenue by region".into(),
+            columns: vec![
+                ColumnKnowledge {
+                    name: "income_after_tax".into(),
+                    description: "income revenue after tax".into(),
+                    aliases: vec!["income".into()],
+                    ..Default::default()
+                },
+                ColumnKnowledge {
+                    name: "cost_amt".into(),
+                    description: "operating cost amount".into(),
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        },
+    );
+    g
+}
 
 fn spec_strategy() -> impl Strategy<Value = DslSpec> {
     (
@@ -62,6 +91,29 @@ proptest! {
     fn compiled_sql_always_parses(spec in spec_strategy()) {
         let sql = spec.to_sql(None);
         parse_select(&sql).unwrap_or_else(|e| panic!("unparseable SQL {sql}: {e}"));
+    }
+
+    /// The per-index query cache is transparent: a warm (repeat-query)
+    /// index returns exactly what a cold, freshly built index returns,
+    /// for arbitrary query strings and after a rebuild.
+    #[test]
+    fn query_cache_is_transparent(query in ".{0,60}") {
+        let g = indexed_graph();
+        let warm = KnowledgeIndex::build(&g, IndexTask::General);
+        // Prime the cache, then query again through it.
+        warm.lexical_search(&query, 8, 0.0);
+        warm.semantic_search(&query, 8, -1.0);
+        let warm_lex = warm.lexical_search(&query, 8, 0.0);
+        let warm_sem = warm.semantic_search(&query, 8, -1.0);
+        // A cold index never hits a populated cache entry.
+        let cold = KnowledgeIndex::build(&g, IndexTask::General);
+        prop_assert_eq!(&warm_lex, &cold.lexical_search(&query, 8, 0.0));
+        prop_assert_eq!(&warm_sem, &cold.semantic_search(&query, 8, -1.0));
+        // Rebuilding (new index, empty cache) also agrees with the
+        // warm pre-rebuild results for an unchanged graph.
+        let rebuilt = KnowledgeIndex::build(&g, IndexTask::General);
+        prop_assert_eq!(warm_lex, rebuilt.lexical_search(&query, 8, 0.0));
+        prop_assert_eq!(warm_sem, rebuilt.semantic_search(&query, 8, -1.0));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! close together, which is the property the knowledge-retrieval and
 //! context-retrieval modules rely on.
 
-use crate::util::{fnv1a, stem, words};
+use crate::util::{stem, words, Fnv1a};
 
 /// Embedding dimensionality.
 pub const EMBED_DIM: usize = 256;
@@ -22,18 +22,40 @@ impl HashEmbedder {
     }
 
     /// Embeds text into a unit-length vector (all-zero for empty text).
+    ///
+    /// Features are hashed as tagged byte streams (`w:` + word, `t:` +
+    /// trigram) fed straight into the incremental hasher, so the hot loop
+    /// performs no per-feature `String` allocation; the hashes — and
+    /// therefore the vectors — are identical to the former
+    /// `format!("w:{s}")` formulation.
     pub fn embed(&self, text: &str) -> Vec<f32> {
         let mut v = vec![0.0f32; EMBED_DIM];
         for w in words(text) {
             let s = stem(&w);
-            bump(&mut v, &format!("w:{s}"), 1.0);
+            bump(
+                &mut v,
+                Fnv1a::new().update(b"w:").update(s.as_bytes()).finish(),
+                1.0,
+            );
             // Character trigrams give partial-match signal for compound
-            // identifiers and typos.
-            let chars: Vec<char> = s.chars().collect();
-            if chars.len() >= 3 {
-                for win in chars.windows(3) {
-                    let tri: String = win.iter().collect();
-                    bump(&mut v, &format!("t:{tri}"), 0.35);
+            // identifiers and typos. A rolling three-char window stands in
+            // for collecting the chars into a Vec.
+            let mut win = ['\0'; 3];
+            let mut filled = 0usize;
+            for c in s.chars() {
+                if filled < 3 {
+                    win[filled] = c;
+                    filled += 1;
+                } else {
+                    win[0] = win[1];
+                    win[1] = win[2];
+                    win[2] = c;
+                }
+                if filled == 3 {
+                    let h = win
+                        .iter()
+                        .fold(Fnv1a::new().update(b"t:"), |h, &c| h.update_char(c));
+                    bump(&mut v, h.finish(), 0.35);
                 }
             }
         }
@@ -47,8 +69,7 @@ impl HashEmbedder {
     }
 }
 
-fn bump(v: &mut [f32], feature: &str, weight: f32) {
-    let h = fnv1a(feature.as_bytes());
+fn bump(v: &mut [f32], h: u64, weight: f32) {
     let idx = (h % EMBED_DIM as u64) as usize;
     // Sign-hashing reduces collision bias.
     let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
@@ -81,6 +102,51 @@ pub fn text_similarity(a: &str, b: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-optimisation embedding: per-feature `format!` strings
+    /// hashed whole. Kept as the reference the allocation-free path must
+    /// match bit for bit (and as the baseline of the `fleet_parallel`
+    /// micro-bench).
+    fn embed_format_reference(text: &str) -> Vec<f32> {
+        fn bump_str(v: &mut [f32], feature: &str, weight: f32) {
+            bump(v, crate::util::fnv1a(feature.as_bytes()), weight);
+        }
+        let mut v = vec![0.0f32; EMBED_DIM];
+        for w in words(text) {
+            let s = stem(&w);
+            bump_str(&mut v, &format!("w:{s}"), 1.0);
+            let chars: Vec<char> = s.chars().collect();
+            if chars.len() >= 3 {
+                for win in chars.windows(3) {
+                    let tri: String = win.iter().collect();
+                    bump_str(&mut v, &format!("t:{tri}"), 0.35);
+                }
+            }
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn allocation_free_path_matches_format_reference() {
+        let e = HashEmbedder::new();
+        for text in [
+            "",
+            "ab",
+            "abc",
+            "total revenue by region",
+            "shouldincome_after tax rollup for finance",
+            "café naïve résumé", // multi-byte chars in trigrams
+            "a bb ccc dddd eeeee",
+        ] {
+            assert_eq!(e.embed(text), embed_format_reference(text), "{text:?}");
+        }
+    }
 
     #[test]
     fn identical_texts_embed_identically() {

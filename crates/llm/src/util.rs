@@ -3,12 +3,51 @@
 
 /// FNV-1a 64-bit hash.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    Fnv1a::new().update(bytes).finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher: feeding slices one at a time yields
+/// the same hash as [`fnv1a`] over their concatenation, so hot paths can
+/// hash tagged multi-part features without building an intermediate
+/// `String`/`Vec` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    /// Folds `bytes` into the hash, returning the advanced hasher.
+    #[inline]
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds one character's UTF-8 encoding into the hash without
+    /// allocating (equivalent to updating with the char's UTF-8 bytes).
+    #[inline]
+    pub fn update_char(self, c: char) -> Self {
+        let mut buf = [0u8; 4];
+        self.update(c.encode_utf8(&mut buf).as_bytes())
+    }
+
+    /// The hash value.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
 }
 
 /// Deterministic pseudo-random number in `[0, 1)` derived from a string.
@@ -95,6 +134,22 @@ pub fn token_overlap(a: &[String], b: &[String]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_fnv1a_matches_one_shot() {
+        let one_shot = fnv1a(b"w:revenue");
+        let streamed = Fnv1a::new().update(b"w:").update(b"revenue").finish();
+        assert_eq!(one_shot, streamed);
+        // Char-wise feeding matches hashing the string's UTF-8 bytes,
+        // multi-byte characters included.
+        let text = "t:rvé";
+        let mut h = Fnv1a::new();
+        for c in text.chars() {
+            h = h.update_char(c);
+        }
+        assert_eq!(h.finish(), fnv1a(text.as_bytes()));
+        assert_eq!(Fnv1a::default().finish(), fnv1a(b""));
+    }
 
     #[test]
     fn hash01_is_deterministic_and_bounded() {

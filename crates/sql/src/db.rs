@@ -3,13 +3,18 @@
 use crate::error::{Result, SqlError};
 use datalab_frame::DataFrame;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A named collection of tables — the engine's stand-in for the backend
 /// databases DataLab notebooks connect to.
+///
+/// Frames are stored behind [`Arc`], so cloning a database — or
+/// registering the same frame with several sessions — shares column data
+/// instead of deep-copying it.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    /// Lower-cased table name → frame.
-    tables: HashMap<String, DataFrame>,
+    /// Lower-cased table name → shared frame.
+    tables: HashMap<String, Arc<DataFrame>>,
     /// Insertion order of the original (case-preserved) names.
     order: Vec<String>,
 }
@@ -20,11 +25,12 @@ impl Database {
         Database::default()
     }
 
-    /// Registers (or replaces) a table.
-    pub fn insert(&mut self, name: impl Into<String>, df: DataFrame) {
+    /// Registers (or replaces) a table. Accepts an owned frame or an
+    /// already-shared `Arc<DataFrame>` (no copy in either case).
+    pub fn insert(&mut self, name: impl Into<String>, df: impl Into<Arc<DataFrame>>) {
         let name = name.into();
         let key = name.to_ascii_lowercase();
-        if self.tables.insert(key, df).is_none() {
+        if self.tables.insert(key, df.into()).is_none() {
             self.order.push(name);
         }
     }
@@ -33,6 +39,16 @@ impl Database {
     pub fn get(&self, name: &str) -> Result<&DataFrame> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(|df| df.as_ref())
+            .ok_or_else(|| SqlError::TableNotFound(name.to_string()))
+    }
+
+    /// Case-insensitive lookup returning the shared handle — the cheap
+    /// way to hand one frame to another catalog or session.
+    pub fn get_shared(&self, name: &str) -> Result<Arc<DataFrame>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
             .ok_or_else(|| SqlError::TableNotFound(name.to_string()))
     }
 
@@ -87,6 +103,21 @@ mod tests {
         assert!(db.get("missing").is_err());
         assert_eq!(db.table_names(), ["Sales"]);
         assert!(db.schema_text().contains("Sales(x int)"));
+    }
+
+    #[test]
+    fn shared_frames_are_not_copied() {
+        let mut db = Database::new();
+        let df =
+            Arc::new(DataFrame::from_columns(vec![("x", DataType::Int, vec![1.into()])]).unwrap());
+        db.insert("t", Arc::clone(&df));
+        // A clone of the database and a get_shared handle both point at
+        // the same allocation as the original Arc.
+        let clone = db.clone();
+        let shared = clone.get_shared("T").unwrap();
+        assert!(Arc::ptr_eq(&df, &shared));
+        assert!(db.get_shared("missing").is_err());
+        assert_eq!(db.get("t").unwrap().n_rows(), 1);
     }
 
     #[test]

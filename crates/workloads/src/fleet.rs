@@ -4,6 +4,9 @@
 //!
 //! This is the report generator behind the CI regression gate: `obsdiff`
 //! compares the JSON this module produces against a checked-in baseline.
+//! With `workers > 1` the (workload, domain) sessions are sharded across
+//! threads by [`crate::parallel`]; the merged report is identical to the
+//! serial one up to wall-clock timing (see `FleetReport::comparable`).
 
 use crate::data::Domain;
 use crate::insight::dabench_like;
@@ -12,6 +15,7 @@ use crate::nl2sql::spider_like;
 use crate::nl2vis::nvbench_like;
 use datalab_core::{DataLab, DataLabConfig, FleetReport, RunRecorder};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Fleet-run parameters.
 #[derive(Debug, Clone)]
@@ -21,6 +25,8 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Tasks sampled from each of the four workload families.
     pub tasks_per_workload: usize,
+    /// Worker threads for the sharded executor; `0` or `1` runs serial.
+    pub workers: usize,
 }
 
 impl Default for FleetConfig {
@@ -28,37 +34,93 @@ impl Default for FleetConfig {
         FleetConfig {
             seed: 7,
             tasks_per_workload: 3,
+            workers: 1,
         }
     }
 }
 
-fn lab_for_domain(domain: &Domain) -> DataLab {
+/// One workload family's generated domains and `(domain index, question)`
+/// tasks, in generation order.
+pub(crate) struct WorkloadSet {
+    /// Workload family name as passed to `DataLab::query_as`.
+    pub(crate) workload: &'static str,
+    /// Generated domains; tasks index into this.
+    pub(crate) domains: Vec<Domain>,
+    /// `(domain index, question)` pairs in task order.
+    pub(crate) tasks: Vec<(usize, String)>,
+}
+
+/// Generates the four workload families in their fixed fleet order
+/// (nl2sql, nl2code, nl2vis, insight).
+pub(crate) fn generate_workloads(config: &FleetConfig) -> Vec<WorkloadSet> {
+    let sql = spider_like(config.seed, config.tasks_per_workload);
+    let code = ds1000_like(config.seed, config.tasks_per_workload);
+    let vis = nvbench_like(config.seed, config.tasks_per_workload);
+    let insight = dabench_like(config.seed, config.tasks_per_workload);
+    vec![
+        WorkloadSet {
+            workload: "nl2sql",
+            tasks: sql
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: sql.domains,
+        },
+        WorkloadSet {
+            workload: "nl2code",
+            tasks: code
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: code.domains,
+        },
+        WorkloadSet {
+            workload: "nl2vis",
+            tasks: vis
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: vis.domains,
+        },
+        WorkloadSet {
+            workload: "insight",
+            tasks: insight
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: insight.domains,
+        },
+    ]
+}
+
+/// Builds a fresh platform session seeded with the domain's tables.
+/// Frames are Arc-shared into the session rather than deep-copied.
+pub(crate) fn lab_for_domain(domain: &Domain) -> DataLab {
     let mut lab = DataLab::new(DataLabConfig::default());
     for name in domain.db.table_names() {
-        if let Ok(df) = domain.db.get(name) {
-            let _ = lab.register_table(name, df.clone());
+        if let Ok(df) = domain.db.get_shared(name) {
+            let _ = lab.register_table(name, df);
         }
     }
     lab
 }
 
-fn run_tasks(
-    recorder: &mut RunRecorder,
-    workload: &str,
-    domains: &[Domain],
-    tasks: impl IntoIterator<Item = (usize, String)>,
-) {
+fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet) {
     // One platform per domain, shared by that domain's tasks so notebook
     // context and history accumulate the way a real session would.
     let mut labs: BTreeMap<usize, DataLab> = BTreeMap::new();
-    for (domain_idx, question) in tasks {
-        let Some(domain) = domains.get(domain_idx) else {
+    for (domain_idx, question) in &set.tasks {
+        let Some(domain) = set.domains.get(*domain_idx) else {
             continue;
         };
         let lab = labs
-            .entry(domain_idx)
+            .entry(*domain_idx)
             .or_insert_with(|| lab_for_domain(domain));
-        lab.query_as(workload, &question);
+        lab.query_as(set.workload, question);
     }
     for (_, mut lab) in labs {
         recorder.absorb(lab.take_run_records());
@@ -67,42 +129,26 @@ fn run_tasks(
 
 /// Runs sampled nl2sql / nl2code / nl2vis / insight tasks through the
 /// platform (one run record per task) and returns the fleet report.
+///
+/// The report is deterministic in everything but its wall-clock fields
+/// regardless of `config.workers`: each (workload, domain) session is an
+/// isolated platform whose outputs depend only on its own prompt history,
+/// and the sharded executor merges records in serial order.
 pub fn run_fleet(config: &FleetConfig) -> FleetReport {
-    let mut recorder = RunRecorder::new();
-
-    let sql = spider_like(config.seed, config.tasks_per_workload);
-    run_tasks(
-        &mut recorder,
-        "nl2sql",
-        &sql.domains,
-        sql.tasks.iter().map(|t| (t.domain, t.question.clone())),
-    );
-
-    let code = ds1000_like(config.seed, config.tasks_per_workload);
-    run_tasks(
-        &mut recorder,
-        "nl2code",
-        &code.domains,
-        code.tasks.iter().map(|t| (t.domain, t.question.clone())),
-    );
-
-    let vis = nvbench_like(config.seed, config.tasks_per_workload);
-    run_tasks(
-        &mut recorder,
-        "nl2vis",
-        &vis.domains,
-        vis.tasks.iter().map(|t| (t.domain, t.question.clone())),
-    );
-
-    let insight = dabench_like(config.seed, config.tasks_per_workload);
-    run_tasks(
-        &mut recorder,
-        "insight",
-        &insight.domains,
-        insight.tasks.iter().map(|t| (t.domain, t.question.clone())),
-    );
-
-    recorder.report()
+    let started = Instant::now();
+    let sets = generate_workloads(config);
+    let mut report = if config.workers > 1 {
+        crate::parallel::run_fleet_sharded(&sets, config.workers)
+    } else {
+        let mut recorder = RunRecorder::new();
+        for set in &sets {
+            run_tasks(&mut recorder, set);
+        }
+        recorder.report()
+    };
+    report.wall_clock_us = started.elapsed().as_micros() as u64;
+    report.workers = config.workers.max(1) as u64;
+    report
 }
 
 #[cfg(test)]
@@ -114,6 +160,7 @@ mod tests {
         let config = FleetConfig {
             seed: 7,
             tasks_per_workload: 1,
+            workers: 1,
         };
         let report = run_fleet(&config);
         assert_eq!(report.runs, 4);
@@ -128,8 +175,22 @@ mod tests {
         assert!(report.tokens.total > 0);
         assert!(report.llm.calls > 0);
         assert!(report.stage("execute").is_some());
+        assert_eq!(report.workers, 1);
         // The report round-trips through its JSON wire format.
         let parsed = FleetReport::from_json(&report.to_json()).expect("parses");
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn workloads_generate_in_fixed_family_order() {
+        let sets = generate_workloads(&FleetConfig::default());
+        let names: Vec<&str> = sets.iter().map(|s| s.workload).collect();
+        assert_eq!(names, ["nl2sql", "nl2code", "nl2vis", "insight"]);
+        for set in &sets {
+            assert!(!set.tasks.is_empty(), "{} generated no tasks", set.workload);
+            for (domain_idx, _) in &set.tasks {
+                assert!(*domain_idx < set.domains.len());
+            }
+        }
     }
 }

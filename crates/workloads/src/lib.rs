@@ -20,6 +20,7 @@ pub mod nl2code;
 pub mod nl2sql;
 pub mod nl2vis;
 pub mod notebooks;
+pub mod parallel;
 
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};
 pub use fleet::{run_fleet, FleetConfig};
