@@ -30,6 +30,12 @@ pub struct DataLabConfig {
     pub generation: GenerationConfig,
     /// "Today" for temporal query standardisation.
     pub current_date: String,
+    /// Whether each query pushes a [`RunRecord`] into the session's
+    /// [`RunRecorder`]. Bench fleets keep this on; long-lived serving
+    /// sessions turn it off so per-query records cannot accumulate
+    /// without bound (the serving layer aggregates into its own metrics
+    /// instead).
+    pub record_runs: bool,
 }
 
 impl Default for DataLabConfig {
@@ -40,6 +46,7 @@ impl Default for DataLabConfig {
             incorporate: IncorporateConfig::default(),
             generation: GenerationConfig::default(),
             current_date: "2026-07-06".to_string(),
+            record_runs: true,
         }
     }
 }
@@ -446,15 +453,17 @@ impl DataLab {
             self.telemetry.events().since(event_mark)
         };
 
-        self.recorder.push(RunRecord {
-            workload: workload.to_string(),
-            question: question.to_string(),
-            success: outcome.success,
-            duration_us: telemetry.root().map(|r| r.dur_us).unwrap_or(0),
-            summary: telemetry.clone(),
-            error_kinds,
-            flight_record: flight_record.clone(),
-        });
+        if self.config.record_runs {
+            self.recorder.push(RunRecord {
+                workload: workload.to_string(),
+                question: question.to_string(),
+                success: outcome.success,
+                duration_us: telemetry.root().map(|r| r.dur_us).unwrap_or(0),
+                summary: telemetry.clone(),
+                error_kinds,
+                flight_record: flight_record.clone(),
+            });
+        }
 
         DataLabResponse {
             answer: outcome.answer,
@@ -792,6 +801,22 @@ east,5
             lab.telemetry().events().kind_counts().get("platform_error"),
             Some(&3)
         );
+    }
+
+    #[test]
+    fn record_runs_off_keeps_the_recorder_empty() {
+        let mut lab = DataLab::new(DataLabConfig {
+            record_runs: false,
+            ..Default::default()
+        });
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+        // The response still carries its telemetry summary; only the
+        // session-held record is skipped.
+        assert!(r.telemetry.root().is_some());
+        assert!(lab.run_records().is_empty());
+        assert_eq!(lab.fleet_report().runs, 0);
     }
 
     #[test]

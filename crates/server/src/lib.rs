@@ -1,0 +1,53 @@
+//! # datalab-server
+//!
+//! Multi-tenant HTTP serving layer for the DataLab platform (paper §V:
+//! deployed "as a unified platform" serving analysts across business
+//! groups). Zero external dependencies — `std::net` sockets, a
+//! hand-rolled HTTP/1.1 framing layer, and a panic-free JSON parser —
+//! matching the observability crate's dependency discipline.
+//!
+//! Endpoints (all JSON, one request per connection):
+//!
+//! | Route              | Purpose                                        |
+//! |--------------------|------------------------------------------------|
+//! | `POST /v1/query`   | Run a question in a tenant's session           |
+//! | `POST /v1/tables`  | Register a CSV table in a tenant's session     |
+//! | `GET /v1/health`   | Liveness: uptime, session count, queue depth   |
+//! | `GET /v1/metrics`  | Full telemetry snapshot (counters/gauges/hist) |
+//!
+//! Operational behaviour:
+//!
+//! * **Isolation** — each tenant gets its own [`DataLab`] session in a
+//!   sharded LRU [`SessionStore`]; tables registered by one tenant are
+//!   invisible to every other.
+//! * **Admission control** — a bounded global queue and a per-tenant
+//!   inflight cap shed overload as `429` + `Retry-After` instead of
+//!   queueing without bound.
+//! * **Deadlines** — requests that blow their budget (queued or
+//!   executing) answer `504`.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops the acceptor and
+//!   drains queued and in-flight requests before returning.
+//!
+//! ```no_run
+//! use datalab_server::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.shutdown();
+//! ```
+//!
+//! [`DataLab`]: datalab_core::DataLab
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod store;
+
+pub use admission::{JobQueue, TenantGate, TenantPermit};
+pub use http::{read_request, HttpError, Request, Response};
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig, MAX_TENANT_LEN};
+pub use store::{SessionStore, StoreConfig};

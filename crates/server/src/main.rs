@@ -1,0 +1,88 @@
+//! The `datalab-server` binary: boots the multi-tenant HTTP serving
+//! layer and runs until killed.
+//!
+//! ```text
+//! cargo run -p datalab-server -- [--addr HOST:PORT] [--workers N]
+//!     [--queue N] [--per-tenant N] [--sessions N] [--shards N]
+//!     [--deadline-ms N] [--read-timeout-ms N]
+//! ```
+//!
+//! Defaults match [`ServerConfig::default`] except the address, which
+//! pins to `127.0.0.1:8437` so `curl` examples work out of the box.
+
+use datalab_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8437".to_string(),
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        let result = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| config.addr = v),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--queue" => take("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.queue_capacity = n)
+                    .map_err(|e| format!("--queue: {e}"))
+            }),
+            "--per-tenant" => take("--per-tenant").and_then(|v| {
+                v.parse()
+                    .map(|n| config.per_tenant_inflight = n)
+                    .map_err(|e| format!("--per-tenant: {e}"))
+            }),
+            "--sessions" => take("--sessions").and_then(|v| {
+                v.parse()
+                    .map(|n| config.session_capacity = n)
+                    .map_err(|e| format!("--sessions: {e}"))
+            }),
+            "--shards" => take("--shards").and_then(|v| {
+                v.parse()
+                    .map(|n| config.session_shards = n)
+                    .map_err(|e| format!("--shards: {e}"))
+            }),
+            "--deadline-ms" => take("--deadline-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.deadline_ms = n)
+                    .map_err(|e| format!("--deadline-ms: {e}"))
+            }),
+            "--read-timeout-ms" => take("--read-timeout-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.read_timeout_ms = n)
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))
+            }),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("datalab-server: {e}");
+            eprintln!(
+                "usage: datalab-server [--addr HOST:PORT] [--workers N] [--queue N] \
+                 [--per-tenant N] [--sessions N] [--shards N] [--deadline-ms N] \
+                 [--read-timeout-ms N]"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("datalab-server: cannot start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("datalab-server listening on http://{}", server.addr());
+
+    // Serve until the process is killed; the threads own all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

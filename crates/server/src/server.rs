@@ -1,0 +1,485 @@
+//! The HTTP server: acceptor, worker pool, routing, and shutdown.
+//!
+//! Request lifecycle:
+//!
+//! 1. The acceptor thread accepts a connection and `try_push`es it onto
+//!    the bounded job queue. A full queue answers `429` with
+//!    `Retry-After` right on the acceptor thread — overload is shed
+//!    before it can consume a worker.
+//! 2. A worker pops the connection, reads and routes the request, and
+//!    writes exactly one JSON response. Routing runs inside
+//!    `catch_unwind`, so a panic in platform code costs one `500`, never
+//!    a worker thread.
+//! 3. `shutdown` stops the acceptor, closes the queue, and joins the
+//!    workers — queued and in-flight requests drain to completion.
+
+use crate::admission::{JobQueue, TenantGate};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::Json;
+use crate::store::{SessionStore, StoreConfig};
+use datalab_core::{DataLabConfig, LATENCY_BUCKETS_US};
+use datalab_telemetry::{json_escape, Telemetry};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest tenant name accepted by the API.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Global job-queue capacity; connections beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Max concurrent in-flight queries per tenant; beyond it, `429`.
+    pub per_tenant_inflight: usize,
+    /// Total tenant sessions kept resident (LRU-evicted beyond this).
+    pub session_capacity: usize,
+    /// Session-store shard count.
+    pub session_shards: usize,
+    /// Per-request deadline in milliseconds; exceeded ⇒ `504`.
+    pub deadline_ms: u64,
+    /// Socket read/write timeout in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Platform configuration for new tenant sessions.
+    pub lab_config: DataLabConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            per_tenant_inflight: 8,
+            session_capacity: 64,
+            session_shards: 8,
+            deadline_ms: 10_000,
+            read_timeout_ms: 2_000,
+            max_body_bytes: 4 * 1024 * 1024,
+            lab_config: DataLabConfig {
+                // Serving sessions are long-lived; per-query run records
+                // would grow without bound.
+                record_runs: false,
+                ..DataLabConfig::default()
+            },
+        }
+    }
+}
+
+struct Job {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    store: SessionStore,
+    queue: JobQueue<Job>,
+    gate: Arc<TenantGate>,
+    telemetry: Telemetry,
+    started: Instant,
+    shutting_down: AtomicBool,
+}
+
+/// A running DataLab serving instance.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns once the
+    /// server is reachable.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let telemetry = Telemetry::default();
+        // Pre-register endpoint latency histograms with the shared
+        // bucket layout so /v1/metrics shows them from the first scrape.
+        for name in [
+            "server.latency.query_us",
+            "server.latency.tables_us",
+            "server.latency.health_us",
+            "server.latency.metrics_us",
+        ] {
+            telemetry
+                .metrics()
+                .histogram_with_buckets(name, LATENCY_BUCKETS_US);
+        }
+
+        let store = SessionStore::new(
+            StoreConfig {
+                capacity: config.session_capacity,
+                shards: config.session_shards,
+                lab_config: config.lab_config.clone(),
+            },
+            telemetry.clone(),
+        );
+        let inner = Arc::new(ServerInner {
+            queue: JobQueue::new(config.queue_capacity),
+            gate: TenantGate::new(config.per_tenant_inflight),
+            store,
+            telemetry,
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            config,
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("datalab-acceptor".to_string())
+                .spawn(move || accept_loop(listener, &inner))?
+        };
+        let mut workers = Vec::with_capacity(inner.config.workers.max(1));
+        for i in 0..inner.config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("datalab-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's telemetry handle (same registry `/v1/metrics`
+    /// serves).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, then join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor blocked in `accept` with a throwaway
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: &Arc<ServerInner>) {
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let timeout = Duration::from_millis(inner.config.read_timeout_ms.max(1));
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let job = Job {
+            stream,
+            arrived: Instant::now(),
+        };
+        match inner.queue.try_push(job) {
+            Ok(()) => {
+                inner.telemetry.metrics().gauge_add("server.queue.depth", 1);
+            }
+            Err(job) => {
+                // Shed load on the acceptor thread itself.
+                inner.telemetry.metrics().incr("server.rejected.global", 1);
+                let mut stream = job.stream;
+                let _ = error_response(429, "overloaded", "global queue full")
+                    .with_header("Retry-After", "1")
+                    .write_to(&mut stream);
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<ServerInner>) {
+    while let Some(job) = inner.queue.pop() {
+        inner
+            .telemetry
+            .metrics()
+            .gauge_add("server.queue.depth", -1);
+        handle_connection(inner, job);
+    }
+}
+
+fn handle_connection(inner: &Arc<ServerInner>, mut job: Job) {
+    let request = match read_request(&mut job.stream, inner.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            let response = match e {
+                HttpError::TooLarge(n) => {
+                    inner
+                        .telemetry
+                        .metrics()
+                        .incr("platform.errors.bad_request", 1);
+                    error_response(
+                        413,
+                        "too_large",
+                        &format!("body of {n} bytes exceeds limit"),
+                    )
+                }
+                HttpError::BadRequest(why) => {
+                    inner
+                        .telemetry
+                        .metrics()
+                        .incr("platform.errors.bad_request", 1);
+                    error_response(400, "bad_request", &why)
+                }
+                // Read timeouts / resets: nothing useful to send.
+                HttpError::Io(_) => return,
+            };
+            let _ = response.write_to(&mut job.stream);
+            return;
+        }
+    };
+
+    let handled = catch_unwind(AssertUnwindSafe(|| route(inner, &request, job.arrived)));
+    let response = handled.unwrap_or_else(|_| {
+        inner.telemetry.metrics().incr("server.errors.panic", 1);
+        error_response(500, "internal", "request handler panicked")
+    });
+    let _ = response.write_to(&mut job.stream);
+}
+
+fn route(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Response {
+    let begun = Instant::now();
+    let (histogram, response) = match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/v1/health") => ("server.latency.health_us", health(inner)),
+        ("GET", "/v1/metrics") => ("server.latency.metrics_us", metrics(inner)),
+        ("POST", "/v1/tables") => ("server.latency.tables_us", tables(inner, request)),
+        ("POST", "/v1/query") => ("server.latency.query_us", query(inner, request, arrived)),
+        _ => {
+            inner
+                .telemetry
+                .metrics()
+                .incr("platform.errors.not_found", 1);
+            let detail = format!("no route for {} {}", request.method, request.target);
+            return error_response(404, "not_found", &detail);
+        }
+    };
+    inner
+        .telemetry
+        .metrics()
+        .observe(histogram, begun.elapsed().as_micros() as u64);
+    response
+}
+
+fn health(inner: &Arc<ServerInner>) -> Response {
+    inner.telemetry.metrics().incr("server.requests.health", 1);
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"uptime_us\":{},\"sessions\":{},\"queue_depth\":{}}}",
+            inner.started.elapsed().as_micros(),
+            inner.store.len(),
+            inner.queue.depth()
+        ),
+    )
+}
+
+fn metrics(inner: &Arc<ServerInner>) -> Response {
+    inner.telemetry.metrics().incr("server.requests.metrics", 1);
+    Response::json(200, inner.telemetry.snapshot_json())
+}
+
+/// Parses the body as a JSON object and validates the `tenant` field
+/// shared by both POST endpoints.
+fn parse_body(inner: &Arc<ServerInner>, request: &Request) -> Result<(Json, String), Response> {
+    let fail = |detail: &str| {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        Err(error_response(400, "bad_request", detail))
+    };
+    let Some(text) = request.body_utf8() else {
+        return fail("body is not valid UTF-8");
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return fail(&format!("invalid JSON: {e}")),
+    };
+    let Some(tenant) = body.str_field("tenant") else {
+        return fail("missing string field `tenant`");
+    };
+    if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
+        return fail(&format!("`tenant` must be 1..={MAX_TENANT_LEN} bytes"));
+    }
+    if tenant.chars().any(|c| c.is_control()) {
+        return fail("`tenant` must not contain control characters");
+    }
+    let tenant = tenant.to_string();
+    Ok((body, tenant))
+}
+
+fn tables(inner: &Arc<ServerInner>, request: &Request) -> Response {
+    inner.telemetry.metrics().incr("server.requests.tables", 1);
+    let (body, tenant) = match parse_body(inner, request) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let (Some(name), Some(csv)) = (body.str_field("name"), body.str_field("csv")) else {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        return error_response(400, "bad_request", "missing string fields `name` and `csv`");
+    };
+
+    let session = inner.store.session(&tenant);
+    let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
+    match lab.register_csv(name, csv) {
+        Ok(()) => {
+            let rows = lab.database().get(name).map(|df| df.n_rows()).unwrap_or(0);
+            Response::json(
+                200,
+                format!(
+                    "{{\"ok\":true,\"tenant\":\"{}\",\"table\":\"{}\",\"rows\":{}}}",
+                    json_escape(&tenant),
+                    json_escape(name),
+                    rows
+                ),
+            )
+        }
+        Err(e) => error_response(400, "table_register", &e.to_string()),
+    }
+}
+
+fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Response {
+    inner.telemetry.metrics().incr("server.requests.query", 1);
+    let (body, tenant) = match parse_body(inner, request) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let Some(question) = body.str_field("question") else {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        return error_response(400, "bad_request", "missing string field `question`");
+    };
+    let workload = body.str_field("workload").unwrap_or("adhoc");
+
+    let deadline = Duration::from_millis(inner.config.deadline_ms);
+    // Queue wait already consumed the whole budget: give up before
+    // doing any work.
+    if arrived.elapsed() >= deadline {
+        inner.telemetry.metrics().incr("server.timeouts", 1);
+        return error_response(504, "deadline", "deadline exceeded while queued");
+    }
+
+    let Some(_permit) = inner.gate.try_acquire(&tenant) else {
+        inner.telemetry.metrics().incr("server.rejected.tenant", 1);
+        return error_response(429, "tenant_overloaded", "tenant inflight limit reached")
+            .with_header("Retry-After", "1");
+    };
+
+    let session = inner.store.session(&tenant);
+    let response = {
+        let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
+        lab.query_as(workload, question)
+    };
+    let duration_us = arrived.elapsed().as_micros() as u64;
+
+    // Attribute usage before the deadline check so even timed-out work
+    // is billed to its tenant.
+    let tokens = response.telemetry.total.total();
+    inner
+        .telemetry
+        .metrics()
+        .incr(&format!("server.tenant.tokens.{tenant}"), tokens);
+    inner
+        .telemetry
+        .metrics()
+        .incr(&format!("server.tenant.queries.{tenant}"), 1);
+
+    // The platform query is uninterruptible, so a blown deadline is
+    // detected after the fact: the session state advanced, but the
+    // client gets the timeout it was promised.
+    if arrived.elapsed() >= deadline {
+        inner.telemetry.metrics().incr("server.timeouts", 1);
+        return error_response(504, "deadline", "deadline exceeded during execution");
+    }
+
+    let plan: Vec<String> = response
+        .plan
+        .iter()
+        .map(|role| format!("\"{}\"", json_escape(role)))
+        .collect();
+    let rows = response
+        .frame
+        .as_ref()
+        .map(|df| df.n_rows().to_string())
+        .unwrap_or_else(|| "null".to_string());
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"success\":{},\"answer\":\"{}\",\
+             \"rewritten_query\":\"{}\",\"plan\":[{}],\"tokens\":{},\"duration_us\":{},\
+             \"cells_appended\":{},\"chart\":{},\"rows\":{}}}",
+            json_escape(&tenant),
+            json_escape(workload),
+            response.success,
+            json_escape(&response.answer),
+            json_escape(&response.rewritten_query),
+            plan.join(","),
+            tokens,
+            duration_us,
+            response.new_cells.len(),
+            response.chart.is_some(),
+            rows
+        ),
+    )
+}
+
+/// The uniform error body: `{"error":{"kind":"...","detail":"..."}}`.
+fn error_response(status: u16, kind: &str, detail: &str) -> Response {
+    Response::json(
+        status,
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\"}}}}",
+            json_escape(kind),
+            json_escape(detail)
+        ),
+    )
+}

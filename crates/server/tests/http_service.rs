@@ -1,0 +1,316 @@
+//! End-to-end tests for the HTTP serving layer over real sockets:
+//! happy paths, malformed input on every endpoint, overload shedding,
+//! deadlines, tenant isolation, and graceful shutdown.
+
+use datalab_server::{Server, ServerConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+const SALES_CSV: &str = "region,amount\neast,10\nwest,20\neast,5\n";
+const CHART_QUESTION: &str = "draw a bar chart of sales by region";
+
+fn boot(config: ServerConfig) -> Server {
+    Server::start(config).expect("server boots")
+}
+
+/// Writes raw bytes, reads to EOF, returns (status, head, body).
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+fn json(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+fn error_kind(body: &str) -> String {
+    json(body)["error"]["kind"]
+        .as_str()
+        .unwrap_or_else(|| panic!("no error.kind in {body}"))
+        .to_string()
+}
+
+fn register_sales(addr: SocketAddr, tenant: &str) {
+    let body = serde_json::json!({"tenant": tenant, "name": "sales", "csv": SALES_CSV});
+    let (status, _, response) = post(addr, "/v1/tables", &body.to_string());
+    assert_eq!(status, 200, "{response}");
+    let v = json(&response);
+    assert_eq!(v["ok"], Value::Bool(true));
+    assert_eq!(v["rows"], 3);
+}
+
+fn run_query(addr: SocketAddr, tenant: &str, question: &str) -> (u16, Value) {
+    let body = serde_json::json!({"tenant": tenant, "question": question});
+    let (status, _, response) = post(addr, "/v1/query", &body.to_string());
+    (status, json(&response))
+}
+
+#[test]
+fn health_and_metrics_respond() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+
+    let (status, _, body) = get(addr, "/v1/health");
+    assert_eq!(status, 200, "{body}");
+    let v = json(&body);
+    assert_eq!(v["status"], "ok");
+    assert_eq!(v["sessions"], 0);
+
+    let (status, _, body) = get(addr, "/v1/metrics");
+    assert_eq!(status, 200);
+    let v = json(&body);
+    // Pre-registered endpoint histograms are visible before any query.
+    assert!(
+        v["histograms"]["server.latency.query_us"].is_object(),
+        "{body}"
+    );
+    assert!(v["counters"]["server.requests.health"].as_u64() >= Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn tables_then_query_round_trip() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    register_sales(addr, "acme");
+
+    let (status, v) = run_query(addr, "acme", CHART_QUESTION);
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v["tenant"], "acme");
+    assert_eq!(v["workload"], "adhoc");
+    assert_eq!(v["success"], Value::Bool(true));
+    assert_eq!(v["chart"], Value::Bool(true));
+    assert!(v["tokens"].as_u64() > Some(0), "{v}");
+    assert!(v["duration_us"].as_u64() > Some(0));
+    assert!(!v["plan"].as_array().unwrap().is_empty());
+
+    // Per-tenant attribution shows up in the metrics snapshot.
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["counters"]["server.tenant.tokens.acme"].as_u64() > Some(0),
+        "{metrics}"
+    );
+    assert_eq!(m["counters"]["server.tenant.queries.acme"], 1);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_bytes_yield_structured_errors_not_panics() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+
+    // Non-HTTP bytes on the wire.
+    let (status, _, body) = send_raw(addr, b"\x13\x37garbage\x00bytes\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(error_kind(&body), "bad_request");
+
+    // Valid HTTP, garbage JSON, on both POST endpoints.
+    for path in ["/v1/query", "/v1/tables"] {
+        let (status, _, body) = post(addr, path, "{not json at all");
+        assert_eq!(status, 400, "{path}: {body}");
+        assert_eq!(error_kind(&body), "bad_request");
+
+        let (status, _, body) = post(addr, path, "\u{0}\u{1}\u{2}");
+        assert_eq!(status, 400, "{path}: {body}");
+
+        // Valid JSON, wrong shape.
+        let (status, _, body) = post(addr, path, "{\"tenant\":5}");
+        assert_eq!(status, 400, "{path}: {body}");
+        assert_eq!(error_kind(&body), "bad_request");
+    }
+
+    // Tenant validation: empty, oversized, control characters.
+    for tenant in ["", &"x".repeat(65), "bad\ttenant"] {
+        let body = serde_json::json!({"tenant": tenant, "question": "hi"});
+        let (status, _, response) = post(addr, "/v1/query", &body.to_string());
+        assert_eq!(status, 400, "tenant {tenant:?}: {response}");
+        assert_eq!(error_kind(&response), "bad_request");
+    }
+
+    // Unregisterable CSV is a structured 400, not a panic.
+    let body = serde_json::json!({"tenant": "acme", "name": "t", "csv": "\"unterminated"});
+    let (status, _, response) = post(addr, "/v1/tables", &body.to_string());
+    assert_eq!(status, 400, "{response}");
+    assert_eq!(error_kind(&response), "table_register");
+
+    // Unknown routes and methods.
+    let (status, _, body) = get(addr, "/v1/nope");
+    assert_eq!(status, 404);
+    assert_eq!(error_kind(&body), "not_found");
+    let (status, _, _) = send_raw(addr, b"DELETE /v1/query HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 404);
+
+    // Every worker survived: the error counters are visible and the
+    // server still answers.
+    let (status, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(status, 200);
+    let m = json(&metrics);
+    assert!(
+        m["counters"]["platform.errors.bad_request"].as_u64() >= Some(10),
+        "{metrics}"
+    );
+    assert!(m["counters"]["platform.errors.not_found"].as_u64() >= Some(2));
+    let (status, _, _) = get(addr, "/v1/health");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected() {
+    let server = boot(ServerConfig {
+        max_body_bytes: 64,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let big = "x".repeat(1000);
+    let body = format!("{{\"tenant\":\"a\",\"question\":\"{big}\"}}");
+    let (status, _, response) = post(addr, "/v1/query", &body);
+    assert_eq!(status, 413, "{response}");
+    assert_eq!(error_kind(&response), "too_large");
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    let server = boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        read_timeout_ms: 2_000,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    // Fill the worker and the queue with connections that never send a
+    // request. The first is connected alone and given time to reach the
+    // single worker (which then blocks in read for read_timeout_ms); the
+    // next two fill the queue. Held in a Vec so the sockets stay open.
+    let mut idle = vec![TcpStream::connect(addr).expect("idle connect")];
+    thread::sleep(Duration::from_millis(200));
+    for _ in 0..2 {
+        idle.push(TcpStream::connect(addr).expect("idle connect"));
+    }
+    thread::sleep(Duration::from_millis(200));
+
+    let (status, head, body) = get(addr, "/v1/health");
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(error_kind(&body), "overloaded");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+
+    // Once the idle connections time out, service recovers.
+    drop(idle);
+    thread::sleep(Duration::from_millis(500));
+    let (status, _, body) = get(addr, "/v1/health");
+    assert_eq!(status, 200, "{body}");
+
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["counters"]["server.rejected.global"].as_u64() >= Some(1),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn blown_deadline_is_a_504() {
+    let server = boot(ServerConfig {
+        deadline_ms: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let (status, v) = run_query(addr, "acme", "anything");
+    assert_eq!(status, 504, "{v}");
+    assert_eq!(v["error"]["kind"], "deadline");
+
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert!(json(&metrics)["counters"]["server.timeouts"].as_u64() >= Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn tenants_are_isolated_over_http() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    register_sales(addr, "acme");
+
+    // acme sees its table; globex — same question, own session — fails
+    // because no tables exist there.
+    let (status, v) = run_query(addr, "acme", CHART_QUESTION);
+    assert_eq!(status, 200);
+    assert_eq!(v["success"], Value::Bool(true), "{v}");
+
+    let (status, v) = run_query(addr, "globex", CHART_QUESTION);
+    assert_eq!(status, 200);
+    assert_eq!(v["success"], Value::Bool(false), "{v}");
+
+    let (_, _, health) = get(addr, "/v1/health");
+    assert_eq!(json(&health)["sessions"], 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    let (status, _, _) = get(addr, "/v1/health");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+
+    // The listener is gone: either the connect is refused outright or
+    // the socket yields no response.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let _ = stream.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            assert!(
+                stream.read_to_string(&mut buf).is_err() || buf.is_empty(),
+                "served after shutdown: {buf}"
+            );
+        }
+    }
+}
+
+#[test]
+fn server_handle_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Server>();
+    assert_send::<ServerConfig>();
+}

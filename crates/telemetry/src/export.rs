@@ -76,10 +76,16 @@ pub fn span_json(node: &SpanNode) -> String {
 }
 
 /// Serialises a metrics snapshot plus token attribution as one JSON
-/// object: `{"counters": {...}, "histograms": {...}, "attribution": [...]}`.
+/// object: `{"counters": {...}, "gauges": {...}, "histograms": {...},
+/// "attribution": [...]}`.
 pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage]) -> String {
     let counters: Vec<String> = snapshot
         .counters
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+        .collect();
+    let gauges: Vec<String> = snapshot
+        .gauges
         .iter()
         .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
         .collect();
@@ -105,8 +111,9 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage])
         .collect();
     let attribution: Vec<String> = attribution.iter().map(attribution_entry_json).collect();
     format!(
-        "{{\"counters\":{{{}}},\"histograms\":{{{}}},\"attribution\":[{}]}}",
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"attribution\":[{}]}}",
         counters.join(","),
+        gauges.join(","),
         histograms.join(","),
         attribution.join(",")
     )
@@ -187,6 +194,7 @@ mod tests {
     fn metrics_json_includes_everything() {
         let m = MetricsRegistry::new();
         m.incr("llm.calls", 2);
+        m.gauge_add("server.queue.depth", 5);
         m.histogram_with_buckets("llm.call_tokens", &[10, 100]);
         m.observe("llm.call_tokens", 42);
         let attribution = vec![AttributedUsage {
@@ -200,6 +208,7 @@ mod tests {
         }];
         let json = metrics_json(&m.snapshot(), &attribution);
         assert!(json.contains("\"llm.calls\":2"), "{json}");
+        assert!(json.contains("\"gauges\":{\"server.queue.depth\":5}"));
         assert!(json.contains("\"bounds\":[10,100]"));
         assert!(json.contains("\"counts\":[0,1,0]"));
         assert!(json.contains("\"max\":42"));

@@ -1,12 +1,12 @@
-//! The metrics registry: named monotonic counters and fixed-bucket
-//! histograms, safe to update from any thread.
+//! The metrics registry: named monotonic counters, point-in-time gauges,
+//! and fixed-bucket histograms, safe to update from any thread.
 //!
-//! Registration is lazy — the first `incr`/`observe` of a name creates
-//! the instrument — so call sites never coordinate setup. Hot-path
-//! updates are a single atomic add once the instrument exists.
+//! Registration is lazy — the first `incr`/`gauge_add`/`observe` of a
+//! name creates the instrument — so call sites never coordinate setup.
+//! Hot-path updates are a single atomic add once the instrument exists.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Upper-inclusive bucket bounds that fit both token counts and
@@ -141,6 +141,8 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     /// Counter name → value, name-sorted.
     pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, name-sorted.
+    pub gauges: Vec<(String, i64)>,
     /// Histogram name → snapshot, name-sorted.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -154,12 +156,22 @@ impl MetricsSnapshot {
             .map(|(_, v)| *v)
             .unwrap_or(0)
     }
+
+    /// The value of a gauge in this snapshot (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
 }
 
-/// The registry of named counters and histograms.
+/// The registry of named counters, gauges, and histograms.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -193,6 +205,39 @@ impl MetricsRegistry {
             .expect("metrics lock")
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    fn gauge_handle(&self, name: &str) -> Arc<AtomicI64> {
+        if let Some(g) = self.gauges.read().expect("metrics lock").get(name) {
+            return Arc::clone(g);
+        }
+        let mut w = self.gauges.write().expect("metrics lock");
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        )
+    }
+
+    /// Adds `delta` (possibly negative) to the named gauge, creating it
+    /// at zero first. Gauges model levels — queue depth, active
+    /// sessions — where counters model monotone totals.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        self.gauge_handle(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge to an absolute value, creating it first.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.gauge_handle(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of the named gauge (0 when it was never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|g| g.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 
@@ -246,6 +291,13 @@ impl MetricsRegistry {
             .iter()
             .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
             .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.load(Ordering::Relaxed)))
+            .collect();
         let histograms = self
             .histograms
             .read()
@@ -255,6 +307,7 @@ impl MetricsRegistry {
             .collect();
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -292,6 +345,40 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.counter("contended"), 80_000);
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("server.queue.depth"), 0);
+        m.gauge_add("server.queue.depth", 3);
+        m.gauge_add("server.queue.depth", -2);
+        assert_eq!(m.gauge("server.queue.depth"), 1);
+        m.gauge_set("server.queue.depth", 7);
+        assert_eq!(m.gauge("server.queue.depth"), 7);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauge("server.queue.depth"), 7);
+        assert_eq!(snap.gauge("absent"), 0);
+    }
+
+    #[test]
+    fn gauge_updates_are_atomic_across_threads() {
+        let m = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    m.gauge_add("level", 1);
+                    m.gauge_add("level", -1);
+                }
+                m.gauge_add("level", 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.gauge("level"), 8);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! | [`agents`] | `datalab-agents` | Inter-Agent Communication + agents (§V) |
 //! | [`workloads`] | `datalab-workloads` | benchmark generators + metrics (§VII) |
 //! | [`telemetry`] | `datalab-telemetry` | span-tree tracing, metrics, token attribution |
+//! | [`server`] | `datalab-server` | multi-tenant HTTP serving layer |
 
 #![warn(missing_docs)]
 
@@ -47,6 +48,7 @@ pub use datalab_frame as frame;
 pub use datalab_knowledge as knowledge;
 pub use datalab_llm as llm;
 pub use datalab_notebook as notebook;
+pub use datalab_server as server;
 pub use datalab_sql as sql;
 pub use datalab_telemetry as telemetry;
 pub use datalab_viz as viz;
