@@ -11,7 +11,9 @@ use crate::analysis::{
 use crate::info::{Content, InformationUnit};
 use crate::sandbox::run_dscript;
 use datalab_frame::{AggExpr, AggFunc, DataFrame, DataType, Value};
-use datalab_llm::{LanguageModel, Prompt};
+use datalab_llm::generate::{to_dscript, to_sql};
+use datalab_llm::intent::{infer_intent, Evidence};
+use datalab_llm::{LanguageModel, LlmError, Prompt};
 use datalab_sql::{run_sql, Database};
 use datalab_telemetry::Telemetry;
 use datalab_viz::{render, ChartSpec, RenderedChart};
@@ -122,6 +124,9 @@ pub struct AgentOutput {
     pub chart: Option<RenderedChart>,
     /// Human-facing answer text.
     pub answer: String,
+    /// True when the model transport was down (breaker open or retries
+    /// exhausted) and this output came from the rule-based fallback path.
+    pub degraded: bool,
 }
 
 /// The common agent interface.
@@ -166,6 +171,21 @@ pub fn frame_evidence(var: &str, df: &DataFrame) -> String {
     out
 }
 
+/// Builds the same grounding evidence the simulated model derives from a
+/// rendered prompt, directly from the agent context sections. The
+/// degraded fallback paths compile artifacts from this evidence without
+/// any model call, so they stay available when the transport is down.
+fn context_evidence(ctx: &AgentContext<'_>) -> Evidence {
+    let mut ev = Evidence::from_schema(&ctx.schema_section);
+    ev.absorb_schema(&ctx.context_section);
+    ev.absorb_knowledge(&ctx.knowledge_section);
+    ev.absorb_knowledge(&ctx.context_section);
+    if ev.current_date.is_none() && !ctx.current_date.trim().is_empty() {
+        ev.current_date = Some(ctx.current_date.trim().to_string());
+    }
+    ev
+}
+
 fn base_prompt(task_label: &str, task: &str, ctx: &AgentContext<'_>) -> Prompt {
     Prompt::new(task_label)
         .section("schema", ctx.schema_section.clone())
@@ -197,9 +217,58 @@ fn unit(
 // ---------------------------------------------------------------------------
 
 /// Generates and executes SQL (NL2SQL), retrying on execution errors with
-/// feedback.
+/// feedback. Transport faults are distinguished from semantic failures:
+/// a retryable fault re-attempts the same prompt without poisoning the
+/// feedback section, and a terminal transport error (breaker open,
+/// retries exhausted) switches to the rule-based degraded path.
 #[derive(Debug, Default)]
 pub struct SqlAgent;
+
+impl SqlAgent {
+    /// Rule-based fallback: ground intent on the context evidence and
+    /// compile SQL without the model.
+    fn degraded(
+        &self,
+        task: &str,
+        ctx: &AgentContext<'_>,
+        cause: &LlmError,
+    ) -> Result<AgentOutput, AgentError> {
+        let ev = context_evidence(ctx);
+        let intent = infer_intent(task, &ev);
+        let sql = to_sql(&intent, &ev);
+        match run_sql(&sql, ctx.db) {
+            Ok(df) => {
+                let var = "sql_agent_result";
+                let evidence = frame_evidence(var, &df);
+                let source = datalab_sql::parse_select(&sql)
+                    .ok()
+                    .and_then(|s| s.from.map(|t| t.binding_name().to_string()))
+                    .unwrap_or_else(|| "unknown".into());
+                let u = unit(
+                    self.role(),
+                    "generate_sql_query",
+                    &source,
+                    format!(
+                        "model transport down ({}); compiled rule-based SQL over {source}: {sql}",
+                        cause.kind()
+                    ),
+                    Content::Table(format!("-- sql (degraded): {sql}\n{evidence}")),
+                );
+                Ok(AgentOutput {
+                    unit: u,
+                    frame: Some(df.clone()),
+                    chart: None,
+                    answer: df.to_table_string(10),
+                    degraded: true,
+                })
+            }
+            Err(e) => Err(AgentError {
+                role: self.role().into(),
+                message: format!("model transport failed ({cause}); rule-based SQL failed: {e}"),
+            }),
+        }
+    }
+}
 
 impl BiAgent for SqlAgent {
     fn role(&self) -> &'static str {
@@ -221,7 +290,14 @@ impl BiAgent for SqlAgent {
             if let Some(fb) = &feedback {
                 prompt = prompt.section("feedback", fb.clone());
             }
-            let sql = ctx.llm.complete(&prompt.render());
+            let sql = match ctx.llm.try_complete(&prompt.render()) {
+                Ok(text) => text,
+                Err(e) if e.is_retryable() && attempt < ctx.max_retries => {
+                    last_err = e.to_string();
+                    continue;
+                }
+                Err(e) => return self.degraded(task, ctx, &e),
+            };
             match run_sql(&sql, ctx.db) {
                 Ok(df) => {
                     // Must match the session variable the proxy registers
@@ -244,6 +320,7 @@ impl BiAgent for SqlAgent {
                         frame: Some(df.clone()),
                         chart: None,
                         answer: df.to_table_string(10),
+                        degraded: false,
                     });
                 }
                 Err(e) => {
@@ -267,6 +344,59 @@ impl BiAgent for SqlAgent {
 #[derive(Debug, Default)]
 pub struct CodeAgent;
 
+impl CodeAgent {
+    /// Rule-based fallback: compile a dscript pipeline from the context
+    /// evidence without the model.
+    fn degraded(
+        &self,
+        task: &str,
+        ctx: &AgentContext<'_>,
+        cause: &LlmError,
+    ) -> Result<AgentOutput, AgentError> {
+        let ev = context_evidence(ctx);
+        let intent = infer_intent(task, &ev);
+        let code = to_dscript(&intent);
+        let sandboxed = {
+            let _span = ctx.telemetry.span("sandbox.run");
+            run_dscript(&code, ctx.db)
+        };
+        match sandboxed {
+            Ok(df) => {
+                let var = "code_agent_result";
+                let evidence = frame_evidence(var, &df);
+                let source = code
+                    .lines()
+                    .find_map(|l| l.trim().strip_prefix("load "))
+                    .unwrap_or("unknown")
+                    .to_string();
+                let u = unit(
+                    self.role(),
+                    "generate_ds_code",
+                    &source,
+                    format!(
+                        "model transport down ({}); compiled rule-based pipeline over {source}",
+                        cause.kind()
+                    ),
+                    Content::Table(format!("-- code (degraded):\n{code}\n{evidence}")),
+                );
+                Ok(AgentOutput {
+                    unit: u,
+                    frame: Some(df.clone()),
+                    chart: None,
+                    answer: df.to_table_string(10),
+                    degraded: true,
+                })
+            }
+            Err(e) => Err(AgentError {
+                role: self.role().into(),
+                message: format!(
+                    "model transport failed ({cause}); rule-based pipeline failed: {e}"
+                ),
+            }),
+        }
+    }
+}
+
 impl BiAgent for CodeAgent {
     fn role(&self) -> &'static str {
         "code_agent"
@@ -287,7 +417,14 @@ impl BiAgent for CodeAgent {
             if let Some(fb) = &feedback {
                 prompt = prompt.section("feedback", fb.clone());
             }
-            let code = ctx.llm.complete(&prompt.render());
+            let code = match ctx.llm.try_complete(&prompt.render()) {
+                Ok(text) => text,
+                Err(e) if e.is_retryable() && attempt < ctx.max_retries => {
+                    last_err = e.to_string();
+                    continue;
+                }
+                Err(e) => return self.degraded(task, ctx, &e),
+            };
             let sandboxed = {
                 let _span = ctx.telemetry.span("sandbox.run");
                 run_dscript(&code, ctx.db)
@@ -313,6 +450,7 @@ impl BiAgent for CodeAgent {
                         frame: Some(df.clone()),
                         chart: None,
                         answer: df.to_table_string(10),
+                        degraded: false,
                     });
                 }
                 Err(e) => {
@@ -340,74 +478,19 @@ impl BiAgent for CodeAgent {
 #[derive(Debug, Default)]
 pub struct VisAgent;
 
-impl BiAgent for VisAgent {
-    fn role(&self) -> &'static str {
-        "vis_agent"
-    }
-
-    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
-        let mut feedback: Option<String> = None;
-        let mut last_err = String::new();
-        for attempt in 0..=ctx.max_retries {
-            if attempt > 0 {
-                ctx.telemetry.metrics().incr("vis.retries", 1);
-                ctx.telemetry.record_event(
-                    datalab_telemetry::EventKind::Retry,
-                    format!("vis_agent attempt {attempt}: {last_err}"),
-                );
-            }
-            let mut prompt = base_prompt("nl2vis", task, ctx);
-            if let Some(fb) = &feedback {
-                prompt = prompt.section("feedback", fb.clone());
-            }
-            let spec_json = ctx.llm.complete(&prompt.render());
-            let spec = match ChartSpec::from_json(&spec_json) {
-                Ok(s) => s,
-                Err(e) => {
-                    last_err = e.to_string();
-                    feedback = Some(format!("previous spec was invalid: {last_err}"));
-                    continue;
-                }
-            };
-            // Resolve the data source: the spec's table when known,
-            // otherwise the focus frame.
-            let data = match ctx.db.get(&spec.data) {
-                Ok(df) => df.clone(),
-                Err(_) => match ctx.focus_frame() {
-                    Ok((_, df)) => df,
-                    Err(e) => return Err(e),
-                },
-            };
-            match render(&spec, &data) {
-                Ok(chart) => {
-                    let u = unit(
-                        self.role(),
-                        "generate_visualization",
-                        &spec.data,
-                        format!(
-                            "rendered a {} chart of {} with {} points",
-                            spec.mark.name(),
-                            spec.data,
-                            chart.points.len()
-                        ),
-                        Content::Chart(spec.to_json()),
-                    );
-                    return Ok(AgentOutput {
-                        unit: u,
-                        frame: None,
-                        chart: Some(chart),
-                        answer: format!("rendered {} chart", spec.mark.name()),
-                    });
-                }
-                Err(e) => {
-                    last_err = e.to_string();
-                    feedback = Some(format!("previous spec failed to render: {last_err}"));
-                }
-            }
-        }
-        // Last resort: a sensible default chart over the focus frame
-        // ("plot it" with no further grounding — first categorical x,
-        // first numeric y), honouring the requested mark.
+impl VisAgent {
+    /// A sensible default chart over the focus frame ("plot it" with no
+    /// further grounding — first categorical x, first numeric y),
+    /// honouring the requested mark. Used both when every model-proposed
+    /// spec failed semantically (`degraded: false`) and when the model
+    /// transport itself is down (`degraded: true`).
+    fn default_chart(
+        &self,
+        task: &str,
+        ctx: &AgentContext<'_>,
+        last_err: &str,
+        degraded: bool,
+    ) -> Result<AgentOutput, AgentError> {
         let lower_task = task.to_lowercase();
         let mark = if lower_task.contains("pie") || lower_task.contains("share") {
             datalab_viz::Mark::Pie
@@ -449,13 +532,92 @@ impl BiAgent for VisAgent {
                     frame: None,
                     chart: Some(chart),
                     answer: format!("rendered default {} chart", mark.name()),
+                    degraded,
                 });
             }
         }
         Err(AgentError {
             role: self.role().into(),
-            message: last_err,
+            message: last_err.to_string(),
         })
+    }
+}
+
+impl BiAgent for VisAgent {
+    fn role(&self) -> &'static str {
+        "vis_agent"
+    }
+
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let mut feedback: Option<String> = None;
+        let mut last_err = String::new();
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("vis.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("vis_agent attempt {attempt}: {last_err}"),
+                );
+            }
+            let mut prompt = base_prompt("nl2vis", task, ctx);
+            if let Some(fb) = &feedback {
+                prompt = prompt.section("feedback", fb.clone());
+            }
+            let spec_json = match ctx.llm.try_complete(&prompt.render()) {
+                Ok(text) => text,
+                Err(e) if e.is_retryable() && attempt < ctx.max_retries => {
+                    last_err = e.to_string();
+                    continue;
+                }
+                Err(e) => return self.default_chart(task, ctx, &e.to_string(), true),
+            };
+            let spec = match ChartSpec::from_json(&spec_json) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e.to_string();
+                    feedback = Some(format!("previous spec was invalid: {last_err}"));
+                    continue;
+                }
+            };
+            // Resolve the data source: the spec's table when known,
+            // otherwise the focus frame.
+            let data = match ctx.db.get(&spec.data) {
+                Ok(df) => df.clone(),
+                Err(_) => match ctx.focus_frame() {
+                    Ok((_, df)) => df,
+                    Err(e) => return Err(e),
+                },
+            };
+            match render(&spec, &data) {
+                Ok(chart) => {
+                    let u = unit(
+                        self.role(),
+                        "generate_visualization",
+                        &spec.data,
+                        format!(
+                            "rendered a {} chart of {} with {} points",
+                            spec.mark.name(),
+                            spec.data,
+                            chart.points.len()
+                        ),
+                        Content::Chart(spec.to_json()),
+                    );
+                    return Ok(AgentOutput {
+                        unit: u,
+                        frame: None,
+                        chart: Some(chart),
+                        answer: format!("rendered {} chart", spec.mark.name()),
+                        degraded: false,
+                    });
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    feedback = Some(format!("previous spec failed to render: {last_err}"));
+                }
+            }
+        }
+        // Last resort after semantic failures (not a transport outage).
+        self.default_chart(task, ctx, &last_err, false)
     }
 }
 
@@ -476,11 +638,8 @@ impl BiAgent for InsightAgent {
     fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
         // Ground the analysis on what the question asks about: table,
         // measure, and dimension inferred from the prompt evidence.
-        let mut ev = datalab_llm::intent::Evidence::from_schema(&ctx.schema_section);
-        ev.absorb_schema(&ctx.context_section);
-        ev.absorb_knowledge(&ctx.knowledge_section);
-        ev.absorb_knowledge(&ctx.context_section);
-        let intent = datalab_llm::intent::infer_intent(task, &ev);
+        let ev = context_evidence(ctx);
+        let intent = infer_intent(task, &ev);
         let asked_table = intent.tables().into_iter().next();
         // Focus (an upstream extraction) outranks the table the question
         // mentions: when a prior stage narrowed the data, the insights
@@ -519,12 +678,21 @@ impl BiAgent for InsightAgent {
             .map(|f| f.statement.clone())
             .collect::<Vec<_>>()
             .join("\n");
-        let summary = ctx.llm.complete(
+        // The narration is the only model call; the facts themselves are
+        // computed. When the transport is down, serve the raw facts as
+        // the (degraded) narration instead of failing the whole subtask.
+        let (summary, degraded) = match ctx.llm.try_complete(
             &Prompt::new("summarize")
                 .section("facts", facts_text.clone())
                 .section("question", task)
                 .render(),
-        );
+        ) {
+            Ok(text) => (text, false),
+            Err(_) => {
+                let fallback: Vec<&str> = facts_text.lines().take(12).collect();
+                (fallback.join(" "), true)
+            }
+        };
         let u = unit(
             self.role(),
             "discover_insights",
@@ -537,6 +705,7 @@ impl BiAgent for InsightAgent {
             frame: None,
             chart: None,
             answer: summary,
+            degraded,
         })
     }
 }
@@ -614,6 +783,7 @@ impl BiAgent for AnomalyAgent {
             frame: None,
             chart: None,
             answer: description,
+            degraded: false,
         })
     }
 }
@@ -702,6 +872,7 @@ impl BiAgent for CausalAgent {
             frame: None,
             chart: None,
             answer: description,
+            degraded: false,
         })
     }
 }
@@ -808,6 +979,7 @@ impl BiAgent for ForecastAgent {
             frame: Some(out),
             chart: None,
             answer: description,
+            degraded: false,
         })
     }
 }
@@ -1006,6 +1178,105 @@ mod tests {
         c.focus_table = Some("tiny".into());
         let out = InsightAgent.run("describe", &c).unwrap();
         assert_eq!(out.unit.data_source, "tiny");
+    }
+
+    /// A model whose transport is terminally down: the infallible surface
+    /// returns a sentinel, the fallible one reports the breaker open.
+    struct DownLlm;
+    impl LanguageModel for DownLlm {
+        fn name(&self) -> &str {
+            "down"
+        }
+        fn complete(&self, _prompt: &str) -> String {
+            "<<llm-error:breaker_open>>".into()
+        }
+        fn try_complete(&self, _prompt: &str) -> Result<String, LlmError> {
+            Err(LlmError::BreakerOpen)
+        }
+    }
+
+    fn down_ctx<'a>(db: &'a Database, llm: &'a DownLlm) -> AgentContext<'a> {
+        AgentContext {
+            db,
+            llm,
+            schema_section: "table sales: region (str), amount (int), cost (int), day (date)\nvalues sales.region: east, west"
+                .into(),
+            knowledge_section: String::new(),
+            context_section: String::new(),
+            current_date: "2026-07-06".into(),
+            max_retries: 3,
+            focus_table: None,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    #[test]
+    fn sql_agent_degrades_to_rule_based_sql_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = SqlAgent
+            .run("total amount by region", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.frame.unwrap().n_rows(), 2);
+        assert!(
+            out.unit.content.text().contains("-- sql (degraded):"),
+            "{}",
+            out.unit.content.text()
+        );
+        assert!(out.unit.description.contains("breaker_open"));
+        // The fallback never consumed the poisoned infallible surface.
+        assert!(!out.answer.contains("<<llm-error"));
+    }
+
+    #[test]
+    fn code_agent_degrades_to_rule_based_pipeline_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = CodeAgent
+            .run("average cost by region", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.frame.unwrap().n_rows(), 2);
+        assert!(out.unit.content.text().contains("-- code (degraded):"));
+    }
+
+    #[test]
+    fn vis_agent_degrades_to_default_chart_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = VisAgent
+            .run("bar chart of total amount by region", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert!(out.chart.is_some());
+        assert!(out.answer.contains("default"));
+    }
+
+    #[test]
+    fn insight_agent_serves_raw_facts_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = InsightAgent
+            .run("what do the sales look like", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert!(!out.answer.is_empty());
+        assert!(!out.answer.contains("<<llm-error"));
+    }
+
+    #[test]
+    fn healthy_transport_is_never_degraded() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = SqlAgent
+            .run("total amount by region", &ctx(&db, &llm))
+            .unwrap();
+        assert!(!out.degraded);
+        let out = InsightAgent
+            .run("what do the sales look like", &ctx(&db, &llm))
+            .unwrap();
+        assert!(!out.degraded);
     }
 
     #[test]

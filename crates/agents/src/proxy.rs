@@ -8,7 +8,7 @@ use crate::buffer::SharedBuffer;
 use crate::fsm::Fsm;
 use crate::info::InformationUnit;
 use datalab_frame::DataFrame;
-use datalab_llm::{LanguageModel, Prompt};
+use datalab_llm::{plan_with_parts, LanguageModel, Prompt};
 use datalab_sql::Database;
 use datalab_telemetry::Telemetry;
 use datalab_viz::RenderedChart;
@@ -57,6 +57,10 @@ pub struct ProxyOutcome {
     pub chart: Option<RenderedChart>,
     /// Roles whose subtasks failed.
     pub failed_roles: Vec<String>,
+    /// Roles (and proxy stages: `planner`, `synthesizer`) served by a
+    /// rule-based fallback because the model transport was down. A
+    /// nonempty list marks the whole response as degraded.
+    pub degraded_roles: Vec<String>,
 }
 
 /// Maps the planner's task labels to agent roles.
@@ -134,11 +138,26 @@ impl<'a> ProxyAgent<'a> {
         buffer: &SharedBuffer,
     ) -> ProxyOutcome {
         // Step 1-2: analyse the query and formulate the execution plan —
-        // subtasks allocated to specialised agents.
+        // subtasks allocated to specialised agents. When the model
+        // transport is down, the pure rule-based planner serves instead
+        // (it is the same decomposition the simulated model performs).
+        let mut degraded_roles: Vec<String> = Vec::new();
         let plan_out = {
             let _stage = self.telemetry.stage("plan");
-            self.llm
-                .complete(&Prompt::new("plan2").section("question", question).render())
+            match self
+                .llm
+                .try_complete(&Prompt::new("plan2").section("question", question).render())
+            {
+                Ok(text) => text,
+                Err(_) => {
+                    degraded_roles.push("planner".to_string());
+                    plan_with_parts(question)
+                        .into_iter()
+                        .map(|(label, text)| format!("{label} :: {text}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                }
+            }
         };
         let mut plan: Vec<(String, String)> = plan_out
             .lines()
@@ -245,6 +264,9 @@ impl<'a> ProxyAgent<'a> {
             );
             match outcome {
                 Some(out) => {
+                    if out.degraded {
+                        degraded_roles.push(role.clone());
+                    }
                     // Steps 3-4: deposit the agent's output into the buffer.
                     buffer.deposit(out.unit.clone());
                     self.telemetry.metrics().incr("buffer.deposits", 1);
@@ -309,12 +331,26 @@ impl<'a> ProxyAgent<'a> {
             .join("\n");
         let answer = {
             let _stage = self.telemetry.stage("synthesize");
-            self.llm.complete(
+            match self.llm.try_complete(
                 &Prompt::new("summarize")
-                    .section("facts", facts)
+                    .section("facts", facts.clone())
                     .section("question", question)
                     .render(),
-            )
+            ) {
+                Ok(text) => text,
+                Err(_) => {
+                    // Degraded synthesis: serve the leading fact lines
+                    // verbatim rather than a narrated summary.
+                    degraded_roles.push("synthesizer".to_string());
+                    facts
+                        .lines()
+                        .map(str::trim)
+                        .filter(|l| !l.is_empty())
+                        .take(12)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }
+            }
         };
 
         ProxyOutcome {
@@ -326,6 +362,7 @@ impl<'a> ProxyAgent<'a> {
             final_frame,
             chart,
             failed_roles,
+            degraded_roles,
         }
     }
 }
@@ -469,6 +506,54 @@ mod tests {
             .any(|a| a.stage == "execute" && a.agent == "sql_agent"));
         assert!(attribution.iter().any(|a| a.stage == "synthesize"));
         assert_eq!(telemetry.token_totals(), llm.usage().snapshot());
+    }
+
+    #[test]
+    fn transport_outage_degrades_the_whole_pipeline_without_failing() {
+        struct DownLlm;
+        impl LanguageModel for DownLlm {
+            fn name(&self) -> &str {
+                "down"
+            }
+            fn complete(&self, _prompt: &str) -> String {
+                "<<llm-error:breaker_open>>".into()
+            }
+            fn try_complete(&self, _prompt: &str) -> Result<String, datalab_llm::LlmError> {
+                Err(datalab_llm::LlmError::BreakerOpen)
+            }
+        }
+        let llm = DownLlm;
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        // Every stage fell back to the rule-based path; the query still
+        // succeeds and the answer never contains transport poison.
+        assert!(out.success, "{:?}", out.failed_roles);
+        assert!(out.degraded_roles.contains(&"planner".to_string()));
+        assert!(out.degraded_roles.contains(&"sql_agent".to_string()));
+        assert!(out.degraded_roles.contains(&"synthesizer".to_string()));
+        assert!(out.final_frame.is_some());
+        assert!(!out.answer.contains("<<llm-error"), "{}", out.answer);
+    }
+
+    #[test]
+    fn healthy_queries_report_no_degraded_roles() {
+        let llm = SimLlm::gpt4();
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        assert!(out.success);
+        assert!(out.degraded_roles.is_empty(), "{:?}", out.degraded_roles);
     }
 
     #[test]

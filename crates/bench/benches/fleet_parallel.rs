@@ -17,6 +17,7 @@ fn bench_fleet_workers(c: &mut Criterion) {
             seed: 7,
             tasks_per_workload: 2,
             workers,
+            ..FleetConfig::default()
         };
         group.bench_with_input(
             BenchmarkId::new("run_fleet", workers),

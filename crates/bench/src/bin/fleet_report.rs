@@ -3,13 +3,17 @@
 //! per task, aggregated and written as JSON for `obsdiff` to gate.
 //!
 //! ```text
-//! cargo run -p datalab-bench --bin fleet_report -- [--seed N] [--tasks N] [--workers W] [--out PATH]
+//! cargo run -p datalab-bench --bin fleet_report -- [--seed N] [--tasks N] [--workers W]
+//!     [--chaos-rate R] [--chaos-seed N] [--out PATH]
 //! ```
 //!
 //! Defaults: seed 7, 3 tasks per workload family, 1 worker (serial),
-//! output `target/telemetry/fleet_report.json`. With `--workers W > 1`
-//! the sharded parallel executor is used; the report is identical to the
-//! serial one except for its wall-clock fields.
+//! chaos rate 0.0 (no fault injection), output
+//! `target/telemetry/fleet_report.json`. With `--workers W > 1` the
+//! sharded parallel executor is used; the report is identical to the
+//! serial one except for its wall-clock fields. `--chaos-rate R > 0`
+//! injects transport faults at total rate R (deterministic in
+//! `--chaos-seed`); the report then carries nonzero resilience counters.
 
 use datalab_bench::telemetry_dir;
 use datalab_workloads::{run_fleet, FleetConfig};
@@ -39,21 +43,36 @@ fn main() -> ExitCode {
                     .map(|n| config.workers = n)
                     .map_err(|e| format!("--workers: {e}"))
             }),
+            "--chaos-rate" => take("--chaos-rate").and_then(|v| {
+                v.parse()
+                    .map(|n| config.chaos_rate = n)
+                    .map_err(|e| format!("--chaos-rate: {e}"))
+            }),
+            "--chaos-seed" => take("--chaos-seed").and_then(|v| {
+                v.parse()
+                    .map(|n| config.chaos_seed = n)
+                    .map_err(|e| format!("--chaos-seed: {e}"))
+            }),
             "--out" => take("--out").map(|v| out = Some(PathBuf::from(v))),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(e) = result {
             eprintln!("fleet_report: {e}");
-            eprintln!("usage: fleet_report [--seed N] [--tasks N] [--workers W] [--out PATH]");
+            eprintln!(
+                "usage: fleet_report [--seed N] [--tasks N] [--workers W] \
+                 [--chaos-rate R] [--chaos-seed N] [--out PATH]"
+            );
             return ExitCode::from(2);
         }
     }
 
     eprintln!(
-        "fleet_report: seed={} tasks_per_workload={} workers={}",
+        "fleet_report: seed={} tasks_per_workload={} workers={} chaos_rate={} chaos_seed={}",
         config.seed,
         config.tasks_per_workload,
-        config.workers.max(1)
+        config.workers.max(1),
+        config.chaos_rate,
+        config.chaos_seed
     );
     let report = run_fleet(&config);
     print!("{}", report.render());

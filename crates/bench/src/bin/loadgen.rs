@@ -5,16 +5,21 @@
 //!
 //! ```text
 //! cargo run -p datalab-bench --bin loadgen -- [--addr HOST:PORT | --boot]
-//!     [--rps N] [--duration 10s] [--seed N] [--tasks N] [--out PATH]
+//!     [--rps N] [--duration 10s] [--seed N] [--tasks N]
+//!     [--chaos-rate R] [--chaos-seed N] [--out PATH]
 //! ```
 //!
 //! `--boot` starts an in-process server on a free port (used by tests
 //! and local runs); `--addr` targets an already-running server (used by
-//! the CI smoke). Exit code 0 means the run finished with zero 5xx
-//! responses and zero transport errors; anything else exits 1.
+//! the CI smoke). `--chaos-rate R > 0` (boot mode only) injects
+//! transport faults into every tenant session at total rate R; `503
+//! transport_unavailable` responses are then expected back-pressure, not
+//! failures. Exit code 0 means the run finished with zero 5xx responses
+//! (excluding tolerated chaos 503s) and zero transport errors; anything
+//! else exits 1.
 
 use datalab_bench::telemetry_dir;
-use datalab_core::LATENCY_BUCKETS_US;
+use datalab_core::{ChaosConfig, DataLabConfig, LATENCY_BUCKETS_US};
 use datalab_server::{Json, Server, ServerConfig};
 use datalab_telemetry::{json_escape, MetricsRegistry};
 use datalab_workloads::request_corpus;
@@ -34,6 +39,8 @@ struct Args {
     duration: Duration,
     seed: u64,
     tasks: usize,
+    chaos_rate: f64,
+    chaos_seed: u64,
     out: Option<PathBuf>,
 }
 
@@ -60,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         duration: Duration::from_secs(10),
         seed: 7,
         tasks: 3,
+        chaos_rate: 0.0,
+        chaos_seed: 7,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -80,6 +89,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tasks: {e}"))?
             }
+            "--chaos-rate" => {
+                parsed.chaos_rate = take("--chaos-rate")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-rate: {e}"))?
+            }
+            "--chaos-seed" => {
+                parsed.chaos_seed = take("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?
+            }
             "--out" => parsed.out = Some(PathBuf::from(take("--out")?)),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -89,6 +108,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if parsed.rps == 0 {
         return Err("--rps must be positive".to_string());
+    }
+    if parsed.chaos_rate > 0.0 && !parsed.boot {
+        return Err(
+            "--chaos-rate requires --boot (faults are injected into the booted server's sessions)"
+                .to_string(),
+        );
     }
     Ok(parsed)
 }
@@ -138,7 +163,16 @@ fn run() -> Result<u8, String> {
     let args = parse_args()?;
 
     let booted = if args.boot {
-        Some(Server::start(ServerConfig::default()).map_err(|e| format!("boot: {e}"))?)
+        let config = ServerConfig {
+            lab_config: DataLabConfig {
+                record_runs: false,
+                chaos: (args.chaos_rate > 0.0)
+                    .then(|| ChaosConfig::uniform(args.chaos_seed, args.chaos_rate)),
+                ..DataLabConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        Some(Server::start(config).map_err(|e| format!("boot: {e}"))?)
     } else {
         None
     };
@@ -149,11 +183,13 @@ fn run() -> Result<u8, String> {
     };
 
     eprintln!(
-        "loadgen: target={addr} rps={} duration={}s seed={} tasks={}",
+        "loadgen: target={addr} rps={} duration={}s seed={} tasks={} chaos_rate={} chaos_seed={}",
         args.rps,
         args.duration.as_secs(),
         args.seed,
-        args.tasks
+        args.tasks,
+        args.chaos_rate,
+        args.chaos_seed
     );
 
     // Register the corpus tables up front (not counted in the report).
@@ -322,7 +358,21 @@ fn run() -> Result<u8, String> {
     if let Some(server) = booted {
         server.shutdown();
     }
-    if fivexx > 0 || transport > 0 {
+    // Under injected chaos, 503 transport_unavailable is expected
+    // back-pressure (the breaker doing its job), not a server failure.
+    let tolerated = if args.chaos_rate > 0.0 {
+        let n = status_counts.get(&503).copied().unwrap_or(0);
+        if n > 0 {
+            eprintln!(
+                "loadgen: tolerating {n} chaos 503s (chaos_rate={})",
+                args.chaos_rate
+            );
+        }
+        n
+    } else {
+        0
+    };
+    if fivexx > tolerated || transport > 0 {
         eprintln!("loadgen: FAILED ({fivexx} server errors, {transport} transport errors)");
         Ok(1)
     } else {
@@ -337,7 +387,7 @@ fn main() -> ExitCode {
             eprintln!("loadgen: {e}");
             eprintln!(
                 "usage: loadgen (--addr HOST:PORT | --boot) [--rps N] [--duration 10s] \
-                 [--seed N] [--tasks N] [--out PATH]"
+                 [--seed N] [--tasks N] [--chaos-rate R] [--chaos-seed N] [--out PATH]"
             );
             ExitCode::from(2)
         }

@@ -26,7 +26,11 @@ pub mod platform;
 pub mod recorder;
 
 pub use platform::{DataLab, DataLabConfig, DataLabResponse};
+// Transport-resilience configuration surfaces on `DataLabConfig` and
+// `DataLab::breaker_state`; re-exported so downstream crates (server,
+// workloads, bench) need not depend on datalab-llm directly.
+pub use datalab_llm::{BreakerConfig, BreakerState, ChaosConfig, RetryPolicy};
 pub use recorder::{
-    diff_reports, FleetReport, LatencyStats, LlmTotals, Regression, RunRecord, RunRecorder,
-    StageStats, TokenTotals, WorkloadStats, LATENCY_BUCKETS_US,
+    diff_reports, FleetReport, LatencyStats, LlmTotals, Regression, ResilienceStats, RunRecord,
+    RunRecorder, StageStats, TokenTotals, WorkloadStats, LATENCY_BUCKETS_US,
 };

@@ -7,7 +7,10 @@ use datalab_knowledge::{
     GenerationReport, IncorporateConfig, IndexTask, JargonEntry, KnowledgeGraph, KnowledgeIndex,
     Lineage, NodeKind, Script, TableKnowledge,
 };
-use datalab_llm::{LanguageModel, ModelProfile, SimLlm};
+use datalab_llm::{
+    BreakerConfig, BreakerState, ChaosConfig, ChaosLlm, LanguageModel, ModelProfile, ResilientLlm,
+    RetryPolicy, SimLlm,
+};
 use datalab_notebook::{CellDag, CellKind, Notebook};
 use datalab_sql::Database;
 use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, Telemetry};
@@ -15,7 +18,7 @@ use datalab_viz::RenderedChart;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use crate::recorder::{FleetReport, RunRecord, RunRecorder};
+use crate::recorder::{FleetReport, ResilienceStats, RunRecord, RunRecorder};
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +39,14 @@ pub struct DataLabConfig {
     /// without bound (the serving layer aggregates into its own metrics
     /// instead).
     pub record_runs: bool,
+    /// Fault injection for the model transport. `None` (the default)
+    /// leaves the transport a bit-identical passthrough; chaos fleets set
+    /// rates here to exercise the resilience machinery.
+    pub chaos: Option<ChaosConfig>,
+    /// Retry/backoff/deadline policy for the resilient transport.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds for the resilient transport.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for DataLabConfig {
@@ -47,6 +58,9 @@ impl Default for DataLabConfig {
             generation: GenerationConfig::default(),
             current_date: "2026-07-06".to_string(),
             record_runs: true,
+            chaos: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -78,12 +92,23 @@ pub struct DataLabResponse {
     /// attached only when the query failed (empty on success). Render
     /// with [`datalab_telemetry::render_flight_record`].
     pub flight_record: Vec<Event>,
+    /// True when at least one pipeline stage was served by a rule-based
+    /// degradation path because the model transport was down. The answer
+    /// is still structured and safe to display, but was produced without
+    /// the model.
+    pub degraded: bool,
+    /// Transport-resilience counters observed during this query: faults,
+    /// retries, breaker trips, degradations.
+    pub resilience: ResilienceStats,
 }
 
 /// The unified BI platform.
 pub struct DataLab {
     config: DataLabConfig,
-    llm: SimLlm,
+    llm: Arc<SimLlm>,
+    /// The fault-tolerant model path the agent pipeline calls through:
+    /// retries + circuit breaker over the (optionally chaotic) backend.
+    transport: ResilientLlm<ChaosLlm<Arc<SimLlm>>>,
     db: Database,
     graph: KnowledgeGraph,
     index: Option<KnowledgeIndex>,
@@ -100,16 +125,31 @@ pub struct DataLab {
 impl DataLab {
     /// Creates an empty platform.
     pub fn new(config: DataLabConfig) -> Self {
-        let llm = SimLlm::new(config.model.clone());
+        let llm = Arc::new(SimLlm::new(config.model.clone()));
         let telemetry = Telemetry::new();
         // Every model call now lands in the attribution ledger and the
         // metrics registry, whichever layer triggered it.
         llm.attach_telemetry(telemetry.clone());
+        // The agent pipeline calls the model through the resilient
+        // transport: chaos (disabled unless configured) under bounded
+        // retries and a circuit breaker. With chaos off the stack is a
+        // bit-identical passthrough over the shared backend.
+        let chaos = config
+            .chaos
+            .clone()
+            .unwrap_or_else(|| ChaosConfig::disabled(7));
+        let transport = ResilientLlm::new(
+            ChaosLlm::new(Arc::clone(&llm), chaos),
+            config.retry.clone(),
+            config.breaker.clone(),
+        );
+        transport.attach_telemetry(telemetry.clone());
         let notebook = Notebook::new();
         let dag = CellDag::build(&notebook);
         DataLab {
             config,
             llm,
+            transport,
             db: Database::new(),
             graph: KnowledgeGraph::new(),
             index: None,
@@ -371,8 +411,11 @@ impl DataLab {
             }
         };
 
-        // ② Multi-agent execution over the shared buffer.
-        let proxy = ProxyAgent::new(&self.llm, self.config.communication.clone())
+        // ② Multi-agent execution over the shared buffer. Agents call the
+        // model through the resilient transport, so injected faults are
+        // retried, breaker-gated, and — when terminal — degraded to
+        // rule-based fallbacks instead of surfacing garbage.
+        let proxy = ProxyAgent::new(&self.transport, self.config.communication.clone())
             .with_telemetry(self.telemetry.clone());
         let outcome = proxy.run_query_with_buffer(
             &self.db,
@@ -382,6 +425,15 @@ impl DataLab {
             &self.config.current_date,
             &self.session_buffer,
         );
+
+        // One structured marker per degraded query: which roles/stages the
+        // rule-based fallbacks served. Flows into the error taxonomy and
+        // the flight record.
+        let degraded = !outcome.degraded_roles.is_empty();
+        if degraded {
+            self.telemetry
+                .record_event(EventKind::Degraded, outcome.degraded_roles.join(","));
+        }
 
         // ③ Reflect results into the notebook and maintain the DAG.
         let notebook_stage = self.telemetry.stage("notebook");
@@ -435,16 +487,28 @@ impl DataLab {
 
         // Error taxonomy for this query: per-kind count deltas, error
         // kinds only (lifetime counts survive ring eviction).
+        let final_counts = self.telemetry.events().kind_counts();
+        let delta = |kind: &str| {
+            final_counts.get(kind).copied().unwrap_or(0)
+                - error_baseline.get(kind).copied().unwrap_or(0)
+        };
         let mut error_kinds = BTreeMap::new();
-        for (kind, count) in self.telemetry.events().kind_counts() {
-            if !is_error_kind(&kind) {
+        for (kind, count) in &final_counts {
+            if !is_error_kind(kind) {
                 continue;
             }
-            let delta = count - error_baseline.get(&kind).copied().unwrap_or(0);
-            if delta > 0 {
-                error_kinds.insert(kind, delta);
+            let d = count - error_baseline.get(kind).copied().unwrap_or(0);
+            if d > 0 {
+                error_kinds.insert(kind.clone(), d);
             }
         }
+        // Resilience counters for this query, from the same event deltas.
+        let resilience = ResilienceStats {
+            faults: delta("llm_fault"),
+            transport_retries: delta("transport_retry"),
+            breaker_trips: delta("breaker_trip"),
+            degraded: delta("degraded"),
+        };
         // On failure, attach what the recorder retained since the query
         // started — the flight record.
         let flight_record = if outcome.success {
@@ -462,6 +526,7 @@ impl DataLab {
                 summary: telemetry.clone(),
                 error_kinds,
                 flight_record: flight_record.clone(),
+                resilience,
             });
         }
 
@@ -476,7 +541,19 @@ impl DataLab {
             new_cells,
             telemetry,
             flight_record,
+            degraded,
+            resilience,
         }
+    }
+
+    /// The resilient transport's current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.transport.breaker().state()
+    }
+
+    /// Lifetime circuit-breaker trips on the resilient transport.
+    pub fn breaker_trips(&self) -> u64 {
+        self.transport.breaker().trips()
     }
 
     /// The session's accumulated run records.
@@ -817,6 +894,93 @@ east,5
         assert!(r.telemetry.root().is_some());
         assert!(lab.run_records().is_empty());
         assert_eq!(lab.fleet_report().runs, 0);
+    }
+
+    #[test]
+    fn chaos_free_sessions_report_zero_resilience() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+        assert!(!r.degraded);
+        assert!(r.resilience.is_zero(), "{:?}", r.resilience);
+        assert_eq!(lab.breaker_state(), BreakerState::Closed);
+        assert_eq!(lab.breaker_trips(), 0);
+        assert!(lab.fleet_report().resilience.is_zero());
+        // The fault taxonomy is pre-registered at zero so exports always
+        // enumerate it.
+        let m = lab.telemetry().metrics();
+        assert_eq!(m.counter("llm.faults.transport"), 0);
+        assert_eq!(m.counter("llm.breaker.trips"), 0);
+        assert_eq!(m.gauge("llm.breaker.state"), 0);
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_indistinguishable_from_no_chaos() {
+        let questions = [
+            "What is the total amount by region?",
+            "Draw a bar chart of total amount by region",
+            "Summarize the amount trends",
+        ];
+        let run = |config: DataLabConfig| {
+            let mut lab = DataLab::new(config);
+            lab.register_table("sales", sales()).unwrap();
+            for q in &questions {
+                lab.query_as("nl2sql", q);
+            }
+            lab.fleet_report()
+        };
+        let plain = run(DataLabConfig::default());
+        let zero_chaos = run(DataLabConfig {
+            chaos: Some(ChaosConfig::uniform(99, 0.0)),
+            ..DataLabConfig::default()
+        });
+        assert_eq!(plain.comparable(), zero_chaos.comparable());
+        assert!(zero_chaos.resilience.is_zero());
+    }
+
+    #[test]
+    fn heavy_chaos_degrades_gracefully_without_poisoned_answers() {
+        let mut lab = DataLab::new(DataLabConfig {
+            chaos: Some(ChaosConfig::uniform(7, 0.9)),
+            ..DataLabConfig::default()
+        });
+        lab.register_table("sales", sales()).unwrap();
+        let mut saw_degraded = false;
+        for q in [
+            "What is the total amount by region?",
+            "Draw a bar chart of total amount by region",
+            "What is the total amount by region for east?",
+            "Summarize the amount by region",
+        ] {
+            let r = lab.query_as("chaos", q);
+            // Structured degradation, never transport poison in answers.
+            assert!(!r.answer.contains("<<llm-error"), "{}", r.answer);
+            assert!(!r.answer.contains("!!{garbage"), "{}", r.answer);
+            saw_degraded |= r.degraded;
+            if r.degraded {
+                assert!(r.resilience.degraded >= 1, "{:?}", r.resilience);
+            }
+        }
+        assert!(saw_degraded, "90% fault rate never forced a fallback");
+        let report = lab.fleet_report();
+        assert!(report.resilience.faults > 0, "{:?}", report.resilience);
+        assert!(report.resilience.transport_retries > 0);
+        assert!(
+            report.resilience.breaker_trips > 0,
+            "{:?}",
+            report.resilience
+        );
+        assert_eq!(report.resilience.breaker_trips, lab.breaker_trips());
+        assert!(
+            report.errors.contains_key("degraded"),
+            "{:?}",
+            report.errors
+        );
+        // The metrics registry saw the same activity.
+        let m = lab.telemetry().metrics();
+        assert!(m.counter("llm.faults.retries") > 0);
+        assert!(m.counter("llm.breaker.trips") > 0);
     }
 
     #[test]

@@ -20,6 +20,28 @@ pub const LATENCY_BUCKETS_US: &[u64] = &[
     1_000_000, 2_500_000, 5_000_000, 10_000_000, 60_000_000,
 ];
 
+/// Transport-resilience counters for one query (or, summed, for a whole
+/// fleet run): how hard the resilient LLM transport had to work and
+/// whether the answer was served by a rule-based degradation path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Injected/observed transport faults (`llm_fault` events).
+    pub faults: u64,
+    /// Retries the resilient transport attempted (`transport_retry`).
+    pub transport_retries: u64,
+    /// Circuit-breaker trips, closed/half-open → open (`breaker_trip`).
+    pub breaker_trips: u64,
+    /// Queries answered via a rule-based degradation path (`degraded`).
+    pub degraded: u64,
+}
+
+impl ResilienceStats {
+    /// True when no fault, retry, trip, or degradation was observed.
+    pub fn is_zero(&self) -> bool {
+        *self == ResilienceStats::default()
+    }
+}
+
 /// Everything kept about one completed query.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
@@ -40,6 +62,8 @@ pub struct RunRecord {
     /// Flight record: the events leading up to the failure (empty for
     /// successful queries).
     pub flight_record: Vec<Event>,
+    /// Transport-resilience counters observed during this query.
+    pub resilience: ResilienceStats,
 }
 
 /// Accumulates [`RunRecord`]s across a session.
@@ -204,6 +228,13 @@ pub struct FleetReport {
     /// unknown (reports predating this field).
     #[serde(default)]
     pub workers: u64,
+    /// Transport-resilience totals summed over every recorded query.
+    /// Deterministic for a fixed chaos seed, so kept by
+    /// [`FleetReport::comparable`]; all-zero when no chaos was injected
+    /// (and for reports predating this field). Never gated by
+    /// [`diff_reports`].
+    #[serde(default)]
+    pub resilience: ResilienceStats,
 }
 
 fn walk_agent_spans(node: &SpanNode, out: &mut Vec<(String, u64)>) {
@@ -284,6 +315,11 @@ impl FleetReport {
             for (kind, n) in &r.error_kinds {
                 *report.errors.entry(kind.clone()).or_insert(0) += n;
             }
+
+            report.resilience.faults += r.resilience.faults;
+            report.resilience.transport_retries += r.resilience.transport_retries;
+            report.resilience.breaker_trips += r.resilience.breaker_trips;
+            report.resilience.degraded += r.resilience.degraded;
         }
 
         report.tokens.total = report.tokens.prompt + report.tokens.completion;
@@ -360,6 +396,15 @@ impl FleetReport {
                 self.workers,
                 if self.workers == 1 { "" } else { "s" },
                 self.wall_clock_us as f64 / 1000.0,
+            ));
+        }
+        if !self.resilience.is_zero() {
+            out.push_str(&format!(
+                "resilience: {} faults, {} retries, {} breaker trips, {} degraded\n",
+                self.resilience.faults,
+                self.resilience.transport_retries,
+                self.resilience.breaker_trips,
+                self.resilience.degraded,
             ));
         }
         let table = |out: &mut String, title: &str, rows: &[StageStats]| {
@@ -563,6 +608,7 @@ mod tests {
             summary,
             error_kinds,
             flight_record: vec![],
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -671,6 +717,48 @@ mod tests {
         let roundtrip = FleetReport::from_json(&timed.to_json()).expect("parses");
         assert_eq!(roundtrip, timed);
         assert!(timed.render().contains("2 workers"), "{}", timed.render());
+    }
+
+    #[test]
+    fn resilience_sums_across_records_and_defaults_when_absent() {
+        let mut rec = RunRecorder::new();
+        let mut chaotic = record("nl2sql", true, 1000, 400);
+        chaotic.resilience = ResilienceStats {
+            faults: 3,
+            transport_retries: 2,
+            breaker_trips: 1,
+            degraded: 1,
+        };
+        rec.push(chaotic);
+        rec.push(record("nl2sql", true, 2000, 400));
+        let report = rec.report();
+        assert_eq!(report.resilience.faults, 3);
+        assert_eq!(report.resilience.transport_retries, 2);
+        assert_eq!(report.resilience.breaker_trips, 1);
+        assert_eq!(report.resilience.degraded, 1);
+        assert!(!report.resilience.is_zero());
+        // Resilience is deterministic, so comparable() keeps it — two runs
+        // with different fault injection must not look equal.
+        assert_eq!(report.comparable().resilience, report.resilience);
+        let calm = sample_report();
+        assert!(calm.resilience.is_zero());
+        assert_ne!(report.comparable().resilience, calm.comparable().resilience);
+        // Render shows the line only when something happened.
+        assert!(report.render().contains("resilience: 3 faults"));
+        assert!(!calm.render().contains("resilience:"));
+        // Reports predating the field parse with zero stats.
+        let mut value: serde_json::Value =
+            serde_json::from_str(&report.to_json()).expect("valid json");
+        value.as_object_mut().expect("object").remove("resilience");
+        let legacy = FleetReport::from_json(&value.to_string()).expect("legacy parses");
+        assert!(legacy.resilience.is_zero());
+        // And the roundtrip preserves the stats.
+        let roundtrip = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(roundtrip.resilience, report.resilience);
+        // Resilience never trips the obsdiff gate.
+        assert!(diff_reports(&calm, &report, 0.0)
+            .iter()
+            .all(|r| !r.metric.contains("resilience")));
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! - [`HashEmbedder`] — deterministic text embeddings,
 //! - [`TokenMeter`] — prompt/completion token accounting (Table IV),
 //! - [`intent`] / [`generate`] — the model's internal NL-understanding and
-//!   artifact-generation machinery (exposed for tests and ablations).
+//!   artifact-generation machinery (exposed for tests and ablations),
+//! - [`transport`] — the fallible transport layer: the [`LlmError`]
+//!   taxonomy, [`ChaosLlm`] fault injection, and the [`ResilientLlm`]
+//!   retry + circuit-breaker wrapper.
 
 #![warn(missing_docs)]
 
@@ -21,6 +24,7 @@ pub mod model;
 pub mod profile;
 pub mod prompt;
 pub mod tokens;
+pub mod transport;
 pub mod util;
 
 pub use embed::{cosine, text_similarity, HashEmbedder, EMBED_DIM};
@@ -28,3 +32,7 @@ pub use model::{classify_task, plan, plan_with_parts, LanguageModel, SimLlm};
 pub use profile::ModelProfile;
 pub use prompt::{parse_prompt, ParsedPrompt, Prompt};
 pub use tokens::{count_tokens, TokenMeter};
+pub use transport::{
+    BreakerConfig, BreakerState, ChaosConfig, ChaosLlm, CircuitBreaker, LlmError, ResilientLlm,
+    RetryPolicy,
+};

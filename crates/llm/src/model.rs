@@ -25,9 +25,36 @@ pub trait LanguageModel: Send + Sync {
     fn name(&self) -> &str;
     /// Completes a rendered prompt.
     fn complete(&self, prompt: &str) -> String;
+    /// Fallible completion. Infallible models (like [`SimLlm`]) use this
+    /// default; transport decorators ([`crate::transport::ChaosLlm`],
+    /// [`crate::transport::ResilientLlm`]) override it to surface
+    /// [`crate::transport::LlmError`]s, which error-aware callers handle
+    /// with fallbacks instead of consuming poisoned text.
+    fn try_complete(&self, prompt: &str) -> Result<String, crate::transport::LlmError> {
+        Ok(self.complete(prompt))
+    }
     /// Token usage meter, when the implementation tracks one.
     fn meter(&self) -> Option<&TokenMeter> {
         None
+    }
+}
+
+/// Shared-ownership models are models: `Arc<SimLlm>` (and trait objects
+/// behind `Arc`) can be handed to any `&dyn LanguageModel` consumer or
+/// wrapped in a transport decorator while the platform keeps its own
+/// handle.
+impl<M: LanguageModel + ?Sized> LanguageModel for Arc<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn complete(&self, prompt: &str) -> String {
+        (**self).complete(prompt)
+    }
+    fn try_complete(&self, prompt: &str) -> Result<String, crate::transport::LlmError> {
+        (**self).try_complete(prompt)
+    }
+    fn meter(&self) -> Option<&TokenMeter> {
+        (**self).meter()
     }
 }
 

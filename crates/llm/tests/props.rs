@@ -1,9 +1,34 @@
 //! Property-based tests for the LLM substrate: hashing, embeddings,
-//! tokens, prompt roundtrips, and model determinism/totality.
+//! tokens, prompt roundtrips, model determinism/totality, and the chaos
+//! transport layer.
 
 use datalab_llm::util::{hash01, split_ident, stem};
-use datalab_llm::{count_tokens, parse_prompt, HashEmbedder, LanguageModel, Prompt, SimLlm};
+use datalab_llm::{
+    count_tokens, parse_prompt, ChaosConfig, ChaosLlm, HashEmbedder, LanguageModel, LlmError,
+    Prompt, SimLlm,
+};
 use proptest::prelude::*;
+
+/// Deterministic infallible backend for fault-sequence properties.
+struct Echo;
+impl LanguageModel for Echo {
+    fn name(&self) -> &str {
+        "echo"
+    }
+    fn complete(&self, prompt: &str) -> String {
+        format!("echo:{prompt}")
+    }
+}
+
+fn sim_prompt(question: &str) -> String {
+    Prompt::new("nl2sql")
+        .section(
+            "schema",
+            "table sales: region (str), amount (int), ftime (date)",
+        )
+        .section("question", question)
+        .render()
+}
 
 proptest! {
     #[test]
@@ -72,5 +97,72 @@ proptest! {
                 .render(),
         );
         prop_assert!(out.to_uppercase().starts_with("SELECT"), "{}", out);
+    }
+
+    /// All-zero rates make `ChaosLlm` a bit-identical passthrough for
+    /// `SimLlm` — same completions, same token accounting — under both
+    /// the fallible and infallible call surfaces.
+    #[test]
+    fn zero_rate_chaos_is_bit_identical_over_simllm(
+        questions in proptest::collection::vec("[a-z ]{0,40}", 1..8),
+        seed in any::<u64>(),
+    ) {
+        let raw = SimLlm::gpt4();
+        let chaos = ChaosLlm::new(SimLlm::gpt4(), ChaosConfig::disabled(seed));
+        for (i, q) in questions.iter().enumerate() {
+            let p = sim_prompt(q);
+            if i % 2 == 0 {
+                prop_assert_eq!(Ok(raw.complete(&p)), chaos.try_complete(&p));
+            } else {
+                prop_assert_eq!(raw.complete(&p), chaos.complete(&p));
+            }
+        }
+        prop_assert_eq!(raw.usage().snapshot(), chaos.inner().usage().snapshot());
+    }
+
+    /// The same seed + rates always injects the same fault sequence: two
+    /// independent instances agree call by call, fault payloads included.
+    #[test]
+    fn same_seed_and_rates_same_fault_sequence(
+        seed in any::<u64>(),
+        transport in 0.0f64..0.5,
+        timeout in 0.0f64..0.3,
+        truncate in 0.0f64..0.3,
+        garbage in 0.0f64..0.3,
+        prompts in proptest::collection::vec("[a-z0-9 ]{0,30}", 1..20),
+    ) {
+        let config = ChaosConfig {
+            seed,
+            transport_rate: transport,
+            timeout_rate: timeout,
+            truncate_rate: truncate,
+            garbage_rate: garbage,
+        };
+        let a = ChaosLlm::new(Echo, config.clone());
+        let b = ChaosLlm::new(Echo, config);
+        for p in &prompts {
+            prop_assert_eq!(a.try_complete(p), b.try_complete(p));
+        }
+        prop_assert_eq!(a.calls(), b.calls());
+    }
+
+    /// Faulty calls never panic and always carry a taxonomy kind.
+    #[test]
+    fn chaos_faults_are_total_and_classified(
+        seed in any::<u64>(),
+        prompt in ".{0,80}",
+    ) {
+        let chaos = ChaosLlm::new(Echo, ChaosConfig::uniform(seed, 1.0));
+        match chaos.try_complete(&prompt) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(matches!(
+                    e.kind(),
+                    "transport" | "timeout" | "truncated" | "garbage"
+                ));
+                prop_assert!(e.is_retryable());
+                let _ = matches!(e, LlmError::Truncated(_) | LlmError::Garbage(_));
+            }
+        }
     }
 }

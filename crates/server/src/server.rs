@@ -17,7 +17,7 @@ use crate::admission::{JobQueue, TenantGate};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::store::{SessionStore, StoreConfig};
-use datalab_core::{DataLabConfig, LATENCY_BUCKETS_US};
+use datalab_core::{BreakerState, DataLabConfig, LATENCY_BUCKETS_US};
 use datalab_telemetry::{json_escape, Telemetry};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -119,6 +119,18 @@ impl Server {
             telemetry
                 .metrics()
                 .histogram_with_buckets(name, LATENCY_BUCKETS_US);
+        }
+        // Pre-register the resilience taxonomy at zero so fault-free
+        // scrapes still enumerate it (mirrored from per-tenant sessions
+        // after each query).
+        for name in [
+            "server.resilience.faults",
+            "server.resilience.retries",
+            "server.resilience.breaker_trips",
+            "server.resilience.degraded",
+            "server.rejected.breaker",
+        ] {
+            telemetry.metrics().incr(name, 0);
         }
 
         let store = SessionStore::new(
@@ -306,13 +318,30 @@ fn route(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Respo
 
 fn health(inner: &Arc<ServerInner>) -> Response {
     inner.telemetry.metrics().incr("server.requests.health", 1);
+    // Per-tenant circuit-breaker states, from the gauges each query
+    // refreshes. Empty until a tenant has queried.
+    let snapshot = inner.telemetry.metrics().snapshot();
+    let breakers: Vec<String> = snapshot
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let tenant = name.strip_prefix("llm.breaker.state.")?;
+            Some(format!(
+                "\"{}\":\"{}\"",
+                json_escape(tenant),
+                BreakerState::from_gauge(*value).as_str()
+            ))
+        })
+        .collect();
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"uptime_us\":{},\"sessions\":{},\"queue_depth\":{}}}",
+            "{{\"status\":\"ok\",\"uptime_us\":{},\"sessions\":{},\"queue_depth\":{},\
+             \"breakers\":{{{}}}}}",
             inner.started.elapsed().as_micros(),
             inner.store.len(),
-            inner.queue.depth()
+            inner.queue.depth(),
+            breakers.join(",")
         ),
     )
 }
@@ -415,9 +444,10 @@ fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Respo
     };
 
     let session = inner.store.session(&tenant);
-    let response = {
+    let (response, breaker) = {
         let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
-        lab.query_as(workload, question)
+        let response = lab.query_as(workload, question);
+        (response, lab.breaker_state())
     };
     let duration_us = arrived.elapsed().as_micros() as u64;
 
@@ -432,6 +462,34 @@ fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Respo
         .telemetry
         .metrics()
         .incr(&format!("server.tenant.queries.{tenant}"), 1);
+
+    // Mirror the session's per-query resilience deltas into the serving
+    // registry, and publish this tenant's breaker state for /v1/health.
+    let m = inner.telemetry.metrics();
+    m.incr("server.resilience.faults", response.resilience.faults);
+    m.incr(
+        "server.resilience.retries",
+        response.resilience.transport_retries,
+    );
+    m.incr(
+        "server.resilience.breaker_trips",
+        response.resilience.breaker_trips,
+    );
+    m.incr("server.resilience.degraded", response.resilience.degraded);
+    m.gauge_set(&format!("llm.breaker.state.{tenant}"), breaker as i64);
+
+    // A query that failed while the transport was down (breaker open or
+    // retries exhausted) is a service-level outage for this tenant, not a
+    // semantic failure: tell the client to back off and retry.
+    if !response.success && (breaker == BreakerState::Open || response.resilience.faults > 0) {
+        inner.telemetry.metrics().incr("server.rejected.breaker", 1);
+        return error_response(
+            503,
+            "transport_unavailable",
+            "model transport unavailable (circuit breaker open or retries exhausted)",
+        )
+        .with_header("Retry-After", "1");
+    }
 
     // The platform query is uninterruptible, so a blown deadline is
     // detected after the fact: the session state advanced, but the
@@ -454,12 +512,14 @@ fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Respo
     Response::json(
         200,
         format!(
-            "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"success\":{},\"answer\":\"{}\",\
+            "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"success\":{},\"degraded\":{},\
+             \"answer\":\"{}\",\
              \"rewritten_query\":\"{}\",\"plan\":[{}],\"tokens\":{},\"duration_us\":{},\
              \"cells_appended\":{},\"chart\":{},\"rows\":{}}}",
             json_escape(&tenant),
             json_escape(workload),
             response.success,
+            response.degraded,
             json_escape(&response.answer),
             json_escape(&response.rewritten_query),
             plan.join(","),

@@ -111,6 +111,7 @@ fn tables_then_query_round_trip() {
     assert_eq!(v["tenant"], "acme");
     assert_eq!(v["workload"], "adhoc");
     assert_eq!(v["success"], Value::Bool(true));
+    assert_eq!(v["degraded"], Value::Bool(false));
     assert_eq!(v["chart"], Value::Bool(true));
     assert!(v["tokens"].as_u64() > Some(0), "{v}");
     assert!(v["duration_us"].as_u64() > Some(0));
@@ -124,6 +125,74 @@ fn tables_then_query_round_trip() {
         "{metrics}"
     );
     assert_eq!(m["counters"]["server.tenant.queries.acme"], 1);
+    // Fault-free serving still enumerates the resilience taxonomy at
+    // zero and publishes a closed breaker for the tenant.
+    assert_eq!(m["counters"]["server.resilience.faults"], 0);
+    assert_eq!(m["counters"]["server.resilience.degraded"], 0);
+    let (_, _, health) = get(addr, "/v1/health");
+    assert_eq!(json(&health)["breakers"]["acme"], "closed", "{health}");
+    server.shutdown();
+}
+
+#[test]
+fn chaos_transport_degrades_and_publishes_breaker_health() {
+    use datalab_core::{ChaosConfig, DataLabConfig};
+    let server = boot(ServerConfig {
+        lab_config: DataLabConfig {
+            record_runs: false,
+            chaos: Some(ChaosConfig::uniform(7, 0.9)),
+            ..DataLabConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    register_sales(addr, "acme");
+
+    let mut saw_degraded = false;
+    let mut saw_503 = false;
+    for _ in 0..6 {
+        let body = serde_json::json!({"tenant": "acme", "question": "What is the total amount by region?"});
+        let (status, head, response) = post(addr, "/v1/query", &body.to_string());
+        match status {
+            200 => {
+                let v = json(&response);
+                saw_degraded |= v["degraded"] == Value::Bool(true);
+                // Structured degradation never leaks transport poison.
+                let answer = v["answer"].as_str().unwrap_or("");
+                assert!(!answer.contains("<<llm-error"), "{answer}");
+            }
+            503 => {
+                saw_503 = true;
+                assert!(head.contains("Retry-After: 1"), "{head}");
+                assert_eq!(error_kind(&response), "transport_unavailable");
+            }
+            other => panic!("unexpected status {other}: {response}"),
+        }
+    }
+    assert!(
+        saw_degraded || saw_503,
+        "90% fault rate produced neither degradation nor 503s"
+    );
+
+    // Health exposes the tenant's breaker state by name.
+    let (_, _, health) = get(addr, "/v1/health");
+    let state = json(&health)["breakers"]["acme"].clone();
+    assert!(
+        ["closed", "open", "half_open"].iter().any(|s| state == *s),
+        "{health}"
+    );
+
+    // The serving registry mirrored the sessions' resilience activity.
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["counters"]["server.resilience.faults"].as_u64() > Some(0),
+        "{metrics}"
+    );
+    assert!(
+        m["counters"]["server.resilience.retries"].as_u64() > Some(0),
+        "{metrics}"
+    );
     server.shutdown();
 }
 

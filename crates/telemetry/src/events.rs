@@ -46,6 +46,16 @@ pub enum EventKind {
     CellAppend,
     /// A platform API call (CSV registration, import) returned an error.
     PlatformError,
+    /// The model transport observed a fault (injected or real; detail:
+    /// the fault kind and message).
+    LlmFault,
+    /// The resilient transport re-attempted a call after a fault.
+    TransportRetry,
+    /// The circuit breaker tripped open.
+    BreakerTrip,
+    /// A response was served by a rule-based fallback path (detail: the
+    /// degraded roles).
+    Degraded,
 }
 
 impl EventKind {
@@ -62,6 +72,10 @@ impl EventKind {
         EventKind::KnowledgeMiss,
         EventKind::CellAppend,
         EventKind::PlatformError,
+        EventKind::LlmFault,
+        EventKind::TransportRetry,
+        EventKind::BreakerTrip,
+        EventKind::Degraded,
     ];
 
     /// Stable snake_case name, used as the taxonomy/JSON key.
@@ -78,6 +92,10 @@ impl EventKind {
             EventKind::KnowledgeMiss => "knowledge_miss",
             EventKind::CellAppend => "cell_append",
             EventKind::PlatformError => "platform_error",
+            EventKind::LlmFault => "llm_fault",
+            EventKind::TransportRetry => "transport_retry",
+            EventKind::BreakerTrip => "breaker_trip",
+            EventKind::Degraded => "degraded",
         }
     }
 
@@ -86,7 +104,10 @@ impl EventKind {
     pub fn is_error(&self) -> bool {
         matches!(
             self,
-            EventKind::SandboxFailure | EventKind::AgentFailure | EventKind::PlatformError
+            EventKind::SandboxFailure
+                | EventKind::AgentFailure
+                | EventKind::PlatformError
+                | EventKind::Degraded
         )
     }
 }

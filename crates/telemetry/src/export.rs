@@ -119,6 +119,35 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage])
     )
 }
 
+/// Renders a metrics snapshot as a plain-text exposition: one
+/// `name value` line per counter and gauge (sections separated by `#`
+/// comment lines), then one summary line per histogram. The counter and
+/// gauge lines are machine-recoverable — `name` up to the last space,
+/// integer value after it — so text dumps can be diffed and re-parsed.
+pub fn metrics_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("# counters\n");
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out.push_str("# gauges\n");
+    for (name, value) in &snapshot.gauges {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out.push_str("# histograms\n");
+    for (name, h) in &snapshot.histograms {
+        out.push_str(&format!(
+            "{name} count={} sum={} max={} p50={} p90={} p99={}\n",
+            h.count,
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        ));
+    }
+    out
+}
+
 /// Serialises one flight-record event as JSON
 /// (`{"seq", "at_us", "kind", "detail"}`).
 pub fn event_json(e: &crate::events::Event) -> String {
@@ -215,6 +244,56 @@ mod tests {
         assert!(json.contains("\"p99\":42"));
         assert!(json.contains("\"stage\":\"execute\""));
         assert!(json.contains("\"prompt_tokens\":40"));
+    }
+
+    #[test]
+    fn fault_and_breaker_metrics_round_trip_through_both_exporters() {
+        let m = MetricsRegistry::new();
+        m.incr("llm.faults.transport", 3);
+        m.incr("llm.faults.timeout", 0);
+        m.incr("llm.faults.retries", 5);
+        m.incr("llm.breaker.trips", 1);
+        m.gauge_set("llm.breaker.state", 2);
+        let snapshot = m.snapshot();
+
+        // JSON exporter (the /v1/metrics shape) carries the new names,
+        // zero-valued counters included.
+        let json = metrics_json(&snapshot, &[]);
+        assert!(json.contains("\"llm.faults.transport\":3"), "{json}");
+        assert!(json.contains("\"llm.faults.timeout\":0"), "{json}");
+        assert!(json.contains("\"llm.breaker.trips\":1"), "{json}");
+        assert!(json.contains("\"llm.breaker.state\":2"), "{json}");
+
+        // Text exporter round-trip: parse counter/gauge lines back and
+        // compare against the snapshot they came from.
+        let text = metrics_text(&snapshot);
+        let mut counters = std::collections::BTreeMap::new();
+        let mut gauges = std::collections::BTreeMap::new();
+        let mut section = "";
+        for line in text.lines() {
+            if let Some(s) = line.strip_prefix("# ") {
+                section = s;
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value line");
+            match section {
+                "counters" => {
+                    counters.insert(name.to_string(), value.parse::<u64>().unwrap());
+                }
+                "gauges" => {
+                    gauges.insert(name.to_string(), value.parse::<i64>().unwrap());
+                }
+                _ => {}
+            }
+        }
+        for (name, value) in &snapshot.counters {
+            assert_eq!(counters.get(name), Some(value), "{name}");
+        }
+        for (name, value) in &snapshot.gauges {
+            assert_eq!(gauges.get(name), Some(value), "{name}");
+        }
+        assert_eq!(counters.len(), snapshot.counters.len());
+        assert_eq!(gauges.len(), snapshot.gauges.len());
     }
 
     #[test]

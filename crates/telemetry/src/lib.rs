@@ -31,7 +31,9 @@ mod summary;
 pub use events::{
     is_error_kind, render_flight_record, Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY,
 };
-pub use export::{chrome_trace_json, event_json, json_escape, metrics_json, span_json};
+pub use export::{
+    chrome_trace_json, event_json, json_escape, metrics_json, metrics_text, span_json,
+};
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
 };

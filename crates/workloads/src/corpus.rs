@@ -61,7 +61,7 @@ pub fn request_corpus(seed: u64, tasks_per_workload: usize) -> RequestCorpus {
     let sets = generate_workloads(&FleetConfig {
         seed,
         tasks_per_workload,
-        workers: 1,
+        ..FleetConfig::default()
     });
 
     let mut tables = Vec::new();

@@ -14,6 +14,7 @@ use crate::nl2code::ds1000_like;
 use crate::nl2sql::spider_like;
 use crate::nl2vis::nvbench_like;
 use datalab_core::{DataLab, DataLabConfig, FleetReport, RunRecorder};
+use datalab_llm::ChaosConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -27,6 +28,14 @@ pub struct FleetConfig {
     pub tasks_per_workload: usize,
     /// Worker threads for the sharded executor; `0` or `1` runs serial.
     pub workers: usize,
+    /// Total model-transport fault rate injected into every session
+    /// (split uniformly across the four fault kinds). `0.0` (the
+    /// default) disables fault injection entirely, leaving the transport
+    /// a bit-identical passthrough.
+    pub chaos_rate: f64,
+    /// Seed for the deterministic fault stream (independent of the
+    /// workload generator seed).
+    pub chaos_seed: u64,
 }
 
 impl Default for FleetConfig {
@@ -35,7 +44,19 @@ impl Default for FleetConfig {
             seed: 7,
             tasks_per_workload: 3,
             workers: 1,
+            chaos_rate: 0.0,
+            chaos_seed: 7,
         }
+    }
+}
+
+/// The per-session platform configuration a fleet config implies: default
+/// everything, plus fault injection when `chaos_rate > 0`.
+pub(crate) fn lab_config(config: &FleetConfig) -> DataLabConfig {
+    DataLabConfig {
+        chaos: (config.chaos_rate > 0.0)
+            .then(|| ChaosConfig::uniform(config.chaos_seed, config.chaos_rate)),
+        ..DataLabConfig::default()
     }
 }
 
@@ -99,8 +120,8 @@ pub(crate) fn generate_workloads(config: &FleetConfig) -> Vec<WorkloadSet> {
 
 /// Builds a fresh platform session seeded with the domain's tables.
 /// Frames are Arc-shared into the session rather than deep-copied.
-pub(crate) fn lab_for_domain(domain: &Domain) -> DataLab {
-    let mut lab = DataLab::new(DataLabConfig::default());
+pub(crate) fn lab_for_domain(domain: &Domain, config: &DataLabConfig) -> DataLab {
+    let mut lab = DataLab::new(config.clone());
     for name in domain.db.table_names() {
         if let Ok(df) = domain.db.get_shared(name) {
             let _ = lab.register_table(name, df);
@@ -109,7 +130,7 @@ pub(crate) fn lab_for_domain(domain: &Domain) -> DataLab {
     lab
 }
 
-fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet) {
+fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet, session_config: &DataLabConfig) {
     // One platform per domain, shared by that domain's tasks so notebook
     // context and history accumulate the way a real session would.
     let mut labs: BTreeMap<usize, DataLab> = BTreeMap::new();
@@ -119,7 +140,7 @@ fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet) {
         };
         let lab = labs
             .entry(*domain_idx)
-            .or_insert_with(|| lab_for_domain(domain));
+            .or_insert_with(|| lab_for_domain(domain, session_config));
         lab.query_as(set.workload, question);
     }
     for (_, mut lab) in labs {
@@ -137,12 +158,13 @@ fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet) {
 pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     let started = Instant::now();
     let sets = generate_workloads(config);
+    let session_config = lab_config(config);
     let mut report = if config.workers > 1 {
-        crate::parallel::run_fleet_sharded(&sets, config.workers)
+        crate::parallel::run_fleet_sharded(&sets, config.workers, &session_config)
     } else {
         let mut recorder = RunRecorder::new();
         for set in &sets {
-            run_tasks(&mut recorder, set);
+            run_tasks(&mut recorder, set, &session_config);
         }
         recorder.report()
     };
@@ -158,9 +180,8 @@ mod tests {
     #[test]
     fn fleet_run_produces_one_record_per_task() {
         let config = FleetConfig {
-            seed: 7,
             tasks_per_workload: 1,
-            workers: 1,
+            ..FleetConfig::default()
         };
         let report = run_fleet(&config);
         assert_eq!(report.runs, 4);

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod corpus;
 pub mod data;
 pub mod enterprise;
@@ -23,6 +24,7 @@ pub mod nl2vis;
 pub mod notebooks;
 pub mod parallel;
 
+pub use chaos::{render_sweep, run_chaos_sweep, ChaosPoint};
 pub use corpus::{request_corpus, CorpusRequest, CorpusTable, RequestCorpus};
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};
 pub use fleet::{run_fleet, FleetConfig};

@@ -19,7 +19,7 @@
 
 use crate::data::Domain;
 use crate::fleet::{lab_for_domain, WorkloadSet};
-use datalab_core::{FleetReport, RunRecord, RunRecorder};
+use datalab_core::{DataLabConfig, FleetReport, RunRecord, RunRecorder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -59,8 +59,8 @@ fn shards(sets: &[WorkloadSet]) -> Vec<Shard<'_>> {
 }
 
 /// Executes one shard start to finish and returns its run records.
-fn run_shard(shard: &Shard<'_>) -> Vec<RunRecord> {
-    let mut lab = lab_for_domain(shard.domain);
+fn run_shard(shard: &Shard<'_>, session_config: &DataLabConfig) -> Vec<RunRecord> {
+    let mut lab = lab_for_domain(shard.domain, session_config);
     for question in &shard.questions {
         lab.query_as(shard.workload, question);
     }
@@ -75,7 +75,11 @@ fn run_shard(shard: &Shard<'_>) -> Vec<RunRecord> {
 /// the next unclaimed shard index until none remain, and each finished
 /// shard's records land in a slot keyed by that index, so merge order is
 /// independent of which thread ran what.
-pub(crate) fn run_fleet_sharded(sets: &[WorkloadSet], workers: usize) -> FleetReport {
+pub(crate) fn run_fleet_sharded(
+    sets: &[WorkloadSet],
+    workers: usize,
+    session_config: &DataLabConfig,
+) -> FleetReport {
     let shards = shards(sets);
     let slots: Vec<Mutex<Vec<RunRecord>>> =
         (0..shards.len()).map(|_| Mutex::new(Vec::new())).collect();
@@ -88,7 +92,7 @@ pub(crate) fn run_fleet_sharded(sets: &[WorkloadSet], workers: usize) -> FleetRe
                 let Some(shard) = shards.get(idx) else {
                     break;
                 };
-                let records = run_shard(shard);
+                let records = run_shard(shard, session_config);
                 *slots[idx].lock().expect("shard slot lock") = records;
             });
         }
@@ -107,9 +111,9 @@ mod tests {
 
     fn config(workers: usize) -> FleetConfig {
         FleetConfig {
-            seed: 7,
             tasks_per_workload: 2,
             workers,
+            ..FleetConfig::default()
         }
     }
 
@@ -149,16 +153,33 @@ mod tests {
     fn more_workers_than_shards_is_fine() {
         let serial = run_fleet(&config(1));
         let oversubscribed = run_fleet(&FleetConfig {
-            seed: 7,
             tasks_per_workload: 2,
             workers: 64,
+            ..FleetConfig::default()
         });
         assert_eq!(serial.comparable(), oversubscribed.comparable());
     }
 
     #[test]
+    fn chaotic_parallel_report_matches_chaotic_serial() {
+        // Fault injection is per-session deterministic, so the sharded
+        // executor reproduces the serial run even mid-chaos.
+        let chaos = |workers| FleetConfig {
+            tasks_per_workload: 1,
+            workers,
+            chaos_rate: 0.3,
+            chaos_seed: 11,
+            ..FleetConfig::default()
+        };
+        let serial = run_fleet(&chaos(1));
+        let parallel = run_fleet(&chaos(4));
+        assert!(serial.resilience.faults > 0, "{:?}", serial.resilience);
+        assert_eq!(serial.comparable(), parallel.comparable());
+    }
+
+    #[test]
     fn zero_shards_yields_empty_report() {
-        let report = run_fleet_sharded(&[], 4);
+        let report = run_fleet_sharded(&[], 4, &DataLabConfig::default());
         assert_eq!(report.runs, 0);
     }
 }
