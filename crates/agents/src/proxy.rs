@@ -509,6 +509,57 @@ mod tests {
     }
 
     #[test]
+    fn active_trace_tags_every_stage_and_agent_scope() {
+        use datalab_telemetry::TraceId;
+        let llm = SimLlm::gpt4();
+        let telemetry = Telemetry::new();
+        llm.attach_telemetry(telemetry.clone());
+        telemetry.set_trace(Some(TraceId::parse("req-42").unwrap()));
+        let proxy =
+            ProxyAgent::new(&llm, CommunicationConfig::default()).with_telemetry(telemetry.clone());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        telemetry.set_trace(None);
+        assert!(out.success, "{:?}", out.failed_roles);
+        let forest = telemetry.drain_trace();
+        // Every stage span and every nested agent span carries the
+        // request's trace ID attribute.
+        fn assert_tagged(node: &datalab_telemetry::SpanNode) {
+            assert!(
+                node.attrs
+                    .iter()
+                    .any(|(k, v)| k == "trace_id" && v == "req-42"),
+                "span {} missing trace_id: {:?}",
+                node.name,
+                node.attrs
+            );
+            for child in &node.children {
+                assert_tagged(child);
+            }
+        }
+        assert!(!forest.is_empty());
+        for root in &forest {
+            assert_tagged(root);
+        }
+        // The model-call events recorded mid-pipeline carry it too.
+        let llm_events: Vec<_> = telemetry
+            .events()
+            .tail(64)
+            .into_iter()
+            .filter(|e| e.kind == datalab_telemetry::EventKind::LlmCall)
+            .collect();
+        assert!(!llm_events.is_empty());
+        for e in &llm_events {
+            assert_eq!(e.trace.as_deref(), Some("req-42"), "{e:?}");
+        }
+    }
+
+    #[test]
     fn transport_outage_degrades_the_whole_pipeline_without_failing() {
         struct DownLlm;
         impl LanguageModel for DownLlm {

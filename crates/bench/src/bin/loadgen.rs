@@ -21,7 +21,7 @@
 use datalab_bench::telemetry_dir;
 use datalab_core::{ChaosConfig, DataLabConfig, LATENCY_BUCKETS_US};
 use datalab_server::{Json, Server, ServerConfig};
-use datalab_telemetry::{json_escape, MetricsRegistry};
+use datalab_telemetry::{json_escape, HistogramSnapshot, MetricsRegistry};
 use datalab_workloads::request_corpus;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -48,6 +48,7 @@ struct Args {
 struct Sample {
     status: u16,
     latency_us: u64,
+    workload: String,
     error_kind: Option<String>,
 }
 
@@ -119,15 +120,26 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// One HTTP request over a fresh connection; returns (status, body).
-fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), String> {
+/// A `trace` is sent as `X-Trace-Id` so server-side samples and traces
+/// can be correlated with loadgen's own report.
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    trace: Option<&str>,
+) -> Result<(u16, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
         .map_err(|e| format!("timeout: {e}"))?;
     let body = body.unwrap_or("");
+    let trace_header = trace
+        .map(|t| format!("X-Trace-Id: {t}\r\n"))
+        .unwrap_or_default();
     let raw = format!(
-        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\n{trace_header}Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream
@@ -146,6 +158,26 @@ fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<(u16
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line: {head:?}"))?;
     Ok((status, body.to_string()))
+}
+
+/// Serialises a latency histogram for the JSON report. Bucket bounds
+/// and counts ride along so downstream tools (the SLO report) can
+/// compute threshold fractions, not just read the fixed percentiles.
+fn latency_json(h: &HistogramSnapshot) -> String {
+    let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+    let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{},\
+         \"bounds\":[{}],\"counts\":[{}]}}",
+        h.count,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.p999(),
+        h.max,
+        bounds.join(","),
+        counts.join(",")
+    )
 }
 
 /// Extracts `error.kind` from an error body, tolerating non-JSON.
@@ -201,7 +233,7 @@ fn run() -> Result<u8, String> {
             json_escape(&table.name),
             json_escape(&table.csv)
         );
-        let (status, response) = http(&addr, "POST", "/v1/tables", Some(&body))?;
+        let (status, response) = http(&addr, "POST", "/v1/tables", Some(&body), None)?;
         if status != 200 {
             return Err(format!(
                 "registering {}/{} failed with {status}: {response}",
@@ -248,16 +280,19 @@ fn run() -> Result<u8, String> {
                 json_escape(&request.workload),
                 json_escape(&request.question)
             );
+            let trace = format!("loadgen-{slot}");
             let begun = Instant::now();
-            let sample = match http(&addr, "POST", "/v1/query", Some(&body)) {
+            let sample = match http(&addr, "POST", "/v1/query", Some(&body), Some(&trace)) {
                 Ok((status, response)) => Sample {
                     status,
                     latency_us: begun.elapsed().as_micros() as u64,
+                    workload: request.workload.clone(),
                     error_kind: (status != 200).then(|| error_kind(&response)),
                 },
                 Err(e) => Sample {
                     status: 0,
                     latency_us: begun.elapsed().as_micros() as u64,
+                    workload: request.workload.clone(),
                     error_kind: Some(format!("transport: {e}")),
                 },
             };
@@ -275,9 +310,11 @@ fn run() -> Result<u8, String> {
         .into_inner()
         .unwrap();
 
-    // Aggregate: status counts, error taxonomy, latency percentiles.
+    // Aggregate: status counts, error taxonomy, latency percentiles —
+    // overall and per workload kind.
     let mut status_counts: BTreeMap<u16, u64> = BTreeMap::new();
     let mut errors: BTreeMap<String, u64> = BTreeMap::new();
+    let mut workloads: Vec<String> = Vec::new();
     let registry = MetricsRegistry::new();
     registry.histogram_with_buckets("loadgen.query_us", LATENCY_BUCKETS_US);
     for sample in &samples {
@@ -286,7 +323,14 @@ fn run() -> Result<u8, String> {
             *errors.entry(kind.clone()).or_insert(0) += 1;
         }
         registry.observe("loadgen.query_us", sample.latency_us);
+        let per_workload = format!("loadgen.query_us.{}", sample.workload);
+        if !workloads.contains(&sample.workload) {
+            workloads.push(sample.workload.clone());
+            registry.histogram_with_buckets(&per_workload, LATENCY_BUCKETS_US);
+        }
+        registry.observe(&per_workload, sample.latency_us);
     }
+    workloads.sort();
     let latency = registry
         .histogram("loadgen.query_us")
         .ok_or_else(|| "latency histogram missing".to_string())?;
@@ -315,12 +359,27 @@ fn run() -> Result<u8, String> {
         }
     }
     println!(
-        "  latency_us p50={} p90={} p99={} max={}",
+        "  latency_us p50={} p90={} p99={} p999={} max={}",
         latency.p50(),
         latency.p90(),
         latency.p99(),
+        latency.p999(),
         latency.max
     );
+    for workload in &workloads {
+        let h = registry
+            .histogram(&format!("loadgen.query_us.{workload}"))
+            .ok_or_else(|| format!("missing per-workload histogram for {workload}"))?;
+        println!(
+            "  workload   {workload}: n={} p50={} p90={} p99={} p999={} max={}",
+            h.count,
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.p999(),
+            h.max
+        );
+    }
     for (kind, count) in &errors {
         println!("  error      {kind}: {count}");
     }
@@ -339,18 +398,25 @@ fn run() -> Result<u8, String> {
         .iter()
         .map(|(kind, count)| format!("\"{}\":{count}", json_escape(kind)))
         .collect();
+    let per_workload: Vec<String> = workloads
+        .iter()
+        .map(|workload| {
+            let h = registry
+                .histogram(&format!("loadgen.query_us.{workload}"))
+                .expect("per-workload histogram registered above");
+            format!("\"{}\":{}", json_escape(workload), latency_json(&h))
+        })
+        .collect();
     let report = format!(
         "{{\"endpoint\":\"POST /v1/query\",\"sent\":{},\"wall_us\":{wall_us},\
          \"target_rps\":{},\"achieved_rps\":{achieved_rps:.1},\"statuses\":{{{}}},\
-         \"errors\":{{{}}},\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}}}",
+         \"errors\":{{{}}},\"latency_us\":{},\"workloads\":{{{}}}}}",
         samples.len(),
         args.rps,
         statuses.join(","),
         taxonomy.join(","),
-        latency.p50(),
-        latency.p90(),
-        latency.p99(),
-        latency.max
+        latency_json(&latency),
+        per_workload.join(",")
     );
     std::fs::write(&path, report).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     println!("loadgen report written: {}", path.display());

@@ -30,6 +30,9 @@ pub use platform::{DataLab, DataLabConfig, DataLabResponse};
 // `DataLab::breaker_state`; re-exported so downstream crates (server,
 // workloads, bench) need not depend on datalab-llm directly.
 pub use datalab_llm::{BreakerConfig, BreakerState, ChaosConfig, RetryPolicy};
+// Request-tracing context threaded through `DataLab::query_with_context`;
+// re-exported for the same reason.
+pub use datalab_telemetry::{RequestContext, TraceId};
 pub use recorder::{
     diff_reports, FleetReport, LatencyStats, LlmTotals, Regression, ResilienceStats, RunRecord,
     RunRecorder, StageStats, TokenTotals, WorkloadStats, LATENCY_BUCKETS_US,

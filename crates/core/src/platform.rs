@@ -13,7 +13,7 @@ use datalab_llm::{
 };
 use datalab_notebook::{CellDag, CellKind, Notebook};
 use datalab_sql::Database;
-use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, Telemetry};
+use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, RequestContext, Telemetry};
 use datalab_viz::RenderedChart;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -364,11 +364,31 @@ impl DataLab {
     /// workload label (`nl2sql`, `nl2vis`, …) so [`DataLab::fleet_report`]
     /// can break statistics down per workload.
     pub fn query_as(&mut self, workload: &str, question: &str) -> DataLabResponse {
+        self.query_with_context(&RequestContext::untraced(), workload, question)
+    }
+
+    /// Like [`DataLab::query_as`], but threads a per-request
+    /// [`RequestContext`]. While the query runs, the context's trace ID
+    /// (if any) tags every event, every stage/agent span, and the root
+    /// span, so the request can be reassembled end to end from the trace
+    /// store — including the transport's fault/retry/breaker markers.
+    pub fn query_with_context(
+        &mut self,
+        ctx: &RequestContext,
+        workload: &str,
+        question: &str,
+    ) -> DataLabResponse {
         // Discard spans left over from setup work (registration, script
         // ingestion) so this query's trace has exactly one root, then
         // snapshot attribution so the summary reports only this query.
         self.telemetry.drain_trace();
         let attribution_baseline = self.telemetry.attribution();
+        // Activate this request's trace for the duration of the query.
+        // Sessions serve one query at a time, so setting the shared slot
+        // (rather than threading the ID through every call) is safe; it
+        // is unconditionally reassigned here so a stale trace from an
+        // earlier panicked query can never leak onto this one.
+        self.telemetry.set_trace(ctx.trace_id().cloned());
         // Mark the event log so the flight record covers exactly this
         // query, and baseline the kind counts for the error taxonomy.
         let event_mark = self.telemetry.events().total_recorded();
@@ -516,6 +536,8 @@ impl DataLab {
         } else {
             self.telemetry.events().since(event_mark)
         };
+        // The query is over: stop tagging telemetry with its trace.
+        self.telemetry.set_trace(None);
 
         if self.config.record_runs {
             self.recorder.push(RunRecord {

@@ -612,11 +612,28 @@ impl<M: LanguageModel> LanguageModel for ResilientLlm<M> {
 
     fn try_complete(&self, prompt: &str) -> Result<String, LlmError> {
         let t = self.telemetry();
+        // Request-traced calls get their own `llm:transport` span, so a
+        // stored trace shows the transport layer (attempts, outcome) as
+        // leaves under the calling agent. Untraced work — offline fleet
+        // and chaos runs — opens no span, keeping those span forests
+        // identical to pre-tracing runs (FleetReport stage/agent stats
+        // and the obsdiff baseline are derived from them).
+        let span = t
+            .as_ref()
+            .filter(|t| t.current_trace().is_some())
+            .map(|t| t.span("llm:transport"));
+        let note = |outcome: &str, attempts: u32| {
+            if let Some(span) = &span {
+                span.attr("outcome", outcome);
+                span.attr("attempts", attempts.to_string());
+            }
+        };
         match self.breaker.admit() {
             Err(()) => {
                 if let Some(t) = &t {
                     t.metrics().incr("llm.breaker.rejected", 1);
                 }
+                note("breaker_open", 0);
                 return Err(LlmError::BreakerOpen);
             }
             Ok(Some(transition)) => self.note_transition(&t, transition),
@@ -636,6 +653,7 @@ impl<M: LanguageModel> LanguageModel for ResilientLlm<M> {
                             t.metrics().incr("llm.faults.recovered", 1);
                         }
                     }
+                    note("ok", attempt + 1);
                     return Ok(out);
                 }
                 Err(e) => {
@@ -650,13 +668,16 @@ impl<M: LanguageModel> LanguageModel for ResilientLlm<M> {
                     if self.breaker.state() == BreakerState::Open {
                         // The breaker tripped on this call's failures:
                         // stop burning attempts against a down backend.
+                        note("exhausted", attempt + 1);
                         return Err(self.exhausted(&t, attempt + 1, e));
                     }
                     if attempt >= self.retry.max_retries {
+                        note("exhausted", attempt + 1);
                         return Err(self.exhausted(&t, attempt + 1, e));
                     }
                     let delay = self.backoff_ms(attempt, prompt);
                     if start.elapsed().as_millis() as u64 + delay >= self.retry.deadline_ms {
+                        note("exhausted", attempt + 1);
                         return Err(self.exhausted(&t, attempt + 1, e));
                     }
                     if delay > 0 {
@@ -960,6 +981,59 @@ mod tests {
             raw.usage().snapshot(),
             wrapped.inner().inner().usage().snapshot()
         );
+    }
+
+    #[test]
+    fn transport_span_only_opens_under_an_active_trace() {
+        use datalab_telemetry::TraceId;
+        let t = Telemetry::new();
+        let breaker = BreakerConfig {
+            failure_threshold: 100,
+            ..BreakerConfig::default()
+        };
+        let r = ResilientLlm::new(Flaky::new(1), policy(3), breaker);
+        r.attach_telemetry(t.clone());
+
+        // Untraced call: no span, even though telemetry is attached.
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        assert!(t.tracer().is_empty(), "untraced call opened a span");
+
+        // Traced call (fresh backend so the retry path fires too).
+        let r = ResilientLlm::new(
+            Flaky::new(1),
+            policy(3),
+            BreakerConfig {
+                failure_threshold: 100,
+                ..BreakerConfig::default()
+            },
+        );
+        r.attach_telemetry(t.clone());
+        t.set_trace(Some(TraceId::parse("req-7").unwrap()));
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        t.set_trace(None);
+        let forest = t.drain_trace();
+        assert_eq!(forest.len(), 1, "{forest:?}");
+        let span = &forest[0];
+        assert_eq!(span.name, "llm:transport");
+        let attr = |k: &str| {
+            span.attrs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(attr("trace_id"), Some("req-7"));
+        assert_eq!(attr("outcome"), Some("ok"));
+        assert_eq!(attr("attempts"), Some("2"));
+        // The fault event recorded mid-call carries the same trace. The
+        // earlier untraced call logged its own fault, so scan newest-first.
+        let fault = t
+            .events()
+            .tail(16)
+            .into_iter()
+            .rev()
+            .find(|e| e.kind == EventKind::LlmFault)
+            .expect("fault event");
+        assert_eq!(fault.trace.as_deref(), Some("req-7"));
     }
 
     #[test]

@@ -8,18 +8,42 @@
 //! the same dialect.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Byte cap for [`linger_close`]'s drain of unread request data.
+const MAX_LINGER_BYTES: usize = 4 * 1024 * 1024;
+
+/// Lingering close (RFC 7230 §6.6): when a response is written before
+/// the request body was consumed (413, framing 400s), closing the
+/// socket outright makes the kernel RST the connection and discard the
+/// in-flight response. Send FIN, then read and discard what the client
+/// is still sending — bounded in bytes and time — so the response
+/// survives to the peer.
+pub fn linger_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 8 * 1024];
+    let mut drained = 0usize;
+    while drained < MAX_LINGER_BYTES {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), uppercase as sent.
     pub method: String,
-    /// Request target path, e.g. `/v1/query` (query strings are kept
-    /// verbatim; the router matches on the full target).
+    /// Request target, e.g. `/v1/query` or `/v1/traces?limit=10`
+    /// (query strings are kept verbatim; the router matches on the
+    /// path and handlers re-parse the parameters they accept).
     pub target: String,
     /// Header name/value pairs in arrival order.
     pub headers: Vec<(String, String)>,

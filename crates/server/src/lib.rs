@@ -8,12 +8,14 @@
 //!
 //! Endpoints (all JSON, one request per connection):
 //!
-//! | Route              | Purpose                                        |
-//! |--------------------|------------------------------------------------|
-//! | `POST /v1/query`   | Run a question in a tenant's session           |
-//! | `POST /v1/tables`  | Register a CSV table in a tenant's session     |
-//! | `GET /v1/health`   | Liveness: uptime, session count, queue depth   |
-//! | `GET /v1/metrics`  | Full telemetry snapshot (counters/gauges/hist) |
+//! | Route                | Purpose                                        |
+//! |----------------------|------------------------------------------------|
+//! | `POST /v1/query`     | Run a question in a tenant's session           |
+//! | `POST /v1/tables`    | Register a CSV table in a tenant's session     |
+//! | `GET /v1/health`     | Liveness, breakers, per-tenant SLO burn rates  |
+//! | `GET /v1/metrics`    | Full telemetry snapshot (counters/gauges/hist) |
+//! | `GET /v1/traces`     | Tail-sampled trace summaries (filterable)      |
+//! | `GET /v1/traces/:id` | One retained trace: spans, events, Chrome view |
 //!
 //! Operational behaviour:
 //!
@@ -25,6 +27,14 @@
 //!   queueing without bound.
 //! * **Deadlines** — requests that blow their budget (queued or
 //!   executing) answer `504`.
+//! * **Tracing** — every request gets a trace ID (`X-Trace-Id` header,
+//!   or server-derived), echoed on every response and threaded through
+//!   the platform so spans, events, and LLM transport attempts carry
+//!   it. Completed queries are tail-sampled into a bounded trace store
+//!   (all errors, slowest-per-window, uniform 1-in-K).
+//! * **SLOs** — per-tenant availability and latency SLIs over fast and
+//!   slow sliding windows, with burn rates in `/v1/health` and gauge
+//!   form in `/v1/metrics`.
 //! * **Graceful shutdown** — [`Server::shutdown`] stops the acceptor and
 //!   drains queued and in-flight requests before returning.
 //!

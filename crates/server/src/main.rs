@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p datalab-server -- [--addr HOST:PORT] [--workers N]
 //!     [--queue N] [--per-tenant N] [--sessions N] [--shards N]
-//!     [--deadline-ms N] [--read-timeout-ms N]
+//!     [--deadline-ms N] [--read-timeout-ms N] [--trace-seed N]
 //! ```
 //!
 //! Defaults match [`ServerConfig::default`] except the address, which
@@ -59,6 +59,11 @@ fn main() -> ExitCode {
                     .map(|n| config.read_timeout_ms = n)
                     .map_err(|e| format!("--read-timeout-ms: {e}"))
             }),
+            "--trace-seed" => take("--trace-seed").and_then(|v| {
+                v.parse()
+                    .map(|n| config.trace_seed = n)
+                    .map_err(|e| format!("--trace-seed: {e}"))
+            }),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(e) = result {
@@ -66,7 +71,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: datalab-server [--addr HOST:PORT] [--workers N] [--queue N] \
                  [--per-tenant N] [--sessions N] [--shards N] [--deadline-ms N] \
-                 [--read-timeout-ms N]"
+                 [--read-timeout-ms N] [--trace-seed N]"
             );
             return ExitCode::from(2);
         }

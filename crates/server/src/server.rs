@@ -12,17 +12,29 @@
 //!    a worker thread.
 //! 3. `shutdown` stops the acceptor, closes the queue, and joins the
 //!    workers — queued and in-flight requests drain to completion.
+//!
+//! Every request carries a trace ID — the client's `X-Trace-Id` header
+//! when present and valid, a server-derived one otherwise. The ID is
+//! threaded through the platform (tagging spans, events, and LLM
+//! transport attempts), echoed on every response, and written into
+//! every error body. Completed queries land in a bounded tail-sampled
+//! [`TraceStore`] served by `GET /v1/traces`, and feed the per-tenant
+//! [`SloTracker`] surfaced by `/v1/health` and `/v1/metrics`.
 
 use crate::admission::{JobQueue, TenantGate};
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{linger_close, read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::store::{SessionStore, StoreConfig};
-use datalab_core::{BreakerState, DataLabConfig, LATENCY_BUCKETS_US};
-use datalab_telemetry::{json_escape, Telemetry};
+use datalab_core::{BreakerState, DataLabConfig, RequestContext, LATENCY_BUCKETS_US};
+use datalab_telemetry::{
+    chrome_trace_json, event_json, json_escape, span_json, SloTargets, SloTracker, SloWindows,
+    Telemetry, TenantSlo, TraceId, TraceRecord, TraceStore, TraceStorePolicy, TraceSummary,
+    WindowSli,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,6 +63,15 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
+    /// Seed for server-minted trace IDs (requests without a valid
+    /// `X-Trace-Id` header get `TraceId::derive(trace_seed, counter)`).
+    pub trace_seed: u64,
+    /// Keep/evict policy for the tail-sampled trace store.
+    pub trace_policy: TraceStorePolicy,
+    /// Declared per-tenant SLO targets.
+    pub slo_targets: SloTargets,
+    /// Fast/slow window lengths for SLO burn rates.
+    pub slo_windows: SloWindows,
     /// Platform configuration for new tenant sessions.
     pub lab_config: DataLabConfig,
 }
@@ -67,6 +88,10 @@ impl Default for ServerConfig {
             deadline_ms: 10_000,
             read_timeout_ms: 2_000,
             max_body_bytes: 4 * 1024 * 1024,
+            trace_seed: 7,
+            trace_policy: TraceStorePolicy::default(),
+            slo_targets: SloTargets::default(),
+            slo_windows: SloWindows::default(),
             lab_config: DataLabConfig {
                 // Serving sessions are long-lived; per-query run records
                 // would grow without bound.
@@ -88,6 +113,9 @@ struct ServerInner {
     queue: JobQueue<Job>,
     gate: Arc<TenantGate>,
     telemetry: Telemetry,
+    traces: TraceStore,
+    slo: SloTracker,
+    trace_counter: AtomicU64,
     started: Instant,
     shutting_down: AtomicBool,
 }
@@ -115,6 +143,7 @@ impl Server {
             "server.latency.tables_us",
             "server.latency.health_us",
             "server.latency.metrics_us",
+            "server.latency.traces_us",
         ] {
             telemetry
                 .metrics()
@@ -146,6 +175,9 @@ impl Server {
             gate: TenantGate::new(config.per_tenant_inflight),
             store,
             telemetry,
+            traces: TraceStore::new(config.trace_policy.clone()),
+            slo: SloTracker::new(config.slo_targets.clone(), config.slo_windows.clone()),
+            trace_counter: AtomicU64::new(0),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
             config,
@@ -215,6 +247,16 @@ impl Drop for Server {
     }
 }
 
+/// Mints a trace ID for a request that arrived without a usable
+/// `X-Trace-Id` header. Derived from the server seed and a per-server
+/// counter, so IDs are deterministic for a given request order.
+fn next_trace(inner: &ServerInner) -> TraceId {
+    TraceId::derive(
+        inner.config.trace_seed,
+        inner.trace_counter.fetch_add(1, Ordering::Relaxed),
+    )
+}
+
 fn accept_loop(listener: TcpListener, inner: &Arc<ServerInner>) {
     for stream in listener.incoming() {
         if inner.shutting_down.load(Ordering::SeqCst) {
@@ -233,12 +275,19 @@ fn accept_loop(listener: TcpListener, inner: &Arc<ServerInner>) {
                 inner.telemetry.metrics().gauge_add("server.queue.depth", 1);
             }
             Err(job) => {
-                // Shed load on the acceptor thread itself.
+                // Shed load on the acceptor thread itself. The request
+                // is never read, so the trace ID is always server-minted.
                 inner.telemetry.metrics().incr("server.rejected.global", 1);
+                let trace = next_trace(inner);
                 let mut stream = job.stream;
-                let _ = error_response(429, "overloaded", "global queue full")
+                let _ = error_response(429, "overloaded", "global queue full", &trace)
                     .with_header("Retry-After", "1")
+                    .with_header("X-Trace-Id", trace.as_str())
                     .write_to(&mut stream);
+                // The unread request would RST the 429 on close; the
+                // drain is bounded and shed peers hang up as soon as
+                // they see the response, so the acceptor is not stalled.
+                linger_close(&mut stream);
             }
         }
     }
@@ -258,6 +307,9 @@ fn handle_connection(inner: &Arc<ServerInner>, mut job: Job) {
     let request = match read_request(&mut job.stream, inner.config.max_body_bytes) {
         Ok(request) => request,
         Err(e) => {
+            // The request never parsed, so any client trace header is
+            // unreadable: mint a server-side ID for the error body.
+            let trace = next_trace(inner);
             let response = match e {
                 HttpError::TooLarge(n) => {
                     inner
@@ -268,6 +320,7 @@ fn handle_connection(inner: &Arc<ServerInner>, mut job: Job) {
                         413,
                         "too_large",
                         &format!("body of {n} bytes exceeds limit"),
+                        &trace,
                     )
                 }
                 HttpError::BadRequest(why) => {
@@ -275,38 +328,75 @@ fn handle_connection(inner: &Arc<ServerInner>, mut job: Job) {
                         .telemetry
                         .metrics()
                         .incr("platform.errors.bad_request", 1);
-                    error_response(400, "bad_request", &why)
+                    error_response(400, "bad_request", &why, &trace)
                 }
                 // Read timeouts / resets: nothing useful to send.
                 HttpError::Io(_) => return,
             };
-            let _ = response.write_to(&mut job.stream);
+            let _ = response
+                .with_header("X-Trace-Id", trace.as_str())
+                .write_to(&mut job.stream);
+            // The request body (if any) was never consumed; a plain
+            // close would RST the error response off the wire.
+            linger_close(&mut job.stream);
             return;
         }
     };
 
-    let handled = catch_unwind(AssertUnwindSafe(|| route(inner, &request, job.arrived)));
+    // Propagate the caller's trace ID when it is present and valid;
+    // otherwise derive one so every response is traceable.
+    let trace = request
+        .header("x-trace-id")
+        .and_then(TraceId::parse)
+        .unwrap_or_else(|| next_trace(inner));
+
+    let handled = catch_unwind(AssertUnwindSafe(|| {
+        route(inner, &request, &trace, job.arrived)
+    }));
     let response = handled.unwrap_or_else(|_| {
         inner.telemetry.metrics().incr("server.errors.panic", 1);
-        error_response(500, "internal", "request handler panicked")
+        error_response(500, "internal", "request handler panicked", &trace)
     });
-    let _ = response.write_to(&mut job.stream);
+    // The trace ID is echoed on every response — success or error —
+    // exactly once, here.
+    let _ = response
+        .with_header("X-Trace-Id", trace.as_str())
+        .write_to(&mut job.stream);
 }
 
-fn route(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Response {
+fn route(
+    inner: &Arc<ServerInner>,
+    request: &Request,
+    trace: &TraceId,
+    arrived: Instant,
+) -> Response {
     let begun = Instant::now();
-    let (histogram, response) = match (request.method.as_str(), request.target.as_str()) {
+    // Match on the path alone so `/v1/traces?tenant=acme` routes; the
+    // query string is re-parsed by handlers that take parameters.
+    let path = request.target.split(['?', '#']).next().unwrap_or("");
+    let (histogram, response) = match (request.method.as_str(), path) {
         ("GET", "/v1/health") => ("server.latency.health_us", health(inner)),
         ("GET", "/v1/metrics") => ("server.latency.metrics_us", metrics(inner)),
-        ("POST", "/v1/tables") => ("server.latency.tables_us", tables(inner, request)),
-        ("POST", "/v1/query") => ("server.latency.query_us", query(inner, request, arrived)),
+        ("GET", "/v1/traces") => (
+            "server.latency.traces_us",
+            traces_index(inner, request, trace),
+        ),
+        ("GET", path) if path.starts_with("/v1/traces/") => (
+            "server.latency.traces_us",
+            trace_detail(inner, &path["/v1/traces/".len()..], trace),
+        ),
+        ("POST", "/v1/tables") => ("server.latency.tables_us", tables(inner, request, trace)),
+        ("POST", "/v1/query") => (
+            "server.latency.query_us",
+            query(inner, request, trace, arrived),
+        ),
         _ => {
             inner
                 .telemetry
                 .metrics()
                 .incr("platform.errors.not_found", 1);
             let detail = format!("no route for {} {}", request.method, request.target);
-            return error_response(404, "not_found", &detail);
+            return error_response(404, "not_found", &detail, trace);
         }
     };
     inner
@@ -333,33 +423,215 @@ fn health(inner: &Arc<ServerInner>) -> Response {
             ))
         })
         .collect();
+    // Per-tenant SLO burn rates over the fast/slow windows. Empty until
+    // a tenant has an admitted query on record.
+    let slo: Vec<String> = inner
+        .slo
+        .report()
+        .iter()
+        .map(|(tenant, report)| format!("\"{}\":{}", json_escape(tenant), tenant_slo_json(report)))
+        .collect();
+    let targets = inner.slo.targets();
     Response::json(
         200,
         format!(
             "{{\"status\":\"ok\",\"uptime_us\":{},\"sessions\":{},\"queue_depth\":{},\
-             \"breakers\":{{{}}}}}",
+             \"breakers\":{{{}}},\
+             \"slo_targets\":{{\"availability\":{},\"latency_threshold_us\":{},\
+             \"latency_goal\":{}}},\"slo\":{{{}}}}}",
             inner.started.elapsed().as_micros(),
             inner.store.len(),
             inner.queue.depth(),
-            breakers.join(",")
+            breakers.join(","),
+            targets.availability,
+            targets.latency_threshold_us,
+            targets.latency_goal,
+            slo.join(",")
         ),
     )
 }
 
+/// One SLI window as JSON.
+fn window_json(w: &WindowSli) -> String {
+    format!(
+        "{{\"requests\":{},\"good\":{},\"fast_enough\":{},\"availability\":{},\
+         \"latency_ok_ratio\":{},\"availability_burn\":{},\"latency_burn\":{}}}",
+        w.requests,
+        w.good,
+        w.fast_enough,
+        w.availability,
+        w.latency_ok_ratio,
+        w.availability_burn,
+        w.latency_burn
+    )
+}
+
+/// A tenant's fast/slow SLO windows plus the multi-window verdict.
+fn tenant_slo_json(t: &TenantSlo) -> String {
+    format!(
+        "{{\"fast\":{},\"slow\":{},\"budget_exhausted\":{}}}",
+        window_json(&t.fast),
+        window_json(&t.slow),
+        t.budget_exhausted()
+    )
+}
+
+/// Publishes per-tenant SLO burn rates as gauges (per-mille, so the
+/// integer gauge registry can carry them) right before a scrape.
+fn publish_slo_gauges(inner: &Arc<ServerInner>) {
+    let m = inner.telemetry.metrics();
+    for (tenant, report) in inner.slo.report() {
+        let pm = |burn: f64| (burn * 1000.0).round() as i64;
+        m.gauge_set(
+            &format!("slo.availability_burn_fast_pm.{tenant}"),
+            pm(report.fast.availability_burn),
+        );
+        m.gauge_set(
+            &format!("slo.availability_burn_slow_pm.{tenant}"),
+            pm(report.slow.availability_burn),
+        );
+        m.gauge_set(
+            &format!("slo.latency_burn_fast_pm.{tenant}"),
+            pm(report.fast.latency_burn),
+        );
+        m.gauge_set(
+            &format!("slo.latency_burn_slow_pm.{tenant}"),
+            pm(report.slow.latency_burn),
+        );
+        m.gauge_set(
+            &format!("slo.budget_exhausted.{tenant}"),
+            i64::from(report.budget_exhausted()),
+        );
+    }
+}
+
 fn metrics(inner: &Arc<ServerInner>) -> Response {
     inner.telemetry.metrics().incr("server.requests.metrics", 1);
+    publish_slo_gauges(inner);
     Response::json(200, inner.telemetry.snapshot_json())
+}
+
+/// Extracts a query-string parameter from a request target.
+///
+/// No percent-decoding: trace IDs, tenant names, and the other accepted
+/// values are already restricted to characters that need no escaping.
+fn query_param<'a>(target: &'a str, name: &str) -> Option<&'a str> {
+    let (_, raw) = target.split_once('?')?;
+    let raw = raw.split('#').next().unwrap_or("");
+    raw.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// One retained trace's summary line for the `/v1/traces` index.
+fn trace_summary_json(t: &TraceSummary) -> String {
+    format!(
+        "{{\"trace_id\":\"{}\",\"tenant\":\"{}\",\"workload\":\"{}\",\"status\":{},\
+         \"ok\":{},\"duration_us\":{},\"reason\":\"{}\",\"seq\":{},\"spans\":{},\"events\":{}}}",
+        json_escape(&t.trace_id),
+        json_escape(&t.tenant),
+        json_escape(&t.workload),
+        t.status,
+        t.ok,
+        t.duration_us,
+        t.reason.as_str(),
+        t.seq,
+        t.spans,
+        t.events
+    )
+}
+
+/// `GET /v1/traces[?tenant=..&status=ok|error&limit=N]`: newest-first
+/// summaries of the retained traces.
+fn traces_index(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.traces", 1);
+    let target = request.target.as_str();
+    let tenant = query_param(target, "tenant");
+    let only_errors = match query_param(target, "status") {
+        None => None,
+        Some("ok") => Some(false),
+        Some("error") => Some(true),
+        Some(other) => {
+            let detail = format!("unknown status filter `{other}` (want `ok` or `error`)");
+            return error_response(400, "bad_request", &detail, trace);
+        }
+    };
+    let limit = match query_param(target, "limit") {
+        None => 50,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if (1..=500).contains(&n) => n,
+            _ => {
+                let detail = format!("`limit` must be an integer in 1..=500, got `{raw}`");
+                return error_response(400, "bad_request", &detail, trace);
+            }
+        },
+    };
+    let summaries: Vec<String> = inner
+        .traces
+        .summaries(tenant, only_errors, limit)
+        .iter()
+        .map(trace_summary_json)
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"seen\":{},\"retained\":{},\"traces\":[{}]}}",
+            inner.traces.seen(),
+            inner.traces.len(),
+            summaries.join(",")
+        ),
+    )
+}
+
+/// `GET /v1/traces/:id`: the full retained trace — span tree, flight
+/// record, and a ready-to-load Chrome trace export.
+fn trace_detail(inner: &Arc<ServerInner>, id: &str, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.traces", 1);
+    let Some(stored) = inner.traces.get(id) else {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("no retained trace with id `{id}`");
+        return error_response(404, "trace_not_found", &detail, trace);
+    };
+    let record = &stored.record;
+    let spans: Vec<String> = record.spans.iter().map(span_json).collect();
+    let events: Vec<String> = record.events.iter().map(event_json).collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"trace_id\":\"{}\",\"tenant\":\"{}\",\"workload\":\"{}\",\"status\":{},\
+             \"ok\":{},\"duration_us\":{},\"reason\":\"{}\",\
+             \"spans\":[{}],\"events\":[{}],\"chrome_trace\":{}}}",
+            json_escape(&record.trace_id),
+            json_escape(&record.tenant),
+            json_escape(&record.workload),
+            record.status,
+            record.ok,
+            record.duration_us,
+            stored.reason.as_str(),
+            spans.join(","),
+            events.join(","),
+            chrome_trace_json(&record.spans)
+        ),
+    )
 }
 
 /// Parses the body as a JSON object and validates the `tenant` field
 /// shared by both POST endpoints.
-fn parse_body(inner: &Arc<ServerInner>, request: &Request) -> Result<(Json, String), Response> {
+fn parse_body(
+    inner: &Arc<ServerInner>,
+    request: &Request,
+    trace: &TraceId,
+) -> Result<(Json, String), Response> {
     let fail = |detail: &str| {
         inner
             .telemetry
             .metrics()
             .incr("platform.errors.bad_request", 1);
-        Err(error_response(400, "bad_request", detail))
+        Err(error_response(400, "bad_request", detail, trace))
     };
     let Some(text) = request.body_utf8() else {
         return fail("body is not valid UTF-8");
@@ -381,9 +653,9 @@ fn parse_body(inner: &Arc<ServerInner>, request: &Request) -> Result<(Json, Stri
     Ok((body, tenant))
 }
 
-fn tables(inner: &Arc<ServerInner>, request: &Request) -> Response {
+fn tables(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
     inner.telemetry.metrics().incr("server.requests.tables", 1);
-    let (body, tenant) = match parse_body(inner, request) {
+    let (body, tenant) = match parse_body(inner, request, trace) {
         Ok(parsed) => parsed,
         Err(response) => return response,
     };
@@ -392,7 +664,12 @@ fn tables(inner: &Arc<ServerInner>, request: &Request) -> Response {
             .telemetry
             .metrics()
             .incr("platform.errors.bad_request", 1);
-        return error_response(400, "bad_request", "missing string fields `name` and `csv`");
+        return error_response(
+            400,
+            "bad_request",
+            "missing string fields `name` and `csv`",
+            trace,
+        );
     };
 
     let session = inner.store.session(&tenant);
@@ -410,13 +687,18 @@ fn tables(inner: &Arc<ServerInner>, request: &Request) -> Response {
                 ),
             )
         }
-        Err(e) => error_response(400, "table_register", &e.to_string()),
+        Err(e) => error_response(400, "table_register", &e.to_string(), trace),
     }
 }
 
-fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Response {
+fn query(
+    inner: &Arc<ServerInner>,
+    request: &Request,
+    trace: &TraceId,
+    arrived: Instant,
+) -> Response {
     inner.telemetry.metrics().incr("server.requests.query", 1);
-    let (body, tenant) = match parse_body(inner, request) {
+    let (body, tenant) = match parse_body(inner, request, trace) {
         Ok(parsed) => parsed,
         Err(response) => return response,
     };
@@ -425,28 +707,49 @@ fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Respo
             .telemetry
             .metrics()
             .incr("platform.errors.bad_request", 1);
-        return error_response(400, "bad_request", "missing string field `question`");
+        return error_response(400, "bad_request", "missing string field `question`", trace);
     };
     let workload = body.str_field("workload").unwrap_or("adhoc");
 
     let deadline = Duration::from_millis(inner.config.deadline_ms);
     // Queue wait already consumed the whole budget: give up before
-    // doing any work.
+    // doing any work. This is a server-side failure, so it counts
+    // against the tenant's SLO and leaves a (spanless) error trace.
     if arrived.elapsed() >= deadline {
         inner.telemetry.metrics().incr("server.timeouts", 1);
-        return error_response(504, "deadline", "deadline exceeded while queued");
+        let duration_us = arrived.elapsed().as_micros() as u64;
+        inner.slo.observe(&tenant, false, duration_us);
+        inner.traces.offer(TraceRecord {
+            trace_id: trace.as_str().to_string(),
+            tenant,
+            workload: workload.to_string(),
+            status: 504,
+            ok: false,
+            duration_us,
+            spans: Vec::new(),
+            events: Vec::new(),
+        });
+        return error_response(504, "deadline", "deadline exceeded while queued", trace);
     }
 
+    // Admission-control rejections (tenant inflight limit) are client
+    // back-pressure, not service failures: excluded from the SLO.
     let Some(_permit) = inner.gate.try_acquire(&tenant) else {
         inner.telemetry.metrics().incr("server.rejected.tenant", 1);
-        return error_response(429, "tenant_overloaded", "tenant inflight limit reached")
-            .with_header("Retry-After", "1");
+        return error_response(
+            429,
+            "tenant_overloaded",
+            "tenant inflight limit reached",
+            trace,
+        )
+        .with_header("Retry-After", "1");
     };
 
     let session = inner.store.session(&tenant);
+    let ctx = RequestContext::traced(trace.clone());
     let (response, breaker) = {
         let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
-        let response = lab.query_as(workload, question);
+        let response = lab.query_with_context(&ctx, workload, question);
         (response, lab.breaker_state())
     };
     let duration_us = arrived.elapsed().as_micros() as u64;
@@ -481,65 +784,99 @@ fn query(inner: &Arc<ServerInner>, request: &Request, arrived: Instant) -> Respo
     // A query that failed while the transport was down (breaker open or
     // retries exhausted) is a service-level outage for this tenant, not a
     // semantic failure: tell the client to back off and retry.
-    if !response.success && (breaker == BreakerState::Open || response.resilience.faults > 0) {
-        inner.telemetry.metrics().incr("server.rejected.breaker", 1);
-        return error_response(
-            503,
-            "transport_unavailable",
-            "model transport unavailable (circuit breaker open or retries exhausted)",
-        )
-        .with_header("Retry-After", "1");
-    }
-
+    let outage =
+        !response.success && (breaker == BreakerState::Open || response.resilience.faults > 0);
     // The platform query is uninterruptible, so a blown deadline is
     // detected after the fact: the session state advanced, but the
     // client gets the timeout it was promised.
-    if arrived.elapsed() >= deadline {
-        inner.telemetry.metrics().incr("server.timeouts", 1);
-        return error_response(504, "deadline", "deadline exceeded during execution");
-    }
+    let timed_out = !outage && arrived.elapsed() >= deadline;
 
-    let plan: Vec<String> = response
-        .plan
-        .iter()
-        .map(|role| format!("\"{}\"", json_escape(role)))
-        .collect();
-    let rows = response
-        .frame
-        .as_ref()
-        .map(|df| df.n_rows().to_string())
-        .unwrap_or_else(|| "null".to_string());
-    Response::json(
-        200,
-        format!(
-            "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"success\":{},\"degraded\":{},\
-             \"answer\":\"{}\",\
-             \"rewritten_query\":\"{}\",\"plan\":[{}],\"tokens\":{},\"duration_us\":{},\
-             \"cells_appended\":{},\"chart\":{},\"rows\":{}}}",
-            json_escape(&tenant),
-            json_escape(workload),
-            response.success,
-            response.degraded,
-            json_escape(&response.answer),
-            json_escape(&response.rewritten_query),
-            plan.join(","),
-            tokens,
-            duration_us,
-            response.new_cells.len(),
-            response.chart.is_some(),
-            rows
-        ),
-    )
+    let http_response = if outage {
+        inner.telemetry.metrics().incr("server.rejected.breaker", 1);
+        error_response(
+            503,
+            "transport_unavailable",
+            "model transport unavailable (circuit breaker open or retries exhausted)",
+            trace,
+        )
+        .with_header("Retry-After", "1")
+    } else if timed_out {
+        inner.telemetry.metrics().incr("server.timeouts", 1);
+        error_response(504, "deadline", "deadline exceeded during execution", trace)
+    } else {
+        let plan: Vec<String> = response
+            .plan
+            .iter()
+            .map(|role| format!("\"{}\"", json_escape(role)))
+            .collect();
+        let rows = response
+            .frame
+            .as_ref()
+            .map(|df| df.n_rows().to_string())
+            .unwrap_or_else(|| "null".to_string());
+        Response::json(
+            200,
+            format!(
+                "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"trace_id\":\"{}\",\
+                 \"success\":{},\"degraded\":{},\
+                 \"answer\":\"{}\",\
+                 \"rewritten_query\":\"{}\",\"plan\":[{}],\"tokens\":{},\"duration_us\":{},\
+                 \"cells_appended\":{},\"chart\":{},\"rows\":{}}}",
+                json_escape(&tenant),
+                json_escape(workload),
+                json_escape(trace.as_str()),
+                response.success,
+                response.degraded,
+                json_escape(&response.answer),
+                json_escape(&response.rewritten_query),
+                plan.join(","),
+                tokens,
+                duration_us,
+                response.new_cells.len(),
+                response.chart.is_some(),
+                rows
+            ),
+        )
+    };
+
+    // Every admitted query — success, outage, or timeout — is an SLO
+    // observation and a candidate for the tail-sampled trace store.
+    let status: u16 = if outage {
+        503
+    } else if timed_out {
+        504
+    } else {
+        200
+    };
+    inner.slo.observe(&tenant, status < 500, duration_us);
+    inner.traces.offer(TraceRecord {
+        trace_id: trace.as_str().to_string(),
+        tenant,
+        workload: workload.to_string(),
+        status,
+        ok: status < 500,
+        duration_us,
+        spans: response.telemetry.spans,
+        events: response.flight_record,
+    });
+
+    http_response
 }
 
-/// The uniform error body: `{"error":{"kind":"...","detail":"..."}}`.
-fn error_response(status: u16, kind: &str, detail: &str) -> Response {
+/// The uniform error body:
+/// `{"error":{"kind":"...","detail":"...","trace_id":"..."}}`.
+///
+/// Every error carries the request's trace ID in the body as well as in
+/// the `X-Trace-Id` header, so clients that only log bodies can still
+/// correlate failures with `/v1/traces/:id`.
+fn error_response(status: u16, kind: &str, detail: &str, trace: &TraceId) -> Response {
     Response::json(
         status,
         format!(
-            "{{\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\"}}}}",
+            "{{\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\",\"trace_id\":\"{}\"}}}}",
             json_escape(kind),
-            json_escape(detail)
+            json_escape(detail),
+            json_escape(trace.as_str())
         ),
     )
 }

@@ -43,12 +43,47 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
     )
 }
 
+fn get_traced(addr: SocketAddr, path: &str, trace: &str) -> (u16, String, String) {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nX-Trace-Id: {trace}\r\n\r\n").as_bytes(),
+    )
+}
+
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
     let raw = format!(
         "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     send_raw(addr, raw.as_bytes())
+}
+
+fn post_traced(addr: SocketAddr, path: &str, body: &str, trace: &str) -> (u16, String, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nX-Trace-Id: {trace}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+/// Case-insensitive response-header lookup in a raw head.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.trim()
+            .eq_ignore_ascii_case(name)
+            .then(|| v.trim().to_string())
+    })
+}
+
+/// Every span name in a `/v1/traces/:id` span forest, depth-first.
+fn span_names(spans: &Value, out: &mut Vec<String>) {
+    for node in spans.as_array().into_iter().flatten() {
+        if let Some(name) = node["name"].as_str() {
+            out.push(name.to_string());
+        }
+        span_names(&node["children"], out);
+    }
 }
 
 fn json(body: &str) -> Value {
@@ -297,6 +332,11 @@ fn overload_sheds_with_429_and_retry_after() {
     assert_eq!(status, 429, "{body}");
     assert_eq!(error_kind(&body), "overloaded");
     assert!(head.contains("Retry-After: 1"), "{head}");
+    // Even acceptor-thread rejections are traceable: a server-minted
+    // trace ID in the header and in the error body.
+    let trace = header_value(&head, "X-Trace-Id").expect("429 carries X-Trace-Id");
+    assert!(!trace.is_empty());
+    assert_eq!(json(&body)["error"]["trace_id"], Value::String(trace));
 
     // Once the idle connections time out, service recovers.
     drop(idle);
@@ -320,12 +360,45 @@ fn blown_deadline_is_a_504() {
         ..ServerConfig::default()
     });
     let addr = server.addr();
-    let (status, v) = run_query(addr, "acme", "anything");
-    assert_eq!(status, 504, "{v}");
+    let body = serde_json::json!({"tenant": "acme", "question": "anything"}).to_string();
+    let (status, head, response) = post_traced(addr, "/v1/query", &body, "deadline-trace-1");
+    assert_eq!(status, 504, "{response}");
+    let v = json(&response);
     assert_eq!(v["error"]["kind"], "deadline");
+    // The client's trace ID is echoed on the timeout, in header and body.
+    assert_eq!(
+        header_value(&head, "X-Trace-Id").as_deref(),
+        Some("deadline-trace-1"),
+        "{head}"
+    );
+    assert_eq!(v["error"]["trace_id"], "deadline-trace-1");
 
     let (_, _, metrics) = get(addr, "/v1/metrics");
-    assert!(json(&metrics)["counters"]["server.timeouts"].as_u64() >= Some(1));
+    let m = json(&metrics);
+    assert!(m["counters"]["server.timeouts"].as_u64() >= Some(1));
+    // The 504 burned the whole error budget for the only request on
+    // record: burn rates saturate and the budget reads exhausted.
+    assert!(
+        m["gauges"]["slo.availability_burn_fast_pm.acme"].as_i64() >= Some(1000),
+        "{metrics}"
+    );
+    assert_eq!(m["gauges"]["slo.budget_exhausted.acme"], 1);
+    let (_, _, health) = get(addr, "/v1/health");
+    let h = json(&health);
+    assert!(
+        h["slo"]["acme"]["fast"]["availability_burn"].as_f64() >= Some(1.0),
+        "{health}"
+    );
+    assert_eq!(h["slo"]["acme"]["budget_exhausted"], Value::Bool(true));
+
+    // Server-side failures always land in the trace store (spanless
+    // here: the request timed out while queued).
+    let (status, _, detail) = get(addr, "/v1/traces/deadline-trace-1");
+    assert_eq!(status, 200, "{detail}");
+    let d = json(&detail);
+    assert_eq!(d["status"], 504);
+    assert_eq!(d["ok"], Value::Bool(false));
+    assert_eq!(d["reason"], "error");
     server.shutdown();
 }
 
@@ -347,6 +420,239 @@ fn tenants_are_isolated_over_http() {
 
     let (_, _, health) = get(addr, "/v1/health");
     assert_eq!(json(&health)["sessions"], 2);
+    server.shutdown();
+}
+
+#[test]
+fn trace_id_is_echoed_on_every_status_class() {
+    let server = boot(ServerConfig {
+        max_body_bytes: 64,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    // 200: exact echo of the client's trace ID, plus the ID in the body.
+    let (status, head, body) = get_traced(addr, "/v1/health", "ok-trace");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header_value(&head, "X-Trace-Id").as_deref(),
+        Some("ok-trace")
+    );
+
+    // 400 (parsed request, bad body): exact echo in header and body.
+    let (status, head, body) = post_traced(addr, "/v1/query", "{not json", "bad-trace");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(
+        header_value(&head, "X-Trace-Id").as_deref(),
+        Some("bad-trace")
+    );
+    assert_eq!(json(&body)["error"]["trace_id"], "bad-trace");
+
+    // 404: exact echo.
+    let (status, head, body) = get_traced(addr, "/v1/nope", "lost-trace");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(
+        header_value(&head, "X-Trace-Id").as_deref(),
+        Some("lost-trace")
+    );
+    assert_eq!(json(&body)["error"]["trace_id"], "lost-trace");
+
+    // An unusable client ID (bad characters) is replaced, not echoed.
+    let (status, head, _) = get_traced(addr, "/v1/health", "no spaces allowed");
+    assert_eq!(status, 200);
+    let minted = header_value(&head, "X-Trace-Id").expect("minted trace");
+    assert_ne!(minted, "no spaces allowed");
+    assert!(!minted.is_empty());
+
+    // 413: the request never parses, so the ID is server-minted but
+    // still present in header and body.
+    let big = "x".repeat(1000);
+    let body = format!("{{\"tenant\":\"a\",\"question\":\"{big}\"}}");
+    let (status, head, response) = post_traced(addr, "/v1/query", &body, "too-big-trace");
+    assert_eq!(status, 413, "{response}");
+    let trace = header_value(&head, "X-Trace-Id").expect("413 carries X-Trace-Id");
+    assert!(!trace.is_empty());
+    assert_eq!(json(&response)["error"]["trace_id"], Value::String(trace));
+
+    // 400 from unparseable bytes: likewise server-minted but present.
+    let (status, head, response) = send_raw(addr, b"\x13\x37garbage\r\n\r\n");
+    assert_eq!(status, 400, "{response}");
+    let trace = header_value(&head, "X-Trace-Id").expect("400 carries X-Trace-Id");
+    assert_eq!(json(&response)["error"]["trace_id"], Value::String(trace));
+    server.shutdown();
+}
+
+#[test]
+fn trace_detail_returns_the_full_span_tree() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    register_sales(addr, "acme");
+
+    let body = serde_json::json!({"tenant": "acme", "question": CHART_QUESTION}).to_string();
+    let (status, head, response) = post_traced(addr, "/v1/query", &body, "accept-1");
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(
+        header_value(&head, "X-Trace-Id").as_deref(),
+        Some("accept-1")
+    );
+    assert_eq!(json(&response)["trace_id"], "accept-1");
+
+    // The first completion is always retained (uniform sampler leg), so
+    // the detail endpoint serves the full span tree.
+    let (status, _, detail) = get(addr, "/v1/traces/accept-1");
+    assert_eq!(status, 200, "{detail}");
+    let d = json(&detail);
+    assert_eq!(d["trace_id"], "accept-1");
+    assert_eq!(d["tenant"], "acme");
+    assert_eq!(d["status"], 200);
+    assert_eq!(d["ok"], Value::Bool(true));
+
+    // The span forest reaches from the query root down to per-agent
+    // scopes and individual LLM transport attempts.
+    let roots = d["spans"].as_array().expect("spans array");
+    assert_eq!(roots.len(), 1, "{detail}");
+    assert_eq!(roots[0]["name"], "query");
+    assert_eq!(roots[0]["attrs"]["trace_id"], "accept-1");
+    let mut names = Vec::new();
+    span_names(&d["spans"], &mut names);
+    assert!(
+        names.iter().any(|n| n.starts_with("agent:")),
+        "no agent span in {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "llm:transport"),
+        "no transport span in {names:?}"
+    );
+    // The Chrome export is embedded ready to save and load.
+    assert!(
+        d["chrome_trace"]["traceEvents"]
+            .as_array()
+            .is_some_and(|e| !e.is_empty()),
+        "{detail}"
+    );
+
+    // The index lists it, filters by tenant, and validates parameters.
+    let (status, _, index) = get(addr, "/v1/traces");
+    assert_eq!(status, 200, "{index}");
+    let idx = json(&index);
+    assert!(idx["seen"].as_u64() >= Some(1));
+    let listed: Vec<&str> = idx["traces"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|t| t["trace_id"].as_str())
+        .collect();
+    assert!(listed.contains(&"accept-1"), "{index}");
+
+    let (_, _, filtered) = get(addr, "/v1/traces?tenant=acme&limit=10");
+    assert!(!json(&filtered)["traces"].as_array().unwrap().is_empty());
+    let (_, _, other) = get(addr, "/v1/traces?tenant=globex");
+    assert!(json(&other)["traces"].as_array().unwrap().is_empty());
+    let (status, _, body) = get(addr, "/v1/traces?status=weird");
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = get(addr, "/v1/traces?limit=0");
+    assert_eq!(status, 400, "{body}");
+
+    // Unknown trace IDs are a structured 404.
+    let (status, _, body) = get(addr, "/v1/traces/never-seen");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(error_kind(&body), "trace_not_found");
+    server.shutdown();
+}
+
+#[test]
+fn chaos_failure_retains_an_error_trace_with_fault_markers() {
+    use datalab_core::{ChaosConfig, DataLabConfig};
+    let server = boot(ServerConfig {
+        lab_config: DataLabConfig {
+            record_runs: false,
+            chaos: Some(ChaosConfig::uniform(7, 1.0)),
+            ..DataLabConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    // No tables registered and a chart question: the vis agent has no
+    // data source, so the degraded pipeline cannot succeed either. With
+    // every transport call faulting, failures classify as outages — the
+    // 503 path.
+    let mut failed_traces = Vec::new();
+    for i in 0..4 {
+        let trace = format!("chaos-{i}");
+        let body = serde_json::json!({"tenant": "acme", "question": CHART_QUESTION}).to_string();
+        let (status, head, response) = post_traced(addr, "/v1/query", &body, &trace);
+        assert_eq!(
+            header_value(&head, "X-Trace-Id").as_deref(),
+            Some(trace.as_str()),
+            "{head}"
+        );
+        if status == 503 {
+            assert_eq!(json(&response)["error"]["trace_id"], trace.as_str());
+            failed_traces.push(trace);
+        }
+    }
+    assert!(
+        !failed_traces.is_empty(),
+        "100% fault rate never produced a 503"
+    );
+
+    // Error traces are always retained, and carry fault / fallback
+    // markers tagged with the request's own trace ID.
+    let mut saw_fault_marker = false;
+    for trace in &failed_traces {
+        let (status, _, detail) = get(addr, &format!("/v1/traces/{trace}"));
+        assert_eq!(status, 200, "error trace {trace} was evicted: {detail}");
+        let d = json(&detail);
+        assert_eq!(d["status"], 503);
+        assert_eq!(d["ok"], Value::Bool(false));
+        assert_eq!(d["reason"], "error");
+        let events = d["events"].as_array().expect("events array");
+        assert!(!events.is_empty(), "{detail}");
+        saw_fault_marker |= events.iter().any(|e| {
+            let kind = e["kind"].as_str().unwrap_or("");
+            let resilience = matches!(
+                kind,
+                "llm_fault" | "transport_retry" | "breaker_trip" | "degraded"
+            );
+            resilience && e["trace"].as_str() == Some(trace.as_str())
+        });
+    }
+    assert!(
+        saw_fault_marker,
+        "no retained 503 trace carried a tagged fault/fallback marker"
+    );
+
+    // The error listing shows only failures.
+    let (_, _, errors) = get(addr, "/v1/traces?status=error");
+    let idx = json(&errors);
+    for t in idx["traces"].as_array().unwrap() {
+        assert_eq!(t["ok"], Value::Bool(false), "{errors}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn health_reports_slo_and_metrics_publish_burn_gauges() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    register_sales(addr, "acme");
+    let (status, v) = run_query(addr, "acme", CHART_QUESTION);
+    assert_eq!(status, 200, "{v}");
+
+    let (_, _, health) = get(addr, "/v1/health");
+    let h = json(&health);
+    assert_eq!(h["slo_targets"]["availability"], 0.99, "{health}");
+    assert!(h["slo_targets"]["latency_threshold_us"].as_u64() > Some(0));
+    let acme = &h["slo"]["acme"];
+    assert!(acme["fast"]["requests"].as_u64() >= Some(1), "{health}");
+    assert_eq!(acme["fast"]["availability"], 1.0);
+    assert_eq!(acme["fast"]["availability_burn"], 0.0);
+    assert_eq!(acme["budget_exhausted"], Value::Bool(false));
+
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert_eq!(m["gauges"]["slo.availability_burn_fast_pm.acme"], 0);
+    assert_eq!(m["gauges"]["slo.budget_exhausted.acme"], 0);
     server.shutdown();
 }
 

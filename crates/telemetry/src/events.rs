@@ -19,6 +19,29 @@ use std::time::Instant;
 /// of events while bounding memory for long sessions.
 pub const DEFAULT_EVENT_CAPACITY: usize = 512;
 
+/// Maximum bytes of detail stored per event. Details come from arbitrary
+/// sources (full question text, error chains), so without a cap the ring
+/// buffer's memory is bounded in entry *count* but not in bytes. Longer
+/// details are cut at a char boundary and marked with `…`.
+pub const MAX_EVENT_DETAIL_BYTES: usize = 256;
+
+/// Bounds a detail string to [`MAX_EVENT_DETAIL_BYTES`], appending `…`
+/// when truncated (the marker may push the result a few bytes past the
+/// cap; the bound that matters is per-entry, not exact).
+fn bound_detail(detail: String) -> String {
+    if detail.len() <= MAX_EVENT_DETAIL_BYTES {
+        return detail;
+    }
+    let mut cut = MAX_EVENT_DETAIL_BYTES;
+    while cut > 0 && !detail.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let mut out = String::with_capacity(cut + '…'.len_utf8());
+    out.push_str(&detail[..cut]);
+    out.push('…');
+    out
+}
+
 /// The kind of a recorded event. Kinds are a closed set so fleet-level
 /// error taxonomies can key on them without string drift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -121,8 +144,11 @@ pub struct Event {
     pub at_us: u64,
     /// What happened.
     pub kind: EventKind,
-    /// Free-form context (question text, error message, counts).
+    /// Free-form context (question text, error message, counts),
+    /// bounded to roughly [`MAX_EVENT_DETAIL_BYTES`].
     pub detail: String,
+    /// The request trace this event belongs to, when one was active.
+    pub trace: Option<String>,
 }
 
 impl Event {
@@ -174,7 +200,21 @@ impl EventLog {
 
     /// Records one event, returning its sequence number.
     pub fn record(&self, kind: EventKind, detail: impl Into<String>) -> u64 {
+        self.record_traced(kind, detail, None)
+    }
+
+    /// Records one event tagged with the trace it belongs to. Details
+    /// longer than [`MAX_EVENT_DETAIL_BYTES`] are truncated with a `…`
+    /// marker so the ring's memory stays bounded in bytes, not just in
+    /// entry count.
+    pub fn record_traced(
+        &self,
+        kind: EventKind,
+        detail: impl Into<String>,
+        trace: Option<String>,
+    ) -> u64 {
         let at_us = self.epoch.elapsed().as_micros() as u64;
+        let detail = bound_detail(detail.into());
         let mut state = self.state.lock().expect("event log lock");
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -186,7 +226,8 @@ impl EventLog {
             seq,
             at_us,
             kind,
-            detail: detail.into(),
+            detail,
+            trace,
         });
         seq
     }
@@ -321,6 +362,38 @@ mod tests {
         let text = render_flight_record(&flight);
         assert!(text.contains("sandbox_failure"), "{text}");
         assert!(text.contains("failing query"), "{text}");
+    }
+
+    #[test]
+    fn long_details_are_truncated_with_a_marker() {
+        let log = EventLog::default();
+        let long = "q".repeat(MAX_EVENT_DETAIL_BYTES * 4);
+        log.record(EventKind::QueryStart, long);
+        let stored = &log.tail(1)[0];
+        assert!(stored.detail.ends_with('…'), "{}", stored.detail);
+        assert!(
+            stored.detail.len() <= MAX_EVENT_DETAIL_BYTES + '…'.len_utf8(),
+            "detail not bounded: {} bytes",
+            stored.detail.len()
+        );
+        // Truncation lands on a char boundary even mid-multibyte.
+        let multibyte = "é".repeat(MAX_EVENT_DETAIL_BYTES);
+        log.record(EventKind::QueryStart, multibyte);
+        let stored = &log.tail(1)[0];
+        assert!(stored.detail.ends_with('…'));
+        // Short details pass through untouched.
+        log.record(EventKind::QueryEnd, "ok");
+        assert_eq!(log.tail(1)[0].detail, "ok");
+    }
+
+    #[test]
+    fn traced_records_carry_the_trace_and_plain_records_do_not() {
+        let log = EventLog::default();
+        log.record(EventKind::QueryStart, "untraced");
+        log.record_traced(EventKind::QueryEnd, "traced", Some("t-1".into()));
+        let tail = log.tail(2);
+        assert_eq!(tail[0].trace, None);
+        assert_eq!(tail[1].trace, Some("t-1".to_string()));
     }
 
     #[test]

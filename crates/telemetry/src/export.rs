@@ -149,14 +149,20 @@ pub fn metrics_text(snapshot: &MetricsSnapshot) -> String {
 }
 
 /// Serialises one flight-record event as JSON
-/// (`{"seq", "at_us", "kind", "detail"}`).
+/// (`{"seq", "at_us", "kind", "detail"}`, plus `"trace"` when the event
+/// was recorded under an active request trace).
 pub fn event_json(e: &crate::events::Event) -> String {
+    let trace = match &e.trace {
+        Some(t) => format!(",\"trace\":\"{}\"", json_escape(t)),
+        None => String::new(),
+    };
     format!(
-        "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+        "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"{}}}",
         e.seq,
         e.at_us,
         e.kind.as_str(),
-        json_escape(&e.detail)
+        json_escape(&e.detail),
+        trace
     )
 }
 
@@ -298,15 +304,20 @@ mod tests {
 
     #[test]
     fn event_json_escapes_the_detail() {
-        let e = crate::events::Event {
+        let mut e = crate::events::Event {
             seq: 7,
             at_us: 1500,
             kind: crate::events::EventKind::SandboxFailure,
             detail: "parse error: \"bad\" line".into(),
+            trace: None,
         };
         let json = event_json(&e);
         assert!(json.starts_with("{\"seq\":7,\"at_us\":1500"), "{json}");
         assert!(json.contains("\"kind\":\"sandbox_failure\""));
         assert!(json.contains("\\\"bad\\\""));
+        assert!(!json.contains("\"trace\""));
+        e.trace = Some("req-9".into());
+        let json = event_json(&e);
+        assert!(json.contains("\"trace\":\"req-9\""), "{json}");
     }
 }

@@ -22,14 +22,19 @@
 
 #![warn(missing_docs)]
 
+mod context;
 mod events;
 mod export;
 mod metrics;
+mod slo;
 mod span;
 mod summary;
+mod tracestore;
 
+pub use context::{RequestContext, TraceId, MAX_TRACE_ID_LEN};
 pub use events::{
     is_error_kind, render_flight_record, Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY,
+    MAX_EVENT_DETAIL_BYTES,
 };
 pub use export::{
     chrome_trace_json, event_json, json_escape, metrics_json, metrics_text, span_json,
@@ -37,8 +42,12 @@ pub use export::{
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
 };
+pub use slo::{burn_rate, SloTargets, SloTracker, SloWindows, TenantSlo, WindowSli};
 pub use span::{SpanGuard, SpanNode, Tracer};
 pub use summary::{AttributedUsage, QuerySummary, TokenUsage};
+pub use tracestore::{
+    RetainReason, StoredTrace, TraceRecord, TraceStore, TraceStorePolicy, TraceSummary,
+};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -87,6 +96,10 @@ pub struct Telemetry {
     metrics: Arc<MetricsRegistry>,
     events: Arc<EventLog>,
     state: Arc<Mutex<AttribState>>,
+    /// The request trace currently being served, shared by all clones.
+    /// While set, every recorded event and every stage/agent scope span
+    /// is tagged with the trace ID.
+    trace: Arc<Mutex<Option<TraceId>>>,
 }
 
 impl Telemetry {
@@ -111,9 +124,32 @@ impl Telemetry {
         &self.events
     }
 
-    /// Records one typed event into the flight recorder.
+    /// Records one typed event into the flight recorder, tagged with the
+    /// active request trace when one is set.
     pub fn record_event(&self, kind: EventKind, detail: impl Into<String>) {
-        self.events.record(kind, detail);
+        self.events
+            .record_traced(kind, detail, self.current_trace_string());
+    }
+
+    /// Sets (or clears, with `None`) the request trace this handle — and
+    /// every clone of it — is currently serving. The platform sets it at
+    /// query start and clears it at query end; sessions serve one query
+    /// at a time, so the slot never sees concurrent traces.
+    pub fn set_trace(&self, trace: Option<TraceId>) {
+        *self.trace.lock().expect("telemetry trace lock") = trace;
+    }
+
+    /// The request trace currently being served, if any.
+    pub fn current_trace(&self) -> Option<TraceId> {
+        self.trace.lock().expect("telemetry trace lock").clone()
+    }
+
+    fn current_trace_string(&self) -> Option<String> {
+        self.trace
+            .lock()
+            .expect("telemetry trace lock")
+            .as_ref()
+            .map(|t| t.as_str().to_string())
     }
 
     /// The last `n` events, oldest first — the forensic tail attached to
@@ -122,9 +158,15 @@ impl Telemetry {
         self.events.tail(n)
     }
 
-    /// Opens a plain span with no attribution side effects.
+    /// Opens a plain span with no attribution side effects. When a
+    /// request trace is active (see [`Telemetry::set_trace`]) the span
+    /// is tagged with a `trace_id` attribute.
     pub fn span(&self, name: &str) -> SpanGuard {
-        self.tracer.span(name)
+        let span = self.tracer.span(name);
+        if let Some(trace) = self.current_trace() {
+            span.attr("trace_id", trace.as_str());
+        }
+        span
     }
 
     /// Opens a pipeline-stage scope: a span named `name` plus a stage
@@ -142,7 +184,7 @@ impl Telemetry {
     }
 
     fn scoped(&self, span_name: &str, scope_name: &str, kind: ScopeKind) -> ScopeGuard {
-        let span = self.tracer.span(span_name);
+        let span = self.span(span_name);
         let mut state = self.state.lock().expect("telemetry lock");
         let id = state.next_scope_id;
         state.next_scope_id += 1;
@@ -164,9 +206,10 @@ impl Telemetry {
     /// and folds the counts into the metrics registry (`llm.calls`,
     /// `llm.prompt_tokens`, `llm.completion_tokens`, `llm.call_tokens`).
     pub fn record_llm_call(&self, prompt_tokens: u64, completion_tokens: u64) {
-        self.events.record(
+        self.events.record_traced(
             EventKind::LlmCall,
             format!("prompt={prompt_tokens} completion={completion_tokens}"),
+            self.current_trace_string(),
         );
         self.metrics.incr("llm.calls", 1);
         self.metrics.incr("llm.prompt_tokens", prompt_tokens);
@@ -445,6 +488,42 @@ mod tests {
         assert_eq!(delta[1].stage, "synthesize");
         // Unchanged keys drop out entirely.
         assert!(attribution_delta(&after, &after).is_empty());
+    }
+
+    #[test]
+    fn active_trace_tags_events_and_scope_spans() {
+        let t = Telemetry::new();
+        t.set_trace(Some(TraceId::parse("req-1").unwrap()));
+        {
+            let _q = t.span("query");
+            let _s = t.stage("execute");
+            t.record_llm_call(3, 1);
+        }
+        t.record_event(EventKind::Retry, "attempt 1");
+        t.set_trace(None);
+        t.record_event(EventKind::QueryEnd, "ok");
+        let events = t.flight_record(8);
+        assert_eq!(events[0].trace.as_deref(), Some("req-1"));
+        assert_eq!(events[1].trace.as_deref(), Some("req-1"));
+        assert_eq!(events[2].trace, None);
+        let forest = t.drain_trace();
+        let stage = &forest[0].children[0];
+        assert!(
+            stage
+                .attrs
+                .iter()
+                .any(|(k, v)| k == "trace_id" && v == "req-1"),
+            "{stage:?}"
+        );
+        // Plain spans are tagged too.
+        assert_eq!(
+            forest[0].attrs,
+            vec![("trace_id".to_string(), "req-1".to_string())]
+        );
+        // Clones observe the shared slot.
+        let clone = t.clone();
+        clone.set_trace(Some(TraceId::parse("req-2").unwrap()));
+        assert_eq!(t.current_trace().unwrap().as_str(), "req-2");
     }
 
     #[test]

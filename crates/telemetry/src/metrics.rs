@@ -134,6 +134,12 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
     }
+
+    /// 99.9th percentile (see [`HistogramSnapshot::percentile`]) — the
+    /// deep-tail read load reports use to catch rare stalls.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
 }
 
 /// A point-in-time copy of every instrument in a registry.

@@ -1,0 +1,108 @@
+//! Property-based tests for the tail-sampling trace store's keep policy.
+//!
+//! The two invariants pinned here come straight from the policy's
+//! contract: error traces outlive ok traces under eviction pressure, and
+//! degenerate configurations (sampling off, slowest-N off) never panic
+//! and still retain exactly what the remaining legs promise.
+
+use datalab_telemetry::{RetainReason, TraceRecord, TraceStore, TraceStorePolicy};
+use proptest::prelude::*;
+
+fn record(idx: usize, ok: bool, duration_us: u64) -> TraceRecord {
+    TraceRecord {
+        trace_id: format!("t{idx}"),
+        tenant: format!("tenant{}", idx % 3),
+        workload: "nl2sql".to_string(),
+        status: if ok { 200 } else { 503 },
+        ok,
+        duration_us,
+        spans: Vec::new(),
+        events: Vec::new(),
+    }
+}
+
+proptest! {
+    /// Under any offer sequence, an error trace is only ever evicted
+    /// once no ok traces remain in the store: while the retained error
+    /// count is within capacity, every offered error is still present.
+    #[test]
+    fn errors_never_evicted_before_ok_traces(
+        outcomes in proptest::collection::vec((any::<bool>(), 0u64..10_000), 1..200),
+        capacity in 1usize..16,
+        sample_every in 0usize..8,
+        slowest in 0usize..4,
+        window in 1usize..32,
+    ) {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity,
+            slowest_per_window: slowest,
+            window,
+            sample_every,
+        });
+        let mut error_ids: Vec<String> = Vec::new();
+        for (idx, (ok, duration_us)) in outcomes.iter().enumerate() {
+            let kept = store.offer(record(idx, *ok, *duration_us));
+            if !ok {
+                prop_assert_eq!(kept, Some(RetainReason::Error));
+                error_ids.push(format!("t{idx}"));
+            }
+            // The newest `capacity` errors must all still be retained —
+            // ok traces are evicted first, so errors only fall off once
+            // errors alone exceed capacity.
+            let start = error_ids.len().saturating_sub(capacity);
+            for id in &error_ids[start..] {
+                prop_assert!(
+                    store.get(id).is_some(),
+                    "error {} evicted while ok traces may remain (len={})",
+                    id,
+                    store.len()
+                );
+            }
+            prop_assert!(store.len() <= capacity);
+        }
+        prop_assert_eq!(store.seen(), outcomes.len() as u64);
+    }
+
+    /// `sample_every = 0` (and any slowest-N setting, including 0)
+    /// degrades to "errors + slowest only": no panics, every error kept,
+    /// and with both optional legs off nothing but errors is retained.
+    #[test]
+    fn zero_sampling_degrades_without_panics(
+        outcomes in proptest::collection::vec((any::<bool>(), 0u64..10_000), 1..200),
+        slowest in 0usize..3,
+        window in 1usize..16,
+    ) {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 256,
+            slowest_per_window: slowest,
+            window,
+            sample_every: 0,
+        });
+        let mut errors = 0usize;
+        for (idx, (ok, duration_us)) in outcomes.iter().enumerate() {
+            let kept = store.offer(record(idx, *ok, *duration_us));
+            match kept {
+                Some(RetainReason::Error) => {
+                    prop_assert!(!ok);
+                    errors += 1;
+                }
+                Some(RetainReason::Slow) => {
+                    prop_assert!(*ok);
+                    prop_assert!(slowest > 0);
+                }
+                Some(RetainReason::Sampled) => {
+                    prop_assert!(false, "uniform sampler fired with sample_every=0");
+                }
+                None => prop_assert!(*ok),
+            }
+        }
+        prop_assert!(store.len() >= errors.min(256));
+        if slowest == 0 {
+            // Errors-only mode: retained set is exactly the errors.
+            prop_assert_eq!(store.len(), errors.min(256));
+            for t in store.summaries(None, None, 512) {
+                prop_assert_eq!(t.reason, RetainReason::Error);
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ use crate::insight::dabench_like;
 use crate::nl2code::ds1000_like;
 use crate::nl2sql::spider_like;
 use crate::nl2vis::nvbench_like;
-use datalab_core::{DataLab, DataLabConfig, FleetReport, RunRecorder};
+use datalab_core::{DataLab, DataLabConfig, FleetReport, RequestContext, RunRecorder, TraceId};
 use datalab_llm::ChaosConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -134,6 +134,7 @@ fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet, session_config: &Dat
     // One platform per domain, shared by that domain's tasks so notebook
     // context and history accumulate the way a real session would.
     let mut labs: BTreeMap<usize, DataLab> = BTreeMap::new();
+    let mut task_in_domain: BTreeMap<usize, usize> = BTreeMap::new();
     for (domain_idx, question) in &set.tasks {
         let Some(domain) = set.domains.get(*domain_idx) else {
             continue;
@@ -141,11 +142,24 @@ fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet, session_config: &Dat
         let lab = labs
             .entry(*domain_idx)
             .or_insert_with(|| lab_for_domain(domain, session_config));
-        lab.query_as(set.workload, question);
+        let task_idx = task_in_domain.entry(*domain_idx).or_insert(0);
+        let ctx = task_context(set.workload, *domain_idx, *task_idx);
+        *task_idx += 1;
+        lab.query_with_context(&ctx, set.workload, question);
     }
     for (_, mut lab) in labs {
         recorder.absorb(lab.take_run_records());
     }
+}
+
+/// The deterministic request context for one fleet task: a trace ID
+/// derived from its (workload, domain, per-domain task index) position,
+/// identical between the serial and sharded executors. Tracing only
+/// tags span attributes and events, so `FleetReport::comparable()` and
+/// the obsdiff baseline are unaffected.
+pub(crate) fn task_context(workload: &str, domain_idx: usize, task_idx: usize) -> RequestContext {
+    let id = format!("fleet-{workload}-d{domain_idx}-t{task_idx}");
+    RequestContext::traced(TraceId::parse(&id).expect("fleet trace ids are valid"))
 }
 
 /// Runs sampled nl2sql / nl2code / nl2vis / insight tasks through the

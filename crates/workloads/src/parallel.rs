@@ -28,6 +28,9 @@ use std::sync::Mutex;
 struct Shard<'a> {
     /// Workload family name passed to `DataLab::query_as`.
     workload: &'static str,
+    /// Index of the domain in its workload set (feeds the per-task
+    /// trace IDs, which must match the serial runner's).
+    domain_idx: usize,
     /// The domain whose tables seed the session.
     domain: &'a Domain,
     /// Questions for this domain, in task order.
@@ -50,6 +53,7 @@ fn shards(sets: &[WorkloadSet]) -> Vec<Shard<'_>> {
         for (domain_idx, questions) in by_domain {
             out.push(Shard {
                 workload: set.workload,
+                domain_idx,
                 domain: &set.domains[domain_idx],
                 questions,
             });
@@ -61,8 +65,11 @@ fn shards(sets: &[WorkloadSet]) -> Vec<Shard<'_>> {
 /// Executes one shard start to finish and returns its run records.
 fn run_shard(shard: &Shard<'_>, session_config: &DataLabConfig) -> Vec<RunRecord> {
     let mut lab = lab_for_domain(shard.domain, session_config);
-    for question in &shard.questions {
-        lab.query_as(shard.workload, question);
+    for (task_idx, question) in shard.questions.iter().enumerate() {
+        // Same (workload, domain, task) → same trace ID as the serial
+        // runner, keeping the merged report bit-identical.
+        let ctx = crate::fleet::task_context(shard.workload, shard.domain_idx, task_idx);
+        lab.query_with_context(&ctx, shard.workload, question);
     }
     lab.take_run_records()
 }
