@@ -21,7 +21,7 @@
 use datalab_bench::telemetry_dir;
 use datalab_core::{ChaosConfig, DataLabConfig, LATENCY_BUCKETS_US};
 use datalab_server::{Json, Server, ServerConfig};
-use datalab_telemetry::{json_escape, HistogramSnapshot, MetricsRegistry};
+use datalab_telemetry::{json_escape, CountingAlloc, HistogramSnapshot, MetricsRegistry};
 use datalab_workloads::request_corpus;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -31,6 +31,12 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// In `--boot` mode the in-process server shares this process, so the
+/// counting allocator gives its spans and `/v1/metrics` real `alloc.*`
+/// attribution — the CI serving smoke exercises exactly that path.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 struct Args {
     addr: Option<String>,

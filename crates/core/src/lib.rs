@@ -34,6 +34,11 @@ pub use datalab_llm::{BreakerConfig, BreakerState, ChaosConfig, RetryPolicy};
 // re-exported for the same reason.
 pub use datalab_telemetry::{RequestContext, TraceId};
 pub use recorder::{
-    diff_reports, FleetReport, LatencyStats, LlmTotals, Regression, ResilienceStats, RunRecord,
-    RunRecorder, StageStats, TokenTotals, WorkloadStats, LATENCY_BUCKETS_US,
+    diff_reports, folded_profile, AllocTotals, FleetReport, LatencyStats, LlmTotals, Regression,
+    ResilienceStats, RunRecord, RunRecorder, StageStats, TokenTotals, WorkloadStats,
+    LATENCY_BUCKETS_US,
 };
+// Profile weighting selector for `folded_profile`; re-exported so bench
+// and server consume collapsed-stack output without a direct
+// datalab-telemetry dependency on the weighting enum.
+pub use datalab_telemetry::{folded_total, ProfileWeight};

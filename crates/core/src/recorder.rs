@@ -9,7 +9,9 @@
 //! serialize to JSON so runs can be archived, diffed ([`diff_reports`]),
 //! and gated in CI (`obsdiff`).
 
-use datalab_telemetry::{Event, MetricsRegistry, QuerySummary, SpanNode};
+use datalab_telemetry::{
+    folded_stacks, Event, MetricsRegistry, ProfileWeight, QuerySummary, SpanNode,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -194,6 +196,31 @@ pub struct WorkloadStats {
     pub tokens: u64,
 }
 
+/// Allocator totals over a fleet run, aggregated from the root span of
+/// every recorded query (spans carry alloc deltas when the producing
+/// binary installs the counting allocator — see
+/// [`datalab_telemetry::CountingAlloc`]). All-zero when it did not, and
+/// for reports predating the field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocTotals {
+    /// Allocations counted across every query's root span.
+    pub allocs: u64,
+    /// Bytes allocated across every query's root span.
+    pub bytes: u64,
+    /// `allocs / runs` — the per-query allocation count `obsdiff` gates.
+    pub count_per_query: u64,
+    /// `bytes / runs` — the per-query byte count `obsdiff` gates.
+    pub bytes_per_query: u64,
+}
+
+impl AllocTotals {
+    /// True when no allocation was attributed (counting allocator absent
+    /// or no runs recorded).
+    pub fn is_zero(&self) -> bool {
+        *self == AllocTotals::default()
+    }
+}
+
 /// Cross-run aggregation of a session's [`RunRecord`]s: the durable,
 /// diffable unit the CI regression gate (`obsdiff`) consumes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -235,6 +262,13 @@ pub struct FleetReport {
     /// [`diff_reports`].
     #[serde(default)]
     pub resilience: ResilienceStats,
+    /// Allocator totals over every recorded query. Machine- and
+    /// build-dependent (and zero without the counting allocator), so
+    /// stripped by [`FleetReport::comparable`]; the per-query figures ARE
+    /// gated by [`diff_reports`] — allocator churn regresses CI exactly
+    /// like tokens and p99s do.
+    #[serde(default)]
+    pub alloc: AllocTotals,
 }
 
 fn walk_agent_spans(node: &SpanNode, out: &mut Vec<(String, u64)>) {
@@ -320,8 +354,20 @@ impl FleetReport {
             report.resilience.transport_retries += r.resilience.transport_retries;
             report.resilience.breaker_trips += r.resilience.breaker_trips;
             report.resilience.degraded += r.resilience.degraded;
+
+            // Root spans carry inclusive alloc deltas for the whole
+            // query, so summing roots (not the subtree) avoids double
+            // counting nested spans.
+            for root in &r.summary.spans {
+                report.alloc.allocs += root.allocs;
+                report.alloc.bytes += root.alloc_bytes;
+            }
         }
 
+        if report.runs > 0 {
+            report.alloc.count_per_query = report.alloc.allocs / report.runs;
+            report.alloc.bytes_per_query = report.alloc.bytes / report.runs;
+        }
         report.tokens.total = report.tokens.prompt + report.tokens.completion;
         report.latency = LatencyStats::from_durations(&query_durations);
         report.stages = collect_stats(&stage_durations, &stage_usage);
@@ -349,6 +395,10 @@ impl FleetReport {
         for s in r.stages.iter_mut().chain(r.agents.iter_mut()) {
             s.latency = strip(&s.latency);
         }
+        // Allocation counts depend on the build, the machine, and
+        // whether the producing binary installed the counting allocator
+        // — none of which a determinism check should see.
+        r.alloc = AllocTotals::default();
         r
     }
 
@@ -405,6 +455,15 @@ impl FleetReport {
                 self.resilience.transport_retries,
                 self.resilience.breaker_trips,
                 self.resilience.degraded,
+            ));
+        }
+        if !self.alloc.is_zero() {
+            out.push_str(&format!(
+                "alloc: {} allocations ({} bytes); per query: {} allocations, {} bytes\n",
+                self.alloc.allocs,
+                self.alloc.bytes,
+                self.alloc.count_per_query,
+                self.alloc.bytes_per_query,
             ));
         }
         let table = |out: &mut String, title: &str, rows: &[StageStats]| {
@@ -472,6 +531,20 @@ fn collect_stats(
         .collect()
 }
 
+/// Aggregates the span trees of every record into one collapsed-stack
+/// (folded) profile — the flamegraph of a whole fleet run. Each query
+/// contributes its span forest; identical stacks across queries merge,
+/// so the output weights are fleet totals. Wall weighting always works;
+/// CPU and alloc weightings are non-empty only when the producing binary
+/// had a thread CPU clock / the counting allocator.
+pub fn folded_profile(records: &[RunRecord], weight: ProfileWeight) -> String {
+    let spans: Vec<SpanNode> = records
+        .iter()
+        .flat_map(|r| r.summary.spans.iter().cloned())
+        .collect();
+    folded_stacks(&spans, weight)
+}
+
 /// One metric that got worse between two reports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Regression {
@@ -488,8 +561,10 @@ pub struct Regression {
 
 /// Compares two fleet reports and returns every gated metric that
 /// regressed beyond `threshold_pct` percent: `tokens.total`, `llm.calls`,
-/// and the p99 latency of every stage present in both reports. Metrics
-/// with a zero baseline are skipped (nothing to compare against);
+/// `alloc.bytes_per_query`, `alloc.count_per_query`, and the p99 latency
+/// of every stage present in both reports. Metrics with a zero baseline
+/// are skipped (nothing to compare against — which also grandfathers
+/// reports and baselines written before alloc accounting existed);
 /// stages only present in the candidate are not latency-gated but DO
 /// trip the token gate through the totals.
 pub fn diff_reports(
@@ -527,6 +602,16 @@ pub fn diff_reports(
         baseline.latency.p99_us as f64,
         candidate.latency.p99_us as f64,
     );
+    check(
+        "alloc.bytes_per_query".into(),
+        baseline.alloc.bytes_per_query as f64,
+        candidate.alloc.bytes_per_query as f64,
+    );
+    check(
+        "alloc.count_per_query".into(),
+        baseline.alloc.count_per_query as f64,
+        candidate.alloc.count_per_query as f64,
+    );
     for b in &baseline.stages {
         if let Some(c) = candidate.stage(&b.name) {
             check(
@@ -549,6 +634,9 @@ mod tests {
             name: name.into(),
             start_us,
             dur_us,
+            cpu_us: 0,
+            allocs: 0,
+            alloc_bytes: 0,
             attrs: vec![],
             children,
         }
@@ -759,6 +847,121 @@ mod tests {
         assert!(diff_reports(&calm, &report, 0.0)
             .iter()
             .all(|r| !r.metric.contains("resilience")));
+    }
+
+    /// A record whose root span carries alloc deltas, as produced by a
+    /// binary with the counting allocator installed.
+    fn record_with_alloc(allocs: u64, bytes: u64) -> RunRecord {
+        let mut r = record("nl2sql", true, 1000, 400);
+        for root in &mut r.summary.spans {
+            root.allocs = allocs;
+            root.alloc_bytes = bytes;
+        }
+        r
+    }
+
+    #[test]
+    fn alloc_totals_aggregate_from_root_spans() {
+        let mut rec = RunRecorder::new();
+        rec.push(record_with_alloc(100, 64_000));
+        rec.push(record_with_alloc(300, 192_000));
+        let report = rec.report();
+        assert_eq!(report.alloc.allocs, 400);
+        assert_eq!(report.alloc.bytes, 256_000);
+        assert_eq!(report.alloc.count_per_query, 200);
+        assert_eq!(report.alloc.bytes_per_query, 128_000);
+        assert!(report.render().contains("alloc: 400 allocations"));
+        // Without the counting allocator nothing is attributed: no alloc
+        // line, zero block.
+        let calm = sample_report();
+        assert!(calm.alloc.is_zero());
+        assert!(!calm.render().contains("alloc:"));
+        // comparable() strips the block: a profiled and an unprofiled run
+        // of the same workload must still compare equal.
+        let mut profiled = sample_report();
+        profiled.alloc = AllocTotals {
+            allocs: 7,
+            bytes: 7,
+            count_per_query: 2,
+            bytes_per_query: 2,
+        };
+        assert_eq!(profiled.comparable(), calm.comparable());
+    }
+
+    #[test]
+    fn alloc_fields_roundtrip_and_default_when_absent() {
+        let mut rec = RunRecorder::new();
+        rec.push(record_with_alloc(100, 64_000));
+        let report = rec.report();
+        let roundtrip = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(roundtrip.alloc, report.alloc);
+        // Reports predating the block parse with zero totals.
+        let mut value: serde_json::Value =
+            serde_json::from_str(&report.to_json()).expect("valid json");
+        value.as_object_mut().expect("object").remove("alloc");
+        let legacy = FleetReport::from_json(&value.to_string()).expect("legacy parses");
+        assert!(legacy.alloc.is_zero());
+    }
+
+    #[test]
+    fn alloc_regressions_trip_the_gate_and_zero_baselines_skip_it() {
+        let mut rec = RunRecorder::new();
+        rec.push(record_with_alloc(1_000, 1_000_000));
+        let base = rec.report();
+        // The acceptance scenario: a synthetic +20% on bytes_per_query
+        // must fail a 10% gate.
+        let mut cand = base.clone();
+        cand.alloc.bytes_per_query = base.alloc.bytes_per_query * 12 / 10;
+        let regs = diff_reports(&base, &cand, 10.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "alloc.bytes_per_query");
+        assert!((regs[0].change_pct - 20.0).abs() < 1e-9, "{regs:?}");
+        // Count regressions gate independently.
+        let mut cand = base.clone();
+        cand.alloc.count_per_query *= 2;
+        let regs = diff_reports(&base, &cand, 10.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "alloc.count_per_query");
+        // Improvements and identical reports pass clean.
+        let mut better = base.clone();
+        better.alloc.bytes_per_query /= 2;
+        assert!(diff_reports(&base, &better, 10.0).is_empty());
+        assert!(diff_reports(&base, &base, 10.0).is_empty());
+        // A zero (pre-profiling) baseline never gates alloc, even when
+        // the candidate reports real numbers.
+        let legacy = sample_report();
+        assert!(diff_reports(&legacy, &base, 10.0).is_empty());
+    }
+
+    #[test]
+    fn folded_profile_merges_stacks_and_conserves_wall_weight() {
+        let records = vec![
+            record("nl2sql", true, 1000, 400),
+            record("nl2sql", true, 2000, 400),
+        ];
+        let folded = folded_profile(&records, ProfileWeight::Wall);
+        assert!(!folded.is_empty());
+        // Identical stacks from the two queries merged into one line
+        // each: query, query;rewrite, query;execute, and the agent leaf.
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 4, "{folded}");
+        assert!(
+            folded.contains("query;execute;agent:sql_agent "),
+            "{folded}"
+        );
+        // Total folded weight equals the sum of the recorded root spans.
+        let root_total: u64 = records
+            .iter()
+            .flat_map(|r| r.summary.spans.iter())
+            .map(|s| s.dur_us)
+            .sum();
+        assert_eq!(datalab_telemetry::folded_total(&folded), root_total);
+        // Alloc weighting is empty for unprofiled records, non-empty once
+        // spans carry alloc deltas.
+        assert!(folded_profile(&records, ProfileWeight::AllocBytes).is_empty());
+        let profiled = vec![record_with_alloc(10, 4_096)];
+        let alloc = folded_profile(&profiled, ProfileWeight::AllocBytes);
+        assert_eq!(alloc, "query 4096\n");
     }
 
     #[test]

@@ -187,14 +187,17 @@ fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
     }
 }
 
-/// One HTTP response, always JSON-bodied and `Connection: close`.
+/// One HTTP response, `Connection: close`. JSON-bodied unless built via
+/// [`Response::text`] (Prometheus exposition, folded profiles).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
     /// Extra headers beyond the standard content-type / length / close.
     pub headers: Vec<(String, String)>,
-    /// JSON body text.
+    /// Response body text.
     pub body: String,
 }
 
@@ -203,6 +206,18 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Response {
         Response {
             status,
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an explicit content type (e.g.
+    /// `text/plain; version=0.0.4` for OpenMetrics exposition).
+    pub fn text(status: u16, content_type: &str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: content_type.to_string(),
             headers: Vec::new(),
             body: body.into(),
         }
@@ -217,9 +232,10 @@ impl Response {
     /// Serialises and writes the full response to the stream.
     pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {
@@ -342,5 +358,24 @@ mod tests {
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("{\"error\":{\"kind\":\"overloaded\"}}"));
+    }
+
+    #[test]
+    fn text_responses_carry_their_content_type() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            Response::text(200, "text/plain; version=0.0.4", "datalab_up 1\n")
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("datalab_up 1\n"));
     }
 }

@@ -5,13 +5,22 @@
 //! cargo run -p datalab-server -- [--addr HOST:PORT] [--workers N]
 //!     [--queue N] [--per-tenant N] [--sessions N] [--shards N]
 //!     [--deadline-ms N] [--read-timeout-ms N] [--trace-seed N]
+//!     [--slo-max-tenants N]
 //! ```
 //!
 //! Defaults match [`ServerConfig::default`] except the address, which
 //! pins to `127.0.0.1:8437` so `curl` examples work out of the box.
 
 use datalab_server::{Server, ServerConfig};
+use datalab_telemetry::CountingAlloc;
 use std::process::ExitCode;
+
+/// Count every allocation the serving process makes, so spans carry
+/// alloc deltas and `/v1/metrics` exports live `alloc.*` counters. The
+/// wrapper is a handful of relaxed atomic adds over the system
+/// allocator — cheap enough to leave on in production builds.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() -> ExitCode {
     let mut config = ServerConfig {
@@ -64,6 +73,11 @@ fn main() -> ExitCode {
                     .map(|n| config.trace_seed = n)
                     .map_err(|e| format!("--trace-seed: {e}"))
             }),
+            "--slo-max-tenants" => take("--slo-max-tenants").and_then(|v| {
+                v.parse()
+                    .map(|n| config.slo_max_tenants = n)
+                    .map_err(|e| format!("--slo-max-tenants: {e}"))
+            }),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(e) = result {
@@ -71,7 +85,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: datalab-server [--addr HOST:PORT] [--workers N] [--queue N] \
                  [--per-tenant N] [--sessions N] [--shards N] [--deadline-ms N] \
-                 [--read-timeout-ms N] [--trace-seed N]"
+                 [--read-timeout-ms N] [--trace-seed N] [--slo-max-tenants N]"
             );
             return ExitCode::from(2);
         }

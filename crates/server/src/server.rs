@@ -27,9 +27,9 @@ use crate::json::Json;
 use crate::store::{SessionStore, StoreConfig};
 use datalab_core::{BreakerState, DataLabConfig, RequestContext, LATENCY_BUCKETS_US};
 use datalab_telemetry::{
-    chrome_trace_json, event_json, json_escape, span_json, SloTargets, SloTracker, SloWindows,
-    Telemetry, TenantSlo, TraceId, TraceRecord, TraceStore, TraceStorePolicy, TraceSummary,
-    WindowSli,
+    chrome_trace_json, event_json, folded_stacks, json_escape, metrics_prometheus,
+    publish_alloc_metrics, span_json, ProfileWeight, SloTargets, SloTracker, SloWindows, Telemetry,
+    TenantSlo, TraceId, TraceRecord, TraceStore, TraceStorePolicy, TraceSummary, WindowSli,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -72,6 +72,12 @@ pub struct ServerConfig {
     pub slo_targets: SloTargets,
     /// Fast/slow window lengths for SLO burn rates.
     pub slo_windows: SloWindows,
+    /// Most tenants whose SLO burn rates are exported as gauges on
+    /// `/v1/metrics` (the busiest by fast-window traffic win; everyone
+    /// still appears on `/v1/health`). Bounds scrape cardinality: without
+    /// a cap, every tenant name that ever queried would mint five gauges
+    /// forever.
+    pub slo_max_tenants: usize,
     /// Platform configuration for new tenant sessions.
     pub lab_config: DataLabConfig,
 }
@@ -92,6 +98,7 @@ impl Default for ServerConfig {
             trace_policy: TraceStorePolicy::default(),
             slo_targets: SloTargets::default(),
             slo_windows: SloWindows::default(),
+            slo_max_tenants: 32,
             lab_config: DataLabConfig {
                 // Serving sessions are long-lived; per-query run records
                 // would grow without bound.
@@ -144,6 +151,7 @@ impl Server {
             "server.latency.health_us",
             "server.latency.metrics_us",
             "server.latency.traces_us",
+            "server.latency.profile_us",
         ] {
             telemetry
                 .metrics()
@@ -376,7 +384,8 @@ fn route(
     let path = request.target.split(['?', '#']).next().unwrap_or("");
     let (histogram, response) = match (request.method.as_str(), path) {
         ("GET", "/v1/health") => ("server.latency.health_us", health(inner)),
-        ("GET", "/v1/metrics") => ("server.latency.metrics_us", metrics(inner)),
+        ("GET", "/v1/metrics") => ("server.latency.metrics_us", metrics(inner, request, trace)),
+        ("GET", "/v1/profile") => ("server.latency.profile_us", profile(inner, request, trace)),
         ("GET", "/v1/traces") => (
             "server.latency.traces_us",
             traces_index(inner, request, trace),
@@ -476,11 +485,45 @@ fn tenant_slo_json(t: &TenantSlo) -> String {
     )
 }
 
+/// The tenant component of a per-tenant `slo.*` gauge name; `None` for
+/// every other gauge (including the scalar `slo.tenants_tracked`).
+fn slo_gauge_tenant(name: &str) -> Option<&str> {
+    [
+        "slo.availability_burn_fast_pm.",
+        "slo.availability_burn_slow_pm.",
+        "slo.latency_burn_fast_pm.",
+        "slo.latency_burn_slow_pm.",
+        "slo.budget_exhausted.",
+    ]
+    .iter()
+    .find_map(|prefix| name.strip_prefix(prefix))
+}
+
 /// Publishes per-tenant SLO burn rates as gauges (per-mille, so the
 /// integer gauge registry can carry them) right before a scrape.
+///
+/// Export cardinality is bounded by `slo_max_tenants`: only the busiest
+/// tenants by fast-window traffic (name-ordered on ties, so the cut is
+/// deterministic) keep their gauges, and gauges belonging to tenants that
+/// fell out of the export set — idle or out-ranked — are evicted rather
+/// than left to accumulate. `slo.tenants_tracked` always reports the
+/// uncapped tenant count so the cap itself is observable.
 fn publish_slo_gauges(inner: &Arc<ServerInner>) {
     let m = inner.telemetry.metrics();
-    for (tenant, report) in inner.slo.report() {
+    let mut ranked = inner.slo.report();
+    let tracked = ranked.len();
+    ranked.sort_by(|a, b| {
+        b.1.fast
+            .requests
+            .cmp(&a.1.fast.requests)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.truncate(inner.config.slo_max_tenants);
+    m.retain_gauges(|name| match slo_gauge_tenant(name) {
+        Some(tenant) => ranked.iter().any(|(t, _)| t == tenant),
+        None => true,
+    });
+    for (tenant, report) in &ranked {
         let pm = |burn: f64| (burn * 1000.0).round() as i64;
         m.gauge_set(
             &format!("slo.availability_burn_fast_pm.{tenant}"),
@@ -503,12 +546,71 @@ fn publish_slo_gauges(inner: &Arc<ServerInner>) {
             i64::from(report.budget_exhausted()),
         );
     }
+    m.gauge_set("slo.tenants_tracked", tracked as i64);
 }
 
-fn metrics(inner: &Arc<ServerInner>) -> Response {
+/// `GET /v1/metrics[?format=json|prometheus]`: the full registry
+/// snapshot. JSON by default; `?format=prometheus` (or an `Accept`
+/// header naming `openmetrics` or `text/plain`) switches to
+/// Prometheus/OpenMetrics text exposition with cumulative histogram
+/// buckets. Allocator totals are republished right before either
+/// rendering, so scrapes see current `alloc.*` counters.
+fn metrics(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
     inner.telemetry.metrics().incr("server.requests.metrics", 1);
     publish_slo_gauges(inner);
-    Response::json(200, inner.telemetry.snapshot_json())
+    let accept_prometheus = request
+        .header("accept")
+        .is_some_and(|a| a.contains("openmetrics") || a.contains("text/plain"));
+    let prometheus = match query_param(request.target.as_str(), "format") {
+        None => accept_prometheus,
+        Some("json") => false,
+        Some("prometheus") => true,
+        Some(other) => {
+            inner
+                .telemetry
+                .metrics()
+                .incr("platform.errors.bad_request", 1);
+            let detail = format!("unknown format `{other}` (want `json` or `prometheus`)");
+            return error_response(400, "bad_request", &detail, trace);
+        }
+    };
+    if prometheus {
+        publish_alloc_metrics(inner.telemetry.metrics());
+        let snapshot = inner.telemetry.metrics().snapshot();
+        Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            metrics_prometheus(&snapshot),
+        )
+    } else {
+        Response::json(200, inner.telemetry.snapshot_json())
+    }
+}
+
+/// `GET /v1/profile[?weight=wall|cpu|alloc|alloc_count]`: the retained
+/// traces' span forest folded into collapsed-stack (flamegraph) format.
+/// CPU and alloc weightings are empty unless the serving binary has a
+/// thread CPU clock / the counting allocator installed.
+fn profile(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.profile", 1);
+    let weight = match query_param(request.target.as_str(), "weight") {
+        None => ProfileWeight::Wall,
+        Some(raw) => match ProfileWeight::parse(raw) {
+            Some(weight) => weight,
+            None => {
+                inner
+                    .telemetry
+                    .metrics()
+                    .incr("platform.errors.bad_request", 1);
+                let detail = format!(
+                    "unknown weight `{raw}` (want `wall`, `cpu`, `alloc`, or `alloc_count`)"
+                );
+                return error_response(400, "bad_request", &detail, trace);
+            }
+        },
+    };
+    let folded = folded_stacks(&inner.traces.span_forest(), weight);
+    Response::text(200, "text/plain", folded)
 }
 
 /// Extracts a query-string parameter from a request target.

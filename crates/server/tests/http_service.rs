@@ -3,11 +3,18 @@
 //! deadlines, tenant isolation, and graceful shutdown.
 
 use datalab_server::{Server, ServerConfig};
+use datalab_telemetry::CountingAlloc;
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::Duration;
+
+/// Run the suite under the counting allocator — the configuration the
+/// shipped binaries use — so `/v1/profile?weight=alloc` and the
+/// `alloc.*` metrics exercise real attribution end to end.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 const SALES_CSV: &str = "region,amount\neast,10\nwest,20\neast,5\n";
 const CHART_QUESTION: &str = "draw a bar chart of sales by region";
@@ -653,6 +660,187 @@ fn health_reports_slo_and_metrics_publish_burn_gauges() {
     let m = json(&metrics);
     assert_eq!(m["gauges"]["slo.availability_burn_fast_pm.acme"], 0);
     assert_eq!(m["gauges"]["slo.budget_exhausted.acme"], 0);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_serve_prometheus_exposition_on_request() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    register_sales(addr, "acme");
+    let (status, v) = run_query(addr, "acme", CHART_QUESTION);
+    assert_eq!(status, 200, "{v}");
+
+    // Default stays JSON, and the profile endpoint's latency histogram
+    // is pre-registered like every other endpoint's.
+    let (status, head, body) = get(addr, "/v1/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header_value(&head, "content-type").as_deref(),
+        Some("application/json")
+    );
+    assert!(
+        json(&body)["histograms"]["server.latency.profile_us"].is_object(),
+        "{body}"
+    );
+
+    // ?format=prometheus switches to text exposition.
+    let (status, head, body) = get(addr, "/v1/metrics?format=prometheus");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header_value(&head, "content-type").as_deref(),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(
+        body.contains("# TYPE datalab_server_requests_metrics counter"),
+        "{body}"
+    );
+    assert!(
+        body.contains("# TYPE datalab_server_latency_query_us histogram"),
+        "{body}"
+    );
+    assert!(
+        body.contains("datalab_server_latency_query_us_bucket{le=\"+Inf\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("datalab_server_latency_query_us_count 1"),
+        "{body}"
+    );
+    assert!(body.contains("datalab_slo_tenants_tracked 1"), "{body}");
+    // The counting allocator is installed in this binary, so the
+    // republished alloc counters are live.
+    let alloc_line = body
+        .lines()
+        .find(|l| l.starts_with("datalab_alloc_bytes "))
+        .unwrap_or_else(|| panic!("no alloc counter in {body}"));
+    let bytes: u64 = alloc_line["datalab_alloc_bytes ".len()..]
+        .trim()
+        .parse()
+        .expect("numeric alloc counter");
+    assert!(bytes > 0);
+
+    // An Accept header naming openmetrics also selects the text format.
+    let (status, head, _) = send_raw(
+        addr,
+        b"GET /v1/metrics HTTP/1.1\r\nHost: t\r\nAccept: application/openmetrics-text\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header_value(&head, "content-type").as_deref(),
+        Some("text/plain; version=0.0.4")
+    );
+
+    // Unknown formats are a structured 400.
+    let (status, _, body) = get(addr, "/v1/metrics?format=xml");
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&body), "bad_request");
+    server.shutdown();
+}
+
+#[test]
+fn profile_endpoint_serves_wall_cpu_and_alloc_weightings() {
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+
+    // Nothing retained yet: an empty profile, still well-formed.
+    let (status, head, body) = get(addr, "/v1/profile");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header_value(&head, "content-type").as_deref(),
+        Some("text/plain")
+    );
+    assert!(body.is_empty(), "{body}");
+
+    register_sales(addr, "acme");
+    let (status, v) = run_query(addr, "acme", CHART_QUESTION);
+    assert_eq!(status, 200, "{v}");
+
+    // The first completed query is always retained (sampled + slowest),
+    // so the wall profile now folds its span tree: every stack starts at
+    // the query root and weights are positive integers.
+    let (status, _, wall) = get(addr, "/v1/profile?weight=wall");
+    assert_eq!(status, 200);
+    assert!(!wall.is_empty(), "empty wall profile");
+    for line in wall.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("stack + weight");
+        assert!(stack.starts_with("query"), "{line}");
+        assert!(weight.parse::<u64>().expect("numeric weight") > 0, "{line}");
+    }
+
+    // Alloc weighting is live because this binary installs the counting
+    // allocator; the default (no param) matches explicit wall.
+    let (status, _, alloc) = get(addr, "/v1/profile?weight=alloc");
+    assert_eq!(status, 200);
+    assert!(!alloc.is_empty(), "empty alloc profile");
+    let (_, _, default_weight) = get(addr, "/v1/profile");
+    assert_eq!(default_weight, wall);
+
+    // CPU weighting always answers 200; the body is non-empty exactly
+    // where a thread CPU clock exists (Linux/macOS — including CI).
+    let (status, _, _cpu) = get(addr, "/v1/profile?weight=cpu");
+    assert_eq!(status, 200);
+
+    // Unknown weights are a structured 400.
+    let (status, _, body) = get(addr, "/v1/profile?weight=rss");
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&body), "bad_request");
+    server.shutdown();
+}
+
+#[test]
+fn slo_gauge_cardinality_is_capped_and_stale_tenants_evicted() {
+    let server = boot(ServerConfig {
+        slo_max_tenants: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    register_sales(addr, "alpha");
+    let (status, v) = run_query(addr, "alpha", CHART_QUESTION);
+    assert_eq!(status, 200, "{v}");
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["gauges"]["slo.availability_burn_fast_pm.alpha"].is_i64()
+            || m["gauges"]["slo.availability_burn_fast_pm.alpha"].is_u64(),
+        "{metrics}"
+    );
+    assert_eq!(m["gauges"]["slo.tenants_tracked"], 1);
+
+    // A busier tenant takes the single export slot; alpha's gauges are
+    // evicted rather than left stale, but alpha still appears in full
+    // on /v1/health and in the uncapped tracked count.
+    register_sales(addr, "beta");
+    for _ in 0..2 {
+        let (status, v) = run_query(addr, "beta", CHART_QUESTION);
+        assert_eq!(status, 200, "{v}");
+    }
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["gauges"]["slo.availability_burn_fast_pm.beta"].is_number(),
+        "{metrics}"
+    );
+    assert!(
+        m["gauges"]["slo.availability_burn_fast_pm.alpha"].is_null(),
+        "alpha gauges survived eviction: {metrics}"
+    );
+    assert!(
+        m["gauges"]["slo.budget_exhausted.alpha"].is_null(),
+        "{metrics}"
+    );
+    assert_eq!(m["gauges"]["slo.tenants_tracked"], 2);
+    let (_, _, health) = get(addr, "/v1/health");
+    let h = json(&health);
+    assert!(h["slo"]["alpha"].is_object(), "{health}");
+    assert!(h["slo"]["beta"].is_object(), "{health}");
+
+    // Per-tenant breaker gauges are unaffected by the SLO cap.
+    assert!(
+        m["gauges"]["llm.breaker.state.alpha"].is_number(),
+        "{metrics}"
+    );
     server.shutdown();
 }
 

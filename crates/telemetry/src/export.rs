@@ -57,7 +57,8 @@ fn push_chrome_events(node: &SpanNode, events: &mut Vec<String>) {
 }
 
 /// Serialises one span subtree as nested JSON
-/// (`{"name", "start_us", "dur_us", "attrs", "children"}`).
+/// (`{"name", "start_us", "dur_us", "cpu_us", "allocs", "alloc_bytes",
+/// "attrs", "children"}`).
 pub fn span_json(node: &SpanNode) -> String {
     let attrs: Vec<String> = node
         .attrs
@@ -66,10 +67,13 @@ pub fn span_json(node: &SpanNode) -> String {
         .collect();
     let children: Vec<String> = node.children.iter().map(span_json).collect();
     format!(
-        "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"attrs\":{{{}}},\"children\":[{}]}}",
+        "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"cpu_us\":{},\"allocs\":{},\"alloc_bytes\":{},\"attrs\":{{{}}},\"children\":[{}]}}",
         json_escape(&node.name),
         node.start_us,
         node.dur_us,
+        node.cpu_us,
+        node.allocs,
+        node.alloc_bytes,
         attrs.join(","),
         children.join(",")
     )
@@ -148,6 +152,56 @@ pub fn metrics_text(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Maps a dotted metric name onto the Prometheus name charset:
+/// everything outside `[a-zA-Z0-9_]` becomes `_`, and the whole name is
+/// prefixed `datalab_` (which also guards against leading digits).
+/// Distinct dotted names can collide after sanitisation (`a.b` / `a_b`);
+/// the registry's naming convention never does.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("datalab_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (`# TYPE` metadata plus sample lines), so `GET /v1/metrics` is
+/// scrapeable by standard tooling. Histograms emit the full cumulative
+/// `_bucket{le="..."}` series (the registry's upper-inclusive bounds map
+/// directly onto Prometheus `le` semantics) plus `_sum` and `_count`.
+pub fn metrics_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (slot, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts.get(slot).copied().unwrap_or(0);
+            out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{n}_bucket{{le=\"+Inf\"}} {count}\n{n}_sum {sum}\n{n}_count {count}\n",
+            count = h.count,
+            sum = h.sum
+        ));
+    }
+    out
+}
+
 /// Serialises one flight-record event as JSON
 /// (`{"seq", "at_us", "kind", "detail"}`, plus `"trace"` when the event
 /// was recorded under an active request trace).
@@ -188,11 +242,17 @@ mod tests {
             name: "query".into(),
             start_us: 5,
             dur_us: 100,
+            cpu_us: 60,
+            allocs: 12,
+            alloc_bytes: 768,
             attrs: vec![("q".into(), "say \"hi\"\n".into())],
             children: vec![SpanNode {
                 name: "plan".into(),
                 start_us: 10,
                 dur_us: 20,
+                cpu_us: 0,
+                allocs: 0,
+                alloc_bytes: 0,
                 attrs: vec![],
                 children: vec![],
             }],
@@ -223,6 +283,49 @@ mod tests {
     fn span_json_nests_children() {
         let json = span_json(&node());
         assert!(json.contains("\"children\":[{\"name\":\"plan\""), "{json}");
+        assert!(json.contains("\"cpu_us\":60"), "{json}");
+        assert!(json.contains("\"allocs\":12"), "{json}");
+        assert!(json.contains("\"alloc_bytes\":768"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_instrument_kinds() {
+        let m = MetricsRegistry::new();
+        m.incr("llm.calls", 2);
+        m.gauge_set("server.queue.depth", 5);
+        m.histogram_with_buckets("server.latency.query_us", &[10, 100]);
+        m.observe("server.latency.query_us", 7);
+        m.observe("server.latency.query_us", 50);
+        m.observe("server.latency.query_us", 500);
+        let text = metrics_prometheus(&m.snapshot());
+        assert!(
+            text.contains("# TYPE datalab_llm_calls counter\ndatalab_llm_calls 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "# TYPE datalab_server_queue_depth gauge\ndatalab_server_queue_depth 5\n"
+            ),
+            "{text}"
+        );
+        // Cumulative buckets: le="10" holds 1, le="100" holds 2, +Inf 3.
+        assert!(text.contains("# TYPE datalab_server_latency_query_us histogram"));
+        assert!(text.contains("datalab_server_latency_query_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("datalab_server_latency_query_us_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("datalab_server_latency_query_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("datalab_server_latency_query_us_sum 557\n"));
+        assert!(text.contains("datalab_server_latency_query_us_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitised() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("slo.availability_burn_fast_pm.tenant-a", 3);
+        let text = metrics_prometheus(&m.snapshot());
+        assert!(
+            text.contains("datalab_slo_availability_burn_fast_pm_tenant_a 3\n"),
+            "{text}"
+        );
     }
 
     #[test]

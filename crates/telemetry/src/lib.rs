@@ -26,6 +26,7 @@ mod context;
 mod events;
 mod export;
 mod metrics;
+mod profile;
 mod slo;
 mod span;
 mod summary;
@@ -37,10 +38,16 @@ pub use events::{
     MAX_EVENT_DETAIL_BYTES,
 };
 pub use export::{
-    chrome_trace_json, event_json, json_escape, metrics_json, metrics_text, span_json,
+    chrome_trace_json, event_json, json_escape, metrics_json, metrics_prometheus, metrics_text,
+    span_json,
 };
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS,
+};
+pub use profile::{
+    allocator_installed, folded_stacks, folded_total, global_alloc_stats, publish_alloc_metrics,
+    resource_stamp, thread_alloc_stats, thread_cpu_time_us, AllocStats, CountingAlloc,
+    ProfileWeight, ResourceStamp, ALLOC_BYTES_BUCKETS, ALLOC_COUNT_BUCKETS,
 };
 pub use slo::{burn_rate, SloTargets, SloTracker, SloWindows, TenantSlo, WindowSli};
 pub use span::{SpanGuard, SpanNode, Tracer};
@@ -185,6 +192,7 @@ impl Telemetry {
 
     fn scoped(&self, span_name: &str, scope_name: &str, kind: ScopeKind) -> ScopeGuard {
         let span = self.span(span_name);
+        let start_res = resource_stamp();
         let mut state = self.state.lock().expect("telemetry lock");
         let id = state.next_scope_id;
         state.next_scope_id += 1;
@@ -194,6 +202,9 @@ impl Telemetry {
             telemetry: self.clone(),
             span,
             scope_id: id,
+            scope_name: scope_name.to_string(),
+            kind,
+            start_res,
         }
     }
 
@@ -271,8 +282,10 @@ impl Telemetry {
     }
 
     /// Current metrics + attribution as one JSON object (see
-    /// [`metrics_json`]).
+    /// [`metrics_json`]). Allocator totals are refreshed into `alloc.*`
+    /// instruments first, so snapshots always carry current counts.
     pub fn snapshot_json(&self) -> String {
+        publish_alloc_metrics(&self.metrics);
         metrics_json(&self.metrics.snapshot(), &self.attribution())
     }
 }
@@ -304,12 +317,16 @@ pub fn attribution_delta(
 }
 
 /// RAII guard for a stage or agent scope: closes both the span and the
-/// attribution scope on drop.
+/// attribution scope on drop, and feeds the scope's resource consumption
+/// into per-stage profiling histograms.
 #[derive(Debug)]
 pub struct ScopeGuard {
     telemetry: Telemetry,
     span: SpanGuard,
     scope_id: u64,
+    scope_name: String,
+    kind: ScopeKind,
+    start_res: ResourceStamp,
 }
 
 impl ScopeGuard {
@@ -323,6 +340,31 @@ impl ScopeGuard {
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         self.telemetry.close_scope(self.scope_id);
+        // Per-stage resource histograms (stages only: agent scopes nest
+        // inside stages and would double-count; their consumption is
+        // still on their own spans). Allocation histograms only appear
+        // when a counting allocator is live, so binaries that skip it
+        // don't export rows of zeros.
+        if self.kind == ScopeKind::Stage {
+            let end_res = resource_stamp();
+            let (cpu_us, allocs, alloc_bytes) = end_res.since(&self.start_res);
+            let metrics = &self.telemetry.metrics;
+            if end_res.cpu_us.is_some() {
+                metrics.observe(&format!("cpu.stage_us.{}", self.scope_name), cpu_us);
+            }
+            if allocator_installed() {
+                metrics.observe_with_buckets(
+                    &format!("alloc.stage_bytes.{}", self.scope_name),
+                    alloc_bytes,
+                    ALLOC_BYTES_BUCKETS,
+                );
+                metrics.observe_with_buckets(
+                    &format!("alloc.stage_allocs.{}", self.scope_name),
+                    allocs,
+                    ALLOC_COUNT_BUCKETS,
+                );
+            }
+        }
         // self.span drops afterwards and closes the span itself.
     }
 }
@@ -524,6 +566,37 @@ mod tests {
         let clone = t.clone();
         clone.set_trace(Some(TraceId::parse("req-2").unwrap()));
         assert_eq!(t.current_trace().unwrap().as_str(), "req-2");
+    }
+
+    #[test]
+    fn stage_scopes_feed_cpu_histograms_where_the_clock_exists() {
+        let t = Telemetry::new();
+        {
+            let _s = t.stage("execute");
+        }
+        {
+            let _s = t.stage("execute");
+        }
+        if thread_cpu_time_us().is_some() {
+            let h = t.metrics().histogram("cpu.stage_us.execute").unwrap();
+            assert_eq!(h.count, 2);
+        } else {
+            assert!(t.metrics().histogram("cpu.stage_us.execute").is_none());
+        }
+        // Agent scopes never observe stage histograms.
+        {
+            let _a = t.agent_scope("sql_agent");
+        }
+        assert!(t.metrics().histogram("cpu.stage_us.sql_agent").is_none());
+    }
+
+    #[test]
+    fn snapshot_json_carries_alloc_instruments() {
+        let t = Telemetry::new();
+        let json = t.snapshot_json();
+        // Always present (zero when no counting allocator is installed).
+        assert!(json.contains("\"alloc.allocs\":"), "{json}");
+        assert!(json.contains("\"alloc.live_bytes\":"), "{json}");
     }
 
     #[test]

@@ -38,11 +38,13 @@ impl Histogram {
     }
 
     fn observe(&self, value: u64) {
-        let slot = self
-            .bounds
-            .iter()
-            .position(|b| value <= *b)
-            .unwrap_or(self.bounds.len());
+        // Binary search over the sorted, upper-inclusive bounds: the
+        // target slot is the first bound >= value, i.e. the count of
+        // bounds strictly below it. Values above every bound land at
+        // `bounds.len()` — the overflow slot. This runs on every
+        // hot-path observation, so O(log n) beats the linear scan even
+        // at the default 18 buckets.
+        let slot = self.bounds.partition_point(|b| *b < value);
         self.counts[slot].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
@@ -204,6 +206,15 @@ impl MetricsRegistry {
             .fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Stores an absolute value into the named counter, creating it
+    /// first. For mirroring monotone totals accumulated *outside* the
+    /// registry (e.g. the process-wide allocator counters) into it at
+    /// scrape time; prefer [`MetricsRegistry::incr`] for totals the
+    /// registry itself owns.
+    pub fn counter_set(&self, name: &str, value: u64) {
+        self.counter_handle(name).store(value, Ordering::Relaxed);
+    }
+
     /// Current value of the named counter (0 when it never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -237,6 +248,17 @@ impl MetricsRegistry {
         self.gauge_handle(name).store(value, Ordering::Relaxed);
     }
 
+    /// Drops every gauge whose name fails the predicate. Callers holding
+    /// a handle to a removed gauge keep a working (but orphaned) atomic;
+    /// the gauge simply stops appearing in snapshots. Used to evict
+    /// stale per-tenant instruments so label cardinality stays bounded.
+    pub fn retain_gauges<F: FnMut(&str) -> bool>(&self, mut keep: F) {
+        self.gauges
+            .write()
+            .expect("metrics lock")
+            .retain(|name, _| keep(name));
+    }
+
     /// Current value of the named gauge (0 when it was never touched).
     pub fn gauge(&self, name: &str) -> i64 {
         self.gauges
@@ -265,6 +287,29 @@ impl MetricsRegistry {
                 Arc::clone(
                     w.entry(name.to_string())
                         .or_insert_with(|| Arc::new(Histogram::new(DEFAULT_BUCKETS))),
+                )
+            }
+        };
+        h.observe(value);
+    }
+
+    /// Records `value` into the named histogram, creating it with the
+    /// given upper-inclusive bounds on first use (an existing histogram
+    /// keeps its original bounds).
+    pub fn observe_with_buckets(&self, name: &str, value: u64, bounds: &[u64]) {
+        let existing = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(Arc::clone);
+        let h = match existing {
+            Some(h) => h,
+            None => {
+                let mut w = self.histograms.write().expect("metrics lock");
+                Arc::clone(
+                    w.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new(bounds))),
                 )
             }
         };
@@ -465,6 +510,69 @@ mod tests {
         assert_eq!(s.p50(), 900);
         assert_eq!(s.p99(), 900);
         assert!(s.p50() > *s.bounds.last().unwrap());
+    }
+
+    #[test]
+    fn bucket_selection_matches_the_linear_scan() {
+        // The binary search must agree with the obvious linear reference
+        // on boundaries, interior values, and overflow.
+        let bounds: Vec<u64> = DEFAULT_BUCKETS.to_vec();
+        for value in [
+            0u64,
+            1,
+            2,
+            3,
+            999,
+            1_000,
+            1_001,
+            999_999,
+            1_000_000,
+            u64::MAX,
+        ] {
+            let linear = bounds
+                .iter()
+                .position(|b| value <= *b)
+                .unwrap_or(bounds.len());
+            let binary = bounds.partition_point(|b| *b < value);
+            assert_eq!(binary, linear, "value {value}");
+        }
+    }
+
+    #[test]
+    fn counter_set_mirrors_external_totals() {
+        let m = MetricsRegistry::new();
+        m.counter_set("alloc.bytes", 4_096);
+        assert_eq!(m.counter("alloc.bytes"), 4_096);
+        m.counter_set("alloc.bytes", 8_192);
+        assert_eq!(m.counter("alloc.bytes"), 8_192);
+    }
+
+    #[test]
+    fn retain_gauges_evicts_by_name() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("slo.budget_exhausted.alpha", 1);
+        m.gauge_set("slo.budget_exhausted.beta", 0);
+        m.gauge_set("server.queue.depth", 3);
+        m.retain_gauges(|name| !name.ends_with(".alpha"));
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["server.queue.depth", "slo.budget_exhausted.beta"]
+        );
+        // Re-creating an evicted gauge starts from zero.
+        assert_eq!(m.gauge("slo.budget_exhausted.alpha"), 0);
+    }
+
+    #[test]
+    fn observe_with_buckets_registers_on_first_use_only() {
+        let m = MetricsRegistry::new();
+        m.observe_with_buckets("bytes", 3_000, &[1_024, 4_096]);
+        // Later bounds are ignored: the histogram keeps its shape.
+        m.observe_with_buckets("bytes", 5_000, &[1]);
+        let s = m.histogram("bytes").unwrap();
+        assert_eq!(s.bounds, vec![1_024, 4_096]);
+        assert_eq!(s.counts, vec![0, 1, 1]);
     }
 
     #[test]

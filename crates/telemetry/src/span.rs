@@ -5,6 +5,7 @@
 //! early return; [`Tracer::drain_trace`] gracefully closes anything still
 //! open (e.g. after a panic unwound past a guard).
 
+use crate::profile::{resource_stamp, ResourceStamp};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -16,6 +17,16 @@ struct SpanRecord {
     parent: Option<u64>,
     start_us: u64,
     dur_us: Option<u64>,
+    /// Resource counters read at span open on the opening thread.
+    start_res: ResourceStamp,
+    /// Thread CPU time consumed over the span (0 until closed, or when
+    /// the span closed off-thread / the target has no thread CPU clock).
+    cpu_us: u64,
+    /// Allocations counted over the span (0 unless a counting allocator
+    /// is installed; see `crate::profile`).
+    allocs: u64,
+    /// Bytes allocated over the span.
+    alloc_bytes: u64,
     attrs: Vec<(String, String)>,
 }
 
@@ -70,6 +81,7 @@ impl Tracer {
     /// The span closes (records its duration) when the guard drops.
     pub fn span(&self, name: &str) -> SpanGuard {
         let start_us = self.now_us();
+        let start_res = resource_stamp();
         let mut arena = self.inner.arena.lock().expect("tracer lock");
         let id = arena.next_id;
         arena.next_id += 1;
@@ -80,6 +92,10 @@ impl Tracer {
             parent,
             start_us,
             dur_us: None,
+            start_res,
+            cpu_us: 0,
+            allocs: 0,
+            alloc_bytes: 0,
             attrs: Vec::new(),
         });
         arena.stack.push(id);
@@ -112,12 +128,22 @@ impl Tracer {
         build_forest(records, now)
     }
 
-    fn close(&self, id: u64) {
+    /// Closes the span. `end_res` carries the closing thread's resource
+    /// counters: guards pass a fresh stamp (open and close happen on the
+    /// span's own thread, so the delta is meaningful); `drain_trace`
+    /// passes `None` and the span keeps zero resource attribution.
+    fn close(&self, id: u64, end_res: Option<ResourceStamp>) {
         let now = self.now_us();
         let mut arena = self.inner.arena.lock().expect("tracer lock");
         if let Some(rec) = arena.records.iter_mut().rev().find(|r| r.id == id) {
             if rec.dur_us.is_none() {
                 rec.dur_us = Some(now.saturating_sub(rec.start_us));
+                if let Some(end) = end_res {
+                    let (cpu_us, allocs, alloc_bytes) = end.since(&rec.start_res);
+                    rec.cpu_us = cpu_us;
+                    rec.allocs = allocs;
+                    rec.alloc_bytes = alloc_bytes;
+                }
             }
         }
         arena.stack.retain(|open| *open != id);
@@ -148,7 +174,10 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        self.tracer.close(self.id);
+        // The stamp is read before taking the arena lock so lock wait
+        // never counts as span CPU time.
+        let end_res = resource_stamp();
+        self.tracer.close(self.id, Some(end_res));
     }
 }
 
@@ -161,6 +190,14 @@ pub struct SpanNode {
     pub start_us: u64,
     /// Wall-clock duration, microseconds.
     pub dur_us: u64,
+    /// Thread CPU time consumed while the span was open (0 when the
+    /// target has no thread CPU clock or the span was drain-closed).
+    pub cpu_us: u64,
+    /// Allocations counted while the span was open (0 unless the
+    /// counting allocator is installed in this binary).
+    pub allocs: u64,
+    /// Bytes allocated while the span was open.
+    pub alloc_bytes: u64,
     /// Key/value attributes in attachment order.
     pub attrs: Vec<(String, String)>,
     /// Child spans in creation order.
@@ -248,6 +285,9 @@ fn build_forest(records: Vec<SpanRecord>, now_us: u64) -> Vec<SpanNode> {
             name: rec.name.clone(),
             start_us: rec.start_us,
             dur_us,
+            cpu_us: rec.cpu_us,
+            allocs: rec.allocs,
+            alloc_bytes: rec.alloc_bytes,
             attrs: rec.attrs.clone(),
             children: children_of
                 .get(&rec.id)
@@ -342,6 +382,23 @@ mod tests {
         let forest = t.drain_trace();
         let names: Vec<&str> = forest.iter().map(|n| n.name.as_str()).collect();
         assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn drain_closed_spans_have_zero_resource_attribution() {
+        let t = Tracer::new();
+        {
+            let _closed = t.span("closed_by_guard");
+        }
+        let _open = t.span("left_open");
+        let forest = t.drain_trace();
+        // The drain may run on any thread, so a span it force-closes
+        // gets no CPU/alloc attribution rather than a bogus cross-thread
+        // delta.
+        let open = forest.iter().find(|n| n.name == "left_open").unwrap();
+        assert_eq!(open.cpu_us, 0);
+        assert_eq!(open.allocs, 0);
+        assert_eq!(open.alloc_bytes, 0);
     }
 
     #[test]

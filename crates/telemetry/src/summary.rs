@@ -148,12 +148,18 @@ mod tests {
                 name: "query".into(),
                 start_us: 0,
                 dur_us: 50,
+                cpu_us: 0,
+                allocs: 0,
+                alloc_bytes: 0,
                 attrs: vec![],
                 children: vec![
                     SpanNode {
                         name: "rewrite".into(),
                         start_us: 1,
                         dur_us: 10,
+                        cpu_us: 0,
+                        allocs: 0,
+                        alloc_bytes: 0,
                         attrs: vec![],
                         children: vec![],
                     },
@@ -161,6 +167,9 @@ mod tests {
                         name: "execute".into(),
                         start_us: 12,
                         dur_us: 30,
+                        cpu_us: 0,
+                        allocs: 0,
+                        alloc_bytes: 0,
                         attrs: vec![],
                         children: vec![],
                     },

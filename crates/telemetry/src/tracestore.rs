@@ -231,6 +231,19 @@ impl TraceStore {
             .cloned()
     }
 
+    /// Clones the span forests of every retained trace, oldest first —
+    /// the input for collapsed-stack profile aggregation over whatever
+    /// the tail sampler kept (`GET /v1/profile`). Bounded by the store
+    /// capacity, so the copy is as bounded as the store itself.
+    pub fn span_forest(&self) -> Vec<SpanNode> {
+        let state = self.state.lock().expect("trace store lock");
+        state
+            .retained
+            .iter()
+            .flat_map(|t| t.record.spans.iter().cloned())
+            .collect()
+    }
+
     /// Retained traces, newest first, optionally filtered by tenant
     /// and/or outcome, truncated to `limit`. Span trees and events are
     /// *not* cloned — this is the cheap listing read.
@@ -304,6 +317,29 @@ mod tests {
             spans: Vec::new(),
             events: Vec::new(),
         }
+    }
+
+    #[test]
+    fn span_forest_concatenates_retained_traces_oldest_first() {
+        let store = TraceStore::default();
+        assert!(store.span_forest().is_empty());
+        for (id, dur) in [("a", 100), ("b", 200)] {
+            let mut r = record(id, false, dur);
+            r.spans.push(SpanNode {
+                name: format!("query-{id}"),
+                start_us: 0,
+                dur_us: dur,
+                cpu_us: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+                attrs: vec![],
+                children: vec![],
+            });
+            store.offer(r);
+        }
+        let forest = store.span_forest();
+        let names: Vec<&str> = forest.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["query-a", "query-b"]);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::insight::dabench_like;
 use crate::nl2code::ds1000_like;
 use crate::nl2sql::spider_like;
 use crate::nl2vis::nvbench_like;
-use datalab_core::{DataLab, DataLabConfig, FleetReport, RequestContext, RunRecorder, TraceId};
+use datalab_core::{
+    DataLab, DataLabConfig, FleetReport, RequestContext, RunRecord, RunRecorder, TraceId,
+};
 use datalab_llm::ChaosConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -170,21 +172,30 @@ pub(crate) fn task_context(workload: &str, domain_idx: usize, task_idx: usize) -
 /// isolated platform whose outputs depend only on its own prompt history,
 /// and the sharded executor merges records in serial order.
 pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    run_fleet_with_records(config).0
+}
+
+/// Like [`run_fleet`], but also hands back the raw run records so callers
+/// can post-process beyond the aggregated report — the `fleet_report`
+/// binary folds their span trees into collapsed-stack profiles
+/// (`datalab_core::folded_profile`) for flamegraph rendering.
+pub fn run_fleet_with_records(config: &FleetConfig) -> (FleetReport, Vec<RunRecord>) {
     let started = Instant::now();
     let sets = generate_workloads(config);
     let session_config = lab_config(config);
-    let mut report = if config.workers > 1 {
+    let records = if config.workers > 1 {
         crate::parallel::run_fleet_sharded(&sets, config.workers, &session_config)
     } else {
         let mut recorder = RunRecorder::new();
         for set in &sets {
             run_tasks(&mut recorder, set, &session_config);
         }
-        recorder.report()
+        recorder.into_records()
     };
+    let mut report = FleetReport::from_records(&records);
     report.wall_clock_us = started.elapsed().as_micros() as u64;
     report.workers = config.workers.max(1) as u64;
-    report
+    (report, records)
 }
 
 #[cfg(test)]

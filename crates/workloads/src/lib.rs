@@ -27,4 +27,4 @@ pub mod parallel;
 pub use chaos::{render_sweep, run_chaos_sweep, ChaosPoint};
 pub use corpus::{request_corpus, CorpusRequest, CorpusTable, RequestCorpus};
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};
-pub use fleet::{run_fleet, FleetConfig};
+pub use fleet::{run_fleet, run_fleet_with_records, FleetConfig};

@@ -19,7 +19,7 @@
 
 use crate::data::Domain;
 use crate::fleet::{lab_for_domain, WorkloadSet};
-use datalab_core::{DataLabConfig, FleetReport, RunRecord, RunRecorder};
+use datalab_core::{DataLabConfig, RunRecord, RunRecorder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -75,8 +75,8 @@ fn run_shard(shard: &Shard<'_>, session_config: &DataLabConfig) -> Vec<RunRecord
 }
 
 /// Runs the fleet across `workers` threads and merges the per-shard
-/// records into a report identical (modulo wall-clock fields) to the
-/// serial runner's.
+/// records in an order identical to the serial runner's, so the report
+/// folded from them matches serial output modulo wall-clock fields.
 ///
 /// Scheduling is work-stealing over an atomic shard cursor: threads pull
 /// the next unclaimed shard index until none remain, and each finished
@@ -86,7 +86,7 @@ pub(crate) fn run_fleet_sharded(
     sets: &[WorkloadSet],
     workers: usize,
     session_config: &DataLabConfig,
-) -> FleetReport {
+) -> Vec<RunRecord> {
     let shards = shards(sets);
     let slots: Vec<Mutex<Vec<RunRecord>>> =
         (0..shards.len()).map(|_| Mutex::new(Vec::new())).collect();
@@ -108,13 +108,14 @@ pub(crate) fn run_fleet_sharded(
     for slot in slots {
         recorder.absorb(slot.into_inner().expect("shard slot lock"));
     }
-    recorder.report()
+    recorder.into_records()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fleet::{generate_workloads, run_fleet, FleetConfig};
+    use datalab_core::FleetReport;
 
     fn config(workers: usize) -> FleetConfig {
         FleetConfig {
@@ -185,8 +186,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_shards_yields_empty_report() {
-        let report = run_fleet_sharded(&[], 4, &DataLabConfig::default());
-        assert_eq!(report.runs, 0);
+    fn zero_shards_yields_no_records() {
+        let records = run_fleet_sharded(&[], 4, &DataLabConfig::default());
+        assert!(records.is_empty());
+        assert_eq!(FleetReport::from_records(&records).runs, 0);
     }
 }

@@ -6,9 +6,12 @@
 //! ```
 //!
 //! Gated metrics: `tokens.total`, `llm.calls`, whole-query p99 latency,
-//! and the p99 latency of every stage present in both reports. The
-//! default threshold is 10%. Exit codes: 0 = within threshold, 1 = at
-//! least one regression, 2 = usage or parse error.
+//! per-query allocation count and bytes (`alloc.count_per_query`,
+//! `alloc.bytes_per_query` — zero baselines are skipped, grandfathering
+//! reports that predate allocation accounting), and the p99 latency of
+//! every stage present in both reports. The default threshold is 10%.
+//! Exit codes: 0 = within threshold, 1 = at least one regression, 2 =
+//! usage or parse error.
 
 use datalab_core::{diff_reports, FleetReport};
 use std::process::ExitCode;
@@ -68,6 +71,14 @@ fn main() -> ExitCode {
     println!(
         "  latency.p99_us  {:>10} -> {:>10}",
         baseline.latency.p99_us, candidate.latency.p99_us
+    );
+    println!(
+        "  alloc.count/q   {:>10} -> {:>10}",
+        baseline.alloc.count_per_query, candidate.alloc.count_per_query
+    );
+    println!(
+        "  alloc.bytes/q   {:>10} -> {:>10}",
+        baseline.alloc.bytes_per_query, candidate.alloc.bytes_per_query
     );
 
     let regressions = diff_reports(&baseline, &candidate, threshold_pct);

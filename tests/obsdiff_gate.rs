@@ -1,8 +1,8 @@
 //! Exit-code contract of the `obsdiff` regression gate: identical
-//! reports pass, an inflated `tokens.total` fails, unreadable input is a
-//! usage error.
+//! reports pass, an inflated `tokens.total` or `alloc.bytes_per_query`
+//! fails, unreadable input is a usage error.
 
-use datalab::core::{FleetReport, LatencyStats, LlmTotals, TokenTotals};
+use datalab::core::{AllocTotals, FleetReport, LatencyStats, LlmTotals, TokenTotals};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -36,6 +36,12 @@ fn sample_report() -> FleetReport {
             p90_us: 1600,
             p99_us: 2000,
             max_us: 2100,
+        },
+        alloc: AllocTotals {
+            allocs: 4_000_000,
+            bytes: 400_000_000,
+            count_per_query: 1_000_000,
+            bytes_per_query: 100_000_000,
         },
         ..FleetReport::default()
     }
@@ -79,6 +85,39 @@ fn inflated_tokens_exit_nonzero() {
     assert!(out.status.success());
     std::fs::remove_file(base).ok();
     std::fs::remove_file(cand).ok();
+}
+
+#[test]
+fn inflated_alloc_bytes_per_query_exit_nonzero() {
+    // The acceptance scenario for allocation gating: +20% per-query
+    // bytes against a clean baseline must fail the default 10% gate.
+    let baseline = sample_report();
+    let mut inflated = sample_report();
+    inflated.alloc.bytes_per_query = baseline.alloc.bytes_per_query * 12 / 10;
+    let base = write_report("alloc_base", &baseline);
+    let cand = write_report("alloc_cand", &inflated);
+    let out = obsdiff(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REGRESSION alloc.bytes_per_query"),
+        "{stdout}"
+    );
+
+    // A pre-profiling baseline (zero alloc block) never gates alloc:
+    // the same inflated candidate passes against it.
+    let mut legacy = sample_report();
+    legacy.alloc = AllocTotals::default();
+    let legacy_base = write_report("alloc_legacy_base", &legacy);
+    let out = obsdiff(&[legacy_base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_file(base).ok();
+    std::fs::remove_file(cand).ok();
+    std::fs::remove_file(legacy_base).ok();
 }
 
 #[test]
