@@ -319,6 +319,38 @@ impl DataLab {
         &self.db
     }
 
+    /// The session's rewritten-query history, oldest first. Together
+    /// with [`DataLab::export_tables`], [`DataLab::export_knowledge`],
+    /// and [`DataLab::export_notebook`] this is the session's durable
+    /// state: a persistence layer can capture all four and rebuild an
+    /// equivalent session with the matching restore calls.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// Replaces the rewritten-query history (restore path for a
+    /// persistence layer). History feeds the multi-round rewrite stage,
+    /// so restoring it keeps follow-up queries ("what about west")
+    /// resolving the same way they would have in the original session.
+    pub fn restore_history(&mut self, history: Vec<String>) {
+        self.history = history;
+    }
+
+    /// Every registered table as `(name, csv_text)` in registration
+    /// order. Re-registering the CSVs via [`DataLab::register_csv`]
+    /// reproduces the catalog *and* the profile lines (profiling is
+    /// deterministic), so a snapshot needs no separate profile state.
+    pub fn export_tables(&self) -> Vec<(String, String)> {
+        self.db
+            .table_names()
+            .iter()
+            .filter_map(|name| {
+                let df = self.db.get(name).ok()?;
+                Some((name.clone(), datalab_frame::csv::to_csv(df)))
+            })
+            .collect()
+    }
+
     /// Read access to the knowledge graph.
     pub fn knowledge_graph(&self) -> &KnowledgeGraph {
         &self.graph

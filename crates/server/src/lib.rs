@@ -12,6 +12,7 @@
 //! |----------------------|------------------------------------------------|
 //! | `POST /v1/query`     | Run a question in a tenant's session           |
 //! | `POST /v1/tables`    | Register a CSV table in a tenant's session     |
+//! | `GET /v1/tables`     | List a tenant's tables (row/column counts)     |
 //! | `GET /v1/health`     | Liveness, breakers, per-tenant SLO burn rates  |
 //! | `GET /v1/metrics`    | Full telemetry snapshot (counters/gauges/hist) |
 //! | `GET /v1/traces`     | Tail-sampled trace summaries (filterable)      |
@@ -35,8 +36,15 @@
 //! * **SLOs** — per-tenant availability and latency SLIs over fast and
 //!   slow sliding windows, with burn rates in `/v1/health` and gauge
 //!   form in `/v1/metrics`.
+//! * **Durability** — with a `data_dir` configured, tenant sessions are
+//!   backed by a per-tenant snapshot + write-ahead log
+//!   ([`datalab_store`]): mutations are write-through to the WAL, LRU
+//!   eviction syncs first, and a miss (or a restart) rebuilds the
+//!   session by restoring the snapshot and deterministically replaying
+//!   the log tail.
 //! * **Graceful shutdown** — [`Server::shutdown`] stops the acceptor and
-//!   drains queued and in-flight requests before returning.
+//!   drains queued and in-flight requests (then syncs every WAL) before
+//!   returning.
 //!
 //! ```no_run
 //! use datalab_server::{Server, ServerConfig};
@@ -57,6 +65,7 @@ pub mod server;
 pub mod store;
 
 pub use admission::{JobQueue, TenantGate, TenantPermit};
+pub use datalab_store::{DurabilityConfig, DurableStore, FsyncPolicy};
 pub use http::{read_request, HttpError, Request, Response};
 pub use json::{Json, JsonError};
 pub use server::{Server, ServerConfig, MAX_TENANT_LEN};

@@ -5,13 +5,22 @@
 //! cargo run -p datalab-server -- [--addr HOST:PORT] [--workers N]
 //!     [--queue N] [--per-tenant N] [--sessions N] [--shards N]
 //!     [--deadline-ms N] [--read-timeout-ms N] [--trace-seed N]
-//!     [--slo-max-tenants N]
+//!     [--slo-max-tenants N] [--data-dir PATH]
+//!     [--fsync always|interval|interval:MS|never] [--snapshot-every N]
 //! ```
+//!
+//! `--data-dir` turns on durable tenant state: every table registration
+//! and query is appended to a per-tenant write-ahead log and folded into
+//! periodic snapshots, so sessions survive eviction and process crashes.
+//! `--fsync` picks the durability/latency tradeoff (default `interval`:
+//! a background flusher syncs dirty logs every 100ms, so a hard crash
+//! loses at most that window of acknowledged writes — torn frames are
+//! detected and dropped on recovery regardless).
 //!
 //! Defaults match [`ServerConfig::default`] except the address, which
 //! pins to `127.0.0.1:8437` so `curl` examples work out of the box.
 
-use datalab_server::{Server, ServerConfig};
+use datalab_server::{FsyncPolicy, Server, ServerConfig};
 use datalab_telemetry::CountingAlloc;
 use std::process::ExitCode;
 
@@ -78,6 +87,19 @@ fn main() -> ExitCode {
                     .map(|n| config.slo_max_tenants = n)
                     .map_err(|e| format!("--slo-max-tenants: {e}"))
             }),
+            "--data-dir" => take("--data-dir").map(|v| config.data_dir = Some(v.into())),
+            "--fsync" => take("--fsync").and_then(|v| {
+                FsyncPolicy::parse(&v)
+                    .map(|policy| config.fsync = policy)
+                    .ok_or_else(|| {
+                        format!("--fsync: `{v}` (want always, interval, interval:MS, or never)")
+                    })
+            }),
+            "--snapshot-every" => take("--snapshot-every").and_then(|v| {
+                v.parse()
+                    .map(|n| config.snapshot_every = n)
+                    .map_err(|e| format!("--snapshot-every: {e}"))
+            }),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(e) = result {
@@ -85,7 +107,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: datalab-server [--addr HOST:PORT] [--workers N] [--queue N] \
                  [--per-tenant N] [--sessions N] [--shards N] [--deadline-ms N] \
-                 [--read-timeout-ms N] [--trace-seed N] [--slo-max-tenants N]"
+                 [--read-timeout-ms N] [--trace-seed N] [--slo-max-tenants N] \
+                 [--data-dir PATH] [--fsync always|interval|interval:MS|never] \
+                 [--snapshot-every N]"
             );
             return ExitCode::from(2);
         }

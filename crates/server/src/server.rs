@@ -25,15 +25,18 @@ use crate::admission::{JobQueue, TenantGate};
 use crate::http::{linger_close, read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::store::{SessionStore, StoreConfig};
-use datalab_core::{BreakerState, DataLabConfig, RequestContext, LATENCY_BUCKETS_US};
+use datalab_core::{BreakerState, DataLab, DataLabConfig, RequestContext, LATENCY_BUCKETS_US};
+use datalab_store::{DurabilityConfig, DurableStore, FsyncPolicy, SessionRecord, SessionState};
 use datalab_telemetry::{
     chrome_trace_json, event_json, folded_stacks, json_escape, metrics_prometheus,
-    publish_alloc_metrics, span_json, ProfileWeight, SloTargets, SloTracker, SloWindows, Telemetry,
-    TenantSlo, TraceId, TraceRecord, TraceStore, TraceStorePolicy, TraceSummary, WindowSli,
+    publish_alloc_metrics, span_json, EventKind, ProfileWeight, SloTargets, SloTracker, SloWindows,
+    SpanNode, Telemetry, TenantSlo, TraceId, TraceRecord, TraceStore, TraceStorePolicy,
+    TraceSummary, WindowSli,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -80,6 +83,17 @@ pub struct ServerConfig {
     pub slo_max_tenants: usize,
     /// Platform configuration for new tenant sessions.
     pub lab_config: DataLabConfig,
+    /// Root directory for durable tenant state (snapshot + WAL per
+    /// tenant). `None` keeps sessions memory-only: eviction and restarts
+    /// lose them, exactly as before durability existed.
+    pub data_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage (`always` syncs on the
+    /// request path; `interval` bounds loss to one flusher tick; `never`
+    /// trusts the page cache). Ignored without `data_dir`.
+    pub fsync: FsyncPolicy,
+    /// WAL records per tenant between automatic snapshots (0 disables
+    /// cadence snapshots). Ignored without `data_dir`.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +119,9 @@ impl Default for ServerConfig {
                 record_runs: false,
                 ..DataLabConfig::default()
             },
+            data_dir: None,
+            fsync: FsyncPolicy::Interval(datalab_store::DEFAULT_FSYNC_INTERVAL),
+            snapshot_every: 32,
         }
     }
 }
@@ -117,6 +134,7 @@ struct Job {
 struct ServerInner {
     config: ServerConfig,
     store: SessionStore,
+    durable: Option<Arc<DurableStore>>,
     queue: JobQueue<Job>,
     gate: Arc<TenantGate>,
     telemetry: Telemetry,
@@ -170,15 +188,37 @@ impl Server {
             telemetry.metrics().incr(name, 0);
         }
 
+        // Durable tenant state: opening the store also starts the
+        // interval flusher (when that policy is configured) and
+        // pre-registers the `store.*` metric taxonomy.
+        let durable = match &config.data_dir {
+            Some(dir) => {
+                telemetry
+                    .metrics()
+                    .histogram_with_buckets("server.recovery.latency_us", LATENCY_BUCKETS_US);
+                Some(DurableStore::open(
+                    dir.clone(),
+                    DurabilityConfig {
+                        fsync: config.fsync,
+                        snapshot_every: config.snapshot_every,
+                    },
+                    telemetry.clone(),
+                )?)
+            }
+            None => None,
+        };
+
         let store = SessionStore::new(
             StoreConfig {
                 capacity: config.session_capacity,
                 shards: config.session_shards,
                 lab_config: config.lab_config.clone(),
+                durable: durable.clone(),
             },
             telemetry.clone(),
         );
         let inner = Arc::new(ServerInner {
+            durable,
             queue: JobQueue::new(config.queue_capacity),
             gate: TenantGate::new(config.per_tenant_inflight),
             store,
@@ -226,6 +266,12 @@ impl Server {
         &self.inner.telemetry
     }
 
+    /// The durable store backing tenant sessions, when `data_dir` was
+    /// configured.
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.inner.durable.as_ref()
+    }
+
     /// Graceful shutdown: stop accepting, drain queued and in-flight
     /// requests, then join every thread.
     pub fn shutdown(mut self) {
@@ -245,6 +291,11 @@ impl Server {
         self.inner.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers are gone, so no appends can race this final sync:
+        // graceful shutdown loses nothing regardless of fsync policy.
+        if let Some(durable) = &self.inner.durable {
+            durable.flush_all();
         }
     }
 }
@@ -393,6 +444,10 @@ fn route(
         ("GET", path) if path.starts_with("/v1/traces/") => (
             "server.latency.traces_us",
             trace_detail(inner, &path["/v1/traces/".len()..], trace),
+        ),
+        ("GET", "/v1/tables") => (
+            "server.latency.tables_us",
+            tables_index(inner, request, trace),
         ),
         ("POST", "/v1/tables") => ("server.latency.tables_us", tables(inner, request, trace)),
         ("POST", "/v1/query") => (
@@ -755,6 +810,115 @@ fn parse_body(
     Ok((body, tenant))
 }
 
+/// Write-through to the durable store: appends `record` to the tenant's
+/// WAL and, when the snapshot cadence fires, captures the session's
+/// durable state and snapshots it (truncating the WAL). Must be called
+/// with the session lock held, so WAL order is execution order and the
+/// captured state reflects every appended record. Returns the fsync
+/// stall in microseconds when the policy synced on the request path.
+///
+/// Persistence failures (disk full, dead volume) degrade to memory-only
+/// serving: the request already succeeded against session state, so the
+/// client gets its answer while the failure lands in the metrics and
+/// the flight recorder.
+fn persist(
+    inner: &Arc<ServerInner>,
+    tenant: &str,
+    lab: &mut DataLab,
+    record: &SessionRecord,
+) -> Option<u64> {
+    let durable = inner.durable.as_ref()?;
+    let receipt = match durable.append(tenant, record) {
+        Ok(receipt) => receipt,
+        Err(e) => {
+            inner.telemetry.metrics().incr("store.append_failures", 1);
+            inner
+                .telemetry
+                .record_event(EventKind::PlatformError, format!("wal append: {e}"));
+            return None;
+        }
+    };
+    if receipt.snapshot_due {
+        let state = SessionState {
+            tables: lab.export_tables(),
+            knowledge_json: lab.export_knowledge().unwrap_or_default(),
+            notebook_json: lab.export_notebook(),
+            history: lab.history().to_vec(),
+        };
+        if let Err(e) = durable.snapshot(tenant, &state) {
+            inner.telemetry.metrics().incr("store.snapshot_failures", 1);
+            inner
+                .telemetry
+                .record_event(EventKind::PlatformError, format!("snapshot: {e}"));
+        }
+    }
+    receipt.fsync_stall_us
+}
+
+/// `GET /v1/tables?tenant=NAME`: the tenant's registered tables with
+/// row/column counts, in registration order. Serves from the resident
+/// session, recovering it from durable state first if it was evicted
+/// (or the server restarted).
+fn tables_index(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.tables", 1);
+    let fail = |detail: &str| {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        error_response(400, "bad_request", detail, trace)
+    };
+    let Some(tenant) = query_param(request.target.as_str(), "tenant") else {
+        return fail("missing query parameter `tenant`");
+    };
+    if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
+        return fail(&format!("`tenant` must be 1..={MAX_TENANT_LEN} bytes"));
+    }
+    if tenant.chars().any(|c| c.is_control()) {
+        return fail("`tenant` must not contain control characters");
+    }
+    // Only materialise a session for tenants that exist somewhere —
+    // resident in memory or recoverable from disk. Anything else would
+    // let listing probes fill the store with empty sessions.
+    let durable_has = inner
+        .durable
+        .as_ref()
+        .is_some_and(|durable| durable.has_tenant(tenant));
+    if !inner.store.contains(tenant) && !durable_has {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("no session or durable state for tenant `{tenant}`");
+        return error_response(404, "tenant_not_found", &detail, trace);
+    }
+    let session = inner.store.session(tenant);
+    let lab = session.lock().unwrap_or_else(|p| p.into_inner());
+    let db = lab.database();
+    let tables: Vec<String> = db
+        .table_names()
+        .iter()
+        .filter_map(|name| {
+            let df = db.get(name).ok()?;
+            Some(format!(
+                "{{\"name\":\"{}\",\"rows\":{},\"columns\":{}}}",
+                json_escape(name),
+                df.n_rows(),
+                df.schema().fields().len()
+            ))
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\":\"{}\",\"count\":{},\"tables\":[{}]}}",
+            json_escape(tenant),
+            tables.len(),
+            tables.join(",")
+        ),
+    )
+}
+
 fn tables(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
     inner.telemetry.metrics().incr("server.requests.tables", 1);
     let (body, tenant) = match parse_body(inner, request, trace) {
@@ -778,6 +942,15 @@ fn tables(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Respo
     let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
     match lab.register_csv(name, csv) {
         Ok(()) => {
+            persist(
+                inner,
+                &tenant,
+                &mut lab,
+                &SessionRecord::RegisterCsv {
+                    name: name.to_string(),
+                    csv: csv.to_string(),
+                },
+            );
             let rows = lab.database().get(name).map(|df| df.n_rows()).unwrap_or(0);
             Response::json(
                 200,
@@ -849,12 +1022,48 @@ fn query(
 
     let session = inner.store.session(&tenant);
     let ctx = RequestContext::traced(trace.clone());
-    let (response, breaker) = {
+    let (mut response, breaker, fsync_stall_us) = {
         let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
         let response = lab.query_with_context(&ctx, workload, question);
-        (response, lab.breaker_state())
+        // Persist while still holding the session lock: the WAL's
+        // record order is exactly the order queries executed in, which
+        // is what deterministic replay needs.
+        let fsync_stall_us = persist(
+            inner,
+            &tenant,
+            &mut lab,
+            &SessionRecord::Query {
+                workload: workload.to_string(),
+                question: question.to_string(),
+            },
+        );
+        let breaker = lab.breaker_state();
+        (response, breaker, fsync_stall_us)
     };
     let duration_us = arrived.elapsed().as_micros() as u64;
+
+    // Surface the WAL fsync stall (always-policy appends only) in this
+    // request's trace as a synthetic span, so durability cost shows up
+    // in `/v1/traces/:id` and the `/v1/profile` flamegraph next to the
+    // pipeline stages it taxed.
+    if let Some(stall_us) = fsync_stall_us {
+        let start_us = response
+            .telemetry
+            .spans
+            .last()
+            .map(|s| s.start_us + s.dur_us)
+            .unwrap_or(0);
+        response.telemetry.spans.push(SpanNode {
+            name: "store:fsync".to_string(),
+            start_us,
+            dur_us: stall_us,
+            cpu_us: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+            attrs: vec![("tenant".to_string(), tenant.clone())],
+            children: Vec::new(),
+        });
+    }
 
     // Attribute usage before the deadline check so even timed-out work
     // is billed to its tenant.

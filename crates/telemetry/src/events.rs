@@ -79,6 +79,9 @@ pub enum EventKind {
     /// A response was served by a rule-based fallback path (detail: the
     /// degraded roles).
     Degraded,
+    /// The session store evicted a tenant session to make room (detail:
+    /// the evicted tenant).
+    SessionEvicted,
 }
 
 impl EventKind {
@@ -99,6 +102,7 @@ impl EventKind {
         EventKind::TransportRetry,
         EventKind::BreakerTrip,
         EventKind::Degraded,
+        EventKind::SessionEvicted,
     ];
 
     /// Stable snake_case name, used as the taxonomy/JSON key.
@@ -119,6 +123,7 @@ impl EventKind {
             EventKind::TransportRetry => "transport_retry",
             EventKind::BreakerTrip => "breaker_trip",
             EventKind::Degraded => "degraded",
+            EventKind::SessionEvicted => "session_evicted",
         }
     }
 

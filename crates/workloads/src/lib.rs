@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod corpus;
+pub mod crash;
 pub mod data;
 pub mod enterprise;
 pub mod fleet;
@@ -26,5 +27,8 @@ pub mod parallel;
 
 pub use chaos::{render_sweep, run_chaos_sweep, ChaosPoint};
 pub use corpus::{request_corpus, CorpusRequest, CorpusTable, RequestCorpus};
+pub use crash::{
+    render_crash_report, run_crash_recovery, CrashConfig, CrashInjection, CrashReport,
+};
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};
 pub use fleet::{run_fleet, run_fleet_with_records, FleetConfig};
