@@ -1,0 +1,1297 @@
+//! The specialised BI agents (paper §V, Fig. 6): SQL, DSCode, Vis,
+//! Insight, Anomaly Detection, Causal Analysis, and Time-Series
+//! Forecasting. Each consumes prompt-grounded context, produces a
+//! structured [`InformationUnit`], and where applicable a real data frame
+//! or rendered chart.
+
+use crate::analysis::{
+    compute_facts_for, first_date_column, first_numeric_column, first_string_column, linear_fit,
+    numeric_column, pearson, zscores,
+};
+use crate::info::{Content, InformationUnit};
+use crate::sandbox::run_dscript;
+use datalab_frame::{AggExpr, AggFunc, DataFrame, DataType, Value};
+use datalab_llm::generate::{to_dscript, to_sql};
+use datalab_llm::intent::{infer_intent, Evidence};
+use datalab_llm::{LanguageModel, LlmError, Prompt};
+use datalab_sql::{run_sql, Database};
+use datalab_telemetry::Telemetry;
+use datalab_viz::{render, ChartSpec, RenderedChart};
+use std::fmt;
+
+/// Agent failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentError {
+    /// The failing agent's role.
+    pub role: String,
+    /// What went wrong (fed back into retry prompts).
+    pub message: String,
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed: {}", self.role, self.message)
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// Everything an agent needs for one subtask execution.
+pub struct AgentContext<'a> {
+    /// Session database (base tables plus frames produced upstream).
+    pub db: &'a Database,
+    /// The foundation model.
+    pub llm: &'a dyn LanguageModel,
+    /// Schema evidence lines for the base tables.
+    pub schema_section: String,
+    /// Retrieved domain knowledge lines.
+    pub knowledge_section: String,
+    /// Inter-agent context (buffer units, rendered per the protocol).
+    pub context_section: String,
+    /// Current date (ISO) for temporal grounding.
+    pub current_date: String,
+    /// Retries on execution/parse failure.
+    pub max_retries: usize,
+    /// The variable/table the conversation is currently focused on
+    /// (usually the most recently produced frame).
+    pub focus_table: Option<String>,
+    /// Observability pipeline shared with the proxy and the platform
+    /// (retry counters, sandbox spans). A fresh handle is a no-op sink.
+    pub telemetry: Telemetry,
+}
+
+impl<'a> AgentContext<'a> {
+    /// The frame an analysis agent should work on: the focus table when
+    /// set and present, else the first base table.
+    fn focus_frame(&self) -> Result<(String, DataFrame), AgentError> {
+        let err = |m: &str| AgentError {
+            role: "context".into(),
+            message: m.into(),
+        };
+        if let Some(f) = &self.focus_table {
+            if let Ok(df) = self.db.get(f) {
+                return Ok((f.clone(), df.clone()));
+            }
+        }
+        let name = self
+            .db
+            .table_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| err("no tables available"))?;
+        let df = self.db.get(&name).map_err(|e| err(&e.to_string()))?.clone();
+        Ok((name, df))
+    }
+
+    /// Like [`AgentContext::focus_frame`], but requires the frame to
+    /// satisfy `pred` (e.g. "has a date column"); when the focus frame
+    /// does not, falls back to the first session table that does. Agents
+    /// use this to route around upstream frames missing what they need
+    /// (a grouped result has no date column to forecast over).
+    fn frame_where<F>(&self, pred: F) -> Result<(String, DataFrame), AgentError>
+    where
+        F: Fn(&DataFrame) -> bool,
+    {
+        if let Some(f) = &self.focus_table {
+            if let Ok(df) = self.db.get(f) {
+                if pred(df) {
+                    return Ok((f.clone(), df.clone()));
+                }
+            }
+        }
+        for name in self.db.table_names() {
+            if let Ok(df) = self.db.get(name) {
+                if pred(df) {
+                    return Ok((name.clone(), df.clone()));
+                }
+            }
+        }
+        Err(AgentError {
+            role: "context".into(),
+            message: "no table satisfies the agent's data requirements".into(),
+        })
+    }
+}
+
+/// What an agent produced.
+#[derive(Debug, Clone)]
+pub struct AgentOutput {
+    /// The structured unit to deposit into the shared buffer.
+    pub unit: InformationUnit,
+    /// A produced data frame, registered into the session database.
+    pub frame: Option<DataFrame>,
+    /// A rendered chart, when the agent draws one.
+    pub chart: Option<RenderedChart>,
+    /// Human-facing answer text.
+    pub answer: String,
+    /// True when the model transport was down (breaker open or retries
+    /// exhausted) and this output came from the rule-based fallback path.
+    pub degraded: bool,
+}
+
+/// The common agent interface.
+pub trait BiAgent {
+    /// Stable role identifier (e.g. `sql_agent`).
+    fn role(&self) -> &'static str;
+    /// Executes one subtask.
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError>;
+}
+
+/// Renders a frame as the evidence lines downstream agents ground on.
+pub fn frame_evidence(var: &str, df: &DataFrame) -> String {
+    let cols: Vec<String> = df
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| format!("{} ({})", f.name, f.dtype))
+        .collect();
+    let mut out = format!("table {var}: {}\n", cols.join(", "));
+    // A compact row preview: downstream summarisation and answer checks
+    // need the actual numbers, not only the schema.
+    for i in 0..df.n_rows().min(6) {
+        let row: Vec<String> = (0..df.n_cols())
+            .map(|c| df.column_at(c)[i].render())
+            .collect();
+        out.push_str(&format!("row: {}\n", row.join(" | ")));
+    }
+    for field in df.schema().fields() {
+        if field.dtype == DataType::Str {
+            if let Ok(vals) = df.distinct_values(&field.name) {
+                if !vals.is_empty() && vals.len() <= 12 {
+                    let rendered: Vec<String> = vals.iter().map(Value::render).collect();
+                    out.push_str(&format!(
+                        "values {var}.{}: {}\n",
+                        field.name,
+                        rendered.join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the same grounding evidence the simulated model derives from a
+/// rendered prompt, directly from the agent context sections. The
+/// degraded fallback paths compile artifacts from this evidence without
+/// any model call, so they stay available when the transport is down.
+fn context_evidence(ctx: &AgentContext<'_>) -> Evidence {
+    let mut ev = Evidence::from_schema(&ctx.schema_section);
+    ev.absorb_schema(&ctx.context_section);
+    ev.absorb_knowledge(&ctx.knowledge_section);
+    ev.absorb_knowledge(&ctx.context_section);
+    if ev.current_date.is_none() && !ctx.current_date.trim().is_empty() {
+        ev.current_date = Some(ctx.current_date.trim().to_string());
+    }
+    ev
+}
+
+fn base_prompt(task_label: &str, task: &str, ctx: &AgentContext<'_>) -> Prompt {
+    Prompt::new(task_label)
+        .section("schema", ctx.schema_section.clone())
+        .section("knowledge", ctx.knowledge_section.clone())
+        .section("context", ctx.context_section.clone())
+        .section("current_date", ctx.current_date.clone())
+        .section("question", task)
+}
+
+fn unit(
+    role: &str,
+    action: &str,
+    source: &str,
+    description: String,
+    content: Content,
+) -> InformationUnit {
+    InformationUnit {
+        data_source: source.to_string(),
+        role: role.to_string(),
+        action: action.to_string(),
+        description,
+        content,
+        timestamp: 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQL agent
+// ---------------------------------------------------------------------------
+
+/// Generates and executes SQL (NL2SQL), retrying on execution errors with
+/// feedback. Transport faults are distinguished from semantic failures:
+/// a retryable fault re-attempts the same prompt without poisoning the
+/// feedback section, and a terminal transport error (breaker open,
+/// retries exhausted) switches to the rule-based degraded path.
+#[derive(Debug, Default)]
+pub struct SqlAgent;
+
+impl SqlAgent {
+    /// Rule-based fallback: ground intent on the context evidence and
+    /// compile SQL without the model.
+    fn degraded(
+        &self,
+        task: &str,
+        ctx: &AgentContext<'_>,
+        cause: &LlmError,
+    ) -> Result<AgentOutput, AgentError> {
+        let ev = context_evidence(ctx);
+        let intent = infer_intent(task, &ev);
+        let sql = to_sql(&intent, &ev);
+        match run_sql(&sql, ctx.db) {
+            Ok(df) => {
+                let var = "sql_agent_result";
+                let evidence = frame_evidence(var, &df);
+                let source = datalab_sql::parse_select(&sql)
+                    .ok()
+                    .and_then(|s| s.from.map(|t| t.binding_name().to_string()))
+                    .unwrap_or_else(|| "unknown".into());
+                let u = unit(
+                    self.role(),
+                    "generate_sql_query",
+                    &source,
+                    format!(
+                        "model transport down ({}); compiled rule-based SQL over {source}: {sql}",
+                        cause.kind()
+                    ),
+                    Content::Table(format!("-- sql (degraded): {sql}\n{evidence}")),
+                );
+                Ok(AgentOutput {
+                    unit: u,
+                    frame: Some(df.clone()),
+                    chart: None,
+                    answer: df.to_table_string(10),
+                    degraded: true,
+                })
+            }
+            Err(e) => Err(AgentError {
+                role: self.role().into(),
+                message: format!("model transport failed ({cause}); rule-based SQL failed: {e}"),
+            }),
+        }
+    }
+}
+
+impl BiAgent for SqlAgent {
+    fn role(&self) -> &'static str {
+        "sql_agent"
+    }
+
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let mut feedback: Option<String> = None;
+        let mut last_err = String::new();
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("sql.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("sql_agent attempt {attempt}: {last_err}"),
+                );
+            }
+            let mut prompt = base_prompt("nl2sql", task, ctx);
+            if let Some(fb) = &feedback {
+                prompt = prompt.section("feedback", fb.clone());
+            }
+            let sql = match ctx.llm.try_complete(&prompt.render()) {
+                Ok(text) => text,
+                Err(e) if e.is_retryable() && attempt < ctx.max_retries => {
+                    last_err = e.to_string();
+                    continue;
+                }
+                Err(e) => return self.degraded(task, ctx, &e),
+            };
+            match run_sql(&sql, ctx.db) {
+                Ok(df) => {
+                    // Must match the session variable the proxy registers
+                    // (`<role>_result`) so downstream agents can load it.
+                    let var = "sql_agent_result";
+                    let evidence = frame_evidence(var, &df);
+                    let source = datalab_sql::parse_select(&sql)
+                        .ok()
+                        .and_then(|s| s.from.map(|t| t.binding_name().to_string()))
+                        .unwrap_or_else(|| "unknown".into());
+                    let u = unit(
+                        self.role(),
+                        "generate_sql_query",
+                        &source,
+                        format!("wrote and executed SQL extracting data from {source}: {sql}"),
+                        Content::Table(format!("-- sql: {sql}\n{evidence}")),
+                    );
+                    return Ok(AgentOutput {
+                        unit: u,
+                        frame: Some(df.clone()),
+                        chart: None,
+                        answer: df.to_table_string(10),
+                        degraded: false,
+                    });
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    feedback = Some(format!("previous SQL `{sql}` failed: {last_err}"));
+                }
+            }
+        }
+        Err(AgentError {
+            role: self.role().into(),
+            message: last_err,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DS code agent
+// ---------------------------------------------------------------------------
+
+/// Generates and executes dscript pipelines (NL2DSCode) in the sandbox.
+#[derive(Debug, Default)]
+pub struct CodeAgent;
+
+impl CodeAgent {
+    /// Rule-based fallback: compile a dscript pipeline from the context
+    /// evidence without the model.
+    fn degraded(
+        &self,
+        task: &str,
+        ctx: &AgentContext<'_>,
+        cause: &LlmError,
+    ) -> Result<AgentOutput, AgentError> {
+        let ev = context_evidence(ctx);
+        let intent = infer_intent(task, &ev);
+        let code = to_dscript(&intent);
+        let sandboxed = {
+            let _span = ctx.telemetry.span("sandbox.run");
+            run_dscript(&code, ctx.db)
+        };
+        match sandboxed {
+            Ok(df) => {
+                let var = "code_agent_result";
+                let evidence = frame_evidence(var, &df);
+                let source = code
+                    .lines()
+                    .find_map(|l| l.trim().strip_prefix("load "))
+                    .unwrap_or("unknown")
+                    .to_string();
+                let u = unit(
+                    self.role(),
+                    "generate_ds_code",
+                    &source,
+                    format!(
+                        "model transport down ({}); compiled rule-based pipeline over {source}",
+                        cause.kind()
+                    ),
+                    Content::Table(format!("-- code (degraded):\n{code}\n{evidence}")),
+                );
+                Ok(AgentOutput {
+                    unit: u,
+                    frame: Some(df.clone()),
+                    chart: None,
+                    answer: df.to_table_string(10),
+                    degraded: true,
+                })
+            }
+            Err(e) => Err(AgentError {
+                role: self.role().into(),
+                message: format!(
+                    "model transport failed ({cause}); rule-based pipeline failed: {e}"
+                ),
+            }),
+        }
+    }
+}
+
+impl BiAgent for CodeAgent {
+    fn role(&self) -> &'static str {
+        "code_agent"
+    }
+
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let mut feedback: Option<String> = None;
+        let mut last_err = String::new();
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("sandbox.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("code_agent attempt {attempt}: {last_err}"),
+                );
+            }
+            let mut prompt = base_prompt("nl2code", task, ctx);
+            if let Some(fb) = &feedback {
+                prompt = prompt.section("feedback", fb.clone());
+            }
+            let code = match ctx.llm.try_complete(&prompt.render()) {
+                Ok(text) => text,
+                Err(e) if e.is_retryable() && attempt < ctx.max_retries => {
+                    last_err = e.to_string();
+                    continue;
+                }
+                Err(e) => return self.degraded(task, ctx, &e),
+            };
+            let sandboxed = {
+                let _span = ctx.telemetry.span("sandbox.run");
+                run_dscript(&code, ctx.db)
+            };
+            match sandboxed {
+                Ok(df) => {
+                    let var = "code_agent_result";
+                    let evidence = frame_evidence(var, &df);
+                    let source = code
+                        .lines()
+                        .find_map(|l| l.trim().strip_prefix("load "))
+                        .unwrap_or("unknown")
+                        .to_string();
+                    let u = unit(
+                        self.role(),
+                        "generate_ds_code",
+                        &source,
+                        format!("wrote and ran a data pipeline over {source}"),
+                        Content::Table(format!("-- code:\n{code}\n{evidence}")),
+                    );
+                    return Ok(AgentOutput {
+                        unit: u,
+                        frame: Some(df.clone()),
+                        chart: None,
+                        answer: df.to_table_string(10),
+                        degraded: false,
+                    });
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    ctx.telemetry.record_event(
+                        datalab_telemetry::EventKind::SandboxFailure,
+                        format!("code_agent: {last_err}"),
+                    );
+                    feedback = Some(format!("previous pipeline failed: {last_err}\n{code}"));
+                }
+            }
+        }
+        Err(AgentError {
+            role: self.role().into(),
+            message: last_err,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Visualization agent
+// ---------------------------------------------------------------------------
+
+/// Generates chart specs (NL2VIS), validates and renders them.
+#[derive(Debug, Default)]
+pub struct VisAgent;
+
+impl VisAgent {
+    /// A sensible default chart over the focus frame ("plot it" with no
+    /// further grounding — first categorical x, first numeric y),
+    /// honouring the requested mark. Used both when every model-proposed
+    /// spec failed semantically (`degraded: false`) and when the model
+    /// transport itself is down (`degraded: true`).
+    fn default_chart(
+        &self,
+        task: &str,
+        ctx: &AgentContext<'_>,
+        last_err: &str,
+        degraded: bool,
+    ) -> Result<AgentOutput, AgentError> {
+        let lower_task = task.to_lowercase();
+        let mark = if lower_task.contains("pie") || lower_task.contains("share") {
+            datalab_viz::Mark::Pie
+        } else if lower_task.contains("trend") || lower_task.contains("line chart") {
+            datalab_viz::Mark::Line
+        } else {
+            datalab_viz::Mark::Bar
+        };
+        if let Ok((name, df)) = ctx.frame_where(|df| {
+            first_numeric_column(df).is_some() && first_string_column(df).is_some()
+        }) {
+            let spec = ChartSpec {
+                mark,
+                data: name.clone(),
+                x: first_string_column(&df).map(|f| datalab_viz::FieldDef {
+                    field: f,
+                    aggregate: None,
+                }),
+                y: first_numeric_column(&df).map(|f| datalab_viz::FieldDef {
+                    field: f,
+                    aggregate: Some("sum".into()),
+                }),
+                color: None,
+                filters: vec![],
+                limit: None,
+                sort_desc: None,
+                title: None,
+            };
+            if let Ok(chart) = render(&spec, &df) {
+                let u = unit(
+                    self.role(),
+                    "generate_visualization",
+                    &name,
+                    format!("rendered a default {} chart of {name}", mark.name()),
+                    Content::Chart(spec.to_json()),
+                );
+                return Ok(AgentOutput {
+                    unit: u,
+                    frame: None,
+                    chart: Some(chart),
+                    answer: format!("rendered default {} chart", mark.name()),
+                    degraded,
+                });
+            }
+        }
+        Err(AgentError {
+            role: self.role().into(),
+            message: last_err.to_string(),
+        })
+    }
+}
+
+impl BiAgent for VisAgent {
+    fn role(&self) -> &'static str {
+        "vis_agent"
+    }
+
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let mut feedback: Option<String> = None;
+        let mut last_err = String::new();
+        for attempt in 0..=ctx.max_retries {
+            if attempt > 0 {
+                ctx.telemetry.metrics().incr("vis.retries", 1);
+                ctx.telemetry.record_event(
+                    datalab_telemetry::EventKind::Retry,
+                    format!("vis_agent attempt {attempt}: {last_err}"),
+                );
+            }
+            let mut prompt = base_prompt("nl2vis", task, ctx);
+            if let Some(fb) = &feedback {
+                prompt = prompt.section("feedback", fb.clone());
+            }
+            let spec_json = match ctx.llm.try_complete(&prompt.render()) {
+                Ok(text) => text,
+                Err(e) if e.is_retryable() && attempt < ctx.max_retries => {
+                    last_err = e.to_string();
+                    continue;
+                }
+                Err(e) => return self.default_chart(task, ctx, &e.to_string(), true),
+            };
+            let spec = match ChartSpec::from_json(&spec_json) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e.to_string();
+                    feedback = Some(format!("previous spec was invalid: {last_err}"));
+                    continue;
+                }
+            };
+            // Resolve the data source: the spec's table when known,
+            // otherwise the focus frame.
+            let data = match ctx.db.get(&spec.data) {
+                Ok(df) => df.clone(),
+                Err(_) => match ctx.focus_frame() {
+                    Ok((_, df)) => df,
+                    Err(e) => return Err(e),
+                },
+            };
+            match render(&spec, &data) {
+                Ok(chart) => {
+                    let u = unit(
+                        self.role(),
+                        "generate_visualization",
+                        &spec.data,
+                        format!(
+                            "rendered a {} chart of {} with {} points",
+                            spec.mark.name(),
+                            spec.data,
+                            chart.points.len()
+                        ),
+                        Content::Chart(spec.to_json()),
+                    );
+                    return Ok(AgentOutput {
+                        unit: u,
+                        frame: None,
+                        chart: Some(chart),
+                        answer: format!("rendered {} chart", spec.mark.name()),
+                        degraded: false,
+                    });
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    feedback = Some(format!("previous spec failed to render: {last_err}"));
+                }
+            }
+        }
+        // Last resort after semantic failures (not a transport outage).
+        self.default_chart(task, ctx, &last_err, false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Insight agent
+// ---------------------------------------------------------------------------
+
+/// End-to-end insight discovery: computes facts about the focus data and
+/// narrates them (NL2Insight).
+#[derive(Debug, Default)]
+pub struct InsightAgent;
+
+impl BiAgent for InsightAgent {
+    fn role(&self) -> &'static str {
+        "insight_agent"
+    }
+
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        // Ground the analysis on what the question asks about: table,
+        // measure, and dimension inferred from the prompt evidence.
+        let ev = context_evidence(ctx);
+        let intent = infer_intent(task, &ev);
+        let asked_table = intent.tables().into_iter().next();
+        // Focus (an upstream extraction) outranks the table the question
+        // mentions: when a prior stage narrowed the data, the insights
+        // should describe the narrowed data.
+        let focus = ctx
+            .focus_table
+            .as_deref()
+            .and_then(|f| ctx.db.get(f).ok().map(|df| (f.to_string(), df.clone())))
+            .filter(|(_, df)| first_numeric_column(df).is_some() && df.n_rows() >= 1);
+        let (name, df) = match focus {
+            Some(hit) => hit,
+            None => match asked_table.as_deref().and_then(|t| ctx.db.get(t).ok()) {
+                Some(frame) if first_numeric_column(frame).is_some() => {
+                    (asked_table.expect("matched above"), frame.clone())
+                }
+                _ => {
+                    ctx.frame_where(|df| first_numeric_column(df).is_some() && df.n_rows() >= 1)?
+                }
+            },
+        };
+        let measure = intent
+            .measures
+            .first()
+            .and_then(|m| m.column.as_ref())
+            .map(|c| c.column.clone());
+        let dim = intent.dimensions.first().map(|d| d.column.clone());
+        let facts = compute_facts_for(&df, measure.as_deref(), dim.as_deref());
+        if facts.is_empty() {
+            return Err(AgentError {
+                role: self.role().into(),
+                message: format!("no numeric measures in {name} to analyse"),
+            });
+        }
+        let facts_text: String = facts
+            .iter()
+            .map(|f| f.statement.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        // The narration is the only model call; the facts themselves are
+        // computed. When the transport is down, serve the raw facts as
+        // the (degraded) narration instead of failing the whole subtask.
+        let (summary, degraded) = match ctx.llm.try_complete(
+            &Prompt::new("summarize")
+                .section("facts", facts_text.clone())
+                .section("question", task)
+                .render(),
+        ) {
+            Ok(text) => (text, false),
+            Err(_) => {
+                let fallback: Vec<&str> = facts_text.lines().take(12).collect();
+                (fallback.join(" "), true)
+            }
+        };
+        let u = unit(
+            self.role(),
+            "discover_insights",
+            &name,
+            format!("derived {} insights from {name}", facts.len()),
+            Content::Text(format!("{facts_text}\nsummary: {summary}")),
+        );
+        Ok(AgentOutput {
+            unit: u,
+            frame: None,
+            chart: None,
+            answer: summary,
+            degraded,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly detection agent
+// ---------------------------------------------------------------------------
+
+/// Flags measure values with |z| above threshold.
+#[derive(Debug)]
+pub struct AnomalyAgent {
+    /// Z-score threshold (2.0 default).
+    pub threshold: f64,
+}
+
+impl Default for AnomalyAgent {
+    fn default() -> Self {
+        // For a single outlier among n points the z-score is bounded by
+        // (n-1)/sqrt(n) (~2.47 at n=8); BI series are short, so 2.0 is
+        // the practical spike threshold.
+        AnomalyAgent { threshold: 2.0 }
+    }
+}
+
+impl BiAgent for AnomalyAgent {
+    fn role(&self) -> &'static str {
+        "anomaly_agent"
+    }
+
+    fn run(&self, _task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let (name, df) = ctx.frame_where(|df| first_numeric_column(df).is_some())?;
+        let measure = first_numeric_column(&df).ok_or_else(|| AgentError {
+            role: self.role().into(),
+            message: format!("no numeric column in {name}"),
+        })?;
+        let (rows, vals) = numeric_column(&df, &measure).map_err(|e| AgentError {
+            role: self.role().into(),
+            message: e.to_string(),
+        })?;
+        let z = zscores(&vals);
+        let label_col = first_date_column(&df).or_else(|| first_string_column(&df));
+        let mut lines = Vec::new();
+        for (i, zi) in z.iter().enumerate() {
+            if zi.abs() >= self.threshold {
+                let row = rows[i];
+                let label = label_col
+                    .as_deref()
+                    .and_then(|c| df.column(c).ok().map(|col| col[row].render()))
+                    .unwrap_or_else(|| format!("row {row}"));
+                lines.push(format!(
+                    "anomaly: {measure}={} at {label} (z={zi:.2})",
+                    vals[i]
+                ));
+            }
+        }
+        let description = if lines.is_empty() {
+            format!("no anomalies detected in {measure} of {name}")
+        } else {
+            format!("detected {} anomalies in {measure} of {name}", lines.len())
+        };
+        let text = if lines.is_empty() {
+            description.clone()
+        } else {
+            lines.join("\n")
+        };
+        let u = unit(
+            self.role(),
+            "detect_anomalies",
+            &name,
+            description.clone(),
+            Content::Text(text),
+        );
+        Ok(AgentOutput {
+            unit: u,
+            frame: None,
+            chart: None,
+            answer: description,
+            degraded: false,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Causal analysis agent
+// ---------------------------------------------------------------------------
+
+/// Finds the numeric column most correlated with the target measure.
+#[derive(Debug, Default)]
+pub struct CausalAgent;
+
+impl BiAgent for CausalAgent {
+    fn role(&self) -> &'static str {
+        "causal_agent"
+    }
+
+    fn run(&self, task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let (name, df) = ctx.frame_where(|df| {
+            df.schema()
+                .fields()
+                .iter()
+                .filter(|f| f.dtype.is_numeric())
+                .count()
+                >= 2
+        })?;
+        let numeric: Vec<String> = df
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| f.dtype.is_numeric())
+            .map(|f| f.name.clone())
+            .collect();
+        if numeric.len() < 2 {
+            return Err(AgentError {
+                role: self.role().into(),
+                message: format!("{name} has fewer than two numeric columns"),
+            });
+        }
+        // Target: a numeric column named in the task, else the first.
+        let lower = task.to_lowercase();
+        let target = numeric
+            .iter()
+            .find(|c| lower.contains(&c.to_lowercase()))
+            .cloned()
+            .unwrap_or_else(|| numeric[0].clone());
+        let (_, tvals) = numeric_column(&df, &target).map_err(|e| AgentError {
+            role: self.role().into(),
+            message: e.to_string(),
+        })?;
+        let mut best: Option<(String, f64)> = None;
+        let mut lines = Vec::new();
+        for c in &numeric {
+            if c.eq_ignore_ascii_case(&target) {
+                continue;
+            }
+            let (_, cvals) = numeric_column(&df, c).map_err(|e| AgentError {
+                role: self.role().into(),
+                message: e.to_string(),
+            })?;
+            let r = pearson(&tvals, &cvals);
+            lines.push(format!("correlation of {target} with {c}: {r:.3}"));
+            match &best {
+                Some((_, br)) if br.abs() >= r.abs() => {}
+                _ => best = Some((c.clone(), r)),
+            }
+        }
+        let (driver, r) = best.ok_or_else(|| AgentError {
+            role: self.role().into(),
+            message: "no candidate drivers".into(),
+        })?;
+        let description = format!(
+            "strongest driver of {target} is {driver} (r={r:.3}, {})",
+            if r >= 0.0 { "positive" } else { "negative" }
+        );
+        lines.push(description.clone());
+        let u = unit(
+            self.role(),
+            "causal_analysis",
+            &name,
+            description.clone(),
+            Content::Text(lines.join("\n")),
+        );
+        Ok(AgentOutput {
+            unit: u,
+            frame: None,
+            chart: None,
+            answer: description,
+            degraded: false,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time-series forecasting agent
+// ---------------------------------------------------------------------------
+
+/// Aggregates the measure over the date column and extrapolates with a
+/// least-squares trend.
+#[derive(Debug)]
+pub struct ForecastAgent {
+    /// Number of future periods to forecast.
+    pub horizon: usize,
+}
+
+impl Default for ForecastAgent {
+    fn default() -> Self {
+        ForecastAgent { horizon: 3 }
+    }
+}
+
+impl BiAgent for ForecastAgent {
+    fn role(&self) -> &'static str {
+        "forecast_agent"
+    }
+
+    fn run(&self, _task: &str, ctx: &AgentContext<'_>) -> Result<AgentOutput, AgentError> {
+        let (name, df) = ctx.frame_where(|df| {
+            first_date_column(df).is_some() && first_numeric_column(df).is_some()
+        })?;
+        let date_col = first_date_column(&df).ok_or_else(|| AgentError {
+            role: self.role().into(),
+            message: format!("no date column in {name}"),
+        })?;
+        let measure = first_numeric_column(&df).ok_or_else(|| AgentError {
+            role: self.role().into(),
+            message: format!("no numeric column in {name}"),
+        })?;
+        let series = df
+            .group_by(
+                &[date_col.as_str()],
+                &[AggExpr::new(AggFunc::Sum, &measure, "__v")],
+            )
+            .and_then(|g| g.sort_by(&[(date_col.as_str(), true)]))
+            .map_err(|e| AgentError {
+                role: self.role().into(),
+                message: e.to_string(),
+            })?;
+        let dates: Vec<i64> = series
+            .column(&date_col)
+            .map_err(|e| AgentError {
+                role: self.role().into(),
+                message: e.to_string(),
+            })?
+            .iter()
+            .filter_map(|v| v.as_date().map(|d| d.to_epoch_days()))
+            .collect();
+        let (_, vals) = numeric_column(&series, "__v").map_err(|e| AgentError {
+            role: self.role().into(),
+            message: e.to_string(),
+        })?;
+        if dates.len() < 3 || dates.len() != vals.len() {
+            return Err(AgentError {
+                role: self.role().into(),
+                message: format!("not enough history in {name} to forecast"),
+            });
+        }
+        let xs: Vec<f64> = dates.iter().map(|d| *d as f64).collect();
+        let (slope, intercept) = linear_fit(&xs, &vals);
+        // Period spacing: median gap between observations.
+        let mut gaps: Vec<i64> = dates.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let step = gaps.get(gaps.len() / 2).copied().unwrap_or(30).max(1);
+        let last = *dates.last().expect("nonempty");
+        let mut out = DataFrame::from_columns(vec![
+            ("date", DataType::Date, vec![]),
+            ("forecast", DataType::Float, vec![]),
+        ])
+        .expect("static schema");
+        let mut lines = Vec::new();
+        for k in 1..=self.horizon {
+            let x = (last + step * k as i64) as f64;
+            let y = slope * x + intercept;
+            let date = datalab_frame::Date::from_epoch_days(last + step * k as i64);
+            out.push_row(vec![Value::Date(date), Value::Float(y)])
+                .expect("schema matches");
+            lines.push(format!("forecast {date}: {y:.2}"));
+        }
+        let direction = if slope > 0.0 { "upward" } else { "downward" };
+        let description = format!(
+            "forecast {measure} of {name} for {} periods ({direction} trend)",
+            self.horizon
+        );
+        let u = unit(
+            self.role(),
+            "forecast_timeseries",
+            &name,
+            description.clone(),
+            Content::Text(lines.join("\n")),
+        );
+        Ok(AgentOutput {
+            unit: u,
+            frame: Some(out),
+            chart: None,
+            answer: description,
+            degraded: false,
+        })
+    }
+}
+
+/// Constructs the agent for a role label.
+pub fn agent_for_role(role: &str) -> Option<Box<dyn BiAgent>> {
+    match role {
+        "sql_agent" => Some(Box::new(SqlAgent)),
+        "code_agent" => Some(Box::new(CodeAgent)),
+        "vis_agent" => Some(Box::new(VisAgent)),
+        "insight_agent" => Some(Box::new(InsightAgent)),
+        "anomaly_agent" => Some(Box::new(AnomalyAgent::default())),
+        "causal_agent" => Some(Box::new(CausalAgent)),
+        "forecast_agent" => Some(Box::new(ForecastAgent::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::Date;
+    use datalab_llm::SimLlm;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let dates: Vec<Value> = (0..8)
+            .map(|i| Value::Date(Date::parse("2024-01-01").unwrap().add_days(i * 30)))
+            .collect();
+        db.insert(
+            "sales",
+            DataFrame::from_columns(vec![
+                (
+                    "region",
+                    DataType::Str,
+                    (0..8)
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                "east".into()
+                            } else {
+                                "west".into()
+                            }
+                        })
+                        .collect(),
+                ),
+                (
+                    "amount",
+                    DataType::Int,
+                    vec![
+                        10.into(),
+                        12.into(),
+                        14.into(),
+                        16.into(),
+                        18.into(),
+                        20.into(),
+                        22.into(),
+                        200.into(),
+                    ],
+                ),
+                (
+                    "cost",
+                    DataType::Int,
+                    vec![
+                        5.into(),
+                        6.into(),
+                        7.into(),
+                        8.into(),
+                        9.into(),
+                        10.into(),
+                        11.into(),
+                        100.into(),
+                    ],
+                ),
+                ("day", DataType::Date, dates),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    fn ctx<'a>(db: &'a Database, llm: &'a SimLlm) -> AgentContext<'a> {
+        AgentContext {
+            db,
+            llm,
+            schema_section: "table sales: region (str), amount (int), cost (int), day (date)\nvalues sales.region: east, west"
+                .into(),
+            knowledge_section: String::new(),
+            context_section: String::new(),
+            current_date: "2026-07-06".into(),
+            max_retries: 3,
+            focus_table: None,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    #[test]
+    fn sql_agent_runs_and_reports_evidence() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = SqlAgent
+            .run("total amount by region", &ctx(&db, &llm))
+            .unwrap();
+        let df = out.frame.unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert!(out.unit.content.text().contains("table sql_agent_result:"));
+        assert_eq!(out.unit.role, "sql_agent");
+    }
+
+    #[test]
+    fn code_agent_executes_pipeline() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = CodeAgent
+            .run("average cost by region", &ctx(&db, &llm))
+            .unwrap();
+        let df = out.frame.unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert!(out.unit.content.text().contains("-- code:"));
+    }
+
+    #[test]
+    fn vis_agent_renders_chart() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = VisAgent
+            .run("bar chart of total amount by region", &ctx(&db, &llm))
+            .unwrap();
+        let chart = out.chart.unwrap();
+        assert_eq!(chart.points.len(), 2);
+    }
+
+    #[test]
+    fn insight_agent_summarises_facts() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = InsightAgent
+            .run("what do the sales look like", &ctx(&db, &llm))
+            .unwrap();
+        assert!(
+            out.unit.content.text().contains("top_category")
+                || out.unit.content.text().contains("highest total")
+        );
+    }
+
+    #[test]
+    fn anomaly_agent_flags_spike() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = AnomalyAgent::default()
+            .run("find anomalies", &ctx(&db, &llm))
+            .unwrap();
+        assert!(
+            out.unit.content.text().contains("anomaly: amount=200"),
+            "{}",
+            out.unit.content.text()
+        );
+    }
+
+    #[test]
+    fn causal_agent_finds_driver() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = CausalAgent
+            .run("what drives amount", &ctx(&db, &llm))
+            .unwrap();
+        assert!(out.answer.contains("cost"), "{}", out.answer);
+        assert!(out.answer.contains("positive"));
+    }
+
+    #[test]
+    fn forecast_agent_extrapolates_trend() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = ForecastAgent { horizon: 2 }
+            .run("forecast amount", &ctx(&db, &llm))
+            .unwrap();
+        let f = out.frame.unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert!(out.answer.contains("upward"));
+    }
+
+    #[test]
+    fn focus_table_directs_analysis() {
+        let mut db = db();
+        db.insert(
+            "tiny",
+            DataFrame::from_columns(vec![(
+                "x",
+                DataType::Int,
+                vec![1.into(), 2.into(), 3.into()],
+            )])
+            .unwrap(),
+        );
+        let llm = SimLlm::gpt4();
+        let mut c = ctx(&db, &llm);
+        c.focus_table = Some("tiny".into());
+        let out = InsightAgent.run("describe", &c).unwrap();
+        assert_eq!(out.unit.data_source, "tiny");
+    }
+
+    /// A model whose transport is terminally down: the infallible surface
+    /// returns a sentinel, the fallible one reports the breaker open.
+    struct DownLlm;
+    impl LanguageModel for DownLlm {
+        fn name(&self) -> &str {
+            "down"
+        }
+        fn complete(&self, _prompt: &str) -> String {
+            "<<llm-error:breaker_open>>".into()
+        }
+        fn try_complete(&self, _prompt: &str) -> Result<String, LlmError> {
+            Err(LlmError::BreakerOpen)
+        }
+    }
+
+    fn down_ctx<'a>(db: &'a Database, llm: &'a DownLlm) -> AgentContext<'a> {
+        AgentContext {
+            db,
+            llm,
+            schema_section: "table sales: region (str), amount (int), cost (int), day (date)\nvalues sales.region: east, west"
+                .into(),
+            knowledge_section: String::new(),
+            context_section: String::new(),
+            current_date: "2026-07-06".into(),
+            max_retries: 3,
+            focus_table: None,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    #[test]
+    fn sql_agent_degrades_to_rule_based_sql_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = SqlAgent
+            .run("total amount by region", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.frame.unwrap().n_rows(), 2);
+        assert!(
+            out.unit.content.text().contains("-- sql (degraded):"),
+            "{}",
+            out.unit.content.text()
+        );
+        assert!(out.unit.description.contains("breaker_open"));
+        // The fallback never consumed the poisoned infallible surface.
+        assert!(!out.answer.contains("<<llm-error"));
+    }
+
+    #[test]
+    fn code_agent_degrades_to_rule_based_pipeline_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = CodeAgent
+            .run("average cost by region", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.frame.unwrap().n_rows(), 2);
+        assert!(out.unit.content.text().contains("-- code (degraded):"));
+    }
+
+    #[test]
+    fn vis_agent_degrades_to_default_chart_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = VisAgent
+            .run("bar chart of total amount by region", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert!(out.chart.is_some());
+        assert!(out.answer.contains("default"));
+    }
+
+    #[test]
+    fn insight_agent_serves_raw_facts_when_transport_is_down() {
+        let db = db();
+        let llm = DownLlm;
+        let out = InsightAgent
+            .run("what do the sales look like", &down_ctx(&db, &llm))
+            .unwrap();
+        assert!(out.degraded);
+        assert!(!out.answer.is_empty());
+        assert!(!out.answer.contains("<<llm-error"));
+    }
+
+    #[test]
+    fn healthy_transport_is_never_degraded() {
+        let db = db();
+        let llm = SimLlm::gpt4();
+        let out = SqlAgent
+            .run("total amount by region", &ctx(&db, &llm))
+            .unwrap();
+        assert!(!out.degraded);
+        let out = InsightAgent
+            .run("what do the sales look like", &ctx(&db, &llm))
+            .unwrap();
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn agent_factory_covers_all_roles() {
+        for role in [
+            "sql_agent",
+            "code_agent",
+            "vis_agent",
+            "insight_agent",
+            "anomaly_agent",
+            "causal_agent",
+            "forecast_agent",
+        ] {
+            assert!(agent_for_role(role).is_some(), "{role}");
+        }
+        assert!(agent_for_role("chaos_agent").is_none());
+    }
+}

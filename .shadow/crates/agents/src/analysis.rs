@@ -1,0 +1,323 @@
+//! Real statistical analysis primitives used by the insight, anomaly,
+//! causal, and forecasting agents. Everything here computes on actual
+//! data — only the narration of the results goes through the LLM.
+
+use datalab_frame::{AggExpr, AggFunc, DataFrame, DataType};
+
+/// Pearson correlation of two equal-length samples (0.0 for degenerate
+/// inputs).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Least-squares line fit returning `(slope, intercept)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len().min(ys.len());
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        num += (xs[i] - mx) * (ys[i] - my);
+        den += (xs[i] - mx) * (xs[i] - mx);
+    }
+    let slope = if den == 0.0 { 0.0 } else { num / den };
+    (slope, my - slope * mx)
+}
+
+/// Z-scores of a sample (all zeros for constant input).
+pub fn zscores(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        return vec![0.0; n];
+    }
+    values.iter().map(|v| (v - mean) / sd).collect()
+}
+
+/// Extracts a numeric column as `f64`s, skipping nulls (returned indices
+/// refer to original rows).
+pub fn numeric_column(
+    df: &DataFrame,
+    name: &str,
+) -> Result<(Vec<usize>, Vec<f64>), datalab_frame::FrameError> {
+    let col = df.column(name)?;
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (i, v) in col.iter().enumerate() {
+        if let Some(f) = v.as_f64() {
+            idx.push(i);
+            vals.push(f);
+        }
+    }
+    Ok((idx, vals))
+}
+
+/// First column of each kind — helpers for agents choosing targets.
+pub fn first_numeric_column(df: &DataFrame) -> Option<String> {
+    df.schema()
+        .fields()
+        .iter()
+        .find(|f| f.dtype.is_numeric())
+        .map(|f| f.name.clone())
+}
+
+/// First date column.
+pub fn first_date_column(df: &DataFrame) -> Option<String> {
+    df.schema()
+        .fields()
+        .iter()
+        .find(|f| f.dtype == DataType::Date)
+        .map(|f| f.name.clone())
+}
+
+/// First string (categorical) column.
+pub fn first_string_column(df: &DataFrame) -> Option<String> {
+    df.schema()
+        .fields()
+        .iter()
+        .find(|f| f.dtype == DataType::Str)
+        .map(|f| f.name.clone())
+}
+
+/// A computed fact about a dataset: one line of evidence for insight
+/// synthesis, plus a machine-checkable key for benchmark scoring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// Stable key, e.g. `top_category`, `trend`, `share_top`.
+    pub key: String,
+    /// Human-readable statement.
+    pub statement: String,
+}
+
+/// Computes the standard BI facts about a frame: totals, top/bottom
+/// categories, shares, and trend direction over time. Targets default to
+/// the first numeric/string columns.
+pub fn compute_facts(df: &DataFrame) -> Vec<Fact> {
+    compute_facts_for(df, None, None)
+}
+
+/// Like [`compute_facts`] but focused on a specific measure and dimension
+/// (e.g. the ones a user's question grounded to).
+pub fn compute_facts_for(df: &DataFrame, measure: Option<&str>, dim: Option<&str>) -> Vec<Fact> {
+    let mut facts = Vec::new();
+    let measure = measure
+        .filter(|m| {
+            df.schema()
+                .field(m)
+                .map(|f| f.dtype.is_numeric())
+                .unwrap_or(false)
+        })
+        .map(String::from)
+        .or_else(|| first_numeric_column(df));
+    let Some(measure) = measure else {
+        return facts;
+    };
+    let dim = dim
+        .filter(|d| {
+            df.schema()
+                .field(d)
+                .map(|f| f.dtype == DataType::Str)
+                .unwrap_or(false)
+        })
+        .map(String::from)
+        .or_else(|| first_string_column(df));
+    let n = df.n_rows();
+    facts.push(Fact {
+        key: "rows".into(),
+        statement: format!("the dataset has {n} rows"),
+    });
+
+    if let Ok((_, vals)) = numeric_column(df, &measure) {
+        if !vals.is_empty() {
+            let total: f64 = vals.iter().sum();
+            facts.push(Fact {
+                key: "total".into(),
+                statement: format!("total {measure} is {total:.2}"),
+            });
+            let mean = total / vals.len() as f64;
+            facts.push(Fact {
+                key: "mean".into(),
+                statement: format!("average {measure} is {mean:.2}"),
+            });
+        }
+    }
+
+    if let Some(dim) = dim {
+        if let Ok(g) = df.group_by(
+            &[dim.as_str()],
+            &[AggExpr::new(AggFunc::Sum, &measure, "__t")],
+        ) {
+            if let (Ok(dims), Ok(totals)) = (g.column(&dim), g.column("__t")) {
+                let mut pairs: Vec<(String, f64)> = dims
+                    .iter()
+                    .zip(totals.iter())
+                    .filter_map(|(d, t)| t.as_f64().map(|f| (d.render(), f)))
+                    .collect();
+                pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                if let Some((top, top_v)) = pairs.first() {
+                    facts.push(Fact {
+                        key: "top_category".into(),
+                        statement: format!("{top} has the highest total {measure} at {top_v:.2}"),
+                    });
+                    let total: f64 = pairs.iter().map(|(_, v)| v).sum();
+                    if total > 0.0 {
+                        facts.push(Fact {
+                            key: "share_top".into(),
+                            statement: format!(
+                                "{top} accounts for {:.1}% of total {measure}",
+                                100.0 * top_v / total
+                            ),
+                        });
+                    }
+                }
+                if pairs.len() > 1 {
+                    let (bottom, bottom_v) = &pairs[pairs.len() - 1];
+                    facts.push(Fact {
+                        key: "bottom_category".into(),
+                        statement: format!(
+                            "{bottom} has the lowest total {measure} at {bottom_v:.2}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(date_col) = first_date_column(df) {
+        if let Ok(sorted) = df.sort_by(&[(date_col.as_str(), true)]) {
+            if let (Ok(dates), Ok((_, vals))) =
+                (sorted.column(&date_col), numeric_column(&sorted, &measure))
+            {
+                let xs: Vec<f64> = dates
+                    .iter()
+                    .filter_map(|d| d.as_date().map(|d| d.to_epoch_days() as f64))
+                    .collect();
+                if xs.len() >= 3 && xs.len() == vals.len() {
+                    let (slope, _) = linear_fit(&xs, &vals);
+                    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                    let rel = if mean.abs() > 1e-9 {
+                        slope * 30.0 / mean
+                    } else {
+                        0.0
+                    };
+                    let direction = if rel > 0.02 {
+                        "increasing"
+                    } else if rel < -0.02 {
+                        "decreasing"
+                    } else {
+                        "flat"
+                    };
+                    facts.push(Fact {
+                        key: "trend".into(),
+                        statement: format!("{measure} shows an {direction} trend over {date_col}"),
+                    });
+                }
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::{Date, Value};
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let (slope, intercept) = linear_fit(&xs, &ys);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscores_flag_outlier() {
+        let z = zscores(&[10.0, 11.0, 9.0, 10.0, 50.0]);
+        assert!(z[4] > 1.5);
+        assert!(z[0].abs() < 1.0);
+        assert_eq!(zscores(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn facts_cover_top_share_trend() {
+        let df = DataFrame::from_columns(vec![
+            (
+                "region",
+                DataType::Str,
+                vec!["east".into(), "west".into(), "east".into(), "west".into()],
+            ),
+            (
+                "amount",
+                DataType::Int,
+                vec![10.into(), 5.into(), 20.into(), 5.into()],
+            ),
+            (
+                "day",
+                DataType::Date,
+                (0..4)
+                    .map(|i| Value::Date(Date::parse("2024-01-01").unwrap().add_days(i * 30)))
+                    .collect(),
+            ),
+        ])
+        .unwrap();
+        let facts = compute_facts(&df);
+        let get = |k: &str| {
+            facts
+                .iter()
+                .find(|f| f.key == k)
+                .map(|f| f.statement.clone())
+        };
+        assert!(get("top_category").unwrap().contains("east"));
+        assert!(get("share_top").unwrap().contains("75.0%"));
+        assert!(get("total").unwrap().contains("40.00"));
+        assert!(get("trend").is_some());
+    }
+
+    #[test]
+    fn facts_empty_for_non_numeric_frame() {
+        let df = DataFrame::from_columns(vec![("s", DataType::Str, vec!["a".into()])]).unwrap();
+        assert!(compute_facts(&df).is_empty());
+    }
+}

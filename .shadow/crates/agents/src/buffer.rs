@@ -1,0 +1,251 @@
+//! The shared information buffer (paper §V): a thread-safe store that
+//! decouples information producers from consumers, doubles its capacity
+//! under pressure, and evicts superseded entries.
+
+use crate::info::InformationUnit;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Buffer statistics (exercised by tests and micro-benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Units currently stored.
+    pub len: usize,
+    /// Current capacity.
+    pub capacity: usize,
+    /// Capacity doublings performed.
+    pub growths: u64,
+    /// Units evicted because a newer unit superseded them.
+    pub evicted: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    units: Vec<InformationUnit>,
+    capacity: usize,
+    growths: u64,
+    evicted: u64,
+    clock: u64,
+}
+
+/// The shared buffer. Cloning shares the underlying store.
+#[derive(Debug, Clone)]
+pub struct SharedBuffer {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Default for SharedBuffer {
+    fn default() -> Self {
+        SharedBuffer::with_capacity(8)
+    }
+}
+
+impl SharedBuffer {
+    /// A buffer with the given initial capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedBuffer {
+            inner: Arc::new(RwLock::new(Inner {
+                units: Vec::with_capacity(capacity),
+                capacity: capacity.max(1),
+                growths: 0,
+                evicted: 0,
+                clock: 0,
+            })),
+        }
+    }
+
+    /// Deposits a unit, stamping its timestamp from the logical clock.
+    /// A unit re-describing the same work — same `(role, action,
+    /// data_source, description)` — supersedes the original (the paper's
+    /// outdated-information clearing: information updated after execution
+    /// feedback replaces the original; *different* tasks by the same
+    /// agent accumulate). When full, capacity doubles.
+    pub fn deposit(&self, mut unit: InformationUnit) -> u64 {
+        let mut g = self.inner.write();
+        g.clock += 1;
+        unit.timestamp = g.clock;
+        if let Some(pos) = g.units.iter().position(|u| {
+            u.role == unit.role
+                && u.action == unit.action
+                && u.data_source == unit.data_source
+                && u.description == unit.description
+        }) {
+            g.units.remove(pos);
+            g.evicted += 1;
+        }
+        if g.units.len() == g.capacity {
+            g.capacity *= 2;
+            let additional = g.capacity - g.units.len();
+            g.units.reserve(additional);
+            g.growths += 1;
+        }
+        let ts = unit.timestamp;
+        g.units.push(unit);
+        ts
+    }
+
+    /// All units, oldest first.
+    pub fn all(&self) -> Vec<InformationUnit> {
+        self.inner.read().units.clone()
+    }
+
+    /// Units produced by any of the given roles, oldest first.
+    pub fn by_roles(&self, roles: &[String]) -> Vec<InformationUnit> {
+        self.inner
+            .read()
+            .units
+            .iter()
+            .filter(|u| roles.iter().any(|r| r.eq_ignore_ascii_case(&u.role)))
+            .cloned()
+            .collect()
+    }
+
+    /// Like [`SharedBuffer::by_roles`] but only units newer than the given
+    /// timestamp — selective retrieval scopes to the current task.
+    pub fn by_roles_since(&self, roles: &[String], since: u64) -> Vec<InformationUnit> {
+        self.inner
+            .read()
+            .units
+            .iter()
+            .filter(|u| {
+                u.timestamp > since && roles.iter().any(|r| r.eq_ignore_ascii_case(&u.role))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// The logical clock's current value.
+    pub fn now(&self) -> u64 {
+        self.inner.read().clock
+    }
+
+    /// The most recent unit from a role, if any.
+    pub fn latest_from(&self, role: &str) -> Option<InformationUnit> {
+        self.inner
+            .read()
+            .units
+            .iter()
+            .rev()
+            .find(|u| u.role.eq_ignore_ascii_case(role))
+            .cloned()
+    }
+
+    /// Drops all units (a fresh query session).
+    pub fn clear(&self) {
+        let mut g = self.inner.write();
+        g.units.clear();
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BufferStats {
+        let g = self.inner.read();
+        BufferStats {
+            len: g.units.len(),
+            capacity: g.capacity,
+            growths: g.growths,
+            evicted: g.evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::Content;
+
+    fn unit(role: &str, action: &str, source: &str) -> InformationUnit {
+        InformationUnit {
+            data_source: source.into(),
+            role: role.into(),
+            action: action.into(),
+            description: String::new(),
+            content: Content::Text("x".into()),
+            timestamp: 0,
+        }
+    }
+
+    #[test]
+    fn deposit_and_retrieve_by_role() {
+        let buf = SharedBuffer::default();
+        buf.deposit(unit("sql_agent", "q", "sales"));
+        buf.deposit(unit("vis_agent", "v", "sales"));
+        assert_eq!(buf.all().len(), 2);
+        assert_eq!(buf.by_roles(&["sql_agent".to_string()]).len(), 1);
+        assert!(buf.latest_from("vis_agent").is_some());
+        assert!(buf.latest_from("nobody").is_none());
+    }
+
+    #[test]
+    fn supersede_evicts_old_version() {
+        let buf = SharedBuffer::default();
+        buf.deposit(unit("sql_agent", "q", "sales"));
+        let ts2 = buf.deposit(unit("sql_agent", "q", "sales"));
+        assert_eq!(buf.all().len(), 1);
+        assert_eq!(buf.stats().evicted, 1);
+        assert_eq!(buf.all()[0].timestamp, ts2);
+        // Different source is a different entry.
+        buf.deposit(unit("sql_agent", "q", "users"));
+        assert_eq!(buf.all().len(), 2);
+        // A different task (description) by the same agent accumulates.
+        let mut other = unit("sql_agent", "q", "sales");
+        other.description = "another question".into();
+        buf.deposit(other);
+        assert_eq!(buf.all().len(), 3);
+    }
+
+    #[test]
+    fn by_roles_since_scopes_to_task() {
+        let buf = SharedBuffer::default();
+        buf.deposit(unit("sql_agent", "a", "s"));
+        let mark = buf.now();
+        let mut second = unit("sql_agent", "a", "s");
+        second.description = "new".into();
+        buf.deposit(second);
+        let roles = vec!["sql_agent".to_string()];
+        assert_eq!(buf.by_roles(&roles).len(), 2);
+        assert_eq!(buf.by_roles_since(&roles, mark).len(), 1);
+    }
+
+    #[test]
+    fn capacity_doubles_when_full() {
+        let buf = SharedBuffer::with_capacity(2);
+        for i in 0..5 {
+            buf.deposit(unit("r", &format!("a{i}"), "s"));
+        }
+        let s = buf.stats();
+        assert_eq!(s.len, 5);
+        assert!(s.capacity >= 8);
+        assert!(s.growths >= 2);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let buf = SharedBuffer::default();
+        let a = buf.deposit(unit("r", "a", "s"));
+        let b = buf.deposit(unit("r", "b", "s"));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn concurrent_deposits() {
+        let buf = SharedBuffer::default();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = buf.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    b.deposit(unit("r", &format!("t{t}a{i}"), "s"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(buf.all().len(), 200);
+        // Timestamps unique.
+        let mut ts: Vec<u64> = buf.all().iter().map(|u| u.timestamp).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(ts.len(), 200);
+    }
+}

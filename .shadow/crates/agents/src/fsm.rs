@@ -1,0 +1,157 @@
+//! The FSM-based information-sharing protocol (paper §V): the proxy agent
+//! compiles a plan into a finite state machine whose nodes are agents and
+//! whose edges are information-transition directions; each agent cycles
+//! Wait → Execution → Wait, and everything Finishes when the plan is done.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-agent protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentState {
+    /// Idle, waiting for the proxy to forward a subtask.
+    Wait,
+    /// Executing a subtask.
+    Execution,
+    /// Plan complete; resources released.
+    Finish,
+}
+
+/// The information-flow FSM for one execution plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fsm {
+    /// Agent roles, in plan order.
+    roles: Vec<String>,
+    /// Directed information edges `from → to`.
+    edges: Vec<(String, String)>,
+    /// Current state per role.
+    states: HashMap<String, AgentState>,
+}
+
+impl Fsm {
+    /// Builds the FSM for a sequential plan: information flows along the
+    /// chain, and every agent also reports to (and is fed by) the proxy.
+    pub fn from_plan(roles: &[String]) -> Fsm {
+        let mut fsm = Fsm::default();
+        for (i, role) in roles.iter().enumerate() {
+            fsm.roles.push(role.clone());
+            fsm.states.insert(role.clone(), AgentState::Wait);
+            if i > 0 {
+                fsm.edges.push((roles[i - 1].clone(), role.clone()));
+            }
+        }
+        fsm
+    }
+
+    /// Adds an extra information edge (plans are not always pure chains:
+    /// e.g. a vis agent may need both the sql agent's data and the
+    /// anomaly agent's findings).
+    pub fn add_edge(&mut self, from: impl Into<String>, to: impl Into<String>) {
+        self.edges.push((from.into(), to.into()));
+    }
+
+    /// The roles, plan order.
+    pub fn roles(&self) -> &[String] {
+        &self.roles
+    }
+
+    /// The roles whose information flows *into* `role` — the selective
+    /// retrieval set the proxy forwards from the shared buffer.
+    pub fn sources_for(&self, role: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .edges
+            .iter()
+            .filter(|(_, to)| to.eq_ignore_ascii_case(role))
+            .map(|(from, _)| from.clone())
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Current state of a role.
+    pub fn state(&self, role: &str) -> AgentState {
+        self.states.get(role).copied().unwrap_or(AgentState::Wait)
+    }
+
+    /// Transitions a role into execution. Returns false when the role is
+    /// unknown or already finished.
+    pub fn begin(&mut self, role: &str) -> bool {
+        match self.states.get_mut(role) {
+            Some(s) if *s == AgentState::Wait => {
+                *s = AgentState::Execution;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Transitions a role back to Wait after it responds.
+    pub fn complete(&mut self, role: &str) -> bool {
+        match self.states.get_mut(role) {
+            Some(s) if *s == AgentState::Execution => {
+                *s = AgentState::Wait;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Moves every agent to Finish (all subtasks done; resources released).
+    pub fn finish_all(&mut self) {
+        for s in self.states.values_mut() {
+            *s = AgentState::Finish;
+        }
+    }
+
+    /// True when every agent has finished.
+    pub fn all_finished(&self) -> bool {
+        !self.states.is_empty() && self.states.values().all(|s| *s == AgentState::Finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roles(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn chain_plan_edges() {
+        let fsm = Fsm::from_plan(&roles(&["sql_agent", "code_agent", "vis_agent"]));
+        assert_eq!(fsm.sources_for("code_agent"), vec!["sql_agent"]);
+        assert_eq!(fsm.sources_for("vis_agent"), vec!["code_agent"]);
+        assert!(fsm.sources_for("sql_agent").is_empty());
+    }
+
+    #[test]
+    fn extra_edges_extend_sources() {
+        let mut fsm = Fsm::from_plan(&roles(&["sql_agent", "anomaly_agent", "vis_agent"]));
+        fsm.add_edge("sql_agent", "vis_agent");
+        let src = fsm.sources_for("vis_agent");
+        assert!(src.contains(&"anomaly_agent".to_string()));
+        assert!(src.contains(&"sql_agent".to_string()));
+    }
+
+    #[test]
+    fn state_machine_lifecycle() {
+        let mut fsm = Fsm::from_plan(&roles(&["a", "b"]));
+        assert_eq!(fsm.state("a"), AgentState::Wait);
+        assert!(fsm.begin("a"));
+        assert_eq!(fsm.state("a"), AgentState::Execution);
+        assert!(!fsm.begin("a")); // can't begin twice
+        assert!(fsm.complete("a"));
+        assert_eq!(fsm.state("a"), AgentState::Wait);
+        assert!(!fsm.complete("a")); // not executing
+        fsm.finish_all();
+        assert!(fsm.all_finished());
+        assert!(!fsm.begin("a")); // finished agents never restart
+    }
+
+    #[test]
+    fn empty_plan_is_not_finished() {
+        let fsm = Fsm::from_plan(&[]);
+        assert!(!fsm.all_finished());
+    }
+}

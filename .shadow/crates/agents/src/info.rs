@@ -1,0 +1,148 @@
+//! Structured information units (paper §V): the six-field message format
+//! agents communicate with, plus the lossy natural-language serialisation
+//! used by the S2 ablation of Table III.
+
+use serde::{Deserialize, Serialize};
+
+/// The payload type of a unit's `Content` field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Content {
+    /// A SQL query text.
+    Sql(String),
+    /// A dscript program.
+    Code(String),
+    /// A chart-spec JSON.
+    Chart(String),
+    /// A data table in evidence-line form (`table v: ...` / `values ...`),
+    /// so downstream agents can ground against it.
+    Table(String),
+    /// Free text (insights, summaries, errors).
+    Text(String),
+}
+
+impl Content {
+    /// The raw inner text.
+    pub fn text(&self) -> &str {
+        match self {
+            Content::Sql(s)
+            | Content::Code(s)
+            | Content::Chart(s)
+            | Content::Table(s)
+            | Content::Text(s) => s,
+        }
+    }
+
+    /// A short label for the payload type.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Content::Sql(_) => "sql",
+            Content::Code(_) => "code",
+            Content::Chart(_) => "chart",
+            Content::Table(_) => "table",
+            Content::Text(_) => "text",
+        }
+    }
+}
+
+/// The six-field structured information unit of §V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InformationUnit {
+    /// Dataset the agent manipulated (table identifier / variable name).
+    pub data_source: String,
+    /// The producing agent's identity (e.g. `sql_agent`).
+    pub role: String,
+    /// The behaviour performed (e.g. `generate_sql_query`).
+    pub action: String,
+    /// A concise description of the executed action.
+    pub description: String,
+    /// The output payload.
+    pub content: Content,
+    /// Logical completion time (monotone counter — deterministic runs).
+    pub timestamp: u64,
+}
+
+impl InformationUnit {
+    /// Renders the unit in structured form for prompt context sections.
+    /// Table payloads are passed through verbatim so their evidence lines
+    /// stay machine-groundable — that is the point of the format.
+    pub fn render_structured(&self) -> String {
+        let mut s = format!(
+            "unit role={} action={} source={} time={}\ndescription: {}\n",
+            self.role, self.action, self.data_source, self.timestamp, self.description
+        );
+        s.push_str(self.content.text());
+        s.push('\n');
+        s
+    }
+
+    /// Renders the unit as flowing natural-language prose — the S2
+    /// ablation. The structured evidence lines are folded into sentences,
+    /// which is exactly how schema/value grounding gets lost in NL-only
+    /// multi-agent frameworks.
+    pub fn render_natural_language(&self) -> String {
+        let mut s = format!(
+            "The {} performed {} on {}. {}. It reported that ",
+            self.role.replace('_', " "),
+            self.action.replace('_', " "),
+            self.data_source,
+            self.description
+        );
+        let flattened = self
+            .content
+            .text()
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect::<Vec<_>>()
+            .join(", and that ");
+        s.push_str(&flattened);
+        s.push_str(".\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> InformationUnit {
+        InformationUnit {
+            data_source: "sales".into(),
+            role: "sql_agent".into(),
+            action: "generate_sql_query".into(),
+            description: "extracted revenue by region".into(),
+            content: Content::Table(
+                "table df_sales: region (str), sum_amount (int)\nvalues df_sales.region: east, west"
+                    .into(),
+            ),
+            timestamp: 3,
+        }
+    }
+
+    #[test]
+    fn structured_rendering_preserves_evidence_lines() {
+        let text = unit().render_structured();
+        assert!(text.contains("role=sql_agent"));
+        assert!(text.lines().any(|l| l.starts_with("table df_sales:")));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("values df_sales.region:")));
+    }
+
+    #[test]
+    fn natural_language_rendering_destroys_line_structure() {
+        let text = unit().render_natural_language();
+        // No line starts with the structured prefixes any more.
+        assert!(!text
+            .lines()
+            .any(|l| l.trim().starts_with("table df_sales:")));
+        assert!(text.contains("sql agent"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let u = unit();
+        let json = serde_json::to_string(&u).unwrap();
+        assert_eq!(serde_json::from_str::<InformationUnit>(&json).unwrap(), u);
+    }
+}

@@ -1,0 +1,41 @@
+//! # datalab-agents
+//!
+//! DataLab's **Inter-Agent Communication** module and the agents
+//! themselves (paper §V):
+//!
+//! - [`info`] — the six-field structured information unit (and its lossy
+//!   natural-language rendering used by ablation S2),
+//! - [`buffer`] — the shared information buffer with capacity doubling
+//!   and superseded-entry eviction,
+//! - [`fsm`] — the Wait/Execution/Finish protocol FSM with selective
+//!   information-flow edges,
+//! - [`sandbox`] — the dscript executable environment (Python-sandbox
+//!   substitute),
+//! - [`analysis`] — real statistics powering the analysis agents,
+//! - [`agents`] — SQL / DSCode / Vis / Insight / Anomaly / Causal /
+//!   Forecast agents,
+//! - [`proxy`] — the proxy agent orchestrating plans over the FSM,
+//! - [`baselines`] — the Table I comparator pipelines (DAIL-SQL, DIN-SQL,
+//!   CoML, Code Interpreter, LIDA, Chat2Vis, AutoGen, AgentPoirot).
+
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod analysis;
+pub mod baselines;
+pub mod buffer;
+pub mod fsm;
+pub mod info;
+pub mod proxy;
+pub mod sandbox;
+
+pub use agents::{
+    agent_for_role, frame_evidence, AgentContext, AgentError, AgentOutput, AnomalyAgent, BiAgent,
+    CausalAgent, CodeAgent, ForecastAgent, InsightAgent, SqlAgent, VisAgent,
+};
+pub use analysis::{compute_facts, linear_fit, pearson, zscores, Fact};
+pub use buffer::{BufferStats, SharedBuffer};
+pub use fsm::{AgentState, Fsm};
+pub use info::{Content, InformationUnit};
+pub use proxy::{CommunicationConfig, ProxyAgent, ProxyOutcome};
+pub use sandbox::{run_dscript, SandboxError};

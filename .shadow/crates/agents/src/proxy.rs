@@ -1,0 +1,641 @@
+//! The proxy agent (paper §V, Fig. 6): receives the user query, plans an
+//! FSM of subtasks, manages selective information retrieval from the
+//! shared buffer, runs the specialised agents, and synthesises the final
+//! answer.
+
+use crate::agents::{agent_for_role, AgentContext, AgentOutput};
+use crate::buffer::SharedBuffer;
+use crate::fsm::Fsm;
+use crate::info::InformationUnit;
+use datalab_frame::DataFrame;
+use datalab_llm::{plan_with_parts, LanguageModel, Prompt};
+use datalab_sql::Database;
+use datalab_telemetry::Telemetry;
+use datalab_viz::RenderedChart;
+use std::collections::HashMap;
+
+/// The communication-protocol ablation axes of Table III.
+#[derive(Debug, Clone)]
+pub struct CommunicationConfig {
+    /// S1 removes this: FSM-based selective retrieval. Without it every
+    /// agent receives *all* information from the shared buffer.
+    pub use_fsm: bool,
+    /// S2 removes this: the structured information format. Without it
+    /// units are rendered as natural-language prose.
+    pub structured: bool,
+    /// Maximum model/agent calls per agent (the paper's success
+    /// criterion uses 5).
+    pub max_calls_per_agent: usize,
+}
+
+impl Default for CommunicationConfig {
+    fn default() -> Self {
+        CommunicationConfig {
+            use_fsm: true,
+            structured: true,
+            max_calls_per_agent: 5,
+        }
+    }
+}
+
+/// The result of one proxied query.
+#[derive(Debug, Clone)]
+pub struct ProxyOutcome {
+    /// Final synthesised answer.
+    pub answer: String,
+    /// Whether every subtask completed within the call budget.
+    pub success: bool,
+    /// Plan (ordered agent roles).
+    pub plan: Vec<String>,
+    /// All buffer units at completion.
+    pub units: Vec<InformationUnit>,
+    /// Frames produced per agent role.
+    pub frames: HashMap<String, DataFrame>,
+    /// The last produced frame, if any.
+    pub final_frame: Option<DataFrame>,
+    /// The last rendered chart, if any.
+    pub chart: Option<RenderedChart>,
+    /// Roles whose subtasks failed.
+    pub failed_roles: Vec<String>,
+    /// Roles (and proxy stages: `planner`, `synthesizer`) served by a
+    /// rule-based fallback because the model transport was down. A
+    /// nonempty list marks the whole response as degraded.
+    pub degraded_roles: Vec<String>,
+}
+
+/// Maps the planner's task labels to agent roles.
+fn role_for_label(label: &str) -> &'static str {
+    match label.trim() {
+        "nl2sql" => "sql_agent",
+        "nl2dscode" | "nl2code" => "code_agent",
+        "nl2vis" => "vis_agent",
+        "anomaly" => "anomaly_agent",
+        "causal" => "causal_agent",
+        "forecast" => "forecast_agent",
+        _ => "insight_agent",
+    }
+}
+
+/// The proxy agent.
+pub struct ProxyAgent<'a> {
+    llm: &'a dyn LanguageModel,
+    config: CommunicationConfig,
+    telemetry: Telemetry,
+}
+
+impl<'a> ProxyAgent<'a> {
+    /// Creates a proxy over the given model (with a private, unobserved
+    /// telemetry pipeline; see [`ProxyAgent::with_telemetry`]).
+    pub fn new(llm: &'a dyn LanguageModel, config: CommunicationConfig) -> Self {
+        ProxyAgent {
+            llm,
+            config,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Shares the platform's telemetry pipeline, so the proxy's stage and
+    /// agent scopes attribute the model calls the platform observes. The
+    /// same handle must be attached to the model for token attribution to
+    /// line up.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Handles one user query end to end (steps 1-7 of Fig. 6) with a
+    /// fresh shared buffer.
+    pub fn run_query(
+        &self,
+        db: &Database,
+        schema_section: &str,
+        knowledge_section: &str,
+        question: &str,
+        current_date: &str,
+    ) -> ProxyOutcome {
+        let buffer = SharedBuffer::default();
+        self.run_query_with_buffer(
+            db,
+            schema_section,
+            knowledge_section,
+            question,
+            current_date,
+            &buffer,
+        )
+    }
+
+    /// Like [`ProxyAgent::run_query`] but reusing a session-scoped shared
+    /// buffer: in a real BI session the buffer accumulates across
+    /// queries, which is exactly what makes unselective (no-FSM)
+    /// retrieval drown agents in stale context.
+    pub fn run_query_with_buffer(
+        &self,
+        db: &Database,
+        schema_section: &str,
+        knowledge_section: &str,
+        question: &str,
+        current_date: &str,
+        buffer: &SharedBuffer,
+    ) -> ProxyOutcome {
+        // Step 1-2: analyse the query and formulate the execution plan —
+        // subtasks allocated to specialised agents. When the model
+        // transport is down, the pure rule-based planner serves instead
+        // (it is the same decomposition the simulated model performs).
+        let mut degraded_roles: Vec<String> = Vec::new();
+        let plan_out = {
+            let _stage = self.telemetry.stage("plan");
+            match self
+                .llm
+                .try_complete(&Prompt::new("plan2").section("question", question).render())
+            {
+                Ok(text) => text,
+                Err(_) => {
+                    degraded_roles.push("planner".to_string());
+                    plan_with_parts(question)
+                        .into_iter()
+                        .map(|(label, text)| format!("{label} :: {text}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                }
+            }
+        };
+        let mut plan: Vec<(String, String)> = plan_out
+            .lines()
+            .filter_map(|l| {
+                let (label, text) = l.split_once(" :: ")?;
+                Some((role_for_label(label).to_string(), text.trim().to_string()))
+            })
+            .collect();
+        plan.dedup_by(|a, b| a.0 == b.0);
+        if plan.is_empty() {
+            plan.push(("insight_agent".to_string(), question.to_string()));
+        }
+        // Run data producers before the analysis stages that consume
+        // them; analysis agents fall back to base tables when no stage
+        // produced a frame.
+        let produces_data = |r: &str| r == "sql_agent" || r == "code_agent";
+        plan.sort_by_key(|(r, _)| if produces_data(r) { 0 } else { 1 });
+        plan.dedup_by(|a, b| a.0 == b.0);
+
+        let roles: Vec<String> = plan.iter().map(|(r, _)| r.clone()).collect();
+        let mut fsm = Fsm::from_plan(&roles);
+        // Data produced by the first agent flows to every later stage, not
+        // only the next one.
+        if roles.len() > 2 && produces_data(&roles[0]) {
+            for later in roles.iter().skip(2) {
+                fsm.add_edge(roles[0].clone(), later.clone());
+            }
+        }
+
+        let run_start = buffer.now();
+        let mut session_db = db.clone();
+        let mut frames: HashMap<String, DataFrame> = HashMap::new();
+        let mut final_frame: Option<DataFrame> = None;
+        let mut chart: Option<RenderedChart> = None;
+        let mut failed_roles = Vec::new();
+        let mut focus_table: Option<String> = None;
+
+        let execute_stage = self.telemetry.stage("execute");
+        execute_stage.attr("subtasks", plan.len().to_string());
+        for (role, subtask) in &plan {
+            let agent = match agent_for_role(role) {
+                Some(a) => a,
+                None => {
+                    failed_roles.push(role.clone());
+                    self.telemetry.record_event(
+                        datalab_telemetry::EventKind::AgentFailure,
+                        format!("{role}: no agent registered for role"),
+                    );
+                    continue;
+                }
+            };
+            // Steps 5-6: selective retrieval from the shared buffer.
+            let relevant: Vec<InformationUnit> = if self.config.use_fsm {
+                // Selective retrieval: only the FSM-designated sources,
+                // and only their output for *this* task.
+                let sources = fsm.sources_for(role);
+                buffer.by_roles_since(&sources, run_start)
+            } else {
+                // No protocol: everything in the session buffer.
+                buffer.all()
+            };
+            let context_section: String = relevant
+                .iter()
+                .map(|u| {
+                    if self.config.structured {
+                        u.render_structured()
+                    } else {
+                        u.render_natural_language()
+                    }
+                })
+                .collect();
+
+            fsm.begin(role);
+            self.telemetry.metrics().incr("fsm.transitions", 1);
+            self.telemetry.record_event(
+                datalab_telemetry::EventKind::FsmTransition,
+                format!("{role}: pending -> working"),
+            );
+            self.telemetry.metrics().incr("agents.subtasks", 1);
+            // The call budget is spent inside the agent as execution-
+            // feedback retries (a deterministic model answers an identical
+            // prompt identically, so bare re-calls would be wasted).
+            let ctx = AgentContext {
+                db: &session_db,
+                llm: self.llm,
+                schema_section: schema_section.to_string(),
+                knowledge_section: knowledge_section.to_string(),
+                context_section: context_section.clone(),
+                current_date: current_date.to_string(),
+                max_retries: self.config.max_calls_per_agent.saturating_sub(1),
+                focus_table: focus_table.clone(),
+                telemetry: self.telemetry.clone(),
+            };
+            let outcome: Option<AgentOutput> = {
+                let agent_scope = self.telemetry.agent_scope(role);
+                agent_scope.attr("context_units", relevant.len().to_string());
+                agent.run(subtask, &ctx).ok()
+            };
+            fsm.complete(role);
+            self.telemetry.metrics().incr("fsm.transitions", 1);
+            self.telemetry.record_event(
+                datalab_telemetry::EventKind::FsmTransition,
+                format!("{role}: working -> done"),
+            );
+            match outcome {
+                Some(out) => {
+                    if out.degraded {
+                        degraded_roles.push(role.clone());
+                    }
+                    // Steps 3-4: deposit the agent's output into the buffer.
+                    buffer.deposit(out.unit.clone());
+                    self.telemetry.metrics().incr("buffer.deposits", 1);
+                    if let Some(frame) = out.frame {
+                        let var = format!("{role}_result");
+                        session_db.insert(var.clone(), frame.clone());
+                        frames.insert(role.clone(), frame.clone());
+                        final_frame = Some(frame);
+                        focus_table = Some(var);
+                    }
+                    if out.chart.is_some() {
+                        chart = out.chart;
+                    }
+                }
+                None => {
+                    failed_roles.push(role.clone());
+                    self.telemetry.metrics().incr("agents.failures", 1);
+                    self.telemetry.record_event(
+                        datalab_telemetry::EventKind::AgentFailure,
+                        format!("{role}: subtask failed after retries: {subtask}"),
+                    );
+                }
+            }
+        }
+        fsm.finish_all();
+        drop(execute_stage);
+
+        // Step 7: synthesise the final answer from this task's results
+        // (the proxy tracks what the current plan deposited). The
+        // synthesis consumes units in the protocol's wire format, so the
+        // no-structure ablation pays its dilution cost here too.
+        let task_units: Vec<InformationUnit> = buffer
+            .all()
+            .into_iter()
+            .filter(|u| u.timestamp > run_start)
+            .collect();
+        let facts: String = task_units
+            .iter()
+            .map(|u| {
+                if self.config.structured {
+                    // Structured units separate narrative from raw dumps;
+                    // synthesis reads the narrative (rows/code stay in the
+                    // notebook artifacts).
+                    let narrative: String = u
+                        .content
+                        .text()
+                        .lines()
+                        .filter(|l| {
+                            !l.starts_with("row:")
+                                && !l.starts_with("-- ")
+                                && !l.starts_with("values ")
+                                && !l.starts_with("table ")
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    format!("{}\n{narrative}", u.description)
+                } else {
+                    u.render_natural_language()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let answer = {
+            let _stage = self.telemetry.stage("synthesize");
+            match self.llm.try_complete(
+                &Prompt::new("summarize")
+                    .section("facts", facts.clone())
+                    .section("question", question)
+                    .render(),
+            ) {
+                Ok(text) => text,
+                Err(_) => {
+                    // Degraded synthesis: serve the leading fact lines
+                    // verbatim rather than a narrated summary.
+                    degraded_roles.push("synthesizer".to_string());
+                    facts
+                        .lines()
+                        .map(str::trim)
+                        .filter(|l| !l.is_empty())
+                        .take(12)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }
+            }
+        };
+
+        ProxyOutcome {
+            answer,
+            success: failed_roles.is_empty(),
+            plan: roles,
+            units: buffer.all(),
+            frames,
+            final_frame,
+            chart,
+            failed_roles,
+            degraded_roles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::{DataType, Date, Value};
+    use datalab_llm::SimLlm;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let dates: Vec<Value> = (0..8)
+            .map(|i| Value::Date(Date::parse("2024-01-01").unwrap().add_days(i * 30)))
+            .collect();
+        db.insert(
+            "sales",
+            DataFrame::from_columns(vec![
+                (
+                    "region",
+                    DataType::Str,
+                    (0..8)
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                "east".into()
+                            } else {
+                                "west".into()
+                            }
+                        })
+                        .collect(),
+                ),
+                (
+                    "amount",
+                    DataType::Int,
+                    (0..8).map(|i| Value::Int(10 + 3 * i)).collect(),
+                ),
+                ("day", DataType::Date, dates),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    fn schema() -> &'static str {
+        "table sales: region (str), amount (int), day (date)\nvalues sales.region: east, west"
+    }
+
+    #[test]
+    fn single_task_query() {
+        let llm = SimLlm::gpt4();
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        assert!(out.success, "{:?}", out.failed_roles);
+        assert_eq!(out.plan, vec!["sql_agent"]);
+        assert!(out.final_frame.is_some());
+        assert!(!out.units.is_empty());
+    }
+
+    #[test]
+    fn multi_stage_plan_chains_agents() {
+        let llm = SimLlm::gpt4();
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "Show total amount by region, then plot a bar chart. Forecast the amount for next month",
+            "2026-07-06",
+        );
+        assert!(
+            out.plan.contains(&"sql_agent".to_string()),
+            "{:?}",
+            out.plan
+        );
+        assert!(out.plan.contains(&"vis_agent".to_string()));
+        assert!(out.plan.contains(&"forecast_agent".to_string()));
+        assert!(out.success, "failed: {:?}", out.failed_roles);
+        assert!(out.chart.is_some());
+    }
+
+    #[test]
+    fn data_stages_run_before_analysis_stages() {
+        let llm = SimLlm::gpt4();
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "Detect anomalies in the amounts, then query the total amount by region",
+            "2026-07-06",
+        );
+        assert_eq!(
+            out.plan.first().map(String::as_str),
+            Some("sql_agent"),
+            "{:?}",
+            out.plan
+        );
+        assert!(
+            out.plan.contains(&"anomaly_agent".to_string()),
+            "{:?}",
+            out.plan
+        );
+    }
+
+    #[test]
+    fn telemetry_records_stages_and_agent_scopes() {
+        let llm = SimLlm::gpt4();
+        let telemetry = Telemetry::new();
+        llm.attach_telemetry(telemetry.clone());
+        let proxy =
+            ProxyAgent::new(&llm, CommunicationConfig::default()).with_telemetry(telemetry.clone());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        assert!(out.success, "{:?}", out.failed_roles);
+        let forest = telemetry.drain_trace();
+        let names: Vec<&str> = forest.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["plan", "execute", "synthesize"]);
+        assert_eq!(forest[1].children[0].name, "agent:sql_agent");
+        assert!(forest.iter().all(|n| n.well_formed()));
+        assert!(telemetry.metrics().counter("buffer.deposits") >= 1);
+        assert!(telemetry.metrics().counter("agents.subtasks") >= 1);
+        assert_eq!(telemetry.metrics().counter("agents.failures"), 0);
+        // The model calls landed in the right attribution buckets.
+        let attribution = telemetry.attribution();
+        assert!(attribution
+            .iter()
+            .any(|a| a.stage == "plan" && a.agent == "-"));
+        assert!(attribution
+            .iter()
+            .any(|a| a.stage == "execute" && a.agent == "sql_agent"));
+        assert!(attribution.iter().any(|a| a.stage == "synthesize"));
+        assert_eq!(telemetry.token_totals(), llm.usage().snapshot());
+    }
+
+    #[test]
+    fn active_trace_tags_every_stage_and_agent_scope() {
+        use datalab_telemetry::TraceId;
+        let llm = SimLlm::gpt4();
+        let telemetry = Telemetry::new();
+        llm.attach_telemetry(telemetry.clone());
+        telemetry.set_trace(Some(TraceId::parse("req-42").unwrap()));
+        let proxy =
+            ProxyAgent::new(&llm, CommunicationConfig::default()).with_telemetry(telemetry.clone());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        telemetry.set_trace(None);
+        assert!(out.success, "{:?}", out.failed_roles);
+        let forest = telemetry.drain_trace();
+        // Every stage span and every nested agent span carries the
+        // request's trace ID attribute.
+        fn assert_tagged(node: &datalab_telemetry::SpanNode) {
+            assert!(
+                node.attrs
+                    .iter()
+                    .any(|(k, v)| k == "trace_id" && v == "req-42"),
+                "span {} missing trace_id: {:?}",
+                node.name,
+                node.attrs
+            );
+            for child in &node.children {
+                assert_tagged(child);
+            }
+        }
+        assert!(!forest.is_empty());
+        for root in &forest {
+            assert_tagged(root);
+        }
+        // The model-call events recorded mid-pipeline carry it too.
+        let llm_events: Vec<_> = telemetry
+            .events()
+            .tail(64)
+            .into_iter()
+            .filter(|e| e.kind == datalab_telemetry::EventKind::LlmCall)
+            .collect();
+        assert!(!llm_events.is_empty());
+        for e in &llm_events {
+            assert_eq!(e.trace.as_deref(), Some("req-42"), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn transport_outage_degrades_the_whole_pipeline_without_failing() {
+        struct DownLlm;
+        impl LanguageModel for DownLlm {
+            fn name(&self) -> &str {
+                "down"
+            }
+            fn complete(&self, _prompt: &str) -> String {
+                "<<llm-error:breaker_open>>".into()
+            }
+            fn try_complete(&self, _prompt: &str) -> Result<String, datalab_llm::LlmError> {
+                Err(datalab_llm::LlmError::BreakerOpen)
+            }
+        }
+        let llm = DownLlm;
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        // Every stage fell back to the rule-based path; the query still
+        // succeeds and the answer never contains transport poison.
+        assert!(out.success, "{:?}", out.failed_roles);
+        assert!(out.degraded_roles.contains(&"planner".to_string()));
+        assert!(out.degraded_roles.contains(&"sql_agent".to_string()));
+        assert!(out.degraded_roles.contains(&"synthesizer".to_string()));
+        assert!(out.final_frame.is_some());
+        assert!(!out.answer.contains("<<llm-error"), "{}", out.answer);
+    }
+
+    #[test]
+    fn healthy_queries_report_no_degraded_roles() {
+        let llm = SimLlm::gpt4();
+        let proxy = ProxyAgent::new(&llm, CommunicationConfig::default());
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "What is the total amount by region?",
+            "2026-07-06",
+        );
+        assert!(out.success);
+        assert!(out.degraded_roles.is_empty(), "{:?}", out.degraded_roles);
+    }
+
+    #[test]
+    fn no_fsm_gives_agents_everything() {
+        let llm = SimLlm::gpt4();
+        let cfg = CommunicationConfig {
+            use_fsm: false,
+            ..Default::default()
+        };
+        let proxy = ProxyAgent::new(&llm, cfg);
+        let out = proxy.run_query(
+            &db(),
+            schema(),
+            "",
+            "Total amount by region, then chart it",
+            "2026-07-06",
+        );
+        // Still usually succeeds on simple 2-agent tasks; mainly a smoke
+        // test that the ablation path works.
+        assert!(!out.plan.is_empty());
+    }
+
+    #[test]
+    fn nl_mode_renders_prose_context() {
+        let llm = SimLlm::gpt4();
+        let cfg = CommunicationConfig {
+            structured: false,
+            ..Default::default()
+        };
+        let proxy = ProxyAgent::new(&llm, cfg);
+        let out = proxy.run_query(&db(), schema(), "", "Total amount by region", "2026-07-06");
+        assert!(!out.units.is_empty());
+    }
+}

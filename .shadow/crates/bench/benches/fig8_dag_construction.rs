@@ -1,0 +1,63 @@
+//! Fig. 8 — time cost of notebook-level DAG construction (cold start) and
+//! per-cell DAG updates, over the 50-notebook corpus (2-49 cells).
+
+use datalab_bench::header;
+use datalab_notebook::{CellDag, CellKind};
+use datalab_workloads::notebooks::notebook_corpus;
+use std::time::Instant;
+
+fn main() {
+    header(
+        "FIGURE 8 — DAG CONSTRUCTION / UPDATE TIME",
+        "paper: full construction < 250 ms (max 232.22 ms @ 35 cells); per-cell update < 10 ms (mean 3.78 ms)",
+    );
+    let corpus = notebook_corpus(88, 50, 49);
+    let reps = 30;
+    println!("{:>6} {:>16} {:>16}", "cells", "build (ms)", "update (ms)");
+    let mut update_times = Vec::new();
+    let mut max_build: (usize, f64) = (0, 0.0);
+    for case in &corpus {
+        let nb = &case.notebook;
+        // Full (notebook-level) construction.
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = CellDag::build(nb);
+        }
+        let build_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+        // Per-cell update: modify the first Python cell.
+        let mut dag = CellDag::build(nb);
+        let target = nb
+            .cells()
+            .iter()
+            .find(|c| c.kind == CellKind::Python)
+            .map(|c| c.id);
+        let update_ms = match target {
+            Some(id) => {
+                let mut nb2 = nb.clone();
+                let t1 = Instant::now();
+                for r in 0..reps {
+                    nb2.modify(id, format!("edited_{r} = {r} + 1"));
+                    dag.update_cell(&nb2, id);
+                }
+                t1.elapsed().as_secs_f64() * 1000.0 / reps as f64
+            }
+            None => 0.0,
+        };
+        update_times.push(update_ms);
+        if build_ms > max_build.1 {
+            max_build = (nb.len(), build_ms);
+        }
+        println!("{:>6} {:>16.3} {:>16.3}", nb.len(), build_ms, update_ms);
+    }
+    let mean_update = update_times.iter().sum::<f64>() / update_times.len().max(1) as f64;
+    let max_update = update_times.iter().cloned().fold(0.0f64, f64::max);
+    println!();
+    println!(
+        "max full construction: {:.3} ms at {} cells (paper max: 232.22 ms @ 35 cells)",
+        max_build.1, max_build.0
+    );
+    println!(
+        "per-cell update: mean {:.3} ms, max {:.3} ms (paper: mean 3.78 ms, max 9.84 ms)",
+        mean_update, max_update
+    );
+}

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the sharded fleet executor and the embedding
+//! hot path: `run_fleet` at 1/2/4 workers (same seed, same tasks — only
+//! the thread count varies) and `HashEmbedder::embed` against the former
+//! per-feature `format!` formulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalab_llm::util::{fnv1a, stem, words};
+use datalab_llm::{HashEmbedder, EMBED_DIM};
+use datalab_workloads::{run_fleet, FleetConfig};
+use std::hint::black_box;
+
+fn bench_fleet_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_parallel");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let config = FleetConfig {
+            seed: 7,
+            tasks_per_workload: 2,
+            workers,
+            ..FleetConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("run_fleet", workers),
+            &config,
+            |b, config| b.iter(|| black_box(run_fleet(config))),
+        );
+    }
+    group.finish();
+}
+
+/// The pre-optimisation embedding: per-feature `format!` strings hashed
+/// whole. Bit-identical to `HashEmbedder::embed` (asserted in the llm
+/// crate's tests); benched here as the allocation-heavy baseline.
+fn embed_format_baseline(text: &str) -> Vec<f32> {
+    fn bump(v: &mut [f32], feature: &str, weight: f32) {
+        let h = fnv1a(feature.as_bytes());
+        let idx = (h % EMBED_DIM as u64) as usize;
+        let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign * weight;
+    }
+    let mut v = vec![0.0f32; EMBED_DIM];
+    for w in words(text) {
+        let s = stem(&w);
+        bump(&mut v, &format!("w:{s}"), 1.0);
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() >= 3 {
+            for win in chars.windows(3) {
+                let tri: String = win.iter().collect();
+                bump(&mut v, &format!("t:{tri}"), 0.35);
+            }
+        }
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let text = "monthly shouldincome_after tax revenue rollup by product category and sales region";
+    let embedder = HashEmbedder::new();
+    assert_eq!(
+        embedder.embed(text),
+        embed_format_baseline(text),
+        "baseline diverged from the production path"
+    );
+    let mut group = c.benchmark_group("hash_embed");
+    group.bench_function("allocation_free", |b| {
+        b.iter(|| black_box(embedder.embed(black_box(text))))
+    });
+    group.bench_function("format_baseline", |b| {
+        b.iter(|| black_box(embed_format_baseline(black_box(text))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_workers, bench_embed);
+criterion_main!(benches);

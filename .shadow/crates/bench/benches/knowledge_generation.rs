@@ -1,0 +1,69 @@
+//! §VII-C1 — knowledge-generation quality and throughput: SES between
+//! generated and expert descriptions, plus deployment-style statistics.
+
+use datalab_bench::header;
+use datalab_llm::SimLlm;
+use datalab_workloads::enterprise::{enterprise_corpus, generate_corpus_knowledge};
+use datalab_workloads::metrics::{mean, ses, share_at_least};
+use std::time::Instant;
+
+fn main() {
+    header(
+        "KNOWLEDGE GENERATION QUALITY (§VII-C1)",
+        "paper: SES 0.712 tables (60% ≥ 0.7) / 0.677 columns (53% ≥ 0.7); 45.2 s/table at Tencent scale",
+    );
+    let corpus = enterprise_corpus(41, 10);
+    let llm = SimLlm::gpt4();
+    let started = Instant::now();
+    let gk = generate_corpus_knowledge(&corpus, &llm);
+    let elapsed = started.elapsed();
+
+    let mut table_ses = Vec::new();
+    let mut column_ses = Vec::new();
+    let mut columns_generated = 0usize;
+    for t in &corpus.tables {
+        let tk = &gk.per_table[&t.spec.name.to_lowercase()];
+        table_ses.push(ses(
+            &format!("{} {}", tk.description, tk.usage),
+            &t.gold_table_description,
+        ));
+        for (col, gold) in &t.gold_column_descriptions {
+            if let Some(ck) = tk.column(col) {
+                columns_generated += 1;
+                column_ses.push(ses(&format!("{} {}", ck.description, ck.usage), gold));
+            }
+        }
+    }
+    let n_tables = corpus.tables.len();
+    let n_columns: usize = corpus
+        .tables
+        .iter()
+        .map(|t| {
+            corpus
+                .db
+                .get(&t.spec.name)
+                .map(|df| df.n_cols())
+                .unwrap_or(0)
+        })
+        .sum();
+    let attempts: usize = gk.reports.iter().map(|r| r.map_attempts).sum();
+    let scripts: usize = gk.reports.iter().map(|r| r.scripts_used).sum();
+
+    println!("tables processed            : {n_tables}");
+    println!("columns in corpus           : {n_columns}");
+    println!("scripts used (after dedup)  : {scripts}");
+    println!("map-phase LLM attempts      : {attempts}");
+    println!("graph nodes                 : {}", gk.graph.len());
+    println!(
+        "wall time                   : {:?} ({:.1} ms/table)",
+        elapsed,
+        elapsed.as_secs_f64() * 1000.0 / n_tables as f64
+    );
+    println!();
+    println!(
+        "Table SES  mean={:.3}  share>=0.7={:.0}%   (paper: 0.712, 60%)",
+        mean(&table_ses),
+        share_at_least(&table_ses, 0.7)
+    );
+    println!("Column SES mean={:.3}  share>=0.7={:.0}%   (paper: 0.677, 53%)   columns scored: {columns_generated}", mean(&column_ses), share_at_least(&column_ses, 0.7));
+}

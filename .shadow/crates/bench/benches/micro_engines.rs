@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for the substrate engines: SQL execution,
+//! knowledge retrieval, shared-buffer operations, frame group-by, and
+//! pymini analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalab_agents::{Content, InformationUnit, SharedBuffer};
+use datalab_frame::{AggExpr, AggFunc, DataFrame, DataType, Value};
+use datalab_knowledge::{retrieve, IndexTask, KnowledgeIndex, RetrievalConfig};
+use datalab_llm::SimLlm;
+use datalab_sql::{run_sql, Database};
+use datalab_workloads::enterprise::{enterprise_corpus, generate_corpus_knowledge};
+use std::hint::black_box;
+
+fn big_frame(rows: usize) -> DataFrame {
+    DataFrame::from_columns(vec![
+        (
+            "k",
+            DataType::Str,
+            (0..rows)
+                .map(|i| Value::Str(format!("g{}", i % 40)))
+                .collect(),
+        ),
+        (
+            "v",
+            DataType::Int,
+            (0..rows).map(|i| Value::Int(i as i64 % 1000)).collect(),
+        ),
+    ])
+    .expect("bench frame")
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut db = Database::new();
+    db.insert("t", big_frame(5_000));
+    c.bench_function("sql/group_by_5k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                run_sql(
+                    "SELECT k, SUM(v) FROM t WHERE v > 100 GROUP BY k ORDER BY k LIMIT 10",
+                    &db,
+                )
+                .expect("runs"),
+            )
+        })
+    });
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let df = big_frame(10_000);
+    c.bench_function("frame/group_by_10k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                df.group_by(&["k"], &[AggExpr::new(AggFunc::Sum, "v", "s")])
+                    .expect("groups"),
+            )
+        })
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let corpus = enterprise_corpus(7, 6);
+    let llm = SimLlm::gpt4();
+    let gk = generate_corpus_knowledge(&corpus, &llm);
+    let index = KnowledgeIndex::build(&gk.graph, IndexTask::Nl2Dsl);
+    c.bench_function("knowledge/retrieve", |b| {
+        b.iter(|| {
+            black_box(retrieve(
+                &llm,
+                &gk.graph,
+                &index,
+                "show me the income of TencentBI this year",
+                &RetrievalConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("buffer/deposit_supersede", |b| {
+        let buf = SharedBuffer::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            buf.deposit(InformationUnit {
+                data_source: format!("t{}", i % 16),
+                role: "sql_agent".into(),
+                action: "q".into(),
+                description: String::new(),
+                content: Content::Text("x".into()),
+                timestamp: 0,
+            })
+        })
+    });
+}
+
+fn bench_pymini(c: &mut Criterion) {
+    let src = "import pandas as pd\n\
+               def clean(frame):\n    tmp = frame.dropna()\n    return tmp\n\
+               stage = clean(raw_df)\n\
+               agg = stage.groupby('region').agg(total=('amount', 'sum'))\n\
+               final = agg.sort_values('total', ascending=False)";
+    c.bench_function("pymini/analyze", |b| {
+        b.iter(|| black_box(datalab_notebook::analyze(src)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sql,
+    bench_frame,
+    bench_retrieval,
+    bench_buffer,
+    bench_pymini
+);
+criterion_main!(benches);

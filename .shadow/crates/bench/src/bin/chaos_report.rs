@@ -1,0 +1,217 @@
+//! Chaos resilience report: runs the deterministic workload fleet at a
+//! sweep of transport fault-injection rates and writes a resilience
+//! report (success rate, degraded rate, retries, breaker trips per
+//! injected rate) under `target/telemetry/`.
+//!
+//! ```text
+//! cargo run -p datalab-bench --bin chaos_report -- [--seed N] [--tasks N]
+//!     [--workers W] [--chaos-seed N] [--rates 0.0,0.2]
+//!     [--min-success-rate R] [--baseline PATH] [--out PATH]
+//! ```
+//!
+//! Gates (exit 1 on violation):
+//!
+//! - every swept rate must reach `--min-success-rate` (default 0.5);
+//! - when `--baseline PATH` is given and the sweep includes rate `0.0`,
+//!   that run's report must equal the baseline under
+//!   `FleetReport::comparable()` — fault injection at rate zero must be
+//!   a bit-identical passthrough.
+//!
+//! Usage errors exit 2.
+
+use datalab_bench::telemetry_dir;
+use datalab_core::FleetReport;
+use datalab_workloads::{render_sweep, run_chaos_sweep, ChaosPoint, FleetConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    config: FleetConfig,
+    rates: Vec<f64>,
+    min_success_rate: f64,
+    baseline: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_rates(text: &str) -> Result<Vec<f64>, String> {
+    let rates: Result<Vec<f64>, _> = text.split(',').map(|r| r.trim().parse()).collect();
+    let rates = rates.map_err(|e| format!("--rates: {e}"))?;
+    if rates.is_empty() {
+        return Err("--rates needs at least one rate".to_string());
+    }
+    if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        return Err("--rates must be within [0.0, 1.0]".to_string());
+    }
+    Ok(rates)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        config: FleetConfig::default(),
+        rates: vec![0.0, 0.2],
+        min_success_rate: 0.5,
+        baseline: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        match arg.as_str() {
+            "--seed" => {
+                parsed.config.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--tasks" => {
+                parsed.config.tasks_per_workload = take("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?
+            }
+            "--workers" => {
+                parsed.config.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--chaos-seed" => {
+                parsed.config.chaos_seed = take("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?
+            }
+            "--rates" => parsed.rates = parse_rates(&take("--rates")?)?,
+            "--min-success-rate" => {
+                parsed.min_success_rate = take("--min-success-rate")?
+                    .parse()
+                    .map_err(|e| format!("--min-success-rate: {e}"))?
+            }
+            "--baseline" => parsed.baseline = Some(PathBuf::from(take("--baseline")?)),
+            "--out" => parsed.out = Some(PathBuf::from(take("--out")?)),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn point_json(p: &ChaosPoint) -> String {
+    format!(
+        "{{\"fault_rate\":{},\"runs\":{},\"passed\":{},\"success_rate\":{:.4},\
+         \"degraded\":{},\"degraded_rate\":{:.4},\"faults\":{},\
+         \"transport_retries\":{},\"breaker_trips\":{}}}",
+        p.fault_rate,
+        p.runs,
+        p.passed,
+        p.success_rate,
+        p.degraded,
+        p.degraded_rate,
+        p.faults,
+        p.transport_retries,
+        p.breaker_trips
+    )
+}
+
+fn run() -> Result<u8, String> {
+    let args = parse_args()?;
+    eprintln!(
+        "chaos_report: seed={} tasks_per_workload={} workers={} chaos_seed={} rates={:?} \
+         min_success_rate={}",
+        args.config.seed,
+        args.config.tasks_per_workload,
+        args.config.workers.max(1),
+        args.config.chaos_seed,
+        args.rates,
+        args.min_success_rate
+    );
+
+    let baseline =
+        match &args.baseline {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+                Some(FleetReport::from_json(&text).map_err(|e| {
+                    format!("baseline {} is not a fleet report: {e}", path.display())
+                })?)
+            }
+            None => None,
+        };
+
+    let sweep = run_chaos_sweep(&args.config, &args.rates);
+    let points: Vec<ChaosPoint> = sweep.iter().map(|(p, _)| p.clone()).collect();
+    print!("{}", render_sweep(&points));
+
+    let mut failures = Vec::new();
+    for (point, report) in &sweep {
+        if point.success_rate < args.min_success_rate {
+            failures.push(format!(
+                "rate {:.2}: success rate {:.2} below the {:.2} floor",
+                point.fault_rate, point.success_rate, args.min_success_rate
+            ));
+        }
+        if point.fault_rate == 0.0 {
+            if !report.resilience.is_zero() {
+                failures.push(format!(
+                    "rate 0.00: resilience counters nonzero without injected faults: {:?}",
+                    report.resilience
+                ));
+            }
+            if let Some(baseline) = &baseline {
+                if report.comparable() != baseline.comparable() {
+                    failures.push(
+                        "rate 0.00: report diverged from the baseline (chaos at rate zero \
+                         must be a bit-identical passthrough)"
+                            .to_string(),
+                    );
+                }
+            }
+        } else if point.faults == 0 {
+            failures.push(format!(
+                "rate {:.2}: no faults were injected (chaos wiring broken?)",
+                point.fault_rate
+            ));
+        }
+    }
+
+    let path = match args.out {
+        Some(p) => p,
+        None => telemetry_dir()
+            .map_err(|e| format!("cannot create target/telemetry: {e}"))?
+            .join("chaos_report.json"),
+    };
+    let body: Vec<String> = points.iter().map(point_json).collect();
+    let report_json = format!(
+        "{{\"seed\":{},\"tasks_per_workload\":{},\"workers\":{},\"chaos_seed\":{},\
+         \"min_success_rate\":{},\"baseline_checked\":{},\"points\":[{}]}}",
+        args.config.seed,
+        args.config.tasks_per_workload,
+        args.config.workers.max(1),
+        args.config.chaos_seed,
+        args.min_success_rate,
+        baseline.is_some(),
+        body.join(",")
+    );
+    std::fs::write(&path, report_json)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("chaos report written: {}", path.display());
+
+    if failures.is_empty() {
+        println!("chaos gate: ok ({} rates swept)", points.len());
+        Ok(0)
+    } else {
+        for failure in &failures {
+            eprintln!("chaos_report: FAILED: {failure}");
+        }
+        Ok(1)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("chaos_report: {e}");
+            eprintln!(
+                "usage: chaos_report [--seed N] [--tasks N] [--workers W] [--chaos-seed N] \
+                 [--rates 0.0,0.2] [--min-success-rate R] [--baseline PATH] [--out PATH]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

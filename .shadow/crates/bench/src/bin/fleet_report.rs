@@ -1,0 +1,156 @@
+//! Generates a workload-driven fleet report: sampled nl2sql / nl2code /
+//! nl2vis / insight tasks run through the full platform, one run record
+//! per task, aggregated and written as JSON for `obsdiff` to gate.
+//!
+//! ```text
+//! cargo run -p datalab-bench --bin fleet_report -- [--seed N] [--tasks N] [--workers W]
+//!     [--chaos-rate R] [--chaos-seed N] [--out PATH] [--no-profile]
+//! ```
+//!
+//! Defaults: seed 7, 3 tasks per workload family, 1 worker (serial),
+//! chaos rate 0.0 (no fault injection), output
+//! `target/telemetry/fleet_report.json`. With `--workers W > 1` the
+//! sharded parallel executor is used; the report is identical to the
+//! serial one except for its wall-clock fields. `--chaos-rate R > 0`
+//! injects transport faults at total rate R (deterministic in
+//! `--chaos-seed`); the report then carries nonzero resilience counters.
+//!
+//! Alongside the JSON report, the run's span trees are folded into
+//! collapsed-stack profiles — `profile_wall.folded`, `profile_cpu.folded`,
+//! and `profile_alloc.folded` next to the report — ready for any
+//! flamegraph renderer (`--no-profile` skips them). The binary installs
+//! the counting allocator, so the alloc weighting and the report's
+//! `alloc` block carry real per-query attribution.
+
+use datalab_bench::telemetry_dir;
+use datalab_core::{folded_profile, folded_total, ProfileWeight};
+use datalab_telemetry::CountingAlloc;
+use datalab_workloads::{run_fleet_with_records, FleetConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Attribute every allocation of the fleet run to its span, so the
+/// report's `alloc.*_per_query` metrics (gated by `obsdiff`) and the
+/// alloc-weighted folded profile are populated.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() -> ExitCode {
+    let mut config = FleetConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut profile = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        let result = match arg.as_str() {
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse()
+                    .map(|n| config.seed = n)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--tasks" => take("--tasks").and_then(|v| {
+                v.parse()
+                    .map(|n| config.tasks_per_workload = n)
+                    .map_err(|e| format!("--tasks: {e}"))
+            }),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--chaos-rate" => take("--chaos-rate").and_then(|v| {
+                v.parse()
+                    .map(|n| config.chaos_rate = n)
+                    .map_err(|e| format!("--chaos-rate: {e}"))
+            }),
+            "--chaos-seed" => take("--chaos-seed").and_then(|v| {
+                v.parse()
+                    .map(|n| config.chaos_seed = n)
+                    .map_err(|e| format!("--chaos-seed: {e}"))
+            }),
+            "--out" => take("--out").map(|v| out = Some(PathBuf::from(v))),
+            "--no-profile" => {
+                profile = false;
+                Ok(())
+            }
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("fleet_report: {e}");
+            eprintln!(
+                "usage: fleet_report [--seed N] [--tasks N] [--workers W] \
+                 [--chaos-rate R] [--chaos-seed N] [--out PATH] [--no-profile]"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    eprintln!(
+        "fleet_report: seed={} tasks_per_workload={} workers={} chaos_rate={} chaos_seed={}",
+        config.seed,
+        config.tasks_per_workload,
+        config.workers.max(1),
+        config.chaos_rate,
+        config.chaos_seed
+    );
+    let (report, records) = run_fleet_with_records(&config);
+    print!("{}", report.render());
+
+    let path = match out {
+        Some(p) => p,
+        None => match telemetry_dir() {
+            Ok(dir) => dir.join("fleet_report.json"),
+            Err(e) => {
+                eprintln!("fleet_report: cannot create target/telemetry: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("fleet_report: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("fleet report written: {}", path.display());
+
+    if profile {
+        let dir = path.parent().map(PathBuf::from).unwrap_or_default();
+        for (weight, file) in [
+            (ProfileWeight::Wall, "profile_wall.folded"),
+            (ProfileWeight::Cpu, "profile_cpu.folded"),
+            (ProfileWeight::AllocBytes, "profile_alloc.folded"),
+        ] {
+            let folded = folded_profile(&records, weight);
+            let folded_path = dir.join(file);
+            if let Err(e) = std::fs::write(&folded_path, &folded) {
+                eprintln!("fleet_report: cannot write {}: {e}", folded_path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "folded profile ({}) written: {} ({} stacks, total weight {})",
+                weight.as_str(),
+                folded_path.display(),
+                folded.lines().count(),
+                folded_total(&folded)
+            );
+        }
+        // Self-check the wall profile against the report: folded stack
+        // weights partition the recorded root spans, so the totals must
+        // agree exactly.
+        let wall = folded_profile(&records, ProfileWeight::Wall);
+        let span_total: u64 = records
+            .iter()
+            .flat_map(|r| r.summary.spans.iter())
+            .map(|s| s.dur_us)
+            .sum();
+        if wall.is_empty() || folded_total(&wall) != span_total {
+            eprintln!(
+                "fleet_report: wall profile weight {} disagrees with recorded span time {}",
+                folded_total(&wall),
+                span_total
+            );
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

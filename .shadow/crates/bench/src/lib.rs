@@ -1,0 +1,78 @@
+//! Shared helpers for the DataLab benchmark harness.
+
+#![warn(missing_docs)]
+
+use datalab_telemetry::Telemetry;
+use std::path::PathBuf;
+
+/// Prints a section header for a reproduced table/figure.
+pub fn header(title: &str, paper_ref: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref}; paper values quoted for shape comparison)");
+    println!("==================================================================");
+}
+
+/// Prints one metric row: benchmark, metric, and per-method values.
+pub fn row(benchmark: &str, metric: &str, cells: &[(&str, String)]) {
+    let body: Vec<String> = cells.iter().map(|(m, v)| format!("{m}={v}")).collect();
+    println!("{benchmark:<18} {metric:<22} {}", body.join("  "));
+}
+
+/// The directory telemetry artifacts land in: `target/telemetry/`
+/// (honouring `CARGO_TARGET_DIR`), created on first use.
+pub fn telemetry_dir() -> std::io::Result<PathBuf> {
+    let target =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()));
+    let dir = target.join("telemetry");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes a bench run's telemetry (metrics registry + token attribution)
+/// as `target/telemetry/<bench_name>_telemetry.json`, so runs can be
+/// diffed offline. Creates the directory if needed. Returns the path
+/// written, or `None` when the directory is not writable (benches must
+/// not fail on I/O).
+pub fn write_metrics_snapshot(bench_name: &str, telemetry: &Telemetry) -> Option<PathBuf> {
+    let dir = match telemetry_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("telemetry snapshot not written ({e})");
+            return None;
+        }
+    };
+    let path = dir.join(format!("{bench_name}_telemetry.json"));
+    match std::fs::write(&path, telemetry.snapshot_json()) {
+        Ok(()) => {
+            println!("telemetry snapshot: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("telemetry snapshot not written ({e})");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lands_in_the_telemetry_dir() {
+        let t = Telemetry::new();
+        t.metrics().incr("llm.calls", 3);
+        t.record_llm_call(10, 2);
+        let path = write_metrics_snapshot("bench_lib_test", &t).expect("writable target dir");
+        assert_eq!(
+            path.parent().and_then(|p| p.file_name()).unwrap(),
+            "telemetry"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"llm.calls\""), "{text}");
+        assert!(text.contains("\"attribution\""), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+}

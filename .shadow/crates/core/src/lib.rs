@@ -1,0 +1,44 @@
+//! # datalab-core
+//!
+//! The unified DataLab platform (paper §III): one façade that wires the
+//! LLM-based agent framework to the computational-notebook interface,
+//! with the three critical modules — Domain Knowledge Incorporation,
+//! Inter-Agent Communication, and Cell-based Context Management —
+//! composed the way Fig. 2 describes.
+//!
+//! ```
+//! use datalab_core::DataLab;
+//! use datalab_frame::{DataFrame, DataType};
+//!
+//! let mut lab = DataLab::new(Default::default());
+//! let df = DataFrame::from_columns(vec![
+//!     ("region", DataType::Str, vec!["east".into(), "west".into()]),
+//!     ("amount", DataType::Int, vec![10.into(), 20.into()]),
+//! ]).unwrap();
+//! lab.register_table("sales", df).unwrap();
+//! let response = lab.query("What is the total amount by region?");
+//! assert!(response.frame.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod platform;
+pub mod recorder;
+
+pub use platform::{DataLab, DataLabConfig, DataLabResponse};
+// Transport-resilience configuration surfaces on `DataLabConfig` and
+// `DataLab::breaker_state`; re-exported so downstream crates (server,
+// workloads, bench) need not depend on datalab-llm directly.
+pub use datalab_llm::{BreakerConfig, BreakerState, ChaosConfig, RetryPolicy};
+// Request-tracing context threaded through `DataLab::query_with_context`;
+// re-exported for the same reason.
+pub use datalab_telemetry::{RequestContext, TraceId};
+pub use recorder::{
+    diff_reports, folded_profile, AllocTotals, FleetReport, LatencyStats, LlmTotals, Regression,
+    ResilienceStats, RunRecord, RunRecorder, StageStats, TokenTotals, WorkloadStats,
+    LATENCY_BUCKETS_US,
+};
+// Profile weighting selector for `folded_profile`; re-exported so bench
+// and server consume collapsed-stack output without a direct
+// datalab-telemetry dependency on the weighting enum.
+pub use datalab_telemetry::{folded_total, ProfileWeight};

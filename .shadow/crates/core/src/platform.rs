@@ -1,0 +1,1053 @@
+//! The `DataLab` platform façade.
+
+use datalab_agents::{CommunicationConfig, ProxyAgent, SharedBuffer};
+use datalab_frame::{DataFrame, FrameError};
+use datalab_knowledge::{
+    generate_table_knowledge_traced, incorporate_traced, profile_table, GenerationConfig,
+    GenerationReport, IncorporateConfig, IndexTask, JargonEntry, KnowledgeGraph, KnowledgeIndex,
+    Lineage, NodeKind, Script, TableKnowledge,
+};
+use datalab_llm::{
+    BreakerConfig, BreakerState, ChaosConfig, ChaosLlm, LanguageModel, ModelProfile, ResilientLlm,
+    RetryPolicy, SimLlm,
+};
+use datalab_notebook::{CellDag, CellKind, Notebook};
+use datalab_sql::Database;
+use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, RequestContext, Telemetry};
+use datalab_viz::RenderedChart;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::recorder::{FleetReport, ResilienceStats, RunRecord, RunRecorder};
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct DataLabConfig {
+    /// Foundation-model capability profile.
+    pub model: ModelProfile,
+    /// Inter-agent communication settings (Table III ablations).
+    pub communication: CommunicationConfig,
+    /// Knowledge utilization settings (Table II ablations).
+    pub incorporate: IncorporateConfig,
+    /// Knowledge generation settings (Algorithm 1).
+    pub generation: GenerationConfig,
+    /// "Today" for temporal query standardisation.
+    pub current_date: String,
+    /// Whether each query pushes a [`RunRecord`] into the session's
+    /// [`RunRecorder`]. Bench fleets keep this on; long-lived serving
+    /// sessions turn it off so per-query records cannot accumulate
+    /// without bound (the serving layer aggregates into its own metrics
+    /// instead).
+    pub record_runs: bool,
+    /// Fault injection for the model transport. `None` (the default)
+    /// leaves the transport a bit-identical passthrough; chaos fleets set
+    /// rates here to exercise the resilience machinery.
+    pub chaos: Option<ChaosConfig>,
+    /// Retry/backoff/deadline policy for the resilient transport.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds for the resilient transport.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for DataLabConfig {
+    fn default() -> Self {
+        DataLabConfig {
+            model: ModelProfile::gpt4(),
+            communication: CommunicationConfig::default(),
+            incorporate: IncorporateConfig::default(),
+            generation: GenerationConfig::default(),
+            current_date: "2026-07-06".to_string(),
+            record_runs: true,
+            chaos: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// What one `query` call produced.
+#[derive(Debug, Clone)]
+pub struct DataLabResponse {
+    /// Final synthesised answer.
+    pub answer: String,
+    /// The rewritten (clarified) query.
+    pub rewritten_query: String,
+    /// The execution plan (agent roles, in order).
+    pub plan: Vec<String>,
+    /// The last produced data frame, if any.
+    pub frame: Option<DataFrame>,
+    /// The last rendered chart, if any.
+    pub chart: Option<RenderedChart>,
+    /// DSL JSON the grounding stage produced (empty if skipped).
+    pub dsl_json: String,
+    /// Whether every subtask completed.
+    pub success: bool,
+    /// Notebook cells appended by this query (ids in notebook order).
+    pub new_cells: Vec<datalab_notebook::CellId>,
+    /// Observability summary for this query: the span tree, per-stage /
+    /// per-agent token attribution, and exporters (Chrome trace, JSON,
+    /// human-readable rendering).
+    pub telemetry: QuerySummary,
+    /// Flight record: every event the recorder retained for this query,
+    /// attached only when the query failed (empty on success). Render
+    /// with [`datalab_telemetry::render_flight_record`].
+    pub flight_record: Vec<Event>,
+    /// True when at least one pipeline stage was served by a rule-based
+    /// degradation path because the model transport was down. The answer
+    /// is still structured and safe to display, but was produced without
+    /// the model.
+    pub degraded: bool,
+    /// Transport-resilience counters observed during this query: faults,
+    /// retries, breaker trips, degradations.
+    pub resilience: ResilienceStats,
+}
+
+/// The unified BI platform.
+pub struct DataLab {
+    config: DataLabConfig,
+    llm: Arc<SimLlm>,
+    /// The fault-tolerant model path the agent pipeline calls through:
+    /// retries + circuit breaker over the (optionally chaotic) backend.
+    transport: ResilientLlm<ChaosLlm<Arc<SimLlm>>>,
+    db: Database,
+    graph: KnowledgeGraph,
+    index: Option<KnowledgeIndex>,
+    knowledge: BTreeMap<String, TableKnowledge>,
+    notebook: Notebook,
+    dag: CellDag,
+    history: Vec<String>,
+    profile_lines: String,
+    session_buffer: SharedBuffer,
+    telemetry: Telemetry,
+    recorder: RunRecorder,
+}
+
+impl DataLab {
+    /// Creates an empty platform.
+    pub fn new(config: DataLabConfig) -> Self {
+        let llm = Arc::new(SimLlm::new(config.model.clone()));
+        let telemetry = Telemetry::new();
+        // Every model call now lands in the attribution ledger and the
+        // metrics registry, whichever layer triggered it.
+        llm.attach_telemetry(telemetry.clone());
+        // The agent pipeline calls the model through the resilient
+        // transport: chaos (disabled unless configured) under bounded
+        // retries and a circuit breaker. With chaos off the stack is a
+        // bit-identical passthrough over the shared backend.
+        let chaos = config
+            .chaos
+            .clone()
+            .unwrap_or_else(|| ChaosConfig::disabled(7));
+        let transport = ResilientLlm::new(
+            ChaosLlm::new(Arc::clone(&llm), chaos),
+            config.retry.clone(),
+            config.breaker.clone(),
+        );
+        transport.attach_telemetry(telemetry.clone());
+        let notebook = Notebook::new();
+        let dag = CellDag::build(&notebook);
+        DataLab {
+            config,
+            llm,
+            transport,
+            db: Database::new(),
+            graph: KnowledgeGraph::new(),
+            index: None,
+            knowledge: BTreeMap::new(),
+            notebook,
+            dag,
+            history: Vec::new(),
+            profile_lines: String::new(),
+            session_buffer: SharedBuffer::default(),
+            telemetry,
+            recorder: RunRecorder::new(),
+        }
+    }
+
+    /// Increments `platform.errors.<kind>` and records a
+    /// [`EventKind::PlatformError`] flight-recorder event.
+    fn note_platform_error(&self, kind: &str, detail: &str) {
+        self.telemetry
+            .metrics()
+            .incr(&format!("platform.errors.{kind}"), 1);
+        self.telemetry
+            .record_event(EventKind::PlatformError, detail);
+    }
+
+    /// Registers a data table and profiles it (the §IV-C fallback, so
+    /// in-the-wild tables are groundable immediately). Accepts an owned
+    /// frame or an `Arc<DataFrame>` — fleet runners registering one
+    /// source table with many sessions share the allocation instead of
+    /// deep-copying the columns per session.
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        df: impl Into<Arc<DataFrame>>,
+    ) -> Result<(), FrameError> {
+        let df = df.into();
+        let profiled = profile_table(&self.llm, name, &df)?;
+        self.profile_lines.push_str(&profiled.render());
+        self.db.insert(name, df);
+        Ok(())
+    }
+
+    /// Registers a table from CSV text (types inferred), profiling it like
+    /// [`DataLab::register_table`].
+    pub fn register_csv(&mut self, name: &str, csv_text: &str) -> Result<(), FrameError> {
+        let result =
+            datalab_frame::csv::from_csv(csv_text).and_then(|df| self.register_table(name, df));
+        if let Err(e) = &result {
+            self.note_platform_error("csv_register", &format!("register_csv {name}: {e}"));
+        }
+        result
+    }
+
+    /// Serialises the knowledge graph to JSON (for persistence across
+    /// sessions; the paper's deployment regenerates knowledge daily and
+    /// serves it from storage). Serialisation failures surface as an
+    /// error instead of silently exporting an empty graph.
+    pub fn export_knowledge(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(&self.graph)
+    }
+
+    /// Restores a knowledge graph exported by
+    /// [`DataLab::export_knowledge`] and rebuilds the retrieval index.
+    pub fn import_knowledge(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        match serde_json::from_str(json) {
+            Ok(graph) => {
+                self.graph = graph;
+                self.rebuild_index();
+                Ok(())
+            }
+            Err(e) => {
+                self.note_platform_error("knowledge_import", &format!("import_knowledge: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Serialises the notebook to JSON.
+    pub fn export_notebook(&self) -> String {
+        serde_json::to_string(&self.notebook).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Restores a notebook exported by [`DataLab::export_notebook`] and
+    /// rebuilds its dependency DAG.
+    pub fn import_notebook(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        match serde_json::from_str(json) {
+            Ok(notebook) => {
+                self.notebook = notebook;
+                self.dag = CellDag::build(&self.notebook);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_platform_error("notebook_import", &format!("import_notebook: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Ingests a table's script history and lineage, running Algorithm 1
+    /// knowledge generation and refreshing the retrieval index.
+    pub fn ingest_scripts(
+        &mut self,
+        table: &str,
+        scripts: &[Script],
+        lineage: &Lineage,
+    ) -> GenerationReport {
+        let schema_line = self.schema_section();
+        let (tk, report) = generate_table_knowledge_traced(
+            &self.llm,
+            table,
+            &schema_line,
+            scripts,
+            lineage,
+            &self.knowledge,
+            &self.config.generation,
+            &self.telemetry,
+        );
+        self.graph.ingest_table("default", &tk);
+        self.knowledge.insert(table.to_lowercase(), tk);
+        self.rebuild_index();
+        report
+    }
+
+    /// Adds a jargon glossary entry.
+    pub fn add_jargon(&mut self, term: &str, expansion: &str) {
+        self.graph.ingest_jargon(&JargonEntry {
+            term: term.into(),
+            expansion: expansion.into(),
+        });
+        self.rebuild_index();
+    }
+
+    /// Adds a curated value alias (e.g. `TencentBI` → `prod_class4_name =
+    /// 'Tencent BI'`).
+    pub fn add_value_alias(&mut self, term: &str, table: &str, column: &str, value: &str) {
+        let name = format!("{table}.{column}={value}");
+        let v = self.graph.find(NodeKind::Value, &name).unwrap_or_else(|| {
+            self.graph
+                .ingest_value(table, column, value, "curated value")
+        });
+        self.graph.add_alias(term, v);
+        self.rebuild_index();
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = Some(KnowledgeIndex::build(&self.graph, IndexTask::Nl2Dsl));
+    }
+
+    /// The schema prompt section for all registered tables.
+    pub fn schema_section(&self) -> String {
+        let mut s = String::new();
+        for name in self.db.table_names() {
+            if let Ok(df) = self.db.get(name) {
+                let cols: Vec<String> = df
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| format!("{} ({})", f.name, f.dtype))
+                    .collect();
+                s.push_str(&format!("table {name}: {}\n", cols.join(", ")));
+            }
+        }
+        s
+    }
+
+    /// Read access to the catalog.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The session's rewritten-query history, oldest first. Together
+    /// with [`DataLab::export_tables`], [`DataLab::export_knowledge`],
+    /// and [`DataLab::export_notebook`] this is the session's durable
+    /// state: a persistence layer can capture all four and rebuild an
+    /// equivalent session with the matching restore calls.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// Replaces the rewritten-query history (restore path for a
+    /// persistence layer). History feeds the multi-round rewrite stage,
+    /// so restoring it keeps follow-up queries ("what about west")
+    /// resolving the same way they would have in the original session.
+    pub fn restore_history(&mut self, history: Vec<String>) {
+        self.history = history;
+    }
+
+    /// Every registered table as `(name, csv_text)` in registration
+    /// order. Re-registering the CSVs via [`DataLab::register_csv`]
+    /// reproduces the catalog *and* the profile lines (profiling is
+    /// deterministic), so a snapshot needs no separate profile state.
+    pub fn export_tables(&self) -> Vec<(String, String)> {
+        self.db
+            .table_names()
+            .iter()
+            .filter_map(|name| {
+                let df = self.db.get(name).ok()?;
+                Some((name.clone(), datalab_frame::csv::to_csv(df)))
+            })
+            .collect()
+    }
+
+    /// Read access to the knowledge graph.
+    pub fn knowledge_graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// Read access to the notebook.
+    pub fn notebook(&self) -> &Notebook {
+        &self.notebook
+    }
+
+    /// Read access to the cell-dependency DAG.
+    pub fn dag(&self) -> &CellDag {
+        &self.dag
+    }
+
+    /// Total LLM tokens consumed so far.
+    pub fn tokens_used(&self) -> u64 {
+        self.usage_meter().map(|m| m.total_tokens()).unwrap_or(0)
+    }
+
+    /// The platform-wide telemetry handle (shared with the model, agents
+    /// and knowledge layers). Use it to read counters, histograms, and
+    /// cumulative token attribution across queries.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn usage_meter(&self) -> Option<&datalab_llm::TokenMeter> {
+        self.llm.meter()
+    }
+
+    /// Handles one NL query end to end (the Fig. 2 workflow): knowledge
+    /// incorporation ①, multi-agent execution with structured
+    /// communication ②, and notebook/context maintenance ③.
+    ///
+    /// The run is recorded under the `adhoc` workload label; use
+    /// [`DataLab::query_as`] to label workload-driven runs.
+    pub fn query(&mut self, question: &str) -> DataLabResponse {
+        self.query_as("adhoc", question)
+    }
+
+    /// Like [`DataLab::query`], but records the run under an explicit
+    /// workload label (`nl2sql`, `nl2vis`, …) so [`DataLab::fleet_report`]
+    /// can break statistics down per workload.
+    pub fn query_as(&mut self, workload: &str, question: &str) -> DataLabResponse {
+        self.query_with_context(&RequestContext::untraced(), workload, question)
+    }
+
+    /// Like [`DataLab::query_as`], but threads a per-request
+    /// [`RequestContext`]. While the query runs, the context's trace ID
+    /// (if any) tags every event, every stage/agent span, and the root
+    /// span, so the request can be reassembled end to end from the trace
+    /// store — including the transport's fault/retry/breaker markers.
+    pub fn query_with_context(
+        &mut self,
+        ctx: &RequestContext,
+        workload: &str,
+        question: &str,
+    ) -> DataLabResponse {
+        // Discard spans left over from setup work (registration, script
+        // ingestion) so this query's trace has exactly one root, then
+        // snapshot attribution so the summary reports only this query.
+        self.telemetry.drain_trace();
+        let attribution_baseline = self.telemetry.attribution();
+        // Activate this request's trace for the duration of the query.
+        // Sessions serve one query at a time, so setting the shared slot
+        // (rather than threading the ID through every call) is safe; it
+        // is unconditionally reassigned here so a stale trace from an
+        // earlier panicked query can never leak onto this one.
+        self.telemetry.set_trace(ctx.trace_id().cloned());
+        // Mark the event log so the flight record covers exactly this
+        // query, and baseline the kind counts for the error taxonomy.
+        let event_mark = self.telemetry.events().total_recorded();
+        let error_baseline = self.telemetry.events().kind_counts();
+        self.telemetry
+            .record_event(EventKind::QueryStart, question.to_string());
+        let root = self.telemetry.span("query");
+        root.attr("question", question);
+
+        // ① Domain knowledge incorporation.
+        let schema = self.schema_section();
+        let schema_plus = format!("{schema}{}", self.profile_lines);
+        let grounding = match &self.index {
+            Some(index) => incorporate_traced(
+                &self.llm,
+                &self.graph,
+                index,
+                &schema_plus,
+                question,
+                &self.history,
+                &self.config.current_date,
+                &self.config.incorporate,
+                &self.telemetry,
+            ),
+            None => {
+                // No knowledge yet: profiling-only grounding.
+                let empty_graph = KnowledgeGraph::new();
+                let empty_index = KnowledgeIndex::build(&empty_graph, IndexTask::Nl2Dsl);
+                incorporate_traced(
+                    &self.llm,
+                    &empty_graph,
+                    &empty_index,
+                    &schema_plus,
+                    question,
+                    &self.history,
+                    &self.config.current_date,
+                    &self.config.incorporate,
+                    &self.telemetry,
+                )
+            }
+        };
+
+        // ② Multi-agent execution over the shared buffer. Agents call the
+        // model through the resilient transport, so injected faults are
+        // retried, breaker-gated, and — when terminal — degraded to
+        // rule-based fallbacks instead of surfacing garbage.
+        let proxy = ProxyAgent::new(&self.transport, self.config.communication.clone())
+            .with_telemetry(self.telemetry.clone());
+        let outcome = proxy.run_query_with_buffer(
+            &self.db,
+            &schema_plus,
+            &grounding.knowledge_lines,
+            &grounding.rewritten_query,
+            &self.config.current_date,
+            &self.session_buffer,
+        );
+
+        // One structured marker per degraded query: which roles/stages the
+        // rule-based fallbacks served. Flows into the error taxonomy and
+        // the flight record.
+        let degraded = !outcome.degraded_roles.is_empty();
+        if degraded {
+            self.telemetry
+                .record_event(EventKind::Degraded, outcome.degraded_roles.join(","));
+        }
+
+        // ③ Reflect results into the notebook and maintain the DAG.
+        let notebook_stage = self.telemetry.stage("notebook");
+        let mut new_cells = Vec::new();
+        for unit in &outcome.units {
+            match unit.content {
+                datalab_agents::Content::Table(ref text) => {
+                    if let Some(sql) = text.lines().find_map(|l| l.strip_prefix("-- sql: ")) {
+                        let var = format!("df_q{}", self.history.len());
+                        let id = self.notebook.push_sql(sql.to_string(), var);
+                        self.dag.update_cell(&self.notebook, id);
+                        new_cells.push(id);
+                    }
+                }
+                datalab_agents::Content::Chart(ref spec) => {
+                    let id = self.notebook.push(CellKind::Chart, spec.clone());
+                    self.dag.update_cell(&self.notebook, id);
+                    new_cells.push(id);
+                }
+                datalab_agents::Content::Text(_) => {}
+                _ => {}
+            }
+        }
+        if !outcome.answer.trim().is_empty() {
+            let id = self.notebook.push(
+                CellKind::Markdown,
+                format!("**Q:** {question}\n\n{}", outcome.answer),
+            );
+            self.dag.update_cell(&self.notebook, id);
+            new_cells.push(id);
+        }
+        self.telemetry
+            .metrics()
+            .incr("notebook.cells_appended", new_cells.len() as u64);
+        if !new_cells.is_empty() {
+            self.telemetry.record_event(
+                EventKind::CellAppend,
+                format!("appended {} cells", new_cells.len()),
+            );
+        }
+        notebook_stage.attr("cells", new_cells.len().to_string());
+        drop(notebook_stage);
+        self.history.push(grounding.rewritten_query.clone());
+
+        drop(root);
+        self.telemetry.record_event(
+            EventKind::QueryEnd,
+            if outcome.success { "ok" } else { "failed" },
+        );
+        let telemetry = self.telemetry.finish_query(&attribution_baseline);
+
+        // Error taxonomy for this query: per-kind count deltas, error
+        // kinds only (lifetime counts survive ring eviction).
+        let final_counts = self.telemetry.events().kind_counts();
+        let delta = |kind: &str| {
+            final_counts.get(kind).copied().unwrap_or(0)
+                - error_baseline.get(kind).copied().unwrap_or(0)
+        };
+        let mut error_kinds = BTreeMap::new();
+        for (kind, count) in &final_counts {
+            if !is_error_kind(kind) {
+                continue;
+            }
+            let d = count - error_baseline.get(kind).copied().unwrap_or(0);
+            if d > 0 {
+                error_kinds.insert(kind.clone(), d);
+            }
+        }
+        // Resilience counters for this query, from the same event deltas.
+        let resilience = ResilienceStats {
+            faults: delta("llm_fault"),
+            transport_retries: delta("transport_retry"),
+            breaker_trips: delta("breaker_trip"),
+            degraded: delta("degraded"),
+        };
+        // On failure, attach what the recorder retained since the query
+        // started — the flight record.
+        let flight_record = if outcome.success {
+            Vec::new()
+        } else {
+            self.telemetry.events().since(event_mark)
+        };
+        // The query is over: stop tagging telemetry with its trace.
+        self.telemetry.set_trace(None);
+
+        if self.config.record_runs {
+            self.recorder.push(RunRecord {
+                workload: workload.to_string(),
+                question: question.to_string(),
+                success: outcome.success,
+                duration_us: telemetry.root().map(|r| r.dur_us).unwrap_or(0),
+                summary: telemetry.clone(),
+                error_kinds,
+                flight_record: flight_record.clone(),
+                resilience,
+            });
+        }
+
+        DataLabResponse {
+            answer: outcome.answer,
+            rewritten_query: grounding.rewritten_query,
+            plan: outcome.plan,
+            frame: outcome.final_frame,
+            chart: outcome.chart,
+            dsl_json: grounding.dsl_json,
+            success: outcome.success,
+            new_cells,
+            telemetry,
+            flight_record,
+            degraded,
+            resilience,
+        }
+    }
+
+    /// The resilient transport's current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.transport.breaker().state()
+    }
+
+    /// Lifetime circuit-breaker trips on the resilient transport.
+    pub fn breaker_trips(&self) -> u64 {
+        self.transport.breaker().trips()
+    }
+
+    /// The session's accumulated run records.
+    pub fn run_records(&self) -> &[RunRecord] {
+        self.recorder.records()
+    }
+
+    /// Drains the session's run records (e.g. to merge several labs'
+    /// records into one fleet-wide [`RunRecorder`]).
+    pub fn take_run_records(&mut self) -> Vec<RunRecord> {
+        std::mem::take(&mut self.recorder).into_records()
+    }
+
+    /// Folds every recorded run into a [`FleetReport`].
+    pub fn fleet_report(&self) -> FleetReport {
+        self.recorder.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::{DataType, Date, Value};
+
+    fn sales() -> DataFrame {
+        let dates: Vec<Value> = (0..8)
+            .map(|i| Value::Date(Date::parse("2026-01-01").unwrap().add_days(i * 20)))
+            .collect();
+        DataFrame::from_columns(vec![
+            (
+                "region",
+                DataType::Str,
+                (0..8)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            "east".into()
+                        } else {
+                            "west".into()
+                        }
+                    })
+                    .collect(),
+            ),
+            (
+                "amount",
+                DataType::Int,
+                (0..8).map(|i| Value::Int(10 + 2 * i)).collect(),
+            ),
+            ("day", DataType::Date, dates),
+        ])
+        .unwrap()
+    }
+
+    /// Compile-time audit of the session stack: a whole `DataLab` — and
+    /// every shared handle inside it — must be movable across threads so
+    /// fleet executors can run one session per worker. A non-`Send` field
+    /// sneaking into any layer fails this test at compile time.
+    #[test]
+    fn session_stack_is_send() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<DataLab>();
+        assert_send::<DataLabConfig>();
+        assert_send::<DataLabResponse>();
+        assert_send::<RunRecorder>();
+        assert_send::<FleetReport>();
+        // The handles shared between layers are also Sync: one instance
+        // may be referenced concurrently from several threads.
+        assert_sync::<SimLlm>();
+        assert_sync::<SharedBuffer>();
+        assert_sync::<Telemetry>();
+        assert_sync::<Database>();
+        assert_sync::<KnowledgeIndex>();
+        assert_send::<SimLlm>();
+        assert_send::<SharedBuffer>();
+        assert_send::<Telemetry>();
+    }
+
+    #[test]
+    fn registering_shared_frames_does_not_copy() {
+        let df = Arc::new(sales());
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", Arc::clone(&df)).unwrap();
+        let shared = lab.database().get_shared("sales").unwrap();
+        assert!(Arc::ptr_eq(&df, &shared));
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success, "{:?}", r.plan);
+    }
+
+    #[test]
+    fn end_to_end_query_appends_cells() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success, "{:?}", r.plan);
+        assert!(r.frame.is_some());
+        assert!(!r.new_cells.is_empty());
+        assert!(lab.notebook().len() >= 2); // sql + markdown cells
+        assert!(lab.tokens_used() > 0);
+    }
+
+    #[test]
+    fn multi_round_history_feeds_rewrite() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        lab.query("total amount by region for east");
+        let r = lab.query("what about west");
+        assert!(r.rewritten_query.contains("west"), "{}", r.rewritten_query);
+        assert!(
+            r.rewritten_query.to_lowercase().contains("amount"),
+            "{}",
+            r.rewritten_query
+        );
+    }
+
+    #[test]
+    fn knowledge_pipeline_improves_grounding() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        let df = DataFrame::from_columns(vec![
+            ("rgn_cd", DataType::Str, vec!["east".into(), "west".into()]),
+            (
+                "shouldincome_after",
+                DataType::Float,
+                vec![Value::Float(10.0), Value::Float(20.0)],
+            ),
+        ])
+        .unwrap();
+        lab.register_table("dwd_sales", df).unwrap();
+        let report = lab.ingest_scripts(
+            "dwd_sales",
+            &[Script::sql(
+                "-- daily income rollup by region for finance\n\
+                 SELECT rgn_cd, SUM(shouldincome_after) AS total FROM dwd_sales GROUP BY rgn_cd",
+            )],
+            &Lineage::default(),
+        );
+        assert!(report.scripts_used == 1);
+        lab.add_jargon("gmv", "total income");
+        let r = lab.query("show gmv by region");
+        assert!(r.success);
+        let frame = r.frame.expect("data produced");
+        assert_eq!(frame.n_rows(), 2);
+    }
+
+    #[test]
+    fn csv_registration_and_persistence_roundtrip() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_csv(
+            "sales",
+            "region,amount
+east,10
+west,20
+east,5
+",
+        )
+        .unwrap();
+        lab.add_jargon("gmv", "total amount");
+        lab.query("show gmv by region");
+        let knowledge = lab.export_knowledge().unwrap();
+        let notebook = lab.export_notebook();
+        assert!(knowledge.contains("gmv"));
+        assert!(!notebook.is_empty());
+
+        let mut restored = DataLab::new(DataLabConfig::default());
+        restored
+            .register_csv(
+                "sales",
+                "region,amount
+east,10
+west,20
+east,5
+",
+            )
+            .unwrap();
+        restored.import_knowledge(&knowledge).unwrap();
+        restored.import_notebook(&notebook).unwrap();
+        assert_eq!(restored.notebook().len(), lab.notebook().len());
+        let r = restored.query("show gmv by region");
+        assert!(r.success);
+        assert!(restored.import_knowledge("not json").is_err());
+    }
+
+    #[test]
+    fn query_produces_span_tree_and_attributed_tokens() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let before = lab.tokens_used();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+
+        // One root span named "query" with the pipeline stages beneath it.
+        let root = r.telemetry.root().expect("single-root span tree");
+        assert_eq!(root.name, "query");
+        assert!(root.well_formed(), "{}", r.telemetry.render());
+        let stages = r.telemetry.stage_names();
+        for want in [
+            "rewrite",
+            "ground",
+            "plan",
+            "execute",
+            "synthesize",
+            "notebook",
+        ] {
+            assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
+        }
+        // The execute stage carries per-agent scopes.
+        let execute = root.find("execute").expect("execute span");
+        assert!(
+            execute
+                .children
+                .iter()
+                .any(|c| c.name.starts_with("agent:")),
+            "{:?}",
+            execute.children.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+
+        // Attributed usage for this query equals the meter's delta.
+        let spent = lab.tokens_used() - before;
+        assert!(spent > 0);
+        assert_eq!(r.telemetry.total.total(), spent);
+        assert!(r
+            .telemetry
+            .attribution
+            .iter()
+            .all(|a| a.stage != "unattributed"));
+
+        // Exporters: the Chrome trace is valid JSON with complete events.
+        let trace: serde_json::Value = serde_json::from_str(&r.telemetry.chrome_trace()).unwrap();
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert!(events.len() >= 5);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["ts"].is_u64() && e["dur"].is_u64());
+        }
+        let summary_json: serde_json::Value = serde_json::from_str(&r.telemetry.to_json()).unwrap();
+        assert!(summary_json["spans"].is_array());
+        assert!(r.telemetry.render().contains("query"));
+
+        // Platform-wide metrics got fed along the way.
+        let m = lab.telemetry().metrics();
+        assert!(m.counter("llm.calls") > 0);
+        assert!(m.counter("agents.subtasks") >= 1);
+        assert!(m.counter("notebook.cells_appended") >= 1);
+    }
+
+    #[test]
+    fn fleet_report_accumulates_labeled_runs() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r1 = lab.query_as("nl2sql", "What is the total amount by region?");
+        let r2 = lab.query_as("nl2vis", "Draw a bar chart of total amount by region");
+        assert!(r1.success && r2.success);
+        assert!(r1.flight_record.is_empty() && r2.flight_record.is_empty());
+        assert_eq!(lab.run_records().len(), 2);
+
+        let report = lab.fleet_report();
+        assert_eq!((report.runs, report.passed, report.failed), (2, 2, 0));
+        // Fleet token totals are exactly the sum of the per-query deltas.
+        assert_eq!(
+            report.tokens.total,
+            r1.telemetry.total.total() + r2.telemetry.total.total()
+        );
+        assert_eq!(
+            report.llm.calls,
+            r1.telemetry.total.calls + r2.telemetry.total.calls
+        );
+        assert!(report.workloads.contains_key("nl2sql"));
+        assert!(report.workloads.contains_key("nl2vis"));
+        let execute = report.stage("execute").expect("execute stats");
+        assert_eq!(execute.spans, 2);
+        assert!(execute.latency.p50_us <= execute.latency.p99_us);
+        assert!(report.agent("sql_agent").is_some());
+        assert!(report.render().contains("fleet report: 2 runs"));
+
+        // The event log observed both queries.
+        let counts = lab.telemetry().events().kind_counts();
+        assert_eq!(counts.get("query_start"), Some(&2));
+        assert_eq!(counts.get("query_end"), Some(&2));
+        assert!(counts.get("llm_call").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn failing_query_attaches_flight_record() {
+        // No registered tables: the vis agent has no data source to
+        // resolve, so the subtask must fail.
+        let mut lab = DataLab::new(DataLabConfig::default());
+        let r = lab.query("draw a bar chart of sales by region");
+        assert!(!r.success);
+        assert!(!r.flight_record.is_empty());
+        assert_eq!(r.flight_record.first().unwrap().kind, EventKind::QueryStart);
+        assert_eq!(r.flight_record.last().unwrap().kind, EventKind::QueryEnd);
+        assert!(r
+            .flight_record
+            .iter()
+            .any(|e| e.kind == EventKind::AgentFailure));
+
+        let record = lab.run_records().last().expect("run recorded");
+        assert!(!record.success);
+        assert!(
+            record
+                .error_kinds
+                .get("agent_failure")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        let report = lab.fleet_report();
+        assert_eq!((report.runs, report.failed), (1, 1));
+        assert!(report.errors.contains_key("agent_failure"));
+    }
+
+    #[test]
+    fn platform_errors_are_counted_and_evented() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        assert!(lab.import_knowledge("not json").is_err());
+        assert!(lab.import_notebook("not json").is_err());
+        assert!(lab.register_csv("bad", "a,b\n1\n").is_err());
+        let m = lab.telemetry().metrics();
+        assert_eq!(m.counter("platform.errors.knowledge_import"), 1);
+        assert_eq!(m.counter("platform.errors.notebook_import"), 1);
+        assert_eq!(m.counter("platform.errors.csv_register"), 1);
+        assert_eq!(
+            lab.telemetry().events().kind_counts().get("platform_error"),
+            Some(&3)
+        );
+    }
+
+    #[test]
+    fn record_runs_off_keeps_the_recorder_empty() {
+        let mut lab = DataLab::new(DataLabConfig {
+            record_runs: false,
+            ..Default::default()
+        });
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+        // The response still carries its telemetry summary; only the
+        // session-held record is skipped.
+        assert!(r.telemetry.root().is_some());
+        assert!(lab.run_records().is_empty());
+        assert_eq!(lab.fleet_report().runs, 0);
+    }
+
+    #[test]
+    fn chaos_free_sessions_report_zero_resilience() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+        assert!(!r.degraded);
+        assert!(r.resilience.is_zero(), "{:?}", r.resilience);
+        assert_eq!(lab.breaker_state(), BreakerState::Closed);
+        assert_eq!(lab.breaker_trips(), 0);
+        assert!(lab.fleet_report().resilience.is_zero());
+        // The fault taxonomy is pre-registered at zero so exports always
+        // enumerate it.
+        let m = lab.telemetry().metrics();
+        assert_eq!(m.counter("llm.faults.transport"), 0);
+        assert_eq!(m.counter("llm.breaker.trips"), 0);
+        assert_eq!(m.gauge("llm.breaker.state"), 0);
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_indistinguishable_from_no_chaos() {
+        let questions = [
+            "What is the total amount by region?",
+            "Draw a bar chart of total amount by region",
+            "Summarize the amount trends",
+        ];
+        let run = |config: DataLabConfig| {
+            let mut lab = DataLab::new(config);
+            lab.register_table("sales", sales()).unwrap();
+            for q in &questions {
+                lab.query_as("nl2sql", q);
+            }
+            lab.fleet_report()
+        };
+        let plain = run(DataLabConfig::default());
+        let zero_chaos = run(DataLabConfig {
+            chaos: Some(ChaosConfig::uniform(99, 0.0)),
+            ..DataLabConfig::default()
+        });
+        assert_eq!(plain.comparable(), zero_chaos.comparable());
+        assert!(zero_chaos.resilience.is_zero());
+    }
+
+    #[test]
+    fn heavy_chaos_degrades_gracefully_without_poisoned_answers() {
+        let mut lab = DataLab::new(DataLabConfig {
+            chaos: Some(ChaosConfig::uniform(7, 0.9)),
+            ..DataLabConfig::default()
+        });
+        lab.register_table("sales", sales()).unwrap();
+        let mut saw_degraded = false;
+        for q in [
+            "What is the total amount by region?",
+            "Draw a bar chart of total amount by region",
+            "What is the total amount by region for east?",
+            "Summarize the amount by region",
+        ] {
+            let r = lab.query_as("chaos", q);
+            // Structured degradation, never transport poison in answers.
+            assert!(!r.answer.contains("<<llm-error"), "{}", r.answer);
+            assert!(!r.answer.contains("!!{garbage"), "{}", r.answer);
+            saw_degraded |= r.degraded;
+            if r.degraded {
+                assert!(r.resilience.degraded >= 1, "{:?}", r.resilience);
+            }
+        }
+        assert!(saw_degraded, "90% fault rate never forced a fallback");
+        let report = lab.fleet_report();
+        assert!(report.resilience.faults > 0, "{:?}", report.resilience);
+        assert!(report.resilience.transport_retries > 0);
+        assert!(
+            report.resilience.breaker_trips > 0,
+            "{:?}",
+            report.resilience
+        );
+        assert_eq!(report.resilience.breaker_trips, lab.breaker_trips());
+        assert!(
+            report.errors.contains_key("degraded"),
+            "{:?}",
+            report.errors
+        );
+        // The metrics registry saw the same activity.
+        let m = lab.telemetry().metrics();
+        assert!(m.counter("llm.faults.retries") > 0);
+        assert!(m.counter("llm.breaker.trips") > 0);
+    }
+
+    #[test]
+    fn chart_queries_render_and_store_chart_cells() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("Draw a bar chart of total amount by region");
+        assert!(r.chart.is_some());
+        let has_chart_cell = lab
+            .notebook()
+            .cells()
+            .iter()
+            .any(|c| c.kind == CellKind::Chart);
+        assert!(has_chart_cell);
+    }
+}

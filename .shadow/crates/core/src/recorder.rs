@@ -1,0 +1,1019 @@
+//! Durable per-query run records and fleet-level aggregation.
+//!
+//! [`QuerySummary`](datalab_telemetry::QuerySummary) observes one query;
+//! the paper's system claims (Tables 1-4) are aggregates over hundreds.
+//! This module keeps every query's outcome as a [`RunRecord`] and folds a
+//! session's records into a [`FleetReport`]: pass/fail counts, token
+//! attribution totals, per-stage and per-agent latency percentiles, and
+//! an error taxonomy keyed by flight-recorder event kind. Reports
+//! serialize to JSON so runs can be archived, diffed ([`diff_reports`]),
+//! and gated in CI (`obsdiff`).
+
+use datalab_telemetry::{
+    folded_stacks, Event, MetricsRegistry, ProfileWeight, QuerySummary, SpanNode,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Upper-inclusive microsecond bucket bounds for latency percentile
+/// readouts: 50µs through one minute.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 60_000_000,
+];
+
+/// Transport-resilience counters for one query (or, summed, for a whole
+/// fleet run): how hard the resilient LLM transport had to work and
+/// whether the answer was served by a rule-based degradation path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Injected/observed transport faults (`llm_fault` events).
+    pub faults: u64,
+    /// Retries the resilient transport attempted (`transport_retry`).
+    pub transport_retries: u64,
+    /// Circuit-breaker trips, closed/half-open → open (`breaker_trip`).
+    pub breaker_trips: u64,
+    /// Queries answered via a rule-based degradation path (`degraded`).
+    pub degraded: u64,
+}
+
+impl ResilienceStats {
+    /// True when no fault, retry, trip, or degradation was observed.
+    pub fn is_zero(&self) -> bool {
+        *self == ResilienceStats::default()
+    }
+}
+
+/// Everything kept about one completed query.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload label (`nl2sql`, `nl2vis`, … or `adhoc` for direct
+    /// [`DataLab::query`](crate::DataLab::query) calls).
+    pub workload: String,
+    /// The natural-language question as asked.
+    pub question: String,
+    /// Whether every subtask completed.
+    pub success: bool,
+    /// Wall-clock duration of the query's root span, microseconds.
+    pub duration_us: u64,
+    /// The query's telemetry summary (span tree + token attribution).
+    pub summary: QuerySummary,
+    /// Error-taxonomy counts observed during this query, keyed by
+    /// [`EventKind::as_str`](datalab_telemetry::EventKind::as_str).
+    pub error_kinds: BTreeMap<String, u64>,
+    /// Flight record: the events leading up to the failure (empty for
+    /// successful queries).
+    pub flight_record: Vec<Event>,
+    /// Transport-resilience counters observed during this query.
+    pub resilience: ResilienceStats,
+}
+
+/// Accumulates [`RunRecord`]s across a session.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecorder {
+    records: Vec<RunRecord>,
+}
+
+impl RunRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RunRecorder::default()
+    }
+
+    /// Appends one run record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends records collected elsewhere (e.g. per-domain sessions in a
+    /// workload sweep).
+    pub fn absorb(&mut self, records: impl IntoIterator<Item = RunRecord>) {
+        self.records.extend(records);
+    }
+
+    /// All records, in completion order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, yielding its records.
+    pub fn into_records(self) -> Vec<RunRecord> {
+        self.records
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Folds every record into a [`FleetReport`].
+    pub fn report(&self) -> FleetReport {
+        FleetReport::from_records(&self.records)
+    }
+}
+
+/// Latency percentile readout for one population of spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Observations.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Largest observation, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    fn from_durations(durations: &[u64]) -> LatencyStats {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("lat", LATENCY_BUCKETS_US);
+        for d in durations {
+            m.observe("lat", *d);
+        }
+        let s = m.histogram("lat").expect("registered above");
+        LatencyStats {
+            count: s.count,
+            p50_us: s.p50(),
+            p90_us: s.p90(),
+            p99_us: s.p99(),
+            max_us: s.max,
+        }
+    }
+}
+
+/// Aggregate statistics for one pipeline stage (or one agent role).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name (e.g. `execute`) or agent role (e.g. `sql_agent`).
+    pub name: String,
+    /// Spans observed across all runs.
+    pub spans: u64,
+    /// Model calls attributed to this stage/agent.
+    pub llm_calls: u64,
+    /// Tokens (prompt + completion) attributed to this stage/agent.
+    pub tokens: u64,
+    /// Latency percentiles over the observed spans.
+    pub latency: LatencyStats,
+}
+
+/// Session-level token totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenTotals {
+    /// Prompt-side tokens.
+    pub prompt: u64,
+    /// Completion-side tokens.
+    pub completion: u64,
+    /// Prompt plus completion.
+    pub total: u64,
+}
+
+/// Session-level model-call totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlmTotals {
+    /// Number of model calls.
+    pub calls: u64,
+}
+
+/// Per-workload pass/fail and token rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Queries run under this workload label.
+    pub runs: u64,
+    /// Fully-successful queries.
+    pub passed: u64,
+    /// Queries with at least one failed subtask.
+    pub failed: u64,
+    /// Tokens attributed to this workload's queries.
+    pub tokens: u64,
+}
+
+/// Allocator totals over a fleet run, aggregated from the root span of
+/// every recorded query (spans carry alloc deltas when the producing
+/// binary installs the counting allocator — see
+/// [`datalab_telemetry::CountingAlloc`]). All-zero when it did not, and
+/// for reports predating the field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocTotals {
+    /// Allocations counted across every query's root span.
+    pub allocs: u64,
+    /// Bytes allocated across every query's root span.
+    pub bytes: u64,
+    /// `allocs / runs` — the per-query allocation count `obsdiff` gates.
+    pub count_per_query: u64,
+    /// `bytes / runs` — the per-query byte count `obsdiff` gates.
+    pub bytes_per_query: u64,
+}
+
+impl AllocTotals {
+    /// True when no allocation was attributed (counting allocator absent
+    /// or no runs recorded).
+    pub fn is_zero(&self) -> bool {
+        *self == AllocTotals::default()
+    }
+}
+
+/// Cross-run aggregation of a session's [`RunRecord`]s: the durable,
+/// diffable unit the CI regression gate (`obsdiff`) consumes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Total queries recorded.
+    pub runs: u64,
+    /// Fully-successful queries.
+    pub passed: u64,
+    /// Queries with at least one failed subtask.
+    pub failed: u64,
+    /// Token totals over every recorded query.
+    pub tokens: TokenTotals,
+    /// Model-call totals over every recorded query.
+    pub llm: LlmTotals,
+    /// Whole-query latency percentiles.
+    pub latency: LatencyStats,
+    /// Per-stage statistics, name-sorted.
+    pub stages: Vec<StageStats>,
+    /// Per-agent statistics, role-sorted.
+    pub agents: Vec<StageStats>,
+    /// Error taxonomy: flight-recorder error-event kind → count.
+    pub errors: BTreeMap<String, u64>,
+    /// Per-workload rollups.
+    pub workloads: BTreeMap<String, WorkloadStats>,
+    /// Wall-clock duration of the whole fleet run, microseconds. Machine-
+    /// dependent, so excluded from both the obsdiff regression gate and
+    /// [`FleetReport::comparable`]. Zero when the producer did not time
+    /// the run (reports predating this field parse as zero).
+    #[serde(default)]
+    pub wall_clock_us: u64,
+    /// Worker threads the fleet executor used (1 = serial). Zero when
+    /// unknown (reports predating this field).
+    #[serde(default)]
+    pub workers: u64,
+    /// Transport-resilience totals summed over every recorded query.
+    /// Deterministic for a fixed chaos seed, so kept by
+    /// [`FleetReport::comparable`]; all-zero when no chaos was injected
+    /// (and for reports predating this field). Never gated by
+    /// [`diff_reports`].
+    #[serde(default)]
+    pub resilience: ResilienceStats,
+    /// Allocator totals over every recorded query. Machine- and
+    /// build-dependent (and zero without the counting allocator), so
+    /// stripped by [`FleetReport::comparable`]; the per-query figures ARE
+    /// gated by [`diff_reports`] — allocator churn regresses CI exactly
+    /// like tokens and p99s do.
+    #[serde(default)]
+    pub alloc: AllocTotals,
+}
+
+fn walk_agent_spans(node: &SpanNode, out: &mut Vec<(String, u64)>) {
+    if let Some(role) = node.name.strip_prefix("agent:") {
+        out.push((role.to_string(), node.dur_us));
+    }
+    for c in &node.children {
+        walk_agent_spans(c, out);
+    }
+}
+
+impl FleetReport {
+    /// Builds the report from a slice of run records.
+    pub fn from_records(records: &[RunRecord]) -> FleetReport {
+        let mut report = FleetReport {
+            runs: records.len() as u64,
+            ..FleetReport::default()
+        };
+        let mut query_durations = Vec::new();
+        let mut stage_durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut agent_durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut stage_usage: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // (calls, tokens)
+        let mut agent_usage: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+
+        for r in records {
+            if r.success {
+                report.passed += 1;
+            } else {
+                report.failed += 1;
+            }
+            query_durations.push(r.duration_us);
+
+            let w = report.workloads.entry(r.workload.clone()).or_default();
+            w.runs += 1;
+            if r.success {
+                w.passed += 1;
+            } else {
+                w.failed += 1;
+            }
+            w.tokens += r.summary.total.total();
+
+            report.tokens.prompt += r.summary.total.prompt_tokens;
+            report.tokens.completion += r.summary.total.completion_tokens;
+            report.llm.calls += r.summary.total.calls;
+
+            for a in &r.summary.attribution {
+                let s = stage_usage.entry(a.stage.clone()).or_default();
+                s.0 += a.usage.calls;
+                s.1 += a.usage.total();
+                if a.agent != "-" {
+                    let g = agent_usage.entry(a.agent.clone()).or_default();
+                    g.0 += a.usage.calls;
+                    g.1 += a.usage.total();
+                }
+            }
+
+            for root in &r.summary.spans {
+                let stage_spans: Vec<&SpanNode> = if root.name == "query" {
+                    root.children.iter().collect()
+                } else {
+                    vec![root]
+                };
+                for s in stage_spans {
+                    if !s.name.starts_with("agent:") {
+                        stage_durations
+                            .entry(s.name.clone())
+                            .or_default()
+                            .push(s.dur_us);
+                    }
+                }
+                let mut agents = Vec::new();
+                walk_agent_spans(root, &mut agents);
+                for (role, dur) in agents {
+                    agent_durations.entry(role).or_default().push(dur);
+                }
+            }
+
+            for (kind, n) in &r.error_kinds {
+                *report.errors.entry(kind.clone()).or_insert(0) += n;
+            }
+
+            report.resilience.faults += r.resilience.faults;
+            report.resilience.transport_retries += r.resilience.transport_retries;
+            report.resilience.breaker_trips += r.resilience.breaker_trips;
+            report.resilience.degraded += r.resilience.degraded;
+
+            // Root spans carry inclusive alloc deltas for the whole
+            // query, so summing roots (not the subtree) avoids double
+            // counting nested spans.
+            for root in &r.summary.spans {
+                report.alloc.allocs += root.allocs;
+                report.alloc.bytes += root.alloc_bytes;
+            }
+        }
+
+        if report.runs > 0 {
+            report.alloc.count_per_query = report.alloc.allocs / report.runs;
+            report.alloc.bytes_per_query = report.alloc.bytes / report.runs;
+        }
+        report.tokens.total = report.tokens.prompt + report.tokens.completion;
+        report.latency = LatencyStats::from_durations(&query_durations);
+        report.stages = collect_stats(&stage_durations, &stage_usage);
+        report.agents = collect_stats(&agent_durations, &agent_usage);
+        report
+    }
+
+    /// The report with every machine-dependent field normalised away:
+    /// wall clock and worker count zeroed, and all latency percentiles
+    /// (which measure wall time) zeroed while their observation *counts*
+    /// are kept. Two runs of the same deterministic workload — serial or
+    /// parallel, loaded or idle machine — yield equal `comparable()`
+    /// views, which is the equality the fleet-determinism tests assert.
+    pub fn comparable(&self) -> FleetReport {
+        fn strip(l: &LatencyStats) -> LatencyStats {
+            LatencyStats {
+                count: l.count,
+                ..LatencyStats::default()
+            }
+        }
+        let mut r = self.clone();
+        r.wall_clock_us = 0;
+        r.workers = 0;
+        r.latency = strip(&r.latency);
+        for s in r.stages.iter_mut().chain(r.agents.iter_mut()) {
+            s.latency = strip(&s.latency);
+        }
+        // Allocation counts depend on the build, the machine, and
+        // whether the producing binary installed the counting allocator
+        // — none of which a determinism check should see.
+        r.alloc = AllocTotals::default();
+        r
+    }
+
+    /// Statistics for the named stage, when it was observed.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Statistics for the named agent role, when it was observed.
+    pub fn agent(&self, role: &str) -> Option<&StageStats> {
+        self.agents.iter().find(|s| s.name == role)
+    }
+
+    /// Serialises the report as JSON (the `obsdiff` wire format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetReport serializes")
+    }
+
+    /// Parses a report serialized by [`FleetReport::to_json`].
+    pub fn from_json(json: &str) -> Result<FleetReport, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Human-readable text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet report: {} runs ({} passed, {} failed)\n\
+             tokens: {} total ({} prompt + {} completion), {} llm calls\n\
+             query latency: p50={:.1}ms p90={:.1}ms p99={:.1}ms max={:.1}ms\n",
+            self.runs,
+            self.passed,
+            self.failed,
+            self.tokens.total,
+            self.tokens.prompt,
+            self.tokens.completion,
+            self.llm.calls,
+            self.latency.p50_us as f64 / 1000.0,
+            self.latency.p90_us as f64 / 1000.0,
+            self.latency.p99_us as f64 / 1000.0,
+            self.latency.max_us as f64 / 1000.0,
+        );
+        if self.workers > 0 {
+            out.push_str(&format!(
+                "executor: {} worker{}, wall clock {:.1}ms\n",
+                self.workers,
+                if self.workers == 1 { "" } else { "s" },
+                self.wall_clock_us as f64 / 1000.0,
+            ));
+        }
+        if !self.resilience.is_zero() {
+            out.push_str(&format!(
+                "resilience: {} faults, {} retries, {} breaker trips, {} degraded\n",
+                self.resilience.faults,
+                self.resilience.transport_retries,
+                self.resilience.breaker_trips,
+                self.resilience.degraded,
+            ));
+        }
+        if !self.alloc.is_zero() {
+            out.push_str(&format!(
+                "alloc: {} allocations ({} bytes); per query: {} allocations, {} bytes\n",
+                self.alloc.allocs,
+                self.alloc.bytes,
+                self.alloc.count_per_query,
+                self.alloc.bytes_per_query,
+            ));
+        }
+        let table = |out: &mut String, title: &str, rows: &[StageStats]| {
+            if rows.is_empty() {
+                return;
+            }
+            out.push_str(&format!(
+                "{title:<14} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                "spans", "llm.calls", "tokens", "p50(ms)", "p90(ms)", "p99(ms)"
+            ));
+            for s in rows {
+                out.push_str(&format!(
+                    "  {:<12} {:>6} {:>10} {:>9} {:>9.1} {:>9.1} {:>9.1}\n",
+                    s.name,
+                    s.spans,
+                    s.llm_calls,
+                    s.tokens,
+                    s.latency.p50_us as f64 / 1000.0,
+                    s.latency.p90_us as f64 / 1000.0,
+                    s.latency.p99_us as f64 / 1000.0,
+                ));
+            }
+        };
+        table(&mut out, "stage", &self.stages);
+        table(&mut out, "agent", &self.agents);
+        if !self.errors.is_empty() {
+            out.push_str("errors:\n");
+            for (kind, n) in &self.errors {
+                out.push_str(&format!("  {kind:<20} {n}\n"));
+            }
+        }
+        if !self.workloads.is_empty() {
+            out.push_str("workloads:\n");
+            for (name, w) in &self.workloads {
+                out.push_str(&format!(
+                    "  {name:<12} {} runs, {} passed, {} failed, {} tokens\n",
+                    w.runs, w.passed, w.failed, w.tokens
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn collect_stats(
+    durations: &BTreeMap<String, Vec<u64>>,
+    usage: &BTreeMap<String, (u64, u64)>,
+) -> Vec<StageStats> {
+    let mut names: Vec<&String> = durations.keys().chain(usage.keys()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let durs = durations.get(name).map(Vec::as_slice).unwrap_or(&[]);
+            let (calls, tokens) = usage.get(name).copied().unwrap_or((0, 0));
+            StageStats {
+                name: name.clone(),
+                spans: durs.len() as u64,
+                llm_calls: calls,
+                tokens,
+                latency: LatencyStats::from_durations(durs),
+            }
+        })
+        .collect()
+}
+
+/// Aggregates the span trees of every record into one collapsed-stack
+/// (folded) profile — the flamegraph of a whole fleet run. Each query
+/// contributes its span forest; identical stacks across queries merge,
+/// so the output weights are fleet totals. Wall weighting always works;
+/// CPU and alloc weightings are non-empty only when the producing binary
+/// had a thread CPU clock / the counting allocator.
+pub fn folded_profile(records: &[RunRecord], weight: ProfileWeight) -> String {
+    let spans: Vec<SpanNode> = records
+        .iter()
+        .flat_map(|r| r.summary.spans.iter().cloned())
+        .collect();
+    folded_stacks(&spans, weight)
+}
+
+/// One metric that got worse between two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Dotted metric path (`tokens.total`, `llm.calls`,
+    /// `stage.execute.p99_us`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Relative change, percent (always > the gate threshold).
+    pub change_pct: f64,
+}
+
+/// Compares two fleet reports and returns every gated metric that
+/// regressed beyond `threshold_pct` percent: `tokens.total`, `llm.calls`,
+/// `alloc.bytes_per_query`, `alloc.count_per_query`, and the p99 latency
+/// of every stage present in both reports. Metrics with a zero baseline
+/// are skipped (nothing to compare against — which also grandfathers
+/// reports and baselines written before alloc accounting existed);
+/// stages only present in the candidate are not latency-gated but DO
+/// trip the token gate through the totals.
+pub fn diff_reports(
+    baseline: &FleetReport,
+    candidate: &FleetReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    let mut check = |metric: String, base: f64, cand: f64| {
+        if base <= 0.0 {
+            return;
+        }
+        let change_pct = (cand - base) / base * 100.0;
+        if change_pct > threshold_pct {
+            regressions.push(Regression {
+                metric,
+                baseline: base,
+                candidate: cand,
+                change_pct,
+            });
+        }
+    };
+    check(
+        "tokens.total".into(),
+        baseline.tokens.total as f64,
+        candidate.tokens.total as f64,
+    );
+    check(
+        "llm.calls".into(),
+        baseline.llm.calls as f64,
+        candidate.llm.calls as f64,
+    );
+    check(
+        "latency.p99_us".into(),
+        baseline.latency.p99_us as f64,
+        candidate.latency.p99_us as f64,
+    );
+    check(
+        "alloc.bytes_per_query".into(),
+        baseline.alloc.bytes_per_query as f64,
+        candidate.alloc.bytes_per_query as f64,
+    );
+    check(
+        "alloc.count_per_query".into(),
+        baseline.alloc.count_per_query as f64,
+        candidate.alloc.count_per_query as f64,
+    );
+    for b in &baseline.stages {
+        if let Some(c) = candidate.stage(&b.name) {
+            check(
+                format!("stage.{}.p99_us", b.name),
+                b.latency.p99_us as f64,
+                c.latency.p99_us as f64,
+            );
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_telemetry::{AttributedUsage, TokenUsage};
+
+    fn span(name: &str, start_us: u64, dur_us: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            start_us,
+            dur_us,
+            cpu_us: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+            attrs: vec![],
+            children,
+        }
+    }
+
+    fn record(workload: &str, success: bool, execute_us: u64, tokens: u64) -> RunRecord {
+        let summary = QuerySummary {
+            spans: vec![span(
+                "query",
+                0,
+                execute_us + 20,
+                vec![
+                    span("rewrite", 1, 10, vec![]),
+                    span(
+                        "execute",
+                        12,
+                        execute_us,
+                        vec![span("agent:sql_agent", 13, execute_us - 2, vec![])],
+                    ),
+                ],
+            )],
+            attribution: vec![
+                AttributedUsage {
+                    stage: "rewrite".into(),
+                    agent: "-".into(),
+                    usage: TokenUsage {
+                        prompt_tokens: tokens / 4,
+                        completion_tokens: 0,
+                        calls: 1,
+                    },
+                },
+                AttributedUsage {
+                    stage: "execute".into(),
+                    agent: "sql_agent".into(),
+                    usage: TokenUsage {
+                        prompt_tokens: tokens / 2,
+                        completion_tokens: tokens / 4,
+                        calls: 2,
+                    },
+                },
+            ],
+            total: TokenUsage {
+                prompt_tokens: 3 * tokens / 4,
+                completion_tokens: tokens / 4,
+                calls: 3,
+            },
+        };
+        let mut error_kinds = BTreeMap::new();
+        if !success {
+            error_kinds.insert("agent_failure".to_string(), 1);
+        }
+        RunRecord {
+            workload: workload.into(),
+            question: "q".into(),
+            success,
+            duration_us: execute_us + 20,
+            summary,
+            error_kinds,
+            flight_record: vec![],
+            resilience: ResilienceStats::default(),
+        }
+    }
+
+    fn sample_report() -> FleetReport {
+        let mut rec = RunRecorder::new();
+        rec.push(record("nl2sql", true, 1000, 400));
+        rec.push(record("nl2sql", true, 2000, 400));
+        rec.push(record("nl2vis", false, 8000, 800));
+        rec.report()
+    }
+
+    #[test]
+    fn report_aggregates_counts_tokens_and_taxonomy() {
+        let report = sample_report();
+        assert_eq!((report.runs, report.passed, report.failed), (3, 2, 1));
+        assert_eq!(report.tokens.total, 1600);
+        assert_eq!(report.tokens.prompt + report.tokens.completion, 1600);
+        assert_eq!(report.llm.calls, 9);
+        assert_eq!(report.errors.get("agent_failure"), Some(&1));
+        assert_eq!(report.workloads.len(), 2);
+        assert_eq!(report.workloads["nl2sql"].runs, 2);
+        assert_eq!(report.workloads["nl2sql"].tokens, 800);
+        assert_eq!(report.workloads["nl2vis"].failed, 1);
+
+        // Per-stage token totals sum to the grand total.
+        let by_stage: u64 = report.stages.iter().map(|s| s.tokens).sum();
+        assert_eq!(by_stage, report.tokens.total);
+
+        let execute = report.stage("execute").expect("execute stats");
+        assert_eq!(execute.spans, 3);
+        assert_eq!(execute.llm_calls, 6);
+        let sql = report.agent("sql_agent").expect("sql_agent stats");
+        assert_eq!(sql.spans, 3);
+        // Latency percentiles are ordered and bounded by the max.
+        assert!(execute.latency.p50_us <= execute.latency.p90_us);
+        assert!(execute.latency.p90_us <= execute.latency.p99_us);
+        assert!(execute.latency.p99_us <= execute.latency.max_us);
+        assert_eq!(report.latency.count, 3);
+        assert_eq!(report.latency.max_us, 8020);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_and_renders() {
+        let report = sample_report();
+        let json = report.to_json();
+        let parsed = FleetReport::from_json(&json).expect("parses");
+        assert_eq!(parsed, report);
+        assert!(FleetReport::from_json("not json").is_err());
+        let text = report.render();
+        assert!(
+            text.contains("fleet report: 3 runs (2 passed, 1 failed)"),
+            "{text}"
+        );
+        assert!(text.contains("agent_failure"), "{text}");
+        assert!(text.contains("nl2sql"), "{text}");
+        assert!(text.contains("sql_agent"), "{text}");
+    }
+
+    #[test]
+    fn comparable_strips_timing_but_keeps_counts() {
+        let mut a = sample_report();
+        a.wall_clock_us = 123_456;
+        a.workers = 4;
+        let mut b = sample_report();
+        b.wall_clock_us = 9;
+        b.workers = 1;
+        // Same records, different machines/thread counts: the raw reports
+        // differ, the comparable views do not.
+        assert_ne!(a, b);
+        assert_eq!(a.comparable(), b.comparable());
+        let c = a.comparable();
+        assert_eq!(c.wall_clock_us, 0);
+        assert_eq!(c.workers, 0);
+        assert_eq!(c.latency.count, 3);
+        assert_eq!(c.latency.p99_us, 0);
+        let execute = c.stage("execute").unwrap();
+        assert_eq!(execute.latency.count, 3);
+        assert_eq!(execute.latency.p99_us, 0);
+        // Everything deterministic survives: tokens, calls, taxonomy.
+        assert_eq!(c.tokens.total, a.tokens.total);
+        assert_eq!(c.llm.calls, a.llm.calls);
+        assert_eq!(c.errors, a.errors);
+        // A genuinely different run still differs after normalisation.
+        let mut other = sample_report();
+        other.tokens.total += 1;
+        assert_ne!(a.comparable(), other.comparable());
+    }
+
+    #[test]
+    fn wall_clock_fields_default_when_absent_from_json() {
+        // Reports written before the executor fields existed still parse,
+        // with both fields defaulting to zero.
+        let mut timed = sample_report();
+        timed.wall_clock_us = 5_000;
+        timed.workers = 2;
+        let mut value: serde_json::Value =
+            serde_json::from_str(&timed.to_json()).expect("valid json");
+        let obj = value.as_object_mut().expect("object");
+        obj.remove("wall_clock_us");
+        obj.remove("workers");
+        let legacy = FleetReport::from_json(&value.to_string()).expect("legacy report parses");
+        assert_eq!(legacy.wall_clock_us, 0);
+        assert_eq!(legacy.workers, 0);
+        assert_eq!(legacy.comparable(), timed.comparable());
+        // The full report round-trips and renders its executor line.
+        let roundtrip = FleetReport::from_json(&timed.to_json()).expect("parses");
+        assert_eq!(roundtrip, timed);
+        assert!(timed.render().contains("2 workers"), "{}", timed.render());
+    }
+
+    #[test]
+    fn resilience_sums_across_records_and_defaults_when_absent() {
+        let mut rec = RunRecorder::new();
+        let mut chaotic = record("nl2sql", true, 1000, 400);
+        chaotic.resilience = ResilienceStats {
+            faults: 3,
+            transport_retries: 2,
+            breaker_trips: 1,
+            degraded: 1,
+        };
+        rec.push(chaotic);
+        rec.push(record("nl2sql", true, 2000, 400));
+        let report = rec.report();
+        assert_eq!(report.resilience.faults, 3);
+        assert_eq!(report.resilience.transport_retries, 2);
+        assert_eq!(report.resilience.breaker_trips, 1);
+        assert_eq!(report.resilience.degraded, 1);
+        assert!(!report.resilience.is_zero());
+        // Resilience is deterministic, so comparable() keeps it — two runs
+        // with different fault injection must not look equal.
+        assert_eq!(report.comparable().resilience, report.resilience);
+        let calm = sample_report();
+        assert!(calm.resilience.is_zero());
+        assert_ne!(report.comparable().resilience, calm.comparable().resilience);
+        // Render shows the line only when something happened.
+        assert!(report.render().contains("resilience: 3 faults"));
+        assert!(!calm.render().contains("resilience:"));
+        // Reports predating the field parse with zero stats.
+        let mut value: serde_json::Value =
+            serde_json::from_str(&report.to_json()).expect("valid json");
+        value.as_object_mut().expect("object").remove("resilience");
+        let legacy = FleetReport::from_json(&value.to_string()).expect("legacy parses");
+        assert!(legacy.resilience.is_zero());
+        // And the roundtrip preserves the stats.
+        let roundtrip = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(roundtrip.resilience, report.resilience);
+        // Resilience never trips the obsdiff gate.
+        assert!(diff_reports(&calm, &report, 0.0)
+            .iter()
+            .all(|r| !r.metric.contains("resilience")));
+    }
+
+    /// A record whose root span carries alloc deltas, as produced by a
+    /// binary with the counting allocator installed.
+    fn record_with_alloc(allocs: u64, bytes: u64) -> RunRecord {
+        let mut r = record("nl2sql", true, 1000, 400);
+        for root in &mut r.summary.spans {
+            root.allocs = allocs;
+            root.alloc_bytes = bytes;
+        }
+        r
+    }
+
+    #[test]
+    fn alloc_totals_aggregate_from_root_spans() {
+        let mut rec = RunRecorder::new();
+        rec.push(record_with_alloc(100, 64_000));
+        rec.push(record_with_alloc(300, 192_000));
+        let report = rec.report();
+        assert_eq!(report.alloc.allocs, 400);
+        assert_eq!(report.alloc.bytes, 256_000);
+        assert_eq!(report.alloc.count_per_query, 200);
+        assert_eq!(report.alloc.bytes_per_query, 128_000);
+        assert!(report.render().contains("alloc: 400 allocations"));
+        // Without the counting allocator nothing is attributed: no alloc
+        // line, zero block.
+        let calm = sample_report();
+        assert!(calm.alloc.is_zero());
+        assert!(!calm.render().contains("alloc:"));
+        // comparable() strips the block: a profiled and an unprofiled run
+        // of the same workload must still compare equal.
+        let mut profiled = sample_report();
+        profiled.alloc = AllocTotals {
+            allocs: 7,
+            bytes: 7,
+            count_per_query: 2,
+            bytes_per_query: 2,
+        };
+        assert_eq!(profiled.comparable(), calm.comparable());
+    }
+
+    #[test]
+    fn alloc_fields_roundtrip_and_default_when_absent() {
+        let mut rec = RunRecorder::new();
+        rec.push(record_with_alloc(100, 64_000));
+        let report = rec.report();
+        let roundtrip = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(roundtrip.alloc, report.alloc);
+        // Reports predating the block parse with zero totals.
+        let mut value: serde_json::Value =
+            serde_json::from_str(&report.to_json()).expect("valid json");
+        value.as_object_mut().expect("object").remove("alloc");
+        let legacy = FleetReport::from_json(&value.to_string()).expect("legacy parses");
+        assert!(legacy.alloc.is_zero());
+    }
+
+    #[test]
+    fn alloc_regressions_trip_the_gate_and_zero_baselines_skip_it() {
+        let mut rec = RunRecorder::new();
+        rec.push(record_with_alloc(1_000, 1_000_000));
+        let base = rec.report();
+        // The acceptance scenario: a synthetic +20% on bytes_per_query
+        // must fail a 10% gate.
+        let mut cand = base.clone();
+        cand.alloc.bytes_per_query = base.alloc.bytes_per_query * 12 / 10;
+        let regs = diff_reports(&base, &cand, 10.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "alloc.bytes_per_query");
+        assert!((regs[0].change_pct - 20.0).abs() < 1e-9, "{regs:?}");
+        // Count regressions gate independently.
+        let mut cand = base.clone();
+        cand.alloc.count_per_query *= 2;
+        let regs = diff_reports(&base, &cand, 10.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "alloc.count_per_query");
+        // Improvements and identical reports pass clean.
+        let mut better = base.clone();
+        better.alloc.bytes_per_query /= 2;
+        assert!(diff_reports(&base, &better, 10.0).is_empty());
+        assert!(diff_reports(&base, &base, 10.0).is_empty());
+        // A zero (pre-profiling) baseline never gates alloc, even when
+        // the candidate reports real numbers.
+        let legacy = sample_report();
+        assert!(diff_reports(&legacy, &base, 10.0).is_empty());
+    }
+
+    #[test]
+    fn folded_profile_merges_stacks_and_conserves_wall_weight() {
+        let records = vec![
+            record("nl2sql", true, 1000, 400),
+            record("nl2sql", true, 2000, 400),
+        ];
+        let folded = folded_profile(&records, ProfileWeight::Wall);
+        assert!(!folded.is_empty());
+        // Identical stacks from the two queries merged into one line
+        // each: query, query;rewrite, query;execute, and the agent leaf.
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 4, "{folded}");
+        assert!(
+            folded.contains("query;execute;agent:sql_agent "),
+            "{folded}"
+        );
+        // Total folded weight equals the sum of the recorded root spans.
+        let root_total: u64 = records
+            .iter()
+            .flat_map(|r| r.summary.spans.iter())
+            .map(|s| s.dur_us)
+            .sum();
+        assert_eq!(datalab_telemetry::folded_total(&folded), root_total);
+        // Alloc weighting is empty for unprofiled records, non-empty once
+        // spans carry alloc deltas.
+        assert!(folded_profile(&records, ProfileWeight::AllocBytes).is_empty());
+        let profiled = vec![record_with_alloc(10, 4_096)];
+        let alloc = folded_profile(&profiled, ProfileWeight::AllocBytes);
+        assert_eq!(alloc, "query 4096\n");
+    }
+
+    #[test]
+    fn identical_reports_produce_no_regressions() {
+        let report = sample_report();
+        assert!(diff_reports(&report, &report, 10.0).is_empty());
+        // Small wobble under the threshold passes too.
+        let mut wobble = report.clone();
+        wobble.tokens.total = report.tokens.total + report.tokens.total / 20;
+        assert!(diff_reports(&report, &wobble, 10.0).is_empty());
+    }
+
+    #[test]
+    fn inflated_tokens_and_calls_regress() {
+        let base = sample_report();
+        let mut cand = base.clone();
+        cand.tokens.total *= 2;
+        cand.llm.calls *= 3;
+        let regs = diff_reports(&base, &cand, 10.0);
+        let metrics: Vec<&str> = regs.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"tokens.total"), "{metrics:?}");
+        assert!(metrics.contains(&"llm.calls"), "{metrics:?}");
+        let t = regs.iter().find(|r| r.metric == "tokens.total").unwrap();
+        assert!((t.change_pct - 100.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn stage_p99_regressions_are_gated_per_stage() {
+        let base = sample_report();
+        let mut cand = base.clone();
+        for s in &mut cand.stages {
+            if s.name == "execute" {
+                s.latency.p99_us *= 5;
+            }
+        }
+        let regs = diff_reports(&base, &cand, 25.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "stage.execute.p99_us");
+        // A stage present only in the candidate is not latency-gated.
+        cand.stages.push(StageStats {
+            name: "brand_new".into(),
+            ..StageStats::default()
+        });
+        assert_eq!(diff_reports(&base, &cand, 25.0).len(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_reports_zeroes() {
+        let report = RunRecorder::new().report();
+        assert_eq!(report.runs, 0);
+        assert_eq!(report.tokens.total, 0);
+        assert!(report.stages.is_empty());
+        assert!(diff_reports(&report, &report, 0.0).is_empty());
+    }
+}

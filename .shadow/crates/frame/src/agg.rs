@@ -1,0 +1,262 @@
+//! Aggregate functions over value slices.
+
+use crate::error::{FrameError, Result};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The aggregate functions supported by the engine — the set BI DSLs and
+/// SQL workloads in the paper exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(col)` / `COUNT(*)` — non-null count (all rows for `*`).
+    Count,
+    /// `COUNT(DISTINCT col)`.
+    CountDistinct,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses the SQL/DSL spelling of an aggregate.
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        match s.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "count_distinct" | "countdistinct" => Some(AggFunc::CountDistinct),
+            "sum" => Some(AggFunc::Sum),
+            "avg" | "mean" | "average" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// SQL spelling (upper-case).
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Count | AggFunc::CountDistinct => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Result type for an input column of type `input`.
+    pub fn output_type(&self, input: DataType) -> DataType {
+        match self {
+            AggFunc::Count | AggFunc::CountDistinct => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum => {
+                if input == DataType::Float {
+                    DataType::Float
+                } else {
+                    DataType::Int
+                }
+            }
+            AggFunc::Min | AggFunc::Max => input,
+        }
+    }
+
+    /// Applies the aggregate to the given values (nulls ignored, per SQL
+    /// semantics). An empty / all-null input yields `Null` for everything
+    /// except counts, which yield `0`.
+    pub fn apply(&self, values: &[&Value]) -> Result<Value> {
+        match self {
+            AggFunc::Count => Ok(Value::Int(
+                values.iter().filter(|v| !v.is_null()).count() as i64
+            )),
+            AggFunc::CountDistinct => {
+                let set: HashSet<&&Value> = values.iter().filter(|v| !v.is_null()).collect();
+                Ok(Value::Int(set.len() as i64))
+            }
+            AggFunc::Sum => {
+                let mut any = false;
+                let mut all_int = true;
+                let mut acc = 0.0f64;
+                let mut iacc: i64 = 0;
+                for v in values {
+                    match v {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            any = true;
+                            iacc = iacc.wrapping_add(*i);
+                            acc += *i as f64;
+                        }
+                        Value::Float(f) => {
+                            any = true;
+                            all_int = false;
+                            acc += f;
+                        }
+                        other => {
+                            return Err(FrameError::TypeMismatch {
+                                expected: "numeric".into(),
+                                found: other.dtype().to_string(),
+                            })
+                        }
+                    }
+                }
+                if !any {
+                    Ok(Value::Null)
+                } else if all_int {
+                    Ok(Value::Int(iacc))
+                } else {
+                    Ok(Value::Float(acc))
+                }
+            }
+            AggFunc::Avg => {
+                let mut n = 0usize;
+                let mut acc = 0.0f64;
+                for v in values {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let f = v.as_f64().ok_or_else(|| FrameError::TypeMismatch {
+                        expected: "numeric".into(),
+                        found: v.dtype().to_string(),
+                    })?;
+                    acc += f;
+                    n += 1;
+                }
+                if n == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(acc / n as f64))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let mut best: Option<&Value> = None;
+                for v in values {
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let ord = v.total_cmp(b);
+                            let take = if *self == AggFunc::Min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            };
+                            if take {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                Ok(best.cloned().unwrap_or(Value::Null))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::CountDistinct => f.write_str("COUNT DISTINCT"),
+            other => f.write_str(other.sql_name()),
+        }
+    }
+}
+
+/// One output column of a group-by: `func(column) AS alias`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The input column; `None` means `COUNT(*)`.
+    pub column: Option<String>,
+    /// Name of the output column.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// `func(column) AS alias`.
+    pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `COUNT(*) AS alias`.
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            column: None,
+            alias: alias.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(v: &[Value]) -> Vec<&Value> {
+        v.iter().collect()
+    }
+
+    #[test]
+    fn sum_stays_int_for_ints() {
+        let v = [Value::Int(1), Value::Int(2), Value::Null];
+        assert_eq!(AggFunc::Sum.apply(&vals(&v)).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_promotes_to_float() {
+        let v = [Value::Int(1), Value::Float(0.5)];
+        assert_eq!(AggFunc::Sum.apply(&vals(&v)).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn avg_ignores_nulls() {
+        let v = [Value::Int(2), Value::Null, Value::Int(4)];
+        assert_eq!(AggFunc::Avg.apply(&vals(&v)).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let v = [Value::Int(1), Value::Int(1), Value::Int(2), Value::Null];
+        assert_eq!(
+            AggFunc::CountDistinct.apply(&vals(&v)).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let v = [Value::Str("b".into()), Value::Str("a".into())];
+        assert_eq!(
+            AggFunc::Min.apply(&vals(&v)).unwrap(),
+            Value::Str("a".into())
+        );
+        assert_eq!(
+            AggFunc::Max.apply(&vals(&v)).unwrap(),
+            Value::Str("b".into())
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_null_or_zero() {
+        assert_eq!(AggFunc::Sum.apply(&[]).unwrap(), Value::Null);
+        assert_eq!(AggFunc::Count.apply(&[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let v = [Value::Str("x".into())];
+        assert!(AggFunc::Sum.apply(&vals(&v)).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal CSV reader/writer with type inference, used to move workload
+//! data in and out of the engine.
+
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Date, Value};
+
+/// Serialises a frame to RFC-4180-style CSV (header row included).
+pub fn to_csv(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = df.schema().names().iter().map(|n| escape(n)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for i in 0..df.n_rows() {
+        let row: Vec<String> = (0..df.n_cols())
+            .map(|c| escape(&df.column_at(c)[i].render()))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parses CSV text into a frame, inferring each column's type from its
+/// values (int ⊂ float; dates recognised as `YYYY-MM-DD`; `true`/`false`
+/// as booleans; empty fields as nulls; everything else as strings).
+pub fn from_csv(text: &str) -> Result<DataFrame> {
+    let rows = parse_rows(text)?;
+    let mut iter = rows.into_iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| FrameError::Csv("empty input".into()))?;
+    let records: Vec<Vec<String>> = iter.collect();
+    let width = header.len();
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(FrameError::Csv(format!(
+                "row {} has {} fields, expected {width}",
+                i + 2,
+                r.len()
+            )));
+        }
+    }
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(width);
+    let mut fields = Vec::with_capacity(width);
+    for c in 0..width {
+        let raw: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+        let dtype = infer_type(&raw);
+        let values: Vec<Value> = raw.iter().map(|s| parse_value(s, dtype)).collect();
+        fields.push(Field::new(header[c].clone(), dtype));
+        columns.push(values);
+    }
+    let mut df = DataFrame::new(Schema::new(fields)?);
+    let n = records.len();
+    for i in 0..n {
+        let row: Vec<Value> = columns.iter().map(|col| col[i].clone()).collect();
+        df.push_row(row)?;
+    }
+    Ok(df)
+}
+
+fn infer_type(raw: &[&str]) -> DataType {
+    let mut saw_any = false;
+    let (mut int, mut float, mut boolean, mut date) = (true, true, true, true);
+    for s in raw {
+        let s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        saw_any = true;
+        if s.parse::<i64>().is_err() {
+            int = false;
+        }
+        if s.parse::<f64>().is_err() {
+            float = false;
+        }
+        if !s.eq_ignore_ascii_case("true") && !s.eq_ignore_ascii_case("false") {
+            boolean = false;
+        }
+        if Date::parse(s).is_err() {
+            date = false;
+        }
+    }
+    if !saw_any {
+        DataType::Null
+    } else if boolean {
+        DataType::Bool
+    } else if int {
+        DataType::Int
+    } else if float {
+        DataType::Float
+    } else if date {
+        DataType::Date
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_value(s: &str, dtype: DataType) -> Value {
+    let s = s.trim();
+    if s.is_empty() {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Int => s.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Float => s.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        DataType::Bool => Value::Bool(s.eq_ignore_ascii_case("true")),
+        DataType::Date => Date::parse(s).map(Value::Date).unwrap_or(Value::Null),
+        DataType::Str | DataType::Null => Value::Str(s.to_string()),
+    }
+}
+
+/// Splits CSV text into rows of unescaped fields.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv("unterminated quoted field".into()));
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_inference() {
+        let csv = "name,score,when,ok\nalice,1.5,2024-01-02,true\n\"bo,b\",2,2024-02-03,false\n";
+        let df = from_csv(csv).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.schema().field("score").unwrap().dtype, DataType::Float);
+        assert_eq!(df.schema().field("when").unwrap().dtype, DataType::Date);
+        assert_eq!(df.schema().field("ok").unwrap().dtype, DataType::Bool);
+        assert_eq!(df.column("name").unwrap()[1], Value::Str("bo,b".into()));
+        let back = from_csv(&to_csv(&df)).unwrap();
+        assert_eq!(back, df);
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let df = from_csv("a,b\n1,\n,2\n").unwrap();
+        assert!(df.column("a").unwrap()[1].is_null());
+        assert!(df.column("b").unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn mixed_types_fall_back_to_string() {
+        let df = from_csv("x\n1\nfoo\n").unwrap();
+        assert_eq!(df.schema().field("x").unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn quoted_newlines_and_quotes() {
+        let df = from_csv("a\n\"line1\nline2\"\n\"has \"\"q\"\"\"\n").unwrap();
+        assert_eq!(
+            df.column("a").unwrap()[0],
+            Value::Str("line1\nline2".into())
+        );
+        assert_eq!(df.column("a").unwrap()[1], Value::Str("has \"q\"".into()));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(from_csv("a,b\n1\n").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the DataFrame engine.
+
+use std::fmt;
+
+/// Errors produced by DataFrame operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound(String),
+    /// A duplicate column name was supplied where names must be unique.
+    DuplicateColumn(String),
+    /// An operation received a value of an incompatible type.
+    TypeMismatch {
+        /// What the operation expected (human readable).
+        expected: String,
+        /// What it actually found.
+        found: String,
+    },
+    /// Column lengths (or row widths) disagree.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// CSV parsing or serialization failed.
+    Csv(String),
+    /// A date string could not be parsed.
+    InvalidDate(String),
+    /// Catch-all for invalid arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
+            FrameError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            FrameError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::InvalidDate(s) => write!(f, "invalid date: {s}"),
+            FrameError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Convenience alias used throughout the frame crate.
+pub type Result<T> = std::result::Result<T, FrameError>;

@@ -1,0 +1,584 @@
+//! The column-major in-memory DataFrame and its relational operations.
+
+use crate::agg::AggExpr;
+use crate::error::{FrameError, Result};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Join flavours supported by [`DataFrame::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep every left row; unmatched right columns become `Null`.
+    Left,
+}
+
+/// An in-memory, column-major table.
+///
+/// Rows are addressed by index; columns by (case-insensitive) name through
+/// the [`Schema`]. All operations are immutable and return new frames,
+/// except [`DataFrame::push_row`] which appends in place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataFrame {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+}
+
+impl DataFrame {
+    /// An empty frame with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.len()];
+        DataFrame { schema, columns }
+    }
+
+    /// Builds a frame from `(name, dtype, values)` triples. All columns
+    /// must have equal length and values must match their declared type.
+    pub fn from_columns(cols: Vec<(&str, DataType, Vec<Value>)>) -> Result<Self> {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, t, _)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )?;
+        let n = cols.first().map(|(_, _, v)| v.len()).unwrap_or(0);
+        let mut columns = Vec::with_capacity(cols.len());
+        for (name, dtype, values) in cols {
+            if values.len() != n {
+                return Err(FrameError::LengthMismatch {
+                    expected: n,
+                    found: values.len(),
+                });
+            }
+            for v in &values {
+                if !dtype.accepts(v.dtype()) {
+                    return Err(FrameError::TypeMismatch {
+                        expected: format!("{dtype} in column {name}"),
+                        found: v.dtype().to_string(),
+                    });
+                }
+            }
+            columns.push(values);
+        }
+        Ok(DataFrame { schema, columns })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Column values by name.
+    pub fn column(&self, name: &str) -> Result<&[Value]> {
+        let idx = self.schema.require(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Column values by position.
+    pub fn column_at(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// Materialises row `i` as a vector of values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[i].clone()).collect()
+    }
+
+    /// Appends one row, validating width and types.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        for (v, f) in row.iter().zip(self.schema.fields()) {
+            if !f.dtype.accepts(v.dtype()) {
+                return Err(FrameError::TypeMismatch {
+                    expected: format!("{} in column {}", f.dtype, f.name),
+                    found: v.dtype().to_string(),
+                });
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Projects the named columns (in the given order).
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut fields = Vec::with_capacity(names.len());
+        let mut columns = Vec::with_capacity(names.len());
+        for name in names {
+            let idx = self.schema.require(name)?;
+            fields.push(self.schema.fields()[idx].clone());
+            columns.push(self.columns[idx].clone());
+        }
+        Ok(DataFrame {
+            schema: Schema::new(fields)?,
+            columns,
+        })
+    }
+
+    /// Row subset by index list (indices may repeat or reorder).
+    pub fn take(&self, indices: &[usize]) -> DataFrame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
+            .collect();
+        DataFrame {
+            schema: self.schema.clone(),
+            columns,
+        }
+    }
+
+    /// Keeps rows where `mask[i]` is true.
+    pub fn filter_mask(&self, mask: &[bool]) -> Result<DataFrame> {
+        if mask.len() != self.n_rows() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.n_rows(),
+                found: mask.len(),
+            });
+        }
+        let keep: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        Ok(self.take(&keep))
+    }
+
+    /// Keeps rows satisfying `pred(row_index)`.
+    pub fn filter<F: Fn(usize) -> bool>(&self, pred: F) -> DataFrame {
+        let keep: Vec<usize> = (0..self.n_rows()).filter(|&i| pred(i)).collect();
+        self.take(&keep)
+    }
+
+    /// Stable multi-key sort; `keys` are `(column, ascending)` pairs.
+    pub fn sort_by(&self, keys: &[(&str, bool)]) -> Result<DataFrame> {
+        let key_idx: Vec<(usize, bool)> = keys
+            .iter()
+            .map(|(name, asc)| Ok((self.schema.require(name)?, *asc)))
+            .collect::<Result<_>>()?;
+        let mut order: Vec<usize> = (0..self.n_rows()).collect();
+        order.sort_by(|&a, &b| {
+            for &(ci, asc) in &key_idx {
+                let ord = self.columns[ci][a].total_cmp(&self.columns[ci][b]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(self.take(&order))
+    }
+
+    /// Hash-aggregation: groups by `dims` (empty for a global aggregate)
+    /// and computes each [`AggExpr`]. Output columns are the dims followed
+    /// by the aggregate aliases. Groups appear in first-occurrence order.
+    pub fn group_by(&self, dims: &[&str], aggs: &[AggExpr]) -> Result<DataFrame> {
+        let dim_idx: Vec<usize> = dims
+            .iter()
+            .map(|d| self.schema.require(d))
+            .collect::<Result<_>>()?;
+        let agg_idx: Vec<Option<usize>> = aggs
+            .iter()
+            .map(|a| {
+                a.column
+                    .as_deref()
+                    .map(|c| self.schema.require(c))
+                    .transpose()
+            })
+            .collect::<Result<_>>()?;
+
+        // Group rows by the dim key, preserving first-seen order.
+        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut ordered: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        for i in 0..self.n_rows() {
+            let key: Vec<Value> = dim_idx
+                .iter()
+                .map(|&c| self.columns[c][i].clone())
+                .collect();
+            match groups.get(&key) {
+                Some(&g) => ordered[g].1.push(i),
+                None => {
+                    groups.insert(key.clone(), ordered.len());
+                    ordered.push((key, vec![i]));
+                }
+            }
+        }
+        // A global aggregate over zero rows still yields one output row.
+        if dims.is_empty() && ordered.is_empty() {
+            ordered.push((Vec::new(), Vec::new()));
+        }
+
+        let mut fields: Vec<Field> = dim_idx
+            .iter()
+            .map(|&c| self.schema.fields()[c].clone())
+            .collect();
+        for (agg, idx) in aggs.iter().zip(&agg_idx) {
+            let in_ty = idx
+                .map(|c| self.schema.fields()[c].dtype)
+                .unwrap_or(DataType::Int);
+            fields.push(Field::new(agg.alias.clone(), agg.func.output_type(in_ty)));
+        }
+        let mut out = DataFrame::new(Schema::new(fields)?);
+        for (key, rows) in &ordered {
+            let mut row: Vec<Value> = key.clone();
+            for (agg, idx) in aggs.iter().zip(&agg_idx) {
+                let v = match idx {
+                    Some(c) => {
+                        let vals: Vec<&Value> =
+                            rows.iter().map(|&r| &self.columns[*c][r]).collect();
+                        agg.func.apply(&vals)?
+                    }
+                    // COUNT(*): count rows, nulls included.
+                    None => Value::Int(rows.len() as i64),
+                };
+                row.push(v);
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Equi-join on `(left_col, right_col)` pairs. Right join columns are
+    /// kept; name collisions on non-key columns get a `_right` suffix.
+    pub fn join(
+        &self,
+        other: &DataFrame,
+        on: &[(&str, &str)],
+        kind: JoinKind,
+    ) -> Result<DataFrame> {
+        let lk: Vec<usize> = on
+            .iter()
+            .map(|(l, _)| self.schema.require(l))
+            .collect::<Result<_>>()?;
+        let rk: Vec<usize> = on
+            .iter()
+            .map(|(_, r)| other.schema.require(r))
+            .collect::<Result<_>>()?;
+
+        // Hash the right side.
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for j in 0..other.n_rows() {
+            let key: Vec<Value> = rk.iter().map(|&c| other.columns[c][j].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue; // SQL semantics: NULL never matches.
+            }
+            index.entry(key).or_default().push(j);
+        }
+
+        // Output schema: all left fields, then all right fields (renamed on
+        // collision).
+        let mut fields: Vec<Field> = self.schema.fields().to_vec();
+        let mut right_names: Vec<String> = Vec::with_capacity(other.schema.len());
+        for f in other.schema.fields() {
+            let name = if self.schema.index_of(&f.name).is_some() {
+                format!("{}_right", f.name)
+            } else {
+                f.name.clone()
+            };
+            right_names.push(name.clone());
+            fields.push(Field::new(name, f.dtype));
+        }
+        let mut out = DataFrame::new(Schema::new(fields)?);
+
+        for i in 0..self.n_rows() {
+            let key: Vec<Value> = lk.iter().map(|&c| self.columns[c][i].clone()).collect();
+            let matches = if key.iter().any(Value::is_null) {
+                None
+            } else {
+                index.get(&key)
+            };
+            match matches {
+                Some(rows) => {
+                    for &j in rows {
+                        let mut row = self.row(i);
+                        row.extend(other.row(j));
+                        out.push_row(row)?;
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        let mut row = self.row(i);
+                        row.extend(std::iter::repeat(Value::Null).take(other.n_cols()));
+                        out.push_row(row)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes duplicate rows, keeping first occurrences.
+    pub fn distinct(&self) -> DataFrame {
+        let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+        let mut keep = Vec::new();
+        for i in 0..self.n_rows() {
+            let row = self.row(i);
+            if seen.insert(row, ()).is_none() {
+                keep.push(i);
+            }
+        }
+        self.take(&keep)
+    }
+
+    /// First `n` rows.
+    pub fn limit(&self, n: usize) -> DataFrame {
+        let keep: Vec<usize> = (0..self.n_rows().min(n)).collect();
+        self.take(&keep)
+    }
+
+    /// Adds a column (must match the row count).
+    pub fn with_column(
+        &self,
+        name: &str,
+        dtype: DataType,
+        values: Vec<Value>,
+    ) -> Result<DataFrame> {
+        if values.len() != self.n_rows() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.n_rows(),
+                found: values.len(),
+            });
+        }
+        let mut schema = self.schema.clone();
+        schema.push(Field::new(name, dtype))?;
+        let mut columns = self.columns.clone();
+        columns.push(values);
+        Ok(DataFrame { schema, columns })
+    }
+
+    /// Renames a column.
+    pub fn rename(&self, old: &str, new: &str) -> Result<DataFrame> {
+        let idx = self.schema.require(old)?;
+        let mut fields = self.schema.fields().to_vec();
+        fields[idx].name = new.to_string();
+        Ok(DataFrame {
+            schema: Schema::new(fields)?,
+            columns: self.columns.clone(),
+        })
+    }
+
+    /// Appends another frame's rows (schemas must match by name and type).
+    pub fn concat_rows(&self, other: &DataFrame) -> Result<DataFrame> {
+        if self.schema != *other.schema() {
+            return Err(FrameError::Invalid(
+                "concat_rows requires identical schemas".into(),
+            ));
+        }
+        let mut columns = self.columns.clone();
+        for (c, oc) in columns.iter_mut().zip(&other.columns) {
+            c.extend(oc.iter().cloned());
+        }
+        Ok(DataFrame {
+            schema: self.schema.clone(),
+            columns,
+        })
+    }
+
+    /// The distinct non-null values of a column, in first-seen order.
+    pub fn distinct_values(&self, name: &str) -> Result<Vec<Value>> {
+        let col = self.column(name)?;
+        let mut seen = HashMap::new();
+        let mut out = Vec::new();
+        for v in col {
+            if !v.is_null() && seen.insert(v.clone(), ()).is_none() {
+                out.push(v.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders the frame as a plain-text table (used by examples, the
+    /// notebook, and information-unit content).
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let mut s = String::new();
+        let names = self.schema.names();
+        s.push_str(&names.join(" | "));
+        s.push('\n');
+        s.push_str(
+            &names
+                .iter()
+                .map(|n| "-".repeat(n.len().max(1)))
+                .collect::<Vec<_>>()
+                .join("-|-"),
+        );
+        s.push('\n');
+        let shown = self.n_rows().min(max_rows);
+        for i in 0..shown {
+            let row: Vec<String> = self.columns.iter().map(|c| c[i].render()).collect();
+            s.push_str(&row.join(" | "));
+            s.push('\n');
+        }
+        if self.n_rows() > shown {
+            s.push_str(&format!("... ({} rows total)\n", self.n_rows()));
+        }
+        s
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table_string(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+
+    fn sales() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "region",
+                DataType::Str,
+                vec!["east".into(), "west".into(), "east".into(), "west".into()],
+            ),
+            (
+                "amount",
+                DataType::Int,
+                vec![10.into(), 20.into(), 30.into(), Value::Null],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_columns_validates_lengths_and_types() {
+        assert!(DataFrame::from_columns(vec![
+            ("a", DataType::Int, vec![1.into()]),
+            ("b", DataType::Int, vec![1.into(), 2.into()]),
+        ])
+        .is_err());
+        assert!(DataFrame::from_columns(vec![("a", DataType::Int, vec!["x".into()])]).is_err());
+    }
+
+    #[test]
+    fn select_and_filter() {
+        let df = sales();
+        let sel = df.select(&["amount"]).unwrap();
+        assert_eq!(sel.n_cols(), 1);
+        let amounts = df.column("amount").unwrap().to_vec();
+        let big = df.filter(|i| amounts[i].as_f64().map(|f| f > 15.0).unwrap_or(false));
+        assert_eq!(big.n_rows(), 2);
+    }
+
+    #[test]
+    fn group_by_sum() {
+        let df = sales();
+        let g = df
+            .group_by(
+                &["region"],
+                &[AggExpr::new(AggFunc::Sum, "amount", "total")],
+            )
+            .unwrap();
+        assert_eq!(g.n_rows(), 2);
+        let east = g.filter(|i| g.column("region").unwrap()[i] == Value::Str("east".into()));
+        assert_eq!(east.column("total").unwrap()[0], Value::Int(40));
+        let west = g.filter(|i| g.column("region").unwrap()[i] == Value::Str("west".into()));
+        assert_eq!(west.column("total").unwrap()[0], Value::Int(20));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_frame() {
+        let df = DataFrame::from_columns(vec![("x", DataType::Int, vec![])]).unwrap();
+        let g = df.group_by(&[], &[AggExpr::count_star("n")]).unwrap();
+        assert_eq!(g.n_rows(), 1);
+        assert_eq!(g.column("n").unwrap()[0], Value::Int(0));
+    }
+
+    #[test]
+    fn sort_multi_key() {
+        let df = sales();
+        let sorted = df.sort_by(&[("region", true), ("amount", false)]).unwrap();
+        assert_eq!(
+            sorted.column("region").unwrap()[0],
+            Value::Str("east".into())
+        );
+        assert_eq!(sorted.column("amount").unwrap()[0], Value::Int(30));
+        // Null amount sorts first ascending, last descending within west.
+        assert_eq!(sorted.column("amount").unwrap()[3], Value::Null);
+    }
+
+    #[test]
+    fn inner_and_left_join() {
+        let regions = DataFrame::from_columns(vec![
+            ("name", DataType::Str, vec!["east".into(), "north".into()]),
+            ("manager", DataType::Str, vec!["ann".into(), "bob".into()]),
+        ])
+        .unwrap();
+        let df = sales();
+        let inner = df
+            .join(&regions, &[("region", "name")], JoinKind::Inner)
+            .unwrap();
+        assert_eq!(inner.n_rows(), 2); // two east rows match
+        let left = df
+            .join(&regions, &[("region", "name")], JoinKind::Left)
+            .unwrap();
+        assert_eq!(left.n_rows(), 4);
+        assert_eq!(left.column("manager").unwrap()[1], Value::Null); // west unmatched
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let l = DataFrame::from_columns(vec![("k", DataType::Int, vec![Value::Null])]).unwrap();
+        let r = DataFrame::from_columns(vec![("k", DataType::Int, vec![Value::Null])]).unwrap();
+        let j = l.join(&r, &[("k", "k")], JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 0);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let df = DataFrame::from_columns(vec![(
+            "x",
+            DataType::Int,
+            vec![1.into(), 1.into(), 2.into()],
+        )])
+        .unwrap();
+        assert_eq!(df.distinct().n_rows(), 2);
+        assert_eq!(df.limit(1).n_rows(), 1);
+        assert_eq!(df.limit(10).n_rows(), 3);
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let l = DataFrame::from_columns(vec![
+            ("k", DataType::Int, vec![1.into()]),
+            ("v", DataType::Int, vec![10.into()]),
+        ])
+        .unwrap();
+        let r = DataFrame::from_columns(vec![
+            ("k", DataType::Int, vec![1.into()]),
+            ("v", DataType::Int, vec![20.into()]),
+        ])
+        .unwrap();
+        let j = l.join(&r, &[("k", "k")], JoinKind::Inner).unwrap();
+        assert_eq!(j.schema().names(), vec!["k", "v", "k_right", "v_right"]);
+    }
+
+    #[test]
+    fn concat_requires_same_schema() {
+        let a = sales();
+        let b = sales();
+        assert_eq!(a.concat_rows(&b).unwrap().n_rows(), 8);
+        let c = a.select(&["region"]).unwrap();
+        assert!(a.concat_rows(&c).is_err());
+    }
+}

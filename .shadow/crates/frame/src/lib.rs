@@ -1,0 +1,30 @@
+//! # datalab-frame
+//!
+//! Columnar in-memory DataFrame engine — the data substrate every other
+//! DataLab crate builds on. It provides:
+//!
+//! - dynamically-typed scalar [`Value`]s with a total order and
+//!   hashability (so group-by and joins work over mixed data),
+//! - [`Schema`]/[`Field`] metadata with case-insensitive lookup,
+//! - a column-major [`DataFrame`] with the relational operations BI
+//!   workloads need (select/filter/sort/group-by/join/distinct/limit),
+//! - aggregate functions ([`AggFunc`], [`AggExpr`]),
+//! - CSV import/export with type inference ([`csv`]),
+//! - column statistics for DataLab's data-profiling fallback ([`stats`]).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use agg::{AggExpr, AggFunc};
+pub use error::{FrameError, Result};
+pub use frame::{DataFrame, JoinKind};
+pub use schema::{Field, Schema};
+pub use stats::{profile, ColumnProfile, TableProfile};
+pub use value::{DataType, Date, Value};

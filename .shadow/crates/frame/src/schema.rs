@@ -1,0 +1,132 @@
+//! Column schemas.
+
+use crate::error::{FrameError, Result};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (case preserved; lookups are case-insensitive).
+    pub name: String,
+    /// Logical data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields describing a table's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names
+    /// (case-insensitively).
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i]
+                .iter()
+                .any(|g| g.name.eq_ignore_ascii_case(&f.name))
+            {
+                return Err(FrameError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Case-insensitive lookup of a column's index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Case-insensitive lookup of a field.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Like [`Schema::index_of`] but returns an error naming the column.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| FrameError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Appends a field, rejecting duplicates.
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.index_of(&field.name).is_some() {
+            return Err(FrameError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fd| format!("{} {}", fd.name, fd.dtype))
+            .collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicates_case_insensitive() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("A", DataType::Str),
+        ]);
+        assert!(matches!(r, Err(FrameError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::new(vec![Field::new("Revenue", DataType::Float)]).unwrap();
+        assert_eq!(s.index_of("revenue"), Some(0));
+        assert_eq!(s.require("REVENUE").unwrap(), 0);
+        assert!(s.require("missing").is_err());
+    }
+}

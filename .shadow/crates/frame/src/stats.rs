@@ -1,0 +1,175 @@
+//! Column statistics — the heuristics stage of DataLab's Data Profiling
+//! fallback (paper §IV-C): per-column name, data type, basic statistics,
+//! and a random-sample list.
+
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+    /// Number of null entries.
+    pub null_count: usize,
+    /// Number of distinct non-null values.
+    pub distinct_count: usize,
+    /// Minimum non-null value (by total order), if any.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any.
+    pub max: Option<Value>,
+    /// Mean, for numeric columns with at least one non-null value.
+    pub mean: Option<f64>,
+    /// Up to `sample_k` distinct example values (deterministic: first-seen).
+    pub samples: Vec<Value>,
+}
+
+impl ColumnProfile {
+    /// One-line human/LLM readable rendering used when building prompts.
+    pub fn describe(&self) -> String {
+        let mut parts = vec![format!("{} ({})", self.name, self.dtype)];
+        parts.push(format!("distinct={}", self.distinct_count));
+        if self.null_count > 0 {
+            parts.push(format!("nulls={}", self.null_count));
+        }
+        if let (Some(min), Some(max)) = (&self.min, &self.max) {
+            parts.push(format!("range=[{} .. {}]", min.render(), max.render()));
+        }
+        if let Some(mean) = self.mean {
+            parts.push(format!("mean={mean:.3}"));
+        }
+        if !self.samples.is_empty() {
+            let s: Vec<String> = self.samples.iter().map(|v| v.render()).collect();
+            parts.push(format!("samples=[{}]", s.join(", ")));
+        }
+        parts.join(", ")
+    }
+}
+
+/// Whole-table profile: the structured summary fed to the LLM
+/// interpretation stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableProfile {
+    /// Number of rows profiled.
+    pub n_rows: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl TableProfile {
+    /// Multi-line rendering for prompt construction.
+    pub fn describe(&self) -> String {
+        let mut s = format!("rows={}\n", self.n_rows);
+        for c in &self.columns {
+            s.push_str("- ");
+            s.push_str(&c.describe());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Profiles every column of `df`, collecting up to `sample_k` distinct
+/// sample values per column.
+pub fn profile(df: &DataFrame, sample_k: usize) -> Result<TableProfile> {
+    let mut columns = Vec::with_capacity(df.n_cols());
+    for field in df.schema().fields() {
+        let values = df.column(&field.name)?;
+        let mut null_count = 0;
+        let mut distinct: HashSet<&Value> = HashSet::new();
+        let mut samples: Vec<Value> = Vec::new();
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        let mut sum = 0.0f64;
+        let mut n_num = 0usize;
+        for v in values {
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            if distinct.insert(v) && samples.len() < sample_k {
+                samples.push(v.clone());
+            }
+            min = Some(match min {
+                None => v,
+                Some(m) if v.total_cmp(m) == std::cmp::Ordering::Less => v,
+                Some(m) => m,
+            });
+            max = Some(match max {
+                None => v,
+                Some(m) if v.total_cmp(m) == std::cmp::Ordering::Greater => v,
+                Some(m) => m,
+            });
+            if let Some(f) = v.as_f64() {
+                sum += f;
+                n_num += 1;
+            }
+        }
+        let mean = if field.dtype.is_numeric() && n_num > 0 {
+            Some(sum / n_num as f64)
+        } else {
+            None
+        };
+        columns.push(ColumnProfile {
+            name: field.name.clone(),
+            dtype: field.dtype,
+            null_count,
+            distinct_count: distinct.len(),
+            min: min.cloned(),
+            max: max.cloned(),
+            mean,
+            samples,
+        });
+    }
+    Ok(TableProfile {
+        n_rows: df.n_rows(),
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_numeric_column() {
+        let df = DataFrame::from_columns(vec![(
+            "x",
+            DataType::Int,
+            vec![1.into(), 2.into(), 2.into(), Value::Null],
+        )])
+        .unwrap();
+        let p = profile(&df, 2).unwrap();
+        let c = &p.columns[0];
+        assert_eq!(c.null_count, 1);
+        assert_eq!(c.distinct_count, 2);
+        assert_eq!(c.min, Some(Value::Int(1)));
+        assert_eq!(c.max, Some(Value::Int(2)));
+        assert!((c.mean.unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.samples.len(), 2);
+    }
+
+    #[test]
+    fn profiles_string_column_without_mean() {
+        let df = DataFrame::from_columns(vec![("s", DataType::Str, vec!["b".into(), "a".into()])])
+            .unwrap();
+        let p = profile(&df, 5).unwrap();
+        assert_eq!(p.columns[0].mean, None);
+        assert_eq!(p.columns[0].min, Some(Value::Str("a".into())));
+        assert!(p.columns[0].describe().contains("samples="));
+    }
+
+    #[test]
+    fn empty_column_profile() {
+        let df = DataFrame::from_columns(vec![("x", DataType::Int, vec![])]).unwrap();
+        let p = profile(&df, 3).unwrap();
+        assert_eq!(p.columns[0].min, None);
+        assert_eq!(p.columns[0].mean, None);
+        assert_eq!(p.n_rows, 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Scalar values and data types for the DataFrame engine.
+
+use crate::error::{FrameError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A calendar date (proleptic Gregorian), day precision.
+///
+/// BI data is overwhelmingly day-grained (`ftime`, partition dates); this
+/// small type supports parsing, ordering, arithmetic by days/months, and
+/// formatting as `YYYY-MM-DD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    month: u32,
+    day: u32,
+}
+
+impl Date {
+    /// Creates a date, validating month/day ranges.
+    pub fn new(year: i32, month: u32, day: u32) -> Result<Self> {
+        if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+            return Err(FrameError::InvalidDate(format!(
+                "{year}-{month:02}-{day:02}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Parses `YYYY-MM-DD` (also accepts `YYYY/MM/DD`).
+    pub fn parse(s: &str) -> Result<Self> {
+        let norm = s.trim().replace('/', "-");
+        let mut parts = norm.splitn(3, '-');
+        let (y, m, d) = (parts.next(), parts.next(), parts.next());
+        match (y, m, d) {
+            (Some(y), Some(m), Some(d)) => {
+                let year = y
+                    .parse::<i32>()
+                    .map_err(|_| FrameError::InvalidDate(s.into()))?;
+                let month = m
+                    .parse::<u32>()
+                    .map_err(|_| FrameError::InvalidDate(s.into()))?;
+                let day = d
+                    .parse::<u32>()
+                    .map_err(|_| FrameError::InvalidDate(s.into()))?;
+                Date::new(year, month, day)
+            }
+            _ => Err(FrameError::InvalidDate(s.into())),
+        }
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1-12).
+    pub fn month(&self) -> u32 {
+        self.month
+    }
+
+    /// Day component (1-31).
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn to_epoch_days(&self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Constructs a date from days since 1970-01-01.
+    pub fn from_epoch_days(days: i64) -> Self {
+        // Inverse of days_from_civil.
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        Date {
+            year,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Adds (or subtracts, if negative) a number of days.
+    pub fn add_days(&self, days: i64) -> Self {
+        Date::from_epoch_days(self.to_epoch_days() + days)
+    }
+
+    /// Adds months, clamping the day to the target month length.
+    pub fn add_months(&self, months: i32) -> Self {
+        let total = self.year * 12 + (self.month as i32 - 1) + months;
+        let year = total.div_euclid(12);
+        let month = (total.rem_euclid(12) + 1) as u32;
+        let day = self.day.min(days_in_month(year, month));
+        Date { year, month, day }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// The logical type of a column or value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Calendar date.
+    Date,
+    /// Only nulls observed; coerces to anything.
+    Null,
+}
+
+impl DataType {
+    /// True for `Int` and `Float` — the types measures can be built from.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Whether a value of `other` can be stored in a column of `self`.
+    pub fn accepts(&self, other: DataType) -> bool {
+        *self == other
+            || other == DataType::Null
+            || (*self == DataType::Float && other == DataType::Int)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+            DataType::Null => "null",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically-typed scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL / missing data.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Calendar date.
+    Date(Date),
+}
+
+impl Value {
+    /// The value's data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Date(_) => DataType::Date,
+        }
+    }
+
+    /// True iff this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and floats become `f64`, everything else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact ints only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Date view.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Total ordering over all values, usable for ORDER BY and sorting:
+    /// nulls sort first, then booleans, then numbers (ints and floats are
+    /// compared numerically as one class), then dates, then strings.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn class(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Date(_) => 3,
+                Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => class(self).cmp(&class(other)),
+        }
+    }
+
+    /// Equality with a small tolerance on floats, used by the
+    /// execution-accuracy (EX) comparison where engines round differently.
+    pub fn approx_eq(&self, other: &Value, rel_tol: f64) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => {
+                if a == b {
+                    true
+                } else {
+                    let scale = a.abs().max(b.abs()).max(1.0);
+                    (a - b).abs() <= rel_tol * scale
+                }
+            }
+            _ => self.total_cmp(other) == Ordering::Equal,
+        }
+    }
+
+    /// A canonical string form used for display and CSV output. `Null`
+    /// prints as the empty string.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{:.1}", f)
+                } else {
+                    format!("{}", f)
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Date(d) => d.to_string(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats that compare equal must hash equally: hash
+            // every number through a canonical f64 bit pattern.
+            Value::Int(i) => {
+                2u8.hash(state);
+                canonical_f64_bits(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                canonical_f64_bits(*f).hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0u64 // unify +0.0 and -0.0
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            f.write_str("NULL")
+        } else {
+            f.write_str(&self.render())
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_epoch() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2024, 12, 31),
+            (1969, 12, 31),
+            (2026, 7, 6),
+        ] {
+            let date = Date::new(y, m, d).unwrap();
+            assert_eq!(Date::from_epoch_days(date.to_epoch_days()), date);
+        }
+    }
+
+    #[test]
+    fn date_parse_and_display() {
+        let d = Date::parse("2024-03-05").unwrap();
+        assert_eq!(d.to_string(), "2024-03-05");
+        assert_eq!(Date::parse("2024/03/05").unwrap(), d);
+        assert!(Date::parse("2024-13-01").is_err());
+        assert!(Date::parse("2023-02-29").is_err());
+        assert!(Date::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = Date::parse("2024-01-31").unwrap();
+        assert_eq!(d.add_months(1).to_string(), "2024-02-29");
+        assert_eq!(d.add_days(1).to_string(), "2024-02-01");
+        assert_eq!(d.add_months(-13).to_string(), "2022-12-31");
+    }
+
+    #[test]
+    fn value_total_order() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn int_float_equality_and_hash() {
+        use std::collections::HashSet;
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        let mut set = HashSet::new();
+        set.insert(Value::Int(2));
+        assert!(set.contains(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(Value::Float(100.0).approx_eq(&Value::Float(100.0000001), 1e-6));
+        assert!(!Value::Float(100.0).approx_eq(&Value::Float(101.0), 1e-6));
+        assert!(Value::Str("x".into()).approx_eq(&Value::Str("x".into()), 1e-6));
+    }
+
+    #[test]
+    fn dtype_accepts() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(DataType::Int.accepts(DataType::Null));
+        assert!(!DataType::Int.accepts(DataType::Float));
+    }
+}

@@ -1,0 +1,170 @@
+//! Knowledge components (paper §IV-A) and the raw inputs knowledge is
+//! generated from: table schemas, script histories, and lineage.
+
+use serde::{Deserialize, Serialize};
+
+/// The language of a historical data-processing script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScriptLang {
+    /// SQL query.
+    Sql,
+    /// Python / PySpark code.
+    Python,
+}
+
+/// One historical data-processing script associated with a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Script {
+    /// Language.
+    pub lang: ScriptLang,
+    /// Source text.
+    pub text: String,
+}
+
+impl Script {
+    /// A SQL script.
+    pub fn sql(text: impl Into<String>) -> Self {
+        Script {
+            lang: ScriptLang::Sql,
+            text: text.into(),
+        }
+    }
+
+    /// A Python script.
+    pub fn python(text: impl Into<String>) -> Self {
+        Script {
+            lang: ScriptLang::Python,
+            text: text.into(),
+        }
+    }
+}
+
+/// Data-lineage information: which other tables feed or consume this one
+/// (paper §IV-A uses lineage as an auxiliary resource when scripts are
+/// scarce).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Lineage {
+    /// Upstream source tables.
+    pub upstream: Vec<String>,
+    /// Downstream consumer tables.
+    pub downstream: Vec<String>,
+}
+
+/// Database-level knowledge.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseKnowledge {
+    /// Database name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Usage summary.
+    pub usage: String,
+    /// Tags.
+    pub tags: Vec<String>,
+}
+
+/// A derived column: absent from the physical table but computable, with
+/// the calculation logic that business users actually care about.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DerivedColumn {
+    /// Derived column name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Usage.
+    pub usage: String,
+    /// Calculation logic (SQL expression over base columns).
+    pub calculation: String,
+    /// Base columns involved.
+    pub related_columns: Vec<String>,
+    /// Tags.
+    pub tags: Vec<String>,
+}
+
+/// Column-level knowledge.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColumnKnowledge {
+    /// Column name.
+    pub name: String,
+    /// Data type string.
+    pub dtype: String,
+    /// Description.
+    pub description: String,
+    /// Usage summary (how scripts use it).
+    pub usage: String,
+    /// Tags (`measure`, `dimension`, `filter`, ...).
+    pub tags: Vec<String>,
+    /// Alternative names users say for this column.
+    pub aliases: Vec<String>,
+}
+
+/// Table-level knowledge.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableKnowledge {
+    /// Table name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Usage summary.
+    pub usage: String,
+    /// Owning organisation / team.
+    pub organization: String,
+    /// Key column names.
+    pub key_columns: Vec<String>,
+    /// Key derived attribute names.
+    pub key_derived: Vec<String>,
+    /// Tags.
+    pub tags: Vec<String>,
+    /// Column knowledge.
+    pub columns: Vec<ColumnKnowledge>,
+    /// Derived columns.
+    pub derived: Vec<DerivedColumn>,
+}
+
+impl TableKnowledge {
+    /// Looks up a column's knowledge by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnKnowledge> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A jargon glossary entry (manually curated in the paper).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JargonEntry {
+    /// The term as users type it.
+    pub term: String,
+    /// Its expansion in plain analytical language.
+    pub expansion: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let tk = TableKnowledge {
+            name: "sales".into(),
+            description: "daily revenue".into(),
+            columns: vec![ColumnKnowledge {
+                name: "amount".into(),
+                description: "revenue per order".into(),
+                aliases: vec!["revenue".into()],
+                ..Default::default()
+            }],
+            derived: vec![DerivedColumn {
+                name: "profit".into(),
+                calculation: "amount - cost".into(),
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&tk).unwrap();
+        let back: TableKnowledge = serde_json::from_str(&json).unwrap();
+        assert_eq!(tk, back);
+        assert!(tk.column("AMOUNT").is_some());
+        assert!(tk.column("missing").is_none());
+    }
+}

@@ -1,0 +1,516 @@
+//! LLM-based knowledge generation (paper §IV-A, Algorithm 1): a
+//! Map-Reduce process over a table's script history with a
+//! self-calibration feedback loop.
+
+use crate::components::{ColumnKnowledge, DerivedColumn, Lineage, Script, TableKnowledge};
+use datalab_llm::util::{split_ident, token_overlap, words};
+use datalab_llm::{LanguageModel, Prompt};
+use datalab_telemetry::Telemetry;
+use serde_json::Value as Json;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Configuration for Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct GenerationConfig {
+    /// Self-calibration score threshold `T` (1-5 scale).
+    pub score_threshold: f64,
+    /// Maximum map-phase attempts per script before accepting the best.
+    pub max_attempts: usize,
+    /// Near-duplicate script filter threshold (token overlap).
+    pub dedup_overlap: f64,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        GenerationConfig {
+            score_threshold: 4.5,
+            max_attempts: 3,
+            dedup_overlap: 0.92,
+        }
+    }
+}
+
+/// Statistics from one table's generation run (feeds the §VII-C1 report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenerationReport {
+    /// Scripts after preprocessing.
+    pub scripts_used: usize,
+    /// Scripts dropped as (near-)duplicates.
+    pub scripts_deduped: usize,
+    /// Total LLM map-phase attempts (including calibration retries).
+    pub map_attempts: usize,
+    /// Final self-calibration scores accepted per script.
+    pub final_scores: Vec<f64>,
+}
+
+/// One intermediate (per-script) extraction result.
+#[derive(Debug, Clone, Default)]
+struct MapResult {
+    table_description: String,
+    table_usage: String,
+    columns: Vec<(String, String, String, Vec<String>, String)>, // name, desc, usage, tags, dtype
+    derived: Vec<(String, String, String)>,                      // name, expr, desc
+}
+
+/// Filters duplicated or highly similar scripts (Algorithm 1, line 2).
+pub fn preprocess_scripts(history: &[Script], dedup_overlap: f64) -> (Vec<&Script>, usize) {
+    let mut kept: Vec<&Script> = Vec::new();
+    let mut kept_tokens: Vec<Vec<String>> = Vec::new();
+    let mut dropped = 0;
+    for s in history {
+        let toks = words(&s.text);
+        let dup = kept_tokens
+            .iter()
+            .any(|k| token_overlap(k, &toks) >= dedup_overlap);
+        if dup {
+            dropped += 1;
+        } else {
+            kept.push(s);
+            kept_tokens.push(toks);
+        }
+    }
+    (kept, dropped)
+}
+
+/// Runs Algorithm 1 for one table.
+///
+/// `schema_line` must follow the prompt schema contract, e.g.
+/// `table sales: region (str), amount (int)`. `prior` carries already
+/// generated knowledge of other tables so lineage can impute metadata for
+/// script-poor tables.
+pub fn generate_table_knowledge(
+    llm: &dyn LanguageModel,
+    table: &str,
+    schema_line: &str,
+    history: &[Script],
+    lineage: &Lineage,
+    prior: &BTreeMap<String, TableKnowledge>,
+    config: &GenerationConfig,
+) -> (TableKnowledge, GenerationReport) {
+    generate_table_knowledge_traced(
+        llm,
+        table,
+        schema_line,
+        history,
+        lineage,
+        prior,
+        config,
+        &Telemetry::new(),
+    )
+}
+
+/// [`generate_table_knowledge`] with an observability pipeline: the whole
+/// run sits under a `knowledge.generate` span and every map-phase LLM
+/// attempt increments the `knowledge.map_attempts` counter.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_table_knowledge_traced(
+    llm: &dyn LanguageModel,
+    table: &str,
+    schema_line: &str,
+    history: &[Script],
+    lineage: &Lineage,
+    prior: &BTreeMap<String, TableKnowledge>,
+    config: &GenerationConfig,
+    telemetry: &Telemetry,
+) -> (TableKnowledge, GenerationReport) {
+    let stage = telemetry.stage("knowledge.generate");
+    stage.attr("table", table.to_string());
+    let (scripts, deduped) = preprocess_scripts(history, config.dedup_overlap);
+    let mut report = GenerationReport {
+        scripts_used: scripts.len(),
+        scripts_deduped: deduped,
+        ..Default::default()
+    };
+
+    // ---- Map phase with self-calibration --------------------------------
+    let mut map_results: Vec<MapResult> = Vec::new();
+    for script in &scripts {
+        let mut best: Option<(f64, MapResult)> = None;
+        for attempt in 0..config.max_attempts {
+            report.map_attempts += 1;
+            telemetry.metrics().incr("knowledge.map_attempts", 1);
+            let out = llm.complete(
+                &Prompt::new("extract_knowledge")
+                    .section("schema", schema_line)
+                    .section("table", table)
+                    .section("script", script.text.clone())
+                    .section("attempt", attempt.to_string())
+                    .render(),
+            );
+            let score: f64 = llm
+                .complete(
+                    &Prompt::new("score_knowledge")
+                        .section("content", out.clone())
+                        .render(),
+                )
+                .trim()
+                .parse()
+                .unwrap_or(1.0);
+            let parsed = parse_map_output(&out);
+            let better = best.as_ref().map(|(s, _)| score > *s).unwrap_or(true);
+            if better {
+                best = Some((score, parsed));
+            }
+            if score >= config.score_threshold {
+                break;
+            }
+        }
+        if let Some((score, parsed)) = best {
+            report.final_scores.push(score);
+            map_results.push(parsed);
+        }
+    }
+
+    // ---- Reduce phase -----------------------------------------------------
+    let mut tk = reduce(table, &map_results);
+
+    // ---- Lineage imputation for script-poor tables -------------------------
+    if tk.columns.is_empty() {
+        for up in lineage.upstream.iter().chain(lineage.downstream.iter()) {
+            if let Some(up_tk) = prior.get(&up.to_lowercase()) {
+                for col in &up_tk.columns {
+                    // Same-named columns across lineage inherit descriptions.
+                    if schema_line
+                        .to_lowercase()
+                        .contains(&col.name.to_lowercase())
+                        && tk.column(&col.name).is_none()
+                    {
+                        let mut inherited = col.clone();
+                        inherited.usage = format!("inherited via lineage from {}", up_tk.name);
+                        tk.columns.push(inherited);
+                    }
+                }
+                if tk.description.is_empty() && !up_tk.description.is_empty() {
+                    tk.description = format!("related to {}: {}", up_tk.name, up_tk.description);
+                }
+            }
+        }
+    }
+
+    // ---- Alias derivation ---------------------------------------------------
+    derive_aliases(&mut tk);
+
+    (tk, report)
+}
+
+fn parse_map_output(text: &str) -> MapResult {
+    let json: Json = serde_json::from_str(text.trim()).unwrap_or(Json::Null);
+    let mut r = MapResult::default();
+    r.table_description = json["table"]["description"]
+        .as_str()
+        .unwrap_or("")
+        .to_string();
+    r.table_usage = json["table"]["usage"].as_str().unwrap_or("").to_string();
+    if let Some(cols) = json["columns"].as_array() {
+        for c in cols {
+            let name = c["name"].as_str().unwrap_or("").to_string();
+            if name.is_empty() {
+                continue;
+            }
+            let tags = c["tags"]
+                .as_array()
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|t| t.as_str().map(String::from))
+                        .collect()
+                })
+                .unwrap_or_default();
+            r.columns.push((
+                name,
+                c["description"].as_str().unwrap_or("").to_string(),
+                c["usage"].as_str().unwrap_or("").to_string(),
+                tags,
+                c["dtype"].as_str().unwrap_or("").to_string(),
+            ));
+        }
+    }
+    if let Some(derived) = json["derived"].as_array() {
+        for d in derived {
+            let name = d["name"].as_str().unwrap_or("").to_string();
+            let expr = d["expr"].as_str().unwrap_or("").to_string();
+            if !name.is_empty() && !expr.is_empty() {
+                r.derived.push((
+                    name,
+                    expr,
+                    d["description"].as_str().unwrap_or("").to_string(),
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Synthesises the per-script results into one consistent set of
+/// components (Algorithm 1, reduce phase).
+fn reduce(table: &str, results: &[MapResult]) -> TableKnowledge {
+    let mut tk = TableKnowledge {
+        name: table.to_string(),
+        ..Default::default()
+    };
+    // Table description: synthesise across scripts — each script reveals
+    // one usage pattern; the union of their distinct vocabulary covers
+    // the table (the reduce-phase "aggregate and summarize").
+    let mut seen_words: HashSet<String> = HashSet::new();
+    let mut desc_parts: Vec<String> = Vec::new();
+    for r in results {
+        let fresh: Vec<String> = words(&r.table_description)
+            .into_iter()
+            .filter(|w| seen_words.insert(w.clone()))
+            .collect();
+        if !fresh.is_empty() {
+            desc_parts.push(fresh.join(" "));
+        }
+        if r.table_usage.len() > tk.usage.len() {
+            tk.usage = r.table_usage.clone();
+        }
+    }
+    tk.description = desc_parts.join(" ");
+    if tk.description.len() > 400 {
+        tk.description.truncate(400);
+    }
+    if !results.is_empty() {
+        tk.usage = format!(
+            "{} (referenced by {} processing scripts)",
+            if tk.usage.is_empty() {
+                "data processing"
+            } else {
+                &tk.usage
+            },
+            results.len()
+        );
+    }
+    // Columns: merge per name.
+    let mut col_order: Vec<String> = Vec::new();
+    let mut merged: HashMap<String, ColumnKnowledge> = HashMap::new();
+    let mut freq: HashMap<String, usize> = HashMap::new();
+    for r in results {
+        for (name, desc, usage, tags, dtype) in &r.columns {
+            let key = name.to_lowercase();
+            *freq.entry(key.clone()).or_insert(0) += 1;
+            let entry = merged.entry(key.clone()).or_insert_with(|| {
+                col_order.push(key.clone());
+                ColumnKnowledge {
+                    name: name.clone(),
+                    dtype: dtype.clone(),
+                    ..Default::default()
+                }
+            });
+            if desc.len() > entry.description.len() {
+                entry.description = desc.clone();
+            }
+            if !usage.is_empty() && !entry.usage.contains(usage.as_str()) {
+                if !entry.usage.is_empty() {
+                    entry.usage.push_str("; ");
+                }
+                entry.usage.push_str(usage);
+            }
+            for t in tags {
+                if !entry.tags.contains(t) {
+                    entry.tags.push(t.clone());
+                }
+            }
+        }
+    }
+    tk.columns = col_order.iter().map(|k| merged[k].clone()).collect();
+    // Key columns: the most frequently used ones.
+    let mut by_freq: Vec<(&String, &usize)> = freq.iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    tk.key_columns = by_freq
+        .iter()
+        .take(3)
+        .map(|(k, _)| merged[*k].name.clone())
+        .collect();
+    // Derived columns: union by name, prefer longest description.
+    let mut derived: HashMap<String, DerivedColumn> = HashMap::new();
+    let mut d_order: Vec<String> = Vec::new();
+    for r in results {
+        for (name, expr, desc) in &r.derived {
+            let key = name.to_lowercase();
+            let entry = derived.entry(key.clone()).or_insert_with(|| {
+                d_order.push(key.clone());
+                DerivedColumn {
+                    name: name.clone(),
+                    calculation: expr.clone(),
+                    related_columns: words(expr)
+                        .into_iter()
+                        .filter(|w| w.chars().any(|c| c.is_alphabetic()))
+                        .collect(),
+                    ..Default::default()
+                }
+            });
+            if desc.len() > entry.description.len() {
+                entry.description = desc.clone();
+            }
+        }
+    }
+    tk.derived = d_order.iter().map(|k| derived[k].clone()).collect();
+    tk.key_derived = tk.derived.iter().map(|d| d.name.clone()).collect();
+    tk.tags = vec!["script-derived".into()];
+    tk
+}
+
+const ALIAS_STOP: &[&str] = &[
+    "the",
+    "and",
+    "for",
+    "with",
+    "from",
+    "used",
+    "table",
+    "column",
+    "data",
+    "daily",
+    "after",
+    "value",
+    "values",
+    "this",
+    "that",
+    "per",
+    "each",
+    "all",
+    "weekly",
+    "monthly",
+    "rollup",
+    "breakdown",
+    "covering",
+    "team",
+    "monitoring",
+    "report",
+    "reporting",
+    "total",
+    "metric",
+    "metrics",
+];
+
+/// Derives alias terms for columns whose descriptions contain contentful
+/// words absent from the identifier itself — these are exactly the words
+/// users will say instead of the cryptic column name.
+fn derive_aliases(tk: &mut TableKnowledge) {
+    for col in &mut tk.columns {
+        let ident: HashSet<String> = split_ident(&col.name).into_iter().collect();
+        let mut candidates: Vec<String> = Vec::new();
+        for w in words(&col.description) {
+            if w.len() > 3
+                && !ALIAS_STOP.contains(&w.as_str())
+                && !ident.contains(&w)
+                && !candidates.contains(&w)
+            {
+                candidates.push(w);
+            }
+        }
+        col.aliases = candidates.into_iter().take(3).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_llm::SimLlm;
+
+    fn schema_line() -> &'static str {
+        "table sales: region (str), shouldincome_after (float), cost_amt (float), ftime (date)"
+    }
+
+    fn scripts() -> Vec<Script> {
+        vec![
+            Script::sql(
+                "-- income after tax rollup for finance reporting\n\
+                 SELECT region, SUM(shouldincome_after) AS total_income,\n\
+                 shouldincome_after - cost_amt AS profit\n\
+                 FROM sales WHERE ftime >= '2024-01-01' GROUP BY region",
+            ),
+            Script::sql(
+                "-- weekly cost monitoring\n\
+                 SELECT region, AVG(cost_amt) AS avg_cost FROM sales GROUP BY region",
+            ),
+            // Near-duplicate of the first (should be deduped).
+            Script::sql(
+                "-- income after tax rollup for finance reporting\n\
+                 SELECT region, SUM(shouldincome_after) AS total_income,\n\
+                 shouldincome_after - cost_amt AS profit\n\
+                 FROM sales WHERE ftime >= '2024-02-01' GROUP BY region",
+            ),
+        ]
+    }
+
+    #[test]
+    fn preprocess_dedups() {
+        let s = scripts();
+        let (kept, dropped) = preprocess_scripts(&s, 0.92);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn generates_column_and_derived_knowledge() {
+        let llm = SimLlm::gpt4();
+        let (tk, report) = generate_table_knowledge(
+            &llm,
+            "sales",
+            schema_line(),
+            &scripts(),
+            &Lineage::default(),
+            &BTreeMap::new(),
+            &GenerationConfig::default(),
+        );
+        assert_eq!(report.scripts_used, 2);
+        assert!(report.map_attempts >= 2);
+        let income = tk.column("shouldincome_after").expect("column knowledge");
+        assert!(income.usage.contains("sum"), "{income:?}");
+        assert!(income.description.contains("income"), "{income:?}");
+        // Alias derivation: description words not in the identifier.
+        assert!(!income.aliases.is_empty());
+        assert!(
+            tk.derived.iter().any(|d| d.name == "profit"),
+            "{:?}",
+            tk.derived
+        );
+        assert!(!tk.key_columns.is_empty());
+    }
+
+    #[test]
+    fn lineage_imputes_for_scriptless_tables() {
+        let llm = SimLlm::gpt4();
+        let mut prior = BTreeMap::new();
+        let (up, _) = generate_table_knowledge(
+            &llm,
+            "sales",
+            schema_line(),
+            &scripts(),
+            &Lineage::default(),
+            &BTreeMap::new(),
+            &GenerationConfig::default(),
+        );
+        prior.insert("sales".to_string(), up);
+        let (tk, _) = generate_table_knowledge(
+            &llm,
+            "sales_agg",
+            "table sales_agg: region (str), shouldincome_after (float)",
+            &[],
+            &Lineage {
+                upstream: vec!["sales".into()],
+                downstream: vec![],
+            },
+            &prior,
+            &GenerationConfig::default(),
+        );
+        let col = tk.column("shouldincome_after").expect("inherited column");
+        assert!(col.usage.contains("lineage"), "{col:?}");
+    }
+
+    #[test]
+    fn empty_history_without_lineage_yields_minimal_knowledge() {
+        let llm = SimLlm::gpt4();
+        let (tk, report) = generate_table_knowledge(
+            &llm,
+            "t",
+            "table t: a (int)",
+            &[],
+            &Lineage::default(),
+            &BTreeMap::new(),
+            &GenerationConfig::default(),
+        );
+        assert_eq!(report.scripts_used, 0);
+        assert!(tk.columns.is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! The knowledge graph (paper §IV-B, Fig. 5): a tree of
+//! database/table/column/value nodes plus jargon nodes, with alias nodes
+//! associatively linked to primaries.
+
+use crate::components::{DatabaseKnowledge, JargonEntry, TableKnowledge};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Node identifier (index into the graph's arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// The five primary node types plus `Alias`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A database.
+    Database,
+    /// A table.
+    Table,
+    /// A column.
+    Column,
+    /// A notable stored value.
+    Value,
+    /// A glossary term.
+    Jargon,
+    /// An alternative name for another node.
+    Alias,
+}
+
+/// A graph node: kind, unique name, and its knowledge components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier.
+    pub id: NodeId,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Unique name. Columns are named `table.column`; values
+    /// `table.column=value`.
+    pub name: String,
+    /// Knowledge components (`description`, `usage`, `calculation`, ...).
+    pub components: BTreeMap<String, String>,
+    /// Tags.
+    pub tags: Vec<String>,
+}
+
+/// Edge kinds: tree containment and alias association.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Parent contains child (database→table→column→value).
+    Contains,
+    /// Alias node → the primary node it names.
+    AliasOf,
+}
+
+/// The knowledge graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    nodes: Vec<Node>,
+    edges: Vec<(NodeId, NodeId, EdgeKind)>,
+}
+
+impl KnowledgeGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        KnowledgeGraph::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        name: impl Into<String>,
+        components: BTreeMap<String, String>,
+        tags: Vec<String>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.into(),
+            components,
+            tags,
+        });
+        id
+    }
+
+    /// Adds a containment edge (parent → child).
+    pub fn add_contains(&mut self, parent: NodeId, child: NodeId) {
+        self.edges.push((parent, child, EdgeKind::Contains));
+    }
+
+    /// Adds an alias node pointing at a primary node.
+    pub fn add_alias(&mut self, term: impl Into<String>, target: NodeId) -> NodeId {
+        let id = self.add_node(NodeKind::Alias, term, BTreeMap::new(), Vec::new());
+        self.edges.push((id, target, EdgeKind::AliasOf));
+        id
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node access (for dynamic alias/knowledge updates).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children of a node (Contains edges).
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|(p, _, k)| *p == id && *k == EdgeKind::Contains)
+            .map(|(_, c, _)| *c)
+            .collect()
+    }
+
+    /// Parent of a node, if any.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.edges
+            .iter()
+            .find(|(_, c, k)| *c == id && *k == EdgeKind::Contains)
+            .map(|(p, _, _)| *p)
+    }
+
+    /// Backtracks an alias node to its nearest primary node (paper
+    /// Algorithm 2, line 7). Non-alias nodes return themselves.
+    pub fn backtrack(&self, id: NodeId) -> NodeId {
+        let mut cur = id;
+        let mut hops = 0;
+        while self.node(cur).kind == NodeKind::Alias && hops < 8 {
+            match self
+                .edges
+                .iter()
+                .find(|(a, _, k)| *a == cur && *k == EdgeKind::AliasOf)
+            {
+                Some((_, target, _)) => cur = *target,
+                None => break,
+            }
+            hops += 1;
+        }
+        cur
+    }
+
+    /// Finds a node by kind and exact name (case-insensitive).
+    pub fn find(&self, kind: NodeKind, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.kind == kind && n.name.eq_ignore_ascii_case(name))
+            .map(|n| n.id)
+    }
+
+    /// Ingests a whole [`TableKnowledge`] (plus its columns, derived
+    /// columns, values, and aliases) under a database node.
+    pub fn ingest_table(&mut self, database: &str, tk: &TableKnowledge) -> NodeId {
+        let db_id = self.find(NodeKind::Database, database).unwrap_or_else(|| {
+            self.add_node(NodeKind::Database, database, BTreeMap::new(), Vec::new())
+        });
+        let mut tc = BTreeMap::new();
+        tc.insert("description".into(), tk.description.clone());
+        tc.insert("usage".into(), tk.usage.clone());
+        if !tk.organization.is_empty() {
+            tc.insert("organization".into(), tk.organization.clone());
+        }
+        if !tk.key_columns.is_empty() {
+            tc.insert("key_columns".into(), tk.key_columns.join(", "));
+        }
+        let t_id = self.add_node(NodeKind::Table, tk.name.clone(), tc, tk.tags.clone());
+        self.add_contains(db_id, t_id);
+        for col in &tk.columns {
+            let mut cc = BTreeMap::new();
+            cc.insert("description".into(), col.description.clone());
+            cc.insert("usage".into(), col.usage.clone());
+            cc.insert("type".into(), col.dtype.clone());
+            let c_id = self.add_node(
+                NodeKind::Column,
+                format!("{}.{}", tk.name, col.name),
+                cc,
+                col.tags.clone(),
+            );
+            self.add_contains(t_id, c_id);
+            for alias in &col.aliases {
+                self.add_alias(alias.clone(), c_id);
+            }
+        }
+        for d in &tk.derived {
+            let mut dc = BTreeMap::new();
+            dc.insert("description".into(), d.description.clone());
+            dc.insert("usage".into(), d.usage.clone());
+            dc.insert("calculation".into(), d.calculation.clone());
+            if !d.related_columns.is_empty() {
+                dc.insert("related_columns".into(), d.related_columns.join(", "));
+            }
+            let d_id = self.add_node(NodeKind::Column, format!("{}.{}", tk.name, d.name), dc, {
+                let mut tags = d.tags.clone();
+                tags.push("derived".into());
+                tags
+            });
+            self.add_contains(t_id, d_id);
+        }
+        t_id
+    }
+
+    /// Ingests database-level knowledge.
+    pub fn ingest_database(&mut self, dk: &DatabaseKnowledge) -> NodeId {
+        let id = self.find(NodeKind::Database, &dk.name).unwrap_or_else(|| {
+            self.add_node(
+                NodeKind::Database,
+                dk.name.clone(),
+                BTreeMap::new(),
+                Vec::new(),
+            )
+        });
+        let node = self.node_mut(id);
+        node.components
+            .insert("description".into(), dk.description.clone());
+        node.components.insert("usage".into(), dk.usage.clone());
+        node.tags = dk.tags.clone();
+        id
+    }
+
+    /// Ingests a value node under a column.
+    pub fn ingest_value(
+        &mut self,
+        table: &str,
+        column: &str,
+        value: &str,
+        meaning: &str,
+    ) -> NodeId {
+        let col_id = self.find(NodeKind::Column, &format!("{table}.{column}"));
+        let mut vc = BTreeMap::new();
+        vc.insert("description".into(), meaning.to_string());
+        vc.insert("value".into(), value.to_string());
+        let v_id = self.add_node(
+            NodeKind::Value,
+            format!("{table}.{column}={value}"),
+            vc,
+            Vec::new(),
+        );
+        if let Some(c) = col_id {
+            self.add_contains(c, v_id);
+        }
+        v_id
+    }
+
+    /// Ingests a jargon entry.
+    pub fn ingest_jargon(&mut self, entry: &JargonEntry) -> NodeId {
+        let mut jc = BTreeMap::new();
+        jc.insert("expansion".into(), entry.expansion.clone());
+        self.add_node(NodeKind::Jargon, entry.term.clone(), jc, Vec::new())
+    }
+
+    /// Renders a node as the evidence line the simulated model grounds
+    /// against (the cross-crate prompt contract; see `datalab_llm::intent`).
+    pub fn knowledge_line(&self, id: NodeId) -> String {
+        let node = self.node(id);
+        let desc = node
+            .components
+            .get("description")
+            .cloned()
+            .unwrap_or_default();
+        let usage = node.components.get("usage").cloned().unwrap_or_default();
+        match node.kind {
+            NodeKind::Database => format!("database {}: {} {}", node.name, desc, usage),
+            NodeKind::Table => format!("table {}: {} {}", node.name, desc, usage),
+            NodeKind::Column => {
+                if let Some(calc) = node.components.get("calculation") {
+                    // Derived columns surface their calculation logic.
+                    format!("derived {} = {}", node.name, calc)
+                } else {
+                    format!("column {}: {} {}", node.name, desc, usage)
+                }
+            }
+            NodeKind::Value => {
+                let value = node.components.get("value").cloned().unwrap_or_default();
+                let col = node.name.split('=').next().unwrap_or("");
+                format!("value {col}: '{value}' {desc}")
+            }
+            NodeKind::Jargon => {
+                let exp = node
+                    .components
+                    .get("expansion")
+                    .cloned()
+                    .unwrap_or_default();
+                format!("jargon {}: {exp}", node.name)
+            }
+            NodeKind::Alias => {
+                let target = self.backtrack(id);
+                let tnode = self.node(target);
+                match tnode.kind {
+                    NodeKind::Value => {
+                        let col = tnode.name.split('=').next().unwrap_or("");
+                        let value = tnode.components.get("value").cloned().unwrap_or_default();
+                        format!("alias {} -> value {col} = '{value}'", node.name)
+                    }
+                    _ => format!("alias {} -> {}", node.name, tnode.name),
+                }
+            }
+        }
+    }
+
+    /// All alias nodes pointing (directly) at `target`.
+    pub fn aliases_of(&self, target: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|(_, t, k)| *t == target && *k == EdgeKind::AliasOf)
+            .map(|(a, _, _)| *a)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ColumnKnowledge;
+
+    fn sample_graph() -> (KnowledgeGraph, NodeId) {
+        let mut g = KnowledgeGraph::new();
+        let tk = TableKnowledge {
+            name: "sales".into(),
+            description: "daily revenue records".into(),
+            columns: vec![ColumnKnowledge {
+                name: "shouldincome_after".into(),
+                dtype: "float".into(),
+                description: "income after tax".into(),
+                aliases: vec!["income".into(), "revenue".into()],
+                ..Default::default()
+            }],
+            derived: vec![crate::components::DerivedColumn {
+                name: "profit".into(),
+                calculation: "shouldincome_after - cost".into(),
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let t = g.ingest_table("biz", &tk);
+        (g, t)
+    }
+
+    #[test]
+    fn tree_structure() {
+        let (g, t) = sample_graph();
+        let db = g.parent(t).unwrap();
+        assert_eq!(g.node(db).kind, NodeKind::Database);
+        let children = g.children(t);
+        assert_eq!(children.len(), 2); // column + derived
+    }
+
+    #[test]
+    fn alias_backtracks_to_primary() {
+        let (g, _) = sample_graph();
+        let alias = g.find(NodeKind::Alias, "income").unwrap();
+        let primary = g.backtrack(alias);
+        assert_eq!(g.node(primary).name, "sales.shouldincome_after");
+        // Backtrack of a primary is itself.
+        assert_eq!(g.backtrack(primary), primary);
+    }
+
+    #[test]
+    fn knowledge_lines_follow_contract() {
+        let (g, _) = sample_graph();
+        let col = g
+            .find(NodeKind::Column, "sales.shouldincome_after")
+            .unwrap();
+        assert!(g
+            .knowledge_line(col)
+            .starts_with("column sales.shouldincome_after: income after tax"));
+        let alias = g.find(NodeKind::Alias, "income").unwrap();
+        assert_eq!(
+            g.knowledge_line(alias),
+            "alias income -> sales.shouldincome_after"
+        );
+        let derived = g.find(NodeKind::Column, "sales.profit").unwrap();
+        assert_eq!(
+            g.knowledge_line(derived),
+            "derived sales.profit = shouldincome_after - cost"
+        );
+    }
+
+    #[test]
+    fn value_and_jargon_lines() {
+        let (mut g, _) = sample_graph();
+        let v = g.ingest_value("sales", "shouldincome_after", "0", "no income");
+        assert!(g
+            .knowledge_line(v)
+            .starts_with("value sales.shouldincome_after: '0'"));
+        let j = g.ingest_jargon(&JargonEntry {
+            term: "gmv".into(),
+            expansion: "total amount".into(),
+        });
+        assert_eq!(g.knowledge_line(j), "jargon gmv: total amount");
+        // Alias to a value node.
+        let a = g.add_alias("zerocase", v);
+        assert!(g
+            .knowledge_line(a)
+            .starts_with("alias zerocase -> value sales.shouldincome_after = '0'"));
+    }
+
+    #[test]
+    fn aliases_of_lists_all() {
+        let (g, _) = sample_graph();
+        let col = g
+            .find(NodeKind::Column, "sales.shouldincome_after")
+            .unwrap();
+        assert_eq!(g.aliases_of(col).len(), 2);
+    }
+}

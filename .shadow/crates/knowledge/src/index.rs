@@ -1,0 +1,408 @@
+//! Task-aware indexing of knowledge-graph nodes (paper §IV-B): a lexical
+//! inverted index (the Elasticsearch role) and a semantic embedding index
+//! (the StarRocks role), both over `{name, content, tag}` triplets.
+
+#[cfg(test)]
+use crate::graph::NodeKind;
+use crate::graph::{KnowledgeGraph, NodeId};
+use datalab_llm::util::{split_ident, stem, words};
+use datalab_llm::HashEmbedder;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The downstream task an index serves; it selects which knowledge
+/// components go into the indexed `content` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexTask {
+    /// Schema linking: names + descriptions suffice.
+    SchemaLinking,
+    /// NL2DSL: also needs calculation logic and usage.
+    Nl2Dsl,
+    /// General retrieval: everything.
+    General,
+}
+
+/// One indexed triplet.
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// The indexed node.
+    pub node: NodeId,
+    /// Node name (identifier).
+    pub name: String,
+    /// Task-selected content.
+    pub content: String,
+    /// Primary tag (node kind).
+    pub tag: String,
+}
+
+/// Builds the task-appropriate content string for a node.
+fn content_for(graph: &KnowledgeGraph, id: NodeId, task: IndexTask) -> String {
+    let node = graph.node(id);
+    let mut parts: Vec<String> = vec![split_ident(&node.name).join(" ")];
+    let take = |key: &str| node.components.get(key).cloned().unwrap_or_default();
+    match task {
+        IndexTask::SchemaLinking => {
+            parts.push(take("description"));
+        }
+        IndexTask::Nl2Dsl => {
+            parts.push(take("description"));
+            parts.push(take("usage"));
+            parts.push(take("calculation"));
+            parts.push(take("expansion"));
+            parts.push(take("value"));
+        }
+        IndexTask::General => {
+            for (_, v) in &node.components {
+                parts.push(v.clone());
+            }
+        }
+    }
+    parts.retain(|p| !p.trim().is_empty());
+    parts.join(" ")
+}
+
+/// Memoised per-query work: the stemmed token stream (lexical path) and
+/// the embedding (semantic path). Both are pure functions of the query
+/// string, and retrieval pipelines ask the same query of the same index
+/// several times per turn (coarse lexical + coarse semantic + rerank), so
+/// computing them once per distinct string is pure win.
+#[derive(Debug)]
+struct QueryFeatures {
+    /// Stemmed query tokens, duplicates preserved (tf semantics).
+    stems: Vec<String>,
+    /// Unit-length query embedding.
+    embedding: Vec<f32>,
+}
+
+/// Upper bound on memoised distinct query strings; the map is cleared
+/// wholesale when it would grow past this (simple, and a fleet session
+/// asks far fewer distinct queries).
+const QUERY_CACHE_MAX: usize = 1024;
+
+/// Interior-mutability cache of [`QueryFeatures`] keyed by the verbatim
+/// query string. Lives inside one [`KnowledgeIndex`], so rebuilding the
+/// index (the only way entries/embeddings change) starts from an empty
+/// cache — there is no cross-build invalidation to get wrong.
+#[derive(Debug, Default)]
+struct QueryCache {
+    map: Mutex<HashMap<String, Arc<QueryFeatures>>>,
+}
+
+impl QueryCache {
+    fn features(&self, query: &str) -> Arc<QueryFeatures> {
+        if let Some(hit) = self.map.lock().expect("query cache lock").get(query) {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock; a racing thread computing the same
+        // (deterministic) features is harmless.
+        let features = Arc::new(QueryFeatures {
+            stems: words(query).iter().map(|t| stem(t)).collect(),
+            embedding: HashEmbedder::new().embed(query),
+        });
+        let mut map = self.map.lock().expect("query cache lock");
+        if map.len() >= QUERY_CACHE_MAX {
+            map.clear();
+        }
+        Arc::clone(
+            map.entry(query.to_string())
+                .or_insert_with(|| Arc::clone(&features)),
+        )
+    }
+
+    /// Number of memoised queries (test observability only).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.lock().expect("query cache lock").len()
+    }
+}
+
+/// The combined lexical + semantic index.
+#[derive(Debug)]
+pub struct KnowledgeIndex {
+    entries: Vec<IndexEntry>,
+    /// token -> (entry index, term frequency)
+    inverted: HashMap<String, Vec<(usize, f64)>>,
+    /// per-entry embedding
+    embeddings: Vec<Vec<f32>>,
+    /// document frequency per token
+    doc_freq: HashMap<String, usize>,
+    /// per-query memo (embedding + stemmed tokens)
+    cache: QueryCache,
+}
+
+impl Clone for KnowledgeIndex {
+    fn clone(&self) -> Self {
+        KnowledgeIndex {
+            entries: self.entries.clone(),
+            inverted: self.inverted.clone(),
+            embeddings: self.embeddings.clone(),
+            doc_freq: self.doc_freq.clone(),
+            // Caches are per-instance scratch state, not index content.
+            cache: QueryCache::default(),
+        }
+    }
+}
+
+impl KnowledgeIndex {
+    /// Indexes every node of the graph for the given task.
+    pub fn build(graph: &KnowledgeGraph, task: IndexTask) -> Self {
+        let embedder = HashEmbedder::new();
+        let mut entries = Vec::with_capacity(graph.len());
+        let mut inverted: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+        let mut embeddings = Vec::with_capacity(graph.len());
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        for node in graph.nodes() {
+            let content = content_for(graph, node.id, task);
+            let idx = entries.len();
+            let toks = words(&content);
+            let mut tf: HashMap<String, f64> = HashMap::new();
+            for t in &toks {
+                *tf.entry(stem(t)).or_insert(0.0) += 1.0;
+            }
+            for (t, f) in &tf {
+                inverted.entry(t.clone()).or_default().push((idx, *f));
+                *doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+            embeddings.push(embedder.embed(&content));
+            entries.push(IndexEntry {
+                node: node.id,
+                name: node.name.clone(),
+                content,
+                tag: format!("{:?}", node.kind).to_lowercase(),
+            });
+        }
+        KnowledgeIndex {
+            entries,
+            inverted,
+            embeddings,
+            doc_freq,
+            cache: QueryCache::default(),
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Lexical (tf-idf) search: entries scoring above `threshold`, best
+    /// first, at most `k`.
+    pub fn lexical_search(&self, query: &str, k: usize, threshold: f64) -> Vec<(usize, f64)> {
+        let n_docs = self.entries.len().max(1) as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        let features = self.cache.features(query);
+        for t in &features.stems {
+            if let Some(postings) = self.inverted.get(t) {
+                let df = *self.doc_freq.get(t).unwrap_or(&1) as f64;
+                let idf = (n_docs / df).ln().max(0.1);
+                for (idx, tf) in postings {
+                    *scores.entry(*idx).or_insert(0.0) += (1.0 + tf.ln()) * idf;
+                }
+            }
+        }
+        let mut out: Vec<(usize, f64)> = scores
+            .into_iter()
+            .filter(|(_, s)| *s >= threshold)
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Semantic (embedding cosine) search: top `k` above `threshold`.
+    pub fn semantic_search(&self, query: &str, k: usize, threshold: f64) -> Vec<(usize, f64)> {
+        let features = self.cache.features(query);
+        let q = &features.embedding;
+        let mut out: Vec<(usize, f64)> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, datalab_llm::cosine(q, e)))
+            .filter(|(_, s)| *s >= threshold)
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Entry by index.
+    pub fn entry(&self, idx: usize) -> &IndexEntry {
+        &self.entries[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{ColumnKnowledge, TableKnowledge};
+
+    fn graph() -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        g.ingest_table(
+            "biz",
+            &TableKnowledge {
+                name: "sales".into(),
+                description: "daily product revenue".into(),
+                columns: vec![
+                    ColumnKnowledge {
+                        name: "shouldincome_after".into(),
+                        description: "income revenue after tax".into(),
+                        aliases: vec!["income".into()],
+                        ..Default::default()
+                    },
+                    ColumnKnowledge {
+                        name: "cost_amt".into(),
+                        description: "operating cost amount".into(),
+                        ..Default::default()
+                    },
+                ],
+                ..Default::default()
+            },
+        );
+        g
+    }
+
+    #[test]
+    fn lexical_search_finds_by_description() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        let hits = idx.lexical_search("income after tax", 5, 0.01);
+        assert!(!hits.is_empty());
+        assert!(
+            idx.entry(hits[0].0).name.contains("shouldincome_after"),
+            "{:?}",
+            idx.entry(hits[0].0)
+        );
+    }
+
+    #[test]
+    fn semantic_search_ranks_related_higher() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        let hits = idx.semantic_search("revenue income", 5, 0.0);
+        let income_pos = hits
+            .iter()
+            .position(|(i, _)| idx.entry(*i).name.contains("shouldincome_after"));
+        let cost_pos = hits
+            .iter()
+            .position(|(i, _)| idx.entry(*i).name.contains("cost_amt"));
+        match (income_pos, cost_pos) {
+            (Some(i), Some(c)) => assert!(i < c),
+            (Some(_), None) => {}
+            other => panic!("unexpected ranking {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_nodes_are_indexed() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::SchemaLinking);
+        let hits = idx.lexical_search("income", 10, 0.01);
+        assert!(hits.iter().any(|(i, _)| idx.entry(*i).tag == "alias"));
+    }
+
+    #[test]
+    fn query_cache_memoises_and_preserves_results() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        let fresh = KnowledgeIndex::build(&g, IndexTask::General);
+        assert_eq!(idx.cache.len(), 0);
+        for query in ["income after tax", "revenue income", "income after tax"] {
+            assert_eq!(
+                idx.lexical_search(query, 5, 0.01),
+                fresh_lexical(&fresh, query)
+            );
+            assert_eq!(
+                idx.semantic_search(query, 5, 0.0),
+                fresh.semantic_search(query, 5, 0.0)
+            );
+        }
+        // Two distinct queries, one repeated: memoised once each.
+        assert_eq!(idx.cache.len(), 2);
+        // The cached features are shared, not recomputed, on the hit path.
+        let a = idx.cache.features("income after tax");
+        let b = idx.cache.features("income after tax");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    /// Lexical search against a never-before-seen index so its cache is
+    /// cold for every call (each query string is looked up at most once).
+    fn fresh_lexical(idx: &KnowledgeIndex, query: &str) -> Vec<(usize, f64)> {
+        KnowledgeIndex::clone(idx).lexical_search(query, 5, 0.01)
+    }
+
+    #[test]
+    fn clone_resets_the_cache() {
+        let g = graph();
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        idx.lexical_search("income", 5, 0.01);
+        assert_eq!(idx.cache.len(), 1);
+        let cloned = idx.clone();
+        assert_eq!(cloned.cache.len(), 0);
+        assert_eq!(cloned.len(), idx.len());
+        assert_eq!(
+            cloned.lexical_search("income", 5, 0.01),
+            idx.lexical_search("income", 5, 0.01)
+        );
+    }
+
+    #[test]
+    fn cache_eviction_clears_at_capacity() {
+        let cache = QueryCache::default();
+        for i in 0..QUERY_CACHE_MAX {
+            cache.features(&format!("query {i}"));
+        }
+        assert_eq!(cache.len(), QUERY_CACHE_MAX);
+        // The next distinct query trips the wholesale clear, then inserts.
+        cache.features("one more");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn task_selects_content() {
+        let mut g = graph();
+        // Add a derived column with calculation logic.
+        let t = g.find(NodeKind::Table, "sales").unwrap();
+        let mut comp = std::collections::BTreeMap::new();
+        comp.insert("calculation".into(), "shouldincome_after - cost_amt".into());
+        let d = g.add_node(
+            NodeKind::Column,
+            "sales.profit",
+            comp,
+            vec!["derived".into()],
+        );
+        g.add_contains(t, d);
+        let dsl_idx = KnowledgeIndex::build(&g, IndexTask::Nl2Dsl);
+        let sl_idx = KnowledgeIndex::build(&g, IndexTask::SchemaLinking);
+        let e_dsl = dsl_idx
+            .entries()
+            .iter()
+            .find(|e| e.name == "sales.profit")
+            .unwrap();
+        let e_sl = sl_idx
+            .entries()
+            .iter()
+            .find(|e| e.name == "sales.profit")
+            .unwrap();
+        assert!(e_dsl.content.contains("cost"), "{e_dsl:?}");
+        assert!(!e_sl.content.contains("cost_amt - "), "{e_sl:?}");
+    }
+}

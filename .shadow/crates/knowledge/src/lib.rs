@@ -1,0 +1,46 @@
+//! # datalab-knowledge
+//!
+//! DataLab's **Domain Knowledge Incorporation** module (paper §IV):
+//!
+//! - [`components`] — knowledge components for databases, tables, columns,
+//!   derived columns, values, and jargon, plus the raw inputs (script
+//!   histories, lineage),
+//! - [`generation`] — Algorithm 1: LLM-based Map-Reduce knowledge
+//!   generation with a self-calibration loop,
+//! - [`graph`] — the knowledge graph with alias nodes (Fig. 5),
+//! - [`index`] — task-aware lexical + semantic indexing of `{name,
+//!   content, tag}` triplets,
+//! - [`retrieval`] — Algorithm 2: coarse-to-fine retrieval with a
+//!   three-stage weighted matching score,
+//! - [`dsl`] — the DSL specification with JSON-schema validation and the
+//!   rule-based converters to SQL / chart specs / dscript,
+//! - [`profiling`] — the data-profiling fallback for in-the-wild tables,
+//! - [`utilization`] — the rewrite → retrieve → translate pipeline.
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod dsl;
+pub mod generation;
+pub mod graph;
+pub mod index;
+pub mod profiling;
+pub mod retrieval;
+pub mod utilization;
+
+pub use components::{
+    ColumnKnowledge, DatabaseKnowledge, DerivedColumn, JargonEntry, Lineage, Script, ScriptLang,
+    TableKnowledge,
+};
+pub use dsl::{validate_dsl_json, DslColumn, DslCondition, DslMeasure, DslOrder, DslSpec};
+pub use generation::{
+    generate_table_knowledge, generate_table_knowledge_traced, preprocess_scripts,
+    GenerationConfig, GenerationReport,
+};
+pub use graph::{EdgeKind, KnowledgeGraph, Node, NodeId, NodeKind};
+pub use index::{IndexEntry, IndexTask, KnowledgeIndex};
+pub use profiling::{profile_table, ProfiledTable};
+pub use retrieval::{render_knowledge, retrieve, RetrievalConfig, Retrieved};
+pub use utilization::{
+    incorporate, incorporate_traced, GroundingContext, IncorporateConfig, KnowledgeSetting,
+};

@@ -1,0 +1,263 @@
+//! Coarse-to-fine knowledge retrieval (paper §IV-C, Algorithm 2).
+
+use crate::graph::{KnowledgeGraph, NodeId, NodeKind};
+use crate::index::KnowledgeIndex;
+use datalab_llm::{LanguageModel, Prompt};
+use std::collections::HashMap;
+
+/// Weights and limits for Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct RetrievalConfig {
+    /// Coarse candidate pool size per search mode (loose, recall-oriented).
+    pub coarse_k: usize,
+    /// Loose lexical threshold.
+    pub lex_threshold: f64,
+    /// Loose semantic threshold.
+    pub sem_threshold: f64,
+    /// Final top-K (set "relatively large" per the paper).
+    pub top_k: usize,
+    /// ω₁ — lexical weight.
+    pub w_lex: f64,
+    /// ω₂ — semantic weight.
+    pub w_sem: f64,
+    /// ω₃ — LLM relevance weight.
+    pub w_llm: f64,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            coarse_k: 40,
+            lex_threshold: 0.05,
+            sem_threshold: 0.08,
+            top_k: 24,
+            w_lex: 0.35,
+            w_sem: 0.30,
+            w_llm: 0.35,
+        }
+    }
+}
+
+/// A retrieved node with its weighted matching score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieved {
+    /// The primary node (aliases already backtracked).
+    pub node: NodeId,
+    /// Final weighted score.
+    pub score: f64,
+}
+
+/// Runs Algorithm 2: coarse lexical+semantic retrieval, alias
+/// backtracking, fine-grained three-stage weighted ordering, top-K cut.
+pub fn retrieve(
+    llm: &dyn LanguageModel,
+    graph: &KnowledgeGraph,
+    index: &KnowledgeIndex,
+    query: &str,
+    config: &RetrievalConfig,
+) -> Vec<Retrieved> {
+    // ---- Coarse-grained retrieval (max recall) --------------------------
+    let lex = index.lexical_search(query, config.coarse_k, config.lex_threshold);
+    let sem = index.semantic_search(query, config.coarse_k, config.sem_threshold);
+
+    // Normalise per-mode scores to [0,1] and merge per primary node.
+    let lex_max = lex.first().map(|(_, s)| *s).unwrap_or(1.0).max(1e-9);
+    let sem_max = sem.first().map(|(_, s)| *s).unwrap_or(1.0).max(1e-9);
+    struct Cand {
+        lex: f64,
+        sem: f64,
+    }
+    let mut cands: HashMap<NodeId, Cand> = HashMap::new();
+    for (idx, s) in &lex {
+        let primary = graph.backtrack(index.entry(*idx).node);
+        let e = cands.entry(primary).or_insert(Cand { lex: 0.0, sem: 0.0 });
+        e.lex = e.lex.max(s / lex_max);
+    }
+    for (idx, s) in &sem {
+        let primary = graph.backtrack(index.entry(*idx).node);
+        let e = cands.entry(primary).or_insert(Cand { lex: 0.0, sem: 0.0 });
+        e.sem = e.sem.max(s / sem_max);
+    }
+
+    // ---- Fine-grained ordering -------------------------------------------
+    let mut scored: Vec<Retrieved> = cands
+        .into_iter()
+        .map(|(node, c)| {
+            let llm_score = if config.w_llm > 0.0 {
+                let candidate = graph.knowledge_line(node);
+                llm.complete(
+                    &Prompt::new("relevance")
+                        .section("query", query)
+                        .section("candidate", candidate)
+                        .render(),
+                )
+                .trim()
+                .parse::<f64>()
+                .unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let score = config.w_lex * c.lex + config.w_sem * c.sem + config.w_llm * llm_score;
+            Retrieved { node, score }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    scored.truncate(config.top_k);
+    scored
+}
+
+/// Renders retrieved nodes (plus their alias edges and, for value nodes,
+/// their parent columns) into the knowledge-section text the agents put
+/// into prompts.
+pub fn render_knowledge(graph: &KnowledgeGraph, retrieved: &[Retrieved]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    let mut push = |line: String| {
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    };
+    for r in retrieved {
+        push(graph.knowledge_line(r.node));
+        for alias in graph.aliases_of(r.node) {
+            push(graph.knowledge_line(alias));
+        }
+        // A value node alone is hard to ground; include its column too.
+        if graph.node(r.node).kind == NodeKind::Value {
+            if let Some(col) = graph.parent(r.node) {
+                push(graph.knowledge_line(col));
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{ColumnKnowledge, JargonEntry, TableKnowledge};
+    use crate::index::IndexTask;
+    use datalab_llm::SimLlm;
+
+    fn setup() -> (KnowledgeGraph, KnowledgeIndex) {
+        let mut g = KnowledgeGraph::new();
+        g.ingest_table(
+            "biz",
+            &TableKnowledge {
+                name: "sales".into(),
+                description: "daily product revenue".into(),
+                columns: vec![
+                    ColumnKnowledge {
+                        name: "shouldincome_after".into(),
+                        description: "income revenue after tax".into(),
+                        aliases: vec!["income".into()],
+                        ..Default::default()
+                    },
+                    ColumnKnowledge {
+                        name: "prod_class4_name".into(),
+                        description: "product line name".into(),
+                        ..Default::default()
+                    },
+                    ColumnKnowledge {
+                        name: "unrelated_blob".into(),
+                        description: "internal checksum".into(),
+                        ..Default::default()
+                    },
+                ],
+                ..Default::default()
+            },
+        );
+        let v = g.ingest_value(
+            "sales",
+            "prod_class4_name",
+            "Tencent BI",
+            "the BI product line",
+        );
+        g.add_alias("TencentBI", v);
+        g.ingest_jargon(&JargonEntry {
+            term: "arpu".into(),
+            expansion: "average income per user".into(),
+        });
+        let idx = KnowledgeIndex::build(&g, IndexTask::General);
+        (g, idx)
+    }
+
+    #[test]
+    fn retrieves_alias_backtracked_primary() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let out = retrieve(
+            &llm,
+            &g,
+            &idx,
+            "show me the income of TencentBI this year",
+            &RetrievalConfig::default(),
+        );
+        assert!(!out.is_empty());
+        let names: Vec<&str> = out.iter().map(|r| g.node(r.node).name.as_str()).collect();
+        assert!(names.contains(&"sales.shouldincome_after"), "{names:?}");
+        // The value alias backtracks to the value node.
+        assert!(names.iter().any(|n| n.contains("Tencent BI")), "{names:?}");
+        // No alias nodes in the primary results.
+        assert!(out.iter().all(|r| g.node(r.node).kind != NodeKind::Alias));
+    }
+
+    #[test]
+    fn irrelevant_columns_rank_last_or_absent() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let out = retrieve(
+            &llm,
+            &g,
+            &idx,
+            "income of TencentBI",
+            &RetrievalConfig::default(),
+        );
+        let pos = |name: &str| out.iter().position(|r| g.node(r.node).name == name);
+        let income = pos("sales.shouldincome_after");
+        let blob = pos("sales.unrelated_blob");
+        match (income, blob) {
+            (Some(i), Some(b)) => assert!(i < b, "income={i} blob={b}"),
+            (Some(_), None) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rendered_knowledge_contains_alias_and_value_lines() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let out = retrieve(
+            &llm,
+            &g,
+            &idx,
+            "income of TencentBI",
+            &RetrievalConfig::default(),
+        );
+        let text = render_knowledge(&g, &out);
+        assert!(
+            text.contains("alias income -> sales.shouldincome_after"),
+            "{text}"
+        );
+        assert!(
+            text.contains("value sales.prod_class4_name: 'Tencent BI'"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn top_k_limits_results() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let cfg = RetrievalConfig {
+            top_k: 1,
+            ..Default::default()
+        };
+        let out = retrieve(&llm, &g, &idx, "income", &cfg);
+        assert_eq!(out.len(), 1);
+    }
+}

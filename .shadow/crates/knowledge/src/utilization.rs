@@ -1,0 +1,383 @@
+//! Knowledge utilization (paper §IV-C): query rewrite → retrieval → DSL
+//! translation, packaged as the grounding front-end every DataLab agent
+//! calls before generating artifacts.
+
+use crate::dsl::{validate_dsl_json, DslSpec};
+use crate::graph::KnowledgeGraph;
+use crate::index::KnowledgeIndex;
+use crate::retrieval::{render_knowledge, retrieve, RetrievalConfig};
+use datalab_llm::{LanguageModel, Prompt};
+use datalab_telemetry::Telemetry;
+
+/// How much knowledge the grounding pipeline is allowed to use — the
+/// ablation axis of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnowledgeSetting {
+    /// S1: schema only, no knowledge.
+    None,
+    /// S2: descriptions/usage/tags only (no calculation logic, no values).
+    Partial,
+    /// S3: everything.
+    Full,
+}
+
+/// The output of the grounding pipeline.
+#[derive(Debug, Clone)]
+pub struct GroundingContext {
+    /// The rewritten (clarified, temporally standardised) query.
+    pub rewritten_query: String,
+    /// Knowledge lines for the prompt's `knowledge` section.
+    pub knowledge_lines: String,
+    /// The validated DSL spec, when translation succeeded.
+    pub dsl: Option<DslSpec>,
+    /// Raw DSL JSON as emitted by the model.
+    pub dsl_json: String,
+    /// Validation errors, when the spec failed schema validation.
+    pub dsl_errors: Vec<String>,
+}
+
+/// Configuration for [`incorporate`].
+#[derive(Debug, Clone)]
+pub struct IncorporateConfig {
+    /// Ablation setting.
+    pub setting: KnowledgeSetting,
+    /// Retrieval parameters.
+    pub retrieval: RetrievalConfig,
+    /// Retries when DSL validation fails (validation feedback goes back
+    /// into the prompt).
+    pub dsl_retries: usize,
+}
+
+impl Default for IncorporateConfig {
+    fn default() -> Self {
+        IncorporateConfig {
+            setting: KnowledgeSetting::Full,
+            retrieval: RetrievalConfig::default(),
+            dsl_retries: 1,
+        }
+    }
+}
+
+/// Filters knowledge lines according to the ablation setting.
+fn filter_lines(lines: &str, setting: KnowledgeSetting) -> String {
+    match setting {
+        KnowledgeSetting::None => String::new(),
+        KnowledgeSetting::Partial => lines
+            .lines()
+            // Partial knowledge = descriptions/usage/tags; calculation
+            // logic (derived), value semantics and value aliases are the
+            // "full" extras.
+            .filter(|l| {
+                !l.starts_with("derived ")
+                    && !l.starts_with("value ")
+                    && !(l.starts_with("alias ") && l.contains("-> value"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+        KnowledgeSetting::Full => lines.to_string(),
+    }
+}
+
+/// Runs the full §IV-C pipeline for a query: rewrite → retrieve → render
+/// knowledge → translate to DSL → validate (with retry on violations).
+///
+/// `schema_section` follows the prompt schema contract;
+/// `history` carries prior queries of a multi-round session.
+#[allow(clippy::too_many_arguments)]
+pub fn incorporate(
+    llm: &dyn LanguageModel,
+    graph: &KnowledgeGraph,
+    index: &KnowledgeIndex,
+    schema_section: &str,
+    query: &str,
+    history: &[String],
+    current_date: &str,
+    config: &IncorporateConfig,
+) -> GroundingContext {
+    incorporate_traced(
+        llm,
+        graph,
+        index,
+        schema_section,
+        query,
+        history,
+        current_date,
+        config,
+        &Telemetry::new(),
+    )
+}
+
+/// [`incorporate`] with an observability pipeline: opens `rewrite` and
+/// `ground` stage scopes (so model calls attribute per stage) and counts
+/// `knowledge.hits` / `dsl.retries`.
+#[allow(clippy::too_many_arguments)]
+pub fn incorporate_traced(
+    llm: &dyn LanguageModel,
+    graph: &KnowledgeGraph,
+    index: &KnowledgeIndex,
+    schema_section: &str,
+    query: &str,
+    history: &[String],
+    current_date: &str,
+    config: &IncorporateConfig,
+    telemetry: &Telemetry,
+) -> GroundingContext {
+    // ---- Query rewrite -----------------------------------------------------
+    let rewritten = {
+        let _stage = telemetry.stage("rewrite");
+        llm.complete(
+            &Prompt::new("rewrite")
+                .section("question", query)
+                .section("history", history.join("\n"))
+                .section("current_date", current_date)
+                .render(),
+        )
+        .trim()
+        .to_string()
+    };
+    let rewritten = if rewritten.is_empty() {
+        query.to_string()
+    } else {
+        rewritten
+    };
+
+    let ground_stage = telemetry.stage("ground");
+
+    // ---- Knowledge retrieval ------------------------------------------------
+    // Two passes: jargon discovered in the first pass expands the query
+    // ("gmv" → "total income"), and the expanded query retrieves the
+    // knowledge the jargon actually points at.
+    let knowledge_lines = if config.setting == KnowledgeSetting::None || graph.is_empty() {
+        telemetry.record_event(
+            datalab_telemetry::EventKind::KnowledgeMiss,
+            "retrieval skipped: knowledge disabled or graph empty",
+        );
+        String::new()
+    } else {
+        let mut retrieved = retrieve(llm, graph, index, &rewritten, &config.retrieval);
+        let mut expanded = rewritten.clone();
+        for r in &retrieved {
+            let node = graph.node(r.node);
+            if node.kind == crate::graph::NodeKind::Jargon {
+                if let Some(exp) = node.components.get("expansion") {
+                    let lower = expanded.to_lowercase();
+                    if let Some(pos) = lower.find(&node.name.to_lowercase()) {
+                        let end = pos + node.name.len();
+                        expanded = format!("{}{}{}", &expanded[..pos], exp, &expanded[end..]);
+                    }
+                }
+            }
+        }
+        if expanded != rewritten {
+            for extra in retrieve(llm, graph, index, &expanded, &config.retrieval) {
+                if !retrieved.iter().any(|r| r.node == extra.node) {
+                    retrieved.push(extra);
+                }
+            }
+        }
+        telemetry
+            .metrics()
+            .incr("knowledge.hits", retrieved.len() as u64);
+        if retrieved.is_empty() {
+            telemetry.record_event(
+                datalab_telemetry::EventKind::KnowledgeMiss,
+                "retrieval returned no grounding items",
+            );
+        } else {
+            telemetry.record_event(
+                datalab_telemetry::EventKind::KnowledgeHit,
+                format!("{} grounding items retrieved", retrieved.len()),
+            );
+        }
+        ground_stage.attr("knowledge_hits", retrieved.len().to_string());
+        filter_lines(&render_knowledge(graph, &retrieved), config.setting)
+    };
+
+    // ---- DSL translation with validation feedback ----------------------------
+    let mut dsl_json = String::new();
+    let mut dsl = None;
+    let mut dsl_errors = Vec::new();
+    for attempt in 0..=config.dsl_retries {
+        if attempt > 0 {
+            telemetry.metrics().incr("dsl.retries", 1);
+            telemetry.record_event(
+                datalab_telemetry::EventKind::Retry,
+                format!("nl2dsl attempt {attempt}"),
+            );
+        }
+        let mut prompt = Prompt::new("nl2dsl")
+            .section("schema", schema_section)
+            .section("knowledge", knowledge_lines.clone())
+            .section("current_date", current_date)
+            .section("question", rewritten.clone());
+        if attempt > 0 && !dsl_errors.is_empty() {
+            prompt = prompt.section(
+                "feedback",
+                format!("previous spec failed validation: {}", dsl_errors.join("; ")),
+            );
+        }
+        dsl_json = llm.complete(&prompt.render());
+        match validate_dsl_json(&dsl_json) {
+            Ok(spec) => {
+                dsl = Some(spec);
+                dsl_errors.clear();
+                break;
+            }
+            Err(errors) => dsl_errors = errors,
+        }
+    }
+    drop(ground_stage);
+
+    GroundingContext {
+        rewritten_query: rewritten,
+        knowledge_lines,
+        dsl,
+        dsl_json,
+        dsl_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{ColumnKnowledge, DerivedColumn, TableKnowledge};
+    use crate::index::IndexTask;
+    use datalab_llm::SimLlm;
+
+    fn setup() -> (KnowledgeGraph, KnowledgeIndex) {
+        let mut g = KnowledgeGraph::new();
+        g.ingest_table(
+            "biz",
+            &TableKnowledge {
+                name: "sales".into(),
+                description: "daily product revenue".into(),
+                columns: vec![ColumnKnowledge {
+                    name: "shouldincome_after".into(),
+                    dtype: "float".into(),
+                    description: "income revenue after tax".into(),
+                    aliases: vec!["income".into()],
+                    ..Default::default()
+                }],
+                derived: vec![DerivedColumn {
+                    name: "profit".into(),
+                    calculation: "shouldincome_after - cost_amt".into(),
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        );
+        let idx = KnowledgeIndex::build(&g, IndexTask::Nl2Dsl);
+        (g, idx)
+    }
+
+    fn schema() -> &'static str {
+        "table sales: region (str), shouldincome_after (float), cost_amt (float), ftime (date)"
+    }
+
+    #[test]
+    fn full_knowledge_grounds_the_dsl() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let ctx = incorporate(
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total income by region this year",
+            &[],
+            "2026-07-06",
+            &IncorporateConfig::default(),
+        );
+        assert!(
+            ctx.rewritten_query.contains("in 2026"),
+            "{}",
+            ctx.rewritten_query
+        );
+        let dsl = ctx.dsl.expect("valid DSL");
+        assert_eq!(
+            dsl.measure_list[0].column.as_deref(),
+            Some("shouldincome_after")
+        );
+        assert_eq!(dsl.dimension_list[0].column, "region");
+        assert!(!ctx.knowledge_lines.is_empty());
+    }
+
+    #[test]
+    fn setting_none_strips_knowledge() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let cfg = IncorporateConfig {
+            setting: KnowledgeSetting::None,
+            ..Default::default()
+        };
+        let ctx = incorporate(
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total income by region",
+            &[],
+            "2026-07-06",
+            &cfg,
+        );
+        assert!(ctx.knowledge_lines.is_empty());
+        // Without the alias, "income" cannot ground to shouldincome_after.
+        let ungrounded = ctx
+            .dsl
+            .map(|d| {
+                d.measure_list
+                    .iter()
+                    .all(|m| m.column.as_deref() != Some("shouldincome_after"))
+            })
+            .unwrap_or(true);
+        assert!(ungrounded);
+    }
+
+    #[test]
+    fn partial_setting_drops_derived_logic() {
+        let (g, idx) = setup();
+        let llm = SimLlm::gpt4();
+        let full = incorporate(
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total profit by region",
+            &[],
+            "2026-07-06",
+            &IncorporateConfig::default(),
+        );
+        let partial = incorporate(
+            &llm,
+            &g,
+            &idx,
+            schema(),
+            "total profit by region",
+            &[],
+            "2026-07-06",
+            &IncorporateConfig {
+                setting: KnowledgeSetting::Partial,
+                ..Default::default()
+            },
+        );
+        assert!(
+            full.knowledge_lines.contains("derived sales.profit"),
+            "{}",
+            full.knowledge_lines
+        );
+        assert!(
+            !partial.knowledge_lines.contains("derived sales.profit"),
+            "{}",
+            partial.knowledge_lines
+        );
+        // Only the full setting can compute the derived measure.
+        let has_profit = |c: &GroundingContext| {
+            c.dsl
+                .as_ref()
+                .map(|d| d.measure_list.iter().any(|m| m.expr.is_some()))
+                .unwrap_or(false)
+        };
+        assert!(has_profit(&full));
+        assert!(!has_profit(&partial));
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic text embeddings.
+//!
+//! Substitutes the paper's M3-Embedding model with a feature-hashing
+//! embedder: word unigrams and character trigrams are hashed into a fixed
+//! number of buckets and L2-normalised. Texts sharing vocabulary embed
+//! close together, which is the property the knowledge-retrieval and
+//! context-retrieval modules rely on.
+
+use crate::util::{stem, words, Fnv1a};
+
+/// Embedding dimensionality.
+pub const EMBED_DIM: usize = 256;
+
+/// Feature-hash embedder. Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashEmbedder;
+
+impl HashEmbedder {
+    /// A new embedder.
+    pub fn new() -> Self {
+        HashEmbedder
+    }
+
+    /// Embeds text into a unit-length vector (all-zero for empty text).
+    ///
+    /// Features are hashed as tagged byte streams (`w:` + word, `t:` +
+    /// trigram) fed straight into the incremental hasher, so the hot loop
+    /// performs no per-feature `String` allocation; the hashes — and
+    /// therefore the vectors — are identical to the former
+    /// `format!("w:{s}")` formulation.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; EMBED_DIM];
+        for w in words(text) {
+            let s = stem(&w);
+            bump(
+                &mut v,
+                Fnv1a::new().update(b"w:").update(s.as_bytes()).finish(),
+                1.0,
+            );
+            // Character trigrams give partial-match signal for compound
+            // identifiers and typos. A rolling three-char window stands in
+            // for collecting the chars into a Vec.
+            let mut win = ['\0'; 3];
+            let mut filled = 0usize;
+            for c in s.chars() {
+                if filled < 3 {
+                    win[filled] = c;
+                    filled += 1;
+                } else {
+                    win[0] = win[1];
+                    win[1] = win[2];
+                    win[2] = c;
+                }
+                if filled == 3 {
+                    let h = win
+                        .iter()
+                        .fold(Fnv1a::new().update(b"t:"), |h, &c| h.update_char(c));
+                    bump(&mut v, h.finish(), 0.35);
+                }
+            }
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+fn bump(v: &mut [f32], h: u64, weight: f32) {
+    let idx = (h % EMBED_DIM as u64) as usize;
+    // Sign-hashing reduces collision bias.
+    let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+    v[idx] += sign * weight;
+}
+
+/// Cosine similarity of two vectors (0.0 when either is all-zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        dot += (*x as f64) * (*y as f64);
+        na += (*x as f64) * (*x as f64);
+        nb += (*y as f64) * (*y as f64);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Convenience: cosine similarity of two texts.
+pub fn text_similarity(a: &str, b: &str) -> f64 {
+    let e = HashEmbedder::new();
+    cosine(&e.embed(a), &e.embed(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-optimisation embedding: per-feature `format!` strings
+    /// hashed whole. Kept as the reference the allocation-free path must
+    /// match bit for bit (and as the baseline of the `fleet_parallel`
+    /// micro-bench).
+    fn embed_format_reference(text: &str) -> Vec<f32> {
+        fn bump_str(v: &mut [f32], feature: &str, weight: f32) {
+            bump(v, crate::util::fnv1a(feature.as_bytes()), weight);
+        }
+        let mut v = vec![0.0f32; EMBED_DIM];
+        for w in words(text) {
+            let s = stem(&w);
+            bump_str(&mut v, &format!("w:{s}"), 1.0);
+            let chars: Vec<char> = s.chars().collect();
+            if chars.len() >= 3 {
+                for win in chars.windows(3) {
+                    let tri: String = win.iter().collect();
+                    bump_str(&mut v, &format!("t:{tri}"), 0.35);
+                }
+            }
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn allocation_free_path_matches_format_reference() {
+        let e = HashEmbedder::new();
+        for text in [
+            "",
+            "ab",
+            "abc",
+            "total revenue by region",
+            "shouldincome_after tax rollup for finance",
+            "café naïve résumé", // multi-byte chars in trigrams
+            "a bb ccc dddd eeeee",
+        ] {
+            assert_eq!(e.embed(text), embed_format_reference(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn identical_texts_embed_identically() {
+        assert!(
+            (text_similarity("total revenue by region", "total revenue by region") - 1.0).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn related_beats_unrelated() {
+        let related = text_similarity("monthly revenue of each product", "revenue per product");
+        let unrelated =
+            text_similarity("monthly revenue of each product", "giraffe habitat zoology");
+        assert!(
+            related > unrelated + 0.2,
+            "related={related} unrelated={unrelated}"
+        );
+    }
+
+    #[test]
+    fn plural_forms_match() {
+        let sim = text_similarity("orders", "order");
+        assert!(sim > 0.9, "sim={sim}");
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = HashEmbedder::new();
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(cosine(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn embeddings_are_unit_length() {
+        let e = HashEmbedder::new();
+        let v = e.embed("some nontrivial business text");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,429 @@
+//! Renderers from a [`QueryIntent`] to the artifact languages DataLab
+//! agents produce: SQL text, DSL JSON, dscript pipelines, and chart-spec
+//! JSON. The JSON shapes are the cross-crate contracts; the knowledge and
+//! viz crates deserialize them into their own typed structures.
+
+use crate::intent::{ColumnRef, Evidence, Filter, FilterValue, Measure, QueryIntent};
+use datalab_frame::AggFunc;
+use serde_json::{json, Value as Json};
+
+/// Output alias for a measure: `sum_amount`, `cnt`, ...
+pub fn measure_alias(m: &Measure) -> String {
+    match (&m.column, m.agg) {
+        (None, _) => "cnt".to_string(),
+        (Some(c), agg) => format!(
+            "{}_{}",
+            match agg {
+                AggFunc::Sum => "sum",
+                AggFunc::Avg => "avg",
+                AggFunc::Count => "cnt",
+                AggFunc::CountDistinct => "cntd",
+                AggFunc::Min => "min",
+                AggFunc::Max => "max",
+            },
+            c.column.to_lowercase()
+        ),
+    }
+}
+
+fn agg_name(agg: AggFunc) -> &'static str {
+    match agg {
+        AggFunc::Sum => "sum",
+        AggFunc::Avg => "avg",
+        AggFunc::Count => "count",
+        AggFunc::CountDistinct => "count_distinct",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    }
+}
+
+fn sql_quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+fn filter_sql(f: &Filter, qualify: bool) -> String {
+    let col = if qualify {
+        format!("{}.{}", f.column.table, f.column.column)
+    } else {
+        f.column.column.clone()
+    };
+    match &f.value {
+        FilterValue::Num(n) => {
+            let num = if n.fract() == 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            };
+            format!("{col} {} {num}", f.op)
+        }
+        FilterValue::Str(s) => format!("{col} = {}", sql_quote(s)),
+        FilterValue::DateRange(a, b) => {
+            if b == "9999-12-31" {
+                format!("{col} >= {}", sql_quote(a))
+            } else {
+                format!("{col} BETWEEN {} AND {}", sql_quote(a), sql_quote(b))
+            }
+        }
+    }
+}
+
+/// Renders the intent as a SQL query against the evidence's schema,
+/// following FK join paths when the intent spans multiple tables.
+pub fn to_sql(intent: &QueryIntent, ev: &Evidence) -> String {
+    let tables = intent.tables();
+    if tables.is_empty() {
+        return "SELECT 1".to_string();
+    }
+    let base = &tables[0];
+    let multi = tables.len() > 1;
+    let qual = |c: &ColumnRef| {
+        if multi {
+            format!("{}.{}", c.table, c.column)
+        } else {
+            c.column.clone()
+        }
+    };
+
+    let mut select_items: Vec<String> = Vec::new();
+    for d in &intent.dimensions {
+        select_items.push(qual(d));
+    }
+    for m in &intent.measures {
+        let alias = measure_alias(m);
+        let inner = match (&m.derived_expr, &m.column) {
+            (Some(expr), _) => expr.clone(),
+            (None, Some(c)) => qual(c),
+            (None, None) => "*".to_string(),
+        };
+        let rendered = if m.agg == AggFunc::CountDistinct {
+            format!("COUNT(DISTINCT {inner}) AS {alias}")
+        } else {
+            format!("{}({inner}) AS {alias}", m.agg.sql_name())
+        };
+        select_items.push(rendered);
+    }
+    for p in &intent.projections {
+        select_items.push(qual(p));
+    }
+    if select_items.is_empty() {
+        select_items.push("*".to_string());
+    }
+
+    let mut sql = format!("SELECT {} FROM {base}", select_items.join(", "));
+    // Join path: chain every other table through declared FKs.
+    for t in tables.iter().skip(1) {
+        if let Some(path) = ev.join_path(base, t) {
+            for (l, r) in path {
+                sql.push_str(&format!(
+                    " JOIN {} ON {}.{} = {}.{}",
+                    r.table, l.table, l.column, r.table, r.column
+                ));
+            }
+        }
+    }
+    if !intent.filters.is_empty() {
+        let conds: Vec<String> = intent
+            .filters
+            .iter()
+            .map(|f| filter_sql(f, multi))
+            .collect();
+        sql.push_str(" WHERE ");
+        sql.push_str(&conds.join(" AND "));
+    }
+    if !intent.measures.is_empty() && !intent.dimensions.is_empty() {
+        let dims: Vec<String> = intent.dimensions.iter().map(&qual).collect();
+        sql.push_str(&format!(" GROUP BY {}", dims.join(", ")));
+    }
+    if let Some(desc) = intent.order_desc {
+        if let Some(m) = intent.measures.first() {
+            sql.push_str(&format!(
+                " ORDER BY {}{}",
+                measure_alias(m),
+                if desc { " DESC" } else { "" }
+            ));
+        }
+    }
+    if let Some(n) = intent.limit {
+        sql.push_str(&format!(" LIMIT {n}"));
+    }
+    sql
+}
+
+/// Renders the intent as DataLab's DSL specification JSON
+/// (`MeasureList` / `DimensionList` / `ConditionList`, §IV-C).
+pub fn to_dsl_json(intent: &QueryIntent) -> Json {
+    let measures: Vec<Json> = intent
+        .measures
+        .iter()
+        .map(|m| {
+            json!({
+                "table": m.column.as_ref().map(|c| c.table.clone()),
+                "column": m.column.as_ref().map(|c| c.column.clone()),
+                "aggregate": agg_name(m.agg),
+                "expr": m.derived_expr,
+                "alias": measure_alias(m),
+            })
+        })
+        .collect();
+    let dims: Vec<Json> = intent
+        .dimensions
+        .iter()
+        .map(|d| json!({"table": d.table, "column": d.column}))
+        .collect();
+    let conds: Vec<Json> = intent
+        .filters
+        .iter()
+        .map(|f| {
+            let value = match &f.value {
+                FilterValue::Num(n) => json!(n),
+                FilterValue::Str(s) => json!(s),
+                FilterValue::DateRange(a, b) => json!([a, b]),
+            };
+            json!({
+                "table": f.column.table,
+                "column": f.column.column,
+                "op": if matches!(f.value, FilterValue::DateRange(..)) { "between" } else { f.op.as_str() },
+                "value": value,
+            })
+        })
+        .collect();
+    let projections: Vec<Json> = intent
+        .projections
+        .iter()
+        .map(|p| json!({"table": p.table, "column": p.column}))
+        .collect();
+    json!({
+        "MeasureList": measures,
+        "DimensionList": dims,
+        "ConditionList": conds,
+        "ProjectionList": projections,
+        "OrderBy": intent.order_desc.map(|d| json!({"target": "measure", "desc": d})),
+        "Limit": intent.limit,
+        "Chart": intent.chart_hint,
+        "Clean": if intent.dropna { json!(true) } else { json!(null) },
+    })
+}
+
+/// Renders the intent as a dscript pipeline — the executable program the
+/// code agent submits to the sandbox.
+pub fn to_dscript(intent: &QueryIntent) -> String {
+    let tables = intent.tables();
+    let base = tables
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "data".to_string());
+    let mut lines = vec![format!("load {base}")];
+    if intent.dropna {
+        lines.push("dropna".to_string());
+    }
+    for f in &intent.filters {
+        let cond = match &f.value {
+            FilterValue::Num(n) => {
+                let num = if n.fract() == 0.0 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                };
+                format!("{} {} {num}", f.column.column, f.op)
+            }
+            FilterValue::Str(s) => format!("{} == '{}'", f.column.column, s),
+            FilterValue::DateRange(a, b) => {
+                if b == "9999-12-31" {
+                    format!("{} >= '{a}'", f.column.column)
+                } else {
+                    format!("{} between '{a}' '{b}'", f.column.column)
+                }
+            }
+        };
+        lines.push(format!("filter {cond}"));
+    }
+    for m in &intent.measures {
+        if let (Some(expr), Some(c)) = (&m.derived_expr, &m.column) {
+            lines.push(format!("derive {} = {}", c.column, expr));
+        }
+    }
+    if !intent.measures.is_empty() {
+        let aggs: Vec<String> = intent
+            .measures
+            .iter()
+            .map(|m| {
+                let col = m
+                    .column
+                    .as_ref()
+                    .map(|c| c.column.clone())
+                    .unwrap_or_else(|| "*".into());
+                format!("{}({col}) as {}", agg_name(m.agg), measure_alias(m))
+            })
+            .collect();
+        let dims: Vec<String> = intent.dimensions.iter().map(|d| d.column.clone()).collect();
+        lines.push(format!("groupby {}: {}", dims.join(", "), aggs.join(", ")));
+    } else if !intent.projections.is_empty() {
+        let cols: Vec<String> = intent
+            .projections
+            .iter()
+            .map(|p| p.column.clone())
+            .collect();
+        lines.push(format!("select {}", cols.join(", ")));
+    }
+    if let Some(desc) = intent.order_desc {
+        if let Some(m) = intent.measures.first() {
+            lines.push(format!(
+                "sort {}{}",
+                measure_alias(m),
+                if desc { " desc" } else { "" }
+            ));
+        }
+    }
+    if let Some(n) = intent.limit {
+        lines.push(format!("limit {n}"));
+    }
+    lines.join("\n")
+}
+
+/// Renders the intent as a chart-spec JSON understood by `datalab-viz`.
+pub fn to_vis_json(intent: &QueryIntent) -> Json {
+    let mark = intent
+        .chart_hint
+        .clone()
+        .unwrap_or_else(|| "bar".to_string());
+    let x = intent.dimensions.first().map(|d| d.column.clone());
+    let (y_field, y_agg) = match intent.measures.first() {
+        Some(m) => (
+            m.column.as_ref().map(|c| c.column.clone()),
+            Some(agg_name(m.agg).to_string()),
+        ),
+        None => (intent.projections.get(1).map(|p| p.column.clone()), None),
+    };
+    let table = intent.tables().first().cloned().unwrap_or_default();
+    let filters: Vec<Json> = intent
+        .filters
+        .iter()
+        .map(|f| {
+            let value = match &f.value {
+                FilterValue::Num(n) => json!(n),
+                FilterValue::Str(s) => json!(s),
+                FilterValue::DateRange(a, b) => json!([a, b]),
+            };
+            json!({"column": f.column.column, "op": if matches!(f.value, FilterValue::DateRange(..)) {"between"} else {f.op.as_str()}, "value": value})
+        })
+        .collect();
+    json!({
+        "mark": mark,
+        "data": table,
+        "x": x.map(|f| json!({"field": f})),
+        "y": y_field.map(|f| json!({"field": f, "aggregate": y_agg})),
+        "filters": filters,
+        "limit": intent.limit,
+        "sort_desc": intent.order_desc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::infer_intent;
+
+    fn evidence() -> Evidence {
+        let mut ev = Evidence::from_schema(
+            "table sales: region (str), amount (int), ftime (date), cost (float)\n\
+             table users: id (int), city (str)\n\
+             fk sales.region = users.city\n",
+        );
+        ev.absorb_knowledge("derived sales.profit = amount - cost\n");
+        ev
+    }
+
+    #[test]
+    fn sql_generation_single_table() {
+        let ev = evidence();
+        let intent = infer_intent("total amount by region", &ev);
+        let sql = to_sql(&intent, &ev);
+        assert_eq!(
+            sql,
+            "SELECT region, SUM(amount) AS sum_amount FROM sales GROUP BY region"
+        );
+    }
+
+    #[test]
+    fn sql_generation_with_filters_order_limit() {
+        let ev = evidence();
+        let intent = infer_intent(
+            "top 2 regions by total amount with cost greater than 5",
+            &ev,
+        );
+        let sql = to_sql(&intent, &ev);
+        assert!(sql.contains("WHERE cost > 5"), "{sql}");
+        assert!(sql.contains("ORDER BY sum_amount DESC"), "{sql}");
+        assert!(sql.ends_with("LIMIT 2"), "{sql}");
+    }
+
+    #[test]
+    fn sql_derived_measure() {
+        let ev = evidence();
+        let intent = infer_intent("total profit by region", &ev);
+        let sql = to_sql(&intent, &ev);
+        assert!(sql.contains("SUM(amount - cost) AS sum_profit"), "{sql}");
+    }
+
+    #[test]
+    fn sql_join_across_tables() {
+        let ev = evidence();
+        let mut intent = infer_intent("total amount by region", &ev);
+        intent.dimensions = vec![ColumnRef::new("users", "city")];
+        let sql = to_sql(&intent, &ev);
+        assert!(
+            sql.contains("JOIN users ON sales.region = users.city"),
+            "{sql}"
+        );
+        assert!(sql.contains("GROUP BY users.city"), "{sql}");
+    }
+
+    #[test]
+    fn dsl_json_shape() {
+        let ev = evidence();
+        let intent = infer_intent("average amount by region in 2023", &ev);
+        let dsl = to_dsl_json(&intent);
+        assert_eq!(dsl["MeasureList"][0]["aggregate"], "avg");
+        assert_eq!(dsl["DimensionList"][0]["column"], "region");
+        assert_eq!(dsl["ConditionList"][0]["op"], "between");
+    }
+
+    #[test]
+    fn dscript_pipeline() {
+        let ev = evidence();
+        let intent = infer_intent(
+            "top 3 regions by total amount with cost greater than 10",
+            &ev,
+        );
+        let ds = to_dscript(&intent);
+        let lines: Vec<&str> = ds.lines().collect();
+        assert_eq!(lines[0], "load sales");
+        assert!(
+            lines.iter().any(|l| l.starts_with("filter cost > 10")),
+            "{ds}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("groupby region: sum(amount)")),
+            "{ds}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("sort sum_amount desc")),
+            "{ds}"
+        );
+        assert_eq!(*lines.last().unwrap(), "limit 3");
+    }
+
+    #[test]
+    fn vis_json_shape() {
+        let ev = evidence();
+        let intent = infer_intent("bar chart of total amount by region", &ev);
+        let v = to_vis_json(&intent);
+        assert_eq!(v["mark"], "bar");
+        assert_eq!(v["x"]["field"], "region");
+        assert_eq!(v["y"]["field"], "amount");
+        assert_eq!(v["y"]["aggregate"], "sum");
+        assert_eq!(v["data"], "sales");
+    }
+}

@@ -1,0 +1,1367 @@
+//! Query-intent inference — the "reasoning engine" of the simulated model.
+//!
+//! Everything here works exclusively from evidence present in the prompt:
+//! the schema section, optional knowledge lines, optional sample values.
+//! That is the point of the simulation — when the prompt lacks the alias
+//! that maps "income" to `shouldincome_after`, the inference genuinely
+//! fails, exactly the causal pathway the DataLab paper studies.
+//!
+//! ## Prompt line conventions
+//!
+//! Schema section:
+//! ```text
+//! table sales: region (str), amount (int), ftime (date)
+//! fk orders.user_id = users.id
+//! values sales.region: east, west, south
+//! ```
+//!
+//! Knowledge section (each line free text; structured prefixes recognised):
+//! ```text
+//! table sales: daily revenue records
+//! column sales.shouldincome_after: income after tax
+//! alias income -> sales.shouldincome_after
+//! alias TencentBI -> value sales.prod_class4_name = 'Tencent BI'
+//! jargon DAU: daily active users
+//! derived sales.profit = shouldincome_after - cost_amt
+//! ```
+
+use crate::util::{split_ident, stem, words};
+use datalab_frame::AggFunc;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A `table.column` reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates a reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+/// One column in the parsed schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnInfo {
+    /// Column name.
+    pub name: String,
+    /// Type string (`int`, `float`, `str`, `bool`, `date`).
+    pub dtype: String,
+}
+
+impl ColumnInfo {
+    /// True for int/float columns.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.dtype.as_str(), "int" | "float")
+    }
+}
+
+/// One table in the parsed schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableInfo {
+    /// Table name.
+    pub name: String,
+    /// Columns in order.
+    pub columns: Vec<ColumnInfo>,
+}
+
+/// A derived-column definition surfaced through knowledge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedInfo {
+    /// Derived column name.
+    pub name: String,
+    /// Owning table.
+    pub table: String,
+    /// Calculation expression over base columns (SQL syntax).
+    pub expr: String,
+}
+
+/// Everything the model can ground against, parsed from the prompt.
+#[derive(Debug, Clone, Default)]
+pub struct Evidence {
+    /// Tables and columns.
+    pub tables: Vec<TableInfo>,
+    /// Declared foreign keys.
+    pub fks: Vec<(ColumnRef, ColumnRef)>,
+    /// Extra descriptive tokens per column, from knowledge lines.
+    pub col_tokens: HashMap<ColumnRef, Vec<String>>,
+    /// Column aliases: lower-cased term → column.
+    pub col_alias: Vec<(String, ColumnRef)>,
+    /// Value aliases: lower-cased term → (column, stored value).
+    pub value_alias: Vec<(String, ColumnRef, String)>,
+    /// Known sample values: lower-cased value → (column, original text).
+    pub value_index: Vec<(String, ColumnRef, String)>,
+    /// Derived column definitions.
+    pub derived: Vec<DerivedInfo>,
+    /// Jargon glossary: lower-cased term → expansion.
+    pub jargon: Vec<(String, String)>,
+    /// Current date (YYYY-MM-DD) if the prompt supplies one.
+    pub current_date: Option<String>,
+}
+
+impl Evidence {
+    /// Parses the schema section (and initialises value/fk indexes).
+    pub fn from_schema(schema_text: &str) -> Evidence {
+        let mut ev = Evidence::default();
+        ev.absorb_schema(schema_text);
+        ev
+    }
+
+    /// Parses `table ...`, `fk ...` and `values ...` lines.
+    pub fn absorb_schema(&mut self, text: &str) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("table ") {
+                if let Some((name, cols)) = rest.split_once(':') {
+                    let mut table = TableInfo {
+                        name: name.trim().to_string(),
+                        columns: Vec::new(),
+                    };
+                    for part in cols.split(',') {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        let (cname, dtype) = match part.split_once('(') {
+                            Some((n, t)) => (
+                                n.trim().to_string(),
+                                t.trim_end_matches(')').trim().to_string(),
+                            ),
+                            None => (part.to_string(), "str".to_string()),
+                        };
+                        table.columns.push(ColumnInfo { name: cname, dtype });
+                    }
+                    self.tables.push(table);
+                }
+            } else if let Some(rest) = line.strip_prefix("fk ") {
+                if let Some((l, r)) = rest.split_once('=') {
+                    if let (Some(lc), Some(rc)) = (parse_colref(l), parse_colref(r)) {
+                        self.fks.push((lc, rc));
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("values ") {
+                if let Some((colref, vals)) = rest.split_once(':') {
+                    if let Some(cr) = parse_colref(colref) {
+                        for v in vals.split(',') {
+                            let v = v.trim().trim_matches('\'');
+                            if !v.is_empty() {
+                                self.value_index.push((
+                                    v.to_lowercase(),
+                                    cr.clone(),
+                                    v.to_string(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("current_date ") {
+                self.current_date = Some(rest.trim().to_string());
+            }
+        }
+    }
+
+    /// Parses knowledge lines, enriching column evidence, aliases, values,
+    /// jargon and derived definitions.
+    pub fn absorb_knowledge(&mut self, text: &str) {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("column ") {
+                if let Some((colref, desc)) = rest.split_once(':') {
+                    if let Some(cr) = parse_colref(colref) {
+                        self.col_tokens.entry(cr).or_default().extend(words(desc));
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("alias ") {
+                if let Some((term, target)) = rest.split_once("->") {
+                    let term = term.trim().to_lowercase();
+                    let target = target.trim();
+                    if let Some(vt) = target.strip_prefix("value ") {
+                        // alias term -> value t.c = 'v'
+                        if let Some((colref, val)) = vt.split_once('=') {
+                            if let Some(cr) = parse_colref(colref) {
+                                let val = val.trim().trim_matches('\'').to_string();
+                                self.value_alias.push((term, cr, val));
+                            }
+                        }
+                    } else if let Some(cr) = parse_colref(target) {
+                        self.col_alias.push((term, cr));
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("jargon ") {
+                if let Some((term, expansion)) = rest.split_once(':') {
+                    self.jargon
+                        .push((term.trim().to_lowercase(), expansion.trim().to_string()));
+                }
+            } else if let Some(rest) = line.strip_prefix("derived ") {
+                if let Some((name_part, expr)) = rest.split_once('=') {
+                    if let Some(cr) = parse_colref(name_part) {
+                        self.derived.push(DerivedInfo {
+                            name: cr.column,
+                            table: cr.table,
+                            expr: expr.trim().to_string(),
+                        });
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("value ") {
+                // value t.c: 'X' means ...
+                if let Some((colref, desc)) = rest.split_once(':') {
+                    if let Some(cr) = parse_colref(colref) {
+                        if let Some(v) = extract_quoted(desc) {
+                            self.value_index
+                                .push((v.to_lowercase(), cr.clone(), v.clone()));
+                        }
+                        self.col_tokens.entry(cr).or_default().extend(words(desc));
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("table ") {
+                // table t: description — attach tokens to all of t's columns' table score via a pseudo entry.
+                if let Some((tname, desc)) = rest.split_once(':') {
+                    let tname = tname.trim().to_string();
+                    let toks = words(desc);
+                    self.col_tokens
+                        .entry(ColumnRef::new(tname, "*"))
+                        .or_default()
+                        .extend(toks);
+                }
+            }
+        }
+    }
+
+    /// All columns of all tables.
+    pub fn all_columns(&self) -> Vec<(ColumnRef, &ColumnInfo)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for c in &t.columns {
+                out.push((ColumnRef::new(t.name.clone(), c.name.clone()), c));
+            }
+        }
+        out
+    }
+
+    /// Looks up a column's info.
+    pub fn column_info(&self, cr: &ColumnRef) -> Option<&ColumnInfo> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(&cr.table))?
+            .columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(&cr.column))
+    }
+
+    /// First date-typed column, preferring the given table.
+    pub fn date_column(&self, prefer_table: Option<&str>) -> Option<ColumnRef> {
+        let pick = |t: &TableInfo| {
+            t.columns
+                .iter()
+                .find(|c| c.dtype == "date")
+                .map(|c| ColumnRef::new(t.name.clone(), c.name.clone()))
+        };
+        if let Some(pt) = prefer_table {
+            if let Some(t) = self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(pt)) {
+                if let Some(c) = pick(t) {
+                    return Some(c);
+                }
+            }
+        }
+        self.tables.iter().find_map(pick)
+    }
+
+    /// Replaces jargon terms in a question with their expansions.
+    pub fn expand_jargon(&self, question: &str) -> String {
+        let mut q = question.to_string();
+        for (term, expansion) in &self.jargon {
+            let lower = q.to_lowercase();
+            if let Some(pos) = lower.find(term.as_str()) {
+                // Whole-word check.
+                let before_ok = pos == 0 || !lower.as_bytes()[pos - 1].is_ascii_alphanumeric();
+                let end = pos + term.len();
+                let after_ok = end >= lower.len() || !lower.as_bytes()[end].is_ascii_alphanumeric();
+                if before_ok && after_ok {
+                    q = format!("{}{}{}", &q[..pos], expansion, &q[end..]);
+                }
+            }
+        }
+        q
+    }
+
+    /// Scores how well a question phrase matches a column, combining name
+    /// tokens, knowledge tokens, and alias hits.
+    pub fn score_column(&self, cr: &ColumnRef, phrase_tokens: &[String]) -> f64 {
+        let mut score = 0.0;
+        let name_tokens: Vec<String> = split_ident(&cr.column);
+        let stems: HashSet<String> = phrase_tokens.iter().map(|w| stem(w)).collect();
+        for nt in &name_tokens {
+            if stems.contains(&stem(nt)) {
+                score += 1.0;
+            }
+        }
+        if let Some(extra) = self.col_tokens.get(cr) {
+            let mut hit = 0.0f64;
+            for tok in extra {
+                if stems.contains(&stem(tok)) {
+                    hit += 0.6;
+                }
+            }
+            score += hit.min(1.8);
+        }
+        for (term, target) in &self.col_alias {
+            // An alias teaches what a column *name* means; it applies to
+            // the same-named column in derived/result tables too.
+            if target == cr || target.column.eq_ignore_ascii_case(&cr.column) {
+                let term_tokens = words(term);
+                if !term_tokens.is_empty() && term_tokens.iter().all(|t| stems.contains(&stem(t))) {
+                    score += 2.5;
+                }
+            }
+        }
+        score
+    }
+
+    /// Best-matching column for a phrase, optionally restricted by a
+    /// predicate (e.g. numeric only). Returns `(column, score)`.
+    pub fn best_column<F>(&self, phrase_tokens: &[String], filter: F) -> Option<(ColumnRef, f64)>
+    where
+        F: Fn(&ColumnRef, &ColumnInfo) -> bool,
+    {
+        let mut best: Option<(ColumnRef, f64)> = None;
+        for (cr, info) in self.all_columns() {
+            if !filter(&cr, info) {
+                continue;
+            }
+            let s = self.score_column(&cr, phrase_tokens);
+            if s <= 0.0 {
+                continue;
+            }
+            match &best {
+                Some((_, bs)) if *bs >= s => {}
+                _ => best = Some((cr, s)),
+            }
+        }
+        best
+    }
+
+    /// Join path (sequence of FK edges) connecting `from` to `to`, if any.
+    pub fn join_path(&self, from: &str, to: &str) -> Option<Vec<(ColumnRef, ColumnRef)>> {
+        if from.eq_ignore_ascii_case(to) {
+            return Some(Vec::new());
+        }
+        // BFS over the FK graph.
+        let mut adj: HashMap<String, Vec<(String, (ColumnRef, ColumnRef))>> = HashMap::new();
+        for (l, r) in &self.fks {
+            adj.entry(l.table.to_lowercase())
+                .or_default()
+                .push((r.table.to_lowercase(), (l.clone(), r.clone())));
+            adj.entry(r.table.to_lowercase())
+                .or_default()
+                .push((l.table.to_lowercase(), (r.clone(), l.clone())));
+        }
+        let start = from.to_lowercase();
+        let goal = to.to_lowercase();
+        let mut prev: HashMap<String, (String, (ColumnRef, ColumnRef))> = HashMap::new();
+        let mut q = VecDeque::from([start.clone()]);
+        let mut seen: HashSet<String> = HashSet::from([start.clone()]);
+        while let Some(t) = q.pop_front() {
+            if t == goal {
+                let mut path = Vec::new();
+                let mut cur = goal.clone();
+                while cur != start {
+                    let (p, edge) = prev.get(&cur)?.clone();
+                    path.push(edge);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for (next, edge) in adj.get(&t).into_iter().flatten() {
+                if seen.insert(next.clone()) {
+                    prev.insert(next.clone(), (t.clone(), edge.clone()));
+                    q.push_back(next.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+fn parse_colref(s: &str) -> Option<ColumnRef> {
+    let s = s.trim();
+    let (t, c) = s.split_once('.')?;
+    let c = c.trim();
+    // Strip anything after the column identifier.
+    let c: String = c
+        .chars()
+        .take_while(|ch| ch.is_alphanumeric() || *ch == '_')
+        .collect();
+    if t.trim().is_empty() || c.is_empty() {
+        return None;
+    }
+    Some(ColumnRef::new(t.trim(), c))
+}
+
+fn extract_quoted(s: &str) -> Option<String> {
+    let start = s.find('\'')?;
+    let rest = &s[start + 1..];
+    let end = rest.find('\'')?;
+    Some(rest[..end].to_string())
+}
+
+/// A filter value as inferred from the question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterValue {
+    /// Numeric comparison operand.
+    Num(f64),
+    /// String equality operand.
+    Str(String),
+    /// Inclusive date range (ISO strings).
+    DateRange(String, String),
+}
+
+/// One inferred filter predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    /// Filtered column.
+    pub column: ColumnRef,
+    /// Operator: `=`, `>`, `>=`, `<`, `<=`, `between`.
+    pub op: String,
+    /// Operand.
+    pub value: FilterValue,
+}
+
+/// One inferred measure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measure {
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Aggregated column; `None` means `COUNT(*)`.
+    pub column: Option<ColumnRef>,
+    /// Set when the measure is a knowledge-provided derived column; the
+    /// expression to compute before aggregating.
+    pub derived_expr: Option<String>,
+}
+
+/// The structured interpretation of a natural-language analytics question.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryIntent {
+    /// Measures (aggregations) requested.
+    pub measures: Vec<Measure>,
+    /// Grouping dimensions.
+    pub dimensions: Vec<ColumnRef>,
+    /// Filter predicates.
+    pub filters: Vec<Filter>,
+    /// Plain projection columns for list-style questions with no measure.
+    pub projections: Vec<ColumnRef>,
+    /// Sort on the first measure, descending?
+    pub order_desc: Option<bool>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// Chart-type hint for visualization tasks.
+    pub chart_hint: Option<String>,
+    /// Data-preparation request: drop rows with missing values first.
+    pub dropna: bool,
+}
+
+impl QueryIntent {
+    /// Every table the intent touches.
+    pub fn tables(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut add = |t: &str| {
+            if seen.insert(t.to_lowercase()) {
+                out.push(t.to_string());
+            }
+        };
+        for m in &self.measures {
+            if let Some(c) = &m.column {
+                add(&c.table);
+            }
+        }
+        for d in &self.dimensions {
+            add(&d.table);
+        }
+        for f in &self.filters {
+            add(&f.column.table);
+        }
+        for p in &self.projections {
+            add(&p.table);
+        }
+        out
+    }
+}
+
+const AGG_WORDS: &[(&str, AggFunc)] = &[
+    ("total", AggFunc::Sum),
+    ("sum", AggFunc::Sum),
+    ("overall", AggFunc::Sum),
+    ("average", AggFunc::Avg),
+    ("avg", AggFunc::Avg),
+    ("mean", AggFunc::Avg),
+    ("count", AggFunc::Count),
+    ("many", AggFunc::Count),
+    ("number", AggFunc::Count),
+    ("maximum", AggFunc::Max),
+    ("max", AggFunc::Max),
+    ("highest", AggFunc::Max),
+    ("largest", AggFunc::Max),
+    ("peak", AggFunc::Max),
+    ("minimum", AggFunc::Min),
+    ("min", AggFunc::Min),
+    ("lowest", AggFunc::Min),
+    ("smallest", AggFunc::Min),
+];
+
+const PHRASE_STOP: &[&str] = &[
+    "by", "per", "for", "where", "with", "in", "of", "and", "or", "the", "a", "an", "each",
+    "every", "grouped", "show", "list", "what", "which", "how", "is", "are", "their", "its",
+    "there", "top", "bottom", "that", "than", "over", "under", "since", "between",
+];
+
+/// Infers a [`QueryIntent`] from a question given the prompt evidence.
+/// Jargon is expanded first when the evidence carries a glossary.
+pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
+    // "…of the extracted result" anchors the question on an upstream
+    // result table when the context supplies one; restrict grounding to
+    // those tables in that case.
+    let lower = question.to_lowercase();
+    let wants_result = [
+        "extracted",
+        "subset",
+        "that result",
+        "the result",
+        "previous result",
+    ]
+    .iter()
+    .any(|p| lower.contains(p));
+    let restricted: Evidence;
+    let ev = if wants_result
+        && ev
+            .tables
+            .iter()
+            .any(|t| t.name.to_lowercase().ends_with("_result"))
+    {
+        let mut r = ev.clone();
+        r.tables
+            .retain(|t| t.name.to_lowercase().ends_with("_result"));
+        restricted = r;
+        &restricted
+    } else {
+        ev
+    };
+    let expanded = ev.expand_jargon(question);
+    let toks = words(&expanded);
+    let mut intent = QueryIntent::default();
+    let mut used_value_filter_terms: HashSet<String> = HashSet::new();
+
+    // --- Value-alias and known-value equality filters -------------------
+    // Longest alias/value phrases first so "tencent bi cloud" beats "tencent bi".
+    let lower_q = expanded.to_lowercase();
+    let in_scope = |cr: &ColumnRef| {
+        ev.tables
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(&cr.table))
+    };
+    // A bare value mention only counts as a filter when a preposition
+    // introduces it ("for east", "of TencentBI") — otherwise verbs and
+    // incidental words that collide with stored values ("compute", "app")
+    // would spray spurious predicates.
+    let introduced = |term: &str| -> bool {
+        let mut start = 0;
+        while let Some(pos) = lower_q[start..].find(term) {
+            let abs = start + pos;
+            let before = lower_q[..abs].trim_end();
+            let prev_word = before
+                .rsplit(|c: char| !c.is_alphanumeric())
+                .next()
+                .unwrap_or("");
+            if matches!(
+                prev_word,
+                "for"
+                    | "of"
+                    | "in"
+                    | "on"
+                    | "at"
+                    | "where"
+                    | "with"
+                    | "is"
+                    | "equals"
+                    | "from"
+                    | "to"
+            ) {
+                return true;
+            }
+            start = abs + term.len().max(1);
+        }
+        false
+    };
+    let mut value_hits: Vec<(String, ColumnRef, String)> = Vec::new();
+    for (term, cr, val) in ev.value_alias.iter().chain(ev.value_index.iter()) {
+        if term.len() >= 2 && contains_phrase(&lower_q, term) && introduced(term) {
+            value_hits.push((term.clone(), cr.clone(), val.clone()));
+        }
+    }
+    // Knowledge can mention the same value in other tables; entries on
+    // tables actually in schema scope win.
+    if value_hits.iter().any(|(_, cr, _)| in_scope(cr)) {
+        value_hits.retain(|(_, cr, _)| in_scope(cr));
+    }
+    value_hits.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    for (term, cr, val) in value_hits {
+        if let Some(pos) = lower_q.find(&term) {
+            let span = (pos, pos + term.len());
+            if covered.iter().any(|(s, e)| span.0 < *e && span.1 > *s) {
+                continue; // overlapping with a longer hit
+            }
+            covered.push(span);
+            used_value_filter_terms.extend(words(&term));
+            intent.filters.push(Filter {
+                column: cr,
+                op: "=".into(),
+                value: FilterValue::Str(val),
+            });
+        }
+    }
+
+    // --- Quoted literal filters -------------------------------------------
+    // 'east' in the question is an equality filter even without sample
+    // knowledge: ground it on the known value's column when available,
+    // else on the best-matching string column near the quote.
+    let mut qrest: &str = &expanded;
+    while let Some(start) = qrest.find('\'') {
+        let after = &qrest[start + 1..];
+        let Some(len) = after.find('\'') else { break };
+        let literal = &after[..len];
+        qrest = &after[len + 1..];
+        if literal.is_empty() {
+            continue;
+        }
+        let ll = literal.to_lowercase();
+        if intent
+            .filters
+            .iter()
+            .any(|f| matches!(&f.value, FilterValue::Str(s) if s.to_lowercase() == ll))
+        {
+            continue;
+        }
+        let by_value = ev
+            .value_index
+            .iter()
+            .chain(ev.value_alias.iter())
+            .find(|(v, _, _)| *v == ll)
+            .map(|(_, cr, orig)| (cr.clone(), orig.clone()));
+        let (column, value) = match by_value {
+            Some((cr, orig)) => (Some(cr), orig),
+            None => {
+                // Column phrase: tokens immediately before the quote.
+                let before = &expanded[..expanded.len() - qrest.len() - literal.len() - 2];
+                let btoks = words(before);
+                let phrase: Vec<String> = btoks.iter().rev().take(3).rev().cloned().collect();
+                let col = ev
+                    .best_column(&phrase, |_, info| info.dtype == "str")
+                    .map(|(c, _)| c)
+                    .or_else(|| {
+                        ev.all_columns()
+                            .into_iter()
+                            .find(|(_, info)| info.dtype == "str")
+                            .map(|(c, _)| c)
+                    });
+                (col, literal.to_string())
+            }
+        };
+        if let Some(column) = column {
+            intent.filters.push(Filter {
+                column,
+                op: "=".into(),
+                value: FilterValue::Str(value),
+            });
+        }
+    }
+
+    // --- Numeric comparison filters --------------------------------------
+    parse_numeric_filters(&toks, ev, &mut intent);
+
+    // --- Temporal filters -------------------------------------------------
+    parse_temporal_filters(&expanded, &toks, ev, &mut intent);
+
+    // --- top-N / bottom-N ---------------------------------------------------
+    // "top 3 regions by ..." — the phrase between N and the next stop word
+    // names the ranked dimension.
+    let mut dim_token_idx: HashSet<usize> = HashSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if (t == "top" || t == "bottom") && i + 1 < toks.len() {
+            if let Ok(n) = toks[i + 1].parse::<usize>() {
+                intent.limit = Some(n);
+                intent.order_desc = Some(t == "top");
+                let phrase: Vec<String> = toks[i + 2..]
+                    .iter()
+                    .take(3)
+                    .take_while(|w| {
+                        !PHRASE_STOP.contains(&w.as_str()) && !AGG_WORDS.iter().any(|(a, _)| a == w)
+                    })
+                    .cloned()
+                    .collect();
+                if !phrase.is_empty() {
+                    if let Some((cr, score)) = ev.best_column(&phrase, |_, _| true) {
+                        if score >= 0.9 && !intent.dimensions.contains(&cr) {
+                            for (j, _) in phrase.iter().enumerate() {
+                                dim_token_idx.insert(i + 2 + j);
+                            }
+                            intent.dimensions.push(cr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Dimensions --------------------------------------------------------
+    for (i, t) in toks.iter().enumerate() {
+        let trigger = t == "by"
+            || t == "per"
+            || t == "over"
+            || t == "across"
+            || ((t == "each" || t == "every") && i > 0);
+        if !trigger {
+            continue;
+        }
+        // "by total amount" is an ordering metric, not a dimension.
+        if toks
+            .get(i + 1)
+            .map(|w| AGG_WORDS.iter().any(|(a, _)| a == w))
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        let phrase: Vec<String> = toks[i + 1..]
+            .iter()
+            .take(4)
+            .take_while(|w| !PHRASE_STOP.contains(&w.as_str()))
+            .cloned()
+            .collect();
+        if phrase.is_empty() {
+            continue;
+        }
+        if let Some((cr, score)) = ev.best_column(&phrase, |_, _| true) {
+            if score >= 0.9 && !intent.dimensions.contains(&cr) {
+                for (j, _) in phrase.iter().enumerate() {
+                    dim_token_idx.insert(i + 1 + j);
+                }
+                intent.dimensions.push(cr);
+            }
+        }
+    }
+
+    // --- Measures ----------------------------------------------------------
+    let filter_tokens: HashSet<String> = used_value_filter_terms;
+    let mut agg_positions: Vec<(usize, AggFunc)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if let Some((_, f)) = AGG_WORDS.iter().find(|(w, _)| *w == t) {
+            // "top"-adjacent "highest" means ordering, not MAX, when a
+            // dimension exists: "highest revenue regions" — keep as agg,
+            // ordering handled separately; acceptable approximation.
+            agg_positions.push((i, *f));
+        }
+    }
+    for (pos, func) in &agg_positions {
+        // The measured phrase: tokens after the agg word until a stop
+        // word, skipping leading connectors ("number OF THE distinct X").
+        let mut start = pos + 1;
+        while toks
+            .get(start)
+            .map(|w| w == "of" || w == "the")
+            .unwrap_or(false)
+        {
+            start += 1;
+        }
+        let mut phrase: Vec<String> = toks[start..]
+            .iter()
+            .take(5)
+            .take_while(|w| !PHRASE_STOP.contains(&w.as_str()))
+            .filter(|w| !filter_tokens.contains(*w))
+            .cloned()
+            .collect();
+        // "how many distinct X" / "number of unique X" → COUNT(DISTINCT X).
+        let mut func = *func;
+        if func == AggFunc::Count
+            && phrase
+                .first()
+                .map(|w| w == "distinct" || w == "unique")
+                .unwrap_or(false)
+        {
+            func = AggFunc::CountDistinct;
+            phrase.remove(0);
+        }
+        let func = &func;
+        // Derived columns take precedence when their name matches.
+        if let Some(d) = match_derived(&phrase, ev) {
+            intent.measures.push(Measure {
+                agg: *func,
+                column: Some(ColumnRef::new(d.table.clone(), d.name.clone())),
+                derived_expr: Some(d.expr.clone()),
+            });
+            continue;
+        }
+        let numeric_only = !matches!(func, AggFunc::Count | AggFunc::CountDistinct);
+        let col = if phrase.is_empty() {
+            None
+        } else {
+            ev.best_column(&phrase, |cr, info| {
+                (!numeric_only || info.is_numeric()) && !intent.dimensions.contains(cr)
+            })
+            .map(|(c, _)| c)
+        };
+        match (func, col) {
+            (AggFunc::Count, None) => intent.measures.push(Measure {
+                agg: AggFunc::Count,
+                column: None,
+                derived_expr: None,
+            }),
+            (AggFunc::Count | AggFunc::CountDistinct, Some(c)) => intent.measures.push(Measure {
+                agg: *func,
+                column: Some(c),
+                derived_expr: None,
+            }),
+            (f, Some(c)) => intent.measures.push(Measure {
+                agg: *f,
+                column: Some(c),
+                derived_expr: None,
+            }),
+            (f, None) => {
+                // Fall back to the best numeric column over the whole question.
+                let q_toks: Vec<String> = toks
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, w)| !dim_token_idx.contains(i) && !filter_tokens.contains(*w))
+                    .map(|(_, w)| w.clone())
+                    .collect();
+                if let Some((c, _)) = ev.best_column(&q_toks, |cr, info| {
+                    info.is_numeric() && !intent.dimensions.contains(cr)
+                }) {
+                    intent.measures.push(Measure {
+                        agg: *f,
+                        column: Some(c),
+                        derived_expr: None,
+                    });
+                }
+            }
+        }
+    }
+    intent.measures.dedup();
+
+    // Implicit SUM: a "show X by Y" question with a dimension but no agg word.
+    if intent.measures.is_empty() && !intent.dimensions.is_empty() {
+        // Try derived first.
+        let q_toks: Vec<String> = toks
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| !dim_token_idx.contains(i) && !filter_tokens.contains(*w))
+            .map(|(_, w)| w.clone())
+            .collect();
+        if let Some(d) = match_derived(&q_toks, ev) {
+            intent.measures.push(Measure {
+                agg: AggFunc::Sum,
+                column: Some(ColumnRef::new(d.table.clone(), d.name.clone())),
+                derived_expr: Some(d.expr.clone()),
+            });
+        } else if let Some((c, _)) = ev.best_column(&q_toks, |cr, info| {
+            info.is_numeric() && !intent.dimensions.contains(cr)
+        }) {
+            intent.measures.push(Measure {
+                agg: AggFunc::Sum,
+                column: Some(c),
+                derived_expr: None,
+            });
+        }
+    }
+
+    // An aggregate request over a result-table scope with exactly one
+    // numeric column is unambiguous even when no token matches (result
+    // tables rename their aggregates, e.g. `sum_shouldincome_after`).
+    if wants_result
+        && intent.measures.is_empty()
+        && (!intent.dimensions.is_empty() || !agg_positions.is_empty())
+    {
+        let numeric: Vec<ColumnRef> = ev
+            .all_columns()
+            .into_iter()
+            .filter(|(cr, info)| info.is_numeric() && !intent.dimensions.contains(cr))
+            .map(|(cr, _)| cr)
+            .collect();
+        if numeric.len() == 1 {
+            intent.measures.push(Measure {
+                agg: AggFunc::Sum,
+                column: Some(numeric.into_iter().next().expect("len checked")),
+                derived_expr: None,
+            });
+        }
+    }
+
+    // If ordering was requested but measures exist, default ordering column
+    // is the first measure (handled by generators).
+    if intent.limit.is_some() && intent.order_desc.is_none() {
+        intent.order_desc = Some(true);
+    }
+
+    // List-style projection when nothing aggregate was found.
+    if intent.measures.is_empty() && intent.dimensions.is_empty() {
+        let q_toks: Vec<String> = toks
+            .iter()
+            .filter(|w| !filter_tokens.contains(*w))
+            .cloned()
+            .collect();
+        let mut scored: Vec<(ColumnRef, f64)> = ev
+            .all_columns()
+            .into_iter()
+            .map(|(cr, _)| {
+                let s = ev.score_column(&cr, &q_toks);
+                (cr, s)
+            })
+            .filter(|(_, s)| *s >= 1.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        intent.projections = scored.into_iter().take(3).map(|(c, _)| c).collect();
+    }
+
+    // BI convention: "show me the <measure> for <filter>" with no
+    // dimension means the total — promote a lone numeric projection under
+    // filters to a SUM measure.
+    if intent.measures.is_empty() && intent.dimensions.is_empty() && !intent.filters.is_empty() {
+        let numeric_proj = intent
+            .projections
+            .iter()
+            .find(|p| ev.column_info(p).map(|i| i.is_numeric()).unwrap_or(false))
+            .cloned();
+        if let Some(p) = numeric_proj {
+            intent.measures.push(Measure {
+                agg: AggFunc::Sum,
+                column: Some(p),
+                derived_expr: None,
+            });
+            intent.projections.clear();
+        }
+    }
+
+    // Filters must reference columns that exist in the grounded scope
+    // (value knowledge can point at out-of-scope tables; an upstream
+    // result table has already applied such filters).
+    intent
+        .filters
+        .retain(|f| ev.column_info(&f.column).is_some());
+
+    // Data preparation: "drop nulls", "remove missing values", "clean".
+    intent.dropna = lower.contains("drop null")
+        || lower.contains("dropna")
+        || lower.contains("missing value")
+        || lower.contains("drop missing")
+        || toks.iter().any(|t| t == "clean" || t == "cleaned");
+
+    // Chart hint for visualization tasks.
+    intent.chart_hint = infer_chart_hint(&toks, &intent);
+
+    // A trend chart with no explicit x axis runs over time.
+    if intent.chart_hint.as_deref() == Some("line") && intent.dimensions.is_empty() {
+        if let Some(date) = ev.date_column(None) {
+            intent.dimensions.push(date);
+        }
+    }
+
+    intent
+}
+
+fn match_derived<'e>(phrase: &[String], ev: &'e Evidence) -> Option<&'e DerivedInfo> {
+    let stems: HashSet<String> = phrase.iter().map(|w| stem(w)).collect();
+    let mut best: Option<(&DerivedInfo, usize)> = None;
+    for d in &ev.derived {
+        // Only derived columns of tables actually in scope.
+        if !ev
+            .tables
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(&d.table))
+        {
+            continue;
+        }
+        let name_toks = split_ident(&d.name);
+        let hits = name_toks
+            .iter()
+            .filter(|t| stems.contains(&stem(t)))
+            .count();
+        if hits == name_toks.len() && hits > 0 {
+            match best {
+                Some((_, bh)) if bh >= hits => {}
+                _ => best = Some((d, hits)),
+            }
+        }
+    }
+    best.map(|(d, _)| d)
+}
+
+fn contains_phrase(haystack: &str, phrase: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(phrase) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !haystack.as_bytes()[abs - 1].is_ascii_alphanumeric();
+        let end = abs + phrase.len();
+        let after_ok = end >= haystack.len() || !haystack.as_bytes()[end].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+fn parse_numeric_filters(toks: &[String], ev: &Evidence, intent: &mut QueryIntent) {
+    let ops: &[(&[&str], &str)] = &[
+        (&["greater", "than"], ">"),
+        (&["more", "than"], ">"),
+        (&["higher", "than"], ">"),
+        (&["larger", "than"], ">"),
+        (&["above"], ">"),
+        (&["over"], ">"),
+        (&["at", "least"], ">="),
+        (&["less", "than"], "<"),
+        (&["fewer", "than"], "<"),
+        (&["lower", "than"], "<"),
+        (&["below"], "<"),
+        (&["under"], "<"),
+        (&["at", "most"], "<="),
+        (&["exactly"], "="),
+        (&["equal", "to"], "="),
+    ];
+    let mut i = 0;
+    while i < toks.len() {
+        let mut matched = None;
+        for (pat, op) in ops {
+            if toks[i..].len() > pat.len()
+                && toks[i..i + pat.len()]
+                    .iter()
+                    .zip(pat.iter())
+                    .all(|(a, b)| a == b)
+            {
+                if let Ok(num) = toks[i + pat.len()].parse::<f64>() {
+                    matched = Some((pat.len(), *op, num));
+                    break;
+                }
+            }
+        }
+        if let Some((plen, op, num)) = matched {
+            // Column phrase: contiguous tokens immediately before the
+            // operator, stopping at the nearest stop word (so in "by total
+            // amount with cost greater than 5" only "cost" is considered).
+            let start = i.saturating_sub(3);
+            let mut phrase: Vec<String> = Vec::new();
+            for w in toks[start..i].iter().rev() {
+                if PHRASE_STOP.contains(&w.as_str()) {
+                    break;
+                }
+                phrase.insert(0, w.clone());
+            }
+            let col = ev
+                .best_column(&phrase, |_, info| info.is_numeric())
+                .map(|(c, _)| c)
+                .or_else(|| {
+                    ev.all_columns()
+                        .into_iter()
+                        .find(|(_, info)| info.is_numeric())
+                        .map(|(c, _)| c)
+                });
+            if let Some(column) = col {
+                intent.filters.push(Filter {
+                    column,
+                    op: op.to_string(),
+                    value: FilterValue::Num(num),
+                });
+            }
+            i += plen + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn parse_temporal_filters(
+    expanded: &str,
+    toks: &[String],
+    ev: &Evidence,
+    intent: &mut QueryIntent,
+) {
+    let date_col = match ev.date_column(None) {
+        Some(c) => c,
+        None => return,
+    };
+    let lower = expanded.to_lowercase();
+    let mut push_range = |from: String, to: String| {
+        intent.filters.push(Filter {
+            column: date_col.clone(),
+            op: "between".into(),
+            value: FilterValue::DateRange(from, to),
+        });
+    };
+    // Relative references need the current date.
+    if let Some(now) = &ev.current_date {
+        let year: i32 = now.get(0..4).and_then(|y| y.parse().ok()).unwrap_or(2024);
+        let month: u32 = now.get(5..7).and_then(|m| m.parse().ok()).unwrap_or(1);
+        if lower.contains("this year") {
+            push_range(format!("{year}-01-01"), format!("{year}-12-31"));
+            return;
+        }
+        if lower.contains("last year") {
+            let y = year - 1;
+            push_range(format!("{y}-01-01"), format!("{y}-12-31"));
+            return;
+        }
+        if lower.contains("this month") {
+            push_range(
+                format!("{year}-{month:02}-01"),
+                format!("{year}-{month:02}-28"),
+            );
+            return;
+        }
+        if lower.contains("last month") {
+            let (y, m) = if month == 1 {
+                (year - 1, 12)
+            } else {
+                (year, month - 1)
+            };
+            push_range(format!("{y}-{m:02}-01"), format!("{y}-{m:02}-28"));
+            return;
+        }
+    }
+    // Absolute year: "in 2023".
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 && (toks[i - 1] == "in" || toks[i - 1] == "during" || toks[i - 1] == "of") {
+            if let Ok(y) = t.parse::<i32>() {
+                if (1990..=2100).contains(&y) {
+                    push_range(format!("{y}-01-01"), format!("{y}-12-31"));
+                    return;
+                }
+            }
+        }
+    }
+    // "since YYYY-MM-DD"
+    if let Some(pos) = toks.iter().position(|t| t == "since") {
+        // Dates tokenize into y, m, d words; re-find in raw text instead.
+        let _ = pos;
+        if let Some(idx) = lower.find("since ") {
+            let rest = &expanded[idx + 6..];
+            let candidate: String = rest.chars().take(10).collect();
+            if datalab_frame::Date::parse(&candidate).is_ok() {
+                push_range(candidate, "9999-12-31".into());
+            }
+        }
+    }
+}
+
+fn infer_chart_hint(toks: &[String], intent: &QueryIntent) -> Option<String> {
+    let has = |w: &str| toks.iter().any(|t| t == w);
+    // An explicit mark name wins ("bar chart of income by product line"
+    // is a bar chart, despite the word "line" in the dimension).
+    if has("bar") {
+        return Some("bar".into());
+    }
+    if has("pie") || has("share") || has("proportion") || has("percentage") {
+        Some("pie".into())
+    } else if has("trend")
+        || has("time")
+        || toks.windows(2).any(|w| w[0] == "line" && w[1] == "chart")
+        || intent.dimensions.iter().any(|d| {
+            let toks = split_ident(&d.column);
+            toks.iter().any(|t| {
+                t == "date"
+                    || t == "month"
+                    || t == "day"
+                    || t == "ftime"
+                    || t == "time"
+                    || t == "year"
+                    || t == "week"
+            })
+        })
+    {
+        Some("line".into())
+    } else if has("scatter") || has("correlation") || has("relationship") {
+        Some("point".into())
+    } else if has("chart") || has("plot") || has("visualize") || has("visualise") || has("graph") {
+        Some("bar".into())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence() -> Evidence {
+        let mut ev = Evidence::from_schema(
+            "table sales: region (str), amount (int), ftime (date), cost (float)\n\
+             table users: id (int), city (str)\n\
+             fk sales.region = users.city\n\
+             values sales.region: east, west, south\n\
+             current_date 2026-07-06\n",
+        );
+        ev.absorb_knowledge(
+            "column sales.amount: revenue income collected per order\n\
+             alias revenue -> sales.amount\n\
+             jargon gmv: total amount\n\
+             derived sales.profit = amount - cost\n",
+        );
+        ev
+    }
+
+    #[test]
+    fn parses_schema_lines() {
+        let ev = evidence();
+        assert_eq!(ev.tables.len(), 2);
+        assert_eq!(ev.tables[0].columns.len(), 4);
+        assert_eq!(ev.fks.len(), 1);
+        assert!(ev.value_index.iter().any(|(v, _, _)| v == "east"));
+        assert_eq!(ev.current_date.as_deref(), Some("2026-07-06"));
+    }
+
+    #[test]
+    fn basic_sum_by_dimension() {
+        let ev = evidence();
+        let intent = infer_intent("What is the total amount by region?", &ev);
+        assert_eq!(intent.measures.len(), 1);
+        assert_eq!(intent.measures[0].agg, AggFunc::Sum);
+        assert_eq!(intent.measures[0].column.as_ref().unwrap().column, "amount");
+        assert_eq!(intent.dimensions.len(), 1);
+        assert_eq!(intent.dimensions[0].column, "region");
+    }
+
+    #[test]
+    fn count_star() {
+        let ev = evidence();
+        let intent = infer_intent("How many records are there per region?", &ev);
+        assert_eq!(intent.measures[0].agg, AggFunc::Count);
+        assert!(intent.measures[0].column.is_none());
+        assert_eq!(intent.dimensions[0].column, "region");
+    }
+
+    #[test]
+    fn alias_resolves_ambiguous_column() {
+        let ev = evidence();
+        let intent = infer_intent("Show the average revenue by region", &ev);
+        assert_eq!(intent.measures[0].agg, AggFunc::Avg);
+        assert_eq!(intent.measures[0].column.as_ref().unwrap().column, "amount");
+    }
+
+    #[test]
+    fn without_knowledge_alias_fails() {
+        let ev = Evidence::from_schema(
+            "table sales: region (str), shouldincome_after (float), ftime (date)\n",
+        );
+        let intent = infer_intent("Show the total income by region", &ev);
+        // "income" cannot be grounded without the alias — no measure column.
+        assert!(intent
+            .measures
+            .first()
+            .map(|m| m.column.is_none())
+            .unwrap_or(true));
+        // With an alias it works.
+        let mut ev2 = ev.clone();
+        ev2.absorb_knowledge("alias income -> sales.shouldincome_after\n");
+        let intent2 = infer_intent("Show the total income by region", &ev2);
+        assert_eq!(
+            intent2.measures[0].column.as_ref().unwrap().column,
+            "shouldincome_after"
+        );
+    }
+
+    #[test]
+    fn numeric_filter() {
+        let ev = evidence();
+        let intent = infer_intent("Total amount by region with cost greater than 100", &ev);
+        assert!(intent.filters.iter().any(|f| f.column.column == "cost"
+            && f.op == ">"
+            && f.value == FilterValue::Num(100.0)));
+    }
+
+    #[test]
+    fn value_filter_from_samples() {
+        let ev = evidence();
+        let intent = infer_intent("Average amount for east", &ev);
+        assert!(intent
+            .filters
+            .iter()
+            .any(|f| f.op == "=" && f.value == FilterValue::Str("east".into())));
+    }
+
+    #[test]
+    fn temporal_this_year() {
+        let ev = evidence();
+        let intent = infer_intent("Total amount this year by region", &ev);
+        assert!(intent.filters.iter().any(|f| matches!(
+            &f.value,
+            FilterValue::DateRange(a, b) if a == "2026-01-01" && b == "2026-12-31"
+        )));
+    }
+
+    #[test]
+    fn absolute_year_filter() {
+        let ev = evidence();
+        let intent = infer_intent("Total amount by region in 2023", &ev);
+        assert!(intent.filters.iter().any(|f| matches!(
+            &f.value,
+            FilterValue::DateRange(a, _) if a == "2023-01-01"
+        )));
+    }
+
+    #[test]
+    fn top_n() {
+        let ev = evidence();
+        let intent = infer_intent("Top 3 regions by total amount", &ev);
+        assert_eq!(intent.limit, Some(3));
+        assert_eq!(intent.order_desc, Some(true));
+    }
+
+    #[test]
+    fn derived_measure_via_knowledge() {
+        let ev = evidence();
+        let intent = infer_intent("What is the total profit by region?", &ev);
+        assert_eq!(
+            intent.measures[0].derived_expr.as_deref(),
+            Some("amount - cost")
+        );
+    }
+
+    #[test]
+    fn jargon_expansion() {
+        let ev = evidence();
+        let intent = infer_intent("Show gmv by region", &ev);
+        // gmv expands to "total amount".
+        assert_eq!(intent.measures[0].agg, AggFunc::Sum);
+        assert_eq!(intent.measures[0].column.as_ref().unwrap().column, "amount");
+    }
+
+    #[test]
+    fn join_path_found() {
+        let ev = evidence();
+        let path = ev.join_path("sales", "users").unwrap();
+        assert_eq!(path.len(), 1);
+        assert!(ev.join_path("sales", "nowhere").is_none());
+        assert!(ev.join_path("sales", "sales").unwrap().is_empty());
+    }
+
+    #[test]
+    fn chart_hint_detection() {
+        let ev = evidence();
+        let i1 = infer_intent("Draw a pie chart of the share of amount by region", &ev);
+        assert_eq!(i1.chart_hint.as_deref(), Some("pie"));
+        let i2 = infer_intent("Plot the trend of total amount by ftime", &ev);
+        assert_eq!(i2.chart_hint.as_deref(), Some("line"));
+        let i3 = infer_intent("Bar chart of total amount by region", &ev);
+        assert_eq!(i3.chart_hint.as_deref(), Some("bar"));
+    }
+}

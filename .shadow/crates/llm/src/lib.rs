@@ -1,0 +1,38 @@
+//! # datalab-llm
+//!
+//! The language-model substrate for the DataLab reproduction:
+//!
+//! - [`LanguageModel`] — the text-in/text-out endpoint trait,
+//! - [`SimLlm`] — a deterministic simulated model with per-skill
+//!   [`ModelProfile`]s (GPT-4 / Qwen-2.5 / LLaMA-3.1) and a seeded
+//!   characteristic-error model (see DESIGN.md "Substitutions"),
+//! - [`Prompt`] — structured prompt assembly shared by all agents,
+//! - [`HashEmbedder`] — deterministic text embeddings,
+//! - [`TokenMeter`] — prompt/completion token accounting (Table IV),
+//! - [`intent`] / [`generate`] — the model's internal NL-understanding and
+//!   artifact-generation machinery (exposed for tests and ablations),
+//! - [`transport`] — the fallible transport layer: the [`LlmError`]
+//!   taxonomy, [`ChaosLlm`] fault injection, and the [`ResilientLlm`]
+//!   retry + circuit-breaker wrapper.
+
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod generate;
+pub mod intent;
+pub mod model;
+pub mod profile;
+pub mod prompt;
+pub mod tokens;
+pub mod transport;
+pub mod util;
+
+pub use embed::{cosine, text_similarity, HashEmbedder, EMBED_DIM};
+pub use model::{classify_task, plan, plan_with_parts, LanguageModel, SimLlm};
+pub use profile::ModelProfile;
+pub use prompt::{parse_prompt, ParsedPrompt, Prompt};
+pub use tokens::{count_tokens, TokenMeter};
+pub use transport::{
+    BreakerConfig, BreakerState, ChaosConfig, ChaosLlm, CircuitBreaker, LlmError, ResilientLlm,
+    RetryPolicy,
+};

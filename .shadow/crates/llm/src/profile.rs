@@ -1,0 +1,109 @@
+//! Model capability profiles.
+//!
+//! The paper's sensitivity analysis (Fig. 7) swaps GPT-4, Qwen-2.5 and
+//! LLaMA-3.1 under the same DataLab scaffolding. We model each foundation
+//! model as a profile of per-skill reliabilities in `[0, 1]`: the
+//! probability that the model executes a unit of that skill without a
+//! characteristic slip. Values are chosen to mirror the orderings the
+//! paper reports (GPT-4 strongest overall; LLaMA-3.1 notably weaker at
+//! code; all three close on visualization).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-skill reliability profile of a foundation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name as reported in outputs and usage logs.
+    pub name: String,
+    /// SQL generation reliability.
+    pub sql_skill: f64,
+    /// Data-science code generation reliability.
+    pub code_skill: f64,
+    /// Visualization grammar reliability.
+    pub vis_skill: f64,
+    /// Multi-step reasoning / planning reliability.
+    pub reasoning: f64,
+    /// Instruction following (format compliance, schema adherence).
+    pub instruction_following: f64,
+    /// Context window in tokens; longer prompts are truncated from the
+    /// middle, degrading grounding.
+    pub context_window: usize,
+}
+
+impl ModelProfile {
+    /// GPT-4-class proprietary model.
+    pub fn gpt4() -> Self {
+        ModelProfile {
+            name: "gpt-4".into(),
+            sql_skill: 0.93,
+            code_skill: 0.90,
+            vis_skill: 0.88,
+            reasoning: 0.92,
+            instruction_following: 0.95,
+            context_window: 8192,
+        }
+    }
+
+    /// Qwen-2.5-class open model.
+    pub fn qwen25() -> Self {
+        ModelProfile {
+            name: "qwen-2.5".into(),
+            sql_skill: 0.87,
+            code_skill: 0.78,
+            vis_skill: 0.86,
+            reasoning: 0.84,
+            instruction_following: 0.88,
+            context_window: 8192,
+        }
+    }
+
+    /// LLaMA-3.1-class open model: notably weaker code generation, but
+    /// visualization on par with the others (the paper's Fig. 7 even has
+    /// it slightly ahead on VisEval).
+    pub fn llama31() -> Self {
+        ModelProfile {
+            name: "llama-3.1".into(),
+            sql_skill: 0.80,
+            code_skill: 0.58,
+            vis_skill: 0.89,
+            reasoning: 0.70,
+            instruction_following: 0.82,
+            context_window: 8192,
+        }
+    }
+
+    /// The skill relevant to a task label.
+    pub fn skill_for(&self, task: &str) -> f64 {
+        match task {
+            "nl2sql" | "dsl2sql" | "schema_linking" => self.sql_skill,
+            "nl2code" | "nl2dscode" => self.code_skill,
+            "nl2vis" | "vis_spec" => self.vis_skill,
+            "nl2dsl" | "plan" | "insight" | "summarize" | "extract_knowledge" => self.reasoning,
+            _ => self.instruction_following,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_match_paper() {
+        let g = ModelProfile::gpt4();
+        let q = ModelProfile::qwen25();
+        let l = ModelProfile::llama31();
+        assert!(g.sql_skill > q.sql_skill && q.sql_skill > l.sql_skill);
+        assert!(g.code_skill > q.code_skill && q.code_skill > l.code_skill);
+        // Vis skills are close, with llama slightly ahead of qwen/gpt4 ordering flexible.
+        assert!((g.vis_skill - l.vis_skill).abs() < 0.05);
+    }
+
+    #[test]
+    fn skill_lookup() {
+        let g = ModelProfile::gpt4();
+        assert_eq!(g.skill_for("nl2sql"), g.sql_skill);
+        assert_eq!(g.skill_for("nl2code"), g.code_skill);
+        assert_eq!(g.skill_for("unknown_task"), g.instruction_following);
+    }
+}

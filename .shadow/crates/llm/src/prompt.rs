@@ -1,0 +1,128 @@
+//! Structured prompt assembly and parsing.
+//!
+//! All DataLab components build prompts through [`Prompt`], which renders
+//! to plain text with `#TASK` / `#SECTION` markers. The simulated model
+//! parses the same convention back out. This keeps the model interface
+//! honest (text in, text out) while letting both sides agree on structure,
+//! the way real systems agree on prompt templates.
+
+use std::collections::BTreeMap;
+
+/// A structured prompt: a task label plus named sections.
+#[derive(Debug, Clone, Default)]
+pub struct Prompt {
+    task: String,
+    sections: Vec<(String, String)>,
+}
+
+impl Prompt {
+    /// Starts a prompt for the given task label (e.g. `nl2sql`).
+    pub fn new(task: impl Into<String>) -> Self {
+        Prompt {
+            task: task.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a named section (builder style).
+    pub fn section(mut self, name: impl Into<String>, content: impl Into<String>) -> Self {
+        self.sections.push((name.into(), content.into()));
+        self
+    }
+
+    /// The task label.
+    pub fn task(&self) -> &str {
+        &self.task
+    }
+
+    /// Renders to the on-the-wire text form.
+    pub fn render(&self) -> String {
+        let mut out = format!("#TASK {}\n", self.task);
+        for (name, content) in &self.sections {
+            out.push_str("#SECTION ");
+            out.push_str(name);
+            out.push('\n');
+            out.push_str(content);
+            if !content.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// The parsed view of a rendered prompt.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedPrompt {
+    /// The `#TASK` label (empty when absent).
+    pub task: String,
+    /// Section name → content. Duplicate names are concatenated.
+    pub sections: BTreeMap<String, String>,
+}
+
+impl ParsedPrompt {
+    /// Section content, or empty string.
+    pub fn section(&self, name: &str) -> &str {
+        self.sections.get(name).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether a non-empty section is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.sections
+            .get(name)
+            .map(|s| !s.trim().is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// Parses rendered prompt text back into task and sections. Text before
+/// the first marker goes into an implicit `preamble` section, so free-form
+/// prompts (the pure-NL ablation) still parse.
+pub fn parse_prompt(text: &str) -> ParsedPrompt {
+    let mut parsed = ParsedPrompt::default();
+    let mut current = "preamble".to_string();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("#TASK ") {
+            parsed.task = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("#SECTION ") {
+            current = rest.trim().to_string();
+        } else {
+            let entry = parsed.sections.entry(current.clone()).or_default();
+            entry.push_str(line);
+            entry.push('\n');
+        }
+    }
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Prompt::new("nl2sql")
+            .section("schema", "table t: a (int)")
+            .section("question", "how many rows?");
+        let parsed = parse_prompt(&p.render());
+        assert_eq!(parsed.task, "nl2sql");
+        assert_eq!(parsed.section("schema").trim(), "table t: a (int)");
+        assert_eq!(parsed.section("question").trim(), "how many rows?");
+        assert!(parsed.has("schema"));
+        assert!(!parsed.has("knowledge"));
+    }
+
+    #[test]
+    fn free_text_lands_in_preamble() {
+        let parsed = parse_prompt("just some chat\nsecond line");
+        assert!(parsed.section("preamble").contains("second line"));
+        assert_eq!(parsed.task, "");
+    }
+
+    #[test]
+    fn duplicate_sections_concatenate() {
+        let text = "#SECTION k\na\n#SECTION k\nb\n";
+        let parsed = parse_prompt(text);
+        assert_eq!(parsed.section("k"), "a\nb\n");
+    }
+}

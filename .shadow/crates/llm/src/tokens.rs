@@ -1,0 +1,125 @@
+//! Token counting and usage accounting.
+//!
+//! DataLab's Table IV reports *Token Cost per Query*; the meter here
+//! records the tokens of every prompt/completion pair that flows through a
+//! model so the harness can reproduce that measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Approximate token count of a text, calibrated to the usual ~4
+/// characters/token rule with a floor of one token per whitespace word.
+pub fn count_tokens(text: &str) -> usize {
+    let words = text.split_whitespace().count();
+    let by_chars = text.chars().count() / 4;
+    words.max(by_chars)
+}
+
+/// Thread-safe accumulator of prompt/completion token usage.
+#[derive(Debug, Default)]
+pub struct TokenMeter {
+    prompt_tokens: AtomicU64,
+    completion_tokens: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl TokenMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        TokenMeter::default()
+    }
+
+    /// Records one model call.
+    pub fn record(&self, prompt_tokens: usize, completion_tokens: usize) {
+        self.prompt_tokens
+            .fetch_add(prompt_tokens as u64, Ordering::Relaxed);
+        self.completion_tokens
+            .fetch_add(completion_tokens as u64, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total prompt tokens so far.
+    pub fn prompt_tokens(&self) -> u64 {
+        self.prompt_tokens.load(Ordering::Relaxed)
+    }
+
+    /// Total completion tokens so far.
+    pub fn completion_tokens(&self) -> u64 {
+        self.completion_tokens.load(Ordering::Relaxed)
+    }
+
+    /// Total tokens (prompt + completion).
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens() + self.completion_tokens()
+    }
+
+    /// Number of model calls.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters (used between benchmark queries).
+    pub fn reset(&self) {
+        self.prompt_tokens.store(0, Ordering::Relaxed);
+        self.completion_tokens.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy as a telemetry [`TokenUsage`] — the shape the
+    /// attribution ledger uses, so meter-vs-attribution equality checks
+    /// compare like with like.
+    pub fn snapshot(&self) -> datalab_telemetry::TokenUsage {
+        datalab_telemetry::TokenUsage {
+            prompt_tokens: self.prompt_tokens(),
+            completion_tokens: self.completion_tokens(),
+            calls: self.calls(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_with_text() {
+        assert_eq!(count_tokens(""), 0);
+        let short = count_tokens("select one");
+        let long = count_tokens(&"select one ".repeat(50));
+        assert!(long > short * 10);
+    }
+
+    #[test]
+    fn char_floor_applies_to_dense_text() {
+        // A single very long word still costs ~len/4 tokens.
+        let t = "x".repeat(400);
+        assert!(count_tokens(&t) >= 100);
+    }
+
+    #[test]
+    fn meter_accumulates_and_resets() {
+        let m = TokenMeter::new();
+        m.record(100, 20);
+        m.record(50, 10);
+        assert_eq!(m.prompt_tokens(), 150);
+        assert_eq!(m.completion_tokens(), 30);
+        assert_eq!(m.total_tokens(), 180);
+        assert_eq!(m.calls(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.prompt_tokens, 150);
+        assert_eq!(snap.completion_tokens, 30);
+        assert_eq!(snap.calls, 2);
+        assert_eq!(snap.total(), 180);
+        m.reset();
+        assert_eq!(m.total_tokens(), 0);
+        // reset must clear the call count too, not only the token sums.
+        assert_eq!(m.calls(), 0);
+        assert_eq!(m.snapshot(), datalab_telemetry::TokenUsage::default());
+    }
+
+    #[test]
+    fn default_meter_is_empty() {
+        let m = TokenMeter::default();
+        assert_eq!(m.calls(), 0);
+        assert_eq!(m.total_tokens(), 0);
+    }
+}

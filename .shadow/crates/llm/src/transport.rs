@@ -1,0 +1,1052 @@
+//! Fallible model transport: fault taxonomy, deterministic chaos
+//! injection, and a resilient wrapper with retries and a circuit breaker.
+//!
+//! The rest of the stack talks to a [`LanguageModel`], whose
+//! `complete(&str) -> String` cannot fail. Real backends do fail — the
+//! serving literature (Clipper, AlpaServe) treats backend faults and
+//! latency spikes as first-class — so this module adds a fallible call
+//! surface (`try_complete`, defaulted to infallible on the trait) plus
+//! two decorators:
+//!
+//! - [`ChaosLlm`] injects faults from the [`LlmError`] taxonomy,
+//!   deterministically from a seed, per-fault rates, and a per-instance
+//!   call counter. With all rates at zero it is a bit-identical
+//!   passthrough.
+//! - [`ResilientLlm`] turns a flaky inner transport back into a mostly
+//!   reliable one: bounded retries with deterministic exponential
+//!   backoff + jitter, a per-call deadline budget, and a
+//!   closed/open/half-open [`CircuitBreaker`]. Everything it observes is
+//!   exported as `llm.faults.*` / `llm.breaker.*` counters, a
+//!   breaker-state gauge, and flight-recorder events.
+//!
+//! Determinism note: fault decisions hash `(seed, call index, prompt)`.
+//! The call counter is per-instance, and the platform builds one chaos
+//! stack per session, so a session replays the same fault sequence
+//! whether the fleet runs serially or sharded across workers. The
+//! breaker's open→half-open transition is likewise counted in *rejected
+//! calls*, not wall-clock time, so chaos runs are reproducible.
+
+use crate::model::LanguageModel;
+use crate::tokens::TokenMeter;
+use crate::util::{fnv1a, hash01};
+use datalab_telemetry::{EventKind, Telemetry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Every `llm.faults.*` / `llm.breaker.*` counter the resilient transport
+/// maintains, for pre-registration at zero (so exports show the full
+/// taxonomy even before the first fault).
+pub const FAULT_COUNTERS: &[&str] = &[
+    "llm.faults.transport",
+    "llm.faults.timeout",
+    "llm.faults.truncated",
+    "llm.faults.garbage",
+    "llm.faults.retries",
+    "llm.faults.recovered",
+    "llm.faults.exhausted",
+    "llm.breaker.trips",
+    "llm.breaker.rejected",
+];
+
+/// The gauge holding the circuit breaker's current state
+/// (0 = closed, 1 = open, 2 = half-open).
+pub const BREAKER_STATE_GAUGE: &str = "llm.breaker.state";
+
+/// What went wrong with one model call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// Transient transport failure — the request never produced a
+    /// response (connection reset, DNS, TLS).
+    Transport(String),
+    /// The call blew its latency budget (a simulated latency spike).
+    Timeout {
+        /// How long the call notionally waited before giving up.
+        waited_ms: u64,
+    },
+    /// The response arrived cut off mid-stream; carries the partial text.
+    Truncated(String),
+    /// The response is format noise; carries the junk text.
+    Garbage(String),
+    /// The circuit breaker is open — the call was not attempted.
+    BreakerOpen,
+    /// The retry budget ran out; carries the final underlying error.
+    RetriesExhausted {
+        /// Total attempts made (initial call + retries).
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<LlmError>,
+    },
+}
+
+impl LlmError {
+    /// Stable snake_case taxonomy key (also the `llm.faults.*` counter
+    /// suffix for the four injectable kinds).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LlmError::Transport(_) => "transport",
+            LlmError::Timeout { .. } => "timeout",
+            LlmError::Truncated(_) => "truncated",
+            LlmError::Garbage(_) => "garbage",
+            LlmError::BreakerOpen => "breaker_open",
+            LlmError::RetriesExhausted { .. } => "retries_exhausted",
+        }
+    }
+
+    /// True for per-attempt faults a retry can plausibly fix; false for
+    /// the terminal outcomes (`BreakerOpen`, `RetriesExhausted`).
+    pub fn is_retryable(&self) -> bool {
+        !matches!(
+            self,
+            LlmError::BreakerOpen | LlmError::RetriesExhausted { .. }
+        )
+    }
+
+    /// What an infallible caller would have seen: the corrupt payload for
+    /// truncation/garbage faults, a sentinel marker otherwise. This is
+    /// exactly the garbage-propagation failure mode the resilient path
+    /// exists to prevent.
+    pub fn into_poison(self) -> String {
+        match self {
+            LlmError::Truncated(partial) => partial,
+            LlmError::Garbage(junk) => junk,
+            other => format!("<<llm-error:{}>>", other.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::Transport(msg) => write!(f, "transport error: {msg}"),
+            LlmError::Timeout { waited_ms } => write!(f, "timed out after {waited_ms}ms"),
+            LlmError::Truncated(partial) => {
+                write!(f, "truncated output ({} bytes received)", partial.len())
+            }
+            LlmError::Garbage(_) => write!(f, "garbage output"),
+            LlmError::BreakerOpen => write!(f, "circuit breaker open"),
+            LlmError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// Per-fault injection rates plus the seed the fault stream derives from.
+/// All rates are probabilities in `[0, 1]`; they select disjoint slices
+/// of one uniform roll, so the total fault probability is their sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed feeding the deterministic fault stream.
+    pub seed: u64,
+    /// Probability of a transient transport error (no backend call).
+    pub transport_rate: f64,
+    /// Probability of a timeout / latency spike (no backend call).
+    pub timeout_rate: f64,
+    /// Probability of a truncated response (backend call billed).
+    pub truncate_rate: f64,
+    /// Probability of a garbage response (backend call billed).
+    pub garbage_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::disabled(7)
+    }
+}
+
+impl ChaosConfig {
+    /// No injected faults: a bit-identical passthrough.
+    pub fn disabled(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            transport_rate: 0.0,
+            timeout_rate: 0.0,
+            truncate_rate: 0.0,
+            garbage_rate: 0.0,
+        }
+    }
+
+    /// A total fault probability of `rate`, split evenly across the four
+    /// fault kinds. This is what the `--chaos-rate` flags construct.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        let each = (rate.clamp(0.0, 1.0)) / 4.0;
+        ChaosConfig {
+            seed,
+            transport_rate: each,
+            timeout_rate: each,
+            truncate_rate: each,
+            garbage_rate: each,
+        }
+    }
+
+    /// Sum of the per-fault rates: the probability any fault fires.
+    pub fn total_rate(&self) -> f64 {
+        self.transport_rate + self.timeout_rate + self.truncate_rate + self.garbage_rate
+    }
+
+    /// True when every rate is exactly zero (passthrough mode).
+    pub fn is_zero(&self) -> bool {
+        self.total_rate() == 0.0
+    }
+}
+
+/// Decorator injecting [`LlmError`] faults into any [`LanguageModel`],
+/// deterministically from the config seed, the per-instance call index,
+/// and the prompt. With all rates at zero, `try_complete` is a
+/// bit-identical passthrough (same completions, same token accounting,
+/// no extra hashing).
+#[derive(Debug)]
+pub struct ChaosLlm<M> {
+    inner: M,
+    config: ChaosConfig,
+    calls: AtomicU64,
+}
+
+impl<M: LanguageModel> ChaosLlm<M> {
+    /// Wraps `inner` with the given fault rates.
+    pub fn new(inner: M, config: ChaosConfig) -> Self {
+        ChaosLlm {
+            inner,
+            config,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The injection config.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// How many calls this instance has seen (fault decisions key on it).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for ChaosLlm<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn meter(&self) -> Option<&TokenMeter> {
+        self.inner.meter()
+    }
+
+    /// Infallible view: faults collapse into their poisoned payloads (the
+    /// behaviour an unprotected caller would experience). Resilient
+    /// callers use [`LanguageModel::try_complete`] instead.
+    fn complete(&self, prompt: &str) -> String {
+        self.try_complete(prompt)
+            .unwrap_or_else(LlmError::into_poison)
+    }
+
+    fn try_complete(&self, prompt: &str) -> Result<String, LlmError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.config.is_zero() {
+            return Ok(self.inner.complete(prompt));
+        }
+        let c = &self.config;
+        let roll = hash01(&format!("chaos|{}|{}|{}", c.seed, call, prompt));
+        let transport_at = c.transport_rate;
+        let timeout_at = transport_at + c.timeout_rate;
+        let truncate_at = timeout_at + c.truncate_rate;
+        let garbage_at = truncate_at + c.garbage_rate;
+        if roll < transport_at {
+            return Err(LlmError::Transport(format!(
+                "connection reset by peer (injected, call #{call})"
+            )));
+        }
+        if roll < timeout_at {
+            let waited_ms =
+                1_000 + (hash01(&format!("latency|{}|{}", c.seed, call)) * 9_000.0) as u64;
+            return Err(LlmError::Timeout { waited_ms });
+        }
+        if roll < truncate_at {
+            // The backend produced (and billed) a full response; the
+            // stream died partway through delivering it.
+            let full = self.inner.complete(prompt);
+            let mut cut = full.len() / 2;
+            while cut > 0 && !full.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            return Err(LlmError::Truncated(full[..cut].to_string()));
+        }
+        if roll < garbage_at {
+            // The backend billed the call but returned format noise.
+            let _ = self.inner.complete(prompt);
+            let junk = format!(
+                "!!{{garbage:{:016x}}}",
+                fnv1a(format!("garbage|{}|{}", c.seed, call).as_bytes())
+            );
+            return Err(LlmError::Garbage(junk));
+        }
+        Ok(self.inner.complete(prompt))
+    }
+}
+
+/// Retry/backoff/deadline policy for [`ResilientLlm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (total attempts = this + 1).
+    pub max_retries: u32,
+    /// Base backoff before the first retry, doubled per attempt.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Per-call budget across all attempts and backoffs (exclusive:
+    /// retrying requires elapsed + next backoff to stay strictly below
+    /// it, so `0` disables retries entirely). When the budget is
+    /// crossed the call gives up instead of sleeping.
+    pub deadline_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: 8,
+            deadline_ms: 10_000,
+        }
+    }
+}
+
+/// Circuit breaker thresholds for [`ResilientLlm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive inner-call failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Calls rejected while open before the breaker half-opens and
+    /// admits a probe. Counted in calls, not wall-clock, so chaos runs
+    /// stay deterministic.
+    pub open_cooldown: u32,
+    /// Consecutive probe successes required to close from half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: 4,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Circuit breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; consecutive failures are counted.
+    Closed = 0,
+    /// Calls are rejected without touching the backend.
+    Open = 1,
+    /// Probe calls are admitted; successes close, a failure re-opens.
+    HalfOpen = 2,
+}
+
+impl BreakerState {
+    /// Stable lower-case name (`closed` / `open` / `half_open`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// The state encoded for the `llm.breaker.state` gauge.
+    pub fn from_gauge(value: i64) -> BreakerState {
+        match value {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BreakerInner {
+    state_bits: u8,
+    consecutive_failures: u32,
+    rejected_while_open: u32,
+    half_open_successes: u32,
+    trips: u64,
+}
+
+impl BreakerInner {
+    fn state(&self) -> BreakerState {
+        match self.state_bits {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    fn set(&mut self, s: BreakerState) {
+        self.state_bits = s as u8;
+    }
+}
+
+/// Closed/open/half-open circuit breaker. Transitions are driven purely
+/// by call outcomes and counts (no wall-clock), so breaker behaviour in a
+/// deterministic chaos run is itself deterministic.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner::default()),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state()
+    }
+
+    /// Lifetime count of transitions into the open state.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().expect("breaker lock").trips
+    }
+
+    /// Gate for one call. `Err(())` means reject without calling the
+    /// backend. `Ok(Some(transition))` admits the call as the half-open
+    /// probe that ended a cooldown; `Ok(None)` admits it normally.
+    #[allow(clippy::result_unit_err)]
+    pub fn admit(&self) -> Result<Option<(BreakerState, BreakerState)>, ()> {
+        let mut s = self.inner.lock().expect("breaker lock");
+        match s.state() {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(None),
+            BreakerState::Open => {
+                s.rejected_while_open += 1;
+                if s.rejected_while_open >= self.config.open_cooldown {
+                    s.set(BreakerState::HalfOpen);
+                    s.half_open_successes = 0;
+                    Ok(Some((BreakerState::Open, BreakerState::HalfOpen)))
+                } else {
+                    Err(())
+                }
+            }
+        }
+    }
+
+    /// Records a successful backend call; may close a half-open breaker.
+    pub fn record_success(&self) -> Option<(BreakerState, BreakerState)> {
+        let mut s = self.inner.lock().expect("breaker lock");
+        match s.state() {
+            BreakerState::Closed => {
+                s.consecutive_failures = 0;
+                None
+            }
+            BreakerState::HalfOpen => {
+                s.half_open_successes += 1;
+                if s.half_open_successes >= self.config.half_open_probes {
+                    s.set(BreakerState::Closed);
+                    s.consecutive_failures = 0;
+                    s.rejected_while_open = 0;
+                    Some((BreakerState::HalfOpen, BreakerState::Closed))
+                } else {
+                    None
+                }
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Records a failed backend call; may trip the breaker open.
+    pub fn record_failure(&self) -> Option<(BreakerState, BreakerState)> {
+        let mut s = self.inner.lock().expect("breaker lock");
+        match s.state() {
+            BreakerState::Closed => {
+                s.consecutive_failures += 1;
+                if s.consecutive_failures >= self.config.failure_threshold {
+                    s.set(BreakerState::Open);
+                    s.trips += 1;
+                    s.rejected_while_open = 0;
+                    Some((BreakerState::Closed, BreakerState::Open))
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                s.set(BreakerState::Open);
+                s.trips += 1;
+                s.rejected_while_open = 0;
+                s.consecutive_failures = 0;
+                Some((BreakerState::HalfOpen, BreakerState::Open))
+            }
+            BreakerState::Open => None,
+        }
+    }
+}
+
+/// Resilient wrapper over a fallible transport: bounded retries with
+/// deterministic exponential backoff + jitter, a per-call deadline
+/// budget, and a circuit breaker. Telemetry (when attached) receives
+/// `llm.faults.*` / `llm.breaker.*` counters, the breaker-state gauge,
+/// and `llm_fault` / `transport_retry` / `breaker_trip` events.
+#[derive(Debug)]
+pub struct ResilientLlm<M> {
+    inner: M,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    telemetry: Mutex<Option<Telemetry>>,
+}
+
+impl<M: LanguageModel> ResilientLlm<M> {
+    /// Wraps `inner` with the given retry policy and breaker thresholds.
+    pub fn new(inner: M, retry: RetryPolicy, breaker: BreakerConfig) -> Self {
+        ResilientLlm {
+            inner,
+            retry,
+            breaker: CircuitBreaker::new(breaker),
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a telemetry pipeline and pre-registers the whole fault /
+    /// breaker counter taxonomy at zero, so exports enumerate it even in
+    /// fault-free runs.
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        let m = telemetry.metrics();
+        for name in FAULT_COUNTERS {
+            m.incr(name, 0);
+        }
+        m.gauge_set(BREAKER_STATE_GAUGE, self.breaker.state() as i64);
+        *self.telemetry.lock().expect("telemetry slot") = Some(telemetry);
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The circuit breaker (state, trips).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The retry policy in force.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    fn telemetry(&self) -> Option<Telemetry> {
+        self.telemetry.lock().expect("telemetry slot").clone()
+    }
+
+    /// Deterministic backoff before retry number `attempt + 1`:
+    /// exponential with a cap, plus full jitter over the top half of the
+    /// window, derived from the attempt number and the prompt hash.
+    fn backoff_ms(&self, attempt: u32, prompt: &str) -> u64 {
+        let cap = self.retry.max_backoff_ms.max(self.retry.base_backoff_ms);
+        let exp = self
+            .retry
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(cap);
+        let jitter = hash01(&format!(
+            "backoff|{attempt}|{:016x}",
+            fnv1a(prompt.as_bytes())
+        ));
+        exp / 2 + (jitter * (exp / 2 + 1) as f64) as u64
+    }
+
+    fn note_transition(&self, t: &Option<Telemetry>, transition: (BreakerState, BreakerState)) {
+        let (from, to) = transition;
+        if let Some(t) = t {
+            t.metrics().gauge_set(BREAKER_STATE_GAUGE, to as i64);
+            if to == BreakerState::Open {
+                t.metrics().incr("llm.breaker.trips", 1);
+                t.record_event(
+                    EventKind::BreakerTrip,
+                    format!("{} -> {}", from.as_str(), to.as_str()),
+                );
+            }
+        }
+    }
+
+    fn exhausted(&self, t: &Option<Telemetry>, attempts: u32, last: LlmError) -> LlmError {
+        if let Some(t) = t {
+            t.metrics().incr("llm.faults.exhausted", 1);
+        }
+        LlmError::RetriesExhausted {
+            attempts,
+            last: Box::new(last),
+        }
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for ResilientLlm<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn meter(&self) -> Option<&TokenMeter> {
+        self.inner.meter()
+    }
+
+    /// Infallible view for callers that cannot handle errors: terminal
+    /// failures collapse to a `<<llm-error:...>>` sentinel. Error-aware
+    /// callers (the agents) use [`LanguageModel::try_complete`] and fall
+    /// back to rule-based paths instead.
+    fn complete(&self, prompt: &str) -> String {
+        self.try_complete(prompt)
+            .unwrap_or_else(|e| format!("<<llm-error:{}>>", e.kind()))
+    }
+
+    fn try_complete(&self, prompt: &str) -> Result<String, LlmError> {
+        let t = self.telemetry();
+        // Request-traced calls get their own `llm:transport` span, so a
+        // stored trace shows the transport layer (attempts, outcome) as
+        // leaves under the calling agent. Untraced work — offline fleet
+        // and chaos runs — opens no span, keeping those span forests
+        // identical to pre-tracing runs (FleetReport stage/agent stats
+        // and the obsdiff baseline are derived from them).
+        let span = t
+            .as_ref()
+            .filter(|t| t.current_trace().is_some())
+            .map(|t| t.span("llm:transport"));
+        let note = |outcome: &str, attempts: u32| {
+            if let Some(span) = &span {
+                span.attr("outcome", outcome);
+                span.attr("attempts", attempts.to_string());
+            }
+        };
+        match self.breaker.admit() {
+            Err(()) => {
+                if let Some(t) = &t {
+                    t.metrics().incr("llm.breaker.rejected", 1);
+                }
+                note("breaker_open", 0);
+                return Err(LlmError::BreakerOpen);
+            }
+            Ok(Some(transition)) => self.note_transition(&t, transition),
+            Ok(None) => {}
+        }
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        let mut faults: u32 = 0;
+        loop {
+            match self.inner.try_complete(prompt) {
+                Ok(out) => {
+                    if let Some(transition) = self.breaker.record_success() {
+                        self.note_transition(&t, transition);
+                    }
+                    if faults > 0 {
+                        if let Some(t) = &t {
+                            t.metrics().incr("llm.faults.recovered", 1);
+                        }
+                    }
+                    note("ok", attempt + 1);
+                    return Ok(out);
+                }
+                Err(e) => {
+                    faults += 1;
+                    if let Some(t) = &t {
+                        t.metrics().incr(&format!("llm.faults.{}", e.kind()), 1);
+                        t.record_event(EventKind::LlmFault, format!("attempt {attempt}: {e}"));
+                    }
+                    if let Some(transition) = self.breaker.record_failure() {
+                        self.note_transition(&t, transition);
+                    }
+                    if self.breaker.state() == BreakerState::Open {
+                        // The breaker tripped on this call's failures:
+                        // stop burning attempts against a down backend.
+                        note("exhausted", attempt + 1);
+                        return Err(self.exhausted(&t, attempt + 1, e));
+                    }
+                    if attempt >= self.retry.max_retries {
+                        note("exhausted", attempt + 1);
+                        return Err(self.exhausted(&t, attempt + 1, e));
+                    }
+                    let delay = self.backoff_ms(attempt, prompt);
+                    if start.elapsed().as_millis() as u64 + delay >= self.retry.deadline_ms {
+                        note("exhausted", attempt + 1);
+                        return Err(self.exhausted(&t, attempt + 1, e));
+                    }
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                    attempt += 1;
+                    if let Some(t) = &t {
+                        t.metrics().incr("llm.faults.retries", 1);
+                        t.record_event(
+                            EventKind::TransportRetry,
+                            format!("attempt {attempt} after {} ({delay}ms backoff)", e.kind()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimLlm;
+    use crate::prompt::Prompt;
+
+    /// Deterministic infallible echo backend.
+    struct Echo;
+    impl LanguageModel for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn complete(&self, prompt: &str) -> String {
+            format!("echo:{prompt}")
+        }
+    }
+
+    /// Fails the first `until` calls with a transport error, then
+    /// succeeds forever.
+    struct Flaky {
+        until: u64,
+        calls: AtomicU64,
+    }
+    impl Flaky {
+        fn new(until: u64) -> Self {
+            Flaky {
+                until,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+    impl LanguageModel for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn complete(&self, _prompt: &str) -> String {
+            "ok".to_string()
+        }
+        fn try_complete(&self, _prompt: &str) -> Result<String, LlmError> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.until {
+                Err(LlmError::Transport("injected".into()))
+            } else {
+                Ok("ok".to_string())
+            }
+        }
+    }
+
+    fn policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            deadline_ms: 10_000,
+        }
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_a_passthrough() {
+        let chaos = ChaosLlm::new(Echo, ChaosConfig::disabled(7));
+        assert_eq!(chaos.try_complete("hi"), Ok("echo:hi".to_string()));
+        assert_eq!(chaos.complete("hi"), "echo:hi");
+        assert_eq!(chaos.name(), "echo");
+        assert!(chaos.meter().is_none());
+    }
+
+    #[test]
+    fn each_fault_kind_fires_at_rate_one() {
+        let mk = |f: fn(&mut ChaosConfig)| {
+            let mut c = ChaosConfig::disabled(7);
+            f(&mut c);
+            ChaosLlm::new(Echo, c)
+        };
+        let t = mk(|c| c.transport_rate = 1.0).try_complete("p");
+        assert!(matches!(t, Err(LlmError::Transport(_))), "{t:?}");
+        let t = mk(|c| c.timeout_rate = 1.0).try_complete("p");
+        assert!(matches!(t, Err(LlmError::Timeout { .. })), "{t:?}");
+        let t = mk(|c| c.truncate_rate = 1.0).try_complete("payload");
+        match t {
+            Err(LlmError::Truncated(partial)) => {
+                assert!("echo:payload".starts_with(&partial), "{partial}");
+                assert!(partial.len() < "echo:payload".len());
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        let t = mk(|c| c.garbage_rate = 1.0).try_complete("p");
+        match t {
+            Err(LlmError::Garbage(junk)) => assert!(junk.contains("garbage"), "{junk}"),
+            other => panic!("expected garbage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_complete_propagates_the_corrupt_payload() {
+        let mut c = ChaosConfig::disabled(7);
+        c.garbage_rate = 1.0;
+        let chaos = ChaosLlm::new(Echo, c);
+        assert!(chaos.complete("p").contains("garbage"));
+        assert_eq!(
+            LlmError::BreakerOpen.into_poison(),
+            "<<llm-error:breaker_open>>"
+        );
+    }
+
+    #[test]
+    fn resilient_retries_recover_and_count() {
+        let t = Telemetry::new();
+        let r = ResilientLlm::new(Flaky::new(2), policy(3), BreakerConfig::default());
+        r.attach_telemetry(t.clone());
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        let m = t.metrics();
+        assert_eq!(m.counter("llm.faults.transport"), 2);
+        assert_eq!(m.counter("llm.faults.retries"), 2);
+        assert_eq!(m.counter("llm.faults.recovered"), 1);
+        assert_eq!(m.counter("llm.faults.exhausted"), 0);
+        assert_eq!(m.counter("llm.breaker.trips"), 0);
+        // Pre-registration: the whole taxonomy is present, at zero.
+        for name in FAULT_COUNTERS {
+            assert!(
+                m.snapshot().counters.iter().any(|(n, _)| n == name),
+                "{name} missing"
+            );
+        }
+        assert_eq!(m.gauge(BREAKER_STATE_GAUGE), BreakerState::Closed as i64);
+    }
+
+    #[test]
+    fn resilient_exhausts_bounded_retries() {
+        let t = Telemetry::new();
+        // Threshold high enough that the breaker stays out of the way.
+        let breaker = BreakerConfig {
+            failure_threshold: 100,
+            ..BreakerConfig::default()
+        };
+        let r = ResilientLlm::new(Flaky::new(100), policy(2), breaker);
+        r.attach_telemetry(t.clone());
+        match r.try_complete("q") {
+            Err(LlmError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last.kind(), "transport");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(t.metrics().counter("llm.faults.exhausted"), 1);
+        assert!(!LlmError::BreakerOpen.is_retryable());
+        assert!(LlmError::Transport("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn breaker_trips_rejects_then_half_opens_and_closes() {
+        let t = Telemetry::new();
+        let breaker = BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: 2,
+            half_open_probes: 2,
+        };
+        let r = ResilientLlm::new(Flaky::new(3), policy(5), breaker);
+        r.attach_telemetry(t.clone());
+        // Call 1: three consecutive faults trip the breaker mid-call.
+        match r.try_complete("q") {
+            Err(LlmError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(r.breaker().state(), BreakerState::Open);
+        assert_eq!(r.breaker().trips(), 1);
+        assert_eq!(t.metrics().counter("llm.breaker.trips"), 1);
+        assert_eq!(
+            t.metrics().gauge(BREAKER_STATE_GAUGE),
+            BreakerState::Open as i64
+        );
+        // Call 2: rejected outright, backend untouched.
+        assert_eq!(r.try_complete("q"), Err(LlmError::BreakerOpen));
+        assert_eq!(t.metrics().counter("llm.breaker.rejected"), 1);
+        // Call 3: cooldown reached — admitted as the half-open probe, and
+        // the backend has recovered.
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        assert_eq!(r.breaker().state(), BreakerState::HalfOpen);
+        // Call 4: second probe success closes the breaker.
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        assert_eq!(r.breaker().state(), BreakerState::Closed);
+        assert_eq!(
+            t.metrics().gauge(BREAKER_STATE_GAUGE),
+            BreakerState::Closed as i64
+        );
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_cooldown: 1,
+            half_open_probes: 1,
+        });
+        assert_eq!(
+            b.record_failure(),
+            Some((BreakerState::Closed, BreakerState::Open))
+        );
+        assert_eq!(
+            b.admit(),
+            Ok(Some((BreakerState::Open, BreakerState::HalfOpen)))
+        );
+        assert_eq!(
+            b.record_failure(),
+            Some((BreakerState::HalfOpen, BreakerState::Open))
+        );
+        assert_eq!(b.trips(), 2);
+        assert_eq!(
+            b.admit(),
+            Ok(Some((BreakerState::Open, BreakerState::HalfOpen)))
+        );
+        assert_eq!(
+            b.record_success(),
+            Some((BreakerState::HalfOpen, BreakerState::Closed))
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(BreakerState::from_gauge(1), BreakerState::Open);
+        assert_eq!(BreakerState::from_gauge(9), BreakerState::Closed);
+    }
+
+    #[test]
+    fn deadline_budget_stops_retries_early() {
+        let r = ResilientLlm::new(
+            Flaky::new(100),
+            RetryPolicy {
+                max_retries: 5,
+                base_backoff_ms: 1,
+                max_backoff_ms: 1,
+                deadline_ms: 0,
+            },
+            BreakerConfig {
+                failure_threshold: 100,
+                ..BreakerConfig::default()
+            },
+        );
+        match r.try_complete("q") {
+            Err(LlmError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 1),
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let r = ResilientLlm::new(Echo, RetryPolicy::default(), BreakerConfig::default());
+        let a0 = r.backoff_ms(0, "prompt");
+        assert_eq!(a0, r.backoff_ms(0, "prompt"));
+        // Jitter depends on the prompt, the base window on the attempt.
+        for attempt in 0..8 {
+            let d = r.backoff_ms(attempt, "prompt");
+            assert!(d <= r.retry().max_backoff_ms, "attempt {attempt}: {d}");
+        }
+        assert!(r.backoff_ms(3, "prompt") >= r.retry().max_backoff_ms / 2);
+    }
+
+    #[test]
+    fn resilient_complete_returns_sentinel_not_garbage() {
+        let r = ResilientLlm::new(Flaky::new(100), policy(1), BreakerConfig::default());
+        assert_eq!(r.complete("q"), "<<llm-error:retries_exhausted>>");
+    }
+
+    fn sim_prompt(question: &str) -> String {
+        Prompt::new("nl2sql")
+            .section(
+                "schema",
+                "table sales: region (str), amount (int), ftime (date)",
+            )
+            .section("question", question)
+            .render()
+    }
+
+    #[test]
+    fn full_stack_passthrough_over_simllm() {
+        let raw = SimLlm::gpt4();
+        let wrapped = ResilientLlm::new(
+            ChaosLlm::new(SimLlm::gpt4(), ChaosConfig::disabled(7)),
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+        );
+        for q in ["total amount by region", "average amount for east"] {
+            let p = sim_prompt(q);
+            assert_eq!(raw.complete(&p), wrapped.complete(&p));
+        }
+        assert_eq!(
+            raw.usage().snapshot(),
+            wrapped.inner().inner().usage().snapshot()
+        );
+    }
+
+    #[test]
+    fn transport_span_only_opens_under_an_active_trace() {
+        use datalab_telemetry::TraceId;
+        let t = Telemetry::new();
+        let breaker = BreakerConfig {
+            failure_threshold: 100,
+            ..BreakerConfig::default()
+        };
+        let r = ResilientLlm::new(Flaky::new(1), policy(3), breaker);
+        r.attach_telemetry(t.clone());
+
+        // Untraced call: no span, even though telemetry is attached.
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        assert!(t.tracer().is_empty(), "untraced call opened a span");
+
+        // Traced call (fresh backend so the retry path fires too).
+        let r = ResilientLlm::new(
+            Flaky::new(1),
+            policy(3),
+            BreakerConfig {
+                failure_threshold: 100,
+                ..BreakerConfig::default()
+            },
+        );
+        r.attach_telemetry(t.clone());
+        t.set_trace(Some(TraceId::parse("req-7").unwrap()));
+        assert_eq!(r.try_complete("q"), Ok("ok".to_string()));
+        t.set_trace(None);
+        let forest = t.drain_trace();
+        assert_eq!(forest.len(), 1, "{forest:?}");
+        let span = &forest[0];
+        assert_eq!(span.name, "llm:transport");
+        let attr = |k: &str| {
+            span.attrs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(attr("trace_id"), Some("req-7"));
+        assert_eq!(attr("outcome"), Some("ok"));
+        assert_eq!(attr("attempts"), Some("2"));
+        // The fault event recorded mid-call carries the same trace. The
+        // earlier untraced call logged its own fault, so scan newest-first.
+        let fault = t
+            .events()
+            .tail(16)
+            .into_iter()
+            .rev()
+            .find(|e| e.kind == EventKind::LlmFault)
+            .expect("fault event");
+        assert_eq!(fault.trace.as_deref(), Some("req-7"));
+    }
+
+    #[test]
+    fn observed_fault_rate_tracks_config() {
+        let chaos = ChaosLlm::new(Echo, ChaosConfig::uniform(7, 0.4));
+        let mut faults = 0;
+        for i in 0..500 {
+            if chaos.try_complete(&format!("prompt {i}")).is_err() {
+                faults += 1;
+            }
+        }
+        // Loose bound; the stream is hash-derived, not i.i.d.
+        let rate = faults as f64 / 500.0;
+        assert!((0.25..0.55).contains(&rate), "rate {rate}");
+    }
+}

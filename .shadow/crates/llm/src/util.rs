@@ -1,0 +1,191 @@
+//! Deterministic hashing and text utilities shared across the simulated
+//! model's solvers.
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    Fnv1a::new().update(bytes).finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher: feeding slices one at a time yields
+/// the same hash as [`fnv1a`] over their concatenation, so hot paths can
+/// hash tagged multi-part features without building an intermediate
+/// `String`/`Vec` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the hash, returning the advanced hasher.
+    #[inline]
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds one character's UTF-8 encoding into the hash without
+    /// allocating (equivalent to updating with the char's UTF-8 bytes).
+    #[inline]
+    pub fn update_char(self, c: char) -> Self {
+        let mut buf = [0u8; 4];
+        self.update(c.encode_utf8(&mut buf).as_bytes())
+    }
+
+    /// The hash value.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Deterministic pseudo-random number in `[0, 1)` derived from a string.
+/// FNV-1a alone has weak avalanche in its high bits for strings that
+/// differ only near the end (a retry counter, say), so the hash is run
+/// through a splitmix64-style finaliser first.
+pub fn hash01(s: &str) -> f64 {
+    let mut z = fnv1a(s.as_bytes());
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Lower-cases and splits text into alphanumeric word tokens.
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits an identifier like `prod_class4_name` or `orderAmount` into its
+/// lower-cased word parts.
+pub fn split_ident(ident: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = ident.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c == '.' || c == ' ' {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        // camelCase boundary
+        if c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase() && !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Crude English singularisation used for matching plurals in questions
+/// against singular column names ("orders" → "order").
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    if w.len() > 4 && w.ends_with("ies") {
+        format!("{}y", &w[..w.len() - 3])
+    } else if w.len() > 3 && (w.ends_with("ses") || w.ends_with("xes") || w.ends_with("hes")) {
+        w[..w.len() - 2].to_string()
+    } else if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        w[..w.len() - 1].to_string()
+    } else {
+        w
+    }
+}
+
+/// Token-overlap similarity in `[0, 1]` between two token sets (Dice
+/// coefficient over stemmed tokens).
+pub fn token_overlap(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let sa: std::collections::HashSet<String> = a.iter().map(|w| stem(w)).collect();
+    let sb: std::collections::HashSet<String> = b.iter().map(|w| stem(w)).collect();
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_fnv1a_matches_one_shot() {
+        let one_shot = fnv1a(b"w:revenue");
+        let streamed = Fnv1a::new().update(b"w:").update(b"revenue").finish();
+        assert_eq!(one_shot, streamed);
+        // Char-wise feeding matches hashing the string's UTF-8 bytes,
+        // multi-byte characters included.
+        let text = "t:rvé";
+        let mut h = Fnv1a::new();
+        for c in text.chars() {
+            h = h.update_char(c);
+        }
+        assert_eq!(h.finish(), fnv1a(text.as_bytes()));
+        assert_eq!(Fnv1a::default().finish(), fnv1a(b""));
+    }
+
+    #[test]
+    fn hash01_is_deterministic_and_bounded() {
+        let a = hash01("hello");
+        assert_eq!(a, hash01("hello"));
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(hash01("hello"), hash01("world"));
+    }
+
+    #[test]
+    fn split_ident_handles_styles() {
+        assert_eq!(
+            split_ident("prod_class4_name"),
+            vec!["prod", "class4", "name"]
+        );
+        assert_eq!(split_ident("orderAmount"), vec!["order", "amount"]);
+        assert_eq!(split_ident("ftime"), vec!["ftime"]);
+    }
+
+    #[test]
+    fn stem_plurals() {
+        assert_eq!(stem("orders"), "order");
+        assert_eq!(stem("categories"), "category");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("status"), "statu"); // crude but consistent both sides
+    }
+
+    #[test]
+    fn overlap_symmetric() {
+        let a = words("total sales by region");
+        let b = words("region sales");
+        let ab = token_overlap(&a, &b);
+        let ba = token_overlap(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.5);
+        assert_eq!(token_overlap(&a, &[]), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Notebook cells — the multi-language cell model of DataLab's augmented
+//! computational notebook (paper §III).
+
+use serde::{Deserialize, Serialize};
+
+/// Cell identifier, unique within a notebook for its whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u64);
+
+/// The four cell languages DataLab notebooks wrangle together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// SQL cell; its result is stored into a data variable.
+    Sql,
+    /// Python (analysed by the `pymini` subset analyser).
+    Python,
+    /// Markdown narrative.
+    Markdown,
+    /// Chart cell holding a chart-spec JSON.
+    Chart,
+}
+
+/// One notebook cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Identifier.
+    pub id: CellId,
+    /// Language.
+    pub kind: CellKind,
+    /// Source text (SQL text, Python code, Markdown, or chart JSON).
+    pub source: String,
+    /// For SQL cells: the data variable the SELECT's output is stored in.
+    pub output_var: Option<String>,
+    /// Last execution output (rendered), if any.
+    pub output: Option<String>,
+}
+
+/// An ordered collection of cells.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Notebook {
+    cells: Vec<Cell>,
+    next_id: u64,
+}
+
+impl Notebook {
+    /// An empty notebook.
+    pub fn new() -> Self {
+        Notebook::default()
+    }
+
+    /// Appends a cell, returning its id.
+    pub fn push(&mut self, kind: CellKind, source: impl Into<String>) -> CellId {
+        let id = CellId(self.next_id);
+        self.next_id += 1;
+        self.cells.push(Cell {
+            id,
+            kind,
+            source: source.into(),
+            output_var: None,
+            output: None,
+        });
+        id
+    }
+
+    /// Appends a SQL cell whose result is bound to `var`.
+    pub fn push_sql(&mut self, source: impl Into<String>, var: impl Into<String>) -> CellId {
+        let id = self.push(CellKind::Sql, source);
+        if let Some(c) = self.get_mut(id) {
+            c.output_var = Some(var.into());
+        }
+        id
+    }
+
+    /// Cells in notebook order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// A cell by id.
+    pub fn get(&self, id: CellId) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+
+    /// Mutable cell access.
+    pub fn get_mut(&mut self, id: CellId) -> Option<&mut Cell> {
+        self.cells.iter_mut().find(|c| c.id == id)
+    }
+
+    /// Replaces a cell's source (a user or agent edit).
+    pub fn modify(&mut self, id: CellId, source: impl Into<String>) -> bool {
+        match self.get_mut(id) {
+            Some(c) => {
+                c.source = source.into();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a cell.
+    pub fn delete(&mut self, id: CellId) -> bool {
+        let before = self.cells.len();
+        self.cells.retain(|c| c.id != id);
+        self.cells.len() != before
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The position of a cell in notebook order.
+    pub fn position(&self, id: CellId) -> Option<usize> {
+        self.cells.iter().position(|c| c.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_modify_delete() {
+        let mut nb = Notebook::new();
+        let a = nb.push(CellKind::Python, "x = 1");
+        let b = nb.push_sql("SELECT 1", "df");
+        assert_eq!(nb.len(), 2);
+        assert_eq!(nb.get(b).unwrap().output_var.as_deref(), Some("df"));
+        assert!(nb.modify(a, "x = 2"));
+        assert_eq!(nb.get(a).unwrap().source, "x = 2");
+        assert!(nb.delete(a));
+        assert!(!nb.delete(a));
+        assert_eq!(nb.len(), 1);
+        assert_eq!(nb.position(b), Some(0));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut nb = Notebook::new();
+        let a = nb.push(CellKind::Markdown, "hello");
+        nb.delete(a);
+        let b = nb.push(CellKind::Markdown, "world");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,346 @@
+//! Adaptive context retrieval (paper §VI): given a query, walk the cell
+//! DAG to find the minimum set of relevant cells, prune by task type, and
+//! assemble the context text whose token cost Table IV measures.
+
+use crate::cell::{CellId, CellKind, Notebook};
+use crate::dag::CellDag;
+use datalab_llm::{count_tokens, text_similarity};
+
+/// Whole-word (identifier-boundary) containment check.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let mut start = 0;
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !ident(haystack.as_bytes()[abs - 1]);
+        let end = abs + needle.len();
+        let after_ok = end >= haystack.len() || !ident(haystack.as_bytes()[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+/// Where the query is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryScope {
+    /// Cell-level query: initiated from an existing cell; ancestors are
+    /// the relevant context.
+    Cell(CellId),
+    /// Notebook-level query: the agent will create new cells; the data
+    /// variable's defining cell and its descendants are relevant.
+    Notebook,
+}
+
+/// The task type contained in the query (detected by the proxy agent's
+/// LLM); used to prune irrelevant cell kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskType {
+    /// NL2SQL — SQL cells matter.
+    Sql,
+    /// NL2DSCode — Python cells matter.
+    DsCode,
+    /// NL2VIS — chart and data-producing cells matter.
+    Vis,
+    /// Open-ended insight work — keep everything.
+    Insight,
+}
+
+impl TaskType {
+    /// Maps the proxy agent's task label to a pruning class.
+    pub fn from_label(label: &str) -> TaskType {
+        match label {
+            "nl2sql" => TaskType::Sql,
+            "nl2dscode" | "nl2code" => TaskType::DsCode,
+            "nl2vis" => TaskType::Vis,
+            _ => TaskType::Insight,
+        }
+    }
+
+    fn keeps(&self, kind: CellKind) -> bool {
+        match self {
+            TaskType::Sql => matches!(kind, CellKind::Sql),
+            TaskType::DsCode => matches!(kind, CellKind::Python | CellKind::Sql),
+            TaskType::Vis => matches!(kind, CellKind::Chart | CellKind::Sql | CellKind::Python),
+            TaskType::Insight => true,
+        }
+    }
+}
+
+/// Retrieval configuration.
+#[derive(Debug, Clone)]
+pub struct ContextConfig {
+    /// When false (ablation S1 of Table IV), every cell is supplied.
+    pub use_dag: bool,
+    /// Cosine threshold for including Markdown cells by similarity.
+    pub markdown_threshold: f64,
+    /// Whether to apply task-type pruning.
+    pub prune_by_task: bool,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        ContextConfig {
+            use_dag: true,
+            markdown_threshold: 0.28,
+            prune_by_task: true,
+        }
+    }
+}
+
+/// The selected context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextSelection {
+    /// Selected cells, notebook order.
+    pub cells: Vec<CellId>,
+    /// Rendered context text (what goes into the prompt).
+    pub text: String,
+    /// Token cost of the rendered text.
+    pub tokens: usize,
+}
+
+/// Runs context retrieval.
+pub fn retrieve_context(
+    notebook: &Notebook,
+    dag: &CellDag,
+    query: &str,
+    scope: QueryScope,
+    task: TaskType,
+    config: &ContextConfig,
+) -> ContextSelection {
+    let mut selected: Vec<CellId> = if !config.use_dag {
+        notebook.cells().iter().map(|c| c.id).collect()
+    } else {
+        let mut set: Vec<CellId> = match scope {
+            QueryScope::Cell(id) => {
+                let mut v = dag.ancestors(id);
+                v.push(id);
+                v
+            }
+            QueryScope::Notebook => {
+                // Determine the related data variable: explicit mention in
+                // the query, else the defining cell most similar to it.
+                let vars = dag.defined_variables(notebook);
+                let lower_q = query.to_lowercase();
+                let explicit = vars
+                    .iter()
+                    .find(|(v, _)| contains_word(&lower_q, &v.to_lowercase()));
+                let start = match explicit {
+                    Some((_, cell)) => Some(*cell),
+                    None => {
+                        let mut best: Option<(CellId, f64)> = None;
+                        for (_, cell) in &vars {
+                            if let Some(c) = notebook.get(*cell) {
+                                let sim = text_similarity(query, &c.source);
+                                match best {
+                                    Some((_, bs)) if bs >= sim => {}
+                                    _ => best = Some((*cell, sim)),
+                                }
+                            }
+                        }
+                        best.map(|(c, _)| c)
+                    }
+                };
+                match start {
+                    Some(cs) => {
+                        let mut v = vec![cs];
+                        v.extend(dag.descendants(cs));
+                        v
+                    }
+                    None => Vec::new(),
+                }
+            }
+        };
+        // Markdown cells lack references: select by textual similarity.
+        for cell in notebook.cells() {
+            if cell.kind == CellKind::Markdown
+                && !set.contains(&cell.id)
+                && text_similarity(query, &cell.source) >= config.markdown_threshold
+            {
+                set.push(cell.id);
+            }
+        }
+        set
+    };
+
+    // Task-type pruning towards the minimum relevant set. Markdown cells
+    // selected by similarity always survive (they carry narrative context).
+    if config.use_dag && config.prune_by_task {
+        selected.retain(|id| {
+            notebook
+                .get(*id)
+                .map(|c| c.kind == CellKind::Markdown || task.keeps(c.kind))
+                .unwrap_or(false)
+        });
+    }
+
+    // Notebook order, deduped.
+    let mut ordered: Vec<CellId> = notebook
+        .cells()
+        .iter()
+        .map(|c| c.id)
+        .filter(|id| selected.contains(id))
+        .collect();
+    ordered.dedup();
+
+    let mut text = String::new();
+    for (i, id) in ordered.iter().enumerate() {
+        if let Some(cell) = notebook.get(*id) {
+            let kind = match cell.kind {
+                CellKind::Sql => "sql",
+                CellKind::Python => "python",
+                CellKind::Markdown => "markdown",
+                CellKind::Chart => "chart",
+            };
+            text.push_str(&format!("[cell {i} {kind}]\n{}\n", cell.source));
+            if let Some(var) = &cell.output_var {
+                text.push_str(&format!("-- output variable: {var}\n"));
+            }
+            if let Some(out) = &cell.output {
+                text.push_str(out);
+                text.push('\n');
+            }
+        }
+    }
+    let tokens = count_tokens(&text);
+    ContextSelection {
+        cells: ordered,
+        text,
+        tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notebook() -> (Notebook, CellDag, CellId, CellId, CellId, CellId, CellId) {
+        let mut nb = Notebook::new();
+        let sql = nb.push_sql("SELECT region, amount FROM sales", "df_sales");
+        let py = nb.push(CellKind::Python, "clean = df_sales.dropna()");
+        let chart = nb.push(
+            CellKind::Chart,
+            r#"{"mark":"bar","data":"clean","x":{"field":"region"},"y":{"field":"amount","aggregate":"sum"}}"#,
+        );
+        let md = nb.push(CellKind::Markdown, "Revenue by region analysis notes");
+        // An unrelated side investigation.
+        let other = nb.push(
+            CellKind::Python,
+            "users = load_users()\nsignups = users.count()",
+        );
+        let dag = CellDag::build(&nb);
+        (nb, dag, sql, py, chart, md, other)
+    }
+
+    #[test]
+    fn cell_scope_selects_ancestors() {
+        let (nb, dag, sql, py, chart, _md, other) = notebook();
+        let sel = retrieve_context(
+            &nb,
+            &dag,
+            "improve this chart",
+            QueryScope::Cell(chart),
+            TaskType::Vis,
+            &ContextConfig::default(),
+        );
+        assert!(sel.cells.contains(&sql));
+        assert!(sel.cells.contains(&py));
+        assert!(sel.cells.contains(&chart));
+        assert!(!sel.cells.contains(&other));
+    }
+
+    #[test]
+    fn notebook_scope_follows_explicit_variable() {
+        let (nb, dag, sql, py, chart, _md, other) = notebook();
+        let sel = retrieve_context(
+            &nb,
+            &dag,
+            "plot df_sales by region",
+            QueryScope::Notebook,
+            TaskType::Insight,
+            &ContextConfig::default(),
+        );
+        assert!(sel.cells.contains(&sql));
+        // Descendants of the defining cell.
+        assert!(sel.cells.contains(&py));
+        assert!(sel.cells.contains(&chart));
+        assert!(!sel.cells.contains(&other));
+    }
+
+    #[test]
+    fn task_pruning_reduces_cells() {
+        let (nb, dag, sql, py, chart, _md, _other) = notebook();
+        let sel = retrieve_context(
+            &nb,
+            &dag,
+            "rewrite the sql for df_sales",
+            QueryScope::Notebook,
+            TaskType::Sql,
+            &ContextConfig::default(),
+        );
+        assert!(sel.cells.contains(&sql));
+        assert!(!sel.cells.contains(&py));
+        assert!(!sel.cells.contains(&chart));
+    }
+
+    #[test]
+    fn markdown_included_by_similarity() {
+        let (nb, dag, _sql, _py, _chart, md, _other) = notebook();
+        let sel = retrieve_context(
+            &nb,
+            &dag,
+            "summarize the revenue by region analysis",
+            QueryScope::Notebook,
+            TaskType::Insight,
+            &ContextConfig::default(),
+        );
+        assert!(sel.cells.contains(&md), "{:?}", sel.cells);
+    }
+
+    #[test]
+    fn no_dag_ablation_takes_everything_and_costs_more() {
+        let (nb, dag, _sql, _py, _chart, _md, _other) = notebook();
+        let with_dag = retrieve_context(
+            &nb,
+            &dag,
+            "rewrite the sql for df_sales",
+            QueryScope::Notebook,
+            TaskType::Sql,
+            &ContextConfig::default(),
+        );
+        let without = retrieve_context(
+            &nb,
+            &dag,
+            "rewrite the sql for df_sales",
+            QueryScope::Notebook,
+            TaskType::Sql,
+            &ContextConfig {
+                use_dag: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(without.cells.len(), nb.len());
+        assert!(without.tokens > with_dag.tokens);
+    }
+
+    #[test]
+    fn rendered_text_contains_sources() {
+        let (nb, dag, sql, ..) = notebook();
+        let sel = retrieve_context(
+            &nb,
+            &dag,
+            "df_sales",
+            QueryScope::Cell(sql),
+            TaskType::Sql,
+            &ContextConfig::default(),
+        );
+        assert!(sel.text.contains("SELECT region, amount FROM sales"));
+        assert!(sel.text.contains("output variable: df_sales"));
+        assert!(sel.tokens > 0);
+    }
+}

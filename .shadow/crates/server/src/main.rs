@@ -1,0 +1,131 @@
+//! The `datalab-server` binary: boots the multi-tenant HTTP serving
+//! layer and runs until killed.
+//!
+//! ```text
+//! cargo run -p datalab-server -- [--addr HOST:PORT] [--workers N]
+//!     [--queue N] [--per-tenant N] [--sessions N] [--shards N]
+//!     [--deadline-ms N] [--read-timeout-ms N] [--trace-seed N]
+//!     [--slo-max-tenants N] [--data-dir PATH]
+//!     [--fsync always|interval|interval:MS|never] [--snapshot-every N]
+//! ```
+//!
+//! `--data-dir` turns on durable tenant state: every table registration
+//! and query is appended to a per-tenant write-ahead log and folded into
+//! periodic snapshots, so sessions survive eviction and process crashes.
+//! `--fsync` picks the durability/latency tradeoff (default `interval`:
+//! a background flusher syncs dirty logs every 100ms, so a hard crash
+//! loses at most that window of acknowledged writes — torn frames are
+//! detected and dropped on recovery regardless).
+//!
+//! Defaults match [`ServerConfig::default`] except the address, which
+//! pins to `127.0.0.1:8437` so `curl` examples work out of the box.
+
+use datalab_server::{FsyncPolicy, Server, ServerConfig};
+use datalab_telemetry::CountingAlloc;
+use std::process::ExitCode;
+
+/// Count every allocation the serving process makes, so spans carry
+/// alloc deltas and `/v1/metrics` exports live `alloc.*` counters. The
+/// wrapper is a handful of relaxed atomic adds over the system
+/// allocator — cheap enough to leave on in production builds.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8437".to_string(),
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        let result = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| config.addr = v),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--queue" => take("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.queue_capacity = n)
+                    .map_err(|e| format!("--queue: {e}"))
+            }),
+            "--per-tenant" => take("--per-tenant").and_then(|v| {
+                v.parse()
+                    .map(|n| config.per_tenant_inflight = n)
+                    .map_err(|e| format!("--per-tenant: {e}"))
+            }),
+            "--sessions" => take("--sessions").and_then(|v| {
+                v.parse()
+                    .map(|n| config.session_capacity = n)
+                    .map_err(|e| format!("--sessions: {e}"))
+            }),
+            "--shards" => take("--shards").and_then(|v| {
+                v.parse()
+                    .map(|n| config.session_shards = n)
+                    .map_err(|e| format!("--shards: {e}"))
+            }),
+            "--deadline-ms" => take("--deadline-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.deadline_ms = n)
+                    .map_err(|e| format!("--deadline-ms: {e}"))
+            }),
+            "--read-timeout-ms" => take("--read-timeout-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.read_timeout_ms = n)
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))
+            }),
+            "--trace-seed" => take("--trace-seed").and_then(|v| {
+                v.parse()
+                    .map(|n| config.trace_seed = n)
+                    .map_err(|e| format!("--trace-seed: {e}"))
+            }),
+            "--slo-max-tenants" => take("--slo-max-tenants").and_then(|v| {
+                v.parse()
+                    .map(|n| config.slo_max_tenants = n)
+                    .map_err(|e| format!("--slo-max-tenants: {e}"))
+            }),
+            "--data-dir" => take("--data-dir").map(|v| config.data_dir = Some(v.into())),
+            "--fsync" => take("--fsync").and_then(|v| {
+                FsyncPolicy::parse(&v)
+                    .map(|policy| config.fsync = policy)
+                    .ok_or_else(|| {
+                        format!("--fsync: `{v}` (want always, interval, interval:MS, or never)")
+                    })
+            }),
+            "--snapshot-every" => take("--snapshot-every").and_then(|v| {
+                v.parse()
+                    .map(|n| config.snapshot_every = n)
+                    .map_err(|e| format!("--snapshot-every: {e}"))
+            }),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("datalab-server: {e}");
+            eprintln!(
+                "usage: datalab-server [--addr HOST:PORT] [--workers N] [--queue N] \
+                 [--per-tenant N] [--sessions N] [--shards N] [--deadline-ms N] \
+                 [--read-timeout-ms N] [--trace-seed N] [--slo-max-tenants N] \
+                 [--data-dir PATH] [--fsync always|interval|interval:MS|never] \
+                 [--snapshot-every N]"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("datalab-server: cannot start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("datalab-server listening on http://{}", server.addr());
+
+    // Serve until the process is killed; the threads own all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,1193 @@
+//! The HTTP server: acceptor, worker pool, routing, and shutdown.
+//!
+//! Request lifecycle:
+//!
+//! 1. The acceptor thread accepts a connection and `try_push`es it onto
+//!    the bounded job queue. A full queue answers `429` with
+//!    `Retry-After` right on the acceptor thread — overload is shed
+//!    before it can consume a worker.
+//! 2. A worker pops the connection, reads and routes the request, and
+//!    writes exactly one JSON response. Routing runs inside
+//!    `catch_unwind`, so a panic in platform code costs one `500`, never
+//!    a worker thread.
+//! 3. `shutdown` stops the acceptor, closes the queue, and joins the
+//!    workers — queued and in-flight requests drain to completion.
+//!
+//! Every request carries a trace ID — the client's `X-Trace-Id` header
+//! when present and valid, a server-derived one otherwise. The ID is
+//! threaded through the platform (tagging spans, events, and LLM
+//! transport attempts), echoed on every response, and written into
+//! every error body. Completed queries land in a bounded tail-sampled
+//! [`TraceStore`] served by `GET /v1/traces`, and feed the per-tenant
+//! [`SloTracker`] surfaced by `/v1/health` and `/v1/metrics`.
+
+use crate::admission::{JobQueue, TenantGate};
+use crate::http::{linger_close, read_request, HttpError, Request, Response};
+use crate::json::Json;
+use crate::store::{SessionStore, StoreConfig};
+use datalab_core::{BreakerState, DataLab, DataLabConfig, RequestContext, LATENCY_BUCKETS_US};
+use datalab_store::{DurabilityConfig, DurableStore, FsyncPolicy, SessionRecord, SessionState};
+use datalab_telemetry::{
+    chrome_trace_json, event_json, folded_stacks, json_escape, metrics_prometheus,
+    publish_alloc_metrics, span_json, EventKind, ProfileWeight, SloTargets, SloTracker, SloWindows,
+    SpanNode, Telemetry, TenantSlo, TraceId, TraceRecord, TraceStore, TraceStorePolicy,
+    TraceSummary, WindowSli,
+};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest tenant name accepted by the API.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Global job-queue capacity; connections beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Max concurrent in-flight queries per tenant; beyond it, `429`.
+    pub per_tenant_inflight: usize,
+    /// Total tenant sessions kept resident (LRU-evicted beyond this).
+    pub session_capacity: usize,
+    /// Session-store shard count.
+    pub session_shards: usize,
+    /// Per-request deadline in milliseconds; exceeded ⇒ `504`.
+    pub deadline_ms: u64,
+    /// Socket read/write timeout in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Seed for server-minted trace IDs (requests without a valid
+    /// `X-Trace-Id` header get `TraceId::derive(trace_seed, counter)`).
+    pub trace_seed: u64,
+    /// Keep/evict policy for the tail-sampled trace store.
+    pub trace_policy: TraceStorePolicy,
+    /// Declared per-tenant SLO targets.
+    pub slo_targets: SloTargets,
+    /// Fast/slow window lengths for SLO burn rates.
+    pub slo_windows: SloWindows,
+    /// Most tenants whose SLO burn rates are exported as gauges on
+    /// `/v1/metrics` (the busiest by fast-window traffic win; everyone
+    /// still appears on `/v1/health`). Bounds scrape cardinality: without
+    /// a cap, every tenant name that ever queried would mint five gauges
+    /// forever.
+    pub slo_max_tenants: usize,
+    /// Platform configuration for new tenant sessions.
+    pub lab_config: DataLabConfig,
+    /// Root directory for durable tenant state (snapshot + WAL per
+    /// tenant). `None` keeps sessions memory-only: eviction and restarts
+    /// lose them, exactly as before durability existed.
+    pub data_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage (`always` syncs on the
+    /// request path; `interval` bounds loss to one flusher tick; `never`
+    /// trusts the page cache). Ignored without `data_dir`.
+    pub fsync: FsyncPolicy,
+    /// WAL records per tenant between automatic snapshots (0 disables
+    /// cadence snapshots). Ignored without `data_dir`.
+    pub snapshot_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            per_tenant_inflight: 8,
+            session_capacity: 64,
+            session_shards: 8,
+            deadline_ms: 10_000,
+            read_timeout_ms: 2_000,
+            max_body_bytes: 4 * 1024 * 1024,
+            trace_seed: 7,
+            trace_policy: TraceStorePolicy::default(),
+            slo_targets: SloTargets::default(),
+            slo_windows: SloWindows::default(),
+            slo_max_tenants: 32,
+            lab_config: DataLabConfig {
+                // Serving sessions are long-lived; per-query run records
+                // would grow without bound.
+                record_runs: false,
+                ..DataLabConfig::default()
+            },
+            data_dir: None,
+            fsync: FsyncPolicy::Interval(datalab_store::DEFAULT_FSYNC_INTERVAL),
+            snapshot_every: 32,
+        }
+    }
+}
+
+struct Job {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    store: SessionStore,
+    durable: Option<Arc<DurableStore>>,
+    queue: JobQueue<Job>,
+    gate: Arc<TenantGate>,
+    telemetry: Telemetry,
+    traces: TraceStore,
+    slo: SloTracker,
+    trace_counter: AtomicU64,
+    started: Instant,
+    shutting_down: AtomicBool,
+}
+
+/// A running DataLab serving instance.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns once the
+    /// server is reachable.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let telemetry = Telemetry::default();
+        // Pre-register endpoint latency histograms with the shared
+        // bucket layout so /v1/metrics shows them from the first scrape.
+        for name in [
+            "server.latency.query_us",
+            "server.latency.tables_us",
+            "server.latency.health_us",
+            "server.latency.metrics_us",
+            "server.latency.traces_us",
+            "server.latency.profile_us",
+        ] {
+            telemetry
+                .metrics()
+                .histogram_with_buckets(name, LATENCY_BUCKETS_US);
+        }
+        // Pre-register the resilience taxonomy at zero so fault-free
+        // scrapes still enumerate it (mirrored from per-tenant sessions
+        // after each query).
+        for name in [
+            "server.resilience.faults",
+            "server.resilience.retries",
+            "server.resilience.breaker_trips",
+            "server.resilience.degraded",
+            "server.rejected.breaker",
+        ] {
+            telemetry.metrics().incr(name, 0);
+        }
+
+        // Durable tenant state: opening the store also starts the
+        // interval flusher (when that policy is configured) and
+        // pre-registers the `store.*` metric taxonomy.
+        let durable = match &config.data_dir {
+            Some(dir) => {
+                telemetry
+                    .metrics()
+                    .histogram_with_buckets("server.recovery.latency_us", LATENCY_BUCKETS_US);
+                Some(DurableStore::open(
+                    dir.clone(),
+                    DurabilityConfig {
+                        fsync: config.fsync,
+                        snapshot_every: config.snapshot_every,
+                    },
+                    telemetry.clone(),
+                )?)
+            }
+            None => None,
+        };
+
+        let store = SessionStore::new(
+            StoreConfig {
+                capacity: config.session_capacity,
+                shards: config.session_shards,
+                lab_config: config.lab_config.clone(),
+                durable: durable.clone(),
+            },
+            telemetry.clone(),
+        );
+        let inner = Arc::new(ServerInner {
+            durable,
+            queue: JobQueue::new(config.queue_capacity),
+            gate: TenantGate::new(config.per_tenant_inflight),
+            store,
+            telemetry,
+            traces: TraceStore::new(config.trace_policy.clone()),
+            slo: SloTracker::new(config.slo_targets.clone(), config.slo_windows.clone()),
+            trace_counter: AtomicU64::new(0),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            config,
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("datalab-acceptor".to_string())
+                .spawn(move || accept_loop(listener, &inner))?
+        };
+        let mut workers = Vec::with_capacity(inner.config.workers.max(1));
+        for i in 0..inner.config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("datalab-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's telemetry handle (same registry `/v1/metrics`
+    /// serves).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// The durable store backing tenant sessions, when `data_dir` was
+    /// configured.
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.inner.durable.as_ref()
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, then join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor blocked in `accept` with a throwaway
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers are gone, so no appends can race this final sync:
+        // graceful shutdown loses nothing regardless of fsync policy.
+        if let Some(durable) = &self.inner.durable {
+            durable.flush_all();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Mints a trace ID for a request that arrived without a usable
+/// `X-Trace-Id` header. Derived from the server seed and a per-server
+/// counter, so IDs are deterministic for a given request order.
+fn next_trace(inner: &ServerInner) -> TraceId {
+    TraceId::derive(
+        inner.config.trace_seed,
+        inner.trace_counter.fetch_add(1, Ordering::Relaxed),
+    )
+}
+
+fn accept_loop(listener: TcpListener, inner: &Arc<ServerInner>) {
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let timeout = Duration::from_millis(inner.config.read_timeout_ms.max(1));
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let job = Job {
+            stream,
+            arrived: Instant::now(),
+        };
+        match inner.queue.try_push(job) {
+            Ok(()) => {
+                inner.telemetry.metrics().gauge_add("server.queue.depth", 1);
+            }
+            Err(job) => {
+                // Shed load on the acceptor thread itself. The request
+                // is never read, so the trace ID is always server-minted.
+                inner.telemetry.metrics().incr("server.rejected.global", 1);
+                let trace = next_trace(inner);
+                let mut stream = job.stream;
+                let _ = error_response(429, "overloaded", "global queue full", &trace)
+                    .with_header("Retry-After", "1")
+                    .with_header("X-Trace-Id", trace.as_str())
+                    .write_to(&mut stream);
+                // The unread request would RST the 429 on close; the
+                // drain is bounded and shed peers hang up as soon as
+                // they see the response, so the acceptor is not stalled.
+                linger_close(&mut stream);
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<ServerInner>) {
+    while let Some(job) = inner.queue.pop() {
+        inner
+            .telemetry
+            .metrics()
+            .gauge_add("server.queue.depth", -1);
+        handle_connection(inner, job);
+    }
+}
+
+fn handle_connection(inner: &Arc<ServerInner>, mut job: Job) {
+    let request = match read_request(&mut job.stream, inner.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            // The request never parsed, so any client trace header is
+            // unreadable: mint a server-side ID for the error body.
+            let trace = next_trace(inner);
+            let response = match e {
+                HttpError::TooLarge(n) => {
+                    inner
+                        .telemetry
+                        .metrics()
+                        .incr("platform.errors.bad_request", 1);
+                    error_response(
+                        413,
+                        "too_large",
+                        &format!("body of {n} bytes exceeds limit"),
+                        &trace,
+                    )
+                }
+                HttpError::BadRequest(why) => {
+                    inner
+                        .telemetry
+                        .metrics()
+                        .incr("platform.errors.bad_request", 1);
+                    error_response(400, "bad_request", &why, &trace)
+                }
+                // Read timeouts / resets: nothing useful to send.
+                HttpError::Io(_) => return,
+            };
+            let _ = response
+                .with_header("X-Trace-Id", trace.as_str())
+                .write_to(&mut job.stream);
+            // The request body (if any) was never consumed; a plain
+            // close would RST the error response off the wire.
+            linger_close(&mut job.stream);
+            return;
+        }
+    };
+
+    // Propagate the caller's trace ID when it is present and valid;
+    // otherwise derive one so every response is traceable.
+    let trace = request
+        .header("x-trace-id")
+        .and_then(TraceId::parse)
+        .unwrap_or_else(|| next_trace(inner));
+
+    let handled = catch_unwind(AssertUnwindSafe(|| {
+        route(inner, &request, &trace, job.arrived)
+    }));
+    let response = handled.unwrap_or_else(|_| {
+        inner.telemetry.metrics().incr("server.errors.panic", 1);
+        error_response(500, "internal", "request handler panicked", &trace)
+    });
+    // The trace ID is echoed on every response — success or error —
+    // exactly once, here.
+    let _ = response
+        .with_header("X-Trace-Id", trace.as_str())
+        .write_to(&mut job.stream);
+}
+
+fn route(
+    inner: &Arc<ServerInner>,
+    request: &Request,
+    trace: &TraceId,
+    arrived: Instant,
+) -> Response {
+    let begun = Instant::now();
+    // Match on the path alone so `/v1/traces?tenant=acme` routes; the
+    // query string is re-parsed by handlers that take parameters.
+    let path = request.target.split(['?', '#']).next().unwrap_or("");
+    let (histogram, response) = match (request.method.as_str(), path) {
+        ("GET", "/v1/health") => ("server.latency.health_us", health(inner)),
+        ("GET", "/v1/metrics") => ("server.latency.metrics_us", metrics(inner, request, trace)),
+        ("GET", "/v1/profile") => ("server.latency.profile_us", profile(inner, request, trace)),
+        ("GET", "/v1/traces") => (
+            "server.latency.traces_us",
+            traces_index(inner, request, trace),
+        ),
+        ("GET", path) if path.starts_with("/v1/traces/") => (
+            "server.latency.traces_us",
+            trace_detail(inner, &path["/v1/traces/".len()..], trace),
+        ),
+        ("GET", "/v1/tables") => (
+            "server.latency.tables_us",
+            tables_index(inner, request, trace),
+        ),
+        ("POST", "/v1/tables") => ("server.latency.tables_us", tables(inner, request, trace)),
+        ("POST", "/v1/query") => (
+            "server.latency.query_us",
+            query(inner, request, trace, arrived),
+        ),
+        _ => {
+            inner
+                .telemetry
+                .metrics()
+                .incr("platform.errors.not_found", 1);
+            let detail = format!("no route for {} {}", request.method, request.target);
+            return error_response(404, "not_found", &detail, trace);
+        }
+    };
+    inner
+        .telemetry
+        .metrics()
+        .observe(histogram, begun.elapsed().as_micros() as u64);
+    response
+}
+
+fn health(inner: &Arc<ServerInner>) -> Response {
+    inner.telemetry.metrics().incr("server.requests.health", 1);
+    // Per-tenant circuit-breaker states, from the gauges each query
+    // refreshes. Empty until a tenant has queried.
+    let snapshot = inner.telemetry.metrics().snapshot();
+    let breakers: Vec<String> = snapshot
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let tenant = name.strip_prefix("llm.breaker.state.")?;
+            Some(format!(
+                "\"{}\":\"{}\"",
+                json_escape(tenant),
+                BreakerState::from_gauge(*value).as_str()
+            ))
+        })
+        .collect();
+    // Per-tenant SLO burn rates over the fast/slow windows. Empty until
+    // a tenant has an admitted query on record.
+    let slo: Vec<String> = inner
+        .slo
+        .report()
+        .iter()
+        .map(|(tenant, report)| format!("\"{}\":{}", json_escape(tenant), tenant_slo_json(report)))
+        .collect();
+    let targets = inner.slo.targets();
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"uptime_us\":{},\"sessions\":{},\"queue_depth\":{},\
+             \"breakers\":{{{}}},\
+             \"slo_targets\":{{\"availability\":{},\"latency_threshold_us\":{},\
+             \"latency_goal\":{}}},\"slo\":{{{}}}}}",
+            inner.started.elapsed().as_micros(),
+            inner.store.len(),
+            inner.queue.depth(),
+            breakers.join(","),
+            targets.availability,
+            targets.latency_threshold_us,
+            targets.latency_goal,
+            slo.join(",")
+        ),
+    )
+}
+
+/// One SLI window as JSON.
+fn window_json(w: &WindowSli) -> String {
+    format!(
+        "{{\"requests\":{},\"good\":{},\"fast_enough\":{},\"availability\":{},\
+         \"latency_ok_ratio\":{},\"availability_burn\":{},\"latency_burn\":{}}}",
+        w.requests,
+        w.good,
+        w.fast_enough,
+        w.availability,
+        w.latency_ok_ratio,
+        w.availability_burn,
+        w.latency_burn
+    )
+}
+
+/// A tenant's fast/slow SLO windows plus the multi-window verdict.
+fn tenant_slo_json(t: &TenantSlo) -> String {
+    format!(
+        "{{\"fast\":{},\"slow\":{},\"budget_exhausted\":{}}}",
+        window_json(&t.fast),
+        window_json(&t.slow),
+        t.budget_exhausted()
+    )
+}
+
+/// The tenant component of a per-tenant `slo.*` gauge name; `None` for
+/// every other gauge (including the scalar `slo.tenants_tracked`).
+fn slo_gauge_tenant(name: &str) -> Option<&str> {
+    [
+        "slo.availability_burn_fast_pm.",
+        "slo.availability_burn_slow_pm.",
+        "slo.latency_burn_fast_pm.",
+        "slo.latency_burn_slow_pm.",
+        "slo.budget_exhausted.",
+    ]
+    .iter()
+    .find_map(|prefix| name.strip_prefix(prefix))
+}
+
+/// Publishes per-tenant SLO burn rates as gauges (per-mille, so the
+/// integer gauge registry can carry them) right before a scrape.
+///
+/// Export cardinality is bounded by `slo_max_tenants`: only the busiest
+/// tenants by fast-window traffic (name-ordered on ties, so the cut is
+/// deterministic) keep their gauges, and gauges belonging to tenants that
+/// fell out of the export set — idle or out-ranked — are evicted rather
+/// than left to accumulate. `slo.tenants_tracked` always reports the
+/// uncapped tenant count so the cap itself is observable.
+fn publish_slo_gauges(inner: &Arc<ServerInner>) {
+    let m = inner.telemetry.metrics();
+    let mut ranked = inner.slo.report();
+    let tracked = ranked.len();
+    ranked.sort_by(|a, b| {
+        b.1.fast
+            .requests
+            .cmp(&a.1.fast.requests)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.truncate(inner.config.slo_max_tenants);
+    m.retain_gauges(|name| match slo_gauge_tenant(name) {
+        Some(tenant) => ranked.iter().any(|(t, _)| t == tenant),
+        None => true,
+    });
+    for (tenant, report) in &ranked {
+        let pm = |burn: f64| (burn * 1000.0).round() as i64;
+        m.gauge_set(
+            &format!("slo.availability_burn_fast_pm.{tenant}"),
+            pm(report.fast.availability_burn),
+        );
+        m.gauge_set(
+            &format!("slo.availability_burn_slow_pm.{tenant}"),
+            pm(report.slow.availability_burn),
+        );
+        m.gauge_set(
+            &format!("slo.latency_burn_fast_pm.{tenant}"),
+            pm(report.fast.latency_burn),
+        );
+        m.gauge_set(
+            &format!("slo.latency_burn_slow_pm.{tenant}"),
+            pm(report.slow.latency_burn),
+        );
+        m.gauge_set(
+            &format!("slo.budget_exhausted.{tenant}"),
+            i64::from(report.budget_exhausted()),
+        );
+    }
+    m.gauge_set("slo.tenants_tracked", tracked as i64);
+}
+
+/// `GET /v1/metrics[?format=json|prometheus]`: the full registry
+/// snapshot. JSON by default; `?format=prometheus` (or an `Accept`
+/// header naming `openmetrics` or `text/plain`) switches to
+/// Prometheus/OpenMetrics text exposition with cumulative histogram
+/// buckets. Allocator totals are republished right before either
+/// rendering, so scrapes see current `alloc.*` counters.
+fn metrics(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.metrics", 1);
+    publish_slo_gauges(inner);
+    let accept_prometheus = request
+        .header("accept")
+        .is_some_and(|a| a.contains("openmetrics") || a.contains("text/plain"));
+    let prometheus = match query_param(request.target.as_str(), "format") {
+        None => accept_prometheus,
+        Some("json") => false,
+        Some("prometheus") => true,
+        Some(other) => {
+            inner
+                .telemetry
+                .metrics()
+                .incr("platform.errors.bad_request", 1);
+            let detail = format!("unknown format `{other}` (want `json` or `prometheus`)");
+            return error_response(400, "bad_request", &detail, trace);
+        }
+    };
+    if prometheus {
+        publish_alloc_metrics(inner.telemetry.metrics());
+        let snapshot = inner.telemetry.metrics().snapshot();
+        Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            metrics_prometheus(&snapshot),
+        )
+    } else {
+        Response::json(200, inner.telemetry.snapshot_json())
+    }
+}
+
+/// `GET /v1/profile[?weight=wall|cpu|alloc|alloc_count]`: the retained
+/// traces' span forest folded into collapsed-stack (flamegraph) format.
+/// CPU and alloc weightings are empty unless the serving binary has a
+/// thread CPU clock / the counting allocator installed.
+fn profile(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.profile", 1);
+    let weight = match query_param(request.target.as_str(), "weight") {
+        None => ProfileWeight::Wall,
+        Some(raw) => match ProfileWeight::parse(raw) {
+            Some(weight) => weight,
+            None => {
+                inner
+                    .telemetry
+                    .metrics()
+                    .incr("platform.errors.bad_request", 1);
+                let detail = format!(
+                    "unknown weight `{raw}` (want `wall`, `cpu`, `alloc`, or `alloc_count`)"
+                );
+                return error_response(400, "bad_request", &detail, trace);
+            }
+        },
+    };
+    let folded = folded_stacks(&inner.traces.span_forest(), weight);
+    Response::text(200, "text/plain", folded)
+}
+
+/// Extracts a query-string parameter from a request target.
+///
+/// No percent-decoding: trace IDs, tenant names, and the other accepted
+/// values are already restricted to characters that need no escaping.
+fn query_param<'a>(target: &'a str, name: &str) -> Option<&'a str> {
+    let (_, raw) = target.split_once('?')?;
+    let raw = raw.split('#').next().unwrap_or("");
+    raw.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// One retained trace's summary line for the `/v1/traces` index.
+fn trace_summary_json(t: &TraceSummary) -> String {
+    format!(
+        "{{\"trace_id\":\"{}\",\"tenant\":\"{}\",\"workload\":\"{}\",\"status\":{},\
+         \"ok\":{},\"duration_us\":{},\"reason\":\"{}\",\"seq\":{},\"spans\":{},\"events\":{}}}",
+        json_escape(&t.trace_id),
+        json_escape(&t.tenant),
+        json_escape(&t.workload),
+        t.status,
+        t.ok,
+        t.duration_us,
+        t.reason.as_str(),
+        t.seq,
+        t.spans,
+        t.events
+    )
+}
+
+/// `GET /v1/traces[?tenant=..&status=ok|error&limit=N]`: newest-first
+/// summaries of the retained traces.
+fn traces_index(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.traces", 1);
+    let target = request.target.as_str();
+    let tenant = query_param(target, "tenant");
+    let only_errors = match query_param(target, "status") {
+        None => None,
+        Some("ok") => Some(false),
+        Some("error") => Some(true),
+        Some(other) => {
+            let detail = format!("unknown status filter `{other}` (want `ok` or `error`)");
+            return error_response(400, "bad_request", &detail, trace);
+        }
+    };
+    let limit = match query_param(target, "limit") {
+        None => 50,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if (1..=500).contains(&n) => n,
+            _ => {
+                let detail = format!("`limit` must be an integer in 1..=500, got `{raw}`");
+                return error_response(400, "bad_request", &detail, trace);
+            }
+        },
+    };
+    let summaries: Vec<String> = inner
+        .traces
+        .summaries(tenant, only_errors, limit)
+        .iter()
+        .map(trace_summary_json)
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"seen\":{},\"retained\":{},\"traces\":[{}]}}",
+            inner.traces.seen(),
+            inner.traces.len(),
+            summaries.join(",")
+        ),
+    )
+}
+
+/// `GET /v1/traces/:id`: the full retained trace — span tree, flight
+/// record, and a ready-to-load Chrome trace export.
+fn trace_detail(inner: &Arc<ServerInner>, id: &str, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.traces", 1);
+    let Some(stored) = inner.traces.get(id) else {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("no retained trace with id `{id}`");
+        return error_response(404, "trace_not_found", &detail, trace);
+    };
+    let record = &stored.record;
+    let spans: Vec<String> = record.spans.iter().map(span_json).collect();
+    let events: Vec<String> = record.events.iter().map(event_json).collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"trace_id\":\"{}\",\"tenant\":\"{}\",\"workload\":\"{}\",\"status\":{},\
+             \"ok\":{},\"duration_us\":{},\"reason\":\"{}\",\
+             \"spans\":[{}],\"events\":[{}],\"chrome_trace\":{}}}",
+            json_escape(&record.trace_id),
+            json_escape(&record.tenant),
+            json_escape(&record.workload),
+            record.status,
+            record.ok,
+            record.duration_us,
+            stored.reason.as_str(),
+            spans.join(","),
+            events.join(","),
+            chrome_trace_json(&record.spans)
+        ),
+    )
+}
+
+/// Parses the body as a JSON object and validates the `tenant` field
+/// shared by both POST endpoints.
+fn parse_body(
+    inner: &Arc<ServerInner>,
+    request: &Request,
+    trace: &TraceId,
+) -> Result<(Json, String), Response> {
+    let fail = |detail: &str| {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        Err(error_response(400, "bad_request", detail, trace))
+    };
+    let Some(text) = request.body_utf8() else {
+        return fail("body is not valid UTF-8");
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return fail(&format!("invalid JSON: {e}")),
+    };
+    let Some(tenant) = body.str_field("tenant") else {
+        return fail("missing string field `tenant`");
+    };
+    if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
+        return fail(&format!("`tenant` must be 1..={MAX_TENANT_LEN} bytes"));
+    }
+    if tenant.chars().any(|c| c.is_control()) {
+        return fail("`tenant` must not contain control characters");
+    }
+    let tenant = tenant.to_string();
+    Ok((body, tenant))
+}
+
+/// Write-through to the durable store: appends `record` to the tenant's
+/// WAL and, when the snapshot cadence fires, captures the session's
+/// durable state and snapshots it (truncating the WAL). Must be called
+/// with the session lock held, so WAL order is execution order and the
+/// captured state reflects every appended record. Returns the fsync
+/// stall in microseconds when the policy synced on the request path.
+///
+/// Persistence failures (disk full, dead volume) degrade to memory-only
+/// serving: the request already succeeded against session state, so the
+/// client gets its answer while the failure lands in the metrics and
+/// the flight recorder.
+fn persist(
+    inner: &Arc<ServerInner>,
+    tenant: &str,
+    lab: &mut DataLab,
+    record: &SessionRecord,
+) -> Option<u64> {
+    let durable = inner.durable.as_ref()?;
+    let receipt = match durable.append(tenant, record) {
+        Ok(receipt) => receipt,
+        Err(e) => {
+            inner.telemetry.metrics().incr("store.append_failures", 1);
+            inner
+                .telemetry
+                .record_event(EventKind::PlatformError, format!("wal append: {e}"));
+            return None;
+        }
+    };
+    if receipt.snapshot_due {
+        let state = SessionState {
+            tables: lab.export_tables(),
+            knowledge_json: lab.export_knowledge().unwrap_or_default(),
+            notebook_json: lab.export_notebook(),
+            history: lab.history().to_vec(),
+        };
+        if let Err(e) = durable.snapshot(tenant, &state) {
+            inner.telemetry.metrics().incr("store.snapshot_failures", 1);
+            inner
+                .telemetry
+                .record_event(EventKind::PlatformError, format!("snapshot: {e}"));
+        }
+    }
+    receipt.fsync_stall_us
+}
+
+/// `GET /v1/tables?tenant=NAME`: the tenant's registered tables with
+/// row/column counts, in registration order. Serves from the resident
+/// session, recovering it from durable state first if it was evicted
+/// (or the server restarted).
+fn tables_index(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.tables", 1);
+    let fail = |detail: &str| {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        error_response(400, "bad_request", detail, trace)
+    };
+    let Some(tenant) = query_param(request.target.as_str(), "tenant") else {
+        return fail("missing query parameter `tenant`");
+    };
+    if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
+        return fail(&format!("`tenant` must be 1..={MAX_TENANT_LEN} bytes"));
+    }
+    if tenant.chars().any(|c| c.is_control()) {
+        return fail("`tenant` must not contain control characters");
+    }
+    // Only materialise a session for tenants that exist somewhere —
+    // resident in memory or recoverable from disk. Anything else would
+    // let listing probes fill the store with empty sessions.
+    let durable_has = inner
+        .durable
+        .as_ref()
+        .is_some_and(|durable| durable.has_tenant(tenant));
+    if !inner.store.contains(tenant) && !durable_has {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("no session or durable state for tenant `{tenant}`");
+        return error_response(404, "tenant_not_found", &detail, trace);
+    }
+    let session = inner.store.session(tenant);
+    let lab = session.lock().unwrap_or_else(|p| p.into_inner());
+    let db = lab.database();
+    let tables: Vec<String> = db
+        .table_names()
+        .iter()
+        .filter_map(|name| {
+            let df = db.get(name).ok()?;
+            Some(format!(
+                "{{\"name\":\"{}\",\"rows\":{},\"columns\":{}}}",
+                json_escape(name),
+                df.n_rows(),
+                df.schema().fields().len()
+            ))
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\":\"{}\",\"count\":{},\"tables\":[{}]}}",
+            json_escape(tenant),
+            tables.len(),
+            tables.join(",")
+        ),
+    )
+}
+
+fn tables(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Response {
+    inner.telemetry.metrics().incr("server.requests.tables", 1);
+    let (body, tenant) = match parse_body(inner, request, trace) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let (Some(name), Some(csv)) = (body.str_field("name"), body.str_field("csv")) else {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        return error_response(
+            400,
+            "bad_request",
+            "missing string fields `name` and `csv`",
+            trace,
+        );
+    };
+
+    let session = inner.store.session(&tenant);
+    let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
+    match lab.register_csv(name, csv) {
+        Ok(()) => {
+            persist(
+                inner,
+                &tenant,
+                &mut lab,
+                &SessionRecord::RegisterCsv {
+                    name: name.to_string(),
+                    csv: csv.to_string(),
+                },
+            );
+            let rows = lab.database().get(name).map(|df| df.n_rows()).unwrap_or(0);
+            Response::json(
+                200,
+                format!(
+                    "{{\"ok\":true,\"tenant\":\"{}\",\"table\":\"{}\",\"rows\":{}}}",
+                    json_escape(&tenant),
+                    json_escape(name),
+                    rows
+                ),
+            )
+        }
+        Err(e) => error_response(400, "table_register", &e.to_string(), trace),
+    }
+}
+
+fn query(
+    inner: &Arc<ServerInner>,
+    request: &Request,
+    trace: &TraceId,
+    arrived: Instant,
+) -> Response {
+    inner.telemetry.metrics().incr("server.requests.query", 1);
+    let (body, tenant) = match parse_body(inner, request, trace) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let Some(question) = body.str_field("question") else {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        return error_response(400, "bad_request", "missing string field `question`", trace);
+    };
+    let workload = body.str_field("workload").unwrap_or("adhoc");
+
+    let deadline = Duration::from_millis(inner.config.deadline_ms);
+    // Queue wait already consumed the whole budget: give up before
+    // doing any work. This is a server-side failure, so it counts
+    // against the tenant's SLO and leaves a (spanless) error trace.
+    if arrived.elapsed() >= deadline {
+        inner.telemetry.metrics().incr("server.timeouts", 1);
+        let duration_us = arrived.elapsed().as_micros() as u64;
+        inner.slo.observe(&tenant, false, duration_us);
+        inner.traces.offer(TraceRecord {
+            trace_id: trace.as_str().to_string(),
+            tenant,
+            workload: workload.to_string(),
+            status: 504,
+            ok: false,
+            duration_us,
+            spans: Vec::new(),
+            events: Vec::new(),
+        });
+        return error_response(504, "deadline", "deadline exceeded while queued", trace);
+    }
+
+    // Admission-control rejections (tenant inflight limit) are client
+    // back-pressure, not service failures: excluded from the SLO.
+    let Some(_permit) = inner.gate.try_acquire(&tenant) else {
+        inner.telemetry.metrics().incr("server.rejected.tenant", 1);
+        return error_response(
+            429,
+            "tenant_overloaded",
+            "tenant inflight limit reached",
+            trace,
+        )
+        .with_header("Retry-After", "1");
+    };
+
+    let session = inner.store.session(&tenant);
+    let ctx = RequestContext::traced(trace.clone());
+    let (mut response, breaker, fsync_stall_us) = {
+        let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
+        let response = lab.query_with_context(&ctx, workload, question);
+        // Persist while still holding the session lock: the WAL's
+        // record order is exactly the order queries executed in, which
+        // is what deterministic replay needs.
+        let fsync_stall_us = persist(
+            inner,
+            &tenant,
+            &mut lab,
+            &SessionRecord::Query {
+                workload: workload.to_string(),
+                question: question.to_string(),
+            },
+        );
+        let breaker = lab.breaker_state();
+        (response, breaker, fsync_stall_us)
+    };
+    let duration_us = arrived.elapsed().as_micros() as u64;
+
+    // Surface the WAL fsync stall (always-policy appends only) in this
+    // request's trace as a synthetic span, so durability cost shows up
+    // in `/v1/traces/:id` and the `/v1/profile` flamegraph next to the
+    // pipeline stages it taxed.
+    if let Some(stall_us) = fsync_stall_us {
+        let start_us = response
+            .telemetry
+            .spans
+            .last()
+            .map(|s| s.start_us + s.dur_us)
+            .unwrap_or(0);
+        response.telemetry.spans.push(SpanNode {
+            name: "store:fsync".to_string(),
+            start_us,
+            dur_us: stall_us,
+            cpu_us: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+            attrs: vec![("tenant".to_string(), tenant.clone())],
+            children: Vec::new(),
+        });
+    }
+
+    // Attribute usage before the deadline check so even timed-out work
+    // is billed to its tenant.
+    let tokens = response.telemetry.total.total();
+    inner
+        .telemetry
+        .metrics()
+        .incr(&format!("server.tenant.tokens.{tenant}"), tokens);
+    inner
+        .telemetry
+        .metrics()
+        .incr(&format!("server.tenant.queries.{tenant}"), 1);
+
+    // Mirror the session's per-query resilience deltas into the serving
+    // registry, and publish this tenant's breaker state for /v1/health.
+    let m = inner.telemetry.metrics();
+    m.incr("server.resilience.faults", response.resilience.faults);
+    m.incr(
+        "server.resilience.retries",
+        response.resilience.transport_retries,
+    );
+    m.incr(
+        "server.resilience.breaker_trips",
+        response.resilience.breaker_trips,
+    );
+    m.incr("server.resilience.degraded", response.resilience.degraded);
+    m.gauge_set(&format!("llm.breaker.state.{tenant}"), breaker as i64);
+
+    // A query that failed while the transport was down (breaker open or
+    // retries exhausted) is a service-level outage for this tenant, not a
+    // semantic failure: tell the client to back off and retry.
+    let outage =
+        !response.success && (breaker == BreakerState::Open || response.resilience.faults > 0);
+    // The platform query is uninterruptible, so a blown deadline is
+    // detected after the fact: the session state advanced, but the
+    // client gets the timeout it was promised.
+    let timed_out = !outage && arrived.elapsed() >= deadline;
+
+    let http_response = if outage {
+        inner.telemetry.metrics().incr("server.rejected.breaker", 1);
+        error_response(
+            503,
+            "transport_unavailable",
+            "model transport unavailable (circuit breaker open or retries exhausted)",
+            trace,
+        )
+        .with_header("Retry-After", "1")
+    } else if timed_out {
+        inner.telemetry.metrics().incr("server.timeouts", 1);
+        error_response(504, "deadline", "deadline exceeded during execution", trace)
+    } else {
+        let plan: Vec<String> = response
+            .plan
+            .iter()
+            .map(|role| format!("\"{}\"", json_escape(role)))
+            .collect();
+        let rows = response
+            .frame
+            .as_ref()
+            .map(|df| df.n_rows().to_string())
+            .unwrap_or_else(|| "null".to_string());
+        Response::json(
+            200,
+            format!(
+                "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"trace_id\":\"{}\",\
+                 \"success\":{},\"degraded\":{},\
+                 \"answer\":\"{}\",\
+                 \"rewritten_query\":\"{}\",\"plan\":[{}],\"tokens\":{},\"duration_us\":{},\
+                 \"cells_appended\":{},\"chart\":{},\"rows\":{}}}",
+                json_escape(&tenant),
+                json_escape(workload),
+                json_escape(trace.as_str()),
+                response.success,
+                response.degraded,
+                json_escape(&response.answer),
+                json_escape(&response.rewritten_query),
+                plan.join(","),
+                tokens,
+                duration_us,
+                response.new_cells.len(),
+                response.chart.is_some(),
+                rows
+            ),
+        )
+    };
+
+    // Every admitted query — success, outage, or timeout — is an SLO
+    // observation and a candidate for the tail-sampled trace store.
+    let status: u16 = if outage {
+        503
+    } else if timed_out {
+        504
+    } else {
+        200
+    };
+    inner.slo.observe(&tenant, status < 500, duration_us);
+    inner.traces.offer(TraceRecord {
+        trace_id: trace.as_str().to_string(),
+        tenant,
+        workload: workload.to_string(),
+        status,
+        ok: status < 500,
+        duration_us,
+        spans: response.telemetry.spans,
+        events: response.flight_record,
+    });
+
+    http_response
+}
+
+/// The uniform error body:
+/// `{"error":{"kind":"...","detail":"...","trace_id":"..."}}`.
+///
+/// Every error carries the request's trace ID in the body as well as in
+/// the `X-Trace-Id` header, so clients that only log bodies can still
+/// correlate failures with `/v1/traces/:id`.
+fn error_response(status: u16, kind: &str, detail: &str, trace: &TraceId) -> Response {
+    Response::json(
+        status,
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\",\"trace_id\":\"{}\"}}}}",
+            json_escape(kind),
+            json_escape(detail),
+            json_escape(trace.as_str())
+        ),
+    )
+}

@@ -1,0 +1,282 @@
+//! Sharded, capacity-bounded session store with LRU eviction and
+//! optional durability.
+//!
+//! Each tenant owns one [`DataLab`] session — its registered tables,
+//! notebook state, and accumulated knowledge are invisible to every
+//! other tenant. Sessions live behind `Arc<Mutex<..>>` handles in a
+//! fixed number of shards so concurrent requests for different tenants
+//! rarely contend on the same lock.
+//!
+//! Capacity is bounded per shard; when a shard is full the
+//! least-recently-used session is evicted to make room. A request that
+//! already holds an evicted session's `Arc` finishes its query on the
+//! old state — eviction drops the store's reference, not the session.
+//!
+//! With a [`DurableStore`] attached, eviction stops being data loss: a
+//! miss for a tenant with durable state rebuilds the session from its
+//! snapshot plus WAL replay (the model simulator is deterministic, so
+//! replaying a query record reproduces the exact post-query state), and
+//! eviction first syncs the tenant's WAL so nothing acknowledged is
+//! ever dropped with the session.
+
+use datalab_core::{DataLab, DataLabConfig};
+use datalab_store::{DurableStore, SessionRecordRef};
+use datalab_telemetry::{EventKind, Telemetry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Session store sizing and the config used for new sessions.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Total session capacity across all shards.
+    pub capacity: usize,
+    /// Number of independent shards (each with its own lock).
+    pub shards: usize,
+    /// Platform configuration cloned into every new tenant session.
+    pub lab_config: DataLabConfig,
+    /// Durable backing store; `None` keeps sessions memory-only.
+    pub durable: Option<Arc<DurableStore>>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            capacity: 64,
+            shards: 8,
+            lab_config: DataLabConfig {
+                record_runs: false,
+                ..DataLabConfig::default()
+            },
+            durable: None,
+        }
+    }
+}
+
+struct Entry {
+    lab: Arc<Mutex<DataLab>>,
+    last_touch: u64,
+}
+
+struct Shard {
+    sessions: HashMap<String, Entry>,
+}
+
+/// The multi-tenant session store.
+pub struct SessionStore {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    clock: AtomicU64,
+    telemetry: Telemetry,
+    lab_config: DataLabConfig,
+    durable: Option<Arc<DurableStore>>,
+}
+
+impl SessionStore {
+    /// Creates a store; `telemetry` receives session lifecycle metrics
+    /// (`server.sessions.created` / `.evicted` counters and the
+    /// `server.sessions.active` gauge) plus recovery accounting when a
+    /// durable store is attached (`store.recoveries` counter and the
+    /// `server.recovery.latency_us` histogram).
+    pub fn new(config: StoreConfig, telemetry: Telemetry) -> SessionStore {
+        let shards = config.shards.max(1);
+        let per_shard = config.capacity.max(1).div_ceil(shards);
+        SessionStore {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        sessions: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard,
+            clock: AtomicU64::new(0),
+            telemetry,
+            lab_config: config.lab_config,
+            durable: config.durable,
+        }
+    }
+
+    /// The attached durable store, if any.
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.durable.as_ref()
+    }
+
+    fn shard_for(&self, tenant: &str) -> &Mutex<Shard> {
+        // FNV-1a: cheap, stable across runs (unlike `DefaultHasher`,
+        // which is randomly seeded per process).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in tenant.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the tenant's session handle, creating (and if necessary
+    /// evicting) under the shard lock. A miss for a tenant with durable
+    /// state rebuilds the session from snapshot + WAL replay before
+    /// returning. The returned `Arc` stays valid even if the session is
+    /// evicted while the caller holds it.
+    pub fn session(&self, tenant: &str) -> Arc<Mutex<DataLab>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self
+            .shard_for(tenant)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+
+        if let Some(entry) = shard.sessions.get_mut(tenant) {
+            entry.last_touch = now;
+            return Arc::clone(&entry.lab);
+        }
+
+        if shard.sessions.len() >= self.per_shard {
+            // Evict the least-recently-used tenant in this shard.
+            if let Some(victim) = shard
+                .sessions
+                .iter()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(t, _)| t.clone())
+            {
+                shard.sessions.remove(&victim);
+                // Make the victim durable before its memory state goes
+                // away: whatever the interval flusher had not synced yet
+                // reaches disk now, so a later miss rebuilds losslessly.
+                if let Some(durable) = &self.durable {
+                    durable.flush_tenant(&victim);
+                }
+                self.telemetry.metrics().incr("server.sessions.evicted", 1);
+                self.telemetry
+                    .metrics()
+                    .gauge_add("server.sessions.active", -1);
+                self.telemetry
+                    .record_event(EventKind::SessionEvicted, victim);
+            }
+        }
+
+        // Rebuild from durable state when the tenant has history on
+        // disk; otherwise start fresh. Recovery runs under the shard
+        // lock, which serialises concurrent first-requests for the same
+        // tenant (replay is in-process simulation — microseconds per
+        // record — so the hold is short).
+        let lab = self
+            .recover(tenant)
+            .unwrap_or_else(|| DataLab::new(self.lab_config.clone()));
+        let lab = Arc::new(Mutex::new(lab));
+        shard.sessions.insert(
+            tenant.to_string(),
+            Entry {
+                lab: Arc::clone(&lab),
+                last_touch: now,
+            },
+        );
+        self.telemetry.metrics().incr("server.sessions.created", 1);
+        self.telemetry
+            .metrics()
+            .gauge_add("server.sessions.active", 1);
+        lab
+    }
+
+    /// Rebuilds a session from the durable store: restore the snapshot
+    /// (tables, knowledge, notebook, history), then replay every WAL
+    /// record above the snapshot watermark. `None` when there is no
+    /// durable store, no durable state, or the state failed to load.
+    fn recover(&self, tenant: &str) -> Option<DataLab> {
+        let durable = self.durable.as_ref()?;
+        let begun = Instant::now();
+        let config = &self.lab_config;
+        let recovered = durable
+            .recover_with(tenant, |outcome| {
+                let mut lab = DataLab::new(config.clone());
+                if let Some(snap) = &outcome.snapshot {
+                    for (name, csv) in &snap.tables {
+                        let _ = lab.register_csv(name, csv);
+                    }
+                    if !snap.knowledge_json.is_empty() {
+                        let _ = lab.import_knowledge(snap.knowledge_json);
+                    }
+                    if !snap.notebook_json.is_empty() {
+                        let _ = lab.import_notebook(snap.notebook_json);
+                    }
+                    lab.restore_history(snap.history.iter().map(|h| h.to_string()).collect());
+                }
+                for (_, record) in &outcome.records {
+                    apply_record(&mut lab, record);
+                }
+                lab
+            })
+            .ok()?;
+        if recovered.is_some() {
+            self.telemetry.metrics().observe(
+                "server.recovery.latency_us",
+                begun.elapsed().as_micros() as u64,
+            );
+        }
+        recovered
+    }
+
+    /// Whether a session currently exists for the tenant.
+    pub fn contains(&self, tenant: &str) -> bool {
+        self.shard_for(tenant)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .sessions
+            .contains_key(tenant)
+    }
+
+    /// Number of live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).sessions.len())
+            .sum()
+    }
+
+    /// Whether the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All resident tenant names, in no particular order.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            out.extend(shard.sessions.keys().cloned());
+        }
+        out
+    }
+}
+
+/// Applies one replayed WAL record to a session being rebuilt. Errors
+/// are swallowed: a record that failed the same way live (e.g. a CSV
+/// that never parsed) fails identically on replay, which *is* the
+/// faithful reconstruction.
+fn apply_record(lab: &mut DataLab, record: &SessionRecordRef<'_>) {
+    match record {
+        SessionRecordRef::RegisterCsv { name, csv } => {
+            let _ = lab.register_csv(name, csv);
+        }
+        SessionRecordRef::Query { workload, question } => {
+            let _ = lab.query_as(workload, question);
+        }
+        SessionRecordRef::AddJargon { term, expansion } => {
+            lab.add_jargon(term, expansion);
+        }
+        SessionRecordRef::AddValueAlias {
+            term,
+            table,
+            column,
+            value,
+        } => {
+            lab.add_value_alias(term, table, column, value);
+        }
+        SessionRecordRef::ImportKnowledge { json } => {
+            let _ = lab.import_knowledge(json);
+        }
+        SessionRecordRef::ImportNotebook { json } => {
+            let _ = lab.import_notebook(json);
+        }
+    }
+}

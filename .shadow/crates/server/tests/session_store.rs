@@ -1,0 +1,122 @@
+//! Session-store behaviour: LRU eviction order, tenant isolation, and
+//! concurrent access from many threads.
+
+use datalab_server::{SessionStore, StoreConfig};
+use datalab_telemetry::Telemetry;
+use std::sync::Arc;
+use std::thread;
+
+fn store(capacity: usize, shards: usize) -> (SessionStore, Telemetry) {
+    let telemetry = Telemetry::default();
+    let store = SessionStore::new(
+        StoreConfig {
+            capacity,
+            shards,
+            ..StoreConfig::default()
+        },
+        telemetry.clone(),
+    );
+    (store, telemetry)
+}
+
+#[test]
+fn evicts_the_least_recently_used_tenant() {
+    // One shard so all three tenants compete for the same capacity.
+    let (store, telemetry) = store(2, 1);
+    store.session("a");
+    store.session("b");
+    // Touch `a` so `b` becomes the LRU entry.
+    store.session("a");
+    store.session("c");
+
+    assert!(store.contains("a"), "recently used tenant evicted");
+    assert!(!store.contains("b"), "LRU tenant survived");
+    assert!(store.contains("c"));
+    assert_eq!(store.len(), 2);
+    assert_eq!(telemetry.metrics().counter("server.sessions.created"), 3);
+    assert_eq!(telemetry.metrics().counter("server.sessions.evicted"), 1);
+    assert_eq!(telemetry.metrics().gauge("server.sessions.active"), 2);
+
+    // A re-created session starts empty: the evicted tenant's state is
+    // gone, not resurrected.
+    let b = store.session("b");
+    assert!(b.lock().unwrap().database().is_empty());
+}
+
+#[test]
+fn an_in_flight_handle_survives_eviction() {
+    let (store, _) = store(1, 1);
+    let a = store.session("a");
+    a.lock()
+        .unwrap()
+        .register_csv("sales", "region,amount\neast,10\n")
+        .unwrap();
+    // `b` evicts `a` from the store, but the held handle still works.
+    store.session("b");
+    assert!(!store.contains("a"));
+    assert!(a.lock().unwrap().database().contains("sales"));
+}
+
+#[test]
+fn tenants_get_isolated_sessions() {
+    let (store, _) = store(8, 4);
+    let a = store.session("acme");
+    a.lock()
+        .unwrap()
+        .register_csv("sales", "region,amount\neast,10\nwest,20\n")
+        .unwrap();
+
+    let b = store.session("globex");
+    assert!(
+        b.lock().unwrap().database().is_empty(),
+        "tenant state leaked"
+    );
+    assert!(a.lock().unwrap().database().contains("sales"));
+
+    // Repeated lookups return the same session, not a fresh one.
+    let a2 = store.session("acme");
+    assert!(Arc::ptr_eq(&a, &a2));
+    let mut tenants = store.tenants();
+    tenants.sort();
+    assert_eq!(tenants, vec!["acme".to_string(), "globex".to_string()]);
+}
+
+#[test]
+fn concurrent_access_from_many_threads_is_safe() {
+    let telemetry = Telemetry::default();
+    let store = Arc::new(SessionStore::new(
+        StoreConfig {
+            // Capacity is split per shard (16 each here), so even if the
+            // hash sent every tenant to one shard nothing would evict.
+            capacity: 64,
+            shards: 4,
+            ..StoreConfig::default()
+        },
+        telemetry.clone(),
+    ));
+
+    let mut handles = Vec::new();
+    for thread_id in 0..8 {
+        let store = Arc::clone(&store);
+        handles.push(thread::spawn(move || {
+            for round in 0..20 {
+                let tenant = format!("tenant-{}", (thread_id + round) % 16);
+                let session = store.session(&tenant);
+                let mut lab = session.lock().unwrap();
+                let table = format!("t{thread_id}");
+                lab.register_csv(&table, "k,v\na,1\n").unwrap();
+                assert!(lab.database().contains(&table));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("no thread panicked");
+    }
+
+    // All 16 distinct tenants fit: nothing was evicted, and every
+    // creation is accounted for.
+    assert_eq!(store.len(), 16);
+    assert_eq!(telemetry.metrics().counter("server.sessions.created"), 16);
+    assert_eq!(telemetry.metrics().counter("server.sessions.evicted"), 0);
+    assert_eq!(telemetry.metrics().gauge("server.sessions.active"), 16);
+}

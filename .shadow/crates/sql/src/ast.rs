@@ -1,0 +1,620 @@
+//! SQL abstract syntax tree and pretty-printer.
+
+use datalab_frame::{AggFunc, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Concat => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally table-qualified.
+    Column {
+        /// Table or alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Aggregate call, e.g. `SUM(x)`, `COUNT(*)`, `COUNT(DISTINCT x)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument; `None` means `*`.
+        arg: Option<Box<Expr>>,
+        /// Whether DISTINCT was specified.
+        distinct: bool,
+    },
+    /// Scalar function call, e.g. `ROUND(x, 2)`.
+    Func {
+        /// Function name (lower-cased).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `CASE WHEN .. THEN .. [ELSE ..] END` (searched form).
+    Case {
+        /// `(condition, result)` branches.
+        branches: Vec<(Expr, Expr)>,
+        /// ELSE branch.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Shorthand for an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand for a qualified column reference.
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand for a binary expression.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// True when the expression (recursively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || else_expr
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Collects every column name referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column { name, .. } => out.push(name.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Unary { expr, .. } => expr.referenced_columns(out),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.referenced_columns(out);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.referenced_columns(out);
+                    r.referenced_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+        }
+    }
+}
+
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("NULL"),
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        Value::Date(d) => write!(f, "'{d}'"),
+        other => f.write_str(&other.render()),
+    }
+}
+
+/// Prints an identifier, quoting it when it would lex as a keyword.
+fn fmt_ident(name: &str) -> std::borrow::Cow<'_, str> {
+    if crate::parser::is_reserved_word(name) || name.contains(' ') {
+        std::borrow::Cow::Owned(format!("\"{name}\""))
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => {
+                write!(f, "{}.{}", fmt_ident(t), fmt_ident(name))
+            }
+            Expr::Column { table: None, name } => f.write_str(&fmt_ident(name)),
+            Expr::Literal(v) => fmt_literal(v, f),
+            Expr::Binary { op, left, right } => {
+                let needs_parens = matches!(op, BinOp::And | BinOp::Or);
+                if needs_parens {
+                    write!(f, "({left} {} {right})", op.sql())
+                } else {
+                    write!(f, "{left} {} {right}", op.sql())
+                }
+            }
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "-{expr}"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "NOT ({expr})"),
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
+                let inner = match arg {
+                    None => "*".to_string(),
+                    Some(a) => a.to_string(),
+                };
+                if *distinct {
+                    write!(f, "{}(DISTINCT {inner})", func.sql_name())
+                } else {
+                    write!(f, "{}({inner})", func.sql_name())
+                }
+            }
+            Expr::Func { name, args } => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{}({})", name.to_uppercase(), parts.join(", "))
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                f.write_str("CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let parts: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    parts.join(", ")
+                )
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}BETWEEN {low} AND {high}",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{}'",
+                    if *negated { "NOT " } else { "" },
+                    pattern.replace('\'', "''")
+                )
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+/// One projected item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        /// Projected expression.
+        expr: Expr,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+/// Join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// INNER JOIN.
+    Inner,
+    /// LEFT (outer) JOIN.
+    Left,
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base table with optional alias.
+    Named {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// A parenthesised subquery with required alias.
+    Derived {
+        /// The inner query.
+        query: Box<Select>,
+        /// Alias naming the derived table.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name this reference binds in scope (alias if present).
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named {
+                name,
+                alias: Some(a),
+            } => write!(f, "{name} AS {a}"),
+            TableRef::Named { name, alias: None } => f.write_str(name),
+            TableRef::Derived { query, alias } => write!(f, "({query}) AS {alias}"),
+        }
+    }
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join flavour.
+    pub kind: JoinType,
+    /// The joined table.
+    pub table: TableRef,
+    /// ON condition.
+    pub on: Expr,
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression (may be an output alias or 1-based ordinal).
+    pub expr: Expr,
+    /// Ascending?
+    pub ascending: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Select {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM table (None for table-less SELECT, e.g. `SELECT 1`).
+    pub from: Option<TableRef>,
+    /// JOIN clauses, applied left to right.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        let items: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
+        f.write_str(&items.join(", "))?;
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        for j in &self.joins {
+            let kw = match j.kind {
+                JoinType::Inner => "JOIN",
+                JoinType::Left => "LEFT JOIN",
+            };
+            write!(f, " {kw} {} ON {}", j.table, j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            let keys: Vec<String> = self.group_by.iter().map(|e| e.to_string()).collect();
+            write!(f, " GROUP BY {}", keys.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|k| format!("{}{}", k.expr, if k.ascending { "" } else { " DESC" }))
+                .collect();
+            write!(f, " ORDER BY {}", keys.join(", "))?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let sel = Select {
+            distinct: false,
+            items: vec![
+                SelectItem::Expr {
+                    expr: Expr::col("region"),
+                    alias: None,
+                },
+                SelectItem::Expr {
+                    expr: Expr::Agg {
+                        func: AggFunc::Sum,
+                        arg: Some(Box::new(Expr::col("amount"))),
+                        distinct: false,
+                    },
+                    alias: Some("total".into()),
+                },
+            ],
+            from: Some(TableRef::Named {
+                name: "sales".into(),
+                alias: None,
+            }),
+            group_by: vec![Expr::col("region")],
+            order_by: vec![OrderKey {
+                expr: Expr::col("total"),
+                ascending: false,
+            }],
+            limit: Some(5),
+            ..Default::default()
+        };
+        assert_eq!(
+            sel.to_string(),
+            "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY total DESC LIMIT 5"
+        );
+    }
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let e = Expr::bin(
+            BinOp::Gt,
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            },
+            Expr::lit(3i64),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn string_literals_escape() {
+        let e = Expr::lit("o'brien");
+        assert_eq!(e.to_string(), "'o''brien'");
+    }
+}

@@ -1,0 +1,135 @@
+//! Execution-equivalence comparison — the EX metric used by Spider, BIRD,
+//! and nvBench: two queries are equivalent when executing them yields the
+//! same result multiset.
+
+use datalab_frame::{DataFrame, Value};
+
+const REL_TOL: f64 = 1e-6;
+
+/// Compares two result frames for execution equivalence.
+///
+/// - Row order is ignored unless `ordered` is set (use it when the gold
+///   query has an ORDER BY).
+/// - Column *names* are ignored (generated queries alias freely).
+/// - Column *order* is forgiven: if the widths match but the direct
+///   comparison fails, every column permutation is tried (up to 7 columns,
+///   past which benchmarks do not go).
+/// - Floats compare with a small relative tolerance.
+pub fn ex_equal(a: &DataFrame, b: &DataFrame, ordered: bool) -> bool {
+    if a.n_cols() != b.n_cols() || a.n_rows() != b.n_rows() {
+        return false;
+    }
+    let identity: Vec<usize> = (0..a.n_cols()).collect();
+    if rows_equal(a, b, &identity, ordered) {
+        return true;
+    }
+    if a.n_cols() <= 7 {
+        for perm in permutations(a.n_cols()) {
+            if perm != identity && rows_equal(a, b, &perm, ordered) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Compares with `b`'s columns reordered by `perm`.
+fn rows_equal(a: &DataFrame, b: &DataFrame, perm: &[usize], ordered: bool) -> bool {
+    let mut rows_a: Vec<Vec<&Value>> = (0..a.n_rows())
+        .map(|i| (0..a.n_cols()).map(|c| &a.column_at(c)[i]).collect())
+        .collect();
+    let mut rows_b: Vec<Vec<&Value>> = (0..b.n_rows())
+        .map(|i| perm.iter().map(|&c| &b.column_at(c)[i]).collect())
+        .collect();
+    if !ordered {
+        let key = |row: &Vec<&Value>| -> Vec<String> { row.iter().map(|v| v.render()).collect() };
+        rows_a.sort_by_key(key);
+        rows_b.sort_by_key(key);
+    }
+    rows_a.iter().zip(&rows_b).all(|(ra, rb)| {
+        ra.iter()
+            .zip(rb.iter())
+            .all(|(x, y)| x.approx_eq(y, REL_TOL))
+    })
+}
+
+/// All permutations of `0..n` (n ≤ 7 keeps this bounded at 5040).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::DataType;
+
+    fn f(cols: Vec<(&str, DataType, Vec<Value>)>) -> DataFrame {
+        DataFrame::from_columns(cols).unwrap()
+    }
+
+    #[test]
+    fn equal_up_to_row_order() {
+        let a = f(vec![("x", DataType::Int, vec![1.into(), 2.into()])]);
+        let b = f(vec![("y", DataType::Int, vec![2.into(), 1.into()])]);
+        assert!(ex_equal(&a, &b, false));
+        assert!(!ex_equal(&a, &b, true));
+    }
+
+    #[test]
+    fn equal_up_to_column_order() {
+        let a = f(vec![
+            ("x", DataType::Int, vec![1.into()]),
+            ("y", DataType::Str, vec!["a".into()]),
+        ]);
+        let b = f(vec![
+            ("p", DataType::Str, vec!["a".into()]),
+            ("q", DataType::Int, vec![1.into()]),
+        ]);
+        assert!(ex_equal(&a, &b, false));
+    }
+
+    #[test]
+    fn float_tolerance() {
+        let a = f(vec![(
+            "x",
+            DataType::Float,
+            vec![Value::Float(0.333333333)],
+        )]);
+        let b = f(vec![("x", DataType::Float, vec![Value::Float(1.0 / 3.0)])]);
+        assert!(ex_equal(&a, &b, false));
+    }
+
+    #[test]
+    fn different_content_not_equal() {
+        let a = f(vec![("x", DataType::Int, vec![1.into()])]);
+        let b = f(vec![("x", DataType::Int, vec![2.into()])]);
+        assert!(!ex_equal(&a, &b, false));
+        let c = f(vec![("x", DataType::Int, vec![1.into(), 1.into()])]);
+        assert!(!ex_equal(&a, &c, false));
+    }
+
+    #[test]
+    fn int_float_cross_type_equal() {
+        let a = f(vec![("x", DataType::Int, vec![3.into()])]);
+        let b = f(vec![("x", DataType::Float, vec![Value::Float(3.0)])]);
+        assert!(ex_equal(&a, &b, false));
+    }
+}

@@ -1,0 +1,131 @@
+//! The table catalog queries execute against.
+
+use crate::error::{Result, SqlError};
+use datalab_frame::DataFrame;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A named collection of tables — the engine's stand-in for the backend
+/// databases DataLab notebooks connect to.
+///
+/// Frames are stored behind [`Arc`], so cloning a database — or
+/// registering the same frame with several sessions — shares column data
+/// instead of deep-copying it.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// Lower-cased table name → shared frame.
+    tables: HashMap<String, Arc<DataFrame>>,
+    /// Insertion order of the original (case-preserved) names.
+    order: Vec<String>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers (or replaces) a table. Accepts an owned frame or an
+    /// already-shared `Arc<DataFrame>` (no copy in either case).
+    pub fn insert(&mut self, name: impl Into<String>, df: impl Into<Arc<DataFrame>>) {
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        if self.tables.insert(key, df.into()).is_none() {
+            self.order.push(name);
+        }
+    }
+
+    /// Case-insensitive lookup.
+    pub fn get(&self, name: &str) -> Result<&DataFrame> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|df| df.as_ref())
+            .ok_or_else(|| SqlError::TableNotFound(name.to_string()))
+    }
+
+    /// Case-insensitive lookup returning the shared handle — the cheap
+    /// way to hand one frame to another catalog or session.
+    pub fn get_shared(&self, name: &str) -> Result<Arc<DataFrame>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| SqlError::TableNotFound(name.to_string()))
+    }
+
+    /// True when the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Table names in registration order.
+    pub fn table_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// A compact `table(col type, ...)` rendering of every schema — the
+    /// "brief data schema" baseline agents put in prompts (setting S1 of
+    /// the paper's Table II).
+    pub fn schema_text(&self) -> String {
+        let mut s = String::new();
+        for name in &self.order {
+            if let Ok(df) = self.get(name) {
+                s.push_str(name);
+                s.push_str(&df.schema().to_string());
+                s.push('\n');
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::DataType;
+
+    #[test]
+    fn insert_get_case_insensitive() {
+        let mut db = Database::new();
+        let df = DataFrame::from_columns(vec![("x", DataType::Int, vec![1.into()])]).unwrap();
+        db.insert("Sales", df);
+        assert!(db.get("sales").is_ok());
+        assert!(db.get("SALES").is_ok());
+        assert!(db.get("missing").is_err());
+        assert_eq!(db.table_names(), ["Sales"]);
+        assert!(db.schema_text().contains("Sales(x int)"));
+    }
+
+    #[test]
+    fn shared_frames_are_not_copied() {
+        let mut db = Database::new();
+        let df =
+            Arc::new(DataFrame::from_columns(vec![("x", DataType::Int, vec![1.into()])]).unwrap());
+        db.insert("t", Arc::clone(&df));
+        // A clone of the database and a get_shared handle both point at
+        // the same allocation as the original Arc.
+        let clone = db.clone();
+        let shared = clone.get_shared("T").unwrap();
+        assert!(Arc::ptr_eq(&df, &shared));
+        assert!(db.get_shared("missing").is_err());
+        assert_eq!(db.get("t").unwrap().n_rows(), 1);
+    }
+
+    #[test]
+    fn replace_keeps_single_entry() {
+        let mut db = Database::new();
+        let df = DataFrame::from_columns(vec![("x", DataType::Int, vec![1.into()])]).unwrap();
+        db.insert("t", df.clone());
+        db.insert("T", df);
+        assert_eq!(db.len(), 1);
+    }
+}

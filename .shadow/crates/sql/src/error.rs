@@ -1,0 +1,49 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing, or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexer failure with position.
+    Lex {
+        /// Byte offset of the failure.
+        pos: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parser failure.
+    Parse(String),
+    /// Unknown table.
+    TableNotFound(String),
+    /// Unknown or ambiguous column.
+    ColumnNotFound(String),
+    /// A runtime evaluation error (types, arity, ...).
+    Eval(String),
+    /// Propagated DataFrame error.
+    Frame(datalab_frame::FrameError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            SqlError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<datalab_frame::FrameError> for SqlError {
+    fn from(e: datalab_frame::FrameError) -> Self {
+        SqlError::Frame(e)
+    }
+}
+
+/// Convenience alias used throughout the SQL crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,963 @@
+//! Row-at-a-time SELECT executor.
+//!
+//! Evaluation is deliberately simple (nested-loop joins, hash grouping);
+//! benchmark tables in this reproduction are small, and correctness — not
+//! throughput — is what the EX metric depends on.
+
+use crate::ast::*;
+use crate::db::Database;
+use crate::error::{Result, SqlError};
+use datalab_frame::{AggFunc, DataFrame, DataType, Field, Schema, Value};
+use std::collections::HashMap;
+
+/// Executes a parsed SELECT against a database.
+pub fn execute(sel: &Select, db: &Database) -> Result<DataFrame> {
+    let source = build_source(sel, db)?;
+    project(sel, source)
+}
+
+/// Parses and executes SQL text in one call.
+pub fn run_sql(sql: &str, db: &Database) -> Result<DataFrame> {
+    let sel = crate::parser::parse_select(sql)?;
+    execute(&sel, db)
+}
+
+/// One in-scope column during evaluation.
+#[derive(Debug, Clone)]
+struct BindEntry {
+    /// Lower-cased binding qualifier (table name or alias).
+    qualifier: Option<String>,
+    /// Column name (case preserved).
+    name: String,
+}
+
+/// The evaluation scope: which (qualifier, column) pairs are visible.
+#[derive(Debug, Clone, Default)]
+struct Binding {
+    entries: Vec<BindEntry>,
+}
+
+impl Binding {
+    fn from_frame(df: &DataFrame, qualifier: &str) -> Binding {
+        let q = qualifier.to_ascii_lowercase();
+        Binding {
+            entries: df
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| BindEntry {
+                    qualifier: Some(q.clone()),
+                    name: f.name.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let tl = table.map(str::to_ascii_lowercase);
+        let mut found = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(t) = &tl {
+                if e.qualifier.as_deref() != Some(t.as_str()) {
+                    continue;
+                }
+            }
+            if found.is_none() {
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            SqlError::ColumnNotFound(match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_string(),
+            })
+        })
+    }
+}
+
+/// The working set: a binding plus row-major data.
+struct WorkSet {
+    binding: Binding,
+    rows: Vec<Vec<Value>>,
+}
+
+fn table_workset(tref: &TableRef, db: &Database) -> Result<WorkSet> {
+    match tref {
+        TableRef::Named { name, alias } => {
+            let df = db.get(name)?;
+            let qual = alias.as_deref().unwrap_or(name);
+            let rows = (0..df.n_rows()).map(|i| df.row(i)).collect();
+            Ok(WorkSet {
+                binding: Binding::from_frame(df, qual),
+                rows,
+            })
+        }
+        TableRef::Derived { query, alias } => {
+            let df = execute(query, db)?;
+            let rows = (0..df.n_rows()).map(|i| df.row(i)).collect();
+            Ok(WorkSet {
+                binding: Binding::from_frame(&df, alias),
+                rows,
+            })
+        }
+    }
+}
+
+fn build_source(sel: &Select, db: &Database) -> Result<WorkSet> {
+    let mut ws = match &sel.from {
+        Some(t) => table_workset(t, db)?,
+        // Table-less SELECT: a single empty row so literals evaluate once.
+        None => WorkSet {
+            binding: Binding::default(),
+            rows: vec![Vec::new()],
+        },
+    };
+    for join in &sel.joins {
+        let right = table_workset(&join.table, db)?;
+        let mut binding = ws.binding.clone();
+        binding
+            .entries
+            .extend(right.binding.entries.iter().cloned());
+        let mut rows = Vec::new();
+        for lrow in &ws.rows {
+            let mut matched = false;
+            for rrow in &right.rows {
+                let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                combined.extend(lrow.iter().cloned());
+                combined.extend(rrow.iter().cloned());
+                if truthy(&eval(&join.on, &binding, &Ctx::Row(&combined))?) {
+                    rows.push(combined);
+                    matched = true;
+                }
+            }
+            if !matched && join.kind == JoinType::Left {
+                let mut combined = Vec::with_capacity(lrow.len() + right.binding.entries.len());
+                combined.extend(lrow.iter().cloned());
+                combined.extend(std::iter::repeat(Value::Null).take(right.binding.entries.len()));
+                rows.push(combined);
+            }
+        }
+        ws = WorkSet { binding, rows };
+    }
+    if let Some(pred) = &sel.where_clause {
+        let binding = ws.binding.clone();
+        let mut rows = Vec::with_capacity(ws.rows.len());
+        for row in ws.rows {
+            if truthy(&eval(pred, &binding, &Ctx::Row(&row))?) {
+                rows.push(row);
+            }
+        }
+        ws = WorkSet { binding, rows };
+    }
+    Ok(ws)
+}
+
+/// Evaluation context: a single row, or a group of rows (for aggregates).
+enum Ctx<'a> {
+    Row(&'a [Value]),
+    Group(&'a [Vec<Value>]),
+}
+
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Expands wildcards into explicit column expressions.
+fn expand_items(sel: &Select, binding: &Binding) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for e in &binding.entries {
+                    out.push((
+                        Expr::Column {
+                            table: e.qualifier.clone(),
+                            name: e.name.clone(),
+                        },
+                        e.name.clone(),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let tl = t.to_ascii_lowercase();
+                let before = out.len();
+                for e in &binding.entries {
+                    if e.qualifier.as_deref() == Some(tl.as_str()) {
+                        out.push((
+                            Expr::Column {
+                                table: e.qualifier.clone(),
+                                name: e.name.clone(),
+                            },
+                            e.name.clone(),
+                        ));
+                    }
+                }
+                if out.len() == before {
+                    return Err(SqlError::TableNotFound(t.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    other => other.to_string(),
+                });
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn project(sel: &Select, source: WorkSet) -> Result<DataFrame> {
+    let binding = source.binding;
+    let items = expand_items(sel, &binding)?;
+    let is_aggregate = !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || items.iter().any(|(e, _)| e.contains_aggregate());
+
+    // Each output row plus the context rows it came from, retained so
+    // ORDER BY expressions can still be evaluated against the source.
+    let mut out_rows: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+
+    if is_aggregate {
+        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut ordered: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+        for row in source.rows {
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(g, &binding, &Ctx::Row(&row))?);
+            }
+            match groups.get(&key) {
+                Some(&i) => ordered[i].1.push(row),
+                None => {
+                    groups.insert(key.clone(), ordered.len());
+                    ordered.push((key, vec![row]));
+                }
+            }
+        }
+        if sel.group_by.is_empty() && ordered.is_empty() {
+            ordered.push((Vec::new(), Vec::new()));
+        }
+        for (_key, rows) in ordered {
+            if let Some(h) = &sel.having {
+                if !truthy(&eval(h, &binding, &Ctx::Group(&rows))?) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for (expr, _) in &items {
+                out.push(eval(expr, &binding, &Ctx::Group(&rows))?);
+            }
+            out_rows.push((out, rows));
+        }
+    } else {
+        for row in source.rows {
+            let mut out = Vec::with_capacity(items.len());
+            for (expr, _) in &items {
+                out.push(eval(expr, &binding, &Ctx::Row(&row))?);
+            }
+            out_rows.push((out, vec![row]));
+        }
+    }
+
+    if sel.distinct {
+        let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+        out_rows.retain(|(row, _)| seen.insert(row.clone(), ()).is_none());
+    }
+
+    // ORDER BY: alias, ordinal, or arbitrary expression over the context.
+    if !sel.order_by.is_empty() {
+        let names: Vec<&String> = items.iter().map(|(_, n)| n).collect();
+        // Pre-compute sort keys.
+        let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(out_rows.len());
+        for (i, (row, ctx_rows)) in out_rows.iter().enumerate() {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for ok in &sel.order_by {
+                let v = order_key_value(&ok.expr, row, ctx_rows, &names, &binding, is_aggregate)?;
+                keys.push(v);
+            }
+            keyed.push((keys, i));
+        }
+        keyed.sort_by(|(ka, ia), (kb, ib)| {
+            for (j, ok) in sel.order_by.iter().enumerate() {
+                let ord = ka[j].total_cmp(&kb[j]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if ok.ascending { ord } else { ord.reverse() };
+                }
+            }
+            ia.cmp(ib) // stable
+        });
+        let order: Vec<usize> = keyed.into_iter().map(|(_, i)| i).collect();
+        let mut reordered = Vec::with_capacity(out_rows.len());
+        for i in order {
+            reordered.push(out_rows[i].clone());
+        }
+        out_rows = reordered;
+    }
+
+    if let Some(n) = sel.limit {
+        out_rows.truncate(n);
+    }
+
+    // Infer output column types from the produced values.
+    let n_cols = items.len();
+    let mut dtypes = vec![DataType::Null; n_cols];
+    for (row, _) in &out_rows {
+        for (c, v) in row.iter().enumerate() {
+            dtypes[c] = unify_dtype(dtypes[c], v.dtype());
+        }
+    }
+    let fields: Vec<Field> = items
+        .iter()
+        .zip(&dtypes)
+        .map(|((_, name), t)| Field::new(dedup_name(name), *t))
+        .collect();
+    // Output columns may repeat names (e.g. `SELECT a, a`); make unique.
+    let mut unique = Vec::with_capacity(fields.len());
+    let mut used: HashMap<String, usize> = HashMap::new();
+    for f in fields {
+        let key = f.name.to_ascii_lowercase();
+        let n = used.entry(key).or_insert(0);
+        let name = if *n == 0 {
+            f.name.clone()
+        } else {
+            format!("{}_{}", f.name, n)
+        };
+        *n += 1;
+        unique.push(Field::new(name, f.dtype));
+    }
+    let mut df = DataFrame::new(Schema::new(unique)?);
+    for (row, _) in out_rows {
+        df.push_row(row)?;
+    }
+    Ok(df)
+}
+
+fn dedup_name(name: &str) -> String {
+    name.to_string()
+}
+
+fn unify_dtype(a: DataType, b: DataType) -> DataType {
+    use DataType::*;
+    match (a, b) {
+        (Null, t) | (t, Null) => t,
+        (x, y) if x == y => x,
+        (Int, Float) | (Float, Int) => Float,
+        _ => Str,
+    }
+}
+
+fn order_key_value(
+    expr: &Expr,
+    out_row: &[Value],
+    ctx_rows: &[Vec<Value>],
+    names: &[&String],
+    binding: &Binding,
+    is_aggregate: bool,
+) -> Result<Value> {
+    // 1-based ordinal.
+    if let Expr::Literal(Value::Int(i)) = expr {
+        let idx = *i as usize;
+        if idx >= 1 && idx <= out_row.len() {
+            return Ok(out_row[idx - 1].clone());
+        }
+    }
+    // Output alias.
+    if let Expr::Column { table: None, name } = expr {
+        if let Some(pos) = names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
+            return Ok(out_row[pos].clone());
+        }
+    }
+    // Fall back to evaluating against the retained context.
+    if is_aggregate {
+        eval(expr, binding, &Ctx::Group(ctx_rows))
+    } else if let Some(first) = ctx_rows.first() {
+        eval(expr, binding, &Ctx::Row(first))
+    } else {
+        Ok(Value::Null)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+fn eval(expr: &Expr, binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let idx = binding.resolve(table.as_deref(), name)?;
+            match ctx {
+                Ctx::Row(row) => Ok(row.get(idx).cloned().unwrap_or(Value::Null)),
+                // Scalar column inside a group: representative first row
+                // (SQLite-style loose grouping).
+                Ctx::Group(rows) => Ok(rows
+                    .first()
+                    .and_then(|r| r.get(idx))
+                    .cloned()
+                    .unwrap_or(Value::Null)),
+            }
+        }
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => {
+            let v = eval(expr, binding, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(SqlError::Eval(format!("cannot negate {}", other.dtype()))),
+            }
+        }
+        Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => {
+            let v = eval(expr, binding, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(SqlError::Eval(format!("cannot NOT {}", other.dtype()))),
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, binding, ctx),
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => match ctx {
+            Ctx::Group(rows) => eval_aggregate(*func, arg.as_deref(), *distinct, rows, binding),
+            Ctx::Row(row) => {
+                // Aggregate over a single row (occurs when aggregates are
+                // used without GROUP BY and the caller didn't group — treat
+                // the row as a singleton group).
+                let rows = vec![row.to_vec()];
+                eval_aggregate(*func, arg.as_deref(), *distinct, &rows, binding)
+            }
+        },
+        Expr::Func { name, args } => eval_scalar_fn(name, args, binding, ctx),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, result) in branches {
+                if truthy(&eval(cond, binding, ctx)?) {
+                    return eval(result, binding, ctx);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, binding, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, binding, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let w = eval(item, binding, ctx)?;
+                if !w.is_null() && v == w {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, binding, ctx)?;
+            let lo = eval(low, binding, ctx)?;
+            let hi = eval(high, binding, ctx)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let inside = v.total_cmp(&lo) != std::cmp::Ordering::Less
+                && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
+            Ok(Value::Bool(inside != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, binding, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Ok(Value::Bool(
+                    like_match(&other.render(), pattern) != *negated,
+                )),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, binding, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    binding: &Binding,
+    ctx: &Ctx<'_>,
+) -> Result<Value> {
+    // Kleene logic for AND/OR so NULLs behave like SQL.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = eval(left, binding, ctx)?;
+        // Short-circuit where the answer is already determined.
+        match (op, &l) {
+            (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+            (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = eval(right, binding, ctx)?;
+        return Ok(match (op, l, r) {
+            (BinOp::And, Value::Bool(a), Value::Bool(b)) => Value::Bool(a && b),
+            (BinOp::And, Value::Null, Value::Bool(false))
+            | (BinOp::And, Value::Bool(false), Value::Null) => Value::Bool(false),
+            (BinOp::Or, Value::Bool(a), Value::Bool(b)) => Value::Bool(a || b),
+            (BinOp::Or, Value::Null, Value::Bool(true))
+            | (BinOp::Or, Value::Bool(true), Value::Null) => Value::Bool(true),
+            _ => Value::Null,
+        });
+    }
+    let l = eval(left, binding, ctx)?;
+    let r = eval(right, binding, ctx)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinOp::Eq => Ok(Value::Bool(l == r)),
+        BinOp::NotEq => Ok(Value::Bool(l != r)),
+        BinOp::Lt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Less)),
+        BinOp::LtEq => Ok(Value::Bool(l.total_cmp(&r) != std::cmp::Ordering::Greater)),
+        BinOp::Gt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Greater)),
+        BinOp::GtEq => Ok(Value::Bool(l.total_cmp(&r) != std::cmp::Ordering::Less)),
+        BinOp::Concat => Ok(Value::Str(format!("{}{}", l.render(), r.render()))),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod => arith(op, &l, &r),
+        BinOp::Div => {
+            let (a, b) = numeric_pair(&l, &r)?;
+            if b == 0.0 {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn numeric_pair(l: &Value, r: &Value) -> Result<(f64, f64)> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(SqlError::Eval(format!(
+            "arithmetic on non-numeric values ({}, {})",
+            l.dtype(),
+            r.dtype()
+        ))),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // Date ± int days.
+    if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+        match op {
+            BinOp::Add => return Ok(Value::Date(d.add_days(n))),
+            BinOp::Sub => return Ok(Value::Date(d.add_days(-n))),
+            _ => {}
+        }
+    }
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(Value::Int(match op {
+            BinOp::Add => a.wrapping_add(*b),
+            BinOp::Sub => a.wrapping_sub(*b),
+            BinOp::Mul => a.wrapping_mul(*b),
+            BinOp::Mod => {
+                if *b == 0 {
+                    return Ok(Value::Null);
+                }
+                a.rem_euclid(*b)
+            }
+            _ => unreachable!(),
+        }));
+    }
+    let (a, b) = numeric_pair(l, r)?;
+    Ok(Value::Float(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a.rem_euclid(b)
+        }
+        _ => unreachable!(),
+    }))
+}
+
+fn eval_aggregate(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+    rows: &[Vec<Value>],
+    binding: &Binding,
+) -> Result<Value> {
+    match arg {
+        None => Ok(Value::Int(rows.len() as i64)), // COUNT(*)
+        Some(arg) => {
+            let mut values = Vec::with_capacity(rows.len());
+            for row in rows {
+                values.push(eval(arg, binding, &Ctx::Row(row))?);
+            }
+            if distinct && func != AggFunc::CountDistinct {
+                let mut seen = HashMap::new();
+                values.retain(|v| seen.insert(v.clone(), ()).is_none());
+            }
+            let refs: Vec<&Value> = values.iter().collect();
+            func.apply(&refs).map_err(SqlError::Frame)
+        }
+    }
+}
+
+fn eval_scalar_fn(name: &str, args: &[Expr], binding: &Binding, ctx: &Ctx<'_>) -> Result<Value> {
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(eval(a, binding, ctx)?);
+    }
+    let arity_err = || {
+        SqlError::Eval(format!(
+            "wrong number of arguments for {name}({})",
+            vals.len()
+        ))
+    };
+    match name {
+        "abs" => {
+            let v = vals.first().ok_or_else(arity_err)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(SqlError::Eval(format!("abs on {}", other.dtype()))),
+            }
+        }
+        "round" => {
+            let v = vals.first().ok_or_else(arity_err)?;
+            let digits = vals.get(1).and_then(|d| d.as_i64()).unwrap_or(0);
+            match v.as_f64() {
+                None if v.is_null() => Ok(Value::Null),
+                None => Err(SqlError::Eval("round on non-numeric".into())),
+                Some(f) => {
+                    let m = 10f64.powi(digits as i32);
+                    Ok(Value::Float((f * m).round() / m))
+                }
+            }
+        }
+        "upper" => Ok(str_fn(&vals, |s| s.to_uppercase()).ok_or_else(arity_err)?),
+        "lower" => Ok(str_fn(&vals, |s| s.to_lowercase()).ok_or_else(arity_err)?),
+        "trim" => Ok(str_fn(&vals, |s| s.trim().to_string()).ok_or_else(arity_err)?),
+        "length" => {
+            let v = vals.first().ok_or_else(arity_err)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                other => Ok(Value::Int(other.render().chars().count() as i64)),
+            }
+        }
+        "coalesce" | "ifnull" => {
+            for v in &vals {
+                if !v.is_null() {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "substr" | "substring" => {
+            let v = vals.first().ok_or_else(arity_err)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = v.render();
+            let start = vals.get(1).and_then(|x| x.as_i64()).unwrap_or(1).max(1) as usize - 1;
+            let len = vals
+                .get(2)
+                .and_then(|x| x.as_i64())
+                .map(|l| l.max(0) as usize);
+            let chars: Vec<char> = s.chars().collect();
+            let end = match len {
+                Some(l) => (start + l).min(chars.len()),
+                None => chars.len(),
+            };
+            if start >= chars.len() {
+                return Ok(Value::Str(String::new()));
+            }
+            Ok(Value::Str(chars[start..end].iter().collect()))
+        }
+        "year" | "month" | "day" => {
+            let v = vals.first().ok_or_else(arity_err)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Date(d) => Ok(Value::Int(match name {
+                    "year" => d.year() as i64,
+                    "month" => d.month() as i64,
+                    _ => d.day() as i64,
+                })),
+                other => Err(SqlError::Eval(format!("{name} on {}", other.dtype()))),
+            }
+        }
+        _ => Err(SqlError::Eval(format!("unknown function: {name}"))),
+    }
+}
+
+fn str_fn(vals: &[Value], f: impl Fn(&str) -> String) -> Option<Value> {
+    let v = vals.first()?;
+    Some(match v {
+        Value::Null => Value::Null,
+        other => Value::Str(f(&other.render())),
+    })
+}
+
+/// SQL LIKE pattern matching with `%` (any run) and `_` (any char).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative DP over (pattern index, string index).
+    let mut dp = vec![vec![false; s.len() + 1]; p.len() + 1];
+    dp[0][0] = true;
+    for i in 1..=p.len() {
+        if p[i - 1] == '%' {
+            dp[i][0] = dp[i - 1][0];
+        }
+    }
+    for i in 1..=p.len() {
+        for j in 1..=s.len() {
+            dp[i][j] = match p[i - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && s[j - 1] == c,
+            };
+        }
+    }
+    dp[p.len()][s.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "sales",
+            DataFrame::from_columns(vec![
+                (
+                    "region",
+                    DataType::Str,
+                    vec!["east".into(), "west".into(), "east".into(), "south".into()],
+                ),
+                (
+                    "amount",
+                    DataType::Int,
+                    vec![10.into(), 20.into(), 30.into(), Value::Null],
+                ),
+                (
+                    "day",
+                    DataType::Date,
+                    vec![
+                        Value::Date(datalab_frame::Date::parse("2024-01-01").unwrap()),
+                        Value::Date(datalab_frame::Date::parse("2024-01-02").unwrap()),
+                        Value::Date(datalab_frame::Date::parse("2024-02-01").unwrap()),
+                        Value::Date(datalab_frame::Date::parse("2024-02-02").unwrap()),
+                    ],
+                ),
+            ])
+            .unwrap(),
+        );
+        db.insert(
+            "regions",
+            DataFrame::from_columns(vec![
+                ("name", DataType::Str, vec!["east".into(), "west".into()]),
+                ("manager", DataType::Str, vec!["ann".into(), "bob".into()]),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn simple_projection_and_filter() {
+        let out = run_sql("SELECT region, amount FROM sales WHERE amount > 15", &db()).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.schema().names(), vec!["region", "amount"]);
+    }
+
+    #[test]
+    fn wildcard_select() {
+        let out = run_sql("SELECT * FROM sales", &db()).unwrap();
+        assert_eq!(out.n_cols(), 3);
+        assert_eq!(out.n_rows(), 4);
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let out = run_sql(
+            "SELECT region, SUM(amount) AS total FROM sales GROUP BY region \
+             HAVING COUNT(*) >= 1 ORDER BY total DESC LIMIT 2",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.column("region").unwrap()[0], Value::Str("east".into()));
+        assert_eq!(out.column("total").unwrap()[0], Value::Int(40));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let out = run_sql("SELECT COUNT(*), AVG(amount) FROM sales", &db()).unwrap();
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.column_at(0)[0], Value::Int(4));
+        assert_eq!(out.column_at(1)[0], Value::Float(20.0));
+    }
+
+    #[test]
+    fn join_with_aliases() {
+        let out = run_sql(
+            "SELECT s.region, r.manager FROM sales s JOIN regions r ON s.region = r.name \
+             ORDER BY s.region",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.column("manager").unwrap()[0], Value::Str("ann".into()));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let out = run_sql(
+            "SELECT s.region, r.manager FROM sales s LEFT JOIN regions r ON s.region = r.name",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 4);
+        assert!(out.column("manager").unwrap().iter().any(Value::is_null));
+    }
+
+    #[test]
+    fn where_with_dates_and_functions() {
+        let out = run_sql(
+            "SELECT COUNT(*) AS n FROM sales WHERE day >= '2024-02-01' AND month(day) = 2",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.column("n").unwrap()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn distinct_and_in_list() {
+        let out = run_sql(
+            "SELECT DISTINCT region FROM sales WHERE region IN ('east', 'west')",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn case_expression() {
+        let out = run_sql(
+            "SELECT region, CASE WHEN amount >= 20 THEN 'big' ELSE 'small' END AS size \
+             FROM sales WHERE amount IS NOT NULL ORDER BY amount",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.column("size").unwrap()[0], Value::Str("small".into()));
+        assert_eq!(out.column("size").unwrap()[2], Value::Str("big".into()));
+    }
+
+    #[test]
+    fn derived_table() {
+        let out = run_sql(
+            "SELECT t.region FROM (SELECT region, SUM(amount) AS total FROM sales GROUP BY region) t \
+             WHERE t.total > 15",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn order_by_ordinal() {
+        let out = run_sql(
+            "SELECT region, amount FROM sales WHERE amount IS NOT NULL ORDER BY 2 DESC",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.column("amount").unwrap()[0], Value::Int(30));
+    }
+
+    #[test]
+    fn like_and_between() {
+        let out = run_sql(
+            "SELECT region FROM sales WHERE region LIKE '%st' AND amount BETWEEN 5 AND 25",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 2); // east(10), west(20)
+    }
+
+    #[test]
+    fn tableless_select() {
+        let out = run_sql("SELECT 1 + 2 AS three", &db()).unwrap();
+        assert_eq!(out.column("three").unwrap()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn division_by_zero_yields_null() {
+        let out = run_sql("SELECT 1 / 0 AS x, 5 % 0 AS y", &db()).unwrap();
+        assert!(out.column("x").unwrap()[0].is_null());
+        assert!(out.column("y").unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn null_comparisons_are_filtered_out() {
+        let out = run_sql("SELECT region FROM sales WHERE amount > 0", &db()).unwrap();
+        assert_eq!(out.n_rows(), 3); // the NULL amount row is excluded
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(run_sql("SELECT nope FROM sales", &db()).is_err());
+        assert!(run_sql("SELECT * FROM nope", &db()).is_err());
+    }
+
+    #[test]
+    fn like_match_patterns() {
+        assert!(like_match("hello", "h%o"));
+        assert!(like_match("hello", "_ello"));
+        assert!(!like_match("hello", "h_o"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+    }
+
+    #[test]
+    fn duplicate_output_names_are_deduped() {
+        let out = run_sql("SELECT region, region FROM sales", &db()).unwrap();
+        assert_eq!(out.schema().names(), vec!["region", "region_1"]);
+    }
+}

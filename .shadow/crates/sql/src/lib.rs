@@ -1,0 +1,30 @@
+//! # datalab-sql
+//!
+//! A from-scratch SQL engine over [`datalab_frame`]: tokenizer, recursive
+//! descent parser, AST with a pretty-printer, a row-at-a-time SELECT
+//! executor, a [`Database`] catalog, and the execution-equivalence (EX)
+//! comparison used by the NL2SQL benchmarks in the DataLab paper.
+//!
+//! Supported SQL: `SELECT [DISTINCT] items FROM t [AS a]
+//! [[LEFT] JOIN u ON ...]* [WHERE ...] [GROUP BY ...] [HAVING ...]
+//! [ORDER BY ... [DESC]] [LIMIT n]` with aggregates
+//! (`COUNT/SUM/AVG/MIN/MAX`, `DISTINCT`), scalar functions, `CASE`,
+//! `IN/BETWEEN/LIKE/IS NULL`, arithmetic, date literals and derived
+//! tables.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compare;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinOp, Expr, Join, JoinType, OrderKey, Select, SelectItem, TableRef, UnOp};
+pub use compare::ex_equal;
+pub use db::Database;
+pub use error::{Result, SqlError};
+pub use exec::{execute, like_match, run_sql};
+pub use parser::{is_reserved_word, is_valid_select, parse_select};

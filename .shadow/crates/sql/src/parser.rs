@@ -1,0 +1,658 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::token::{tokenize, Token};
+use datalab_frame::{AggFunc, Value};
+
+/// Parses a single SELECT statement (a trailing `;` is allowed).
+pub fn parse_select(sql: &str) -> Result<Select> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let sel = p.select()?;
+    if p.peek_punct(";") {
+        p.pos += 1;
+    }
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing token: {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(sel)
+}
+
+/// Quick syntax check used by the notebook's DAG maintenance: returns true
+/// when the text parses as a SELECT.
+pub fn is_valid_select(sql: &str) -> bool {
+    parse_select(sql).is_ok()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// True when `word` is a SQL keyword that must be quoted to be used as an
+/// identifier.
+pub fn is_reserved_word(word: &str) -> bool {
+    RESERVED.contains(&word.to_ascii_lowercase().as_str())
+}
+
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "having", "order", "limit", "join", "inner", "left",
+    "right", "outer", "on", "and", "or", "not", "as", "by", "asc", "desc", "distinct", "case",
+    "when", "then", "else", "end", "in", "between", "like", "is", "null", "true", "false",
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn peek_punct(&self, p: &str) -> bool {
+        self.peek().map(|t| t.is_punct(p)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected '{p}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    /// An identifier usable as a bare alias: quoted, or not a keyword.
+    fn non_reserved_ident(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Token::QuotedIdent(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.eat_punct(",") {
+            items.push(self.select_item()?);
+        }
+        let mut sel = Select {
+            distinct,
+            items,
+            ..Default::default()
+        };
+        if self.eat_kw("from") {
+            sel.from = Some(self.table_ref()?);
+            loop {
+                let kind = if self.eat_kw("join") || self.eat_kw("inner") {
+                    // INNER may be followed by JOIN.
+                    self.eat_kw("join");
+                    JoinType::Inner
+                } else if self.eat_kw("left") {
+                    self.eat_kw("outer");
+                    self.expect_kw("join")?;
+                    JoinType::Left
+                } else {
+                    break;
+                };
+                let table = self.table_ref()?;
+                self.expect_kw("on")?;
+                let on = self.expr()?;
+                sel.joins.push(Join { kind, table, on });
+            }
+        }
+        if self.eat_kw("where") {
+            sel.where_clause = Some(self.expr()?);
+        }
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            sel.group_by.push(self.expr()?);
+            while self.eat_punct(",") {
+                sel.group_by.push(self.expr()?);
+            }
+        }
+        if self.eat_kw("having") {
+            sel.having = Some(self.expr()?);
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                sel.order_by.push(OrderKey { expr, ascending });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            match self.peek() {
+                Some(Token::Number(n)) => {
+                    let v = n
+                        .parse::<usize>()
+                        .map_err(|_| SqlError::Parse(format!("bad LIMIT value {n}")))?;
+                    self.pos += 1;
+                    sel.limit = Some(v);
+                }
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(sel)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_punct("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // table.* ?
+        if let Some(Token::Ident(name)) = self.peek() {
+            let name = name.clone();
+            if self
+                .tokens
+                .get(self.pos + 1)
+                .map(|t| t.is_punct("."))
+                .unwrap_or(false)
+                && self
+                    .tokens
+                    .get(self.pos + 2)
+                    .map(|t| t.is_punct("*"))
+                    .unwrap_or(false)
+            {
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            self.non_reserved_ident()
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat_punct("(") {
+            let query = self.select()?;
+            self.expect_punct(")")?;
+            self.eat_kw("as");
+            let alias = self.ident()?;
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            self.non_reserved_ident()
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // Expression grammar, lowest precedence first.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicates: IS NULL, [NOT] IN/BETWEEN/LIKE, comparisons.
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.eat_kw("not");
+        if self.eat_kw("in") {
+            self.expect_punct("(")?;
+            let mut list = vec![self.expr()?];
+            while self.eat_punct(",") {
+                list.push(self.expr()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = match self.peek() {
+                Some(Token::Str(s)) => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    s
+                }
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected LIKE pattern, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(SqlError::Parse("expected IN/BETWEEN/LIKE after NOT".into()));
+        }
+        let op = if self.eat_punct("=") {
+            Some(BinOp::Eq)
+        } else if self.eat_punct("<>") || self.eat_punct("!=") {
+            Some(BinOp::NotEq)
+        } else if self.eat_punct("<=") {
+            Some(BinOp::LtEq)
+        } else if self.eat_punct(">=") {
+            Some(BinOp::GtEq)
+        } else if self.eat_punct("<") {
+            Some(BinOp::Lt)
+        } else if self.eat_punct(">") {
+            Some(BinOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.additive()?;
+                Ok(Expr::bin(op, left, right))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else if self.eat_punct("||") {
+                BinOp::Concat
+            } else {
+                break;
+            };
+            let right = self.multiplicative()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Mod
+            } else {
+                break;
+            };
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_punct("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat_punct("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                if let Ok(i) = n.parse::<i64>() {
+                    Ok(Expr::Literal(Value::Int(i)))
+                } else {
+                    let f = n
+                        .parse::<f64>()
+                        .map_err(|_| SqlError::Parse(format!("bad number literal {n}")))?;
+                    Ok(Expr::Literal(Value::Float(f)))
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                // Date-like strings become dates so comparisons work.
+                if let Ok(d) = datalab_frame::Date::parse(&s) {
+                    Ok(Expr::Literal(Value::Date(d)))
+                } else {
+                    Ok(Expr::Literal(Value::Str(s)))
+                }
+            }
+            Some(Token::Punct("(")) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            Some(Token::QuotedIdent(name)) => {
+                self.pos += 1;
+                if self.eat_punct(".") {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            Some(Token::Ident(name)) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "null" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    "true" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Bool(true)));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    "case" => {
+                        self.pos += 1;
+                        return self.case_expr();
+                    }
+                    _ => {}
+                }
+                // Function call?
+                if self
+                    .tokens
+                    .get(self.pos + 1)
+                    .map(|t| t.is_punct("("))
+                    .unwrap_or(false)
+                {
+                    self.pos += 2; // name + '('
+                    return self.call(&lower);
+                }
+                // Column reference, possibly qualified. Reserved words
+                // cannot start an expression (quote them to use as names).
+                if RESERVED.contains(&lower.as_str()) {
+                    return Err(SqlError::Parse(format!(
+                        "unexpected keyword '{name}' in expression"
+                    )));
+                }
+                self.pos += 1;
+                if self.eat_punct(".") {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            other => Err(SqlError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// Parses the argument list of `name(`, already positioned past `(`.
+    fn call(&mut self, name: &str) -> Result<Expr> {
+        if let Some(func) = AggFunc::parse(name) {
+            // COUNT(*) special case.
+            if self.eat_punct("*") {
+                self.expect_punct(")")?;
+                return Ok(Expr::Agg {
+                    func,
+                    arg: None,
+                    distinct: false,
+                });
+            }
+            let distinct = self.eat_kw("distinct");
+            let arg = self.expr()?;
+            self.expect_punct(")")?;
+            let func = if distinct && func == AggFunc::Count {
+                AggFunc::CountDistinct
+            } else {
+                func
+            };
+            return Ok(Expr::Agg {
+                func,
+                arg: Some(Box::new(arg)),
+                distinct,
+            });
+        }
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            args.push(self.expr()?);
+            while self.eat_punct(",") {
+                args.push(self.expr()?);
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(Expr::Func {
+            name: name.to_string(),
+            args,
+        })
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let result = self.expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(SqlError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_expr = if self.eat_kw("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_query() {
+        let sql = "SELECT region, SUM(amount) AS total FROM sales s \
+                   JOIN regions r ON s.region = r.name \
+                   WHERE amount > 10 AND r.active = true \
+                   GROUP BY region HAVING COUNT(*) >= 2 \
+                   ORDER BY total DESC, region LIMIT 10";
+        let sel = parse_select(sql).unwrap();
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.joins.len(), 1);
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(!sel.order_by[0].ascending);
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_and_display_are_stable() {
+        let sql = "SELECT a, COUNT(DISTINCT b) FROM t WHERE a BETWEEN 1 AND 5 OR b LIKE 'x%'";
+        let sel = parse_select(sql).unwrap();
+        let printed = sel.to_string();
+        let reparsed = parse_select(&printed).unwrap();
+        assert_eq!(sel, reparsed);
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let sql = "SELECT t.x FROM (SELECT a AS x FROM base) AS t WHERE t.x > 1";
+        let sel = parse_select(sql).unwrap();
+        assert!(matches!(sel.from, Some(TableRef::Derived { .. })));
+    }
+
+    #[test]
+    fn parses_case_in_not_null() {
+        let sql = "SELECT CASE WHEN x IS NOT NULL THEN 1 ELSE 0 END FROM t \
+                   WHERE y NOT IN (1, 2) AND z IS NULL";
+        let sel = parse_select(sql).unwrap();
+        assert_eq!(sel.items.len(), 1);
+    }
+
+    #[test]
+    fn bare_alias_not_confused_with_keywords() {
+        let sel = parse_select("SELECT a total FROM t ORDER BY total").unwrap();
+        match &sel.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("total")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_select("SELECT FROM").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+        assert!(parse_select("SELECT a FROM t extra garbage ,").is_err());
+        assert!(!is_valid_select("not sql at all"));
+    }
+
+    #[test]
+    fn date_literals_recognised() {
+        let sel = parse_select("SELECT * FROM t WHERE d >= '2024-01-01'").unwrap();
+        match sel.where_clause.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(*right, Expr::Literal(Value::Date(_))))
+            }
+            _ => panic!(),
+        }
+    }
+}

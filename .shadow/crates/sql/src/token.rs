@@ -1,0 +1,211 @@
+//! SQL lexer.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token. Keywords are returned as [`Token::Ident`] and
+/// recognised case-insensitively by the parser, so identifiers that happen
+/// to collide with keywords can still be quoted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier (may be recognised as a keyword by the parser).
+    Ident(String),
+    /// Quoted identifier (`"x"` or `` `x` ``) — never a keyword.
+    QuotedIdent(String),
+    /// Numeric literal (raw text, parsed later).
+    Number(String),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// Operator or punctuation.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// True when this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(q) if *q == p)
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    "<=", ">=", "<>", "!=", "||", "(", ")", ",", ".", "*", "=", "<", ">", "+", "-", "/", "%", ";",
+];
+
+/// Tokenizes SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // String literal.
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                    None => {
+                        return Err(SqlError::Lex {
+                            pos: i,
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                }
+            }
+            tokens.push(Token::Str(s));
+            continue;
+        }
+        // Quoted identifier.
+        if c == '"' || c == '`' {
+            let quote = bytes[i];
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    Some(&b) if b == quote => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                    None => {
+                        return Err(SqlError::Lex {
+                            pos: i,
+                            message: "unterminated quoted identifier".into(),
+                        })
+                    }
+                }
+            }
+            tokens.push(Token::QuotedIdent(s));
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] | 32) == b'e' {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token::Number(sql[start..i].to_string()));
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token::Ident(sql[start..i].to_string()));
+            continue;
+        }
+        // Punctuation (longest match first).
+        let rest = &sql[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                tokens.push(Token::Punct(p));
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(SqlError::Lex {
+                pos: i,
+                message: format!("unexpected character '{c}'"),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basics() {
+        let toks = tokenize("SELECT a, COUNT(*) FROM t WHERE x >= 1.5 -- trailing").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.iter().any(|t| t.is_punct(">=")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Number(n) if n == "1.5")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("\"weird col\" `other`").unwrap();
+        assert_eq!(toks[0], Token::QuotedIdent("weird col".into()));
+        assert_eq!(toks[1], Token::QuotedIdent("other".into()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e3 2.5E-2").unwrap();
+        assert_eq!(toks[0], Token::Number("1e3".into()));
+        assert_eq!(toks[1], Token::Number("2.5E-2".into()));
+    }
+}

@@ -1,0 +1,701 @@
+//! `datalab-store` — durable tenant state for the DataLab platform.
+//!
+//! Everything above this crate keeps tenant sessions in process memory;
+//! this crate makes them survive the process. Three pieces, std-only:
+//!
+//! - **Write-ahead log** ([`wal`]): an append-only, CRC-framed log of
+//!   typed [`SessionRecord`]s — CSV registrations, query executions,
+//!   knowledge mutations. Torn tails (kill mid-append) and bit flips are
+//!   detected and dropped, never mis-parsed.
+//! - **Snapshots** ([`snapshot`]): a periodic, atomically-replaced
+//!   capture of the session's durable state, stamped with the WAL
+//!   sequence watermark it contains, after which the WAL is truncated.
+//!   Recovery = restore snapshot + replay records above the watermark.
+//! - **mmap-backed reads** ([`mmap`]): recovery scans snapshot and WAL
+//!   bytes through a read-only memory map (thin `mmap(2)` shim with a
+//!   read-the-file fallback), and replay borrows CSV/JSON payloads
+//!   straight out of the map instead of deep-copying them.
+//!
+//! [`DurableStore`] ties the pieces together: one directory per tenant
+//! under `<root>/tenants/`, an fsync policy (`always` / `interval` /
+//! `never`), a bounded background flusher for interval mode, and
+//! `store.*` telemetry (append/byte counters, fsync stalls, snapshot
+//! and recovery accounting).
+
+mod mmap;
+mod record;
+mod snapshot;
+mod wal;
+
+pub use mmap::MappedFile;
+pub use record::{
+    decode_record, encode_record, DecodeError, SessionRecord, SessionRecordRef, RECORD_VERSION,
+};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, write_atomic, SessionState, SnapshotError, SnapshotRef,
+    SNAP_MAGIC, SNAP_VERSION,
+};
+pub use wal::{
+    crc32, encode_frame, scan_wal, wal_header, WalError, WalScan, WalTail, WalWriter,
+    FRAME_HEADER_LEN, MAX_FRAME_LEN, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
+};
+
+use datalab_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// When appended frames reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append, on the request path. Maximum
+    /// durability; every mutation survives power loss once acknowledged.
+    Always,
+    /// A background flusher syncs dirty logs on a fixed cadence. A crash
+    /// loses at most one interval of acknowledged writes (torn tails are
+    /// still handled — frames are CRC-framed regardless of policy).
+    Interval(Duration),
+    /// Never fsync explicitly; the OS writes back when it pleases.
+    /// Survives process kills (the page cache persists) but not power
+    /// loss. For benchmarks and tests.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, `interval`, or `interval:<ms>`.
+    pub fn parse(raw: &str) -> Option<FsyncPolicy> {
+        match raw {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            "interval" => Some(FsyncPolicy::Interval(DEFAULT_FSYNC_INTERVAL)),
+            other => {
+                let ms: u64 = other.strip_prefix("interval:")?.parse().ok()?;
+                Some(FsyncPolicy::Interval(Duration::from_millis(ms.max(1))))
+            }
+        }
+    }
+
+    /// Canonical rendering (inverse of [`FsyncPolicy::parse`]).
+    pub fn render(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::Interval(d) => format!("interval:{}", d.as_millis()),
+            FsyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+/// Default flusher cadence for `interval` mode.
+pub const DEFAULT_FSYNC_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Store-wide durability knobs.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// WAL records per tenant between automatic snapshots (`0` disables
+    /// cadence-driven snapshots; callers can still snapshot explicitly).
+    pub snapshot_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: FsyncPolicy::Interval(DEFAULT_FSYNC_INTERVAL),
+            snapshot_every: 32,
+        }
+    }
+}
+
+/// What one append accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendReceipt {
+    /// The record's WAL sequence number.
+    pub seq: u64,
+    /// Frame bytes written.
+    pub wal_bytes: u64,
+    /// Time spent in `fdatasync`, when the policy syncs on the request
+    /// path (`always`); `None` otherwise. Callers surface this as a
+    /// profiler span so fsync stalls are visible in flamegraphs.
+    pub fsync_stall_us: Option<u64>,
+    /// True when the tenant has reached its snapshot cadence — the
+    /// caller should capture a [`SessionState`] and call
+    /// [`DurableStore::snapshot`].
+    pub snapshot_due: bool,
+}
+
+/// Everything recovery found for one tenant, borrowing from the mapped
+/// snapshot and WAL files.
+#[derive(Debug)]
+pub struct RecoveryOutcome<'a> {
+    /// The latest snapshot, if one was ever written.
+    pub snapshot: Option<SnapshotRef<'a>>,
+    /// WAL records above the snapshot watermark, in append order.
+    pub records: Vec<(u64, SessionRecordRef<'a>)>,
+    /// The WAL ended mid-frame (kill mid-append).
+    pub torn_tail: bool,
+    /// The WAL ended in a CRC- or decode-rejected frame.
+    pub corrupt_tail: bool,
+    /// Bytes the scan refused to trust.
+    pub dropped_bytes: u64,
+}
+
+/// Owned recovery result: `(snapshot state, tail records, torn tail,
+/// corrupt tail)` — what [`DurableStore::recover_owned`] hands back.
+pub type OwnedRecovery = (Option<SessionState>, Vec<SessionRecord>, bool, bool);
+
+struct TenantLog {
+    writer: WalWriter,
+    records_since_snapshot: u64,
+}
+
+/// The durable store: per-tenant WAL + snapshot under one root
+/// directory, with shared fsync policy and telemetry.
+pub struct DurableStore {
+    root: PathBuf,
+    config: DurabilityConfig,
+    telemetry: Telemetry,
+    tenants: Mutex<HashMap<String, Arc<Mutex<TenantLog>>>>,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("root", &self.root)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) a durable store rooted at `root`.
+    /// `telemetry` receives the `store.*` metrics. Interval fsync mode
+    /// spawns one background flusher thread, which exits on its own once
+    /// the store is dropped.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        config: DurabilityConfig,
+        telemetry: Telemetry,
+    ) -> io::Result<Arc<DurableStore>> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("tenants"))?;
+        // Pre-register the taxonomy at zero so scrapes enumerate it
+        // before the first mutation.
+        for name in [
+            "store.wal_appends",
+            "store.wal_bytes",
+            "store.fsyncs",
+            "store.snapshots",
+            "store.snapshot_bytes",
+            "store.recoveries",
+            "store.recovery_replayed",
+            "store.recovery_torn_tails",
+            "store.recovery_corrupt_frames",
+        ] {
+            telemetry.metrics().incr(name, 0);
+        }
+        let store = Arc::new(DurableStore {
+            root,
+            config,
+            telemetry,
+            tenants: Mutex::new(HashMap::new()),
+        });
+        if let FsyncPolicy::Interval(interval) = store.config.fsync {
+            let weak: Weak<DurableStore> = Arc::downgrade(&store);
+            let interval = interval.max(Duration::from_millis(1));
+            std::thread::Builder::new()
+                .name("datalab-wal-flusher".to_string())
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    match weak.upgrade() {
+                        Some(store) => store.flush_all(),
+                        None => break,
+                    }
+                })?;
+        }
+        Ok(store)
+    }
+
+    /// The configured durability knobs.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding one tenant's snapshot + WAL.
+    pub fn tenant_dir(&self, tenant: &str) -> PathBuf {
+        self.root.join("tenants").join(encode_tenant(tenant))
+    }
+
+    /// The tenant's WAL file path.
+    pub fn wal_path(&self, tenant: &str) -> PathBuf {
+        self.tenant_dir(tenant).join("wal.dlw")
+    }
+
+    /// The tenant's snapshot file path.
+    pub fn snapshot_path(&self, tenant: &str) -> PathBuf {
+        self.tenant_dir(tenant).join("snapshot.dls")
+    }
+
+    /// Whether any durable state exists for the tenant.
+    pub fn has_tenant(&self, tenant: &str) -> bool {
+        let wal = self.wal_path(tenant);
+        let snap = self.snapshot_path(tenant);
+        snap.exists()
+            || std::fs::metadata(&wal)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false)
+    }
+
+    /// Every tenant with a durable directory, sorted.
+    pub fn list_tenants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(self.root.join("tenants")) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(tenant) = decode_tenant(name) {
+                    out.push(tenant);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The tenant's open log handle, creating dir + WAL on first use.
+    fn log(&self, tenant: &str) -> io::Result<Arc<Mutex<TenantLog>>> {
+        if let Some(log) = self
+            .tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(tenant)
+        {
+            return Ok(Arc::clone(log));
+        }
+        // Build outside the map lock: opening scans the WAL file.
+        let dir = self.tenant_dir(tenant);
+        std::fs::create_dir_all(&dir)?;
+        let watermark = self.snapshot_watermark(tenant)?;
+        let opened = WalWriter::open(&self.wal_path(tenant), watermark)?;
+        let records_since_snapshot = opened
+            .records
+            .iter()
+            .filter(|(seq, _)| *seq > watermark)
+            .count() as u64;
+        let log = Arc::new(Mutex::new(TenantLog {
+            writer: opened.writer,
+            records_since_snapshot,
+        }));
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        // Two threads may have built concurrently; first insert wins so
+        // both callers share one file handle.
+        let entry = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Arc::clone(&log));
+        Ok(Arc::clone(entry))
+    }
+
+    /// The WAL watermark of the tenant's snapshot (0 when none).
+    fn snapshot_watermark(&self, tenant: &str) -> io::Result<u64> {
+        let path = self.snapshot_path(tenant);
+        if !path.exists() {
+            return Ok(0);
+        }
+        let map = MappedFile::open(&path)?;
+        decode_snapshot(map.bytes())
+            .map(|s| s.wal_seq)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Appends one record to the tenant's WAL, applying the fsync
+    /// policy. Callers serialise appends per tenant (the serving layer
+    /// holds the session lock), which fixes the record order to the
+    /// execution order.
+    pub fn append(&self, tenant: &str, record: &SessionRecord) -> io::Result<AppendReceipt> {
+        let log = self.log(tenant)?;
+        let mut log = log.lock().unwrap_or_else(|p| p.into_inner());
+        let (seq, wal_bytes) = log.writer.append(record)?;
+        log.records_since_snapshot += 1;
+        let m = self.telemetry.metrics();
+        m.incr("store.wal_appends", 1);
+        m.incr("store.wal_bytes", wal_bytes);
+        let fsync_stall_us = if self.config.fsync == FsyncPolicy::Always {
+            let begun = Instant::now();
+            log.writer.sync()?;
+            let stall = begun.elapsed().as_micros() as u64;
+            m.incr("store.fsyncs", 1);
+            m.observe("store.fsync_stall_us", stall);
+            Some(stall)
+        } else {
+            None
+        };
+        Ok(AppendReceipt {
+            seq,
+            wal_bytes,
+            fsync_stall_us,
+            snapshot_due: self.config.snapshot_every > 0
+                && log.records_since_snapshot >= self.config.snapshot_every,
+        })
+    }
+
+    /// Writes a snapshot of `state` for the tenant and truncates its
+    /// WAL. The caller must guarantee `state` reflects every record
+    /// appended so far (the serving layer extracts it under the same
+    /// session lock its appends run under). Returns snapshot bytes.
+    pub fn snapshot(&self, tenant: &str, state: &SessionState) -> io::Result<u64> {
+        let log = self.log(tenant)?;
+        let mut log = log.lock().unwrap_or_else(|p| p.into_inner());
+        // Everything appended so far is folded into `state`.
+        let watermark = log.writer.next_seq() - 1;
+        let bytes = encode_snapshot(watermark, state);
+        write_atomic(&self.snapshot_path(tenant), &bytes)?;
+        // A crash here is safe: the WAL still holds records at or below
+        // the watermark, and recovery skips them.
+        log.writer.reset()?;
+        log.records_since_snapshot = 0;
+        let m = self.telemetry.metrics();
+        m.incr("store.snapshots", 1);
+        m.incr("store.snapshot_bytes", bytes.len() as u64);
+        Ok(bytes.len() as u64)
+    }
+
+    /// Recovers a tenant's durable state, handing the borrowed outcome
+    /// (snapshot + replayable records, straight out of the mapped files)
+    /// to `apply`. Returns `None` without calling `apply` when the
+    /// tenant has no durable state. A corrupt snapshot is an error — the
+    /// WAL alone cannot reconstruct the session once truncated.
+    pub fn recover_with<T>(
+        &self,
+        tenant: &str,
+        apply: impl FnOnce(&RecoveryOutcome<'_>) -> T,
+    ) -> io::Result<Option<T>> {
+        if !self.has_tenant(tenant) {
+            return Ok(None);
+        }
+        let snap_path = self.snapshot_path(tenant);
+        let snap_map = if snap_path.exists() {
+            Some(MappedFile::open(&snap_path)?)
+        } else {
+            None
+        };
+        let snapshot = match &snap_map {
+            Some(map) => Some(
+                decode_snapshot(map.bytes())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            ),
+            None => None,
+        };
+        let watermark = snapshot.as_ref().map(|s| s.wal_seq).unwrap_or(0);
+
+        let wal_path = self.wal_path(tenant);
+        let wal_map = if wal_path.exists() {
+            Some(MappedFile::open(&wal_path)?)
+        } else {
+            None
+        };
+        let empty: &[u8] = &[];
+        let scan = scan_wal(wal_map.as_ref().map(|m| m.bytes()).unwrap_or(empty))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let records: Vec<(u64, SessionRecordRef<'_>)> = scan
+            .records
+            .into_iter()
+            .filter(|(seq, _)| *seq > watermark)
+            .collect();
+
+        let outcome = RecoveryOutcome {
+            snapshot,
+            records,
+            torn_tail: matches!(scan.tail, WalTail::Torn { .. }),
+            corrupt_tail: matches!(scan.tail, WalTail::Corrupt { .. }),
+            dropped_bytes: scan.tail.dropped_bytes() as u64,
+        };
+        let m = self.telemetry.metrics();
+        m.incr("store.recoveries", 1);
+        m.incr("store.recovery_replayed", outcome.records.len() as u64);
+        if outcome.torn_tail {
+            m.incr("store.recovery_torn_tails", 1);
+        }
+        if outcome.corrupt_tail {
+            m.incr("store.recovery_corrupt_frames", 1);
+        }
+        Ok(Some(apply(&outcome)))
+    }
+
+    /// Recovers into owned values — the convenience form for tests and
+    /// the crash harness.
+    pub fn recover_owned(&self, tenant: &str) -> io::Result<Option<OwnedRecovery>> {
+        self.recover_with(tenant, |outcome| {
+            (
+                outcome.snapshot.as_ref().map(|s| s.to_state()),
+                outcome.records.iter().map(|(_, r)| r.to_owned()).collect(),
+                outcome.torn_tail,
+                outcome.corrupt_tail,
+            )
+        })
+    }
+
+    /// Syncs one tenant's WAL now (used on eviction so a session leaving
+    /// memory is durable regardless of policy).
+    pub fn flush_tenant(&self, tenant: &str) {
+        let log = {
+            let tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+            tenants.get(tenant).cloned()
+        };
+        if let Some(log) = log {
+            let mut log = log.lock().unwrap_or_else(|p| p.into_inner());
+            self.sync_log(&mut log);
+        }
+    }
+
+    /// Syncs every dirty WAL (the interval flusher's tick; also called
+    /// on drop so graceful shutdown loses nothing).
+    pub fn flush_all(&self) {
+        let logs: Vec<Arc<Mutex<TenantLog>>> = {
+            let tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+            tenants.values().cloned().collect()
+        };
+        for log in logs {
+            let mut log = log.lock().unwrap_or_else(|p| p.into_inner());
+            self.sync_log(&mut log);
+        }
+    }
+
+    fn sync_log(&self, log: &mut TenantLog) {
+        if !log.writer.is_dirty() {
+            return;
+        }
+        let begun = Instant::now();
+        if log.writer.sync().is_ok() {
+            let m = self.telemetry.metrics();
+            m.incr("store.fsyncs", 1);
+            m.observe("store.fsync_stall_us", begun.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+impl Drop for DurableStore {
+    fn drop(&mut self) {
+        self.flush_all();
+    }
+}
+
+/// Filesystem-safe tenant directory name: bytes in `[A-Za-z0-9_-]` pass
+/// through, everything else (including `.`, `/`, and `%`) becomes
+/// `%XX`. Injective, so distinct tenants can never collide on disk, and
+/// traversal-proof — an encoded name contains no separators or dots.
+pub fn encode_tenant(tenant: &str) -> String {
+    let mut out = String::with_capacity(tenant.len());
+    for b in tenant.bytes() {
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_tenant`]; `None` for names that are not valid
+/// encodings (foreign files in the tenants directory).
+pub fn decode_tenant(encoded: &str) -> Option<String> {
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                // Only uppercase hex is produced; reject other spellings
+                // so encode/decode stays a bijection.
+                if !hex
+                    .iter()
+                    .all(|c| c.is_ascii_digit() || (b'A'..=b'F').contains(c))
+                {
+                    return None;
+                }
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "datalab-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(root: &Path, fsync: FsyncPolicy, snapshot_every: u64) -> Arc<DurableStore> {
+        DurableStore::open(
+            root,
+            DurabilityConfig {
+                fsync,
+                snapshot_every,
+            },
+            Telemetry::new(),
+        )
+        .unwrap()
+    }
+
+    fn query(i: usize) -> SessionRecord {
+        SessionRecord::Query {
+            workload: "nl2sql".into(),
+            question: format!("question {i}"),
+        }
+    }
+
+    #[test]
+    fn tenant_encoding_is_injective_and_traversal_proof() {
+        for tenant in ["acme", "a/b", "../../etc/passwd", "ünïcode", "a%b", "a.b."] {
+            let enc = encode_tenant(tenant);
+            assert!(
+                !enc.contains('/') && !enc.contains('.') && !enc.contains('\\'),
+                "{enc}"
+            );
+            assert_eq!(decode_tenant(&enc).as_deref(), Some(tenant));
+        }
+        assert_ne!(encode_tenant("a/b"), encode_tenant("a%2Fb"));
+        assert_eq!(decode_tenant("no%2"), None);
+        assert_eq!(decode_tenant("bad%GG"), None);
+        assert_eq!(decode_tenant("lower%2f"), None);
+    }
+
+    #[test]
+    fn append_recover_round_trip_without_snapshot() {
+        let root = temp_root("plain");
+        let store = open(&root, FsyncPolicy::Always, 0);
+        for i in 0..4 {
+            let receipt = store.append("acme", &query(i)).unwrap();
+            assert_eq!(receipt.seq, i as u64 + 1);
+            assert!(receipt.fsync_stall_us.is_some());
+            assert!(!receipt.snapshot_due, "cadence 0 never demands snapshots");
+        }
+        drop(store);
+
+        let store = open(&root, FsyncPolicy::Always, 0);
+        let (snap, records, torn, corrupt) =
+            store.recover_owned("acme").unwrap().expect("has state");
+        assert!(snap.is_none());
+        assert!(!torn && !corrupt);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[2], query(2));
+        assert!(store.recover_owned("ghost").unwrap().is_none());
+    }
+
+    #[test]
+    fn snapshot_truncates_wal_and_recovery_replays_only_the_tail() {
+        let root = temp_root("snap");
+        let store = open(&root, FsyncPolicy::Never, 0);
+        for i in 0..3 {
+            store.append("acme", &query(i)).unwrap();
+        }
+        let state = SessionState {
+            tables: vec![("sales".into(), "a,b\n1,2\n".into())],
+            history: vec!["q0".into(), "q1".into(), "q2".into()],
+            ..SessionState::default()
+        };
+        store.snapshot("acme", &state).unwrap();
+        store.append("acme", &query(3)).unwrap();
+        store.flush_all();
+        drop(store);
+
+        let store = open(&root, FsyncPolicy::Never, 0);
+        let (snap, records, _, _) = store.recover_owned("acme").unwrap().expect("has state");
+        assert_eq!(snap.expect("snapshot").history.len(), 3);
+        assert_eq!(records, vec![query(3)]);
+    }
+
+    #[test]
+    fn snapshot_due_fires_on_cadence() {
+        let root = temp_root("cadence");
+        let store = open(&root, FsyncPolicy::Never, 3);
+        assert!(!store.append("t", &query(0)).unwrap().snapshot_due);
+        assert!(!store.append("t", &query(1)).unwrap().snapshot_due);
+        assert!(store.append("t", &query(2)).unwrap().snapshot_due);
+        store.snapshot("t", &SessionState::default()).unwrap();
+        assert!(!store.append("t", &query(3)).unwrap().snapshot_due);
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_does_not_double_replay() {
+        let root = temp_root("double");
+        let store = open(&root, FsyncPolicy::Never, 0);
+        for i in 0..3 {
+            store.append("acme", &query(i)).unwrap();
+        }
+        store.flush_all();
+        // Simulate the torn window: snapshot written, WAL NOT truncated.
+        let state = SessionState {
+            history: vec!["q0".into(), "q1".into(), "q2".into()],
+            ..SessionState::default()
+        };
+        write_atomic(&store.snapshot_path("acme"), &encode_snapshot(3, &state)).unwrap();
+        drop(store);
+
+        let store = open(&root, FsyncPolicy::Never, 0);
+        let (snap, records, _, _) = store.recover_owned("acme").unwrap().expect("has state");
+        assert_eq!(snap.expect("snapshot").history.len(), 3);
+        assert!(records.is_empty(), "watermarked records must not replay");
+        // Appends resume above the watermark.
+        let receipt = store.append("acme", &query(3)).unwrap();
+        assert_eq!(receipt.seq, 4);
+    }
+
+    #[test]
+    fn interval_flusher_syncs_in_the_background() {
+        let root = temp_root("flush");
+        let store = open(&root, FsyncPolicy::Interval(Duration::from_millis(5)), 0);
+        store.append("acme", &query(0)).unwrap();
+        // The flusher thread owns a Weak ref; give it a few ticks.
+        std::thread::sleep(Duration::from_millis(40));
+        let bytes = std::fs::read(store.wal_path("acme")).unwrap();
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        drop(store);
+    }
+
+    #[test]
+    fn list_tenants_round_trips_names() {
+        let root = temp_root("list");
+        let store = open(&root, FsyncPolicy::Never, 0);
+        for tenant in ["nl2sql-d0", "weird/tenant", "acme"] {
+            store.append(tenant, &query(0)).unwrap();
+        }
+        assert_eq!(
+            store.list_tenants(),
+            vec![
+                "acme".to_string(),
+                "nl2sql-d0".to_string(),
+                "weird/tenant".to_string()
+            ]
+        );
+        assert!(store.has_tenant("weird/tenant"));
+        assert!(!store.has_tenant("nobody"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Read-only memory-mapped files, without the `libc` crate.
+//!
+//! Recovery reads — the snapshot and the WAL — go through
+//! [`MappedFile`], so scanning a multi-megabyte log of CSV frames and
+//! embedding tables costs page-cache mappings, not a heap copy of the
+//! whole file. On targets without the `mmap` symbol (or when the map
+//! call fails, e.g. on an empty file or an exotic filesystem) the shim
+//! falls back to reading the file into memory; callers see the same
+//! `&[u8]` either way.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A read-only view of a file's bytes: an `mmap` when the platform
+/// provides one, an owned buffer otherwise.
+#[derive(Debug)]
+pub struct MappedFile {
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE over a file we opened —
+// an immutable byte region. Nothing ever writes through `ptr`, so
+// sharing or sending the view across threads is no different from
+// sharing a `&[u8]`.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps (or reads) the file at `path`. A missing file is an error;
+    /// an empty file yields an empty view.
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let file = File::open(path)?;
+        MappedFile::open_from(&file)
+    }
+
+    /// Maps (or reads) an already-open file from offset 0.
+    pub fn open_from(file: &File) -> io::Result<MappedFile> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty slice is
+            // exactly equivalent.
+            return Ok(MappedFile {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        #[cfg(unix)]
+        {
+            if let Some(ptr) = unix_mmap::map_readonly(file, len) {
+                return Ok(MappedFile {
+                    backing: Backing::Mapped { ptr, len },
+                });
+            }
+        }
+        // Fallback: plain read from offset 0, regardless of the
+        // handle's cursor. Same bytes, one copy.
+        Ok(MappedFile {
+            backing: Backing::Owned(read_all_at_start(file, len)?),
+        })
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: `ptr` is a live PROT_READ mapping of exactly
+                // `len` bytes, unmapped only in Drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned(buf) => buf,
+        }
+    }
+
+    /// Byte length of the view.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the view is an actual memory mapping (false = the
+    /// read-the-file fallback or an empty file).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn read_all_at_start(file: &File, len: usize) -> io::Result<Vec<u8>> {
+    use std::os::unix::fs::FileExt;
+    let mut buf = vec![0u8; len];
+    file.read_exact_at(&mut buf, 0)?;
+    Ok(buf)
+}
+
+#[cfg(not(unix))]
+fn read_all_at_start(file: &File, len: usize) -> io::Result<Vec<u8>> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = file.try_clone()?;
+    file.seek(SeekFrom::Start(0))?;
+    let mut buf = Vec::with_capacity(len);
+    file.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = &self.backing {
+            unix_mmap::unmap(*ptr, *len);
+        }
+    }
+}
+
+#[cfg(unix)]
+mod unix_mmap {
+    //! `mmap`/`munmap` without the libc crate: the symbols exist in
+    //! every libc this workspace targets, and the flag values used here
+    //! are identical on Linux, Android, and macOS.
+
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut std::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut std::ffi::c_void;
+        fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// Maps `len` bytes of `file` read-only; `None` when the kernel
+    /// refuses (callers fall back to reading the file).
+    pub fn map_readonly(file: &File, len: usize) -> Option<*mut u8> {
+        // SAFETY: fd is a valid open file descriptor for `file`; len is
+        // non-zero (checked by the caller); a PROT_READ/MAP_PRIVATE
+        // mapping cannot alias writable memory.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void*)-1.
+        if ptr as isize == -1 {
+            None
+        } else {
+            Some(ptr.cast())
+        }
+    }
+
+    /// Unmaps a region returned by [`map_readonly`].
+    pub fn unmap(ptr: *mut u8, len: usize) {
+        // SAFETY: `(ptr, len)` came from a successful mmap and is
+        // unmapped exactly once (Drop).
+        unsafe {
+            munmap(ptr.cast(), len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "datalab-store-mmap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_file("basic", b"hello, mapped world");
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"hello, mapped world");
+        assert_eq!(map.len(), 19);
+        #[cfg(unix)]
+        assert!(map.is_mapped(), "unix targets should really map");
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_view() {
+        let path = temp_file("empty", b"");
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let path = std::env::temp_dir().join("datalab-store-mmap-definitely-missing");
+        assert!(MappedFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn view_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappedFile>();
+    }
+}

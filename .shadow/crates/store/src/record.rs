@@ -1,0 +1,424 @@
+//! Typed session records: the logical operations that mutate a tenant
+//! session, encoded for the write-ahead log.
+//!
+//! Records are *replayable*: applying the same sequence of records to a
+//! fresh platform session reproduces the same state, because every layer
+//! under them (the simulated model, the SQL engine, knowledge
+//! generation) is deterministic. The server logs the two operations its
+//! API can perform — CSV registration and query execution — and the
+//! remaining variants cover the knowledge-mutation surface used by
+//! embedders and the crash harness.
+//!
+//! Encoding: `[version: u16][tag: u8]` followed by the variant's fields,
+//! each string length-prefixed with a `u32` (all little-endian). The
+//! encoding carries no framing of its own — the WAL wraps each record in
+//! a CRC-checked, length-prefixed frame (see [`crate::wal`]).
+//!
+//! Decoding is borrow-based: [`decode_record`] returns a
+//! [`SessionRecordRef`] whose strings point straight into the input
+//! buffer, so replaying a WAL from an mmap-backed file never copies the
+//! (potentially large) CSV payloads. [`SessionRecordRef::to_owned`]
+//! materialises an owned [`SessionRecord`] when one is needed.
+
+/// Version stamped into every encoded record. Decoders reject newer
+/// versions instead of guessing at their layout.
+pub const RECORD_VERSION: u16 = 1;
+
+/// An owned session mutation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionRecord {
+    /// `DataLab::register_csv(name, csv)`.
+    RegisterCsv {
+        /// Table name.
+        name: String,
+        /// Full CSV text, header row included.
+        csv: String,
+    },
+    /// `DataLab::query_as(workload, question)` — replay re-executes the
+    /// query through the deterministic pipeline.
+    Query {
+        /// Workload label (`nl2sql`, `adhoc`, …).
+        workload: String,
+        /// Natural-language question.
+        question: String,
+    },
+    /// `DataLab::add_jargon(term, expansion)`.
+    AddJargon {
+        /// Glossary term.
+        term: String,
+        /// Its expansion.
+        expansion: String,
+    },
+    /// `DataLab::add_value_alias(term, table, column, value)`.
+    AddValueAlias {
+        /// Alias term.
+        term: String,
+        /// Target table.
+        table: String,
+        /// Target column.
+        column: String,
+        /// Target value.
+        value: String,
+    },
+    /// `DataLab::import_knowledge(json)` — a full knowledge-graph
+    /// incorporation.
+    ImportKnowledge {
+        /// Exported knowledge-graph JSON.
+        json: String,
+    },
+    /// `DataLab::import_notebook(json)` — a full notebook restore.
+    ImportNotebook {
+        /// Exported notebook JSON.
+        json: String,
+    },
+}
+
+/// A decoded record whose strings borrow from the encoded buffer
+/// (typically an mmap of the WAL file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionRecordRef<'a> {
+    /// See [`SessionRecord::RegisterCsv`].
+    RegisterCsv {
+        /// Table name.
+        name: &'a str,
+        /// Full CSV text.
+        csv: &'a str,
+    },
+    /// See [`SessionRecord::Query`].
+    Query {
+        /// Workload label.
+        workload: &'a str,
+        /// Natural-language question.
+        question: &'a str,
+    },
+    /// See [`SessionRecord::AddJargon`].
+    AddJargon {
+        /// Glossary term.
+        term: &'a str,
+        /// Its expansion.
+        expansion: &'a str,
+    },
+    /// See [`SessionRecord::AddValueAlias`].
+    AddValueAlias {
+        /// Alias term.
+        term: &'a str,
+        /// Target table.
+        table: &'a str,
+        /// Target column.
+        column: &'a str,
+        /// Target value.
+        value: &'a str,
+    },
+    /// See [`SessionRecord::ImportKnowledge`].
+    ImportKnowledge {
+        /// Exported knowledge-graph JSON.
+        json: &'a str,
+    },
+    /// See [`SessionRecord::ImportNotebook`].
+    ImportNotebook {
+        /// Exported notebook JSON.
+        json: &'a str,
+    },
+}
+
+impl SessionRecordRef<'_> {
+    /// Materialises an owned copy of the record.
+    pub fn to_owned(&self) -> SessionRecord {
+        match *self {
+            SessionRecordRef::RegisterCsv { name, csv } => SessionRecord::RegisterCsv {
+                name: name.to_string(),
+                csv: csv.to_string(),
+            },
+            SessionRecordRef::Query { workload, question } => SessionRecord::Query {
+                workload: workload.to_string(),
+                question: question.to_string(),
+            },
+            SessionRecordRef::AddJargon { term, expansion } => SessionRecord::AddJargon {
+                term: term.to_string(),
+                expansion: expansion.to_string(),
+            },
+            SessionRecordRef::AddValueAlias {
+                term,
+                table,
+                column,
+                value,
+            } => SessionRecord::AddValueAlias {
+                term: term.to_string(),
+                table: table.to_string(),
+                column: column.to_string(),
+                value: value.to_string(),
+            },
+            SessionRecordRef::ImportKnowledge { json } => SessionRecord::ImportKnowledge {
+                json: json.to_string(),
+            },
+            SessionRecordRef::ImportNotebook { json } => SessionRecord::ImportNotebook {
+                json: json.to_string(),
+            },
+        }
+    }
+}
+
+/// Why a record failed to decode. Any decode failure makes the enclosing
+/// WAL frame count as corrupt — replay stops rather than mis-parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the layout said it should.
+    Truncated,
+    /// The record version is newer than this build understands.
+    UnknownVersion(u16),
+    /// The tag byte names no known record variant.
+    UnknownTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Decoding finished with unread bytes left over.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record truncated"),
+            DecodeError::UnknownVersion(v) => write!(f, "unknown record version {v}"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "record field is not valid UTF-8"),
+            DecodeError::TrailingBytes => write!(f, "record has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_REGISTER_CSV: u8 = 1;
+const TAG_QUERY: u8 = 2;
+const TAG_ADD_JARGON: u8 = 3;
+const TAG_ADD_VALUE_ALIAS: u8 = 4;
+const TAG_IMPORT_KNOWLEDGE: u8 = 5;
+const TAG_IMPORT_NOTEBOOK: u8 = 6;
+
+/// Appends a length-prefixed string.
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed string, advancing `*at`.
+pub(crate) fn take_str<'a>(bytes: &'a [u8], at: &mut usize) -> Result<&'a str, DecodeError> {
+    let len = take_u32(bytes, at)? as usize;
+    let end = at.checked_add(len).ok_or(DecodeError::Truncated)?;
+    if end > bytes.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let s = std::str::from_utf8(&bytes[*at..end]).map_err(|_| DecodeError::BadUtf8)?;
+    *at = end;
+    Ok(s)
+}
+
+/// Reads a little-endian `u32`, advancing `*at`.
+pub(crate) fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, DecodeError> {
+    let end = at.checked_add(4).ok_or(DecodeError::Truncated)?;
+    if end > bytes.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let v = u32::from_le_bytes(bytes[*at..end].try_into().expect("4 bytes"));
+    *at = end;
+    Ok(v)
+}
+
+/// Reads a little-endian `u64`, advancing `*at`.
+pub(crate) fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, DecodeError> {
+    let end = at.checked_add(8).ok_or(DecodeError::Truncated)?;
+    if end > bytes.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let v = u64::from_le_bytes(bytes[*at..end].try_into().expect("8 bytes"));
+    *at = end;
+    Ok(v)
+}
+
+/// Reads a little-endian `u16`, advancing `*at`.
+pub(crate) fn take_u16(bytes: &[u8], at: &mut usize) -> Result<u16, DecodeError> {
+    let end = at.checked_add(2).ok_or(DecodeError::Truncated)?;
+    if end > bytes.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let v = u16::from_le_bytes(bytes[*at..end].try_into().expect("2 bytes"));
+    *at = end;
+    Ok(v)
+}
+
+/// Encodes a record as `[version][tag][fields…]`.
+pub fn encode_record(record: &SessionRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&RECORD_VERSION.to_le_bytes());
+    match record {
+        SessionRecord::RegisterCsv { name, csv } => {
+            buf.push(TAG_REGISTER_CSV);
+            put_str(&mut buf, name);
+            put_str(&mut buf, csv);
+        }
+        SessionRecord::Query { workload, question } => {
+            buf.push(TAG_QUERY);
+            put_str(&mut buf, workload);
+            put_str(&mut buf, question);
+        }
+        SessionRecord::AddJargon { term, expansion } => {
+            buf.push(TAG_ADD_JARGON);
+            put_str(&mut buf, term);
+            put_str(&mut buf, expansion);
+        }
+        SessionRecord::AddValueAlias {
+            term,
+            table,
+            column,
+            value,
+        } => {
+            buf.push(TAG_ADD_VALUE_ALIAS);
+            put_str(&mut buf, term);
+            put_str(&mut buf, table);
+            put_str(&mut buf, column);
+            put_str(&mut buf, value);
+        }
+        SessionRecord::ImportKnowledge { json } => {
+            buf.push(TAG_IMPORT_KNOWLEDGE);
+            put_str(&mut buf, json);
+        }
+        SessionRecord::ImportNotebook { json } => {
+            buf.push(TAG_IMPORT_NOTEBOOK);
+            put_str(&mut buf, json);
+        }
+    }
+    buf
+}
+
+/// Decodes one record, borrowing string fields from `bytes`. The whole
+/// buffer must be consumed exactly — leftover bytes are an error, so a
+/// frame can never smuggle a second half-parsed record.
+pub fn decode_record(bytes: &[u8]) -> Result<SessionRecordRef<'_>, DecodeError> {
+    let mut at = 0usize;
+    let version = take_u16(bytes, &mut at)?;
+    if version == 0 || version > RECORD_VERSION {
+        return Err(DecodeError::UnknownVersion(version));
+    }
+    let tag = *bytes.get(at).ok_or(DecodeError::Truncated)?;
+    at += 1;
+    let record = match tag {
+        TAG_REGISTER_CSV => SessionRecordRef::RegisterCsv {
+            name: take_str(bytes, &mut at)?,
+            csv: take_str(bytes, &mut at)?,
+        },
+        TAG_QUERY => SessionRecordRef::Query {
+            workload: take_str(bytes, &mut at)?,
+            question: take_str(bytes, &mut at)?,
+        },
+        TAG_ADD_JARGON => SessionRecordRef::AddJargon {
+            term: take_str(bytes, &mut at)?,
+            expansion: take_str(bytes, &mut at)?,
+        },
+        TAG_ADD_VALUE_ALIAS => SessionRecordRef::AddValueAlias {
+            term: take_str(bytes, &mut at)?,
+            table: take_str(bytes, &mut at)?,
+            column: take_str(bytes, &mut at)?,
+            value: take_str(bytes, &mut at)?,
+        },
+        TAG_IMPORT_KNOWLEDGE => SessionRecordRef::ImportKnowledge {
+            json: take_str(bytes, &mut at)?,
+        },
+        TAG_IMPORT_NOTEBOOK => SessionRecordRef::ImportNotebook {
+            json: take_str(bytes, &mut at)?,
+        },
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    if at != bytes.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<SessionRecord> {
+        vec![
+            SessionRecord::RegisterCsv {
+                name: "sales".into(),
+                csv: "region,amount\neast,10\n".into(),
+            },
+            SessionRecord::Query {
+                workload: "nl2sql".into(),
+                question: "total amount by region".into(),
+            },
+            SessionRecord::AddJargon {
+                term: "gmv".into(),
+                expansion: "total income".into(),
+            },
+            SessionRecord::AddValueAlias {
+                term: "TencentBI".into(),
+                table: "t".into(),
+                column: "c".into(),
+                value: "Tencent BI".into(),
+            },
+            SessionRecord::ImportKnowledge {
+                json: "{\"nodes\":[]}".into(),
+            },
+            SessionRecord::ImportNotebook { json: "{}".into() },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        for record in samples() {
+            let bytes = encode_record(&record);
+            let decoded = decode_record(&bytes).expect("decodes").to_owned();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_rejected() {
+        for record in samples() {
+            let bytes = encode_record(&record);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_record(&bytes[..cut]).is_err(),
+                    "cut at {cut}/{} decoded",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_version_are_rejected() {
+        let mut bytes = encode_record(&SessionRecord::ImportNotebook { json: "{}".into() });
+        bytes[2] = 200; // tag byte
+        assert_eq!(decode_record(&bytes), Err(DecodeError::UnknownTag(200)));
+        let mut bytes = encode_record(&SessionRecord::ImportNotebook { json: "{}".into() });
+        bytes[0] = 0xFF;
+        bytes[1] = 0xFF;
+        assert!(matches!(
+            decode_record(&bytes),
+            Err(DecodeError::UnknownVersion(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_record(&SessionRecord::Query {
+            workload: "w".into(),
+            question: "q".into(),
+        });
+        bytes.push(0);
+        assert_eq!(decode_record(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn non_utf8_fields_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&RECORD_VERSION.to_le_bytes());
+        bytes.push(TAG_IMPORT_NOTEBOOK);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode_record(&bytes), Err(DecodeError::BadUtf8));
+    }
+}

@@ -1,0 +1,296 @@
+//! Per-tenant session snapshots: a single CRC-checked file capturing the
+//! session's durable state, written atomically so a crash can never
+//! leave a half-snapshot where a good one used to be.
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic: u32 "DLSN"][version: u16][reserved: u16]
+//! [len: u32][crc32: u32][payload]
+//! ```
+//!
+//! Payload (all little-endian, strings length-prefixed with `u32`):
+//!
+//! ```text
+//! [wal_seq: u64]                 WAL watermark folded into the snapshot
+//! [n_tables: u32] n × ([name][csv])
+//! [knowledge_json]
+//! [notebook_json]
+//! [n_history: u32] n × [entry]
+//! ```
+//!
+//! `wal_seq` is the highest WAL sequence number whose effects the
+//! snapshot contains. Recovery replays only records above it, which
+//! makes the snapshot-then-truncate sequence crash-safe in every
+//! interleaving (see [`crate::wal`]).
+//!
+//! The write protocol is write-to-temp → `fdatasync` → `rename` →
+//! `fsync` the directory: readers only ever observe the old complete
+//! snapshot or the new complete snapshot.
+
+use crate::record::{put_str, take_str, take_u32, take_u64, DecodeError};
+use crate::wal::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// First four bytes of every snapshot file (`DLSN`, little-endian).
+pub const SNAP_MAGIC: u32 = 0x4E53_4C44;
+/// Snapshot container version.
+pub const SNAP_VERSION: u16 = 1;
+
+/// The durable state of one tenant session, as the server extracts it
+/// from a live `DataLab` (owned form, used for writing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionState {
+    /// Registered tables in registration order, as `(name, csv_text)` —
+    /// restoring re-registers each CSV, which also regenerates the
+    /// table profiles deterministically.
+    pub tables: Vec<(String, String)>,
+    /// Exported knowledge-graph JSON (empty = no knowledge).
+    pub knowledge_json: String,
+    /// Exported notebook JSON (empty = fresh notebook).
+    pub notebook_json: String,
+    /// Query history lines, oldest first.
+    pub history: Vec<String>,
+}
+
+/// A decoded snapshot borrowing from the snapshot file's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRef<'a> {
+    /// Highest WAL sequence number folded into this snapshot.
+    pub wal_seq: u64,
+    /// `(name, csv)` per table, registration order.
+    pub tables: Vec<(&'a str, &'a str)>,
+    /// Knowledge-graph JSON ("" = none).
+    pub knowledge_json: &'a str,
+    /// Notebook JSON ("" = none).
+    pub notebook_json: &'a str,
+    /// History lines, oldest first.
+    pub history: Vec<&'a str>,
+}
+
+impl SnapshotRef<'_> {
+    /// Materialises an owned [`SessionState`] (drops the watermark).
+    pub fn to_state(&self) -> SessionState {
+        SessionState {
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, c)| (n.to_string(), c.to_string()))
+                .collect(),
+            knowledge_json: self.knowledge_json.to_string(),
+            notebook_json: self.notebook_json.to_string(),
+            history: self.history.iter().map(|h| h.to_string()).collect(),
+        }
+    }
+}
+
+/// Why a snapshot file failed to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Wrong magic: not a DataLab snapshot.
+    BadMagic,
+    /// Newer container version than this build.
+    UnknownVersion(u16),
+    /// The file is shorter than its own length prefix claims.
+    Truncated,
+    /// The payload failed its CRC.
+    BadChecksum,
+    /// The payload decoded wrong (field-level failure).
+    BadPayload(DecodeError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a DataLab snapshot (bad magic)"),
+            SnapshotError::UnknownVersion(v) => write!(f, "unknown snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadChecksum => write!(f, "snapshot failed its checksum"),
+            SnapshotError::BadPayload(e) => write!(f, "snapshot payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encodes a snapshot file image for `state` at WAL watermark `wal_seq`.
+pub fn encode_snapshot(wal_seq: u64, state: &SessionState) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(256);
+    payload.extend_from_slice(&wal_seq.to_le_bytes());
+    payload.extend_from_slice(&(state.tables.len() as u32).to_le_bytes());
+    for (name, csv) in &state.tables {
+        put_str(&mut payload, name);
+        put_str(&mut payload, csv);
+    }
+    put_str(&mut payload, &state.knowledge_json);
+    put_str(&mut payload, &state.notebook_json);
+    payload.extend_from_slice(&(state.history.len() as u32).to_le_bytes());
+    for h in &state.history {
+        put_str(&mut payload, h);
+    }
+
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a snapshot file image, borrowing strings from `bytes`.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotRef<'_>, SnapshotError> {
+    if bytes.len() < 16 {
+        return Err(SnapshotError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != SNAP_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version == 0 || version > SNAP_VERSION {
+        return Err(SnapshotError::UnknownVersion(version));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let payload = bytes.get(16..16 + len).ok_or(SnapshotError::Truncated)?;
+    if crc32(payload) != crc {
+        return Err(SnapshotError::BadChecksum);
+    }
+
+    parse_payload(payload).map_err(SnapshotError::BadPayload)
+}
+
+fn parse_payload(payload: &[u8]) -> Result<SnapshotRef<'_>, DecodeError> {
+    let mut at = 0usize;
+    let wal_seq = take_u64(payload, &mut at)?;
+    let n_tables = take_u32(payload, &mut at)? as usize;
+    let mut tables = Vec::with_capacity(n_tables.min(1024));
+    for _ in 0..n_tables {
+        let name = take_str(payload, &mut at)?;
+        let csv = take_str(payload, &mut at)?;
+        tables.push((name, csv));
+    }
+    let knowledge_json = take_str(payload, &mut at)?;
+    let notebook_json = take_str(payload, &mut at)?;
+    let n_history = take_u32(payload, &mut at)? as usize;
+    let mut history = Vec::with_capacity(n_history.min(4096));
+    for _ in 0..n_history {
+        history.push(take_str(payload, &mut at)?);
+    }
+    if at != payload.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(SnapshotRef {
+        wal_seq,
+        tables,
+        knowledge_json,
+        notebook_json,
+        history,
+    })
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fdatasync`, `rename` over the target, then directory `fsync` so the
+/// rename itself is durable.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "snapshot path has no parent")
+    })?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename durable. Directory fsync is a unix-ism; on other
+    // targets the rename alone is the best available ordering.
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> SessionState {
+        SessionState {
+            tables: vec![
+                ("sales".into(), "region,amount\neast,10\nwest,20\n".into()),
+                ("дim".into(), "k,v\na,1\n".into()),
+            ],
+            knowledge_json: "{\"nodes\":[{\"kind\":\"jargon\"}]}".into(),
+            notebook_json: "{\"cells\":[],\"next_id\":0}".into(),
+            history: vec!["total amount by region".into(), "what about west".into()],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let bytes = encode_snapshot(17, &state());
+        let decoded = decode_snapshot(&bytes).expect("decodes");
+        assert_eq!(decoded.wal_seq, 17);
+        assert_eq!(decoded.to_state(), state());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_snapshot(3, &state());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "cut at {cut}/{} decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum() {
+        let clean = encode_snapshot(3, &state());
+        for at in 16..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x40;
+            assert!(
+                matches!(
+                    decode_snapshot(&bytes),
+                    Err(SnapshotError::BadChecksum) | Err(SnapshotError::Truncated)
+                ),
+                "flip at {at} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "datalab-store-snap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.dls");
+        write_atomic(&path, &encode_snapshot(1, &SessionState::default())).unwrap();
+        write_atomic(&path, &encode_snapshot(2, &state())).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let decoded = decode_snapshot(&bytes).unwrap();
+        assert_eq!(decoded.wal_seq, 2);
+        assert!(!dir.join("snapshot.tmp").exists());
+    }
+}

@@ -1,0 +1,548 @@
+//! The append-only write-ahead log: CRC-framed, length-prefixed,
+//! torn-tail tolerant.
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic: u32 "DLWA"][version: u16][reserved: u16]      file header
+//! [len: u32][crc32: u32][payload: len bytes]            frame 0
+//! [len: u32][crc32: u32][payload]                       frame 1
+//! …
+//! ```
+//!
+//! Each frame's payload is `[seq: u64][encoded record]` (see
+//! [`crate::record`]); `crc32` covers the payload. `seq` increases
+//! monotonically per tenant for the WAL's whole lifetime — it survives
+//! snapshot truncation, which is what makes recovery idempotent when a
+//! crash lands between "snapshot renamed into place" and "WAL
+//! truncated": records already folded into the snapshot carry sequence
+//! numbers at or below the snapshot's watermark and are skipped on
+//! replay.
+//!
+//! A scan stops at the first frame that is incomplete (*torn tail*: the
+//! process died mid-append) or fails its CRC / record decode
+//! (*corrupt*). Every record before the bad frame replays; nothing at or
+//! after it is trusted — a corrupted length prefix can make all
+//! subsequent byte offsets meaningless, so resynchronising past a bad
+//! frame would risk mis-parsing, which is worse than losing the tail.
+
+use crate::record::{decode_record, encode_record, take_u64, SessionRecord, SessionRecordRef};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// First four bytes of every WAL file (`DLWA`, little-endian).
+pub const WAL_MAGIC: u32 = 0x4157_4C44;
+/// WAL container version; bumped only if the framing itself changes.
+pub const WAL_VERSION: u16 = 1;
+/// Bytes of file header before the first frame.
+pub const WAL_HEADER_LEN: usize = 8;
+/// Bytes of frame header (`len` + `crc32`) before each payload.
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on one frame's payload; anything larger during a scan is
+/// treated as corruption rather than attempted as an allocation.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected), the classic zlib polynomial.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// How a WAL scan's tail looked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every byte parsed as a complete, CRC-clean frame.
+    Clean,
+    /// The file ended mid-frame — the classic kill-mid-append shape.
+    Torn {
+        /// Bytes past the last complete frame.
+        dropped_bytes: usize,
+    },
+    /// A complete frame failed its CRC or its record decode.
+    Corrupt {
+        /// Bytes from the bad frame to end of file.
+        dropped_bytes: usize,
+    },
+}
+
+impl WalTail {
+    /// Bytes the scan refused to trust.
+    pub fn dropped_bytes(&self) -> usize {
+        match self {
+            WalTail::Clean => 0,
+            WalTail::Torn { dropped_bytes } | WalTail::Corrupt { dropped_bytes } => *dropped_bytes,
+        }
+    }
+}
+
+/// Result of scanning a WAL byte buffer (typically an mmap).
+#[derive(Debug)]
+pub struct WalScan<'a> {
+    /// `(seq, record)` for every trusted frame, in file order.
+    pub records: Vec<(u64, SessionRecordRef<'a>)>,
+    /// Tail condition.
+    pub tail: WalTail,
+    /// Byte length of the trusted prefix (header + complete frames); the
+    /// writer truncates to this before appending again.
+    pub valid_len: usize,
+    /// Highest sequence number among trusted frames (0 when none).
+    pub last_seq: u64,
+}
+
+/// Why a WAL file is unusable as a whole (as opposed to merely having a
+/// bad tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// The file header's magic does not identify a DataLab WAL.
+    BadMagic,
+    /// The container version is newer than this build.
+    UnknownVersion(u16),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::BadMagic => write!(f, "not a DataLab WAL (bad magic)"),
+            WalError::UnknownVersion(v) => write!(f, "unknown WAL version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Encodes the 8-byte file header.
+pub fn wal_header() -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+    h[4..6].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// Encodes one frame: `[len][crc][seq + record]`.
+pub fn encode_frame(seq: u64, record: &SessionRecord) -> Vec<u8> {
+    let body = encode_record(record);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&body);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Scans a WAL buffer into its trusted records. An empty buffer is a
+/// fresh (never-written) WAL; a buffer shorter than the header, or with
+/// a damaged header, fails outright — there is nothing salvageable.
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan<'_>, WalError> {
+    if bytes.is_empty() {
+        return Ok(WalScan {
+            records: Vec::new(),
+            tail: WalTail::Clean,
+            valid_len: 0,
+            last_seq: 0,
+        });
+    }
+    if bytes.len() < WAL_HEADER_LEN {
+        // Killed while writing the header itself: nothing was ever
+        // logged, so an empty WAL is the correct recovery.
+        return Ok(WalScan {
+            records: Vec::new(),
+            tail: WalTail::Torn {
+                dropped_bytes: bytes.len(),
+            },
+            valid_len: 0,
+            last_seq: 0,
+        });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != WAL_MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version == 0 || version > WAL_VERSION {
+        return Err(WalError::UnknownVersion(version));
+    }
+
+    let mut records = Vec::new();
+    let mut at = WAL_HEADER_LEN;
+    let mut last_seq = 0u64;
+    loop {
+        if at == bytes.len() {
+            return Ok(WalScan {
+                records,
+                tail: WalTail::Clean,
+                valid_len: at,
+                last_seq,
+            });
+        }
+        let remaining = bytes.len() - at;
+        if remaining < FRAME_HEADER_LEN {
+            return Ok(WalScan {
+                records,
+                tail: WalTail::Torn {
+                    dropped_bytes: remaining,
+                },
+                valid_len: at,
+                last_seq,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            // An absurd length is a corrupted prefix, not a real frame.
+            return Ok(WalScan {
+                records,
+                tail: WalTail::Corrupt {
+                    dropped_bytes: remaining,
+                },
+                valid_len: at,
+                last_seq,
+            });
+        }
+        let body_start = at + FRAME_HEADER_LEN;
+        let body_end = match body_start.checked_add(len as usize) {
+            Some(end) if end <= bytes.len() => end,
+            _ => {
+                return Ok(WalScan {
+                    records,
+                    tail: WalTail::Torn {
+                        dropped_bytes: remaining,
+                    },
+                    valid_len: at,
+                    last_seq,
+                })
+            }
+        };
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            return Ok(WalScan {
+                records,
+                tail: WalTail::Corrupt {
+                    dropped_bytes: remaining,
+                },
+                valid_len: at,
+                last_seq,
+            });
+        }
+        let mut cursor = 0usize;
+        let parsed = take_u64(payload, &mut cursor)
+            .and_then(|seq| decode_record(&payload[cursor..]).map(|record| (seq, record)));
+        match parsed {
+            Ok((seq, record)) => {
+                last_seq = last_seq.max(seq);
+                records.push((seq, record));
+                at = body_end;
+            }
+            Err(_) => {
+                // CRC-clean but undecodable (e.g. written by a newer
+                // build): refuse it and everything after it.
+                return Ok(WalScan {
+                    records,
+                    tail: WalTail::Corrupt {
+                        dropped_bytes: remaining,
+                    },
+                    valid_len: at,
+                    last_seq,
+                });
+            }
+        }
+    }
+}
+
+/// Append handle over one tenant's WAL file.
+///
+/// Opening scans the existing file, truncates any untrusted tail (those
+/// bytes are unreadable forever — leaving them would orphan every frame
+/// appended after them), and positions the cursor for appends. The
+/// caller owns fsync policy via [`WalWriter::sync`].
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    next_seq: u64,
+    /// Bytes written since the last successful [`WalWriter::sync`].
+    unsynced_bytes: u64,
+}
+
+/// What [`WalWriter::open`] found in the existing file.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The append handle.
+    pub writer: WalWriter,
+    /// Records recovered from the trusted prefix (owned — the scan
+    /// buffer dies with `open`).
+    pub records: Vec<(u64, SessionRecord)>,
+    /// Tail condition found on open.
+    pub tail: WalTail,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the WAL at `path` for appending.
+    /// `seq_floor` is the snapshot's sequence watermark: appends continue
+    /// above `max(seq_floor, last logged seq)`.
+    pub fn open(path: &Path, seq_floor: u64) -> io::Result<WalOpen> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let bytes = crate::mmap::MappedFile::open_from(&file)?;
+        let scan = scan_wal(bytes.bytes())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let records: Vec<(u64, SessionRecord)> = scan
+            .records
+            .iter()
+            .map(|(seq, r)| (*seq, r.to_owned()))
+            .collect();
+        let tail = scan.tail;
+        let valid_len = scan.valid_len;
+        let last_seq = scan.last_seq;
+        drop(bytes);
+
+        if valid_len == 0 {
+            // Fresh (or header-torn) file: start over with a header.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&wal_header())?;
+        } else if tail != WalTail::Clean {
+            file.set_len(valid_len as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        } else {
+            file.seek(SeekFrom::End(0))?;
+        }
+
+        Ok(WalOpen {
+            writer: WalWriter {
+                file,
+                next_seq: last_seq.max(seq_floor) + 1,
+                unsynced_bytes: 0,
+            },
+            records,
+            tail,
+        })
+    }
+
+    /// Appends one record, returning `(seq, frame_bytes)`. The bytes hit
+    /// the OS; durability against power loss requires [`WalWriter::sync`].
+    pub fn append(&mut self, record: &SessionRecord) -> io::Result<(u64, u64)> {
+        let seq = self.next_seq;
+        let frame = encode_frame(seq, record);
+        self.file.write_all(&frame)?;
+        self.next_seq += 1;
+        self.unsynced_bytes += frame.len() as u64;
+        Ok((seq, frame.len() as u64))
+    }
+
+    /// Flushes written frames to stable storage (`fdatasync`). Returns
+    /// the number of bytes made durable (0 = nothing was pending).
+    pub fn sync(&mut self) -> io::Result<u64> {
+        if self.unsynced_bytes == 0 {
+            return Ok(0);
+        }
+        self.file.sync_data()?;
+        Ok(std::mem::take(&mut self.unsynced_bytes))
+    }
+
+    /// Whether appends since the last [`WalWriter::sync`] are pending.
+    pub fn is_dirty(&self) -> bool {
+        self.unsynced_bytes > 0
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Truncates the log back to a bare header after a snapshot made its
+    /// contents redundant. Sequence numbers keep counting up — see the
+    /// module docs for why that matters.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&wal_header())?;
+        self.file.sync_data()?;
+        self.unsynced_bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "datalab-store-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn reg(i: usize) -> SessionRecord {
+        SessionRecord::RegisterCsv {
+            name: format!("t{i}"),
+            csv: format!("a,b\n{i},{i}\n"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("wal.dlw");
+        {
+            let mut open = WalWriter::open(&path, 0).unwrap();
+            assert!(open.records.is_empty());
+            for i in 0..5 {
+                open.writer.append(&reg(i)).unwrap();
+            }
+            open.writer.sync().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.last_seq, 5);
+        let seqs: Vec<u64> = scan.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(scan.records[2].1.to_owned(), reg(2));
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_partial_frame() {
+        let dir = temp_dir("torn");
+        let path = dir.join("wal.dlw");
+        let mut open = WalWriter::open(&path, 0).unwrap();
+        for i in 0..3 {
+            open.writer.append(&reg(i)).unwrap();
+        }
+        open.writer.sync().unwrap();
+        drop(open);
+        // Simulate a kill mid-append: write half of a fourth frame.
+        let frame = encode_frame(4, &reg(3));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&frame[..frame.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan_bytes = std::fs::read(&path).unwrap();
+        let scan = scan_wal(&scan_bytes).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(matches!(scan.tail, WalTail::Torn { .. }));
+
+        // Re-opening truncates the torn bytes and appends continue.
+        let mut open = WalWriter::open(&path, 0).unwrap();
+        assert_eq!(open.records.len(), 3);
+        assert!(matches!(open.tail, WalTail::Torn { .. }));
+        open.writer.append(&reg(9)).unwrap();
+        open.writer.sync().unwrap();
+        drop(open);
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.records[3].0, 4, "seq resumes past the torn frame");
+    }
+
+    #[test]
+    fn bit_flip_is_rejected_not_misparsed() {
+        let dir = temp_dir("flip");
+        let path = dir.join("wal.dlw");
+        let mut open = WalWriter::open(&path, 0).unwrap();
+        for i in 0..3 {
+            open.writer.append(&reg(i)).unwrap();
+        }
+        open.writer.sync().unwrap();
+        drop(open);
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit in every payload byte position of the last frame.
+        let last_frame_start = {
+            let scan = scan_wal(&clean).unwrap();
+            let without_last = {
+                let mut upto = WAL_HEADER_LEN;
+                for (i, _) in scan.records.iter().enumerate() {
+                    if i + 1 == scan.records.len() {
+                        break;
+                    }
+                    let len = u32::from_le_bytes(clean[upto..upto + 4].try_into().unwrap());
+                    upto += FRAME_HEADER_LEN + len as usize;
+                }
+                upto
+            };
+            without_last
+        };
+        for at in (last_frame_start + FRAME_HEADER_LEN)..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x10;
+            let scan = scan_wal(&bytes).unwrap();
+            assert_eq!(scan.records.len(), 2, "flip at {at} kept the bad frame");
+            assert!(matches!(scan.tail, WalTail::Corrupt { .. }));
+        }
+    }
+
+    #[test]
+    fn seq_floor_lifts_the_next_sequence() {
+        let dir = temp_dir("floor");
+        let path = dir.join("wal.dlw");
+        let open = WalWriter::open(&path, 41).unwrap();
+        assert_eq!(open.writer.next_seq(), 42);
+    }
+
+    #[test]
+    fn bad_magic_fails_outright() {
+        let bytes = b"GARBAGE-".to_vec();
+        assert!(matches!(scan_wal(&bytes), Err(WalError::BadMagic)));
+    }
+
+    #[test]
+    fn reset_keeps_sequence_monotonic() {
+        let dir = temp_dir("reset");
+        let path = dir.join("wal.dlw");
+        let mut open = WalWriter::open(&path, 0).unwrap();
+        for i in 0..3 {
+            open.writer.append(&reg(i)).unwrap();
+        }
+        open.writer.reset().unwrap();
+        let (seq, _) = open.writer.append(&reg(9)).unwrap();
+        assert_eq!(seq, 4);
+        drop(open);
+        let reopened = WalWriter::open(&path, 0).unwrap();
+        assert_eq!(reopened.records.len(), 1);
+        assert_eq!(reopened.records[0].0, 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! Request-scoped tracing context: trace identifiers and the
+//! [`RequestContext`] threaded from the HTTP edge down to the model
+//! transport.
+//!
+//! A [`TraceId`] is either accepted from the caller (an `X-Trace-Id`
+//! header, validated by [`TraceId::parse`]) or minted deterministically
+//! from a per-server `(seed, counter)` pair by [`TraceId::derive`] — no
+//! clocks, no randomness, so replayed runs mint identical IDs. The
+//! context rides alongside a query; while it is active the telemetry
+//! handle tags every recorded event and every stage/agent span with the
+//! trace ID, which is what lets a single request be reassembled later
+//! from the trace store.
+
+use std::fmt;
+
+/// Maximum accepted length (bytes) of a caller-supplied trace ID.
+pub const MAX_TRACE_ID_LEN: usize = 64;
+
+/// An opaque request trace identifier.
+///
+/// Valid IDs are 1–[`MAX_TRACE_ID_LEN`] bytes drawn from
+/// `[A-Za-z0-9._-]`, which keeps them safe to embed verbatim in HTTP
+/// headers, JSON, URL paths, and log lines without escaping.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(String);
+
+impl TraceId {
+    /// Validates a caller-supplied ID (e.g. an `X-Trace-Id` header
+    /// value). Returns `None` when empty, too long, or containing any
+    /// character outside `[A-Za-z0-9._-]`.
+    pub fn parse(raw: &str) -> Option<TraceId> {
+        let raw = raw.trim();
+        if raw.is_empty() || raw.len() > MAX_TRACE_ID_LEN {
+            return None;
+        }
+        let ok = raw
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+        ok.then(|| TraceId(raw.to_string()))
+    }
+
+    /// Mints a deterministic ID from a server seed and a request
+    /// counter: same `(seed, counter)`, same ID, across runs and
+    /// platforms. The mix is FNV-1a over the two values, rendered as 16
+    /// hex digits.
+    pub fn derive(seed: u64, counter: u64) -> TraceId {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in seed.to_le_bytes().into_iter().chain(counter.to_le_bytes()) {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        TraceId(format!("{hash:016x}"))
+    }
+
+    /// The ID as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-request context threaded through the stack. Today it carries the
+/// optional trace ID; an absent ID means the work is untraced (offline
+/// fleet runs, table registration, internal maintenance).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestContext {
+    trace_id: Option<TraceId>,
+}
+
+impl RequestContext {
+    /// An untraced context (same as `RequestContext::default()`).
+    pub fn untraced() -> RequestContext {
+        RequestContext::default()
+    }
+
+    /// A context carrying `trace_id`.
+    pub fn traced(trace_id: TraceId) -> RequestContext {
+        RequestContext {
+            trace_id: Some(trace_id),
+        }
+    }
+
+    /// The trace ID, if this request is traced.
+    pub fn trace_id(&self) -> Option<&TraceId> {
+        self.trace_id.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_header_safe_ids_only() {
+        assert_eq!(
+            TraceId::parse("abc-123_X.z").unwrap().as_str(),
+            "abc-123_X.z"
+        );
+        assert_eq!(TraceId::parse("  padded  ").unwrap().as_str(), "padded");
+        assert!(TraceId::parse("").is_none());
+        assert!(TraceId::parse("   ").is_none());
+        assert!(TraceId::parse("has space").is_none());
+        assert!(TraceId::parse("héllo").is_none());
+        assert!(TraceId::parse("semi;colon").is_none());
+        assert!(TraceId::parse(&"x".repeat(MAX_TRACE_ID_LEN)).is_some());
+        assert!(TraceId::parse(&"x".repeat(MAX_TRACE_ID_LEN + 1)).is_none());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let a = TraceId::derive(7, 0);
+        assert_eq!(a, TraceId::derive(7, 0));
+        assert_ne!(a, TraceId::derive(7, 1));
+        assert_ne!(a, TraceId::derive(8, 0));
+        assert_eq!(a.as_str().len(), 16);
+        // Derived IDs round-trip through the validator.
+        assert_eq!(TraceId::parse(a.as_str()), Some(a));
+    }
+
+    #[test]
+    fn context_carries_the_id() {
+        assert!(RequestContext::untraced().trace_id().is_none());
+        let id = TraceId::derive(1, 2);
+        let ctx = RequestContext::traced(id.clone());
+        assert_eq!(ctx.trace_id(), Some(&id));
+        assert_eq!(format!("{id}"), id.as_str().to_string());
+    }
+}

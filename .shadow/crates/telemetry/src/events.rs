@@ -1,0 +1,426 @@
+//! The query flight recorder: a bounded, thread-safe ring buffer of
+//! typed, monotonically-sequenced events.
+//!
+//! Spans answer "how long did each stage take"; the event log answers
+//! "what happened, in order" — every model call, retry, FSM transition,
+//! sandbox failure, knowledge hit/miss, and cell append lands here with a
+//! sequence number. When a query fails, the tail of the ring is attached
+//! to the response as a *flight record* for forensics, the way an
+//! aircraft recorder preserves the moments before an incident.
+//!
+//! The ring is bounded (old events are evicted), but per-kind counts are
+//! kept forever, so aggregate error taxonomies survive eviction.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity: generous enough to hold several queries' worth
+/// of events while bounding memory for long sessions.
+pub const DEFAULT_EVENT_CAPACITY: usize = 512;
+
+/// Maximum bytes of detail stored per event. Details come from arbitrary
+/// sources (full question text, error chains), so without a cap the ring
+/// buffer's memory is bounded in entry *count* but not in bytes. Longer
+/// details are cut at a char boundary and marked with `…`.
+pub const MAX_EVENT_DETAIL_BYTES: usize = 256;
+
+/// Bounds a detail string to [`MAX_EVENT_DETAIL_BYTES`], appending `…`
+/// when truncated (the marker may push the result a few bytes past the
+/// cap; the bound that matters is per-entry, not exact).
+fn bound_detail(detail: String) -> String {
+    if detail.len() <= MAX_EVENT_DETAIL_BYTES {
+        return detail;
+    }
+    let mut cut = MAX_EVENT_DETAIL_BYTES;
+    while cut > 0 && !detail.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let mut out = String::with_capacity(cut + '…'.len_utf8());
+    out.push_str(&detail[..cut]);
+    out.push('…');
+    out
+}
+
+/// The kind of a recorded event. Kinds are a closed set so fleet-level
+/// error taxonomies can key on them without string drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A query began (detail: the question).
+    QueryStart,
+    /// A query finished (detail: `ok` or `failed`).
+    QueryEnd,
+    /// One model call (detail: prompt/completion token counts).
+    LlmCall,
+    /// An agent or grounding loop re-attempted after a failure.
+    Retry,
+    /// The communication FSM moved an agent between states.
+    FsmTransition,
+    /// The dscript sandbox rejected or failed to execute a program.
+    SandboxFailure,
+    /// An agent exhausted its call budget and gave up.
+    AgentFailure,
+    /// Knowledge retrieval returned at least one grounding item.
+    KnowledgeHit,
+    /// Knowledge retrieval came back empty.
+    KnowledgeMiss,
+    /// The platform appended cells to the notebook.
+    CellAppend,
+    /// A platform API call (CSV registration, import) returned an error.
+    PlatformError,
+    /// The model transport observed a fault (injected or real; detail:
+    /// the fault kind and message).
+    LlmFault,
+    /// The resilient transport re-attempted a call after a fault.
+    TransportRetry,
+    /// The circuit breaker tripped open.
+    BreakerTrip,
+    /// A response was served by a rule-based fallback path (detail: the
+    /// degraded roles).
+    Degraded,
+    /// The session store evicted a tenant session to make room (detail:
+    /// the evicted tenant).
+    SessionEvicted,
+}
+
+impl EventKind {
+    /// Every kind, for taxonomy enumeration.
+    pub const ALL: &'static [EventKind] = &[
+        EventKind::QueryStart,
+        EventKind::QueryEnd,
+        EventKind::LlmCall,
+        EventKind::Retry,
+        EventKind::FsmTransition,
+        EventKind::SandboxFailure,
+        EventKind::AgentFailure,
+        EventKind::KnowledgeHit,
+        EventKind::KnowledgeMiss,
+        EventKind::CellAppend,
+        EventKind::PlatformError,
+        EventKind::LlmFault,
+        EventKind::TransportRetry,
+        EventKind::BreakerTrip,
+        EventKind::Degraded,
+        EventKind::SessionEvicted,
+    ];
+
+    /// Stable snake_case name, used as the taxonomy/JSON key.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::QueryStart => "query_start",
+            EventKind::QueryEnd => "query_end",
+            EventKind::LlmCall => "llm_call",
+            EventKind::Retry => "retry",
+            EventKind::FsmTransition => "fsm_transition",
+            EventKind::SandboxFailure => "sandbox_failure",
+            EventKind::AgentFailure => "agent_failure",
+            EventKind::KnowledgeHit => "knowledge_hit",
+            EventKind::KnowledgeMiss => "knowledge_miss",
+            EventKind::CellAppend => "cell_append",
+            EventKind::PlatformError => "platform_error",
+            EventKind::LlmFault => "llm_fault",
+            EventKind::TransportRetry => "transport_retry",
+            EventKind::BreakerTrip => "breaker_trip",
+            EventKind::Degraded => "degraded",
+            EventKind::SessionEvicted => "session_evicted",
+        }
+    }
+
+    /// Whether the kind belongs in an error taxonomy (as opposed to
+    /// routine progress events).
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            EventKind::SandboxFailure
+                | EventKind::AgentFailure
+                | EventKind::PlatformError
+                | EventKind::Degraded
+        )
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number, unique per [`EventLog`] lifetime.
+    pub seq: u64,
+    /// Microseconds since the log's epoch.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form context (question text, error message, counts),
+    /// bounded to roughly [`MAX_EVENT_DETAIL_BYTES`].
+    pub detail: String,
+    /// The request trace this event belongs to, when one was active.
+    pub trace: Option<String>,
+}
+
+impl Event {
+    /// One-line rendering (`#seq +offset kind detail`).
+    pub fn render(&self) -> String {
+        format!(
+            "#{:<5} +{:>9.3}ms {:<16} {}",
+            self.seq,
+            self.at_us as f64 / 1000.0,
+            self.kind.as_str(),
+            self.detail
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+/// Bounded, thread-safe ring buffer of [`Event`]s with lifetime per-kind
+/// counts. Cheap to record into (one mutex, no allocation beyond the
+/// detail string) and safe to share across every instrumented layer.
+#[derive(Debug)]
+pub struct EventLog {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<LogState>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// A fresh log holding at most `capacity` events (older events are
+    /// evicted first; per-kind counts are never evicted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(LogState::default()),
+        }
+    }
+
+    /// Records one event, returning its sequence number.
+    pub fn record(&self, kind: EventKind, detail: impl Into<String>) -> u64 {
+        self.record_traced(kind, detail, None)
+    }
+
+    /// Records one event tagged with the trace it belongs to. Details
+    /// longer than [`MAX_EVENT_DETAIL_BYTES`] are truncated with a `…`
+    /// marker so the ring's memory stays bounded in bytes, not just in
+    /// entry count.
+    pub fn record_traced(
+        &self,
+        kind: EventKind,
+        detail: impl Into<String>,
+        trace: Option<String>,
+    ) -> u64 {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let detail = bound_detail(detail.into());
+        let mut state = self.state.lock().expect("event log lock");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        *state.counts.entry(kind.as_str()).or_insert(0) += 1;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(Event {
+            seq,
+            at_us,
+            kind,
+            detail,
+            trace,
+        });
+        seq
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently in the ring.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("event log lock").ring.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (evicted ones included). Also the next
+    /// sequence number to be assigned.
+    pub fn total_recorded(&self) -> u64 {
+        self.state.lock().expect("event log lock").next_seq
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let state = self.state.lock().expect("event log lock");
+        let skip = state.ring.len().saturating_sub(n);
+        state.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Every retained event with `seq >= from_seq`, oldest first. This is
+    /// the flight-record read: mark `total_recorded()` when a query
+    /// starts, and on failure collect what happened since.
+    pub fn since(&self, from_seq: u64) -> Vec<Event> {
+        let state = self.state.lock().expect("event log lock");
+        state
+            .ring
+            .iter()
+            .filter(|e| e.seq >= from_seq)
+            .cloned()
+            .collect()
+    }
+
+    /// Lifetime count of events per kind (survives ring eviction),
+    /// keyed by [`EventKind::as_str`].
+    pub fn kind_counts(&self) -> BTreeMap<String, u64> {
+        let state = self.state.lock().expect("event log lock");
+        state
+            .counts
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+}
+
+/// True when `name` is the [`EventKind::as_str`] form of an error kind —
+/// the filter fleet-level error taxonomies apply to kind counts.
+pub fn is_error_kind(name: &str) -> bool {
+    EventKind::ALL
+        .iter()
+        .any(|k| k.is_error() && k.as_str() == name)
+}
+
+/// Renders a slice of events as an indented flight-record block.
+pub fn render_flight_record(events: &[Event]) -> String {
+    let mut out = String::from("flight record:\n");
+    for e in events {
+        out.push_str("  ");
+        out.push_str(&e.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_kind_names_match_is_error() {
+        for kind in EventKind::ALL {
+            assert_eq!(is_error_kind(kind.as_str()), kind.is_error(), "{kind:?}");
+        }
+        assert!(!is_error_kind("not_a_kind"));
+    }
+
+    #[test]
+    fn events_are_monotonically_sequenced() {
+        let log = EventLog::default();
+        let a = log.record(EventKind::QueryStart, "q1");
+        let b = log.record(EventKind::LlmCall, "p=10 c=2");
+        let c = log.record(EventKind::QueryEnd, "ok");
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(log.total_recorded(), 3);
+        let tail = log.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].kind, EventKind::LlmCall);
+        assert!(tail[0].at_us <= tail[1].at_us);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_counts_survive() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..10 {
+            log.record(EventKind::Retry, format!("attempt {i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.capacity(), 3);
+        assert_eq!(log.total_recorded(), 10);
+        let tail = log.tail(10);
+        assert_eq!(tail.first().unwrap().seq, 7);
+        assert_eq!(tail.last().unwrap().seq, 9);
+        assert_eq!(log.kind_counts().get("retry"), Some(&10));
+    }
+
+    #[test]
+    fn since_reads_the_flight_record_window() {
+        let log = EventLog::default();
+        log.record(EventKind::QueryStart, "old query");
+        log.record(EventKind::QueryEnd, "ok");
+        let mark = log.total_recorded();
+        log.record(EventKind::QueryStart, "failing query");
+        log.record(EventKind::SandboxFailure, "parse error at line 1");
+        let flight = log.since(mark);
+        assert_eq!(flight.len(), 2);
+        assert_eq!(flight[0].kind, EventKind::QueryStart);
+        assert_eq!(flight[1].kind, EventKind::SandboxFailure);
+        assert!(flight[1].kind.is_error());
+        assert!(!flight[0].kind.is_error());
+        let text = render_flight_record(&flight);
+        assert!(text.contains("sandbox_failure"), "{text}");
+        assert!(text.contains("failing query"), "{text}");
+    }
+
+    #[test]
+    fn long_details_are_truncated_with_a_marker() {
+        let log = EventLog::default();
+        let long = "q".repeat(MAX_EVENT_DETAIL_BYTES * 4);
+        log.record(EventKind::QueryStart, long);
+        let stored = &log.tail(1)[0];
+        assert!(stored.detail.ends_with('…'), "{}", stored.detail);
+        assert!(
+            stored.detail.len() <= MAX_EVENT_DETAIL_BYTES + '…'.len_utf8(),
+            "detail not bounded: {} bytes",
+            stored.detail.len()
+        );
+        // Truncation lands on a char boundary even mid-multibyte.
+        let multibyte = "é".repeat(MAX_EVENT_DETAIL_BYTES);
+        log.record(EventKind::QueryStart, multibyte);
+        let stored = &log.tail(1)[0];
+        assert!(stored.detail.ends_with('…'));
+        // Short details pass through untouched.
+        log.record(EventKind::QueryEnd, "ok");
+        assert_eq!(log.tail(1)[0].detail, "ok");
+    }
+
+    #[test]
+    fn traced_records_carry_the_trace_and_plain_records_do_not() {
+        let log = EventLog::default();
+        log.record(EventKind::QueryStart, "untraced");
+        log.record_traced(EventKind::QueryEnd, "traced", Some("t-1".into()));
+        let tail = log.tail(2);
+        assert_eq!(tail[0].trace, None);
+        assert_eq!(tail[1].trace, Some("t-1".to_string()));
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_counts() {
+        let log = std::sync::Arc::new(EventLog::with_capacity(16));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    log.record(EventKind::FsmTransition, "t");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.total_recorded(), 4000);
+        assert_eq!(log.len(), 16);
+        assert_eq!(log.kind_counts().get("fsm_transition"), Some(&4000));
+        // Sequence numbers in the ring are strictly increasing.
+        let tail = log.tail(16);
+        assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

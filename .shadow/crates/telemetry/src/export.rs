@@ -1,0 +1,426 @@
+//! Exporters: JSON metric snapshots and Chrome `trace_event` files.
+//!
+//! The JSON here is hand-rolled (this crate is dependency-free); shapes
+//! are small and fixed, and every string passes through [`json_escape`].
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanNode;
+use crate::summary::AttributedUsage;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a span forest as a Chrome `trace_event` JSON object —
+/// `{"traceEvents": [...]}` with one complete (`"ph": "X"`) event per
+/// span — loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(spans: &[SpanNode]) -> String {
+    let mut events = Vec::new();
+    for root in spans {
+        push_chrome_events(root, &mut events);
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+fn push_chrome_events(node: &SpanNode, events: &mut Vec<String>) {
+    let args: Vec<String> = node
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    events.push(format!(
+        "{{\"name\":\"{}\",\"cat\":\"datalab\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{{}}}}}",
+        json_escape(&node.name),
+        node.start_us,
+        node.dur_us,
+        args.join(",")
+    ));
+    for c in &node.children {
+        push_chrome_events(c, events);
+    }
+}
+
+/// Serialises one span subtree as nested JSON
+/// (`{"name", "start_us", "dur_us", "cpu_us", "allocs", "alloc_bytes",
+/// "attrs", "children"}`).
+pub fn span_json(node: &SpanNode) -> String {
+    let attrs: Vec<String> = node
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    let children: Vec<String> = node.children.iter().map(span_json).collect();
+    format!(
+        "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"cpu_us\":{},\"allocs\":{},\"alloc_bytes\":{},\"attrs\":{{{}}},\"children\":[{}]}}",
+        json_escape(&node.name),
+        node.start_us,
+        node.dur_us,
+        node.cpu_us,
+        node.allocs,
+        node.alloc_bytes,
+        attrs.join(","),
+        children.join(",")
+    )
+}
+
+/// Serialises a metrics snapshot plus token attribution as one JSON
+/// object: `{"counters": {...}, "gauges": {...}, "histograms": {...},
+/// "attribution": [...]}`.
+pub fn metrics_json(snapshot: &MetricsSnapshot, attribution: &[AttributedUsage]) -> String {
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+        .collect();
+    let gauges: Vec<String> = snapshot
+        .gauges
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+        .collect();
+    let histograms: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .map(|(n, h)| {
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            format!(
+                "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json_escape(n),
+                bounds.join(","),
+                counts.join(","),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p90(),
+                h.p99()
+            )
+        })
+        .collect();
+    let attribution: Vec<String> = attribution.iter().map(attribution_entry_json).collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"attribution\":[{}]}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+        attribution.join(",")
+    )
+}
+
+/// Renders a metrics snapshot as a plain-text exposition: one
+/// `name value` line per counter and gauge (sections separated by `#`
+/// comment lines), then one summary line per histogram. The counter and
+/// gauge lines are machine-recoverable — `name` up to the last space,
+/// integer value after it — so text dumps can be diffed and re-parsed.
+pub fn metrics_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("# counters\n");
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out.push_str("# gauges\n");
+    for (name, value) in &snapshot.gauges {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out.push_str("# histograms\n");
+    for (name, h) in &snapshot.histograms {
+        out.push_str(&format!(
+            "{name} count={} sum={} max={} p50={} p90={} p99={}\n",
+            h.count,
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        ));
+    }
+    out
+}
+
+/// Maps a dotted metric name onto the Prometheus name charset:
+/// everything outside `[a-zA-Z0-9_]` becomes `_`, and the whole name is
+/// prefixed `datalab_` (which also guards against leading digits).
+/// Distinct dotted names can collide after sanitisation (`a.b` / `a_b`);
+/// the registry's naming convention never does.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("datalab_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (`# TYPE` metadata plus sample lines), so `GET /v1/metrics` is
+/// scrapeable by standard tooling. Histograms emit the full cumulative
+/// `_bucket{le="..."}` series (the registry's upper-inclusive bounds map
+/// directly onto Prometheus `le` semantics) plus `_sum` and `_count`.
+pub fn metrics_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (slot, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts.get(slot).copied().unwrap_or(0);
+            out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{n}_bucket{{le=\"+Inf\"}} {count}\n{n}_sum {sum}\n{n}_count {count}\n",
+            count = h.count,
+            sum = h.sum
+        ));
+    }
+    out
+}
+
+/// Serialises one flight-record event as JSON
+/// (`{"seq", "at_us", "kind", "detail"}`, plus `"trace"` when the event
+/// was recorded under an active request trace).
+pub fn event_json(e: &crate::events::Event) -> String {
+    let trace = match &e.trace {
+        Some(t) => format!(",\"trace\":\"{}\"", json_escape(t)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"{}}}",
+        e.seq,
+        e.at_us,
+        e.kind.as_str(),
+        json_escape(&e.detail),
+        trace
+    )
+}
+
+pub(crate) fn attribution_entry_json(a: &AttributedUsage) -> String {
+    format!(
+        "{{\"stage\":\"{}\",\"agent\":\"{}\",\"calls\":{},\"prompt_tokens\":{},\"completion_tokens\":{}}}",
+        json_escape(&a.stage),
+        json_escape(&a.agent),
+        a.usage.calls,
+        a.usage.prompt_tokens,
+        a.usage.completion_tokens
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::summary::TokenUsage;
+
+    fn node() -> SpanNode {
+        SpanNode {
+            name: "query".into(),
+            start_us: 5,
+            dur_us: 100,
+            cpu_us: 60,
+            allocs: 12,
+            alloc_bytes: 768,
+            attrs: vec![("q".into(), "say \"hi\"\n".into())],
+            children: vec![SpanNode {
+                name: "plan".into(),
+                start_us: 10,
+                dur_us: 20,
+                cpu_us: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+                attrs: vec![],
+                children: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn chrome_trace_emits_complete_events() {
+        let json = chrome_trace_json(&[node()]);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":100"));
+        assert!(json.contains("\"name\":\"plan\""));
+        // The quoted attribute survives escaping.
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn span_json_nests_children() {
+        let json = span_json(&node());
+        assert!(json.contains("\"children\":[{\"name\":\"plan\""), "{json}");
+        assert!(json.contains("\"cpu_us\":60"), "{json}");
+        assert!(json.contains("\"allocs\":12"), "{json}");
+        assert!(json.contains("\"alloc_bytes\":768"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_instrument_kinds() {
+        let m = MetricsRegistry::new();
+        m.incr("llm.calls", 2);
+        m.gauge_set("server.queue.depth", 5);
+        m.histogram_with_buckets("server.latency.query_us", &[10, 100]);
+        m.observe("server.latency.query_us", 7);
+        m.observe("server.latency.query_us", 50);
+        m.observe("server.latency.query_us", 500);
+        let text = metrics_prometheus(&m.snapshot());
+        assert!(
+            text.contains("# TYPE datalab_llm_calls counter\ndatalab_llm_calls 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "# TYPE datalab_server_queue_depth gauge\ndatalab_server_queue_depth 5\n"
+            ),
+            "{text}"
+        );
+        // Cumulative buckets: le="10" holds 1, le="100" holds 2, +Inf 3.
+        assert!(text.contains("# TYPE datalab_server_latency_query_us histogram"));
+        assert!(text.contains("datalab_server_latency_query_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("datalab_server_latency_query_us_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("datalab_server_latency_query_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("datalab_server_latency_query_us_sum 557\n"));
+        assert!(text.contains("datalab_server_latency_query_us_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitised() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("slo.availability_burn_fast_pm.tenant-a", 3);
+        let text = metrics_prometheus(&m.snapshot());
+        assert!(
+            text.contains("datalab_slo_availability_burn_fast_pm_tenant_a 3\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metrics_json_includes_everything() {
+        let m = MetricsRegistry::new();
+        m.incr("llm.calls", 2);
+        m.gauge_add("server.queue.depth", 5);
+        m.histogram_with_buckets("llm.call_tokens", &[10, 100]);
+        m.observe("llm.call_tokens", 42);
+        let attribution = vec![AttributedUsage {
+            stage: "execute".into(),
+            agent: "sql_agent".into(),
+            usage: TokenUsage {
+                prompt_tokens: 40,
+                completion_tokens: 2,
+                calls: 1,
+            },
+        }];
+        let json = metrics_json(&m.snapshot(), &attribution);
+        assert!(json.contains("\"llm.calls\":2"), "{json}");
+        assert!(json.contains("\"gauges\":{\"server.queue.depth\":5}"));
+        assert!(json.contains("\"bounds\":[10,100]"));
+        assert!(json.contains("\"counts\":[0,1,0]"));
+        assert!(json.contains("\"max\":42"));
+        assert!(json.contains("\"p99\":42"));
+        assert!(json.contains("\"stage\":\"execute\""));
+        assert!(json.contains("\"prompt_tokens\":40"));
+    }
+
+    #[test]
+    fn fault_and_breaker_metrics_round_trip_through_both_exporters() {
+        let m = MetricsRegistry::new();
+        m.incr("llm.faults.transport", 3);
+        m.incr("llm.faults.timeout", 0);
+        m.incr("llm.faults.retries", 5);
+        m.incr("llm.breaker.trips", 1);
+        m.gauge_set("llm.breaker.state", 2);
+        let snapshot = m.snapshot();
+
+        // JSON exporter (the /v1/metrics shape) carries the new names,
+        // zero-valued counters included.
+        let json = metrics_json(&snapshot, &[]);
+        assert!(json.contains("\"llm.faults.transport\":3"), "{json}");
+        assert!(json.contains("\"llm.faults.timeout\":0"), "{json}");
+        assert!(json.contains("\"llm.breaker.trips\":1"), "{json}");
+        assert!(json.contains("\"llm.breaker.state\":2"), "{json}");
+
+        // Text exporter round-trip: parse counter/gauge lines back and
+        // compare against the snapshot they came from.
+        let text = metrics_text(&snapshot);
+        let mut counters = std::collections::BTreeMap::new();
+        let mut gauges = std::collections::BTreeMap::new();
+        let mut section = "";
+        for line in text.lines() {
+            if let Some(s) = line.strip_prefix("# ") {
+                section = s;
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value line");
+            match section {
+                "counters" => {
+                    counters.insert(name.to_string(), value.parse::<u64>().unwrap());
+                }
+                "gauges" => {
+                    gauges.insert(name.to_string(), value.parse::<i64>().unwrap());
+                }
+                _ => {}
+            }
+        }
+        for (name, value) in &snapshot.counters {
+            assert_eq!(counters.get(name), Some(value), "{name}");
+        }
+        for (name, value) in &snapshot.gauges {
+            assert_eq!(gauges.get(name), Some(value), "{name}");
+        }
+        assert_eq!(counters.len(), snapshot.counters.len());
+        assert_eq!(gauges.len(), snapshot.gauges.len());
+    }
+
+    #[test]
+    fn event_json_escapes_the_detail() {
+        let mut e = crate::events::Event {
+            seq: 7,
+            at_us: 1500,
+            kind: crate::events::EventKind::SandboxFailure,
+            detail: "parse error: \"bad\" line".into(),
+            trace: None,
+        };
+        let json = event_json(&e);
+        assert!(json.starts_with("{\"seq\":7,\"at_us\":1500"), "{json}");
+        assert!(json.contains("\"kind\":\"sandbox_failure\""));
+        assert!(json.contains("\\\"bad\\\""));
+        assert!(!json.contains("\"trace\""));
+        e.trace = Some("req-9".into());
+        let json = event_json(&e);
+        assert!(json.contains("\"trace\":\"req-9\""), "{json}");
+    }
+}

@@ -1,0 +1,599 @@
+//! The metrics registry: named monotonic counters, point-in-time gauges,
+//! and fixed-bucket histograms, safe to update from any thread.
+//!
+//! Registration is lazy — the first `incr`/`gauge_add`/`observe` of a
+//! name creates the instrument — so call sites never coordinate setup.
+//! Hot-path updates are a single atomic add once the instrument exists.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Upper-inclusive bucket bounds that fit both token counts and
+/// microsecond durations; values above the last bound land in the
+/// overflow bucket.
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 1_000_000,
+];
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final overflow slot.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        // Binary search over the sorted, upper-inclusive bounds: the
+        // target slot is the first bound >= value, i.e. the count of
+        // bounds strictly below it. Values above every bound land at
+        // `bounds.len()` — the overflow slot. This runs on every
+        // hot-path observation, so O(log n) beats the linear scan even
+        // at the default 18 buckets.
+        let slot = self.bounds.partition_point(|b| *b < value);
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            count: counts.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; the final slot is the overflow
+    /// bucket for values above the last bound.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile readout (`q` in `[0, 1]`).
+    ///
+    /// Walks the cumulative counts to the bucket containing the `q`-th
+    /// observation and reports that bucket's upper bound, tightened to
+    /// the recorded maximum — so the value always lies within the
+    /// bucket's `(lower, upper]` bounds, and the top of the distribution
+    /// never overstates the observed max. Observations in the overflow
+    /// bucket (above the last bound) report the recorded maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * count), at
+        // least 1 so q=0 reads the first observation's bucket.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (slot, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return match self.bounds.get(slot) {
+                    Some(upper) => (*upper).min(self.max),
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile (see [`HistogramSnapshot::percentile`]).
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile (see [`HistogramSnapshot::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile (see [`HistogramSnapshot::percentile`]) — the
+    /// deep-tail read load reports use to catch rare stalls.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+}
+
+/// A point-in-time copy of every instrument in a registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name → snapshot, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter in this snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The value of a gauge in this snapshot (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// The registry of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with no instruments.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.counters.write().expect("metrics lock");
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn incr(&self, name: &str, delta: u64) {
+        self.counter_handle(name)
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Stores an absolute value into the named counter, creating it
+    /// first. For mirroring monotone totals accumulated *outside* the
+    /// registry (e.g. the process-wide allocator counters) into it at
+    /// scrape time; prefer [`MetricsRegistry::incr`] for totals the
+    /// registry itself owns.
+    pub fn counter_set(&self, name: &str, value: u64) {
+        self.counter_handle(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of the named counter (0 when it never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    fn gauge_handle(&self, name: &str) -> Arc<AtomicI64> {
+        if let Some(g) = self.gauges.read().expect("metrics lock").get(name) {
+            return Arc::clone(g);
+        }
+        let mut w = self.gauges.write().expect("metrics lock");
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        )
+    }
+
+    /// Adds `delta` (possibly negative) to the named gauge, creating it
+    /// at zero first. Gauges model levels — queue depth, active
+    /// sessions — where counters model monotone totals.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        self.gauge_handle(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge to an absolute value, creating it first.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.gauge_handle(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Drops every gauge whose name fails the predicate. Callers holding
+    /// a handle to a removed gauge keep a working (but orphaned) atomic;
+    /// the gauge simply stops appearing in snapshots. Used to evict
+    /// stale per-tenant instruments so label cardinality stays bounded.
+    pub fn retain_gauges<F: FnMut(&str) -> bool>(&self, mut keep: F) {
+        self.gauges
+            .write()
+            .expect("metrics lock")
+            .retain(|name, _| keep(name));
+    }
+
+    /// Current value of the named gauge (0 when it was never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// [`DEFAULT_BUCKETS`] on first use.
+    pub fn observe(&self, name: &str, value: u64) {
+        // The read guard must drop before the write path runs (this
+        // statement ends, releasing it) — holding both deadlocks.
+        let existing = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(Arc::clone);
+        let h = match existing {
+            Some(h) => h,
+            None => {
+                let mut w = self.histograms.write().expect("metrics lock");
+                Arc::clone(
+                    w.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new(DEFAULT_BUCKETS))),
+                )
+            }
+        };
+        h.observe(value);
+    }
+
+    /// Records `value` into the named histogram, creating it with the
+    /// given upper-inclusive bounds on first use (an existing histogram
+    /// keeps its original bounds).
+    pub fn observe_with_buckets(&self, name: &str, value: u64, bounds: &[u64]) {
+        let existing = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(Arc::clone);
+        let h = match existing {
+            Some(h) => h,
+            None => {
+                let mut w = self.histograms.write().expect("metrics lock");
+                Arc::clone(
+                    w.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+                )
+            }
+        };
+        h.observe(value);
+    }
+
+    /// Pre-registers the named histogram with custom upper-inclusive
+    /// bucket bounds (no-op if it already exists).
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[u64]) {
+        let mut w = self.histograms.write().expect("metrics lock");
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)));
+    }
+
+    /// Snapshot of the named histogram, when it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|h| h.snapshot())
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_create_lazily_and_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("llm.calls"), 0);
+        m.incr("llm.calls", 1);
+        m.incr("llm.calls", 2);
+        assert_eq!(m.counter("llm.calls"), 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("llm.calls"), 3);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn counter_increments_are_atomic_across_threads() {
+        let m = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    m.incr("contended", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter("contended"), 80_000);
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("server.queue.depth"), 0);
+        m.gauge_add("server.queue.depth", 3);
+        m.gauge_add("server.queue.depth", -2);
+        assert_eq!(m.gauge("server.queue.depth"), 1);
+        m.gauge_set("server.queue.depth", 7);
+        assert_eq!(m.gauge("server.queue.depth"), 7);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauge("server.queue.depth"), 7);
+        assert_eq!(snap.gauge("absent"), 0);
+    }
+
+    #[test]
+    fn gauge_updates_are_atomic_across_threads() {
+        let m = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    m.gauge_add("level", 1);
+                    m.gauge_add("level", -1);
+                }
+                m.gauge_add("level", 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.gauge("level"), 8);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_upper_inclusive() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("h", &[10, 100]);
+        m.observe("h", 0); // -> bucket 0 (<=10)
+        m.observe("h", 10); // -> bucket 0 (boundary, inclusive)
+        m.observe("h", 11); // -> bucket 1 (<=100)
+        m.observe("h", 100); // -> bucket 1 (boundary, inclusive)
+        m.observe("h", 101); // -> overflow
+        let s = m.histogram("h").unwrap();
+        assert_eq!(s.counts, vec![2, 2, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 222);
+        assert!((s.mean() - 44.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_buckets_cover_all_values() {
+        let m = MetricsRegistry::new();
+        for v in [0u64, 1, 3, 999, 1_000_000, u64::MAX] {
+            m.observe("wide", v);
+        }
+        let s = m.histogram("wide").unwrap();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.counts.len(), DEFAULT_BUCKETS.len() + 1);
+        assert_eq!(*s.counts.last().unwrap(), 1); // only u64::MAX overflows
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("e", &[1]);
+        assert_eq!(m.histogram("e").unwrap().mean(), 0.0);
+        assert!(m.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("e", &[10, 100]);
+        let s = m.histogram("e").unwrap();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p90(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("one", &[10, 100, 1000]);
+        m.observe("one", 42);
+        let s = m.histogram("one").unwrap();
+        // The max tightens the bucket's upper bound (100) to the exact
+        // observed value.
+        assert_eq!(s.p50(), 42);
+        assert_eq!(s.p90(), 42);
+        assert_eq!(s.p99(), 42);
+        assert_eq!(s.percentile(0.0), 42);
+        assert_eq!(s.percentile(1.0), 42);
+        assert_eq!(s.max, 42);
+    }
+
+    #[test]
+    fn overflow_only_histogram_reports_the_max() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("over", &[10]);
+        for v in [500u64, 900, 700] {
+            m.observe("over", v);
+        }
+        let s = m.histogram("over").unwrap();
+        assert_eq!(s.counts, vec![0, 3]);
+        // Every percentile lands in the overflow bucket, whose only
+        // honest readout is the recorded maximum — strictly above the
+        // last bound, as the bucket's range requires.
+        assert_eq!(s.p50(), 900);
+        assert_eq!(s.p99(), 900);
+        assert!(s.p50() > *s.bounds.last().unwrap());
+    }
+
+    #[test]
+    fn bucket_selection_matches_the_linear_scan() {
+        // The binary search must agree with the obvious linear reference
+        // on boundaries, interior values, and overflow.
+        let bounds: Vec<u64> = DEFAULT_BUCKETS.to_vec();
+        for value in [
+            0u64,
+            1,
+            2,
+            3,
+            999,
+            1_000,
+            1_001,
+            999_999,
+            1_000_000,
+            u64::MAX,
+        ] {
+            let linear = bounds
+                .iter()
+                .position(|b| value <= *b)
+                .unwrap_or(bounds.len());
+            let binary = bounds.partition_point(|b| *b < value);
+            assert_eq!(binary, linear, "value {value}");
+        }
+    }
+
+    #[test]
+    fn counter_set_mirrors_external_totals() {
+        let m = MetricsRegistry::new();
+        m.counter_set("alloc.bytes", 4_096);
+        assert_eq!(m.counter("alloc.bytes"), 4_096);
+        m.counter_set("alloc.bytes", 8_192);
+        assert_eq!(m.counter("alloc.bytes"), 8_192);
+    }
+
+    #[test]
+    fn retain_gauges_evicts_by_name() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("slo.budget_exhausted.alpha", 1);
+        m.gauge_set("slo.budget_exhausted.beta", 0);
+        m.gauge_set("server.queue.depth", 3);
+        m.retain_gauges(|name| !name.ends_with(".alpha"));
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["server.queue.depth", "slo.budget_exhausted.beta"]
+        );
+        // Re-creating an evicted gauge starts from zero.
+        assert_eq!(m.gauge("slo.budget_exhausted.alpha"), 0);
+    }
+
+    #[test]
+    fn observe_with_buckets_registers_on_first_use_only() {
+        let m = MetricsRegistry::new();
+        m.observe_with_buckets("bytes", 3_000, &[1_024, 4_096]);
+        // Later bounds are ignored: the histogram keeps its shape.
+        m.observe_with_buckets("bytes", 5_000, &[1]);
+        let s = m.histogram("bytes").unwrap();
+        assert_eq!(s.bounds, vec![1_024, 4_096]);
+        assert_eq!(s.counts, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets() {
+        let m = MetricsRegistry::new();
+        m.histogram_with_buckets("lat", &[10, 100, 1000]);
+        // 90 fast observations, 9 medium, 1 slow: p50 in the first
+        // bucket, p90 at its edge, p99 in the second, max in the third.
+        for _ in 0..90 {
+            m.observe("lat", 5);
+        }
+        for _ in 0..9 {
+            m.observe("lat", 50);
+        }
+        m.observe("lat", 700);
+        let s = m.histogram("lat").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 10);
+        assert_eq!(s.p90(), 10);
+        assert_eq!(s.p99(), 100);
+        assert_eq!(s.percentile(1.0), 700);
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+    }
+}

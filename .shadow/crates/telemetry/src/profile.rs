@@ -1,0 +1,612 @@
+//! Continuous profiling: allocation accounting, per-thread CPU time, and
+//! collapsed-stack (flamegraph) export for span trees.
+//!
+//! Three pieces, all pure-std:
+//!
+//! 1. **[`CountingAlloc`]** — a `#[global_allocator]` wrapper over
+//!    [`std::alloc::System`] that counts allocations and bytes both
+//!    process-wide and per-thread. The per-thread counters give spans
+//!    *scope attribution*: the delta between a span's open and close on
+//!    its owning thread is the allocation cost of that span.
+//! 2. **[`thread_cpu_time_us`]** — per-thread CPU time via
+//!    `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` through a direct FFI
+//!    declaration (no libc crate; the symbol lives in every libc this
+//!    workspace targets). Falls back to `None` on unsupported targets,
+//!    leaving spans wall-clock-only.
+//! 3. **[`folded_stacks`]** — aggregates span forests into the collapsed
+//!    stack format (`frame;frame;frame weight`) flamegraph tooling eats
+//!    (inferno, flamegraph.pl, speedscope), weighted by wall time, CPU
+//!    time, allocated bytes, or allocation count.
+//!
+//! The allocator wrapper is opt-in per binary: installing it in the
+//! server and bench binaries (and profiling tests) keeps unit-test
+//! binaries and downstream consumers on the system allocator unless they
+//! ask. When it is not installed every alloc counter reads zero and the
+//! alloc-weighted profile is empty — the wall/CPU profiles still work.
+
+use crate::metrics::MetricsRegistry;
+use crate::span::SpanNode;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Histogram bounds for per-stage allocated bytes: 1 KiB .. 256 MiB.
+pub const ALLOC_BYTES_BUCKETS: &[u64] = &[
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+];
+
+/// Histogram bounds for per-stage allocation counts: 16 .. 4M.
+pub const ALLOC_COUNT_BUCKETS: &[u64] = &[
+    16,
+    64,
+    256,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+];
+
+// Process-wide allocation totals, updated on every alloc/free while the
+// counting allocator is installed.
+static G_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static G_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static G_FREES: AtomicU64 = AtomicU64::new(0);
+static G_FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Flipped on the first counted allocation, so consumers can tell "no
+/// allocations yet" apart from "the wrapper is not installed".
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    // Const-initialised Cells: no lazy init, so reading or bumping them
+    // never allocates — mandatory inside the allocator itself.
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static TL_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    static TL_FREES: Cell<u64> = const { Cell::new(0) };
+    static TL_FREED_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_alloc(bytes: u64) {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        INSTALLED.store(true, Ordering::Relaxed);
+    }
+    G_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    G_ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    // try_with: the thread-local may already be torn down during thread
+    // exit while the runtime still allocates; fall back to the globals
+    // only (counts stay exact process-wide, the dying thread's few final
+    // allocations just go unattributed).
+    let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = TL_ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes));
+}
+
+#[inline]
+fn count_free(bytes: u64) {
+    G_FREES.fetch_add(1, Ordering::Relaxed);
+    G_FREED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    let _ = TL_FREES.try_with(|c| c.set(c.get() + 1));
+    let _ = TL_FREED_BYTES.try_with(|c| c.set(c.get() + bytes));
+}
+
+/// A counting wrapper around the system allocator. Install per binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: datalab_telemetry::CountingAlloc = datalab_telemetry::CountingAlloc::new();
+/// ```
+///
+/// Overhead is two relaxed atomic adds plus two thread-local bumps per
+/// allocation — no locks, no allocation, no syscalls.
+#[derive(Debug)]
+pub struct CountingAlloc {
+    inner: System,
+}
+
+impl CountingAlloc {
+    /// The wrapper (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        CountingAlloc { inner: System }
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// touched on the side never allocate or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc(layout);
+        if !p.is_null() {
+            count_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc_zeroed(layout);
+        if !p.is_null() {
+            count_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.inner.dealloc(ptr, layout);
+        count_free(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = self.inner.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // Counted as a fresh allocation plus a free of the old block,
+            // so byte totals track the actual footprint change.
+            count_alloc(new_size as u64);
+            count_free(layout.size() as u64);
+        }
+        p
+    }
+}
+
+/// Whether a [`CountingAlloc`] has counted at least one allocation in
+/// this process — i.e. the wrapper is installed and live.
+pub fn allocator_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of allocation counters (process-wide or
+/// per-thread, depending on which reader produced it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations counted.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+    /// Frees counted.
+    pub frees: u64,
+    /// Bytes released by those frees.
+    pub freed_bytes: u64,
+}
+
+impl AllocStats {
+    /// Bytes currently live (allocated minus freed, floored at zero —
+    /// per-thread stats can free memory another thread allocated).
+    pub fn live_bytes(&self) -> u64 {
+        self.bytes.saturating_sub(self.freed_bytes)
+    }
+
+    /// Counter growth since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            frees: self.frees.saturating_sub(earlier.frees),
+            freed_bytes: self.freed_bytes.saturating_sub(earlier.freed_bytes),
+        }
+    }
+}
+
+/// Process-wide allocation totals (all zero when the counting allocator
+/// is not installed).
+pub fn global_alloc_stats() -> AllocStats {
+    AllocStats {
+        allocs: G_ALLOCS.load(Ordering::Relaxed),
+        bytes: G_ALLOC_BYTES.load(Ordering::Relaxed),
+        frees: G_FREES.load(Ordering::Relaxed),
+        freed_bytes: G_FREED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// The calling thread's allocation totals (all zero when the counting
+/// allocator is not installed).
+pub fn thread_alloc_stats() -> AllocStats {
+    AllocStats {
+        allocs: TL_ALLOCS.try_with(Cell::get).unwrap_or(0),
+        bytes: TL_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+        frees: TL_FREES.try_with(Cell::get).unwrap_or(0),
+        freed_bytes: TL_FREED_BYTES.try_with(Cell::get).unwrap_or(0),
+    }
+}
+
+/// Publishes the process-wide allocation totals into `metrics` as
+/// `alloc.*` instruments: monotone totals as counters, live bytes as a
+/// gauge. Call at scrape time — the counters live in the allocator, not
+/// the registry, so this is a copy, not an accumulation.
+pub fn publish_alloc_metrics(metrics: &MetricsRegistry) {
+    let s = global_alloc_stats();
+    metrics.counter_set("alloc.allocs", s.allocs);
+    metrics.counter_set("alloc.bytes", s.bytes);
+    metrics.counter_set("alloc.frees", s.frees);
+    metrics.counter_set("alloc.freed_bytes", s.freed_bytes);
+    metrics.gauge_set(
+        "alloc.live_bytes",
+        s.live_bytes().min(i64::MAX as u64) as i64,
+    );
+}
+
+#[cfg(any(target_os = "linux", target_os = "android", target_os = "macos"))]
+mod cpu_clock {
+    //! `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` without the libc crate:
+    //! the symbol is in every libc this workspace targets, and the
+    //! struct layout for 64-bit targets is two machine words.
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    #[cfg(target_os = "macos")]
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 16;
+
+    extern "C" {
+        fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+    }
+
+    pub fn thread_cpu_time_us() -> Option<u64> {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid, writable Timespec matching the ABI
+        // struct; the clock id is a compile-time constant for this OS.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc != 0 {
+            return None;
+        }
+        Some((ts.tv_sec as u64).saturating_mul(1_000_000) + (ts.tv_nsec as u64) / 1_000)
+    }
+}
+
+#[cfg(not(any(target_os = "linux", target_os = "android", target_os = "macos")))]
+mod cpu_clock {
+    pub fn thread_cpu_time_us() -> Option<u64> {
+        None
+    }
+}
+
+/// CPU time consumed by the calling thread, in microseconds — `None` on
+/// targets without a thread CPU clock (spans then stay wall-clock-only).
+pub fn thread_cpu_time_us() -> Option<u64> {
+    cpu_clock::thread_cpu_time_us()
+}
+
+/// A point-in-time reading of the calling thread's resource counters,
+/// taken at span open and close to attribute consumption to the span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceStamp {
+    /// Thread CPU time (µs), when the target supports it.
+    pub cpu_us: Option<u64>,
+    /// Thread-local allocation count.
+    pub allocs: u64,
+    /// Thread-local allocated bytes.
+    pub alloc_bytes: u64,
+}
+
+/// Reads the calling thread's CPU clock and allocation counters.
+pub fn resource_stamp() -> ResourceStamp {
+    let alloc = thread_alloc_stats();
+    ResourceStamp {
+        cpu_us: thread_cpu_time_us(),
+        allocs: alloc.allocs,
+        alloc_bytes: alloc.bytes,
+    }
+}
+
+impl ResourceStamp {
+    /// `(cpu_us, allocs, alloc_bytes)` consumed between `start` and
+    /// `self`; CPU reads 0 when either end lacks a CPU clock.
+    pub fn since(&self, start: &ResourceStamp) -> (u64, u64, u64) {
+        let cpu = match (self.cpu_us, start.cpu_us) {
+            (Some(end), Some(begin)) => end.saturating_sub(begin),
+            _ => 0,
+        };
+        (
+            cpu,
+            self.allocs.saturating_sub(start.allocs),
+            self.alloc_bytes.saturating_sub(start.alloc_bytes),
+        )
+    }
+}
+
+/// Which per-span quantity weights the folded profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileWeight {
+    /// Wall-clock microseconds.
+    Wall,
+    /// Thread CPU microseconds.
+    Cpu,
+    /// Allocated bytes.
+    AllocBytes,
+    /// Allocation count.
+    AllocCount,
+}
+
+impl ProfileWeight {
+    /// Every weighting, in the order artifacts are emitted.
+    pub const ALL: [ProfileWeight; 4] = [
+        ProfileWeight::Wall,
+        ProfileWeight::Cpu,
+        ProfileWeight::AllocBytes,
+        ProfileWeight::AllocCount,
+    ];
+
+    /// Canonical name (also the `?weight=` parameter value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProfileWeight::Wall => "wall",
+            ProfileWeight::Cpu => "cpu",
+            ProfileWeight::AllocBytes => "alloc",
+            ProfileWeight::AllocCount => "alloc_count",
+        }
+    }
+
+    /// Parses a `?weight=` parameter value (aliases accepted).
+    pub fn parse(s: &str) -> Option<ProfileWeight> {
+        match s {
+            "wall" | "time" => Some(ProfileWeight::Wall),
+            "cpu" => Some(ProfileWeight::Cpu),
+            "alloc" | "alloc_bytes" | "bytes" => Some(ProfileWeight::AllocBytes),
+            "alloc_count" | "allocs" => Some(ProfileWeight::AllocCount),
+            _ => None,
+        }
+    }
+}
+
+/// A span name reduced to a legal folded-format frame: `;` is the stack
+/// separator and whitespace breaks the weight column, so both map to
+/// `_`; empty names become `unknown`.
+fn frame(name: &str) -> String {
+    if name.is_empty() {
+        return "unknown".to_string();
+    }
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() || c.is_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn node_value(node: &SpanNode, weight: ProfileWeight) -> u64 {
+    match weight {
+        ProfileWeight::Wall => node.dur_us,
+        ProfileWeight::Cpu => node.cpu_us,
+        ProfileWeight::AllocBytes => node.alloc_bytes,
+        ProfileWeight::AllocCount => node.allocs,
+    }
+}
+
+fn fold_into(
+    node: &SpanNode,
+    prefix: &str,
+    weight: ProfileWeight,
+    agg: &mut BTreeMap<String, u64>,
+) {
+    let stack = if prefix.is_empty() {
+        frame(&node.name)
+    } else {
+        format!("{prefix};{}", frame(&node.name))
+    };
+    // Self weight: the node's inclusive value minus its children's — the
+    // time/bytes spent in this frame itself. Span values are inclusive
+    // (each child interval nests inside the parent), so the subtraction
+    // can only clip on clock jitter; saturate rather than wrap.
+    let children_sum: u64 = node.children.iter().map(|c| node_value(c, weight)).sum();
+    let self_weight = node_value(node, weight).saturating_sub(children_sum);
+    if self_weight > 0 {
+        *agg.entry(stack.clone()).or_insert(0) += self_weight;
+    }
+    for child in &node.children {
+        fold_into(child, &stack, weight, agg);
+    }
+}
+
+/// Aggregates a span forest into collapsed-stack (folded) format: one
+/// `root;child;leaf weight` line per distinct stack with nonzero self
+/// weight, sorted by stack for deterministic output. Feed the result to
+/// any flamegraph renderer (inferno, flamegraph.pl, speedscope).
+pub fn folded_stacks(spans: &[SpanNode], weight: ProfileWeight) -> String {
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for root in spans {
+        fold_into(root, "", weight, &mut agg);
+    }
+    let mut out = String::new();
+    for (stack, w) in &agg {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Sum of the weights in a folded profile (0 for empty or unparseable
+/// input) — the total the profile accounts for.
+pub fn folded_total(folded: &str) -> u64 {
+    folded
+        .lines()
+        .filter_map(|line| line.rsplit_once(' '))
+        .filter_map(|(_, w)| w.parse::<u64>().ok())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str, start_us: u64, dur_us: u64, cpu_us: u64, bytes: u64) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            start_us,
+            dur_us,
+            cpu_us,
+            allocs: bytes / 64,
+            alloc_bytes: bytes,
+            attrs: vec![],
+            children: vec![],
+        }
+    }
+
+    fn tree() -> SpanNode {
+        SpanNode {
+            name: "query".into(),
+            start_us: 0,
+            dur_us: 100,
+            cpu_us: 60,
+            allocs: 10,
+            alloc_bytes: 640,
+            attrs: vec![],
+            children: vec![
+                leaf("plan", 5, 30, 20, 128),
+                leaf("execute", 40, 50, 30, 256),
+            ],
+        }
+    }
+
+    #[test]
+    fn folded_wall_weights_are_self_time_and_total_matches_root() {
+        let folded = folded_stacks(&[tree()], ProfileWeight::Wall);
+        assert_eq!(
+            folded, "query 20\nquery;execute 50\nquery;plan 30\n",
+            "{folded}"
+        );
+        assert_eq!(folded_total(&folded), 100);
+    }
+
+    #[test]
+    fn folded_supports_all_weightings() {
+        let t = tree();
+        let cpu = folded_stacks(std::slice::from_ref(&t), ProfileWeight::Cpu);
+        assert!(cpu.contains("query;plan 20"), "{cpu}");
+        assert_eq!(folded_total(&cpu), 60);
+        let bytes = folded_stacks(std::slice::from_ref(&t), ProfileWeight::AllocBytes);
+        assert!(bytes.contains("query;execute 256"), "{bytes}");
+        assert_eq!(folded_total(&bytes), 640);
+        let count = folded_stacks(&[t], ProfileWeight::AllocCount);
+        // 10 − (2 + 4) = 4 self allocations at the root.
+        assert!(count.contains("query 4"), "{count}");
+    }
+
+    #[test]
+    fn zero_self_weight_stacks_are_omitted() {
+        let mut t = tree();
+        t.dur_us = 80; // exactly the children's sum: no self time
+        let folded = folded_stacks(&[t], ProfileWeight::Wall);
+        assert!(!folded.contains("query "), "{folded}");
+        assert!(folded.contains("query;plan 30"));
+    }
+
+    #[test]
+    fn frames_are_sanitised() {
+        let node = leaf("a;b c\nd", 0, 10, 0, 0);
+        let folded = folded_stacks(&[node], ProfileWeight::Wall);
+        assert_eq!(folded, "a_b_c_d 10\n");
+        let anon = leaf("", 0, 5, 0, 0);
+        let folded = folded_stacks(&[anon], ProfileWeight::Wall);
+        assert_eq!(folded, "unknown 5\n");
+    }
+
+    #[test]
+    fn weight_parse_round_trips() {
+        for w in ProfileWeight::ALL {
+            assert_eq!(ProfileWeight::parse(w.as_str()), Some(w));
+        }
+        assert_eq!(
+            ProfileWeight::parse("bytes"),
+            Some(ProfileWeight::AllocBytes)
+        );
+        assert_eq!(ProfileWeight::parse("nope"), None);
+    }
+
+    #[test]
+    fn cpu_clock_is_monotone_on_supported_targets() {
+        if let Some(first) = thread_cpu_time_us() {
+            // Burn a little CPU; the clock must not go backwards.
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            let second = thread_cpu_time_us().expect("clock vanished");
+            assert!(second >= first, "{second} < {first}");
+        }
+    }
+
+    #[test]
+    fn resource_stamp_since_is_saturating_and_component_wise() {
+        let start = ResourceStamp {
+            cpu_us: Some(100),
+            allocs: 10,
+            alloc_bytes: 1_000,
+        };
+        let end = ResourceStamp {
+            cpu_us: Some(150),
+            allocs: 25,
+            alloc_bytes: 3_000,
+        };
+        assert_eq!(end.since(&start), (50, 15, 2_000));
+        // Missing CPU on either end reads zero CPU, not a panic.
+        let no_cpu = ResourceStamp {
+            cpu_us: None,
+            ..end
+        };
+        assert_eq!(no_cpu.since(&start), (0, 15, 2_000));
+        assert_eq!(start.since(&end), (0, 0, 0));
+    }
+
+    #[test]
+    fn alloc_stats_delta_and_live_bytes() {
+        let a = AllocStats {
+            allocs: 10,
+            bytes: 1_000,
+            frees: 4,
+            freed_bytes: 300,
+        };
+        let b = AllocStats {
+            allocs: 14,
+            bytes: 1_500,
+            frees: 9,
+            freed_bytes: 900,
+        };
+        assert_eq!(
+            b.delta_since(&a),
+            AllocStats {
+                allocs: 4,
+                bytes: 500,
+                frees: 5,
+                freed_bytes: 600,
+            }
+        );
+        assert_eq!(b.live_bytes(), 600);
+        // A thread that frees more than it allocated floors at zero.
+        let freer = AllocStats {
+            allocs: 1,
+            bytes: 10,
+            frees: 5,
+            freed_bytes: 500,
+        };
+        assert_eq!(freer.live_bytes(), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Per-tenant SLO tracking: sliding-window SLIs with error-budget burn
+//! rates.
+//!
+//! Two SLIs are tracked per tenant:
+//!
+//! * **availability** — fraction of requests that succeeded;
+//! * **latency** — fraction of requests completing under a threshold.
+//!
+//! Each SLI is evaluated over a *fast* and a *slow* sliding window
+//! (Google SRE's multi-window pattern): the fast window catches sudden
+//! regressions quickly, the slow window filters out blips. For a target
+//! `T` the error budget is `1 − T`, and the **burn rate** of a window is
+//!
+//! ```text
+//! burn = bad_fraction / (1 − T)
+//! ```
+//!
+//! Burn 1.0 means the tenant is consuming budget exactly as fast as the
+//! SLO allows; sustained burn above 1.0 on *both* windows means the
+//! budget will be exhausted — that is the alerting condition
+//! [`TenantSlo::budget_exhausted`] exposes.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-tenant sample cap: bounds memory for tenants that outpace the
+/// slow window's natural pruning.
+const MAX_SAMPLES_PER_TENANT: usize = 4096;
+
+/// Declared SLO targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTargets {
+    /// Availability target in `(0, 1)`, e.g. `0.99`.
+    pub availability: f64,
+    /// Latency threshold in microseconds a "fast enough" request must
+    /// finish under.
+    pub latency_threshold_us: u64,
+    /// Fraction of requests that must beat the threshold, e.g. `0.95`.
+    pub latency_goal: f64,
+}
+
+impl Default for SloTargets {
+    fn default() -> Self {
+        SloTargets {
+            availability: 0.99,
+            latency_threshold_us: 2_000_000,
+            latency_goal: 0.95,
+        }
+    }
+}
+
+/// The two sliding-window lengths burn rates are computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloWindows {
+    /// Fast window (µs) — catches sudden regressions.
+    pub fast_us: u64,
+    /// Slow window (µs) — filters blips; also the retention horizon.
+    pub slow_us: u64,
+}
+
+impl Default for SloWindows {
+    fn default() -> Self {
+        SloWindows {
+            fast_us: 60_000_000,
+            slow_us: 600_000_000,
+        }
+    }
+}
+
+/// Error-budget burn rate: the window's bad fraction divided by the
+/// budget `1 − target`. Empty windows burn nothing; a degenerate target
+/// of 1.0 is clamped so the division stays finite.
+pub fn burn_rate(bad: u64, total: u64, target: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let bad_fraction = bad as f64 / total as f64;
+    let budget = (1.0 - target).max(1e-9);
+    bad_fraction / budget
+}
+
+/// One observed request outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SloSample {
+    at_us: u64,
+    ok: bool,
+    latency_us: u64,
+}
+
+/// SLI readings for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowSli {
+    /// Requests observed in the window.
+    pub requests: u64,
+    /// Requests that succeeded.
+    pub good: u64,
+    /// Requests under the latency threshold.
+    pub fast_enough: u64,
+    /// `good / requests` (1.0 when empty).
+    pub availability: f64,
+    /// `fast_enough / requests` (1.0 when empty).
+    pub latency_ok_ratio: f64,
+    /// Availability error-budget burn rate.
+    pub availability_burn: f64,
+    /// Latency error-budget burn rate.
+    pub latency_burn: f64,
+}
+
+/// One tenant's SLO state: fast and slow window readings.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TenantSlo {
+    /// Readings over the fast window.
+    pub fast: WindowSli,
+    /// Readings over the slow window.
+    pub slow: WindowSli,
+}
+
+impl TenantSlo {
+    /// Multi-window alert condition: some budget (availability or
+    /// latency) is burning at ≥ 1.0 on *both* windows — the regression
+    /// is current (fast) and sustained (slow).
+    pub fn budget_exhausted(&self) -> bool {
+        (self.fast.availability_burn >= 1.0 && self.slow.availability_burn >= 1.0)
+            || (self.fast.latency_burn >= 1.0 && self.slow.latency_burn >= 1.0)
+    }
+}
+
+/// Thread-safe per-tenant SLO tracker. Observe one sample per request;
+/// read back burn rates with [`SloTracker::report`].
+#[derive(Debug)]
+pub struct SloTracker {
+    targets: SloTargets,
+    windows: SloWindows,
+    epoch: Instant,
+    state: Mutex<BTreeMap<String, VecDeque<SloSample>>>,
+}
+
+impl Default for SloTracker {
+    fn default() -> Self {
+        SloTracker::new(SloTargets::default(), SloWindows::default())
+    }
+}
+
+impl SloTracker {
+    /// A fresh tracker with the given targets and windows.
+    pub fn new(targets: SloTargets, windows: SloWindows) -> Self {
+        SloTracker {
+            targets,
+            windows,
+            epoch: Instant::now(),
+            state: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The declared targets.
+    pub fn targets(&self) -> &SloTargets {
+        &self.targets
+    }
+
+    /// The window configuration.
+    pub fn windows(&self) -> SloWindows {
+        self.windows
+    }
+
+    /// Records one request outcome for `tenant` at the current time.
+    pub fn observe(&self, tenant: &str, ok: bool, latency_us: u64) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        self.observe_at(tenant, at_us, ok, latency_us);
+    }
+
+    /// Clock-injected form of [`SloTracker::observe`] (`at_us` is
+    /// microseconds since the tracker's epoch; must be non-decreasing
+    /// per tenant for pruning to behave).
+    pub fn observe_at(&self, tenant: &str, at_us: u64, ok: bool, latency_us: u64) {
+        let mut state = self.state.lock().expect("slo tracker lock");
+        let samples = state.entry(tenant.to_string()).or_default();
+        samples.push_back(SloSample {
+            at_us,
+            ok,
+            latency_us,
+        });
+        let horizon = at_us.saturating_sub(self.windows.slow_us);
+        while let Some(front) = samples.front() {
+            if front.at_us < horizon || samples.len() > MAX_SAMPLES_PER_TENANT {
+                samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Evaluates every tenant's windows as of the current time,
+    /// tenant-sorted.
+    pub fn report(&self) -> Vec<(String, TenantSlo)> {
+        self.report_at(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Clock-injected form of [`SloTracker::report`].
+    pub fn report_at(&self, now_us: u64) -> Vec<(String, TenantSlo)> {
+        let state = self.state.lock().expect("slo tracker lock");
+        state
+            .iter()
+            .map(|(tenant, samples)| {
+                let slo = TenantSlo {
+                    fast: self.window_sli(samples, now_us, self.windows.fast_us),
+                    slow: self.window_sli(samples, now_us, self.windows.slow_us),
+                };
+                (tenant.clone(), slo)
+            })
+            .collect()
+    }
+
+    fn window_sli(&self, samples: &VecDeque<SloSample>, now_us: u64, window_us: u64) -> WindowSli {
+        let cutoff = now_us.saturating_sub(window_us);
+        let mut requests = 0u64;
+        let mut good = 0u64;
+        let mut fast_enough = 0u64;
+        for s in samples.iter().rev() {
+            if s.at_us < cutoff {
+                break;
+            }
+            requests += 1;
+            if s.ok {
+                good += 1;
+            }
+            if s.latency_us <= self.targets.latency_threshold_us {
+                fast_enough += 1;
+            }
+        }
+        let ratio = |n: u64| {
+            if requests == 0 {
+                1.0
+            } else {
+                n as f64 / requests as f64
+            }
+        };
+        WindowSli {
+            requests,
+            good,
+            fast_enough,
+            availability: ratio(good),
+            latency_ok_ratio: ratio(fast_enough),
+            availability_burn: burn_rate(requests - good, requests, self.targets.availability),
+            latency_burn: burn_rate(requests - fast_enough, requests, self.targets.latency_goal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> SloTracker {
+        SloTracker::new(
+            SloTargets {
+                availability: 0.99,
+                latency_threshold_us: 1_000,
+                latency_goal: 0.9,
+            },
+            SloWindows {
+                fast_us: 1_000_000,
+                slow_us: 10_000_000,
+            },
+        )
+    }
+
+    #[test]
+    fn burn_rate_math() {
+        // 2% bad against a 99% target burns budget at 2x.
+        assert!((burn_rate(2, 100, 0.99) - 2.0).abs() < 1e-9);
+        // Exactly-on-budget burns at 1.0.
+        assert!((burn_rate(1, 100, 0.99) - 1.0).abs() < 1e-9);
+        assert_eq!(burn_rate(0, 100, 0.99), 0.0);
+        assert_eq!(burn_rate(0, 0, 0.99), 0.0);
+        // Degenerate 100% target stays finite.
+        assert!(burn_rate(1, 2, 1.0).is_finite());
+    }
+
+    #[test]
+    fn windows_separate_current_from_sustained() {
+        let t = tracker();
+        // Old, clean traffic (outside fast window, inside slow).
+        for i in 0..50 {
+            t.observe_at("t0", 1_000_000 + i, true, 100);
+        }
+        // Recent traffic: half errors.
+        for i in 0..10 {
+            t.observe_at("t0", 9_500_000 + i, i % 2 == 0, 100);
+        }
+        let report = t.report_at(9_600_000);
+        let (tenant, slo) = &report[0];
+        assert_eq!(tenant, "t0");
+        assert_eq!(slo.fast.requests, 10);
+        assert_eq!(slo.fast.good, 5);
+        assert!((slo.fast.availability - 0.5).abs() < 1e-9);
+        assert!(slo.fast.availability_burn > 1.0);
+        assert_eq!(slo.slow.requests, 60);
+        assert!(slo.slow.availability > 0.9);
+        // Fast burning but slow not yet: no exhaustion alert.
+        assert!(slo.fast.availability_burn >= 1.0);
+        assert!(!slo.budget_exhausted() || slo.slow.availability_burn >= 1.0);
+    }
+
+    #[test]
+    fn latency_sli_counts_threshold_misses() {
+        let t = tracker();
+        for i in 0..10 {
+            // 3 of 10 over the 1ms threshold; all available.
+            let latency = if i < 3 { 5_000 } else { 100 };
+            t.observe_at("t0", 100 + i, true, latency);
+        }
+        let report = t.report_at(200);
+        let slo = report[0].1;
+        assert_eq!(slo.fast.fast_enough, 7);
+        assert!((slo.fast.latency_ok_ratio - 0.7).abs() < 1e-9);
+        // 30% misses against a 10% budget: burn 3x on both windows.
+        assert!((slo.fast.latency_burn - 3.0).abs() < 1e-9);
+        assert!(slo.budget_exhausted());
+        assert_eq!(slo.fast.availability_burn, 0.0);
+    }
+
+    #[test]
+    fn empty_windows_read_healthy() {
+        let t = tracker();
+        t.observe_at("t0", 100, false, 50);
+        // Far in the future: everything aged out of both windows.
+        let report = t.report_at(100_000_000);
+        let slo = report[0].1;
+        assert_eq!(slo.fast.requests, 0);
+        assert_eq!(slo.fast.availability, 1.0);
+        assert_eq!(slo.fast.availability_burn, 0.0);
+        assert!(!slo.budget_exhausted());
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_sorted() {
+        let t = tracker();
+        t.observe_at("beta", 10, false, 50);
+        t.observe_at("alpha", 10, true, 50);
+        let report = t.report_at(20);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, "alpha");
+        assert_eq!(report[1].0, "beta");
+        assert_eq!(report[0].1.fast.good, 1);
+        assert_eq!(report[1].1.fast.good, 0);
+    }
+
+    #[test]
+    fn sample_cap_bounds_memory() {
+        let t = tracker();
+        for i in 0..(MAX_SAMPLES_PER_TENANT as u64 + 500) {
+            // All at the "same" time so the horizon never prunes.
+            t.observe_at("t0", 1_000 + i / 1_000_000, true, 10);
+        }
+        let state = t.state.lock().unwrap();
+        assert!(state["t0"].len() <= MAX_SAMPLES_PER_TENANT);
+    }
+}

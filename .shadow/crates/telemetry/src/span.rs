@@ -1,0 +1,415 @@
+//! The span tree: RAII guards that record wall-clock intervals, nesting,
+//! and key/value attributes, forming one tree per traced operation.
+//!
+//! Spans close on drop, so instrumented code cannot leak an open span on
+//! early return; [`Tracer::drain_trace`] gracefully closes anything still
+//! open (e.g. after a panic unwound past a guard).
+
+use crate::profile::{resource_stamp, ResourceStamp};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One recorded (possibly still-open) span.
+#[derive(Debug, Clone)]
+struct SpanRecord {
+    id: u64,
+    name: String,
+    parent: Option<u64>,
+    start_us: u64,
+    dur_us: Option<u64>,
+    /// Resource counters read at span open on the opening thread.
+    start_res: ResourceStamp,
+    /// Thread CPU time consumed over the span (0 until closed, or when
+    /// the span closed off-thread / the target has no thread CPU clock).
+    cpu_us: u64,
+    /// Allocations counted over the span (0 unless a counting allocator
+    /// is installed; see `crate::profile`).
+    allocs: u64,
+    /// Bytes allocated over the span.
+    alloc_bytes: u64,
+    attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct Arena {
+    records: Vec<SpanRecord>,
+    /// Ids of currently-open spans, outermost first.
+    stack: Vec<u64>,
+    next_id: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    epoch: Instant,
+    arena: Mutex<Arena>,
+}
+
+/// Records spans into an arena shared by all clones of the handle.
+///
+/// The nesting model is a single stack: a new span's parent is the most
+/// recently opened span that has not closed yet. The pipeline this crate
+/// instruments runs one query at a time on one thread, which is exactly
+/// the shape a stack captures; concurrent spans from multiple threads
+/// would interleave parents arbitrarily and are not supported.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer with its epoch at "now".
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                arena: Mutex::new(Arena::default()),
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a span named `name`, nested under the innermost open span.
+    /// The span closes (records its duration) when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let start_us = self.now_us();
+        let start_res = resource_stamp();
+        let mut arena = self.inner.arena.lock().expect("tracer lock");
+        let id = arena.next_id;
+        arena.next_id += 1;
+        let parent = arena.stack.last().copied();
+        arena.records.push(SpanRecord {
+            id,
+            name: name.to_string(),
+            parent,
+            start_us,
+            dur_us: None,
+            start_res,
+            cpu_us: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+            attrs: Vec::new(),
+        });
+        arena.stack.push(id);
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+        }
+    }
+
+    /// Number of spans recorded (open or closed) since the last drain.
+    pub fn len(&self) -> usize {
+        self.inner.arena.lock().expect("tracer lock").records.len()
+    }
+
+    /// True when no spans have been recorded since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every recorded span out of the arena as a forest of
+    /// [`SpanNode`] trees (one root per top-level span, creation order).
+    /// Spans still open are closed at "now". Guards outliving the drain
+    /// become inert.
+    pub fn drain_trace(&self) -> Vec<SpanNode> {
+        let now = self.now_us();
+        let mut arena = self.inner.arena.lock().expect("tracer lock");
+        let records = std::mem::take(&mut arena.records);
+        arena.stack.clear();
+        drop(arena);
+        build_forest(records, now)
+    }
+
+    /// Closes the span. `end_res` carries the closing thread's resource
+    /// counters: guards pass a fresh stamp (open and close happen on the
+    /// span's own thread, so the delta is meaningful); `drain_trace`
+    /// passes `None` and the span keeps zero resource attribution.
+    fn close(&self, id: u64, end_res: Option<ResourceStamp>) {
+        let now = self.now_us();
+        let mut arena = self.inner.arena.lock().expect("tracer lock");
+        if let Some(rec) = arena.records.iter_mut().rev().find(|r| r.id == id) {
+            if rec.dur_us.is_none() {
+                rec.dur_us = Some(now.saturating_sub(rec.start_us));
+                if let Some(end) = end_res {
+                    let (cpu_us, allocs, alloc_bytes) = end.since(&rec.start_res);
+                    rec.cpu_us = cpu_us;
+                    rec.allocs = allocs;
+                    rec.alloc_bytes = alloc_bytes;
+                }
+            }
+        }
+        arena.stack.retain(|open| *open != id);
+    }
+
+    fn set_attr(&self, id: u64, key: &str, value: String) {
+        let mut arena = self.inner.arena.lock().expect("tracer lock");
+        if let Some(rec) = arena.records.iter_mut().rev().find(|r| r.id == id) {
+            rec.attrs.push((key.to_string(), value));
+        }
+    }
+}
+
+/// RAII handle for an open span; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value attribute to the span.
+    pub fn attr(&self, key: &str, value: impl Into<String>) -> &Self {
+        self.tracer.set_attr(self.id, key, value.into());
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // The stamp is read before taking the arena lock so lock wait
+        // never counts as span CPU time.
+        let end_res = resource_stamp();
+        self.tracer.close(self.id, Some(end_res));
+    }
+}
+
+/// One node of a completed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (e.g. a pipeline stage).
+    pub name: String,
+    /// Start offset from the tracer epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Thread CPU time consumed while the span was open (0 when the
+    /// target has no thread CPU clock or the span was drain-closed).
+    pub cpu_us: u64,
+    /// Allocations counted while the span was open (0 unless the
+    /// counting allocator is installed in this binary).
+    pub allocs: u64,
+    /// Bytes allocated while the span was open.
+    pub alloc_bytes: u64,
+    /// Key/value attributes in attachment order.
+    pub attrs: Vec<(String, String)>,
+    /// Child spans in creation order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total number of spans in this subtree (including `self`).
+    pub fn total_spans(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::total_spans)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search for the first span with the given name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Checks the structural invariant exporters and tests rely on: every
+    /// child interval nests within its parent's `[start, start+dur]`
+    /// interval, recursively.
+    pub fn well_formed(&self) -> bool {
+        let end = self.start_us + self.dur_us;
+        self.children
+            .iter()
+            .all(|c| c.start_us >= self.start_us && c.start_us + c.dur_us <= end && c.well_formed())
+    }
+
+    /// Renders the subtree as an indented text block (durations in ms).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let attrs = if self.attrs.is_empty() {
+            String::new()
+        } else {
+            let kv: Vec<String> = self.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", kv.join(", "))
+        };
+        out.push_str(&format!(
+            "{:indent$}{} {:.3}ms{}\n",
+            "",
+            self.name,
+            self.dur_us as f64 / 1000.0,
+            attrs,
+            indent = depth * 2
+        ));
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+fn build_forest(records: Vec<SpanRecord>, now_us: u64) -> Vec<SpanNode> {
+    // Index children by parent id, preserving creation order.
+    let mut children_of: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        match rec.parent {
+            Some(p) => children_of.entry(p).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    fn build(
+        i: usize,
+        records: &[SpanRecord],
+        children_of: &std::collections::BTreeMap<u64, Vec<usize>>,
+        now_us: u64,
+    ) -> SpanNode {
+        let rec = &records[i];
+        let dur_us = rec
+            .dur_us
+            .unwrap_or_else(|| now_us.saturating_sub(rec.start_us));
+        SpanNode {
+            name: rec.name.clone(),
+            start_us: rec.start_us,
+            dur_us,
+            cpu_us: rec.cpu_us,
+            allocs: rec.allocs,
+            alloc_bytes: rec.alloc_bytes,
+            attrs: rec.attrs.clone(),
+            children: children_of
+                .get(&rec.id)
+                .map(|ids| {
+                    ids.iter()
+                        .map(|&c| build(c, records, children_of, now_us))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+    roots
+        .into_iter()
+        .map(|i| build(i, &records, &children_of, now_us))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_on_drop() {
+        let t = Tracer::new();
+        {
+            let root = t.span("query");
+            root.attr("question", "total by region");
+            {
+                let _a = t.span("plan");
+            }
+            {
+                let b = t.span("execute");
+                b.attr("agents", "2");
+                let _c = t.span("agent:sql_agent");
+            }
+        }
+        let forest = t.drain_trace();
+        assert_eq!(forest.len(), 1);
+        let root = &forest[0];
+        assert_eq!(root.name, "query");
+        assert_eq!(
+            root.attrs,
+            vec![("question".to_string(), "total by region".to_string())]
+        );
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "plan");
+        assert_eq!(root.children[1].name, "execute");
+        assert_eq!(root.children[1].children[0].name, "agent:sql_agent");
+        assert_eq!(root.total_spans(), 4);
+        assert!(root.well_formed(), "{root:?}");
+        assert!(root.find("agent:sql_agent").is_some());
+        assert!(root.find("nope").is_none());
+        // Drained: the arena is empty again.
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn early_return_closes_inner_spans_first() {
+        let t = Tracer::new();
+        fn work(t: &Tracer) -> Option<()> {
+            let _s = t.span("outer");
+            let _i = t.span("inner");
+            None? // early return with both guards live
+        }
+        assert!(work(&t).is_none());
+        let forest = t.drain_trace();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].children.len(), 1);
+        assert!(forest[0].well_formed());
+    }
+
+    #[test]
+    fn open_spans_are_closed_by_drain() {
+        let t = Tracer::new();
+        let g = t.span("still_open");
+        let forest = t.drain_trace();
+        assert_eq!(forest.len(), 1);
+        // The guard outlives the drain and must be inert.
+        drop(g);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sibling_roots_form_a_forest() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("first");
+        }
+        {
+            let _b = t.span("second");
+        }
+        let forest = t.drain_trace();
+        let names: Vec<&str> = forest.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn drain_closed_spans_have_zero_resource_attribution() {
+        let t = Tracer::new();
+        {
+            let _closed = t.span("closed_by_guard");
+        }
+        let _open = t.span("left_open");
+        let forest = t.drain_trace();
+        // The drain may run on any thread, so a span it force-closes
+        // gets no CPU/alloc attribution rather than a bogus cross-thread
+        // delta.
+        let open = forest.iter().find(|n| n.name == "left_open").unwrap();
+        assert_eq!(open.cpu_us, 0);
+        assert_eq!(open.allocs, 0);
+        assert_eq!(open.alloc_bytes, 0);
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let t = Tracer::new();
+        {
+            let _r = t.span("root");
+            let _c = t.span("child");
+        }
+        let text = t.drain_trace()[0].render();
+        assert!(text.starts_with("root "), "{text}");
+        assert!(text.contains("\n  child "), "{text}");
+    }
+}

@@ -1,0 +1,473 @@
+//! Tail-sampled store of completed request traces.
+//!
+//! Head sampling (deciding at request start) would throw away exactly the
+//! traces worth keeping — the slow and the broken ones are only
+//! recognisable *after* they finish. So the store decides at completion
+//! time, with a three-part keep policy evaluated in order:
+//!
+//! 1. **errors** — every failed request is retained, always;
+//! 2. **slowest-N per window** — an online top-N of durations inside a
+//!    rolling completion-count window catches tail latency even when
+//!    nothing errors;
+//! 3. **uniform 1-in-K** — a deterministic sample of ordinary traffic
+//!    keeps the baseline visible (`sample_every = 0` disables this leg,
+//!    degrading to "errors + slowest only").
+//!
+//! The store is bounded: when full, the *oldest ok* trace is evicted
+//! first; error traces are only evicted once no ok traces remain. All
+//! decisions are counter-based (no clocks, no randomness), so a replayed
+//! run retains an identical set.
+
+use crate::events::Event;
+use crate::span::SpanNode;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Keep/evict policy knobs for a [`TraceStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStorePolicy {
+    /// Maximum retained traces (≥ 1 is enforced).
+    pub capacity: usize,
+    /// Keep the N slowest completions per window (0 disables this leg).
+    pub slowest_per_window: usize,
+    /// Window length, in completions, for the slowest-N leg.
+    pub window: usize,
+    /// Keep 1 in every K completions unconditionally (0 disables).
+    pub sample_every: usize,
+}
+
+impl Default for TraceStorePolicy {
+    fn default() -> Self {
+        TraceStorePolicy {
+            capacity: 256,
+            slowest_per_window: 4,
+            window: 64,
+            sample_every: 16,
+        }
+    }
+}
+
+/// Why a trace was retained (first matching leg of the keep policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetainReason {
+    /// The request failed; error traces are always kept.
+    Error,
+    /// Among the slowest N completions of its window.
+    Slow,
+    /// Picked by the uniform 1-in-K sampler.
+    Sampled,
+}
+
+impl RetainReason {
+    /// Stable snake_case name for JSON/report output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RetainReason::Error => "error",
+            RetainReason::Slow => "slow",
+            RetainReason::Sampled => "sampled",
+        }
+    }
+}
+
+/// A completed request offered to the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// The request's trace ID.
+    pub trace_id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Workload family label.
+    pub workload: String,
+    /// Final HTTP status of the request.
+    pub status: u16,
+    /// Whether the request succeeded end to end.
+    pub ok: bool,
+    /// End-to-end duration in microseconds.
+    pub duration_us: u64,
+    /// The drained span forest for this request.
+    pub spans: Vec<SpanNode>,
+    /// Flight-record events captured for this request (errors only in
+    /// the current server wiring; empty for clean requests).
+    pub events: Vec<Event>,
+}
+
+/// A retained trace plus the retention decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredTrace {
+    /// 1-based completion sequence number at which this was offered.
+    pub seq: u64,
+    /// Which keep-policy leg retained it.
+    pub reason: RetainReason,
+    /// The trace itself.
+    pub record: TraceRecord,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    /// Completions ever offered (retained or not).
+    seen: u64,
+    /// Completions in the current slowest-N window.
+    window_pos: usize,
+    /// Top-N durations of the current window, descending.
+    window_slowest: Vec<u64>,
+    /// Retained traces, oldest first.
+    retained: VecDeque<StoredTrace>,
+}
+
+/// Bounded, thread-safe tail-sampling trace store. See the module docs
+/// for the keep policy.
+#[derive(Debug)]
+pub struct TraceStore {
+    policy: TraceStorePolicy,
+    state: Mutex<StoreState>,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new(TraceStorePolicy::default())
+    }
+}
+
+impl TraceStore {
+    /// A fresh store with the given policy (capacity is clamped to ≥ 1).
+    pub fn new(mut policy: TraceStorePolicy) -> Self {
+        policy.capacity = policy.capacity.max(1);
+        policy.window = policy.window.max(1);
+        TraceStore {
+            policy,
+            state: Mutex::new(StoreState::default()),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &TraceStorePolicy {
+        &self.policy
+    }
+
+    /// Offers a completed trace; returns the retention reason if kept,
+    /// `None` if dropped. Never panics regardless of policy degeneracy
+    /// (zero sampling, zero slowest-N).
+    pub fn offer(&self, record: TraceRecord) -> Option<RetainReason> {
+        let mut state = self.state.lock().expect("trace store lock");
+        state.seen += 1;
+        let seq = state.seen;
+
+        if state.window_pos == self.policy.window {
+            state.window_pos = 0;
+            state.window_slowest.clear();
+        }
+        state.window_pos += 1;
+        let slow = if self.policy.slowest_per_window == 0 {
+            false
+        } else if state.window_slowest.len() < self.policy.slowest_per_window {
+            state.window_slowest.push(record.duration_us);
+            state.window_slowest.sort_unstable_by(|a, b| b.cmp(a));
+            true
+        } else if record.duration_us > *state.window_slowest.last().expect("non-empty top-N") {
+            state.window_slowest.pop();
+            state.window_slowest.push(record.duration_us);
+            state.window_slowest.sort_unstable_by(|a, b| b.cmp(a));
+            true
+        } else {
+            false
+        };
+
+        let sampled =
+            self.policy.sample_every > 0 && (seq - 1) % self.policy.sample_every as u64 == 0;
+        let reason = if !record.ok {
+            RetainReason::Error
+        } else if slow {
+            RetainReason::Slow
+        } else if sampled {
+            RetainReason::Sampled
+        } else {
+            return None;
+        };
+
+        if state.retained.len() >= self.policy.capacity {
+            // Evict the oldest *ok* trace; error traces go last, and only
+            // when nothing else is left to evict.
+            match state.retained.iter().position(|t| t.record.ok) {
+                Some(idx) => {
+                    state.retained.remove(idx);
+                }
+                None => {
+                    state.retained.pop_front();
+                }
+            }
+        }
+        state.retained.push_back(StoredTrace {
+            seq,
+            reason,
+            record,
+        });
+        Some(reason)
+    }
+
+    /// Completions ever offered (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.state.lock().expect("trace store lock").seen
+    }
+
+    /// Number of currently retained traces.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("trace store lock").retained.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a retained trace by ID (most recent first, so a reused
+    /// ID resolves to its latest completion).
+    pub fn get(&self, trace_id: &str) -> Option<StoredTrace> {
+        let state = self.state.lock().expect("trace store lock");
+        state
+            .retained
+            .iter()
+            .rev()
+            .find(|t| t.record.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Clones the span forests of every retained trace, oldest first —
+    /// the input for collapsed-stack profile aggregation over whatever
+    /// the tail sampler kept (`GET /v1/profile`). Bounded by the store
+    /// capacity, so the copy is as bounded as the store itself.
+    pub fn span_forest(&self) -> Vec<SpanNode> {
+        let state = self.state.lock().expect("trace store lock");
+        state
+            .retained
+            .iter()
+            .flat_map(|t| t.record.spans.iter().cloned())
+            .collect()
+    }
+
+    /// Retained traces, newest first, optionally filtered by tenant
+    /// and/or outcome, truncated to `limit`. Span trees and events are
+    /// *not* cloned — this is the cheap listing read.
+    pub fn summaries(
+        &self,
+        tenant: Option<&str>,
+        only_errors: Option<bool>,
+        limit: usize,
+    ) -> Vec<TraceSummary> {
+        let state = self.state.lock().expect("trace store lock");
+        state
+            .retained
+            .iter()
+            .rev()
+            .filter(|t| tenant.is_none_or(|want| t.record.tenant == want))
+            .filter(|t| only_errors.is_none_or(|errs| t.record.ok != errs))
+            .take(limit)
+            .map(|t| TraceSummary {
+                trace_id: t.record.trace_id.clone(),
+                tenant: t.record.tenant.clone(),
+                workload: t.record.workload.clone(),
+                status: t.record.status,
+                ok: t.record.ok,
+                duration_us: t.record.duration_us,
+                reason: t.reason,
+                seq: t.seq,
+                spans: t.record.spans.iter().map(|s| s.total_spans()).sum(),
+                events: t.record.events.len(),
+            })
+            .collect()
+    }
+}
+
+/// Listing-level view of one retained trace (no span tree payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The request's trace ID.
+    pub trace_id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Workload family label.
+    pub workload: String,
+    /// Final HTTP status.
+    pub status: u16,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// End-to-end duration in microseconds.
+    pub duration_us: u64,
+    /// Which keep-policy leg retained it.
+    pub reason: RetainReason,
+    /// Completion sequence number.
+    pub seq: u64,
+    /// Total spans in the retained tree.
+    pub spans: usize,
+    /// Flight-record events retained with the trace.
+    pub events: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, ok: bool, duration_us: u64) -> TraceRecord {
+        TraceRecord {
+            trace_id: id.to_string(),
+            tenant: "t0".to_string(),
+            workload: "nl2sql".to_string(),
+            status: if ok { 200 } else { 503 },
+            ok,
+            duration_us,
+            spans: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn span_forest_concatenates_retained_traces_oldest_first() {
+        let store = TraceStore::default();
+        assert!(store.span_forest().is_empty());
+        for (id, dur) in [("a", 100), ("b", 200)] {
+            let mut r = record(id, false, dur);
+            r.spans.push(SpanNode {
+                name: format!("query-{id}"),
+                start_us: 0,
+                dur_us: dur,
+                cpu_us: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+                attrs: vec![],
+                children: vec![],
+            });
+            store.offer(r);
+        }
+        let forest = store.span_forest();
+        let names: Vec<&str> = forest.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["query-a", "query-b"]);
+    }
+
+    #[test]
+    fn errors_are_always_retained() {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 8,
+            slowest_per_window: 0,
+            window: 4,
+            sample_every: 0,
+        });
+        for i in 0..20 {
+            let kept = store.offer(record(&format!("e{i}"), false, 10));
+            assert_eq!(kept, Some(RetainReason::Error));
+        }
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.seen(), 20);
+    }
+
+    #[test]
+    fn zero_sampling_degrades_to_errors_plus_slowest() {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 32,
+            slowest_per_window: 1,
+            window: 8,
+            sample_every: 0,
+        });
+        // Ascending durations: within each 8-completion window only the
+        // running max enters the top-1.
+        for i in 0..16u64 {
+            store.offer(record(&format!("ok{i}"), true, i + 1));
+        }
+        let kept = store.summaries(None, None, 64);
+        for t in &kept {
+            assert_eq!(t.reason, RetainReason::Slow, "{t:?}");
+        }
+        // First completion of each window always seeds the top-N; later
+        // ascending ones replace it.
+        assert!(kept.iter().any(|t| t.trace_id == "ok15"));
+        let errs = store.offer(record("boom", false, 1));
+        assert_eq!(errs, Some(RetainReason::Error));
+    }
+
+    #[test]
+    fn uniform_sampler_keeps_one_in_k() {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 64,
+            slowest_per_window: 0,
+            window: 4,
+            sample_every: 5,
+        });
+        for i in 0..20 {
+            store.offer(record(&format!("r{i}"), true, 10));
+        }
+        let kept = store.summaries(None, None, 64);
+        assert_eq!(kept.len(), 4, "{kept:?}");
+        for t in &kept {
+            assert_eq!(t.reason, RetainReason::Sampled);
+            assert_eq!((t.seq - 1) % 5, 0);
+        }
+    }
+
+    #[test]
+    fn eviction_prefers_oldest_ok_over_any_error() {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 3,
+            slowest_per_window: 0,
+            window: 4,
+            sample_every: 1,
+        });
+        store.offer(record("err0", false, 10));
+        store.offer(record("ok0", true, 10));
+        store.offer(record("ok1", true, 10));
+        // Full. The next keep evicts ok0 (oldest ok), not err0.
+        store.offer(record("ok2", true, 10));
+        assert!(store.get("err0").is_some());
+        assert!(store.get("ok0").is_none());
+        assert!(store.get("ok1").is_some());
+        // Fill with errors: oks evicted first, then oldest errors.
+        store.offer(record("err1", false, 10));
+        store.offer(record("err2", false, 10));
+        assert!(store.get("ok1").is_none());
+        assert!(store.get("ok2").is_none());
+        store.offer(record("err3", false, 10));
+        assert!(store.get("err0").is_none(), "oldest error evicted last");
+        assert!(store.get("err3").is_some());
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn summaries_filter_by_tenant_and_status_newest_first() {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 16,
+            slowest_per_window: 0,
+            window: 4,
+            sample_every: 1,
+        });
+        let mut other = record("other", true, 5);
+        other.tenant = "t1".to_string();
+        store.offer(other);
+        store.offer(record("good", true, 5));
+        store.offer(record("bad", false, 5));
+        let all = store.summaries(None, None, 10);
+        assert_eq!(
+            all.iter().map(|t| t.trace_id.as_str()).collect::<Vec<_>>(),
+            vec!["bad", "good", "other"]
+        );
+        let t0_errors = store.summaries(Some("t0"), Some(true), 10);
+        assert_eq!(t0_errors.len(), 1);
+        assert_eq!(t0_errors[0].trace_id, "bad");
+        let t0_ok = store.summaries(Some("t0"), Some(false), 10);
+        assert_eq!(t0_ok.len(), 1);
+        assert_eq!(t0_ok[0].trace_id, "good");
+        assert_eq!(store.summaries(None, None, 1).len(), 1);
+    }
+
+    #[test]
+    fn get_returns_the_latest_completion_for_a_reused_id() {
+        let store = TraceStore::new(TraceStorePolicy {
+            capacity: 16,
+            slowest_per_window: 0,
+            window: 4,
+            sample_every: 1,
+        });
+        store.offer(record("dup", true, 5));
+        store.offer(record("dup", false, 9));
+        let got = store.get("dup").unwrap();
+        assert_eq!(got.record.duration_us, 9);
+        assert!(!got.record.ok);
+        assert!(store.get("missing").is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Chart execution-equivalence — the nvBench EX metric: two charts are
+//! equivalent when they present the same data values with the same chart
+//! type.
+
+use crate::render::RenderedChart;
+use datalab_frame::Value;
+
+const REL_TOL: f64 = 1e-6;
+
+/// Compares two rendered charts: identical mark and the same multiset of
+/// `(category, series, value)` triples (order-insensitive, float
+/// tolerance).
+pub fn charts_equal(a: &RenderedChart, b: &RenderedChart) -> bool {
+    if a.mark != b.mark || a.points.len() != b.points.len() {
+        return false;
+    }
+    let key = |p: &(Value, String, Value)| (p.0.render(), p.1.clone(), p.2.render());
+    let mut pa = a.points.clone();
+    let mut pb = b.points.clone();
+    pa.sort_by_key(key);
+    pb.sort_by_key(key);
+    pa.iter()
+        .zip(&pb)
+        .all(|(x, y)| x.0.approx_eq(&y.0, REL_TOL) && x.1 == y.1 && x.2.approx_eq(&y.2, REL_TOL))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mark;
+
+    fn chart(mark: Mark, pts: &[(i64, i64)]) -> RenderedChart {
+        RenderedChart {
+            mark,
+            points: pts
+                .iter()
+                .map(|&(x, v)| (Value::Int(x), String::new(), Value::Int(v)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn equal_ignores_order() {
+        let a = chart(Mark::Bar, &[(1, 10), (2, 20)]);
+        let b = chart(Mark::Bar, &[(2, 20), (1, 10)]);
+        assert!(charts_equal(&a, &b));
+    }
+
+    #[test]
+    fn different_mark_not_equal() {
+        let a = chart(Mark::Bar, &[(1, 10)]);
+        let b = chart(Mark::Line, &[(1, 10)]);
+        assert!(!charts_equal(&a, &b));
+    }
+
+    #[test]
+    fn different_values_not_equal() {
+        let a = chart(Mark::Bar, &[(1, 10)]);
+        let b = chart(Mark::Bar, &[(1, 11)]);
+        assert!(!charts_equal(&a, &b));
+    }
+
+    #[test]
+    fn float_tolerance_applies() {
+        let a = RenderedChart {
+            mark: Mark::Bar,
+            points: vec![(Value::Int(1), String::new(), Value::Float(10.0))],
+        };
+        let b = RenderedChart {
+            mark: Mark::Bar,
+            points: vec![(Value::Int(1), String::new(), Value::Float(10.0 + 1e-9))],
+        };
+        assert!(charts_equal(&a, &b));
+    }
+}

@@ -1,0 +1,17 @@
+//! # datalab-viz
+//!
+//! Chart grammar substrate — the reproduction's stand-in for Vega-Lite:
+//! a serializable [`ChartSpec`], validation against data, "rendering" to
+//! the aggregated series a chart would present, execution-equivalence
+//! comparison for the nvBench EX metric, and a readability heuristic for
+//! the VisEval readability score.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod render;
+pub mod spec;
+
+pub use compare::charts_equal;
+pub use render::{readability_score, render, RenderedChart};
+pub use spec::{ChartFilter, ChartSpec, FieldDef, Mark, VizError};

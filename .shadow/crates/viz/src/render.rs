@@ -1,0 +1,385 @@
+//! Chart "rendering": materialising the data series a chart presents.
+//!
+//! nvBench's EX metric compares *presented data values and chart types*;
+//! rendering a spec down to its aggregated series is exactly the
+//! information needed, without rasterising pixels.
+
+use crate::spec::{ChartFilter, ChartSpec, Mark, VizError};
+use datalab_frame::{AggExpr, AggFunc, DataFrame, Value};
+
+/// The materialised content of a chart: its mark plus the `(category,
+/// series, value)` triples it would draw. `series` is empty when the spec
+/// has no color channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedChart {
+    /// Mark type drawn.
+    pub mark: Mark,
+    /// Data triples in draw order.
+    pub points: Vec<(Value, String, Value)>,
+}
+
+fn apply_filter(df: &DataFrame, f: &ChartFilter) -> Result<DataFrame, VizError> {
+    let col = df
+        .column(&f.column)
+        .map_err(|e| VizError::Frame(e.to_string()))?
+        .to_vec();
+    let pass = |v: &Value| -> bool {
+        match (&f.op[..], &f.value) {
+            ("between", serde_json::Value::Array(arr)) if arr.len() == 2 => {
+                let lo = json_to_value(&arr[0]);
+                let hi = json_to_value(&arr[1]);
+                !v.is_null()
+                    && v.total_cmp(&lo) != std::cmp::Ordering::Less
+                    && v.total_cmp(&hi) != std::cmp::Ordering::Greater
+            }
+            (op, j) => {
+                let w = json_to_value(j);
+                if v.is_null() || w.is_null() {
+                    return false;
+                }
+                let ord = v.total_cmp(&w);
+                match op {
+                    "=" | "==" => ord == std::cmp::Ordering::Equal,
+                    ">" => ord == std::cmp::Ordering::Greater,
+                    ">=" => ord != std::cmp::Ordering::Less,
+                    "<" => ord == std::cmp::Ordering::Less,
+                    "<=" => ord != std::cmp::Ordering::Greater,
+                    "!=" | "<>" => ord != std::cmp::Ordering::Equal,
+                    _ => false,
+                }
+            }
+        }
+    };
+    Ok(df.filter(|i| pass(&col[i])))
+}
+
+fn json_to_value(j: &serde_json::Value) -> Value {
+    match j {
+        serde_json::Value::Null => Value::Null,
+        serde_json::Value::Bool(b) => Value::Bool(*b),
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int(i)
+            } else {
+                Value::Float(n.as_f64().unwrap_or(f64::NAN))
+            }
+        }
+        serde_json::Value::String(s) => {
+            if let Ok(d) = datalab_frame::Date::parse(s) {
+                Value::Date(d)
+            } else {
+                Value::Str(s.clone())
+            }
+        }
+        other => Value::Str(other.to_string()),
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    AggFunc::parse(name)
+}
+
+/// Renders a validated spec over its data.
+pub fn render(spec: &ChartSpec, df: &DataFrame) -> Result<RenderedChart, VizError> {
+    spec.validate(df)?;
+    let mut data = df.clone();
+    for f in &spec.filters {
+        data = apply_filter(&data, f)?;
+    }
+    let x = spec
+        .x
+        .as_ref()
+        .ok_or_else(|| VizError::Invalid("missing x".into()))?;
+    let y = spec
+        .y
+        .as_ref()
+        .ok_or_else(|| VizError::Invalid("missing y".into()))?;
+
+    let mut points: Vec<(Value, String, Value)> = Vec::new();
+    match &y.aggregate {
+        Some(aggname) => {
+            let func = agg_func(aggname)
+                .ok_or_else(|| VizError::Invalid(format!("unknown aggregate {aggname}")))?;
+            let mut dims = vec![x.field.as_str()];
+            if let Some(c) = &spec.color {
+                dims.push(c.field.as_str());
+            }
+            let agg = AggExpr::new(func, y.field.clone(), "__v");
+            let grouped = data
+                .group_by(&dims, &[agg])
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let xs = grouped
+                .column(&x.field)
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let vs = grouped
+                .column("__v")
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let series: Vec<String> = match &spec.color {
+                Some(c) => grouped
+                    .column(&c.field)
+                    .map_err(|e| VizError::Frame(e.to_string()))?
+                    .iter()
+                    .map(|v| v.render())
+                    .collect(),
+                None => vec![String::new(); grouped.n_rows()],
+            };
+            for i in 0..grouped.n_rows() {
+                points.push((xs[i].clone(), series[i].clone(), vs[i].clone()));
+            }
+        }
+        None => {
+            // Raw points (scatter / pre-aggregated data).
+            let xs = data
+                .column(&x.field)
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let ys = data
+                .column(&y.field)
+                .map_err(|e| VizError::Frame(e.to_string()))?;
+            let series: Vec<String> = match &spec.color {
+                Some(c) => data
+                    .column(&c.field)
+                    .map_err(|e| VizError::Frame(e.to_string()))?
+                    .iter()
+                    .map(|v| v.render())
+                    .collect(),
+                None => vec![String::new(); data.n_rows()],
+            };
+            for i in 0..data.n_rows() {
+                points.push((xs[i].clone(), series[i].clone(), ys[i].clone()));
+            }
+        }
+    }
+
+    // Sorting: explicit request, or natural x order for temporal marks.
+    if spec.sort_desc.is_some() {
+        let desc = spec.sort_desc.unwrap_or(true);
+        points.sort_by(|a, b| {
+            let ord = a.2.total_cmp(&b.2);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    } else if matches!(spec.mark, Mark::Line | Mark::Area) {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    if let Some(n) = spec.limit {
+        points.truncate(n);
+    }
+    Ok(RenderedChart {
+        mark: spec.mark,
+        points,
+    })
+}
+
+/// Heuristic readability score in `[1, 5]`, mirroring the dimensions the
+/// VisEval readability judge considers: mark/data fit, category count,
+/// ordering, and labelling.
+pub fn readability_score(spec: &ChartSpec, rendered: &RenderedChart) -> f64 {
+    let mut score: f64 = 4.0;
+    let n = rendered.points.len();
+    // Labelling and ordering earn credit (see bottom); the base of 4.0
+    // leaves headroom so titled/sorted charts separate from bare ones.
+    if (2..=8).contains(&n) {
+        score += 0.3;
+    }
+    // Overcrowding.
+    match spec.mark {
+        Mark::Pie => {
+            if n > 8 {
+                score -= 1.5;
+            } else if n > 5 {
+                score -= 0.5;
+            }
+        }
+        Mark::Bar => {
+            if n > 30 {
+                score -= 1.5;
+            } else if n > 15 {
+                score -= 0.5;
+            }
+        }
+        _ => {
+            if n > 200 {
+                score -= 1.0;
+            }
+        }
+    }
+    // Degenerate charts.
+    if n <= 1 {
+        score -= 1.0;
+    }
+    // Mark/data fit: lines want ordered (temporal/numeric) x.
+    if matches!(spec.mark, Mark::Line | Mark::Area) {
+        let temporal_or_numeric = rendered
+            .points
+            .first()
+            .map(|(x, _, _)| x.as_f64().is_some() || x.as_date().is_some())
+            .unwrap_or(false);
+        if !temporal_or_numeric {
+            score -= 1.0;
+        }
+    }
+    // Pie charts of negative values are unreadable.
+    if spec.mark == Mark::Pie
+        && rendered
+            .points
+            .iter()
+            .any(|(_, _, v)| v.as_f64().map(|f| f < 0.0).unwrap_or(false))
+    {
+        score -= 2.0;
+    }
+    // Titles help.
+    if spec
+        .title
+        .as_deref()
+        .map(|t| !t.trim().is_empty())
+        .unwrap_or(false)
+    {
+        score += 0.4;
+    }
+    // Sorted bars read better.
+    if spec.mark == Mark::Bar && spec.sort_desc.is_some() {
+        score += 0.2;
+    }
+    score.clamp(1.0, 5.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FieldDef;
+    use datalab_frame::DataType;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "region",
+                DataType::Str,
+                vec!["east".into(), "west".into(), "east".into()],
+            ),
+            (
+                "amount",
+                DataType::Int,
+                vec![10.into(), 20.into(), 5.into()],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn bar_spec() -> ChartSpec {
+        ChartSpec {
+            mark: Mark::Bar,
+            data: "sales".into(),
+            x: Some(FieldDef {
+                field: "region".into(),
+                aggregate: None,
+            }),
+            y: Some(FieldDef {
+                field: "amount".into(),
+                aggregate: Some("sum".into()),
+            }),
+            color: None,
+            filters: vec![],
+            limit: None,
+            sort_desc: None,
+            title: None,
+        }
+    }
+
+    #[test]
+    fn renders_aggregated_series() {
+        let r = render(&bar_spec(), &df()).unwrap();
+        assert_eq!(r.mark, Mark::Bar);
+        assert_eq!(r.points.len(), 2);
+        let east = r
+            .points
+            .iter()
+            .find(|(x, _, _)| x == &Value::Str("east".into()))
+            .unwrap();
+        assert_eq!(east.2, Value::Int(15));
+    }
+
+    #[test]
+    fn filters_apply_before_aggregation() {
+        let mut spec = bar_spec();
+        spec.filters.push(ChartFilter {
+            column: "amount".into(),
+            op: ">".into(),
+            value: serde_json::json!(7),
+        });
+        let r = render(&spec, &df()).unwrap();
+        let east = r
+            .points
+            .iter()
+            .find(|(x, _, _)| x == &Value::Str("east".into()))
+            .unwrap();
+        assert_eq!(east.2, Value::Int(10));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let mut spec = bar_spec();
+        spec.sort_desc = Some(true);
+        spec.limit = Some(1);
+        let r = render(&spec, &df()).unwrap();
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].0, Value::Str("west".into()));
+    }
+
+    #[test]
+    fn scatter_keeps_raw_points() {
+        let spec = ChartSpec {
+            mark: Mark::Point,
+            data: "sales".into(),
+            x: Some(FieldDef {
+                field: "amount".into(),
+                aggregate: None,
+            }),
+            y: Some(FieldDef {
+                field: "amount".into(),
+                aggregate: None,
+            }),
+            color: None,
+            filters: vec![],
+            limit: None,
+            sort_desc: None,
+            title: None,
+        };
+        let r = render(&spec, &df()).unwrap();
+        assert_eq!(r.points.len(), 3);
+    }
+
+    #[test]
+    fn readability_penalises_crowded_pie() {
+        let spec = ChartSpec {
+            mark: Mark::Pie,
+            ..bar_spec()
+        };
+        let crowded = RenderedChart {
+            mark: Mark::Pie,
+            points: (0..12)
+                .map(|i| (Value::Int(i), String::new(), Value::Int(1)))
+                .collect(),
+        };
+        let small = RenderedChart {
+            mark: Mark::Pie,
+            points: (0..3)
+                .map(|i| (Value::Int(i), String::new(), Value::Int(1)))
+                .collect(),
+        };
+        assert!(readability_score(&spec, &small) > readability_score(&spec, &crowded));
+    }
+
+    #[test]
+    fn readability_penalises_categorical_line() {
+        let spec = ChartSpec {
+            mark: Mark::Line,
+            ..bar_spec()
+        };
+        let r = render(&spec, &df()).unwrap();
+        let s = readability_score(&spec, &r);
+        assert!(s < 5.0);
+    }
+}

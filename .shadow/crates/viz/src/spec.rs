@@ -1,0 +1,269 @@
+//! Chart specification types (the Vega-Lite-style grammar agents emit).
+
+use datalab_frame::DataFrame;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when validating or rendering chart specs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VizError {
+    /// The spec JSON could not be parsed.
+    Parse(String),
+    /// A referenced field does not exist in the data.
+    UnknownField(String),
+    /// The spec is structurally incomplete (e.g. bar chart without y).
+    Invalid(String),
+    /// A field's type is incompatible with its encoding role.
+    TypeMismatch(String),
+    /// Propagated frame error.
+    Frame(String),
+}
+
+impl fmt::Display for VizError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VizError::Parse(m) => write!(f, "chart spec parse error: {m}"),
+            VizError::UnknownField(n) => write!(f, "unknown field in chart spec: {n}"),
+            VizError::Invalid(m) => write!(f, "invalid chart spec: {m}"),
+            VizError::TypeMismatch(m) => write!(f, "chart spec type mismatch: {m}"),
+            VizError::Frame(m) => write!(f, "frame error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VizError {}
+
+/// Mark (chart) types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Mark {
+    /// Bar chart.
+    Bar,
+    /// Line chart.
+    Line,
+    /// Scatter plot.
+    Point,
+    /// Pie chart.
+    Pie,
+    /// Area chart.
+    Area,
+}
+
+impl Mark {
+    /// Parses the lowercase name.
+    pub fn parse(s: &str) -> Option<Mark> {
+        match s {
+            "bar" => Some(Mark::Bar),
+            "line" => Some(Mark::Line),
+            "point" | "scatter" => Some(Mark::Point),
+            "pie" | "arc" => Some(Mark::Pie),
+            "area" => Some(Mark::Area),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mark::Bar => "bar",
+            Mark::Line => "line",
+            Mark::Point => "point",
+            Mark::Pie => "pie",
+            Mark::Area => "area",
+        }
+    }
+}
+
+/// A field encoding (axis / angle channel).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Column name in the data.
+    pub field: String,
+    /// Optional aggregate (`sum`, `avg`, `count`, `min`, `max`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub aggregate: Option<String>,
+}
+
+/// A filter applied to the data before encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartFilter {
+    /// Filtered column.
+    pub column: String,
+    /// Operator: `=`, `>`, `>=`, `<`, `<=`, `between`.
+    pub op: String,
+    /// Operand (number, string, or `[from, to]` pair for `between`).
+    pub value: serde_json::Value,
+}
+
+/// A chart specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartSpec {
+    /// Mark type.
+    pub mark: Mark,
+    /// Source table name.
+    #[serde(default)]
+    pub data: String,
+    /// X (or category/theta) encoding.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub x: Option<FieldDef>,
+    /// Y (or value) encoding.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub y: Option<FieldDef>,
+    /// Optional series/color encoding.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub color: Option<FieldDef>,
+    /// Pre-encoding filters.
+    #[serde(default)]
+    pub filters: Vec<ChartFilter>,
+    /// Keep only the top-N categories after sorting.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub limit: Option<usize>,
+    /// Sort categories by value descending?
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sort_desc: Option<bool>,
+    /// Chart title (affects readability scoring only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub title: Option<String>,
+}
+
+impl ChartSpec {
+    /// Parses a chart spec from JSON text.
+    pub fn from_json(text: &str) -> Result<ChartSpec, VizError> {
+        serde_json::from_str(text).map_err(|e| VizError::Parse(e.to_string()))
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Validates the spec against the data it will draw.
+    pub fn validate(&self, df: &DataFrame) -> Result<(), VizError> {
+        let check = |fd: &Option<FieldDef>, role: &str| -> Result<(), VizError> {
+            if let Some(fd) = fd {
+                if df.schema().index_of(&fd.field).is_none() {
+                    return Err(VizError::UnknownField(format!("{role}: {}", fd.field)));
+                }
+                if let Some(agg) = &fd.aggregate {
+                    let ok = matches!(
+                        agg.as_str(),
+                        "sum" | "avg" | "mean" | "count" | "count_distinct" | "min" | "max"
+                    );
+                    if !ok {
+                        return Err(VizError::Invalid(format!("unknown aggregate {agg}")));
+                    }
+                    if matches!(agg.as_str(), "sum" | "avg" | "mean") {
+                        let field = df.schema().field(&fd.field).expect("checked above");
+                        if !field.dtype.is_numeric() {
+                            return Err(VizError::TypeMismatch(format!(
+                                "{agg} over non-numeric column {}",
+                                fd.field
+                            )));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        check(&self.x, "x")?;
+        check(&self.y, "y")?;
+        check(&self.color, "color")?;
+        for f in &self.filters {
+            if df.schema().index_of(&f.column).is_none() {
+                return Err(VizError::UnknownField(format!("filter: {}", f.column)));
+            }
+        }
+        match self.mark {
+            Mark::Bar | Mark::Line | Mark::Area => {
+                if self.x.is_none() || self.y.is_none() {
+                    return Err(VizError::Invalid(format!(
+                        "{} chart requires both x and y",
+                        self.mark.name()
+                    )));
+                }
+            }
+            Mark::Pie => {
+                if self.x.is_none() || self.y.is_none() {
+                    return Err(VizError::Invalid(
+                        "pie chart requires category and value".into(),
+                    ));
+                }
+            }
+            Mark::Point => {
+                if self.x.is_none() || self.y.is_none() {
+                    return Err(VizError::Invalid("scatter requires x and y".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::DataType;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("region", DataType::Str, vec!["east".into(), "west".into()]),
+            ("amount", DataType::Int, vec![10.into(), 20.into()]),
+        ])
+        .unwrap()
+    }
+
+    fn spec_json() -> &'static str {
+        r#"{"mark":"bar","data":"sales","x":{"field":"region"},"y":{"field":"amount","aggregate":"sum"},"filters":[]}"#
+    }
+
+    #[test]
+    fn parse_validate_roundtrip() {
+        let spec = ChartSpec::from_json(spec_json()).unwrap();
+        assert_eq!(spec.mark, Mark::Bar);
+        spec.validate(&df()).unwrap();
+        let back = ChartSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let mut spec = ChartSpec::from_json(spec_json()).unwrap();
+        spec.x = Some(FieldDef {
+            field: "nope".into(),
+            aggregate: None,
+        });
+        assert!(matches!(
+            spec.validate(&df()),
+            Err(VizError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn sum_over_string_rejected() {
+        let mut spec = ChartSpec::from_json(spec_json()).unwrap();
+        spec.y = Some(FieldDef {
+            field: "region".into(),
+            aggregate: Some("sum".into()),
+        });
+        assert!(matches!(
+            spec.validate(&df()),
+            Err(VizError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn bar_without_y_rejected() {
+        let mut spec = ChartSpec::from_json(spec_json()).unwrap();
+        spec.y = None;
+        assert!(matches!(spec.validate(&df()), Err(VizError::Invalid(_))));
+    }
+
+    #[test]
+    fn accepts_llm_shaped_json_with_nulls() {
+        // The generator emits "x": null when absent; serde must cope.
+        let text = r#"{"mark":"pie","data":"t","x":{"field":"region"},"y":{"field":"amount","aggregate":"sum"},"filters":[],"limit":null,"sort_desc":null}"#;
+        let spec = ChartSpec::from_json(text).unwrap();
+        assert_eq!(spec.mark, Mark::Pie);
+        assert!(spec.limit.is_none());
+    }
+}

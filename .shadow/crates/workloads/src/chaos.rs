@@ -1,0 +1,151 @@
+//! Chaos fleet sweeps: the same deterministic workload fleet executed at
+//! increasing transport fault-injection rates, summarised as resilience
+//! outcomes (success rate, degraded rate, retries, breaker trips) per
+//! injected rate.
+//!
+//! The sweep is the engine behind the `chaos_report` binary and the CI
+//! chaos smoke step: rate `0.0` must reproduce the no-chaos baseline
+//! bit-for-bit (modulo wall clock, see `FleetReport::comparable`), and
+//! every elevated rate must complete without panics while recording the
+//! resilience machinery at work.
+
+use crate::fleet::{run_fleet, FleetConfig};
+use datalab_core::FleetReport;
+use serde::{Deserialize, Serialize};
+
+/// Resilience outcome of one fleet run at one injected fault rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// Total injected fault rate (split uniformly across fault kinds).
+    pub fault_rate: f64,
+    /// Queries run.
+    pub runs: u64,
+    /// Fully-successful queries (including degraded-but-answered ones).
+    pub passed: u64,
+    /// Fraction of queries that succeeded, `0.0` when nothing ran.
+    pub success_rate: f64,
+    /// Queries answered by a rule-based degradation path.
+    pub degraded: u64,
+    /// Fraction of queries that degraded.
+    pub degraded_rate: f64,
+    /// Transport faults observed (injected and real).
+    pub faults: u64,
+    /// Retries the resilient transport attempted.
+    pub transport_retries: u64,
+    /// Circuit-breaker trips across all sessions.
+    pub breaker_trips: u64,
+}
+
+impl ChaosPoint {
+    /// Summarises one fleet report taken at `fault_rate`.
+    pub fn from_report(fault_rate: f64, report: &FleetReport) -> ChaosPoint {
+        let frac = |n: u64| {
+            if report.runs == 0 {
+                0.0
+            } else {
+                n as f64 / report.runs as f64
+            }
+        };
+        ChaosPoint {
+            fault_rate,
+            runs: report.runs,
+            passed: report.passed,
+            success_rate: frac(report.passed),
+            degraded: report.resilience.degraded,
+            degraded_rate: frac(report.resilience.degraded),
+            faults: report.resilience.faults,
+            transport_retries: report.resilience.transport_retries,
+            breaker_trips: report.resilience.breaker_trips,
+        }
+    }
+}
+
+/// Runs the fleet once per rate in `rates` (everything else taken from
+/// `base`) and returns each rate's resilience summary alongside its full
+/// report, in input order.
+pub fn run_chaos_sweep(base: &FleetConfig, rates: &[f64]) -> Vec<(ChaosPoint, FleetReport)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let config = FleetConfig {
+                chaos_rate: rate,
+                ..base.clone()
+            };
+            let report = run_fleet(&config);
+            (ChaosPoint::from_report(rate, &report), report)
+        })
+        .collect()
+}
+
+/// Text table over sweep points: one row per injected rate.
+pub fn render_sweep(points: &[ChaosPoint]) -> String {
+    let mut out = format!(
+        "{:>6} {:>5} {:>7} {:>9} {:>9} {:>7} {:>8} {:>6}\n",
+        "rate", "runs", "passed", "success%", "degraded%", "faults", "retries", "trips"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>6.2} {:>5} {:>7} {:>9.1} {:>9.1} {:>7} {:>8} {:>6}\n",
+            p.fault_rate,
+            p.runs,
+            p.passed,
+            p.success_rate * 100.0,
+            p.degraded_rate * 100.0,
+            p.faults,
+            p.transport_retries,
+            p.breaker_trips,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> FleetConfig {
+        FleetConfig {
+            tasks_per_workload: 1,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_rate_zero_reproduces_the_plain_fleet() {
+        let plain = run_fleet(&base());
+        let sweep = run_chaos_sweep(&base(), &[0.0]);
+        assert_eq!(sweep.len(), 1);
+        let (point, report) = &sweep[0];
+        assert_eq!(report.comparable(), plain.comparable());
+        assert_eq!(point.faults, 0);
+        assert_eq!(point.breaker_trips, 0);
+        assert_eq!(point.degraded, 0);
+        assert_eq!(point.runs, 4);
+    }
+
+    #[test]
+    fn elevated_rates_record_resilience_activity_without_panics() {
+        let sweep = run_chaos_sweep(&base(), &[0.2]);
+        let (point, report) = &sweep[0];
+        assert_eq!(point.runs, 4);
+        assert!(point.faults > 0, "{point:?}");
+        assert!(point.transport_retries > 0, "{point:?}");
+        // Every failed query carries a structured error marker in the
+        // fleet taxonomy; successes may be degraded but never poisoned.
+        assert_eq!(report.passed + report.failed, report.runs);
+        if report.failed > 0 {
+            assert!(!report.errors.is_empty(), "{:?}", report.errors);
+        }
+        let text = render_sweep(&[point.clone()]);
+        assert!(text.contains("0.20"), "{text}");
+    }
+
+    #[test]
+    fn points_serialize_for_the_report_writer() {
+        let point = ChaosPoint::from_report(0.25, &run_fleet(&base()));
+        let json = serde_json::to_string(&point).unwrap();
+        let back: ChaosPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, point);
+        assert_eq!(back.success_rate, 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Serving-layer request corpus: the fleet's workload tasks repackaged
+//! as HTTP-shaped tenant requests.
+//!
+//! The load generator (`datalab-bench`'s `loadgen` bin) and the CI
+//! serving smoke both replay this corpus over real sockets, so it uses
+//! the same generators — and therefore the same seeds and questions — as
+//! [`crate::fleet::run_fleet`]. Each (workload family, domain) pair maps
+//! to one tenant, mirroring how the fleet gives each domain its own
+//! platform session.
+
+use crate::fleet::{generate_workloads, FleetConfig};
+use datalab_frame::csv::to_csv;
+
+/// One CSV table to register for a tenant before replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusTable {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Table name inside the tenant's session.
+    pub name: String,
+    /// RFC-4180 CSV text (header row included).
+    pub csv: String,
+}
+
+/// One query request to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusRequest {
+    /// Target tenant (owns the tables the question refers to).
+    pub tenant: String,
+    /// Workload family label (`nl2sql`, `nl2code`, `nl2vis`, `insight`).
+    pub workload: String,
+    /// Natural-language question.
+    pub question: String,
+}
+
+/// A full serving corpus: tables to register, then requests to fire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestCorpus {
+    /// Every tenant's tables, in registration order.
+    pub tables: Vec<CorpusTable>,
+    /// Requests in fleet task order (workload-major, then task order).
+    pub requests: Vec<CorpusRequest>,
+}
+
+impl RequestCorpus {
+    /// Distinct tenants, in first-appearance order.
+    pub fn tenants(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for table in &self.tables {
+            if !out.contains(&table.tenant.as_str()) {
+                out.push(&table.tenant);
+            }
+        }
+        out
+    }
+}
+
+/// Builds the deterministic request corpus for a seed: same seed, same
+/// tables, same questions, same order.
+pub fn request_corpus(seed: u64, tasks_per_workload: usize) -> RequestCorpus {
+    let sets = generate_workloads(&FleetConfig {
+        seed,
+        tasks_per_workload,
+        ..FleetConfig::default()
+    });
+
+    let mut tables = Vec::new();
+    let mut requests = Vec::new();
+    for set in &sets {
+        for (domain_idx, domain) in set.domains.iter().enumerate() {
+            let tenant = format!("{}-d{domain_idx}", set.workload);
+            for name in domain.db.table_names() {
+                if let Ok(df) = domain.db.get(name) {
+                    tables.push(CorpusTable {
+                        tenant: tenant.clone(),
+                        name: name.clone(),
+                        csv: to_csv(df),
+                    });
+                }
+            }
+        }
+        for (domain_idx, question) in &set.tasks {
+            requests.push(CorpusRequest {
+                tenant: format!("{}-d{domain_idx}", set.workload),
+                workload: set.workload.to_string(),
+                question: question.clone(),
+            });
+        }
+    }
+    RequestCorpus { tables, requests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_frame::csv::from_csv;
+
+    #[test]
+    fn corpus_covers_every_fleet_task() {
+        let corpus = request_corpus(7, 2);
+        // Four workload families × tasks_per_workload requests.
+        assert_eq!(corpus.requests.len(), 4 * 2);
+        for family in ["nl2sql", "nl2code", "nl2vis", "insight"] {
+            assert!(
+                corpus.requests.iter().any(|r| r.workload == family),
+                "missing {family}"
+            );
+        }
+        assert!(!corpus.tables.is_empty());
+        // Every request's tenant has at least one table registered.
+        for request in &corpus.requests {
+            assert!(
+                corpus.tables.iter().any(|t| t.tenant == request.tenant),
+                "tenant {} has no tables",
+                request.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_in_the_seed() {
+        let a = request_corpus(7, 2);
+        let b = request_corpus(7, 2);
+        assert_eq!(a, b);
+        let c = request_corpus(8, 2);
+        assert_ne!(
+            a.requests.iter().map(|r| &r.question).collect::<Vec<_>>(),
+            c.requests.iter().map(|r| &r.question).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corpus_csv_round_trips_through_the_frame_parser() {
+        let corpus = request_corpus(7, 1);
+        for table in &corpus.tables {
+            let df = from_csv(&table.csv)
+                .unwrap_or_else(|e| panic!("{}/{}: {e:?}", table.tenant, table.name));
+            assert!(df.n_rows() > 0, "{}/{} is empty", table.tenant, table.name);
+        }
+    }
+
+    #[test]
+    fn tenants_are_listed_once_in_order() {
+        let corpus = request_corpus(7, 1);
+        let tenants = corpus.tenants();
+        let unique: std::collections::BTreeSet<&&str> = tenants.iter().collect();
+        assert_eq!(
+            unique.len(),
+            tenants.len(),
+            "duplicate tenant in {tenants:?}"
+        );
+        assert!(tenants.iter().any(|t| t.starts_with("nl2sql-d")));
+    }
+}

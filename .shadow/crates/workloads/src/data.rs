@@ -1,0 +1,347 @@
+//! Synthetic data domains: seeded table generators with the semantic
+//! metadata (natural-language names, sample values, foreign keys) the
+//! benchmark generators template questions from.
+
+use datalab_frame::{DataFrame, DataType, Date, Value};
+use datalab_sql::Database;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A column with both its physical name (what the table stores) and its
+/// natural name (what users say). Clean benchmarks keep them equal; dirty
+/// (BIRD-like / enterprise) benchmarks abbreviate the physical name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRole {
+    /// Physical column name.
+    pub physical: String,
+    /// Natural-language name used in questions.
+    pub natural: String,
+}
+
+impl ColumnRole {
+    /// Creates a role.
+    pub fn new(physical: &str, natural: &str) -> Self {
+        ColumnRole {
+            physical: physical.into(),
+            natural: natural.into(),
+        }
+    }
+}
+
+/// Semantic description of one generated table.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: String,
+    /// Numeric measure columns.
+    pub measures: Vec<ColumnRole>,
+    /// Categorical dimension columns.
+    pub dims: Vec<ColumnRole>,
+    /// Date column, when present.
+    pub date: Option<ColumnRole>,
+    /// Values per physical dimension column.
+    pub values: HashMap<String, Vec<String>>,
+    /// Rows generated.
+    pub n_rows: usize,
+}
+
+/// A generated domain: database plus semantic metadata.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// The database with data loaded.
+    pub db: Database,
+    /// Table specs (main fact table first).
+    pub tables: Vec<TableSpec>,
+    /// Foreign keys as `(table, column, table, column)`.
+    pub fks: Vec<(String, String, String, String)>,
+}
+
+impl Domain {
+    /// The schema prompt section: `table`, `fk` lines (no samples — those
+    /// come from profiling).
+    pub fn schema_section(&self) -> String {
+        let mut s = String::new();
+        for t in &self.tables {
+            let df = self.db.get(&t.name).expect("generated table exists");
+            let cols: Vec<String> = df
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| format!("{} ({})", f.name, f.dtype))
+                .collect();
+            s.push_str(&format!("table {}: {}\n", t.name, cols.join(", ")));
+        }
+        for (t1, c1, t2, c2) in &self.fks {
+            s.push_str(&format!("fk {t1}.{c1} = {t2}.{c2}\n"));
+        }
+        s
+    }
+
+    /// The main fact table.
+    pub fn fact(&self) -> &TableSpec {
+        &self.tables[0]
+    }
+}
+
+/// The three synthetic business domains.
+const DOMAINS: &[(
+    &str,
+    &[(&str, &str)],
+    &[(&str, &str, &[&str])],
+    (&str, &str),
+)] = &[
+    // (fact table name, measures (phys, natural), dims (phys, natural, values), date)
+    (
+        "orders",
+        &[
+            ("amount", "amount"),
+            ("cost", "cost"),
+            ("quantity", "quantity"),
+        ],
+        &[
+            ("region", "region", &["east", "west", "south", "north"]),
+            (
+                "product",
+                "product",
+                &["laptop", "phone", "tablet", "monitor", "camera"],
+            ),
+        ],
+        ("order_date", "order date"),
+    ),
+    (
+        "sessions",
+        &[("revenue", "revenue"), ("playtime", "playtime")],
+        &[
+            (
+                "game",
+                "game",
+                &["chess", "racer", "puzzle", "saga", "arena"],
+            ),
+            (
+                "country",
+                "country",
+                &["china", "japan", "brazil", "france"],
+            ),
+        ],
+        ("session_date", "session date"),
+    ),
+    (
+        "usage",
+        &[("spend", "spend"), ("hours", "hours")],
+        &[
+            (
+                "service",
+                "service",
+                &["compute", "storage", "network", "database"],
+            ),
+            ("tier", "tier", &["premium", "standard", "basic"]),
+        ],
+        ("usage_date", "usage date"),
+    ),
+];
+
+/// Dirty-name mapping for BIRD-like / enterprise schemas.
+fn dirty_name(clean: &str) -> String {
+    match clean {
+        "amount" => "amt_val".into(),
+        "cost" => "cst_cny".into(),
+        "quantity" => "qty_n".into(),
+        "revenue" => "shouldincome_after".into(),
+        "playtime" => "pt_sec".into(),
+        "spend" => "spnd_usd".into(),
+        "hours" => "hrs_used".into(),
+        "region" => "rgn_cd".into(),
+        "product" => "prod_class4_name".into(),
+        "game" => "gm_key".into(),
+        "country" => "ctry_iso".into(),
+        "service" => "svc_nm".into(),
+        "tier" => "tier_cd".into(),
+        "order_date" => "ftime".into(),
+        "session_date" => "ftime".into(),
+        "usage_date" => "ftime".into(),
+        other => format!("{other}_fld"),
+    }
+}
+
+/// Builds one domain with seeded data.
+///
+/// `dirty` switches the physical column names to enterprise-style
+/// abbreviations while questions keep using natural names — the central
+/// difficulty axis between Spider-like and BIRD-like workloads.
+pub fn build_domain(rng: &mut StdRng, domain_idx: usize, dirty: bool, n_rows: usize) -> Domain {
+    let (fact_name, measures, dims, (date_phys, date_nat)) = DOMAINS[domain_idx % DOMAINS.len()];
+    let phys = |clean: &str| {
+        if dirty {
+            dirty_name(clean)
+        } else {
+            clean.to_string()
+        }
+    };
+
+    let mut spec = TableSpec {
+        name: fact_name.to_string(),
+        measures: measures
+            .iter()
+            .map(|(p, n)| ColumnRole::new(&phys(p), n))
+            .collect(),
+        dims: dims
+            .iter()
+            .map(|(p, n, _)| ColumnRole::new(&phys(p), n))
+            .collect(),
+        date: Some(ColumnRole::new(&phys(date_phys), date_nat)),
+        values: HashMap::new(),
+        n_rows,
+    };
+    for (p, _, vals) in dims {
+        spec.values
+            .insert(phys(p), vals.iter().map(|v| v.to_string()).collect());
+    }
+
+    // Generate rows.
+    let base = Date::new(2023, 1, 1).expect("valid date");
+    let mut columns: Vec<(String, DataType, Vec<Value>)> = Vec::new();
+    for d in &spec.dims {
+        let vals = &spec.values[&d.physical];
+        let col: Vec<Value> = (0..n_rows)
+            .map(|_| Value::Str(vals[rng.gen_range(0..vals.len())].clone()))
+            .collect();
+        columns.push((d.physical.clone(), DataType::Str, col));
+    }
+    for (i, m) in spec.measures.iter().enumerate() {
+        let col: Vec<Value> = (0..n_rows)
+            .map(|r| {
+                // A gentle upward trend plus noise keeps trends/forecasts
+                // meaningful.
+                let base_v = 20.0 + 3.0 * i as f64 + 0.08 * r as f64;
+                let noise = rng.gen_range(-8.0..8.0);
+                if i % 2 == 0 {
+                    Value::Int((base_v + noise).max(1.0) as i64)
+                } else {
+                    Value::Float(((base_v + noise) * 10.0).round() / 10.0)
+                }
+            })
+            .collect();
+        let dtype = if i % 2 == 0 {
+            DataType::Int
+        } else {
+            DataType::Float
+        };
+        columns.push((m.physical.clone(), dtype, col));
+    }
+    if let Some(date) = &spec.date {
+        let col: Vec<Value> = (0..n_rows)
+            .map(|r| Value::Date(base.add_days((r as i64 * 640) % 700)))
+            .collect();
+        columns.push((date.physical.clone(), DataType::Date, col));
+    }
+    let refs: Vec<(&str, DataType, Vec<Value>)> = columns
+        .iter()
+        .map(|(n, t, v)| (n.as_str(), *t, v.clone()))
+        .collect();
+    let df = DataFrame::from_columns(refs).expect("generated schema is valid");
+
+    let mut db = Database::new();
+    db.insert(fact_name, df);
+
+    // A small dimension table joined through the first dim.
+    let join_dim = &spec.dims[0];
+    let dim_values = spec.values[&join_dim.physical].clone();
+    let lookup_name = format!("{fact_name}_dim");
+    let key_col = phys("key_name");
+    let label_col = phys("group_label");
+    let labels = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let lookup = DataFrame::from_columns(vec![
+        (
+            key_col.as_str(),
+            DataType::Str,
+            dim_values.iter().map(|v| Value::Str(v.clone())).collect(),
+        ),
+        (
+            label_col.as_str(),
+            DataType::Str,
+            dim_values
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Value::Str(labels[i % labels.len()].to_string()))
+                .collect(),
+        ),
+    ])
+    .expect("lookup schema valid");
+    db.insert(lookup_name.clone(), lookup);
+    let mut lookup_values = HashMap::new();
+    lookup_values.insert(key_col.clone(), dim_values.clone());
+    lookup_values.insert(
+        label_col.clone(),
+        labels
+            .iter()
+            .take(dim_values.len())
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let lookup_spec = TableSpec {
+        name: lookup_name.clone(),
+        measures: vec![],
+        dims: vec![
+            ColumnRole::new(&key_col, "key name"),
+            ColumnRole::new(&label_col, "group label"),
+        ],
+        date: None,
+        values: lookup_values,
+        n_rows: dim_values.len(),
+    };
+
+    Domain {
+        db,
+        fks: vec![(
+            fact_name.to_string(),
+            join_dim.physical.clone(),
+            lookup_name,
+            key_col,
+        )],
+        tables: vec![spec, lookup_spec],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_all_domains_clean_and_dirty() {
+        for idx in 0..3 {
+            for dirty in [false, true] {
+                let mut rng = StdRng::seed_from_u64(7);
+                let d = build_domain(&mut rng, idx, dirty, 60);
+                assert_eq!(d.db.len(), 2);
+                let fact = d.db.get(&d.fact().name).unwrap();
+                assert_eq!(fact.n_rows(), 60);
+                let section = d.schema_section();
+                assert!(section.contains("fk "), "{section}");
+                if dirty {
+                    assert!(section.contains("ftime"), "{section}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let da = build_domain(&mut a, 0, false, 30);
+        let db_ = build_domain(&mut b, 0, false, 30);
+        assert_eq!(da.db.get("orders").unwrap(), db_.db.get("orders").unwrap());
+    }
+
+    #[test]
+    fn fks_join_successfully() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = build_domain(&mut rng, 0, false, 40);
+        let (t1, c1, t2, c2) = &d.fks[0];
+        let sql = format!("SELECT COUNT(*) AS n FROM {t1} JOIN {t2} ON {t1}.{c1} = {t2}.{c2}");
+        let out = datalab_sql::run_sql(&sql, &d.db).unwrap();
+        assert_eq!(out.column("n").unwrap()[0], Value::Int(40));
+    }
+}

@@ -1,0 +1,242 @@
+//! Workload-driven fleet runs: drive sampled tasks from each benchmark
+//! family through a full [`DataLab`] platform and fold every query's run
+//! record into one [`FleetReport`].
+//!
+//! This is the report generator behind the CI regression gate: `obsdiff`
+//! compares the JSON this module produces against a checked-in baseline.
+//! With `workers > 1` the (workload, domain) sessions are sharded across
+//! threads by [`crate::parallel`]; the merged report is identical to the
+//! serial one up to wall-clock timing (see `FleetReport::comparable`).
+
+use crate::data::Domain;
+use crate::insight::dabench_like;
+use crate::nl2code::ds1000_like;
+use crate::nl2sql::spider_like;
+use crate::nl2vis::nvbench_like;
+use datalab_core::{
+    DataLab, DataLabConfig, FleetReport, RequestContext, RunRecord, RunRecorder, TraceId,
+};
+use datalab_llm::ChaosConfig;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Fleet-run parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Workload generator seed (kept fixed in CI so reports are
+    /// comparable across runs).
+    pub seed: u64,
+    /// Tasks sampled from each of the four workload families.
+    pub tasks_per_workload: usize,
+    /// Worker threads for the sharded executor; `0` or `1` runs serial.
+    pub workers: usize,
+    /// Total model-transport fault rate injected into every session
+    /// (split uniformly across the four fault kinds). `0.0` (the
+    /// default) disables fault injection entirely, leaving the transport
+    /// a bit-identical passthrough.
+    pub chaos_rate: f64,
+    /// Seed for the deterministic fault stream (independent of the
+    /// workload generator seed).
+    pub chaos_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 7,
+            tasks_per_workload: 3,
+            workers: 1,
+            chaos_rate: 0.0,
+            chaos_seed: 7,
+        }
+    }
+}
+
+/// The per-session platform configuration a fleet config implies: default
+/// everything, plus fault injection when `chaos_rate > 0`.
+pub(crate) fn lab_config(config: &FleetConfig) -> DataLabConfig {
+    DataLabConfig {
+        chaos: (config.chaos_rate > 0.0)
+            .then(|| ChaosConfig::uniform(config.chaos_seed, config.chaos_rate)),
+        ..DataLabConfig::default()
+    }
+}
+
+/// One workload family's generated domains and `(domain index, question)`
+/// tasks, in generation order.
+pub(crate) struct WorkloadSet {
+    /// Workload family name as passed to `DataLab::query_as`.
+    pub(crate) workload: &'static str,
+    /// Generated domains; tasks index into this.
+    pub(crate) domains: Vec<Domain>,
+    /// `(domain index, question)` pairs in task order.
+    pub(crate) tasks: Vec<(usize, String)>,
+}
+
+/// Generates the four workload families in their fixed fleet order
+/// (nl2sql, nl2code, nl2vis, insight).
+pub(crate) fn generate_workloads(config: &FleetConfig) -> Vec<WorkloadSet> {
+    let sql = spider_like(config.seed, config.tasks_per_workload);
+    let code = ds1000_like(config.seed, config.tasks_per_workload);
+    let vis = nvbench_like(config.seed, config.tasks_per_workload);
+    let insight = dabench_like(config.seed, config.tasks_per_workload);
+    vec![
+        WorkloadSet {
+            workload: "nl2sql",
+            tasks: sql
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: sql.domains,
+        },
+        WorkloadSet {
+            workload: "nl2code",
+            tasks: code
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: code.domains,
+        },
+        WorkloadSet {
+            workload: "nl2vis",
+            tasks: vis
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: vis.domains,
+        },
+        WorkloadSet {
+            workload: "insight",
+            tasks: insight
+                .tasks
+                .iter()
+                .map(|t| (t.domain, t.question.clone()))
+                .collect(),
+            domains: insight.domains,
+        },
+    ]
+}
+
+/// Builds a fresh platform session seeded with the domain's tables.
+/// Frames are Arc-shared into the session rather than deep-copied.
+pub(crate) fn lab_for_domain(domain: &Domain, config: &DataLabConfig) -> DataLab {
+    let mut lab = DataLab::new(config.clone());
+    for name in domain.db.table_names() {
+        if let Ok(df) = domain.db.get_shared(name) {
+            let _ = lab.register_table(name, df);
+        }
+    }
+    lab
+}
+
+fn run_tasks(recorder: &mut RunRecorder, set: &WorkloadSet, session_config: &DataLabConfig) {
+    // One platform per domain, shared by that domain's tasks so notebook
+    // context and history accumulate the way a real session would.
+    let mut labs: BTreeMap<usize, DataLab> = BTreeMap::new();
+    let mut task_in_domain: BTreeMap<usize, usize> = BTreeMap::new();
+    for (domain_idx, question) in &set.tasks {
+        let Some(domain) = set.domains.get(*domain_idx) else {
+            continue;
+        };
+        let lab = labs
+            .entry(*domain_idx)
+            .or_insert_with(|| lab_for_domain(domain, session_config));
+        let task_idx = task_in_domain.entry(*domain_idx).or_insert(0);
+        let ctx = task_context(set.workload, *domain_idx, *task_idx);
+        *task_idx += 1;
+        lab.query_with_context(&ctx, set.workload, question);
+    }
+    for (_, mut lab) in labs {
+        recorder.absorb(lab.take_run_records());
+    }
+}
+
+/// The deterministic request context for one fleet task: a trace ID
+/// derived from its (workload, domain, per-domain task index) position,
+/// identical between the serial and sharded executors. Tracing only
+/// tags span attributes and events, so `FleetReport::comparable()` and
+/// the obsdiff baseline are unaffected.
+pub(crate) fn task_context(workload: &str, domain_idx: usize, task_idx: usize) -> RequestContext {
+    let id = format!("fleet-{workload}-d{domain_idx}-t{task_idx}");
+    RequestContext::traced(TraceId::parse(&id).expect("fleet trace ids are valid"))
+}
+
+/// Runs sampled nl2sql / nl2code / nl2vis / insight tasks through the
+/// platform (one run record per task) and returns the fleet report.
+///
+/// The report is deterministic in everything but its wall-clock fields
+/// regardless of `config.workers`: each (workload, domain) session is an
+/// isolated platform whose outputs depend only on its own prompt history,
+/// and the sharded executor merges records in serial order.
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    run_fleet_with_records(config).0
+}
+
+/// Like [`run_fleet`], but also hands back the raw run records so callers
+/// can post-process beyond the aggregated report — the `fleet_report`
+/// binary folds their span trees into collapsed-stack profiles
+/// (`datalab_core::folded_profile`) for flamegraph rendering.
+pub fn run_fleet_with_records(config: &FleetConfig) -> (FleetReport, Vec<RunRecord>) {
+    let started = Instant::now();
+    let sets = generate_workloads(config);
+    let session_config = lab_config(config);
+    let records = if config.workers > 1 {
+        crate::parallel::run_fleet_sharded(&sets, config.workers, &session_config)
+    } else {
+        let mut recorder = RunRecorder::new();
+        for set in &sets {
+            run_tasks(&mut recorder, set, &session_config);
+        }
+        recorder.into_records()
+    };
+    let mut report = FleetReport::from_records(&records);
+    report.wall_clock_us = started.elapsed().as_micros() as u64;
+    report.workers = config.workers.max(1) as u64;
+    (report, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_run_produces_one_record_per_task() {
+        let config = FleetConfig {
+            tasks_per_workload: 1,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert_eq!(report.runs, 4);
+        assert_eq!(report.passed + report.failed, 4);
+        for family in ["nl2sql", "nl2code", "nl2vis", "insight"] {
+            assert!(
+                report.workloads.contains_key(family),
+                "missing {family} in {:?}",
+                report.workloads.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(report.tokens.total > 0);
+        assert!(report.llm.calls > 0);
+        assert!(report.stage("execute").is_some());
+        assert_eq!(report.workers, 1);
+        // The report round-trips through its JSON wire format.
+        let parsed = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn workloads_generate_in_fixed_family_order() {
+        let sets = generate_workloads(&FleetConfig::default());
+        let names: Vec<&str> = sets.iter().map(|s| s.workload).collect();
+        assert_eq!(names, ["nl2sql", "nl2code", "nl2vis", "insight"]);
+        for set in &sets {
+            assert!(!set.tasks.is_empty(), "{} generated no tasks", set.workload);
+            for (domain_idx, _) in &set.tasks {
+                assert!(*domain_idx < set.domains.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # datalab-workloads
+//!
+//! Synthetic benchmark generators and evaluation metrics reproducing the
+//! experimental setup of the DataLab paper (see DESIGN.md for the
+//! substitution rationale): Spider/BIRD-like NL2SQL, DS-1000/DSEval-like
+//! NL2DSCode, nvBench/VisEval-like NL2VIS, DABench/InsightBench-like
+//! NL2Insight, the Tencent-like enterprise corpus (knowledge generation,
+//! schema linking, NL2DSL, multi-agent questions), and the notebook
+//! corpus (DAG construction, context management).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod chaos;
+pub mod corpus;
+pub mod crash;
+pub mod data;
+pub mod enterprise;
+pub mod fleet;
+pub mod insight;
+pub mod metrics;
+pub mod nl2code;
+pub mod nl2sql;
+pub mod nl2vis;
+pub mod notebooks;
+pub mod parallel;
+
+pub use chaos::{render_sweep, run_chaos_sweep, ChaosPoint};
+pub use corpus::{request_corpus, CorpusRequest, CorpusTable, RequestCorpus};
+pub use crash::{
+    render_crash_report, run_crash_recovery, CrashConfig, CrashInjection, CrashReport,
+};
+pub use data::{build_domain, ColumnRole, Domain, TableSpec};
+pub use fleet::{run_fleet, run_fleet_with_records, FleetConfig};

@@ -1,0 +1,119 @@
+//! Evaluation metrics for every experiment in the paper: execution
+//! accuracy (delegated to the engines), pass rate, recall@K, ROUGE-1,
+//! sentence-embedding similarity (SES), and token-cost aggregation.
+
+use datalab_llm::text_similarity;
+use datalab_llm::util::{stem, words};
+use std::collections::HashSet;
+
+/// Fraction of true outcomes, in percent.
+pub fn pass_rate(results: &[bool]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    100.0 * results.iter().filter(|b| **b).count() as f64 / results.len() as f64
+}
+
+/// Recall@K: fraction of gold items present in the top-K ranked list
+/// (case-insensitive).
+pub fn recall_at_k(gold: &[String], ranked: &[String], k: usize) -> f64 {
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let top: HashSet<String> = ranked.iter().take(k).map(|s| s.to_lowercase()).collect();
+    let hits = gold
+        .iter()
+        .filter(|g| top.contains(&g.to_lowercase()))
+        .count();
+    hits as f64 / gold.len() as f64
+}
+
+/// ROUGE-1 F1: unigram overlap of the candidate against the reference
+/// (distinct stemmed unigrams), penalising both omissions and padding.
+pub fn rouge1(candidate: &str, reference: &str) -> f64 {
+    let refs: HashSet<String> = words(reference).iter().map(|w| stem(w)).collect();
+    let cand: HashSet<String> = words(candidate).iter().map(|w| stem(w)).collect();
+    if refs.is_empty() || cand.is_empty() {
+        return 0.0;
+    }
+    let inter = refs.intersection(&cand).count() as f64;
+    let recall = inter / refs.len() as f64;
+    let precision = inter / cand.len() as f64;
+    if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    }
+}
+
+/// Sentence-embedding similarity in `[0, 1]` (the §VII-C1 SES metric,
+/// M3-Embedding substituted by the hash embedder).
+pub fn ses(a: &str, b: &str) -> f64 {
+    text_similarity(a, b).clamp(0.0, 1.0)
+}
+
+/// Mean of a sample (0.0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Share of values at or above a threshold, in percent.
+pub fn share_at_least(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    100.0 * xs.iter().filter(|x| **x >= threshold).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_rate_basic() {
+        assert_eq!(pass_rate(&[true, false, true, true]), 75.0);
+        assert_eq!(pass_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn recall_at_k_counts_hits() {
+        let gold = vec!["t.a".to_string(), "t.b".to_string()];
+        let ranked = vec![
+            "T.A".to_string(),
+            "t.c".to_string(),
+            "t.d".to_string(),
+            "t.b".to_string(),
+        ];
+        assert_eq!(recall_at_k(&gold, &ranked, 5), 1.0);
+        assert_eq!(recall_at_k(&gold, &ranked, 2), 0.5);
+        assert_eq!(recall_at_k(&[], &ranked, 5), 0.0);
+    }
+
+    #[test]
+    fn rouge1_overlap() {
+        let r = rouge1(
+            "the east region grew fastest",
+            "east region grew 20% this quarter",
+        );
+        assert!(r > 0.4 && r < 1.0, "{r}");
+        assert_eq!(rouge1("", "reference text"), 0.0);
+        assert!((rouge1("a b c", "a b c") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ses_bounds() {
+        let s = ses("daily revenue by region", "regional revenue per day");
+        assert!(s > 0.3 && s <= 1.0, "{s}");
+        assert!(ses("alpha beta", "zq xv") < 0.3);
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((share_at_least(&[0.5, 0.8, 0.9], 0.7) - 200.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,269 @@
+//! NL2DSCode benchmark generators: DS-1000-like (single transformation
+//! problems with gold output frames) and DSEval-like (multi-constraint
+//! session problems), both checked by executing the generated pipeline
+//! and comparing frames.
+
+use crate::data::{build_domain, Domain};
+use datalab_frame::DataFrame;
+use datalab_knowledge::profile_table;
+use datalab_llm::LanguageModel;
+use datalab_sql::{ex_equal, run_sql};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One NL2DSCode task.
+#[derive(Debug, Clone)]
+pub struct CodeTask {
+    /// Index into the suite's domains.
+    pub domain: usize,
+    /// The NL problem statement.
+    pub question: String,
+    /// Gold result frame (computed from a gold query).
+    pub gold_sql: String,
+    /// Whether output row order matters.
+    pub ordered: bool,
+}
+
+/// A generated suite.
+#[derive(Debug, Clone)]
+pub struct CodeSuite {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Generated domains.
+    pub domains: Vec<Domain>,
+    /// Tasks.
+    pub tasks: Vec<CodeTask>,
+}
+
+fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, sessioned: bool) -> CodeTask {
+    let fact = domain.fact();
+    let t = &fact.name;
+    let m = &fact.measures[rng.gen_range(0..fact.measures.len())];
+    let d = &fact.dims[rng.gen_range(0..fact.dims.len())];
+    let vals = &fact.values[&d.physical];
+    let v = &vals[rng.gen_range(0..vals.len())];
+    let n = rng.gen_range(10..30);
+    let k = rng.gen_range(2..4);
+
+    let template = if sessioned {
+        rng.gen_range(4..8u32)
+    } else {
+        rng.gen_range(0..4u32)
+    };
+    let (question, gold_sql, ordered) = match template {
+        0 => (
+            format!("Compute the total {} by {}.", m.natural, d.natural),
+            format!("SELECT {d0}, SUM({m0}) FROM {t} GROUP BY {d0}", d0 = d.physical, m0 = m.physical),
+            false,
+        ),
+        1 => (
+            format!("Filter rows with {} greater than {n} and compute the average {} per {}.", m.natural, m.natural, d.natural),
+            format!(
+                "SELECT {d0}, AVG({m0}) FROM {t} WHERE {m0} > {n} GROUP BY {d0}",
+                d0 = d.physical,
+                m0 = m.physical
+            ),
+            false,
+        ),
+        2 => (
+            format!("Count the records for '{v}' per {}.", d.natural),
+            format!(
+                "SELECT {d0}, COUNT(*) FROM {t} WHERE {d0} = '{v}' GROUP BY {d0}",
+                d0 = d.physical
+            ),
+            false,
+        ),
+        3 => (
+            format!("Compute the minimum {} for each {}.", m.natural, d.natural),
+            format!("SELECT {d0}, MIN({m0}) FROM {t} GROUP BY {d0}", d0 = d.physical, m0 = m.physical),
+            false,
+        ),
+        4 => (
+            format!(
+                "Transform the data: keep rows with {} at least {n}, then show the top {k} {}s by total {}.",
+                m.natural, d.natural, m.natural
+            ),
+            format!(
+                "SELECT {d0}, SUM({m0}) AS total FROM {t} WHERE {m0} >= {n} GROUP BY {d0} ORDER BY total DESC LIMIT {k}",
+                d0 = d.physical,
+                m0 = m.physical
+            ),
+            true,
+        ),
+        5 => (
+            format!("Compute the number of distinct {} values in the data.", d.natural),
+            format!("SELECT COUNT(DISTINCT {d0}) FROM {t}", d0 = d.physical),
+            false,
+        ),
+        6 => {
+            // The filter value lives in the *other* dimension: grounding
+            // it needs sample knowledge (data profiling), not just the
+            // schema — DataLab's edge on session-style problems.
+            let d2 = &fact.dims[(fact
+                .dims
+                .iter()
+                .position(|x| x.physical == d.physical)
+                .unwrap_or(0)
+                + 1)
+                % fact.dims.len()];
+            let v2 = &fact.values[&d2.physical][rng.gen_range(0..fact.values[&d2.physical].len())];
+            (
+                format!("Aggregate: maximum {} per {} for {v2}.", m.natural, d.natural),
+                format!(
+                    "SELECT {d0}, MAX({m0}) FROM {t} WHERE {d20} = '{v2}' GROUP BY {d0}",
+                    d0 = d.physical,
+                    m0 = m.physical,
+                    d20 = d2.physical
+                ),
+                false,
+            )
+        }
+        _ => (
+            format!("Pipeline: total {} by {} in 2023.", m.natural, d.natural),
+            format!(
+                "SELECT {d0}, SUM({m0}) FROM {t} WHERE {dt} BETWEEN '2023-01-01' AND '2023-12-31' GROUP BY {d0}",
+                d0 = d.physical,
+                m0 = m.physical,
+                dt = fact.date.as_ref().expect("fact date").physical
+            ),
+            false,
+        ),
+    };
+    CodeTask {
+        domain: domain_idx,
+        question,
+        gold_sql,
+        ordered,
+    }
+}
+
+fn build_suite(name: &'static str, seed: u64, n_tasks: usize, sessioned: bool) -> CodeSuite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, false, 50 + 8 * i))
+        .collect();
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            let di = i % domains.len();
+            gen_task(&mut rng, &domains[di], di, sessioned)
+        })
+        .collect();
+    CodeSuite {
+        name,
+        domains,
+        tasks,
+    }
+}
+
+/// DS-1000-like: isolated transformation problems.
+pub fn ds1000_like(seed: u64, n_tasks: usize) -> CodeSuite {
+    build_suite("ds1000-like", seed, n_tasks, false)
+}
+
+/// DSEval-like: multi-constraint pipeline problems.
+pub fn dseval_like(seed: u64, n_tasks: usize) -> CodeSuite {
+    build_suite("dseval-like", seed, n_tasks, true)
+}
+
+/// The NL2DSCode methods of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeMethod {
+    /// DataLab (profiling → DSL → dscript, execution retries).
+    DataLab,
+    /// CoML (one-shot code).
+    CoML,
+    /// Code Interpreter (execute + retry loop).
+    CodeInterpreter,
+}
+
+impl CodeMethod {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodeMethod::DataLab => "DataLab",
+            CodeMethod::CoML => "CoML",
+            CodeMethod::CodeInterpreter => "Code Interpreter",
+        }
+    }
+}
+
+/// Evaluates a method on a suite, returning Pass Rate (%).
+pub fn eval_code(suite: &CodeSuite, method: CodeMethod, llm: &dyn LanguageModel) -> f64 {
+    use datalab_agents::baselines;
+    let profiles: Vec<String> = suite
+        .domains
+        .iter()
+        .map(|d| {
+            d.db.table_names()
+                .iter()
+                .filter_map(|t| {
+                    d.db.get(t)
+                        .ok()
+                        .and_then(|df| profile_table(llm, t, df).ok())
+                })
+                .map(|p| p.render())
+                .collect::<String>()
+        })
+        .collect();
+    let mut hits = 0usize;
+    for task in &suite.tasks {
+        let domain = &suite.domains[task.domain];
+        let schema = domain.schema_section();
+        let result: Result<DataFrame, _> = match method {
+            CodeMethod::DataLab => baselines::datalab_nl2code(
+                llm,
+                &domain.db,
+                &schema,
+                &profiles[task.domain],
+                &task.question,
+                "2026-07-06",
+            ),
+            CodeMethod::CoML => baselines::coml_nl2code(llm, &domain.db, &schema, &task.question),
+            CodeMethod::CodeInterpreter => {
+                baselines::code_interpreter_nl2code(llm, &domain.db, &schema, &task.question, 3)
+            }
+        };
+        let gold = run_sql(&task.gold_sql, &domain.db).expect("gold SQL must run");
+        if let Ok(frame) = result {
+            if ex_equal(&frame, &gold, task.ordered) {
+                hits += 1;
+            }
+        }
+    }
+    100.0 * hits as f64 / suite.tasks.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_llm::{ModelProfile, SimLlm};
+
+    #[test]
+    fn gold_queries_execute() {
+        for suite in [ds1000_like(3, 30), dseval_like(3, 30)] {
+            for task in &suite.tasks {
+                run_sql(&task.gold_sql, &suite.domains[task.domain].db)
+                    .unwrap_or_else(|e| panic!("gold failed: {} — {e}", task.gold_sql));
+            }
+        }
+    }
+
+    #[test]
+    fn retry_loop_beats_one_shot() {
+        // Code Interpreter's execution-feedback loop should outperform
+        // CoML's single attempt — the Table I DS-1000 contrast.
+        let suite = ds1000_like(17, 40);
+        let llm = SimLlm::new(ModelProfile::llama31());
+        let coml = eval_code(&suite, CodeMethod::CoML, &llm);
+        let ci = eval_code(&suite, CodeMethod::CodeInterpreter, &llm);
+        assert!(ci > coml, "ci={ci} coml={coml}");
+    }
+
+    #[test]
+    fn datalab_pipeline_scores() {
+        let suite = ds1000_like(19, 30);
+        let llm = SimLlm::gpt4();
+        let acc = eval_code(&suite, CodeMethod::DataLab, &llm);
+        assert!(acc >= 40.0, "{acc}");
+    }
+}

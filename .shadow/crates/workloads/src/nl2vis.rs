@@ -1,0 +1,285 @@
+//! NL2VIS benchmark generators: nvBench-like (EX against gold charts)
+//! and VisEval-like (pass rate + readability), with gold charts built
+//! programmatically and rendered by the viz substrate.
+
+use crate::data::{build_domain, Domain};
+use datalab_knowledge::profile_table;
+use datalab_llm::LanguageModel;
+use datalab_viz::{
+    charts_equal, readability_score, render, ChartFilter, ChartSpec, FieldDef, Mark, RenderedChart,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One NL2VIS task.
+#[derive(Debug, Clone)]
+pub struct VisTask {
+    /// Index into the suite's domains.
+    pub domain: usize,
+    /// The NL request.
+    pub question: String,
+    /// Gold chart spec.
+    pub gold_spec: ChartSpec,
+}
+
+/// A generated suite.
+#[derive(Debug, Clone)]
+pub struct VisSuite {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Generated domains.
+    pub domains: Vec<Domain>,
+    /// Tasks.
+    pub tasks: Vec<VisTask>,
+}
+
+fn gen_task(rng: &mut StdRng, domain: &Domain, domain_idx: usize, with_filters: bool) -> VisTask {
+    let fact = domain.fact();
+    let t = &fact.name;
+    let m = &fact.measures[rng.gen_range(0..fact.measures.len())];
+    let d = &fact.dims[rng.gen_range(0..fact.dims.len())];
+    let date = fact.date.as_ref().expect("fact date");
+    let n = rng.gen_range(10..25);
+
+    let template = rng.gen_range(0..4u32);
+    let (question, mark, x_field, agg): (String, Mark, String, &str) = match template {
+        0 => (
+            format!(
+                "Show a bar chart of the total {} for each {}.",
+                m.natural, d.natural
+            ),
+            Mark::Bar,
+            d.physical.clone(),
+            "sum",
+        ),
+        1 => (
+            format!(
+                "Draw a pie chart of the share of {} by {}.",
+                m.natural, d.natural
+            ),
+            Mark::Pie,
+            d.physical.clone(),
+            "sum",
+        ),
+        2 => (
+            format!(
+                "Plot the trend of total {} over {}.",
+                m.natural, date.natural
+            ),
+            Mark::Line,
+            date.physical.clone(),
+            "sum",
+        ),
+        _ => (
+            format!(
+                "Show a bar chart of the average {} by {}.",
+                m.natural, d.natural
+            ),
+            Mark::Bar,
+            d.physical.clone(),
+            "avg",
+        ),
+    };
+    let mut filters = Vec::new();
+    let mut question = question;
+    if with_filters && rng.gen_bool(0.5) {
+        question = format!(
+            "{} Only include rows with {} greater than {n}.",
+            question, m.natural
+        );
+        filters.push(ChartFilter {
+            column: m.physical.clone(),
+            op: ">".into(),
+            value: serde_json::json!(n),
+        });
+    }
+    let gold_spec = ChartSpec {
+        mark,
+        data: t.clone(),
+        x: Some(FieldDef {
+            field: x_field,
+            aggregate: None,
+        }),
+        y: Some(FieldDef {
+            field: m.physical.clone(),
+            aggregate: Some(agg.into()),
+        }),
+        color: None,
+        filters,
+        limit: None,
+        sort_desc: None,
+        title: None,
+    };
+    VisTask {
+        domain: domain_idx,
+        question,
+        gold_spec,
+    }
+}
+
+fn build_suite(name: &'static str, seed: u64, n_tasks: usize, with_filters: bool) -> VisSuite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domains: Vec<Domain> = (0..3)
+        .map(|i| build_domain(&mut rng, i, false, 40 + 6 * i))
+        .collect();
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            let di = i % domains.len();
+            gen_task(&mut rng, &domains[di], di, with_filters)
+        })
+        .collect();
+    VisSuite {
+        name,
+        domains,
+        tasks,
+    }
+}
+
+/// nvBench-like: chart EX over simple single-table requests.
+pub fn nvbench_like(seed: u64, n_tasks: usize) -> VisSuite {
+    build_suite("nvbench-like", seed, n_tasks, false)
+}
+
+/// VisEval-like: adds filter clauses; scored by pass rate + readability.
+pub fn viseval_like(seed: u64, n_tasks: usize) -> VisSuite {
+    build_suite("viseval-like", seed, n_tasks, true)
+}
+
+/// The NL2VIS methods of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisMethod {
+    /// DataLab (profiling → DSL → rule-based chart with validation retry).
+    DataLab,
+    /// LIDA (summarise → goal → grammar; titles charts).
+    Lida,
+    /// Chat2Vis (direct prompt).
+    Chat2Vis,
+}
+
+impl VisMethod {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VisMethod::DataLab => "DataLab",
+            VisMethod::Lida => "LIDA",
+            VisMethod::Chat2Vis => "Chat2Vis",
+        }
+    }
+}
+
+/// Scores for one NL2VIS run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisScores {
+    /// Execution accuracy vs gold charts (%).
+    pub ex: f64,
+    /// Pass rate: valid, renderable charts (%).
+    pub pass_rate: f64,
+    /// Mean readability score (1-5) over passing charts.
+    pub readability: f64,
+}
+
+/// Evaluates a method on a suite.
+pub fn eval_vis(suite: &VisSuite, method: VisMethod, llm: &dyn LanguageModel) -> VisScores {
+    use datalab_agents::baselines;
+    let profiles: Vec<String> = suite
+        .domains
+        .iter()
+        .map(|d| {
+            d.db.table_names()
+                .iter()
+                .filter_map(|t| {
+                    d.db.get(t)
+                        .ok()
+                        .and_then(|df| profile_table(llm, t, df).ok())
+                })
+                .map(|p| p.render())
+                .collect::<String>()
+        })
+        .collect();
+    let mut ex_hits = 0usize;
+    let mut passes = 0usize;
+    let mut readability_sum = 0.0;
+    for task in &suite.tasks {
+        let domain = &suite.domains[task.domain];
+        let schema = domain.schema_section();
+        let out: Result<(ChartSpec, RenderedChart), _> = match method {
+            VisMethod::DataLab => baselines::datalab_nl2vis(
+                llm,
+                &domain.db,
+                &schema,
+                &profiles[task.domain],
+                &task.question,
+                "2026-07-06",
+            ),
+            VisMethod::Lida => baselines::lida_nl2vis(
+                llm,
+                &domain.db,
+                &schema,
+                &profiles[task.domain],
+                &task.question,
+            ),
+            VisMethod::Chat2Vis => {
+                baselines::chat2vis_nl2vis(llm, &domain.db, &schema, &task.question)
+            }
+        };
+        let gold_df = domain.db.get(&task.gold_spec.data).expect("gold table");
+        let gold_chart = render(&task.gold_spec, gold_df).expect("gold renders");
+        if let Ok((spec, chart)) = out {
+            passes += 1;
+            readability_sum += readability_score(&spec, &chart);
+            if charts_equal(&chart, &gold_chart) {
+                ex_hits += 1;
+            }
+        }
+    }
+    let n = suite.tasks.len().max(1) as f64;
+    VisScores {
+        ex: 100.0 * ex_hits as f64 / n,
+        pass_rate: 100.0 * passes as f64 / n,
+        readability: if passes > 0 {
+            readability_sum / passes as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalab_llm::SimLlm;
+
+    #[test]
+    fn gold_charts_render() {
+        for suite in [nvbench_like(4, 24), viseval_like(4, 24)] {
+            for task in &suite.tasks {
+                let df = suite.domains[task.domain]
+                    .db
+                    .get(&task.gold_spec.data)
+                    .unwrap();
+                render(&task.gold_spec, df).expect("gold chart renders");
+            }
+        }
+    }
+
+    #[test]
+    fn datalab_scores_reasonably() {
+        let suite = nvbench_like(9, 24);
+        let llm = SimLlm::gpt4();
+        let s = eval_vis(&suite, VisMethod::DataLab, &llm);
+        assert!(s.pass_rate >= 60.0, "{s:?}");
+        assert!(s.ex >= 30.0, "{s:?}");
+    }
+
+    #[test]
+    fn lida_titles_boost_readability() {
+        let suite = viseval_like(10, 24);
+        let llm = SimLlm::gpt4();
+        let lida = eval_vis(&suite, VisMethod::Lida, &llm);
+        let c2v = eval_vis(&suite, VisMethod::Chat2Vis, &llm);
+        assert!(
+            lida.readability >= c2v.readability,
+            "lida={lida:?} c2v={c2v:?}"
+        );
+    }
+}

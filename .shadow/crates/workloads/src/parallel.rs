@@ -1,0 +1,194 @@
+//! Sharded parallel fleet executor.
+//!
+//! A fleet run decomposes into independent (workload, domain) **shards**:
+//! every domain keeps its own [`DataLab`] session (so notebook context and
+//! history accumulate exactly as in the serial runner) and sessions never
+//! observe each other, so shards can execute on any thread in any order.
+//! Determinism then rests on two facts:
+//!
+//! 1. each shard's records depend only on its own prompt sequence (the
+//!    simulated model is a pure function of prompt + profile), and
+//! 2. the merge step concatenates per-shard records in **shard index
+//!    order**, which is precisely the order the serial runner produces
+//!    (workload family order, then domain index ascending, then task
+//!    order within the domain).
+//!
+//! The only report fields that vary across runs or thread counts are the
+//! wall-clock-derived ones; `FleetReport::comparable` strips those for
+//! equality checks and `obsdiff` never gates on them.
+
+use crate::data::Domain;
+use crate::fleet::{lab_for_domain, WorkloadSet};
+use datalab_core::{DataLabConfig, RunRecord, RunRecorder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of parallel work: a single domain's tasks under one workload
+/// family, executed in one fresh platform session.
+struct Shard<'a> {
+    /// Workload family name passed to `DataLab::query_as`.
+    workload: &'static str,
+    /// Index of the domain in its workload set (feeds the per-task
+    /// trace IDs, which must match the serial runner's).
+    domain_idx: usize,
+    /// The domain whose tables seed the session.
+    domain: &'a Domain,
+    /// Questions for this domain, in task order.
+    questions: Vec<&'a str>,
+}
+
+/// Splits the workload sets into shards in serial-merge order: for each
+/// workload family in turn, one shard per referenced domain, domains in
+/// ascending index order (matching the serial runner's `BTreeMap` walk).
+fn shards(sets: &[WorkloadSet]) -> Vec<Shard<'_>> {
+    let mut out = Vec::new();
+    for set in sets {
+        let mut by_domain: std::collections::BTreeMap<usize, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        for (domain_idx, question) in &set.tasks {
+            if *domain_idx < set.domains.len() {
+                by_domain.entry(*domain_idx).or_default().push(question);
+            }
+        }
+        for (domain_idx, questions) in by_domain {
+            out.push(Shard {
+                workload: set.workload,
+                domain_idx,
+                domain: &set.domains[domain_idx],
+                questions,
+            });
+        }
+    }
+    out
+}
+
+/// Executes one shard start to finish and returns its run records.
+fn run_shard(shard: &Shard<'_>, session_config: &DataLabConfig) -> Vec<RunRecord> {
+    let mut lab = lab_for_domain(shard.domain, session_config);
+    for (task_idx, question) in shard.questions.iter().enumerate() {
+        // Same (workload, domain, task) → same trace ID as the serial
+        // runner, keeping the merged report bit-identical.
+        let ctx = crate::fleet::task_context(shard.workload, shard.domain_idx, task_idx);
+        lab.query_with_context(&ctx, shard.workload, question);
+    }
+    lab.take_run_records()
+}
+
+/// Runs the fleet across `workers` threads and merges the per-shard
+/// records in an order identical to the serial runner's, so the report
+/// folded from them matches serial output modulo wall-clock fields.
+///
+/// Scheduling is work-stealing over an atomic shard cursor: threads pull
+/// the next unclaimed shard index until none remain, and each finished
+/// shard's records land in a slot keyed by that index, so merge order is
+/// independent of which thread ran what.
+pub(crate) fn run_fleet_sharded(
+    sets: &[WorkloadSet],
+    workers: usize,
+    session_config: &DataLabConfig,
+) -> Vec<RunRecord> {
+    let shards = shards(sets);
+    let slots: Vec<Mutex<Vec<RunRecord>>> =
+        (0..shards.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let cursor = AtomicUsize::new(0);
+    let threads = workers.min(shards.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(shard) = shards.get(idx) else {
+                    break;
+                };
+                let records = run_shard(shard, session_config);
+                *slots[idx].lock().expect("shard slot lock") = records;
+            });
+        }
+    });
+    let mut recorder = RunRecorder::new();
+    for slot in slots {
+        recorder.absorb(slot.into_inner().expect("shard slot lock"));
+    }
+    recorder.into_records()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{generate_workloads, run_fleet, FleetConfig};
+    use datalab_core::FleetReport;
+
+    fn config(workers: usize) -> FleetConfig {
+        FleetConfig {
+            tasks_per_workload: 2,
+            workers,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn shards_cover_every_task_in_serial_order() {
+        let sets = generate_workloads(&config(1));
+        let shards = shards(&sets);
+        let sharded_tasks: usize = shards.iter().map(|s| s.questions.len()).sum();
+        let total_tasks: usize = sets.iter().map(|s| s.tasks.len()).sum();
+        assert_eq!(sharded_tasks, total_tasks);
+        // Family order is preserved across the shard list.
+        let mut last_family_pos = 0;
+        let family_pos = |w: &str| {
+            ["nl2sql", "nl2code", "nl2vis", "insight"]
+                .iter()
+                .position(|f| *f == w)
+                .expect("known family")
+        };
+        for shard in &shards {
+            let pos = family_pos(shard.workload);
+            assert!(pos >= last_family_pos, "family order broken at {pos}");
+            last_family_pos = pos;
+        }
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = run_fleet(&config(1));
+        let parallel = run_fleet(&config(4));
+        assert_eq!(serial.comparable(), parallel.comparable());
+        assert_eq!(serial.workers, 1);
+        assert_eq!(parallel.workers, 4);
+        assert!(parallel.wall_clock_us > 0);
+    }
+
+    #[test]
+    fn more_workers_than_shards_is_fine() {
+        let serial = run_fleet(&config(1));
+        let oversubscribed = run_fleet(&FleetConfig {
+            tasks_per_workload: 2,
+            workers: 64,
+            ..FleetConfig::default()
+        });
+        assert_eq!(serial.comparable(), oversubscribed.comparable());
+    }
+
+    #[test]
+    fn chaotic_parallel_report_matches_chaotic_serial() {
+        // Fault injection is per-session deterministic, so the sharded
+        // executor reproduces the serial run even mid-chaos.
+        let chaos = |workers| FleetConfig {
+            tasks_per_workload: 1,
+            workers,
+            chaos_rate: 0.3,
+            chaos_seed: 11,
+            ..FleetConfig::default()
+        };
+        let serial = run_fleet(&chaos(1));
+        let parallel = run_fleet(&chaos(4));
+        assert!(serial.resilience.faults > 0, "{:?}", serial.resilience);
+        assert_eq!(serial.comparable(), parallel.comparable());
+    }
+
+    #[test]
+    fn zero_shards_yields_no_records() {
+        let records = run_fleet_sharded(&[], 4, &DataLabConfig::default());
+        assert!(records.is_empty());
+        assert_eq!(FleetReport::from_records(&records).runs, 0);
+    }
+}

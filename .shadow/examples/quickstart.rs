@@ -1,0 +1,78 @@
+//! Quickstart: load a table, ask questions in natural language, and watch
+//! the platform fill the notebook with SQL, chart, and markdown cells.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use datalab::core::{DataLab, DataLabConfig};
+use datalab::frame::{DataFrame, DataType, Date, Value};
+use datalab::notebook::CellKind;
+
+fn main() {
+    // 1. Build some data (any CSV works too — see datalab::frame::csv).
+    let n = 24;
+    let sales = DataFrame::from_columns(vec![
+        (
+            "region",
+            DataType::Str,
+            (0..n)
+                .map(|i| Value::Str(["east", "west", "south"][i % 3].to_string()))
+                .collect(),
+        ),
+        (
+            "amount",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(100 + 7 * i as i64)).collect(),
+        ),
+        (
+            "day",
+            DataType::Date,
+            (0..n)
+                .map(|i| Value::Date(Date::new(2026, 1, 1).unwrap().add_days(10 * i as i64)))
+                .collect(),
+        ),
+    ])
+    .expect("valid frame");
+
+    // 2. Spin up the platform and register the table (it is profiled
+    //    automatically so questions can be grounded).
+    let mut lab = DataLab::new(DataLabConfig::default());
+    lab.register_table("sales", sales)
+        .expect("profiling succeeds");
+
+    // 3. Ask questions. Each answer lands in the notebook as cells.
+    for question in [
+        "What is the total amount by region?",
+        "Draw a bar chart of the total amount by region",
+        "Are there anomalies in the amounts? Then forecast the amount for next month",
+    ] {
+        println!("\n=== Q: {question}");
+        let r = lab.query(question);
+        println!("plan: {:?}  success: {}", r.plan, r.success);
+        if let Some(frame) = &r.frame {
+            println!("{}", frame.to_table_string(6));
+        }
+        if let Some(chart) = &r.chart {
+            println!(
+                "chart: {} with {} points",
+                chart.mark.name(),
+                chart.points.len()
+            );
+        }
+        println!("answer: {}", r.answer.lines().next().unwrap_or(""));
+    }
+
+    // 4. The notebook now holds the session; its dependency DAG is live.
+    println!("\nnotebook cells:");
+    for cell in lab.notebook().cells() {
+        let kind = match cell.kind {
+            CellKind::Sql => "sql",
+            CellKind::Python => "python",
+            CellKind::Markdown => "markdown",
+            CellKind::Chart => "chart",
+        };
+        println!("  [{kind:8}] {}", cell.source.lines().next().unwrap_or(""));
+    }
+    println!("\ntotal LLM tokens used: {}", lab.tokens_used());
+}

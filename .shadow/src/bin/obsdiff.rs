@@ -1,0 +1,96 @@
+//! CI perf-regression gate: diffs two fleet-report JSONs and exits
+//! non-zero when a gated metric regresses beyond the threshold.
+//!
+//! ```text
+//! cargo run --bin obsdiff -- <baseline.json> <candidate.json> [--threshold-pct N]
+//! ```
+//!
+//! Gated metrics: `tokens.total`, `llm.calls`, whole-query p99 latency,
+//! per-query allocation count and bytes (`alloc.count_per_query`,
+//! `alloc.bytes_per_query` — zero baselines are skipped, grandfathering
+//! reports that predate allocation accounting), and the p99 latency of
+//! every stage present in both reports. The default threshold is 10%.
+//! Exit codes: 0 = within threshold, 1 = at least one regression, 2 =
+//! usage or parse error.
+
+use datalab_core::{diff_reports, FleetReport};
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obsdiff <baseline.json> <candidate.json> [--threshold-pct N]");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<FleetReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FleetReport::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold-pct" => match args.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(n)) if n >= 0.0 => threshold_pct = n,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("obsdiff: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "obsdiff: baseline {} runs / candidate {} runs, threshold {threshold_pct}%",
+        baseline.runs, candidate.runs
+    );
+    println!(
+        "  tokens.total    {:>10} -> {:>10}",
+        baseline.tokens.total, candidate.tokens.total
+    );
+    println!(
+        "  llm.calls       {:>10} -> {:>10}",
+        baseline.llm.calls, candidate.llm.calls
+    );
+    println!(
+        "  latency.p99_us  {:>10} -> {:>10}",
+        baseline.latency.p99_us, candidate.latency.p99_us
+    );
+    println!(
+        "  alloc.count/q   {:>10} -> {:>10}",
+        baseline.alloc.count_per_query, candidate.alloc.count_per_query
+    );
+    println!(
+        "  alloc.bytes/q   {:>10} -> {:>10}",
+        baseline.alloc.bytes_per_query, candidate.alloc.bytes_per_query
+    );
+
+    let regressions = diff_reports(&baseline, &candidate, threshold_pct);
+    if regressions.is_empty() {
+        println!("obsdiff: OK — no gated metric regressed beyond {threshold_pct}%");
+        return ExitCode::SUCCESS;
+    }
+    for r in &regressions {
+        println!(
+            "REGRESSION {}: {} -> {} (+{:.1}%, threshold {threshold_pct}%)",
+            r.metric, r.baseline, r.candidate, r.change_pct
+        );
+    }
+    ExitCode::FAILURE
+}

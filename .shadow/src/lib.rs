@@ -1,0 +1,55 @@
+//! # DataLab
+//!
+//! A from-scratch Rust reproduction of **"DataLab: A Unified Platform for
+//! LLM-Powered Business Intelligence"** (ICDE 2025): a one-stop LLM-based
+//! agent framework fused with a computational-notebook model, including
+//! the paper's three core modules — Domain Knowledge Incorporation,
+//! Inter-Agent Communication, and Cell-based Context Management — and
+//! every substrate they depend on (DataFrame engine, SQL engine,
+//! simulated LLM, chart grammar, notebook DAG, benchmark workloads).
+//!
+//! Start with [`DataLab`](datalab_core::DataLab):
+//!
+//! ```
+//! use datalab::core::{DataLab, DataLabConfig};
+//! use datalab::frame::{DataFrame, DataType};
+//!
+//! let mut lab = DataLab::new(DataLabConfig::default());
+//! let sales = DataFrame::from_columns(vec![
+//!     ("region", DataType::Str, vec!["east".into(), "west".into()]),
+//!     ("amount", DataType::Int, vec![10.into(), 20.into()]),
+//! ]).unwrap();
+//! lab.register_table("sales", sales).unwrap();
+//! let response = lab.query("What is the total amount by region?");
+//! assert!(response.success);
+//! ```
+//!
+//! Each subsystem is its own crate, re-exported here:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `datalab-core` | the unified platform façade (§III) |
+//! | [`frame`] | `datalab-frame` | columnar DataFrame engine |
+//! | [`sql`] | `datalab-sql` | SQL parser/executor + EX metric |
+//! | [`llm`] | `datalab-llm` | simulated LLM, embeddings, token metering |
+//! | [`viz`] | `datalab-viz` | chart grammar, rendering, chart EX |
+//! | [`knowledge`] | `datalab-knowledge` | Domain Knowledge Incorporation (§IV) |
+//! | [`notebook`] | `datalab-notebook` | Cell-based Context Management (§VI) |
+//! | [`agents`] | `datalab-agents` | Inter-Agent Communication + agents (§V) |
+//! | [`workloads`] | `datalab-workloads` | benchmark generators + metrics (§VII) |
+//! | [`telemetry`] | `datalab-telemetry` | span-tree tracing, metrics, token attribution |
+//! | [`server`] | `datalab-server` | multi-tenant HTTP serving layer |
+
+#![warn(missing_docs)]
+
+pub use datalab_agents as agents;
+pub use datalab_core as core;
+pub use datalab_frame as frame;
+pub use datalab_knowledge as knowledge;
+pub use datalab_llm as llm;
+pub use datalab_notebook as notebook;
+pub use datalab_server as server;
+pub use datalab_sql as sql;
+pub use datalab_telemetry as telemetry;
+pub use datalab_viz as viz;
+pub use datalab_workloads as workloads;

@@ -1,0 +1,104 @@
+//! Offline stand-in for `rand`: a seeded splitmix64 generator behind
+//! the `Rng`/`SeedableRng` surface this workspace uses (`seed_from_u64`,
+//! `gen_range` over `Range`/`RangeInclusive`, `gen_bool`). The stream
+//! differs from the real `StdRng`, but it is deterministic per seed,
+//! which is the property the workspace's tests rely on.
+#![allow(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng { state }
+    }
+}
+
+/// Uniform-sampleable scalar. Mirrors real rand's shape: `SampleRange`
+/// has ONE blanket impl per range type over `T: SampleUniform`, which
+/// is what lets type inference at `gen_range(-8.0..8.0)` call sites
+/// resolve the same way it does with the real crate.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_in(start: Self, end: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(start: Self, end: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+                let span = (end as i128 - start as i128) as u128 + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty gen_range");
+                (start as i128 + (next() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! float_uniform {
+    ($($t:ty)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(start: Self, end: Self, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(start < end, "empty gen_range");
+                let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                start + ((end - start) as f64 * unit) as $t
+            }
+        }
+    )*};
+}
+float_uniform!(f32 f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_in(start, end, true, next)
+    }
+}
+
+pub trait Rng {
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}

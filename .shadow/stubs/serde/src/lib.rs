@@ -1,0 +1,988 @@
+//! Functional offline stand-in for `serde`: a JSON value tree plus
+//! `Serialize`/`Deserialize` traits that map types onto it, with the
+//! derive macros re-exported from the companion `serde_derive` stub.
+//! Only the surface this workspace uses is provided, but everything
+//! provided is behaviourally real — values round-trip through text.
+#![allow(clippy::all)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Data model
+// ---------------------------------------------------------------------------
+
+/// JSON number preserving integer-ness where possible.
+#[derive(Debug, Clone, Copy)]
+pub struct Number {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Repr {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    pub fn from_i64(v: i64) -> Self {
+        Number { repr: Repr::I(v) }
+    }
+    pub fn from_u64(v: u64) -> Self {
+        Number { repr: Repr::U(v) }
+    }
+    pub fn from_f64(v: f64) -> Self {
+        Number { repr: Repr::F(v) }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.repr {
+            Repr::I(v) => Some(v),
+            Repr::U(v) => i64::try_from(v).ok(),
+            Repr::F(_) => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.repr {
+            Repr::I(v) => u64::try_from(v).ok(),
+            Repr::U(v) => Some(v),
+            Repr::F(_) => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.repr {
+            Repr::I(v) => Some(v as f64),
+            Repr::U(v) => Some(v as f64),
+            Repr::F(v) => Some(v),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        if let (Some(a), Some(b)) = (self.as_i64(), other.as_i64()) {
+            return a == b;
+        }
+        if let (Some(a), Some(b)) = (self.as_u64(), other.as_u64()) {
+            return a == b;
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.repr {
+            Repr::I(v) => write!(f, "{v}"),
+            Repr::U(v) => write!(f, "{v}"),
+            Repr::F(v) => {
+                if v.is_finite() {
+                    write!(f, "{v:?}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// Insertion-ordered string-keyed object map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in self.entries.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        fn split(e: &(String, Value)) -> (&String, &Value) {
+            (&e.0, &e.1)
+        }
+        self.entries.iter().map(split)
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn get<I: JsonIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        let mut cur = self;
+        for token in pointer.trim_start_matches('/').split('/') {
+            let token = token.replace("~1", "/").replace("~0", "~");
+            cur = match cur {
+                Value::Object(m) => m.get(&token)?,
+                Value::Array(a) => a.get(token.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+}
+
+/// Index argument for [`Value::get`] and `value[...]`.
+pub trait JsonIndex {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl JsonIndex for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Object(m) => m.get(self),
+            _ => None,
+        }
+    }
+}
+
+impl JsonIndex for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+}
+
+impl JsonIndex for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+}
+
+impl<I: JsonIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+macro_rules! value_eq_int {
+    ($($t:ty)*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_int!(i8 i16 i32 i64 u8 u16 u32 u64 usize isize);
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traits
+// ---------------------------------------------------------------------------
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Maps a value onto the JSON tree.
+pub trait Serialize {
+    fn to_value_s(&self) -> Value;
+}
+
+/// Reconstructs a value from the JSON tree.
+pub trait Deserialize: Sized {
+    fn from_value_d(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value_s(&self) -> Value {
+        (**self).to_value_s()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value_s(&self) -> Value {
+        (**self).to_value_s()
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value_s(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value_s(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8 u16 u32 u64 usize);
+
+impl Serialize for f64 {
+    fn to_value_s(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Serialize for f32 {
+    fn to_value_s(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Serialize for bool {
+    fn to_value_s(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for str {
+    fn to_value_s(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value_s(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for char {
+    fn to_value_s(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for Value {
+    fn to_value_s(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value_s(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value_s(),
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value_s(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value_s).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value_s(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value_s).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value_s(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value_s).collect())
+    }
+}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value_s(&self) -> Value {
+        Value::Array(vec![self.0.to_value_s(), self.1.to_value_s()])
+    }
+}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value_s(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value_s(),
+            self.1.to_value_s(),
+            self.2.to_value_s(),
+        ])
+    }
+}
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value_s(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value_s());
+        }
+        Value::Object(m)
+    }
+}
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value_s(&self) -> Value {
+        // Sort for deterministic output, like a BTreeMap would give.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].to_value_s());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_signed {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value_d(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::custom(format!(
+                        "expected {}, got {v}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+de_signed!(i8 i16 i32 i64 isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value_d(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::custom(format!(
+                        "expected {}, got {v}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8 u16 u32 u64 usize);
+
+impl Deserialize for f64 {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected f64, got {v}")))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        f64::from_value_d(v).map(|f| f as f32)
+    }
+}
+impl Deserialize for bool {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {v}")))
+    }
+}
+impl Deserialize for String {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(String::from)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {v}")))
+    }
+}
+impl Deserialize for char {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value_d(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+impl Deserialize for Value {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        T::from_value_d(v).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value_d(other).map(Some),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value_d).collect(),
+            _ => Err(DeError::custom(format!("expected array, got {v}"))),
+        }
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) if a.len() == 2 => {
+                Ok((A::from_value_d(&a[0])?, B::from_value_d(&a[1])?))
+            }
+            _ => Err(DeError::custom("expected 2-element array")),
+        }
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) if a.len() == 3 => Ok((
+                A::from_value_d(&a[0])?,
+                B::from_value_d(&a[1])?,
+                C::from_value_d(&a[2])?,
+            )),
+            _ => Err(DeError::custom("expected 3-element array")),
+        }
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => {
+                let mut out = BTreeMap::new();
+                for (k, val) in m.iter() {
+                    out.insert(k.clone(), V::from_value_d(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::custom(format!("expected object, got {v}"))),
+        }
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value_d(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => {
+                let mut out = HashMap::new();
+                for (k, val) in m.iter() {
+                    out.insert(k.clone(), V::from_value_d(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::custom(format!("expected object, got {v}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text: writer
+// ---------------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `v` as compact JSON (no whitespace) into `out`.
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(e, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(e, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes `v` as 2-space-indented JSON into `out`.
+pub fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(e, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(e, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text: parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> DeError {
+        DeError::custom(format!("{msg} at byte {}", self.pos))
+    }
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn eat(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+    fn eat_lit(&mut self, lit: &str) -> Result<(), DeError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+    fn value(&mut self) -> Result<Value, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_lit("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_lit("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_lit("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut out = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                loop {
+                    out.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(out));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut out = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    out.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(out));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+    fn string(&mut self) -> Result<String, DeError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 2) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    0xFFFD
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+    fn hex4(&mut self) -> Result<u32, DeError> {
+        // self.pos sits on the 'u'; consume 4 hex digits after it.
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end - 1;
+        Ok(v)
+    }
+    fn number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn parse_json(s: &str) -> Result<Value, DeError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}

@@ -1,0 +1,489 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline
+//! serde stub. Covers exactly the shapes this workspace uses: named
+//! structs (field attrs `default` and `skip_serializing_if`, container
+//! `rename_all`), newtype/tuple structs, and enums with unit, newtype,
+//! and tuple variants (externally tagged, like real serde).
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    key: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    key: String,
+    arity: usize,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn lit_str(tok: &TokenTree) -> String {
+    let s = tok.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Extracts `(name, value)` pairs from a `#[serde(...)]` bracket group;
+/// returns an empty list for non-serde attributes.
+fn serde_items(bracket: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let toks: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Vec::new(),
+    };
+    let toks: Vec<TokenTree> = inner.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            let name = id.to_string();
+            let mut value = None;
+            if let Some(TokenTree::Punct(p)) = toks.get(i + 1) {
+                if p.as_char() == '=' {
+                    if let Some(tok) = toks.get(i + 2) {
+                        value = Some(lit_str(tok));
+                        i += 2;
+                    }
+                }
+            }
+            out.push((name, value));
+        }
+        i += 1;
+    }
+    out
+}
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("PascalCase") => name
+            .split('_')
+            .map(|part| {
+                let mut c = part.chars();
+                match c.next() {
+                    Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect(),
+        Some("snake_case") | None | Some(_) => name.to_string(),
+    }
+}
+
+/// Counts top-level comma-separated items in a type list, tracking
+/// `<...>` nesting (generic arguments contain commas of their own).
+fn arity_of(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing = false;
+    for tok in &toks {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing = false;
+    }
+    if trailing {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut rename_all: Option<String> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    for (k, v) in serde_items(g) {
+                        if k == "rename_all" {
+                            rename_all = v;
+                        }
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = toks[i + 1].to_string();
+                let body = match toks.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Input {
+                            name,
+                            shape: Shape::Named(parse_fields(g, rename_all.as_deref())),
+                        };
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    _ => panic!("serde_derive stub: unsupported struct body for {name}"),
+                };
+                return Input {
+                    name,
+                    shape: Shape::Tuple(arity_of(body)),
+                };
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = toks[i + 1].to_string();
+                let body = match toks.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                    _ => panic!("serde_derive stub: unsupported enum body for {name}"),
+                };
+                return Input {
+                    name,
+                    shape: Shape::Enum(parse_variants(body, rename_all.as_deref())),
+                };
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde_derive stub: no struct or enum found in derive input");
+}
+
+fn parse_fields(body: &proc_macro::Group, rename_all: Option<&str>) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = false;
+        let mut skip_if = None;
+        // Leading attributes (doc comments, #[serde(...)]).
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                for (k, v) in serde_items(g) {
+                    match k.as_str() {
+                        "default" => default = true,
+                        "skip_serializing_if" => skip_if = v,
+                        _ => {}
+                    }
+                }
+            }
+            i += 2;
+        }
+        // Optional visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive stub: expected field name, got {other}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive stub: expected `:` after field `{name}`"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let key = rename(&name, rename_all);
+        out.push(Field {
+            name,
+            key,
+            default,
+            skip_if,
+        });
+    }
+    out
+}
+
+fn parse_variants(body: &proc_macro::Group, rename_all: Option<&str>) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive stub: expected variant name, got {other}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                arity = arity_of(g);
+                i += 1;
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        let key = rename(&name, rename_all);
+        out.push(Variant { name, key, arity });
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut src = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                let insert = format!(
+                    "m.insert(\"{key}\".to_string(), \
+                     ::serde::Serialize::to_value_s(&self.{name}));\n",
+                    key = f.key,
+                    name = f.name
+                );
+                if let Some(pred) = &f.skip_if {
+                    src.push_str(&format!(
+                        "if !{pred}(&self.{name}) {{ {insert} }}\n",
+                        name = f.name
+                    ));
+                } else {
+                    src.push_str(&insert);
+                }
+            }
+            src.push_str("::serde::Value::Object(m)");
+            src
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value_s(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value_s(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{var} => ::serde::Value::String(\"{key}\".to_string()),\n",
+                        var = v.name,
+                        key = v.key
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{var}(f0) => {{ \
+                           let mut m = ::serde::Map::new(); \
+                           m.insert(\"{key}\".to_string(), \
+                                    ::serde::Serialize::to_value_s(f0)); \
+                           ::serde::Value::Object(m) }}\n",
+                        var = v.name,
+                        key = v.key
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value_s({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{var}({binds}) => {{ \
+                               let mut m = ::serde::Map::new(); \
+                               m.insert(\"{key}\".to_string(), \
+                                        ::serde::Value::Array(vec![{elems}])); \
+                               ::serde::Value::Object(m) }}\n",
+                            var = v.name,
+                            key = v.key,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value_s(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut src = format!(
+                "let m = match v {{\n\
+                   ::serde::Value::Object(m) => m,\n\
+                   other => return Err(::serde::DeError::custom(format!(\n\
+                     \"expected object for {name}, got {{other}}\"))),\n\
+                 }};\nOk({name} {{\n"
+            );
+            for f in fields {
+                let missing = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    // Mirror serde: absent fields deserialize from null,
+                    // so Option fields become None and everything else
+                    // reports a missing-field error.
+                    format!(
+                        "::serde::Deserialize::from_value_d(&::serde::Value::Null)\n\
+                           .map_err(|_| ::serde::DeError::custom(\n\
+                             \"missing field `{key}` in {name}\"))?",
+                        key = f.key
+                    )
+                };
+                src.push_str(&format!(
+                    "{fname}: match m.get(\"{key}\") {{\n\
+                       Some(v) => ::serde::Deserialize::from_value_d(v)?,\n\
+                       None => {missing},\n\
+                     }},\n",
+                    fname = f.name,
+                    key = f.key
+                ));
+            }
+            src.push_str("})");
+            src
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value_d(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value_d(&a[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Array(a) if a.len() == {n} => \
+                     Ok({name}({elems})),\n\
+                   other => Err(::serde::DeError::custom(format!(\n\
+                     \"expected {n}-element array for {name}, got {{other}}\"))),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v.arity {
+                    0 => unit_arms.push_str(&format!(
+                        "\"{key}\" => Ok({name}::{var}),\n",
+                        key = v.key,
+                        var = v.name
+                    )),
+                    1 => tagged_arms.push_str(&format!(
+                        "\"{key}\" => Ok({name}::{var}(\
+                           ::serde::Deserialize::from_value_d(inner)?)),\n",
+                        key = v.key,
+                        var = v.name
+                    )),
+                    n => {
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value_d(&a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{key}\" => match inner {{\n\
+                               ::serde::Value::Array(a) if a.len() == {n} => \
+                                 Ok({name}::{var}({elems})),\n\
+                               other => Err(::serde::DeError::custom(format!(\n\
+                                 \"expected {n}-element array for {name}::{var}, \
+                                  got {{other}}\"))),\n\
+                             }},\n",
+                            key = v.key,
+                            var = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                   ::serde::Value::String(s) => match s.as_str() {{\n\
+                     {unit_arms}\
+                     other => Err(::serde::DeError::custom(format!(\n\
+                       \"unknown {name} variant `{{other}}`\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                     let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                     match tag.as_str() {{\n\
+                       {tagged_arms}\
+                       other => Err(::serde::DeError::custom(format!(\n\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                     }}\n\
+                   }},\n\
+                   other => Err(::serde::DeError::custom(format!(\n\
+                     \"expected {name}, got {{other}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value_d(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl parses")
+}

@@ -1,0 +1,175 @@
+//! Functional offline stand-in for `serde_json`, backed by the serde
+//! stub's value tree: real text parsing/printing, typed `from_str` /
+//! `from_value` through the stub `Deserialize` trait, and a `json!`
+//! macro (tt-muncher, same grammar as the real one for the shapes this
+//! workspace uses).
+#![allow(clippy::all)]
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+/// Parse/serialize error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_compact(&value.to_value_s(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_pretty(&value.to_value_s(), &mut out, 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value_s()
+}
+
+/// Parses a JSON document into any deserializable type (including
+/// [`Value`] itself).
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::parse_json(s)?;
+    Ok(T::from_value_d(&v)?)
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    Ok(T::from_value_d(&v)?)
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value_s()
+}
+
+/// Builds a [`Value`] from a JSON-ish literal, interpolating arbitrary
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- array element muncher: accumulate `json_internal!`-built
+    // ----- elements into [$(expr,)*], one element at a time.
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr,)*] $last:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last),] $($rest)*)
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----- object muncher: (@object map (current-key-tts) (rest) (copy))
+    (@object $object:ident () () ()) => {};
+    // Insert a completed key/value pair, then continue.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+    };
+    // Value forms after the colon, most specific first.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one token into the key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ----- entry points
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::__to_value(&$other)
+    };
+}

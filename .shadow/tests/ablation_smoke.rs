@@ -1,0 +1,68 @@
+//! Small-scale smoke versions of the paper's ablations: the orderings the
+//! full benches reproduce must already hold at reduced size, so CI
+//! catches regressions without bench-scale runtimes.
+
+use datalab::agents::CommunicationConfig;
+use datalab::knowledge::KnowledgeSetting;
+use datalab::llm::SimLlm;
+use datalab::workloads::ablations::{
+    eval_multiagent, eval_nl2dsl, eval_schema_linking, multiagent_tasks,
+};
+use datalab::workloads::enterprise::{
+    downstream_tasks, enterprise_corpus, generate_corpus_knowledge,
+};
+use datalab::workloads::notebooks::{context_tasks, eval_context, notebook_corpus};
+
+#[test]
+fn table2_shape_holds_at_small_scale() {
+    let corpus = enterprise_corpus(31, 8);
+    let llm = SimLlm::gpt4();
+    let gk = generate_corpus_knowledge(&corpus, &llm);
+    let (linking, dsl) = downstream_tasks(&corpus, 31, 48, 48);
+    let l1 = eval_schema_linking(&corpus, &gk, &linking, KnowledgeSetting::None, &llm);
+    let l3 = eval_schema_linking(&corpus, &gk, &linking, KnowledgeSetting::Full, &llm);
+    assert!(l3 > l1 + 10.0, "linking S1={l1} S3={l3}");
+    let d1 = eval_nl2dsl(&corpus, &gk, &dsl, KnowledgeSetting::None, &llm);
+    let d2 = eval_nl2dsl(&corpus, &gk, &dsl, KnowledgeSetting::Partial, &llm);
+    let d3 = eval_nl2dsl(&corpus, &gk, &dsl, KnowledgeSetting::Full, &llm);
+    assert!(d2 > d1 + 10.0, "dsl S1={d1} S2={d2}");
+    assert!(d3 > d2 + 5.0, "dsl S2={d2} S3={d3}");
+}
+
+#[test]
+fn table3_shape_holds_at_small_scale() {
+    let corpus = enterprise_corpus(33, 5);
+    let llm = SimLlm::gpt4();
+    let gk = generate_corpus_knowledge(&corpus, &llm);
+    let tasks = multiagent_tasks(&corpus, 33, 10);
+    let s1 = eval_multiagent(
+        &corpus,
+        &gk,
+        &tasks,
+        &CommunicationConfig {
+            use_fsm: false,
+            ..Default::default()
+        },
+        &llm,
+    );
+    let s3 = eval_multiagent(&corpus, &gk, &tasks, &CommunicationConfig::default(), &llm);
+    assert!(s3.accuracy > s1.accuracy + 5.0, "S1={:?} S3={:?}", s1, s3);
+    assert!(s3.success_rate >= s1.success_rate, "S1={s1:?} S3={s3:?}");
+}
+
+#[test]
+fn table4_shape_holds_at_small_scale() {
+    let corpus = notebook_corpus(55, 20, 40);
+    let tasks = context_tasks(&corpus, 55);
+    let without = eval_context(&corpus, &tasks, false);
+    let with = eval_context(&corpus, &tasks, true);
+    assert!(
+        with.token_cost_k < without.token_cost_k * 0.7,
+        "{with:?} vs {without:?}"
+    );
+    assert!(without.accuracy >= with.accuracy);
+    assert!(
+        without.accuracy - with.accuracy < 12.0,
+        "{with:?} vs {without:?}"
+    );
+}

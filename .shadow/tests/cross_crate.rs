@@ -1,0 +1,148 @@
+//! Cross-crate consistency tests: the three artifact languages (SQL,
+//! dscript, chart specs) compiled from the same DSL must agree on the
+//! data they produce.
+
+use datalab::frame::{DataFrame, DataType, Date, Value};
+use datalab::knowledge::{validate_dsl_json, DslColumn, DslCondition, DslMeasure, DslSpec};
+use datalab::llm::{LanguageModel, Prompt, SimLlm};
+use datalab::sql::{ex_equal, run_sql, Database};
+use datalab::viz::render;
+use datalab_agents::run_dscript;
+
+fn db() -> Database {
+    let n = 20;
+    let mut db = Database::new();
+    db.insert(
+        "orders",
+        DataFrame::from_columns(vec![
+            (
+                "region",
+                DataType::Str,
+                (0..n)
+                    .map(|i| Value::Str(["east", "west"][i % 2].into()))
+                    .collect(),
+            ),
+            (
+                "amount",
+                DataType::Int,
+                (0..n).map(|i| Value::Int(10 + i as i64)).collect(),
+            ),
+            (
+                "day",
+                DataType::Date,
+                (0..n)
+                    .map(|i| Value::Date(Date::new(2024, 3, 1).unwrap().add_days(i as i64)))
+                    .collect(),
+            ),
+        ])
+        .unwrap(),
+    );
+    db
+}
+
+fn spec() -> DslSpec {
+    DslSpec {
+        measure_list: vec![DslMeasure {
+            table: Some("orders".into()),
+            column: Some("amount".into()),
+            aggregate: "sum".into(),
+            expr: None,
+            alias: Some("total".into()),
+        }],
+        dimension_list: vec![DslColumn {
+            table: "orders".into(),
+            column: "region".into(),
+        }],
+        condition_list: vec![DslCondition {
+            table: "orders".into(),
+            column: "amount".into(),
+            op: ">".into(),
+            value: serde_json::json!(12),
+        }],
+        projection_list: vec![],
+        order_by: None,
+        limit: None,
+        chart: Some("bar".into()),
+        clean: None,
+    }
+}
+
+#[test]
+fn sql_and_dscript_compilations_agree() {
+    let db = db();
+    let spec = spec();
+    let via_sql = run_sql(&spec.to_sql(None), &db).expect("sql runs");
+    let via_dscript = run_dscript(&spec.to_dscript(), &db).expect("dscript runs");
+    assert!(ex_equal(&via_sql, &via_dscript, false));
+}
+
+#[test]
+fn chart_rendering_agrees_with_sql_aggregation() {
+    let db = db();
+    let spec = spec();
+    let chart_spec = spec.to_chart();
+    let chart = render(&chart_spec, db.get("orders").unwrap()).expect("renders");
+    let table = run_sql(&spec.to_sql(None), &db).expect("runs");
+    // Every chart point appears in the SQL result.
+    let regions = table.column("region").unwrap();
+    let totals = table.column("total").unwrap();
+    assert_eq!(chart.points.len(), table.n_rows());
+    for (x, _, v) in &chart.points {
+        let found = regions
+            .iter()
+            .zip(totals.iter())
+            .any(|(r, t)| r == x && t.approx_eq(v, 1e-9));
+        assert!(found, "chart point {x:?}={v:?} missing from SQL result");
+    }
+}
+
+#[test]
+fn model_generated_artifacts_execute_against_engines() {
+    let db = db();
+    let llm = SimLlm::gpt4();
+    let schema =
+        "table orders: region (str), amount (int), day (date)\nvalues orders.region: east, west";
+    // SQL path.
+    let sql = llm.complete(
+        &Prompt::new("nl2sql")
+            .section("schema", schema)
+            .section("question", "total amount by region")
+            .render(),
+    );
+    let a = run_sql(&sql, &db).expect("generated SQL runs");
+    // Code path.
+    let code = llm.complete(
+        &Prompt::new("nl2code")
+            .section("schema", schema)
+            .section("question", "total amount by region")
+            .render(),
+    );
+    let b = run_dscript(&code, &db).expect("generated pipeline runs");
+    assert!(ex_equal(&a, &b, false), "sql and dscript disagree");
+    // Vis path: same aggregation rendered as a chart.
+    let spec_json = llm.complete(
+        &Prompt::new("nl2vis")
+            .section("schema", schema)
+            .section("question", "bar chart of total amount by region")
+            .render(),
+    );
+    let chart_spec = datalab::viz::ChartSpec::from_json(&spec_json).expect("valid spec");
+    let chart = render(&chart_spec, db.get("orders").unwrap()).expect("renders");
+    assert_eq!(chart.points.len(), a.n_rows());
+}
+
+#[test]
+fn dsl_validator_accepts_model_output() {
+    let llm = SimLlm::gpt4();
+    let out = llm.complete(
+        &Prompt::new("nl2dsl")
+            .section(
+                "schema",
+                "table orders: region (str), amount (int), day (date)",
+            )
+            .section("question", "average amount by region in 2024")
+            .render(),
+    );
+    let spec = validate_dsl_json(&out).expect("model emits schema-valid DSL");
+    assert_eq!(spec.measure_list[0].aggregate, "avg");
+}

@@ -1,0 +1,193 @@
+//! Integration tests exercising the full platform across crates: data
+//! registration → knowledge incorporation → multi-agent execution →
+//! notebook reflection.
+
+use datalab::core::{DataLab, DataLabConfig};
+use datalab::frame::{DataFrame, DataType, Date, Value};
+use datalab::knowledge::{Lineage, Script};
+use datalab::llm::ModelProfile;
+use datalab::notebook::CellKind;
+use datalab::sql::run_sql;
+
+fn sales(n: usize) -> DataFrame {
+    DataFrame::from_columns(vec![
+        (
+            "region",
+            DataType::Str,
+            (0..n)
+                .map(|i| Value::Str(["east", "west", "south"][i % 3].into()))
+                .collect(),
+        ),
+        (
+            "amount",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(50 + 3 * i as i64)).collect(),
+        ),
+        (
+            "cost",
+            DataType::Int,
+            (0..n).map(|i| Value::Int(20 + i as i64)).collect(),
+        ),
+        (
+            "day",
+            DataType::Date,
+            (0..n)
+                .map(|i| Value::Date(Date::new(2026, 1, 1).unwrap().add_days(9 * i as i64)))
+                .collect(),
+        ),
+    ])
+    .expect("valid frame")
+}
+
+#[test]
+fn query_answers_match_direct_sql() {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    lab.register_table("sales", sales(24)).unwrap();
+    let r = lab.query("What is the total amount by region?");
+    assert!(r.success);
+    let produced = r.frame.expect("frame produced");
+    let gold = run_sql(
+        "SELECT region, SUM(amount) FROM sales GROUP BY region",
+        lab.database(),
+    )
+    .expect("gold runs");
+    assert!(datalab::sql::ex_equal(&produced, &gold, false));
+}
+
+#[test]
+fn notebook_accumulates_a_session_and_dag_tracks_it() {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    lab.register_table("sales", sales(18)).unwrap();
+    lab.query("total amount by region");
+    lab.query("draw a bar chart of total amount by region");
+    let nb = lab.notebook();
+    assert!(nb.len() >= 3, "cells: {}", nb.len());
+    assert!(nb.cells().iter().any(|c| c.kind == CellKind::Sql));
+    assert!(nb.cells().iter().any(|c| c.kind == CellKind::Chart));
+    assert!(nb.cells().iter().any(|c| c.kind == CellKind::Markdown));
+    // Every appended cell is tracked by the DAG.
+    for cell in nb.cells() {
+        assert!(
+            lab.dag().analysis(cell.id).is_some(),
+            "untracked cell {:?}",
+            cell.id
+        );
+    }
+}
+
+#[test]
+fn knowledge_changes_grounding_outcomes() {
+    // The same dirty-schema question fails without knowledge and succeeds
+    // with it — the paper's core claim, end to end.
+    let dirty = DataFrame::from_columns(vec![
+        (
+            "rgn_cd",
+            DataType::Str,
+            vec!["east".into(), "west".into(), "east".into()],
+        ),
+        (
+            "shouldincome_after",
+            DataType::Float,
+            vec![Value::Float(10.0), Value::Float(20.0), Value::Float(30.0)],
+        ),
+    ])
+    .unwrap();
+
+    let question = "total income by region";
+
+    let mut bare = DataLab::new(DataLabConfig::default());
+    bare.register_table("dwd_x", dirty.clone()).unwrap();
+    let before = bare.query(question);
+    let grounded_before = before.dsl_json.contains("shouldincome_after");
+
+    let mut informed = DataLab::new(DataLabConfig::default());
+    informed.register_table("dwd_x", dirty).unwrap();
+    informed.ingest_scripts(
+        "dwd_x",
+        &[Script::sql(
+            "-- daily income rollup by region\n\
+             SELECT rgn_cd, SUM(shouldincome_after) AS t FROM dwd_x GROUP BY rgn_cd",
+        )],
+        &Lineage::default(),
+    );
+    let after = informed.query(question);
+    assert!(
+        after.dsl_json.contains("shouldincome_after"),
+        "knowledge failed to ground the measure: {}",
+        after.dsl_json
+    );
+    assert!(
+        !grounded_before,
+        "baseline unexpectedly grounded: {}",
+        before.dsl_json
+    );
+}
+
+#[test]
+fn multi_stage_query_produces_chart_and_forecast() {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    lab.register_table("sales", sales(30)).unwrap();
+    let r = lab.query(
+        "Query the total amount by region. Forecast the amount for next month. \
+         Then draw a bar chart of the total amount by region.",
+    );
+    assert!(r.plan.contains(&"sql_agent".to_string()), "{:?}", r.plan);
+    assert!(
+        r.plan.contains(&"forecast_agent".to_string()),
+        "{:?}",
+        r.plan
+    );
+    assert!(r.plan.contains(&"vis_agent".to_string()), "{:?}", r.plan);
+    assert!(r.chart.is_some());
+    assert!(r.success, "{:?}", r.plan);
+}
+
+#[test]
+fn weaker_models_fail_more_often_end_to_end() {
+    let questions: Vec<String> = (0..60)
+        .map(|i| format!("What is the average amount by region with cost greater than {i}?"))
+        .collect();
+    let mut ok = Vec::new();
+    for profile in [ModelProfile::gpt4(), ModelProfile::llama31()] {
+        let mut lab = DataLab::new(DataLabConfig {
+            model: profile,
+            ..Default::default()
+        });
+        lab.register_table("sales", sales(24)).unwrap();
+        let gold = run_sql(
+            // Gold per question is recomputed below; just count grounded successes here.
+            "SELECT 1",
+            lab.database(),
+        );
+        assert!(gold.is_ok());
+        let mut hits = 0;
+        for (i, q) in questions.iter().enumerate() {
+            let r = lab.query(q);
+            let gold = run_sql(
+                &format!("SELECT region, AVG(amount) FROM sales WHERE cost > {i} GROUP BY region"),
+                lab.database(),
+            )
+            .expect("gold runs");
+            if let Some(frame) = r.frame {
+                if datalab::sql::ex_equal(&frame, &gold, false) {
+                    hits += 1;
+                }
+            }
+        }
+        ok.push(hits);
+    }
+    // The platform's retries narrow the gap on easy questions; weak models
+    // must at least never come out ahead, and must show some failures.
+    assert!(ok[0] >= ok[1], "gpt4={} llama={}", ok[0], ok[1]);
+    assert!(ok[1] < questions.len(), "llama unexpectedly perfect");
+}
+
+#[test]
+fn multi_round_context_carries_over() {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    lab.register_table("sales", sales(12)).unwrap();
+    lab.query("total amount by region for east");
+    let follow = lab.query("what about west");
+    assert!(follow.rewritten_query.contains("west"));
+    assert!(follow.rewritten_query.to_lowercase().contains("amount"));
+}

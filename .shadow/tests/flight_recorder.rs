@@ -1,0 +1,111 @@
+//! Integration coverage for the query flight recorder and fleet report:
+//! a deliberately failing query must surface an error taxonomy and a
+//! flight record, and a multi-query session's fleet report must agree
+//! with the session-wide token meter.
+
+use datalab::core::{DataLab, DataLabConfig};
+use datalab::frame::{DataFrame, DataType, Value};
+use datalab::telemetry::{render_flight_record, EventKind};
+
+fn sales_lab() -> DataLab {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    let df = DataFrame::from_columns(vec![
+        (
+            "region",
+            DataType::Str,
+            (0..9)
+                .map(|i| Value::Str(["east", "west", "north"][i % 3].into()))
+                .collect(),
+        ),
+        (
+            "amount",
+            DataType::Int,
+            (0..9).map(|i| Value::Int(10 + 3 * i as i64)).collect(),
+        ),
+    ])
+    .expect("valid frame");
+    lab.register_table("sales", df).expect("registers");
+    lab
+}
+
+#[test]
+fn failing_query_produces_flight_record_and_error_taxonomy() {
+    // No registered tables: the vis agent has no data source, so the
+    // subtask fails deterministically.
+    let mut lab = DataLab::new(DataLabConfig::default());
+    let r = lab.query("draw a bar chart of revenue by region");
+    assert!(!r.success);
+
+    // The flight record spans exactly this query: starts at its
+    // QueryStart, ends at its (failed) QueryEnd, and contains the agent
+    // failure in between.
+    assert!(!r.flight_record.is_empty());
+    assert_eq!(r.flight_record.first().unwrap().kind, EventKind::QueryStart);
+    let end = r.flight_record.last().unwrap();
+    assert_eq!(end.kind, EventKind::QueryEnd);
+    assert_eq!(end.detail, "failed");
+    assert!(r
+        .flight_record
+        .iter()
+        .any(|e| e.kind == EventKind::AgentFailure));
+    // Sequence numbers are strictly increasing within the record.
+    assert!(r.flight_record.windows(2).all(|w| w[0].seq < w[1].seq));
+    let text = render_flight_record(&r.flight_record);
+    assert!(text.contains("agent_failure"), "{text}");
+
+    // The fleet report carries the taxonomy.
+    let report = lab.fleet_report();
+    assert_eq!((report.runs, report.passed, report.failed), (1, 0, 1));
+    assert!(
+        report.errors.get("agent_failure").copied().unwrap_or(0) >= 1,
+        "{:?}",
+        report.errors
+    );
+    let record = lab.run_records().last().expect("run recorded");
+    assert!(!record.success);
+    assert_eq!(record.flight_record.len(), r.flight_record.len());
+}
+
+#[test]
+fn fleet_report_tokens_match_the_session_meter_across_queries() {
+    let mut lab = sales_lab();
+    // Registration profiles tables through the model; only the spend
+    // after this point belongs to the queries.
+    let before = lab.tokens_used();
+
+    let questions = [
+        ("nl2sql", "What is the total amount by region?"),
+        ("nl2sql", "What is the average amount by region?"),
+        ("nl2vis", "Draw a bar chart of total amount by region"),
+    ];
+    let mut per_query_sum = 0u64;
+    for (workload, q) in questions {
+        let r = lab.query_as(workload, q);
+        assert!(r.success, "{q}");
+        per_query_sum += r.telemetry.total.total();
+    }
+
+    let report = lab.fleet_report();
+    let meter_delta = lab.tokens_used() - before;
+    // The fleet total, the sum of per-query summaries, and the global
+    // meter delta all agree...
+    assert_eq!(report.tokens.total, per_query_sum);
+    assert_eq!(report.tokens.total, meter_delta);
+    // ...and the per-stage breakdown partitions the same total.
+    let by_stage: u64 = report.stages.iter().map(|s| s.tokens).sum();
+    assert_eq!(by_stage, report.tokens.total);
+
+    // Latency stats cover every run, percentile-ordered.
+    assert_eq!(report.latency.count, 3);
+    assert!(report.latency.p50_us <= report.latency.p90_us);
+    assert!(report.latency.p90_us <= report.latency.p99_us);
+    assert!(report.latency.p99_us <= report.latency.max_us);
+    let execute = report.stage("execute").expect("execute stats");
+    assert_eq!(execute.spans, 3);
+
+    // Workload rollups partition the runs.
+    assert_eq!(report.workloads["nl2sql"].runs, 2);
+    assert_eq!(report.workloads["nl2vis"].runs, 1);
+    let workload_tokens: u64 = report.workloads.values().map(|w| w.tokens).sum();
+    assert_eq!(workload_tokens, report.tokens.total);
+}

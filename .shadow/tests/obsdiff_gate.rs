@@ -1,0 +1,129 @@
+//! Exit-code contract of the `obsdiff` regression gate: identical
+//! reports pass, an inflated `tokens.total` or `alloc.bytes_per_query`
+//! fails, unreadable input is a usage error.
+
+use datalab::core::{AllocTotals, FleetReport, LatencyStats, LlmTotals, TokenTotals};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_report(name: &str, report: &FleetReport) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("obsdiff_gate_{}_{name}.json", std::process::id()));
+    std::fs::write(&path, report.to_json()).expect("temp dir writable");
+    path
+}
+
+fn obsdiff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_obsdiff"))
+        .args(args)
+        .output()
+        .expect("obsdiff runs")
+}
+
+fn sample_report() -> FleetReport {
+    FleetReport {
+        runs: 4,
+        passed: 4,
+        tokens: TokenTotals {
+            prompt: 800,
+            completion: 200,
+            total: 1000,
+        },
+        llm: LlmTotals { calls: 12 },
+        latency: LatencyStats {
+            count: 4,
+            p50_us: 900,
+            p90_us: 1600,
+            p99_us: 2000,
+            max_us: 2100,
+        },
+        alloc: AllocTotals {
+            allocs: 4_000_000,
+            bytes: 400_000_000,
+            count_per_query: 1_000_000,
+            bytes_per_query: 100_000_000,
+        },
+        ..FleetReport::default()
+    }
+}
+
+#[test]
+fn identical_reports_exit_zero() {
+    let base = write_report("identical_base", &sample_report());
+    let cand = write_report("identical_cand", &sample_report());
+    let out = obsdiff(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK"), "{stdout}");
+    std::fs::remove_file(base).ok();
+    std::fs::remove_file(cand).ok();
+}
+
+#[test]
+fn inflated_tokens_exit_nonzero() {
+    let baseline = sample_report();
+    let mut inflated = sample_report();
+    inflated.tokens.total *= 3;
+    let base = write_report("inflated_base", &baseline);
+    let cand = write_report("inflated_cand", &inflated);
+    let out = obsdiff(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION tokens.total"), "{stdout}");
+    // A generous threshold lets the same inflation through.
+    let out = obsdiff(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--threshold-pct",
+        "500",
+    ]);
+    assert!(out.status.success());
+    std::fs::remove_file(base).ok();
+    std::fs::remove_file(cand).ok();
+}
+
+#[test]
+fn inflated_alloc_bytes_per_query_exit_nonzero() {
+    // The acceptance scenario for allocation gating: +20% per-query
+    // bytes against a clean baseline must fail the default 10% gate.
+    let baseline = sample_report();
+    let mut inflated = sample_report();
+    inflated.alloc.bytes_per_query = baseline.alloc.bytes_per_query * 12 / 10;
+    let base = write_report("alloc_base", &baseline);
+    let cand = write_report("alloc_cand", &inflated);
+    let out = obsdiff(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REGRESSION alloc.bytes_per_query"),
+        "{stdout}"
+    );
+
+    // A pre-profiling baseline (zero alloc block) never gates alloc:
+    // the same inflated candidate passes against it.
+    let mut legacy = sample_report();
+    legacy.alloc = AllocTotals::default();
+    let legacy_base = write_report("alloc_legacy_base", &legacy);
+    let out = obsdiff(&[legacy_base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_file(base).ok();
+    std::fs::remove_file(cand).ok();
+    std::fs::remove_file(legacy_base).ok();
+}
+
+#[test]
+fn unreadable_or_missing_input_is_a_usage_error() {
+    let out = obsdiff(&["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = obsdiff(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
