@@ -295,13 +295,11 @@ fn parse_filter(cond: &str) -> Option<String> {
                 "!=" => "<>",
                 o => o,
             };
-            let sql_val = if val.starts_with('\'') && val.ends_with('\'') && val.len() >= 2 {
-                val.to_string()
-            } else if val.parse::<f64>().is_ok() {
-                val.to_string()
-            } else {
+            let quoted = val.starts_with('\'') && val.ends_with('\'') && val.len() >= 2;
+            if !quoted && val.parse::<f64>().is_err() {
                 return None;
-            };
+            }
+            let sql_val = val.to_string();
             return Some(format!("{col} {sql_op} {sql_val}"));
         }
     }

@@ -6,12 +6,15 @@
 //! ```text
 //! cargo run -p datalab-bench --bin loadgen -- [--addr HOST:PORT | --boot]
 //!     [--rps N] [--duration 10s] [--seed N] [--tasks N]
-//!     [--chaos-rate R] [--chaos-seed N] [--out PATH]
+//!     [--write-rate R] [--chaos-rate R] [--chaos-seed N] [--out PATH]
 //! ```
 //!
 //! `--boot` starts an in-process server on a free port (used by tests
 //! and local runs); `--addr` targets an already-running server (used by
-//! the CI smoke). `--chaos-rate R > 0` (boot mode only) injects
+//! the CI smoke). `--write-rate R` (0..=1) turns that fraction of slots
+//! into `POST /v1/tables/:name/rows` ingest batches interleaved with the
+//! queries; write latency and the write 5xx taxonomy are reported
+//! separately from reads. `--chaos-rate R > 0` (boot mode only) injects
 //! transport faults into every tenant session at total rate R; `503
 //! transport_unavailable` responses are then expected back-pressure, not
 //! failures. Exit code 0 means the run finished with zero 5xx responses
@@ -45,6 +48,7 @@ struct Args {
     duration: Duration,
     seed: u64,
     tasks: usize,
+    write_rate: f64,
     chaos_rate: f64,
     chaos_seed: u64,
     out: Option<PathBuf>,
@@ -55,7 +59,17 @@ struct Sample {
     status: u16,
     latency_us: u64,
     workload: String,
+    write: bool,
     error_kind: Option<String>,
+}
+
+/// Precomputed ingest material for one corpus table: a write slot sends
+/// the header plus one recycled data row (always schema-compatible).
+struct IngestTarget {
+    tenant: String,
+    name: String,
+    header: String,
+    rows: Vec<String>,
 }
 
 fn parse_duration(text: &str) -> Result<Duration, String> {
@@ -74,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         duration: Duration::from_secs(10),
         seed: 7,
         tasks: 3,
+        write_rate: 0.0,
         chaos_rate: 0.0,
         chaos_seed: 7,
         out: None,
@@ -96,6 +111,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tasks: {e}"))?
             }
+            "--write-rate" => {
+                parsed.write_rate = take("--write-rate")?
+                    .parse()
+                    .map_err(|e| format!("--write-rate: {e}"))?
+            }
             "--chaos-rate" => {
                 parsed.chaos_rate = take("--chaos-rate")?
                     .parse()
@@ -115,6 +135,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if parsed.rps == 0 {
         return Err("--rps must be positive".to_string());
+    }
+    if !(0.0..=1.0).contains(&parsed.write_rate) {
+        return Err("--write-rate must be between 0 and 1".to_string());
     }
     if parsed.chaos_rate > 0.0 && !parsed.boot {
         return Err(
@@ -221,11 +244,13 @@ fn run() -> Result<u8, String> {
     };
 
     eprintln!(
-        "loadgen: target={addr} rps={} duration={}s seed={} tasks={} chaos_rate={} chaos_seed={}",
+        "loadgen: target={addr} rps={} duration={}s seed={} tasks={} write_rate={} \
+         chaos_rate={} chaos_seed={}",
         args.rps,
         args.duration.as_secs(),
         args.seed,
         args.tasks,
+        args.write_rate,
         args.chaos_rate,
         args.chaos_seed
     );
@@ -252,6 +277,27 @@ fn run() -> Result<u8, String> {
         corpus.tables.len(),
         corpus.tenants().len()
     );
+    let ingest_targets: Vec<IngestTarget> = corpus
+        .tables
+        .iter()
+        .filter_map(|table| {
+            let mut lines = table.csv.lines();
+            let header = lines.next()?.to_string();
+            let rows: Vec<String> = lines
+                .filter(|l| !l.trim().is_empty())
+                .map(str::to_string)
+                .collect();
+            (!rows.is_empty()).then(|| IngestTarget {
+                tenant: table.tenant.clone(),
+                name: table.name.clone(),
+                header,
+                rows,
+            })
+        })
+        .collect();
+    if args.write_rate > 0.0 && ingest_targets.is_empty() {
+        return Err("--write-rate needs at least one corpus table with data rows".to_string());
+    }
 
     // Open-loop replay: request i fires at start + i/rps, regardless of
     // how long earlier requests took (so server slowness shows up as
@@ -262,6 +308,8 @@ fn run() -> Result<u8, String> {
     let next_slot = Arc::new(AtomicUsize::new(0));
     let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(total)));
     let requests = Arc::new(corpus.requests);
+    let ingest_targets = Arc::new(ingest_targets);
+    let write_rate = args.write_rate;
     let start = Instant::now();
 
     let mut handles = Vec::new();
@@ -269,6 +317,7 @@ fn run() -> Result<u8, String> {
         let next_slot = Arc::clone(&next_slot);
         let samples = Arc::clone(&samples);
         let requests = Arc::clone(&requests);
+        let ingest_targets = Arc::clone(&ingest_targets);
         let addr = addr.clone();
         handles.push(std::thread::spawn(move || loop {
             let slot = next_slot.fetch_add(1, Ordering::Relaxed);
@@ -279,26 +328,57 @@ fn run() -> Result<u8, String> {
             if let Some(wait) = fire_at.checked_duration_since(Instant::now()) {
                 std::thread::sleep(wait);
             }
-            let request = &requests[slot % requests.len()];
-            let body = format!(
-                "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"question\":\"{}\"}}",
-                json_escape(&request.tenant),
-                json_escape(&request.workload),
-                json_escape(&request.question)
-            );
+            // Deterministic interleave: slot s is a write iff the
+            // cumulative write quota crosses an integer at s, spreading
+            // writes evenly through the schedule at `write_rate`.
+            let is_write = write_rate > 0.0
+                && ((slot + 1) as f64 * write_rate).floor() > (slot as f64 * write_rate).floor();
             let trace = format!("loadgen-{slot}");
             let begun = Instant::now();
-            let sample = match http(&addr, "POST", "/v1/query", Some(&body), Some(&trace)) {
+            let (method, path, body, workload) = if is_write {
+                let target = &ingest_targets[slot % ingest_targets.len()];
+                let csv = format!(
+                    "{}\n{}\n",
+                    target.header,
+                    target.rows[slot % target.rows.len()]
+                );
+                (
+                    "POST".to_string(),
+                    format!("/v1/tables/{}/rows", target.name),
+                    format!(
+                        "{{\"tenant\":\"{}\",\"csv\":\"{}\",\"idempotency_key\":\"loadgen-{slot}\"}}",
+                        json_escape(&target.tenant),
+                        json_escape(&csv)
+                    ),
+                    "ingest".to_string(),
+                )
+            } else {
+                let request = &requests[slot % requests.len()];
+                (
+                    "POST".to_string(),
+                    "/v1/query".to_string(),
+                    format!(
+                        "{{\"tenant\":\"{}\",\"workload\":\"{}\",\"question\":\"{}\"}}",
+                        json_escape(&request.tenant),
+                        json_escape(&request.workload),
+                        json_escape(&request.question)
+                    ),
+                    request.workload.clone(),
+                )
+            };
+            let sample = match http(&addr, &method, &path, Some(&body), Some(&trace)) {
                 Ok((status, response)) => Sample {
                     status,
                     latency_us: begun.elapsed().as_micros() as u64,
-                    workload: request.workload.clone(),
+                    workload,
+                    write: is_write,
                     error_kind: (status != 200).then(|| error_kind(&response)),
                 },
                 Err(e) => Sample {
                     status: 0,
                     latency_us: begun.elapsed().as_micros() as u64,
-                    workload: request.workload.clone(),
+                    workload,
+                    write: is_write,
                     error_kind: Some(format!("transport: {e}")),
                 },
             };
@@ -317,29 +397,51 @@ fn run() -> Result<u8, String> {
         .unwrap();
 
     // Aggregate: status counts, error taxonomy, latency percentiles —
-    // overall and per workload kind.
+    // overall, split by reads vs writes, and per workload kind.
     let mut status_counts: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut read_statuses: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut write_statuses: BTreeMap<u16, u64> = BTreeMap::new();
     let mut errors: BTreeMap<String, u64> = BTreeMap::new();
+    let mut read_errors: BTreeMap<String, u64> = BTreeMap::new();
+    let mut write_errors: BTreeMap<String, u64> = BTreeMap::new();
     let mut workloads: Vec<String> = Vec::new();
     let registry = MetricsRegistry::new();
+    registry.histogram_with_buckets("loadgen.request_us", LATENCY_BUCKETS_US);
     registry.histogram_with_buckets("loadgen.query_us", LATENCY_BUCKETS_US);
+    registry.histogram_with_buckets("loadgen.ingest_us", LATENCY_BUCKETS_US);
     for sample in &samples {
         *status_counts.entry(sample.status).or_insert(0) += 1;
+        registry.observe("loadgen.request_us", sample.latency_us);
+        let (statuses, taxonomy, series) = if sample.write {
+            (&mut write_statuses, &mut write_errors, "loadgen.ingest_us")
+        } else {
+            (&mut read_statuses, &mut read_errors, "loadgen.query_us")
+        };
+        *statuses.entry(sample.status).or_insert(0) += 1;
         if let Some(kind) = &sample.error_kind {
             *errors.entry(kind.clone()).or_insert(0) += 1;
+            *taxonomy.entry(kind.clone()).or_insert(0) += 1;
         }
-        registry.observe("loadgen.query_us", sample.latency_us);
-        let per_workload = format!("loadgen.query_us.{}", sample.workload);
-        if !workloads.contains(&sample.workload) {
-            workloads.push(sample.workload.clone());
-            registry.histogram_with_buckets(&per_workload, LATENCY_BUCKETS_US);
+        registry.observe(series, sample.latency_us);
+        if !sample.write {
+            let per_workload = format!("loadgen.query_us.{}", sample.workload);
+            if !workloads.contains(&sample.workload) {
+                workloads.push(sample.workload.clone());
+                registry.histogram_with_buckets(&per_workload, LATENCY_BUCKETS_US);
+            }
+            registry.observe(&per_workload, sample.latency_us);
         }
-        registry.observe(&per_workload, sample.latency_us);
     }
     workloads.sort();
     let latency = registry
-        .histogram("loadgen.query_us")
+        .histogram("loadgen.request_us")
         .ok_or_else(|| "latency histogram missing".to_string())?;
+    let read_latency = registry
+        .histogram("loadgen.query_us")
+        .ok_or_else(|| "read latency histogram missing".to_string())?;
+    let write_latency = registry
+        .histogram("loadgen.ingest_us")
+        .ok_or_else(|| "write latency histogram missing".to_string())?;
     let fivexx: u64 = status_counts
         .iter()
         .filter(|(status, _)| **status >= 500)
@@ -352,10 +454,12 @@ fn run() -> Result<u8, String> {
         0.0
     };
 
-    println!("loadgen report: POST /v1/query");
+    println!("loadgen report: POST /v1/query + POST /v1/tables/:name/rows");
     println!(
-        "  sent       {} ({achieved_rps:.1} rps achieved)",
-        samples.len()
+        "  sent       {} ({achieved_rps:.1} rps achieved, {} reads / {} writes)",
+        samples.len(),
+        read_latency.count,
+        write_latency.count
     );
     for (status, count) in &status_counts {
         if *status == 0 {
@@ -372,6 +476,30 @@ fn run() -> Result<u8, String> {
         latency.p999(),
         latency.max
     );
+    println!(
+        "  reads      n={} p50={} p99={} max={}",
+        read_latency.count,
+        read_latency.p50(),
+        read_latency.p99(),
+        read_latency.max
+    );
+    if args.write_rate > 0.0 {
+        println!(
+            "  writes     n={} p50={} p99={} max={}",
+            write_latency.count,
+            write_latency.p50(),
+            write_latency.p99(),
+            write_latency.max
+        );
+        for (status, count) in &write_statuses {
+            if *status >= 500 {
+                println!("  write 5xx  {status}: {count}");
+            }
+        }
+        for (kind, count) in &write_errors {
+            println!("  write err  {kind}: {count}");
+        }
+    }
     for workload in &workloads {
         let h = registry
             .histogram(&format!("loadgen.query_us.{workload}"))
@@ -396,14 +524,31 @@ fn run() -> Result<u8, String> {
             .map_err(|e| format!("cannot create target/telemetry: {e}"))?
             .join("loadgen_report.json"),
     };
-    let statuses: Vec<String> = status_counts
-        .iter()
-        .map(|(status, count)| format!("\"{status}\":{count}"))
-        .collect();
-    let taxonomy: Vec<String> = errors
-        .iter()
-        .map(|(kind, count)| format!("\"{}\":{count}", json_escape(kind)))
-        .collect();
+    let status_json = |m: &BTreeMap<u16, u64>| {
+        let parts: Vec<String> = m
+            .iter()
+            .map(|(status, count)| format!("\"{status}\":{count}"))
+            .collect();
+        format!("{{{}}}", parts.join(","))
+    };
+    let taxonomy_json = |m: &BTreeMap<String, u64>| {
+        let parts: Vec<String> = m
+            .iter()
+            .map(|(kind, count)| format!("\"{}\":{count}", json_escape(kind)))
+            .collect();
+        format!("{{{}}}", parts.join(","))
+    };
+    let side_json = |statuses: &BTreeMap<u16, u64>,
+                     taxonomy: &BTreeMap<String, u64>,
+                     latency: &HistogramSnapshot| {
+        format!(
+            "{{\"sent\":{},\"statuses\":{},\"errors\":{},\"latency_us\":{}}}",
+            latency.count,
+            status_json(statuses),
+            taxonomy_json(taxonomy),
+            latency_json(latency)
+        )
+    };
     let per_workload: Vec<String> = workloads
         .iter()
         .map(|workload| {
@@ -415,13 +560,17 @@ fn run() -> Result<u8, String> {
         .collect();
     let report = format!(
         "{{\"endpoint\":\"POST /v1/query\",\"sent\":{},\"wall_us\":{wall_us},\
-         \"target_rps\":{},\"achieved_rps\":{achieved_rps:.1},\"statuses\":{{{}}},\
-         \"errors\":{{{}}},\"latency_us\":{},\"workloads\":{{{}}}}}",
+         \"target_rps\":{},\"achieved_rps\":{achieved_rps:.1},\"write_rate\":{},\
+         \"statuses\":{},\"errors\":{},\"latency_us\":{},\"reads\":{},\"writes\":{},\
+         \"workloads\":{{{}}}}}",
         samples.len(),
         args.rps,
-        statuses.join(","),
-        taxonomy.join(","),
+        args.write_rate,
+        status_json(&status_counts),
+        taxonomy_json(&errors),
         latency_json(&latency),
+        side_json(&read_statuses, &read_errors, &read_latency),
+        side_json(&write_statuses, &write_errors, &write_latency),
         per_workload.join(",")
     );
     std::fs::write(&path, report).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -432,8 +581,10 @@ fn run() -> Result<u8, String> {
     }
     // Under injected chaos, 503 transport_unavailable is expected
     // back-pressure (the breaker doing its job), not a server failure.
+    // Only read 503s qualify: chaos hits the model transport, so a
+    // write 503 would mean the storage path degraded.
     let tolerated = if args.chaos_rate > 0.0 {
-        let n = status_counts.get(&503).copied().unwrap_or(0);
+        let n = read_statuses.get(&503).copied().unwrap_or(0);
         if n > 0 {
             eprintln!(
                 "loadgen: tolerating {n} chaos 503s (chaos_rate={})",
@@ -459,7 +610,8 @@ fn main() -> ExitCode {
             eprintln!("loadgen: {e}");
             eprintln!(
                 "usage: loadgen (--addr HOST:PORT | --boot) [--rps N] [--duration 10s] \
-                 [--seed N] [--tasks N] [--chaos-rate R] [--chaos-seed N] [--out PATH]"
+                 [--seed N] [--tasks N] [--write-rate R] [--chaos-rate R] [--chaos-seed N] \
+                 [--out PATH]"
             );
             ExitCode::from(2)
         }

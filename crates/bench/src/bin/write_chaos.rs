@@ -1,0 +1,155 @@
+//! Write-path chaos gate: streams ingest batches through the durable
+//! store under a sweep of seeded disk-fault schedules (EIO, ENOSPC,
+//! short writes, fsync failures, latency, blackout), SIGKILL-reboots
+//! each run, and gates on batch atomicity, acknowledged-write
+//! durability, exactly-once retry convergence, and zero-rate control
+//! equivalence. Writes a JSON report under `target/telemetry/` and
+//! leaves each schedule's data directory in place as an inspectable
+//! artifact.
+//!
+//! ```text
+//! cargo run -p datalab-bench --bin write_chaos -- [--seed N]
+//!     [--tasks N] [--snapshot-every N] [--batches N] [--rows N]
+//!     [--max-tables N] [--data-dir PATH] [--out PATH]
+//! ```
+//!
+//! Gate violations exit 1; usage errors exit 2.
+
+use datalab_bench::telemetry_dir;
+use datalab_workloads::{render_write_chaos_report, run_write_chaos, WriteChaosConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    config: WriteChaosConfig,
+    data_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        config: WriteChaosConfig::default(),
+        data_dir: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        match arg.as_str() {
+            "--seed" => {
+                parsed.config.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--tasks" => {
+                parsed.config.tasks_per_workload = take("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?
+            }
+            "--snapshot-every" => {
+                parsed.config.snapshot_every = take("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?
+            }
+            "--batches" => {
+                parsed.config.batches_per_table = take("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?
+            }
+            "--rows" => {
+                parsed.config.rows_per_batch = take("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--max-tables" => {
+                parsed.config.max_tables = take("--max-tables")?
+                    .parse()
+                    .map_err(|e| format!("--max-tables: {e}"))?
+            }
+            "--data-dir" => parsed.data_dir = Some(PathBuf::from(take("--data-dir")?)),
+            "--out" => parsed.out = Some(PathBuf::from(take("--out")?)),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run() -> Result<u8, String> {
+    let args = parse_args()?;
+    let base = match &args.data_dir {
+        Some(p) => p.clone(),
+        None => telemetry_dir()
+            .map_err(|e| format!("cannot create target/telemetry: {e}"))?
+            .join("write_chaos_data"),
+    };
+    eprintln!(
+        "write_chaos: seed={} tasks_per_workload={} snapshot_every={} batches_per_table={} \
+         rows_per_batch={} max_tables={} data_dir={}",
+        args.config.seed,
+        args.config.tasks_per_workload,
+        args.config.snapshot_every,
+        args.config.batches_per_table,
+        args.config.rows_per_batch,
+        args.config.max_tables,
+        base.display()
+    );
+
+    // Each sweep starts from empty directories but leaves WAL and
+    // snapshot files behind as an inspectable artifact.
+    std::fs::remove_dir_all(&base)
+        .or_else(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Ok(())
+            } else {
+                Err(e)
+            }
+        })
+        .map_err(|e| format!("cannot clear {}: {e}", base.display()))?;
+    let report = run_write_chaos(&args.config, &base).map_err(|e| format!("sweep: {e}"))?;
+    print!("{}", render_write_chaos_report(&report));
+
+    let path = match args.out {
+        Some(p) => p,
+        None => telemetry_dir()
+            .map_err(|e| format!("cannot create target/telemetry: {e}"))?
+            .join("write_chaos.json"),
+    };
+    std::fs::write(&path, report.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("write chaos report written: {}", path.display());
+
+    if report.ok() {
+        println!(
+            "write chaos gate: ok ({} schedules)",
+            report.schedules.len()
+        );
+        Ok(0)
+    } else {
+        for schedule in &report.schedules {
+            for failure in &schedule.failures {
+                eprintln!("write_chaos: FAILED: {}: {failure}", schedule.name);
+            }
+            if !schedule.ok() && schedule.failures.is_empty() {
+                eprintln!("write_chaos: FAILED: {}: gate failed", schedule.name);
+            }
+        }
+        for failure in &report.failures {
+            eprintln!("write_chaos: FAILED: {failure}");
+        }
+        Ok(1)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("write_chaos: {message}");
+            eprintln!(
+                "usage: write_chaos [--seed N] [--tasks N] [--snapshot-every N] [--batches N] \
+                 [--rows N] [--max-tables N] [--data-dir PATH] [--out PATH]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The `DataLab` platform façade.
 
 use datalab_agents::{CommunicationConfig, ProxyAgent, SharedBuffer};
-use datalab_frame::{DataFrame, FrameError};
+use datalab_frame::{DataFrame, FrameError, Value};
 use datalab_knowledge::{
     generate_table_knowledge_traced, incorporate_traced, profile_table, GenerationConfig,
     GenerationReport, IncorporateConfig, IndexTask, JargonEntry, KnowledgeGraph, KnowledgeIndex,
@@ -15,7 +15,7 @@ use datalab_notebook::{CellDag, CellKind, Notebook};
 use datalab_sql::Database;
 use datalab_telemetry::{is_error_kind, Event, EventKind, QuerySummary, RequestContext, Telemetry};
 use datalab_viz::RenderedChart;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::recorder::{FleetReport, ResilienceStats, RunRecord, RunRecorder};
@@ -102,6 +102,21 @@ pub struct DataLabResponse {
     pub resilience: ResilienceStats,
 }
 
+/// What one applied ingest batch did to a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Rows added as new rows.
+    pub appended: usize,
+    /// Existing rows replaced via the key column (upsert mode only).
+    pub updated: usize,
+    /// True when the batch's idempotency key had already been applied:
+    /// the call was a retry and nothing changed.
+    pub deduplicated: bool,
+    /// Notebook cells whose results went stale because they reference
+    /// the ingested table (directly or transitively), notebook order.
+    pub invalidated_cells: Vec<datalab_notebook::CellId>,
+}
+
 /// The unified BI platform.
 pub struct DataLab {
     config: DataLabConfig,
@@ -116,6 +131,9 @@ pub struct DataLab {
     notebook: Notebook,
     dag: CellDag,
     history: Vec<String>,
+    /// Idempotency keys of every ingest batch applied to this session.
+    /// Sorted so exports are deterministic.
+    ingest_keys: BTreeSet<String>,
     profile_lines: String,
     session_buffer: SharedBuffer,
     telemetry: Telemetry,
@@ -157,6 +175,7 @@ impl DataLab {
             notebook,
             dag,
             history: Vec::new(),
+            ingest_keys: BTreeSet::new(),
             profile_lines: String::new(),
             session_buffer: SharedBuffer::default(),
             telemetry,
@@ -200,6 +219,174 @@ impl DataLab {
             self.note_platform_error("csv_register", &format!("register_csv {name}: {e}"));
         }
         result
+    }
+
+    /// True when an ingest batch with this idempotency key has already
+    /// been applied to the session — a retry that must not re-apply.
+    pub fn ingest_seen(&self, idempotency_key: &str) -> bool {
+        self.ingest_keys.contains(idempotency_key)
+    }
+
+    /// Validates an ingest batch without applying it: the table must
+    /// exist, the CSV must parse against its schema, and the key column
+    /// (if any) must name one of its columns. The serving layer calls
+    /// this *before* committing the batch to the WAL so that a record,
+    /// once durable, always applies.
+    pub fn validate_ingest(
+        &self,
+        table: &str,
+        csv_text: &str,
+        key_column: Option<&str>,
+    ) -> Result<(), FrameError> {
+        self.parse_ingest(table, csv_text, key_column).map(|_| ())
+    }
+
+    /// Parses and checks a batch against the live table, returning the
+    /// typed rows and the key column's index.
+    fn parse_ingest(
+        &self,
+        table: &str,
+        csv_text: &str,
+        key_column: Option<&str>,
+    ) -> Result<(DataFrame, Option<usize>), FrameError> {
+        let existing = self
+            .db
+            .get(table)
+            .map_err(|_| FrameError::Invalid(format!("unknown table `{table}`")))?;
+        let batch = datalab_frame::csv::from_csv_with_schema(csv_text, existing.schema())?;
+        if batch.n_rows() == 0 {
+            return Err(FrameError::Csv("batch contains no data rows".into()));
+        }
+        let key_idx = match key_column {
+            Some(k) => Some(
+                existing
+                    .schema()
+                    .fields()
+                    .iter()
+                    .position(|f| f.name.eq_ignore_ascii_case(k))
+                    .ok_or_else(|| FrameError::ColumnNotFound(k.to_string()))?,
+            ),
+            None => None,
+        };
+        Ok((batch, key_idx))
+    }
+
+    /// Applies one ingest batch to a registered table: plain append, or
+    /// upsert when `key_column` is given (an existing row whose key
+    /// value matches a batch row is replaced in place; unmatched batch
+    /// rows append in order; when a batch repeats a key, its last row
+    /// wins). The batch is all-or-nothing — validation failures change
+    /// nothing — and idempotent: a key in [`DataLab::ingest_seen`]
+    /// returns a `deduplicated` outcome without touching the table.
+    /// Cells referencing the table (and their descendants) are reported
+    /// stale and counted under `dag.invalidated`.
+    pub fn ingest_rows(
+        &mut self,
+        table: &str,
+        csv_text: &str,
+        key_column: Option<&str>,
+        idempotency_key: &str,
+    ) -> Result<IngestOutcome, FrameError> {
+        if self.ingest_seen(idempotency_key) {
+            self.telemetry.metrics().incr("ingest.deduplicated", 1);
+            return Ok(IngestOutcome {
+                appended: 0,
+                updated: 0,
+                deduplicated: true,
+                invalidated_cells: Vec::new(),
+            });
+        }
+        let parsed = self.parse_ingest(table, csv_text, key_column);
+        let (batch, key_idx) = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                self.note_platform_error("ingest", &format!("ingest {table}: {e}"));
+                return Err(e);
+            }
+        };
+        let existing = self
+            .db
+            .get_shared(table)
+            .map_err(|_| FrameError::Invalid(format!("unknown table `{table}`")))?;
+        let take_row = |df: &DataFrame, i: usize| -> Vec<Value> {
+            (0..df.n_cols())
+                .map(|c| df.column_at(c)[i].clone())
+                .collect()
+        };
+        let mut merged = DataFrame::new(existing.schema().clone());
+        let (mut appended, mut updated) = (0usize, 0usize);
+        match key_idx {
+            None => {
+                for i in 0..existing.n_rows() {
+                    merged.push_row(take_row(&existing, i))?;
+                }
+                for i in 0..batch.n_rows() {
+                    merged.push_row(take_row(&batch, i))?;
+                    appended += 1;
+                }
+            }
+            Some(k) => {
+                // Keys compare by rendered value, so `1` matches `1`
+                // whether the column is Int or Str.
+                let mut winner: BTreeMap<String, usize> = BTreeMap::new();
+                for i in 0..batch.n_rows() {
+                    winner.insert(batch.column_at(k)[i].render(), i);
+                }
+                let mut consumed: BTreeSet<usize> = BTreeSet::new();
+                for i in 0..existing.n_rows() {
+                    let key = existing.column_at(k)[i].render();
+                    match winner.get(&key) {
+                        Some(&bi) => {
+                            merged.push_row(take_row(&batch, bi))?;
+                            consumed.insert(bi);
+                            updated += 1;
+                        }
+                        None => merged.push_row(take_row(&existing, i))?,
+                    }
+                }
+                for i in 0..batch.n_rows() {
+                    let key = batch.column_at(k)[i].render();
+                    if winner.get(&key) == Some(&i) && !consumed.contains(&i) {
+                        merged.push_row(take_row(&batch, i))?;
+                        appended += 1;
+                    }
+                }
+            }
+        }
+        self.db.insert(table, merged);
+        let invalidated_cells = self.dag.invalidated_by(&self.notebook, table);
+        let m = self.telemetry.metrics();
+        m.incr("ingest.batches", 1);
+        m.incr("ingest.rows_appended", appended as u64);
+        m.incr("ingest.rows_updated", updated as u64);
+        m.incr("dag.invalidated", invalidated_cells.len() as u64);
+        self.telemetry.record_event(
+            EventKind::IngestBatch,
+            format!(
+                "{table}: {appended} appended, {updated} updated, {} cells stale",
+                invalidated_cells.len()
+            ),
+        );
+        self.ingest_keys.insert(idempotency_key.to_string());
+        Ok(IngestOutcome {
+            appended,
+            updated,
+            deduplicated: false,
+            invalidated_cells,
+        })
+    }
+
+    /// The applied ingest idempotency keys, sorted (persistence export).
+    pub fn export_ingest_keys(&self) -> Vec<String> {
+        self.ingest_keys.iter().cloned().collect()
+    }
+
+    /// Restores the applied-key set exported by
+    /// [`DataLab::export_ingest_keys`]. Replaying a WAL that holds two
+    /// records with the same key (a crash between append and
+    /// acknowledgement, then a client retry) applies exactly one.
+    pub fn restore_ingest_keys(&mut self, keys: Vec<String>) {
+        self.ingest_keys = keys.into_iter().collect();
     }
 
     /// Serialises the knowledge graph to JSON (for persistence across
@@ -1035,6 +1222,104 @@ east,5
         let m = lab.telemetry().metrics();
         assert!(m.counter("llm.faults.retries") > 0);
         assert!(m.counter("llm.breaker.trips") > 0);
+    }
+
+    #[test]
+    fn ingest_appends_upserts_and_deduplicates() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_csv("sales", "region,amount\neast,10\nwest,20\n")
+            .unwrap();
+
+        // Plain append.
+        let r = lab
+            .ingest_rows("sales", "region,amount\nnorth,5\n", None, "batch-1")
+            .unwrap();
+        assert_eq!((r.appended, r.updated, r.deduplicated), (1, 0, false));
+        assert_eq!(lab.database().get("sales").unwrap().n_rows(), 3);
+
+        // Retrying the same idempotency key changes nothing.
+        let retry = lab
+            .ingest_rows("sales", "region,amount\nnorth,5\n", None, "batch-1")
+            .unwrap();
+        assert!(retry.deduplicated);
+        assert_eq!(lab.database().get("sales").unwrap().n_rows(), 3);
+
+        // Upsert by key column: west replaced in place, south appended;
+        // within the batch the last row for a repeated key wins.
+        let r = lab
+            .ingest_rows(
+                "sales",
+                "region,amount\nwest,21\nsouth,7\nwest,22\n",
+                Some("region"),
+                "batch-2",
+            )
+            .unwrap();
+        assert_eq!((r.appended, r.updated), (1, 1));
+        let df = lab.database().get("sales").unwrap();
+        assert_eq!(df.n_rows(), 4);
+        let west_at = df
+            .column("region")
+            .unwrap()
+            .iter()
+            .position(|v| v == &Value::Str("west".into()))
+            .unwrap();
+        assert_eq!(df.column("amount").unwrap()[west_at], Value::Int(22));
+
+        // Validation failures change nothing and are counted.
+        assert!(lab
+            .ingest_rows("sales", "region,amount\nx,oops\n", None, "batch-3")
+            .is_err());
+        assert!(lab
+            .ingest_rows("sales", "region,amount\nx,1\n", Some("nope"), "batch-3")
+            .is_err());
+        assert!(lab
+            .ingest_rows("missing", "region,amount\nx,1\n", None, "batch-3")
+            .is_err());
+        assert_eq!(lab.database().get("sales").unwrap().n_rows(), 4);
+        assert!(!lab.ingest_seen("batch-3"));
+        let m = lab.telemetry().metrics();
+        assert_eq!(m.counter("ingest.batches"), 2);
+        assert_eq!(m.counter("ingest.deduplicated"), 1);
+        assert_eq!(m.counter("platform.errors.ingest"), 3);
+
+        // The applied-key set round-trips through export/restore.
+        let keys = lab.export_ingest_keys();
+        assert_eq!(keys, vec!["batch-1".to_string(), "batch-2".to_string()]);
+        let mut other = DataLab::new(DataLabConfig::default());
+        other
+            .register_csv("sales", "region,amount\neast,10\n")
+            .unwrap();
+        other.restore_ingest_keys(keys);
+        let replay = other
+            .ingest_rows("sales", "region,amount\nnorth,5\n", None, "batch-1")
+            .unwrap();
+        assert!(replay.deduplicated);
+        assert_eq!(other.database().get("sales").unwrap().n_rows(), 1);
+    }
+
+    #[test]
+    fn ingest_invalidates_referencing_cells() {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        lab.register_table("sales", sales()).unwrap();
+        let r = lab.query("What is the total amount by region?");
+        assert!(r.success);
+        let batch = lab
+            .ingest_rows(
+                "sales",
+                "region,amount,day\neast,99,2026-03-01\n",
+                None,
+                "b1",
+            )
+            .unwrap();
+        assert!(
+            !batch.invalidated_cells.is_empty(),
+            "sql cell referencing sales should go stale"
+        );
+        assert!(lab.telemetry().metrics().counter("dag.invalidated") > 0);
+        // A table nothing references invalidates nothing.
+        lab.register_csv("orphan", "x\n1\n").unwrap();
+        let b2 = lab.ingest_rows("orphan", "x\n2\n", None, "b2").unwrap();
+        assert!(b2.invalidated_cells.is_empty());
     }
 
     #[test]

@@ -364,10 +364,8 @@ impl FleetReport {
             }
         }
 
-        if report.runs > 0 {
-            report.alloc.count_per_query = report.alloc.allocs / report.runs;
-            report.alloc.bytes_per_query = report.alloc.bytes / report.runs;
-        }
+        report.alloc.count_per_query = report.alloc.allocs.checked_div(report.runs).unwrap_or(0);
+        report.alloc.bytes_per_query = report.alloc.bytes.checked_div(report.runs).unwrap_or(0);
         report.tokens.total = report.tokens.prompt + report.tokens.completion;
         report.latency = LatencyStats::from_durations(&query_durations);
         report.stages = collect_stats(&stage_durations, &stage_usage);

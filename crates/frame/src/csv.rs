@@ -68,6 +68,93 @@ pub fn from_csv(text: &str) -> Result<DataFrame> {
     Ok(df)
 }
 
+/// Parses CSV rows against a known schema — the ingestion path, where
+/// the table already fixed the types. The header must name every schema
+/// column exactly once (case-insensitive, any order); every value must
+/// fit its column's type or the whole parse fails (no inference, no
+/// silent nulling — empty fields are still nulls). All-or-nothing: the
+/// first bad row rejects the batch.
+pub fn from_csv_with_schema(text: &str, schema: &Schema) -> Result<DataFrame> {
+    let rows = parse_rows(text)?;
+    let mut iter = rows.into_iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| FrameError::Csv("empty input".into()))?;
+    if header.len() != schema.len() {
+        return Err(FrameError::Csv(format!(
+            "header has {} columns, table has {}",
+            header.len(),
+            schema.len()
+        )));
+    }
+    let mut positions = Vec::with_capacity(schema.len());
+    for field in schema.fields() {
+        let hits: Vec<usize> = header
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.trim().eq_ignore_ascii_case(&field.name))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.as_slice() {
+            [at] => positions.push(*at),
+            [] => {
+                return Err(FrameError::Csv(format!(
+                    "header is missing table column `{}`",
+                    field.name
+                )))
+            }
+            _ => {
+                return Err(FrameError::Csv(format!(
+                    "header names column `{}` more than once",
+                    field.name
+                )))
+            }
+        }
+    }
+    let mut df = DataFrame::new(schema.clone());
+    for (i, record) in iter.enumerate() {
+        if record.len() != header.len() {
+            return Err(FrameError::Csv(format!(
+                "row {} has {} fields, expected {}",
+                i + 2,
+                record.len(),
+                header.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(schema.len());
+        for (field, &at) in schema.fields().iter().zip(&positions) {
+            let raw = record[at].trim();
+            if raw.is_empty() {
+                row.push(Value::Null);
+                continue;
+            }
+            let fits = match field.dtype {
+                DataType::Int => raw.parse::<i64>().is_ok(),
+                DataType::Float => raw.parse::<f64>().is_ok(),
+                DataType::Bool => {
+                    raw.eq_ignore_ascii_case("true") || raw.eq_ignore_ascii_case("false")
+                }
+                DataType::Date => Date::parse(raw).is_ok(),
+                DataType::Str => true,
+                // An all-null column never established a type; only
+                // further nulls fit it.
+                DataType::Null => false,
+            };
+            if !fits {
+                return Err(FrameError::Csv(format!(
+                    "row {}: `{raw}` does not fit column `{}` ({})",
+                    i + 2,
+                    field.name,
+                    field.dtype
+                )));
+            }
+            row.push(parse_value(raw, field.dtype));
+        }
+        df.push_row(row)?;
+    }
+    Ok(df)
+}
+
 fn infer_type(raw: &[&str]) -> DataType {
     let mut saw_any = false;
     let (mut int, mut float, mut boolean, mut date) = (true, true, true, true);
@@ -207,5 +294,29 @@ mod tests {
     #[test]
     fn rejects_ragged_rows() {
         assert!(from_csv("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn schema_checked_parse_accepts_reordered_headers() {
+        let base = from_csv("name,score\nalice,1.5\n").unwrap();
+        let df = from_csv_with_schema("SCORE,Name\n2.5,bob\n,carol\n", base.schema()).unwrap();
+        assert_eq!(df.schema(), base.schema());
+        assert_eq!(df.column("name").unwrap()[0], Value::Str("bob".into()));
+        assert_eq!(df.column("score").unwrap()[0], Value::Float(2.5));
+        assert!(df.column("score").unwrap()[1].is_null());
+    }
+
+    #[test]
+    fn schema_checked_parse_is_all_or_nothing() {
+        let base = from_csv("name,score\nalice,1.5\n").unwrap();
+        // A type mismatch anywhere rejects the whole batch.
+        assert!(from_csv_with_schema("name,score\nbob,2.5\ncarol,oops\n", base.schema()).is_err());
+        // Missing, extra, and duplicated columns are rejected.
+        assert!(from_csv_with_schema("name\nbob\n", base.schema()).is_err());
+        assert!(from_csv_with_schema("name,score,extra\nbob,1,2\n", base.schema()).is_err());
+        assert!(from_csv_with_schema("name,name\nbob,1\n", base.schema()).is_err());
+        // Bools are strict true/false, never coerced.
+        let flags = from_csv("ok\ntrue\n").unwrap();
+        assert!(from_csv_with_schema("ok\nmaybe\n", flags.schema()).is_err());
     }
 }

@@ -316,7 +316,7 @@ impl DataFrame {
                 None => {
                     if kind == JoinKind::Left {
                         let mut row = self.row(i);
-                        row.extend(std::iter::repeat(Value::Null).take(other.n_cols()));
+                        row.extend(std::iter::repeat_n(Value::Null, other.n_cols()));
                         out.push_row(row)?;
                     }
                 }

@@ -459,7 +459,7 @@ mod tests {
 
     #[test]
     fn value_total_order() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("b".into()),
             Value::Int(3),
             Value::Null,

@@ -195,12 +195,14 @@ pub fn generate_table_knowledge_traced(
 
 fn parse_map_output(text: &str) -> MapResult {
     let json: Json = serde_json::from_str(text.trim()).unwrap_or(Json::Null);
-    let mut r = MapResult::default();
-    r.table_description = json["table"]["description"]
-        .as_str()
-        .unwrap_or("")
-        .to_string();
-    r.table_usage = json["table"]["usage"].as_str().unwrap_or("").to_string();
+    let mut r = MapResult {
+        table_description: json["table"]["description"]
+            .as_str()
+            .unwrap_or("")
+            .to_string(),
+        table_usage: json["table"]["usage"].as_str().unwrap_or("").to_string(),
+        ..MapResult::default()
+    };
     if let Some(cols) = json["columns"].as_array() {
         for c in cols {
             let name = c["name"].as_str().unwrap_or("").to_string();

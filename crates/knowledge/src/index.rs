@@ -52,7 +52,7 @@ fn content_for(graph: &KnowledgeGraph, id: NodeId, task: IndexTask) -> String {
             parts.push(take("value"));
         }
         IndexTask::General => {
-            for (_, v) in &node.components {
+            for v in node.components.values() {
                 parts.push(v.clone());
             }
         }

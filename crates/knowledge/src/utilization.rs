@@ -68,9 +68,9 @@ fn filter_lines(lines: &str, setting: KnowledgeSetting) -> String {
             // logic (derived), value semantics and value aliases are the
             // "full" extras.
             .filter(|l| {
-                !l.starts_with("derived ")
-                    && !l.starts_with("value ")
-                    && !(l.starts_with("alias ") && l.contains("-> value"))
+                !(l.starts_with("derived ")
+                    || l.starts_with("value ")
+                    || (l.starts_with("alias ") && l.contains("-> value")))
             })
             .collect::<Vec<_>>()
             .join("\n"),

@@ -358,7 +358,8 @@ impl Evidence {
             return Some(Vec::new());
         }
         // BFS over the FK graph.
-        let mut adj: HashMap<String, Vec<(String, (ColumnRef, ColumnRef))>> = HashMap::new();
+        type FkEdge = (String, (ColumnRef, ColumnRef));
+        let mut adj: HashMap<String, Vec<FkEdge>> = HashMap::new();
         for (l, r) in &self.fks {
             adj.entry(l.table.to_lowercase())
                 .or_default()
@@ -615,7 +616,7 @@ pub fn infer_intent(question: &str, ev: &Evidence) -> QueryIntent {
     if value_hits.iter().any(|(_, cr, _)| in_scope(cr)) {
         value_hits.retain(|(_, cr, _)| in_scope(cr));
     }
-    value_hits.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    value_hits.sort_by_key(|hit| std::cmp::Reverse(hit.0.len()));
     let mut covered: Vec<(usize, usize)> = Vec::new();
     for (term, cr, val) in value_hits {
         if let Some(pos) = lower_q.find(&term) {

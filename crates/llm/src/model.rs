@@ -177,14 +177,15 @@ fn corrupt_intent(intent: QueryIntent, ev: &Evidence, variant: u64) -> QueryInte
     }
     // Nothing structural to corrupt (e.g. bare COUNT(*)): misread the
     // request as a plain listing — well-formed output, wrong answer.
-    let mut misread = QueryIntent::default();
-    misread.projections = ev
-        .all_columns()
-        .into_iter()
-        .take(1)
-        .map(|(cr, _)| cr)
-        .collect();
-    misread
+    QueryIntent {
+        projections: ev
+            .all_columns()
+            .into_iter()
+            .take(1)
+            .map(|(cr, _)| cr)
+            .collect(),
+        ..QueryIntent::default()
+    }
 }
 
 fn corrupt_variant(mut intent: QueryIntent, ev: &Evidence, variant: u64) -> QueryIntent {

@@ -243,6 +243,31 @@ impl CellDag {
         order
     }
 
+    /// Cells made stale by new rows in `name` (a base table or a
+    /// variable): every cell referencing it plus all their transitive
+    /// dependents, in notebook order. The ingestion path counts these
+    /// as `dag.invalidated` so derived results are never read stale.
+    pub fn invalidated_by(&self, notebook: &Notebook, name: &str) -> Vec<CellId> {
+        let lower = name.to_lowercase();
+        let mut stale: HashSet<CellId> = HashSet::new();
+        for cell in notebook.cells() {
+            let references_it = self
+                .analyses
+                .get(&cell.id)
+                .map(|a| a.referenced.iter().any(|r| r.to_lowercase() == lower))
+                .unwrap_or(false);
+            if references_it && stale.insert(cell.id) {
+                stale.extend(self.descendants(cell.id));
+            }
+        }
+        notebook
+            .cells()
+            .iter()
+            .map(|c| c.id)
+            .filter(|id| stale.contains(id))
+            .collect()
+    }
+
     /// The cell that defines a variable (closest to the end of the
     /// notebook), used by notebook-level context retrieval.
     pub fn definer_of(&self, notebook: &Notebook, var: &str) -> Option<CellId> {
@@ -358,6 +383,18 @@ mod tests {
         assert_eq!(dag.dependencies(c), &[b]);
         assert!(dag.dependents(a).is_empty());
         assert_eq!(dag.definer_of(&nb, "x"), Some(b));
+    }
+
+    #[test]
+    fn ingesting_a_table_invalidates_referencers_and_descendants() {
+        let (nb, sql, py, md, chart) = notebook();
+        let dag = CellDag::build(&nb);
+        // New rows in `sales` stale the SQL cell and, transitively, the
+        // python cleanup and the chart — but not the markdown note.
+        let stale = dag.invalidated_by(&nb, "SALES");
+        assert_eq!(stale, vec![sql, py, chart]);
+        assert!(!stale.contains(&md));
+        assert!(dag.invalidated_by(&nb, "unknown_table").is_empty());
     }
 
     #[test]

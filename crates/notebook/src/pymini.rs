@@ -243,18 +243,13 @@ fn check_balanced(clean: &str) -> bool {
     for c in clean.chars() {
         match c {
             '(' | '[' | '{' => stack.push(c),
-            ')' => {
-                if stack.pop() != Some('(') {
-                    return false;
-                }
-            }
-            ']' => {
-                if stack.pop() != Some('[') {
-                    return false;
-                }
-            }
-            '}' => {
-                if stack.pop() != Some('{') {
+            ')' | ']' | '}' => {
+                let open = match c {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                if stack.pop() != Some(open) {
                     return false;
                 }
             }

@@ -65,7 +65,9 @@ pub mod server;
 pub mod store;
 
 pub use admission::{JobQueue, TenantGate, TenantPermit};
-pub use datalab_store::{DurabilityConfig, DurableStore, FsyncPolicy};
+pub use datalab_store::{
+    DiskFault, DurabilityConfig, DurableStore, FaultDisk, FaultDiskConfig, FsyncPolicy,
+};
 pub use http::{read_request, HttpError, Request, Response};
 pub use json::{Json, JsonError};
 pub use server::{Server, ServerConfig, MAX_TENANT_LEN};

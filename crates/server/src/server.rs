@@ -26,7 +26,10 @@ use crate::http::{linger_close, read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::store::{SessionStore, StoreConfig};
 use datalab_core::{BreakerState, DataLab, DataLabConfig, RequestContext, LATENCY_BUCKETS_US};
-use datalab_store::{DurabilityConfig, DurableStore, FsyncPolicy, SessionRecord, SessionState};
+use datalab_store::{
+    DurabilityConfig, DurableStore, FaultDisk, FaultDiskConfig, FsyncPolicy, SessionRecord,
+    SessionState,
+};
 use datalab_telemetry::{
     chrome_trace_json, event_json, folded_stacks, json_escape, metrics_prometheus,
     publish_alloc_metrics, span_json, EventKind, ProfileWeight, SloTargets, SloTracker, SloWindows,
@@ -94,6 +97,11 @@ pub struct ServerConfig {
     /// WAL records per tenant between automatic snapshots (0 disables
     /// cadence snapshots). Ignored without `data_dir`.
     pub snapshot_every: u64,
+    /// Disk-fault injection beneath the durable store (seeded,
+    /// deterministic — the write-path analogue of the model transport's
+    /// `ChaosConfig`). `None` leaves every disk call a passthrough.
+    /// Ignored without `data_dir`.
+    pub faults: Option<FaultDiskConfig>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +130,7 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncPolicy::Interval(datalab_store::DEFAULT_FSYNC_INTERVAL),
             snapshot_every: 32,
+            faults: None,
         }
     }
 }
@@ -166,6 +175,7 @@ impl Server {
         for name in [
             "server.latency.query_us",
             "server.latency.tables_us",
+            "server.latency.ingest_us",
             "server.latency.health_us",
             "server.latency.metrics_us",
             "server.latency.traces_us",
@@ -184,6 +194,7 @@ impl Server {
             "server.resilience.breaker_trips",
             "server.resilience.degraded",
             "server.rejected.breaker",
+            "server.rejected.read_only",
         ] {
             telemetry.metrics().incr(name, 0);
         }
@@ -196,13 +207,14 @@ impl Server {
                 telemetry
                     .metrics()
                     .histogram_with_buckets("server.recovery.latency_us", LATENCY_BUCKETS_US);
-                Some(DurableStore::open(
+                Some(DurableStore::open_with_faults(
                     dir.clone(),
                     DurabilityConfig {
                         fsync: config.fsync,
                         snapshot_every: config.snapshot_every,
                     },
                     telemetry.clone(),
+                    config.faults.clone().map(|c| Arc::new(FaultDisk::new(c))),
                 )?)
             }
             None => None,
@@ -224,7 +236,7 @@ impl Server {
             store,
             telemetry,
             traces: TraceStore::new(config.trace_policy.clone()),
-            slo: SloTracker::new(config.slo_targets.clone(), config.slo_windows.clone()),
+            slo: SloTracker::new(config.slo_targets.clone(), config.slo_windows),
             trace_counter: AtomicU64::new(0),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
@@ -450,6 +462,13 @@ fn route(
             tables_index(inner, request, trace),
         ),
         ("POST", "/v1/tables") => ("server.latency.tables_us", tables(inner, request, trace)),
+        ("POST", path) if path.starts_with("/v1/tables/") && path.ends_with("/rows") => {
+            let name = &path["/v1/tables/".len()..path.len() - "/rows".len()];
+            (
+                "server.latency.ingest_us",
+                ingest(inner, request, trace, name),
+            )
+        }
         ("POST", "/v1/query") => (
             "server.latency.query_us",
             query(inner, request, trace, arrived),
@@ -496,17 +515,38 @@ fn health(inner: &Arc<ServerInner>) -> Response {
         .map(|(tenant, report)| format!("\"{}\":{}", json_escape(tenant), tenant_slo_json(report)))
         .collect();
     let targets = inner.slo.targets();
+    // Write-path health: the durable store's read-only flag, failure
+    // counters, and fsync backlog. `null` without a data_dir.
+    let storage = match &inner.durable {
+        Some(durable) => {
+            let h = durable.storage_health();
+            format!(
+                "{{\"read_only\":{},\"consecutive_failures\":{},\"flush_errors\":{},\
+                 \"fsync_backlog_bytes\":{},\"last_error\":{}}}",
+                h.read_only,
+                h.consecutive_failures,
+                h.flush_errors,
+                h.fsync_backlog_bytes,
+                match &h.last_error {
+                    Some(e) => format!("\"{}\"", json_escape(e)),
+                    None => "null".to_string(),
+                }
+            )
+        }
+        None => "null".to_string(),
+    };
     Response::json(
         200,
         format!(
             "{{\"status\":\"ok\",\"uptime_us\":{},\"sessions\":{},\"queue_depth\":{},\
-             \"breakers\":{{{}}},\
+             \"breakers\":{{{}}},\"storage\":{},\
              \"slo_targets\":{{\"availability\":{},\"latency_threshold_us\":{},\
              \"latency_goal\":{}}},\"slo\":{{{}}}}}",
             inner.started.elapsed().as_micros(),
             inner.store.len(),
             inner.queue.depth(),
             breakers.join(","),
+            storage,
             targets.availability,
             targets.latency_threshold_us,
             targets.latency_goal,
@@ -839,20 +879,31 @@ fn persist(
         }
     };
     if receipt.snapshot_due {
-        let state = SessionState {
-            tables: lab.export_tables(),
-            knowledge_json: lab.export_knowledge().unwrap_or_default(),
-            notebook_json: lab.export_notebook(),
-            history: lab.history().to_vec(),
-        };
-        if let Err(e) = durable.snapshot(tenant, &state) {
-            inner.telemetry.metrics().incr("store.snapshot_failures", 1);
-            inner
-                .telemetry
-                .record_event(EventKind::PlatformError, format!("snapshot: {e}"));
-        }
+        snapshot_session(inner, tenant, lab);
     }
     receipt.fsync_stall_us
+}
+
+/// Captures the session's durable state and snapshots it (truncating
+/// the WAL). Must be called with the session lock held. Snapshot
+/// failures are non-fatal — the WAL still holds every record.
+fn snapshot_session(inner: &Arc<ServerInner>, tenant: &str, lab: &DataLab) {
+    let Some(durable) = inner.durable.as_ref() else {
+        return;
+    };
+    let state = SessionState {
+        tables: lab.export_tables(),
+        knowledge_json: lab.export_knowledge().unwrap_or_default(),
+        notebook_json: lab.export_notebook(),
+        history: lab.history().to_vec(),
+        ingest_keys: lab.export_ingest_keys(),
+    };
+    if let Err(e) = durable.snapshot(tenant, &state) {
+        inner.telemetry.metrics().incr("store.snapshot_failures", 1);
+        inner
+            .telemetry
+            .record_event(EventKind::PlatformError, format!("snapshot: {e}"));
+    }
 }
 
 /// `GET /v1/tables?tenant=NAME`: the tenant's registered tables with
@@ -963,6 +1014,176 @@ fn tables(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId) -> Respo
             )
         }
         Err(e) => error_response(400, "table_register", &e.to_string(), trace),
+    }
+}
+
+/// `POST /v1/tables/:name/rows`: appends (or upserts, with
+/// `key_column`) one batch of CSV rows to a registered table. The batch
+/// is one atomic WAL record — committed *before* the in-memory apply,
+/// so an acknowledged batch survives a crash and a failed append
+/// changes nothing. The client-supplied `idempotency_key` makes retries
+/// safe: a key that already applied returns `deduplicated` without
+/// touching the table, at request time and at WAL replay alike.
+///
+/// When the durable store has degraded to read-only (persistent disk
+/// faults), the batch is rejected with `503` + `Retry-After` before any
+/// state changes; reads keep serving from memory.
+fn ingest(inner: &Arc<ServerInner>, request: &Request, trace: &TraceId, name: &str) -> Response {
+    inner.telemetry.metrics().incr("server.requests.ingest", 1);
+    if name.is_empty() || name.contains('/') {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("no route for POST {}", request.target);
+        return error_response(404, "not_found", &detail, trace);
+    }
+    let (body, tenant) = match parse_body(inner, request, trace) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let fail = |detail: &str| {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.bad_request", 1);
+        error_response(400, "bad_request", detail, trace)
+    };
+    let (Some(csv), Some(key)) = (body.str_field("csv"), body.str_field("idempotency_key")) else {
+        return fail("missing string fields `csv` and `idempotency_key`");
+    };
+    if key.is_empty() || key.len() > 128 || key.chars().any(|c| c.is_control()) {
+        return fail("`idempotency_key` must be 1..=128 bytes with no control characters");
+    }
+    let key_column = body.str_field("key_column");
+
+    // Like `GET /v1/tables`, only materialise sessions for tenants that
+    // exist somewhere; the table requirement below keeps fresh sessions
+    // from being writable anyway.
+    let durable_has = inner
+        .durable
+        .as_ref()
+        .is_some_and(|durable| durable.has_tenant(&tenant));
+    if !inner.store.contains(&tenant) && !durable_has {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("no session or durable state for tenant `{tenant}`");
+        return error_response(404, "tenant_not_found", &detail, trace);
+    }
+
+    let session = inner.store.session(&tenant);
+    let mut lab = session.lock().unwrap_or_else(|p| p.into_inner());
+
+    // Retry of an already-applied batch: acknowledge without touching
+    // the table or the WAL.
+    if lab.ingest_seen(key) {
+        inner
+            .telemetry
+            .metrics()
+            .incr("server.ingest.deduplicated", 1);
+        return Response::json(
+            200,
+            format!(
+                "{{\"ok\":true,\"tenant\":\"{}\",\"table\":\"{}\",\"deduplicated\":true,\
+                 \"appended\":0,\"updated\":0,\"invalidated_cells\":0}}",
+                json_escape(&tenant),
+                json_escape(name)
+            ),
+        );
+    }
+
+    // The path names the target resource, so a missing table is a 404,
+    // not a validation error.
+    if lab.database().get(name).is_err() {
+        inner
+            .telemetry
+            .metrics()
+            .incr("platform.errors.not_found", 1);
+        let detail = format!("tenant `{tenant}` has no table `{name}`");
+        return error_response(404, "table_not_found", &detail, trace);
+    }
+
+    // Validate before committing anything, so a WAL record, once
+    // durable, always applies on replay.
+    if let Err(e) = lab.validate_ingest(name, csv, key_column) {
+        return error_response(400, "ingest", &e.to_string(), trace);
+    }
+
+    // Durability-first: the batch reaches the WAL before memory. A
+    // rejected or failed append leaves both the table and the WAL's
+    // applied state untouched — all-or-nothing.
+    let mut snapshot_due = false;
+    if let Some(durable) = &inner.durable {
+        if !durable.write_allowed() {
+            inner
+                .telemetry
+                .metrics()
+                .incr("server.rejected.read_only", 1);
+            return error_response(
+                503,
+                "read_only",
+                "durable store is read-only after repeated write failures; retry later",
+                trace,
+            )
+            .with_header("Retry-After", "2");
+        }
+        let record = SessionRecord::IngestBatch {
+            table: name.to_string(),
+            rows_csv: csv.to_string(),
+            key_column: key_column.map(str::to_string),
+            idempotency_key: key.to_string(),
+        };
+        match durable.append(&tenant, &record) {
+            Ok(receipt) => snapshot_due = receipt.snapshot_due,
+            Err(e) => {
+                inner.telemetry.metrics().incr("store.append_failures", 1);
+                inner
+                    .telemetry
+                    .record_event(EventKind::PlatformError, format!("ingest append: {e}"));
+                return error_response(
+                    503,
+                    "storage_unavailable",
+                    &format!("could not commit batch to the write-ahead log: {e}"),
+                    trace,
+                )
+                .with_header("Retry-After", "2");
+            }
+        }
+    }
+
+    // Already validated with the session lock held, so the apply cannot
+    // fail; anything else is a bug worth a 500, not a swallow.
+    match lab.ingest_rows(name, csv, key_column, key) {
+        Ok(outcome) => {
+            if snapshot_due {
+                snapshot_session(inner, &tenant, &lab);
+            }
+            inner.telemetry.metrics().incr(
+                "server.ingest.rows",
+                (outcome.appended + outcome.updated) as u64,
+            );
+            // The session's own registry is private; mirror the
+            // staleness fanout where operators can see it.
+            inner
+                .telemetry
+                .metrics()
+                .incr("dag.invalidated", outcome.invalidated_cells.len() as u64);
+            Response::json(
+                200,
+                format!(
+                    "{{\"ok\":true,\"tenant\":\"{}\",\"table\":\"{}\",\"deduplicated\":false,\
+                     \"appended\":{},\"updated\":{},\"invalidated_cells\":{}}}",
+                    json_escape(&tenant),
+                    json_escape(name),
+                    outcome.appended,
+                    outcome.updated,
+                    outcome.invalidated_cells.len()
+                ),
+            )
+        }
+        Err(e) => error_response(500, "ingest_apply", &e.to_string(), trace),
     }
 }
 

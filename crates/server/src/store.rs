@@ -200,6 +200,9 @@ impl SessionStore {
                         let _ = lab.import_notebook(snap.notebook_json);
                     }
                     lab.restore_history(snap.history.iter().map(|h| h.to_string()).collect());
+                    lab.restore_ingest_keys(
+                        snap.ingest_keys.iter().map(|k| k.to_string()).collect(),
+                    );
                 }
                 for (_, record) in &outcome.records {
                     apply_record(&mut lab, record);
@@ -277,6 +280,18 @@ fn apply_record(lab: &mut DataLab, record: &SessionRecordRef<'_>) {
         }
         SessionRecordRef::ImportNotebook { json } => {
             let _ = lab.import_notebook(json);
+        }
+        // Replay-time idempotency: a crash between WAL append and the
+        // HTTP response, followed by a client retry, legitimately leaves
+        // two records with the same key in the WAL. `ingest_rows`
+        // deduplicates on the applied-key set, so exactly one applies.
+        SessionRecordRef::IngestBatch {
+            table,
+            rows_csv,
+            key_column,
+            idempotency_key,
+        } => {
+            let _ = lab.ingest_rows(table, rows_csv, *key_column, idempotency_key);
         }
     }
 }

@@ -1,0 +1,365 @@
+//! End-to-end ingestion tests over real sockets: transactional row
+//! appends with idempotency keys, upsert by key column, downstream cell
+//! invalidation, reboot recovery of ingested rows, and read-only
+//! degradation under injected disk faults with automatic recovery once
+//! the faults clear.
+
+use datalab_server::{FaultDiskConfig, FsyncPolicy, Server, ServerConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SALES_CSV: &str = "region,amount\neast,10\nwest,20\neast,5\n";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "datalab-server-ingestion-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(data_dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(data_dir.to_path_buf()),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    }
+}
+
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+fn json(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+fn register(addr: SocketAddr, tenant: &str, name: &str, csv: &str) {
+    let body = serde_json::json!({"tenant": tenant, "name": name, "csv": csv});
+    let (status, response) = post(addr, "/v1/tables", &body.to_string());
+    assert_eq!(status, 200, "{response}");
+}
+
+fn ingest_body(tenant: &str, csv: &str, key_column: Option<&str>, idempotency_key: &str) -> String {
+    match key_column {
+        Some(key) => serde_json::json!({
+            "tenant": tenant,
+            "csv": csv,
+            "key_column": key,
+            "idempotency_key": idempotency_key,
+        }),
+        None => serde_json::json!({
+            "tenant": tenant,
+            "csv": csv,
+            "idempotency_key": idempotency_key,
+        }),
+    }
+    .to_string()
+}
+
+fn row_count(addr: SocketAddr, tenant: &str, table: &str) -> u64 {
+    let (status, body) = get(addr, &format!("/v1/tables?tenant={tenant}"));
+    assert_eq!(status, 200, "{body}");
+    json(&body)["tables"]
+        .as_array()
+        .expect("tables array")
+        .iter()
+        .find(|t| t["name"] == table)
+        .unwrap_or_else(|| panic!("table {table} missing from {body}"))["rows"]
+        .as_u64()
+        .expect("row count")
+}
+
+/// Appends land atomically, a retried idempotency key deduplicates
+/// instead of double-applying, upsert replaces by key column, malformed
+/// batches are rejected whole, and the ingested rows survive a reboot.
+#[test]
+fn ingest_appends_upserts_deduplicates_and_survives_reboot() {
+    let dir = scratch("basic");
+    let server = Server::start(durable_config(&dir)).expect("boots");
+    let addr = server.addr();
+    register(addr, "acme", "sales", SALES_CSV);
+
+    // Plain append.
+    let batch = "region,amount\nnorth,40\nsouth,50\n";
+    let (status, response) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", batch, None, "k-append"),
+    );
+    assert_eq!(status, 200, "{response}");
+    let v = json(&response);
+    assert_eq!(v["appended"], 2, "{response}");
+    assert_eq!(v["updated"], 0, "{response}");
+    assert_eq!(v["deduplicated"], Value::Bool(false), "{response}");
+    assert_eq!(row_count(addr, "acme", "sales"), 5);
+
+    // Retrying the same key is answered from the dedup set: 200, no
+    // second application.
+    let (status, response) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", batch, None, "k-append"),
+    );
+    assert_eq!(status, 200, "{response}");
+    let v = json(&response);
+    assert_eq!(v["deduplicated"], Value::Bool(true), "{response}");
+    assert_eq!(v["appended"], 0, "{response}");
+    assert_eq!(row_count(addr, "acme", "sales"), 5);
+
+    // Upsert by key column: existing `north` row is replaced, new
+    // `center` row appends.
+    let upsert = "region,amount\nnorth,99\ncenter,1\n";
+    let (status, response) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", upsert, Some("region"), "k-upsert"),
+    );
+    assert_eq!(status, 200, "{response}");
+    let v = json(&response);
+    assert_eq!(v["updated"], 1, "{response}");
+    assert_eq!(v["appended"], 1, "{response}");
+    assert_eq!(row_count(addr, "acme", "sales"), 6);
+
+    // All-or-nothing: one bad row rejects the whole batch.
+    let torn = "region,amount\nok,1\nbad,not-a-number\n";
+    let (status, response) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", torn, None, "k-bad"),
+    );
+    assert_eq!(status, 400, "{response}");
+    assert_eq!(row_count(addr, "acme", "sales"), 6);
+
+    // Unknown table and unknown tenant are 404s.
+    let (status, _) = post(
+        addr,
+        "/v1/tables/nope/rows",
+        &ingest_body("acme", batch, None, "k-nope"),
+    );
+    assert_eq!(status, 404);
+    let (status, _) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("nobody", batch, None, "k-nobody"),
+    );
+    assert_eq!(status, 404);
+
+    // Missing or oversized idempotency keys are client errors.
+    let (status, _) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &serde_json::json!({"tenant": "acme", "csv": batch}).to_string(),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", batch, None, &"x".repeat(200)),
+    );
+    assert_eq!(status, 400);
+
+    server.shutdown();
+
+    // Reboot: the ingested rows and the dedup set are durable.
+    let server = Server::start(durable_config(&dir)).expect("reboots");
+    let addr = server.addr();
+    assert_eq!(row_count(addr, "acme", "sales"), 6);
+    let (status, response) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", batch, None, "k-append"),
+    );
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(
+        json(&response)["deduplicated"],
+        Value::Bool(true),
+        "retried key applied twice across a reboot: {response}"
+    );
+    assert_eq!(row_count(addr, "acme", "sales"), 6);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An applied batch invalidates notebook cells that reference the
+/// table, and the invalidation is visible in both the response and the
+/// `dag.invalidated` counter.
+#[test]
+fn ingest_invalidates_downstream_cells() {
+    let dir = scratch("invalidate");
+    let server = Server::start(durable_config(&dir)).expect("boots");
+    let addr = server.addr();
+    register(addr, "acme", "sales", SALES_CSV);
+
+    // A query materialises notebook cells referencing `sales`.
+    let body =
+        serde_json::json!({"tenant": "acme", "question": "what is the total amount by region"});
+    let (status, response) = post(addr, "/v1/query", &body.to_string());
+    assert_eq!(status, 200, "{response}");
+
+    let (status, response) = post(
+        addr,
+        "/v1/tables/sales/rows",
+        &ingest_body("acme", "region,amount\neast,7\n", None, "k-inv"),
+    );
+    assert_eq!(status, 200, "{response}");
+    let invalidated = json(&response)["invalidated_cells"].as_u64().unwrap_or(0);
+    assert!(invalidated >= 1, "{response}");
+
+    let (_, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["counters"]["dag.invalidated"].as_u64() >= Some(1),
+        "{metrics}"
+    );
+    assert!(
+        m["counters"]["server.ingest.rows"].as_u64() >= Some(1),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Persistent write failure flips the store read-only: writes shed with
+/// 503 + Retry-After while queries keep serving from memory, the
+/// storage section of `/v1/health` reports the degradation, and service
+/// resumes automatically once the faults clear.
+#[test]
+fn persistent_write_failure_degrades_to_read_only_and_recovers() {
+    let dir = scratch("readonly");
+    let server = Server::start(ServerConfig {
+        // Every disk write fails until the test heals the disk.
+        faults: Some(FaultDiskConfig {
+            eio_rate: 1.0,
+            ..FaultDiskConfig::disabled(7)
+        }),
+        ..durable_config(&dir)
+    })
+    .expect("boots");
+    let addr = server.addr();
+
+    // Registration bypasses nothing: it appends to the WAL too, but the
+    // session itself is in memory, so the table is queryable even
+    // though its durable append failed.
+    register(addr, "acme", "sales", SALES_CSV);
+
+    // Hammer writes until the failure threshold trips read-only mode.
+    let mut saw_503 = false;
+    for i in 0..8 {
+        let (status, response) = post(
+            addr,
+            "/v1/tables/sales/rows",
+            &ingest_body("acme", "region,amount\neast,1\n", None, &format!("k-{i}")),
+        );
+        assert_ne!(status, 200, "write succeeded on a dead disk: {response}");
+        if status == 503 {
+            let v = json(&response);
+            let kind = v["error"]["kind"].as_str().unwrap_or_default();
+            assert!(
+                kind == "read_only" || kind == "storage_unavailable",
+                "{response}"
+            );
+            saw_503 = true;
+        }
+    }
+    assert!(saw_503, "no 503 observed under a dead disk");
+
+    // Reads still serve from memory.
+    let (status, response) = get(addr, "/v1/tables?tenant=acme");
+    assert_eq!(status, 200, "{response}");
+
+    // Health reports the degradation.
+    let (status, health) = get(addr, "/v1/health");
+    assert_eq!(status, 200, "{health}");
+    let h = json(&health);
+    assert_eq!(h["storage"]["read_only"], Value::Bool(true), "{health}");
+    assert!(
+        h["storage"]["consecutive_failures"].as_u64() >= Some(3),
+        "{health}"
+    );
+    assert!(h["storage"]["last_error"].is_string(), "{health}");
+
+    // Heal the disk: the next admitted probe write succeeds and flips
+    // the store back to read-write automatically.
+    server
+        .durable()
+        .expect("durable store attached")
+        .faults()
+        .expect("fault disk attached")
+        .clear();
+    let mut recovered = false;
+    for i in 0..8 {
+        let (status, _) = post(
+            addr,
+            "/v1/tables/sales/rows",
+            &ingest_body(
+                "acme",
+                "region,amount\nwest,2\n",
+                None,
+                &format!("heal-{i}"),
+            ),
+        );
+        if status == 200 {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "store never recovered after faults cleared");
+    let (_, health) = get(addr, "/v1/health");
+    let h = json(&health);
+    assert_eq!(h["storage"]["read_only"], Value::Bool(false), "{health}");
+
+    let (_, metrics) = get(addr, "/v1/metrics");
+    let m = json(&metrics);
+    assert!(
+        m["counters"]["store.read_only_trips"].as_u64() >= Some(1),
+        "{metrics}"
+    );
+    assert!(
+        m["counters"]["store.read_only_recoveries"].as_u64() >= Some(1),
+        "{metrics}"
+    );
+    assert!(
+        m["counters"]["server.rejected.read_only"].as_u64() >= Some(1),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

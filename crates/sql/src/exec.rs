@@ -136,7 +136,10 @@ fn build_source(sel: &Select, db: &Database) -> Result<WorkSet> {
             if !matched && join.kind == JoinType::Left {
                 let mut combined = Vec::with_capacity(lrow.len() + right.binding.entries.len());
                 combined.extend(lrow.iter().cloned());
-                combined.extend(std::iter::repeat(Value::Null).take(right.binding.entries.len()));
+                combined.extend(std::iter::repeat_n(
+                    Value::Null,
+                    right.binding.entries.len(),
+                ));
                 rows.push(combined);
             }
         }

@@ -1,0 +1,433 @@
+//! Deterministic disk-fault injection beneath the durability layer.
+//!
+//! [`FaultDisk`] sits under every WAL append, fsync, truncation, and
+//! snapshot rename the store performs, and decides — from a seed and a
+//! monotonically increasing operation counter, nothing else — whether
+//! that operation fails and how: `EIO`, `ENOSPC`, a short write that
+//! leaves a genuinely torn frame on disk, a failed fsync, or added
+//! write latency. The same seed and the same operation sequence always
+//! produce the same fault schedule, so a chaos run that finds a bug is
+//! replayable bit-for-bit; with every rate at zero the disk is a
+//! bit-identical passthrough (the shape `ChaosLlm` established for the
+//! model transport).
+//!
+//! Two scheduling modes compose:
+//!
+//! - **Rates**: each operation rolls one deterministic die; cumulative
+//!   per-fault rates decide the outcome.
+//! - **Explicit schedule**: `(op_index, fault)` pairs pin a fault to an
+//!   exact operation, which is how the `write_chaos` harness attacks a
+//!   chosen WAL offset.
+//!
+//! [`FaultDisk::clear`] drops all faults at runtime — the hook the
+//! read-only degradation tests use to prove recovery is automatic once
+//! the disk heals.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The store-side I/O operations that can be attacked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// A WAL frame / header / snapshot-temp write.
+    Write,
+    /// `fdatasync` of a WAL or snapshot file.
+    Fsync,
+    /// `set_len` (WAL reset after a snapshot, or tail repair).
+    Truncate,
+    /// The snapshot's temp-file rename into place.
+    Rename,
+}
+
+impl DiskOp {
+    fn salt(self) -> u64 {
+        match self {
+            DiskOp::Write => 0x57,
+            DiskOp::Fsync => 0x46,
+            DiskOp::Truncate => 0x54,
+            DiskOp::Rename => 0x52,
+        }
+    }
+}
+
+/// The injectable fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Generic I/O error (`EIO`): nothing reaches the file.
+    Eio,
+    /// Disk full (`ENOSPC`): nothing reaches the file.
+    Enospc,
+    /// A prefix of the buffer reaches the file, then the write fails —
+    /// the classic torn-frame shape.
+    ShortWrite,
+    /// The data was written but `fdatasync` fails: the page cache holds
+    /// bytes that stable storage does not.
+    FsyncFail,
+    /// The operation succeeds after an injected stall.
+    Latency,
+}
+
+impl DiskFault {
+    /// Canonical lowercase name (`eio`, `enospc`, `short`, `fsync`,
+    /// `latency`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiskFault::Eio => "eio",
+            DiskFault::Enospc => "enospc",
+            DiskFault::ShortWrite => "short",
+            DiskFault::FsyncFail => "fsync",
+            DiskFault::Latency => "latency",
+        }
+    }
+
+    /// Inverse of [`DiskFault::as_str`].
+    pub fn parse(raw: &str) -> Option<DiskFault> {
+        match raw {
+            "eio" => Some(DiskFault::Eio),
+            "enospc" => Some(DiskFault::Enospc),
+            "short" => Some(DiskFault::ShortWrite),
+            "fsync" => Some(DiskFault::FsyncFail),
+            "latency" => Some(DiskFault::Latency),
+            _ => None,
+        }
+    }
+}
+
+/// Seeded fault plan: per-kind rates plus an explicit op schedule.
+#[derive(Debug, Clone)]
+pub struct FaultDiskConfig {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Probability a write fails with `EIO`.
+    pub eio_rate: f64,
+    /// Probability a write fails with `ENOSPC`.
+    pub enospc_rate: f64,
+    /// Probability a write lands only a prefix, then fails.
+    pub short_write_rate: f64,
+    /// Probability an fsync fails.
+    pub fsync_fail_rate: f64,
+    /// Probability a write is delayed by [`FaultDiskConfig::latency`].
+    pub latency_rate: f64,
+    /// Injected stall for latency faults.
+    pub latency: Duration,
+    /// Exact `(op_index, fault)` pins, consulted before the rates.
+    pub schedule: Vec<(u64, DiskFault)>,
+}
+
+impl FaultDiskConfig {
+    /// All rates zero: a bit-identical passthrough disk.
+    pub fn disabled(seed: u64) -> FaultDiskConfig {
+        FaultDiskConfig {
+            seed,
+            eio_rate: 0.0,
+            enospc_rate: 0.0,
+            short_write_rate: 0.0,
+            fsync_fail_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::from_millis(2),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Splits a total failure rate evenly across `EIO`, `ENOSPC`, short
+    /// writes, and fsync failures (no latency).
+    pub fn uniform(seed: u64, rate: f64) -> FaultDiskConfig {
+        let each = (rate / 4.0).clamp(0.0, 1.0);
+        FaultDiskConfig {
+            eio_rate: each,
+            enospc_rate: each,
+            short_write_rate: each,
+            fsync_fail_rate: each,
+            ..FaultDiskConfig::disabled(seed)
+        }
+    }
+
+    /// Pins one fault kind to exact operation indices, rates all zero.
+    pub fn scheduled(seed: u64, fault: DiskFault, ops: &[u64]) -> FaultDiskConfig {
+        FaultDiskConfig {
+            schedule: ops.iter().map(|&op| (op, fault)).collect(),
+            ..FaultDiskConfig::disabled(seed)
+        }
+    }
+
+    fn is_quiet(&self) -> bool {
+        self.eio_rate == 0.0
+            && self.enospc_rate == 0.0
+            && self.short_write_rate == 0.0
+            && self.fsync_fail_rate == 0.0
+            && self.latency_rate == 0.0
+            && self.schedule.is_empty()
+    }
+}
+
+/// What [`FaultDisk::on_write`] decided for one write.
+#[derive(Debug)]
+pub enum WriteDecision {
+    /// Write the whole buffer normally.
+    Proceed,
+    /// Sleep, then write the whole buffer.
+    ProceedSlow(Duration),
+    /// Write only the first `len` bytes, then report `error`.
+    Short {
+        /// Bytes that genuinely reach the file.
+        len: usize,
+        /// The error the caller surfaces after the partial write.
+        error: io::Error,
+    },
+    /// Write nothing; report `error`.
+    Fail(io::Error),
+}
+
+/// The deterministic fault injector. One instance is shared by every
+/// file the store touches; its operation counter orders all of them.
+#[derive(Debug)]
+pub struct FaultDisk {
+    config: Mutex<FaultDiskConfig>,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+const EIO: i32 = 5;
+const ENOSPC: i32 = 28;
+
+fn eio_error() -> io::Error {
+    io::Error::from_raw_os_error(EIO)
+}
+
+fn enospc_error() -> io::Error {
+    io::Error::from_raw_os_error(ENOSPC)
+}
+
+/// FNV-1a over raw bytes — the same mixer the LLM chaos layer uses, so
+/// fault schedules stay stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A uniform draw in `[0, 1)` from `(seed, op_index, salt)`.
+fn hash01(seed: u64, op_index: u64, salt: u64) -> f64 {
+    let mut bytes = [0u8; 24];
+    bytes[0..8].copy_from_slice(&seed.to_le_bytes());
+    bytes[8..16].copy_from_slice(&op_index.to_le_bytes());
+    bytes[16..24].copy_from_slice(&salt.to_le_bytes());
+    (fnv1a(&bytes) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultDisk {
+    /// A disk driven by `config`.
+    pub fn new(config: FaultDiskConfig) -> FaultDisk {
+        FaultDisk {
+            config: Mutex::new(config),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the fault plan (the op counter keeps running).
+    pub fn set_config(&self, config: FaultDiskConfig) {
+        *self.config.lock().unwrap_or_else(|p| p.into_inner()) = config;
+    }
+
+    /// Drops every fault: all subsequent operations pass through. Used
+    /// to model the disk healing.
+    pub fn clear(&self) {
+        let mut config = self.config.lock().unwrap_or_else(|p| p.into_inner());
+        let seed = config.seed;
+        *config = FaultDiskConfig::disabled(seed);
+    }
+
+    /// Operations decided so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// One deterministic decision; consumes one op index.
+    fn decide(&self, op: DiskOp) -> Option<DiskFault> {
+        let op_index = self.ops.fetch_add(1, Ordering::Relaxed);
+        let config = self.config.lock().unwrap_or_else(|p| p.into_inner());
+        if config.is_quiet() {
+            return None;
+        }
+        if let Some((_, fault)) = config.schedule.iter().find(|(at, _)| *at == op_index) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(*fault);
+        }
+        // One roll per op, walked against cumulative rates, so raising
+        // one rate never reshuffles which ops the others hit.
+        let roll = hash01(config.seed, op_index, op.salt());
+        let menu: &[(DiskFault, f64)] = match op {
+            DiskOp::Write => &[
+                (DiskFault::Eio, config.eio_rate),
+                (DiskFault::Enospc, config.enospc_rate),
+                (DiskFault::ShortWrite, config.short_write_rate),
+                (DiskFault::Latency, config.latency_rate),
+            ],
+            DiskOp::Fsync => &[(DiskFault::FsyncFail, config.fsync_fail_rate)],
+            DiskOp::Truncate | DiskOp::Rename => &[(DiskFault::Eio, config.eio_rate)],
+        };
+        let mut upto = 0.0;
+        for (fault, rate) in menu {
+            upto += rate;
+            if roll < upto {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Some(*fault);
+            }
+        }
+        None
+    }
+
+    /// Decision for a write of `len` bytes.
+    pub fn on_write(&self, len: usize) -> WriteDecision {
+        match self.decide(DiskOp::Write) {
+            None => WriteDecision::Proceed,
+            Some(DiskFault::Eio) => WriteDecision::Fail(eio_error()),
+            Some(DiskFault::Enospc) => WriteDecision::Fail(enospc_error()),
+            Some(DiskFault::ShortWrite) => {
+                // Deterministic strict-prefix length; the op index was
+                // consumed by decide(), so draw from the one just used.
+                let op_index = self.ops.load(Ordering::Relaxed).wrapping_sub(1);
+                let seed = self.config.lock().unwrap_or_else(|p| p.into_inner()).seed;
+                let frac = hash01(seed, op_index, 0x53);
+                let cut = ((len as f64) * frac) as usize;
+                WriteDecision::Short {
+                    len: cut.min(len.saturating_sub(1)),
+                    error: enospc_error(),
+                }
+            }
+            Some(DiskFault::FsyncFail) => WriteDecision::Fail(eio_error()),
+            Some(DiskFault::Latency) => {
+                let latency = self
+                    .config
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .latency;
+                WriteDecision::ProceedSlow(latency)
+            }
+        }
+    }
+
+    /// Decision for an fsync: `Some(error)` means fail without syncing.
+    pub fn on_fsync(&self) -> Option<io::Error> {
+        match self.decide(DiskOp::Fsync) {
+            Some(DiskFault::FsyncFail) | Some(DiskFault::Eio) | Some(DiskFault::Enospc) => {
+                Some(eio_error())
+            }
+            _ => None,
+        }
+    }
+
+    /// Decision for a truncation (`set_len`).
+    pub fn on_truncate(&self) -> Option<io::Error> {
+        match self.decide(DiskOp::Truncate) {
+            Some(DiskFault::Eio) | Some(DiskFault::Enospc) | Some(DiskFault::FsyncFail) => {
+                Some(eio_error())
+            }
+            _ => None,
+        }
+    }
+
+    /// Decision for the snapshot rename.
+    pub fn on_rename(&self) -> Option<io::Error> {
+        match self.decide(DiskOp::Rename) {
+            Some(DiskFault::Eio) | Some(DiskFault::Enospc) | Some(DiskFault::FsyncFail) => {
+                Some(eio_error())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_disk_never_injects() {
+        let disk = FaultDisk::new(FaultDiskConfig::disabled(7));
+        for _ in 0..200 {
+            assert!(matches!(disk.on_write(64), WriteDecision::Proceed));
+            assert!(disk.on_fsync().is_none());
+        }
+        assert_eq!(disk.injected(), 0);
+        assert_eq!(disk.ops(), 400);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let disk = FaultDisk::new(FaultDiskConfig::uniform(seed, 0.5));
+            (0..100)
+                .map(|_| matches!(disk.on_write(64), WriteDecision::Proceed))
+                .collect()
+        };
+        assert_eq!(outcomes(11), outcomes(11));
+        assert_ne!(outcomes(11), outcomes(12), "different seeds differ");
+        let injected = outcomes(11).iter().filter(|ok| !**ok).count();
+        assert!(injected > 10, "rate 0.5 injects often ({injected}/100)");
+    }
+
+    #[test]
+    fn schedule_pins_exact_ops() {
+        let disk = FaultDisk::new(FaultDiskConfig::scheduled(7, DiskFault::Eio, &[2, 5]));
+        let hits: Vec<bool> = (0..8)
+            .map(|_| !matches!(disk.on_write(64), WriteDecision::Proceed))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![false, false, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn short_writes_are_strict_prefixes() {
+        let disk = FaultDisk::new(FaultDiskConfig {
+            short_write_rate: 1.0,
+            ..FaultDiskConfig::disabled(3)
+        });
+        for _ in 0..50 {
+            match disk.on_write(100) {
+                WriteDecision::Short { len, .. } => assert!(len < 100),
+                other => panic!("expected short write, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clear_heals_the_disk() {
+        let disk = FaultDisk::new(FaultDiskConfig {
+            fsync_fail_rate: 1.0,
+            ..FaultDiskConfig::disabled(3)
+        });
+        assert!(disk.on_fsync().is_some());
+        disk.clear();
+        for _ in 0..50 {
+            assert!(disk.on_fsync().is_none());
+        }
+    }
+
+    #[test]
+    fn fault_names_round_trip() {
+        for fault in [
+            DiskFault::Eio,
+            DiskFault::Enospc,
+            DiskFault::ShortWrite,
+            DiskFault::FsyncFail,
+            DiskFault::Latency,
+        ] {
+            assert_eq!(DiskFault::parse(fault.as_str()), Some(fault));
+        }
+        assert_eq!(DiskFault::parse("nope"), None);
+    }
+}

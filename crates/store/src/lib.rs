@@ -22,18 +22,20 @@
 //! `store.*` telemetry (append/byte counters, fsync stalls, snapshot
 //! and recovery accounting).
 
+mod faults;
 mod mmap;
 mod record;
 mod snapshot;
 mod wal;
 
+pub use faults::{DiskFault, DiskOp, FaultDisk, FaultDiskConfig, WriteDecision};
 pub use mmap::MappedFile;
 pub use record::{
     decode_record, encode_record, DecodeError, SessionRecord, SessionRecordRef, RECORD_VERSION,
 };
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, write_atomic, SessionState, SnapshotError, SnapshotRef,
-    SNAP_MAGIC, SNAP_VERSION,
+    decode_snapshot, encode_snapshot, write_atomic, write_atomic_with, SessionState, SnapshotError,
+    SnapshotRef, SNAP_MAGIC, SNAP_VERSION,
 };
 pub use wal::{
     crc32, encode_frame, scan_wal, wal_header, WalError, WalScan, WalTail, WalWriter,
@@ -44,6 +46,7 @@ use datalab_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -151,6 +154,50 @@ struct TenantLog {
     records_since_snapshot: u64,
 }
 
+/// Consecutive write failures before the store degrades to read-only.
+pub const READ_ONLY_THRESHOLD: u64 = 3;
+/// While read-only, one write attempt in this many is let through as a
+/// probe; if the disk has healed the probe succeeds and the store exits
+/// read-only mode on its own. Counter-based (not time-based) so chaos
+/// runs are deterministic.
+pub const READ_ONLY_PROBE_EVERY: u64 = 4;
+
+/// Write-path health, aggregated across every tenant log.
+struct WriteHealth {
+    consecutive_failures: AtomicU64,
+    read_only: AtomicBool,
+    probe_attempts: AtomicU64,
+    flush_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl WriteHealth {
+    fn new() -> WriteHealth {
+        WriteHealth {
+            consecutive_failures: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
+            probe_attempts: AtomicU64::new(0),
+            flush_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+}
+
+/// A point-in-time view of the write path for the health endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageHealth {
+    /// Writes are being refused (503 at the API) pending a probe.
+    pub read_only: bool,
+    /// Write failures since the last success.
+    pub consecutive_failures: u64,
+    /// Background-flusher / eviction-path sync failures, total.
+    pub flush_errors: u64,
+    /// Bytes appended but not yet known durable, summed over tenants.
+    pub fsync_backlog_bytes: u64,
+    /// The most recent write error, verbatim.
+    pub last_error: Option<String>,
+}
+
 /// The durable store: per-tenant WAL + snapshot under one root
 /// directory, with shared fsync policy and telemetry.
 pub struct DurableStore {
@@ -158,6 +205,8 @@ pub struct DurableStore {
     config: DurabilityConfig,
     telemetry: Telemetry,
     tenants: Mutex<HashMap<String, Arc<Mutex<TenantLog>>>>,
+    faults: Option<Arc<FaultDisk>>,
+    health: WriteHealth,
 }
 
 impl std::fmt::Debug for DurableStore {
@@ -179,6 +228,18 @@ impl DurableStore {
         config: DurabilityConfig,
         telemetry: Telemetry,
     ) -> io::Result<Arc<DurableStore>> {
+        DurableStore::open_with_faults(root, config, telemetry, None)
+    }
+
+    /// [`DurableStore::open`] with a deterministic disk-fault injector
+    /// threaded beneath every WAL append, fsync, truncation, and
+    /// snapshot write. `None` is a plain disk.
+    pub fn open_with_faults(
+        root: impl Into<PathBuf>,
+        config: DurabilityConfig,
+        telemetry: Telemetry,
+        faults: Option<Arc<FaultDisk>>,
+    ) -> io::Result<Arc<DurableStore>> {
         let root = root.into();
         std::fs::create_dir_all(root.join("tenants"))?;
         // Pre-register the taxonomy at zero so scrapes enumerate it
@@ -193,6 +254,10 @@ impl DurableStore {
             "store.recovery_replayed",
             "store.recovery_torn_tails",
             "store.recovery_corrupt_frames",
+            "store.write_errors",
+            "store.flush_errors",
+            "store.read_only_trips",
+            "store.read_only_recoveries",
         ] {
             telemetry.metrics().incr(name, 0);
         }
@@ -201,6 +266,8 @@ impl DurableStore {
             config,
             telemetry,
             tenants: Mutex::new(HashMap::new()),
+            faults,
+            health: WriteHealth::new(),
         });
         if let FsyncPolicy::Interval(interval) = store.config.fsync {
             let weak: Weak<DurableStore> = Arc::downgrade(&store);
@@ -284,7 +351,7 @@ impl DurableStore {
         let dir = self.tenant_dir(tenant);
         std::fs::create_dir_all(&dir)?;
         let watermark = self.snapshot_watermark(tenant)?;
-        let opened = WalWriter::open(&self.wal_path(tenant), watermark)?;
+        let opened = WalWriter::open_with(&self.wal_path(tenant), watermark, self.faults.clone())?;
         let records_since_snapshot = opened
             .records
             .iter()
@@ -320,16 +387,39 @@ impl DurableStore {
     /// holds the session lock), which fixes the record order to the
     /// execution order.
     pub fn append(&self, tenant: &str, record: &SessionRecord) -> io::Result<AppendReceipt> {
-        let log = self.log(tenant)?;
+        let log = match self.log(tenant) {
+            Ok(log) => log,
+            Err(error) => {
+                self.note_write_failure(&error);
+                self.telemetry.metrics().incr("store.write_errors", 1);
+                return Err(error);
+            }
+        };
         let mut log = log.lock().unwrap_or_else(|p| p.into_inner());
-        let (seq, wal_bytes) = log.writer.append(record)?;
+        let (seq, wal_bytes) = match log.writer.append(record) {
+            Ok(receipt) => receipt,
+            Err(error) => {
+                self.note_write_failure(&error);
+                self.telemetry.metrics().incr("store.write_errors", 1);
+                return Err(error);
+            }
+        };
         log.records_since_snapshot += 1;
         let m = self.telemetry.metrics();
         m.incr("store.wal_appends", 1);
         m.incr("store.wal_bytes", wal_bytes);
         let fsync_stall_us = if self.config.fsync == FsyncPolicy::Always {
             let begun = Instant::now();
-            log.writer.sync()?;
+            if let Err(error) = log.writer.sync() {
+                // The frame is in the page cache but not stable storage:
+                // under `always` that breaks the acknowledgement
+                // contract, so the caller must fail the request. The
+                // frame stays in the WAL (replay-time idempotency covers
+                // the retry) and in the backlog for the next sync.
+                self.note_write_failure(&error);
+                self.telemetry.metrics().incr("store.write_errors", 1);
+                return Err(error);
+            }
             let stall = begun.elapsed().as_micros() as u64;
             m.incr("store.fsyncs", 1);
             m.observe("store.fsync_stall_us", stall);
@@ -337,6 +427,7 @@ impl DurableStore {
         } else {
             None
         };
+        self.note_write_success();
         Ok(AppendReceipt {
             seq,
             wal_bytes,
@@ -356,10 +447,20 @@ impl DurableStore {
         // Everything appended so far is folded into `state`.
         let watermark = log.writer.next_seq() - 1;
         let bytes = encode_snapshot(watermark, state);
-        write_atomic(&self.snapshot_path(tenant), &bytes)?;
+        if let Err(error) =
+            write_atomic_with(&self.snapshot_path(tenant), &bytes, self.faults.as_ref())
+        {
+            // Only the temp file is damaged; the old snapshot and the
+            // untouched WAL still recover the session.
+            self.note_write_failure(&error);
+            return Err(error);
+        }
         // A crash here is safe: the WAL still holds records at or below
         // the watermark, and recovery skips them.
-        log.writer.reset()?;
+        if let Err(error) = log.writer.reset() {
+            self.note_write_failure(&error);
+            return Err(error);
+        }
         log.records_since_snapshot = 0;
         let m = self.telemetry.metrics();
         m.incr("store.snapshots", 1);
@@ -473,11 +574,100 @@ impl DurableStore {
             return;
         }
         let begun = Instant::now();
-        if log.writer.sync().is_ok() {
-            let m = self.telemetry.metrics();
-            m.incr("store.fsyncs", 1);
-            m.observe("store.fsync_stall_us", begun.elapsed().as_micros() as u64);
+        match log.writer.sync() {
+            Ok(_) => {
+                let m = self.telemetry.metrics();
+                m.incr("store.fsyncs", 1);
+                m.observe("store.fsync_stall_us", begun.elapsed().as_micros() as u64);
+                self.note_write_success();
+            }
+            Err(error) => {
+                // A dropped flush error used to vanish here entirely:
+                // the backlog stayed pending with nothing counting it.
+                self.health.flush_errors.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.metrics().incr("store.flush_errors", 1);
+                self.note_write_failure(&error);
+            }
         }
+    }
+
+    /// Records a write-path failure; enough in a row flips read-only.
+    fn note_write_failure(&self, error: &io::Error) {
+        let failures = self
+            .health
+            .consecutive_failures
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        *self
+            .health
+            .last_error
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(error.to_string());
+        if failures >= READ_ONLY_THRESHOLD && !self.health.read_only.swap(true, Ordering::Relaxed) {
+            self.telemetry.metrics().incr("store.read_only_trips", 1);
+        }
+    }
+
+    /// Records a write-path success; exits read-only mode if active.
+    fn note_write_success(&self) {
+        self.health.consecutive_failures.store(0, Ordering::Relaxed);
+        if self.health.read_only.swap(false, Ordering::Relaxed) {
+            self.telemetry
+                .metrics()
+                .incr("store.read_only_recoveries", 1);
+        }
+    }
+
+    /// Whether the store is refusing writes.
+    pub fn read_only(&self) -> bool {
+        self.health.read_only.load(Ordering::Relaxed)
+    }
+
+    /// Admission check for one write attempt. `true` when writes are
+    /// healthy — and, in read-only mode, for every
+    /// [`READ_ONLY_PROBE_EVERY`]th attempt, which goes through as a
+    /// probe: if the disk has healed the probe append succeeds and
+    /// clears read-only mode, making recovery automatic.
+    pub fn write_allowed(&self) -> bool {
+        if !self.read_only() {
+            return true;
+        }
+        let attempt = self.health.probe_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        attempt.is_multiple_of(READ_ONLY_PROBE_EVERY)
+    }
+
+    /// The write path's current health, for `/v1/health`.
+    pub fn storage_health(&self) -> StorageHealth {
+        let logs: Vec<Arc<Mutex<TenantLog>>> = {
+            let tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+            tenants.values().cloned().collect()
+        };
+        let fsync_backlog_bytes = logs
+            .iter()
+            .map(|log| {
+                log.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .writer
+                    .unsynced_bytes()
+            })
+            .sum();
+        StorageHealth {
+            read_only: self.read_only(),
+            consecutive_failures: self.health.consecutive_failures.load(Ordering::Relaxed),
+            flush_errors: self.health.flush_errors.load(Ordering::Relaxed),
+            fsync_backlog_bytes,
+            last_error: self
+                .health
+                .last_error
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone(),
+        }
+    }
+
+    /// The fault injector, when one was installed.
+    pub fn faults(&self) -> Option<&Arc<FaultDisk>> {
+        self.faults.as_ref()
     }
 }
 
@@ -678,6 +868,82 @@ mod tests {
         let scan = scan_wal(&bytes).unwrap();
         assert_eq!(scan.records.len(), 1);
         drop(store);
+    }
+
+    #[test]
+    fn dropped_flush_errors_are_counted_and_surfaced() {
+        // Regression: sync_log used to swallow fsync failures, so the
+        // background flusher and the eviction path lost them silently.
+        let root = temp_root("flusherr");
+        let disk = Arc::new(FaultDisk::new(FaultDiskConfig {
+            fsync_fail_rate: 1.0,
+            ..FaultDiskConfig::disabled(7)
+        }));
+        let store = DurableStore::open_with_faults(
+            &root,
+            DurabilityConfig {
+                fsync: FsyncPolicy::Never,
+                snapshot_every: 0,
+            },
+            Telemetry::new(),
+            Some(Arc::clone(&disk)),
+        )
+        .unwrap();
+        store.append("acme", &query(0)).unwrap();
+        store.flush_all();
+        let health = store.storage_health();
+        assert_eq!(health.flush_errors, 1, "the dropped error is counted");
+        assert!(health.fsync_backlog_bytes > 0, "the backlog is visible");
+        assert!(health.last_error.is_some());
+        assert!(!health.read_only, "one failure does not trip read-only");
+        // Enough failures in a row degrade to read-only…
+        store.flush_all();
+        store.flush_all();
+        assert!(store.read_only());
+        assert!(store.storage_health().read_only);
+        // …and a successful flush after the disk heals recovers it.
+        disk.clear();
+        store.flush_all();
+        assert!(!store.read_only());
+        assert_eq!(store.storage_health().fsync_backlog_bytes, 0);
+    }
+
+    #[test]
+    fn read_only_probe_recovers_after_faults_clear() {
+        let root = temp_root("probe");
+        let disk = Arc::new(FaultDisk::new(FaultDiskConfig {
+            eio_rate: 1.0,
+            ..FaultDiskConfig::disabled(7)
+        }));
+        let store = DurableStore::open_with_faults(
+            &root,
+            DurabilityConfig {
+                fsync: FsyncPolicy::Never,
+                snapshot_every: 0,
+            },
+            Telemetry::new(),
+            Some(Arc::clone(&disk)),
+        )
+        .unwrap();
+        // Every append fails; the threshold flips the store read-only.
+        for _ in 0..READ_ONLY_THRESHOLD {
+            assert!(store.append("acme", &query(0)).is_err());
+        }
+        assert!(store.read_only());
+        // The gate denies most attempts but lets periodic probes by.
+        let admitted: Vec<bool> = (0..READ_ONLY_PROBE_EVERY * 2)
+            .map(|_| store.write_allowed())
+            .collect();
+        assert_eq!(admitted.iter().filter(|ok| **ok).count() as u64, 2);
+        // A probe while the disk is still broken keeps it read-only.
+        assert!(store.append("acme", &query(1)).is_err());
+        assert!(store.read_only());
+        // Once the faults clear, the next probe succeeds and recovers.
+        disk.clear();
+        store.append("acme", &query(2)).unwrap();
+        assert!(!store.read_only());
+        assert!(store.write_allowed());
+        assert_eq!(store.storage_health().consecutive_failures, 0);
     }
 
     #[test]

@@ -71,6 +71,19 @@ pub enum SessionRecord {
         /// Exported notebook JSON.
         json: String,
     },
+    /// One transactional row batch against an existing table: the whole
+    /// batch applies or none of it does, on first apply and on replay.
+    IngestBatch {
+        /// Target table name.
+        table: String,
+        /// Batch rows as CSV text, header row included.
+        rows_csv: String,
+        /// Upsert key column; `None` appends unconditionally.
+        key_column: Option<String>,
+        /// Client-supplied idempotency key: replaying (or retrying) a
+        /// batch whose key was already applied is a no-op.
+        idempotency_key: String,
+    },
 }
 
 /// A decoded record whose strings borrow from the encoded buffer
@@ -119,6 +132,17 @@ pub enum SessionRecordRef<'a> {
         /// Exported notebook JSON.
         json: &'a str,
     },
+    /// See [`SessionRecord::IngestBatch`].
+    IngestBatch {
+        /// Target table name.
+        table: &'a str,
+        /// Batch rows as CSV text, header row included.
+        rows_csv: &'a str,
+        /// Upsert key column; `None` appends unconditionally.
+        key_column: Option<&'a str>,
+        /// Client-supplied idempotency key.
+        idempotency_key: &'a str,
+    },
 }
 
 impl SessionRecordRef<'_> {
@@ -153,6 +177,17 @@ impl SessionRecordRef<'_> {
             },
             SessionRecordRef::ImportNotebook { json } => SessionRecord::ImportNotebook {
                 json: json.to_string(),
+            },
+            SessionRecordRef::IngestBatch {
+                table,
+                rows_csv,
+                key_column,
+                idempotency_key,
+            } => SessionRecord::IngestBatch {
+                table: table.to_string(),
+                rows_csv: rows_csv.to_string(),
+                key_column: key_column.map(str::to_string),
+                idempotency_key: idempotency_key.to_string(),
             },
         }
     }
@@ -194,6 +229,7 @@ const TAG_ADD_JARGON: u8 = 3;
 const TAG_ADD_VALUE_ALIAS: u8 = 4;
 const TAG_IMPORT_KNOWLEDGE: u8 = 5;
 const TAG_IMPORT_NOTEBOOK: u8 = 6;
+const TAG_INGEST_BATCH: u8 = 7;
 
 /// Appends a length-prefixed string.
 pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
@@ -286,6 +322,26 @@ pub fn encode_record(record: &SessionRecord) -> Vec<u8> {
             buf.push(TAG_IMPORT_NOTEBOOK);
             put_str(&mut buf, json);
         }
+        SessionRecord::IngestBatch {
+            table,
+            rows_csv,
+            key_column,
+            idempotency_key,
+        } => {
+            buf.push(TAG_INGEST_BATCH);
+            put_str(&mut buf, table);
+            put_str(&mut buf, rows_csv);
+            // The optional key column is a presence byte (0/1) followed
+            // by the string when present.
+            match key_column {
+                Some(column) => {
+                    buf.push(1);
+                    put_str(&mut buf, column);
+                }
+                None => buf.push(0),
+            }
+            put_str(&mut buf, idempotency_key);
+        }
     }
     buf
 }
@@ -326,6 +382,25 @@ pub fn decode_record(bytes: &[u8]) -> Result<SessionRecordRef<'_>, DecodeError> 
         TAG_IMPORT_NOTEBOOK => SessionRecordRef::ImportNotebook {
             json: take_str(bytes, &mut at)?,
         },
+        TAG_INGEST_BATCH => {
+            let table = take_str(bytes, &mut at)?;
+            let rows_csv = take_str(bytes, &mut at)?;
+            let flag = *bytes.get(at).ok_or(DecodeError::Truncated)?;
+            at += 1;
+            let key_column = match flag {
+                0 => None,
+                1 => Some(take_str(bytes, &mut at)?),
+                // Any other presence byte is damage, not a layout we
+                // ever wrote.
+                other => return Err(DecodeError::UnknownTag(other)),
+            };
+            SessionRecordRef::IngestBatch {
+                table,
+                rows_csv,
+                key_column,
+                idempotency_key: take_str(bytes, &mut at)?,
+            }
+        }
         other => return Err(DecodeError::UnknownTag(other)),
     };
     if at != bytes.len() {
@@ -362,6 +437,18 @@ mod tests {
                 json: "{\"nodes\":[]}".into(),
             },
             SessionRecord::ImportNotebook { json: "{}".into() },
+            SessionRecord::IngestBatch {
+                table: "sales".into(),
+                rows_csv: "region,amount\nnorth,5\n".into(),
+                key_column: Some("region".into()),
+                idempotency_key: "batch-001".into(),
+            },
+            SessionRecord::IngestBatch {
+                table: "sales".into(),
+                rows_csv: "region,amount\nsouth,7\n".into(),
+                key_column: None,
+                idempotency_key: "batch-002".into(),
+            },
         ]
     }
 
@@ -410,6 +497,23 @@ mod tests {
         });
         bytes.push(0);
         assert_eq!(decode_record(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn ingest_batch_bad_presence_byte_is_rejected() {
+        let bytes = encode_record(&SessionRecord::IngestBatch {
+            table: "t".into(),
+            rows_csv: "a\n1\n".into(),
+            key_column: None,
+            idempotency_key: "k".into(),
+        });
+        // Locate the presence byte: version(2) + tag(1) + "t"(4+1) +
+        // csv(4+4).
+        let flag_at = 2 + 1 + 5 + 8;
+        assert_eq!(bytes[flag_at], 0);
+        let mut bent = bytes.clone();
+        bent[flag_at] = 7;
+        assert_eq!(decode_record(&bent), Err(DecodeError::UnknownTag(7)));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! [knowledge_json]
 //! [notebook_json]
 //! [n_history: u32] n × [entry]
+//! [n_ingest_keys: u32] n × [key]       (version ≥ 2)
 //! ```
 //!
 //! `wal_seq` is the highest WAL sequence number whose effects the
@@ -28,16 +29,20 @@
 //! `fsync` the directory: readers only ever observe the old complete
 //! snapshot or the new complete snapshot.
 
+use crate::faults::FaultDisk;
 use crate::record::{put_str, take_str, take_u32, take_u64, DecodeError};
 use crate::wal::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// First four bytes of every snapshot file (`DLSN`, little-endian).
 pub const SNAP_MAGIC: u32 = 0x4E53_4C44;
-/// Snapshot container version.
-pub const SNAP_VERSION: u16 = 1;
+/// Snapshot container version. Version 2 added the applied
+/// ingest-idempotency-key set; version-1 files still decode (with an
+/// empty key set).
+pub const SNAP_VERSION: u16 = 2;
 
 /// The durable state of one tenant session, as the server extracts it
 /// from a live `DataLab` (owned form, used for writing).
@@ -53,6 +58,9 @@ pub struct SessionState {
     pub notebook_json: String,
     /// Query history lines, oldest first.
     pub history: Vec<String>,
+    /// Idempotency keys of ingest batches already applied, sorted —
+    /// replaying an `IngestBatch` whose key is here is a no-op.
+    pub ingest_keys: Vec<String>,
 }
 
 /// A decoded snapshot borrowing from the snapshot file's bytes.
@@ -68,6 +76,8 @@ pub struct SnapshotRef<'a> {
     pub notebook_json: &'a str,
     /// History lines, oldest first.
     pub history: Vec<&'a str>,
+    /// Applied ingest idempotency keys (empty for version-1 files).
+    pub ingest_keys: Vec<&'a str>,
 }
 
 impl SnapshotRef<'_> {
@@ -82,6 +92,7 @@ impl SnapshotRef<'_> {
             knowledge_json: self.knowledge_json.to_string(),
             notebook_json: self.notebook_json.to_string(),
             history: self.history.iter().map(|h| h.to_string()).collect(),
+            ingest_keys: self.ingest_keys.iter().map(|k| k.to_string()).collect(),
         }
     }
 }
@@ -130,6 +141,10 @@ pub fn encode_snapshot(wal_seq: u64, state: &SessionState) -> Vec<u8> {
     for h in &state.history {
         put_str(&mut payload, h);
     }
+    payload.extend_from_slice(&(state.ingest_keys.len() as u32).to_le_bytes());
+    for key in &state.ingest_keys {
+        put_str(&mut payload, key);
+    }
 
     let mut out = Vec::with_capacity(16 + payload.len());
     out.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
@@ -161,10 +176,10 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotRef<'_>, SnapshotError> {
         return Err(SnapshotError::BadChecksum);
     }
 
-    parse_payload(payload).map_err(SnapshotError::BadPayload)
+    parse_payload(payload, version).map_err(SnapshotError::BadPayload)
 }
 
-fn parse_payload(payload: &[u8]) -> Result<SnapshotRef<'_>, DecodeError> {
+fn parse_payload(payload: &[u8], version: u16) -> Result<SnapshotRef<'_>, DecodeError> {
     let mut at = 0usize;
     let wal_seq = take_u64(payload, &mut at)?;
     let n_tables = take_u32(payload, &mut at)? as usize;
@@ -181,6 +196,15 @@ fn parse_payload(payload: &[u8]) -> Result<SnapshotRef<'_>, DecodeError> {
     for _ in 0..n_history {
         history.push(take_str(payload, &mut at)?);
     }
+    // Version 1 predates ingestion: its payload ends with history.
+    let mut ingest_keys = Vec::new();
+    if version >= 2 {
+        let n_keys = take_u32(payload, &mut at)? as usize;
+        ingest_keys.reserve(n_keys.min(4096));
+        for _ in 0..n_keys {
+            ingest_keys.push(take_str(payload, &mut at)?);
+        }
+    }
     if at != payload.len() {
         return Err(DecodeError::TrailingBytes);
     }
@@ -190,6 +214,7 @@ fn parse_payload(payload: &[u8]) -> Result<SnapshotRef<'_>, DecodeError> {
         knowledge_json,
         notebook_json,
         history,
+        ingest_keys,
     })
 }
 
@@ -197,6 +222,17 @@ fn parse_payload(payload: &[u8]) -> Result<SnapshotRef<'_>, DecodeError> {
 /// `fdatasync`, `rename` over the target, then directory `fsync` so the
 /// rename itself is durable.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, bytes, None)
+}
+
+/// [`write_atomic`] with an optional fault injector over the temp-file
+/// write, its fsync, and the rename. A fault at any step leaves the
+/// previous snapshot untouched — only the temp file is ever damaged.
+pub fn write_atomic_with(
+    path: &Path,
+    bytes: &[u8],
+    faults: Option<&Arc<FaultDisk>>,
+) -> io::Result<()> {
     let dir = path.parent().ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, "snapshot path has no parent")
     })?;
@@ -207,8 +243,25 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
             .create(true)
             .truncate(true)
             .open(&tmp)?;
-        file.write_all(bytes)?;
+        match faults.map(|disk| disk.on_write(bytes.len())) {
+            None | Some(crate::faults::WriteDecision::Proceed) => file.write_all(bytes)?,
+            Some(crate::faults::WriteDecision::ProceedSlow(stall)) => {
+                std::thread::sleep(stall);
+                file.write_all(bytes)?;
+            }
+            Some(crate::faults::WriteDecision::Short { len, error }) => {
+                let _ = file.write_all(&bytes[..len]);
+                return Err(error);
+            }
+            Some(crate::faults::WriteDecision::Fail(error)) => return Err(error),
+        }
+        if let Some(error) = faults.and_then(|disk| disk.on_fsync()) {
+            return Err(error);
+        }
         file.sync_data()?;
+    }
+    if let Some(error) = faults.and_then(|disk| disk.on_rename()) {
+        return Err(error);
     }
     std::fs::rename(&tmp, path)?;
     // Make the rename durable. Directory fsync is a unix-ism; on other
@@ -237,7 +290,45 @@ mod tests {
             knowledge_json: "{\"nodes\":[{\"kind\":\"jargon\"}]}".into(),
             notebook_json: "{\"cells\":[],\"next_id\":0}".into(),
             history: vec!["total amount by region".into(), "what about west".into()],
+            ingest_keys: vec!["batch-001".into(), "batch-002".into()],
         }
+    }
+
+    /// A version-1 snapshot image (no ingest-key section), as PR 9
+    /// builds wrote them.
+    fn encode_snapshot_v1(wal_seq: u64, state: &SessionState) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&wal_seq.to_le_bytes());
+        payload.extend_from_slice(&(state.tables.len() as u32).to_le_bytes());
+        for (name, csv) in &state.tables {
+            put_str(&mut payload, name);
+            put_str(&mut payload, csv);
+        }
+        put_str(&mut payload, &state.knowledge_json);
+        put_str(&mut payload, &state.notebook_json);
+        payload.extend_from_slice(&(state.history.len() as u32).to_le_bytes());
+        for h in &state.history {
+            put_str(&mut payload, h);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn version_1_snapshots_still_decode() {
+        let mut old = state();
+        old.ingest_keys.clear();
+        let bytes = encode_snapshot_v1(9, &old);
+        let decoded = decode_snapshot(&bytes).expect("v1 decodes");
+        assert_eq!(decoded.wal_seq, 9);
+        assert_eq!(decoded.to_state(), old);
+        assert!(decoded.ingest_keys.is_empty());
     }
 
     #[test]

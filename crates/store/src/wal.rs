@@ -26,10 +26,12 @@
 //! subsequent byte offsets meaningless, so resynchronising past a bad
 //! frame would risk mis-parsing, which is worse than losing the tail.
 
+use crate::faults::{FaultDisk, WriteDecision};
 use crate::record::{decode_record, encode_record, take_u64, SessionRecord, SessionRecordRef};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// First four bytes of every WAL file (`DLWA`, little-endian).
 pub const WAL_MAGIC: u32 = 0x4157_4C44;
@@ -287,6 +289,15 @@ pub struct WalWriter {
     next_seq: u64,
     /// Bytes written since the last successful [`WalWriter::sync`].
     unsynced_bytes: u64,
+    /// Byte length of the trusted prefix (header + whole frames). A
+    /// failed append can leave a partial frame past this point with the
+    /// cursor advanced; before the next append the writer truncates back
+    /// here, or every later frame would sit orphaned behind garbage.
+    trusted_len: u64,
+    /// Set when the file may hold untrusted bytes past `trusted_len`.
+    needs_repair: bool,
+    /// Optional deterministic fault injector (see [`crate::faults`]).
+    faults: Option<Arc<FaultDisk>>,
 }
 
 /// What [`WalWriter::open`] found in the existing file.
@@ -306,7 +317,18 @@ impl WalWriter {
     /// `seq_floor` is the snapshot's sequence watermark: appends continue
     /// above `max(seq_floor, last logged seq)`.
     pub fn open(path: &Path, seq_floor: u64) -> io::Result<WalOpen> {
-        let mut file = OpenOptions::new()
+        WalWriter::open_with(path, seq_floor, None)
+    }
+
+    /// [`WalWriter::open`] with an optional fault injector threaded
+    /// under every subsequent file operation (including this open's own
+    /// truncation and header write).
+    pub fn open_with(
+        path: &Path,
+        seq_floor: u64,
+        faults: Option<Arc<FaultDisk>>,
+    ) -> io::Result<WalOpen> {
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
@@ -325,53 +347,130 @@ impl WalWriter {
         let last_seq = scan.last_seq;
         drop(bytes);
 
+        let mut writer = WalWriter {
+            file,
+            next_seq: last_seq.max(seq_floor) + 1,
+            unsynced_bytes: 0,
+            trusted_len: valid_len as u64,
+            needs_repair: true,
+            faults,
+        };
         if valid_len == 0 {
             // Fresh (or header-torn) file: start over with a header.
-            file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&wal_header())?;
-        } else if tail != WalTail::Clean {
-            file.set_len(valid_len as u64)?;
-            file.seek(SeekFrom::End(0))?;
-        } else {
-            file.seek(SeekFrom::End(0))?;
+            writer.trusted_len = 0;
+        } else if tail == WalTail::Clean {
+            // Nothing untrusted on disk; skip the repair truncation.
+            writer.needs_repair = false;
+            writer.file.seek(SeekFrom::End(0))?;
         }
-
+        writer.repair_if_needed()?;
         Ok(WalOpen {
-            writer: WalWriter {
-                file,
-                next_seq: last_seq.max(seq_floor) + 1,
-                unsynced_bytes: 0,
-            },
+            writer,
             records,
             tail,
         })
     }
 
+    /// Writes through the fault injector. A short-write fault lands a
+    /// strict prefix for real before reporting failure, so the on-disk
+    /// damage is the genuine torn-frame shape.
+    fn checked_write(&mut self, buf: &[u8]) -> io::Result<()> {
+        let decision = match &self.faults {
+            Some(disk) => disk.on_write(buf.len()),
+            None => WriteDecision::Proceed,
+        };
+        match decision {
+            WriteDecision::Proceed => self.file.write_all(buf),
+            WriteDecision::ProceedSlow(stall) => {
+                std::thread::sleep(stall);
+                self.file.write_all(buf)
+            }
+            WriteDecision::Short { len, error } => {
+                let _ = self.file.write_all(&buf[..len]);
+                Err(error)
+            }
+            WriteDecision::Fail(error) => Err(error),
+        }
+    }
+
+    fn checked_set_len(&mut self, len: u64) -> io::Result<()> {
+        if let Some(disk) = &self.faults {
+            if let Some(error) = disk.on_truncate() {
+                return Err(error);
+            }
+        }
+        self.file.set_len(len)
+    }
+
+    fn checked_sync_data(&mut self) -> io::Result<()> {
+        if let Some(disk) = &self.faults {
+            if let Some(error) = disk.on_fsync() {
+                return Err(error);
+            }
+        }
+        self.file.sync_data()
+    }
+
+    /// Truncates back to the trusted prefix after a failed append (and
+    /// rewrites the header after a failed [`WalWriter::reset`]). Until
+    /// this succeeds no append may land: it would sit behind untrusted
+    /// bytes and be dropped by every future scan.
+    fn repair_if_needed(&mut self) -> io::Result<()> {
+        if !self.needs_repair {
+            return Ok(());
+        }
+        self.checked_set_len(self.trusted_len)?;
+        self.file.seek(SeekFrom::Start(self.trusted_len))?;
+        if self.trusted_len < WAL_HEADER_LEN as u64 {
+            // trusted_len is 0 here: header writes are all-or-nothing
+            // from the trust perspective (a partial header was just
+            // wiped by the truncation above).
+            self.checked_write(&wal_header())?;
+            self.trusted_len = WAL_HEADER_LEN as u64;
+        }
+        self.needs_repair = false;
+        Ok(())
+    }
+
     /// Appends one record, returning `(seq, frame_bytes)`. The bytes hit
     /// the OS; durability against power loss requires [`WalWriter::sync`].
+    /// On failure nothing is logically appended: the sequence number is
+    /// not consumed and any partial frame is truncated away before the
+    /// next append.
     pub fn append(&mut self, record: &SessionRecord) -> io::Result<(u64, u64)> {
+        self.repair_if_needed()?;
         let seq = self.next_seq;
         let frame = encode_frame(seq, record);
-        self.file.write_all(&frame)?;
+        if let Err(error) = self.checked_write(&frame) {
+            self.needs_repair = true;
+            return Err(error);
+        }
         self.next_seq += 1;
         self.unsynced_bytes += frame.len() as u64;
+        self.trusted_len += frame.len() as u64;
         Ok((seq, frame.len() as u64))
     }
 
     /// Flushes written frames to stable storage (`fdatasync`). Returns
-    /// the number of bytes made durable (0 = nothing was pending).
+    /// the number of bytes made durable (0 = nothing was pending). On
+    /// failure the pending byte count is kept — it is the fsync backlog
+    /// the health surface reports.
     pub fn sync(&mut self) -> io::Result<u64> {
         if self.unsynced_bytes == 0 {
             return Ok(0);
         }
-        self.file.sync_data()?;
+        self.checked_sync_data()?;
         Ok(std::mem::take(&mut self.unsynced_bytes))
     }
 
     /// Whether appends since the last [`WalWriter::sync`] are pending.
     pub fn is_dirty(&self) -> bool {
         self.unsynced_bytes > 0
+    }
+
+    /// Bytes appended but not yet known durable.
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.unsynced_bytes
     }
 
     /// The sequence number the next append will use.
@@ -381,12 +480,20 @@ impl WalWriter {
 
     /// Truncates the log back to a bare header after a snapshot made its
     /// contents redundant. Sequence numbers keep counting up — see the
-    /// module docs for why that matters.
+    /// module docs for why that matters. On failure the writer repairs
+    /// itself before the next append (worst case the WAL still holds
+    /// pre-snapshot records, which recovery skips by watermark).
     pub fn reset(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
+        self.repair_if_needed()?;
+        self.checked_set_len(0)?;
+        self.trusted_len = 0;
+        self.needs_repair = true;
         self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&wal_header())?;
-        self.file.sync_data()?;
+        self.checked_write(&wal_header())?;
+        self.trusted_len = WAL_HEADER_LEN as u64;
+        self.needs_repair = false;
+        self.unsynced_bytes = WAL_HEADER_LEN as u64;
+        self.checked_sync_data()?;
         self.unsynced_bytes = 0;
         Ok(())
     }
@@ -527,6 +634,57 @@ mod tests {
     fn bad_magic_fails_outright() {
         let bytes = b"GARBAGE-".to_vec();
         assert!(matches!(scan_wal(&bytes), Err(WalError::BadMagic)));
+    }
+
+    #[test]
+    fn failed_append_truncates_the_partial_frame() {
+        use crate::faults::{DiskFault, FaultDisk, FaultDiskConfig};
+        let dir = temp_dir("repair");
+        let path = dir.join("wal.dlw");
+        // Fresh open consumes op 0 (truncate) and op 1 (header write);
+        // appends are ops 2 and 3 — tear the second one.
+        let disk = Arc::new(FaultDisk::new(FaultDiskConfig::scheduled(
+            7,
+            DiskFault::ShortWrite,
+            &[3],
+        )));
+        let mut open = WalWriter::open_with(&path, 0, Some(Arc::clone(&disk))).unwrap();
+        open.writer.append(&reg(0)).unwrap();
+        let torn = open.writer.append(&reg(1));
+        assert!(torn.is_err(), "scheduled short write fails the append");
+        assert_eq!(disk.injected(), 1);
+        // The failed append consumed no sequence number, and the next
+        // append repairs the tail before writing.
+        open.writer.append(&reg(2)).unwrap();
+        open.writer.sync().unwrap();
+        drop(open);
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        let records: Vec<SessionRecord> = scan.records.iter().map(|(_, r)| r.to_owned()).collect();
+        assert_eq!(records, vec![reg(0), reg(2)]);
+        let seqs: Vec<u64> = scan.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn failed_fsync_keeps_the_backlog() {
+        use crate::faults::{FaultDisk, FaultDiskConfig};
+        let dir = temp_dir("backlog");
+        let path = dir.join("wal.dlw");
+        let disk = Arc::new(FaultDisk::new(FaultDiskConfig {
+            fsync_fail_rate: 1.0,
+            ..FaultDiskConfig::disabled(7)
+        }));
+        let mut open = WalWriter::open_with(&path, 0, Some(Arc::clone(&disk))).unwrap();
+        open.writer.append(&reg(0)).unwrap();
+        let backlog = open.writer.unsynced_bytes();
+        assert!(backlog > 0);
+        assert!(open.writer.sync().is_err());
+        assert_eq!(open.writer.unsynced_bytes(), backlog, "backlog persists");
+        disk.clear();
+        assert_eq!(open.writer.sync().unwrap(), backlog);
+        assert_eq!(open.writer.unsynced_bytes(), 0);
     }
 
     #[test]

@@ -34,6 +34,14 @@ fn record_strategy() -> impl Strategy<Value = SessionRecord> {
         }),
         text().prop_map(|json| SessionRecord::ImportKnowledge { json }),
         text().prop_map(|json| SessionRecord::ImportNotebook { json }),
+        (text(), text(), proptest::option::of(text()), text()).prop_map(
+            |(table, rows_csv, key_column, idempotency_key)| SessionRecord::IngestBatch {
+                table,
+                rows_csv,
+                key_column,
+                idempotency_key,
+            },
+        ),
     ]
 }
 
@@ -43,13 +51,15 @@ fn state_strategy() -> impl Strategy<Value = SessionState> {
         text(),
         text(),
         proptest::collection::vec(text(), 0..4),
+        proptest::collection::vec(text(), 0..4),
     )
         .prop_map(
-            |(tables, knowledge_json, notebook_json, history)| SessionState {
+            |(tables, knowledge_json, notebook_json, history, ingest_keys)| SessionState {
                 tables,
                 knowledge_json,
                 notebook_json,
                 history,
+                ingest_keys,
             },
         )
 }
@@ -216,6 +226,78 @@ proptest! {
             fold(&mut recovered, record);
         }
         prop_assert_eq!(recovered, live);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Replaying a WAL holding duplicated idempotency keys applies each
+    /// key exactly once, at any snapshot cadence. Keys are drawn from a
+    /// tiny pool so duplicates are common — modelling a crash between
+    /// WAL append and HTTP response followed by a client retry, which
+    /// legitimately leaves the same key in the log twice. The dedup set
+    /// must survive the snapshot boundary: a key applied before the
+    /// snapshot must still suppress its duplicate replayed from the
+    /// tail.
+    #[test]
+    fn duplicated_idempotency_keys_replay_exactly_once(
+        keys in proptest::collection::vec(0u8..4, 1..12),
+        snapshot_every in 0u64..5,
+    ) {
+        /// The ingest fold the session layer implements: apply only
+        /// unseen keys, remember every applied key.
+        fn fold(state: &mut SessionState, key: &str) {
+            if !state.ingest_keys.iter().any(|k| k == key) {
+                state.ingest_keys.push(key.to_string());
+                state.history.push(format!("applied {key}"));
+            }
+        }
+
+        let dir = scratch();
+        let config = DurabilityConfig {
+            fsync: FsyncPolicy::Never,
+            snapshot_every,
+        };
+        let store = DurableStore::open(&dir, config.clone(), Telemetry::new())
+            .expect("store opens");
+
+        let mut live = SessionState::default();
+        for key in &keys {
+            let key = format!("batch-{key}");
+            let record = SessionRecord::IngestBatch {
+                table: "t".to_string(),
+                rows_csv: "a\n1\n".to_string(),
+                key_column: None,
+                idempotency_key: key.clone(),
+            };
+            // Every attempt reaches the WAL — duplicates included.
+            let receipt = store.append("tenant", &record).expect("append succeeds");
+            fold(&mut live, &key);
+            if receipt.snapshot_due {
+                store.snapshot("tenant", &live).expect("snapshot succeeds");
+            }
+        }
+        store.flush_all();
+        drop(store);
+
+        let store = DurableStore::open(&dir, config, Telemetry::new()).expect("store reopens");
+        let (snapshot, tail, torn, corrupt) = store
+            .recover_owned("tenant")
+            .expect("recovery io")
+            .expect("tenant has durable state");
+        prop_assert!(!torn);
+        prop_assert!(!corrupt);
+        let mut recovered = snapshot.unwrap_or_default();
+        for record in &tail {
+            if let SessionRecord::IngestBatch { idempotency_key, .. } = record {
+                fold(&mut recovered, idempotency_key);
+            }
+        }
+        prop_assert_eq!(&recovered, &live);
+        // Exactly-once: no key ever applied twice.
+        let mut seen = std::collections::BTreeSet::new();
+        for key in &recovered.ingest_keys {
+            prop_assert!(seen.insert(key.clone()), "key {} applied twice", key);
+        }
 
         let _ = std::fs::remove_dir_all(&dir);
     }

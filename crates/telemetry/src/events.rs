@@ -82,6 +82,9 @@ pub enum EventKind {
     /// The session store evicted a tenant session to make room (detail:
     /// the evicted tenant).
     SessionEvicted,
+    /// An ingest batch was applied to a table (detail: table name and
+    /// appended/updated/invalidated counts).
+    IngestBatch,
 }
 
 impl EventKind {
@@ -103,6 +106,7 @@ impl EventKind {
         EventKind::BreakerTrip,
         EventKind::Degraded,
         EventKind::SessionEvicted,
+        EventKind::IngestBatch,
     ];
 
     /// Stable snake_case name, used as the taxonomy/JSON key.
@@ -124,6 +128,7 @@ impl EventKind {
             EventKind::BreakerTrip => "breaker_trip",
             EventKind::Degraded => "degraded",
             EventKind::SessionEvicted => "session_evicted",
+            EventKind::IngestBatch => "ingest_batch",
         }
     }
 

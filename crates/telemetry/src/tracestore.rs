@@ -172,8 +172,8 @@ impl TraceStore {
             false
         };
 
-        let sampled =
-            self.policy.sample_every > 0 && (seq - 1) % self.policy.sample_every as u64 == 0;
+        let sampled = self.policy.sample_every > 0
+            && (seq - 1).is_multiple_of(self.policy.sample_every as u64);
         let reason = if !record.ok {
             RetainReason::Error
         } else if slow {

@@ -29,9 +29,9 @@ fn filter_lines(lines: &str, setting: KnowledgeSetting) -> String {
         KnowledgeSetting::Partial => lines
             .lines()
             .filter(|l| {
-                !l.starts_with("derived ")
-                    && !l.starts_with("value ")
-                    && !(l.starts_with("alias ") && l.contains("-> value"))
+                !(l.starts_with("derived ")
+                    || l.starts_with("value ")
+                    || (l.starts_with("alias ") && l.contains("-> value")))
             })
             .collect::<Vec<_>>()
             .join("\n"),

@@ -136,7 +136,7 @@ mod tests {
         if report.failed > 0 {
             assert!(!report.errors.is_empty(), "{:?}", report.errors);
         }
-        let text = render_sweep(&[point.clone()]);
+        let text = render_sweep(std::slice::from_ref(point));
         assert!(text.contains("0.20"), "{text}");
     }
 

@@ -171,6 +171,7 @@ fn capture_state(lab: &DataLab) -> SessionState {
         knowledge_json: lab.export_knowledge().unwrap_or_default(),
         notebook_json: lab.export_notebook(),
         history: lab.history().to_vec(),
+        ingest_keys: lab.export_ingest_keys(),
     }
 }
 
@@ -200,6 +201,14 @@ fn apply_record(lab: &mut DataLab, record: &SessionRecordRef<'_>) {
         }
         SessionRecordRef::ImportNotebook { json } => {
             let _ = lab.import_notebook(json);
+        }
+        SessionRecordRef::IngestBatch {
+            table,
+            rows_csv,
+            key_column,
+            idempotency_key,
+        } => {
+            let _ = lab.ingest_rows(table, rows_csv, *key_column, idempotency_key);
         }
     }
 }
@@ -346,6 +355,7 @@ pub fn run_crash_recovery(config: &CrashConfig, data_dir: &Path) -> io::Result<C
                     let _ = lab.import_notebook(snap.notebook_json);
                 }
                 lab.restore_history(snap.history.iter().map(|h| h.to_string()).collect());
+                lab.restore_ingest_keys(snap.ingest_keys.iter().map(|k| k.to_string()).collect());
             }
             for (_, record) in &outcome.records {
                 apply_record(&mut lab, record);
@@ -438,6 +448,10 @@ pub fn run_crash_recovery(config: &CrashConfig, data_dir: &Path) -> io::Result<C
                     recovered_state.notebook_json == truth.state.notebook_json,
                 ),
                 ("history", recovered_state.history == truth.state.history),
+                (
+                    "ingest_keys",
+                    recovered_state.ingest_keys == truth.state.ingest_keys,
+                ),
             ]
             .iter()
             .filter(|(_, same)| !same)

@@ -84,13 +84,16 @@ impl Domain {
     }
 }
 
-/// The three synthetic business domains.
-const DOMAINS: &[(
-    &str,
-    &[(&str, &str)],
-    &[(&str, &str, &[&str])],
-    (&str, &str),
-)] = &[
+/// The three synthetic business domains:
+/// (fact table name, measures (phys, natural), dims (phys, natural, values), date).
+type DomainSpec = (
+    &'static str,
+    &'static [(&'static str, &'static str)],
+    &'static [(&'static str, &'static str, &'static [&'static str])],
+    (&'static str, &'static str),
+);
+
+const DOMAINS: &[DomainSpec] = &[
     // (fact table name, measures (phys, natural), dims (phys, natural, values), date)
     (
         "orders",

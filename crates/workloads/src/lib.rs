@@ -24,6 +24,7 @@ pub mod nl2sql;
 pub mod nl2vis;
 pub mod notebooks;
 pub mod parallel;
+pub mod write_chaos;
 
 pub use chaos::{render_sweep, run_chaos_sweep, ChaosPoint};
 pub use corpus::{request_corpus, CorpusRequest, CorpusTable, RequestCorpus};
@@ -32,3 +33,7 @@ pub use crash::{
 };
 pub use data::{build_domain, ColumnRole, Domain, TableSpec};
 pub use fleet::{run_fleet, run_fleet_with_records, FleetConfig};
+pub use write_chaos::{
+    default_schedules, render_write_chaos_report, run_write_chaos, run_write_chaos_with,
+    ScheduleOutcome, WriteChaosConfig, WriteChaosReport,
+};

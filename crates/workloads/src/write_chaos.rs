@@ -1,0 +1,714 @@
+//! Write-path chaos harness: stream ingest batches through the durable
+//! store while a seeded [`FaultDisk`] injects EIO, ENOSPC, short
+//! writes, fsync failures, and write latency — then SIGKILL-reboot and
+//! prove the transactional guarantees held.
+//!
+//! Per fault schedule, four gates:
+//!
+//! - **Atomicity**: after reboot, every table must equal the fold of
+//!   exactly the batches the recovered store claims applied (its
+//!   idempotency-key set), bit for bit. A half-applied batch — rows
+//!   present without the key, or vice versa — fails the gate.
+//! - **Durability**: every batch acknowledged during the live phase
+//!   must be in the recovered key set. Unacknowledged batches may be
+//!   present (a frame that reached the WAL before its fsync failed) or
+//!   absent (a torn frame) — both are legal, half-applied is not.
+//! - **Exactly-once convergence**: retrying *every* batch against the
+//!   recovered store (faults cleared) must converge to each key applied
+//!   exactly once — already-applied batches deduplicate, lost batches
+//!   apply — and the final state must equal an oracle that replays the
+//!   actual application order.
+//! - **Control equivalence**: the zero-rate schedule must reproduce an
+//!   uninterrupted in-memory run exactly, with no failures, no
+//!   rejections, and no read-only trips.
+//!
+//! The "SIGKILL" is a store drop without graceful flush: everything the
+//! writer handed to the kernel survives (the harness cannot drop the
+//! page cache), while short-write faults plant genuine torn frames for
+//! recovery to detect and drop.
+
+use crate::corpus::{request_corpus, CorpusTable};
+use datalab_core::{DataLab, DataLabConfig};
+use datalab_store::{
+    DurabilityConfig, DurableStore, FaultDisk, FaultDiskConfig, FsyncPolicy, SessionRecord,
+    SessionRecordRef, SessionState,
+};
+use datalab_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Write-chaos harness parameters.
+#[derive(Debug, Clone)]
+pub struct WriteChaosConfig {
+    /// Corpus and fault-injection seed.
+    pub seed: u64,
+    /// Tasks per workload family handed to the corpus generator (the
+    /// harness only uses its tables).
+    pub tasks_per_workload: usize,
+    /// Snapshot cadence for the durable store (records per snapshot;
+    /// 0 disables cadence snapshots).
+    pub snapshot_every: u64,
+    /// Ingest batches generated per table.
+    pub batches_per_table: usize,
+    /// Rows per generated batch.
+    pub rows_per_batch: usize,
+    /// Most tables exercised (bounds runtime).
+    pub max_tables: usize,
+}
+
+impl Default for WriteChaosConfig {
+    fn default() -> WriteChaosConfig {
+        WriteChaosConfig {
+            seed: 7,
+            tasks_per_workload: 1,
+            snapshot_every: 3,
+            batches_per_table: 4,
+            rows_per_batch: 2,
+            max_tables: 6,
+        }
+    }
+}
+
+/// The fault schedules swept by default: one schedule per fault kind at
+/// a rate that reliably fires, a mixed run, a total blackout (which
+/// must trip read-only mode), and the zero-rate control.
+pub fn default_schedules(seed: u64) -> Vec<(String, FaultDiskConfig)> {
+    let base = FaultDiskConfig::disabled(seed);
+    vec![
+        ("control".to_string(), base.clone()),
+        (
+            "eio".to_string(),
+            FaultDiskConfig {
+                eio_rate: 0.15,
+                ..base.clone()
+            },
+        ),
+        (
+            "enospc".to_string(),
+            FaultDiskConfig {
+                enospc_rate: 0.15,
+                ..base.clone()
+            },
+        ),
+        (
+            "short".to_string(),
+            FaultDiskConfig {
+                short_write_rate: 0.15,
+                ..base.clone()
+            },
+        ),
+        (
+            "fsync".to_string(),
+            FaultDiskConfig {
+                fsync_fail_rate: 0.2,
+                ..base.clone()
+            },
+        ),
+        (
+            "latency".to_string(),
+            FaultDiskConfig {
+                latency_rate: 0.3,
+                latency: Duration::from_millis(1),
+                ..base.clone()
+            },
+        ),
+        ("mixed".to_string(), FaultDiskConfig::uniform(seed, 0.2)),
+        (
+            "blackout".to_string(),
+            FaultDiskConfig {
+                eio_rate: 1.0,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// One generated ingest batch.
+#[derive(Debug, Clone)]
+struct Batch {
+    tenant: String,
+    table: String,
+    csv: String,
+    key_column: Option<String>,
+    key: String,
+}
+
+/// How the live phase left one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchFate {
+    /// Appended, fsynced, applied — acknowledged.
+    Applied,
+    /// The WAL append (or its fsync) failed; nothing applied in memory.
+    AppendFailed,
+    /// Rejected up front because the store was read-only.
+    RejectedReadOnly,
+}
+
+/// Outcome of one fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Schedule name (`control`, `eio`, ...).
+    pub name: String,
+    /// Batches generated (all of them are retried after reboot).
+    pub batches: u64,
+    /// Batches acknowledged during the live phase.
+    pub applied: u64,
+    /// Live-phase appends that failed under injected faults.
+    pub append_failures: u64,
+    /// Live-phase batches shed by the read-only gate.
+    pub rejected_read_only: u64,
+    /// Retries answered by idempotency-key dedup after reboot.
+    pub deduplicated_retries: u64,
+    /// Faults the disk actually injected across the schedule.
+    pub faults_injected: u64,
+    /// Whether the store degraded to read-only at any point.
+    pub read_only_tripped: bool,
+    /// Torn WAL tails observed during recovery.
+    pub torn_tails: u64,
+    /// Gate: recovered tables equal the fold of the recovered key set.
+    pub atomicity_ok: bool,
+    /// Gate: every acknowledged batch survived the reboot.
+    pub durability_ok: bool,
+    /// Gate: post-retry state is exactly-once for every key.
+    pub converged: bool,
+    /// Human-readable gate violations (empty = clean pass).
+    pub failures: Vec<String>,
+}
+
+impl ScheduleOutcome {
+    /// Whether every gate passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.atomicity_ok && self.durability_ok && self.converged
+    }
+}
+
+/// Outcome of the full schedule sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteChaosReport {
+    /// Corpus / fault seed.
+    pub seed: u64,
+    /// Snapshot cadence used.
+    pub snapshot_every: u64,
+    /// Per-schedule outcomes, in sweep order.
+    pub schedules: Vec<ScheduleOutcome>,
+    /// Whether the zero-rate schedule matched the in-memory control run.
+    pub control_matches: bool,
+    /// Sweep-level violations (empty = clean pass).
+    pub failures: Vec<String>,
+}
+
+impl WriteChaosReport {
+    /// Whether every schedule and the control comparison passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.control_matches && self.schedules.iter().all(|s| s.ok())
+    }
+
+    /// Serialises the report to JSON for the bench artifact writer.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// One-line summary per schedule for terminal output.
+pub fn render_write_chaos_report(report: &WriteChaosReport) -> String {
+    let mut out = String::new();
+    for s in &report.schedules {
+        out.push_str(&format!(
+            "{:<9} batches={:<3} applied={:<3} failed={:<3} shed={:<3} dedup={:<3} \
+             faults={:<4} read_only={:<5} torn={:<2} atomic={:<5} durable={:<5} \
+             converged={:<5} {}\n",
+            s.name,
+            s.batches,
+            s.applied,
+            s.append_failures,
+            s.rejected_read_only,
+            s.deduplicated_retries,
+            s.faults_injected,
+            s.read_only_tripped,
+            s.torn_tails,
+            s.atomicity_ok,
+            s.durability_ok,
+            s.converged,
+            if s.ok() { "OK" } else { "FAILED" }
+        ));
+    }
+    out.push_str(&format!(
+        "control_matches={} overall={}\n",
+        report.control_matches,
+        if report.ok() { "OK" } else { "FAILED" }
+    ));
+    out
+}
+
+/// The durable capture the serving layer snapshots (same fields).
+fn capture_state(lab: &DataLab) -> SessionState {
+    SessionState {
+        tables: lab.export_tables(),
+        knowledge_json: lab.export_knowledge().unwrap_or_default(),
+        notebook_json: lab.export_notebook(),
+        history: lab.history().to_vec(),
+        ingest_keys: lab.export_ingest_keys(),
+    }
+}
+
+/// Deterministic ingest batches for one table: rows recycled from the
+/// table's own CSV (so they always fit the schema), every third batch
+/// an upsert on the first column.
+fn batches_for(table: &CorpusTable, config: &WriteChaosConfig) -> Vec<Batch> {
+    let mut lines = table.csv.lines();
+    let Some(header) = lines.next() else {
+        return Vec::new();
+    };
+    let data: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let first_column = header
+        .split(',')
+        .next()
+        .unwrap_or_default()
+        .trim()
+        .to_string();
+    (0..config.batches_per_table)
+        .map(|b| {
+            let mut csv = String::from(header);
+            csv.push('\n');
+            for i in 0..config.rows_per_batch.max(1) {
+                csv.push_str(data[(b + i) % data.len()]);
+                csv.push('\n');
+            }
+            Batch {
+                tenant: table.tenant.clone(),
+                table: table.name.clone(),
+                csv,
+                key_column: (b % 3 == 2).then(|| first_column.clone()),
+                key: format!("wc-{}-{}", table.name, b),
+            }
+        })
+        .collect()
+}
+
+/// Mirrors the serving layer's ingest ordering against one session:
+/// dedup → validate → read-only gate → WAL append → in-memory apply →
+/// cadence snapshot. Returns the batch's fate (validation failures are
+/// impossible for generated batches and surface as an error).
+fn ingest_through(
+    store: &Arc<DurableStore>,
+    tenant: &str,
+    lab: &mut DataLab,
+    batch: &Batch,
+) -> io::Result<Option<BatchFate>> {
+    if lab.ingest_seen(&batch.key) {
+        return Ok(None);
+    }
+    lab.validate_ingest(&batch.table, &batch.csv, batch.key_column.as_deref())
+        .map_err(|e| io::Error::other(format!("generated batch failed validation: {e}")))?;
+    if !store.write_allowed() {
+        return Ok(Some(BatchFate::RejectedReadOnly));
+    }
+    let record = SessionRecord::IngestBatch {
+        table: batch.table.clone(),
+        rows_csv: batch.csv.clone(),
+        key_column: batch.key_column.clone(),
+        idempotency_key: batch.key.clone(),
+    };
+    let receipt = match store.append(tenant, &record) {
+        Ok(receipt) => receipt,
+        Err(_) => return Ok(Some(BatchFate::AppendFailed)),
+    };
+    lab.ingest_rows(
+        &batch.table,
+        &batch.csv,
+        batch.key_column.as_deref(),
+        &batch.key,
+    )
+    .map_err(|e| io::Error::other(format!("validated batch failed to apply: {e}")))?;
+    if receipt.snapshot_due {
+        // Snapshot failures are non-fatal live (the WAL holds every
+        // record); the fault injector exercises this path too.
+        let _ = store.snapshot(tenant, &capture_state(lab));
+    }
+    Ok(Some(BatchFate::Applied))
+}
+
+/// Rebuilds one tenant from durable state, the way the serving layer
+/// does on a session miss. Returns `(lab, torn_tail)`.
+fn recover_tenant(store: &Arc<DurableStore>, tenant: &str) -> io::Result<Option<(DataLab, bool)>> {
+    store.recover_with(tenant, |outcome| {
+        let mut lab = DataLab::new(DataLabConfig::default());
+        if let Some(snap) = &outcome.snapshot {
+            for (name, csv) in &snap.tables {
+                let _ = lab.register_csv(name, csv);
+            }
+            if !snap.knowledge_json.is_empty() {
+                let _ = lab.import_knowledge(snap.knowledge_json);
+            }
+            if !snap.notebook_json.is_empty() {
+                let _ = lab.import_notebook(snap.notebook_json);
+            }
+            lab.restore_history(snap.history.iter().map(|h| h.to_string()).collect());
+            lab.restore_ingest_keys(snap.ingest_keys.iter().map(|k| k.to_string()).collect());
+        }
+        for (_, record) in &outcome.records {
+            if let SessionRecordRef::IngestBatch {
+                table,
+                rows_csv,
+                key_column,
+                idempotency_key,
+            } = record
+            {
+                let _ = lab.ingest_rows(table, rows_csv, *key_column, idempotency_key);
+            } else if let SessionRecordRef::RegisterCsv { name, csv } = record {
+                let _ = lab.register_csv(name, csv);
+            }
+        }
+        (lab, outcome.torn_tail)
+    })
+}
+
+/// A fresh oracle session for one tenant: base tables registered, then
+/// the given batches applied in order.
+fn oracle_for<'a>(
+    tables: &[&CorpusTable],
+    batches: impl Iterator<Item = &'a Batch>,
+) -> io::Result<DataLab> {
+    let mut lab = DataLab::new(DataLabConfig::default());
+    for table in tables {
+        lab.register_csv(&table.name, &table.csv)
+            .map_err(|e| io::Error::other(format!("oracle registration: {e}")))?;
+    }
+    for batch in batches {
+        lab.ingest_rows(
+            &batch.table,
+            &batch.csv,
+            batch.key_column.as_deref(),
+            &batch.key,
+        )
+        .map_err(|e| io::Error::other(format!("oracle apply: {e}")))?;
+    }
+    Ok(lab)
+}
+
+/// Runs the full sweep in `root` (one subdirectory per schedule; must
+/// be empty or absent) with the default schedules.
+pub fn run_write_chaos(config: &WriteChaosConfig, root: &Path) -> io::Result<WriteChaosReport> {
+    run_write_chaos_with(config, root, &default_schedules(config.seed))
+}
+
+/// [`run_write_chaos`] over an explicit schedule list.
+pub fn run_write_chaos_with(
+    config: &WriteChaosConfig,
+    root: &Path,
+    schedules: &[(String, FaultDiskConfig)],
+) -> io::Result<WriteChaosReport> {
+    let corpus = request_corpus(config.seed, config.tasks_per_workload);
+    let tables: Vec<&CorpusTable> = corpus
+        .tables
+        .iter()
+        .take(config.max_tables.max(1))
+        .collect();
+    let mut by_tenant: BTreeMap<String, Vec<&CorpusTable>> = BTreeMap::new();
+    for table in &tables {
+        by_tenant
+            .entry(table.tenant.clone())
+            .or_default()
+            .push(table);
+    }
+    // Global batch order: round-robin across tables so faults spread.
+    let per_table: Vec<Vec<Batch>> = tables.iter().map(|t| batches_for(t, config)).collect();
+    let mut order: Vec<Batch> = Vec::new();
+    for b in 0..config.batches_per_table {
+        for batches in &per_table {
+            if let Some(batch) = batches.get(b) {
+                order.push(batch.clone());
+            }
+        }
+    }
+
+    // The uninterrupted control run: every batch applied once, no store.
+    let mut control: BTreeMap<String, DataLab> = BTreeMap::new();
+    for (tenant, tenant_tables) in &by_tenant {
+        let lab = oracle_for(tenant_tables, order.iter().filter(|b| &b.tenant == tenant))?;
+        control.insert(tenant.clone(), lab);
+    }
+
+    let durability = DurabilityConfig {
+        // Sync on the request path: an acknowledgement means the batch
+        // is on stable storage, so fsync faults surface as 503s, not as
+        // silent post-crash loss.
+        fsync: FsyncPolicy::Always,
+        snapshot_every: config.snapshot_every,
+    };
+    let mut report = WriteChaosReport {
+        seed: config.seed,
+        snapshot_every: config.snapshot_every,
+        schedules: Vec::new(),
+        control_matches: true,
+        failures: Vec::new(),
+    };
+
+    for (name, fault_config) in schedules {
+        let dir = root.join(name);
+        let faults = Arc::new(FaultDisk::new(FaultDiskConfig::disabled(config.seed)));
+        let store = DurableStore::open_with_faults(
+            dir.clone(),
+            durability.clone(),
+            Telemetry::new(),
+            Some(Arc::clone(&faults)),
+        )?;
+
+        // Registration on a healthy disk: the schedule targets the
+        // streaming write path, not the initial load.
+        let mut labs: BTreeMap<String, DataLab> = BTreeMap::new();
+        for (tenant, tenant_tables) in &by_tenant {
+            let mut lab = DataLab::new(DataLabConfig::default());
+            for table in tenant_tables {
+                lab.register_csv(&table.name, &table.csv)
+                    .map_err(|e| io::Error::other(format!("registration: {e}")))?;
+                store.append(
+                    tenant,
+                    &SessionRecord::RegisterCsv {
+                        name: table.name.clone(),
+                        csv: table.csv.clone(),
+                    },
+                )?;
+            }
+            labs.insert(tenant.clone(), lab);
+        }
+
+        // Live phase under the schedule's faults.
+        faults.set_config(fault_config.clone());
+        let mut fates: Vec<BatchFate> = Vec::with_capacity(order.len());
+        let mut read_only_tripped = false;
+        for batch in &order {
+            let lab = labs.get_mut(&batch.tenant).expect("tenant registered");
+            let fate = ingest_through(&store, &batch.tenant, lab, batch)?
+                .expect("fresh keys never dedup live");
+            read_only_tripped |= store.read_only();
+            fates.push(fate);
+        }
+        let mut outcome = ScheduleOutcome {
+            name: name.clone(),
+            batches: order.len() as u64,
+            applied: fates.iter().filter(|f| **f == BatchFate::Applied).count() as u64,
+            append_failures: fates
+                .iter()
+                .filter(|f| **f == BatchFate::AppendFailed)
+                .count() as u64,
+            rejected_read_only: fates
+                .iter()
+                .filter(|f| **f == BatchFate::RejectedReadOnly)
+                .count() as u64,
+            deduplicated_retries: 0,
+            faults_injected: faults.injected(),
+            read_only_tripped,
+            torn_tails: 0,
+            atomicity_ok: true,
+            durability_ok: true,
+            converged: true,
+            failures: Vec::new(),
+        };
+        let acked: BTreeMap<String, BTreeSet<String>> = by_tenant
+            .keys()
+            .map(|tenant| {
+                let keys = order
+                    .iter()
+                    .zip(&fates)
+                    .filter(|(b, f)| &b.tenant == tenant && **f == BatchFate::Applied)
+                    .map(|(b, _)| b.key.clone())
+                    .collect();
+                (tenant.clone(), keys)
+            })
+            .collect();
+
+        // SIGKILL: drop the store with no graceful flush, heal the
+        // disk, reboot, and recover every tenant.
+        drop(store);
+        faults.clear();
+        let store =
+            DurableStore::open_with_faults(dir, durability.clone(), Telemetry::new(), None)?;
+        let mut recovered: BTreeMap<String, DataLab> = BTreeMap::new();
+        for tenant in by_tenant.keys() {
+            match recover_tenant(&store, tenant)? {
+                Some((lab, torn)) => {
+                    outcome.torn_tails += u64::from(torn);
+                    recovered.insert(tenant.clone(), lab);
+                }
+                None => {
+                    outcome
+                        .failures
+                        .push(format!("tenant {tenant}: no durable state after reboot"));
+                }
+            }
+        }
+
+        let mut keys_at_reboot: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (tenant, tenant_tables) in &by_tenant {
+            let Some(lab) = recovered.get(tenant) else {
+                outcome.durability_ok = false;
+                continue;
+            };
+            let keys: BTreeSet<String> = lab.export_ingest_keys().into_iter().collect();
+            keys_at_reboot.insert(tenant.clone(), keys.clone());
+            // Durability: every acknowledged batch survived.
+            for key in &acked[tenant] {
+                if !keys.contains(key) {
+                    outcome.durability_ok = false;
+                    outcome
+                        .failures
+                        .push(format!("tenant {tenant}: acknowledged batch {key} lost"));
+                }
+            }
+            // Atomicity: the recovered tables equal the fold of exactly
+            // the batches the recovered key set claims, bit for bit.
+            let oracle = oracle_for(
+                tenant_tables,
+                order
+                    .iter()
+                    .filter(|b| &b.tenant == tenant && keys.contains(&b.key)),
+            )?;
+            if oracle.export_tables() != lab.export_tables() {
+                outcome.atomicity_ok = false;
+                outcome.failures.push(format!(
+                    "tenant {tenant}: recovered tables diverge from the fold of {} applied keys",
+                    keys.len()
+                ));
+            }
+        }
+
+        // Retry every batch (the client's crash-recovery behaviour):
+        // applied ones must dedup, lost ones must apply, and the result
+        // must be exactly-once against the actual-order oracle.
+        for batch in &order {
+            let Some(lab) = recovered.get_mut(&batch.tenant) else {
+                continue; // already reported as a durability failure
+            };
+            match ingest_through(&store, &batch.tenant, lab, batch)? {
+                None => outcome.deduplicated_retries += 1,
+                Some(BatchFate::Applied) => {}
+                Some(fate) => outcome.failures.push(format!(
+                    "tenant {}: retry of {} did not apply ({fate:?}) on a healthy disk",
+                    batch.tenant, batch.key
+                )),
+            }
+        }
+        for (tenant, tenant_tables) in &by_tenant {
+            let Some(lab) = recovered.get(tenant) else {
+                outcome.converged = false;
+                continue;
+            };
+            let keys: BTreeSet<String> = lab.export_ingest_keys().into_iter().collect();
+            let expected: BTreeSet<String> = order
+                .iter()
+                .filter(|b| &b.tenant == tenant)
+                .map(|b| b.key.clone())
+                .collect();
+            if keys != expected {
+                outcome.converged = false;
+                outcome.failures.push(format!(
+                    "tenant {tenant}: {} keys applied after retries, expected {}",
+                    keys.len(),
+                    expected.len()
+                ));
+                continue;
+            }
+            // Actual application order: the batches present at reboot
+            // in attempt order, then the retried remainder in order.
+            let at_reboot = keys_at_reboot.get(tenant).cloned().unwrap_or_default();
+            let survivors = order
+                .iter()
+                .filter(|b| &b.tenant == tenant && at_reboot.contains(&b.key));
+            let retried = order
+                .iter()
+                .filter(|b| &b.tenant == tenant && !at_reboot.contains(&b.key));
+            let oracle = oracle_for(tenant_tables, survivors.chain(retried))?;
+            if oracle.export_tables() != lab.export_tables() {
+                outcome.converged = false;
+                outcome.failures.push(format!(
+                    "tenant {tenant}: post-retry state is not exactly-once"
+                ));
+            }
+        }
+
+        // Control equivalence for the zero-rate schedule.
+        if outcome.faults_injected == 0 {
+            if outcome.append_failures != 0
+                || outcome.rejected_read_only != 0
+                || outcome.read_only_tripped
+                || outcome.torn_tails != 0
+            {
+                report.control_matches = false;
+                report.failures.push(format!(
+                    "schedule {name}: zero faults injected but anomalies recorded"
+                ));
+            }
+            for (tenant, lab) in &recovered {
+                if lab.export_tables() != control[tenant].export_tables() {
+                    report.control_matches = false;
+                    report.failures.push(format!(
+                        "schedule {name}: tenant {tenant} diverges from the control run"
+                    ));
+                }
+            }
+        }
+
+        report.schedules.push(outcome);
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "datalab-write-chaos-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn the_default_sweep_passes_every_gate() {
+        let root = temp_root("sweep");
+        let report = run_write_chaos(&WriteChaosConfig::default(), &root).expect("harness runs");
+        let _ = std::fs::remove_dir_all(&root);
+        assert!(report.ok(), "{}", render_write_chaos_report(&report));
+        // The sweep actually exercised the machinery it claims to.
+        assert!(report.schedules.iter().any(|s| s.append_failures > 0));
+        assert!(report.schedules.iter().any(|s| s.read_only_tripped));
+        assert!(report.schedules.iter().any(|s| s.deduplicated_retries > 0));
+        let control = &report.schedules[0];
+        assert_eq!(control.name, "control");
+        assert_eq!(control.append_failures + control.rejected_read_only, 0);
+        assert_eq!(control.applied, control.batches);
+    }
+
+    #[test]
+    fn the_report_serializes_for_the_artifact_writer() {
+        let root = temp_root("serde");
+        let config = WriteChaosConfig {
+            batches_per_table: 2,
+            max_tables: 2,
+            ..WriteChaosConfig::default()
+        };
+        let schedules = vec![(
+            "control".to_string(),
+            FaultDiskConfig::disabled(config.seed),
+        )];
+        let report = run_write_chaos_with(&config, &root, &schedules).expect("harness runs");
+        let _ = std::fs::remove_dir_all(&root);
+        assert!(report.ok(), "{}", render_write_chaos_report(&report));
+        let json = report.to_json();
+        let back: WriteChaosReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}
